@@ -1,0 +1,193 @@
+//! Theorem 6 — bi-criteria mapping on Communication Homogeneous platforms
+//! with **Failure Homogeneous** processors (Algorithms 3 and 4 of the
+//! paper).
+//!
+//! With one shared failure probability `fp`, Lemma 1 still forces a
+//! single-interval optimum; the FP of `k` replicas is `fp^k` regardless of
+//! *which* processors are picked, so the set choice is free to optimize
+//! latency — the `k` **fastest** processors. Algorithm 3 grows `k` while
+//! the latency threshold holds; Algorithm 4 picks the smallest `k` meeting
+//! the FP threshold.
+//!
+//! With heterogeneous failure probabilities the single-interval property
+//! breaks (Figure 5; the problem is open, conjectured NP-hard §4.4) — use
+//! [`crate::exact::bitmask_dp`] or [`crate::heuristics`] there.
+
+use crate::solution::BiSolution;
+use rpwf_core::error::{CoreError, Result};
+use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::platform::{FailureClass, Platform};
+use rpwf_core::stage::Pipeline;
+
+fn require_classes(platform: &Platform) -> Result<()> {
+    if platform.uniform_bandwidth().is_none() {
+        return Err(CoreError::NotCommHomogeneous);
+    }
+    if platform.failure_class() != FailureClass::Homogeneous {
+        return Err(CoreError::NotFailureHomogeneous);
+    }
+    Ok(())
+}
+
+/// Single interval on the `k` fastest processors, evaluated.
+fn replicate_on_k_fastest(pipeline: &Pipeline, platform: &Platform, k: usize) -> BiSolution {
+    let procs = platform.procs_by_speed_desc()[..k].to_vec();
+    let mapping =
+        IntervalMapping::single_interval(pipeline.n_stages(), procs, platform.n_procs())
+            .expect("k ≥ 1 fastest processors form a valid allocation");
+    BiSolution::evaluate(mapping, pipeline, platform)
+}
+
+/// **Algorithm 3**: minimize FP subject to `latency ≤ l`.
+///
+/// Processors are ordered by decreasing speed; the latency of the `k`
+/// fastest, `k·δ_0/b + Σw/s_(k) + δ_n/b` (with `s_(k)` the `k`-th fastest
+/// speed), is non-decreasing in `k`, so the maximal feasible `k` is found
+/// by a forward scan and is FP-optimal (`fp^k` decreases in `k`).
+///
+/// # Errors
+/// * [`CoreError::NotCommHomogeneous`] / [`CoreError::NotFailureHomogeneous`]
+///   on the wrong platform classes,
+/// * [`CoreError::Infeasible`] when even `k = 1` exceeds `l`.
+pub fn min_fp_under_latency(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    l: f64,
+) -> Result<BiSolution> {
+    require_classes(platform)?;
+    const SLACK: f64 = 1e-9;
+    let mut best: Option<BiSolution> = None;
+    for k in 1..=platform.n_procs() {
+        let sol = replicate_on_k_fastest(pipeline, platform, k);
+        if sol.latency <= l * (1.0 + SLACK) + SLACK {
+            best = Some(sol);
+        } else {
+            break; // non-decreasing in k
+        }
+    }
+    best.ok_or_else(|| CoreError::Infeasible {
+        reason: format!("no replica count achieves latency ≤ {l}"),
+    })
+}
+
+/// **Algorithm 4**: minimize latency subject to `failure probability ≤ fp`.
+///
+/// The smallest `k` with `fp_shared^k ≤ fp` wins; the `k` fastest
+/// processors then minimize the latency for that `k`.
+///
+/// # Errors
+/// * class errors as in [`min_fp_under_latency`],
+/// * [`CoreError::Infeasible`] when all `m` replicas are still above `fp`.
+pub fn min_latency_under_fp(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    fp: f64,
+) -> Result<BiSolution> {
+    require_classes(platform)?;
+    const SLACK: f64 = 1e-9;
+    for k in 1..=platform.n_procs() {
+        let sol = replicate_on_k_fastest(pipeline, platform, k);
+        if sol.failure_prob <= fp * (1.0 + SLACK) + SLACK {
+            return Ok(sol);
+        }
+    }
+    Err(CoreError::Infeasible {
+        reason: format!("even {} replicas cannot achieve FP ≤ {fp}", platform.n_procs()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::Exhaustive;
+    use crate::solution::Objective;
+    use rpwf_core::assert_approx_eq;
+    use rpwf_core::platform::ProcId;
+
+    fn platform() -> Platform {
+        Platform::comm_homogeneous(vec![4.0, 1.0, 3.0, 2.0], 2.0, vec![0.5; 4]).unwrap()
+    }
+
+    #[test]
+    fn algorithm3_uses_fastest_prefix() {
+        // W = 12, δ0 = 4, δn = 2, b = 2 → latency(k) = 2k + 12/s_(k) + 1.
+        // speeds sorted: 4,3,2,1 → lat(1)=6, lat(2)=9, lat(3)=13, lat(4)=21.
+        let pipe = Pipeline::new(vec![12.0], vec![4.0, 2.0]).unwrap();
+        let pf = platform();
+        let sol = min_fp_under_latency(&pipe, &pf, 13.0).unwrap();
+        assert_eq!(sol.mapping.replication(0), 3);
+        assert_eq!(sol.mapping.alloc(0), &[ProcId(0), ProcId(2), ProcId(3)]);
+        assert_approx_eq!(sol.latency, 13.0);
+        assert_approx_eq!(sol.failure_prob, 0.125);
+    }
+
+    #[test]
+    fn algorithm4_smallest_k_then_fastest() {
+        let pipe = Pipeline::new(vec![12.0], vec![4.0, 2.0]).unwrap();
+        let pf = platform();
+        let sol = min_latency_under_fp(&pipe, &pf, 0.3).unwrap(); // 0.5^2 = 0.25
+        assert_eq!(sol.mapping.replication(0), 2);
+        assert_eq!(sol.mapping.alloc(0), &[ProcId(0), ProcId(2)]);
+        assert_approx_eq!(sol.latency, 9.0);
+    }
+
+    #[test]
+    fn rejects_wrong_classes() {
+        let pipe = Pipeline::uniform(1, 1.0, 1.0).unwrap();
+        let het_links = rpwf_gen::figure4_platform();
+        assert_eq!(
+            min_fp_under_latency(&pipe, &het_links, 100.0).unwrap_err(),
+            CoreError::NotCommHomogeneous
+        );
+        let het_fail =
+            Platform::comm_homogeneous(vec![1.0, 1.0], 1.0, vec![0.1, 0.2]).unwrap();
+        assert_eq!(
+            min_latency_under_fp(&pipe, &het_fail, 1.0).unwrap_err(),
+            CoreError::NotFailureHomogeneous
+        );
+    }
+
+    #[test]
+    fn infeasible_cases_error() {
+        let pipe = Pipeline::new(vec![100.0], vec![1.0, 1.0]).unwrap();
+        let pf = platform();
+        assert!(matches!(
+            min_fp_under_latency(&pipe, &pf, 5.0).unwrap_err(),
+            CoreError::Infeasible { .. }
+        ));
+        assert!(matches!(
+            min_latency_under_fp(&pipe, &pf, 0.001).unwrap_err(),
+            CoreError::Infeasible { .. }
+        ));
+    }
+
+    #[test]
+    fn algorithm3_matches_exhaustive_oracle() {
+        let pipe = Pipeline::new(vec![2.0, 10.0], vec![3.0, 1.0, 2.0]).unwrap();
+        let pf = platform();
+        for l in [5.0, 7.0, 9.0, 12.0, 16.0, 25.0] {
+            let alg = min_fp_under_latency(&pipe, &pf, l).ok();
+            let oracle = Exhaustive::new(&pipe, &pf).solve(Objective::MinFpUnderLatency(l));
+            match (alg, oracle) {
+                (Some(a), Some(o)) => assert_approx_eq!(a.failure_prob, o.failure_prob),
+                (None, None) => {}
+                (a, o) => panic!("L={l}: algorithm {a:?} vs oracle {o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm4_matches_exhaustive_oracle() {
+        let pipe = Pipeline::new(vec![2.0, 10.0], vec![3.0, 1.0, 2.0]).unwrap();
+        let pf = platform();
+        for fp in [0.6, 0.5, 0.3, 0.15, 0.07, 0.04]  {
+            let alg = min_latency_under_fp(&pipe, &pf, fp).ok();
+            let oracle = Exhaustive::new(&pipe, &pf).solve(Objective::MinLatencyUnderFp(fp));
+            match (alg, oracle) {
+                (Some(a), Some(o)) => assert_approx_eq!(a.latency, o.latency),
+                (None, None) => {}
+                (a, o) => panic!("FP={fp}: algorithm {a:?} vs oracle {o:?}"),
+            }
+        }
+    }
+}

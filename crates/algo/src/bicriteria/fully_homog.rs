@@ -1,0 +1,212 @@
+//! Theorem 5 — bi-criteria mapping on Fully Homogeneous platforms
+//! (Algorithms 1 and 2 of the paper).
+//!
+//! By Lemma 1, some optimal solution maps the whole pipeline as a single
+//! interval; the only question is how many (and which) processors join the
+//! replication set. Latency grows with the replica count `k`
+//! (`k·δ_0/b + Σw/s + δ_n/b`), failure probability shrinks, and for a fixed
+//! `k` the best set is always the `k` **most reliable** processors (the
+//! paper's remark: the algorithms stay optimal under heterogeneous failure
+//! probabilities, which is how they are implemented here — homogeneous
+//! failures are just the special case where the sort is a no-op).
+
+use crate::solution::BiSolution;
+use rpwf_core::error::{CoreError, Result};
+use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::platform::{Platform, PlatformClass};
+use rpwf_core::stage::Pipeline;
+
+fn require_fully_homogeneous(platform: &Platform) -> Result<()> {
+    if platform.class() != PlatformClass::FullyHomogeneous {
+        return Err(CoreError::NotCommHomogeneous);
+    }
+    Ok(())
+}
+
+/// Builds the single-interval mapping on the `k` most reliable processors
+/// and evaluates it.
+fn replicate_on_k_most_reliable(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    k: usize,
+) -> BiSolution {
+    let procs = platform.procs_by_reliability_desc()[..k].to_vec();
+    let mapping =
+        IntervalMapping::single_interval(pipeline.n_stages(), procs, platform.n_procs())
+            .expect("k ≥ 1 most reliable processors form a valid allocation");
+    BiSolution::evaluate(mapping, pipeline, platform)
+}
+
+/// **Algorithm 1**: minimize the failure probability subject to
+/// `latency ≤ l`.
+///
+/// Finds the maximum replica count `k` whose single-interval latency fits
+/// under `l` (latency is non-decreasing in `k` on these platforms) and
+/// replicates on the `k` most reliable processors.
+///
+/// # Errors
+/// * [`CoreError::NotCommHomogeneous`] when the platform is not Fully
+///   Homogeneous,
+/// * [`CoreError::Infeasible`] when even `k = 1` exceeds `l`.
+pub fn min_fp_under_latency(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    l: f64,
+) -> Result<BiSolution> {
+    require_fully_homogeneous(platform)?;
+    const SLACK: f64 = 1e-9;
+    let mut best: Option<BiSolution> = None;
+    for k in 1..=platform.n_procs() {
+        let sol = replicate_on_k_most_reliable(pipeline, platform, k);
+        if sol.latency <= l * (1.0 + SLACK) + SLACK {
+            best = Some(sol);
+        } else {
+            break; // latency is non-decreasing in k
+        }
+    }
+    best.ok_or_else(|| CoreError::Infeasible {
+        reason: format!("no replica count achieves latency ≤ {l}"),
+    })
+}
+
+/// **Algorithm 2**: minimize latency subject to `failure probability ≤ fp`.
+///
+/// Finds the minimum replica count `k` whose FP (using the `k` most
+/// reliable processors, the FP-optimal choice for each `k`) meets the
+/// bound; latency is non-decreasing in `k`, so the smallest feasible `k`
+/// is latency-optimal.
+///
+/// # Errors
+/// * [`CoreError::NotCommHomogeneous`] when the platform is not Fully
+///   Homogeneous,
+/// * [`CoreError::Infeasible`] when even all `m` processors cannot reach
+///   `fp`.
+pub fn min_latency_under_fp(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    fp: f64,
+) -> Result<BiSolution> {
+    require_fully_homogeneous(platform)?;
+    const SLACK: f64 = 1e-9;
+    for k in 1..=platform.n_procs() {
+        let sol = replicate_on_k_most_reliable(pipeline, platform, k);
+        if sol.failure_prob <= fp * (1.0 + SLACK) + SLACK {
+            return Ok(sol);
+        }
+    }
+    Err(CoreError::Infeasible {
+        reason: format!("even {} replicas cannot achieve FP ≤ {fp}", platform.n_procs()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::Exhaustive;
+    use crate::solution::Objective;
+    use rpwf_core::assert_approx_eq;
+    use rpwf_core::platform::PlatformBuilder;
+    use rpwf_core::platform::ProcId;
+
+    #[test]
+    fn algorithm1_closed_form() {
+        // m=5, s=2, b=4, fp=0.5; pipeline W=8, δ0=8, δn=4.
+        // latency(k) = 2k + 4 + 1; L = 12 → k ≤ 3.5 → k = 3, FP = 0.125.
+        let pipe = Pipeline::new(vec![8.0], vec![8.0, 4.0]).unwrap();
+        let pf = Platform::fully_homogeneous(5, 2.0, 4.0, 0.5).unwrap();
+        let sol = min_fp_under_latency(&pipe, &pf, 12.0).unwrap();
+        assert_eq!(sol.mapping.replication(0), 3);
+        assert_approx_eq!(sol.latency, 11.0);
+        assert_approx_eq!(sol.failure_prob, 0.125);
+    }
+
+    #[test]
+    fn algorithm2_closed_form() {
+        let pipe = Pipeline::new(vec![8.0], vec![8.0, 4.0]).unwrap();
+        let pf = Platform::fully_homogeneous(5, 2.0, 4.0, 0.5).unwrap();
+        // FP ≤ 0.2 → need 0.5^k ≤ 0.2 → k = 3.
+        let sol = min_latency_under_fp(&pipe, &pf, 0.2).unwrap();
+        assert_eq!(sol.mapping.replication(0), 3);
+        assert_approx_eq!(sol.latency, 11.0);
+    }
+
+    #[test]
+    fn heterogeneous_failures_pick_most_reliable() {
+        // Same speeds/links, different fps: the paper's remark case.
+        let pf = PlatformBuilder::new(4)
+            .speeds_uniform(2.0)
+            .bandwidth_uniform(4.0)
+            .failure_probs(vec![0.9, 0.1, 0.5, 0.2])
+            .unwrap()
+            .build()
+            .unwrap();
+        let pipe = Pipeline::new(vec![8.0], vec![8.0, 4.0]).unwrap();
+        let sol = min_fp_under_latency(&pipe, &pf, 10.0).unwrap(); // k ≤ 2
+        assert_eq!(sol.mapping.replication(0), 2);
+        // Most reliable two: P1 (0.1) and P3 (0.2).
+        assert_eq!(sol.mapping.alloc(0), &[ProcId(1), ProcId(3)]);
+        assert_approx_eq!(sol.failure_prob, 0.02);
+    }
+
+    #[test]
+    fn infeasible_latency_errors() {
+        let pipe = Pipeline::new(vec![100.0], vec![1.0, 1.0]).unwrap();
+        let pf = Platform::fully_homogeneous(2, 1.0, 1.0, 0.5).unwrap();
+        assert!(matches!(
+            min_fp_under_latency(&pipe, &pf, 10.0).unwrap_err(),
+            CoreError::Infeasible { .. }
+        ));
+    }
+
+    #[test]
+    fn infeasible_fp_errors() {
+        let pipe = Pipeline::uniform(1, 1.0, 1.0).unwrap();
+        let pf = Platform::fully_homogeneous(2, 1.0, 1.0, 0.9).unwrap();
+        assert!(matches!(
+            min_latency_under_fp(&pipe, &pf, 0.1).unwrap_err(),
+            CoreError::Infeasible { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_non_fully_homogeneous() {
+        let pipe = Pipeline::uniform(1, 1.0, 1.0).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 2.0], 1.0, vec![0.1, 0.1]).unwrap();
+        assert!(min_fp_under_latency(&pipe, &pf, 100.0).is_err());
+        assert!(min_latency_under_fp(&pipe, &pf, 1.0).is_err());
+    }
+
+    #[test]
+    fn algorithm1_matches_exhaustive_oracle() {
+        let pipe = Pipeline::new(vec![3.0, 5.0], vec![2.0, 4.0, 1.0]).unwrap();
+        let pf = Platform::fully_homogeneous(4, 2.0, 2.0, 0.4).unwrap();
+        for l in [4.0, 6.0, 7.0, 8.0, 10.0, 20.0] {
+            let alg = min_fp_under_latency(&pipe, &pf, l).ok();
+            let oracle = Exhaustive::new(&pipe, &pf).solve(Objective::MinFpUnderLatency(l));
+            match (alg, oracle) {
+                (Some(a), Some(o)) => {
+                    assert_approx_eq!(a.failure_prob, o.failure_prob);
+                }
+                (None, None) => {}
+                (a, o) => panic!("L={l}: algorithm {a:?} vs oracle {o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm2_matches_exhaustive_oracle() {
+        let pipe = Pipeline::new(vec![3.0, 5.0], vec![2.0, 4.0, 1.0]).unwrap();
+        let pf = Platform::fully_homogeneous(4, 2.0, 2.0, 0.4).unwrap();
+        for fp in [0.5, 0.4, 0.2, 0.1, 0.05, 0.02] {
+            let alg = min_latency_under_fp(&pipe, &pf, fp).ok();
+            let oracle = Exhaustive::new(&pipe, &pf).solve(Objective::MinLatencyUnderFp(fp));
+            match (alg, oracle) {
+                (Some(a), Some(o)) => {
+                    assert_approx_eq!(a.latency, o.latency);
+                }
+                (None, None) => {}
+                (a, o) => panic!("FP={fp}: algorithm {a:?} vs oracle {o:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's polynomial bi-criteria algorithms (Theorems 5 and 6).
+//!
+//! * [`fully_homog`] — Algorithms 1 & 2 on Fully Homogeneous platforms,
+//! * [`comm_homog`] — Algorithms 3 & 4 on Communication Homogeneous +
+//!   Failure Homogeneous platforms.
+//!
+//! The remaining class combinations are NP-hard (Fully Heterogeneous,
+//! Theorem 7) or open (Comm Homogeneous + Failure Heterogeneous, §4.4);
+//! see [`crate::exact`] and [`crate::heuristics`].
+
+pub mod comm_homog;
+pub mod fully_homog;
+
+/// Dispatches the threshold problem to the paper's polynomial algorithm for
+/// the platform's classes, when one exists.
+///
+/// Returns `Ok(None)` when no polynomial algorithm covers the class
+/// combination (the caller should fall back to exact or heuristic solvers);
+/// `Err` only for infeasible thresholds.
+pub fn solve_polynomial(
+    pipeline: &rpwf_core::stage::Pipeline,
+    platform: &rpwf_core::platform::Platform,
+    objective: crate::solution::Objective,
+) -> rpwf_core::error::Result<Option<crate::solution::BiSolution>> {
+    use crate::solution::Objective;
+    use rpwf_core::platform::{FailureClass, PlatformClass};
+
+    match (platform.class(), platform.failure_class()) {
+        (PlatformClass::FullyHomogeneous, _) => match objective {
+            Objective::MinFpUnderLatency(l) => {
+                fully_homog::min_fp_under_latency(pipeline, platform, l).map(Some)
+            }
+            Objective::MinLatencyUnderFp(f) => {
+                fully_homog::min_latency_under_fp(pipeline, platform, f).map(Some)
+            }
+        },
+        (PlatformClass::CommHomogeneous, FailureClass::Homogeneous) => match objective {
+            Objective::MinFpUnderLatency(l) => {
+                comm_homog::min_fp_under_latency(pipeline, platform, l).map(Some)
+            }
+            Objective::MinLatencyUnderFp(f) => {
+                comm_homog::min_latency_under_fp(pipeline, platform, f).map(Some)
+            }
+        },
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::Objective;
+    use rpwf_core::platform::Platform;
+    use rpwf_core::stage::Pipeline;
+
+    #[test]
+    fn dispatch_covers_polynomial_classes() {
+        let pipe = Pipeline::uniform(2, 1.0, 1.0).unwrap();
+
+        let fh = Platform::fully_homogeneous(3, 1.0, 1.0, 0.5).unwrap();
+        assert!(solve_polynomial(&pipe, &fh, Objective::MinFpUnderLatency(100.0))
+            .unwrap()
+            .is_some());
+
+        let ch = Platform::comm_homogeneous(vec![1.0, 2.0], 1.0, vec![0.5, 0.5]).unwrap();
+        assert!(solve_polynomial(&pipe, &ch, Objective::MinLatencyUnderFp(0.9))
+            .unwrap()
+            .is_some());
+
+        // Open problem class: no polynomial algorithm.
+        let ch_fhet = Platform::comm_homogeneous(vec![1.0, 2.0], 1.0, vec![0.1, 0.5]).unwrap();
+        assert!(solve_polynomial(&pipe, &ch_fhet, Objective::MinFpUnderLatency(100.0))
+            .unwrap()
+            .is_none());
+
+        // NP-hard class.
+        let het = rpwf_gen::figure4_platform();
+        assert!(solve_polynomial(&pipe, &het, Objective::MinFpUnderLatency(1e9))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn dispatch_propagates_infeasibility() {
+        let pipe = Pipeline::new(vec![100.0], vec![1.0, 1.0]).unwrap();
+        let fh = Platform::fully_homogeneous(2, 1.0, 1.0, 0.5).unwrap();
+        assert!(solve_polynomial(&pipe, &fh, Objective::MinFpUnderLatency(1.0)).is_err());
+    }
+}

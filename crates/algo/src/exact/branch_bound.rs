@@ -1,0 +1,514 @@
+//! Branch-and-bound exact solver for the NP-hard bi-criteria problem on
+//! Fully Heterogeneous platforms (Theorem 7).
+//!
+//! The brute-force oracle ([`crate::exact::exhaustive`]) evaluates every
+//! `(partition, allocation)` pair; this solver explores the same tree
+//! depth-first but prunes with two sound bounds:
+//!
+//! * **latency bound** — partial latency, plus the cheapest possible finish
+//!   of the pending interval (its work on its fastest replica, zero
+//!   outgoing communication), plus the remaining stages' work on the
+//!   globally fastest processor, already exceeds the latency budget;
+//! * **failure bound** — the failure probability of the mapped prefix
+//!   (remaining intervals can only *increase* FP, since each multiplies
+//!   the success probability by a factor `≤ 1`) is already no better than
+//!   the incumbent.
+//!
+//! The incumbent is seeded from the heuristic portfolio, so strong
+//! solutions prune aggressively from the first node. Exact: when the
+//! search finishes, the incumbent is optimal for the threshold objective.
+
+use crate::heuristics::Portfolio;
+use crate::solution::{BiSolution, Objective};
+use rpwf_core::mapping::{Interval, IntervalMapping};
+use rpwf_core::num::LogProb;
+use rpwf_core::platform::{Platform, ProcId, Vertex};
+use rpwf_core::stage::Pipeline;
+
+/// State-space cap (`2^m` allocation masks).
+const MAX_PROCS: usize = 24;
+
+/// Branch-and-bound solver handle.
+#[derive(Clone, Copy, Debug)]
+pub struct BranchBound<'a> {
+    pipeline: &'a Pipeline,
+    platform: &'a Platform,
+    /// Skip seeding the incumbent from the heuristics (for benchmarking the
+    /// raw search).
+    pub seed_with_heuristics: bool,
+}
+
+struct Search<'a> {
+    pipeline: &'a Pipeline,
+    platform: &'a Platform,
+    objective: Objective,
+    n: usize,
+    m: usize,
+    /// Globally fastest speed, for the remaining-work bound.
+    s_max: f64,
+    /// `work_suffix[i] = Σ_{k ≥ i} w_k`.
+    work_suffix: Vec<f64>,
+    /// Best feasible solution so far.
+    best: Option<BiSolution>,
+    /// Decision stack: per interval `(end stage, replica mask)`.
+    stack: Vec<(usize, u32)>,
+    nodes: u64,
+}
+
+impl Search<'_> {
+    /// Latency contribution of closing interval `(start..=end, alloc_prev)`
+    /// toward the next replica mask (`None` = toward `P_out`).
+    fn close_cost(&self, start: usize, end: usize, prev_mask: u32, next_mask: Option<u32>) -> f64 {
+        let work = self.pipeline.work_sum(start, end);
+        let out_size = self.pipeline.delta(end + 1);
+        let mut worst = f64::NEG_INFINITY;
+        let mut mm = prev_mask;
+        while mm != 0 {
+            let u = ProcId::new(mm.trailing_zeros() as usize);
+            mm &= mm - 1;
+            let mut cost = work / self.platform.speed(u);
+            match next_mask {
+                Some(next) => {
+                    let mut vv = next;
+                    while vv != 0 {
+                        let v = ProcId::new(vv.trailing_zeros() as usize);
+                        vv &= vv - 1;
+                        cost += self.platform.comm_time(
+                            Vertex::Proc(u),
+                            Vertex::Proc(v),
+                            out_size,
+                        );
+                    }
+                }
+                None => {
+                    cost += self.platform.comm_time(Vertex::Proc(u), Vertex::Out, out_size);
+                }
+            }
+            if cost > worst {
+                worst = cost;
+            }
+        }
+        worst
+    }
+
+    /// Optimistic lower bound on the pending interval's remaining cost:
+    /// its work on the fastest replica, no outgoing communication.
+    fn pending_min(&self, start: usize, end: usize, mask: u32) -> f64 {
+        let work = self.pipeline.work_sum(start, end);
+        let mut best = f64::INFINITY;
+        let mut mm = mask;
+        while mm != 0 {
+            let u = ProcId::new(mm.trailing_zeros() as usize);
+            mm &= mm - 1;
+            best = best.min(work / self.platform.speed(u));
+        }
+        best
+    }
+
+    fn consider_incumbent(&mut self, latency: f64, fp: f64) {
+        if !self.objective.feasible(latency, fp) {
+            return;
+        }
+        let replace = match &self.best {
+            None => true,
+            Some(b) => self.objective.value(latency, fp) < self.objective.value(b.latency, b.failure_prob)
+                || (self.objective.value(latency, fp) == self.objective.value(b.latency, b.failure_prob)
+                    && match self.objective {
+                        Objective::MinFpUnderLatency(_) => latency < b.latency,
+                        Objective::MinLatencyUnderFp(_) => fp < b.failure_prob,
+                    }),
+        };
+        if replace {
+            let mapping = self.decode();
+            self.best = Some(BiSolution { mapping, latency, failure_prob: fp });
+        }
+    }
+
+    fn decode(&self) -> IntervalMapping {
+        let mut intervals = Vec::with_capacity(self.stack.len());
+        let mut alloc = Vec::with_capacity(self.stack.len());
+        let mut start = 0usize;
+        for &(end, mask) in &self.stack {
+            intervals.push(Interval::new(start, end).expect("ordered"));
+            let mut ids = Vec::new();
+            let mut mm = mask;
+            while mm != 0 {
+                ids.push(ProcId::new(mm.trailing_zeros() as usize));
+                mm &= mm - 1;
+            }
+            alloc.push(ids);
+            start = end + 1;
+        }
+        IntervalMapping::new(intervals, alloc, self.n, self.m)
+            .expect("search stack encodes a valid mapping")
+    }
+
+    /// Prune test. `lat_partial` excludes the pending interval's own term;
+    /// `pending` is `(start, end, mask)` of the not-yet-closed interval.
+    fn pruned(&self, lat_partial: f64, fp_cost_partial: f64, pending: Option<(usize, usize, u32)>, next_stage: usize) -> bool {
+        // Sound optimistic completion of the latency.
+        let mut lb = lat_partial;
+        if let Some((s, e, mask)) = pending {
+            lb += self.pending_min(s, e, mask);
+        }
+        if next_stage < self.n {
+            lb += self.work_suffix[next_stage] / self.s_max;
+        }
+        let fp_lb = -(-fp_cost_partial).exp_m1(); // FP of the closed prefix
+        match self.objective {
+            Objective::MinFpUnderLatency(_) => {
+                if lb > self.objective.threshold_with_slack() {
+                    return true;
+                }
+                if let Some(b) = &self.best {
+                    // Remaining intervals only increase FP.
+                    if fp_lb >= b.failure_prob - 1e-15 {
+                        return true;
+                    }
+                }
+            }
+            Objective::MinLatencyUnderFp(_) => {
+                if fp_lb > self.objective.threshold_with_slack() {
+                    return true;
+                }
+                if let Some(b) = &self.best {
+                    if lb >= b.latency - 1e-15 {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// DFS over interval ends and allocation submasks.
+    ///
+    /// Invariant: `self.stack` holds all *closed and pending* intervals;
+    /// the last stack entry is the pending interval whose outgoing cost is
+    /// not yet included in `lat_partial`.
+    fn dfs(
+        &mut self,
+        next_stage: usize,
+        used: u32,
+        lat_partial: f64,
+        fp_cost_partial: f64,
+    ) {
+        self.nodes += 1;
+        let full: u32 = if self.m == 32 { u32::MAX } else { (1u32 << self.m) - 1 };
+        let free = full & !used;
+
+        let pending = self.stack.last().map(|&(end, mask)| {
+            let start = if self.stack.len() >= 2 {
+                self.stack[self.stack.len() - 2].0 + 1
+            } else {
+                0
+            };
+            (start, end, mask)
+        });
+
+        if next_stage == self.n {
+            // Close the pending interval toward P_out.
+            let (start, end, mask) = pending.expect("at least one interval");
+            let latency = lat_partial + self.close_cost(start, end, mask, None);
+            let fp = -(-fp_cost_partial).exp_m1();
+            self.consider_incumbent(latency, fp);
+            return;
+        }
+        if self.pruned(lat_partial, fp_cost_partial, pending, next_stage) {
+            return;
+        }
+        if free == 0 {
+            return; // no processors left for the remaining stages
+        }
+
+        for end in next_stage..self.n {
+            // Enumerate non-empty submasks of the free set for the next
+            // interval.
+            let mut sub = free;
+            while sub != 0 {
+                // Cost updates: close the pending interval toward `sub`,
+                // account the new interval's survival and (for the first
+                // interval) the serialized input from P_in.
+                let mut lat = lat_partial;
+                if let Some((s, e, mask)) = pending {
+                    lat += self.close_cost(s, e, mask, Some(sub));
+                } else {
+                    let mut vv = sub;
+                    while vv != 0 {
+                        let v = ProcId::new(vv.trailing_zeros() as usize);
+                        vv &= vv - 1;
+                        lat += self.platform.comm_time(
+                            Vertex::In,
+                            Vertex::Proc(v),
+                            self.pipeline.input_size(),
+                        );
+                    }
+                }
+                let mut all_fail = LogProb::ONE;
+                let mut vv = sub;
+                while vv != 0 {
+                    let v = ProcId::new(vv.trailing_zeros() as usize);
+                    vv &= vv - 1;
+                    all_fail = all_fail * LogProb::from_prob(self.platform.failure_prob(v));
+                }
+                let fp_cost = fp_cost_partial - all_fail.one_minus().ln();
+
+                self.stack.push((end, sub));
+                self.dfs(end + 1, used | sub, lat, fp_cost);
+                self.stack.pop();
+
+                sub = (sub - 1) & free;
+            }
+        }
+    }
+}
+
+impl<'a> BranchBound<'a> {
+    /// Creates a solver (heuristic incumbent seeding enabled).
+    #[must_use]
+    pub fn new(pipeline: &'a Pipeline, platform: &'a Platform) -> Self {
+        BranchBound { pipeline, platform, seed_with_heuristics: true }
+    }
+
+    /// Disables heuristic incumbent seeding (raw search, for measuring the
+    /// pruning contribution).
+    #[must_use]
+    pub fn without_heuristic_seed(mut self) -> Self {
+        self.seed_with_heuristics = false;
+        self
+    }
+
+    /// Solves the threshold problem exactly; `None` when infeasible.
+    ///
+    /// # Panics
+    /// When the platform has more than 24 processors.
+    #[must_use]
+    pub fn solve(&self, objective: Objective) -> Option<BiSolution> {
+        let m = self.platform.n_procs();
+        assert!(m <= MAX_PROCS, "branch and bound supports at most {MAX_PROCS} processors");
+        let n = self.pipeline.n_stages();
+        let mut work_suffix = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            work_suffix[i] = work_suffix[i + 1] + self.pipeline.work(i);
+        }
+        let mut search = Search {
+            pipeline: self.pipeline,
+            platform: self.platform,
+            objective,
+            n,
+            m,
+            s_max: self
+                .platform
+                .speeds()
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+            work_suffix,
+            best: None,
+            stack: Vec::with_capacity(n),
+            nodes: 0,
+        };
+        if self.seed_with_heuristics {
+            search.best =
+                Portfolio::new(0xB0B).solve(self.pipeline, self.platform, objective);
+        }
+        search.dfs(0, 0, 0.0, 0.0);
+        search.best
+    }
+
+    /// Like [`solve`](Self::solve) but also returns the explored node count
+    /// (for the pruning-effectiveness experiment).
+    #[must_use]
+    pub fn solve_counting(&self, objective: Objective) -> (Option<BiSolution>, u64) {
+        let m = self.platform.n_procs();
+        assert!(m <= MAX_PROCS);
+        let n = self.pipeline.n_stages();
+        let mut work_suffix = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            work_suffix[i] = work_suffix[i + 1] + self.pipeline.work(i);
+        }
+        let mut search = Search {
+            pipeline: self.pipeline,
+            platform: self.platform,
+            objective,
+            n,
+            m,
+            s_max: self
+                .platform
+                .speeds()
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+            work_suffix,
+            best: None,
+            stack: Vec::with_capacity(n),
+            nodes: 0,
+        };
+        if self.seed_with_heuristics {
+            search.best =
+                Portfolio::new(0xB0B).solve(self.pipeline, self.platform, objective);
+        }
+        search.dfs(0, 0, 0.0, 0.0);
+        (search.best, search.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::Exhaustive;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rpwf_core::assert_approx_eq;
+    use rpwf_core::platform::{FailureClass, PlatformClass};
+    use rpwf_gen::{PipelineGen, PlatformGen};
+
+    fn thresholds(pipe: &Pipeline, pf: &Platform) -> Vec<f64> {
+        let ex = Exhaustive::new(pipe, pf);
+        let lo = ex.min_latency().latency;
+        let hi = crate::mono::minimize_failure(pipe, pf).latency;
+        (0..4).map(|i| lo + (hi - lo) * i as f64 / 3.0).collect()
+    }
+
+    #[test]
+    fn matches_exhaustive_on_fully_het() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..6 {
+            let pipe = PipelineGen::balanced(3).sample(&mut rng);
+            let pf = PlatformGen::new(
+                4,
+                PlatformClass::FullyHeterogeneous,
+                FailureClass::Heterogeneous,
+            )
+            .sample(&mut rng);
+            let bnb = BranchBound::new(&pipe, &pf);
+            let ex = Exhaustive::new(&pipe, &pf);
+            for l in thresholds(&pipe, &pf) {
+                let a = bnb.solve(Objective::MinFpUnderLatency(l));
+                let o = ex.solve(Objective::MinFpUnderLatency(l));
+                match (a, o) {
+                    (Some(a), Some(o)) => assert_approx_eq!(a.failure_prob, o.failure_prob),
+                    (None, None) => {}
+                    (a, o) => panic!("L={l}: {a:?} vs {o:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_min_latency_under_fp() {
+        let mut rng = StdRng::seed_from_u64(34);
+        for _ in 0..5 {
+            let pipe = PipelineGen::balanced(3).sample(&mut rng);
+            let pf = PlatformGen::new(
+                4,
+                PlatformClass::FullyHeterogeneous,
+                FailureClass::Heterogeneous,
+            )
+            .sample(&mut rng);
+            let bnb = BranchBound::new(&pipe, &pf);
+            let ex = Exhaustive::new(&pipe, &pf);
+            for f in [0.9, 0.5, 0.2, 0.05] {
+                let a = bnb.solve(Objective::MinLatencyUnderFp(f));
+                let o = ex.solve(Objective::MinLatencyUnderFp(f));
+                match (a, o) {
+                    (Some(a), Some(o)) => assert_approx_eq!(a.latency, o.latency),
+                    (None, None) => {}
+                    (a, o) => panic!("FP={f}: {a:?} vs {o:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_optimum_found() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let sol = BranchBound::new(&pipe, &pf)
+            .solve(Objective::MinFpUnderLatency(22.0))
+            .expect("feasible");
+        assert_approx_eq!(sol.failure_prob, 1.0 - 0.9 * (1.0 - 0.8f64.powi(10)));
+        assert_approx_eq!(sol.latency, 22.0);
+    }
+
+    #[test]
+    fn seeding_does_not_change_the_answer() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let pipe = PipelineGen::balanced(3).sample(&mut rng);
+        let pf = PlatformGen::new(
+            4,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let l = thresholds(&pipe, &pf)[2];
+        let seeded = BranchBound::new(&pipe, &pf).solve(Objective::MinFpUnderLatency(l));
+        let raw = BranchBound { seed_with_heuristics: false, ..BranchBound::new(&pipe, &pf) }
+            .solve(Objective::MinFpUnderLatency(l));
+        match (seeded, raw) {
+            (Some(a), Some(b)) => assert_approx_eq!(a.failure_prob, b.failure_prob),
+            (None, None) => {}
+            (a, b) => panic!("{a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn seeding_prunes_nodes() {
+        let mut rng = StdRng::seed_from_u64(36);
+        let pipe = PipelineGen::balanced(4).sample(&mut rng);
+        let pf = PlatformGen::new(
+            6,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let l = {
+            let hi = crate::mono::minimize_failure(&pipe, &pf).latency;
+            hi * 0.7
+        };
+        let (_, seeded_nodes) = BranchBound::new(&pipe, &pf)
+            .solve_counting(Objective::MinFpUnderLatency(l));
+        let (_, raw_nodes) =
+            BranchBound { seed_with_heuristics: false, ..BranchBound::new(&pipe, &pf) }
+                .solve_counting(Objective::MinFpUnderLatency(l));
+        assert!(
+            seeded_nodes <= raw_nodes,
+            "seeding must not explore more nodes ({seeded_nodes} vs {raw_nodes})"
+        );
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let pipe = Pipeline::uniform(2, 100.0, 100.0).unwrap();
+        let pf = Platform::fully_homogeneous(3, 1.0, 1.0, 0.9).unwrap();
+        assert!(BranchBound::new(&pipe, &pf)
+            .solve(Objective::MinFpUnderLatency(1.0))
+            .is_none());
+    }
+
+    #[test]
+    fn handles_larger_instances_than_the_oracle_comfortably() {
+        // n = 4, m = 9: the oracle would enumerate up to 5^9 ≈ 2M
+        // assignments per partition; B&B finishes quickly and agrees with
+        // the bitmask DP on a comm-homogeneous instance (which is also a
+        // valid fully-het input).
+        let mut rng = StdRng::seed_from_u64(37);
+        let pipe = PipelineGen::balanced(4).sample(&mut rng);
+        let pf = PlatformGen::new(
+            9,
+            PlatformClass::CommHomogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let l = crate::mono::minimize_failure(&pipe, &pf).latency * 0.8;
+        let bnb = BranchBound::new(&pipe, &pf)
+            .solve(Objective::MinFpUnderLatency(l));
+        let dp = crate::exact::solve_comm_homog(&pipe, &pf, Objective::MinFpUnderLatency(l))
+            .unwrap();
+        match (bnb, dp) {
+            (Some(a), Some(o)) => assert_approx_eq!(a.failure_prob, o.failure_prob),
+            (None, None) => {}
+            (a, o) => panic!("{a:?} vs {o:?}"),
+        }
+    }
+}

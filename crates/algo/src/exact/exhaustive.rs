@@ -1,0 +1,509 @@
+//! Exhaustive (ground-truth) interval-mapping solver.
+//!
+//! Enumerates **every** interval mapping with replication: all `2^(n−1)`
+//! partitions of the stages crossed with all assignments of pairwise
+//! disjoint, non-empty processor sets to the intervals (each processor
+//! either unused or assigned to exactly one interval — `(p+1)^m` counters
+//! per `p`-interval partition). Exponential by design: this is the oracle
+//! against which the polynomial algorithms, the DPs and the heuristics are
+//! validated, and the engine behind the NP-hardness gadget experiments.
+//!
+//! The sweep is embarrassingly parallel over the assignment counter and runs
+//! on crossbeam scoped threads ([`crate::par`]); mappings are only
+//! materialized for candidates that survive Pareto filtering, so the hot
+//! loop touches nothing but two `f64` accumulators per interval.
+
+use crate::par::{default_threads, par_fold};
+use crate::solution::{BiSolution, Objective};
+use rpwf_core::intervals::IntervalPartitions;
+use rpwf_core::mapping::{Interval, IntervalMapping};
+use rpwf_core::num::LogProb;
+use rpwf_core::pareto::ParetoFront;
+use rpwf_core::platform::{Platform, ProcId, Vertex};
+use rpwf_core::stage::Pipeline;
+
+/// Hard cap on the number of enumerated assignments per partition, as a
+/// guard against accidentally passing a large instance to the oracle.
+const MAX_CANDIDATES_PER_PARTITION: u64 = 2_000_000_000;
+
+/// Exhaustive solver over all interval mappings with replication.
+#[derive(Clone, Copy, Debug)]
+pub struct Exhaustive<'a> {
+    pipeline: &'a Pipeline,
+    platform: &'a Platform,
+    threads: Option<usize>,
+}
+
+/// A candidate surviving local Pareto filtering: the partition index and the
+/// base-`(p+1)` allocation counter that reproduce the mapping.
+#[derive(Clone, Copy, Debug)]
+struct Encoded {
+    partition: u32,
+    counter: u64,
+}
+
+impl<'a> Exhaustive<'a> {
+    /// Creates a solver for the given instance.
+    #[must_use]
+    pub fn new(pipeline: &'a Pipeline, platform: &'a Platform) -> Self {
+        Exhaustive { pipeline, platform, threads: None }
+    }
+
+    /// Overrides the worker-thread count (default: auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Total number of (partition, assignment) candidates that the full
+    /// sweep will visit; use to budget experiments.
+    #[must_use]
+    pub fn candidate_count(&self) -> u128 {
+        let n = self.pipeline.n_stages();
+        let m = self.platform.n_procs() as u32;
+        IntervalPartitions::new(n)
+            .filter(|part| part.len() <= m as usize)
+            .map(|part| (u128::from(part.len() as u32 + 1)).pow(m))
+            .sum()
+    }
+
+    /// The exact Pareto front over all interval mappings.
+    ///
+    /// # Panics
+    /// When a single partition would require more than
+    /// `MAX_CANDIDATES_PER_PARTITION` assignment evaluations.
+    #[must_use]
+    pub fn pareto_front(&self) -> ParetoFront<IntervalMapping> {
+        let n = self.pipeline.n_stages();
+        let m = self.platform.n_procs();
+        let mut encoded_front: ParetoFront<Encoded> = ParetoFront::new();
+
+        for (pi, partition) in IntervalPartitions::new(n).enumerate() {
+            let p = partition.len();
+            if p > m {
+                continue;
+            }
+            let total = (p as u64 + 1).checked_pow(m as u32).unwrap_or(u64::MAX);
+            assert!(
+                total <= MAX_CANDIDATES_PER_PARTITION,
+                "exhaustive search would enumerate {total} assignments; \
+                 shrink the instance or use the DP/heuristic solvers"
+            );
+            let eval = CandidateEval::new(self.pipeline, self.platform, &partition);
+            let threads = self.threads.unwrap_or_else(|| default_threads(total));
+            let local: ParetoFront<Encoded> = par_fold(
+                total,
+                threads,
+                || (ParetoFront::new(), EvalScratch::new(p, m)),
+                |(mut front, mut scratch), counter| {
+                    if let Some((lat, fp)) = eval.evaluate(counter, &mut scratch) {
+                        front.insert(lat, fp, Encoded { partition: pi as u32, counter });
+                    }
+                    (front, scratch)
+                },
+                |(mut a, s), (b, _)| {
+                    a.merge(b);
+                    (a, s)
+                },
+            )
+            .0;
+            encoded_front.merge(local);
+        }
+
+        // Materialize the surviving mappings.
+        let partitions: Vec<Vec<Interval>> = IntervalPartitions::new(n).collect();
+        let mut out = ParetoFront::new();
+        for pt in encoded_front.into_points() {
+            let partition = &partitions[pt.payload.partition as usize];
+            let mapping = decode_mapping(partition, pt.payload.counter, n, m);
+            out.insert(pt.latency, pt.failure_prob, mapping);
+        }
+        out
+    }
+
+    /// Solves one threshold problem exactly. `None` when infeasible.
+    /// Thresholds carry the same tiny slack as [`Objective::feasible`].
+    #[must_use]
+    pub fn solve(&self, objective: Objective) -> Option<BiSolution> {
+        let front = self.pareto_front();
+        let cutoff = objective.threshold_with_slack();
+        let point = match objective {
+            Objective::MinFpUnderLatency(_) => front.min_fp_under_latency(cutoff)?,
+            Objective::MinLatencyUnderFp(_) => front.min_latency_under_fp(cutoff)?,
+        };
+        Some(BiSolution {
+            mapping: point.payload.clone(),
+            latency: point.latency,
+            failure_prob: point.failure_prob,
+        })
+    }
+
+    /// Global latency minimum over interval mappings (with replication
+    /// allowed, though the optimum never replicates).
+    #[must_use]
+    pub fn min_latency(&self) -> BiSolution {
+        self.solve(Objective::MinLatencyUnderFp(1.0))
+            .expect("FP ≤ 1 is always satisfiable")
+    }
+
+    /// Global failure-probability minimum (Theorem 1 cross-check).
+    #[must_use]
+    pub fn min_failure(&self) -> BiSolution {
+        self.solve(Objective::MinFpUnderLatency(f64::INFINITY))
+            .expect("L ≤ ∞ is always satisfiable")
+    }
+}
+
+/// Reusable per-thread decoding buffers.
+struct EvalScratch {
+    /// Per interval: replica ids.
+    alloc: Vec<Vec<u32>>,
+}
+
+impl EvalScratch {
+    fn new(p: usize, m: usize) -> Self {
+        EvalScratch { alloc: vec![Vec::with_capacity(m); p] }
+    }
+}
+
+/// Precomputed per-partition data for the hot evaluation loop.
+struct CandidateEval<'a> {
+    platform: &'a Platform,
+    /// Per interval: total work.
+    works: Vec<f64>,
+    /// Per interval: input data size `δ_{d_j−1}`.
+    inputs: Vec<f64>,
+    /// Per interval: output data size `δ_{e_j}`.
+    outputs: Vec<f64>,
+    p: usize,
+    m: usize,
+}
+
+impl<'a> CandidateEval<'a> {
+    fn new(pipeline: &'a Pipeline, platform: &'a Platform, partition: &[Interval]) -> Self {
+        CandidateEval {
+            platform,
+            works: partition.iter().map(|&iv| pipeline.interval_work(iv)).collect(),
+            inputs: partition.iter().map(|&iv| pipeline.interval_input(iv)).collect(),
+            outputs: partition.iter().map(|&iv| pipeline.interval_output(iv)).collect(),
+            p: partition.len(),
+            m: platform.n_procs(),
+        }
+    }
+
+    /// Decodes `counter` (base `p+1` digits, one per processor; digit 0 =
+    /// unused) and evaluates equation (2) latency and the failure
+    /// probability. `None` when some interval receives no processor.
+    fn evaluate(&self, counter: u64, scratch: &mut EvalScratch) -> Option<(f64, f64)> {
+        let base = self.p as u64 + 1;
+        for a in &mut scratch.alloc {
+            a.clear();
+        }
+        let mut c = counter;
+        for u in 0..self.m {
+            let digit = (c % base) as usize;
+            c /= base;
+            if digit > 0 {
+                scratch.alloc[digit - 1].push(u as u32);
+            }
+        }
+        if scratch.alloc.iter().any(Vec::is_empty) {
+            return None;
+        }
+
+        // Failure probability in log space.
+        let mut ln_success = 0.0f64;
+        for procs in &scratch.alloc {
+            let all_fail = procs.iter().fold(LogProb::ONE, |acc, &u| {
+                acc * LogProb::from_prob(self.platform.failure_prob(ProcId(u)))
+            });
+            ln_success += all_fail.one_minus().ln();
+        }
+        let fp = -(ln_success.exp_m1());
+
+        // Equation (2) latency.
+        let pf = self.platform;
+        let mut lat = 0.0f64;
+        for &u in &scratch.alloc[0] {
+            lat += pf.comm_time(Vertex::In, Vertex::Proc(ProcId(u)), self.inputs[0]);
+        }
+        for j in 0..self.p {
+            let mut worst = f64::NEG_INFINITY;
+            for &u in &scratch.alloc[j] {
+                let mut cost = self.works[j] / pf.speed(ProcId(u));
+                if j + 1 < self.p {
+                    for &v in &scratch.alloc[j + 1] {
+                        cost += pf.comm_time(
+                            Vertex::Proc(ProcId(u)),
+                            Vertex::Proc(ProcId(v)),
+                            self.outputs[j],
+                        );
+                    }
+                } else {
+                    cost += pf.comm_time(Vertex::Proc(ProcId(u)), Vertex::Out, self.outputs[j]);
+                }
+                if cost > worst {
+                    worst = cost;
+                }
+            }
+            lat += worst;
+        }
+        Some((lat, fp))
+    }
+}
+
+/// Rebuilds the [`IntervalMapping`] encoded by a partition + counter pair.
+fn decode_mapping(partition: &[Interval], counter: u64, n: usize, m: usize) -> IntervalMapping {
+    let p = partition.len();
+    let base = p as u64 + 1;
+    let mut alloc: Vec<Vec<ProcId>> = vec![Vec::new(); p];
+    let mut c = counter;
+    for u in 0..m {
+        let digit = (c % base) as usize;
+        c /= base;
+        if digit > 0 {
+            alloc[digit - 1].push(ProcId::new(u));
+        }
+    }
+    IntervalMapping::new(partition.to_vec(), alloc, n, m)
+        .expect("surviving candidates are valid mappings")
+}
+
+/// Brute-force minimum-latency **one-to-one** mapping (Theorem 3's NP-hard
+/// problem) by enumerating injective assignments. Cross-check only
+/// (`m! / (m−n)!` candidates).
+#[must_use]
+pub fn min_latency_one_to_one_brute(
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> Option<(rpwf_core::mapping::OneToOneMapping, f64)> {
+    use rpwf_core::mapping::OneToOneMapping;
+    use rpwf_core::metrics::one_to_one_latency;
+    let n = pipeline.n_stages();
+    let m = platform.n_procs();
+    if n > m {
+        return None;
+    }
+    let mut best: Option<(OneToOneMapping, f64)> = None;
+    let mut current: Vec<ProcId> = Vec::with_capacity(n);
+    let mut used = vec![false; m];
+    #[allow(clippy::too_many_arguments)] // recursive enumeration state
+    fn rec(
+        k: usize,
+        n: usize,
+        m: usize,
+        current: &mut Vec<ProcId>,
+        used: &mut Vec<bool>,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        best: &mut Option<(rpwf_core::mapping::OneToOneMapping, f64)>,
+    ) {
+        if k == n {
+            let mapping =
+                rpwf_core::mapping::OneToOneMapping::new(current.clone(), m).expect("distinct");
+            let lat = rpwf_core::metrics::one_to_one_latency(&mapping, pipeline, platform);
+            if best.as_ref().is_none_or(|(_, b)| lat < *b) {
+                *best = Some((mapping, lat));
+            }
+            return;
+        }
+        for u in 0..m {
+            if !used[u] {
+                used[u] = true;
+                current.push(ProcId::new(u));
+                rec(k + 1, n, m, current, used, pipeline, platform, best);
+                current.pop();
+                used[u] = false;
+            }
+        }
+    }
+    rec(0, n, m, &mut current, &mut used, pipeline, platform, &mut best);
+    let _ = one_to_one_latency; // silence unused import path note in docs
+    best
+}
+
+/// Brute-force minimum-latency **general** mapping (`m^n` candidates) for
+/// validating Theorem 4's shortest-path solver on small instances.
+#[must_use]
+pub fn min_latency_general_brute(
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> (rpwf_core::mapping::GeneralMapping, f64) {
+    use rpwf_core::mapping::GeneralMapping;
+    use rpwf_core::metrics::general_latency;
+    let n = pipeline.n_stages();
+    let m = platform.n_procs();
+    let total = (m as u64).checked_pow(n as u32).expect("instance too large");
+    let mut best_lat = f64::INFINITY;
+    let mut best_counter = 0u64;
+    for counter in 0..total {
+        let mut c = counter;
+        let procs: Vec<ProcId> = (0..n)
+            .map(|_| {
+                let u = (c % m as u64) as usize;
+                c /= m as u64;
+                ProcId::new(u)
+            })
+            .collect();
+        let g = GeneralMapping::new(procs, m).expect("ids in range");
+        let lat = general_latency(&g, pipeline, platform);
+        if lat < best_lat {
+            best_lat = lat;
+            best_counter = counter;
+        }
+    }
+    let mut c = best_counter;
+    let procs: Vec<ProcId> = (0..n)
+        .map(|_| {
+            let u = (c % m as u64) as usize;
+            c /= m as u64;
+            ProcId::new(u)
+        })
+        .collect();
+    (GeneralMapping::new(procs, m).expect("ids in range"), best_lat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpwf_core::assert_approx_eq;
+    use rpwf_core::metrics::{failure_probability, latency};
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn candidate_count_small() {
+        let pipe = Pipeline::uniform(2, 1.0, 1.0).unwrap();
+        let pf = Platform::fully_homogeneous(2, 1.0, 1.0, 0.5).unwrap();
+        // Partitions: [S1S2] (p=1): 2^2=4; [S1][S2] (p=2): 3^2=9 → 13.
+        assert_eq!(Exhaustive::new(&pipe, &pf).candidate_count(), 13);
+    }
+
+    #[test]
+    fn front_matches_naive_enumeration() {
+        // Cross-validate the optimized sweep against a direct, slow
+        // enumeration built from public APIs.
+        let pipe = Pipeline::new(vec![3.0, 7.0, 2.0], vec![4.0, 2.0, 5.0, 1.0]).unwrap();
+        let pf =
+            Platform::comm_homogeneous(vec![1.0, 2.5, 4.0], 2.0, vec![0.5, 0.3, 0.7]).unwrap();
+        let front = Exhaustive::new(&pipe, &pf).pareto_front();
+        assert!(front.invariant_holds());
+
+        let mut naive: ParetoFront<()> = ParetoFront::new();
+        for partition in IntervalPartitions::new(3) {
+            let pcount = partition.len();
+            if pcount > 3 {
+                continue;
+            }
+            let base = pcount as u64 + 1;
+            for counter in 0..base.pow(3) {
+                let mut alloc: Vec<Vec<ProcId>> = vec![Vec::new(); pcount];
+                let mut c = counter;
+                for u in 0..3 {
+                    let d = (c % base) as usize;
+                    c /= base;
+                    if d > 0 {
+                        alloc[d - 1].push(p(u));
+                    }
+                }
+                if alloc.iter().any(Vec::is_empty) {
+                    continue;
+                }
+                let m = IntervalMapping::new(partition.clone(), alloc, 3, 3).unwrap();
+                naive.insert(latency(&m, &pipe, &pf), failure_probability(&m, &pf), ());
+            }
+        }
+        assert_eq!(front.len(), naive.len());
+        for (a, b) in front.iter().zip(naive.iter()) {
+            assert_approx_eq!(a.latency, b.latency);
+            assert_approx_eq!(a.failure_prob, b.failure_prob);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let pipe = Pipeline::new(vec![1.0, 5.0], vec![2.0, 3.0, 1.0]).unwrap();
+        let pf =
+            Platform::comm_homogeneous(vec![1.0, 2.0, 3.0, 4.0], 1.0, vec![0.2, 0.4, 0.6, 0.8])
+                .unwrap();
+        let serial = Exhaustive::new(&pipe, &pf).with_threads(1).pareto_front();
+        let parallel = Exhaustive::new(&pipe, &pf).with_threads(4).pareto_front();
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(a.latency, b.latency);
+            assert_eq!(a.failure_prob, b.failure_prob);
+        }
+    }
+
+    #[test]
+    fn figure5_exhaustive_finds_the_two_interval_optimum() {
+        // Reduced Figure 5 (4 fast processors instead of 10 to keep the
+        // oracle fast): the structure of the optimum is the same — slow
+        // reliable processor alone on S1, all fast ones replicating S2.
+        let pipe = Pipeline::new(vec![1.0, 100.0], vec![10.0, 1.0, 0.0]).unwrap();
+        let mut speeds = vec![100.0; 5];
+        speeds[0] = 1.0;
+        let mut fps = vec![0.8; 5];
+        fps[0] = 0.1;
+        let pf = Platform::comm_homogeneous(speeds, 1.0, fps).unwrap();
+
+        let sol = Exhaustive::new(&pipe, &pf)
+            .solve(Objective::MinFpUnderLatency(16.0))
+            .expect("feasible");
+        // Best: S1 on P0; S2 on {P1..P4}: latency 10+1+4+1 = 16,
+        // FP = 1 − 0.9·(1−0.8⁴).
+        assert_eq!(sol.mapping.n_intervals(), 2);
+        assert_eq!(sol.mapping.alloc(0), &[p(0)]);
+        assert_eq!(sol.mapping.replication(1), 4);
+        assert_approx_eq!(sol.latency, 16.0);
+        assert_approx_eq!(sol.failure_prob, 1.0 - 0.9 * (1.0 - 0.8f64.powi(4)));
+    }
+
+    #[test]
+    fn solve_infeasible_returns_none() {
+        let pipe = Pipeline::uniform(2, 10.0, 10.0).unwrap();
+        let pf = Platform::fully_homogeneous(2, 1.0, 1.0, 0.5).unwrap();
+        assert!(Exhaustive::new(&pipe, &pf).solve(Objective::MinFpUnderLatency(0.1)).is_none());
+        assert!(Exhaustive::new(&pipe, &pf).solve(Objective::MinLatencyUnderFp(0.1)).is_none());
+    }
+
+    #[test]
+    fn min_latency_and_min_failure_extremes() {
+        let pipe = Pipeline::uniform(2, 4.0, 2.0).unwrap();
+        let pf = Platform::comm_homogeneous(vec![2.0, 1.0], 1.0, vec![0.3, 0.4]).unwrap();
+        let ex = Exhaustive::new(&pipe, &pf);
+        let fastest = ex.min_latency();
+        // Thm 2: single interval, fastest processor: 2 + 8/2 + 2 = 8.
+        assert_approx_eq!(fastest.latency, 8.0);
+        let safest = ex.min_failure();
+        // Thm 1: replicate on both: FP = 0.12.
+        assert_approx_eq!(safest.failure_prob, 0.12);
+    }
+
+    #[test]
+    fn one_to_one_brute_force_small() {
+        let pipe = Pipeline::new(vec![2.0, 2.0], vec![100.0, 100.0, 100.0]).unwrap();
+        let pf = rpwf_gen::figure4_platform();
+        let (mapping, lat) = min_latency_one_to_one_brute(&pipe, &pf).unwrap();
+        assert_approx_eq!(lat, 7.0);
+        assert_eq!(mapping.procs(), &[p(0), p(1)]);
+    }
+
+    #[test]
+    fn one_to_one_brute_none_when_too_few_procs() {
+        let pipe = Pipeline::uniform(3, 1.0, 1.0).unwrap();
+        let pf = Platform::fully_homogeneous(2, 1.0, 1.0, 0.0).unwrap();
+        assert!(min_latency_one_to_one_brute(&pipe, &pf).is_none());
+    }
+
+    #[test]
+    fn general_brute_matches_interval_when_reuse_useless() {
+        let pipe = Pipeline::new(vec![2.0, 2.0], vec![100.0, 100.0, 100.0]).unwrap();
+        let pf = rpwf_gen::figure4_platform();
+        let (_, lat) = min_latency_general_brute(&pipe, &pf);
+        assert_approx_eq!(lat, 7.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Exact one-to-one latency minimization on Fully Heterogeneous platforms
+//! via Held–Karp subset dynamic programming.
+//!
+//! Theorem 3 proves this problem NP-hard (reduction from TSP, see
+//! [`crate::reductions::tsp`]); this solver is the exponential exact
+//! counterpart: `O(2^m · m²)` over states `(used mask, last processor)`. It
+//! is the oracle that certifies the reduction gadget (an optimal mapping of
+//! the gadget instance *is* an optimal Hamiltonian path) and the baseline
+//! for the one-to-one heuristics on instances up to `m ≈ 18`.
+
+use rpwf_core::mapping::OneToOneMapping;
+use rpwf_core::platform::{Platform, ProcId, Vertex};
+use rpwf_core::stage::Pipeline;
+
+/// Largest supported processor count (memory: `2^m · m` f64 + parents).
+const MAX_PROCS: usize = 18;
+
+/// Minimum-latency one-to-one mapping, or `None` when `n > m`.
+///
+/// # Panics
+/// When `m > 18` — the DP tables would not fit in reasonable memory; use
+/// the heuristics for larger platforms.
+#[must_use]
+pub fn min_latency_one_to_one(
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> Option<(OneToOneMapping, f64)> {
+    let n = pipeline.n_stages();
+    let m = platform.n_procs();
+    if n > m {
+        return None;
+    }
+    assert!(m <= MAX_PROCS, "Held–Karp supports at most {MAX_PROCS} processors");
+
+    let size = 1usize << m;
+    // dist[mask][u]: stages 0..popcount(mask)−1 assigned to `mask`, the last
+    // one on `u`; cost includes the input comm and all computes and
+    // inter-processor comms so far (output comm added at the end).
+    let mut dist = vec![f64::INFINITY; size * m];
+    let mut parent = vec![u8::MAX; size * m];
+    let at = |mask: usize, u: usize| mask * m + u;
+
+    for u in 0..m {
+        let pu = ProcId::new(u);
+        dist[at(1 << u, u)] = platform.comm_time(Vertex::In, Vertex::Proc(pu), pipeline.input_size())
+            + pipeline.work(0) / platform.speed(pu);
+    }
+
+    // Iterate masks in increasing order: all submasks precede supersets.
+    for mask in 1..size {
+        let k = mask.count_ones() as usize; // stages assigned so far
+        if k >= n {
+            continue;
+        }
+        for u in 0..m {
+            if mask & (1 << u) == 0 {
+                continue;
+            }
+            let cur = dist[at(mask, u)];
+            if !cur.is_finite() {
+                continue;
+            }
+            let pu = ProcId::new(u);
+            // Assign stage k to a fresh processor v.
+            for v in 0..m {
+                if mask & (1 << v) != 0 {
+                    continue;
+                }
+                let pv = ProcId::new(v);
+                let cost = cur
+                    + platform.comm_time(Vertex::Proc(pu), Vertex::Proc(pv), pipeline.delta(k))
+                    + pipeline.work(k) / platform.speed(pv);
+                let nmask = mask | (1 << v);
+                if cost < dist[at(nmask, v)] {
+                    dist[at(nmask, v)] = cost;
+                    parent[at(nmask, v)] = u as u8;
+                }
+            }
+        }
+    }
+
+    // Close through P_out over all full-size masks.
+    let mut best = f64::INFINITY;
+    let mut best_state = None;
+    for mask in 1..size {
+        if mask.count_ones() as usize != n {
+            continue;
+        }
+        for u in 0..m {
+            if mask & (1 << u) == 0 {
+                continue;
+            }
+            let d = dist[at(mask, u)];
+            if !d.is_finite() {
+                continue;
+            }
+            let total = d
+                + platform.comm_time(
+                    Vertex::Proc(ProcId::new(u)),
+                    Vertex::Out,
+                    pipeline.output_size(),
+                );
+            if total < best {
+                best = total;
+                best_state = Some((mask, u));
+            }
+        }
+    }
+
+    let (mut mask, mut u) = best_state?;
+    let mut order = vec![0usize; n];
+    for k in (0..n).rev() {
+        order[k] = u;
+        let p = parent[at(mask, u)];
+        mask &= !(1 << u);
+        if k > 0 {
+            u = p as usize;
+        }
+    }
+    let mapping = OneToOneMapping::new(order.into_iter().map(ProcId::new).collect(), m)
+        .expect("DP assigns distinct processors");
+    Some((mapping, best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exhaustive::min_latency_one_to_one_brute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rpwf_core::assert_approx_eq;
+    use rpwf_core::metrics::one_to_one_latency;
+    use rpwf_gen::{PipelineGen, PlatformGen};
+    use rpwf_core::platform::{FailureClass, PlatformClass};
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..15 {
+            let n = 2 + (trial % 3);
+            let m = n + (trial % 3);
+            let pipe = PipelineGen::balanced(n).sample(&mut rng);
+            let pf = PlatformGen::new(
+                m,
+                PlatformClass::FullyHeterogeneous,
+                FailureClass::Heterogeneous,
+            )
+            .sample(&mut rng);
+            let (hk_map, hk) = min_latency_one_to_one(&pipe, &pf).unwrap();
+            let (_, brute) = min_latency_one_to_one_brute(&pipe, &pf).unwrap();
+            assert_approx_eq!(hk, brute);
+            assert_approx_eq!(one_to_one_latency(&hk_map, &pipe, &pf), hk);
+        }
+    }
+
+    #[test]
+    fn figure34_optimum() {
+        let pipe = rpwf_gen::figure3_pipeline();
+        let pf = rpwf_gen::figure4_platform();
+        let (mapping, lat) = min_latency_one_to_one(&pipe, &pf).unwrap();
+        assert_approx_eq!(lat, 7.0);
+        assert_eq!(mapping.procs(), &[ProcId(0), ProcId(1)]);
+    }
+
+    #[test]
+    fn too_few_processors_is_none() {
+        let pipe = Pipeline::uniform(4, 1.0, 1.0).unwrap();
+        let pf = Platform::fully_homogeneous(3, 1.0, 1.0, 0.0).unwrap();
+        assert!(min_latency_one_to_one(&pipe, &pf).is_none());
+    }
+
+    #[test]
+    fn single_stage_picks_best_io_processor() {
+        use rpwf_core::platform::PlatformBuilder;
+        let pipe = Pipeline::new(vec![2.0], vec![4.0, 4.0]).unwrap();
+        let pf = PlatformBuilder::new(3)
+            .speeds(vec![1.0, 1.0, 2.0])
+            .unwrap()
+            .input_bandwidth(ProcId(2), 4.0)
+            .output_bandwidth(ProcId(2), 4.0)
+            .build()
+            .unwrap();
+        let (mapping, lat) = min_latency_one_to_one(&pipe, &pf).unwrap();
+        assert_eq!(mapping.procs(), &[ProcId(2)]);
+        assert_approx_eq!(lat, 1.0 + 1.0 + 1.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Exact minimum-latency **interval** mapping (no replication) on Fully
+//! Heterogeneous platforms — the problem whose complexity the paper leaves
+//! open (§4.1, "the complexity is still open for interval mappings,
+//! although we suspect it might be NP-hard").
+//!
+//! Replication only adds communications, so the latency optimum never
+//! replicates; what makes the problem hard is that an interval mapping may
+//! not reuse a processor for two different intervals (the polynomial
+//! shortest-path relaxation of Theorem 4 may). This solver tracks the used
+//! set exactly: state `(next stage i, used mask, processor of the previous
+//! interval)`, `O(n · 2^m · m)` states with `O(n · m)` transitions each.
+//!
+//! Also doubles as the certificate that the Theorem 4 relaxation is a lower
+//! bound: `general ≤ interval` is asserted in the cross-validation tests.
+
+use rpwf_core::mapping::{Interval, IntervalMapping};
+use rpwf_core::platform::{Platform, ProcId, Vertex};
+use rpwf_core::stage::Pipeline;
+
+/// Memory guard for the `n·2^m·m` table.
+const MAX_PROCS: usize = 16;
+
+/// Minimum-latency interval mapping without replication, exactly.
+///
+/// # Panics
+/// When `m > 16`.
+#[must_use]
+pub fn min_latency_interval(pipeline: &Pipeline, platform: &Platform) -> (IntervalMapping, f64) {
+    let n = pipeline.n_stages();
+    let m = platform.n_procs();
+    assert!(m <= MAX_PROCS, "interval DP supports at most {MAX_PROCS} processors");
+
+    let size = 1usize << m;
+    // dist[i][mask][u]: stages 0..i−1 mapped onto `mask`, last interval on
+    // `u`, output of stage i−1 still resident on u.
+    let at = |i: usize, mask: usize, u: usize| (i * size + mask) * m + u;
+    let mut dist = vec![f64::INFINITY; (n + 1) * size * m];
+    // parent[(i, mask, u)] = (start of the last interval) — enough to walk
+    // back: previous state is (start, mask ^ (1<<u), prev_u) where prev_u is
+    // stored alongside.
+    let mut parent: Vec<(u32, u8)> = vec![(u32::MAX, u8::MAX); (n + 1) * size * m];
+
+    // Base: first interval [0..e] on v.
+    for v in 0..m {
+        let pv = ProcId::new(v);
+        let input =
+            platform.comm_time(Vertex::In, Vertex::Proc(pv), pipeline.input_size());
+        for e in 0..n {
+            let cost = input + pipeline.work_sum(0, e) / platform.speed(pv);
+            let s = at(e + 1, 1 << v, v);
+            if cost < dist[s] {
+                dist[s] = cost;
+                parent[s] = (0, u8::MAX);
+            }
+        }
+    }
+
+    // Forward transitions.
+    for i in 1..n {
+        for mask in 1..size {
+            for u in 0..m {
+                if mask & (1 << u) == 0 {
+                    continue;
+                }
+                let cur = dist[at(i, mask, u)];
+                if !cur.is_finite() {
+                    continue;
+                }
+                let pu = ProcId::new(u);
+                for v in 0..m {
+                    if mask & (1 << v) != 0 {
+                        continue;
+                    }
+                    let pv = ProcId::new(v);
+                    let hop =
+                        platform.comm_time(Vertex::Proc(pu), Vertex::Proc(pv), pipeline.delta(i));
+                    for e in i..n {
+                        let cost =
+                            cur + hop + pipeline.work_sum(i, e) / platform.speed(pv);
+                        let s = at(e + 1, mask | (1 << v), v);
+                        if cost < dist[s] {
+                            dist[s] = cost;
+                            parent[s] = (i as u32, u as u8);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Close through P_out.
+    let mut best = f64::INFINITY;
+    let mut best_state = (0usize, 0usize);
+    for mask in 1..size {
+        for u in 0..m {
+            if mask & (1 << u) == 0 {
+                continue;
+            }
+            let d = dist[at(n, mask, u)];
+            if !d.is_finite() {
+                continue;
+            }
+            let total = d
+                + platform.comm_time(
+                    Vertex::Proc(ProcId::new(u)),
+                    Vertex::Out,
+                    pipeline.output_size(),
+                );
+            if total < best {
+                best = total;
+                best_state = (mask, u);
+            }
+        }
+    }
+
+    // Traceback.
+    let (mut mask, mut u) = best_state;
+    let mut i = n;
+    let mut segments: Vec<(Interval, ProcId)> = Vec::new();
+    while i > 0 {
+        let (start, prev_u) = parent[at(i, mask, u)];
+        let start = start as usize;
+        segments.push((Interval::new(start, i - 1).expect("ordered"), ProcId::new(u)));
+        mask &= !(1 << u);
+        i = start;
+        if i > 0 {
+            u = prev_u as usize;
+        }
+    }
+    segments.reverse();
+    let intervals: Vec<Interval> = segments.iter().map(|&(iv, _)| iv).collect();
+    let alloc: Vec<Vec<ProcId>> = segments.iter().map(|&(_, p)| vec![p]).collect();
+    let mapping =
+        IntervalMapping::new(intervals, alloc, n, m).expect("traceback produces a valid mapping");
+    (mapping, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exhaustive::Exhaustive;
+    use crate::mono::{general_mapping_shortest_path, minimize_latency_comm_homog};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rpwf_core::assert_approx_eq;
+    use rpwf_core::metrics::latency;
+    use rpwf_core::platform::{FailureClass, PlatformClass};
+    use rpwf_gen::{PipelineGen, PlatformGen};
+
+    #[test]
+    fn figure34_split_found() {
+        let pipe = rpwf_gen::figure3_pipeline();
+        let pf = rpwf_gen::figure4_platform();
+        let (mapping, lat) = min_latency_interval(&pipe, &pf);
+        assert_approx_eq!(lat, 7.0);
+        assert_eq!(mapping.n_intervals(), 2);
+        assert_approx_eq!(latency(&mapping, &pipe, &pf), 7.0);
+    }
+
+    #[test]
+    fn matches_exhaustive_min_latency() {
+        let mut rng = StdRng::seed_from_u64(555);
+        for _ in 0..10 {
+            let pipe = PipelineGen::balanced(3).sample(&mut rng);
+            let pf = PlatformGen::new(
+                4,
+                PlatformClass::FullyHeterogeneous,
+                FailureClass::Heterogeneous,
+            )
+            .sample(&mut rng);
+            let (_, dp) = min_latency_interval(&pipe, &pf);
+            let oracle = Exhaustive::new(&pipe, &pf).min_latency();
+            assert_approx_eq!(dp, oracle.latency);
+        }
+    }
+
+    #[test]
+    fn reduces_to_thm2_on_comm_homogeneous() {
+        let mut rng = StdRng::seed_from_u64(556);
+        for _ in 0..10 {
+            let pipe = PipelineGen::balanced(4).sample(&mut rng);
+            let pf = PlatformGen::new(
+                5,
+                PlatformClass::CommHomogeneous,
+                FailureClass::Heterogeneous,
+            )
+            .sample(&mut rng);
+            let (_, dp) = min_latency_interval(&pipe, &pf);
+            let thm2 = minimize_latency_comm_homog(&pipe, &pf).unwrap();
+            assert_approx_eq!(dp, thm2.latency);
+        }
+    }
+
+    #[test]
+    fn general_relaxation_is_a_lower_bound() {
+        let mut rng = StdRng::seed_from_u64(557);
+        for _ in 0..20 {
+            let pipe = PipelineGen::comm_heavy(4).sample(&mut rng);
+            let pf = PlatformGen::new(
+                4,
+                PlatformClass::FullyHeterogeneous,
+                FailureClass::Heterogeneous,
+            )
+            .sample(&mut rng);
+            let (_, interval) = min_latency_interval(&pipe, &pf);
+            let (_, general) = general_mapping_shortest_path(&pipe, &pf);
+            assert!(
+                general <= interval + 1e-9,
+                "general {general} must lower-bound interval {interval}"
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Exact solvers: the ground truth the polynomial algorithms and heuristics
+//! are validated against.
+//!
+//! * [`exhaustive`] — full enumeration of interval mappings with
+//!   replication (the oracle; parallelized, `n, m ≲ 6`),
+//! * [`branch_bound`] — exact threshold solver for Fully Heterogeneous
+//!   bi-criteria instances with heuristic-seeded pruning (`m ≲ 10–12`),
+//! * [`bitmask_dp`] — exact Pareto fronts on Communication Homogeneous
+//!   platforms in `O(n²·3^m)` (`m ≲ 14`),
+//! * [`held_karp`] — exact one-to-one latency on Fully Heterogeneous
+//!   platforms (Theorem 3's NP-hard problem, `m ≲ 18`),
+//! * [`interval_dp`] — exact interval latency on Fully Heterogeneous
+//!   platforms (the open problem of §4.1, `m ≲ 16`).
+
+pub mod bitmask_dp;
+pub mod branch_bound;
+pub mod exhaustive;
+pub mod held_karp;
+pub mod interval_dp;
+
+pub use bitmask_dp::{pareto_front_comm_homog, solve_comm_homog};
+pub use branch_bound::BranchBound;
+pub use exhaustive::{min_latency_general_brute, min_latency_one_to_one_brute, Exhaustive};
+pub use held_karp::min_latency_one_to_one;
+pub use interval_dp::min_latency_interval;

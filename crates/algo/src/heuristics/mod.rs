@@ -1,0 +1,145 @@
+//! Heuristics for the NP-hard and open bi-criteria problem variants.
+//!
+//! | heuristic | platforms | idea |
+//! |-----------|-----------|------|
+//! | [`single_interval`] | all | best mapping within the single-interval family (exact family search on comm-homog) |
+//! | [`split_dp`] | comm-homog | exact Pareto DP restricted to processor orders (portfolio of 3 orders) |
+//! | [`local_search`] | all | steepest descent over the 7-move neighborhood, multi-start |
+//! | [`annealing`] | all | penalty-based simulated annealing (tunnels through infeasible regions) |
+//! | [`random_search`] | all | uniform random baseline |
+//!
+//! The uniform entry point is [`Portfolio`], which runs every heuristic
+//! applicable to the platform class and returns the best result; experiment
+//! E10 quantifies each against the exact fronts of [`crate::exact`].
+
+pub mod annealing;
+pub mod local_search;
+pub mod neighborhood;
+pub mod one_to_one;
+pub mod random_search;
+pub mod single_interval;
+pub mod split_dp;
+
+pub use annealing::Annealing;
+pub use local_search::LocalSearch;
+pub use random_search::RandomSearch;
+
+use crate::solution::{BiSolution, Objective};
+use rpwf_core::platform::Platform;
+use rpwf_core::stage::Pipeline;
+
+/// Runs every applicable heuristic and keeps the best solution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Portfolio {
+    /// Seed shared by the randomized members.
+    pub seed: u64,
+}
+
+impl Portfolio {
+    /// Creates a portfolio with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Portfolio { seed }
+    }
+
+    /// Named results from each applicable heuristic (for comparison
+    /// tables); `None` entries mean the heuristic found nothing feasible.
+    #[must_use]
+    pub fn run_all(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+    ) -> Vec<(&'static str, Option<BiSolution>)> {
+        let mut out: Vec<(&'static str, Option<BiSolution>)> = Vec::new();
+        out.push((
+            "single-interval",
+            single_interval::best_single_interval(pipeline, platform, objective),
+        ));
+        if platform.uniform_bandwidth().is_some() {
+            out.push((
+                "split-dp",
+                split_dp::solve(pipeline, platform, objective)
+                    .expect("comm-homog checked above"),
+            ));
+        }
+        out.push((
+            "local-search",
+            local_search::LocalSearch { seed: self.seed, ..Default::default() }
+                .solve(pipeline, platform, objective),
+        ));
+        out.push((
+            "annealing",
+            annealing::Annealing { seed: self.seed, ..Default::default() }
+                .solve(pipeline, platform, objective),
+        ));
+        out.push((
+            "random-search",
+            random_search::RandomSearch { seed: self.seed, ..Default::default() }
+                .solve(pipeline, platform, objective),
+        ));
+        out
+    }
+
+    /// The best solution across the portfolio; `None` when every member
+    /// failed.
+    #[must_use]
+    pub fn solve(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+    ) -> Option<BiSolution> {
+        self.run_all(pipeline, platform, objective)
+            .into_iter()
+            .filter_map(|(_, sol)| sol)
+            .fold(None, |best, sol| match best {
+                Some(b) if !objective.better(&sol, &b) => Some(b),
+                _ => Some(sol),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpwf_core::assert_approx_eq;
+
+    #[test]
+    fn portfolio_reaches_figure5_optimum() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let sol = Portfolio::new(1)
+            .solve(&pipe, &pf, Objective::MinFpUnderLatency(22.0))
+            .expect("feasible");
+        assert_approx_eq!(sol.failure_prob, 1.0 - 0.9 * (1.0 - 0.8f64.powi(10)));
+    }
+
+    #[test]
+    fn run_all_reports_each_member() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let all = Portfolio::new(1).run_all(&pipe, &pf, Objective::MinFpUnderLatency(22.0));
+        let names: Vec<&str> = all.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["single-interval", "split-dp", "local-search", "annealing", "random-search"]
+        );
+        // split-dp present because Figure 5 is comm-homogeneous; on Figure 4
+        // (het links) it must be absent.
+        let het = rpwf_gen::figure4_platform();
+        let pipe34 = rpwf_gen::figure3_pipeline();
+        let all =
+            Portfolio::new(1).run_all(&pipe34, &het, Objective::MinFpUnderLatency(200.0));
+        assert!(all.iter().all(|(n, _)| *n != "split-dp"));
+    }
+
+    #[test]
+    fn portfolio_none_when_infeasible() {
+        let pipe = Pipeline::uniform(1, 100.0, 100.0).unwrap();
+        let pf = Platform::fully_homogeneous(2, 1.0, 1.0, 0.9).unwrap();
+        assert!(Portfolio::new(3)
+            .solve(&pipe, &pf, Objective::MinFpUnderLatency(0.5))
+            .is_none());
+    }
+}

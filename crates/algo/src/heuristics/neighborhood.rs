@@ -1,0 +1,291 @@
+//! Neighborhood moves on interval mappings, shared by the local-search and
+//! annealing heuristics.
+//!
+//! A neighbor differs from the current mapping by exactly one structural
+//! move. The move set is closed over the validity constraints (contiguous
+//! cover, non-empty disjoint allocations), so every produced mapping is
+//! valid by construction:
+//!
+//! 1. **shift** an interval boundary left/right by one stage,
+//! 2. **merge** two adjacent intervals (pooling their replicas),
+//! 3. **split** an interval between two stages, dividing its replica set,
+//! 4. **grow** an interval's replica set with an unused processor,
+//! 5. **shrink** a replica set (drop one replica, if ≥ 2 remain),
+//! 6. **swap** a replica for an unused processor,
+//! 7. **migrate** a replica from one interval to another.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rpwf_core::mapping::{Interval, IntervalMapping};
+use rpwf_core::platform::ProcId;
+
+/// All single-move neighbors of `mapping` on an `n_procs` platform.
+#[must_use]
+pub fn neighbors(mapping: &IntervalMapping, n_procs: usize) -> Vec<IntervalMapping> {
+    let mut out = Vec::new();
+    let n = mapping.n_stages();
+    let p = mapping.n_intervals();
+    let used = mapping.used_processors();
+    let free: Vec<ProcId> = (0..n_procs)
+        .map(ProcId::new)
+        .filter(|pid| used.binary_search(pid).is_err())
+        .collect();
+
+    let intervals = mapping.intervals().to_vec();
+    let alloc: Vec<Vec<ProcId>> = (0..p).map(|j| mapping.alloc(j).to_vec()).collect();
+
+    let rebuild = |ivs: Vec<Interval>, al: Vec<Vec<ProcId>>| -> Option<IntervalMapping> {
+        IntervalMapping::new(ivs, al, n, n_procs).ok()
+    };
+
+    // 1. Boundary shifts.
+    for j in 0..p.saturating_sub(1) {
+        let (a, b) = (intervals[j], intervals[j + 1]);
+        // Shift right: move first stage of b into a.
+        if b.len() >= 2 {
+            let mut ivs = intervals.clone();
+            ivs[j] = Interval::new(a.start(), a.end() + 1).expect("grows right");
+            ivs[j + 1] = Interval::new(b.start() + 1, b.end()).expect("shrinks left");
+            out.extend(rebuild(ivs, alloc.clone()));
+        }
+        // Shift left: move last stage of a into b.
+        if a.len() >= 2 {
+            let mut ivs = intervals.clone();
+            ivs[j] = Interval::new(a.start(), a.end() - 1).expect("shrinks right");
+            ivs[j + 1] = Interval::new(b.start() - 1, b.end()).expect("grows left");
+            out.extend(rebuild(ivs, alloc.clone()));
+        }
+    }
+
+    // 2. Merges.
+    for j in 0..p.saturating_sub(1) {
+        let mut ivs = Vec::with_capacity(p - 1);
+        let mut al = Vec::with_capacity(p - 1);
+        for i in 0..p {
+            if i == j {
+                ivs.push(
+                    Interval::new(intervals[j].start(), intervals[j + 1].end())
+                        .expect("adjacent merge"),
+                );
+                al.push([alloc[j].as_slice(), alloc[j + 1].as_slice()].concat());
+            } else if i != j + 1 {
+                ivs.push(intervals[i]);
+                al.push(alloc[i].clone());
+            }
+        }
+        out.extend(rebuild(ivs, al));
+    }
+
+    // 3. Splits (replica set divided; needs ≥ 2 replicas and ≥ 2 stages).
+    for j in 0..p {
+        let iv = intervals[j];
+        if iv.len() < 2 || alloc[j].len() < 2 {
+            continue;
+        }
+        for cut in iv.start()..iv.end() {
+            let mut ivs = Vec::with_capacity(p + 1);
+            let mut al = Vec::with_capacity(p + 1);
+            for i in 0..p {
+                if i == j {
+                    ivs.push(Interval::new(iv.start(), cut).expect("cut in range"));
+                    ivs.push(Interval::new(cut + 1, iv.end()).expect("cut in range"));
+                    let half = alloc[j].len() / 2;
+                    al.push(alloc[j][..half].to_vec());
+                    al.push(alloc[j][half..].to_vec());
+                } else {
+                    ivs.push(intervals[i]);
+                    al.push(alloc[i].clone());
+                }
+            }
+            out.extend(rebuild(ivs, al));
+        }
+    }
+
+    // 4. Grow with a free processor.
+    for j in 0..p {
+        for &f in &free {
+            let mut al = alloc.clone();
+            al[j].push(f);
+            out.extend(rebuild(intervals.clone(), al));
+        }
+    }
+
+    // 5. Shrink.
+    for j in 0..p {
+        if alloc[j].len() < 2 {
+            continue;
+        }
+        for r in 0..alloc[j].len() {
+            let mut al = alloc.clone();
+            al[j].remove(r);
+            out.extend(rebuild(intervals.clone(), al));
+        }
+    }
+
+    // 6. Swap used ↔ free.
+    for j in 0..p {
+        for r in 0..alloc[j].len() {
+            for &f in &free {
+                let mut al = alloc.clone();
+                al[j][r] = f;
+                out.extend(rebuild(intervals.clone(), al));
+            }
+        }
+    }
+
+    // 7. Migrate a replica between intervals.
+    for j in 0..p {
+        if alloc[j].len() < 2 {
+            continue;
+        }
+        for r in 0..alloc[j].len() {
+            for j2 in 0..p {
+                if j2 == j {
+                    continue;
+                }
+                let mut al = alloc.clone();
+                let moved = al[j].remove(r);
+                al[j2].push(moved);
+                out.extend(rebuild(intervals.clone(), al));
+            }
+        }
+    }
+
+    out
+}
+
+/// One uniformly chosen neighbor (for annealing); `None` when the mapping
+/// has no neighbor (single stage, single processor platform).
+#[must_use]
+pub fn random_neighbor<R: Rng + ?Sized>(
+    mapping: &IntervalMapping,
+    n_procs: usize,
+    rng: &mut R,
+) -> Option<IntervalMapping> {
+    let all = neighbors(mapping, n_procs);
+    all.choose(rng).cloned()
+}
+
+/// A uniformly random valid interval mapping: random boundary mask (capped
+/// at `m` parts), random processor subset and deal.
+#[must_use]
+pub fn random_mapping<R: Rng + ?Sized>(
+    n_stages: usize,
+    n_procs: usize,
+    rng: &mut R,
+) -> IntervalMapping {
+    // Random partition.
+    let mut intervals = Vec::new();
+    let mut start = 0usize;
+    for i in 0..n_stages - 1 {
+        // Bias toward few intervals: boundary probability 1/3.
+        if intervals.len() + 1 < n_procs && rng.gen_bool(1.0 / 3.0) {
+            intervals.push(Interval::new(start, i).expect("ordered"));
+            start = i + 1;
+        }
+    }
+    intervals.push(Interval::new(start, n_stages - 1).expect("ordered"));
+    let p = intervals.len();
+
+    // Random processor deal: shuffle, take a random count ≥ p, round-robin.
+    let mut procs: Vec<ProcId> = (0..n_procs).map(ProcId::new).collect();
+    procs.shuffle(rng);
+    let used = rng.gen_range(p..=n_procs);
+    let mut alloc: Vec<Vec<ProcId>> = vec![Vec::new(); p];
+    for (i, &pid) in procs[..used].iter().enumerate() {
+        alloc[i % p].push(pid);
+    }
+    IntervalMapping::new(intervals, alloc, n_stages, n_procs)
+        .expect("constructed to satisfy all constraints")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    fn sample_mapping() -> IntervalMapping {
+        IntervalMapping::new(
+            vec![Interval::new(0, 1).unwrap(), Interval::new(2, 3).unwrap()],
+            vec![vec![p(0), p(1)], vec![p(2)]],
+            4,
+            5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_neighbors_are_valid_and_distinct_from_origin() {
+        let m = sample_mapping();
+        let ns = neighbors(&m, 5);
+        assert!(!ns.is_empty());
+        for nb in &ns {
+            assert_eq!(nb.n_stages(), 4);
+            assert_ne!(nb, &m);
+        }
+    }
+
+    #[test]
+    fn move_types_are_represented() {
+        let m = sample_mapping();
+        let ns = neighbors(&m, 5);
+        // merge present: 1 interval
+        assert!(ns.iter().any(|nb| nb.n_intervals() == 1));
+        // split present: 3 intervals (interval 0 has 2 stages + 2 replicas)
+        assert!(ns.iter().any(|nb| nb.n_intervals() == 3));
+        // grow: some neighbor uses 4 processors
+        assert!(ns.iter().any(|nb| nb.total_replicas() == 4));
+        // shrink: some neighbor uses 2 processors
+        assert!(ns.iter().any(|nb| nb.total_replicas() == 2));
+        // swap: P3 or P4 appear
+        assert!(ns
+            .iter()
+            .any(|nb| nb.used_processors().contains(&p(3)) || nb.used_processors().contains(&p(4))));
+        // boundary shift: some 2-interval neighbor with different boundary
+        assert!(ns
+            .iter()
+            .any(|nb| nb.n_intervals() == 2 && nb.interval(0).end() != 1));
+    }
+
+    #[test]
+    fn single_stage_single_proc_has_no_neighbors() {
+        let m = IntervalMapping::single_interval(1, vec![p(0)], 1).unwrap();
+        assert!(neighbors(&m, 1).is_empty());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(random_neighbor(&m, 1, &mut rng).is_none());
+    }
+
+    #[test]
+    fn random_mappings_are_valid_and_diverse() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut interval_counts = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let m = random_mapping(5, 6, &mut rng);
+            assert_eq!(m.n_stages(), 5);
+            interval_counts.insert(m.n_intervals());
+        }
+        assert!(interval_counts.len() > 1, "partitions should vary");
+    }
+
+    #[test]
+    fn random_mapping_single_proc_platform() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let m = random_mapping(4, 1, &mut rng);
+        assert_eq!(m.n_intervals(), 1);
+        assert_eq!(m.total_replicas(), 1);
+    }
+
+    #[test]
+    fn neighbor_closure_reaches_multi_interval_shapes() {
+        // From the single-interval mapping, two moves suffice to reach a
+        // split mapping — the search space is connected enough.
+        let m = IntervalMapping::single_interval(3, vec![p(0), p(1)], 3).unwrap();
+        let first = neighbors(&m, 3);
+        assert!(first.iter().any(|nb| nb.n_intervals() == 2));
+    }
+}

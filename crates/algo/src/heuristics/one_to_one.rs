@@ -1,0 +1,249 @@
+//! Heuristics for Theorem 3's NP-hard problem: minimum-latency one-to-one
+//! mapping on Fully Heterogeneous platforms.
+//!
+//! The problem is TSP-shaped (the reduction of Theorem 3 is literal), so
+//! the classic TSP toolbox applies:
+//!
+//! * [`greedy_one_to_one`] — nearest-neighbor construction: start from the
+//!   processor with the cheapest input link (+ first stage compute), then
+//!   repeatedly append the processor minimizing the marginal hop cost;
+//! * [`two_opt_one_to_one`] — 2-opt-style improvement: segment reversals
+//!   and single-position swaps (including swaps with unused processors)
+//!   until a local optimum.
+//!
+//! Validated against the exact Held–Karp DP on small instances; used as the
+//! scalable answer beyond `m ≈ 18`.
+
+use rpwf_core::mapping::OneToOneMapping;
+use rpwf_core::metrics::one_to_one_latency;
+use rpwf_core::platform::{Platform, ProcId, Vertex};
+use rpwf_core::stage::Pipeline;
+
+/// Nearest-neighbor construction. `None` when `n > m`.
+#[must_use]
+pub fn greedy_one_to_one(
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> Option<(OneToOneMapping, f64)> {
+    let n = pipeline.n_stages();
+    let m = platform.n_procs();
+    if n > m {
+        return None;
+    }
+    let mut used = vec![false; m];
+    let mut order: Vec<ProcId> = Vec::with_capacity(n);
+
+    // Stage 0: cheapest input + compute.
+    let first = platform
+        .procs()
+        .min_by(|&a, &b| {
+            let ca = platform.comm_time(Vertex::In, Vertex::Proc(a), pipeline.input_size())
+                + pipeline.work(0) / platform.speed(a);
+            let cb = platform.comm_time(Vertex::In, Vertex::Proc(b), pipeline.input_size())
+                + pipeline.work(0) / platform.speed(b);
+            ca.total_cmp(&cb).then(a.0.cmp(&b.0))
+        })
+        .expect("platform non-empty");
+    used[first.index()] = true;
+    order.push(first);
+
+    for k in 1..n {
+        let prev = order[k - 1];
+        // Marginal cost of putting stage k on v: inter-stage comm + compute
+        // (+ the output link for the final stage, which otherwise would be
+        // invisible to the greedy choice).
+        let next = platform
+            .procs()
+            .filter(|v| !used[v.index()])
+            .min_by(|&a, &b| {
+                let cost = |v: ProcId| {
+                    let mut c = platform
+                        .comm_time(Vertex::Proc(prev), Vertex::Proc(v), pipeline.delta(k))
+                        + pipeline.work(k) / platform.speed(v);
+                    if k == n - 1 {
+                        c += platform.comm_time(Vertex::Proc(v), Vertex::Out, pipeline.output_size());
+                    }
+                    c
+                };
+                cost(a).total_cmp(&cost(b)).then(a.0.cmp(&b.0))
+            })
+            .expect("n ≤ m leaves a free processor");
+        used[next.index()] = true;
+        order.push(next);
+    }
+
+    let mapping = OneToOneMapping::new(order, m).expect("greedy picks distinct processors");
+    let latency = one_to_one_latency(&mapping, pipeline, platform);
+    Some((mapping, latency))
+}
+
+/// Local improvement over a one-to-one mapping: segment reversals (2-opt)
+/// and swaps with both used and unused processors, to a local optimum.
+/// Returns the improved mapping and its latency.
+#[must_use]
+pub fn two_opt_one_to_one(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    start: &OneToOneMapping,
+) -> (OneToOneMapping, f64) {
+    let n = pipeline.n_stages();
+    let m = platform.n_procs();
+    let mut order: Vec<ProcId> = start.procs().to_vec();
+    let mut best_lat = one_to_one_latency(start, pipeline, platform);
+
+    let eval = |order: &[ProcId]| -> f64 {
+        let mapping = OneToOneMapping::new(order.to_vec(), m).expect("distinct by construction");
+        one_to_one_latency(&mapping, pipeline, platform)
+    };
+
+    let mut improved = true;
+    while improved {
+        improved = false;
+        // 2-opt: reverse order[i..=j].
+        for i in 0..n {
+            for j in i + 1..n {
+                let mut cand = order.clone();
+                cand[i..=j].reverse();
+                let lat = eval(&cand);
+                if lat + 1e-12 < best_lat {
+                    order = cand;
+                    best_lat = lat;
+                    improved = true;
+                }
+            }
+        }
+        // Swap a used position with an unused processor.
+        let used: std::collections::HashSet<ProcId> = order.iter().copied().collect();
+        let free: Vec<ProcId> =
+            platform.procs().filter(|p| !used.contains(p)).collect();
+        for i in 0..n {
+            for &f in &free {
+                let mut cand = order.clone();
+                cand[i] = f;
+                let lat = eval(&cand);
+                if lat + 1e-12 < best_lat {
+                    order = cand;
+                    best_lat = lat;
+                    improved = true;
+                }
+            }
+            if improved {
+                break; // the free list is stale; recompute on next sweep
+            }
+        }
+    }
+    let mapping = OneToOneMapping::new(order, m).expect("moves preserve distinctness");
+    (mapping, best_lat)
+}
+
+/// Greedy construction followed by 2-opt improvement. `None` when `n > m`.
+#[must_use]
+pub fn solve_one_to_one(
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> Option<(OneToOneMapping, f64)> {
+    let (greedy, _) = greedy_one_to_one(pipeline, platform)?;
+    Some(two_opt_one_to_one(pipeline, platform, &greedy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::min_latency_one_to_one;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rpwf_core::assert_approx_eq;
+    use rpwf_core::platform::{FailureClass, PlatformClass};
+    use rpwf_gen::{PipelineGen, PlatformGen};
+
+    #[test]
+    fn greedy_produces_valid_mappings() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..10 {
+            let pipe = PipelineGen::balanced(4).sample(&mut rng);
+            let pf = PlatformGen::new(
+                6,
+                PlatformClass::FullyHeterogeneous,
+                FailureClass::Heterogeneous,
+            )
+            .sample(&mut rng);
+            let (mapping, lat) = greedy_one_to_one(&pipe, &pf).unwrap();
+            assert_eq!(mapping.n_stages(), 4);
+            assert_approx_eq!(lat, one_to_one_latency(&mapping, &pipe, &pf));
+        }
+    }
+
+    #[test]
+    fn two_opt_never_worsens() {
+        let mut rng = StdRng::seed_from_u64(72);
+        for _ in 0..10 {
+            let pipe = PipelineGen::comm_heavy(4).sample(&mut rng);
+            let pf = PlatformGen::new(
+                6,
+                PlatformClass::FullyHeterogeneous,
+                FailureClass::Heterogeneous,
+            )
+            .sample(&mut rng);
+            let (greedy, greedy_lat) = greedy_one_to_one(&pipe, &pf).unwrap();
+            let (_, improved_lat) = two_opt_one_to_one(&pipe, &pf, &greedy);
+            assert!(improved_lat <= greedy_lat + 1e-9);
+        }
+    }
+
+    #[test]
+    fn close_to_held_karp_on_small_instances() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let mut ratios = Vec::new();
+        for _ in 0..12 {
+            let pipe = PipelineGen::balanced(4).sample(&mut rng);
+            let pf = PlatformGen::new(
+                6,
+                PlatformClass::FullyHeterogeneous,
+                FailureClass::Heterogeneous,
+            )
+            .sample(&mut rng);
+            let (_, heur) = solve_one_to_one(&pipe, &pf).unwrap();
+            let (_, exact) = min_latency_one_to_one(&pipe, &pf).unwrap();
+            assert!(heur >= exact - 1e-9, "heuristic cannot beat the exact DP");
+            ratios.push(heur / exact);
+        }
+        let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(mean <= 1.15, "mean optimality ratio too poor: {mean}");
+        let max = ratios.iter().copied().fold(0.0f64, f64::max);
+        assert!(max <= 1.6, "worst-case ratio too poor: {max}");
+    }
+
+    #[test]
+    fn figure34_is_solved_exactly() {
+        let pipe = rpwf_gen::figure3_pipeline();
+        let pf = rpwf_gen::figure4_platform();
+        let (mapping, lat) = solve_one_to_one(&pipe, &pf).unwrap();
+        assert_approx_eq!(lat, 7.0);
+        assert_eq!(mapping.procs(), &[ProcId(0), ProcId(1)]);
+    }
+
+    #[test]
+    fn too_few_processors_is_none() {
+        let pipe = Pipeline::uniform(4, 1.0, 1.0).unwrap();
+        let pf = Platform::fully_homogeneous(2, 1.0, 1.0, 0.0).unwrap();
+        assert!(greedy_one_to_one(&pipe, &pf).is_none());
+        assert!(solve_one_to_one(&pipe, &pf).is_none());
+    }
+
+    #[test]
+    fn scales_beyond_held_karp_reach() {
+        // m = 40 is far beyond the exact DP; the heuristic must return a
+        // valid mapping quickly.
+        let mut rng = StdRng::seed_from_u64(74);
+        let pipe = PipelineGen::balanced(12).sample(&mut rng);
+        let pf = PlatformGen::new(
+            40,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let (mapping, lat) = solve_one_to_one(&pipe, &pf).unwrap();
+        assert_eq!(mapping.n_stages(), 12);
+        assert!(lat.is_finite());
+    }
+}

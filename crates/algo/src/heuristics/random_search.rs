@@ -1,0 +1,100 @@
+//! Uniform random search — the honesty baseline for experiment E10.
+//!
+//! Samples valid interval mappings uniformly-ish (random boundary mask,
+//! random processor deal) and keeps the best feasible one. Any heuristic
+//! that cannot beat this on a given budget is not earning its complexity.
+
+use crate::heuristics::neighborhood::random_mapping;
+use crate::solution::{BiSolution, Objective};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpwf_core::platform::Platform;
+use rpwf_core::stage::Pipeline;
+
+/// Budgeted random search.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomSearch {
+    /// Number of sampled mappings.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomSearch {
+    fn default() -> Self {
+        RandomSearch { samples: 2000, seed: 0xBA5E }
+    }
+}
+
+impl RandomSearch {
+    /// Runs the search; `None` when no sample satisfies the threshold.
+    #[must_use]
+    pub fn solve(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+    ) -> Option<BiSolution> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: Option<BiSolution> = None;
+        for _ in 0..self.samples {
+            let mapping = random_mapping(pipeline.n_stages(), platform.n_procs(), &mut rng);
+            let sol = BiSolution::evaluate(mapping, pipeline, platform);
+            if objective.feasible(sol.latency, sol.failure_prob)
+                && best.as_ref().is_none_or(|b| objective.better(&sol, b))
+            {
+                best = Some(sol);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_feasible_solutions_with_budget() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let sol = RandomSearch::default()
+            .solve(&pipe, &pf, Objective::MinFpUnderLatency(30.0))
+            .expect("threshold 30 is easily feasible");
+        assert!(sol.latency <= 30.0 + 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let rs = RandomSearch { samples: 500, seed: 5 };
+        assert_eq!(
+            rs.solve(&pipe, &pf, Objective::MinLatencyUnderFp(0.5)),
+            rs.solve(&pipe, &pf, Objective::MinLatencyUnderFp(0.5))
+        );
+    }
+
+    #[test]
+    fn more_samples_never_worse() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let obj = Objective::MinFpUnderLatency(25.0);
+        let small = RandomSearch { samples: 100, seed: 7 }.solve(&pipe, &pf, obj);
+        let large = RandomSearch { samples: 2000, seed: 7 }.solve(&pipe, &pf, obj);
+        match (small, large) {
+            (Some(s), Some(l)) => assert!(l.failure_prob <= s.failure_prob + 1e-12),
+            (None, _) => {} // small budget may find nothing
+            (Some(_), None) => panic!("larger budget lost a solution"),
+        }
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let pipe = Pipeline::uniform(2, 100.0, 100.0).unwrap();
+        let pf = Platform::fully_homogeneous(2, 1.0, 1.0, 0.9).unwrap();
+        assert!(RandomSearch::default()
+            .solve(&pipe, &pf, Objective::MinFpUnderLatency(1.0))
+            .is_none());
+    }
+}

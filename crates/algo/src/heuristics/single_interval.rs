@@ -1,0 +1,239 @@
+//! Single-interval heuristic: the best mapping that keeps the pipeline
+//! whole and only chooses the replication set.
+//!
+//! On Fully Homogeneous and CH+Failure-Homogeneous platforms this *is* the
+//! optimal family (Lemma 1). On CH+Failure-Heterogeneous it is a heuristic
+//! (Figure 5 defeats it) — but an **exact** search within the family: for
+//! every replica count `k`, the latency constraint reduces to a minimum
+//! eligible speed, and among eligible processors the `k` most reliable are
+//! FP-optimal. On Fully Heterogeneous platforms the family search itself is
+//! non-trivial (input-bandwidth sums), so a portfolio of greedy orders is
+//! used.
+
+use crate::solution::{BiSolution, Objective};
+use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::num::LogProb;
+use rpwf_core::platform::{Platform, ProcId};
+use rpwf_core::stage::Pipeline;
+
+/// Best single-interval mapping for the objective; `None` when even the
+/// family's best violates the threshold.
+#[must_use]
+pub fn best_single_interval(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    objective: Objective,
+) -> Option<BiSolution> {
+    let candidates = if platform.uniform_bandwidth().is_some() {
+        comm_homog_candidates(pipeline, platform, objective)
+    } else {
+        greedy_het_candidates(pipeline, platform)
+    };
+    let mut best: Option<BiSolution> = None;
+    for sol in candidates {
+        if !objective.feasible(sol.latency, sol.failure_prob) {
+            continue;
+        }
+        if best.as_ref().is_none_or(|b| objective.better(&sol, b)) {
+            best = Some(sol);
+        }
+    }
+    best
+}
+
+/// Exact family search on communication-homogeneous platforms.
+///
+/// For `MinFpUnderLatency(L)` and replica count `k`, feasibility is
+/// `k·δ0/b + W/s_min + δn/b ≤ L`, i.e. a speed floor; the `k` most reliable
+/// processors above the floor are the candidate. For `MinLatencyUnderFp`,
+/// for each `(k, speed floor)` pair the FP-optimal set is again "k most
+/// reliable among the t fastest" — all `O(m²)` combinations are emitted and
+/// the caller's feasibility filter plus `better` ordering selects the
+/// optimum within the family.
+fn comm_homog_candidates(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    objective: Objective,
+) -> Vec<BiSolution> {
+    let m = platform.n_procs();
+    let n = pipeline.n_stages();
+    let by_speed = platform.procs_by_speed_desc();
+    let mut out = Vec::new();
+
+    match objective {
+        Objective::MinFpUnderLatency(_) => {
+            // For each k: eligible set grows as the speed floor loosens.
+            // Emit, for each k, the most reliable k processors among each
+            // speed-prefix; feasibility is filtered by the caller.
+            for k in 1..=m {
+                // Using the t fastest processors (t ≥ k) fixes the worst
+                // admissible speed; the latency-tightest option per k is the
+                // largest t still feasible, but emitting every prefix is
+                // O(m²) and exact.
+                for t in k..=m {
+                    out.push(k_most_reliable_of(pipeline, platform, &by_speed[..t], k));
+                }
+            }
+        }
+        Objective::MinLatencyUnderFp(_) => {
+            for k in 1..=m {
+                for t in k..=m {
+                    out.push(k_most_reliable_of(pipeline, platform, &by_speed[..t], k));
+                }
+            }
+        }
+    }
+    let _ = n;
+    out
+}
+
+/// Single-interval mapping on the `k` most reliable processors of `pool`.
+fn k_most_reliable_of(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    pool: &[ProcId],
+    k: usize,
+) -> BiSolution {
+    let mut pool: Vec<ProcId> = pool.to_vec();
+    pool.sort_by(|a, b| {
+        platform
+            .failure_prob(*a)
+            .total_cmp(&platform.failure_prob(*b))
+            .then(a.0.cmp(&b.0))
+    });
+    pool.truncate(k);
+    let mapping = IntervalMapping::single_interval(pipeline.n_stages(), pool, platform.n_procs())
+        .expect("non-empty subset of processors");
+    BiSolution::evaluate(mapping, pipeline, platform)
+}
+
+/// Greedy portfolio on fully heterogeneous platforms: grow the replica set
+/// along several processor orders, emitting every prefix.
+fn greedy_het_candidates(pipeline: &Pipeline, platform: &Platform) -> Vec<BiSolution> {
+    let mut orders: Vec<Vec<ProcId>> = vec![
+        platform.procs_by_speed_desc(),
+        platform.procs_by_reliability_desc(),
+    ];
+    // Third order: fast input links first (the δ0 term dominates when the
+    // first interval is replicated).
+    let mut by_input: Vec<ProcId> = platform.procs().collect();
+    by_input.sort_by(|a, b| {
+        let ba = platform.bandwidth(rpwf_core::platform::Vertex::In, rpwf_core::platform::Vertex::Proc(*a));
+        let bb = platform.bandwidth(rpwf_core::platform::Vertex::In, rpwf_core::platform::Vertex::Proc(*b));
+        bb.total_cmp(&ba).then(a.0.cmp(&b.0))
+    });
+    orders.push(by_input);
+    // Fourth: reliability per latency-cost score.
+    let mut by_score: Vec<ProcId> = platform.procs().collect();
+    by_score.sort_by(|a, b| {
+        let score = |p: ProcId| {
+            let rel = -LogProb::from_prob(platform.failure_prob(p)).ln(); // −ln fp: big = reliable
+            rel * platform.speed(p)
+        };
+        score(*b).total_cmp(&score(*a)).then(a.0.cmp(&b.0))
+    });
+    orders.push(by_score);
+
+    let mut out = Vec::new();
+    for order in orders {
+        for k in 1..=order.len() {
+            let mapping = IntervalMapping::single_interval(
+                pipeline.n_stages(),
+                order[..k].to_vec(),
+                platform.n_procs(),
+            )
+            .expect("prefix is non-empty");
+            out.push(BiSolution::evaluate(mapping, pipeline, platform));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::Exhaustive;
+    use rpwf_core::assert_approx_eq;
+
+    #[test]
+    fn figure5_single_interval_matches_paper_claim() {
+        // The paper: best one-interval solution at L ≤ 22 uses two fast
+        // processors, FP = 0.64.
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let sol =
+            best_single_interval(&pipe, &pf, Objective::MinFpUnderLatency(22.0)).unwrap();
+        assert_approx_eq!(sol.failure_prob, 0.64);
+        assert_eq!(sol.mapping.replication(0), 2);
+    }
+
+    #[test]
+    fn exact_within_family_on_comm_homog() {
+        // Cross-check against the oracle restricted to single-interval
+        // mappings.
+        let pipe = Pipeline::new(vec![4.0, 8.0], vec![3.0, 2.0, 1.0]).unwrap();
+        let pf = Platform::comm_homogeneous(
+            vec![1.0, 5.0, 3.0, 2.0],
+            2.0,
+            vec![0.6, 0.7, 0.2, 0.4],
+        )
+        .unwrap();
+        for l in [4.0, 6.0, 8.0, 12.0, 20.0] {
+            let fam = best_single_interval(&pipe, &pf, Objective::MinFpUnderLatency(l));
+            // Oracle over the single-interval family only.
+            let front = Exhaustive::new(&pipe, &pf).pareto_front();
+            let oracle_best = front
+                .iter()
+                .filter(|pt| pt.payload.n_intervals() == 1 && pt.latency <= l + 1e-9)
+                .map(|pt| pt.failure_prob)
+                .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.min(v))));
+            match (fam, oracle_best) {
+                (Some(f), Some(o)) => {
+                    assert!(
+                        f.failure_prob <= o + 1e-9,
+                        "L={l}: family search {} worse than oracle {o}",
+                        f.failure_prob
+                    );
+                }
+                (None, None) => {}
+                // The Pareto front keeps only non-dominated points, so a
+                // feasible single-interval point may be dominated by a
+                // multi-interval one — the family search may still find it.
+                (Some(_), None) => {}
+                (None, Some(o)) => panic!("L={l}: family search missed oracle point {o}"),
+            }
+        }
+    }
+
+    #[test]
+    fn min_latency_under_fp_family() {
+        let pipe = Pipeline::new(vec![4.0, 8.0], vec![3.0, 2.0, 1.0]).unwrap();
+        let pf = Platform::comm_homogeneous(
+            vec![1.0, 5.0, 3.0, 2.0],
+            2.0,
+            vec![0.6, 0.7, 0.2, 0.4],
+        )
+        .unwrap();
+        let sol =
+            best_single_interval(&pipe, &pf, Objective::MinLatencyUnderFp(0.3)).unwrap();
+        assert!(sol.failure_prob <= 0.3 + 1e-9);
+    }
+
+    #[test]
+    fn het_portfolio_finds_feasible_solutions() {
+        let pipe = rpwf_gen::figure3_pipeline();
+        let pf = rpwf_gen::figure4_platform();
+        // Single interval on this platform: best latency is 105.
+        let sol =
+            best_single_interval(&pipe, &pf, Objective::MinFpUnderLatency(105.0)).unwrap();
+        assert_approx_eq!(sol.latency, 105.0);
+        assert!(best_single_interval(&pipe, &pf, Objective::MinFpUnderLatency(50.0)).is_none());
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let pipe = Pipeline::uniform(2, 10.0, 10.0).unwrap();
+        let pf = Platform::fully_homogeneous(3, 1.0, 1.0, 0.9).unwrap();
+        assert!(best_single_interval(&pipe, &pf, Objective::MinLatencyUnderFp(0.01)).is_none());
+    }
+}

@@ -1,0 +1,294 @@
+//! Mono-criterion solvers: Theorems 1, 2 and 4 of the paper.
+//!
+//! * [`minimize_failure`] — Theorem 1: the global minimum of the failure
+//!   probability is reached by replicating the whole pipeline, as a single
+//!   interval, on **all** processors. Polynomial on every platform class.
+//! * [`minimize_latency_comm_homog`] — Theorem 2: on Communication
+//!   Homogeneous platforms the latency is minimized by mapping the whole
+//!   pipeline, unreplicated, on the fastest processor (replication and
+//!   splitting only add communications).
+//! * [`general_mapping_shortest_path`] — Theorem 4: on Fully Heterogeneous
+//!   platforms, minimizing latency over **general mappings** (processor
+//!   reuse allowed) is a shortest-path computation in the layered graph of
+//!   Figure 6. The graph is a DAG, so one forward relaxation per layer is
+//!   both simpler and asymptotically optimal (`O(n·m²)`) compared to
+//!   Dijkstra.
+//!
+//! Minimizing latency for *one-to-one* mappings on Fully Heterogeneous
+//! platforms is NP-hard (Theorem 3); the exact exponential solver lives in
+//! [`crate::exact::held_karp`], the gadget in [`crate::reductions::tsp`].
+
+use crate::solution::BiSolution;
+use rpwf_core::error::{CoreError, Result};
+use rpwf_core::mapping::{GeneralMapping, IntervalMapping};
+use rpwf_core::metrics::general_latency;
+use rpwf_core::platform::{Platform, ProcId, Vertex};
+use rpwf_core::stage::Pipeline;
+
+/// Theorem 1: minimize the failure probability (any platform class).
+///
+/// Replicates the pipeline as a single interval on all `m` processors:
+/// `FP = Π_u fp_u` is the unbeatable floor, since every additional interval
+/// multiplies the success probability by a factor `< 1` and every omitted
+/// processor can only increase `Π fp_u`.
+#[must_use]
+pub fn minimize_failure(pipeline: &Pipeline, platform: &Platform) -> BiSolution {
+    let mapping = IntervalMapping::single_interval(
+        pipeline.n_stages(),
+        platform.procs().collect(),
+        platform.n_procs(),
+    )
+    .expect("all-processor single interval is always valid");
+    BiSolution::evaluate(mapping, pipeline, platform)
+}
+
+/// Theorem 2: minimize latency on a Communication Homogeneous platform.
+///
+/// Single interval, no replication, fastest processor.
+///
+/// # Errors
+/// [`CoreError::NotCommHomogeneous`] when link bandwidths differ — the
+/// result does not hold there (Figure 3/4 is the counterexample; use
+/// [`general_mapping_shortest_path`] or the exact interval solvers).
+pub fn minimize_latency_comm_homog(
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> Result<BiSolution> {
+    if platform.uniform_bandwidth().is_none() {
+        return Err(CoreError::NotCommHomogeneous);
+    }
+    let fastest = platform.fastest_proc();
+    let mapping = IntervalMapping::single_interval(
+        pipeline.n_stages(),
+        vec![fastest],
+        platform.n_procs(),
+    )
+    .expect("single processor mapping is always valid");
+    Ok(BiSolution::evaluate(mapping, pipeline, platform))
+}
+
+/// Theorem 4: minimum-latency **general mapping** on any platform, by
+/// shortest path in the layered graph of Figure 6.
+///
+/// Layer `k` holds one vertex per processor (= "stage `k` runs on `P_u`");
+/// edge `V_{k,u} → V_{k+1,v}` costs `w_k/s_u + δ_{k+1}/b_{u,v}` (zero
+/// communication when `u = v`), the source edges cost `δ_0/b_{in,u}`, the
+/// sink edges `w_{n−1}/s_u + δ_n/b_{u,out}`. Returns the mapping and its
+/// latency.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // u indexes dist and pred in lockstep
+pub fn general_mapping_shortest_path(
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> (GeneralMapping, f64) {
+    let n = pipeline.n_stages();
+    let m = platform.n_procs();
+
+    // dist[u] = best cost with the data for stage `k` delivered onto P_u.
+    let mut dist: Vec<f64> = (0..m)
+        .map(|u| {
+            platform.comm_time(Vertex::In, Vertex::Proc(ProcId::new(u)), pipeline.input_size())
+        })
+        .collect();
+    // pred[k][u] = processor chosen for stage k−1 on the best path reaching
+    // stage k on u.
+    let mut pred: Vec<Vec<u32>> = Vec::with_capacity(n);
+
+    for k in 0..n.saturating_sub(1) {
+        let mut next = vec![f64::INFINITY; m];
+        let mut back = vec![0u32; m];
+        for u in 0..m {
+            let done = dist[u] + pipeline.work(k) / platform.speed(ProcId::new(u));
+            for v in 0..m {
+                let cost = done
+                    + platform.comm_time(
+                        Vertex::Proc(ProcId::new(u)),
+                        Vertex::Proc(ProcId::new(v)),
+                        pipeline.delta(k + 1),
+                    );
+                if cost < next[v] {
+                    next[v] = cost;
+                    back[v] = u as u32;
+                }
+            }
+        }
+        pred.push(back);
+        dist = next;
+    }
+
+    // Close the path through P_out.
+    let mut best_total = f64::INFINITY;
+    let mut best_last = 0usize;
+    for u in 0..m {
+        let total = dist[u]
+            + pipeline.work(n - 1) / platform.speed(ProcId::new(u))
+            + platform.comm_time(Vertex::Proc(ProcId::new(u)), Vertex::Out, pipeline.output_size());
+        if total < best_total {
+            best_total = total;
+            best_last = u;
+        }
+    }
+
+    // Trace back stage assignments.
+    let mut assignment = vec![ProcId::new(best_last); n];
+    let mut cur = best_last;
+    for k in (0..n - 1).rev() {
+        cur = pred[k][cur] as usize;
+        assignment[k] = ProcId::new(cur);
+    }
+    let mapping = GeneralMapping::new(assignment, m).expect("ids are in range");
+    debug_assert!(
+        (general_latency(&mapping, pipeline, platform) - best_total).abs()
+            <= 1e-9 * best_total.max(1.0),
+        "traceback latency must equal the DP optimum"
+    );
+    (mapping, best_total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpwf_core::assert_approx_eq;
+    use rpwf_core::metrics::{failure_probability, latency};
+    use rpwf_core::platform::PlatformBuilder;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn thm1_uses_all_processors_single_interval() {
+        let pipe = Pipeline::uniform(3, 2.0, 1.0).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 2.0], 1.0, vec![0.5, 0.4]).unwrap();
+        let sol = minimize_failure(&pipe, &pf);
+        assert_eq!(sol.mapping.n_intervals(), 1);
+        assert_eq!(sol.mapping.replication(0), 2);
+        assert_approx_eq!(sol.failure_prob, 0.2);
+    }
+
+    #[test]
+    fn thm1_is_the_global_minimum_by_enumeration() {
+        use rpwf_core::intervals::IntervalPartitions;
+        let pipe = Pipeline::uniform(3, 2.0, 1.0).unwrap();
+        let pf =
+            Platform::comm_homogeneous(vec![1.0, 2.0, 3.0], 1.0, vec![0.5, 0.4, 0.9]).unwrap();
+        let best = minimize_failure(&pipe, &pf).failure_prob;
+        // Enumerate a few alternative mappings and confirm none beats it.
+        for part in IntervalPartitions::new(3) {
+            if part.len() > 3 {
+                continue;
+            }
+            let alloc: Vec<Vec<ProcId>> =
+                (0..part.len()).map(|j| vec![p(j as u32)]).collect();
+            let m = IntervalMapping::new(part, alloc, 3, 3).unwrap();
+            assert!(failure_probability(&m, &pf) >= best - 1e-12);
+        }
+    }
+
+    #[test]
+    fn thm2_fastest_processor_single_interval() {
+        let pipe = Pipeline::new(vec![4.0, 4.0], vec![2.0, 8.0, 2.0]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 4.0, 2.0], 2.0, vec![0.0; 3]).unwrap();
+        let sol = minimize_latency_comm_homog(&pipe, &pf).unwrap();
+        assert_eq!(sol.mapping.alloc(0), &[p(1)]);
+        // δ0/b + W/s + δn/b = 1 + 2 + 1.
+        assert_approx_eq!(sol.latency, 4.0);
+    }
+
+    #[test]
+    fn thm2_rejects_heterogeneous_links() {
+        let pipe = Pipeline::uniform(1, 1.0, 1.0).unwrap();
+        let pf = PlatformBuilder::new(2)
+            .bandwidth(Vertex::Proc(p(0)), Vertex::Proc(p(1)), 9.0)
+            .build()
+            .unwrap();
+        assert_eq!(
+            minimize_latency_comm_homog(&pipe, &pf).unwrap_err(),
+            CoreError::NotCommHomogeneous
+        );
+    }
+
+    #[test]
+    fn thm2_beats_any_split_on_comm_homog() {
+        // Sanity: splitting adds communications; single-fastest is optimal.
+        let pipe = Pipeline::new(vec![3.0, 5.0, 2.0], vec![4.0, 1.0, 6.0, 2.0]).unwrap();
+        let pf =
+            Platform::comm_homogeneous(vec![1.0, 2.0, 4.0], 2.0, vec![0.1, 0.2, 0.3]).unwrap();
+        let opt = minimize_latency_comm_homog(&pipe, &pf).unwrap().latency;
+        use rpwf_core::intervals::IntervalPartitions;
+        for part in IntervalPartitions::new(3) {
+            if part.len() > 3 {
+                continue;
+            }
+            let alloc: Vec<Vec<ProcId>> =
+                (0..part.len()).map(|j| vec![p(j as u32)]).collect();
+            let mapping = IntervalMapping::new(part, alloc, 3, 3).unwrap();
+            assert!(latency(&mapping, &pipe, &pf) >= opt - 1e-12);
+        }
+    }
+
+    /// Figure 3/4 of the paper: the shortest-path solver must find the
+    /// split with latency 7 that single-processor mappings (105) miss.
+    #[test]
+    fn thm4_reproduces_figure34() {
+        let pipe = Pipeline::new(vec![2.0, 2.0], vec![100.0, 100.0, 100.0]).unwrap();
+        let pf = PlatformBuilder::new(2)
+            .input_bandwidth(p(0), 100.0)
+            .input_bandwidth(p(1), 1.0)
+            .bandwidth(Vertex::Proc(p(0)), Vertex::Proc(p(1)), 100.0)
+            .output_bandwidth(p(0), 1.0)
+            .output_bandwidth(p(1), 100.0)
+            .build()
+            .unwrap();
+        let (mapping, lat) = general_mapping_shortest_path(&pipe, &pf);
+        assert_approx_eq!(lat, 7.0);
+        assert_eq!(mapping.procs(), &[p(0), p(1)]);
+    }
+
+    #[test]
+    fn thm4_reuses_processors_when_profitable() {
+        // Three stages; P0 is fast for stages 0 and 2, P1 fast for stage 1?
+        // Speeds are per-processor, so emulate with communication: P0–P1
+        // links are free, so bouncing P0→P1→P0 costs nothing and the best
+        // path uses the faster processor wherever compute dominates.
+        let pipe = Pipeline::new(vec![10.0, 10.0, 10.0], vec![0.0; 4]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![5.0, 1.0], 1.0, vec![0.0, 0.0]).unwrap();
+        let (mapping, lat) = general_mapping_shortest_path(&pipe, &pf);
+        // All stages on the fast processor: 30/5 = 6.
+        assert_approx_eq!(lat, 6.0);
+        assert!(mapping.procs().iter().all(|&q| q == p(0)));
+    }
+
+    #[test]
+    fn thm4_latency_agrees_with_metric() {
+        let pipe = Pipeline::new(vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 4.0, 3.0, 2.0, 1.0]).unwrap();
+        let pf = PlatformBuilder::new(3)
+            .speeds(vec![1.0, 2.0, 3.0])
+            .unwrap()
+            .bandwidth(Vertex::Proc(p(0)), Vertex::Proc(p(1)), 0.5)
+            .bandwidth(Vertex::Proc(p(1)), Vertex::Proc(p(2)), 5.0)
+            .input_bandwidth(p(2), 0.25)
+            .build()
+            .unwrap();
+        let (mapping, lat) = general_mapping_shortest_path(&pipe, &pf);
+        assert_approx_eq!(lat, general_latency(&mapping, &pipe, &pf));
+    }
+
+    #[test]
+    fn thm4_single_stage_picks_best_io_chain() {
+        let pipe = Pipeline::new(vec![6.0], vec![6.0, 6.0]).unwrap();
+        let pf = PlatformBuilder::new(2)
+            .speeds(vec![1.0, 2.0])
+            .unwrap()
+            .input_bandwidth(p(0), 6.0)
+            .output_bandwidth(p(0), 6.0)
+            .input_bandwidth(p(1), 1.0)
+            .output_bandwidth(p(1), 1.0)
+            .build()
+            .unwrap();
+        // P0: 1 + 6 + 1 = 8; P1: 6 + 3 + 6 = 15.
+        let (mapping, lat) = general_mapping_shortest_path(&pipe, &pf);
+        assert_eq!(mapping.procs(), &[p(0)]);
+        assert_approx_eq!(lat, 8.0);
+    }
+}

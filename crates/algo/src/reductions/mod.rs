@@ -1,0 +1,15 @@
+//! Executable NP-hardness reductions (Theorems 3 and 7).
+//!
+//! Both gadget constructions of the paper are implemented as instance
+//! transformers with answer mappings in both directions, so the
+//! equivalences can be *tested*, not just stated:
+//!
+//! * [`tsp`] — TSP (bounded Hamiltonian path) → one-to-one latency,
+//! * [`two_partition`] — 2-PARTITION → bi-criteria (latency, FP)
+//!   feasibility.
+
+pub mod tsp;
+pub mod two_partition;
+
+pub use tsp::{build as build_tsp_gadget, TspGadget};
+pub use two_partition::{build as build_two_partition_gadget, TwoPartitionGadget};

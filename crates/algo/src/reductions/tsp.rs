@@ -1,0 +1,215 @@
+//! Theorem 3 gadget: Traveling Salesman Problem → one-to-one latency
+//! minimization on a Fully Heterogeneous platform.
+//!
+//! Given a complete graph `G = (V, E, c)`, a source `s`, a tail `t` and a
+//! bound `K`, the reduction builds:
+//!
+//! * a pipeline of `n = |V|` identical unit stages (`w_i = δ_i = 1`),
+//! * `m = n` unit-speed processors (processor `u` ↔ vertex `u`),
+//! * links: `b_{in,s} = 1`, `b_{t,out} = 1`, `b_{u,v} = 1/c(u,v)`, and all
+//!   remaining I/O links *slow* (`1/(K+n+4) < 1/(K+n+3)`),
+//!
+//! and asks for latency `≤ K′ = K + n + 2`. With as many processors as
+//! stages, every solution is a bijection, spends `2` time units on I/O and
+//! `n` on compute; the remaining `≤ K` pay exactly the Hamiltonian path
+//! `s → … → t`. Both directions of the equivalence are executable here:
+//! mappings convert to paths and back, and the exact solvers certify the
+//! thresholds.
+
+use rpwf_core::mapping::OneToOneMapping;
+use rpwf_core::metrics::one_to_one_latency;
+use rpwf_core::platform::{Platform, PlatformBuilder, ProcId, Vertex};
+use rpwf_core::stage::Pipeline;
+use rpwf_gen::TspInstance;
+use serde::{Deserialize, Serialize};
+
+/// The constructed mapping instance, with the answer threshold.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TspGadget {
+    /// `n` identical unit stages.
+    pub pipeline: Pipeline,
+    /// `n` unit-speed processors with the cost-encoding bandwidths.
+    pub platform: Platform,
+    /// `K′ = K + n + 2`: the latency question equivalent to the TSP bound.
+    pub latency_threshold: f64,
+    /// The TSP bound `K` this gadget was built for.
+    pub k_bound: f64,
+    source: usize,
+    tail: usize,
+}
+
+/// Builds the gadget for a TSP instance and bound `K`.
+///
+/// # Panics
+/// When some edge cost is not strictly positive (bandwidths must be
+/// positive and finite).
+#[must_use]
+pub fn build(inst: &TspInstance, k_bound: f64) -> TspGadget {
+    let n = inst.n;
+    let pipeline = Pipeline::uniform(n, 1.0, 1.0).expect("n ≥ 2");
+    let slow = 1.0 / (k_bound + n as f64 + 4.0);
+
+    let mut builder = PlatformBuilder::new(n).speeds_uniform(1.0);
+    // Processor-processor links encode edge costs.
+    for i in 0..n {
+        for j in i + 1..n {
+            let c = inst.costs[i][j];
+            assert!(c > 0.0 && c.is_finite(), "edge costs must be positive");
+            builder = builder.bandwidth(
+                Vertex::Proc(ProcId::new(i)),
+                Vertex::Proc(ProcId::new(j)),
+                1.0 / c,
+            );
+        }
+    }
+    // I/O links: only s may read the input fast, only t may write fast.
+    for u in 0..n {
+        let bin = if u == inst.source { 1.0 } else { slow };
+        let bout = if u == inst.tail { 1.0 } else { slow };
+        builder = builder
+            .input_bandwidth(ProcId::new(u), bin)
+            .output_bandwidth(ProcId::new(u), bout);
+    }
+    let platform = builder.build().expect("gadget values are valid");
+    TspGadget {
+        pipeline,
+        platform,
+        latency_threshold: k_bound + n as f64 + 2.0,
+        k_bound,
+        source: inst.source,
+        tail: inst.tail,
+    }
+}
+
+impl TspGadget {
+    /// Converts a Hamiltonian path (vertex sequence from `s` to `t`) into
+    /// the corresponding one-to-one mapping (stage `k` on the path's `k`-th
+    /// vertex).
+    ///
+    /// # Panics
+    /// When the path is not a permutation from source to tail.
+    #[must_use]
+    pub fn path_to_mapping(&self, path: &[usize]) -> OneToOneMapping {
+        assert_eq!(path.len(), self.pipeline.n_stages());
+        assert_eq!(path[0], self.source, "path must start at the source vertex");
+        assert_eq!(*path.last().expect("non-empty"), self.tail, "path must end at the tail");
+        OneToOneMapping::new(path.iter().map(|&v| ProcId::new(v)).collect(), path.len())
+            .expect("a Hamiltonian path visits distinct vertices")
+    }
+
+    /// Converts a one-to-one mapping back to the vertex sequence it induces.
+    #[must_use]
+    pub fn mapping_to_path(&self, mapping: &OneToOneMapping) -> Vec<usize> {
+        mapping.procs().iter().map(|p| p.index()).collect()
+    }
+
+    /// Latency of the mapping corresponding to `path`.
+    #[must_use]
+    pub fn path_latency(&self, path: &[usize]) -> f64 {
+        one_to_one_latency(&self.path_to_mapping(path), &self.pipeline, &self.platform)
+    }
+
+    /// The forward direction of Theorem 3's equivalence: a Hamiltonian path
+    /// of cost `C` maps to latency exactly `C + n + 2`.
+    #[must_use]
+    pub fn forward_latency(&self, path_cost: f64) -> f64 {
+        path_cost + self.pipeline.n_stages() as f64 + 2.0
+    }
+
+    /// Decides the gadget instance exactly (Held–Karp under the hood) and
+    /// answers the original TSP question: is there a Hamiltonian path of
+    /// cost ≤ `K`? Returns the witness path when the answer is yes.
+    #[must_use]
+    pub fn decide(&self) -> Option<Vec<usize>> {
+        let (mapping, lat) =
+            crate::exact::held_karp::min_latency_one_to_one(&self.pipeline, &self.platform)?;
+        if lat <= self.latency_threshold + 1e-9 {
+            Some(self.mapping_to_path(&mapping))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rpwf_core::assert_approx_eq;
+    use rpwf_core::platform::PlatformClass;
+
+    #[test]
+    fn gadget_platform_is_fully_heterogeneous() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = TspInstance::random(5, 9, &mut rng);
+        let g = build(&inst, 12.0);
+        assert_eq!(g.platform.class(), PlatformClass::FullyHeterogeneous);
+        assert_eq!(g.pipeline.n_stages(), 5);
+        assert_eq!(g.latency_threshold, 12.0 + 5.0 + 2.0);
+    }
+
+    #[test]
+    fn path_latency_equals_cost_plus_n_plus_2() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let inst = TspInstance::random(5, 9, &mut rng);
+            let g = build(&inst, 20.0);
+            let (path, cost) = inst.brute_force_best_path();
+            assert_approx_eq!(g.path_latency(&path), g.forward_latency(cost));
+        }
+    }
+
+    #[test]
+    fn equivalence_on_random_instances() {
+        // Theorem 3, both directions, via exact solvers on both sides.
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..12 {
+            let n = 4 + trial % 3;
+            let inst = TspInstance::random(n, 7, &mut rng);
+            let (_, best_cost) = inst.brute_force_best_path();
+            // K exactly at the optimum: yes-instance.
+            let g_yes = build(&inst, best_cost);
+            let witness = g_yes.decide().expect("yes-instance must decide yes");
+            assert!(inst.path_cost(&witness) <= best_cost + 1e-9);
+            // K just below the optimum: no-instance.
+            let g_no = build(&inst, best_cost - 0.5);
+            assert!(g_no.decide().is_none(), "no-instance must decide no");
+        }
+    }
+
+    #[test]
+    fn mappings_avoiding_s_or_t_blow_the_threshold() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let inst = TspInstance::random(4, 5, &mut rng);
+        let g = build(&inst, 30.0);
+        // Put the tail vertex first and source last: both I/O links slow.
+        let bad_path = {
+            let mut p: Vec<usize> = (0..4).collect();
+            p.swap(0, inst.tail);
+            // ensure source is not first anymore
+            if p[0] == inst.source {
+                p.swap(1, 3);
+            }
+            p
+        };
+        let mapping =
+            OneToOneMapping::new(bad_path.iter().map(|&v| ProcId::new(v)).collect(), 4).unwrap();
+        let lat = one_to_one_latency(&mapping, &g.pipeline, &g.platform);
+        assert!(
+            lat > g.latency_threshold,
+            "mapping that skips the fast I/O chain must exceed K' ({lat} <= {})",
+            g.latency_threshold
+        );
+    }
+
+    #[test]
+    fn roundtrip_path_mapping() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = TspInstance::random(6, 9, &mut rng);
+        let g = build(&inst, 10.0);
+        let (path, _) = inst.brute_force_best_path();
+        let mapping = g.path_to_mapping(&path);
+        assert_eq!(g.mapping_to_path(&mapping), path);
+    }
+}

@@ -1,0 +1,204 @@
+//! Theorem 7 gadget: 2-PARTITION → bi-criteria feasibility on a Fully
+//! Heterogeneous platform.
+//!
+//! Given positive integers `a_1 … a_m` with sum `S`, the reduction builds:
+//!
+//! * a single-stage pipeline (`w = 1`, `δ_0 = δ_1 = 1`),
+//! * `m` unit-speed processors with `fp_j = e^{−a_j}`, `b_{in,j} = 1/a_j`,
+//!   `b_{j,out} = 1`,
+//!
+//! and asks whether some mapping achieves `latency ≤ S/2 + 2` **and**
+//! `FP ≤ e^{−S/2}`. A single-stage mapping is just a replica subset `I`;
+//! its latency is `Σ_{j∈I} a_j + 2` (serialized input, compute 1, output 1)
+//! and its failure probability `e^{−Σ_{j∈I} a_j}` — so feasibility pins
+//! `Σ_{j∈I} a_j = S/2` exactly, i.e. a 2-partition.
+//!
+//! The FP threshold is compared **in log space** (`−Σ a_j ≤ −S/2`): for
+//! large `S`, `e^{−S/2}` underflows linear f64, while the log-space test
+//! stays exact (the `a_j` are integers).
+
+use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::metrics::{latency, log_success_probability};
+use rpwf_core::platform::{Platform, PlatformBuilder, ProcId};
+use rpwf_core::stage::Pipeline;
+use rpwf_gen::TwoPartitionInstance;
+use serde::{Deserialize, Serialize};
+
+/// The constructed bi-criteria feasibility instance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TwoPartitionGadget {
+    /// Single unit stage.
+    pub pipeline: Pipeline,
+    /// The encoding platform.
+    pub platform: Platform,
+    /// `L = S/2 + 2`.
+    pub latency_threshold: f64,
+    /// `ln FP-threshold = −S/2` (the linear value `e^{−S/2}` may underflow).
+    pub ln_fp_threshold: f64,
+    values: Vec<u64>,
+}
+
+/// Builds the gadget for a 2-PARTITION instance.
+#[must_use]
+pub fn build(inst: &TwoPartitionInstance) -> TwoPartitionGadget {
+    let m = inst.values.len();
+    let s = inst.total() as f64;
+    let pipeline = Pipeline::new(vec![1.0], vec![1.0, 1.0]).expect("single unit stage");
+    let mut builder = PlatformBuilder::new(m).speeds_uniform(1.0);
+    for (j, &a) in inst.values.iter().enumerate() {
+        let pid = ProcId::new(j);
+        builder = builder
+            .failure_prob(pid, (-(a as f64)).exp())
+            .input_bandwidth(pid, 1.0 / a as f64)
+            .output_bandwidth(pid, 1.0);
+    }
+    let platform = builder.build().expect("gadget values are valid");
+    TwoPartitionGadget {
+        pipeline,
+        platform,
+        latency_threshold: s / 2.0 + 2.0,
+        ln_fp_threshold: -s / 2.0,
+        values: inst.values.clone(),
+    }
+}
+
+impl TwoPartitionGadget {
+    /// The mapping replicating the single stage on `subset`.
+    ///
+    /// # Panics
+    /// On out-of-range or duplicate indices.
+    #[must_use]
+    pub fn subset_to_mapping(&self, subset: &[usize]) -> IntervalMapping {
+        IntervalMapping::single_interval(
+            1,
+            subset.iter().map(|&j| ProcId::new(j)).collect(),
+            self.platform.n_procs(),
+        )
+        .expect("subsets are valid single-interval allocations")
+    }
+
+    /// Recovers the subset from a mapping.
+    #[must_use]
+    pub fn mapping_to_subset(&self, mapping: &IntervalMapping) -> Vec<usize> {
+        mapping.used_processors().iter().map(|p| p.index()).collect()
+    }
+
+    /// Checks both thresholds for a mapping, FP in log space.
+    #[must_use]
+    pub fn mapping_feasible(&self, mapping: &IntervalMapping) -> bool {
+        const EPS: f64 = 1e-6;
+        let lat = latency(mapping, &self.pipeline, &self.platform);
+        if lat > self.latency_threshold + EPS {
+            return false;
+        }
+        // FP ≤ e^{ln_fp_threshold}  ⟺  ln(1 − success) ≤ ln_fp_threshold.
+        // For single-interval mappings FP = Π fp, so ln FP =
+        // ln(1 − e^{ln_success}); compute it stably from the success log.
+        let ln_success = log_success_probability(mapping, &self.platform);
+        let ln_fp = if ln_success == 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            rpwf_core::num::LogProb::from_ln(ln_success).one_minus().ln()
+        };
+        ln_fp <= self.ln_fp_threshold + EPS
+    }
+
+    /// Decides the gadget: is some replica subset feasible? Exhaustive over
+    /// subsets for `m ≤ 24`, which certifies the equivalence on test sizes.
+    ///
+    /// # Panics
+    /// When `m > 24`.
+    #[must_use]
+    pub fn decide_by_enumeration(&self) -> Option<Vec<usize>> {
+        let m = self.platform.n_procs();
+        assert!(m <= 24, "subset enumeration capped at 24 processors");
+        // Integer arithmetic mirror of the float thresholds: Σ a_j over the
+        // subset must be ≤ S/2 (latency) and ≥ S/2 (reliability).
+        let total: u64 = self.values.iter().sum();
+        for mask in 1u32..(1u32 << m) {
+            let sum: u64 = (0..m)
+                .filter(|&j| mask & (1 << j) != 0)
+                .map(|j| self.values[j])
+                .sum();
+            if 2 * sum == total {
+                let subset: Vec<usize> = (0..m).filter(|&j| mask & (1 << j) != 0).collect();
+                debug_assert!(self.mapping_feasible(&self.subset_to_mapping(&subset)));
+                return Some(subset);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rpwf_core::assert_approx_eq;
+    use rpwf_core::metrics::failure_probability;
+
+    #[test]
+    fn witness_subset_sits_exactly_on_both_thresholds() {
+        let inst = TwoPartitionInstance { values: vec![3, 1, 2, 2] }; // S = 8
+        let g = build(&inst);
+        let witness = inst.solve().expect("3+1 = 2+2");
+        let mapping = g.subset_to_mapping(&witness);
+        let lat = latency(&mapping, &g.pipeline, &g.platform);
+        assert_approx_eq!(lat, 4.0 + 2.0);
+        let fp = failure_probability(&mapping, &g.platform);
+        assert_approx_eq!(fp, (-4.0f64).exp(), 1e-6);
+        assert!(g.mapping_feasible(&mapping));
+    }
+
+    #[test]
+    fn unbalanced_subsets_violate_a_threshold() {
+        let inst = TwoPartitionInstance { values: vec![3, 1, 2, 2] };
+        let g = build(&inst);
+        // Too small a sum: reliable enough? No — FP too large.
+        assert!(!g.mapping_feasible(&g.subset_to_mapping(&[1]))); // Σ = 1
+        // Too large a sum: latency blown.
+        assert!(!g.mapping_feasible(&g.subset_to_mapping(&[0, 2, 3]))); // Σ = 7
+    }
+
+    #[test]
+    fn equivalence_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..30 {
+            let inst = TwoPartitionInstance::random(8, 12, &mut rng);
+            let g = build(&inst);
+            let partition_answer = inst.solve().is_some();
+            let gadget_answer = g.decide_by_enumeration().is_some();
+            assert_eq!(partition_answer, gadget_answer, "values {:?}", inst.values);
+        }
+    }
+
+    #[test]
+    fn planted_yes_and_odd_no() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let yes = TwoPartitionInstance::with_planted_solution(4, 9, &mut rng);
+        assert!(build(&yes).decide_by_enumeration().is_some());
+        let no = TwoPartitionInstance::odd_total(7, 9, &mut rng);
+        assert!(build(&no).decide_by_enumeration().is_none());
+    }
+
+    #[test]
+    fn log_space_threshold_survives_huge_sums() {
+        // S large enough that e^{−S/2} underflows f64 (S/2 > 745): the
+        // log-space feasibility test must still discriminate.
+        let inst = TwoPartitionInstance { values: vec![400, 400, 400, 400] }; // S = 1600
+        let g = build(&inst);
+        assert!(g.ln_fp_threshold < -745.0);
+        let witness = g.decide_by_enumeration().expect("two pairs of 400");
+        assert!(g.mapping_feasible(&g.subset_to_mapping(&witness)));
+        assert!(!g.mapping_feasible(&g.subset_to_mapping(&[0]))); // Σ = 400 < 800
+    }
+
+    #[test]
+    fn roundtrip_subset_mapping() {
+        let inst = TwoPartitionInstance { values: vec![5, 3, 2, 4] };
+        let g = build(&inst);
+        let mapping = g.subset_to_mapping(&[0, 2]);
+        assert_eq!(g.mapping_to_subset(&mapping), vec![0, 2]);
+    }
+}

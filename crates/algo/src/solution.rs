@@ -1,0 +1,167 @@
+//! Solution and objective types shared by every solver.
+
+use rpwf_core::metrics::{failure_probability, latency};
+use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::platform::Platform;
+use rpwf_core::stage::Pipeline;
+use serde::{Deserialize, Serialize};
+
+/// An evaluated interval mapping: the mapping plus both objective values.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BiSolution {
+    /// The mapping.
+    pub mapping: IntervalMapping,
+    /// Worst-case latency (equation (2), total on every platform class).
+    pub latency: f64,
+    /// Global failure probability.
+    pub failure_prob: f64,
+}
+
+impl BiSolution {
+    /// Evaluates a mapping against both objectives.
+    #[must_use]
+    pub fn evaluate(mapping: IntervalMapping, pipeline: &Pipeline, platform: &Platform) -> Self {
+        let latency = latency(&mapping, pipeline, platform);
+        let failure_prob = failure_probability(&mapping, platform);
+        BiSolution { mapping, latency, failure_prob }
+    }
+}
+
+/// The two threshold problems of the paper (§2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize failure probability subject to `latency ≤ L`.
+    MinFpUnderLatency(f64),
+    /// Minimize latency subject to `failure probability ≤ F`.
+    MinLatencyUnderFp(f64),
+}
+
+impl Objective {
+    /// Whether a `(latency, fp)` pair satisfies the threshold constraint.
+    /// Thresholds are compared with a tiny absolute slack so that solutions
+    /// constructed to sit exactly on the bound (like the paper's Figure 5
+    /// mapping at `L = 22`) are not rejected for one ulp.
+    #[must_use]
+    pub fn feasible(&self, latency: f64, failure_prob: f64) -> bool {
+        const SLACK: f64 = 1e-9;
+        match *self {
+            Objective::MinFpUnderLatency(l) => latency <= l * (1.0 + SLACK) + SLACK,
+            Objective::MinLatencyUnderFp(f) => failure_prob <= f * (1.0 + SLACK) + SLACK,
+        }
+    }
+
+    /// The threshold with the same slack that [`Objective::feasible`]
+    /// grants. Front queries (`min_fp_under_latency` etc.) must use this
+    /// value so that threshold solvers and feasibility checks agree on
+    /// boundary instances (thresholds computed to sit exactly on a
+    /// mapping's latency are a common experiment pattern).
+    #[must_use]
+    pub fn threshold_with_slack(&self) -> f64 {
+        const SLACK: f64 = 1e-9;
+        match *self {
+            Objective::MinFpUnderLatency(l) => l * (1.0 + SLACK) + SLACK,
+            Objective::MinLatencyUnderFp(f) => f * (1.0 + SLACK) + SLACK,
+        }
+    }
+
+    /// The value being minimized.
+    #[must_use]
+    pub fn value(&self, latency: f64, failure_prob: f64) -> f64 {
+        match *self {
+            Objective::MinFpUnderLatency(_) => failure_prob,
+            Objective::MinLatencyUnderFp(_) => latency,
+        }
+    }
+
+    /// The constrained quantity (for reporting violations).
+    #[must_use]
+    pub fn constraint_excess(&self, latency: f64, failure_prob: f64) -> f64 {
+        match *self {
+            Objective::MinFpUnderLatency(l) => (latency - l).max(0.0),
+            Objective::MinLatencyUnderFp(f) => (failure_prob - f).max(0.0),
+        }
+    }
+
+    /// `true` when `a` strictly improves on `b` under this objective:
+    /// feasibility first, then the minimized value, then the other
+    /// criterion as a tie-breaker.
+    #[must_use]
+    pub fn better(&self, a: &BiSolution, b: &BiSolution) -> bool {
+        let fa = self.feasible(a.latency, a.failure_prob);
+        let fb = self.feasible(b.latency, b.failure_prob);
+        match (fa, fb) {
+            (true, false) => true,
+            (false, true) => false,
+            (false, false) => {
+                self.constraint_excess(a.latency, a.failure_prob)
+                    < self.constraint_excess(b.latency, b.failure_prob)
+            }
+            (true, true) => {
+                let va = self.value(a.latency, a.failure_prob);
+                let vb = self.value(b.latency, b.failure_prob);
+                if va != vb {
+                    return va < vb;
+                }
+                // Tie-break on the unconstrained criterion.
+                let (sa, sb) = match *self {
+                    Objective::MinFpUnderLatency(_) => (a.latency, b.latency),
+                    Objective::MinLatencyUnderFp(_) => (a.failure_prob, b.failure_prob),
+                };
+                sa < sb
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpwf_core::platform::ProcId;
+
+    fn sol(latency: f64, failure_prob: f64) -> BiSolution {
+        let mapping = IntervalMapping::single_interval(1, vec![ProcId(0)], 1).unwrap();
+        BiSolution { mapping, latency, failure_prob }
+    }
+
+    #[test]
+    fn evaluate_matches_metrics() {
+        let pipe = Pipeline::uniform(2, 3.0, 4.0).unwrap();
+        let pf = Platform::fully_homogeneous(2, 1.0, 2.0, 0.25).unwrap();
+        let m = IntervalMapping::single_interval(2, vec![ProcId(0)], 2).unwrap();
+        let s = BiSolution::evaluate(m.clone(), &pipe, &pf);
+        assert_eq!(s.latency, latency(&m, &pipe, &pf));
+        assert_eq!(s.failure_prob, failure_probability(&m, &pf));
+    }
+
+    #[test]
+    fn feasibility_with_slack() {
+        let obj = Objective::MinFpUnderLatency(22.0);
+        assert!(obj.feasible(22.0, 0.9));
+        assert!(obj.feasible(22.0 + 1e-12, 0.9));
+        assert!(!obj.feasible(22.1, 0.0));
+        let obj = Objective::MinLatencyUnderFp(0.5);
+        assert!(obj.feasible(1e9, 0.5));
+        assert!(!obj.feasible(0.0, 0.6));
+    }
+
+    #[test]
+    fn better_prefers_feasible() {
+        let obj = Objective::MinFpUnderLatency(10.0);
+        assert!(obj.better(&sol(9.0, 0.9), &sol(11.0, 0.1)));
+        assert!(!obj.better(&sol(11.0, 0.1), &sol(9.0, 0.9)));
+    }
+
+    #[test]
+    fn better_minimizes_objective_then_tiebreaks() {
+        let obj = Objective::MinFpUnderLatency(10.0);
+        assert!(obj.better(&sol(9.0, 0.1), &sol(9.0, 0.2)));
+        assert!(obj.better(&sol(8.0, 0.1), &sol(9.0, 0.1))); // tie-break on latency
+        assert!(!obj.better(&sol(9.0, 0.1), &sol(9.0, 0.1))); // not strictly better
+    }
+
+    #[test]
+    fn better_among_infeasible_prefers_smaller_violation() {
+        let obj = Objective::MinLatencyUnderFp(0.1);
+        assert!(obj.better(&sol(5.0, 0.2), &sol(1.0, 0.9)));
+    }
+}

@@ -1,0 +1,79 @@
+//! E12 — runtime scaling of the paper's polynomial algorithms
+//! (Algorithms 1–4) with platform size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpwf_algo::bicriteria::{comm_homog, fully_homog};
+use rpwf_core::prelude::*;
+use rpwf_gen::{PipelineGen, PlatformGen};
+use std::hint::black_box;
+
+fn bench_polynomial_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polynomial_algorithms");
+    group.sample_size(20);
+    for &m in &[8usize, 64, 256] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pipeline = PipelineGen::balanced(16).sample(&mut rng);
+
+        let fh = PlatformGen::new(m, PlatformClass::FullyHomogeneous, FailureClass::Homogeneous)
+            .sample(&mut rng);
+        // Mid-range thresholds so the algorithms neither trivially accept
+        // nor instantly bail.
+        let l_mid = {
+            let k1 = fully_homog::min_fp_under_latency(&pipeline, &fh, f64::INFINITY).unwrap();
+            k1.latency * 0.6
+        };
+        group.bench_with_input(BenchmarkId::new("alg1_fully_homog", m), &m, |b, _| {
+            b.iter(|| black_box(fully_homog::min_fp_under_latency(&pipeline, &fh, l_mid)))
+        });
+        group.bench_with_input(BenchmarkId::new("alg2_fully_homog", m), &m, |b, _| {
+            b.iter(|| black_box(fully_homog::min_latency_under_fp(&pipeline, &fh, 0.05)))
+        });
+
+        let ch = PlatformGen::new(m, PlatformClass::CommHomogeneous, FailureClass::Homogeneous)
+            .sample(&mut rng);
+        let l_mid_ch = {
+            let all = comm_homog::min_fp_under_latency(&pipeline, &ch, f64::INFINITY).unwrap();
+            all.latency * 0.6
+        };
+        group.bench_with_input(BenchmarkId::new("alg3_comm_homog", m), &m, |b, _| {
+            b.iter(|| black_box(comm_homog::min_fp_under_latency(&pipeline, &ch, l_mid_ch)))
+        });
+        group.bench_with_input(BenchmarkId::new("alg4_comm_homog", m), &m, |b, _| {
+            b.iter(|| black_box(comm_homog::min_latency_under_fp(&pipeline, &ch, 0.05)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(30);
+    let mut rng = StdRng::seed_from_u64(2);
+    for &(n, m) in &[(8usize, 16usize), (32, 64), (128, 256)] {
+        let pipeline = PipelineGen::balanced(n).sample(&mut rng);
+        let platform = PlatformGen::new(
+            m,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let mapping =
+            rpwf_algo::heuristics::neighborhood::random_mapping(n, m, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("latency_eq2", format!("n{n}m{m}")),
+            &(n, m),
+            |b, _| b.iter(|| black_box(latency(&mapping, &pipeline, &platform))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("failure_probability", format!("n{n}m{m}")),
+            &(n, m),
+            |b, _| b.iter(|| black_box(failure_probability(&mapping, &platform))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_polynomial_algorithms, bench_metrics);
+criterion_main!(benches);

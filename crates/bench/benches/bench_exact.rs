@@ -1,0 +1,86 @@
+//! E12 — exact-solver scaling: the brute-force oracle vs the bitmask DP vs
+//! the specialized latency DPs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpwf_algo::exact::{
+    min_latency_interval, min_latency_one_to_one, pareto_front_comm_homog, Exhaustive,
+};
+use rpwf_algo::mono::general_mapping_shortest_path;
+use rpwf_core::prelude::*;
+use rpwf_gen::{PipelineGen, PlatformGen};
+use std::hint::black_box;
+
+fn bench_oracle_vs_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solvers");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    for &(n, m) in &[(3usize, 4usize), (4, 5)] {
+        let pipeline = PipelineGen::balanced(n).sample(&mut rng);
+        let platform =
+            PlatformGen::new(m, PlatformClass::CommHomogeneous, FailureClass::Heterogeneous)
+                .sample(&mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive_front", format!("n{n}m{m}")),
+            &(n, m),
+            |b, _| {
+                b.iter(|| black_box(Exhaustive::new(&pipeline, &platform).pareto_front()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bitmask_dp_front", format!("n{n}m{m}")),
+            &(n, m),
+            |b, _| b.iter(|| black_box(pareto_front_comm_homog(&pipeline, &platform))),
+        );
+    }
+    // The DP keeps going where the oracle has long exploded.
+    for &(n, m) in &[(6usize, 10usize), (8, 12)] {
+        let pipeline = PipelineGen::balanced(n).sample(&mut rng);
+        let platform =
+            PlatformGen::new(m, PlatformClass::CommHomogeneous, FailureClass::Heterogeneous)
+                .sample(&mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("bitmask_dp_front", format!("n{n}m{m}")),
+            &(n, m),
+            |b, _| b.iter(|| black_box(pareto_front_comm_homog(&pipeline, &platform))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_latency_dps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency_solvers");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    for &(n, m) in &[(6usize, 8usize), (8, 12), (10, 14)] {
+        let pipeline = PipelineGen::balanced(n).sample(&mut rng);
+        let platform = PlatformGen::new(
+            m,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("thm4_shortest_path", format!("n{n}m{m}")),
+            &(n, m),
+            |b, _| b.iter(|| black_box(general_mapping_shortest_path(&pipeline, &platform))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("interval_dp", format!("n{n}m{m}")),
+            &(n, m),
+            |b, _| b.iter(|| black_box(min_latency_interval(&pipeline, &platform))),
+        );
+        if n <= m {
+            group.bench_with_input(
+                BenchmarkId::new("held_karp_one_to_one", format!("n{n}m{m}")),
+                &(n, m),
+                |b, _| b.iter(|| black_box(min_latency_one_to_one(&pipeline, &platform))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_vs_dp, bench_latency_dps);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! E12 — simulator throughput: events per second of the DES engine and
+//! Monte Carlo trial rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpwf_core::prelude::*;
+use rpwf_gen::{PipelineGen, PlatformGen};
+use rpwf_sim::{simulate, FailureModel, FailureScenario, MonteCarlo, SimConfig};
+use std::hint::black_box;
+
+fn bench_des(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des");
+    group.sample_size(15);
+    let mut rng = StdRng::seed_from_u64(6);
+    for &(n, m, datasets) in &[(4usize, 8usize, 10usize), (8, 16, 50), (8, 16, 200)] {
+        let pipeline = PipelineGen::balanced(n).sample(&mut rng);
+        let platform =
+            PlatformGen::new(m, PlatformClass::CommHomogeneous, FailureClass::Heterogeneous)
+                .sample(&mut rng);
+        let mapping = rpwf_algo::heuristics::neighborhood::random_mapping(n, m, &mut rng);
+        let arrivals = vec![0.0; datasets];
+        // Count events once to report true event throughput.
+        let events = simulate(
+            &pipeline,
+            &platform,
+            &mapping,
+            &FailureScenario::all_alive(m),
+            SimConfig::worst_case(),
+            &arrivals,
+        )
+        .events;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(
+            BenchmarkId::new("stream", format!("n{n}m{m}d{datasets}")),
+            &datasets,
+            |b, _| {
+                b.iter(|| {
+                    black_box(simulate(
+                        &pipeline,
+                        &platform,
+                        &mapping,
+                        &FailureScenario::all_alive(m),
+                        SimConfig::worst_case(),
+                        &arrivals,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(10);
+    let pipeline = rpwf_gen::figure5_pipeline();
+    let platform = rpwf_gen::figure5_platform();
+    let mapping = IntervalMapping::new(
+        vec![Interval::singleton(0), Interval::singleton(1)],
+        vec![vec![ProcId(0)], (1..=10).map(ProcId).collect()],
+        2,
+        11,
+    )
+    .expect("valid");
+    for &trials in &[1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(trials as u64));
+        group.bench_with_input(BenchmarkId::new("figure5", trials), &trials, |b, &trials| {
+            let mc = MonteCarlo {
+                trials,
+                model: FailureModel::BernoulliAtStart,
+                ..Default::default()
+            };
+            b.iter(|| black_box(mc.run(&pipeline, &platform, &mapping)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_des, bench_monte_carlo);
+criterion_main!(benches);

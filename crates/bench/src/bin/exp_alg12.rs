@@ -1,0 +1,6 @@
+//! E4 — Algorithms 1 & 2 vs the exhaustive oracle.
+fn main() {
+    for table in rpwf_bench::experiments::theorems::alg12() {
+        table.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! E5 — Algorithms 3 & 4 vs the exhaustive oracle.
+fn main() {
+    for table in rpwf_bench::experiments::theorems::alg34() {
+        table.print();
+    }
+}

@@ -1,0 +1,21 @@
+//! Runs every experiment (E1–E11, E13) and prints all result tables.
+//!
+//! Pass `--json` to emit the tables as a single JSON document instead
+//! (machine-readable form used to refresh EXPERIMENTS.md).
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let all = rpwf_bench::experiments::run_all();
+    if json {
+        let doc: Vec<(&str, &Vec<rpwf_bench::Table>)> =
+            all.iter().map(|(id, tables)| (*id, tables)).collect();
+        println!("{}", serde_json::to_string_pretty(&doc).expect("tables serialize"));
+        return;
+    }
+    for (id, tables) in all {
+        println!("######## {id} ########\n");
+        for table in tables {
+            table.print();
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! E1 — regenerates the Figures 3/4 latency table (105 vs 7).
+fn main() {
+    for table in rpwf_bench::experiments::figures::fig34() {
+        table.print();
+    }
+}

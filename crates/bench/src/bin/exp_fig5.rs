@@ -1,0 +1,6 @@
+//! E2 — regenerates the Figure 5 bi-criteria table (0.64 vs 0.1966).
+fn main() {
+    for table in rpwf_bench::experiments::figures::fig5() {
+        table.print();
+    }
+}

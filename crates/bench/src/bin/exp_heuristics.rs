@@ -1,0 +1,6 @@
+//! E10 — heuristic quality vs exact fronts.
+fn main() {
+    for table in rpwf_bench::experiments::heuristics_eval::heuristics() {
+        table.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! E9 — Lemma 1 single-interval coverage of Pareto fronts.
+fn main() {
+    for table in rpwf_bench::experiments::theorems::lemma1() {
+        table.print();
+    }
+}

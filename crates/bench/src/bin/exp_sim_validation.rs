@@ -1,0 +1,6 @@
+//! E11 — simulator certification of the analytic formulas.
+fn main() {
+    for table in rpwf_bench::experiments::simulation::sim_validation() {
+        table.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! E3 — Theorem 1 (min FP) vs the exhaustive oracle.
+fn main() {
+    for table in rpwf_bench::experiments::theorems::thm1() {
+        table.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! E7 — the TSP reduction gadget of Theorem 3.
+fn main() {
+    for table in rpwf_bench::experiments::hardness::thm3() {
+        table.print();
+    }
+}

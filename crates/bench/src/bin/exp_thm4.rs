@@ -1,0 +1,6 @@
+//! E6 — Theorem 4 shortest path vs brute force.
+fn main() {
+    for table in rpwf_bench::experiments::theorems::thm4() {
+        table.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! E8 — the 2-PARTITION reduction gadget of Theorem 7.
+fn main() {
+    for table in rpwf_bench::experiments::hardness::thm7() {
+        table.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! E13 — tri-criteria JPEG exploration (extension).
+fn main() {
+    for table in rpwf_bench::experiments::tricriteria::tricriteria() {
+        table.print();
+    }
+}

@@ -1,0 +1,102 @@
+//! E1 and E2 — the paper's §3 worked examples as regenerated tables.
+
+use crate::table::{fnum, Table};
+use rpwf_algo::exact::{solve_comm_homog, Exhaustive};
+use rpwf_algo::heuristics::single_interval::best_single_interval;
+use rpwf_algo::mono::general_mapping_shortest_path;
+use rpwf_algo::Objective;
+use rpwf_core::prelude::*;
+
+/// E1 — Figures 3 & 4: single-processor mappings cost 105; the optimal
+/// mapping splits the two stages across the fast-link chain for 7.
+#[must_use]
+pub fn fig34() -> Vec<Table> {
+    let pipeline = rpwf_gen::figure3_pipeline();
+    let platform = rpwf_gen::figure4_platform();
+
+    let mut t = Table::new(
+        "E1 / Figures 3-4 — minimum latency needs two intervals (paper: 105 vs 7)",
+        &["mapping", "latency", "paper"],
+    );
+    for u in 0..2u32 {
+        let whole = IntervalMapping::single_interval(2, vec![ProcId(u)], 2).expect("valid");
+        t.row(vec![
+            format!("whole pipeline on P{u}"),
+            fnum(latency(&whole, &pipeline, &platform)),
+            "105".into(),
+        ]);
+    }
+    let (sp_mapping, sp_latency) = general_mapping_shortest_path(&pipeline, &platform);
+    let path: Vec<String> = sp_mapping.procs().iter().map(ToString::to_string).collect();
+    t.row(vec![
+        format!("Thm 4 shortest path [{}]", path.join(",")),
+        fnum(sp_latency),
+        "7".into(),
+    ]);
+    let oracle = Exhaustive::new(&pipeline, &platform).min_latency();
+    t.row(vec![
+        format!("exhaustive interval optimum ({})", oracle.mapping),
+        fnum(oracle.latency),
+        "7".into(),
+    ]);
+    t.note("platform: b(in,P1)=b(P1,P2)=b(P2,out')=100, the remaining I/O links = 1");
+    vec![t]
+}
+
+/// E2 — Figure 5: at L ≤ 22 the best single interval reaches FP = 0.64; the
+/// optimum uses the slow reliable processor plus tenfold replication for
+/// FP ≈ 0.1966.
+#[must_use]
+pub fn fig5() -> Vec<Table> {
+    let pipeline = rpwf_gen::figure5_pipeline();
+    let platform = rpwf_gen::figure5_platform();
+    let threshold = 22.0;
+    let paper_fp = 1.0 - 0.9 * (1.0 - 0.8f64.powi(10));
+
+    let mut t = Table::new(
+        "E2 / Figure 5 — bi-criteria optimum needs two intervals (paper: 0.64 vs <0.2)",
+        &["solution @ L<=22", "latency", "FP", "intervals", "paper"],
+    );
+    let single = best_single_interval(&pipeline, &platform, Objective::MinFpUnderLatency(threshold))
+        .expect("feasible");
+    t.row(vec![
+        format!("best single interval ({})", single.mapping),
+        fnum(single.latency),
+        fnum(single.failure_prob),
+        single.mapping.n_intervals().to_string(),
+        "0.64".into(),
+    ]);
+    let optimal = solve_comm_homog(&pipeline, &platform, Objective::MinFpUnderLatency(threshold))
+        .expect("comm-homog")
+        .expect("feasible");
+    t.row(vec![
+        format!("exact optimum ({})", optimal.mapping),
+        fnum(optimal.latency),
+        fnum(optimal.failure_prob),
+        optimal.mapping.n_intervals().to_string(),
+        format!("{paper_fp:.4}"),
+    ]);
+    t.note("platform: P0 slow/reliable (s=1, fp=0.1); P1..P10 fast/unreliable (s=100, fp=0.8); b=1");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig34_table_shows_105_and_7() {
+        let tables = fig34();
+        let s = tables[0].render();
+        assert!(s.contains("105.0000"));
+        assert!(s.contains("7.0000"));
+    }
+
+    #[test]
+    fn fig5_table_shows_064_and_01966() {
+        let tables = fig5();
+        let s = tables[0].render();
+        assert!(s.contains("0.6400"));
+        assert!(s.contains("0.1966"));
+    }
+}

@@ -1,0 +1,102 @@
+//! E7 and E8 — the NP-hardness reduction gadgets, exercised end to end.
+
+use crate::table::{fnum, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpwf_algo::reductions::{build_tsp_gadget, build_two_partition_gadget};
+use rpwf_gen::{TspInstance, TwoPartitionInstance};
+
+/// E7 — Theorem 3: TSP ⟷ one-to-one latency, both directions, on random
+/// graphs, decided exactly on both sides.
+#[must_use]
+pub fn thm3() -> Vec<Table> {
+    let mut t = Table::new(
+        "E7 / Theorem 3 — TSP -> one-to-one latency gadget (yes/no at K = opt and K = opt - 1/2)",
+        &["n", "seed", "opt path cost", "K'", "decide@opt", "decide@opt-0.5", "equiv"],
+    );
+    let mut rng = StdRng::seed_from_u64(7007);
+    for trial in 0..12u64 {
+        let n = 4 + (trial as usize) % 3;
+        let inst = TspInstance::random(n, 8, &mut rng);
+        let (_, opt) = inst.brute_force_best_path();
+        let yes = build_tsp_gadget(&inst, opt);
+        let yes_answer = yes.decide();
+        let no = build_tsp_gadget(&inst, opt - 0.5);
+        let no_answer = no.decide();
+        let sound = yes_answer.as_ref().is_some_and(|w| inst.path_cost(w) <= opt + 1e-9)
+            && no_answer.is_none();
+        t.row(vec![
+            n.to_string(),
+            trial.to_string(),
+            fnum(opt),
+            fnum(yes.latency_threshold),
+            if yes_answer.is_some() { "yes" } else { "no" }.into(),
+            if no_answer.is_some() { "yes" } else { "no" }.into(),
+            if sound { "holds" } else { "VIOLATED" }.into(),
+        ]);
+    }
+    t.note("decide@opt must be yes with a witness of cost <= K; decide@opt-0.5 must be no");
+    vec![t]
+}
+
+/// E8 — Theorem 7: 2-PARTITION ⟷ bi-criteria feasibility, over random,
+/// planted-yes and forced-no instances.
+#[must_use]
+pub fn thm7() -> Vec<Table> {
+    let mut t = Table::new(
+        "E8 / Theorem 7 — 2-PARTITION -> bi-criteria feasibility gadget",
+        &["kind", "m", "S", "L = S/2+2", "partition?", "gadget feasible?", "equiv"],
+    );
+    let mut rng = StdRng::seed_from_u64(7008);
+    let mut push = |kind: &str, inst: &TwoPartitionInstance| {
+        let gadget = build_two_partition_gadget(inst);
+        let partition = inst.solve().is_some();
+        let feasible = gadget.decide_by_enumeration().is_some();
+        t.row(vec![
+            kind.into(),
+            inst.values.len().to_string(),
+            inst.total().to_string(),
+            fnum(gadget.latency_threshold),
+            if partition { "yes" } else { "no" }.into(),
+            if feasible { "yes" } else { "no" }.into(),
+            if partition == feasible { "holds" } else { "VIOLATED" }.into(),
+        ]);
+    };
+    for _ in 0..8 {
+        push("random", &TwoPartitionInstance::random(9, 11, &mut rng));
+    }
+    for _ in 0..4 {
+        push("planted-yes", &TwoPartitionInstance::with_planted_solution(4, 15, &mut rng));
+    }
+    for _ in 0..4 {
+        push("odd-total-no", &TwoPartitionInstance::odd_total(8, 12, &mut rng));
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thm3_equivalence_holds_everywhere() {
+        let t = &thm3()[0];
+        assert!(t.rows.iter().all(|r| r[6] == "holds"), "{}", t.render());
+        // And the answers are non-trivial: at opt the answer is yes.
+        assert!(t.rows.iter().all(|r| r[4] == "yes" && r[5] == "no"));
+    }
+
+    #[test]
+    fn thm7_equivalence_holds_everywhere() {
+        let t = &thm7()[0];
+        assert!(t.rows.iter().all(|r| r[6] == "holds"), "{}", t.render());
+        // Planted instances answer yes; odd totals answer no.
+        for r in &t.rows {
+            match r[0].as_str() {
+                "planted-yes" => assert_eq!(r[4], "yes"),
+                "odd-total-no" => assert_eq!(r[4], "no"),
+                _ => {}
+            }
+        }
+    }
+}

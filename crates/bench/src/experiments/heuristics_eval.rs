@@ -1,0 +1,190 @@
+//! E10 — heuristic quality against exact Pareto fronts on the open
+//! (CH + Failure-Heterogeneous) and NP-hard (Fully Heterogeneous) classes.
+
+use crate::table::{fnum, Table};
+use rpwf_algo::exact::{pareto_front_comm_homog, Exhaustive};
+use rpwf_algo::heuristics::Portfolio;
+use rpwf_algo::Objective;
+use rpwf_core::prelude::*;
+use rpwf_gen::SuiteSpec;
+use std::time::Instant;
+
+/// Quality of each portfolio member at the exact front's median latency
+/// threshold: `FP(heuristic) / FP(exact)` — 1.0 means optimal.
+#[must_use]
+pub fn heuristics() -> Vec<Table> {
+    let mut tables = Vec::new();
+
+    // Open problem class: CH + Failure-Heterogeneous, exact via bitmask DP.
+    let mut t = Table::new(
+        "E10a — heuristics vs exact bitmask DP (Comm Homogeneous + Failure Heterogeneous)",
+        &["instance", "heuristic", "FP ratio (1 = optimal)", "latency ok", "runtime"],
+    );
+    let suite = SuiteSpec {
+        sizes: vec![(3, 6), (4, 7), (5, 8)],
+        seeds: vec![101, 102],
+        ..SuiteSpec::small(PlatformClass::CommHomogeneous, FailureClass::Heterogeneous)
+    };
+    for inst in suite.instances() {
+        let front = pareto_front_comm_homog(&inst.pipeline, &inst.platform).expect("comm-homog");
+        let mid = front.points()[front.len() / 2].latency;
+        let exact = front.min_fp_under_latency(mid).expect("exists").failure_prob;
+        let objective = Objective::MinFpUnderLatency(mid);
+        for (name, sol) in Portfolio::new(19).run_all(&inst.pipeline, &inst.platform, objective) {
+            let start = Instant::now();
+            let _ = &sol;
+            let elapsed = start.elapsed();
+            match sol {
+                Some(s) => t.row(vec![
+                    inst.label.clone(),
+                    name.into(),
+                    fnum(if exact > 0.0 { s.failure_prob / exact } else { 1.0 }),
+                    if s.latency <= mid + 1e-6 { "yes" } else { "NO" }.into(),
+                    format!("{:.1?}", elapsed),
+                ]),
+                None => t.row(vec![
+                    inst.label.clone(),
+                    name.into(),
+                    "none found".into(),
+                    "-".into(),
+                    format!("{:.1?}", elapsed),
+                ]),
+            }
+        }
+    }
+    t.note("FP ratio uses the front's median-latency threshold; exact optimum from the bitmask DP");
+    tables.push(t);
+
+    // NP-hard class: Fully Heterogeneous, exact via the brute-force oracle.
+    let mut t = Table::new(
+        "E10b — heuristics vs exhaustive oracle (Fully Heterogeneous)",
+        &["instance", "heuristic", "FP ratio (1 = optimal)", "latency ok"],
+    );
+    let suite = SuiteSpec {
+        sizes: vec![(3, 4), (4, 5)],
+        seeds: vec![201, 202],
+        ..SuiteSpec::small(PlatformClass::FullyHeterogeneous, FailureClass::Heterogeneous)
+    };
+    for inst in suite.instances() {
+        let front = Exhaustive::new(&inst.pipeline, &inst.platform).pareto_front();
+        let mid = front.points()[front.len() / 2].latency;
+        let exact = front.min_fp_under_latency(mid).expect("exists").failure_prob;
+        let objective = Objective::MinFpUnderLatency(mid);
+        for (name, sol) in Portfolio::new(23).run_all(&inst.pipeline, &inst.platform, objective) {
+            match sol {
+                Some(s) => t.row(vec![
+                    inst.label.clone(),
+                    name.into(),
+                    fnum(if exact > 0.0 { s.failure_prob / exact } else { 1.0 }),
+                    if s.latency <= mid + 1e-6 { "yes" } else { "NO" }.into(),
+                ]),
+                None => t.row(vec![
+                    inst.label.clone(),
+                    name.into(),
+                    "none found".into(),
+                    "-".into(),
+                ]),
+            }
+        }
+    }
+    tables.push(t);
+
+    // One-to-one heuristic (greedy + 2-opt) vs the exact Held–Karp DP on
+    // Theorem 3's NP-hard latency problem.
+    let mut t = Table::new(
+        "E10c — one-to-one latency: greedy+2-opt vs exact Held-Karp (Fully Heterogeneous)",
+        &["instance", "greedy+2opt", "Held-Karp", "ratio"],
+    );
+    let suite = SuiteSpec {
+        sizes: vec![(3, 5), (4, 6), (5, 8), (6, 10)],
+        seeds: vec![301, 302],
+        ..SuiteSpec::small(PlatformClass::FullyHeterogeneous, FailureClass::Heterogeneous)
+    };
+    for inst in suite.instances() {
+        let (_, heur) =
+            rpwf_algo::heuristics::one_to_one::solve_one_to_one(&inst.pipeline, &inst.platform)
+                .expect("n <= m");
+        let (_, exact) =
+            rpwf_algo::exact::min_latency_one_to_one(&inst.pipeline, &inst.platform)
+                .expect("n <= m");
+        t.row(vec![
+            inst.label.clone(),
+            fnum(heur),
+            fnum(exact),
+            fnum(heur / exact),
+        ]);
+    }
+    tables.push(t);
+
+    // Branch-and-bound pruning effectiveness: node counts with and without
+    // the heuristic incumbent seed, agreement with the exact answer.
+    let mut t = Table::new(
+        "E10d — branch-and-bound on Fully Heterogeneous: pruning via heuristic seeding",
+        &["instance", "nodes (seeded)", "nodes (raw)", "saving", "agrees with oracle"],
+    );
+    let suite = SuiteSpec {
+        sizes: vec![(3, 4), (4, 5)],
+        seeds: vec![401, 402],
+        ..SuiteSpec::small(PlatformClass::FullyHeterogeneous, FailureClass::Heterogeneous)
+    };
+    for inst in suite.instances() {
+        let hi = rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform).latency;
+        let objective = Objective::MinFpUnderLatency(hi * 0.7);
+        let bnb = rpwf_algo::exact::BranchBound::new(&inst.pipeline, &inst.platform);
+        let (seeded_sol, seeded_nodes) = bnb.solve_counting(objective);
+        let raw = rpwf_algo::exact::BranchBound::new(&inst.pipeline, &inst.platform)
+            .without_heuristic_seed();
+        let (_, raw_nodes) = raw.solve_counting(objective);
+        let oracle = Exhaustive::new(&inst.pipeline, &inst.platform).solve(objective);
+        let agrees = match (&seeded_sol, &oracle) {
+            (Some(a), Some(o)) => (a.failure_prob - o.failure_prob).abs() < 1e-9,
+            (None, None) => true,
+            _ => false,
+        };
+        t.row(vec![
+            inst.label.clone(),
+            seeded_nodes.to_string(),
+            raw_nodes.to_string(),
+            format!("{:.1}%", 100.0 * (1.0 - seeded_nodes as f64 / raw_nodes.max(1) as f64)),
+            if agrees { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    tables.push(t);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristics_never_violate_thresholds_or_beat_exact() {
+        for table in heuristics() {
+            let lat_col = table.headers.iter().position(|h| h.starts_with("latency"));
+            let ratio_col = table.headers.iter().position(|h| h.contains("ratio"));
+            for row in &table.rows {
+                if let Some(col) = lat_col {
+                    assert_ne!(row[col], "NO", "{}", table.render());
+                }
+                // Optimality ratios must be ≥ 1 − ε when parseable.
+                if let Some(col) = ratio_col {
+                    if let Ok(ratio) = row[col].parse::<f64>() {
+                        assert!(ratio >= 1.0 - 1e-6, "{}", table.render());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branch_bound_table_agrees_and_saves_nodes() {
+        let tables = heuristics();
+        let bnb = tables.iter().find(|t| t.title.starts_with("E10d")).expect("present");
+        for row in &bnb.rows {
+            assert_eq!(row[4], "yes", "{}", bnb.render());
+            let seeded: u64 = row[1].parse().unwrap();
+            let raw: u64 = row[2].parse().unwrap();
+            assert!(seeded <= raw, "{}", bnb.render());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Experiment runners — one function per DESIGN.md experiment id.
+//!
+//! | id | function | binary |
+//! |----|----------|--------|
+//! | E1 | [`figures::fig34`] | `exp_fig34` |
+//! | E2 | [`figures::fig5`] | `exp_fig5` |
+//! | E3 | [`theorems::thm1`] | `exp_thm1` |
+//! | E4 | [`theorems::alg12`] | `exp_alg12` |
+//! | E5 | [`theorems::alg34`] | `exp_alg34` |
+//! | E6 | [`theorems::thm4`] | `exp_thm4` |
+//! | E7 | [`hardness::thm3`] | `exp_thm3` |
+//! | E8 | [`hardness::thm7`] | `exp_thm7` |
+//! | E9 | [`theorems::lemma1`] | `exp_lemma1` |
+//! | E10 | [`heuristics_eval::heuristics`] | `exp_heuristics` |
+//! | E11 | [`simulation::sim_validation`] | `exp_sim_validation` |
+//! | E13 | [`tricriteria::tricriteria`] | `exp_tricriteria` |
+//!
+//! (E12 is the criterion suite under `benches/`.)
+
+pub mod figures;
+pub mod hardness;
+pub mod heuristics_eval;
+pub mod simulation;
+pub mod theorems;
+pub mod tricriteria;
+
+use crate::table::Table;
+
+/// Runs every experiment, returning `(id, tables)` pairs — used by the
+/// `exp_all` binary and by EXPERIMENTS.md regeneration.
+#[must_use]
+pub fn run_all() -> Vec<(&'static str, Vec<Table>)> {
+    vec![
+        ("E1", figures::fig34()),
+        ("E2", figures::fig5()),
+        ("E3", theorems::thm1()),
+        ("E4", theorems::alg12()),
+        ("E5", theorems::alg34()),
+        ("E6", theorems::thm4()),
+        ("E7", hardness::thm3()),
+        ("E8", hardness::thm7()),
+        ("E9", theorems::lemma1()),
+        ("E10", heuristics_eval::heuristics()),
+        ("E11", simulation::sim_validation()),
+        ("E13", tricriteria::tricriteria()),
+    ]
+}

@@ -1,0 +1,272 @@
+//! E3–E6 and E9 — theorem/algorithm verification tables over random
+//! instance suites.
+
+use crate::table::{fnum, Table};
+use rpwf_algo::bicriteria;
+use rpwf_algo::exact::{min_latency_general_brute, min_latency_interval, Exhaustive};
+use rpwf_algo::mono;
+use rpwf_algo::Objective;
+use rpwf_core::num::approx_eq;
+use rpwf_core::prelude::*;
+use rpwf_gen::SuiteSpec;
+
+fn match_str(a: f64, b: f64) -> &'static str {
+    if approx_eq(a, b, 1e-9) {
+        "yes"
+    } else {
+        "NO"
+    }
+}
+
+/// E3 — Theorem 1 (min FP is replicate-all) against the exhaustive oracle
+/// on every platform-class combination.
+#[must_use]
+pub fn thm1() -> Vec<Table> {
+    let mut t = Table::new(
+        "E3 / Theorem 1 — minimize FP by replicating the whole pipeline on all processors",
+        &["instance", "Thm1 FP", "oracle FP", "match"],
+    );
+    for class in [
+        PlatformClass::FullyHomogeneous,
+        PlatformClass::CommHomogeneous,
+        PlatformClass::FullyHeterogeneous,
+    ] {
+        for failure in [FailureClass::Homogeneous, FailureClass::Heterogeneous] {
+            let suite = SuiteSpec {
+                sizes: vec![(3, 4), (4, 4)],
+                seeds: vec![5, 31],
+                ..SuiteSpec::small(class, failure)
+            };
+            for inst in suite.instances() {
+                let alg = mono::minimize_failure(&inst.pipeline, &inst.platform);
+                let oracle = Exhaustive::new(&inst.pipeline, &inst.platform).min_failure();
+                t.row(vec![
+                    inst.label.clone(),
+                    fnum(alg.failure_prob),
+                    fnum(oracle.failure_prob),
+                    match_str(alg.failure_prob, oracle.failure_prob).into(),
+                ]);
+            }
+        }
+    }
+    vec![t]
+}
+
+/// Shared sweep for E4/E5: runs a polynomial algorithm pair against the
+/// oracle across latency and FP thresholds.
+fn bicriteria_sweep(
+    title: &str,
+    suite: SuiteSpec,
+    min_fp: impl Fn(&Pipeline, &Platform, f64) -> Option<rpwf_algo::BiSolution>,
+    min_lat: impl Fn(&Pipeline, &Platform, f64) -> Option<rpwf_algo::BiSolution>,
+) -> Table {
+    let mut t = Table::new(
+        title,
+        &["instance", "objective", "threshold", "algorithm", "oracle", "match"],
+    );
+    for inst in suite.instances().into_iter().take(8) {
+        let ex = Exhaustive::new(&inst.pipeline, &inst.platform);
+        let lo = ex.min_latency().latency;
+        let hi = mono::minimize_failure(&inst.pipeline, &inst.platform).latency;
+        for i in 0..4 {
+            let l = lo + (hi - lo) * i as f64 / 3.0;
+            let alg = min_fp(&inst.pipeline, &inst.platform, l);
+            let oracle = ex.solve(Objective::MinFpUnderLatency(l));
+            let (a, o, m) = match (alg, oracle) {
+                (Some(a), Some(o)) => {
+                    let m = match_str(a.failure_prob, o.failure_prob);
+                    (fnum(a.failure_prob), fnum(o.failure_prob), m)
+                }
+                (None, None) => ("infeasible".into(), "infeasible".into(), "yes"),
+                (a, o) => (
+                    a.map_or("infeasible".into(), |s| fnum(s.failure_prob)),
+                    o.map_or("infeasible".into(), |s| fnum(s.failure_prob)),
+                    "NO",
+                ),
+            };
+            t.row(vec![
+                inst.label.clone(),
+                "min FP s.t. L".into(),
+                fnum(l),
+                a,
+                o,
+                m.into(),
+            ]);
+        }
+        let fp_floor = mono::minimize_failure(&inst.pipeline, &inst.platform).failure_prob;
+        for f in [fp_floor, (fp_floor + 1.0) / 2.0, 0.95] {
+            let alg = min_lat(&inst.pipeline, &inst.platform, f);
+            let oracle = ex.solve(Objective::MinLatencyUnderFp(f));
+            let (a, o, m) = match (alg, oracle) {
+                (Some(a), Some(o)) => {
+                    let m = match_str(a.latency, o.latency);
+                    (fnum(a.latency), fnum(o.latency), m)
+                }
+                (None, None) => ("infeasible".into(), "infeasible".into(), "yes"),
+                (a, o) => (
+                    a.map_or("infeasible".into(), |s| fnum(s.latency)),
+                    o.map_or("infeasible".into(), |s| fnum(s.latency)),
+                    "NO",
+                ),
+            };
+            t.row(vec![
+                inst.label.clone(),
+                "min L s.t. FP".into(),
+                fnum(f),
+                a,
+                o,
+                m.into(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E4 — Algorithms 1 & 2 on Fully Homogeneous platforms vs the oracle.
+#[must_use]
+pub fn alg12() -> Vec<Table> {
+    let suite = SuiteSpec::small(PlatformClass::FullyHomogeneous, FailureClass::Homogeneous);
+    vec![bicriteria_sweep(
+        "E4 / Theorem 5 — Algorithms 1 & 2 (Fully Homogeneous) vs exhaustive oracle",
+        suite,
+        |pi, pl, l| bicriteria::fully_homog::min_fp_under_latency(pi, pl, l).ok(),
+        |pi, pl, f| bicriteria::fully_homog::min_latency_under_fp(pi, pl, f).ok(),
+    )]
+}
+
+/// E5 — Algorithms 3 & 4 on Comm Homogeneous + Failure Homogeneous vs the
+/// oracle.
+#[must_use]
+pub fn alg34() -> Vec<Table> {
+    let suite = SuiteSpec::small(PlatformClass::CommHomogeneous, FailureClass::Homogeneous);
+    vec![bicriteria_sweep(
+        "E5 / Theorem 6 — Algorithms 3 & 4 (Comm Homogeneous + Failure Homogeneous) vs oracle",
+        suite,
+        |pi, pl, l| bicriteria::comm_homog::min_fp_under_latency(pi, pl, l).ok(),
+        |pi, pl, f| bicriteria::comm_homog::min_latency_under_fp(pi, pl, f).ok(),
+    )]
+}
+
+/// E6 — Theorem 4: the layered-graph shortest path equals brute force, and
+/// the relaxation chain `general ≤ interval` holds.
+#[must_use]
+pub fn thm4() -> Vec<Table> {
+    let mut t = Table::new(
+        "E6 / Theorem 4 — general-mapping shortest path vs brute force (Fully Heterogeneous)",
+        &["instance", "shortest path", "brute force", "match", "interval opt", "general<=interval"],
+    );
+    let suite = SuiteSpec {
+        sizes: vec![(2, 3), (3, 4), (4, 4), (4, 5), (5, 5)],
+        seeds: vec![1, 2, 3],
+        ..SuiteSpec::small(PlatformClass::FullyHeterogeneous, FailureClass::Heterogeneous)
+    };
+    for inst in suite.instances() {
+        let (_, sp) = mono::general_mapping_shortest_path(&inst.pipeline, &inst.platform);
+        let (_, brute) = min_latency_general_brute(&inst.pipeline, &inst.platform);
+        let (_, interval) = min_latency_interval(&inst.pipeline, &inst.platform);
+        t.row(vec![
+            inst.label.clone(),
+            fnum(sp),
+            fnum(brute),
+            match_str(sp, brute).into(),
+            fnum(interval),
+            if sp <= interval + 1e-9 { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t.note("'interval opt' is the exact no-replication interval optimum (open problem, §4.1)");
+    vec![t]
+}
+
+/// E9 — Lemma 1: on the two stated class combinations, single-interval
+/// mappings cover the whole Pareto front; on CH + Failure-Het (Figure 5)
+/// they provably do not.
+#[must_use]
+pub fn lemma1() -> Vec<Table> {
+    let mut t = Table::new(
+        "E9 / Lemma 1 — single-interval coverage of the exact Pareto front",
+        &["instance", "front size", "covered by single interval", "lemma holds"],
+    );
+    let mut check = |label: String, pipeline: &Pipeline, platform: &Platform, expect: bool| {
+        let front = Exhaustive::new(pipeline, platform).pareto_front();
+        let covered = front
+            .iter()
+            .filter(|pt| {
+                front.iter().any(|q| {
+                    q.payload.n_intervals() == 1
+                        && q.latency <= pt.latency + 1e-9
+                        && q.failure_prob <= pt.failure_prob + 1e-9
+                })
+            })
+            .count();
+        let holds = covered == front.len();
+        t.row(vec![
+            label,
+            front.len().to_string(),
+            format!("{covered}/{}", front.len()),
+            if holds == expect { format!("{holds} (as predicted)") } else { format!("{holds} UNEXPECTED") },
+        ]);
+    };
+
+    for failure in [FailureClass::Homogeneous, FailureClass::Heterogeneous] {
+        let suite = SuiteSpec {
+            sizes: vec![(3, 4)],
+            seeds: vec![3, 14],
+            ..SuiteSpec::small(PlatformClass::FullyHomogeneous, failure)
+        };
+        for inst in suite.instances() {
+            check(inst.label.clone(), &inst.pipeline, &inst.platform, true);
+        }
+    }
+    let suite = SuiteSpec {
+        sizes: vec![(3, 4)],
+        seeds: vec![8, 21],
+        ..SuiteSpec::small(PlatformClass::CommHomogeneous, FailureClass::Homogeneous)
+    };
+    for inst in suite.instances() {
+        check(inst.label.clone(), &inst.pipeline, &inst.platform, true);
+    }
+    // The counterexample class: reduced Figure 5.
+    let pipeline = rpwf_gen::figure5_pipeline();
+    let mut speeds = vec![100.0; 5];
+    speeds[0] = 1.0;
+    let mut fps = vec![0.8; 5];
+    fps[0] = 0.1;
+    let platform = Platform::comm_homogeneous(speeds, 1.0, fps).expect("valid");
+    check("figure5-reduced (CH+FailureHet)".into(), &pipeline, &platform, false);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thm1_all_match() {
+        let t = &thm1()[0];
+        assert!(t.rows.iter().all(|r| r[3] == "yes"), "{}", t.render());
+    }
+
+    #[test]
+    fn alg12_all_match() {
+        let t = &alg12()[0];
+        assert!(t.rows.iter().all(|r| r[5] == "yes"), "{}", t.render());
+    }
+
+    #[test]
+    fn alg34_all_match() {
+        let t = &alg34()[0];
+        assert!(t.rows.iter().all(|r| r[5] == "yes"), "{}", t.render());
+    }
+
+    #[test]
+    fn thm4_all_match() {
+        let t = &thm4()[0];
+        assert!(t.rows.iter().all(|r| r[3] == "yes" && r[5] == "yes"), "{}", t.render());
+    }
+
+    #[test]
+    fn lemma1_predictions_hold() {
+        let t = &lemma1()[0];
+        assert!(t.rows.iter().all(|r| r[3].contains("as predicted")), "{}", t.render());
+    }
+}

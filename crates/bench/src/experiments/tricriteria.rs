@@ -1,0 +1,54 @@
+//! E13 — the paper's §5 future-work direction: latency × reliability ×
+//! throughput on the JPEG encoder pipeline.
+
+use crate::table::{fnum, Table};
+use rpwf_algo::exact::pareto_front_comm_homog;
+use rpwf_core::prelude::*;
+
+/// The exact latency×FP front of the JPEG workload annotated with the
+/// steady-state period: the third criterion exposes which reliability
+/// points are also throughput-friendly.
+#[must_use]
+pub fn tricriteria() -> Vec<Table> {
+    let pipeline = rpwf_gen::jpeg_encoder();
+    let speeds = vec![2.0, 2.0, 2.0, 8.0, 8.0, 8.0, 8.0, 4.0];
+    let fps = vec![0.05, 0.05, 0.05, 0.45, 0.45, 0.45, 0.45, 0.15];
+    let platform = Platform::comm_homogeneous(speeds, 64.0, fps).expect("valid");
+
+    let mut t = Table::new(
+        "E13 — tri-criteria view of the JPEG encoder on a two-tier cluster",
+        &["latency", "FP", "period", "throughput", "intervals", "replicas", "mapping"],
+    );
+    let front = pareto_front_comm_homog(&pipeline, &platform).expect("comm-homog");
+    for pt in front.iter() {
+        let per = period(&pt.payload, &pipeline, &platform).expect("comm-homog");
+        t.row(vec![
+            fnum(pt.latency),
+            fnum(pt.failure_prob),
+            fnum(per),
+            fnum(1.0 / per),
+            pt.payload.n_intervals().to_string(),
+            pt.payload.total_replicas().to_string(),
+            pt.payload.to_string(),
+        ]);
+    }
+    t.note("period per §5 / companion work: conservative one-port cycle; replication trades all three criteria");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn front_is_nontrivial_and_periods_positive() {
+        let t = &tricriteria()[0];
+        assert!(t.rows.len() >= 3, "front should have several trade-off points");
+        for row in &t.rows {
+            let period: f64 = row[2].parse().unwrap();
+            let latency: f64 = row[0].parse().unwrap();
+            assert!(period > 0.0);
+            assert!(period <= latency + 1e-9, "period must lower-bound latency");
+        }
+    }
+}

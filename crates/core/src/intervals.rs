@@ -1,0 +1,254 @@
+//! Enumeration of interval partitions of the stage range.
+//!
+//! A partition of `n` stages into consecutive intervals is a choice of
+//! boundaries among the `n − 1` positions between stages, so there are
+//! `2^(n−1)` partitions overall and `C(n−1, p−1)` with exactly `p` parts.
+//! The exhaustive solvers iterate these; the iterators here are allocation
+//! light (one `Vec<Interval>` per item) and deterministic (lexicographic in
+//! the boundary mask).
+
+use crate::mapping::Interval;
+
+/// Number of interval partitions of `n` stages (`2^(n−1)`), saturating.
+#[must_use]
+pub fn count_partitions(n: usize) -> u128 {
+    if n == 0 {
+        return 0;
+    }
+    1u128 << (n - 1).min(127)
+}
+
+/// Iterator over **all** partitions of `n` stages into consecutive
+/// intervals. Yields `Vec<Interval>` in increasing order of the boundary
+/// bitmask (the single-interval partition comes first).
+///
+/// Supports `n ≤ 64`; exhaustive use is practical for `n ≲ 20`.
+#[derive(Clone, Debug)]
+pub struct IntervalPartitions {
+    n: usize,
+    next_mask: u64,
+    exhausted: bool,
+}
+
+impl IntervalPartitions {
+    /// Starts the enumeration for a pipeline of `n` stages.
+    ///
+    /// # Panics
+    /// When `n = 0` or `n > 64`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "no partitions of an empty pipeline");
+        assert!(n <= 64, "partition enumeration supports at most 64 stages");
+        IntervalPartitions { n, next_mask: 0, exhausted: false }
+    }
+}
+
+/// Expands a boundary mask (bit `i` set = boundary after stage `i`) into the
+/// interval list.
+fn mask_to_intervals(n: usize, mask: u64) -> Vec<Interval> {
+    let mut out = Vec::with_capacity(mask.count_ones() as usize + 1);
+    let mut start = 0usize;
+    for i in 0..n.saturating_sub(1) {
+        if mask & (1u64 << i) != 0 {
+            out.push(Interval::new(start, i).expect("start <= i by construction"));
+            start = i + 1;
+        }
+    }
+    out.push(Interval::new(start, n - 1).expect("start <= n-1 by construction"));
+    out
+}
+
+impl Iterator for IntervalPartitions {
+    type Item = Vec<Interval>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.exhausted {
+            return None;
+        }
+        let item = mask_to_intervals(self.n, self.next_mask);
+        let limit = if self.n == 1 { 0 } else { (1u64 << (self.n - 1)) - 1 };
+        if self.next_mask >= limit {
+            self.exhausted = true;
+        } else {
+            self.next_mask += 1;
+        }
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.exhausted {
+            return (0, Some(0));
+        }
+        let total = 1u64 << (self.n - 1).min(63);
+        let remaining = (total - self.next_mask) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+/// Iterator over partitions of `n` stages into **exactly `p`** intervals
+/// (combinations of `p − 1` boundaries among `n − 1` positions, in
+/// lexicographic order).
+#[derive(Clone, Debug)]
+pub struct PartitionsWithParts {
+    n: usize,
+    /// Current boundary positions (0-based "after stage i"), strictly
+    /// increasing; `None` once exhausted.
+    boundaries: Option<Vec<usize>>,
+}
+
+impl PartitionsWithParts {
+    /// Starts the enumeration; yields nothing when `p > n` or `p = 0`.
+    #[must_use]
+    pub fn new(n: usize, p: usize) -> Self {
+        if p == 0 || p > n {
+            return PartitionsWithParts { n, boundaries: None };
+        }
+        // First combination: boundaries after stages 0, 1, …, p−2.
+        let boundaries = (0..p - 1).collect();
+        PartitionsWithParts { n, boundaries: Some(boundaries) }
+    }
+}
+
+impl Iterator for PartitionsWithParts {
+    type Item = Vec<Interval>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let bounds = self.boundaries.as_mut()?;
+        // Materialize the current combination.
+        let mut intervals = Vec::with_capacity(bounds.len() + 1);
+        let mut start = 0usize;
+        for &b in bounds.iter() {
+            intervals.push(Interval::new(start, b).expect("ordered boundaries"));
+            start = b + 1;
+        }
+        intervals.push(Interval::new(start, self.n - 1).expect("ordered boundaries"));
+
+        // Advance to the next combination of (p−1) positions out of (n−1).
+        let k = bounds.len();
+        let max_pos = self.n - 1; // positions are 0 .. n−2
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.boundaries = None;
+                break;
+            }
+            i -= 1;
+            if bounds[i] < max_pos - 1 - (k - 1 - i) {
+                bounds[i] += 1;
+                for j in i + 1..k {
+                    bounds[j] = bounds[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(intervals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flatten(ivs: &[Interval]) -> Vec<(usize, usize)> {
+        ivs.iter().map(|iv| (iv.start(), iv.end())).collect()
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        for n in 1..=10usize {
+            let got = IntervalPartitions::new(n).count();
+            assert_eq!(got as u128, count_partitions(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn n1_single_partition() {
+        let all: Vec<_> = IntervalPartitions::new(1).collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(flatten(&all[0]), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn n3_partitions_are_exactly_the_four() {
+        let all: Vec<Vec<(usize, usize)>> =
+            IntervalPartitions::new(3).map(|ivs| flatten(&ivs)).collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![(0, 2)],
+                vec![(0, 0), (1, 2)],
+                vec![(0, 1), (2, 2)],
+                vec![(0, 0), (1, 1), (2, 2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn partitions_cover_contiguously() {
+        for n in 1..=8usize {
+            for part in IntervalPartitions::new(n) {
+                let mut expected = 0usize;
+                for iv in &part {
+                    assert_eq!(iv.start(), expected);
+                    expected = iv.end() + 1;
+                }
+                assert_eq!(expected, n);
+            }
+        }
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut it = IntervalPartitions::new(5);
+        assert_eq!(it.size_hint(), (16, Some(16)));
+        it.next();
+        assert_eq!(it.size_hint(), (15, Some(15)));
+    }
+
+    #[test]
+    fn with_parts_counts_binomially() {
+        fn binom(n: usize, k: usize) -> usize {
+            if k > n {
+                return 0;
+            }
+            let mut r = 1usize;
+            for i in 0..k {
+                r = r * (n - i) / (i + 1);
+            }
+            r
+        }
+        for n in 1..=8usize {
+            for p in 1..=n {
+                let got = PartitionsWithParts::new(n, p).count();
+                assert_eq!(got, binom(n - 1, p - 1), "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn with_parts_degenerate() {
+        assert_eq!(PartitionsWithParts::new(3, 0).count(), 0);
+        assert_eq!(PartitionsWithParts::new(3, 4).count(), 0);
+        let all: Vec<_> = PartitionsWithParts::new(3, 3).collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(flatten(&all[0]), vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn with_parts_equals_filtered_full_enumeration() {
+        for n in 1..=7usize {
+            for p in 1..=n {
+                let filtered: Vec<Vec<(usize, usize)>> = IntervalPartitions::new(n)
+                    .filter(|ivs| ivs.len() == p)
+                    .map(|ivs| flatten(&ivs))
+                    .collect();
+                let mut direct: Vec<Vec<(usize, usize)>> =
+                    PartitionsWithParts::new(n, p).map(|ivs| flatten(&ivs)).collect();
+                let mut filtered_sorted = filtered.clone();
+                filtered_sorted.sort();
+                direct.sort();
+                assert_eq!(filtered_sorted, direct, "n={n} p={p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,590 @@
+//! Mappings of pipeline stages onto processors.
+//!
+//! The paper's central object is the **interval mapping with replication**
+//! ([`IntervalMapping`]): the stage range `[1..n]` is partitioned into
+//! `p ≤ m` intervals of consecutive stages, and each interval `I_j` is
+//! *replicated* onto a non-empty set `alloc(j)` of processors; the sets are
+//! pairwise disjoint. Every replica executes every data set, so the interval
+//! survives as long as one replica does.
+//!
+//! Two restricted/relaxed variants appear in the complexity proofs:
+//! * [`OneToOneMapping`] — every stage on its own distinct processor
+//!   (Theorem 3's NP-hard latency problem),
+//! * [`GeneralMapping`] — stage-to-processor function with reuse and
+//!   non-consecutive assignment allowed (Theorem 4's polynomial relaxation).
+
+use crate::error::{CoreError, Result};
+use crate::platform::ProcId;
+use serde::{Deserialize, Serialize};
+
+/// A non-empty range of consecutive stages, **0-based and inclusive** on
+/// both ends. Paper notation `[d_j, e_j]` (1-based) corresponds to
+/// `Interval::new(d_j − 1, e_j − 1)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    start: usize,
+    end: usize,
+}
+
+impl Interval {
+    /// Builds `[start, end]`, requiring `start ≤ end`.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidInterval`] when `start > end`.
+    pub fn new(start: usize, end: usize) -> Result<Self> {
+        if start > end {
+            return Err(CoreError::InvalidInterval { start, end, n_stages: 0 });
+        }
+        Ok(Interval { start, end })
+    }
+
+    /// A single-stage interval.
+    #[inline]
+    #[must_use]
+    pub fn singleton(stage: usize) -> Self {
+        Interval { start: stage, end: stage }
+    }
+
+    /// First stage (inclusive).
+    #[inline]
+    #[must_use]
+    pub fn start(self) -> usize {
+        self.start
+    }
+
+    /// Last stage (inclusive).
+    #[inline]
+    #[must_use]
+    pub fn end(self) -> usize {
+        self.end
+    }
+
+    /// Number of stages.
+    #[inline]
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Intervals are never empty; provided for clippy symmetry.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Iterator over the contained stage indices.
+    pub fn stages(self) -> impl Iterator<Item = usize> + Clone {
+        self.start..=self.end
+    }
+
+    /// Whether `stage` lies inside.
+    #[inline]
+    #[must_use]
+    pub fn contains(self, stage: usize) -> bool {
+        (self.start..=self.end).contains(&stage)
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Display in the paper's 1-based stage notation.
+        write!(f, "S{}..S{}", self.start + 1, self.end + 1)
+    }
+}
+
+/// An interval mapping with replication: the partition and, per interval,
+/// the (sorted, disjoint) replica set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IntervalMapping {
+    intervals: Vec<Interval>,
+    alloc: Vec<Vec<ProcId>>,
+}
+
+impl IntervalMapping {
+    /// Validates and builds a mapping for a pipeline of `n_stages` stages on
+    /// a platform of `n_procs` processors.
+    ///
+    /// Replica lists are sorted and deduplicated; validation enforces the
+    /// paper's constraints: contiguous cover of `[0, n)`, non-empty
+    /// allocations, pairwise-disjoint allocations, ids in range.
+    ///
+    /// # Errors
+    /// See [`CoreError`] variants for each violated constraint.
+    pub fn new(
+        intervals: Vec<Interval>,
+        alloc: Vec<Vec<ProcId>>,
+        n_stages: usize,
+        n_procs: usize,
+    ) -> Result<Self> {
+        if intervals.is_empty() {
+            return Err(CoreError::EmptyPipeline);
+        }
+        if intervals.len() != alloc.len() {
+            return Err(CoreError::DimensionMismatch {
+                what: "interval allocations",
+                expected: intervals.len(),
+                actual: alloc.len(),
+            });
+        }
+        let mut expected_start = 0usize;
+        for (j, iv) in intervals.iter().enumerate() {
+            if iv.start != expected_start {
+                return Err(CoreError::NonContiguousIntervals { at: j });
+            }
+            if iv.end >= n_stages {
+                return Err(CoreError::InvalidInterval {
+                    start: iv.start,
+                    end: iv.end,
+                    n_stages,
+                });
+            }
+            expected_start = iv.end + 1;
+        }
+        if expected_start != n_stages {
+            return Err(CoreError::NonContiguousIntervals { at: intervals.len() - 1 });
+        }
+        let mut seen = vec![false; n_procs];
+        let mut alloc_sorted = Vec::with_capacity(alloc.len());
+        for (j, procs) in alloc.into_iter().enumerate() {
+            if procs.is_empty() {
+                return Err(CoreError::EmptyAllocation { interval: j });
+            }
+            let mut procs = procs;
+            procs.sort_unstable();
+            procs.dedup();
+            for &p in &procs {
+                if p.index() >= n_procs {
+                    return Err(CoreError::ProcOutOfRange { proc: p.index(), n_procs });
+                }
+                if seen[p.index()] {
+                    return Err(CoreError::OverlappingAllocation { proc: p.index() });
+                }
+                seen[p.index()] = true;
+            }
+            alloc_sorted.push(procs);
+        }
+        Ok(IntervalMapping { intervals, alloc: alloc_sorted })
+    }
+
+    /// The whole pipeline as one interval replicated on `procs`.
+    ///
+    /// # Errors
+    /// Propagates [`IntervalMapping::new`] validation.
+    pub fn single_interval(
+        n_stages: usize,
+        procs: Vec<ProcId>,
+        n_procs: usize,
+    ) -> Result<Self> {
+        let iv = Interval::new(0, n_stages.saturating_sub(1))?;
+        IntervalMapping::new(vec![iv], vec![procs], n_stages, n_procs)
+    }
+
+    /// Number of intervals `p`.
+    #[inline]
+    #[must_use]
+    pub fn n_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// The `j`-th interval.
+    #[inline]
+    #[must_use]
+    pub fn interval(&self, j: usize) -> Interval {
+        self.intervals[j]
+    }
+
+    /// Replica set of the `j`-th interval (sorted by id).
+    #[inline]
+    #[must_use]
+    pub fn alloc(&self, j: usize) -> &[ProcId] {
+        &self.alloc[j]
+    }
+
+    /// Replication factor `k_j = |alloc(j)|`.
+    #[inline]
+    #[must_use]
+    pub fn replication(&self, j: usize) -> usize {
+        self.alloc[j].len()
+    }
+
+    /// All intervals.
+    #[inline]
+    #[must_use]
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Iterator over `(interval, replica set)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Interval, &[ProcId])> {
+        self.intervals
+            .iter()
+            .copied()
+            .zip(self.alloc.iter().map(Vec::as_slice))
+    }
+
+    /// Every processor used by the mapping, sorted.
+    #[must_use]
+    pub fn used_processors(&self) -> Vec<ProcId> {
+        let mut all: Vec<ProcId> = self.alloc.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Total number of replicas `Σ k_j` (equals used processor count since
+    /// allocations are disjoint).
+    #[must_use]
+    pub fn total_replicas(&self) -> usize {
+        self.alloc.iter().map(Vec::len).sum()
+    }
+
+    /// Index of the interval containing `stage`.
+    #[must_use]
+    pub fn interval_of_stage(&self, stage: usize) -> Option<usize> {
+        self.intervals.iter().position(|iv| iv.contains(stage))
+    }
+
+    /// Number of stages covered (`n`).
+    #[must_use]
+    pub fn n_stages(&self) -> usize {
+        self.intervals.last().map_or(0, |iv| iv.end + 1)
+    }
+}
+
+impl std::fmt::Display for IntervalMapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (j, (iv, procs)) in self.iter().enumerate() {
+            if j > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{iv} -> {{")?;
+            for (i, p) in procs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{p}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A one-to-one mapping: stage `k` on processor `procs[k]`, all distinct.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OneToOneMapping {
+    procs: Vec<ProcId>,
+}
+
+impl OneToOneMapping {
+    /// Validates distinctness and range.
+    ///
+    /// # Errors
+    /// * [`CoreError::EmptyPipeline`] when `procs` is empty,
+    /// * [`CoreError::ProcOutOfRange`] / [`CoreError::OverlappingAllocation`]
+    ///   on bad ids,
+    /// * [`CoreError::TooFewProcessors`] when `n_stages > n_procs`.
+    pub fn new(procs: Vec<ProcId>, n_procs: usize) -> Result<Self> {
+        if procs.is_empty() {
+            return Err(CoreError::EmptyPipeline);
+        }
+        if procs.len() > n_procs {
+            return Err(CoreError::TooFewProcessors {
+                needed: procs.len(),
+                available: n_procs,
+            });
+        }
+        let mut seen = vec![false; n_procs];
+        for &p in &procs {
+            if p.index() >= n_procs {
+                return Err(CoreError::ProcOutOfRange { proc: p.index(), n_procs });
+            }
+            if seen[p.index()] {
+                return Err(CoreError::OverlappingAllocation { proc: p.index() });
+            }
+            seen[p.index()] = true;
+        }
+        Ok(OneToOneMapping { procs })
+    }
+
+    /// Processor of 0-based stage `k`.
+    #[inline]
+    #[must_use]
+    pub fn proc(&self, stage: usize) -> ProcId {
+        self.procs[stage]
+    }
+
+    /// The assignment vector.
+    #[inline]
+    #[must_use]
+    pub fn procs(&self) -> &[ProcId] {
+        &self.procs
+    }
+
+    /// Number of stages.
+    #[inline]
+    #[must_use]
+    pub fn n_stages(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// View as an [`IntervalMapping`] of singleton intervals with
+    /// replication 1 (always valid: ids are distinct).
+    #[must_use]
+    pub fn to_interval_mapping(&self, n_procs: usize) -> IntervalMapping {
+        let intervals = (0..self.procs.len()).map(Interval::singleton).collect();
+        let alloc = self.procs.iter().map(|&p| vec![p]).collect();
+        IntervalMapping::new(intervals, alloc, self.procs.len(), n_procs)
+            .expect("a valid OneToOneMapping always converts")
+    }
+}
+
+/// A general mapping: stage `k` on processor `procs[k]`, repeats and
+/// non-consecutive reuse allowed (Theorem 4).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeneralMapping {
+    procs: Vec<ProcId>,
+}
+
+impl GeneralMapping {
+    /// Validates ids only (reuse is the point of this variant).
+    ///
+    /// # Errors
+    /// [`CoreError::EmptyPipeline`] / [`CoreError::ProcOutOfRange`].
+    pub fn new(procs: Vec<ProcId>, n_procs: usize) -> Result<Self> {
+        if procs.is_empty() {
+            return Err(CoreError::EmptyPipeline);
+        }
+        for &p in &procs {
+            if p.index() >= n_procs {
+                return Err(CoreError::ProcOutOfRange { proc: p.index(), n_procs });
+            }
+        }
+        Ok(GeneralMapping { procs })
+    }
+
+    /// Processor of 0-based stage `k`.
+    #[inline]
+    #[must_use]
+    pub fn proc(&self, stage: usize) -> ProcId {
+        self.procs[stage]
+    }
+
+    /// The assignment vector.
+    #[inline]
+    #[must_use]
+    pub fn procs(&self) -> &[ProcId] {
+        &self.procs
+    }
+
+    /// Number of stages.
+    #[inline]
+    #[must_use]
+    pub fn n_stages(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Maximal runs of consecutive stages on the same processor, as
+    /// `(Interval, ProcId)` pairs — the "blocks" whose boundaries pay
+    /// communication.
+    #[must_use]
+    pub fn runs(&self) -> Vec<(Interval, ProcId)> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for k in 1..self.procs.len() {
+            if self.procs[k] != self.procs[k - 1] {
+                out.push((Interval { start, end: k - 1 }, self.procs[k - 1]));
+                start = k;
+            }
+        }
+        out.push((Interval { start, end: self.procs.len() - 1 }, self.procs[self.procs.len() - 1]));
+        out
+    }
+
+    /// `true` when no processor appears in two different runs — i.e. the
+    /// mapping is actually interval-based and convertible.
+    #[must_use]
+    pub fn is_interval_based(&self, n_procs: usize) -> bool {
+        let runs = self.runs();
+        let mut seen = vec![false; n_procs];
+        for &(_, p) in &runs {
+            if seen[p.index()] {
+                return false;
+            }
+            seen[p.index()] = true;
+        }
+        true
+    }
+
+    /// Converts to an [`IntervalMapping`] (replication 1) when
+    /// [`is_interval_based`](Self::is_interval_based).
+    ///
+    /// # Errors
+    /// [`CoreError::OverlappingAllocation`] when some processor serves two
+    /// non-adjacent runs.
+    pub fn to_interval_mapping(&self, n_procs: usize) -> Result<IntervalMapping> {
+        let runs = self.runs();
+        let intervals: Vec<Interval> = runs.iter().map(|&(iv, _)| iv).collect();
+        let alloc: Vec<Vec<ProcId>> = runs.iter().map(|&(_, p)| vec![p]).collect();
+        IntervalMapping::new(intervals, alloc, self.procs.len(), n_procs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn interval_basics() {
+        let iv = Interval::new(1, 3).unwrap();
+        assert_eq!(iv.len(), 3);
+        assert!(iv.contains(2));
+        assert!(!iv.contains(4));
+        assert_eq!(iv.stages().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(iv.to_string(), "S2..S4");
+        assert!(Interval::new(3, 1).is_err());
+        assert!(!Interval::singleton(0).is_empty());
+    }
+
+    #[test]
+    fn valid_mapping_roundtrip() {
+        let m = IntervalMapping::new(
+            vec![Interval::new(0, 1).unwrap(), Interval::new(2, 4).unwrap()],
+            vec![vec![p(2), p(0)], vec![p(1)]],
+            5,
+            3,
+        )
+        .unwrap();
+        assert_eq!(m.n_intervals(), 2);
+        assert_eq!(m.alloc(0), &[p(0), p(2)]); // sorted
+        assert_eq!(m.replication(0), 2);
+        assert_eq!(m.used_processors(), vec![p(0), p(1), p(2)]);
+        assert_eq!(m.total_replicas(), 3);
+        assert_eq!(m.interval_of_stage(3), Some(1));
+        assert_eq!(m.interval_of_stage(9), None);
+        assert_eq!(m.n_stages(), 5);
+        assert_eq!(m.to_string(), "S1..S2 -> {P0,P2} | S3..S5 -> {P1}");
+    }
+
+    #[test]
+    fn duplicate_within_allocation_is_deduped() {
+        let m = IntervalMapping::single_interval(2, vec![p(1), p(1), p(0)], 2).unwrap();
+        assert_eq!(m.alloc(0), &[p(0), p(1)]);
+    }
+
+    #[test]
+    fn rejects_gap_between_intervals() {
+        let err = IntervalMapping::new(
+            vec![Interval::new(0, 0).unwrap(), Interval::new(2, 2).unwrap()],
+            vec![vec![p(0)], vec![p(1)]],
+            3,
+            2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::NonContiguousIntervals { at: 1 }));
+    }
+
+    #[test]
+    fn rejects_incomplete_cover() {
+        let err = IntervalMapping::new(
+            vec![Interval::new(0, 1).unwrap()],
+            vec![vec![p(0)]],
+            3,
+            2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::NonContiguousIntervals { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_stage() {
+        let err = IntervalMapping::new(
+            vec![Interval::new(0, 3).unwrap()],
+            vec![vec![p(0)]],
+            3,
+            2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidInterval { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_allocation() {
+        let err =
+            IntervalMapping::new(vec![Interval::new(0, 0).unwrap()], vec![vec![]], 1, 2)
+                .unwrap_err();
+        assert!(matches!(err, CoreError::EmptyAllocation { interval: 0 }));
+    }
+
+    #[test]
+    fn rejects_overlapping_allocations() {
+        let err = IntervalMapping::new(
+            vec![Interval::new(0, 0).unwrap(), Interval::new(1, 1).unwrap()],
+            vec![vec![p(0)], vec![p(0)]],
+            2,
+            2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::OverlappingAllocation { proc: 0 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_proc() {
+        let err = IntervalMapping::single_interval(1, vec![p(5)], 2).unwrap_err();
+        assert!(matches!(err, CoreError::ProcOutOfRange { proc: 5, n_procs: 2 }));
+    }
+
+    #[test]
+    fn one_to_one_validation() {
+        assert!(OneToOneMapping::new(vec![p(0), p(1)], 2).is_ok());
+        assert!(matches!(
+            OneToOneMapping::new(vec![p(0), p(0)], 2).unwrap_err(),
+            CoreError::OverlappingAllocation { .. }
+        ));
+        assert!(matches!(
+            OneToOneMapping::new(vec![p(0), p(1), p(2)], 2).unwrap_err(),
+            CoreError::TooFewProcessors { needed: 3, available: 2 }
+        ));
+    }
+
+    #[test]
+    fn one_to_one_to_interval() {
+        let o = OneToOneMapping::new(vec![p(1), p(0)], 3).unwrap();
+        let m = o.to_interval_mapping(3);
+        assert_eq!(m.n_intervals(), 2);
+        assert_eq!(m.alloc(0), &[p(1)]);
+        assert_eq!(m.alloc(1), &[p(0)]);
+    }
+
+    #[test]
+    fn general_mapping_runs() {
+        let g = GeneralMapping::new(vec![p(0), p(0), p(1), p(0)], 2).unwrap();
+        let runs = g.runs();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0], (Interval::new(0, 1).unwrap(), p(0)));
+        assert_eq!(runs[1], (Interval::new(2, 2).unwrap(), p(1)));
+        assert_eq!(runs[2], (Interval::new(3, 3).unwrap(), p(0)));
+        assert!(!g.is_interval_based(2));
+        assert!(g.to_interval_mapping(2).is_err());
+    }
+
+    #[test]
+    fn general_mapping_interval_based_converts() {
+        let g = GeneralMapping::new(vec![p(0), p(0), p(1)], 2).unwrap();
+        assert!(g.is_interval_based(2));
+        let m = g.to_interval_mapping(2).unwrap();
+        assert_eq!(m.n_intervals(), 2);
+        assert_eq!(m.interval(0), Interval::new(0, 1).unwrap());
+    }
+
+    #[test]
+    fn single_interval_constructor() {
+        let m = IntervalMapping::single_interval(4, vec![p(0), p(2)], 3).unwrap();
+        assert_eq!(m.n_intervals(), 1);
+        assert_eq!(m.interval(0), Interval::new(0, 3).unwrap());
+    }
+}

@@ -1,0 +1,474 @@
+//! The two objectives: failure probability and latency.
+//!
+//! * **Failure probability** (§2.2):
+//!   `FP = 1 − Π_j (1 − Π_{u∈alloc(j)} fp_u)` — the application fails iff
+//!   *all* replicas of *some* interval fail. Computed in log space
+//!   ([`crate::num::LogProb`]) so that mappings with hundreds of replicas
+//!   keep full precision.
+//!
+//! * **Latency**: worst-case response time of one data set.
+//!   - Equation (1) for Fully Homogeneous / Communication Homogeneous
+//!     platforms ([`latency_eq1`]); the input to interval `j` is paid
+//!     `k_j` times because one-port sends to the replicas are serialized and
+//!     in the worst case the surviving replica is served last.
+//!   - Equation (2) for Fully Heterogeneous platforms ([`latency_eq2`]):
+//!     serialized input from `P_in` to every replica of the first interval,
+//!     then per interval the worst replica's compute time plus its serialized
+//!     sends to every replica of the next interval.
+//!
+//!   On a communication-homogeneous platform the two formulas coincide
+//!   (property-tested in this module and in `tests/`), so [`latency`] simply
+//!   evaluates equation (2), which is total.
+
+use crate::error::{CoreError, Result};
+use crate::mapping::{GeneralMapping, IntervalMapping, OneToOneMapping};
+use crate::num::{kahan_sum, LogProb};
+use crate::platform::{Platform, ProcId, Vertex};
+use crate::stage::Pipeline;
+use serde::{Deserialize, Serialize};
+
+/// Natural log of the success probability `Π_j (1 − Π_{u∈alloc(j)} fp_u)`.
+///
+/// `-∞` when some interval is mapped only on processors with `fp = 1`.
+#[must_use]
+pub fn log_success_probability(mapping: &IntervalMapping, platform: &Platform) -> f64 {
+    let mut ln_success = 0.0f64;
+    for (_, procs) in mapping.iter() {
+        let all_fail = procs
+            .iter()
+            .fold(LogProb::ONE, |acc, &u| acc * LogProb::from_prob(platform.failure_prob(u)));
+        ln_success += all_fail.one_minus().ln();
+    }
+    ln_success
+}
+
+/// Global failure probability `FP` of a mapping (linear space).
+#[must_use]
+pub fn failure_probability(mapping: &IntervalMapping, platform: &Platform) -> f64 {
+    let ln_success = log_success_probability(mapping, platform);
+    // 1 − e^ln_success, stably.
+    -(ln_success.exp_m1())
+}
+
+/// Success probability `1 − FP`.
+#[must_use]
+pub fn reliability(mapping: &IntervalMapping, platform: &Platform) -> f64 {
+    log_success_probability(mapping, platform).exp()
+}
+
+/// Worst-case latency by equation (1). Requires a uniform bandwidth `b`.
+///
+/// `T = Σ_j [ k_j · δ_{d_j−1}/b + (Σ_{i∈I_j} w_i) / min_{u∈alloc(j)} s_u ] + δ_n/b`
+///
+/// # Errors
+/// [`CoreError::NotCommHomogeneous`] when links differ.
+pub fn latency_eq1(
+    mapping: &IntervalMapping,
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> Result<f64> {
+    let b = platform.uniform_bandwidth().ok_or(CoreError::NotCommHomogeneous)?;
+    let terms = mapping.iter().map(|(iv, procs)| {
+        let k = procs.len() as f64;
+        let input = pipeline.interval_input(iv);
+        let min_speed = procs
+            .iter()
+            .map(|&u| platform.speed(u))
+            .min_by(f64::total_cmp)
+            .expect("allocations are non-empty");
+        k * input / b + pipeline.interval_work(iv) / min_speed
+    });
+    Ok(kahan_sum(terms) + pipeline.output_size() / b)
+}
+
+/// Worst-case latency by equation (2); total over all platform classes.
+///
+/// `T = Σ_{u∈alloc(1)} δ_0/b_{in,u}
+///    + Σ_j max_{u∈alloc(j)} [ (Σ_{i∈I_j} w_i)/s_u + Σ_{v∈next(j)} δ_{e_j}/b_{u,v} ]`
+/// with `next(j) = alloc(j+1)` and `next(p) = {P_out}`.
+#[must_use]
+pub fn latency_eq2(
+    mapping: &IntervalMapping,
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> f64 {
+    latency_eq2_breakdown(mapping, pipeline, platform).total
+}
+
+/// Worst-case latency: dispatches to the paper's formula for the platform
+/// (equation (2), which equals equation (1) on homogeneous links).
+#[must_use]
+pub fn latency(mapping: &IntervalMapping, pipeline: &Pipeline, platform: &Platform) -> f64 {
+    latency_eq2(mapping, pipeline, platform)
+}
+
+/// Per-interval cost decomposition of the equation-(2) latency.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Serialized input from `P_in` to every replica of interval 1.
+    pub input_comm: f64,
+    /// Per interval `j`: the bottleneck replica's cost
+    /// `max_u [W_j/s_u + Σ_v δ_{e_j}/b_{u,v}]` and which replica attains it.
+    pub interval_costs: Vec<IntervalCost>,
+    /// Total latency (sum of the above).
+    pub total: f64,
+}
+
+/// Cost attributed to one interval by the worst-case path.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IntervalCost {
+    /// The replica attaining the max.
+    pub bottleneck: ProcId,
+    /// Compute part `W_j / s_u` of the bottleneck replica.
+    pub compute: f64,
+    /// Serialized outgoing communication of the bottleneck replica.
+    pub out_comm: f64,
+}
+
+/// Computes [`LatencyBreakdown`] for equation (2).
+#[must_use]
+pub fn latency_eq2_breakdown(
+    mapping: &IntervalMapping,
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> LatencyBreakdown {
+    let p = mapping.n_intervals();
+    let input_comm = kahan_sum(
+        mapping
+            .alloc(0)
+            .iter()
+            .map(|&u| platform.comm_time(Vertex::In, Vertex::Proc(u), pipeline.input_size())),
+    );
+
+    let mut interval_costs = Vec::with_capacity(p);
+    for j in 0..p {
+        let iv = mapping.interval(j);
+        let work = pipeline.interval_work(iv);
+        let out_size = pipeline.interval_output(iv);
+        let mut best: Option<IntervalCost> = None;
+        for &u in mapping.alloc(j) {
+            let compute = work / platform.speed(u);
+            let out_comm = if j + 1 < p {
+                kahan_sum(
+                    mapping
+                        .alloc(j + 1)
+                        .iter()
+                        .map(|&v| platform.comm_time(Vertex::Proc(u), Vertex::Proc(v), out_size)),
+                )
+            } else {
+                platform.comm_time(Vertex::Proc(u), Vertex::Out, out_size)
+            };
+            let cost = IntervalCost { bottleneck: u, compute, out_comm };
+            let replace = match &best {
+                None => true,
+                Some(b) => (compute + out_comm) > (b.compute + b.out_comm),
+            };
+            if replace {
+                best = Some(cost);
+            }
+        }
+        interval_costs.push(best.expect("allocations are non-empty"));
+    }
+
+    let total = input_comm
+        + kahan_sum(interval_costs.iter().map(|c| c.compute + c.out_comm));
+    LatencyBreakdown { input_comm, interval_costs, total }
+}
+
+/// Latency of a [`OneToOneMapping`] (equation (2) with singleton replicas):
+/// `δ_0/b_{in,π(1)} + Σ_k w_k/s_{π(k)} + Σ_k δ_k/b_{π(k),π(k+1)} + δ_n/b_{π(n),out}`.
+#[must_use]
+pub fn one_to_one_latency(
+    mapping: &OneToOneMapping,
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> f64 {
+    let m = mapping.to_interval_mapping(platform.n_procs());
+    latency_eq2(&m, pipeline, platform)
+}
+
+/// Latency of a [`GeneralMapping`] (Theorem 4's relaxation):
+/// communication is paid only where consecutive stages sit on different
+/// processors; processor reuse across non-consecutive runs is free.
+#[must_use]
+pub fn general_latency(
+    mapping: &GeneralMapping,
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> f64 {
+    let n = mapping.n_stages();
+    let first = Vertex::Proc(mapping.proc(0));
+    let last = Vertex::Proc(mapping.proc(n - 1));
+    let mut terms = Vec::with_capacity(2 * n + 2);
+    terms.push(platform.comm_time(Vertex::In, first, pipeline.input_size()));
+    for k in 0..n {
+        terms.push(pipeline.work(k) / platform.speed(mapping.proc(k)));
+        if k + 1 < n {
+            terms.push(platform.comm_time(
+                Vertex::Proc(mapping.proc(k)),
+                Vertex::Proc(mapping.proc(k + 1)),
+                pipeline.delta(k + 1),
+            ));
+        }
+    }
+    terms.push(platform.comm_time(last, Vertex::Out, pipeline.output_size()));
+    kahan_sum(terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_approx_eq;
+    use crate::mapping::Interval;
+    use crate::platform::PlatformBuilder;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    /// §3 Figure 3 pipeline: 2 stages, w = 2, δ = 100 everywhere.
+    fn fig3_pipeline() -> Pipeline {
+        Pipeline::new(vec![2.0, 2.0], vec![100.0, 100.0, 100.0]).unwrap()
+    }
+
+    /// §3 Figure 4 platform.
+    fn fig4_platform() -> Platform {
+        PlatformBuilder::new(2)
+            .input_bandwidth(p(0), 100.0)
+            .input_bandwidth(p(1), 1.0)
+            .bandwidth(Vertex::Proc(p(0)), Vertex::Proc(p(1)), 100.0)
+            .output_bandwidth(p(0), 1.0)
+            .output_bandwidth(p(1), 100.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure34_single_processor_latency_is_105() {
+        let pipe = fig3_pipeline();
+        let pf = fig4_platform();
+        let on_p1 = IntervalMapping::single_interval(2, vec![p(0)], 2).unwrap();
+        let on_p2 = IntervalMapping::single_interval(2, vec![p(1)], 2).unwrap();
+        assert_approx_eq!(latency(&on_p1, &pipe, &pf), 105.0);
+        assert_approx_eq!(latency(&on_p2, &pipe, &pf), 105.0);
+    }
+
+    #[test]
+    fn figure34_split_latency_is_7() {
+        let pipe = fig3_pipeline();
+        let pf = fig4_platform();
+        let split = IntervalMapping::new(
+            vec![Interval::singleton(0), Interval::singleton(1)],
+            vec![vec![p(0)], vec![p(1)]],
+            2,
+            2,
+        )
+        .unwrap();
+        assert_approx_eq!(latency(&split, &pipe, &pf), 7.0);
+    }
+
+    /// §3 Figure 5: S1 (w=1), S2 (w=100); δ0 = 10, δ1 = 1, δ2 = 0.
+    fn fig5_pipeline() -> Pipeline {
+        Pipeline::new(vec![1.0, 100.0], vec![10.0, 1.0, 0.0]).unwrap()
+    }
+
+    /// Figure 5 platform: P0 slow (s=1) reliable (fp=.1); P1..P10 fast
+    /// (s=100) unreliable (fp=.8); uniform bandwidth 1.
+    fn fig5_platform() -> Platform {
+        let mut speeds = vec![100.0; 11];
+        speeds[0] = 1.0;
+        let mut fps = vec![0.8; 11];
+        fps[0] = 0.1;
+        Platform::comm_homogeneous(speeds, 1.0, fps).unwrap()
+    }
+
+    #[test]
+    fn figure5_two_fast_single_interval() {
+        let pipe = fig5_pipeline();
+        let pf = fig5_platform();
+        let one = IntervalMapping::single_interval(2, vec![p(1), p(2)], 11).unwrap();
+        assert_approx_eq!(latency(&one, &pipe, &pf), 2.0 * 10.0 + 101.0 / 100.0);
+        assert_approx_eq!(failure_probability(&one, &pf), 0.8 * 0.8);
+    }
+
+    #[test]
+    fn figure5_three_fast_exceeds_threshold() {
+        let pipe = fig5_pipeline();
+        let pf = fig5_platform();
+        let three = IntervalMapping::single_interval(2, vec![p(1), p(2), p(3)], 11).unwrap();
+        assert!(latency(&three, &pipe, &pf) > 22.0);
+    }
+
+    #[test]
+    fn figure5_split_mapping_latency_22_and_low_fp() {
+        let pipe = fig5_pipeline();
+        let pf = fig5_platform();
+        let fast: Vec<ProcId> = (1..=10).map(p).collect();
+        let split = IntervalMapping::new(
+            vec![Interval::singleton(0), Interval::singleton(1)],
+            vec![vec![p(0)], fast],
+            2,
+            11,
+        )
+        .unwrap();
+        // 10 (input) + 1 (compute S1) + 10·1 (serialized sends) + 1 (compute
+        // S2 on speed 100) + 0 (output) = 22.
+        assert_approx_eq!(latency(&split, &pipe, &pf), 22.0);
+        let fp = failure_probability(&split, &pf);
+        let expected = 1.0 - (1.0 - 0.1) * (1.0 - 0.8f64.powi(10));
+        assert_approx_eq!(fp, expected);
+        assert!(fp < 0.2, "paper claims FP < 0.2, got {fp}");
+    }
+
+    #[test]
+    fn eq1_matches_eq2_on_comm_homogeneous() {
+        let pipe = Pipeline::new(vec![3.0, 1.0, 4.0, 1.0], vec![5.0, 9.0, 2.0, 6.0, 5.0]).unwrap();
+        let pf =
+            Platform::comm_homogeneous(vec![2.0, 1.0, 3.0, 1.5, 2.5], 4.0, vec![0.1; 5]).unwrap();
+        let m = IntervalMapping::new(
+            vec![Interval::new(0, 1).unwrap(), Interval::new(2, 3).unwrap()],
+            vec![vec![p(0), p(3)], vec![p(1), p(2), p(4)]],
+            4,
+            5,
+        )
+        .unwrap();
+        let e1 = latency_eq1(&m, &pipe, &pf).unwrap();
+        let e2 = latency_eq2(&m, &pipe, &pf);
+        assert_approx_eq!(e1, e2);
+    }
+
+    #[test]
+    fn eq1_requires_comm_homogeneous() {
+        let pipe = fig3_pipeline();
+        let pf = fig4_platform();
+        let m = IntervalMapping::single_interval(2, vec![p(0)], 2).unwrap();
+        assert_eq!(latency_eq1(&m, &pipe, &pf).unwrap_err(), CoreError::NotCommHomogeneous);
+    }
+
+    #[test]
+    fn replication_multiplies_input_comm() {
+        // eq. 1 with k replicas: k·δ0/b term.
+        let pipe = Pipeline::new(vec![10.0], vec![4.0, 0.0]).unwrap();
+        let pf = Platform::fully_homogeneous(3, 2.0, 2.0, 0.5).unwrap();
+        for k in 1..=3usize {
+            let procs: Vec<ProcId> = (0..k as u32).map(p).collect();
+            let m = IntervalMapping::single_interval(1, procs, 3).unwrap();
+            let expected = k as f64 * 4.0 / 2.0 + 10.0 / 2.0;
+            assert_approx_eq!(latency(&m, &pipe, &pf), expected);
+        }
+    }
+
+    #[test]
+    fn slowest_replica_bounds_compute() {
+        let pipe = Pipeline::new(vec![12.0], vec![0.0, 0.0]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 4.0], 1.0, vec![0.0, 0.0]).unwrap();
+        let m = IntervalMapping::single_interval(1, vec![p(0), p(1)], 2).unwrap();
+        assert_approx_eq!(latency(&m, &pipe, &pf), 12.0); // bound by s = 1
+    }
+
+    #[test]
+    fn breakdown_totals_match() {
+        let pipe = fig5_pipeline();
+        let pf = fig5_platform();
+        let fast: Vec<ProcId> = (1..=10).map(p).collect();
+        let split = IntervalMapping::new(
+            vec![Interval::singleton(0), Interval::singleton(1)],
+            vec![vec![p(0)], fast],
+            2,
+            11,
+        )
+        .unwrap();
+        let bd = latency_eq2_breakdown(&split, &pipe, &pf);
+        assert_approx_eq!(bd.total, latency(&split, &pipe, &pf));
+        assert_approx_eq!(bd.input_comm, 10.0);
+        assert_eq!(bd.interval_costs.len(), 2);
+        assert_approx_eq!(bd.interval_costs[0].compute, 1.0);
+        assert_approx_eq!(bd.interval_costs[0].out_comm, 10.0);
+    }
+
+    #[test]
+    fn failure_probability_formula() {
+        let pf = Platform::comm_homogeneous(vec![1.0; 4], 1.0, vec![0.5, 0.5, 0.2, 0.3]).unwrap();
+        let m = IntervalMapping::new(
+            vec![Interval::singleton(0), Interval::singleton(1)],
+            vec![vec![p(0), p(1)], vec![p(2), p(3)]],
+            2,
+            4,
+        )
+        .unwrap();
+        let expected = 1.0 - (1.0 - 0.25) * (1.0 - 0.06);
+        assert_approx_eq!(failure_probability(&m, &pf), expected);
+        assert_approx_eq!(reliability(&m, &pf), 1.0 - expected);
+    }
+
+    #[test]
+    fn failure_probability_extremes() {
+        let pf = Platform::comm_homogeneous(vec![1.0, 1.0], 1.0, vec![0.0, 1.0]).unwrap();
+        let perfect = IntervalMapping::single_interval(1, vec![p(0)], 2).unwrap();
+        assert_eq!(failure_probability(&perfect, &pf), 0.0);
+        let doomed = IntervalMapping::single_interval(1, vec![p(1)], 2).unwrap();
+        assert_eq!(failure_probability(&doomed, &pf), 1.0);
+        // Replicating the doomed processor with a perfect one saves the day.
+        let both = IntervalMapping::single_interval(1, vec![p(0), p(1)], 2).unwrap();
+        assert_eq!(failure_probability(&both, &pf), 0.0);
+    }
+
+    #[test]
+    fn more_replicas_never_hurt_reliability() {
+        let pf = Platform::fully_homogeneous(6, 1.0, 1.0, 0.4).unwrap();
+        let mut last = 1.0;
+        for k in 1..=6usize {
+            let procs: Vec<ProcId> = (0..k as u32).map(p).collect();
+            let m = IntervalMapping::single_interval(3, procs, 6).unwrap();
+            let pipe = Pipeline::uniform(3, 1.0, 1.0).unwrap();
+            let _ = &pipe;
+            let fp = failure_probability(&m, &pf);
+            assert!(fp < last, "k={k}: {fp} !< {last}");
+            last = fp;
+        }
+    }
+
+    #[test]
+    fn one_to_one_latency_closed_form() {
+        let pipe = fig3_pipeline();
+        let pf = fig4_platform();
+        let o = OneToOneMapping::new(vec![p(0), p(1)], 2).unwrap();
+        assert_approx_eq!(one_to_one_latency(&o, &pipe, &pf), 7.0);
+    }
+
+    #[test]
+    fn general_latency_free_reuse() {
+        // Stage pattern P0 P1 P0: reuse of P0 pays both boundary comms but
+        // no penalty for the revisit itself.
+        let pipe = Pipeline::new(vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0, 2.0]).unwrap();
+        let pf = Platform::fully_homogeneous(2, 1.0, 2.0, 0.0).unwrap();
+        let g = GeneralMapping::new(vec![p(0), p(1), p(0)], 2).unwrap();
+        // in: 2/2 =1; w:3; two crossings: 1 + 1; out: 1 => 7
+        assert_approx_eq!(general_latency(&g, &pipe, &pf), 7.0);
+    }
+
+    #[test]
+    fn general_latency_single_proc_has_no_internal_comm() {
+        let pipe = Pipeline::new(vec![1.0, 1.0], vec![3.0, 100.0, 3.0]).unwrap();
+        let pf = Platform::fully_homogeneous(1, 1.0, 3.0, 0.0).unwrap();
+        let g = GeneralMapping::new(vec![p(0), p(0)], 1).unwrap();
+        assert_approx_eq!(general_latency(&g, &pipe, &pf), 1.0 + 2.0 + 1.0);
+    }
+
+    #[test]
+    fn general_latency_matches_interval_latency_when_interval_based() {
+        let pipe = Pipeline::new(vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let pf = PlatformBuilder::new(3)
+            .speeds(vec![1.0, 2.0, 3.0])
+            .unwrap()
+            .bandwidth(Vertex::Proc(p(0)), Vertex::Proc(p(1)), 2.0)
+            .bandwidth(Vertex::Proc(p(1)), Vertex::Proc(p(2)), 0.5)
+            .input_bandwidth(p(0), 4.0)
+            .output_bandwidth(p(1), 8.0)
+            .build()
+            .unwrap();
+        let g = GeneralMapping::new(vec![p(0), p(1), p(1)], 3).unwrap();
+        let im = g.to_interval_mapping(3).unwrap();
+        assert_approx_eq!(general_latency(&g, &pipe, &pf), latency(&im, &pipe, &pf));
+    }
+}

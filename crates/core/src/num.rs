@@ -1,0 +1,333 @@
+//! Numeric helpers shared across the workspace.
+//!
+//! All model quantities (work, data sizes, speeds, bandwidths, probabilities,
+//! latencies) are `f64`. This module centralizes the floating-point
+//! conventions used everywhere else:
+//!
+//! * [`approx_eq`] / [`assert_approx_eq!`](crate::assert_approx_eq) for
+//!   tolerant comparisons in tests and cross-validation code,
+//! * [`TotalF64`] as a total-order key for heaps and sorts,
+//! * [`LogProb`] for products of many probabilities without underflow,
+//! * [`kahan_sum`] for compensated summation of long series.
+
+use serde::{Deserialize, Serialize};
+
+/// Default relative tolerance used by [`approx_eq`].
+pub const DEFAULT_REL_TOL: f64 = 1e-9;
+
+/// Absolute floor below which two numbers are considered equal regardless of
+/// relative error (guards comparisons around zero).
+pub const DEFAULT_ABS_TOL: f64 = 1e-12;
+
+/// Relative/absolute tolerance comparison.
+///
+/// Returns `true` when `a` and `b` are within `rel_tol` relative error of the
+/// larger magnitude, or within [`DEFAULT_ABS_TOL`] absolutely. Infinities
+/// compare equal to themselves.
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, rel_tol: f64) -> bool {
+    if a == b {
+        return true; // covers equal infinities and exact hits
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    let diff = (a - b).abs();
+    diff <= DEFAULT_ABS_TOL || diff <= rel_tol * a.abs().max(b.abs())
+}
+
+/// [`approx_eq`] with the workspace default tolerance.
+#[inline]
+#[must_use]
+pub fn approx_eq_default(a: f64, b: f64) -> bool {
+    approx_eq(a, b, DEFAULT_REL_TOL)
+}
+
+/// Asserts two floats are approximately equal (default tolerance, or an
+/// explicit third argument).
+#[macro_export]
+macro_rules! assert_approx_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = ($a, $b);
+        assert!(
+            $crate::num::approx_eq(a, b, $crate::num::DEFAULT_REL_TOL),
+            "assert_approx_eq failed: {a} vs {b}"
+        );
+    }};
+    ($a:expr, $b:expr, $tol:expr) => {{
+        let (a, b, tol) = ($a, $b, $tol);
+        assert!(
+            $crate::num::approx_eq(a, b, tol),
+            "assert_approx_eq failed: {a} vs {b} (tol {tol})"
+        );
+    }};
+}
+
+/// An `f64` with the IEEE-754 `totalOrder` predicate, usable as a key in
+/// `BinaryHeap`/`BTreeMap` or for `sort`.
+///
+/// NaN sorts after `+inf`; `-0.0 < +0.0`. Model code never produces NaN, but
+/// the wrapper keeps sorting well-defined regardless.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TotalF64(pub f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for TotalF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        TotalF64(v)
+    }
+}
+
+impl std::fmt::Display for TotalF64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A probability stored as its natural logarithm.
+///
+/// Reliability computations multiply long chains of per-processor failure
+/// probabilities (`Π fp_u`) and per-interval survival terms
+/// (`Π (1 − Π fp_u)`); with hundreds of processors the linear-space product
+/// underflows. `LogProb` keeps full precision: multiplication is addition of
+/// logs, and [`LogProb::one_minus`] evaluates `1 − p` stably via
+/// `ln(1 − e^l)` with the `expm1`/`ln_1p` split recommended for log-space
+/// complements.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogProb {
+    ln: f64,
+}
+
+impl LogProb {
+    /// Probability 1 (log 0).
+    pub const ONE: LogProb = LogProb { ln: 0.0 };
+    /// Probability 0 (log −∞).
+    pub const ZERO: LogProb = LogProb { ln: f64::NEG_INFINITY };
+
+    /// Wraps a linear-space probability. Values are clamped to `[0, 1]`.
+    #[inline]
+    #[must_use]
+    pub fn from_prob(p: f64) -> Self {
+        let p = p.clamp(0.0, 1.0);
+        LogProb { ln: p.ln() }
+    }
+
+    /// Wraps a log-space value directly (must be ≤ 0 for a probability).
+    #[inline]
+    #[must_use]
+    pub fn from_ln(ln: f64) -> Self {
+        LogProb { ln }
+    }
+
+    /// The stored natural logarithm.
+    #[inline]
+    #[must_use]
+    pub fn ln(self) -> f64 {
+        self.ln
+    }
+
+    /// Back to linear space (may underflow to 0.0, by design).
+    #[inline]
+    #[must_use]
+    pub fn to_prob(self) -> f64 {
+        self.ln.exp()
+    }
+
+    /// Stable `1 − p` in log space.
+    ///
+    /// For `l = ln p`: `ln(1 − e^l) = ln(−expm1(l))`, computed with `ln_1p`
+    /// when `e^l` is small to avoid cancellation.
+    #[inline]
+    #[must_use]
+    pub fn one_minus(self) -> Self {
+        if self.ln == f64::NEG_INFINITY {
+            return LogProb::ONE;
+        }
+        if self.ln >= 0.0 {
+            return LogProb::ZERO;
+        }
+        // For l close to 0 (p close to 1), use ln(-expm1(l)) directly;
+        // for very negative l (tiny p), ln_1p(-e^l) is the stable form.
+        let ln = if self.ln > -0.693 {
+            (-self.ln.exp_m1()).ln()
+        } else {
+            (-self.ln.exp()).ln_1p()
+        };
+        LogProb { ln }
+    }
+
+    /// `true` when the stored probability is exactly zero.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.ln == f64::NEG_INFINITY
+    }
+}
+
+impl std::ops::Mul for LogProb {
+    type Output = LogProb;
+
+    /// Log-space product `self · other` (addition of logs).
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // log-space: mul IS add
+    fn mul(self, other: LogProb) -> LogProb {
+        LogProb { ln: self.ln + other.ln }
+    }
+}
+
+impl Eq for LogProb {}
+
+impl PartialOrd for LogProb {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LogProb {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ln.total_cmp(&other.ln)
+    }
+}
+
+/// Compensated (Kahan–Babuška) summation.
+///
+/// Latency formulas sum long per-interval series; compensated summation keeps
+/// the cross-validation between analytic formulas, DP solvers and the
+/// simulator bit-tight enough for the default tolerance.
+#[must_use]
+pub fn kahan_sum<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0f64;
+    let mut c = 0.0f64;
+    for v in values {
+        let t = sum + v;
+        if sum.abs() >= v.abs() {
+            c += (sum - t) + v;
+        } else {
+            c += (v - t) + sum;
+        }
+        sum = t;
+    }
+    sum + c
+}
+
+/// Minimum of an f64 iterator under total order; `None` when empty.
+#[must_use]
+pub fn min_f64<I: IntoIterator<Item = f64>>(values: I) -> Option<f64> {
+    values.into_iter().min_by(|a, b| a.total_cmp(b))
+}
+
+/// Maximum of an f64 iterator under total order; `None` when empty.
+#[must_use]
+pub fn max_f64<I: IntoIterator<Item = f64>>(values: I) -> Option<f64> {
+    values.into_iter().max_by(|a, b| a.total_cmp(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basics() {
+        assert!(approx_eq_default(1.0, 1.0));
+        assert!(approx_eq_default(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq_default(1.0, 1.001));
+        assert!(approx_eq_default(0.0, 1e-13));
+        assert!(approx_eq_default(f64::INFINITY, f64::INFINITY));
+        assert!(!approx_eq_default(f64::INFINITY, 1.0));
+        assert!(!approx_eq_default(f64::NAN, f64::NAN));
+    }
+
+    #[test]
+    fn approx_eq_relative_scales() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1e12, 1e12 + 1e5, 1e-9));
+    }
+
+    #[test]
+    fn total_f64_ordering() {
+        let mut v = [TotalF64(3.0), TotalF64(f64::NAN), TotalF64(-1.0), TotalF64(0.0)];
+        v.sort();
+        assert_eq!(v[0].0, -1.0);
+        assert_eq!(v[1].0, 0.0);
+        assert_eq!(v[2].0, 3.0);
+        assert!(v[3].0.is_nan());
+    }
+
+    #[test]
+    fn log_prob_roundtrip() {
+        for &p in &[0.0, 1e-300, 0.1, 0.5, 0.9, 1.0] {
+            let lp = LogProb::from_prob(p);
+            assert!(approx_eq(lp.to_prob(), p, 1e-12), "p={p}");
+        }
+    }
+
+    #[test]
+    fn log_prob_product_matches_linear() {
+        let probs = [0.8, 0.5, 0.9, 0.99];
+        let linear: f64 = probs.iter().product();
+        let logp = probs
+            .iter()
+            .fold(LogProb::ONE, |acc, &p| acc * LogProb::from_prob(p));
+        assert!(approx_eq_default(logp.to_prob(), linear));
+    }
+
+    #[test]
+    fn log_prob_no_underflow() {
+        // 0.5^2000 underflows linearly but stays exact in log space.
+        let mut lp = LogProb::ONE;
+        for _ in 0..2000 {
+            lp = lp * LogProb::from_prob(0.5);
+        }
+        assert!(approx_eq(lp.ln(), 2000.0 * 0.5f64.ln(), 1e-12));
+        assert_eq!(lp.to_prob(), 0.0); // linear space underflows, as expected
+    }
+
+    #[test]
+    fn log_prob_one_minus() {
+        for &p in &[0.0, 1e-12, 0.3, 0.9999999, 1.0] {
+            let got = LogProb::from_prob(p).one_minus().to_prob();
+            assert!(approx_eq(got, 1.0 - p, 1e-9), "p={p}: {got}");
+        }
+    }
+
+    #[test]
+    fn log_prob_one_minus_extremes() {
+        assert_eq!(LogProb::ZERO.one_minus(), LogProb::ONE);
+        assert_eq!(LogProb::ONE.one_minus(), LogProb::ZERO);
+    }
+
+    #[test]
+    fn kahan_sum_is_accurate() {
+        // 1 + 1e-16 * 1e5 naively loses the small terms.
+        let mut values = vec![1.0f64];
+        values.extend(std::iter::repeat_n(1e-16, 100_000));
+        let k = kahan_sum(values.iter().copied());
+        assert!(approx_eq(k, 1.0 + 1e-11, 1e-12), "{k}");
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        assert_eq!(min_f64([3.0, 1.0, 2.0]), Some(1.0));
+        assert_eq!(max_f64([3.0, 1.0, 2.0]), Some(3.0));
+        assert_eq!(min_f64(std::iter::empty()), None);
+    }
+}

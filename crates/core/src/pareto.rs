@@ -1,0 +1,260 @@
+//! Bi-objective (latency × failure probability) Pareto fronts.
+//!
+//! Both bi-criteria problems of the paper — "minimize FP subject to
+//! latency ≤ L" and "minimize latency subject to FP ≤ F" — are answered by
+//! the same object: the set of non-dominated `(latency, FP)` pairs. The
+//! exact solvers build fronts and the threshold queries
+//! ([`ParetoFront::min_fp_under_latency`],
+//! [`ParetoFront::min_latency_under_fp`]) read the answers off them.
+//!
+//! Dominance is weak-minimization in both coordinates: `a` dominates `b`
+//! when `a.latency ≤ b.latency` and `a.failure_prob ≤ b.failure_prob` and
+//! `a ≠ b` in at least one coordinate. Duplicates keep the incumbent.
+
+use serde::{Deserialize, Serialize};
+
+/// A candidate solution with both objectives and an arbitrary payload
+/// (typically the mapping that achieves it).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint<T> {
+    /// Worst-case latency of the solution.
+    pub latency: f64,
+    /// Global failure probability of the solution.
+    pub failure_prob: f64,
+    /// The solution itself.
+    pub payload: T,
+}
+
+impl<T> ParetoPoint<T> {
+    /// `true` when `self` weakly dominates `other` (and differs somewhere).
+    #[must_use]
+    pub fn dominates<U>(&self, other: &ParetoPoint<U>) -> bool {
+        self.latency <= other.latency
+            && self.failure_prob <= other.failure_prob
+            && (self.latency < other.latency || self.failure_prob < other.failure_prob)
+    }
+}
+
+/// A set of mutually non-dominated points, kept sorted by increasing
+/// latency (hence strictly decreasing failure probability).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ParetoFront<T> {
+    points: Vec<ParetoPoint<T>>,
+}
+
+impl<T> Default for ParetoFront<T> {
+    fn default() -> Self {
+        ParetoFront { points: Vec::new() }
+    }
+}
+
+impl<T> ParetoFront<T> {
+    /// An empty front.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of points on the front.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no point has been accepted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points, sorted by increasing latency.
+    #[must_use]
+    pub fn points(&self) -> &[ParetoPoint<T>] {
+        &self.points
+    }
+
+    /// Iterator over the points in latency order.
+    pub fn iter(&self) -> impl Iterator<Item = &ParetoPoint<T>> {
+        self.points.iter()
+    }
+
+    /// Offers a candidate. Returns `true` when it joins the front (possibly
+    /// evicting dominated incumbents), `false` when an incumbent dominates
+    /// or duplicates it.
+    pub fn insert(&mut self, latency: f64, failure_prob: f64, payload: T) -> bool {
+        let candidate = ParetoPoint { latency, failure_prob, payload };
+        for existing in &self.points {
+            if existing.dominates(&candidate)
+                || (existing.latency == candidate.latency
+                    && existing.failure_prob == candidate.failure_prob)
+            {
+                return false;
+            }
+        }
+        self.points.retain(|existing| !candidate.dominates(existing));
+        let pos = self
+            .points
+            .partition_point(|q| q.latency.total_cmp(&candidate.latency).is_lt());
+        self.points.insert(pos, candidate);
+        true
+    }
+
+    /// Absorbs every point of `other`.
+    pub fn merge(&mut self, other: ParetoFront<T>) {
+        for pt in other.points {
+            self.insert(pt.latency, pt.failure_prob, pt.payload);
+        }
+    }
+
+    /// Best (lowest) failure probability achievable with latency ≤ `l`.
+    #[must_use]
+    pub fn min_fp_under_latency(&self, l: f64) -> Option<&ParetoPoint<T>> {
+        // Sorted by latency asc and fp strictly desc: the *last* point with
+        // latency ≤ l has the smallest fp.
+        let idx = self.points.partition_point(|q| q.latency <= l);
+        idx.checked_sub(1).map(|i| &self.points[i])
+    }
+
+    /// Best (lowest) latency achievable with failure probability ≤ `fp`.
+    #[must_use]
+    pub fn min_latency_under_fp(&self, fp: f64) -> Option<&ParetoPoint<T>> {
+        // fp decreases along the vector: the first point with fp ≤ bound has
+        // the smallest latency.
+        self.points.iter().find(|q| q.failure_prob <= fp)
+    }
+
+    /// Consumes the front, returning the sorted points.
+    #[must_use]
+    pub fn into_points(self) -> Vec<ParetoPoint<T>> {
+        self.points
+    }
+
+    /// Verifies the structural invariant (sorted, mutually non-dominated);
+    /// used by property tests.
+    #[must_use]
+    pub fn invariant_holds(&self) -> bool {
+        for w in self.points.windows(2) {
+            if !(w[0].latency < w[1].latency && w[0].failure_prob > w[1].failure_prob) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl<T> IntoIterator for ParetoFront<T> {
+    type Item = ParetoPoint<T>;
+    type IntoIter = std::vec::IntoIter<ParetoPoint<T>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_non_dominated() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(10.0, 0.5, "a"));
+        assert!(f.insert(20.0, 0.2, "b")); // tradeoff: kept
+        assert!(!f.insert(25.0, 0.3, "c")); // dominated by b
+        assert!(f.insert(5.0, 0.9, "d")); // cheaper, kept
+        assert_eq!(f.len(), 3);
+        assert!(f.invariant_holds());
+    }
+
+    #[test]
+    fn insert_evicts_dominated() {
+        let mut f = ParetoFront::new();
+        f.insert(10.0, 0.5, "a");
+        f.insert(20.0, 0.2, "b");
+        assert!(f.insert(9.0, 0.1, "killer")); // dominates both
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.points()[0].payload, "killer");
+    }
+
+    #[test]
+    fn duplicates_keep_incumbent() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(10.0, 0.5, "first"));
+        assert!(!f.insert(10.0, 0.5, "second"));
+        assert_eq!(f.points()[0].payload, "first");
+    }
+
+    #[test]
+    fn equal_latency_better_fp_replaces() {
+        let mut f = ParetoFront::new();
+        f.insert(10.0, 0.5, "worse");
+        assert!(f.insert(10.0, 0.4, "better"));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.points()[0].payload, "better");
+    }
+
+    #[test]
+    fn threshold_queries() {
+        let mut f = ParetoFront::new();
+        f.insert(10.0, 0.5, "a");
+        f.insert(20.0, 0.2, "b");
+        f.insert(30.0, 0.05, "c");
+
+        assert_eq!(f.min_fp_under_latency(25.0).unwrap().payload, "b");
+        assert_eq!(f.min_fp_under_latency(30.0).unwrap().payload, "c");
+        assert!(f.min_fp_under_latency(9.0).is_none());
+
+        assert_eq!(f.min_latency_under_fp(0.3).unwrap().payload, "b");
+        assert_eq!(f.min_latency_under_fp(0.5).unwrap().payload, "a");
+        assert!(f.min_latency_under_fp(0.01).is_none());
+    }
+
+    #[test]
+    fn merge_unions_fronts() {
+        let mut a = ParetoFront::new();
+        a.insert(10.0, 0.5, 1);
+        a.insert(30.0, 0.1, 2);
+        let mut b = ParetoFront::new();
+        b.insert(20.0, 0.2, 3);
+        b.insert(40.0, 0.4, 4); // dominated by 2
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+        assert!(a.invariant_holds());
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let a = ParetoPoint { latency: 1.0, failure_prob: 0.1, payload: () };
+        let b = ParetoPoint { latency: 2.0, failure_prob: 0.1, payload: () };
+        let c = ParetoPoint { latency: 1.0, failure_prob: 0.1, payload: () };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c)); // equal points do not dominate
+    }
+
+    #[test]
+    fn randomized_front_invariant() {
+        // Deterministic pseudo-random stream (LCG) to avoid a rand dep here.
+        let mut state = 0x2545F491_4F6CDD1Du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64)
+        };
+        let mut f = ParetoFront::new();
+        let mut all = Vec::new();
+        for i in 0..500 {
+            let l = next() * 100.0;
+            let fp = next();
+            all.push((l, fp));
+            f.insert(l, fp, i);
+        }
+        assert!(f.invariant_holds());
+        // Every offered point is dominated-or-equal by something on the front.
+        for &(l, fp) in &all {
+            let covered = f
+                .iter()
+                .any(|q| q.latency <= l && q.failure_prob <= fp);
+            assert!(covered, "({l}, {fp}) not covered");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! **Extension** — steady-state period of a replicated interval mapping.
+//!
+//! The paper's conclusion (§5) names the interplay between throughput,
+//! latency and reliability as future work and cites the authors' companion
+//! study of latency/period trade-offs. This module implements the natural
+//! period metric for the replication scheme of this paper, so that the
+//! tri-criteria exploration experiment (E13 in DESIGN.md) can run:
+//!
+//! In steady state, one data set leaves the pipeline every `period` time
+//! units. Under the one-port model without compute/communication overlap,
+//! each resource must fit its per-data-set traffic into one period:
+//!
+//! * `P_in` serializes `k_1` copies of `δ_0` → cycle `k_1·δ_0/b`,
+//! * a replica `u` of interval `j` receives its input once, computes, and —
+//!   when it is the consensus survivor — serializes `k_{j+1}` copies of the
+//!   interval output → worst-case cycle
+//!   `δ_{d_j−1}/b + W_j/s_u + k_{j+1}·δ_{e_j}/b`,
+//! * `P_out` receives once → cycle `δ_n/b`.
+//!
+//! The period of the mapping is the maximum cycle over all resources. This
+//! is deliberately conservative (it charges every replica as if it were the
+//! survivor, which is exactly the guarantee a failure-oblivious schedule
+//! must honor).
+//!
+//! Only communication-homogeneous platforms are supported — the same
+//! restriction under which the companion work states its closed forms.
+
+use crate::error::{CoreError, Result};
+use crate::mapping::IntervalMapping;
+use crate::platform::Platform;
+use crate::stage::Pipeline;
+
+/// Steady-state period (inverse throughput) of a mapping.
+///
+/// # Errors
+/// [`CoreError::NotCommHomogeneous`] when link bandwidths differ.
+pub fn period(
+    mapping: &IntervalMapping,
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> Result<f64> {
+    let b = platform.uniform_bandwidth().ok_or(CoreError::NotCommHomogeneous)?;
+    let p = mapping.n_intervals();
+
+    // P_in must push k_1 copies of δ0 every period.
+    let mut period = mapping.replication(0) as f64 * pipeline.input_size() / b;
+
+    for j in 0..p {
+        let iv = mapping.interval(j);
+        let recv = pipeline.interval_input(iv) / b;
+        let out_size = pipeline.interval_output(iv);
+        let k_next = if j + 1 < p { mapping.replication(j + 1) as f64 } else { 1.0 };
+        let send = k_next * out_size / b;
+        for &u in mapping.alloc(j) {
+            let cycle = recv + pipeline.interval_work(iv) / platform.speed(u) + send;
+            if cycle > period {
+                period = cycle;
+            }
+        }
+    }
+
+    // P_out receives δn once per data set.
+    let out_cycle = pipeline.output_size() / b;
+    Ok(period.max(out_cycle))
+}
+
+/// Steady-state throughput, data sets per time unit (`1 / period`).
+///
+/// # Errors
+/// Propagates [`period`].
+pub fn throughput(
+    mapping: &IntervalMapping,
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> Result<f64> {
+    Ok(1.0 / period(mapping, pipeline, platform)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_approx_eq;
+    use crate::mapping::Interval;
+    use crate::platform::ProcId;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn single_stage_single_proc() {
+        let pipe = Pipeline::new(vec![6.0], vec![2.0, 4.0]).unwrap();
+        let pf = Platform::fully_homogeneous(1, 2.0, 2.0, 0.0).unwrap();
+        let m = IntervalMapping::single_interval(1, vec![p(0)], 1).unwrap();
+        // cycle = 2/2 + 6/2 + 4/2 = 6; Pin = 1, Pout = 2.
+        assert_approx_eq!(period(&m, &pipe, &pf).unwrap(), 6.0);
+        assert_approx_eq!(throughput(&m, &pipe, &pf).unwrap(), 1.0 / 6.0);
+    }
+
+    #[test]
+    fn replication_inflates_sender_cycles() {
+        let pipe = Pipeline::new(vec![1.0, 1.0], vec![8.0, 8.0, 0.0]).unwrap();
+        let pf = Platform::fully_homogeneous(4, 1.0, 1.0, 0.3).unwrap();
+        // Interval 1 on P0; interval 2 replicated on P1..P3.
+        let m = IntervalMapping::new(
+            vec![Interval::singleton(0), Interval::singleton(1)],
+            vec![vec![p(0)], vec![p(1), p(2), p(3)]],
+            2,
+            4,
+        )
+        .unwrap();
+        // P0 cycle: recv 8 + w 1 + send 3·8 = 33 — dominates everything.
+        assert_approx_eq!(period(&m, &pipe, &pf).unwrap(), 33.0);
+    }
+
+    #[test]
+    fn pin_serialization_can_dominate() {
+        let pipe = Pipeline::new(vec![0.5], vec![10.0, 0.0]).unwrap();
+        let pf = Platform::fully_homogeneous(3, 10.0, 1.0, 0.2).unwrap();
+        let m = IntervalMapping::single_interval(1, vec![p(0), p(1), p(2)], 3).unwrap();
+        // Pin: 3·10 = 30 > any replica cycle (10 + 0.05 + 0).
+        assert_approx_eq!(period(&m, &pipe, &pf).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn pout_floor() {
+        let pipe = Pipeline::new(vec![0.0], vec![0.0, 12.0]).unwrap();
+        let pf = Platform::fully_homogeneous(1, 1.0, 2.0, 0.0).unwrap();
+        let m = IntervalMapping::single_interval(1, vec![p(0)], 1).unwrap();
+        assert_approx_eq!(period(&m, &pipe, &pf).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn requires_comm_homogeneous() {
+        use crate::platform::{PlatformBuilder, Vertex};
+        let pipe = Pipeline::uniform(1, 1.0, 1.0).unwrap();
+        let pf = PlatformBuilder::new(2)
+            .bandwidth(Vertex::Proc(p(0)), Vertex::Proc(p(1)), 9.0)
+            .build()
+            .unwrap();
+        let m = IntervalMapping::single_interval(1, vec![p(0)], 2).unwrap();
+        assert_eq!(period(&m, &pipe, &pf).unwrap_err(), CoreError::NotCommHomogeneous);
+    }
+
+    #[test]
+    fn period_never_exceeds_latency() {
+        // The period charges each resource once; the latency sums the whole
+        // chain, so period ≤ latency always holds on comm-homog platforms.
+        let pipe = Pipeline::new(vec![3.0, 5.0, 2.0], vec![4.0, 1.0, 6.0, 2.0]).unwrap();
+        let pf =
+            Platform::comm_homogeneous(vec![1.0, 2.0, 4.0], 2.0, vec![0.1, 0.2, 0.3]).unwrap();
+        let m = IntervalMapping::new(
+            vec![Interval::new(0, 1).unwrap(), Interval::new(2, 2).unwrap()],
+            vec![vec![p(0), p(1)], vec![p(2)]],
+            3,
+            3,
+        )
+        .unwrap();
+        let per = period(&m, &pipe, &pf).unwrap();
+        let lat = crate::metrics::latency(&m, &pipe, &pf);
+        assert!(per <= lat + 1e-12, "period {per} > latency {lat}");
+    }
+}

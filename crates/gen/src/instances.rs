@@ -1,0 +1,140 @@
+//! Bundled problem instances (pipeline + platform) for sweeps.
+//!
+//! Experiment tables iterate over *suites* of instances; this module gives
+//! the suites names, stable seeds, and serializable descriptions so the
+//! bench harness can print exactly which instance produced which row.
+
+use crate::pipelines::PipelineGen;
+use crate::platforms::PlatformGen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpwf_core::platform::{FailureClass, Platform, PlatformClass};
+use rpwf_core::stage::Pipeline;
+use serde::{Deserialize, Serialize};
+
+/// One generated problem instance with its provenance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Suite-unique label, e.g. `ch-fhet/n4m5/seed17`.
+    pub label: String,
+    /// Seed that reproduces the instance.
+    pub seed: u64,
+    /// The application.
+    pub pipeline: Pipeline,
+    /// The platform.
+    pub platform: Platform,
+}
+
+/// Specification of an instance suite: a cross product of sizes × seeds for
+/// a fixed class combination.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SuiteSpec {
+    /// Platform communication class.
+    pub class: PlatformClass,
+    /// Platform failure class.
+    pub failure_class: FailureClass,
+    /// `(n_stages, m_procs)` size points.
+    pub sizes: Vec<(usize, usize)>,
+    /// Seeds per size point.
+    pub seeds: Vec<u64>,
+}
+
+impl SuiteSpec {
+    /// Small sizes suitable for exhaustive cross-validation.
+    #[must_use]
+    pub fn small(class: PlatformClass, failure_class: FailureClass) -> Self {
+        SuiteSpec {
+            class,
+            failure_class,
+            sizes: vec![(2, 3), (3, 4), (4, 4), (4, 5), (5, 5)],
+            seeds: vec![11, 23, 47, 91],
+        }
+    }
+
+    /// Materializes every instance of the suite.
+    #[must_use]
+    pub fn instances(&self) -> Vec<Instance> {
+        let mut out = Vec::with_capacity(self.sizes.len() * self.seeds.len());
+        for &(n, m) in &self.sizes {
+            for &seed in &self.seeds {
+                out.push(make_instance(self.class, self.failure_class, n, m, seed));
+            }
+        }
+        out
+    }
+}
+
+/// Generates a single named instance.
+#[must_use]
+pub fn make_instance(
+    class: PlatformClass,
+    failure_class: FailureClass,
+    n: usize,
+    m: usize,
+    seed: u64,
+) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pipeline = PipelineGen::balanced(n).sample(&mut rng);
+    let platform = PlatformGen::new(m, class, failure_class).sample(&mut rng);
+    let class_tag = match class {
+        PlatformClass::FullyHomogeneous => "fh",
+        PlatformClass::CommHomogeneous => "ch",
+        PlatformClass::FullyHeterogeneous => "het",
+    };
+    let failure_tag = match failure_class {
+        FailureClass::Homogeneous => "fhom",
+        FailureClass::Heterogeneous => "fhet",
+    };
+    Instance {
+        label: format!("{class_tag}-{failure_tag}/n{n}m{m}/seed{seed}"),
+        seed,
+        pipeline,
+        platform,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_materializes_all_points() {
+        let spec = SuiteSpec::small(PlatformClass::CommHomogeneous, FailureClass::Heterogeneous);
+        let instances = spec.instances();
+        assert_eq!(instances.len(), spec.sizes.len() * spec.seeds.len());
+        for inst in &instances {
+            assert_eq!(inst.platform.class(), PlatformClass::CommHomogeneous);
+            assert_eq!(inst.platform.failure_class(), FailureClass::Heterogeneous);
+            assert!(inst.label.starts_with("ch-fhet/"));
+        }
+    }
+
+    #[test]
+    fn instances_are_reproducible() {
+        let a = make_instance(
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+            4,
+            5,
+            77,
+        );
+        let b = make_instance(
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+            4,
+            5,
+            77,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_are_unique_within_suite() {
+        let spec = SuiteSpec::small(PlatformClass::FullyHomogeneous, FailureClass::Homogeneous);
+        let instances = spec.instances();
+        let mut labels: Vec<&str> = instances.iter().map(|i| i.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), instances.len());
+    }
+}

@@ -1,0 +1,27 @@
+//! # rpwf-gen — seeded instance generators
+//!
+//! Workloads (pipelines), platforms, and NP-hardness source instances for
+//! the rpwf workspace. Everything is driven by an explicit `rand::Rng`, so
+//! experiments and tests are reproducible from a single seed.
+//!
+//! * [`pipelines`] — parametric random pipelines, the JPEG encoder workload,
+//!   and the paper's Figure 3/Figure 5 pipelines,
+//! * [`platforms`] — random platforms for each (class × failure-class)
+//!   combination, a cluster-of-clusters topology, and the paper's Figure 4 /
+//!   Figure 5 platforms,
+//! * [`reductions`] — TSP and 2-PARTITION source instances with
+//!   cross-check solvers,
+//! * [`instances`] — named (pipeline, platform) suites for sweeps.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod instances;
+pub mod pipelines;
+pub mod platforms;
+pub mod reductions;
+
+pub use instances::{make_instance, Instance, SuiteSpec};
+pub use pipelines::{figure3_pipeline, figure5_pipeline, jpeg_encoder, PipelineGen};
+pub use platforms::{cluster_of_clusters, figure4_platform, figure5_platform, PlatformGen};
+pub use reductions::{TspInstance, TwoPartitionInstance};

@@ -1,0 +1,160 @@
+//! Pipeline workload generators.
+//!
+//! Seeded, reproducible generators for the application side of the model:
+//! parametric random pipelines for sweeps, plus the JPEG encoder pipeline —
+//! the workflow the paper's introduction motivates ("a well known pipeline
+//! application of this type is for example JPEG encoding") and the workload
+//! of the authors' companion study.
+
+use rand::Rng;
+use rpwf_core::stage::{Pipeline, PipelineBuilder};
+use serde::{Deserialize, Serialize};
+
+/// Parametric random-pipeline specification.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PipelineGen {
+    /// Number of stages.
+    pub n: usize,
+    /// Uniform range for per-stage work `w_k`.
+    pub work_range: (f64, f64),
+    /// Uniform range for data sizes `δ_i` (including input and output).
+    pub delta_range: (f64, f64),
+}
+
+impl PipelineGen {
+    /// Balanced preset: work and communication of comparable magnitude.
+    #[must_use]
+    pub fn balanced(n: usize) -> Self {
+        PipelineGen { n, work_range: (1.0, 100.0), delta_range: (1.0, 100.0) }
+    }
+
+    /// Compute-heavy preset: splitting into intervals is rarely worthwhile,
+    /// replication is cheap.
+    #[must_use]
+    pub fn compute_heavy(n: usize) -> Self {
+        PipelineGen { n, work_range: (100.0, 1000.0), delta_range: (1.0, 10.0) }
+    }
+
+    /// Communication-heavy preset: replication costs dominate, Figure 3/4
+    /// style splits pay off.
+    #[must_use]
+    pub fn comm_heavy(n: usize) -> Self {
+        PipelineGen { n, work_range: (1.0, 10.0), delta_range: (100.0, 1000.0) }
+    }
+
+    /// Draws one pipeline.
+    ///
+    /// # Panics
+    /// When the spec has `n = 0` or an empty range (programmer error).
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Pipeline {
+        assert!(self.n >= 1, "pipeline must have at least one stage");
+        let works: Vec<f64> =
+            (0..self.n).map(|_| rng.gen_range(self.work_range.0..=self.work_range.1)).collect();
+        let deltas: Vec<f64> = (0..=self.n)
+            .map(|_| rng.gen_range(self.delta_range.0..=self.delta_range.1))
+            .collect();
+        Pipeline::new(works, deltas).expect("ranges are non-negative")
+    }
+}
+
+/// The JPEG encoder pipeline (7 stages), with synthetic but
+/// realistically-shaped costs for one 512×512 RGB frame.
+///
+/// | stage | operation | work (Mflop) | output (KB) |
+/// |-------|-----------|--------------|-------------|
+/// | 1 | scaling / preprocessing | 50 | 768 |
+/// | 2 | RGB → YCbCr conversion | 30 | 768 |
+/// | 3 | chroma subsampling (4:2:0) | 10 | 384 |
+/// | 4 | 8×8 block DCT | 120 | 384 |
+/// | 5 | quantization | 20 | 384 |
+/// | 6 | zigzag + run-length coding | 15 | 96 |
+/// | 7 | Huffman encoding | 25 | 48 |
+///
+/// The input read from `P_in` is the raw 768 KB frame. Absolute numbers are
+/// a substitution for the companion paper's measured profile (DESIGN.md §4);
+/// what matters to the mapping problem is the shape: a compute spike at the
+/// DCT and a sharp data-size drop after entropy coding.
+#[must_use]
+pub fn jpeg_encoder() -> Pipeline {
+    PipelineBuilder::with_input_size(768.0)
+        .stage(50.0, 768.0) // scaling
+        .stage(30.0, 768.0) // color-space conversion
+        .stage(10.0, 384.0) // subsampling
+        .stage(120.0, 384.0) // DCT
+        .stage(20.0, 384.0) // quantization
+        .stage(15.0, 96.0) // zigzag + RLE
+        .stage(25.0, 48.0) // Huffman
+        .build()
+        .expect("static costs are valid")
+}
+
+/// The two-stage pipeline of Figure 3 (§3): `w = 2` per stage, `δ = 100`
+/// everywhere.
+#[must_use]
+pub fn figure3_pipeline() -> Pipeline {
+    Pipeline::new(vec![2.0, 2.0], vec![100.0, 100.0, 100.0]).expect("static costs are valid")
+}
+
+/// The two-stage pipeline of Figure 5 (§3): `w_1 = 1`, `w_2 = 100`,
+/// `δ_0 = 10`, `δ_1 = 1`, `δ_2 = 0`.
+#[must_use]
+pub fn figure5_pipeline() -> Pipeline {
+    Pipeline::new(vec![1.0, 100.0], vec![10.0, 1.0, 0.0]).expect("static costs are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_respects_ranges() {
+        let spec = PipelineGen { n: 10, work_range: (5.0, 6.0), delta_range: (1.0, 2.0) };
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = spec.sample(&mut rng);
+        assert_eq!(p.n_stages(), 10);
+        assert!(p.works().iter().all(|&w| (5.0..=6.0).contains(&w)));
+        assert!(p.deltas().iter().all(|&d| (1.0..=2.0).contains(&d)));
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let spec = PipelineGen::balanced(6);
+        let a = spec.sample(&mut StdRng::seed_from_u64(7));
+        let b = spec.sample(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn presets_have_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let heavy = PipelineGen::compute_heavy(5).sample(&mut rng);
+        assert!(heavy.total_work() > heavy.deltas().iter().sum::<f64>());
+        let commy = PipelineGen::comm_heavy(5).sample(&mut rng);
+        assert!(commy.total_work() < commy.deltas().iter().sum::<f64>());
+    }
+
+    #[test]
+    fn jpeg_pipeline_shape() {
+        let p = jpeg_encoder();
+        assert_eq!(p.n_stages(), 7);
+        assert_eq!(p.input_size(), 768.0);
+        assert_eq!(p.output_size(), 48.0);
+        // DCT is the compute spike.
+        let max_stage =
+            (0..7).max_by(|&a, &b| p.work(a).total_cmp(&p.work(b))).unwrap();
+        assert_eq!(max_stage, 3);
+        // Data size is monotonically non-increasing after subsampling.
+        for i in 3..7 {
+            assert!(p.delta(i + 1) <= p.delta(i));
+        }
+    }
+
+    #[test]
+    fn paper_figures_match_core_tests() {
+        assert_eq!(figure3_pipeline().total_work(), 4.0);
+        assert_eq!(figure5_pipeline().output_size(), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Platform generators for every class of the paper's taxonomy.
+//!
+//! The paper states its results parametrically in the platform class; it
+//! ships no concrete platform files. These seeded generators provide the
+//! synthetic instances used by the cross-validation tests and experiment
+//! tables (DESIGN.md §4 documents this substitution).
+
+use rand::Rng;
+use rpwf_core::platform::{
+    FailureClass, Platform, PlatformBuilder, PlatformClass, ProcId, Vertex,
+};
+use serde::{Deserialize, Serialize};
+
+/// Parametric random-platform specification.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlatformGen {
+    /// Number of processors.
+    pub m: usize,
+    /// Target communication class.
+    pub class: PlatformClass,
+    /// Target failure class.
+    pub failure_class: FailureClass,
+    /// Uniform range for speeds (one shared draw when speed-homogeneous).
+    pub speed_range: (f64, f64),
+    /// Uniform range for bandwidths (one shared draw when comm-homogeneous).
+    pub bandwidth_range: (f64, f64),
+    /// Uniform range for failure probabilities (one shared draw when
+    /// failure-homogeneous).
+    pub failure_range: (f64, f64),
+}
+
+impl PlatformGen {
+    /// A sensible default spec for the given classes.
+    #[must_use]
+    pub fn new(m: usize, class: PlatformClass, failure_class: FailureClass) -> Self {
+        PlatformGen {
+            m,
+            class,
+            failure_class,
+            speed_range: (1.0, 20.0),
+            bandwidth_range: (1.0, 10.0),
+            failure_range: (0.05, 0.6),
+        }
+    }
+
+    /// Draws one platform of the requested classes.
+    ///
+    /// Heterogeneous draws are rejection-free: with continuous ranges, two
+    /// draws collide with probability 0, so the sampled platform classifies
+    /// as requested (asserted in debug builds).
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Platform {
+        assert!(self.m >= 1, "platform must have at least one processor");
+        let m = self.m;
+
+        let speeds: Vec<f64> = match self.class {
+            PlatformClass::FullyHomogeneous => {
+                vec![rng.gen_range(self.speed_range.0..=self.speed_range.1); m]
+            }
+            _ => (0..m).map(|_| rng.gen_range(self.speed_range.0..=self.speed_range.1)).collect(),
+        };
+
+        let fps: Vec<f64> = match self.failure_class {
+            FailureClass::Homogeneous => {
+                vec![rng.gen_range(self.failure_range.0..=self.failure_range.1); m]
+            }
+            FailureClass::Heterogeneous => (0..m)
+                .map(|_| rng.gen_range(self.failure_range.0..=self.failure_range.1))
+                .collect(),
+        };
+
+        let mut builder = PlatformBuilder::new(m)
+            .speeds(speeds)
+            .expect("length matches")
+            .failure_probs(fps)
+            .expect("length matches");
+
+        match self.class {
+            PlatformClass::FullyHomogeneous | PlatformClass::CommHomogeneous => {
+                let b = rng.gen_range(self.bandwidth_range.0..=self.bandwidth_range.1);
+                builder = builder.bandwidth_uniform(b);
+            }
+            PlatformClass::FullyHeterogeneous => {
+                let verts: Vec<Vertex> = (0..m)
+                    .map(|i| Vertex::Proc(ProcId::new(i)))
+                    .chain([Vertex::In, Vertex::Out])
+                    .collect();
+                for i in 0..verts.len() {
+                    for j in i + 1..verts.len() {
+                        let b = rng.gen_range(self.bandwidth_range.0..=self.bandwidth_range.1);
+                        builder = builder.bandwidth(verts[i], verts[j], b);
+                    }
+                }
+            }
+        }
+
+        let platform = builder.build().expect("generated values are in-range");
+        debug_assert_eq!(platform.class(), self.class);
+        debug_assert_eq!(platform.failure_class(), self.failure_class);
+        platform
+    }
+}
+
+/// A two-level "cluster of clusters" platform: `clusters × per_cluster`
+/// processors, fast intra-cluster links (`intra_bw`), slow inter-cluster
+/// links (`inter_bw`), I/O attached to cluster 0 at `intra_bw`. Speeds and
+/// failure probabilities alternate per cluster between the given pairs —
+/// a caricature of a grid of heterogeneous sites used by the examples.
+#[must_use]
+pub fn cluster_of_clusters(
+    clusters: usize,
+    per_cluster: usize,
+    intra_bw: f64,
+    inter_bw: f64,
+    speeds: (f64, f64),
+    fps: (f64, f64),
+) -> Platform {
+    assert!(clusters >= 1 && per_cluster >= 1);
+    let m = clusters * per_cluster;
+    let mut builder = PlatformBuilder::new(m);
+    for c in 0..clusters {
+        let (s, fp) = if c % 2 == 0 { (speeds.0, fps.0) } else { (speeds.1, fps.1) };
+        for k in 0..per_cluster {
+            let pid = ProcId::new(c * per_cluster + k);
+            builder = builder.speed(pid, s).failure_prob(pid, fp);
+        }
+    }
+    for i in 0..m {
+        for j in i + 1..m {
+            let same = i / per_cluster == j / per_cluster;
+            let bw = if same { intra_bw } else { inter_bw };
+            builder = builder.bandwidth(
+                Vertex::Proc(ProcId::new(i)),
+                Vertex::Proc(ProcId::new(j)),
+                bw,
+            );
+        }
+    }
+    for i in 0..m {
+        let bw = if i < per_cluster { intra_bw } else { inter_bw };
+        builder = builder
+            .input_bandwidth(ProcId::new(i), bw)
+            .output_bandwidth(ProcId::new(i), bw);
+    }
+    builder.build().expect("static values are valid")
+}
+
+/// The Figure 4 platform of the paper (§3): two unit-speed processors where
+/// only the `P_in → P_1 → P_2 → P_out` chain has fast (100) links.
+#[must_use]
+pub fn figure4_platform() -> Platform {
+    let p1 = ProcId::new(0);
+    let p2 = ProcId::new(1);
+    PlatformBuilder::new(2)
+        .input_bandwidth(p1, 100.0)
+        .input_bandwidth(p2, 1.0)
+        .bandwidth(Vertex::Proc(p1), Vertex::Proc(p2), 100.0)
+        .output_bandwidth(p1, 1.0)
+        .output_bandwidth(p2, 100.0)
+        .build()
+        .expect("static values are valid")
+}
+
+/// The Figure 5 platform of the paper (§3): processor 0 slow (s = 1) and
+/// reliable (fp = 0.1), processors 1–10 fast (s = 100) and unreliable
+/// (fp = 0.8), uniform bandwidth 1.
+#[must_use]
+pub fn figure5_platform() -> Platform {
+    let mut speeds = vec![100.0; 11];
+    speeds[0] = 1.0;
+    let mut fps = vec![0.8; 11];
+    fps[0] = 0.1;
+    Platform::comm_homogeneous(speeds, 1.0, fps).expect("static values are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_class_combination_samples_correctly() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for class in [
+            PlatformClass::FullyHomogeneous,
+            PlatformClass::CommHomogeneous,
+            PlatformClass::FullyHeterogeneous,
+        ] {
+            for failure in [FailureClass::Homogeneous, FailureClass::Heterogeneous] {
+                let pf = PlatformGen::new(6, class, failure).sample(&mut rng);
+                assert_eq!(pf.class(), class, "{class:?}/{failure:?}");
+                assert_eq!(pf.failure_class(), failure, "{class:?}/{failure:?}");
+                assert_eq!(pf.n_procs(), 6);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let spec = PlatformGen::new(
+            5,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        );
+        let a = spec.sample(&mut StdRng::seed_from_u64(3));
+        let b = spec.sample(&mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cluster_platform_structure() {
+        let pf = cluster_of_clusters(2, 3, 10.0, 1.0, (4.0, 2.0), (0.1, 0.4));
+        assert_eq!(pf.n_procs(), 6);
+        assert_eq!(pf.class(), PlatformClass::FullyHeterogeneous);
+        // Intra-cluster fast, inter-cluster slow.
+        let a = Vertex::Proc(ProcId::new(0));
+        let b = Vertex::Proc(ProcId::new(1));
+        let c = Vertex::Proc(ProcId::new(3));
+        assert_eq!(pf.bandwidth(a, b), 10.0);
+        assert_eq!(pf.bandwidth(a, c), 1.0);
+        // Cluster 1 is the slow/unreliable one.
+        assert_eq!(pf.speed(ProcId::new(4)), 2.0);
+        assert_eq!(pf.failure_prob(ProcId::new(4)), 0.4);
+    }
+
+    #[test]
+    fn figure_platforms_classify_as_in_the_paper() {
+        assert_eq!(figure4_platform().class(), PlatformClass::FullyHeterogeneous);
+        let f5 = figure5_platform();
+        assert_eq!(f5.class(), PlatformClass::CommHomogeneous);
+        assert_eq!(f5.failure_class(), FailureClass::Heterogeneous);
+        assert_eq!(f5.n_procs(), 11);
+    }
+}

@@ -1,0 +1,313 @@
+//! Instance generators for the two NP-hardness reductions.
+//!
+//! * Theorem 3 reduces the **Traveling Salesman Problem** (Hamiltonian path
+//!   with bounded cost between fixed endpoints) to one-to-one latency
+//!   minimization on Fully Heterogeneous platforms.
+//! * Theorem 7 reduces **2-PARTITION** to bi-criteria feasibility.
+//!
+//! The generators here produce source-problem instances; the gadget
+//! constructions (source instance → mapping instance) live in
+//! `rpwf_algo::reductions`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A complete weighted graph with designated source/tail vertices — the
+/// input of Theorem 3's reduction. Edge costs are small positive integers
+/// (stored as `f64`) so that latency thresholds match exactly.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TspInstance {
+    /// Number of vertices (`≥ 2`).
+    pub n: usize,
+    /// Symmetric cost matrix, `costs[i][j]` for `i ≠ j`; diagonal unused.
+    pub costs: Vec<Vec<f64>>,
+    /// Source vertex `s` of the sought Hamiltonian path.
+    pub source: usize,
+    /// Tail vertex `t`.
+    pub tail: usize,
+}
+
+impl TspInstance {
+    /// Random instance on `n` vertices with integer costs in
+    /// `[1, max_cost]`; `source = 0`, `tail = n − 1`.
+    ///
+    /// # Panics
+    /// When `n < 2` or `max_cost < 1`.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // symmetric (i, j) assignment
+    pub fn random<R: Rng + ?Sized>(n: usize, max_cost: u64, rng: &mut R) -> Self {
+        assert!(n >= 2, "TSP needs at least two vertices");
+        assert!(max_cost >= 1);
+        let mut costs = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let c = rng.gen_range(1..=max_cost) as f64;
+                costs[i][j] = c;
+                costs[j][i] = c;
+            }
+        }
+        TspInstance { n, costs, source: 0, tail: n - 1 }
+    }
+
+    /// Cost of a Hamiltonian path given as a vertex sequence.
+    ///
+    /// # Panics
+    /// When the sequence is not a permutation from `source` to `tail`.
+    #[must_use]
+    pub fn path_cost(&self, path: &[usize]) -> f64 {
+        assert_eq!(path.len(), self.n);
+        assert_eq!(path[0], self.source);
+        assert_eq!(path[self.n - 1], self.tail);
+        path.windows(2).map(|w| self.costs[w[0]][w[1]]).sum()
+    }
+
+    /// Cost of the cheapest Hamiltonian path from `source` to `tail`, by
+    /// brute force over permutations. Exponential — cross-check only
+    /// (`n ≲ 10`).
+    #[must_use]
+    pub fn brute_force_best_path(&self) -> (Vec<usize>, f64) {
+        let middle: Vec<usize> =
+            (0..self.n).filter(|&v| v != self.source && v != self.tail).collect();
+        let mut best_cost = f64::INFINITY;
+        let mut best_path = Vec::new();
+        permute(&middle, &mut |perm| {
+            let mut path = Vec::with_capacity(self.n);
+            path.push(self.source);
+            path.extend_from_slice(perm);
+            path.push(self.tail);
+            let cost = self.path_cost(&path);
+            if cost < best_cost {
+                best_cost = cost;
+                best_path = path;
+            }
+        });
+        (best_path, best_cost)
+    }
+}
+
+/// Heap's algorithm over a scratch copy, invoking `f` on each permutation.
+fn permute(items: &[usize], f: &mut impl FnMut(&[usize])) {
+    fn rec(k: usize, arr: &mut [usize], f: &mut impl FnMut(&[usize])) {
+        if k <= 1 {
+            f(arr);
+            return;
+        }
+        for i in 0..k {
+            rec(k - 1, arr, f);
+            if k.is_multiple_of(2) {
+                arr.swap(i, k - 1);
+            } else {
+                arr.swap(0, k - 1);
+            }
+        }
+    }
+    let mut scratch = items.to_vec();
+    let k = scratch.len();
+    rec(k, &mut scratch, f);
+}
+
+/// A 2-PARTITION instance: positive integers `a_1 … a_m`; the question is
+/// whether some subset sums to exactly half the total.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TwoPartitionInstance {
+    /// The multiset of values.
+    pub values: Vec<u64>,
+}
+
+impl TwoPartitionInstance {
+    /// Fully random instance: `m` values in `[1, max_value]`. May or may not
+    /// admit a partition.
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(m: usize, max_value: u64, rng: &mut R) -> Self {
+        assert!(m >= 1);
+        let values = (0..m).map(|_| rng.gen_range(1..=max_value)).collect();
+        TwoPartitionInstance { values }
+    }
+
+    /// Instance with a planted solution: values are drawn in matched pairs
+    /// `(a, a)`, so splitting each pair across the two sides is always a
+    /// valid partition (yes-instance by construction).
+    #[must_use]
+    pub fn with_planted_solution<R: Rng + ?Sized>(
+        pairs: usize,
+        max_value: u64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(pairs >= 1);
+        let mut values = Vec::with_capacity(2 * pairs);
+        for _ in 0..pairs {
+            let a = rng.gen_range(1..=max_value);
+            values.push(a);
+            values.push(a);
+        }
+        TwoPartitionInstance { values }
+    }
+
+    /// Instance guaranteed to be a no-instance: an odd total sum can never
+    /// split evenly.
+    #[must_use]
+    pub fn odd_total<R: Rng + ?Sized>(m: usize, max_value: u64, rng: &mut R) -> Self {
+        let mut inst = Self::random(m, max_value, rng);
+        if inst.total().is_multiple_of(2) {
+            inst.values[0] += 1;
+        }
+        inst
+    }
+
+    /// Sum of all values `S`.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.values.iter().sum()
+    }
+
+    /// Decides the instance by subset-sum dynamic programming
+    /// (`O(m · S/2)` bits). Returns a witness subset (indices) when one
+    /// exists.
+    #[must_use]
+    pub fn solve(&self) -> Option<Vec<usize>> {
+        let total = self.total();
+        if !total.is_multiple_of(2) {
+            return None;
+        }
+        let target = (total / 2) as usize;
+        // reachable[s] = Some(index of the value used when s was first
+        // reached). Writes only happen when the predecessor sum was already
+        // reachable via strictly earlier items, so the traceback below walks
+        // strictly decreasing indices — each value is used at most once.
+        let mut reachable: Vec<Option<usize>> = vec![None; target + 1];
+        reachable[0] = Some(usize::MAX); // sentinel: sum 0 uses nothing
+        for (idx, &v) in self.values.iter().enumerate() {
+            let v = v as usize;
+            if v > target {
+                continue;
+            }
+            for s in (v..=target).rev() {
+                if reachable[s].is_none() && reachable[s - v].is_some() {
+                    reachable[s] = Some(idx);
+                }
+            }
+        }
+        reachable[target]?;
+        // Trace back the witness.
+        let mut subset = Vec::new();
+        let mut s = target;
+        while s > 0 {
+            let idx = reachable[s].expect("traceback stays reachable");
+            subset.push(idx);
+            s -= self.values[idx] as usize;
+        }
+        subset.reverse();
+        Some(subset)
+    }
+
+    /// Verifies a claimed witness subset.
+    #[must_use]
+    pub fn check_witness(&self, subset: &[usize]) -> bool {
+        let mut seen = vec![false; self.values.len()];
+        for &i in subset {
+            if i >= self.values.len() || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+        }
+        let sum: u64 = subset.iter().map(|&i| self.values[i]).sum();
+        2 * sum == self.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tsp_random_is_symmetric_integer() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = TspInstance::random(6, 9, &mut rng);
+        for i in 0..6 {
+            for j in 0..6 {
+                if i != j {
+                    assert_eq!(t.costs[i][j], t.costs[j][i]);
+                    assert_eq!(t.costs[i][j].fract(), 0.0);
+                    assert!((1.0..=9.0).contains(&t.costs[i][j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tsp_brute_force_on_known_graph() {
+        // 4 vertices; force the cheap path 0-2-1-3 with cost 3.
+        let mut costs = vec![vec![10.0; 4]; 4];
+        let set = |c: &mut Vec<Vec<f64>>, i: usize, j: usize, v: f64| {
+            c[i][j] = v;
+            c[j][i] = v;
+        };
+        set(&mut costs, 0, 2, 1.0);
+        set(&mut costs, 2, 1, 1.0);
+        set(&mut costs, 1, 3, 1.0);
+        let t = TspInstance { n: 4, costs, source: 0, tail: 3 };
+        let (path, cost) = t.brute_force_best_path();
+        assert_eq!(cost, 3.0);
+        assert_eq!(path, vec![0, 2, 1, 3]);
+        assert_eq!(t.path_cost(&path), 3.0);
+    }
+
+    #[test]
+    fn planted_two_partition_solves() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let inst = TwoPartitionInstance::with_planted_solution(5, 50, &mut rng);
+            let witness = inst.solve().expect("planted instance must be a yes-instance");
+            assert!(inst.check_witness(&witness));
+        }
+    }
+
+    #[test]
+    fn odd_total_never_solves() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..20 {
+            let inst = TwoPartitionInstance::odd_total(7, 30, &mut rng);
+            assert_eq!(inst.total() % 2, 1);
+            assert!(inst.solve().is_none());
+        }
+    }
+
+    #[test]
+    fn solver_agrees_with_brute_force() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..50 {
+            let inst = TwoPartitionInstance::random(10, 20, &mut rng);
+            let dp = inst.solve();
+            // Brute force over all subsets.
+            let total = inst.total();
+            let mut brute = false;
+            if total.is_multiple_of(2) {
+                for mask in 0u32..(1 << inst.values.len()) {
+                    let sum: u64 = (0..inst.values.len())
+                        .filter(|&i| mask & (1 << i) != 0)
+                        .map(|i| inst.values[i])
+                        .sum();
+                    if 2 * sum == total {
+                        brute = true;
+                        break;
+                    }
+                }
+            }
+            assert_eq!(dp.is_some(), brute, "values {:?}", inst.values);
+            if let Some(w) = dp {
+                assert!(inst.check_witness(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn witness_checker_rejects_bad_subsets() {
+        let inst = TwoPartitionInstance { values: vec![2, 2, 4] };
+        assert!(inst.check_witness(&[2])); // {4} vs {2,2}
+        assert!(!inst.check_witness(&[0])); // sums 2 != 4
+        assert!(!inst.check_witness(&[0, 0])); // duplicate index
+        assert!(!inst.check_witness(&[9])); // out of range
+    }
+}

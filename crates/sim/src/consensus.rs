@@ -1,0 +1,216 @@
+//! Survivor election among the replicas of an interval.
+//!
+//! The paper notes that achieving the stated latency "needs a standard
+//! consensus protocol to determine which of the surviving processors
+//! performs the outgoing communications" (§2.2, citing Tel). This module
+//! models the *outcome* of that protocol as a deterministic policy over the
+//! alive replicas; the protocol's own message cost is assumed negligible
+//! relative to data transfers (the same abstraction the paper makes).
+
+use crate::failure::FailureScenario;
+use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::platform::{Platform, ProcId, Vertex};
+use rpwf_core::stage::Pipeline;
+use serde::{Deserialize, Serialize};
+
+/// Which alive replica forwards the interval output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SurvivorPolicy {
+    /// Lowest processor id among the alive replicas (what a deterministic
+    /// leader election would produce).
+    FirstAlive,
+    /// The alive replica with the **highest** hop cost
+    /// `W_j/s_u + Σ_v δ/b(u,v)` — the adversarial choice that attains the
+    /// worst-case latency formula.
+    WorstCost,
+    /// The alive replica with the **lowest** hop cost (best case).
+    BestCost,
+}
+
+/// Hop cost of replica `u` of interval `j`: compute plus serialized sends
+/// to the next interval's replicas (or to `P_out` for the last interval).
+#[must_use]
+pub fn hop_cost(
+    mapping: &IntervalMapping,
+    pipeline: &Pipeline,
+    platform: &Platform,
+    j: usize,
+    u: ProcId,
+) -> f64 {
+    let iv = mapping.interval(j);
+    let mut cost = pipeline.interval_work(iv) / platform.speed(u);
+    let out_size = pipeline.interval_output(iv);
+    if j + 1 < mapping.n_intervals() {
+        for &v in mapping.alloc(j + 1) {
+            cost += platform.comm_time(Vertex::Proc(u), Vertex::Proc(v), out_size);
+        }
+    } else {
+        cost += platform.comm_time(Vertex::Proc(u), Vertex::Out, out_size);
+    }
+    cost
+}
+
+/// Elects the survivor of interval `j` under the policy; `None` when every
+/// replica is dead (the workflow fails).
+#[must_use]
+pub fn elect_survivor(
+    policy: SurvivorPolicy,
+    mapping: &IntervalMapping,
+    pipeline: &Pipeline,
+    platform: &Platform,
+    scenario: &FailureScenario,
+    j: usize,
+) -> Option<ProcId> {
+    let alive: Vec<ProcId> =
+        mapping.alloc(j).iter().copied().filter(|&p| scenario.alive(p)).collect();
+    if alive.is_empty() {
+        return None;
+    }
+    let pick = match policy {
+        SurvivorPolicy::FirstAlive => alive[0],
+        SurvivorPolicy::WorstCost => alive
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                hop_cost(mapping, pipeline, platform, j, a)
+                    .total_cmp(&hop_cost(mapping, pipeline, platform, j, b))
+                    .then(b.0.cmp(&a.0)) // deterministic tie-break: lowest id
+            })
+            .expect("non-empty"),
+        SurvivorPolicy::BestCost => alive
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                hop_cost(mapping, pipeline, platform, j, a)
+                    .total_cmp(&hop_cost(mapping, pipeline, platform, j, b))
+                    .then(a.0.cmp(&b.0))
+            })
+            .expect("non-empty"),
+    };
+    Some(pick)
+}
+
+/// Order in which a sender serializes its transfers to a replica set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceOrder {
+    /// Ascending processor id (a neutral deterministic order).
+    ById,
+    /// The designated survivor is served **last** — the adversarial order
+    /// assumed by the worst-case latency formulas.
+    SurvivorLast,
+    /// The designated survivor is served first (best case).
+    SurvivorFirst,
+}
+
+/// Produces the ordered receiver list for a hop toward replica set `set`,
+/// given the already-elected survivor of that set.
+#[must_use]
+pub fn service_order(
+    order: ServiceOrder,
+    set: &[ProcId],
+    survivor: Option<ProcId>,
+) -> Vec<ProcId> {
+    let mut receivers: Vec<ProcId> = set.to_vec();
+    receivers.sort_unstable();
+    match (order, survivor) {
+        (ServiceOrder::ById, _) | (_, None) => receivers,
+        (ServiceOrder::SurvivorLast, Some(s)) => {
+            receivers.retain(|&p| p != s);
+            receivers.push(s);
+            receivers
+        }
+        (ServiceOrder::SurvivorFirst, Some(s)) => {
+            receivers.retain(|&p| p != s);
+            receivers.insert(0, s);
+            receivers
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpwf_core::assert_approx_eq;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    fn fig5() -> (Pipeline, Platform, IntervalMapping) {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let fast: Vec<ProcId> = (1..=10).map(p).collect();
+        let mapping = IntervalMapping::new(
+            vec![
+                rpwf_core::mapping::Interval::singleton(0),
+                rpwf_core::mapping::Interval::singleton(1),
+            ],
+            vec![vec![p(0)], fast],
+            2,
+            11,
+        )
+        .unwrap();
+        (pipe, pf, mapping)
+    }
+
+    #[test]
+    fn hop_cost_matches_formula() {
+        let (pipe, pf, mapping) = fig5();
+        // Interval 0 on P0: w=1/s=1 + 10 sends of δ1=1 at b=1 → 1 + 10.
+        assert_approx_eq!(hop_cost(&mapping, &pipe, &pf, 0, p(0)), 11.0);
+        // Interval 1 on a fast proc: 100/100 + 0 (δ2 = 0).
+        assert_approx_eq!(hop_cost(&mapping, &pipe, &pf, 1, p(3)), 1.0);
+    }
+
+    #[test]
+    fn election_policies() {
+        let (pipe, pf, mapping) = fig5();
+        let scenario = FailureScenario::with_dead(11, &[p(1), p(2)]);
+        assert_eq!(
+            elect_survivor(SurvivorPolicy::FirstAlive, &mapping, &pipe, &pf, &scenario, 1),
+            Some(p(3))
+        );
+        // All fast replicas have equal cost; WorstCost tie-breaks to lowest id.
+        assert_eq!(
+            elect_survivor(SurvivorPolicy::WorstCost, &mapping, &pipe, &pf, &scenario, 1),
+            Some(p(3))
+        );
+        // Kill everything in interval 1 → None.
+        let all_dead = FailureScenario::with_dead(11, &(1..=10).map(p).collect::<Vec<_>>());
+        assert_eq!(
+            elect_survivor(SurvivorPolicy::FirstAlive, &mapping, &pipe, &pf, &all_dead, 1),
+            None
+        );
+    }
+
+    #[test]
+    fn worst_cost_picks_slowest_on_speed_heterogeneous_sets() {
+        let pipe = Pipeline::new(vec![10.0], vec![0.0, 0.0]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 5.0], 1.0, vec![0.5, 0.5]).unwrap();
+        let mapping = IntervalMapping::single_interval(1, vec![p(0), p(1)], 2).unwrap();
+        let scenario = FailureScenario::all_alive(2);
+        assert_eq!(
+            elect_survivor(SurvivorPolicy::WorstCost, &mapping, &pipe, &pf, &scenario, 0),
+            Some(p(0)) // slow one
+        );
+        assert_eq!(
+            elect_survivor(SurvivorPolicy::BestCost, &mapping, &pipe, &pf, &scenario, 0),
+            Some(p(1))
+        );
+    }
+
+    #[test]
+    fn service_orders() {
+        let set = vec![p(5), p(2), p(9)];
+        assert_eq!(service_order(ServiceOrder::ById, &set, Some(p(5))), vec![p(2), p(5), p(9)]);
+        assert_eq!(
+            service_order(ServiceOrder::SurvivorLast, &set, Some(p(5))),
+            vec![p(2), p(9), p(5)]
+        );
+        assert_eq!(
+            service_order(ServiceOrder::SurvivorFirst, &set, Some(p(5))),
+            vec![p(5), p(2), p(9)]
+        );
+        assert_eq!(service_order(ServiceOrder::SurvivorLast, &set, None), vec![p(2), p(5), p(9)]);
+    }
+}

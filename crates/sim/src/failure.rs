@@ -1,0 +1,186 @@
+//! Failure injection.
+//!
+//! The paper's semantics (§2.1): each processor has a constant probability
+//! `fp_u` of breaking down at some point during the (very long) execution of
+//! the workflow; the latency guarantee is driven by the data sets processed
+//! *after* the failures. The corresponding scenario model is
+//! Bernoulli-at-start: a processor is either alive for the whole run or
+//! failed from the beginning. An exponential-lifetime model is provided as
+//! an extension for mid-run failure studies.
+
+use rand::Rng;
+use rpwf_core::platform::{Platform, ProcId};
+use serde::{Deserialize, Serialize};
+
+/// A concrete failure outcome for one simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailureScenario {
+    /// Time at which each processor dies; `+∞` = survives the whole run.
+    /// Paper semantics uses only `0.0` (dead from the start) or `+∞`.
+    pub death_time: Vec<f64>,
+}
+
+impl FailureScenario {
+    /// Everyone survives.
+    #[must_use]
+    pub fn all_alive(m: usize) -> Self {
+        FailureScenario { death_time: vec![f64::INFINITY; m] }
+    }
+
+    /// Exactly the given processors are dead from the start.
+    #[must_use]
+    pub fn with_dead(m: usize, dead: &[ProcId]) -> Self {
+        let mut death_time = vec![f64::INFINITY; m];
+        for &p in dead {
+            death_time[p.index()] = 0.0;
+        }
+        FailureScenario { death_time }
+    }
+
+    /// Is `p` alive at time `t`?
+    #[inline]
+    #[must_use]
+    pub fn alive_at(&self, p: ProcId, t: f64) -> bool {
+        t < self.death_time[p.index()]
+    }
+
+    /// Is `p` alive for the entire run (paper semantics query)?
+    #[inline]
+    #[must_use]
+    pub fn alive(&self, p: ProcId) -> bool {
+        self.death_time[p.index()] == f64::INFINITY
+    }
+
+    /// Ids of processors dead from the start.
+    #[must_use]
+    pub fn dead_procs(&self) -> Vec<ProcId> {
+        self.death_time
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t == 0.0)
+            .map(|(i, _)| ProcId::new(i))
+            .collect()
+    }
+}
+
+/// Stochastic failure models that sample [`FailureScenario`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FailureModel {
+    /// Paper semantics: processor `u` is dead-from-start with probability
+    /// `fp_u`, alive forever otherwise.
+    BernoulliAtStart,
+    /// Extension: processor `u` dies at an `Exp(λ_u)` time where `λ_u` is
+    /// calibrated so that `P(death ≤ horizon) = fp_u`, i.e.
+    /// `λ_u = −ln(1 − fp_u)/horizon`.
+    ExponentialLifetime {
+        /// The workflow horizon used for calibration.
+        horizon: f64,
+    },
+}
+
+impl FailureModel {
+    /// Samples one scenario for the platform.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(&self, platform: &Platform, rng: &mut R) -> FailureScenario {
+        let death_time = platform
+            .procs()
+            .map(|p| {
+                let fp = platform.failure_prob(p);
+                match *self {
+                    FailureModel::BernoulliAtStart => {
+                        if rng.gen_bool(fp.clamp(0.0, 1.0)) {
+                            0.0
+                        } else {
+                            f64::INFINITY
+                        }
+                    }
+                    FailureModel::ExponentialLifetime { horizon } => {
+                        if fp <= 0.0 {
+                            f64::INFINITY
+                        } else if fp >= 1.0 {
+                            0.0
+                        } else {
+                            let lambda = -(1.0 - fp).ln() / horizon;
+                            // Inverse-CDF sampling of Exp(λ).
+                            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                            -u.ln() / lambda
+                        }
+                    }
+                }
+            })
+            .collect();
+        FailureScenario { death_time }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rpwf_core::platform::Platform;
+
+    #[test]
+    fn scenario_queries() {
+        let sc = FailureScenario::with_dead(3, &[ProcId(1)]);
+        assert!(sc.alive(ProcId(0)));
+        assert!(!sc.alive(ProcId(1)));
+        assert!(sc.alive_at(ProcId(0), 1e12));
+        assert!(!sc.alive_at(ProcId(1), 0.0));
+        assert_eq!(sc.dead_procs(), vec![ProcId(1)]);
+        assert_eq!(FailureScenario::all_alive(2).dead_procs(), vec![]);
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_fp() {
+        let pf = Platform::fully_homogeneous(1, 1.0, 1.0, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(100);
+        let trials = 20_000;
+        let mut dead = 0usize;
+        for _ in 0..trials {
+            let sc = FailureModel::BernoulliAtStart.sample(&pf, &mut rng);
+            if !sc.alive(ProcId(0)) {
+                dead += 1;
+            }
+        }
+        let rate = dead as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sure = Platform::fully_homogeneous(2, 1.0, 1.0, 1.0).unwrap();
+        let sc = FailureModel::BernoulliAtStart.sample(&sure, &mut rng);
+        assert_eq!(sc.dead_procs().len(), 2);
+        let never = Platform::fully_homogeneous(2, 1.0, 1.0, 0.0).unwrap();
+        let sc = FailureModel::BernoulliAtStart.sample(&never, &mut rng);
+        assert!(sc.dead_procs().is_empty());
+    }
+
+    #[test]
+    fn exponential_calibration_matches_horizon() {
+        // P(death ≤ horizon) should be ≈ fp.
+        let pf = Platform::fully_homogeneous(1, 1.0, 1.0, 0.5).unwrap();
+        let model = FailureModel::ExponentialLifetime { horizon: 10.0 };
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 20_000;
+        let mut died_in_horizon = 0usize;
+        for _ in 0..trials {
+            let sc = model.sample(&pf, &mut rng);
+            if sc.death_time[0] <= 10.0 {
+                died_in_horizon += 1;
+            }
+        }
+        let rate = died_in_horizon as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let pf = Platform::fully_homogeneous(5, 1.0, 1.0, 0.4).unwrap();
+        let a = FailureModel::BernoulliAtStart.sample(&pf, &mut StdRng::seed_from_u64(9));
+        let b = FailureModel::BernoulliAtStart.sample(&pf, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

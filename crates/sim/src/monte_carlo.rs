@@ -1,0 +1,293 @@
+//! Monte Carlo estimation of reliability and latency distributions.
+//!
+//! Samples failure scenarios from a [`FailureModel`], runs the full
+//! event-driven simulation per trial, and aggregates success rate (with a
+//! Wilson 95% confidence interval) and latency statistics. The estimated
+//! success rate converges to the analytic `1 − FP` of
+//! [`rpwf_core::metrics::failure_probability`] — experiment E11 — and the
+//! observed latency maximum never exceeds the equation-(2) bound.
+//!
+//! Trials are independent; they are sharded across crossbeam scoped threads
+//! with per-shard derived seeds, so the aggregate is deterministic for a
+//! given `(seed, trials, threads)` triple — and independent of `threads`
+//! because each trial's RNG is seeded individually.
+
+use crate::failure::FailureModel;
+use crate::pipeline::{simulate_one, DatasetOutcome, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::platform::Platform;
+use rpwf_core::stage::Pipeline;
+use serde::{Deserialize, Serialize};
+
+/// Monte Carlo driver configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MonteCarlo {
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Base seed; trial `i` uses `seed ⊕ splitmix(i)`.
+    pub seed: u64,
+    /// The failure model sampled per trial.
+    pub model: FailureModel,
+    /// Simulation configuration for each trial.
+    pub config: SimConfig,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+}
+
+impl Default for MonteCarlo {
+    fn default() -> Self {
+        MonteCarlo {
+            trials: 10_000,
+            seed: 0xD15EA5E,
+            model: FailureModel::BernoulliAtStart,
+            config: SimConfig::worst_case(),
+            threads: 0,
+        }
+    }
+}
+
+/// Aggregated Monte Carlo results.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct McReport {
+    /// Trials run.
+    pub trials: usize,
+    /// Successful trials.
+    pub successes: usize,
+    /// `successes / trials`.
+    pub success_rate: f64,
+    /// Wilson 95% confidence interval on the success probability.
+    pub wilson95: (f64, f64),
+    /// Latency statistics over successful trials.
+    pub latency: LatencyStats,
+}
+
+/// Streaming summary statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl LatencyStats {
+    fn empty() -> Self {
+        LatencyStats { count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY, mean: 0.0 }
+    }
+
+    fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.mean += (x - self.mean) / self.count as f64;
+    }
+
+    fn merge(mut self, other: LatencyStats) -> LatencyStats {
+        if other.count == 0 {
+            return self;
+        }
+        if self.count == 0 {
+            return other;
+        }
+        let total = self.count + other.count;
+        self.mean = (self.mean * self.count as f64 + other.mean * other.count as f64)
+            / total as f64;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count = total;
+        self
+    }
+}
+
+/// Wilson score interval for a binomial proportion at z = 1.96.
+#[must_use]
+pub fn wilson95(successes: usize, trials: usize) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.959_963_984_540_054f64;
+    let n = trials as f64;
+    let phat = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (phat + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((phat * (1.0 - phat) / n + z2 / (4.0 * n * n)).sqrt());
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// SplitMix64 — decorrelates per-trial seeds derived from a base seed.
+#[must_use]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl MonteCarlo {
+    /// Runs the estimation.
+    #[must_use]
+    pub fn run(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        mapping: &IntervalMapping,
+    ) -> McReport {
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(self.trials.max(1))
+        } else {
+            self.threads
+        };
+        let chunk = self.trials.div_ceil(threads.max(1));
+
+        let mut partials: Vec<Option<(usize, LatencyStats)>> =
+            (0..threads).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            for (t, slot) in partials.iter_mut().enumerate() {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(self.trials);
+                scope.spawn(move |_| {
+                    let mut successes = 0usize;
+                    let mut stats = LatencyStats::empty();
+                    for trial in lo..hi {
+                        let mut rng =
+                            StdRng::seed_from_u64(self.seed ^ splitmix64(trial as u64));
+                        let scenario = self.model.sample(platform, &mut rng);
+                        match simulate_one(pipeline, platform, mapping, &scenario, self.config)
+                        {
+                            DatasetOutcome::Success { latency, .. } => {
+                                successes += 1;
+                                stats.push(latency);
+                            }
+                            DatasetOutcome::Failed { .. } => {}
+                        }
+                    }
+                    *slot = Some((successes, stats));
+                });
+            }
+        })
+        .expect("monte carlo workers do not panic");
+
+        let mut successes = 0usize;
+        let mut stats = LatencyStats::empty();
+        for (s, st) in partials.into_iter().flatten() {
+            successes += s;
+            stats = stats.merge(st);
+        }
+        McReport {
+            trials: self.trials,
+            successes,
+            success_rate: successes as f64 / self.trials.max(1) as f64,
+            wilson95: wilson95(successes, self.trials),
+            latency: stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpwf_core::mapping::Interval;
+    use rpwf_core::metrics::{failure_probability, latency};
+    use rpwf_core::platform::ProcId;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn wilson_basic_properties() {
+        let (lo, hi) = wilson95(50, 100);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.25);
+        let (lo, hi) = wilson95(0, 100);
+        assert!(lo <= 1e-12);
+        assert!(hi < 0.06);
+        let (lo, hi) = wilson95(100, 100);
+        assert!(lo > 0.94);
+        assert_eq!(hi, 1.0);
+        assert_eq!(wilson95(0, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn success_rate_converges_to_analytic_reliability() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let mapping = IntervalMapping::new(
+            vec![Interval::singleton(0), Interval::singleton(1)],
+            vec![vec![p(0)], (1..=10).map(p).collect()],
+            2,
+            11,
+        )
+        .unwrap();
+        let analytic = 1.0 - failure_probability(&mapping, &pf);
+        let mc = MonteCarlo { trials: 20_000, ..Default::default() };
+        let report = mc.run(&pipe, &pf, &mapping);
+        // The analytic value must land inside the 95% Wilson band
+        // (seeded run: deterministic, no flakiness).
+        assert!(
+            report.wilson95.0 <= analytic && analytic <= report.wilson95.1,
+            "analytic {analytic} outside {:?}",
+            report.wilson95
+        );
+    }
+
+    #[test]
+    fn observed_latencies_never_exceed_eq2() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let mapping = IntervalMapping::new(
+            vec![Interval::singleton(0), Interval::singleton(1)],
+            vec![vec![p(0)], (1..=10).map(p).collect()],
+            2,
+            11,
+        )
+        .unwrap();
+        let bound = latency(&mapping, &pipe, &pf);
+        let report = MonteCarlo { trials: 5_000, ..Default::default() }.run(&pipe, &pf, &mapping);
+        assert!(report.latency.max <= bound + 1e-9);
+        assert!(report.latency.min > 0.0);
+        assert!(report.latency.mean <= report.latency.max);
+    }
+
+    #[test]
+    fn deterministic_and_thread_count_invariant() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let mapping =
+            IntervalMapping::single_interval(2, (1..=4).map(p).collect(), 11).unwrap();
+        let base = MonteCarlo { trials: 2_000, seed: 42, ..Default::default() };
+        let one = MonteCarlo { threads: 1, ..base }.run(&pipe, &pf, &mapping);
+        let four = MonteCarlo { threads: 4, ..base }.run(&pipe, &pf, &mapping);
+        assert_eq!(one.successes, four.successes);
+        assert!((one.latency.mean - four.latency.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_failure_platform_always_succeeds() {
+        let pipe = rpwf_gen::figure3_pipeline();
+        let pf = Platform::fully_homogeneous(3, 1.0, 1.0, 0.0).unwrap();
+        let mapping = IntervalMapping::single_interval(2, vec![p(0), p(1)], 3).unwrap();
+        let report = MonteCarlo { trials: 500, ..Default::default() }.run(&pipe, &pf, &mapping);
+        assert_eq!(report.successes, 500);
+        assert_eq!(report.success_rate, 1.0);
+    }
+
+    #[test]
+    fn doomed_platform_always_fails() {
+        let pipe = rpwf_gen::figure3_pipeline();
+        let pf = Platform::fully_homogeneous(2, 1.0, 1.0, 1.0).unwrap();
+        let mapping = IntervalMapping::single_interval(2, vec![p(0), p(1)], 2).unwrap();
+        let report = MonteCarlo { trials: 200, ..Default::default() }.run(&pipe, &pf, &mapping);
+        assert_eq!(report.successes, 0);
+        assert_eq!(report.latency.count, 0);
+    }
+}

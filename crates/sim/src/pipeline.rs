@@ -1,0 +1,582 @@
+//! Event-driven execution of a mapped pipeline under the one-port model.
+//!
+//! The simulated protocol follows §2.2 of the paper:
+//!
+//! 1. `P_in` serializes one copy of the input to **every** replica of the
+//!    first interval (the sender cannot know which replicas are dead);
+//! 2. every alive replica of interval `j` computes every data set; the
+//!    consensus survivor ([`crate::consensus`]) — and only it — forwards
+//!    the interval output, again serialized to every replica of interval
+//!    `j+1`;
+//! 3. the survivor of the last interval sends the result to `P_out`.
+//!
+//! Each processor (and each of `P_in`/`P_out`) is a single exclusive
+//! resource: receiving, computing and sending never overlap on it — the
+//! no-overlap one-port reading behind the paper's formulas. Scheduling is
+//! **causal**: an activity starts only when every port it needs is free at
+//! the current instant; otherwise it re-arms at the ports' earliest free
+//! time. Contending activities at the same instant are granted in
+//! deterministic event order, so runs are reproducible and, unlike a
+//! reserve-ahead scheme, back-pressure propagates correctly when many data
+//! sets stream through the pipeline.
+//!
+//! With the adversarial configuration — [`SurvivorPolicy::WorstCost`] +
+//! [`ServiceOrder::SurvivorLast`] — the simulated latency of a lone data
+//! set **equals equation (2) exactly** (integration-tested); any other
+//! configuration can only be faster, making the formula a certified upper
+//! bound.
+
+use crate::consensus::{elect_survivor, service_order, ServiceOrder, SurvivorPolicy};
+use crate::des::{Engine, Model, Scheduler};
+use crate::failure::FailureScenario;
+use crate::trace::{Activity, Trace};
+use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::platform::{Platform, ProcId, Vertex};
+use rpwf_core::stage::Pipeline;
+use serde::{Deserialize, Serialize};
+
+/// Simulation configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Who forwards interval outputs.
+    pub survivor_policy: SurvivorPolicy,
+    /// How a sender orders its serialized transfers.
+    pub service_order: ServiceOrder,
+    /// Record per-resource busy intervals.
+    pub record_trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            survivor_policy: SurvivorPolicy::FirstAlive,
+            service_order: ServiceOrder::ById,
+            record_trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The adversarial configuration that attains the worst-case formulas.
+    #[must_use]
+    pub fn worst_case() -> Self {
+        SimConfig {
+            survivor_policy: SurvivorPolicy::WorstCost,
+            service_order: ServiceOrder::SurvivorLast,
+            record_trace: false,
+        }
+    }
+
+    /// The friendliest configuration (lower bound).
+    #[must_use]
+    pub fn best_case() -> Self {
+        SimConfig {
+            survivor_policy: SurvivorPolicy::BestCost,
+            service_order: ServiceOrder::SurvivorFirst,
+            record_trace: false,
+        }
+    }
+
+    /// Enables trace recording.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+/// Result for one data set.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DatasetOutcome {
+    /// The data set traversed the whole pipeline.
+    Success {
+        /// Response time (completion − injection).
+        latency: f64,
+        /// Absolute completion time.
+        completed_at: f64,
+    },
+    /// Every replica of some interval was dead.
+    Failed {
+        /// The first fully-dead interval.
+        at_interval: usize,
+    },
+}
+
+impl DatasetOutcome {
+    /// Latency when successful.
+    #[must_use]
+    pub fn latency(&self) -> Option<f64> {
+        match *self {
+            DatasetOutcome::Success { latency, .. } => Some(latency),
+            DatasetOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// `true` on success.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        matches!(self, DatasetOutcome::Success { .. })
+    }
+}
+
+/// Full report of one simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Per data set, in injection order.
+    pub outcomes: Vec<DatasetOutcome>,
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Busy-interval trace when requested.
+    pub trace: Option<Trace>,
+}
+
+impl SimReport {
+    /// Fraction of successful data sets.
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.is_success()).count() as f64
+            / self.outcomes.len() as f64
+    }
+
+    /// Maximum latency over successful data sets.
+    #[must_use]
+    pub fn max_latency(&self) -> Option<f64> {
+        self.outcomes
+            .iter()
+            .filter_map(DatasetOutcome::latency)
+            .max_by(f64::total_cmp)
+    }
+
+    /// Completion times of successful data sets, in injection order.
+    #[must_use]
+    pub fn completion_times(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match *o {
+                DatasetOutcome::Success { completed_at, .. } => Some(completed_at),
+                DatasetOutcome::Failed { .. } => None,
+            })
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// Data set `d` enters the system.
+    Inject(usize),
+    /// Begin hop `h` of data set `d` (serialized sends toward interval `h`,
+    /// or toward `P_out` when `h == p`).
+    StartHop { d: usize, h: usize },
+    /// Attempt the `idx`-th serialized transfer of hop `(d, h)`.
+    TrySend { d: usize, h: usize, idx: usize },
+    /// Attempt the compute of replica `r` for `(d, interval h)`.
+    TryCompute { d: usize, h: usize, r: ProcId },
+    /// The survivor finished computing interval `j` of data set `d`.
+    Computed { d: usize, j: usize },
+    /// `P_out` received the result of data set `d`.
+    Delivered(usize),
+}
+
+struct PipelineModel<'a> {
+    pipeline: &'a Pipeline,
+    platform: &'a Platform,
+    mapping: &'a IntervalMapping,
+    scenario: &'a FailureScenario,
+    /// Elected survivor per interval (`None` = interval fully dead).
+    survivors: Vec<Option<ProcId>>,
+    /// Ordered receivers per hop `0..p` (hop `p` goes to `P_out`).
+    hop_receivers: Vec<Vec<ProcId>>,
+    /// Resource availability: `0..m` processors, `m` = `P_in`, `m+1` = `P_out`.
+    free_at: Vec<f64>,
+    inject_time: Vec<f64>,
+    outcomes: Vec<Option<DatasetOutcome>>,
+    trace: Option<Trace>,
+}
+
+impl<'a> PipelineModel<'a> {
+    fn res_of(&self, v: Vertex) -> usize {
+        let m = self.platform.n_procs();
+        match v {
+            Vertex::Proc(p) => p.index(),
+            Vertex::In => m,
+            Vertex::Out => m + 1,
+        }
+    }
+
+    fn record(&mut self, res: usize, start: f64, end: f64, act: Activity) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(res, start, end, act);
+        }
+    }
+
+    fn hop_sender(&self, h: usize) -> Vertex {
+        if h == 0 {
+            Vertex::In
+        } else {
+            Vertex::Proc(self.survivors[h - 1].expect("chain alive before hop h"))
+        }
+    }
+
+    fn hop_size(&self, h: usize) -> f64 {
+        let p = self.mapping.n_intervals();
+        if h == p {
+            self.pipeline.output_size()
+        } else {
+            self.pipeline.interval_input(self.mapping.interval(h))
+        }
+    }
+}
+
+/// Grant priority: data sets first-come-first-served, then hop order —
+/// the service discipline assumed by the steady-state period analysis.
+fn prio(d: usize, h: usize) -> u64 {
+    ((d as u64) << 16) | (h as u64 + 1)
+}
+
+impl Model for PipelineModel<'_> {
+    type Event = Event;
+
+    fn handle(&mut self, now: f64, event: Event, s: &mut Scheduler<Event>) {
+        let p = self.mapping.n_intervals();
+        match event {
+            Event::Inject(d) => {
+                self.inject_time[d] = now;
+                s.schedule(now, Event::StartHop { d, h: 0 });
+            }
+            Event::StartHop { d, h } => {
+                if h < p && self.survivors[h].is_none() {
+                    // Every replica of interval h is dead: the workflow
+                    // fails for this data set. The futile serialized sends
+                    // still consume the sender (it cannot know).
+                    self.outcomes[d] = Some(DatasetOutcome::Failed { at_interval: h });
+                }
+                s.schedule_prio(now, prio(d, h), Event::TrySend { d, h, idx: 0 });
+            }
+            Event::TrySend { d, h, idx } => {
+                // Resolve this leg's receiver (None = P_out).
+                let receiver: Option<ProcId> = if h == p {
+                    None
+                } else {
+                    match self.hop_receivers[h].get(idx) {
+                        Some(&r) => Some(r),
+                        // Hop fully serialized; nothing left to do here.
+                        None => return,
+                    }
+                };
+                let sender = self.hop_sender(h);
+                let s_res = self.res_of(sender);
+                let size = self.hop_size(h);
+                let (r_vertex, alive) = match receiver {
+                    None => (Vertex::Out, true),
+                    Some(r) => (Vertex::Proc(r), self.scenario.alive(r)),
+                };
+                let dur = self.platform.comm_time(sender, r_vertex, size);
+                let r_res = self.res_of(r_vertex);
+
+                // Causal port acquisition: wait for every needed port.
+                let need_receiver_port = alive;
+                let ready = self.free_at[s_res] <= now
+                    && (!need_receiver_port || self.free_at[r_res] <= now);
+                if !ready {
+                    let at = if need_receiver_port {
+                        self.free_at[s_res].max(self.free_at[r_res])
+                    } else {
+                        self.free_at[s_res]
+                    };
+                    s.schedule_prio(at, prio(d, h), Event::TrySend { d, h, idx });
+                    return;
+                }
+
+                let end = now + dur;
+                self.free_at[s_res] = end;
+                self.record(s_res, now, end, Activity::Send(d, h));
+                if alive {
+                    self.free_at[r_res] = end;
+                    self.record(r_res, now, end, Activity::Recv(d, h));
+                }
+                match receiver {
+                    None => s.schedule(end, Event::Delivered(d)),
+                    Some(r) => {
+                        if alive {
+                            s.schedule_prio(end, prio(d, h), Event::TryCompute { d, h, r });
+                        }
+                        s.schedule_prio(end, prio(d, h), Event::TrySend { d, h, idx: idx + 1 });
+                    }
+                }
+            }
+            Event::TryCompute { d, h, r } => {
+                let r_res = r.index();
+                if self.free_at[r_res] > now {
+                    s.schedule_prio(self.free_at[r_res], prio(d, h), Event::TryCompute { d, h, r });
+                    return;
+                }
+                let dur =
+                    self.pipeline.interval_work(self.mapping.interval(h)) / self.platform.speed(r);
+                let end = now + dur;
+                self.free_at[r_res] = end;
+                self.record(r_res, now, end, Activity::Compute(d, h));
+                if self.survivors[h] == Some(r) {
+                    s.schedule(end, Event::Computed { d, j: h });
+                }
+            }
+            Event::Computed { d, j } => {
+                s.schedule(now, Event::StartHop { d, h: j + 1 });
+            }
+            Event::Delivered(d) => {
+                self.outcomes[d] = Some(DatasetOutcome::Success {
+                    latency: now - self.inject_time[d],
+                    completed_at: now,
+                });
+            }
+        }
+    }
+}
+
+/// Simulates the mapped pipeline over the given data-set arrival times.
+#[must_use]
+pub fn simulate(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    mapping: &IntervalMapping,
+    scenario: &FailureScenario,
+    config: SimConfig,
+    arrivals: &[f64],
+) -> SimReport {
+    let p = mapping.n_intervals();
+    let survivors: Vec<Option<ProcId>> = (0..p)
+        .map(|j| elect_survivor(config.survivor_policy, mapping, pipeline, platform, scenario, j))
+        .collect();
+    let hop_receivers: Vec<Vec<ProcId>> = (0..p)
+        .map(|h| service_order(config.service_order, mapping.alloc(h), survivors[h]))
+        .collect();
+    let model = PipelineModel {
+        pipeline,
+        platform,
+        mapping,
+        scenario,
+        survivors,
+        hop_receivers,
+        free_at: vec![0.0; platform.n_procs() + 2],
+        inject_time: vec![0.0; arrivals.len()],
+        outcomes: vec![None; arrivals.len()],
+        trace: config.record_trace.then(Trace::default),
+    };
+    let mut engine = Engine::new(model);
+    for (d, &t) in arrivals.iter().enumerate() {
+        engine.schedule(t, Event::Inject(d));
+    }
+    let events = engine.run_to_completion();
+    let model = engine.into_model();
+    SimReport {
+        outcomes: model
+            .outcomes
+            .into_iter()
+            .map(|o| o.expect("every data set terminates in success or failure"))
+            .collect(),
+        events,
+        trace: model.trace,
+    }
+}
+
+/// Simulates a single data set injected at time 0.
+#[must_use]
+pub fn simulate_one(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    mapping: &IntervalMapping,
+    scenario: &FailureScenario,
+    config: SimConfig,
+) -> DatasetOutcome {
+    simulate(pipeline, platform, mapping, scenario, config, &[0.0]).outcomes[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpwf_core::assert_approx_eq;
+    use rpwf_core::mapping::Interval;
+    use rpwf_core::metrics::latency;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    fn fig5_mapping() -> (Pipeline, Platform, IntervalMapping) {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let mapping = IntervalMapping::new(
+            vec![Interval::singleton(0), Interval::singleton(1)],
+            vec![vec![p(0)], (1..=10).map(p).collect()],
+            2,
+            11,
+        )
+        .unwrap();
+        (pipe, pf, mapping)
+    }
+
+    #[test]
+    fn worst_case_sim_equals_eq2_on_figure5() {
+        let (pipe, pf, mapping) = fig5_mapping();
+        let scenario = FailureScenario::all_alive(11);
+        let outcome =
+            simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::worst_case());
+        assert_approx_eq!(outcome.latency().unwrap(), 22.0);
+        assert_approx_eq!(outcome.latency().unwrap(), latency(&mapping, &pipe, &pf));
+    }
+
+    #[test]
+    fn worst_case_sim_equals_eq2_on_figure34_split() {
+        let pipe = rpwf_gen::figure3_pipeline();
+        let pf = rpwf_gen::figure4_platform();
+        let mapping = IntervalMapping::new(
+            vec![Interval::singleton(0), Interval::singleton(1)],
+            vec![vec![p(0)], vec![p(1)]],
+            2,
+            2,
+        )
+        .unwrap();
+        let outcome = simulate_one(
+            &pipe,
+            &pf,
+            &mapping,
+            &FailureScenario::all_alive(2),
+            SimConfig::worst_case(),
+        );
+        assert_approx_eq!(outcome.latency().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn best_case_is_no_slower_than_worst_case() {
+        let (pipe, pf, mapping) = fig5_mapping();
+        let scenario = FailureScenario::all_alive(11);
+        let worst = simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::worst_case());
+        let best = simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::best_case());
+        assert!(best.latency().unwrap() <= worst.latency().unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn failures_never_increase_latency_beyond_formula() {
+        // Killing replicas only removes work from the schedule; eq. 2 stays
+        // an upper bound for every scenario that still succeeds.
+        let (pipe, pf, mapping) = fig5_mapping();
+        let bound = latency(&mapping, &pipe, &pf);
+        for dead_count in 0..9usize {
+            let dead: Vec<ProcId> = (1..=dead_count as u32).map(p).collect();
+            let scenario = FailureScenario::with_dead(11, &dead);
+            let outcome =
+                simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::worst_case());
+            let lat = outcome.latency().expect("interval 2 still has replicas");
+            assert!(lat <= bound + 1e-9, "dead={dead_count}: {lat} > {bound}");
+        }
+    }
+
+    #[test]
+    fn dead_interval_fails_the_dataset() {
+        let (pipe, pf, mapping) = fig5_mapping();
+        let all_fast_dead: Vec<ProcId> = (1..=10).map(p).collect();
+        let scenario = FailureScenario::with_dead(11, &all_fast_dead);
+        let outcome =
+            simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::default());
+        assert_eq!(outcome, DatasetOutcome::Failed { at_interval: 1 });
+        assert!(!outcome.is_success());
+        assert_eq!(outcome.latency(), None);
+    }
+
+    #[test]
+    fn trace_respects_one_port() {
+        let (pipe, pf, mapping) = fig5_mapping();
+        let scenario = FailureScenario::with_dead(11, &[p(4), p(7)]);
+        let report = simulate(
+            &pipe,
+            &pf,
+            &mapping,
+            &scenario,
+            SimConfig::worst_case().with_trace(),
+            &[0.0, 1.0, 2.0, 30.0],
+        );
+        let trace = report.trace.expect("requested");
+        trace.check_one_port().expect("one-port invariant");
+        assert_eq!(report.outcomes.len(), 4);
+        assert!(report.outcomes.iter().all(DatasetOutcome::is_success));
+    }
+
+    #[test]
+    fn steady_state_interdeparture_matches_period_metric() {
+        // Comm-homogeneous mapping, all alive, adversarial survivor: the
+        // asymptotic inter-departure time equals core::throughput::period.
+        let pipe = Pipeline::new(vec![2.0, 8.0], vec![4.0, 2.0, 1.0]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![2.0, 1.0, 4.0], 2.0, vec![0.0; 3]).unwrap();
+        let mapping = IntervalMapping::new(
+            vec![Interval::singleton(0), Interval::singleton(1)],
+            vec![vec![p(0)], vec![p(1), p(2)]],
+            2,
+            3,
+        )
+        .unwrap();
+        let expected = rpwf_core::throughput::period(&mapping, &pipe, &pf).unwrap();
+
+        let d = 60usize;
+        let arrivals = vec![0.0; d];
+        let report = simulate(
+            &pipe,
+            &pf,
+            &mapping,
+            &FailureScenario::all_alive(3),
+            SimConfig::worst_case(),
+            &arrivals,
+        );
+        let times = report.completion_times();
+        assert_eq!(times.len(), d);
+        // Discard warmup; the tail inter-departure gaps must equal the period.
+        for w in times[d / 2..].windows(2) {
+            assert_approx_eq!(w[1] - w[0], expected, 1e-6);
+        }
+    }
+
+    #[test]
+    fn saturated_pipeline_stays_one_port_consistent() {
+        let pipe = Pipeline::new(vec![2.0, 8.0], vec![4.0, 2.0, 1.0]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![2.0, 1.0, 4.0], 2.0, vec![0.0; 3]).unwrap();
+        let mapping = IntervalMapping::new(
+            vec![Interval::singleton(0), Interval::singleton(1)],
+            vec![vec![p(0)], vec![p(1), p(2)]],
+            2,
+            3,
+        )
+        .unwrap();
+        let report = simulate(
+            &pipe,
+            &pf,
+            &mapping,
+            &FailureScenario::all_alive(3),
+            SimConfig::worst_case().with_trace(),
+            &[0.0; 25],
+        );
+        report.trace.expect("requested").check_one_port().expect("one-port invariant");
+    }
+
+    #[test]
+    fn success_outcome_records_completion_time() {
+        let (pipe, pf, mapping) = fig5_mapping();
+        let report = simulate(
+            &pipe,
+            &pf,
+            &mapping,
+            &FailureScenario::all_alive(11),
+            SimConfig::worst_case(),
+            &[5.0],
+        );
+        match report.outcomes[0] {
+            DatasetOutcome::Success { latency, completed_at } => {
+                assert_approx_eq!(completed_at, 5.0 + latency);
+            }
+            DatasetOutcome::Failed { .. } => panic!("must succeed"),
+        }
+        assert!(report.events > 0);
+        assert_approx_eq!(report.success_rate(), 1.0);
+        assert!(report.max_latency().is_some());
+    }
+}

@@ -1,0 +1,134 @@
+//! Busy-interval traces and the one-port invariant checker.
+//!
+//! When tracing is enabled, every resource reservation (send leg on each
+//! port, compute slot) is recorded. The central structural check is
+//! [`Trace::check_one_port`]: no resource may ever hold two overlapping
+//! busy intervals — the defining constraint of the one-port model (§2.1).
+
+use serde::{Deserialize, Serialize};
+
+/// What a resource was doing during a busy interval.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Activity {
+    /// Port busy pushing data: `(dataset, hop)`.
+    Send(usize, usize),
+    /// Port busy receiving data: `(dataset, hop)`.
+    Recv(usize, usize),
+    /// Processor busy computing: `(dataset, interval)`.
+    Compute(usize, usize),
+}
+
+/// One reservation on one resource.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BusyInterval {
+    /// Resource index: `0..m` are processors, `m` is `P_in`, `m+1` `P_out`.
+    pub resource: usize,
+    /// Reservation start.
+    pub start: f64,
+    /// Reservation end (`≥ start`).
+    pub end: f64,
+    /// What the resource was doing.
+    pub activity: Activity,
+}
+
+/// An ordered log of reservations.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// All reservations, in recording order.
+    pub entries: Vec<BusyInterval>,
+}
+
+impl Trace {
+    /// Records one reservation.
+    pub fn record(&mut self, resource: usize, start: f64, end: f64, activity: Activity) {
+        debug_assert!(end >= start);
+        self.entries.push(BusyInterval { resource, start, end, activity });
+    }
+
+    /// Verifies that no resource has two overlapping (positive-length)
+    /// busy intervals. Returns the offending pair on violation.
+    ///
+    /// # Errors
+    /// A human-readable description of the first overlap found.
+    pub fn check_one_port(&self) -> Result<(), String> {
+        let mut by_resource: std::collections::BTreeMap<usize, Vec<(f64, f64, Activity)>> =
+            std::collections::BTreeMap::new();
+        for e in &self.entries {
+            by_resource.entry(e.resource).or_default().push((e.start, e.end, e.activity));
+        }
+        for (res, mut spans) in by_resource {
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            for w in spans.windows(2) {
+                let (s0, e0, a0) = w[0];
+                let (s1, e1, a1) = w[1];
+                // Zero-length intervals (empty messages) never conflict.
+                if e0 > s1 + 1e-12 && e1 > s1 && e0 > s0 {
+                    return Err(format!(
+                        "resource {res}: {a0:?} [{s0}, {e0}] overlaps {a1:?} [{s1}, {e1}]"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total busy time of one resource.
+    #[must_use]
+    pub fn busy_time(&self, resource: usize) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.resource == resource)
+            .map(|e| e.end - e.start)
+            .sum()
+    }
+
+    /// Utilization of a resource over `[0, horizon]`.
+    #[must_use]
+    pub fn utilization(&self, resource: usize, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        self.busy_time(resource) / horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_overlapping_passes() {
+        let mut t = Trace::default();
+        t.record(0, 0.0, 1.0, Activity::Send(0, 0));
+        t.record(0, 1.0, 2.0, Activity::Compute(0, 0));
+        t.record(1, 0.5, 1.5, Activity::Recv(0, 0));
+        assert!(t.check_one_port().is_ok());
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let mut t = Trace::default();
+        t.record(0, 0.0, 2.0, Activity::Send(0, 0));
+        t.record(0, 1.0, 3.0, Activity::Recv(1, 0));
+        let err = t.check_one_port().unwrap_err();
+        assert!(err.contains("resource 0"));
+    }
+
+    #[test]
+    fn zero_length_intervals_never_conflict() {
+        let mut t = Trace::default();
+        t.record(0, 0.0, 2.0, Activity::Send(0, 0));
+        t.record(0, 1.0, 1.0, Activity::Recv(1, 0)); // empty message
+        assert!(t.check_one_port().is_ok());
+    }
+
+    #[test]
+    fn busy_time_and_utilization() {
+        let mut t = Trace::default();
+        t.record(3, 0.0, 2.0, Activity::Compute(0, 0));
+        t.record(3, 5.0, 6.0, Activity::Send(0, 1));
+        assert!((t.busy_time(3) - 3.0).abs() < 1e-12);
+        assert!((t.utilization(3, 10.0) - 0.3).abs() < 1e-12);
+        assert_eq!(t.utilization(3, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Exact cross-validation of the failure-probability formula: enumerate
+//! *every* failure scenario (2^m), weight it by its Bernoulli probability,
+//! and compare the exact success mass — and the per-scenario simulator
+//! verdicts — against the closed form.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpwf_core::num::approx_eq;
+use rpwf_core::prelude::*;
+use rpwf_gen::{PipelineGen, PlatformGen};
+use rpwf_sim::{simulate_one, FailureScenario, SimConfig};
+
+/// All scenarios for `m` processors as bitmasks (bit set = dead).
+fn scenario_from_mask(m: usize, mask: u32) -> FailureScenario {
+    let dead: Vec<ProcId> =
+        (0..m).filter(|&u| mask & (1 << u) != 0).map(ProcId::new).collect();
+    FailureScenario::with_dead(m, &dead)
+}
+
+fn scenario_probability(platform: &Platform, mask: u32) -> f64 {
+    platform
+        .procs()
+        .map(|p| {
+            let fp = platform.failure_prob(p);
+            if mask & (1 << p.index()) != 0 {
+                fp
+            } else {
+                1.0 - fp
+            }
+        })
+        .product()
+}
+
+#[test]
+fn enumerated_success_mass_equals_analytic_reliability() {
+    let mut rng = StdRng::seed_from_u64(3100);
+    for _ in 0..10 {
+        // Draw the pipeline too so the RNG stream matches the other suites.
+        let _pipe = PipelineGen::balanced(3).sample(&mut rng);
+        let pf = PlatformGen::new(
+            5,
+            PlatformClass::CommHomogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let mapping = rpwf_algo::heuristics::neighborhood::random_mapping(3, 5, &mut rng);
+
+        let mut success_mass = 0.0f64;
+        let mut total_mass = 0.0f64;
+        for mask in 0u32..(1 << 5) {
+            let prob = scenario_probability(&pf, mask);
+            total_mass += prob;
+            let scenario = scenario_from_mask(5, mask);
+            let alive_everywhere = (0..mapping.n_intervals())
+                .all(|j| mapping.alloc(j).iter().any(|&p| scenario.alive(p)));
+            if alive_everywhere {
+                success_mass += prob;
+            }
+        }
+        assert!(approx_eq(total_mass, 1.0, 1e-9));
+        let analytic = reliability(&mapping, &pf);
+        assert!(
+            approx_eq(success_mass, analytic, 1e-9),
+            "enumerated {success_mass} vs analytic {analytic}"
+        );
+    }
+}
+
+#[test]
+fn simulator_verdict_matches_enumeration_on_every_scenario() {
+    let mut rng = StdRng::seed_from_u64(3200);
+    let pipe = PipelineGen::balanced(3).sample(&mut rng);
+    let pf = PlatformGen::new(
+        4,
+        PlatformClass::FullyHeterogeneous,
+        FailureClass::Heterogeneous,
+    )
+    .sample(&mut rng);
+    let mapping = rpwf_algo::heuristics::neighborhood::random_mapping(3, 4, &mut rng);
+    let bound = latency(&mapping, &pipe, &pf);
+
+    for mask in 0u32..(1 << 4) {
+        let scenario = scenario_from_mask(4, mask);
+        let expected_success = (0..mapping.n_intervals())
+            .all(|j| mapping.alloc(j).iter().any(|&p| scenario.alive(p)));
+        let outcome = simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::worst_case());
+        assert_eq!(outcome.is_success(), expected_success, "mask {mask:#b}");
+        if let Some(lat) = outcome.latency() {
+            assert!(lat <= bound + 1e-9, "mask {mask:#b}: {lat} > {bound}");
+        }
+    }
+}
+
+#[test]
+fn adversarial_scenario_attains_the_bound_exactly() {
+    // Kill every replica except the bottleneck one in each interval: the
+    // simulated latency equals equation (2) even under real failures.
+    let pipe = rpwf_gen::figure5_pipeline();
+    let pf = rpwf_gen::figure5_platform();
+    let mapping = IntervalMapping::new(
+        vec![Interval::singleton(0), Interval::singleton(1)],
+        vec![vec![ProcId(0)], (1..=10).map(ProcId).collect()],
+        2,
+        11,
+    )
+    .unwrap();
+    let bound = latency(&mapping, &pipe, &pf);
+
+    // All fast replicas are identical; keep only the highest-id one dead…
+    // rather, kill P1..P9 so that P10 must be served — the serialized sends
+    // to dead replicas still cost the sender, so the bound is attained.
+    let dead: Vec<ProcId> = (1..=9).map(ProcId).collect();
+    let scenario = FailureScenario::with_dead(11, &dead);
+    let outcome = simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::worst_case());
+    assert!(approx_eq(outcome.latency().unwrap(), bound, 1e-9));
+}

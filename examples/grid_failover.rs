@@ -1,0 +1,100 @@
+//! Discrete-event validation on a grid scenario: analytic worst case vs
+//! simulated execution, and Monte Carlo reliability vs the closed form.
+//!
+//! ```sh
+//! cargo run --release --example grid_failover
+//! ```
+
+use rpwf::prelude::*;
+use rpwf_sim::{
+    simulate, simulate_one, FailureModel, FailureScenario, MonteCarlo, SimConfig,
+};
+
+fn main() -> Result<()> {
+    let pipeline = gen::figure5_pipeline();
+    let platform = gen::figure5_platform();
+
+    // The paper's Figure 5 optimum: reliable processor on S1, tenfold
+    // replication of S2.
+    let mapping = IntervalMapping::new(
+        vec![Interval::singleton(0), Interval::singleton(1)],
+        vec![vec![ProcId(0)], (1..=10).map(ProcId).collect()],
+        2,
+        11,
+    )?;
+    let bound = latency(&mapping, &pipeline, &platform);
+    let analytic_fp = failure_probability(&mapping, &platform);
+    println!("mapping            : {mapping}");
+    println!("analytic latency   : {bound:.4}");
+    println!("analytic FP        : {analytic_fp:.4}\n");
+
+    // 1. Worst-case certification: adversarial sim == formula.
+    let worst = simulate_one(
+        &pipeline,
+        &platform,
+        &mapping,
+        &FailureScenario::all_alive(11),
+        SimConfig::worst_case(),
+    );
+    let best = simulate_one(
+        &pipeline,
+        &platform,
+        &mapping,
+        &FailureScenario::all_alive(11),
+        SimConfig::best_case(),
+    );
+    println!("sim latency (adversarial consensus/order) : {:.4}", worst.latency().unwrap());
+    println!("sim latency (friendly consensus/order)    : {:.4}", best.latency().unwrap());
+
+    // 2. Failure injection: kill fast replicas one by one; latency stays
+    //    under the bound until the interval dies.
+    println!("\nfailure sweep (dead fast replicas → simulated latency):");
+    for dead in [0usize, 2, 5, 9, 10] {
+        let dead_ids: Vec<ProcId> = (1..=dead as u32).map(ProcId).collect();
+        let scenario = FailureScenario::with_dead(11, &dead_ids);
+        match simulate_one(&pipeline, &platform, &mapping, &scenario, SimConfig::worst_case())
+        {
+            rpwf_sim::DatasetOutcome::Success { latency, .. } => {
+                println!("  {dead:>2} dead : latency {latency:>7.3}  (bound {bound:.3})");
+            }
+            rpwf_sim::DatasetOutcome::Failed { at_interval } => {
+                println!("  {dead:>2} dead : WORKFLOW FAILED at interval {at_interval}");
+            }
+        }
+    }
+
+    // 3. Monte Carlo reliability.
+    let mc = MonteCarlo {
+        trials: 50_000,
+        model: FailureModel::BernoulliAtStart,
+        ..Default::default()
+    };
+    let report = mc.run(&pipeline, &platform, &mapping);
+    println!("\nMonte Carlo ({} trials):", report.trials);
+    println!("  success rate       : {:.4}", report.success_rate);
+    println!("  Wilson 95% CI      : [{:.4}, {:.4}]", report.wilson95.0, report.wilson95.1);
+    println!("  analytic 1 − FP    : {:.4}", 1.0 - analytic_fp);
+    println!(
+        "  latency (min/mean/max over successes): {:.3} / {:.3} / {:.3}  (bound {bound:.3})",
+        report.latency.min, report.latency.mean, report.latency.max
+    );
+
+    // 4. Streaming mode: 40 data sets back to back; the inter-departure
+    //    time settles at the steady-state period.
+    let arrivals = vec![0.0; 40];
+    let stream = simulate(
+        &pipeline,
+        &platform,
+        &mapping,
+        &FailureScenario::all_alive(11),
+        SimConfig::worst_case(),
+        &arrivals,
+    );
+    let times = stream.completion_times();
+    let tail_gap = times[times.len() - 1] - times[times.len() - 2];
+    println!("\nstreaming 40 data sets:");
+    println!("  analytic period    : {:.4}", period(&mapping, &pipeline, &platform)?);
+    println!("  sim inter-departure: {tail_gap:.4}");
+    println!("  sim events         : {}", stream.events);
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! The JPEG encoder pipeline (the workload motivating the paper's
+//! introduction) mapped onto a heterogeneous two-site cluster: full
+//! latency × reliability trade-off exploration.
+//!
+//! ```sh
+//! cargo run --release --example jpeg_encoder
+//! ```
+
+use rpwf::prelude::*;
+use rpwf_algo::heuristics::Portfolio;
+
+fn main() -> Result<()> {
+    let pipeline = gen::jpeg_encoder();
+    println!("JPEG encoder pipeline: {} stages, total work {:.0} Mflop",
+        pipeline.n_stages(), pipeline.total_work());
+    for k in 0..pipeline.n_stages() {
+        println!(
+            "  S{}: w = {:>5.1}, out = {:>5.1} KB",
+            k + 1,
+            pipeline.work(k),
+            pipeline.delta(k + 1)
+        );
+    }
+
+    // A comm-homogeneous cluster mixing reliable workhorses and fast but
+    // flaky preemptible nodes (grid scenario of §5).
+    let speeds = vec![2.0, 2.0, 2.0, 8.0, 8.0, 8.0, 8.0, 4.0];
+    let fps = vec![0.05, 0.05, 0.05, 0.45, 0.45, 0.45, 0.45, 0.15];
+    let platform = Platform::comm_homogeneous(speeds, 64.0, fps)?;
+    println!(
+        "\nplatform: {} processors, {:?}/{:?}",
+        platform.n_procs(),
+        platform.class(),
+        platform.failure_class()
+    );
+
+    // Exact Pareto front via the bitmask DP (the problem class is the open
+    // CH + Failure-Heterogeneous case).
+    let front = algo::exact::pareto_front_comm_homog(&pipeline, &platform)?;
+    println!("\nexact latency × FP Pareto front ({} points):", front.len());
+    println!("  {:>10}  {:>10}  {:>4}  mapping", "latency", "FP", "ivs");
+    for pt in front.iter() {
+        println!(
+            "  {:>10.2}  {:>10.6}  {:>4}  {}",
+            pt.latency,
+            pt.failure_prob,
+            pt.payload.n_intervals(),
+            pt.payload
+        );
+    }
+
+    // Threshold queries a user would actually ask.
+    for l in [120.0, 160.0, 250.0] {
+        match front.min_fp_under_latency(l) {
+            Some(pt) => println!(
+                "\nbest FP with latency ≤ {l:>6.1}: FP = {:.6} at latency {:.2}",
+                pt.failure_prob, pt.latency
+            ),
+            None => println!("\nno mapping achieves latency ≤ {l:.1}"),
+        }
+    }
+
+    // Compare the heuristic portfolio against the exact answer at a tight
+    // threshold.
+    let objective = Objective::MinFpUnderLatency(160.0);
+    println!("\nheuristics at L ≤ 160 (exact = {:.6}):",
+        front.min_fp_under_latency(160.0).map_or(f64::NAN, |pt| pt.failure_prob));
+    for (name, sol) in Portfolio::new(7).run_all(&pipeline, &platform, objective) {
+        match sol {
+            Some(s) => println!("  {name:<16} FP {:.6}  latency {:.2}", s.failure_prob, s.latency),
+            None => println!("  {name:<16} (no feasible solution found)"),
+        }
+    }
+
+    // Tri-criteria snapshot (extension E13): period alongside both paper
+    // objectives for each Pareto point.
+    println!("\ntri-criteria view (latency, FP, period):");
+    for pt in front.iter() {
+        let per = period(&pt.payload, &pipeline, &platform)?;
+        println!(
+            "  latency {:>8.2}  FP {:>9.6}  period {:>8.2}  throughput {:>6.4}/u",
+            pt.latency,
+            pt.failure_prob,
+            per,
+            1.0 / per
+        );
+    }
+    Ok(())
+}

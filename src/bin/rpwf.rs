@@ -1,0 +1,12 @@
+//! Thin wrapper over [`rpwf::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rpwf::cli::parse_args(&args).and_then(|cmd| rpwf::cli::run(&cmd)) {
+        Ok(out) => print!("{out}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

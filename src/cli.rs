@@ -1,0 +1,411 @@
+//! The `rpwf` command-line tool: generate instances, solve them, print
+//! Pareto fronts, and validate mappings by simulation — all over JSON
+//! instance files.
+//!
+//! ```text
+//! rpwf gen   --class ch --failure het -n 4 -m 6 --seed 7   # instance JSON to stdout
+//! rpwf solve inst.json --min-fp-under-latency 22
+//! rpwf solve inst.json --min-latency-under-fp 0.2
+//! rpwf pareto inst.json
+//! rpwf simulate inst.json --trials 20000
+//! ```
+//!
+//! Parsing and execution are plain functions so the logic is unit-tested;
+//! `src/bin/rpwf.rs` is a thin wrapper.
+
+use rpwf_algo::exact::{solve_comm_homog, BranchBound};
+use rpwf_algo::heuristics::Portfolio;
+use rpwf_algo::Objective;
+use rpwf_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A problem instance on disk.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InstanceFile {
+    /// The application.
+    pub pipeline: Pipeline,
+    /// The platform.
+    pub platform: Platform,
+}
+
+impl InstanceFile {
+    /// Parses the JSON representation (rebuilding derived caches).
+    ///
+    /// # Errors
+    /// A human-readable message for malformed JSON or invalid instances.
+    pub fn from_json(text: &str) -> std::result::Result<Self, String> {
+        let parsed: InstanceFile =
+            serde_json::from_str(text).map_err(|e| format!("invalid instance JSON: {e}"))?;
+        Ok(InstanceFile {
+            pipeline: parsed.pipeline.with_rebuilt_cache(),
+            platform: parsed.platform,
+        })
+    }
+
+    /// Serializes to pretty JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("model types always serialize")
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Generate a random instance to stdout.
+    Gen {
+        /// Platform class tag (`fh`, `ch`, `het`).
+        class: PlatformClass,
+        /// Failure class tag (`hom`, `het`).
+        failure: FailureClass,
+        /// Stages.
+        n: usize,
+        /// Processors.
+        m: usize,
+        /// Seed.
+        seed: u64,
+    },
+    /// Solve a threshold problem for an instance file.
+    Solve {
+        /// Path to the instance JSON.
+        path: String,
+        /// The threshold objective.
+        objective: Objective,
+    },
+    /// Print the Pareto front of an instance file.
+    Pareto {
+        /// Path to the instance JSON.
+        path: String,
+    },
+    /// Monte Carlo validation of the min-FP mapping of an instance file.
+    Simulate {
+        /// Path to the instance JSON.
+        path: String,
+        /// Monte Carlo trials.
+        trials: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+rpwf — bi-criteria latency/reliability pipeline mapping (Benoit et al. 2008)
+
+USAGE:
+  rpwf gen --class <fh|ch|het> --failure <hom|het> -n <stages> -m <procs> [--seed <u64>]
+  rpwf solve <instance.json> --min-fp-under-latency <L>
+  rpwf solve <instance.json> --min-latency-under-fp <F>
+  rpwf pareto <instance.json>
+  rpwf simulate <instance.json> [--trials <count>]
+  rpwf help
+";
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+/// A usage message describing the problem.
+pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let mut opts: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut positional: Vec<String> = Vec::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let value = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value for --{key}"))?;
+            opts.insert(key.to_string(), (*value).clone());
+            i += 2;
+        } else if let Some(key) = a.strip_prefix('-') {
+            let value = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value for -{key}"))?;
+            opts.insert(key.to_string(), (*value).clone());
+            i += 2;
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    let get_num = |opts: &std::collections::HashMap<String, String>, key: &str| -> std::result::Result<f64, String> {
+        opts.get(key)
+            .ok_or_else(|| format!("missing --{key}"))?
+            .parse::<f64>()
+            .map_err(|e| format!("--{key}: {e}"))
+    };
+
+    match cmd.as_str() {
+        "gen" => {
+            let class = match opts.get("class").map(String::as_str) {
+                Some("fh") => PlatformClass::FullyHomogeneous,
+                Some("ch") => PlatformClass::CommHomogeneous,
+                Some("het") => PlatformClass::FullyHeterogeneous,
+                other => return Err(format!("--class must be fh|ch|het, got {other:?}")),
+            };
+            let failure = match opts.get("failure").map(String::as_str) {
+                Some("hom") => FailureClass::Homogeneous,
+                Some("het") => FailureClass::Heterogeneous,
+                other => return Err(format!("--failure must be hom|het, got {other:?}")),
+            };
+            let n = get_num(&opts, "n")? as usize;
+            let m = get_num(&opts, "m")? as usize;
+            let seed = opts.get("seed").map_or(Ok(42), |s| {
+                s.parse::<u64>().map_err(|e| format!("--seed: {e}"))
+            })?;
+            if n == 0 || m == 0 {
+                return Err("-n and -m must be positive".into());
+            }
+            Ok(Command::Gen { class, failure, n, m, seed })
+        }
+        "solve" => {
+            let path = positional
+                .first()
+                .ok_or_else(|| "solve needs an instance file".to_string())?
+                .clone();
+            let objective = if opts.contains_key("min-fp-under-latency") {
+                Objective::MinFpUnderLatency(get_num(&opts, "min-fp-under-latency")?)
+            } else if opts.contains_key("min-latency-under-fp") {
+                Objective::MinLatencyUnderFp(get_num(&opts, "min-latency-under-fp")?)
+            } else {
+                return Err("solve needs --min-fp-under-latency or --min-latency-under-fp".into());
+            };
+            Ok(Command::Solve { path, objective })
+        }
+        "pareto" => {
+            let path = positional
+                .first()
+                .ok_or_else(|| "pareto needs an instance file".to_string())?
+                .clone();
+            Ok(Command::Pareto { path })
+        }
+        "simulate" => {
+            let path = positional
+                .first()
+                .ok_or_else(|| "simulate needs an instance file".to_string())?
+                .clone();
+            let trials = opts.get("trials").map_or(Ok(10_000), |s| {
+                s.parse::<usize>().map_err(|e| format!("--trials: {e}"))
+            })?;
+            Ok(Command::Simulate { path, trials })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command: {other}\n{USAGE}")),
+    }
+}
+
+/// Picks the strongest applicable solver for an instance and objective.
+fn solve_instance(inst: &InstanceFile, objective: Objective) -> Option<rpwf_algo::BiSolution> {
+    let m = inst.platform.n_procs();
+    if inst.platform.uniform_bandwidth().is_some() && m <= 16 {
+        return solve_comm_homog(&inst.pipeline, &inst.platform, objective)
+            .expect("uniform bandwidth checked");
+    }
+    if m <= 10 {
+        return BranchBound::new(&inst.pipeline, &inst.platform).solve(objective);
+    }
+    Portfolio::new(0xCAFE).solve(&inst.pipeline, &inst.platform, objective)
+}
+
+/// Executes a parsed command against the filesystem, returning stdout text.
+///
+/// # Errors
+/// A human-readable message (bad file, infeasible instance, …).
+pub fn run(command: &Command) -> std::result::Result<String, String> {
+    use std::fmt::Write as _;
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Gen { class, failure, n, m, seed } => {
+            let inst = rpwf_gen::make_instance(*class, *failure, *n, *m, *seed);
+            Ok(InstanceFile { pipeline: inst.pipeline, platform: inst.platform }.to_json())
+        }
+        Command::Solve { path, objective } => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let inst = InstanceFile::from_json(&text)?;
+            let sol = solve_instance(&inst, *objective)
+                .ok_or_else(|| format!("infeasible: no mapping satisfies {objective:?}"))?;
+            let mut out = String::new();
+            let exact = inst.platform.uniform_bandwidth().is_some() && inst.platform.n_procs() <= 16
+                || inst.platform.n_procs() <= 10;
+            writeln!(out, "solver   : {}", if exact { "exact" } else { "heuristic portfolio" })
+                .expect("write to string");
+            writeln!(out, "mapping  : {}", sol.mapping).expect("write to string");
+            writeln!(out, "latency  : {:.6}", sol.latency).expect("write to string");
+            writeln!(out, "FP       : {:.6}", sol.failure_prob).expect("write to string");
+            Ok(out)
+        }
+        Command::Pareto { path } => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let inst = InstanceFile::from_json(&text)?;
+            let front = if inst.platform.uniform_bandwidth().is_some()
+                && inst.platform.n_procs() <= 16
+            {
+                rpwf_algo::exact::pareto_front_comm_homog(&inst.pipeline, &inst.platform)
+                    .expect("uniform bandwidth checked")
+            } else if inst.platform.n_procs() <= 6 {
+                rpwf_algo::exact::Exhaustive::new(&inst.pipeline, &inst.platform).pareto_front()
+            } else {
+                return Err(
+                    "exact Pareto front needs comm-homogeneous links (m ≤ 16) or m ≤ 6".into()
+                );
+            };
+            let mut out = String::new();
+            writeln!(out, "{:>12}  {:>12}  mapping", "latency", "FP").expect("write to string");
+            for pt in front.iter() {
+                writeln!(out, "{:>12.4}  {:>12.6}  {}", pt.latency, pt.failure_prob, pt.payload)
+                    .expect("write to string");
+            }
+            Ok(out)
+        }
+        Command::Simulate { path, trials } => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let inst = InstanceFile::from_json(&text)?;
+            let safest = rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform);
+            let mc = rpwf_sim::MonteCarlo { trials: *trials, ..Default::default() };
+            let report = mc.run(&inst.pipeline, &inst.platform, &safest.mapping);
+            let mut out = String::new();
+            writeln!(out, "mapping (Thm 1, min FP): {}", safest.mapping).expect("write");
+            writeln!(out, "analytic FP            : {:.6}", safest.failure_prob).expect("write");
+            writeln!(out, "MC failure rate        : {:.6}", 1.0 - report.success_rate)
+                .expect("write");
+            writeln!(
+                out,
+                "wilson 95% (success)   : [{:.6}, {:.6}]",
+                report.wilson95.0, report.wilson95.1
+            )
+            .expect("write");
+            writeln!(
+                out,
+                "latency min/mean/max   : {:.4} / {:.4} / {:.4} (bound {:.4})",
+                report.latency.min, report.latency.mean, report.latency.max, safest.latency
+            )
+            .expect("write");
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parse_gen() {
+        let cmd = parse_args(&args("gen --class ch --failure het -n 4 -m 6 --seed 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Gen {
+                class: PlatformClass::CommHomogeneous,
+                failure: FailureClass::Heterogeneous,
+                n: 4,
+                m: 6,
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn parse_solve_both_objectives() {
+        let cmd = parse_args(&args("solve inst.json --min-fp-under-latency 22")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Solve {
+                path: "inst.json".into(),
+                objective: Objective::MinFpUnderLatency(22.0)
+            }
+        );
+        let cmd = parse_args(&args("solve inst.json --min-latency-under-fp 0.2")).unwrap();
+        assert!(matches!(cmd, Command::Solve { objective: Objective::MinLatencyUnderFp(f), .. } if f == 0.2));
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        assert!(parse_args(&args("gen --class bogus --failure hom -n 2 -m 2"))
+            .unwrap_err()
+            .contains("--class"));
+        assert!(parse_args(&args("solve inst.json")).unwrap_err().contains("min-fp"));
+        assert!(parse_args(&args("frobnicate")).unwrap_err().contains("unknown command"));
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn gen_solve_roundtrip_through_tempfile() {
+        let gen = Command::Gen {
+            class: PlatformClass::CommHomogeneous,
+            failure: FailureClass::Heterogeneous,
+            n: 3,
+            m: 5,
+            seed: 99,
+        };
+        let json = run(&gen).unwrap();
+        let parsed = InstanceFile::from_json(&json).unwrap();
+        assert_eq!(parsed.pipeline.n_stages(), 3);
+        assert_eq!(parsed.platform.n_procs(), 5);
+
+        let dir = std::env::temp_dir().join("rpwf-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json");
+        std::fs::write(&path, &json).unwrap();
+        let path_str = path.to_string_lossy().into_owned();
+
+        // Pick a generous latency budget from Thm 1's mapping.
+        let budget = rpwf_algo::mono::minimize_failure(&parsed.pipeline, &parsed.platform)
+            .latency;
+        let out = run(&Command::Solve {
+            path: path_str.clone(),
+            objective: Objective::MinFpUnderLatency(budget),
+        })
+        .unwrap();
+        assert!(out.contains("exact"), "{out}");
+        assert!(out.contains("latency"), "{out}");
+
+        let front = run(&Command::Pareto { path: path_str.clone() }).unwrap();
+        assert!(front.lines().count() >= 2, "{front}");
+
+        let sim = run(&Command::Simulate { path: path_str, trials: 500 }).unwrap();
+        assert!(sim.contains("MC failure rate"), "{sim}");
+    }
+
+    #[test]
+    fn instance_json_roundtrip_preserves_metrics() {
+        let inst = rpwf_gen::make_instance(
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+            3,
+            4,
+            5,
+        );
+        let file = InstanceFile { pipeline: inst.pipeline.clone(), platform: inst.platform.clone() };
+        let parsed = InstanceFile::from_json(&file.to_json()).unwrap();
+        // The rebuilt pipeline must produce identical metric values.
+        let mapping = IntervalMapping::single_interval(3, vec![ProcId(0), ProcId(2)], 4).unwrap();
+        assert_eq!(
+            latency(&mapping, &inst.pipeline, &inst.platform),
+            latency(&mapping, &parsed.pipeline, &parsed.platform),
+        );
+    }
+
+    #[test]
+    fn run_help_prints_usage() {
+        assert_eq!(run(&Command::Help).unwrap(), USAGE);
+    }
+
+    #[test]
+    fn run_solve_missing_file_errors() {
+        let err = run(&Command::Solve {
+            path: "/nonexistent/inst.json".into(),
+            objective: Objective::MinFpUnderLatency(1.0),
+        })
+        .unwrap_err();
+        assert!(err.contains("/nonexistent/inst.json"));
+    }
+}

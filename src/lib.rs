@@ -1,0 +1,63 @@
+//! # rpwf — Reliable Pipeline Workflows
+//!
+//! A Rust implementation of *Optimizing Latency and Reliability of Pipeline
+//! Workflow Applications* (Anne Benoit, Veronika Rehn-Sonigo, Yves Robert —
+//! INRIA RR-6345, IPDPS 2008): bi-criteria mapping of linear pipeline
+//! workflows onto heterogeneous failure-prone platforms, trading worst-case
+//! **latency** against **failure probability** through replicated interval
+//! mappings.
+//!
+//! This facade crate re-exports the four member crates:
+//!
+//! * [`core`] (`rpwf-core`) — pipelines, platforms, mappings, the latency
+//!   and reliability metrics, Pareto fronts;
+//! * [`gen`] (`rpwf-gen`) — seeded workload/platform/instance generators,
+//!   including the JPEG encoder pipeline and the paper's worked examples;
+//! * [`algo`] (`rpwf-algo`) — every algorithm of the paper (Theorems 1–7,
+//!   Algorithms 1–4), exact exponential oracles, heuristics for the
+//!   NP-hard/open variants, and both NP-hardness reduction gadgets;
+//! * [`sim`] (`rpwf-sim`) — a discrete-event simulator that certifies the
+//!   analytic formulas (worst-case equality, Monte Carlo reliability).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rpwf::prelude::*;
+//!
+//! // Figure 5 of the paper: one slow reliable processor and ten fast
+//! // unreliable ones, uniform links.
+//! let pipeline = gen::figure5_pipeline();
+//! let platform = gen::figure5_platform();
+//!
+//! // Minimize failure probability subject to latency ≤ 22 (the open
+//! // CH + Failure-Heterogeneous problem) with the exact bitmask DP:
+//! let best = algo::exact::solve_comm_homog(
+//!     &pipeline,
+//!     &platform,
+//!     Objective::MinFpUnderLatency(22.0),
+//! )
+//! .unwrap()
+//! .expect("feasible at L = 22");
+//! assert!(best.failure_prob < 0.2); // the paper's headline number
+//! assert_eq!(best.mapping.n_intervals(), 2); // and its two-interval shape
+//! ```
+
+
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cli;
+
+pub use rpwf_algo as algo;
+pub use rpwf_core as core;
+pub use rpwf_gen as gen;
+pub use rpwf_sim as sim;
+
+/// Most-used items across all member crates.
+pub mod prelude {
+    pub use rpwf_algo::{self as algo, BiSolution, Objective};
+    pub use rpwf_core::prelude::*;
+    pub use rpwf_gen as gen;
+    pub use rpwf_sim as sim;
+}

@@ -1,0 +1,163 @@
+//! E3–E5 — the polynomial algorithms match the exhaustive oracle on random
+//! instance suites of their platform classes.
+
+use rpwf::prelude::*;
+use rpwf_algo::bicriteria;
+use rpwf_algo::exact::Exhaustive;
+use rpwf_algo::mono;
+use rpwf_core::assert_approx_eq;
+use rpwf_gen::SuiteSpec;
+
+/// Latency thresholds that probe the interesting region of an instance:
+/// between the latency floor (Thm 2-style) and the all-replica ceiling.
+fn latency_thresholds(pipeline: &Pipeline, platform: &Platform) -> Vec<f64> {
+    let lo = Exhaustive::new(pipeline, platform).min_latency().latency;
+    let hi = mono::minimize_failure(pipeline, platform).latency;
+    (0..5).map(|i| lo + (hi - lo) * i as f64 / 4.0).collect()
+}
+
+fn fp_thresholds(pipeline: &Pipeline, platform: &Platform) -> Vec<f64> {
+    let floor = mono::minimize_failure(pipeline, platform).failure_prob;
+    vec![floor * 0.5, floor, (floor + 1.0) / 2.0, 0.9, 1.0]
+}
+
+/// E3 — Theorem 1: replicate-all equals the oracle's FP minimum on every
+/// class combination.
+#[test]
+fn e3_thm1_matches_oracle_on_all_classes() {
+    for class in [
+        PlatformClass::FullyHomogeneous,
+        PlatformClass::CommHomogeneous,
+        PlatformClass::FullyHeterogeneous,
+    ] {
+        for failure in [FailureClass::Homogeneous, FailureClass::Heterogeneous] {
+            for inst in (SuiteSpec {
+                sizes: vec![(3, 4), (4, 4)],
+                seeds: vec![5, 31],
+                ..SuiteSpec::small(class, failure)
+            })
+            .instances()
+            {
+                let thm1 = mono::minimize_failure(&inst.pipeline, &inst.platform);
+                let oracle = Exhaustive::new(&inst.pipeline, &inst.platform).min_failure();
+                assert_approx_eq!(thm1.failure_prob, oracle.failure_prob);
+            }
+        }
+    }
+}
+
+/// Theorem 2: fastest-single-processor equals the oracle latency minimum on
+/// comm-homogeneous platforms.
+#[test]
+fn thm2_matches_oracle_on_comm_homog() {
+    let suite = SuiteSpec::small(PlatformClass::CommHomogeneous, FailureClass::Heterogeneous);
+    for inst in suite.instances() {
+        let thm2 = mono::minimize_latency_comm_homog(&inst.pipeline, &inst.platform).unwrap();
+        let oracle = Exhaustive::new(&inst.pipeline, &inst.platform).min_latency();
+        assert_approx_eq!(thm2.latency, oracle.latency);
+    }
+}
+
+/// E4 — Algorithms 1 & 2 (Fully Homogeneous) match the oracle across
+/// threshold sweeps.
+#[test]
+fn e4_algorithms_1_and_2_match_oracle() {
+    let suite = SuiteSpec::small(PlatformClass::FullyHomogeneous, FailureClass::Homogeneous);
+    for inst in suite.instances().into_iter().take(12) {
+        for l in latency_thresholds(&inst.pipeline, &inst.platform) {
+            let alg = bicriteria::fully_homog::min_fp_under_latency(
+                &inst.pipeline,
+                &inst.platform,
+                l,
+            )
+            .ok();
+            let oracle = Exhaustive::new(&inst.pipeline, &inst.platform)
+                .solve(Objective::MinFpUnderLatency(l));
+            match (alg, oracle) {
+                (Some(a), Some(o)) => assert_approx_eq!(a.failure_prob, o.failure_prob),
+                (None, None) => {}
+                (a, o) => panic!("{} @ L={l}: {a:?} vs {o:?}", inst.label),
+            }
+        }
+        for f in fp_thresholds(&inst.pipeline, &inst.platform) {
+            let alg = bicriteria::fully_homog::min_latency_under_fp(
+                &inst.pipeline,
+                &inst.platform,
+                f,
+            )
+            .ok();
+            let oracle = Exhaustive::new(&inst.pipeline, &inst.platform)
+                .solve(Objective::MinLatencyUnderFp(f));
+            match (alg, oracle) {
+                (Some(a), Some(o)) => assert_approx_eq!(a.latency, o.latency),
+                (None, None) => {}
+                (a, o) => panic!("{} @ FP={f}: {a:?} vs {o:?}", inst.label),
+            }
+        }
+    }
+}
+
+/// E5 — Algorithms 3 & 4 (Comm Homogeneous + Failure Homogeneous) match the
+/// oracle across threshold sweeps.
+#[test]
+fn e5_algorithms_3_and_4_match_oracle() {
+    let suite = SuiteSpec::small(PlatformClass::CommHomogeneous, FailureClass::Homogeneous);
+    for inst in suite.instances().into_iter().take(12) {
+        for l in latency_thresholds(&inst.pipeline, &inst.platform) {
+            let alg =
+                bicriteria::comm_homog::min_fp_under_latency(&inst.pipeline, &inst.platform, l)
+                    .ok();
+            let oracle = Exhaustive::new(&inst.pipeline, &inst.platform)
+                .solve(Objective::MinFpUnderLatency(l));
+            match (alg, oracle) {
+                (Some(a), Some(o)) => assert_approx_eq!(a.failure_prob, o.failure_prob),
+                (None, None) => {}
+                (a, o) => panic!("{} @ L={l}: {a:?} vs {o:?}", inst.label),
+            }
+        }
+        for f in fp_thresholds(&inst.pipeline, &inst.platform) {
+            let alg =
+                bicriteria::comm_homog::min_latency_under_fp(&inst.pipeline, &inst.platform, f)
+                    .ok();
+            let oracle = Exhaustive::new(&inst.pipeline, &inst.platform)
+                .solve(Objective::MinLatencyUnderFp(f));
+            match (alg, oracle) {
+                (Some(a), Some(o)) => assert_approx_eq!(a.latency, o.latency),
+                (None, None) => {}
+                (a, o) => panic!("{} @ FP={f}: {a:?} vs {o:?}", inst.label),
+            }
+        }
+    }
+}
+
+/// The polynomial dispatcher picks the right algorithm per class and
+/// agrees with the oracle.
+#[test]
+fn polynomial_dispatch_agrees_with_oracle() {
+    for (class, failure) in [
+        (PlatformClass::FullyHomogeneous, FailureClass::Homogeneous),
+        (PlatformClass::CommHomogeneous, FailureClass::Homogeneous),
+    ] {
+        let suite = SuiteSpec {
+            sizes: vec![(3, 4)],
+            seeds: vec![71, 72],
+            ..SuiteSpec::small(class, failure)
+        };
+        for inst in suite.instances() {
+            for l in latency_thresholds(&inst.pipeline, &inst.platform) {
+                let dispatched = bicriteria::solve_polynomial(
+                    &inst.pipeline,
+                    &inst.platform,
+                    Objective::MinFpUnderLatency(l),
+                );
+                let oracle = Exhaustive::new(&inst.pipeline, &inst.platform)
+                    .solve(Objective::MinFpUnderLatency(l));
+                match (dispatched, oracle) {
+                    (Ok(Some(a)), Some(o)) => assert_approx_eq!(a.failure_prob, o.failure_prob),
+                    (Err(_), None) => {}
+                    (a, o) => panic!("{} @ L={l}: {a:?} vs {o:?}", inst.label),
+                }
+            }
+        }
+    }
+}

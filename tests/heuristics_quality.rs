@@ -1,0 +1,131 @@
+//! E10 — heuristic quality against the exact fronts on the NP-hard and
+//! open problem classes.
+
+use rpwf::prelude::*;
+use rpwf_algo::exact::{pareto_front_comm_homog, Exhaustive};
+use rpwf_algo::heuristics::{split_dp, Portfolio};
+use rpwf_core::assert_approx_eq;
+use rpwf_gen::SuiteSpec;
+
+/// Every heuristic answer must be a genuinely feasible mapping whose
+/// objectives re-evaluate to the reported values, and can never beat the
+/// exact optimum.
+#[test]
+fn e10_heuristics_are_sound_vs_bitmask_dp() {
+    let suite = SuiteSpec {
+        sizes: vec![(3, 5), (4, 6)],
+        seeds: vec![10, 20],
+        ..SuiteSpec::small(PlatformClass::CommHomogeneous, FailureClass::Heterogeneous)
+    };
+    for inst in suite.instances() {
+        let front = pareto_front_comm_homog(&inst.pipeline, &inst.platform).unwrap();
+        // Probe at the front's median latency.
+        let mid = front.points()[front.len() / 2].latency;
+        let objective = Objective::MinFpUnderLatency(mid);
+        let exact = front.min_fp_under_latency(mid).expect("mid point exists");
+        for (name, sol) in Portfolio::new(11).run_all(&inst.pipeline, &inst.platform, objective)
+        {
+            let Some(sol) = sol else { continue };
+            // Feasible and consistent.
+            assert!(sol.latency <= mid + 1e-6, "{}/{name}", inst.label);
+            let re = rpwf_algo::BiSolution::evaluate(
+                sol.mapping.clone(),
+                &inst.pipeline,
+                &inst.platform,
+            );
+            assert_approx_eq!(re.latency, sol.latency);
+            assert_approx_eq!(re.failure_prob, sol.failure_prob);
+            // Never better than exact.
+            assert!(
+                sol.failure_prob >= exact.failure_prob - 1e-9,
+                "{}/{name}: heuristic {} beat exact {}",
+                inst.label,
+                sol.failure_prob,
+                exact.failure_prob
+            );
+        }
+    }
+}
+
+/// The portfolio reaches the exact optimum on most small instances of the
+/// open problem class (quality floor so regressions are caught).
+#[test]
+fn e10_portfolio_hits_optimum_often_on_open_class() {
+    let suite = SuiteSpec {
+        sizes: vec![(3, 5)],
+        seeds: vec![1, 2, 3, 4, 5, 6],
+        ..SuiteSpec::small(PlatformClass::CommHomogeneous, FailureClass::Heterogeneous)
+    };
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for inst in suite.instances() {
+        let front = pareto_front_comm_homog(&inst.pipeline, &inst.platform).unwrap();
+        let mid = front.points()[front.len() / 2].latency;
+        let exact = front.min_fp_under_latency(mid).unwrap().failure_prob;
+        let heur = Portfolio::new(13)
+            .solve(&inst.pipeline, &inst.platform, Objective::MinFpUnderLatency(mid))
+            .expect("feasible since exact is");
+        total += 1;
+        if (heur.failure_prob - exact).abs() <= 1e-9 {
+            hits += 1;
+        }
+    }
+    assert!(hits * 2 >= total, "portfolio matched optimum only {hits}/{total} times");
+}
+
+/// On the NP-hard fully heterogeneous class, the portfolio is validated
+/// against the brute-force oracle on tiny instances.
+#[test]
+fn e10_portfolio_sound_on_fully_heterogeneous() {
+    let suite = SuiteSpec {
+        sizes: vec![(3, 4)],
+        seeds: vec![50, 51, 52],
+        ..SuiteSpec::small(PlatformClass::FullyHeterogeneous, FailureClass::Heterogeneous)
+    };
+    for inst in suite.instances() {
+        let oracle_front = Exhaustive::new(&inst.pipeline, &inst.platform).pareto_front();
+        let mid = oracle_front.points()[oracle_front.len() / 2].latency;
+        let exact = oracle_front.min_fp_under_latency(mid).unwrap().failure_prob;
+        let heur = Portfolio::new(17)
+            .solve(&inst.pipeline, &inst.platform, Objective::MinFpUnderLatency(mid))
+            .expect("feasible since exact is");
+        assert!(heur.latency <= mid + 1e-6);
+        assert!(heur.failure_prob >= exact - 1e-9);
+        // Quality: within 3× of the optimal FP on these tiny instances.
+        assert!(
+            heur.failure_prob <= (exact * 3.0).max(exact + 0.05) + 1e-9,
+            "{}: heuristic {} vs exact {exact}",
+            inst.label,
+            heur.failure_prob
+        );
+    }
+}
+
+/// The split-DP front is always inside the exact region and contains the
+/// single-interval family's best points.
+#[test]
+fn e10_split_dp_front_is_sound() {
+    let suite = SuiteSpec {
+        sizes: vec![(4, 5)],
+        seeds: vec![60, 61],
+        ..SuiteSpec::small(PlatformClass::CommHomogeneous, FailureClass::Heterogeneous)
+    };
+    for inst in suite.instances() {
+        let heur = split_dp::pareto_front(&inst.pipeline, &inst.platform).unwrap();
+        let exact = pareto_front_comm_homog(&inst.pipeline, &inst.platform).unwrap();
+        for pt in heur.iter() {
+            assert!(
+                exact.iter().any(|e| e.latency <= pt.latency + 1e-9
+                    && e.failure_prob <= pt.failure_prob + 1e-9),
+                "{}: heuristic point outside exact region",
+                inst.label
+            );
+        }
+        // The DP explores every single-interval prefix of its orders, so its
+        // front is at least as good as "fastest processor alone".
+        let thm2 = rpwf_algo::mono::minimize_latency_comm_homog(&inst.pipeline, &inst.platform)
+            .unwrap();
+        let best_lat = heur.points().first().map(|pt| pt.latency).unwrap();
+        assert!(best_lat <= thm2.latency + 1e-9);
+    }
+}

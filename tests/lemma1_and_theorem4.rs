@@ -1,0 +1,120 @@
+//! E6 + E9 — Lemma 1's single-interval optimality and Theorem 4's
+//! shortest-path solver, validated against brute force on random suites.
+
+use rpwf::prelude::*;
+use rpwf_algo::exact::{min_latency_general_brute, min_latency_interval, Exhaustive};
+use rpwf_algo::mono::general_mapping_shortest_path;
+use rpwf_core::assert_approx_eq;
+use rpwf_gen::SuiteSpec;
+
+/// E9 — Lemma 1 on Fully Homogeneous platforms (including heterogeneous
+/// failures, the lemma's most general setting): every Pareto-optimal point
+/// is matched by a single-interval mapping.
+#[test]
+fn e9_lemma1_fully_homogeneous() {
+    for failure in [FailureClass::Homogeneous, FailureClass::Heterogeneous] {
+        let suite = SuiteSpec {
+            sizes: vec![(3, 4), (4, 4)],
+            seeds: vec![3, 14, 15],
+            ..SuiteSpec::small(PlatformClass::FullyHomogeneous, failure)
+        };
+        for inst in suite.instances() {
+            let front = Exhaustive::new(&inst.pipeline, &inst.platform).pareto_front();
+            for pt in front.iter() {
+                // Some single-interval mapping must weakly dominate this point.
+                let dominated_by_single = front.iter().any(|q| {
+                    q.payload.n_intervals() == 1
+                        && q.latency <= pt.latency + 1e-9
+                        && q.failure_prob <= pt.failure_prob + 1e-9
+                });
+                assert!(
+                    dominated_by_single,
+                    "{}: point ({}, {}) not covered by a single interval",
+                    inst.label, pt.latency, pt.failure_prob
+                );
+            }
+        }
+    }
+}
+
+/// E9 — Lemma 1 on Comm Homogeneous + Failure Homogeneous platforms.
+#[test]
+fn e9_lemma1_comm_homogeneous_failure_homogeneous() {
+    let suite = SuiteSpec {
+        sizes: vec![(3, 4), (4, 5)],
+        seeds: vec![8, 21, 34],
+        ..SuiteSpec::small(PlatformClass::CommHomogeneous, FailureClass::Homogeneous)
+    };
+    for inst in suite.instances() {
+        let front = Exhaustive::new(&inst.pipeline, &inst.platform).pareto_front();
+        for pt in front.iter() {
+            let dominated_by_single = front.iter().any(|q| {
+                q.payload.n_intervals() == 1
+                    && q.latency <= pt.latency + 1e-9
+                    && q.failure_prob <= pt.failure_prob + 1e-9
+            });
+            assert!(dominated_by_single, "{}: Lemma 1 violated", inst.label);
+        }
+    }
+}
+
+/// The counterexample direction: with heterogeneous failures on a
+/// comm-homogeneous platform, Lemma 1 *fails* — Figure 5 is the witness.
+#[test]
+fn e9_lemma1_fails_on_failure_heterogeneous() {
+    let pipeline = gen::figure5_pipeline();
+    let mut speeds = vec![100.0; 5];
+    speeds[0] = 1.0;
+    let mut fps = vec![0.8; 5];
+    fps[0] = 0.1;
+    let platform = Platform::comm_homogeneous(speeds, 1.0, fps).unwrap();
+    let front = Exhaustive::new(&pipeline, &platform).pareto_front();
+    let multi_needed = front.iter().any(|pt| {
+        pt.payload.n_intervals() > 1
+            && !front.iter().any(|q| {
+                q.payload.n_intervals() == 1
+                    && q.latency <= pt.latency + 1e-9
+                    && q.failure_prob <= pt.failure_prob + 1e-9
+            })
+    });
+    assert!(multi_needed, "Figure 5 must need a two-interval Pareto point");
+}
+
+/// E6 — Theorem 4: the layered-graph shortest path equals brute force over
+/// all `m^n` general mappings on random fully heterogeneous instances.
+#[test]
+fn e6_shortest_path_matches_brute_force() {
+    let suite = SuiteSpec {
+        sizes: vec![(2, 3), (3, 4), (4, 4), (4, 5)],
+        seeds: vec![1, 2, 3],
+        ..SuiteSpec::small(PlatformClass::FullyHeterogeneous, FailureClass::Heterogeneous)
+    };
+    for inst in suite.instances() {
+        let (sp_map, sp) = general_mapping_shortest_path(&inst.pipeline, &inst.platform);
+        let (_, brute) = min_latency_general_brute(&inst.pipeline, &inst.platform);
+        assert_approx_eq!(sp, brute);
+        assert_approx_eq!(sp, general_latency(&sp_map, &inst.pipeline, &inst.platform));
+    }
+}
+
+/// E6 — relaxation ordering on every instance:
+/// `general ≤ interval ≤ one-to-one` latencies.
+#[test]
+fn e6_relaxation_chain_is_ordered() {
+    let suite = SuiteSpec {
+        sizes: vec![(3, 4), (3, 5), (4, 5)],
+        seeds: vec![40, 41],
+        ..SuiteSpec::small(PlatformClass::FullyHeterogeneous, FailureClass::Heterogeneous)
+    };
+    for inst in suite.instances() {
+        let (_, general) = general_mapping_shortest_path(&inst.pipeline, &inst.platform);
+        let (_, interval) = min_latency_interval(&inst.pipeline, &inst.platform);
+        let one_to_one =
+            rpwf_algo::exact::min_latency_one_to_one(&inst.pipeline, &inst.platform)
+                .map(|(_, l)| l);
+        assert!(general <= interval + 1e-9, "{}: {general} > {interval}", inst.label);
+        if let Some(oto) = one_to_one {
+            assert!(interval <= oto + 1e-9, "{}: {interval} > {oto}", inst.label);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! E1 + E2 — end-to-end reproduction of the paper's §3 worked examples
+//! through the public facade API.
+
+use rpwf::prelude::*;
+use rpwf_algo::exact::{solve_comm_homog, Exhaustive};
+use rpwf_algo::heuristics::single_interval::best_single_interval;
+use rpwf_algo::mono::general_mapping_shortest_path;
+use rpwf_core::assert_approx_eq;
+
+/// E1 — Figures 3 & 4: single-processor latency 105, optimal split 7.
+#[test]
+fn e1_figure34_single_processor_is_105() {
+    let pipeline = gen::figure3_pipeline();
+    let platform = gen::figure4_platform();
+    for u in 0..2u32 {
+        let whole = IntervalMapping::single_interval(2, vec![ProcId(u)], 2).unwrap();
+        assert_approx_eq!(latency(&whole, &pipeline, &platform), 105.0);
+    }
+}
+
+#[test]
+fn e1_figure34_shortest_path_finds_7() {
+    let pipeline = gen::figure3_pipeline();
+    let platform = gen::figure4_platform();
+    let (mapping, lat) = general_mapping_shortest_path(&pipeline, &platform);
+    assert_approx_eq!(lat, 7.0);
+    assert_eq!(mapping.procs(), &[ProcId(0), ProcId(1)]);
+}
+
+#[test]
+fn e1_figure34_exhaustive_interval_optimum_is_7() {
+    let pipeline = gen::figure3_pipeline();
+    let platform = gen::figure4_platform();
+    let oracle = Exhaustive::new(&pipeline, &platform).min_latency();
+    assert_approx_eq!(oracle.latency, 7.0);
+    assert_eq!(oracle.mapping.n_intervals(), 2);
+}
+
+/// E2 — Figure 5: best single interval FP = 0.64 at L ≤ 22; two-interval
+/// optimum FP = 1 − 0.9·(1 − 0.8^10) ≈ 0.1966 < 0.2.
+#[test]
+fn e2_figure5_single_interval_is_064() {
+    let pipeline = gen::figure5_pipeline();
+    let platform = gen::figure5_platform();
+    let sol = best_single_interval(
+        &pipeline,
+        &platform,
+        Objective::MinFpUnderLatency(22.0),
+    )
+    .expect("two fast replicas are feasible");
+    assert_approx_eq!(sol.failure_prob, 0.64);
+    assert_approx_eq!(sol.latency, 21.01);
+}
+
+#[test]
+fn e2_figure5_optimum_is_two_intervals_below_02() {
+    let pipeline = gen::figure5_pipeline();
+    let platform = gen::figure5_platform();
+    let sol = solve_comm_homog(&pipeline, &platform, Objective::MinFpUnderLatency(22.0))
+        .unwrap()
+        .expect("feasible");
+    assert_approx_eq!(sol.latency, 22.0);
+    assert_approx_eq!(sol.failure_prob, 1.0 - 0.9 * (1.0 - 0.8f64.powi(10)));
+    assert!(sol.failure_prob < 0.2);
+    assert_eq!(sol.mapping.n_intervals(), 2);
+    assert_eq!(sol.mapping.alloc(0), &[ProcId(0)]);
+    assert_eq!(sol.mapping.replication(1), 10);
+}
+
+/// The Figure 5 structure survives on a reduced platform where the
+/// brute-force oracle is also tractable — both solvers agree.
+#[test]
+fn e2_figure5_reduced_oracle_agreement() {
+    let pipeline = gen::figure5_pipeline();
+    let mut speeds = vec![100.0; 5];
+    speeds[0] = 1.0;
+    let mut fps = vec![0.8; 5];
+    fps[0] = 0.1;
+    let platform = Platform::comm_homogeneous(speeds, 1.0, fps).unwrap();
+
+    let threshold = 16.0; // 10 + 1 + 4·1 + 1 + 0
+    let dp = solve_comm_homog(&pipeline, &platform, Objective::MinFpUnderLatency(threshold))
+        .unwrap()
+        .expect("feasible");
+    let oracle = Exhaustive::new(&pipeline, &platform)
+        .solve(Objective::MinFpUnderLatency(threshold))
+        .expect("feasible");
+    assert_approx_eq!(dp.failure_prob, oracle.failure_prob);
+    assert_approx_eq!(dp.latency, oracle.latency);
+}

@@ -1,0 +1,103 @@
+//! E7 + E8 — the NP-hardness gadgets, exercised in both directions with
+//! exact solvers on each side of the reduction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpwf::prelude::*;
+use rpwf_algo::reductions::{build_tsp_gadget, build_two_partition_gadget};
+use rpwf_core::assert_approx_eq;
+use rpwf_gen::{TspInstance, TwoPartitionInstance};
+
+/// E7 — Theorem 3: Hamiltonian path with cost ≤ K exists **iff** the gadget
+/// admits a one-to-one mapping with latency ≤ K + n + 2.
+#[test]
+fn e7_tsp_reduction_equivalence() {
+    let mut rng = StdRng::seed_from_u64(777);
+    for trial in 0..10 {
+        let n = 4 + trial % 3;
+        let inst = TspInstance::random(n, 8, &mut rng);
+        let (best_path, best_cost) = inst.brute_force_best_path();
+
+        // Yes-instance at K = optimum.
+        let yes = build_tsp_gadget(&inst, best_cost);
+        let witness = yes.decide().expect("yes-instance");
+        assert!(inst.path_cost(&witness) <= best_cost + 1e-9);
+        // The forward construction maps the witness path onto the threshold.
+        assert!(yes.path_latency(&best_path) <= yes.latency_threshold + 1e-9);
+
+        // No-instance just below the optimum.
+        let no = build_tsp_gadget(&inst, best_cost - 0.25);
+        assert!(no.decide().is_none(), "trial {trial}: no-instance decided yes");
+    }
+}
+
+/// E7 — the gadget's latency bookkeeping: path cost C ↦ latency C + n + 2.
+#[test]
+fn e7_tsp_latency_accounting() {
+    let mut rng = StdRng::seed_from_u64(778);
+    let inst = TspInstance::random(6, 9, &mut rng);
+    let gadget = build_tsp_gadget(&inst, 25.0);
+    let (path, cost) = inst.brute_force_best_path();
+    assert_approx_eq!(gadget.path_latency(&path), cost + 6.0 + 2.0);
+    // Round trip: mapping → path → mapping.
+    let mapping = gadget.path_to_mapping(&path);
+    assert_eq!(gadget.mapping_to_path(&mapping), path);
+}
+
+/// E8 — Theorem 7: the 2-PARTITION instance is a yes-instance **iff** the
+/// gadget admits a mapping with latency ≤ S/2 + 2 and FP ≤ e^{−S/2}.
+#[test]
+fn e8_two_partition_reduction_equivalence() {
+    let mut rng = StdRng::seed_from_u64(888);
+    for _ in 0..25 {
+        let inst = TwoPartitionInstance::random(9, 11, &mut rng);
+        let gadget = build_two_partition_gadget(&inst);
+        assert_eq!(
+            inst.solve().is_some(),
+            gadget.decide_by_enumeration().is_some(),
+            "values {:?}",
+            inst.values
+        );
+    }
+}
+
+/// E8 — witnesses transfer across the reduction in both directions.
+#[test]
+fn e8_witness_transfer() {
+    let mut rng = StdRng::seed_from_u64(889);
+    let inst = TwoPartitionInstance::with_planted_solution(5, 20, &mut rng);
+    let gadget = build_two_partition_gadget(&inst);
+
+    // partition witness → feasible mapping.
+    let subset = inst.solve().expect("planted");
+    let mapping = gadget.subset_to_mapping(&subset);
+    assert!(gadget.mapping_feasible(&mapping));
+
+    // gadget witness → valid partition.
+    let found = gadget.decide_by_enumeration().expect("yes-instance");
+    assert!(inst.check_witness(&found));
+}
+
+/// E8 — the metric evaluation of gadget mappings agrees with the integer
+/// bookkeeping of the proof (latency = Σ a_j + 2, FP = e^{−Σ a_j}).
+#[test]
+fn e8_gadget_metrics_match_proof() {
+    let inst = TwoPartitionInstance { values: vec![4, 2, 6, 2] }; // S = 14
+    let gadget = build_two_partition_gadget(&inst);
+    let subset = vec![0, 1]; // Σ = 6
+    let mapping = gadget.subset_to_mapping(&subset);
+    assert_approx_eq!(latency(&mapping, &gadget.pipeline, &gadget.platform), 6.0 + 2.0);
+    assert_approx_eq!(
+        failure_probability(&mapping, &gadget.platform),
+        (-6.0f64).exp(),
+        1e-6
+    );
+    // Σ = 6 < 7 = S/2 → FP too large: infeasible.
+    assert!(!gadget.mapping_feasible(&mapping));
+    // Σ = 8 > 7 → latency too large: infeasible.
+    let heavy = gadget.subset_to_mapping(&[1, 2]); // 2 + 6 = 8
+    assert!(!gadget.mapping_feasible(&heavy));
+    // All values are even but S/2 = 7 is odd: a genuine no-instance.
+    assert!(gadget.decide_by_enumeration().is_none());
+    assert!(inst.solve().is_none());
+}

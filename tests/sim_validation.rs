@@ -1,0 +1,179 @@
+//! E11 — the discrete-event simulator certifies the analytic model on
+//! random instances: worst-case equality, upper-bound property, Monte Carlo
+//! reliability convergence, and one-port trace validity.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpwf::prelude::*;
+use rpwf_core::assert_approx_eq;
+use rpwf_gen::{PipelineGen, PlatformGen};
+use rpwf_sim::{
+    simulate, simulate_one, FailureModel, FailureScenario, MonteCarlo, SimConfig,
+};
+
+/// Deterministic random mapping (mirrors the strategy used by the solver
+/// heuristics) for fuzzing across instance shapes.
+fn random_mapping(n: usize, m: usize, rng: &mut StdRng) -> IntervalMapping {
+    rpwf_algo::heuristics::neighborhood::random_mapping(n, m, rng)
+}
+
+/// Worst-case simulation equals equation (2) on random mappings over all
+/// platform classes.
+#[test]
+fn e11_adversarial_sim_equals_eq2() {
+    let mut rng = StdRng::seed_from_u64(2001);
+    for class in [
+        PlatformClass::FullyHomogeneous,
+        PlatformClass::CommHomogeneous,
+        PlatformClass::FullyHeterogeneous,
+    ] {
+        for _ in 0..8 {
+            let pipe = PipelineGen::balanced(4).sample(&mut rng);
+            let pf = PlatformGen::new(5, class, FailureClass::Heterogeneous).sample(&mut rng);
+            let mapping = random_mapping(4, 5, &mut rng);
+            let analytic = latency(&mapping, &pipe, &pf);
+            let sim = simulate_one(
+                &pipe,
+                &pf,
+                &mapping,
+                &FailureScenario::all_alive(5),
+                SimConfig::worst_case(),
+            );
+            assert_approx_eq!(sim.latency().unwrap(), analytic, 1e-9);
+        }
+    }
+}
+
+/// Any (policy, order, failure pattern) combination that still succeeds
+/// stays at or below the analytic worst case.
+#[test]
+fn e11_eq2_is_an_upper_bound_under_fuzzing() {
+    let mut rng = StdRng::seed_from_u64(2002);
+    for trial in 0..30 {
+        let pipe = PipelineGen::balanced(3).sample(&mut rng);
+        let pf = PlatformGen::new(
+            5,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let mapping = random_mapping(3, 5, &mut rng);
+        let bound = latency(&mapping, &pipe, &pf);
+        let scenario = FailureModel::BernoulliAtStart.sample(&pf, &mut rng);
+        for config in [SimConfig::default(), SimConfig::worst_case(), SimConfig::best_case()] {
+            if let Some(lat) =
+                simulate_one(&pipe, &pf, &mapping, &scenario, config).latency()
+            {
+                assert!(
+                    lat <= bound + 1e-9,
+                    "trial {trial}: simulated {lat} exceeds analytic bound {bound}"
+                );
+            }
+        }
+    }
+}
+
+/// The simulated failure predicate agrees with the analytic one: a run
+/// fails exactly when some interval lost every replica.
+#[test]
+fn e11_failure_predicate_agreement() {
+    let mut rng = StdRng::seed_from_u64(2003);
+    for _ in 0..40 {
+        let pipe = PipelineGen::balanced(3).sample(&mut rng);
+        let pf = PlatformGen::new(
+            4,
+            PlatformClass::CommHomogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let mapping = random_mapping(3, 4, &mut rng);
+        let scenario = FailureModel::BernoulliAtStart.sample(&pf, &mut rng);
+        let analytic_fail = (0..mapping.n_intervals())
+            .any(|j| mapping.alloc(j).iter().all(|&p| !scenario.alive(p)));
+        let outcome = simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::default());
+        assert_eq!(!outcome.is_success(), analytic_fail);
+    }
+}
+
+/// Monte Carlo success rate brackets the analytic reliability (Wilson 95%).
+#[test]
+fn e11_monte_carlo_converges_to_analytic_reliability() {
+    let mut rng = StdRng::seed_from_u64(2004);
+    for _ in 0..3 {
+        let pipe = PipelineGen::balanced(3).sample(&mut rng);
+        let pf = PlatformGen::new(
+            5,
+            PlatformClass::CommHomogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let mapping = random_mapping(3, 5, &mut rng);
+        let analytic = reliability(&mapping, &pf);
+        let report = MonteCarlo { trials: 20_000, seed: 99, ..Default::default() }
+            .run(&pipe, &pf, &mapping);
+        assert!(
+            report.wilson95.0 <= analytic && analytic <= report.wilson95.1,
+            "analytic {analytic} outside {:?}",
+            report.wilson95
+        );
+    }
+}
+
+/// Traces from saturated multi-data-set runs always satisfy the one-port
+/// invariant.
+#[test]
+fn e11_traces_respect_one_port_under_load() {
+    let mut rng = StdRng::seed_from_u64(2005);
+    for _ in 0..10 {
+        let pipe = PipelineGen::comm_heavy(3).sample(&mut rng);
+        let pf = PlatformGen::new(
+            4,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let mapping = random_mapping(3, 4, &mut rng);
+        let scenario = FailureModel::BernoulliAtStart.sample(&pf, &mut rng);
+        let report = simulate(
+            &pipe,
+            &pf,
+            &mapping,
+            &scenario,
+            SimConfig::worst_case().with_trace(),
+            &[0.0, 0.0, 0.0, 5.0, 5.0, 100.0],
+        );
+        report.trace.expect("requested").check_one_port().expect("one-port invariant");
+    }
+}
+
+/// Streaming throughput matches the analytic period on comm-homogeneous
+/// platforms (extension metric cross-validation).
+#[test]
+fn e11_streaming_matches_period() {
+    let mut rng = StdRng::seed_from_u64(2006);
+    for _ in 0..6 {
+        let pipe = PipelineGen::balanced(3).sample(&mut rng);
+        let pf = PlatformGen::new(
+            4,
+            PlatformClass::CommHomogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let mapping = random_mapping(3, 4, &mut rng);
+        let expected = period(&mapping, &pipe, &pf).unwrap();
+        let d = 40;
+        let report = simulate(
+            &pipe,
+            &pf,
+            &mapping,
+            &FailureScenario::all_alive(4),
+            SimConfig::worst_case(),
+            &vec![0.0; d],
+        );
+        let times = report.completion_times();
+        let tail = &times[d - 5..];
+        for w in tail.windows(2) {
+            assert_approx_eq!(w[1] - w[0], expected, 1e-6);
+        }
+    }
+}
