@@ -32,9 +32,8 @@ fn require_classes(platform: &Platform) -> Result<()> {
 /// Single interval on the `k` fastest processors, evaluated.
 fn replicate_on_k_fastest(pipeline: &Pipeline, platform: &Platform, k: usize) -> BiSolution {
     let procs = platform.procs_by_speed_desc()[..k].to_vec();
-    let mapping =
-        IntervalMapping::single_interval(pipeline.n_stages(), procs, platform.n_procs())
-            .expect("k ≥ 1 fastest processors form a valid allocation");
+    let mapping = IntervalMapping::single_interval(pipeline.n_stages(), procs, platform.n_procs())
+        .expect("k ≥ 1 fastest processors form a valid allocation");
     BiSolution::evaluate(mapping, pipeline, platform)
 }
 
@@ -92,7 +91,10 @@ pub fn min_latency_under_fp(
         }
     }
     Err(CoreError::Infeasible {
-        reason: format!("even {} replicas cannot achieve FP ≤ {fp}", platform.n_procs()),
+        reason: format!(
+            "even {} replicas cannot achieve FP ≤ {fp}",
+            platform.n_procs()
+        ),
     })
 }
 
@@ -139,8 +141,7 @@ mod tests {
             min_fp_under_latency(&pipe, &het_links, 100.0).unwrap_err(),
             CoreError::NotCommHomogeneous
         );
-        let het_fail =
-            Platform::comm_homogeneous(vec![1.0, 1.0], 1.0, vec![0.1, 0.2]).unwrap();
+        let het_fail = Platform::comm_homogeneous(vec![1.0, 1.0], 1.0, vec![0.1, 0.2]).unwrap();
         assert_eq!(
             min_latency_under_fp(&pipe, &het_fail, 1.0).unwrap_err(),
             CoreError::NotFailureHomogeneous
@@ -180,7 +181,7 @@ mod tests {
     fn algorithm4_matches_exhaustive_oracle() {
         let pipe = Pipeline::new(vec![2.0, 10.0], vec![3.0, 1.0, 2.0]).unwrap();
         let pf = platform();
-        for fp in [0.6, 0.5, 0.3, 0.15, 0.07, 0.04]  {
+        for fp in [0.6, 0.5, 0.3, 0.15, 0.07, 0.04] {
             let alg = min_latency_under_fp(&pipe, &pf, fp).ok();
             let oracle = Exhaustive::new(&pipe, &pf).solve(Objective::MinLatencyUnderFp(fp));
             match (alg, oracle) {

@@ -25,15 +25,10 @@ fn require_fully_homogeneous(platform: &Platform) -> Result<()> {
 
 /// Builds the single-interval mapping on the `k` most reliable processors
 /// and evaluates it.
-fn replicate_on_k_most_reliable(
-    pipeline: &Pipeline,
-    platform: &Platform,
-    k: usize,
-) -> BiSolution {
+fn replicate_on_k_most_reliable(pipeline: &Pipeline, platform: &Platform, k: usize) -> BiSolution {
     let procs = platform.procs_by_reliability_desc()[..k].to_vec();
-    let mapping =
-        IntervalMapping::single_interval(pipeline.n_stages(), procs, platform.n_procs())
-            .expect("k ≥ 1 most reliable processors form a valid allocation");
+    let mapping = IntervalMapping::single_interval(pipeline.n_stages(), procs, platform.n_procs())
+        .expect("k ≥ 1 most reliable processors form a valid allocation");
     BiSolution::evaluate(mapping, pipeline, platform)
 }
 
@@ -95,7 +90,10 @@ pub fn min_latency_under_fp(
         }
     }
     Err(CoreError::Infeasible {
-        reason: format!("even {} replicas cannot achieve FP ≤ {fp}", platform.n_procs()),
+        reason: format!(
+            "even {} replicas cannot achieve FP ≤ {fp}",
+            platform.n_procs()
+        ),
     })
 }
 

@@ -58,26 +58,34 @@ mod tests {
         let pipe = Pipeline::uniform(2, 1.0, 1.0).unwrap();
 
         let fh = Platform::fully_homogeneous(3, 1.0, 1.0, 0.5).unwrap();
-        assert!(solve_polynomial(&pipe, &fh, Objective::MinFpUnderLatency(100.0))
-            .unwrap()
-            .is_some());
+        assert!(
+            solve_polynomial(&pipe, &fh, Objective::MinFpUnderLatency(100.0))
+                .unwrap()
+                .is_some()
+        );
 
         let ch = Platform::comm_homogeneous(vec![1.0, 2.0], 1.0, vec![0.5, 0.5]).unwrap();
-        assert!(solve_polynomial(&pipe, &ch, Objective::MinLatencyUnderFp(0.9))
-            .unwrap()
-            .is_some());
+        assert!(
+            solve_polynomial(&pipe, &ch, Objective::MinLatencyUnderFp(0.9))
+                .unwrap()
+                .is_some()
+        );
 
         // Open problem class: no polynomial algorithm.
         let ch_fhet = Platform::comm_homogeneous(vec![1.0, 2.0], 1.0, vec![0.1, 0.5]).unwrap();
-        assert!(solve_polynomial(&pipe, &ch_fhet, Objective::MinFpUnderLatency(100.0))
-            .unwrap()
-            .is_none());
+        assert!(
+            solve_polynomial(&pipe, &ch_fhet, Objective::MinFpUnderLatency(100.0))
+                .unwrap()
+                .is_none()
+        );
 
         // NP-hard class.
         let het = rpwf_gen::figure4_platform();
-        assert!(solve_polynomial(&pipe, &het, Objective::MinFpUnderLatency(1e9))
-            .unwrap()
-            .is_none());
+        assert!(
+            solve_polynomial(&pipe, &het, Objective::MinFpUnderLatency(1e9))
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! Complexity: `O(n² · 3^m)` transitions (submask enumeration), each O(1)
 //! thanks to precomputed per-subset tables.
 
-use crate::solution::{BiSolution, Objective};
+use crate::solution::{BiSolution, Budgeted, Objective};
+use rpwf_core::budget::Budget;
 use rpwf_core::error::{CoreError, Result};
 use rpwf_core::mapping::{Interval, IntervalMapping};
 use rpwf_core::num::LogProb;
@@ -43,10 +44,33 @@ pub fn pareto_front_comm_homog(
     pipeline: &Pipeline,
     platform: &Platform,
 ) -> Result<ParetoFront<IntervalMapping>> {
-    let b = platform.uniform_bandwidth().ok_or(CoreError::NotCommHomogeneous)?;
+    Ok(pareto_front_comm_homog_with_budget(pipeline, platform, &Budget::unlimited())?.into_inner())
+}
+
+/// Budgeted variant of [`pareto_front_comm_homog`]. The budget is polled
+/// once per DP cell; on exhaustion the final states reached so far are
+/// collected, so a [`Budgeted::Cutoff`] front is a sound
+/// under-approximation (every point is a real, complete mapping).
+///
+/// # Errors
+/// [`CoreError::NotCommHomogeneous`] on heterogeneous links.
+///
+/// # Panics
+/// When `m > 20` (state space `2^m` would be excessive).
+pub fn pareto_front_comm_homog_with_budget(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    budget: &Budget,
+) -> Result<Budgeted<ParetoFront<IntervalMapping>>> {
+    let b = platform
+        .uniform_bandwidth()
+        .ok_or(CoreError::NotCommHomogeneous)?;
     let n = pipeline.n_stages();
     let m = platform.n_procs();
-    assert!(m <= MAX_PROCS, "bitmask DP supports at most {MAX_PROCS} processors");
+    assert!(
+        m <= MAX_PROCS,
+        "bitmask DP supports at most {MAX_PROCS} processors"
+    );
     let full: u32 = if m == 32 { u32::MAX } else { (1u32 << m) - 1 };
 
     // Per-subset tables: replica count, min speed, −ln(1 − Π fp).
@@ -76,12 +100,21 @@ pub fn pareto_front_comm_homog(
     // states[i][mask] = Pareto front of (lat, fp_cost) with the partial
     // allocation as payload. Laid out as a flat vector.
     let idx = |i: usize, mask: u32| -> usize { i * n_subsets + mask as usize };
-    let mut states: Vec<ParetoFront<PartialAlloc>> =
-        (0..(n + 1) * n_subsets).map(|_| ParetoFront::new()).collect();
+    let mut states: Vec<ParetoFront<PartialAlloc>> = (0..(n + 1) * n_subsets)
+        .map(|_| ParetoFront::new())
+        .collect();
     states[idx(0, 0)].insert(0.0, 0.0, Vec::new());
 
-    for i in 0..n {
+    let limited = budget.is_limited();
+    let mut aborted = false;
+    let mut cells = 0u64;
+    'dp: for i in 0..n {
         for mask in 0..(n_subsets as u32) {
+            cells += 1;
+            if limited && cells & 0x3F == 0 && budget.is_exhausted() {
+                aborted = true;
+                break 'dp;
+            }
             if states[idx(i, mask)].is_empty() {
                 continue;
             }
@@ -127,7 +160,11 @@ pub fn pareto_front_comm_homog(
             front.insert(latency, fp, mapping);
         }
     }
-    Ok(front)
+    Ok(if aborted {
+        Budgeted::Cutoff(front)
+    } else {
+        Budgeted::Complete(front)
+    })
 }
 
 /// Threshold query on the DP front.
@@ -139,17 +176,41 @@ pub fn solve_comm_homog(
     platform: &Platform,
     objective: Objective,
 ) -> Result<Option<BiSolution>> {
-    let front = pareto_front_comm_homog(pipeline, platform)?;
+    Ok(
+        solve_comm_homog_with_budget(pipeline, platform, objective, &Budget::unlimited())?
+            .into_inner(),
+    )
+}
+
+/// Budgeted threshold query; a [`Budgeted::Cutoff`] answer is feasible
+/// but possibly suboptimal (drawn from the partial DP front).
+///
+/// # Errors
+/// Propagates [`pareto_front_comm_homog_with_budget`].
+pub fn solve_comm_homog_with_budget(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    objective: Objective,
+    budget: &Budget,
+) -> Result<Budgeted<Option<BiSolution>>> {
+    let outcome = pareto_front_comm_homog_with_budget(pipeline, platform, budget)?;
+    let complete = outcome.is_complete();
+    let front = outcome.into_inner();
     let cutoff = objective.threshold_with_slack();
     let point = match objective {
         Objective::MinFpUnderLatency(_) => front.min_fp_under_latency(cutoff),
         Objective::MinLatencyUnderFp(_) => front.min_latency_under_fp(cutoff),
     };
-    Ok(point.map(|pt| BiSolution {
+    let sol = point.map(|pt| BiSolution {
         mapping: pt.payload.clone(),
         latency: pt.latency,
         failure_prob: pt.failure_prob,
-    }))
+    });
+    Ok(if complete {
+        Budgeted::Complete(sol)
+    } else {
+        Budgeted::Cutoff(sol)
+    })
 }
 
 fn decode(alloc: &PartialAlloc, n: usize, m: usize) -> IntervalMapping {
@@ -179,8 +240,7 @@ mod tests {
     #[test]
     fn dp_front_matches_exhaustive_oracle() {
         let pipe = Pipeline::new(vec![3.0, 7.0, 2.0], vec![4.0, 2.0, 5.0, 1.0]).unwrap();
-        let pf =
-            Platform::comm_homogeneous(vec![1.0, 2.5, 4.0], 2.0, vec![0.5, 0.3, 0.7]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 2.5, 4.0], 2.0, vec![0.5, 0.3, 0.7]).unwrap();
         let dp = pareto_front_comm_homog(&pipe, &pf).unwrap();
         let oracle = Exhaustive::new(&pipe, &pf).pareto_front();
         assert_eq!(dp.len(), oracle.len());
@@ -222,6 +282,37 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_complete_matches_plain() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let objective = Objective::MinFpUnderLatency(22.0);
+        let plain = solve_comm_homog(&pipe, &pf, objective).unwrap();
+        let budgeted = solve_comm_homog_with_budget(
+            &pipe,
+            &pf,
+            objective,
+            &rpwf_core::budget::Budget::unlimited(),
+        )
+        .unwrap();
+        assert!(budgeted.is_complete());
+        assert_eq!(budgeted.into_inner(), plain);
+    }
+
+    #[test]
+    fn expired_budget_reports_cutoff_with_sound_points() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let budget = rpwf_core::budget::Budget::with_deadline(std::time::Duration::ZERO);
+        let outcome = pareto_front_comm_homog_with_budget(&pipe, &pf, &budget).unwrap();
+        assert!(!outcome.is_complete());
+        for pt in outcome.inner().iter() {
+            let re = crate::solution::BiSolution::evaluate(pt.payload.clone(), &pipe, &pf);
+            assert_approx_eq!(re.latency, pt.latency);
+            assert_approx_eq!(re.failure_prob, pt.failure_prob);
+        }
+    }
+
+    #[test]
     fn rejects_heterogeneous_links() {
         let pipe = Pipeline::uniform(2, 1.0, 1.0).unwrap();
         let pf = rpwf_gen::figure4_platform();
@@ -235,19 +326,22 @@ mod tests {
     fn infeasible_thresholds_return_none() {
         let pipe = Pipeline::uniform(2, 100.0, 100.0).unwrap();
         let pf = Platform::fully_homogeneous(2, 1.0, 1.0, 0.9).unwrap();
-        assert!(solve_comm_homog(&pipe, &pf, Objective::MinFpUnderLatency(1.0))
-            .unwrap()
-            .is_none());
-        assert!(solve_comm_homog(&pipe, &pf, Objective::MinLatencyUnderFp(0.5))
-            .unwrap()
-            .is_none());
+        assert!(
+            solve_comm_homog(&pipe, &pf, Objective::MinFpUnderLatency(1.0))
+                .unwrap()
+                .is_none()
+        );
+        assert!(
+            solve_comm_homog(&pipe, &pf, Objective::MinLatencyUnderFp(0.5))
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
     fn front_extremes_match_theorems_1_and_2() {
         let pipe = Pipeline::new(vec![2.0, 6.0], vec![1.0, 2.0, 1.0]).unwrap();
-        let pf =
-            Platform::comm_homogeneous(vec![4.0, 2.0, 1.0], 1.0, vec![0.2, 0.5, 0.6]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![4.0, 2.0, 1.0], 1.0, vec![0.2, 0.5, 0.6]).unwrap();
         let front = pareto_front_comm_homog(&pipe, &pf).unwrap();
         // Leftmost point = Theorem 2 optimum (fastest single processor).
         let fastest = front.points().first().unwrap();

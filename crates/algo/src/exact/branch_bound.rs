@@ -19,7 +19,8 @@
 //! search finishes, the incumbent is optimal for the threshold objective.
 
 use crate::heuristics::Portfolio;
-use crate::solution::{BiSolution, Objective};
+use crate::solution::{BiSolution, Budgeted, Objective};
+use rpwf_core::budget::Budget;
 use rpwf_core::mapping::{Interval, IntervalMapping};
 use rpwf_core::num::LogProb;
 use rpwf_core::platform::{Platform, ProcId, Vertex};
@@ -53,6 +54,12 @@ struct Search<'a> {
     /// Decision stack: per interval `(end stage, replica mask)`.
     stack: Vec<(usize, u32)>,
     nodes: u64,
+    /// Cooperative deadline/cancellation, polled every 256 nodes.
+    budget: &'a Budget,
+    /// Whether the budget poll is worth paying at all.
+    budget_limited: bool,
+    /// Set once the budget expires; unwinds the whole DFS.
+    aborted: bool,
 }
 
 impl Search<'_> {
@@ -73,15 +80,15 @@ impl Search<'_> {
                     while vv != 0 {
                         let v = ProcId::new(vv.trailing_zeros() as usize);
                         vv &= vv - 1;
-                        cost += self.platform.comm_time(
-                            Vertex::Proc(u),
-                            Vertex::Proc(v),
-                            out_size,
-                        );
+                        cost += self
+                            .platform
+                            .comm_time(Vertex::Proc(u), Vertex::Proc(v), out_size);
                     }
                 }
                 None => {
-                    cost += self.platform.comm_time(Vertex::Proc(u), Vertex::Out, out_size);
+                    cost += self
+                        .platform
+                        .comm_time(Vertex::Proc(u), Vertex::Out, out_size);
                 }
             }
             if cost > worst {
@@ -111,16 +118,23 @@ impl Search<'_> {
         }
         let replace = match &self.best {
             None => true,
-            Some(b) => self.objective.value(latency, fp) < self.objective.value(b.latency, b.failure_prob)
-                || (self.objective.value(latency, fp) == self.objective.value(b.latency, b.failure_prob)
-                    && match self.objective {
-                        Objective::MinFpUnderLatency(_) => latency < b.latency,
-                        Objective::MinLatencyUnderFp(_) => fp < b.failure_prob,
-                    }),
+            Some(b) => {
+                self.objective.value(latency, fp) < self.objective.value(b.latency, b.failure_prob)
+                    || (self.objective.value(latency, fp)
+                        == self.objective.value(b.latency, b.failure_prob)
+                        && match self.objective {
+                            Objective::MinFpUnderLatency(_) => latency < b.latency,
+                            Objective::MinLatencyUnderFp(_) => fp < b.failure_prob,
+                        })
+            }
         };
         if replace {
             let mapping = self.decode();
-            self.best = Some(BiSolution { mapping, latency, failure_prob: fp });
+            self.best = Some(BiSolution {
+                mapping,
+                latency,
+                failure_prob: fp,
+            });
         }
     }
 
@@ -145,7 +159,13 @@ impl Search<'_> {
 
     /// Prune test. `lat_partial` excludes the pending interval's own term;
     /// `pending` is `(start, end, mask)` of the not-yet-closed interval.
-    fn pruned(&self, lat_partial: f64, fp_cost_partial: f64, pending: Option<(usize, usize, u32)>, next_stage: usize) -> bool {
+    fn pruned(
+        &self,
+        lat_partial: f64,
+        fp_cost_partial: f64,
+        pending: Option<(usize, usize, u32)>,
+        next_stage: usize,
+    ) -> bool {
         // Sound optimistic completion of the latency.
         let mut lb = lat_partial;
         if let Some((s, e, mask)) = pending {
@@ -186,15 +206,19 @@ impl Search<'_> {
     /// Invariant: `self.stack` holds all *closed and pending* intervals;
     /// the last stack entry is the pending interval whose outgoing cost is
     /// not yet included in `lat_partial`.
-    fn dfs(
-        &mut self,
-        next_stage: usize,
-        used: u32,
-        lat_partial: f64,
-        fp_cost_partial: f64,
-    ) {
+    fn dfs(&mut self, next_stage: usize, used: u32, lat_partial: f64, fp_cost_partial: f64) {
         self.nodes += 1;
-        let full: u32 = if self.m == 32 { u32::MAX } else { (1u32 << self.m) - 1 };
+        if self.budget_limited && self.nodes & 0xFF == 0 && self.budget.is_exhausted() {
+            self.aborted = true;
+        }
+        if self.aborted {
+            return;
+        }
+        let full: u32 = if self.m == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.m) - 1
+        };
         let free = full & !used;
 
         let pending = self.stack.last().map(|&(end, mask)| {
@@ -256,6 +280,9 @@ impl Search<'_> {
                 self.stack.push((end, sub));
                 self.dfs(end + 1, used | sub, lat, fp_cost);
                 self.stack.pop();
+                if self.aborted {
+                    return;
+                }
 
                 sub = (sub - 1) & free;
             }
@@ -267,7 +294,11 @@ impl<'a> BranchBound<'a> {
     /// Creates a solver (heuristic incumbent seeding enabled).
     #[must_use]
     pub fn new(pipeline: &'a Pipeline, platform: &'a Platform) -> Self {
-        BranchBound { pipeline, platform, seed_with_heuristics: true }
+        BranchBound {
+            pipeline,
+            platform,
+            seed_with_heuristics: true,
+        }
     }
 
     /// Disables heuristic incumbent seeding (raw search, for measuring the
@@ -278,78 +309,113 @@ impl<'a> BranchBound<'a> {
         self
     }
 
+    /// Runs the search under a budget, returning the outcome and the
+    /// explored node count. Internal seeding (when enabled) runs the
+    /// heuristic portfolio *before* the budget is first polled, so direct
+    /// callers with very tight deadlines should seed externally via
+    /// [`Self::solve_with_budget_seeded`].
+    fn run(&self, objective: Objective, budget: &Budget) -> (Budgeted<Option<BiSolution>>, u64) {
+        let incumbent = if self.seed_with_heuristics {
+            Portfolio::new(0xB0B).solve(self.pipeline, self.platform, objective)
+        } else {
+            None
+        };
+        self.run_seeded(objective, budget, incumbent)
+    }
+
+    fn run_seeded(
+        &self,
+        objective: Objective,
+        budget: &Budget,
+        incumbent: Option<BiSolution>,
+    ) -> (Budgeted<Option<BiSolution>>, u64) {
+        let m = self.platform.n_procs();
+        assert!(
+            m <= MAX_PROCS,
+            "branch and bound supports at most {MAX_PROCS} processors"
+        );
+        let n = self.pipeline.n_stages();
+        let mut work_suffix = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            work_suffix[i] = work_suffix[i + 1] + self.pipeline.work(i);
+        }
+        let mut search = Search {
+            pipeline: self.pipeline,
+            platform: self.platform,
+            objective,
+            n,
+            m,
+            s_max: self
+                .platform
+                .speeds()
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+            work_suffix,
+            best: incumbent,
+            stack: Vec::with_capacity(n),
+            nodes: 0,
+            budget,
+            budget_limited: budget.is_limited(),
+            aborted: false,
+        };
+        search.dfs(0, 0, 0.0, 0.0);
+        let outcome = if search.aborted {
+            Budgeted::Cutoff(search.best)
+        } else {
+            Budgeted::Complete(search.best)
+        };
+        (outcome, search.nodes)
+    }
+
+    /// Like [`Self::solve_with_budget`] but seeded with an
+    /// externally-computed incumbent (e.g. the portfolio answer already in
+    /// hand) instead of running the internal heuristic seeding pass — the
+    /// search starts polling the budget immediately.
+    ///
+    /// # Panics
+    /// When the platform has more than 24 processors.
+    #[must_use]
+    pub fn solve_with_budget_seeded(
+        &self,
+        objective: Objective,
+        budget: &Budget,
+        incumbent: Option<BiSolution>,
+    ) -> Budgeted<Option<BiSolution>> {
+        self.run_seeded(objective, budget, incumbent).0
+    }
+
     /// Solves the threshold problem exactly; `None` when infeasible.
     ///
     /// # Panics
     /// When the platform has more than 24 processors.
     #[must_use]
     pub fn solve(&self, objective: Objective) -> Option<BiSolution> {
-        let m = self.platform.n_procs();
-        assert!(m <= MAX_PROCS, "branch and bound supports at most {MAX_PROCS} processors");
-        let n = self.pipeline.n_stages();
-        let mut work_suffix = vec![0.0; n + 1];
-        for i in (0..n).rev() {
-            work_suffix[i] = work_suffix[i + 1] + self.pipeline.work(i);
-        }
-        let mut search = Search {
-            pipeline: self.pipeline,
-            platform: self.platform,
-            objective,
-            n,
-            m,
-            s_max: self
-                .platform
-                .speeds()
-                .iter()
-                .copied()
-                .fold(f64::NEG_INFINITY, f64::max),
-            work_suffix,
-            best: None,
-            stack: Vec::with_capacity(n),
-            nodes: 0,
-        };
-        if self.seed_with_heuristics {
-            search.best =
-                Portfolio::new(0xB0B).solve(self.pipeline, self.platform, objective);
-        }
-        search.dfs(0, 0, 0.0, 0.0);
-        search.best
+        self.run(objective, &Budget::unlimited()).0.into_inner()
+    }
+
+    /// Solves under a deadline/cancellation budget. A
+    /// [`Budgeted::Cutoff`] payload is the best *feasible* incumbent found
+    /// before the budget expired (not proven optimal); `Cutoff(None)`
+    /// means the budget expired before any feasible solution was found.
+    ///
+    /// # Panics
+    /// When the platform has more than 24 processors.
+    #[must_use]
+    pub fn solve_with_budget(
+        &self,
+        objective: Objective,
+        budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
+        self.run(objective, budget).0
     }
 
     /// Like [`solve`](Self::solve) but also returns the explored node count
     /// (for the pruning-effectiveness experiment).
     #[must_use]
     pub fn solve_counting(&self, objective: Objective) -> (Option<BiSolution>, u64) {
-        let m = self.platform.n_procs();
-        assert!(m <= MAX_PROCS);
-        let n = self.pipeline.n_stages();
-        let mut work_suffix = vec![0.0; n + 1];
-        for i in (0..n).rev() {
-            work_suffix[i] = work_suffix[i + 1] + self.pipeline.work(i);
-        }
-        let mut search = Search {
-            pipeline: self.pipeline,
-            platform: self.platform,
-            objective,
-            n,
-            m,
-            s_max: self
-                .platform
-                .speeds()
-                .iter()
-                .copied()
-                .fold(f64::NEG_INFINITY, f64::max),
-            work_suffix,
-            best: None,
-            stack: Vec::with_capacity(n),
-            nodes: 0,
-        };
-        if self.seed_with_heuristics {
-            search.best =
-                Portfolio::new(0xB0B).solve(self.pipeline, self.platform, objective);
-        }
-        search.dfs(0, 0, 0.0, 0.0);
-        (search.best, search.nodes)
+        let (outcome, nodes) = self.run(objective, &Budget::unlimited());
+        (outcome.into_inner(), nodes)
     }
 }
 
@@ -443,8 +509,11 @@ mod tests {
         .sample(&mut rng);
         let l = thresholds(&pipe, &pf)[2];
         let seeded = BranchBound::new(&pipe, &pf).solve(Objective::MinFpUnderLatency(l));
-        let raw = BranchBound { seed_with_heuristics: false, ..BranchBound::new(&pipe, &pf) }
-            .solve(Objective::MinFpUnderLatency(l));
+        let raw = BranchBound {
+            seed_with_heuristics: false,
+            ..BranchBound::new(&pipe, &pf)
+        }
+        .solve(Objective::MinFpUnderLatency(l));
         match (seeded, raw) {
             (Some(a), Some(b)) => assert_approx_eq!(a.failure_prob, b.failure_prob),
             (None, None) => {}
@@ -466,15 +535,86 @@ mod tests {
             let hi = crate::mono::minimize_failure(&pipe, &pf).latency;
             hi * 0.7
         };
-        let (_, seeded_nodes) = BranchBound::new(&pipe, &pf)
-            .solve_counting(Objective::MinFpUnderLatency(l));
-        let (_, raw_nodes) =
-            BranchBound { seed_with_heuristics: false, ..BranchBound::new(&pipe, &pf) }
-                .solve_counting(Objective::MinFpUnderLatency(l));
+        let (_, seeded_nodes) =
+            BranchBound::new(&pipe, &pf).solve_counting(Objective::MinFpUnderLatency(l));
+        let (_, raw_nodes) = BranchBound {
+            seed_with_heuristics: false,
+            ..BranchBound::new(&pipe, &pf)
+        }
+        .solve_counting(Objective::MinFpUnderLatency(l));
         assert!(
             seeded_nodes <= raw_nodes,
             "seeding must not explore more nodes ({seeded_nodes} vs {raw_nodes})"
         );
+    }
+
+    #[test]
+    fn unlimited_budget_is_complete_and_matches_solve() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let objective = Objective::MinFpUnderLatency(22.0);
+        let plain = BranchBound::new(&pipe, &pf).solve(objective);
+        let budgeted =
+            BranchBound::new(&pipe, &pf).solve_with_budget(objective, &Budget::unlimited());
+        assert!(budgeted.is_complete());
+        assert_eq!(budgeted.into_inner(), plain);
+    }
+
+    #[test]
+    fn expired_budget_cuts_off_quickly() {
+        // A large instance the raw search could chew on for a long time;
+        // with an already-expired deadline and no heuristic seeding the
+        // search must unwind almost immediately and report a cutoff.
+        let mut rng = StdRng::seed_from_u64(99);
+        let pipe = PipelineGen::balanced(8).sample(&mut rng);
+        let pf = PlatformGen::new(
+            12,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let budget = Budget::with_deadline(std::time::Duration::ZERO);
+        let start = std::time::Instant::now();
+        let outcome = BranchBound::new(&pipe, &pf)
+            .without_heuristic_seed()
+            .solve_with_budget(Objective::MinFpUnderLatency(1e12), &budget);
+        assert!(!outcome.is_complete(), "expired budget must report Cutoff");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "cutoff must be prompt, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn cancellation_token_aborts_search() {
+        let mut rng = StdRng::seed_from_u64(98);
+        let pipe = PipelineGen::balanced(4).sample(&mut rng);
+        let pf = PlatformGen::new(
+            6,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let (budget, handle) = Budget::unlimited().cancellable();
+        handle.cancel();
+        let outcome = BranchBound::new(&pipe, &pf)
+            .without_heuristic_seed()
+            .solve_with_budget(Objective::MinFpUnderLatency(1e12), &budget);
+        assert!(!outcome.is_complete());
+    }
+
+    #[test]
+    fn cutoff_incumbent_is_feasible_when_present() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let objective = Objective::MinFpUnderLatency(22.0);
+        // Heuristic seeding gives an incumbent even at zero budget.
+        let outcome = BranchBound::new(&pipe, &pf)
+            .solve_with_budget(objective, &Budget::with_deadline(std::time::Duration::ZERO));
+        if let Some(sol) = outcome.inner() {
+            assert!(objective.feasible(sol.latency, sol.failure_prob));
+        }
     }
 
     #[test]
@@ -501,10 +641,9 @@ mod tests {
         )
         .sample(&mut rng);
         let l = crate::mono::minimize_failure(&pipe, &pf).latency * 0.8;
-        let bnb = BranchBound::new(&pipe, &pf)
-            .solve(Objective::MinFpUnderLatency(l));
-        let dp = crate::exact::solve_comm_homog(&pipe, &pf, Objective::MinFpUnderLatency(l))
-            .unwrap();
+        let bnb = BranchBound::new(&pipe, &pf).solve(Objective::MinFpUnderLatency(l));
+        let dp =
+            crate::exact::solve_comm_homog(&pipe, &pf, Objective::MinFpUnderLatency(l)).unwrap();
         match (bnb, dp) {
             (Some(a), Some(o)) => assert_approx_eq!(a.failure_prob, o.failure_prob),
             (None, None) => {}

@@ -13,8 +13,9 @@
 //! materialized for candidates that survive Pareto filtering, so the hot
 //! loop touches nothing but two `f64` accumulators per interval.
 
-use crate::par::{default_threads, par_fold};
-use crate::solution::{BiSolution, Objective};
+use crate::par::{default_threads, par_fold_cancellable};
+use crate::solution::{BiSolution, Budgeted, Objective};
+use rpwf_core::budget::Budget;
 use rpwf_core::intervals::IntervalPartitions;
 use rpwf_core::mapping::{Interval, IntervalMapping};
 use rpwf_core::num::LogProb;
@@ -46,7 +47,11 @@ impl<'a> Exhaustive<'a> {
     /// Creates a solver for the given instance.
     #[must_use]
     pub fn new(pipeline: &'a Pipeline, platform: &'a Platform) -> Self {
-        Exhaustive { pipeline, platform, threads: None }
+        Exhaustive {
+            pipeline,
+            platform,
+            threads: None,
+        }
     }
 
     /// Overrides the worker-thread count (default: auto).
@@ -75,14 +80,39 @@ impl<'a> Exhaustive<'a> {
     /// `MAX_CANDIDATES_PER_PARTITION` assignment evaluations.
     #[must_use]
     pub fn pareto_front(&self) -> ParetoFront<IntervalMapping> {
+        self.pareto_front_with_budget(&Budget::unlimited())
+            .into_inner()
+    }
+
+    /// The Pareto front, stopping when `budget` expires. A
+    /// [`Budgeted::Cutoff`] front contains only genuinely achievable
+    /// points (every candidate evaluated before the cutoff), so it is a
+    /// sound under-approximation of the true front.
+    ///
+    /// # Panics
+    /// When a single partition would require more than
+    /// `MAX_CANDIDATES_PER_PARTITION` assignment evaluations.
+    #[must_use]
+    pub fn pareto_front_with_budget(
+        &self,
+        budget: &Budget,
+    ) -> Budgeted<ParetoFront<IntervalMapping>> {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
         let n = self.pipeline.n_stages();
         let m = self.platform.n_procs();
         let mut encoded_front: ParetoFront<Encoded> = ParetoFront::new();
+        let stop = AtomicBool::new(false);
+        let limited = budget.is_limited();
 
         for (pi, partition) in IntervalPartitions::new(n).enumerate() {
             let p = partition.len();
             if p > m {
                 continue;
+            }
+            if limited && budget.is_exhausted() {
+                stop.store(true, Ordering::Relaxed);
+                break;
             }
             let total = (p as u64 + 1).checked_pow(m as u32).unwrap_or(u64::MAX);
             assert!(
@@ -92,13 +122,24 @@ impl<'a> Exhaustive<'a> {
             );
             let eval = CandidateEval::new(self.pipeline, self.platform, &partition);
             let threads = self.threads.unwrap_or_else(|| default_threads(total));
-            let local: ParetoFront<Encoded> = par_fold(
+            let local: ParetoFront<Encoded> = par_fold_cancellable(
                 total,
                 threads,
+                &stop,
                 || (ParetoFront::new(), EvalScratch::new(p, m)),
                 |(mut front, mut scratch), counter| {
+                    if limited && counter & 0xFFF == 0 && budget.is_exhausted() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
                     if let Some((lat, fp)) = eval.evaluate(counter, &mut scratch) {
-                        front.insert(lat, fp, Encoded { partition: pi as u32, counter });
+                        front.insert(
+                            lat,
+                            fp,
+                            Encoded {
+                                partition: pi as u32,
+                                counter,
+                            },
+                        );
                     }
                     (front, scratch)
                 },
@@ -109,6 +150,9 @@ impl<'a> Exhaustive<'a> {
             )
             .0;
             encoded_front.merge(local);
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
         }
 
         // Materialize the surviving mappings.
@@ -119,24 +163,47 @@ impl<'a> Exhaustive<'a> {
             let mapping = decode_mapping(partition, pt.payload.counter, n, m);
             out.insert(pt.latency, pt.failure_prob, mapping);
         }
-        out
+        if stop.load(Ordering::Relaxed) {
+            Budgeted::Cutoff(out)
+        } else {
+            Budgeted::Complete(out)
+        }
     }
 
     /// Solves one threshold problem exactly. `None` when infeasible.
     /// Thresholds carry the same tiny slack as [`Objective::feasible`].
     #[must_use]
     pub fn solve(&self, objective: Objective) -> Option<BiSolution> {
-        let front = self.pareto_front();
+        self.solve_with_budget(objective, &Budget::unlimited())
+            .into_inner()
+    }
+
+    /// Threshold solve under a budget; a [`Budgeted::Cutoff`] answer is
+    /// feasible but possibly suboptimal (drawn from the partial front).
+    #[must_use]
+    pub fn solve_with_budget(
+        &self,
+        objective: Objective,
+        budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
+        let front = self.pareto_front_with_budget(budget);
+        let complete = front.is_complete();
+        let front = front.into_inner();
         let cutoff = objective.threshold_with_slack();
         let point = match objective {
-            Objective::MinFpUnderLatency(_) => front.min_fp_under_latency(cutoff)?,
-            Objective::MinLatencyUnderFp(_) => front.min_latency_under_fp(cutoff)?,
+            Objective::MinFpUnderLatency(_) => front.min_fp_under_latency(cutoff),
+            Objective::MinLatencyUnderFp(_) => front.min_latency_under_fp(cutoff),
         };
-        Some(BiSolution {
+        let sol = point.map(|point| BiSolution {
             mapping: point.payload.clone(),
             latency: point.latency,
             failure_prob: point.failure_prob,
-        })
+        });
+        if complete {
+            Budgeted::Complete(sol)
+        } else {
+            Budgeted::Cutoff(sol)
+        }
     }
 
     /// Global latency minimum over interval mappings (with replication
@@ -163,7 +230,9 @@ struct EvalScratch {
 
 impl EvalScratch {
     fn new(p: usize, m: usize) -> Self {
-        EvalScratch { alloc: vec![Vec::with_capacity(m); p] }
+        EvalScratch {
+            alloc: vec![Vec::with_capacity(m); p],
+        }
     }
 }
 
@@ -184,9 +253,18 @@ impl<'a> CandidateEval<'a> {
     fn new(pipeline: &'a Pipeline, platform: &'a Platform, partition: &[Interval]) -> Self {
         CandidateEval {
             platform,
-            works: partition.iter().map(|&iv| pipeline.interval_work(iv)).collect(),
-            inputs: partition.iter().map(|&iv| pipeline.interval_input(iv)).collect(),
-            outputs: partition.iter().map(|&iv| pipeline.interval_output(iv)).collect(),
+            works: partition
+                .iter()
+                .map(|&iv| pipeline.interval_work(iv))
+                .collect(),
+            inputs: partition
+                .iter()
+                .map(|&iv| pipeline.interval_input(iv))
+                .collect(),
+            outputs: partition
+                .iter()
+                .map(|&iv| pipeline.interval_output(iv))
+                .collect(),
             p: partition.len(),
             m: platform.n_procs(),
         }
@@ -318,7 +396,16 @@ pub fn min_latency_one_to_one_brute(
             }
         }
     }
-    rec(0, n, m, &mut current, &mut used, pipeline, platform, &mut best);
+    rec(
+        0,
+        n,
+        m,
+        &mut current,
+        &mut used,
+        pipeline,
+        platform,
+        &mut best,
+    );
     let _ = one_to_one_latency; // silence unused import path note in docs
     best
 }
@@ -334,7 +421,9 @@ pub fn min_latency_general_brute(
     use rpwf_core::metrics::general_latency;
     let n = pipeline.n_stages();
     let m = platform.n_procs();
-    let total = (m as u64).checked_pow(n as u32).expect("instance too large");
+    let total = (m as u64)
+        .checked_pow(n as u32)
+        .expect("instance too large");
     let mut best_lat = f64::INFINITY;
     let mut best_counter = 0u64;
     for counter in 0..total {
@@ -361,7 +450,10 @@ pub fn min_latency_general_brute(
             ProcId::new(u)
         })
         .collect();
-    (GeneralMapping::new(procs, m).expect("ids in range"), best_lat)
+    (
+        GeneralMapping::new(procs, m).expect("ids in range"),
+        best_lat,
+    )
 }
 
 #[cfg(test)]
@@ -387,8 +479,7 @@ mod tests {
         // Cross-validate the optimized sweep against a direct, slow
         // enumeration built from public APIs.
         let pipe = Pipeline::new(vec![3.0, 7.0, 2.0], vec![4.0, 2.0, 5.0, 1.0]).unwrap();
-        let pf =
-            Platform::comm_homogeneous(vec![1.0, 2.5, 4.0], 2.0, vec![0.5, 0.3, 0.7]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 2.5, 4.0], 2.0, vec![0.5, 0.3, 0.7]).unwrap();
         let front = Exhaustive::new(&pipe, &pf).pareto_front();
         assert!(front.invariant_holds());
 
@@ -463,11 +554,40 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_front_complete_matches_plain() {
+        let pipe = Pipeline::new(vec![1.0, 5.0], vec![2.0, 3.0, 1.0]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 2.0, 3.0], 1.0, vec![0.2, 0.4, 0.6]).unwrap();
+        let plain = Exhaustive::new(&pipe, &pf).pareto_front();
+        let budgeted = Exhaustive::new(&pipe, &pf).pareto_front_with_budget(&Budget::unlimited());
+        assert!(budgeted.is_complete());
+        assert_eq!(budgeted.inner().len(), plain.len());
+    }
+
+    #[test]
+    fn expired_budget_reports_cutoff() {
+        let pipe = Pipeline::uniform(4, 1.0, 1.0).unwrap();
+        let pf = Platform::fully_homogeneous(6, 1.0, 1.0, 0.5).unwrap();
+        let budget = Budget::with_deadline(std::time::Duration::ZERO);
+        let outcome = Exhaustive::new(&pipe, &pf).pareto_front_with_budget(&budget);
+        assert!(!outcome.is_complete());
+        // Whatever made it onto the cutoff front must still be genuinely
+        // achievable (valid mappings with correct metric values).
+        for pt in outcome.inner().iter() {
+            let re_lat = latency(&pt.payload, &pipe, &pf);
+            assert_approx_eq!(re_lat, pt.latency);
+        }
+    }
+
+    #[test]
     fn solve_infeasible_returns_none() {
         let pipe = Pipeline::uniform(2, 10.0, 10.0).unwrap();
         let pf = Platform::fully_homogeneous(2, 1.0, 1.0, 0.5).unwrap();
-        assert!(Exhaustive::new(&pipe, &pf).solve(Objective::MinFpUnderLatency(0.1)).is_none());
-        assert!(Exhaustive::new(&pipe, &pf).solve(Objective::MinLatencyUnderFp(0.1)).is_none());
+        assert!(Exhaustive::new(&pipe, &pf)
+            .solve(Objective::MinFpUnderLatency(0.1))
+            .is_none());
+        assert!(Exhaustive::new(&pipe, &pf)
+            .solve(Objective::MinLatencyUnderFp(0.1))
+            .is_none());
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub fn min_latency_one_to_one(
     if n > m {
         return None;
     }
-    assert!(m <= MAX_PROCS, "Held–Karp supports at most {MAX_PROCS} processors");
+    assert!(
+        m <= MAX_PROCS,
+        "Held–Karp supports at most {MAX_PROCS} processors"
+    );
 
     let size = 1usize << m;
     // dist[mask][u]: stages 0..popcount(mask)−1 assigned to `mask`, the last
@@ -42,8 +45,9 @@ pub fn min_latency_one_to_one(
 
     for u in 0..m {
         let pu = ProcId::new(u);
-        dist[at(1 << u, u)] = platform.comm_time(Vertex::In, Vertex::Proc(pu), pipeline.input_size())
-            + pipeline.work(0) / platform.speed(pu);
+        dist[at(1 << u, u)] =
+            platform.comm_time(Vertex::In, Vertex::Proc(pu), pipeline.input_size())
+                + pipeline.work(0) / platform.speed(pu);
     }
 
     // Iterate masks in increasing order: all submasks precede supersets.
@@ -94,12 +98,11 @@ pub fn min_latency_one_to_one(
             if !d.is_finite() {
                 continue;
             }
-            let total = d
-                + platform.comm_time(
-                    Vertex::Proc(ProcId::new(u)),
-                    Vertex::Out,
-                    pipeline.output_size(),
-                );
+            let total = d + platform.comm_time(
+                Vertex::Proc(ProcId::new(u)),
+                Vertex::Out,
+                pipeline.output_size(),
+            );
             if total < best {
                 best = total;
                 best_state = Some((mask, u));
@@ -130,8 +133,8 @@ mod tests {
     use rand::SeedableRng;
     use rpwf_core::assert_approx_eq;
     use rpwf_core::metrics::one_to_one_latency;
-    use rpwf_gen::{PipelineGen, PlatformGen};
     use rpwf_core::platform::{FailureClass, PlatformClass};
+    use rpwf_gen::{PipelineGen, PlatformGen};
 
     #[test]
     fn matches_brute_force_on_random_instances() {

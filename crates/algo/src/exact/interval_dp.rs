@@ -13,6 +13,8 @@
 //! Also doubles as the certificate that the Theorem 4 relaxation is a lower
 //! bound: `general ≤ interval` is asserted in the cross-validation tests.
 
+use crate::solution::Budgeted;
+use rpwf_core::budget::Budget;
 use rpwf_core::mapping::{Interval, IntervalMapping};
 use rpwf_core::platform::{Platform, ProcId, Vertex};
 use rpwf_core::stage::Pipeline;
@@ -26,9 +28,29 @@ const MAX_PROCS: usize = 16;
 /// When `m > 16`.
 #[must_use]
 pub fn min_latency_interval(pipeline: &Pipeline, platform: &Platform) -> (IntervalMapping, f64) {
+    min_latency_interval_with_budget(pipeline, platform, &Budget::unlimited())
+        .into_inner()
+        .expect("unlimited budget always completes")
+}
+
+/// Budgeted variant of [`min_latency_interval`]. The DP table is only
+/// meaningful when filled completely, so a cutoff yields
+/// `Budgeted::Cutoff(None)` rather than a partial answer.
+///
+/// # Panics
+/// When `m > 16`.
+#[must_use]
+pub fn min_latency_interval_with_budget(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    budget: &Budget,
+) -> Budgeted<Option<(IntervalMapping, f64)>> {
     let n = pipeline.n_stages();
     let m = platform.n_procs();
-    assert!(m <= MAX_PROCS, "interval DP supports at most {MAX_PROCS} processors");
+    assert!(
+        m <= MAX_PROCS,
+        "interval DP supports at most {MAX_PROCS} processors"
+    );
 
     let size = 1usize << m;
     // dist[i][mask][u]: stages 0..i−1 mapped onto `mask`, last interval on
@@ -43,8 +65,7 @@ pub fn min_latency_interval(pipeline: &Pipeline, platform: &Platform) -> (Interv
     // Base: first interval [0..e] on v.
     for v in 0..m {
         let pv = ProcId::new(v);
-        let input =
-            platform.comm_time(Vertex::In, Vertex::Proc(pv), pipeline.input_size());
+        let input = platform.comm_time(Vertex::In, Vertex::Proc(pv), pipeline.input_size());
         for e in 0..n {
             let cost = input + pipeline.work_sum(0, e) / platform.speed(pv);
             let s = at(e + 1, 1 << v, v);
@@ -56,8 +77,14 @@ pub fn min_latency_interval(pipeline: &Pipeline, platform: &Platform) -> (Interv
     }
 
     // Forward transitions.
+    let limited = budget.is_limited();
+    let mut cells = 0u64;
     for i in 1..n {
         for mask in 1..size {
+            cells += 1;
+            if limited && cells & 0x3F == 0 && budget.is_exhausted() {
+                return Budgeted::Cutoff(None);
+            }
             for u in 0..m {
                 if mask & (1 << u) == 0 {
                     continue;
@@ -75,8 +102,7 @@ pub fn min_latency_interval(pipeline: &Pipeline, platform: &Platform) -> (Interv
                     let hop =
                         platform.comm_time(Vertex::Proc(pu), Vertex::Proc(pv), pipeline.delta(i));
                     for e in i..n {
-                        let cost =
-                            cur + hop + pipeline.work_sum(i, e) / platform.speed(pv);
+                        let cost = cur + hop + pipeline.work_sum(i, e) / platform.speed(pv);
                         let s = at(e + 1, mask | (1 << v), v);
                         if cost < dist[s] {
                             dist[s] = cost;
@@ -100,12 +126,11 @@ pub fn min_latency_interval(pipeline: &Pipeline, platform: &Platform) -> (Interv
             if !d.is_finite() {
                 continue;
             }
-            let total = d
-                + platform.comm_time(
-                    Vertex::Proc(ProcId::new(u)),
-                    Vertex::Out,
-                    pipeline.output_size(),
-                );
+            let total = d + platform.comm_time(
+                Vertex::Proc(ProcId::new(u)),
+                Vertex::Out,
+                pipeline.output_size(),
+            );
             if total < best {
                 best = total;
                 best_state = (mask, u);
@@ -120,7 +145,10 @@ pub fn min_latency_interval(pipeline: &Pipeline, platform: &Platform) -> (Interv
     while i > 0 {
         let (start, prev_u) = parent[at(i, mask, u)];
         let start = start as usize;
-        segments.push((Interval::new(start, i - 1).expect("ordered"), ProcId::new(u)));
+        segments.push((
+            Interval::new(start, i - 1).expect("ordered"),
+            ProcId::new(u),
+        ));
         mask &= !(1 << u);
         i = start;
         if i > 0 {
@@ -132,7 +160,7 @@ pub fn min_latency_interval(pipeline: &Pipeline, platform: &Platform) -> (Interv
     let alloc: Vec<Vec<ProcId>> = segments.iter().map(|&(_, p)| vec![p]).collect();
     let mapping =
         IntervalMapping::new(intervals, alloc, n, m).expect("traceback produces a valid mapping");
-    (mapping, best)
+    Budgeted::Complete(Some((mapping, best)))
 }
 
 #[cfg(test)]
@@ -146,6 +174,32 @@ mod tests {
     use rpwf_core::metrics::latency;
     use rpwf_core::platform::{FailureClass, PlatformClass};
     use rpwf_gen::{PipelineGen, PlatformGen};
+
+    #[test]
+    fn budgeted_complete_matches_plain_and_cutoff_is_prompt() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let pipe = PipelineGen::balanced(4).sample(&mut rng);
+        let pf = PlatformGen::new(
+            6,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let (mapping, lat) = min_latency_interval(&pipe, &pf);
+        let budgeted = min_latency_interval_with_budget(&pipe, &pf, &Budget::unlimited());
+        assert!(budgeted.is_complete());
+        let (bm, bl) = budgeted.into_inner().expect("complete");
+        assert_eq!(bm, mapping);
+        assert_approx_eq!(bl, lat);
+
+        let cutoff = min_latency_interval_with_budget(
+            &pipe,
+            &pf,
+            &Budget::with_deadline(std::time::Duration::ZERO),
+        );
+        assert!(!cutoff.is_complete());
+        assert_eq!(cutoff.into_inner(), None);
+    }
 
     #[test]
     fn figure34_split_found() {

@@ -18,8 +18,11 @@ pub mod exhaustive;
 pub mod held_karp;
 pub mod interval_dp;
 
-pub use bitmask_dp::{pareto_front_comm_homog, solve_comm_homog};
+pub use bitmask_dp::{
+    pareto_front_comm_homog, pareto_front_comm_homog_with_budget, solve_comm_homog,
+    solve_comm_homog_with_budget,
+};
 pub use branch_bound::BranchBound;
 pub use exhaustive::{min_latency_general_brute, min_latency_one_to_one_brute, Exhaustive};
 pub use held_karp::min_latency_one_to_one;
-pub use interval_dp::min_latency_interval;
+pub use interval_dp::{min_latency_interval, min_latency_interval_with_budget};

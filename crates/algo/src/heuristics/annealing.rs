@@ -76,8 +76,7 @@ impl Annealing {
         let start = random_mapping(n, m, &mut rng);
         let mut current = BiSolution::evaluate(start, pipeline, platform);
         let ref_latency = current.latency.max(1e-12);
-        let mut current_energy =
-            Self::energy(objective, &current, ref_latency, self.penalty);
+        let mut current_energy = Self::energy(objective, &current, ref_latency, self.penalty);
 
         let mut best: Option<BiSolution> = None;
         let consider_best = |sol: &BiSolution, best: &mut Option<BiSolution>| {
@@ -96,8 +95,7 @@ impl Annealing {
                     break;
                 };
                 let cand = BiSolution::evaluate(nb, pipeline, platform);
-                let cand_energy =
-                    Self::energy(objective, &cand, ref_latency, self.penalty);
+                let cand_energy = Self::energy(objective, &cand, ref_latency, self.penalty);
                 let accept = cand_energy <= current_energy
                     || rng.gen::<f64>() < ((current_energy - cand_energy) / temperature).exp();
                 if accept {
@@ -134,7 +132,10 @@ mod tests {
     fn deterministic_given_seed() {
         let pipe = rpwf_gen::figure5_pipeline();
         let pf = rpwf_gen::figure5_platform();
-        let sa = Annealing { seed: 123, ..Annealing::default() };
+        let sa = Annealing {
+            seed: 123,
+            ..Annealing::default()
+        };
         let a = sa.solve(&pipe, &pf, Objective::MinFpUnderLatency(25.0));
         let b = sa.solve(&pipe, &pf, Objective::MinFpUnderLatency(25.0));
         assert_eq!(a, b);
@@ -151,7 +152,10 @@ mod tests {
                 FailureClass::Heterogeneous,
             )
             .sample(&mut rng);
-            let sa = Annealing { seed, ..Annealing::default() };
+            let sa = Annealing {
+                seed,
+                ..Annealing::default()
+            };
             if let Some(sol) = sa.solve(&pipe, &pf, Objective::MinLatencyUnderFp(0.4)) {
                 assert!(sol.failure_prob <= 0.4 + 1e-6);
             }

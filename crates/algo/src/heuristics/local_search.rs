@@ -30,7 +30,11 @@ pub struct LocalSearch {
 
 impl Default for LocalSearch {
     fn default() -> Self {
-        LocalSearch { random_restarts: 8, max_steps: 200, seed: 0xC0FFEE }
+        LocalSearch {
+            random_restarts: 8,
+            max_steps: 200,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -90,9 +94,7 @@ impl LocalSearch {
                 }
             }
             if objective.feasible(current.latency, current.failure_prob)
-                && best
-                    .as_ref()
-                    .is_none_or(|b| objective.better(&current, b))
+                && best.as_ref().is_none_or(|b| objective.better(&current, b))
             {
                 best = Some(current);
             }
@@ -105,10 +107,10 @@ impl LocalSearch {
 mod tests {
     use super::*;
     use crate::exact::Exhaustive;
+    use rand::Rng;
     use rpwf_core::assert_approx_eq;
     use rpwf_core::platform::{FailureClass, PlatformClass};
     use rpwf_gen::{PipelineGen, PlatformGen};
-    use rand::Rng;
 
     #[test]
     fn finds_figure5_optimum() {
@@ -171,14 +173,21 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= trials / 2, "local search matched oracle only {hits}/{trials} times");
+        assert!(
+            hits >= trials / 2,
+            "local search matched oracle only {hits}/{trials} times"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let pipe = rpwf_gen::figure5_pipeline();
         let pf = rpwf_gen::figure5_platform();
-        let ls = LocalSearch { random_restarts: 4, max_steps: 50, seed: 99 };
+        let ls = LocalSearch {
+            random_restarts: 4,
+            max_steps: 50,
+            seed: 99,
+        };
         let a = ls.solve(&pipe, &pf, Objective::MinLatencyUnderFp(0.3));
         let b = ls.solve(&pipe, &pf, Objective::MinLatencyUnderFp(0.3));
         assert_eq!(a, b);

@@ -24,7 +24,8 @@ pub use annealing::Annealing;
 pub use local_search::LocalSearch;
 pub use random_search::RandomSearch;
 
-use crate::solution::{BiSolution, Objective};
+use crate::solution::{BiSolution, Budgeted, Objective};
+use rpwf_core::budget::Budget;
 use rpwf_core::platform::Platform;
 use rpwf_core::stage::Pipeline;
 
@@ -59,24 +60,32 @@ impl Portfolio {
         if platform.uniform_bandwidth().is_some() {
             out.push((
                 "split-dp",
-                split_dp::solve(pipeline, platform, objective)
-                    .expect("comm-homog checked above"),
+                split_dp::solve(pipeline, platform, objective).expect("comm-homog checked above"),
             ));
         }
         out.push((
             "local-search",
-            local_search::LocalSearch { seed: self.seed, ..Default::default() }
-                .solve(pipeline, platform, objective),
+            local_search::LocalSearch {
+                seed: self.seed,
+                ..Default::default()
+            }
+            .solve(pipeline, platform, objective),
         ));
         out.push((
             "annealing",
-            annealing::Annealing { seed: self.seed, ..Default::default() }
-                .solve(pipeline, platform, objective),
+            annealing::Annealing {
+                seed: self.seed,
+                ..Default::default()
+            }
+            .solve(pipeline, platform, objective),
         ));
         out.push((
             "random-search",
-            random_search::RandomSearch { seed: self.seed, ..Default::default() }
-                .solve(pipeline, platform, objective),
+            random_search::RandomSearch {
+                seed: self.seed,
+                ..Default::default()
+            }
+            .solve(pipeline, platform, objective),
         ));
         out
     }
@@ -97,6 +106,145 @@ impl Portfolio {
                 Some(b) if !objective.better(&sol, &b) => Some(b),
                 _ => Some(sol),
             })
+    }
+
+    /// Races the heuristic portfolio against the strongest applicable
+    /// exact solver under a shared budget.
+    ///
+    /// On comm-homogeneous platforms the bitmask DP (which takes no
+    /// seeding) runs on a second thread truly in parallel with the
+    /// heuristics. On fully heterogeneous platforms the heuristics run
+    /// first and their answer seeds the branch-and-bound incumbent — the
+    /// portfolio is computed exactly once and the exact search starts
+    /// polling the budget from its first node, so tight deadlines abort
+    /// promptly. The outcome:
+    ///
+    /// * exact finished → the answer is proven optimal (when it proves
+    ///   infeasibility, no heuristic answer can exist either),
+    /// * exact cut off or inapplicable → the best of the heuristic answer
+    ///   and the exact solver's partial incumbent is returned.
+    #[must_use]
+    pub fn race(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+    ) -> RaceReport {
+        let m = platform.n_procs();
+        let comm_homog = platform.uniform_bandwidth().is_some();
+
+        if comm_homog && m <= 16 {
+            // Parallel race: DP on a worker thread, heuristics here.
+            let (exact, heuristic) = crossbeam::thread::scope(|scope| {
+                let exact_handle = scope.spawn(move |_| {
+                    crate::exact::solve_comm_homog_with_budget(
+                        pipeline, platform, objective, budget,
+                    )
+                    .expect("uniform bandwidth checked above")
+                });
+                let heuristic = self.solve(pipeline, platform, objective);
+                let exact = exact_handle.join().expect("exact solver does not panic");
+                (exact, heuristic)
+            })
+            .expect("race threads do not panic");
+            return combine(objective, Some(exact), heuristic);
+        }
+
+        if m <= 12 {
+            // Heuristics first (their answer doubles as the incumbent),
+            // then budgeted branch-and-bound seeded with it.
+            let heuristic = self.solve(pipeline, platform, objective);
+            let exact = crate::exact::BranchBound::new(pipeline, platform)
+                .solve_with_budget_seeded(objective, budget, heuristic.clone());
+            return combine(objective, Some(exact), heuristic);
+        }
+
+        combine(objective, None, self.solve(pipeline, platform, objective))
+    }
+}
+
+fn combine(
+    objective: Objective,
+    exact: Option<Budgeted<Option<BiSolution>>>,
+    heuristic: Option<BiSolution>,
+) -> RaceReport {
+    match exact {
+        Some(Budgeted::Complete(sol)) => RaceReport {
+            best: sol,
+            solver: SolverKind::Exact,
+            exact_attempted: true,
+            exact_complete: true,
+        },
+        Some(Budgeted::Cutoff(partial)) => {
+            let (best, solver) = pick_better(objective, partial, heuristic);
+            RaceReport {
+                best,
+                solver,
+                exact_attempted: true,
+                exact_complete: false,
+            }
+        }
+        None => RaceReport {
+            best: heuristic,
+            solver: SolverKind::Heuristic,
+            exact_attempted: false,
+            exact_complete: false,
+        },
+    }
+}
+
+/// Which side of a [`Portfolio::race`] produced the winning answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverKind {
+    /// The exact solver (optimal when `exact_complete`).
+    Exact,
+    /// The heuristic portfolio.
+    Heuristic,
+}
+
+impl SolverKind {
+    /// Stable lowercase name for logs and wire responses.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Exact => "exact",
+            SolverKind::Heuristic => "heuristic",
+        }
+    }
+}
+
+/// Outcome of [`Portfolio::race`].
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// The winning solution; `None` when nothing feasible was found (a
+    /// completed exact run proves infeasibility, otherwise the budget may
+    /// simply have been too tight).
+    pub best: Option<BiSolution>,
+    /// Which solver produced `best` (meaningful when `best` is `Some`).
+    pub solver: SolverKind,
+    /// Whether an exact solver was applicable to the instance at all.
+    pub exact_attempted: bool,
+    /// Whether the exact solver ran to completion within the budget —
+    /// i.e. whether `best` is proven optimal.
+    pub exact_complete: bool,
+}
+
+fn pick_better(
+    objective: Objective,
+    exact_partial: Option<BiSolution>,
+    heuristic: Option<BiSolution>,
+) -> (Option<BiSolution>, SolverKind) {
+    match (exact_partial, heuristic) {
+        (Some(e), Some(h)) => {
+            if objective.better(&e, &h) {
+                (Some(e), SolverKind::Exact)
+            } else {
+                (Some(h), SolverKind::Heuristic)
+            }
+        }
+        (Some(e), None) => (Some(e), SolverKind::Exact),
+        (None, h) => (h, SolverKind::Heuristic),
     }
 }
 
@@ -123,15 +271,87 @@ mod tests {
         let names: Vec<&str> = all.iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
-            vec!["single-interval", "split-dp", "local-search", "annealing", "random-search"]
+            vec![
+                "single-interval",
+                "split-dp",
+                "local-search",
+                "annealing",
+                "random-search"
+            ]
         );
         // split-dp present because Figure 5 is comm-homogeneous; on Figure 4
         // (het links) it must be absent.
         let het = rpwf_gen::figure4_platform();
         let pipe34 = rpwf_gen::figure3_pipeline();
-        let all =
-            Portfolio::new(1).run_all(&pipe34, &het, Objective::MinFpUnderLatency(200.0));
+        let all = Portfolio::new(1).run_all(&pipe34, &het, Objective::MinFpUnderLatency(200.0));
         assert!(all.iter().all(|(n, _)| *n != "split-dp"));
+    }
+
+    #[test]
+    fn race_with_unlimited_budget_is_exact_on_figure5() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let report = Portfolio::new(1).race(
+            &pipe,
+            &pf,
+            Objective::MinFpUnderLatency(22.0),
+            &Budget::unlimited(),
+        );
+        assert!(report.exact_attempted);
+        assert!(report.exact_complete, "bitmask DP must finish unbudgeted");
+        assert_eq!(report.solver, SolverKind::Exact);
+        let sol = report.best.expect("feasible");
+        assert_approx_eq!(sol.failure_prob, 1.0 - 0.9 * (1.0 - 0.8f64.powi(10)));
+    }
+
+    #[test]
+    fn race_with_expired_budget_falls_back_to_heuristics() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let objective = Objective::MinFpUnderLatency(22.0);
+        let budget = Budget::with_deadline(std::time::Duration::ZERO);
+        let report = Portfolio::new(1).race(&pipe, &pf, objective, &budget);
+        assert!(report.exact_attempted);
+        assert!(
+            !report.exact_complete,
+            "expired budget must cut the exact solver off"
+        );
+        let sol = report.best.expect("heuristics find the Figure 5 optimum");
+        assert!(objective.feasible(sol.latency, sol.failure_prob));
+    }
+
+    #[test]
+    fn race_without_exact_backend_uses_heuristics() {
+        // 18 processors with heterogeneous links: no exact backend applies.
+        let mut speeds = vec![10.0; 18];
+        speeds[0] = 1.0;
+        let pipe = rpwf_gen::figure5_pipeline();
+        let mut builder = rpwf_core::platform::PlatformBuilder::new(18)
+            .speeds(speeds)
+            .unwrap()
+            .failure_probs(vec![0.3; 18])
+            .unwrap();
+        use rpwf_core::platform::{ProcId, Vertex};
+        let verts: Vec<Vertex> = (0..18)
+            .map(|i| Vertex::Proc(ProcId::new(i)))
+            .chain([Vertex::In, Vertex::Out])
+            .collect();
+        for (i, &a) in verts.iter().enumerate() {
+            for &b in verts.iter().skip(i + 1) {
+                let bw = 1.0 + (i % 3) as f64;
+                builder = builder.bandwidth(a, b, bw);
+            }
+        }
+        let pf = builder.build().unwrap();
+        let report = Portfolio::new(7).race(
+            &pipe,
+            &pf,
+            Objective::MinFpUnderLatency(1e9),
+            &Budget::unlimited(),
+        );
+        assert!(!report.exact_attempted);
+        assert_eq!(report.solver, SolverKind::Heuristic);
+        assert!(report.best.is_some());
     }
 
     #[test]

@@ -243,9 +243,11 @@ mod tests {
         // shrink: some neighbor uses 2 processors
         assert!(ns.iter().any(|nb| nb.total_replicas() == 2));
         // swap: P3 or P4 appear
-        assert!(ns
-            .iter()
-            .any(|nb| nb.used_processors().contains(&p(3)) || nb.used_processors().contains(&p(4))));
+        assert!(
+            ns.iter()
+                .any(|nb| nb.used_processors().contains(&p(3))
+                    || nb.used_processors().contains(&p(4)))
+        );
         // boundary shift: some 2-interval neighbor with different boundary
         assert!(ns
             .iter()

@@ -57,11 +57,15 @@ pub fn greedy_one_to_one(
             .filter(|v| !used[v.index()])
             .min_by(|&a, &b| {
                 let cost = |v: ProcId| {
-                    let mut c = platform
-                        .comm_time(Vertex::Proc(prev), Vertex::Proc(v), pipeline.delta(k))
-                        + pipeline.work(k) / platform.speed(v);
+                    let mut c =
+                        platform.comm_time(Vertex::Proc(prev), Vertex::Proc(v), pipeline.delta(k))
+                            + pipeline.work(k) / platform.speed(v);
                     if k == n - 1 {
-                        c += platform.comm_time(Vertex::Proc(v), Vertex::Out, pipeline.output_size());
+                        c += platform.comm_time(
+                            Vertex::Proc(v),
+                            Vertex::Out,
+                            pipeline.output_size(),
+                        );
                     }
                     c
                 };
@@ -114,8 +118,7 @@ pub fn two_opt_one_to_one(
         }
         // Swap a used position with an unused processor.
         let used: std::collections::HashSet<ProcId> = order.iter().copied().collect();
-        let free: Vec<ProcId> =
-            platform.procs().filter(|p| !used.contains(p)).collect();
+        let free: Vec<ProcId> = platform.procs().filter(|p| !used.contains(p)).collect();
         for i in 0..n {
             for &f in &free {
                 let mut cand = order.clone();

@@ -22,7 +22,10 @@ pub struct RandomSearch {
 
 impl Default for RandomSearch {
     fn default() -> Self {
-        RandomSearch { samples: 2000, seed: 0xBA5E }
+        RandomSearch {
+            samples: 2000,
+            seed: 0xBA5E,
+        }
     }
 }
 
@@ -68,7 +71,10 @@ mod tests {
     fn deterministic_given_seed() {
         let pipe = rpwf_gen::figure5_pipeline();
         let pf = rpwf_gen::figure5_platform();
-        let rs = RandomSearch { samples: 500, seed: 5 };
+        let rs = RandomSearch {
+            samples: 500,
+            seed: 5,
+        };
         assert_eq!(
             rs.solve(&pipe, &pf, Objective::MinLatencyUnderFp(0.5)),
             rs.solve(&pipe, &pf, Objective::MinLatencyUnderFp(0.5))
@@ -80,8 +86,16 @@ mod tests {
         let pipe = rpwf_gen::figure5_pipeline();
         let pf = rpwf_gen::figure5_platform();
         let obj = Objective::MinFpUnderLatency(25.0);
-        let small = RandomSearch { samples: 100, seed: 7 }.solve(&pipe, &pf, obj);
-        let large = RandomSearch { samples: 2000, seed: 7 }.solve(&pipe, &pf, obj);
+        let small = RandomSearch {
+            samples: 100,
+            seed: 7,
+        }
+        .solve(&pipe, &pf, obj);
+        let large = RandomSearch {
+            samples: 2000,
+            seed: 7,
+        }
+        .solve(&pipe, &pf, obj);
         match (small, large) {
             (Some(s), Some(l)) => assert!(l.failure_prob <= s.failure_prob + 1e-12),
             (None, _) => {} // small budget may find nothing

@@ -118,8 +118,14 @@ fn greedy_het_candidates(pipeline: &Pipeline, platform: &Platform) -> Vec<BiSolu
     // first interval is replicated).
     let mut by_input: Vec<ProcId> = platform.procs().collect();
     by_input.sort_by(|a, b| {
-        let ba = platform.bandwidth(rpwf_core::platform::Vertex::In, rpwf_core::platform::Vertex::Proc(*a));
-        let bb = platform.bandwidth(rpwf_core::platform::Vertex::In, rpwf_core::platform::Vertex::Proc(*b));
+        let ba = platform.bandwidth(
+            rpwf_core::platform::Vertex::In,
+            rpwf_core::platform::Vertex::Proc(*a),
+        );
+        let bb = platform.bandwidth(
+            rpwf_core::platform::Vertex::In,
+            rpwf_core::platform::Vertex::Proc(*b),
+        );
         bb.total_cmp(&ba).then(a.0.cmp(&b.0))
     });
     orders.push(by_input);
@@ -161,8 +167,7 @@ mod tests {
         // processors, FP = 0.64.
         let pipe = rpwf_gen::figure5_pipeline();
         let pf = rpwf_gen::figure5_platform();
-        let sol =
-            best_single_interval(&pipe, &pf, Objective::MinFpUnderLatency(22.0)).unwrap();
+        let sol = best_single_interval(&pipe, &pf, Objective::MinFpUnderLatency(22.0)).unwrap();
         assert_approx_eq!(sol.failure_prob, 0.64);
         assert_eq!(sol.mapping.replication(0), 2);
     }
@@ -172,12 +177,9 @@ mod tests {
         // Cross-check against the oracle restricted to single-interval
         // mappings.
         let pipe = Pipeline::new(vec![4.0, 8.0], vec![3.0, 2.0, 1.0]).unwrap();
-        let pf = Platform::comm_homogeneous(
-            vec![1.0, 5.0, 3.0, 2.0],
-            2.0,
-            vec![0.6, 0.7, 0.2, 0.4],
-        )
-        .unwrap();
+        let pf =
+            Platform::comm_homogeneous(vec![1.0, 5.0, 3.0, 2.0], 2.0, vec![0.6, 0.7, 0.2, 0.4])
+                .unwrap();
         for l in [4.0, 6.0, 8.0, 12.0, 20.0] {
             let fam = best_single_interval(&pipe, &pf, Objective::MinFpUnderLatency(l));
             // Oracle over the single-interval family only.
@@ -208,14 +210,10 @@ mod tests {
     #[test]
     fn min_latency_under_fp_family() {
         let pipe = Pipeline::new(vec![4.0, 8.0], vec![3.0, 2.0, 1.0]).unwrap();
-        let pf = Platform::comm_homogeneous(
-            vec![1.0, 5.0, 3.0, 2.0],
-            2.0,
-            vec![0.6, 0.7, 0.2, 0.4],
-        )
-        .unwrap();
-        let sol =
-            best_single_interval(&pipe, &pf, Objective::MinLatencyUnderFp(0.3)).unwrap();
+        let pf =
+            Platform::comm_homogeneous(vec![1.0, 5.0, 3.0, 2.0], 2.0, vec![0.6, 0.7, 0.2, 0.4])
+                .unwrap();
+        let sol = best_single_interval(&pipe, &pf, Objective::MinLatencyUnderFp(0.3)).unwrap();
         assert!(sol.failure_prob <= 0.3 + 1e-9);
     }
 
@@ -224,8 +222,7 @@ mod tests {
         let pipe = rpwf_gen::figure3_pipeline();
         let pf = rpwf_gen::figure4_platform();
         // Single interval on this platform: best latency is 105.
-        let sol =
-            best_single_interval(&pipe, &pf, Objective::MinFpUnderLatency(105.0)).unwrap();
+        let sol = best_single_interval(&pipe, &pf, Objective::MinFpUnderLatency(105.0)).unwrap();
         assert_approx_eq!(sol.latency, 105.0);
         assert!(best_single_interval(&pipe, &pf, Objective::MinFpUnderLatency(50.0)).is_none());
     }

@@ -32,7 +32,9 @@ pub fn pareto_front_for_order(
     platform: &Platform,
     order: &[ProcId],
 ) -> Result<ParetoFront<IntervalMapping>> {
-    let b = platform.uniform_bandwidth().ok_or(CoreError::NotCommHomogeneous)?;
+    let b = platform
+        .uniform_bandwidth()
+        .ok_or(CoreError::NotCommHomogeneous)?;
     let n = pipeline.n_stages();
     let m = order.len();
 
@@ -134,7 +136,8 @@ pub fn solve(
 pub fn default_orders(platform: &Platform) -> Vec<Vec<ProcId>> {
     let mut by_score: Vec<ProcId> = platform.procs().collect();
     by_score.sort_by(|a, b| {
-        let score = |p: ProcId| -LogProb::from_prob(platform.failure_prob(p)).ln() * platform.speed(p);
+        let score =
+            |p: ProcId| -LogProb::from_prob(platform.failure_prob(p)).ln() * platform.speed(p);
         score(*b).total_cmp(&score(*a)).then(a.0.cmp(&b.0))
     });
     vec![
@@ -183,12 +186,9 @@ mod tests {
         // Heuristic points are real mappings: every point must be weakly
         // dominated by the exact front, and all values must re-evaluate.
         let pipe = Pipeline::new(vec![3.0, 7.0, 2.0], vec![4.0, 2.0, 5.0, 1.0]).unwrap();
-        let pf = Platform::comm_homogeneous(
-            vec![1.0, 2.5, 4.0, 2.0],
-            2.0,
-            vec![0.5, 0.3, 0.7, 0.2],
-        )
-        .unwrap();
+        let pf =
+            Platform::comm_homogeneous(vec![1.0, 2.5, 4.0, 2.0], 2.0, vec![0.5, 0.3, 0.7, 0.2])
+                .unwrap();
         let heur = pareto_front(&pipe, &pf).unwrap();
         let exact = bitmask_dp::pareto_front_comm_homog(&pipe, &pf).unwrap();
         for pt in heur.iter() {
@@ -210,14 +210,15 @@ mod tests {
     #[test]
     fn single_order_front_is_contained_in_portfolio_front() {
         let pipe = Pipeline::new(vec![1.0, 9.0], vec![3.0, 3.0, 3.0]).unwrap();
-        let pf =
-            Platform::comm_homogeneous(vec![4.0, 2.0, 1.0], 1.5, vec![0.2, 0.5, 0.6]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![4.0, 2.0, 1.0], 1.5, vec![0.2, 0.5, 0.6]).unwrap();
         let order = pf.procs_by_speed_desc();
         let single = pareto_front_for_order(&pipe, &pf, &order).unwrap();
         let portfolio = pareto_front(&pipe, &pf).unwrap();
         for pt in single.iter() {
-            assert!(portfolio.iter().any(|q| q.latency <= pt.latency + 1e-12
-                && q.failure_prob <= pt.failure_prob + 1e-12));
+            assert!(portfolio
+                .iter()
+                .any(|q| q.latency <= pt.latency + 1e-12
+                    && q.failure_prob <= pt.failure_prob + 1e-12));
         }
     }
 
@@ -232,6 +233,8 @@ mod tests {
     fn infeasible_threshold_is_none() {
         let pipe = Pipeline::uniform(2, 100.0, 100.0).unwrap();
         let pf = Platform::fully_homogeneous(3, 1.0, 1.0, 0.5).unwrap();
-        assert!(solve(&pipe, &pf, Objective::MinFpUnderLatency(1.0)).unwrap().is_none());
+        assert!(solve(&pipe, &pf, Objective::MinFpUnderLatency(1.0))
+            .unwrap()
+            .is_none());
     }
 }

@@ -31,4 +31,4 @@ pub mod par;
 pub mod reductions;
 pub mod solution;
 
-pub use solution::{BiSolution, Objective};
+pub use solution::{BiSolution, Budgeted, Objective};

@@ -50,20 +50,14 @@ pub fn minimize_failure(pipeline: &Pipeline, platform: &Platform) -> BiSolution 
 /// [`CoreError::NotCommHomogeneous`] when link bandwidths differ — the
 /// result does not hold there (Figure 3/4 is the counterexample; use
 /// [`general_mapping_shortest_path`] or the exact interval solvers).
-pub fn minimize_latency_comm_homog(
-    pipeline: &Pipeline,
-    platform: &Platform,
-) -> Result<BiSolution> {
+pub fn minimize_latency_comm_homog(pipeline: &Pipeline, platform: &Platform) -> Result<BiSolution> {
     if platform.uniform_bandwidth().is_none() {
         return Err(CoreError::NotCommHomogeneous);
     }
     let fastest = platform.fastest_proc();
-    let mapping = IntervalMapping::single_interval(
-        pipeline.n_stages(),
-        vec![fastest],
-        platform.n_procs(),
-    )
-    .expect("single processor mapping is always valid");
+    let mapping =
+        IntervalMapping::single_interval(pipeline.n_stages(), vec![fastest], platform.n_procs())
+            .expect("single processor mapping is always valid");
     Ok(BiSolution::evaluate(mapping, pipeline, platform))
 }
 
@@ -87,7 +81,11 @@ pub fn general_mapping_shortest_path(
     // dist[u] = best cost with the data for stage `k` delivered onto P_u.
     let mut dist: Vec<f64> = (0..m)
         .map(|u| {
-            platform.comm_time(Vertex::In, Vertex::Proc(ProcId::new(u)), pipeline.input_size())
+            platform.comm_time(
+                Vertex::In,
+                Vertex::Proc(ProcId::new(u)),
+                pipeline.input_size(),
+            )
         })
         .collect();
     // pred[k][u] = processor chosen for stage k−1 on the best path reaching
@@ -122,7 +120,11 @@ pub fn general_mapping_shortest_path(
     for u in 0..m {
         let total = dist[u]
             + pipeline.work(n - 1) / platform.speed(ProcId::new(u))
-            + platform.comm_time(Vertex::Proc(ProcId::new(u)), Vertex::Out, pipeline.output_size());
+            + platform.comm_time(
+                Vertex::Proc(ProcId::new(u)),
+                Vertex::Out,
+                pipeline.output_size(),
+            );
         if total < best_total {
             best_total = total;
             best_last = u;
@@ -170,16 +172,14 @@ mod tests {
     fn thm1_is_the_global_minimum_by_enumeration() {
         use rpwf_core::intervals::IntervalPartitions;
         let pipe = Pipeline::uniform(3, 2.0, 1.0).unwrap();
-        let pf =
-            Platform::comm_homogeneous(vec![1.0, 2.0, 3.0], 1.0, vec![0.5, 0.4, 0.9]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 2.0, 3.0], 1.0, vec![0.5, 0.4, 0.9]).unwrap();
         let best = minimize_failure(&pipe, &pf).failure_prob;
         // Enumerate a few alternative mappings and confirm none beats it.
         for part in IntervalPartitions::new(3) {
             if part.len() > 3 {
                 continue;
             }
-            let alloc: Vec<Vec<ProcId>> =
-                (0..part.len()).map(|j| vec![p(j as u32)]).collect();
+            let alloc: Vec<Vec<ProcId>> = (0..part.len()).map(|j| vec![p(j as u32)]).collect();
             let m = IntervalMapping::new(part, alloc, 3, 3).unwrap();
             assert!(failure_probability(&m, &pf) >= best - 1e-12);
         }
@@ -212,16 +212,14 @@ mod tests {
     fn thm2_beats_any_split_on_comm_homog() {
         // Sanity: splitting adds communications; single-fastest is optimal.
         let pipe = Pipeline::new(vec![3.0, 5.0, 2.0], vec![4.0, 1.0, 6.0, 2.0]).unwrap();
-        let pf =
-            Platform::comm_homogeneous(vec![1.0, 2.0, 4.0], 2.0, vec![0.1, 0.2, 0.3]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 2.0, 4.0], 2.0, vec![0.1, 0.2, 0.3]).unwrap();
         let opt = minimize_latency_comm_homog(&pipe, &pf).unwrap().latency;
         use rpwf_core::intervals::IntervalPartitions;
         for part in IntervalPartitions::new(3) {
             if part.len() > 3 {
                 continue;
             }
-            let alloc: Vec<Vec<ProcId>> =
-                (0..part.len()).map(|j| vec![p(j as u32)]).collect();
+            let alloc: Vec<Vec<ProcId>> = (0..part.len()).map(|j| vec![p(j as u32)]).collect();
             let mapping = IntervalMapping::new(part, alloc, 3, 3).unwrap();
             assert!(latency(&mapping, &pipe, &pf) >= opt - 1e-12);
         }

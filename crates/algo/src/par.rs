@@ -30,10 +30,37 @@ where
     F: Fn(A, u64) -> A + Sync,
     R: Fn(A, A) -> A,
 {
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    par_fold_cancellable(items, threads, &stop, init, f, reduce)
+}
+
+/// Like [`par_fold`], but workers bail out (mid-chunk, at a 1024-item
+/// stride) once `stop` becomes `true`. The caller's fold closure is
+/// expected to set `stop` when its budget expires; the partial
+/// accumulators folded so far are still merged and returned, so the
+/// result is a valid under-approximation of the full sweep.
+pub fn par_fold_cancellable<A, I, F, R>(
+    items: u64,
+    threads: usize,
+    stop: &std::sync::atomic::AtomicBool,
+    init: I,
+    f: F,
+    reduce: R,
+) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, u64) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    use std::sync::atomic::Ordering;
     let threads = threads.max(1);
     if threads == 1 || items < 2 {
         let mut acc = init();
         for i in 0..items {
+            if i & 1023 == 0 && stop.load(Ordering::Relaxed) {
+                break;
+            }
             acc = f(acc, i);
         }
         return acc;
@@ -50,6 +77,9 @@ where
             scope.spawn(move |_| {
                 let mut acc = init();
                 for i in lo..hi {
+                    if i & 1023 == 0 && stop.load(Ordering::Relaxed) {
+                        break;
+                    }
                     acc = f(acc, i);
                 }
                 *slot = Some(acc);
@@ -71,6 +101,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     #[test]
     fn folds_match_sequential() {
@@ -112,5 +143,51 @@ mod tests {
     fn default_threads_bounds() {
         assert_eq!(default_threads(0), 1);
         assert!(default_threads(1 << 30) >= 1);
+    }
+
+    #[test]
+    fn cancellable_matches_plain_fold_when_not_stopped() {
+        let stop = AtomicBool::new(false);
+        for threads in [1usize, 4] {
+            let got = par_fold_cancellable(
+                10_001,
+                threads,
+                &stop,
+                || 0u64,
+                |acc, i| acc + i,
+                |a, b| a + b,
+            );
+            assert_eq!(got, (0..10_001u64).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn cancellable_stops_early() {
+        let stop = AtomicBool::new(false);
+        let count = par_fold_cancellable(
+            1 << 22,
+            4,
+            &stop,
+            || 0u64,
+            |acc, _| {
+                if acc == 100 {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                acc + 1
+            },
+            |a, b| a + b,
+        );
+        assert!(
+            count < 1 << 22,
+            "stop flag must cut the sweep short, saw {count}"
+        );
+    }
+
+    #[test]
+    fn pre_set_stop_yields_empty_fold() {
+        let stop = AtomicBool::new(true);
+        let count =
+            par_fold_cancellable(1 << 20, 4, &stop, || 0u64, |acc, _| acc + 1, |a, b| a + b);
+        assert_eq!(count, 0);
     }
 }

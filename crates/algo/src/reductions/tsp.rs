@@ -92,7 +92,11 @@ impl TspGadget {
     pub fn path_to_mapping(&self, path: &[usize]) -> OneToOneMapping {
         assert_eq!(path.len(), self.pipeline.n_stages());
         assert_eq!(path[0], self.source, "path must start at the source vertex");
-        assert_eq!(*path.last().expect("non-empty"), self.tail, "path must end at the tail");
+        assert_eq!(
+            *path.last().expect("non-empty"),
+            self.tail,
+            "path must end at the tail"
+        );
         OneToOneMapping::new(path.iter().map(|&v| ProcId::new(v)).collect(), path.len())
             .expect("a Hamiltonian path visits distinct vertices")
     }

@@ -80,7 +80,11 @@ impl TwoPartitionGadget {
     /// Recovers the subset from a mapping.
     #[must_use]
     pub fn mapping_to_subset(&self, mapping: &IntervalMapping) -> Vec<usize> {
-        mapping.used_processors().iter().map(|p| p.index()).collect()
+        mapping
+            .used_processors()
+            .iter()
+            .map(|p| p.index())
+            .collect()
     }
 
     /// Checks both thresholds for a mapping, FP in log space.
@@ -98,7 +102,9 @@ impl TwoPartitionGadget {
         let ln_fp = if ln_success == 0.0 {
             f64::NEG_INFINITY
         } else {
-            rpwf_core::num::LogProb::from_ln(ln_success).one_minus().ln()
+            rpwf_core::num::LogProb::from_ln(ln_success)
+                .one_minus()
+                .ln()
         };
         ln_fp <= self.ln_fp_threshold + EPS
     }
@@ -140,7 +146,9 @@ mod tests {
 
     #[test]
     fn witness_subset_sits_exactly_on_both_thresholds() {
-        let inst = TwoPartitionInstance { values: vec![3, 1, 2, 2] }; // S = 8
+        let inst = TwoPartitionInstance {
+            values: vec![3, 1, 2, 2],
+        }; // S = 8
         let g = build(&inst);
         let witness = inst.solve().expect("3+1 = 2+2");
         let mapping = g.subset_to_mapping(&witness);
@@ -153,11 +161,13 @@ mod tests {
 
     #[test]
     fn unbalanced_subsets_violate_a_threshold() {
-        let inst = TwoPartitionInstance { values: vec![3, 1, 2, 2] };
+        let inst = TwoPartitionInstance {
+            values: vec![3, 1, 2, 2],
+        };
         let g = build(&inst);
         // Too small a sum: reliable enough? No — FP too large.
         assert!(!g.mapping_feasible(&g.subset_to_mapping(&[1]))); // Σ = 1
-        // Too large a sum: latency blown.
+                                                                  // Too large a sum: latency blown.
         assert!(!g.mapping_feasible(&g.subset_to_mapping(&[0, 2, 3]))); // Σ = 7
     }
 
@@ -186,7 +196,9 @@ mod tests {
     fn log_space_threshold_survives_huge_sums() {
         // S large enough that e^{−S/2} underflows f64 (S/2 > 745): the
         // log-space feasibility test must still discriminate.
-        let inst = TwoPartitionInstance { values: vec![400, 400, 400, 400] }; // S = 1600
+        let inst = TwoPartitionInstance {
+            values: vec![400, 400, 400, 400],
+        }; // S = 1600
         let g = build(&inst);
         assert!(g.ln_fp_threshold < -745.0);
         let witness = g.decide_by_enumeration().expect("two pairs of 400");
@@ -196,7 +208,9 @@ mod tests {
 
     #[test]
     fn roundtrip_subset_mapping() {
-        let inst = TwoPartitionInstance { values: vec![5, 3, 2, 4] };
+        let inst = TwoPartitionInstance {
+            values: vec![5, 3, 2, 4],
+        };
         let g = build(&inst);
         let mapping = g.subset_to_mapping(&[0, 2]);
         assert_eq!(g.mapping_to_subset(&mapping), vec![0, 2]);

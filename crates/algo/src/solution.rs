@@ -1,7 +1,7 @@
 //! Solution and objective types shared by every solver.
 
-use rpwf_core::metrics::{failure_probability, latency};
 use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::metrics::{failure_probability, latency};
 use rpwf_core::platform::Platform;
 use rpwf_core::stage::Pipeline;
 use serde::{Deserialize, Serialize};
@@ -23,7 +23,48 @@ impl BiSolution {
     pub fn evaluate(mapping: IntervalMapping, pipeline: &Pipeline, platform: &Platform) -> Self {
         let latency = latency(&mapping, pipeline, platform);
         let failure_prob = failure_probability(&mapping, platform);
-        BiSolution { mapping, latency, failure_prob }
+        BiSolution {
+            mapping,
+            latency,
+            failure_prob,
+        }
+    }
+}
+
+/// Outcome of a budgeted (deadline- or cancellation-bounded) solve.
+///
+/// Exponential solvers poll a [`rpwf_core::budget::Budget`] in their hot
+/// loops; when it exhausts they unwind with their best partial answer
+/// wrapped in [`Budgeted::Cutoff`] instead of running to completion.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Budgeted<T> {
+    /// The solver ran to completion; the payload is exact.
+    Complete(T),
+    /// The budget expired first; the payload is the best answer found
+    /// before the cutoff (feasible when present, but not proven optimal).
+    Cutoff(T),
+}
+
+impl<T> Budgeted<T> {
+    /// `true` for [`Budgeted::Complete`].
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Budgeted::Complete(_))
+    }
+
+    /// The payload, discarding completeness.
+    pub fn into_inner(self) -> T {
+        match self {
+            Budgeted::Complete(inner) | Budgeted::Cutoff(inner) => inner,
+        }
+    }
+
+    /// Borrows the payload.
+    #[must_use]
+    pub fn inner(&self) -> &T {
+        match self {
+            Budgeted::Complete(inner) | Budgeted::Cutoff(inner) => inner,
+        }
     }
 }
 
@@ -120,7 +161,11 @@ mod tests {
 
     fn sol(latency: f64, failure_prob: f64) -> BiSolution {
         let mapping = IntervalMapping::single_interval(1, vec![ProcId(0)], 1).unwrap();
-        BiSolution { mapping, latency, failure_prob }
+        BiSolution {
+            mapping,
+            latency,
+            failure_prob,
+        }
     }
 
     #[test]

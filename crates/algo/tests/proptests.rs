@@ -5,8 +5,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rpwf_algo::exact::{
-    min_latency_interval, min_latency_one_to_one, pareto_front_comm_homog, BranchBound,
-    Exhaustive,
+    min_latency_interval, min_latency_one_to_one, pareto_front_comm_homog, BranchBound, Exhaustive,
 };
 use rpwf_algo::heuristics::{one_to_one::solve_one_to_one, split_dp, Portfolio};
 use rpwf_algo::mono::general_mapping_shortest_path;
@@ -18,16 +17,10 @@ use rpwf_gen::{PipelineGen, PlatformGen};
 
 /// Instances are generated from a single seed through the crate generators,
 /// so shrinking operates on the seed.
-fn instance(
-    seed: u64,
-    n: usize,
-    m: usize,
-    class: PlatformClass,
-) -> (Pipeline, Platform) {
+fn instance(seed: u64, n: usize, m: usize, class: PlatformClass) -> (Pipeline, Platform) {
     let mut rng = StdRng::seed_from_u64(seed);
     let pipeline = PipelineGen::balanced(n).sample(&mut rng);
-    let platform =
-        PlatformGen::new(m, class, FailureClass::Heterogeneous).sample(&mut rng);
+    let platform = PlatformGen::new(m, class, FailureClass::Heterogeneous).sample(&mut rng);
     (pipeline, platform)
 }
 

@@ -16,8 +16,12 @@ fn bench_polynomial_algorithms(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(1);
         let pipeline = PipelineGen::balanced(16).sample(&mut rng);
 
-        let fh = PlatformGen::new(m, PlatformClass::FullyHomogeneous, FailureClass::Homogeneous)
-            .sample(&mut rng);
+        let fh = PlatformGen::new(
+            m,
+            PlatformClass::FullyHomogeneous,
+            FailureClass::Homogeneous,
+        )
+        .sample(&mut rng);
         // Mid-range thresholds so the algorithms neither trivially accept
         // nor instantly bail.
         let l_mid = {
@@ -59,8 +63,7 @@ fn bench_metrics(c: &mut Criterion) {
             FailureClass::Heterogeneous,
         )
         .sample(&mut rng);
-        let mapping =
-            rpwf_algo::heuristics::neighborhood::random_mapping(n, m, &mut rng);
+        let mapping = rpwf_algo::heuristics::neighborhood::random_mapping(n, m, &mut rng);
         group.bench_with_input(
             BenchmarkId::new("latency_eq2", format!("n{n}m{m}")),
             &(n, m),

@@ -18,15 +18,16 @@ fn bench_oracle_vs_dp(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     for &(n, m) in &[(3usize, 4usize), (4, 5)] {
         let pipeline = PipelineGen::balanced(n).sample(&mut rng);
-        let platform =
-            PlatformGen::new(m, PlatformClass::CommHomogeneous, FailureClass::Heterogeneous)
-                .sample(&mut rng);
+        let platform = PlatformGen::new(
+            m,
+            PlatformClass::CommHomogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
         group.bench_with_input(
             BenchmarkId::new("exhaustive_front", format!("n{n}m{m}")),
             &(n, m),
-            |b, _| {
-                b.iter(|| black_box(Exhaustive::new(&pipeline, &platform).pareto_front()))
-            },
+            |b, _| b.iter(|| black_box(Exhaustive::new(&pipeline, &platform).pareto_front())),
         );
         group.bench_with_input(
             BenchmarkId::new("bitmask_dp_front", format!("n{n}m{m}")),
@@ -37,9 +38,12 @@ fn bench_oracle_vs_dp(c: &mut Criterion) {
     // The DP keeps going where the oracle has long exploded.
     for &(n, m) in &[(6usize, 10usize), (8, 12)] {
         let pipeline = PipelineGen::balanced(n).sample(&mut rng);
-        let platform =
-            PlatformGen::new(m, PlatformClass::CommHomogeneous, FailureClass::Heterogeneous)
-                .sample(&mut rng);
+        let platform = PlatformGen::new(
+            m,
+            PlatformClass::CommHomogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
         group.bench_with_input(
             BenchmarkId::new("bitmask_dp_front", format!("n{n}m{m}")),
             &(n, m),

@@ -18,9 +18,12 @@ fn bench_heuristics(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     for &(n, m) in &[(8usize, 16usize), (16, 32)] {
         let pipeline = PipelineGen::balanced(n).sample(&mut rng);
-        let platform =
-            PlatformGen::new(m, PlatformClass::CommHomogeneous, FailureClass::Heterogeneous)
-                .sample(&mut rng);
+        let platform = PlatformGen::new(
+            m,
+            PlatformClass::CommHomogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
         // A loose-but-binding threshold: halfway between the latency floor
         // and the all-replica ceiling.
         let floor = rpwf_algo::mono::minimize_latency_comm_homog(&pipeline, &platform)
@@ -43,7 +46,10 @@ fn bench_heuristics(c: &mut Criterion) {
             BenchmarkId::new("random_search_2k", format!("n{n}m{m}")),
             &(n, m),
             |b, _| {
-                let rs = RandomSearch { samples: 2000, seed: 1 };
+                let rs = RandomSearch {
+                    samples: 2000,
+                    seed: 1,
+                };
                 b.iter(|| black_box(rs.solve(&pipeline, &platform, objective)))
             },
         );
@@ -51,7 +57,11 @@ fn bench_heuristics(c: &mut Criterion) {
             BenchmarkId::new("local_search", format!("n{n}m{m}")),
             &(n, m),
             |b, _| {
-                let ls = LocalSearch { random_restarts: 2, max_steps: 40, seed: 1 };
+                let ls = LocalSearch {
+                    random_restarts: 2,
+                    max_steps: 40,
+                    seed: 1,
+                };
                 b.iter(|| black_box(ls.solve(&pipeline, &platform, objective)))
             },
         );
@@ -59,7 +69,12 @@ fn bench_heuristics(c: &mut Criterion) {
             BenchmarkId::new("annealing", format!("n{n}m{m}")),
             &(n, m),
             |b, _| {
-                let sa = Annealing { epochs: 20, moves_per_epoch: 40, seed: 1, ..Default::default() };
+                let sa = Annealing {
+                    epochs: 20,
+                    moves_per_epoch: 40,
+                    seed: 1,
+                    ..Default::default()
+                };
                 b.iter(|| black_box(sa.solve(&pipeline, &platform, objective)))
             },
         );

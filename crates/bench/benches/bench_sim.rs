@@ -15,9 +15,12 @@ fn bench_des(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(6);
     for &(n, m, datasets) in &[(4usize, 8usize, 10usize), (8, 16, 50), (8, 16, 200)] {
         let pipeline = PipelineGen::balanced(n).sample(&mut rng);
-        let platform =
-            PlatformGen::new(m, PlatformClass::CommHomogeneous, FailureClass::Heterogeneous)
-                .sample(&mut rng);
+        let platform = PlatformGen::new(
+            m,
+            PlatformClass::CommHomogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
         let mapping = rpwf_algo::heuristics::neighborhood::random_mapping(n, m, &mut rng);
         let arrivals = vec![0.0; datasets];
         // Count events once to report true event throughput.
@@ -65,14 +68,18 @@ fn bench_monte_carlo(c: &mut Criterion) {
     .expect("valid");
     for &trials in &[1_000usize, 10_000] {
         group.throughput(Throughput::Elements(trials as u64));
-        group.bench_with_input(BenchmarkId::new("figure5", trials), &trials, |b, &trials| {
-            let mc = MonteCarlo {
-                trials,
-                model: FailureModel::BernoulliAtStart,
-                ..Default::default()
-            };
-            b.iter(|| black_box(mc.run(&pipeline, &platform, &mapping)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("figure5", trials),
+            &trials,
+            |b, &trials| {
+                let mc = MonteCarlo {
+                    trials,
+                    model: FailureModel::BernoulliAtStart,
+                    ..Default::default()
+                };
+                b.iter(|| black_box(mc.run(&pipeline, &platform, &mapping)))
+            },
+        );
     }
     group.finish();
 }

@@ -9,7 +9,10 @@ fn main() {
     if json {
         let doc: Vec<(&str, &Vec<rpwf_bench::Table>)> =
             all.iter().map(|(id, tables)| (*id, tables)).collect();
-        println!("{}", serde_json::to_string_pretty(&doc).expect("tables serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("tables serialize")
+        );
         return;
     }
     for (id, tables) in all {

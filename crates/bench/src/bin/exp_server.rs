@@ -1,0 +1,6 @@
+//! E14 — serving-layer throughput (writes `BENCH_server.json`).
+fn main() {
+    for table in rpwf_bench::experiments::server_throughput::server_throughput() {
+        table.print();
+    }
+}

@@ -57,8 +57,12 @@ pub fn fig5() -> Vec<Table> {
         "E2 / Figure 5 — bi-criteria optimum needs two intervals (paper: 0.64 vs <0.2)",
         &["solution @ L<=22", "latency", "FP", "intervals", "paper"],
     );
-    let single = best_single_interval(&pipeline, &platform, Objective::MinFpUnderLatency(threshold))
-        .expect("feasible");
+    let single = best_single_interval(
+        &pipeline,
+        &platform,
+        Objective::MinFpUnderLatency(threshold),
+    )
+    .expect("feasible");
     t.row(vec![
         format!("best single interval ({})", single.mapping),
         fnum(single.latency),
@@ -66,9 +70,13 @@ pub fn fig5() -> Vec<Table> {
         single.mapping.n_intervals().to_string(),
         "0.64".into(),
     ]);
-    let optimal = solve_comm_homog(&pipeline, &platform, Objective::MinFpUnderLatency(threshold))
-        .expect("comm-homog")
-        .expect("feasible");
+    let optimal = solve_comm_homog(
+        &pipeline,
+        &platform,
+        Objective::MinFpUnderLatency(threshold),
+    )
+    .expect("comm-homog")
+    .expect("feasible");
     t.row(vec![
         format!("exact optimum ({})", optimal.mapping),
         fnum(optimal.latency),
@@ -76,7 +84,9 @@ pub fn fig5() -> Vec<Table> {
         optimal.mapping.n_intervals().to_string(),
         format!("{paper_fp:.4}"),
     ]);
-    t.note("platform: P0 slow/reliable (s=1, fp=0.1); P1..P10 fast/unreliable (s=100, fp=0.8); b=1");
+    t.note(
+        "platform: P0 slow/reliable (s=1, fp=0.1); P1..P10 fast/unreliable (s=100, fp=0.8); b=1",
+    );
     vec![t]
 }
 

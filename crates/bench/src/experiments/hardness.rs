@@ -12,7 +12,15 @@ use rpwf_gen::{TspInstance, TwoPartitionInstance};
 pub fn thm3() -> Vec<Table> {
     let mut t = Table::new(
         "E7 / Theorem 3 — TSP -> one-to-one latency gadget (yes/no at K = opt and K = opt - 1/2)",
-        &["n", "seed", "opt path cost", "K'", "decide@opt", "decide@opt-0.5", "equiv"],
+        &[
+            "n",
+            "seed",
+            "opt path cost",
+            "K'",
+            "decide@opt",
+            "decide@opt-0.5",
+            "equiv",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(7007);
     for trial in 0..12u64 {
@@ -23,7 +31,9 @@ pub fn thm3() -> Vec<Table> {
         let yes_answer = yes.decide();
         let no = build_tsp_gadget(&inst, opt - 0.5);
         let no_answer = no.decide();
-        let sound = yes_answer.as_ref().is_some_and(|w| inst.path_cost(w) <= opt + 1e-9)
+        let sound = yes_answer
+            .as_ref()
+            .is_some_and(|w| inst.path_cost(w) <= opt + 1e-9)
             && no_answer.is_none();
         t.row(vec![
             n.to_string(),
@@ -45,7 +55,15 @@ pub fn thm3() -> Vec<Table> {
 pub fn thm7() -> Vec<Table> {
     let mut t = Table::new(
         "E8 / Theorem 7 — 2-PARTITION -> bi-criteria feasibility gadget",
-        &["kind", "m", "S", "L = S/2+2", "partition?", "gadget feasible?", "equiv"],
+        &[
+            "kind",
+            "m",
+            "S",
+            "L = S/2+2",
+            "partition?",
+            "gadget feasible?",
+            "equiv",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(7008);
     let mut push = |kind: &str, inst: &TwoPartitionInstance| {
@@ -59,17 +77,28 @@ pub fn thm7() -> Vec<Table> {
             fnum(gadget.latency_threshold),
             if partition { "yes" } else { "no" }.into(),
             if feasible { "yes" } else { "no" }.into(),
-            if partition == feasible { "holds" } else { "VIOLATED" }.into(),
+            if partition == feasible {
+                "holds"
+            } else {
+                "VIOLATED"
+            }
+            .into(),
         ]);
     };
     for _ in 0..8 {
         push("random", &TwoPartitionInstance::random(9, 11, &mut rng));
     }
     for _ in 0..4 {
-        push("planted-yes", &TwoPartitionInstance::with_planted_solution(4, 15, &mut rng));
+        push(
+            "planted-yes",
+            &TwoPartitionInstance::with_planted_solution(4, 15, &mut rng),
+        );
     }
     for _ in 0..4 {
-        push("odd-total-no", &TwoPartitionInstance::odd_total(8, 12, &mut rng));
+        push(
+            "odd-total-no",
+            &TwoPartitionInstance::odd_total(8, 12, &mut rng),
+        );
     }
     vec![t]
 }

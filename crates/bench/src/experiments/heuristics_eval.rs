@@ -18,7 +18,13 @@ pub fn heuristics() -> Vec<Table> {
     // Open problem class: CH + Failure-Heterogeneous, exact via bitmask DP.
     let mut t = Table::new(
         "E10a — heuristics vs exact bitmask DP (Comm Homogeneous + Failure Heterogeneous)",
-        &["instance", "heuristic", "FP ratio (1 = optimal)", "latency ok", "runtime"],
+        &[
+            "instance",
+            "heuristic",
+            "FP ratio (1 = optimal)",
+            "latency ok",
+            "runtime",
+        ],
     );
     let suite = SuiteSpec {
         sizes: vec![(3, 6), (4, 7), (5, 8)],
@@ -28,7 +34,10 @@ pub fn heuristics() -> Vec<Table> {
     for inst in suite.instances() {
         let front = pareto_front_comm_homog(&inst.pipeline, &inst.platform).expect("comm-homog");
         let mid = front.points()[front.len() / 2].latency;
-        let exact = front.min_fp_under_latency(mid).expect("exists").failure_prob;
+        let exact = front
+            .min_fp_under_latency(mid)
+            .expect("exists")
+            .failure_prob;
         let objective = Objective::MinFpUnderLatency(mid);
         for (name, sol) in Portfolio::new(19).run_all(&inst.pipeline, &inst.platform, objective) {
             let start = Instant::now();
@@ -38,7 +47,11 @@ pub fn heuristics() -> Vec<Table> {
                 Some(s) => t.row(vec![
                     inst.label.clone(),
                     name.into(),
-                    fnum(if exact > 0.0 { s.failure_prob / exact } else { 1.0 }),
+                    fnum(if exact > 0.0 {
+                        s.failure_prob / exact
+                    } else {
+                        1.0
+                    }),
                     if s.latency <= mid + 1e-6 { "yes" } else { "NO" }.into(),
                     format!("{:.1?}", elapsed),
                 ]),
@@ -58,24 +71,39 @@ pub fn heuristics() -> Vec<Table> {
     // NP-hard class: Fully Heterogeneous, exact via the brute-force oracle.
     let mut t = Table::new(
         "E10b — heuristics vs exhaustive oracle (Fully Heterogeneous)",
-        &["instance", "heuristic", "FP ratio (1 = optimal)", "latency ok"],
+        &[
+            "instance",
+            "heuristic",
+            "FP ratio (1 = optimal)",
+            "latency ok",
+        ],
     );
     let suite = SuiteSpec {
         sizes: vec![(3, 4), (4, 5)],
         seeds: vec![201, 202],
-        ..SuiteSpec::small(PlatformClass::FullyHeterogeneous, FailureClass::Heterogeneous)
+        ..SuiteSpec::small(
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
     };
     for inst in suite.instances() {
         let front = Exhaustive::new(&inst.pipeline, &inst.platform).pareto_front();
         let mid = front.points()[front.len() / 2].latency;
-        let exact = front.min_fp_under_latency(mid).expect("exists").failure_prob;
+        let exact = front
+            .min_fp_under_latency(mid)
+            .expect("exists")
+            .failure_prob;
         let objective = Objective::MinFpUnderLatency(mid);
         for (name, sol) in Portfolio::new(23).run_all(&inst.pipeline, &inst.platform, objective) {
             match sol {
                 Some(s) => t.row(vec![
                     inst.label.clone(),
                     name.into(),
-                    fnum(if exact > 0.0 { s.failure_prob / exact } else { 1.0 }),
+                    fnum(if exact > 0.0 {
+                        s.failure_prob / exact
+                    } else {
+                        1.0
+                    }),
                     if s.latency <= mid + 1e-6 { "yes" } else { "NO" }.into(),
                 ]),
                 None => t.row(vec![
@@ -98,15 +126,17 @@ pub fn heuristics() -> Vec<Table> {
     let suite = SuiteSpec {
         sizes: vec![(3, 5), (4, 6), (5, 8), (6, 10)],
         seeds: vec![301, 302],
-        ..SuiteSpec::small(PlatformClass::FullyHeterogeneous, FailureClass::Heterogeneous)
+        ..SuiteSpec::small(
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
     };
     for inst in suite.instances() {
         let (_, heur) =
             rpwf_algo::heuristics::one_to_one::solve_one_to_one(&inst.pipeline, &inst.platform)
                 .expect("n <= m");
-        let (_, exact) =
-            rpwf_algo::exact::min_latency_one_to_one(&inst.pipeline, &inst.platform)
-                .expect("n <= m");
+        let (_, exact) = rpwf_algo::exact::min_latency_one_to_one(&inst.pipeline, &inst.platform)
+            .expect("n <= m");
         t.row(vec![
             inst.label.clone(),
             fnum(heur),
@@ -120,12 +150,21 @@ pub fn heuristics() -> Vec<Table> {
     // the heuristic incumbent seed, agreement with the exact answer.
     let mut t = Table::new(
         "E10d — branch-and-bound on Fully Heterogeneous: pruning via heuristic seeding",
-        &["instance", "nodes (seeded)", "nodes (raw)", "saving", "agrees with oracle"],
+        &[
+            "instance",
+            "nodes (seeded)",
+            "nodes (raw)",
+            "saving",
+            "agrees with oracle",
+        ],
     );
     let suite = SuiteSpec {
         sizes: vec![(3, 4), (4, 5)],
         seeds: vec![401, 402],
-        ..SuiteSpec::small(PlatformClass::FullyHeterogeneous, FailureClass::Heterogeneous)
+        ..SuiteSpec::small(
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
     };
     for inst in suite.instances() {
         let hi = rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform).latency;
@@ -145,7 +184,10 @@ pub fn heuristics() -> Vec<Table> {
             inst.label.clone(),
             seeded_nodes.to_string(),
             raw_nodes.to_string(),
-            format!("{:.1}%", 100.0 * (1.0 - seeded_nodes as f64 / raw_nodes.max(1) as f64)),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - seeded_nodes as f64 / raw_nodes.max(1) as f64)
+            ),
             if agrees { "yes" } else { "NO" }.into(),
         ]);
     }
@@ -179,7 +221,10 @@ mod tests {
     #[test]
     fn branch_bound_table_agrees_and_saves_nodes() {
         let tables = heuristics();
-        let bnb = tables.iter().find(|t| t.title.starts_with("E10d")).expect("present");
+        let bnb = tables
+            .iter()
+            .find(|t| t.title.starts_with("E10d"))
+            .expect("present");
         for row in &bnb.rows {
             assert_eq!(row[4], "yes", "{}", bnb.render());
             let seeded: u64 = row[1].parse().unwrap();

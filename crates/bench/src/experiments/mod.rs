@@ -14,12 +14,14 @@
 //! | E10 | [`heuristics_eval::heuristics`] | `exp_heuristics` |
 //! | E11 | [`simulation::sim_validation`] | `exp_sim_validation` |
 //! | E13 | [`tricriteria::tricriteria`] | `exp_tricriteria` |
+//! | E14 | [`server_throughput::server_throughput`] | `exp_server` |
 //!
 //! (E12 is the criterion suite under `benches/`.)
 
 pub mod figures;
 pub mod hardness;
 pub mod heuristics_eval;
+pub mod server_throughput;
 pub mod simulation;
 pub mod theorems;
 pub mod tricriteria;
@@ -43,5 +45,6 @@ pub fn run_all() -> Vec<(&'static str, Vec<Table>)> {
         ("E10", heuristics_eval::heuristics()),
         ("E11", simulation::sim_validation()),
         ("E13", tricriteria::tricriteria()),
+        ("E14", server_throughput::server_throughput()),
     ]
 }

@@ -1,0 +1,251 @@
+//! E14 — serving-layer throughput: concurrent clients against the TCP
+//! solver server, with and without cache reuse.
+//!
+//! Spins the server up in-process on an ephemeral port, fires batches of
+//! solve/pareto requests from several client threads, and reports
+//! request throughput, latency quantiles, and cache effectiveness. The
+//! machine-readable summary is written to `BENCH_server.json` for
+//! regression tracking.
+
+use crate::table::Table;
+use rpwf_algo::Objective;
+use rpwf_core::platform::{FailureClass, PlatformClass};
+use rpwf_server::protocol::{Command, Request, Response};
+use rpwf_server::{Server, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// One measured scenario.
+struct Scenario {
+    name: &'static str,
+    clients: usize,
+    requests_per_client: usize,
+    /// Number of distinct instances cycled through (1 ⇒ maximal reuse).
+    distinct_instances: usize,
+}
+
+struct Measurement {
+    name: String,
+    clients: usize,
+    total_requests: usize,
+    wall_secs: f64,
+    requests_per_sec: f64,
+    mean_elapsed_us: f64,
+    max_elapsed_us: u64,
+    cache_hits: usize,
+}
+
+/// Runs E14 and returns the result tables (also writes
+/// `BENCH_server.json` to the working directory).
+#[must_use]
+pub fn server_throughput() -> Vec<Table> {
+    let scenarios = [
+        Scenario {
+            name: "cold-distinct",
+            clients: 4,
+            requests_per_client: 8,
+            distinct_instances: 32,
+        },
+        Scenario {
+            name: "warm-repeat",
+            clients: 4,
+            requests_per_client: 8,
+            distinct_instances: 4,
+        },
+        Scenario {
+            name: "hot-single",
+            clients: 8,
+            requests_per_client: 8,
+            distinct_instances: 1,
+        },
+    ];
+
+    let mut measurements = Vec::new();
+    for scenario in &scenarios {
+        measurements.push(run_scenario(scenario));
+    }
+
+    let mut table = Table::new(
+        "E14 / server throughput — concurrent solve over TCP",
+        &[
+            "scenario",
+            "clients",
+            "requests",
+            "wall s",
+            "req/s",
+            "mean µs",
+            "max µs",
+            "cache hits",
+        ],
+    );
+    for m in &measurements {
+        table.row(vec![
+            m.name.clone(),
+            m.clients.to_string(),
+            m.total_requests.to_string(),
+            format!("{:.3}", m.wall_secs),
+            format!("{:.0}", m.requests_per_sec),
+            format!("{:.0}", m.mean_elapsed_us),
+            m.max_elapsed_us.to_string(),
+            m.cache_hits.to_string(),
+        ]);
+    }
+    table.note(
+        "comm-homogeneous n=3, m=4 instances; exact bitmask-DP answers; \
+         cache reuse grows from cold-distinct to hot-single",
+    );
+
+    write_json(&measurements);
+    vec![table]
+}
+
+fn run_scenario(scenario: &Scenario) -> Measurement {
+    let mut server = Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 4,
+            cache_capacity: 1024,
+            cache_shards: 16,
+            seed: 0xCAFE,
+        },
+    )
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr();
+
+    let instances: Vec<(
+        rpwf_core::stage::Pipeline,
+        rpwf_core::platform::Platform,
+        f64,
+    )> = (0..scenario.distinct_instances)
+        .map(|i| {
+            let inst = rpwf_gen::make_instance(
+                PlatformClass::CommHomogeneous,
+                FailureClass::Heterogeneous,
+                3,
+                4,
+                i as u64,
+            );
+            let l = rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform).latency;
+            (inst.pipeline, inst.platform, l)
+        })
+        .collect();
+
+    let start = Instant::now();
+    let per_client: Vec<Vec<Response>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..scenario.clients)
+            .map(|client| {
+                let instances = &instances;
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    let mut responses = Vec::new();
+                    let reader_stream = stream.try_clone().expect("clone stream");
+                    let mut reader = BufReader::new(reader_stream);
+                    for r in 0..scenario.requests_per_client {
+                        let idx = (client + r * scenario.clients) % instances.len();
+                        let (pipeline, platform, l) = instances[idx].clone();
+                        let request = Request {
+                            id: Some((client * 1000 + r) as u64),
+                            deadline_ms: Some(30_000),
+                            no_cache: None,
+                            cmd: Command::Solve {
+                                pipeline,
+                                platform,
+                                objective: Objective::MinFpUnderLatency(l),
+                            },
+                        };
+                        let line = serde_json::to_string(&request).expect("serializes");
+                        writeln!(stream, "{line}").expect("send");
+                        stream.flush().expect("flush");
+                        let mut resp = String::new();
+                        reader.read_line(&mut resp).expect("read");
+                        responses.push(serde_json::from_str(resp.trim()).expect("response parses"));
+                    }
+                    responses
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let all: Vec<&Response> = per_client.iter().flatten().collect();
+    let total_requests = all.len();
+    assert!(
+        all.iter().all(|r| r.status == "ok"),
+        "benchmark requests must succeed"
+    );
+    let cache_hits = all.iter().filter(|r| r.meta.cache_hit).count();
+    let mean_elapsed_us =
+        all.iter().map(|r| r.meta.elapsed_us as f64).sum::<f64>() / total_requests as f64;
+    let max_elapsed_us = all.iter().map(|r| r.meta.elapsed_us).max().unwrap_or(0);
+
+    Measurement {
+        name: scenario.name.to_string(),
+        clients: scenario.clients,
+        total_requests,
+        wall_secs,
+        requests_per_sec: total_requests as f64 / wall_secs.max(1e-9),
+        mean_elapsed_us,
+        max_elapsed_us,
+        cache_hits,
+    }
+}
+
+fn write_json(measurements: &[Measurement]) {
+    let doc = serde::Value::Seq(
+        measurements
+            .iter()
+            .map(|m| {
+                serde::Value::Map(vec![
+                    ("scenario".into(), serde::Value::Str(m.name.clone())),
+                    ("clients".into(), serde::Value::UInt(m.clients as u64)),
+                    (
+                        "requests".into(),
+                        serde::Value::UInt(m.total_requests as u64),
+                    ),
+                    ("wall_secs".into(), serde::Value::Float(m.wall_secs)),
+                    (
+                        "requests_per_sec".into(),
+                        serde::Value::Float(m.requests_per_sec),
+                    ),
+                    (
+                        "mean_elapsed_us".into(),
+                        serde::Value::Float(m.mean_elapsed_us),
+                    ),
+                    (
+                        "max_elapsed_us".into(),
+                        serde::Value::UInt(m.max_elapsed_us),
+                    ),
+                    ("cache_hits".into(), serde::Value::UInt(m.cache_hits as u64)),
+                ])
+            })
+            .collect(),
+    );
+    let text = serde_json::to_string_pretty(&doc).expect("serializes");
+    if let Err(e) = std::fs::write("BENCH_server.json", text) {
+        eprintln!("warning: could not write BENCH_server.json: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_experiment_runs_and_reports() {
+        let tables = server_throughput();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 3);
+        // The hot-single scenario must see cache hits.
+        let hot = &tables[0].rows[2];
+        assert_eq!(hot[0], "hot-single");
+        let hits: usize = hot[7].parse().expect("hit count");
+        assert!(hits > 0, "repeated identical requests must hit the cache");
+        let _ = std::fs::remove_file("BENCH_server.json");
+    }
+}

@@ -27,8 +27,7 @@ pub fn sim_validation() -> Vec<Table> {
         for trial in 0..4 {
             let pipe = PipelineGen::balanced(4).sample(&mut rng);
             let pf = PlatformGen::new(5, class, FailureClass::Heterogeneous).sample(&mut rng);
-            let mapping =
-                rpwf_algo::heuristics::neighborhood::random_mapping(4, 5, &mut rng);
+            let mapping = rpwf_algo::heuristics::neighborhood::random_mapping(4, 5, &mut rng);
             let analytic = latency(&mapping, &pipe, &pf);
             let sim = simulate_one(
                 &pipe,
@@ -44,7 +43,12 @@ pub fn sim_validation() -> Vec<Table> {
                 trial.to_string(),
                 fnum(analytic),
                 fnum(sim),
-                if approx_eq(analytic, sim, 1e-9) { "yes" } else { "NO" }.into(),
+                if approx_eq(analytic, sim, 1e-9) {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .into(),
             ]);
         }
     }
@@ -53,7 +57,14 @@ pub fn sim_validation() -> Vec<Table> {
     // (b) Monte Carlo success rate vs analytic reliability.
     let mut t = Table::new(
         "E11b — Monte Carlo success rate vs analytic 1 - FP (20k trials, Wilson 95%)",
-        &["trial", "analytic 1-FP", "MC rate", "wilson lo", "wilson hi", "within 4.5 sigma"],
+        &[
+            "trial",
+            "analytic 1-FP",
+            "MC rate",
+            "wilson lo",
+            "wilson hi",
+            "within 4.5 sigma",
+        ],
     );
     for trial in 0..5 {
         let pipe = PipelineGen::balanced(3).sample(&mut rng);
@@ -65,8 +76,12 @@ pub fn sim_validation() -> Vec<Table> {
         .sample(&mut rng);
         let mapping = rpwf_algo::heuristics::neighborhood::random_mapping(3, 5, &mut rng);
         let analytic = reliability(&mapping, &pf);
-        let report = MonteCarlo { trials: 20_000, seed: 7 + trial, ..Default::default() }
-            .run(&pipe, &pf, &mapping);
+        let report = MonteCarlo {
+            trials: 20_000,
+            seed: 7 + trial,
+            ..Default::default()
+        }
+        .run(&pipe, &pf, &mapping);
         // Pass criterion: a 4.5-sigma band (the 95% CI misses ~1 in 20
         // checks by construction; the table still reports it for scale).
         let sigma = (analytic * (1.0 - analytic) / report.trials as f64).sqrt();
@@ -85,7 +100,15 @@ pub fn sim_validation() -> Vec<Table> {
     // (c) latency distribution bracketing: best-case ≤ observed ≤ bound.
     let mut t = Table::new(
         "E11c — simulated latency distribution stays within [best case, worst-case bound]",
-        &["trial", "best-case sim", "MC min", "MC mean", "MC max", "eq.(2) bound", "bracketed"],
+        &[
+            "trial",
+            "best-case sim",
+            "MC min",
+            "MC mean",
+            "MC max",
+            "eq.(2) bound",
+            "bracketed",
+        ],
     );
     for trial in 0..4 {
         let pipe = PipelineGen::balanced(3).sample(&mut rng);
@@ -106,8 +129,12 @@ pub fn sim_validation() -> Vec<Table> {
         )
         .latency()
         .expect("all alive");
-        let report = MonteCarlo { trials: 5_000, seed: 100 + trial, ..Default::default() }
-            .run(&pipe, &pf, &mapping);
+        let report = MonteCarlo {
+            trials: 5_000,
+            seed: 100 + trial,
+            ..Default::default()
+        }
+        .run(&pipe, &pf, &mapping);
         let ok = report.latency.count == 0
             || (report.latency.max <= bound + 1e-9 && report.latency.min >= best - 1e-9);
         t.row(vec![

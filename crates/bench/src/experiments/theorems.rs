@@ -62,7 +62,14 @@ fn bicriteria_sweep(
 ) -> Table {
     let mut t = Table::new(
         title,
-        &["instance", "objective", "threshold", "algorithm", "oracle", "match"],
+        &[
+            "instance",
+            "objective",
+            "threshold",
+            "algorithm",
+            "oracle",
+            "match",
+        ],
     );
     for inst in suite.instances().into_iter().take(8) {
         let ex = Exhaustive::new(&inst.pipeline, &inst.platform);
@@ -153,12 +160,22 @@ pub fn alg34() -> Vec<Table> {
 pub fn thm4() -> Vec<Table> {
     let mut t = Table::new(
         "E6 / Theorem 4 — general-mapping shortest path vs brute force (Fully Heterogeneous)",
-        &["instance", "shortest path", "brute force", "match", "interval opt", "general<=interval"],
+        &[
+            "instance",
+            "shortest path",
+            "brute force",
+            "match",
+            "interval opt",
+            "general<=interval",
+        ],
     );
     let suite = SuiteSpec {
         sizes: vec![(2, 3), (3, 4), (4, 4), (4, 5), (5, 5)],
         seeds: vec![1, 2, 3],
-        ..SuiteSpec::small(PlatformClass::FullyHeterogeneous, FailureClass::Heterogeneous)
+        ..SuiteSpec::small(
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
     };
     for inst in suite.instances() {
         let (_, sp) = mono::general_mapping_shortest_path(&inst.pipeline, &inst.platform);
@@ -184,7 +201,12 @@ pub fn thm4() -> Vec<Table> {
 pub fn lemma1() -> Vec<Table> {
     let mut t = Table::new(
         "E9 / Lemma 1 — single-interval coverage of the exact Pareto front",
-        &["instance", "front size", "covered by single interval", "lemma holds"],
+        &[
+            "instance",
+            "front size",
+            "covered by single interval",
+            "lemma holds",
+        ],
     );
     let mut check = |label: String, pipeline: &Pipeline, platform: &Platform, expect: bool| {
         let front = Exhaustive::new(pipeline, platform).pareto_front();
@@ -203,7 +225,11 @@ pub fn lemma1() -> Vec<Table> {
             label,
             front.len().to_string(),
             format!("{covered}/{}", front.len()),
-            if holds == expect { format!("{holds} (as predicted)") } else { format!("{holds} UNEXPECTED") },
+            if holds == expect {
+                format!("{holds} (as predicted)")
+            } else {
+                format!("{holds} UNEXPECTED")
+            },
         ]);
     };
 
@@ -232,7 +258,12 @@ pub fn lemma1() -> Vec<Table> {
     let mut fps = vec![0.8; 5];
     fps[0] = 0.1;
     let platform = Platform::comm_homogeneous(speeds, 1.0, fps).expect("valid");
-    check("figure5-reduced (CH+FailureHet)".into(), &pipeline, &platform, false);
+    check(
+        "figure5-reduced (CH+FailureHet)".into(),
+        &pipeline,
+        &platform,
+        false,
+    );
     vec![t]
 }
 
@@ -261,12 +292,20 @@ mod tests {
     #[test]
     fn thm4_all_match() {
         let t = &thm4()[0];
-        assert!(t.rows.iter().all(|r| r[3] == "yes" && r[5] == "yes"), "{}", t.render());
+        assert!(
+            t.rows.iter().all(|r| r[3] == "yes" && r[5] == "yes"),
+            "{}",
+            t.render()
+        );
     }
 
     #[test]
     fn lemma1_predictions_hold() {
         let t = &lemma1()[0];
-        assert!(t.rows.iter().all(|r| r[3].contains("as predicted")), "{}", t.render());
+        assert!(
+            t.rows.iter().all(|r| r[3].contains("as predicted")),
+            "{}",
+            t.render()
+        );
     }
 }

@@ -17,7 +17,15 @@ pub fn tricriteria() -> Vec<Table> {
 
     let mut t = Table::new(
         "E13 — tri-criteria view of the JPEG encoder on a two-tier cluster",
-        &["latency", "FP", "period", "throughput", "intervals", "replicas", "mapping"],
+        &[
+            "latency",
+            "FP",
+            "period",
+            "throughput",
+            "intervals",
+            "replicas",
+            "mapping",
+        ],
     );
     let front = pareto_front_comm_homog(&pipeline, &platform).expect("comm-homog");
     for pt in front.iter() {
@@ -43,7 +51,10 @@ mod tests {
     #[test]
     fn front_is_nontrivial_and_periods_positive() {
         let t = &tricriteria()[0];
-        assert!(t.rows.len() >= 3, "front should have several trade-off points");
+        assert!(
+            t.rows.len() >= 3,
+            "front should have several trade-off points"
+        );
         for row in &t.rows {
             let period: f64 = row[2].parse().unwrap();
             let latency: f64 = row[0].parse().unwrap();

@@ -111,7 +111,10 @@ mod tests {
         assert!(s.contains("a-much-longer-name"));
         assert!(s.contains("note: hello"));
         // All data rows align to the same width.
-        let lines: Vec<&str> = s.lines().filter(|l| l.contains("1.0") || l.contains("2.25")).collect();
+        let lines: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains("1.0") || l.contains("2.25"))
+            .collect();
         assert_eq!(lines.len(), 2);
         assert_eq!(lines[0].len(), lines[1].len());
     }

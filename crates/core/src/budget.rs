@@ -1,0 +1,155 @@
+//! Cooperative compute budgets: deadlines and cancellation tokens threaded
+//! through the exponential solvers.
+//!
+//! A [`Budget`] is cheap to clone and share across threads. Long-running
+//! solvers poll [`Budget::is_exhausted`] every few hundred node expansions
+//! (the poll itself reads one atomic and, when a deadline is set, the
+//! monotonic clock) and unwind with their best partial result when it
+//! returns `true`. The serving layer builds one budget per request from
+//! the client's `deadline_ms`; [`CancelHandle`] additionally supports
+//! caller-driven aborts (e.g. cancelling in-flight work when a client
+//! connection drops — not yet wired into the transport, see ROADMAP
+//! "Connection-level cancellation").
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A deadline and/or cancellation token for one unit of solver work.
+///
+/// The default budget is unlimited: no deadline, never cancelled.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+/// Cancels the [`Budget`] it was created from (and that budget's clones).
+#[derive(Clone, Debug)]
+pub struct CancelHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelHandle {
+    /// Signals cancellation; idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was already signalled.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+impl Budget {
+    /// A budget with no deadline and no cancellation token.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A budget expiring `timeout` from now.
+    #[must_use]
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Budget {
+            deadline: Some(Instant::now() + timeout),
+            cancel: None,
+        }
+    }
+
+    /// A budget expiring at an absolute instant (e.g. request receipt time
+    /// plus the client's `deadline_ms`).
+    #[must_use]
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        Budget {
+            deadline: Some(deadline),
+            cancel: None,
+        }
+    }
+
+    /// Attaches a cancellation token, returning the budget and its handle.
+    #[must_use]
+    pub fn cancellable(mut self) -> (Self, CancelHandle) {
+        let flag = Arc::new(AtomicBool::new(false));
+        self.cancel = Some(Arc::clone(&flag));
+        (self, CancelHandle { flag })
+    }
+
+    /// `true` once the deadline has passed or cancellation was signalled.
+    ///
+    /// Solvers should poll this at a coarse stride (hundreds of iterations)
+    /// rather than per node: the check reads the monotonic clock when a
+    /// deadline is set.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        if let Some(cancel) = &self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+
+    /// Whether this budget can ever expire on its own or be cancelled.
+    /// Solvers skip the polling overhead entirely for unlimited budgets.
+    #[must_use]
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
+    }
+
+    /// Time left before the deadline; `None` when no deadline is set.
+    /// Already-expired budgets report `Some(0)`.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(!b.is_exhausted());
+        assert!(!b.is_limited());
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let b = Budget::with_deadline(Duration::from_millis(0));
+        assert!(b.is_limited());
+        assert!(b.is_exhausted());
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+
+        let b = Budget::with_deadline(Duration::from_secs(3600));
+        assert!(!b.is_exhausted());
+        assert!(b.remaining().expect("deadline set") > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn cancellation_reaches_clones() {
+        let (b, handle) = Budget::unlimited().cancellable();
+        let clone = b.clone();
+        assert!(!clone.is_exhausted());
+        assert!(!handle.is_cancelled());
+        handle.cancel();
+        assert!(handle.is_cancelled());
+        assert!(b.is_exhausted());
+        assert!(clone.is_exhausted());
+    }
+
+    #[test]
+    fn deadline_at_instant() {
+        let b = Budget::with_deadline_at(Instant::now());
+        assert!(b.is_exhausted());
+    }
+}

@@ -85,17 +85,28 @@ impl std::fmt::Display for CoreError {
         match self {
             CoreError::EmptyPipeline => write!(f, "pipeline must contain at least one stage"),
             CoreError::EmptyPlatform => write!(f, "platform must contain at least one processor"),
-            CoreError::DimensionMismatch { what, expected, actual } => {
+            CoreError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => {
                 write!(f, "{what}: expected length {expected}, got {actual}")
             }
             CoreError::InvalidValue { what, value } => {
                 write!(f, "invalid value for {what}: {value}")
             }
-            CoreError::InvalidInterval { start, end, n_stages } => {
+            CoreError::InvalidInterval {
+                start,
+                end,
+                n_stages,
+            } => {
                 write!(f, "invalid interval [{start}, {end}] for {n_stages} stages")
             }
             CoreError::NonContiguousIntervals { at } => {
-                write!(f, "interval list is not a contiguous partition (at interval {at})")
+                write!(
+                    f,
+                    "interval list is not a contiguous partition (at interval {at})"
+                )
             }
             CoreError::EmptyAllocation { interval } => {
                 write!(f, "interval {interval} has an empty processor allocation")
@@ -104,7 +115,10 @@ impl std::fmt::Display for CoreError {
                 write!(f, "processor {proc} is allocated to more than one interval")
             }
             CoreError::ProcOutOfRange { proc, n_procs } => {
-                write!(f, "processor id {proc} out of range (platform has {n_procs})")
+                write!(
+                    f,
+                    "processor id {proc} out of range (platform has {n_procs})"
+                )
             }
             CoreError::NotCommHomogeneous => {
                 write!(f, "operation requires a communication-homogeneous platform")
@@ -128,9 +142,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CoreError::DimensionMismatch { what: "works", expected: 3, actual: 2 };
+        let e = CoreError::DimensionMismatch {
+            what: "works",
+            expected: 3,
+            actual: 2,
+        };
         assert_eq!(e.to_string(), "works: expected length 3, got 2");
-        let e = CoreError::Infeasible { reason: "latency threshold too small".into() };
+        let e = CoreError::Infeasible {
+            reason: "latency threshold too small".into(),
+        };
         assert!(e.to_string().contains("latency threshold"));
     }
 

@@ -39,7 +39,11 @@ impl IntervalPartitions {
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "no partitions of an empty pipeline");
         assert!(n <= 64, "partition enumeration supports at most 64 stages");
-        IntervalPartitions { n, next_mask: 0, exhausted: false }
+        IntervalPartitions {
+            n,
+            next_mask: 0,
+            exhausted: false,
+        }
     }
 }
 
@@ -66,7 +70,11 @@ impl Iterator for IntervalPartitions {
             return None;
         }
         let item = mask_to_intervals(self.n, self.next_mask);
-        let limit = if self.n == 1 { 0 } else { (1u64 << (self.n - 1)) - 1 };
+        let limit = if self.n == 1 {
+            0
+        } else {
+            (1u64 << (self.n - 1)) - 1
+        };
         if self.next_mask >= limit {
             self.exhausted = true;
         } else {
@@ -101,11 +109,17 @@ impl PartitionsWithParts {
     #[must_use]
     pub fn new(n: usize, p: usize) -> Self {
         if p == 0 || p > n {
-            return PartitionsWithParts { n, boundaries: None };
+            return PartitionsWithParts {
+                n,
+                boundaries: None,
+            };
         }
         // First combination: boundaries after stages 0, 1, …, p−2.
         let boundaries = (0..p - 1).collect();
-        PartitionsWithParts { n, boundaries: Some(boundaries) }
+        PartitionsWithParts {
+            n,
+            boundaries: Some(boundaries),
+        }
     }
 }
 
@@ -170,8 +184,9 @@ mod tests {
 
     #[test]
     fn n3_partitions_are_exactly_the_four() {
-        let all: Vec<Vec<(usize, usize)>> =
-            IntervalPartitions::new(3).map(|ivs| flatten(&ivs)).collect();
+        let all: Vec<Vec<(usize, usize)>> = IntervalPartitions::new(3)
+            .map(|ivs| flatten(&ivs))
+            .collect();
         assert_eq!(
             all,
             vec![
@@ -242,8 +257,9 @@ mod tests {
                     .filter(|ivs| ivs.len() == p)
                     .map(|ivs| flatten(&ivs))
                     .collect();
-                let mut direct: Vec<Vec<(usize, usize)>> =
-                    PartitionsWithParts::new(n, p).map(|ivs| flatten(&ivs)).collect();
+                let mut direct: Vec<Vec<(usize, usize)>> = PartitionsWithParts::new(n, p)
+                    .map(|ivs| flatten(&ivs))
+                    .collect();
                 let mut filtered_sorted = filtered.clone();
                 filtered_sorted.sort();
                 direct.sort();

@@ -52,7 +52,9 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod budget;
 pub mod error;
+pub mod hash;
 pub mod intervals;
 pub mod mapping;
 pub mod metrics;
@@ -62,19 +64,22 @@ pub mod platform;
 pub mod stage;
 pub mod throughput;
 
+pub use budget::{Budget, CancelHandle};
 pub use error::{CoreError, Result};
+pub use hash::{CanonicalDigest, CanonicalHasher};
 pub use mapping::{GeneralMapping, Interval, IntervalMapping, OneToOneMapping};
 pub use metrics::{
-    failure_probability, general_latency, latency, latency_eq1, latency_eq2,
-    latency_eq2_breakdown, log_success_probability, one_to_one_latency, reliability,
-    LatencyBreakdown,
+    failure_probability, general_latency, latency, latency_eq1, latency_eq2, latency_eq2_breakdown,
+    log_success_probability, one_to_one_latency, reliability, LatencyBreakdown,
 };
 pub use platform::{FailureClass, Platform, PlatformBuilder, PlatformClass, ProcId, Vertex};
 pub use stage::{Pipeline, PipelineBuilder, Stage};
 
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
+    pub use crate::budget::{Budget, CancelHandle};
     pub use crate::error::{CoreError, Result};
+    pub use crate::hash::{CanonicalDigest, CanonicalHasher};
     pub use crate::intervals::{count_partitions, IntervalPartitions, PartitionsWithParts};
     pub use crate::mapping::{GeneralMapping, Interval, IntervalMapping, OneToOneMapping};
     pub use crate::metrics::{

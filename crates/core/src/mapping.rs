@@ -33,7 +33,11 @@ impl Interval {
     /// [`CoreError::InvalidInterval`] when `start > end`.
     pub fn new(start: usize, end: usize) -> Result<Self> {
         if start > end {
-            return Err(CoreError::InvalidInterval { start, end, n_stages: 0 });
+            return Err(CoreError::InvalidInterval {
+                start,
+                end,
+                n_stages: 0,
+            });
         }
         Ok(Interval { start, end })
     }
@@ -42,7 +46,10 @@ impl Interval {
     #[inline]
     #[must_use]
     pub fn singleton(stage: usize) -> Self {
-        Interval { start: stage, end: stage }
+        Interval {
+            start: stage,
+            end: stage,
+        }
     }
 
     /// First stage (inclusive).
@@ -142,7 +149,9 @@ impl IntervalMapping {
             expected_start = iv.end + 1;
         }
         if expected_start != n_stages {
-            return Err(CoreError::NonContiguousIntervals { at: intervals.len() - 1 });
+            return Err(CoreError::NonContiguousIntervals {
+                at: intervals.len() - 1,
+            });
         }
         let mut seen = vec![false; n_procs];
         let mut alloc_sorted = Vec::with_capacity(alloc.len());
@@ -155,7 +164,10 @@ impl IntervalMapping {
             procs.dedup();
             for &p in &procs {
                 if p.index() >= n_procs {
-                    return Err(CoreError::ProcOutOfRange { proc: p.index(), n_procs });
+                    return Err(CoreError::ProcOutOfRange {
+                        proc: p.index(),
+                        n_procs,
+                    });
                 }
                 if seen[p.index()] {
                     return Err(CoreError::OverlappingAllocation { proc: p.index() });
@@ -164,18 +176,17 @@ impl IntervalMapping {
             }
             alloc_sorted.push(procs);
         }
-        Ok(IntervalMapping { intervals, alloc: alloc_sorted })
+        Ok(IntervalMapping {
+            intervals,
+            alloc: alloc_sorted,
+        })
     }
 
     /// The whole pipeline as one interval replicated on `procs`.
     ///
     /// # Errors
     /// Propagates [`IntervalMapping::new`] validation.
-    pub fn single_interval(
-        n_stages: usize,
-        procs: Vec<ProcId>,
-        n_procs: usize,
-    ) -> Result<Self> {
+    pub fn single_interval(n_stages: usize, procs: Vec<ProcId>, n_procs: usize) -> Result<Self> {
         let iv = Interval::new(0, n_stages.saturating_sub(1))?;
         IntervalMapping::new(vec![iv], vec![procs], n_stages, n_procs)
     }
@@ -297,7 +308,10 @@ impl OneToOneMapping {
         let mut seen = vec![false; n_procs];
         for &p in &procs {
             if p.index() >= n_procs {
-                return Err(CoreError::ProcOutOfRange { proc: p.index(), n_procs });
+                return Err(CoreError::ProcOutOfRange {
+                    proc: p.index(),
+                    n_procs,
+                });
             }
             if seen[p.index()] {
                 return Err(CoreError::OverlappingAllocation { proc: p.index() });
@@ -357,7 +371,10 @@ impl GeneralMapping {
         }
         for &p in &procs {
             if p.index() >= n_procs {
-                return Err(CoreError::ProcOutOfRange { proc: p.index(), n_procs });
+                return Err(CoreError::ProcOutOfRange {
+                    proc: p.index(),
+                    n_procs,
+                });
             }
         }
         Ok(GeneralMapping { procs })
@@ -397,7 +414,13 @@ impl GeneralMapping {
                 start = k;
             }
         }
-        out.push((Interval { start, end: self.procs.len() - 1 }, self.procs[self.procs.len() - 1]));
+        out.push((
+            Interval {
+                start,
+                end: self.procs.len() - 1,
+            },
+            self.procs[self.procs.len() - 1],
+        ));
         out
     }
 
@@ -490,33 +513,22 @@ mod tests {
 
     #[test]
     fn rejects_incomplete_cover() {
-        let err = IntervalMapping::new(
-            vec![Interval::new(0, 1).unwrap()],
-            vec![vec![p(0)]],
-            3,
-            2,
-        )
-        .unwrap_err();
+        let err = IntervalMapping::new(vec![Interval::new(0, 1).unwrap()], vec![vec![p(0)]], 3, 2)
+            .unwrap_err();
         assert!(matches!(err, CoreError::NonContiguousIntervals { .. }));
     }
 
     #[test]
     fn rejects_out_of_range_stage() {
-        let err = IntervalMapping::new(
-            vec![Interval::new(0, 3).unwrap()],
-            vec![vec![p(0)]],
-            3,
-            2,
-        )
-        .unwrap_err();
+        let err = IntervalMapping::new(vec![Interval::new(0, 3).unwrap()], vec![vec![p(0)]], 3, 2)
+            .unwrap_err();
         assert!(matches!(err, CoreError::InvalidInterval { .. }));
     }
 
     #[test]
     fn rejects_empty_allocation() {
-        let err =
-            IntervalMapping::new(vec![Interval::new(0, 0).unwrap()], vec![vec![]], 1, 2)
-                .unwrap_err();
+        let err = IntervalMapping::new(vec![Interval::new(0, 0).unwrap()], vec![vec![]], 1, 2)
+            .unwrap_err();
         assert!(matches!(err, CoreError::EmptyAllocation { interval: 0 }));
     }
 
@@ -535,7 +547,13 @@ mod tests {
     #[test]
     fn rejects_out_of_range_proc() {
         let err = IntervalMapping::single_interval(1, vec![p(5)], 2).unwrap_err();
-        assert!(matches!(err, CoreError::ProcOutOfRange { proc: 5, n_procs: 2 }));
+        assert!(matches!(
+            err,
+            CoreError::ProcOutOfRange {
+                proc: 5,
+                n_procs: 2
+            }
+        ));
     }
 
     #[test]
@@ -547,7 +565,10 @@ mod tests {
         ));
         assert!(matches!(
             OneToOneMapping::new(vec![p(0), p(1), p(2)], 2).unwrap_err(),
-            CoreError::TooFewProcessors { needed: 3, available: 2 }
+            CoreError::TooFewProcessors {
+                needed: 3,
+                available: 2
+            }
         ));
     }
 

@@ -34,9 +34,9 @@ use serde::{Deserialize, Serialize};
 pub fn log_success_probability(mapping: &IntervalMapping, platform: &Platform) -> f64 {
     let mut ln_success = 0.0f64;
     for (_, procs) in mapping.iter() {
-        let all_fail = procs
-            .iter()
-            .fold(LogProb::ONE, |acc, &u| acc * LogProb::from_prob(platform.failure_prob(u)));
+        let all_fail = procs.iter().fold(LogProb::ONE, |acc, &u| {
+            acc * LogProb::from_prob(platform.failure_prob(u))
+        });
         ln_success += all_fail.one_minus().ln();
     }
     ln_success
@@ -67,7 +67,9 @@ pub fn latency_eq1(
     pipeline: &Pipeline,
     platform: &Platform,
 ) -> Result<f64> {
-    let b = platform.uniform_bandwidth().ok_or(CoreError::NotCommHomogeneous)?;
+    let b = platform
+        .uniform_bandwidth()
+        .ok_or(CoreError::NotCommHomogeneous)?;
     let terms = mapping.iter().map(|(iv, procs)| {
         let k = procs.len() as f64;
         let input = pipeline.interval_input(iv);
@@ -87,11 +89,7 @@ pub fn latency_eq1(
 ///    + Σ_j max_{u∈alloc(j)} [ (Σ_{i∈I_j} w_i)/s_u + Σ_{v∈next(j)} δ_{e_j}/b_{u,v} ]`
 /// with `next(j) = alloc(j+1)` and `next(p) = {P_out}`.
 #[must_use]
-pub fn latency_eq2(
-    mapping: &IntervalMapping,
-    pipeline: &Pipeline,
-    platform: &Platform,
-) -> f64 {
+pub fn latency_eq2(mapping: &IntervalMapping, pipeline: &Pipeline, platform: &Platform) -> f64 {
     latency_eq2_breakdown(mapping, pipeline, platform).total
 }
 
@@ -158,7 +156,11 @@ pub fn latency_eq2_breakdown(
             } else {
                 platform.comm_time(Vertex::Proc(u), Vertex::Out, out_size)
             };
-            let cost = IntervalCost { bottleneck: u, compute, out_comm };
+            let cost = IntervalCost {
+                bottleneck: u,
+                compute,
+                out_comm,
+            };
             let replace = match &best {
                 None => true,
                 Some(b) => (compute + out_comm) > (b.compute + b.out_comm),
@@ -170,9 +172,12 @@ pub fn latency_eq2_breakdown(
         interval_costs.push(best.expect("allocations are non-empty"));
     }
 
-    let total = input_comm
-        + kahan_sum(interval_costs.iter().map(|c| c.compute + c.out_comm));
-    LatencyBreakdown { input_comm, interval_costs, total }
+    let total = input_comm + kahan_sum(interval_costs.iter().map(|c| c.compute + c.out_comm));
+    LatencyBreakdown {
+        input_comm,
+        interval_costs,
+        total,
+    }
 }
 
 /// Latency of a [`OneToOneMapping`] (equation (2) with singleton replicas):
@@ -191,11 +196,7 @@ pub fn one_to_one_latency(
 /// communication is paid only where consecutive stages sit on different
 /// processors; processor reuse across non-consecutive runs is free.
 #[must_use]
-pub fn general_latency(
-    mapping: &GeneralMapping,
-    pipeline: &Pipeline,
-    platform: &Platform,
-) -> f64 {
+pub fn general_latency(mapping: &GeneralMapping, pipeline: &Pipeline, platform: &Platform) -> f64 {
     let n = mapping.n_stages();
     let first = Vertex::Proc(mapping.proc(0));
     let last = Vertex::Proc(mapping.proc(n - 1));
@@ -342,7 +343,10 @@ mod tests {
         let pipe = fig3_pipeline();
         let pf = fig4_platform();
         let m = IntervalMapping::single_interval(2, vec![p(0)], 2).unwrap();
-        assert_eq!(latency_eq1(&m, &pipe, &pf).unwrap_err(), CoreError::NotCommHomogeneous);
+        assert_eq!(
+            latency_eq1(&m, &pipe, &pf).unwrap_err(),
+            CoreError::NotCommHomogeneous
+        );
     }
 
     #[test]

@@ -119,7 +119,9 @@ impl LogProb {
     /// Probability 1 (log 0).
     pub const ONE: LogProb = LogProb { ln: 0.0 };
     /// Probability 0 (log −∞).
-    pub const ZERO: LogProb = LogProb { ln: f64::NEG_INFINITY };
+    pub const ZERO: LogProb = LogProb {
+        ln: f64::NEG_INFINITY,
+    };
 
     /// Wraps a linear-space probability. Values are clamped to `[0, 1]`.
     #[inline]
@@ -188,7 +190,9 @@ impl std::ops::Mul for LogProb {
     #[inline]
     #[allow(clippy::suspicious_arithmetic_impl)] // log-space: mul IS add
     fn mul(self, other: LogProb) -> LogProb {
-        LogProb { ln: self.ln + other.ln }
+        LogProb {
+            ln: self.ln + other.ln,
+        }
     }
 }
 
@@ -264,7 +268,12 @@ mod tests {
 
     #[test]
     fn total_f64_ordering() {
-        let mut v = [TotalF64(3.0), TotalF64(f64::NAN), TotalF64(-1.0), TotalF64(0.0)];
+        let mut v = [
+            TotalF64(3.0),
+            TotalF64(f64::NAN),
+            TotalF64(-1.0),
+            TotalF64(0.0),
+        ];
         v.sort();
         assert_eq!(v[0].0, -1.0);
         assert_eq!(v[1].0, 0.0);

@@ -82,7 +82,11 @@ impl<T> ParetoFront<T> {
     /// evicting dominated incumbents), `false` when an incumbent dominates
     /// or duplicates it.
     pub fn insert(&mut self, latency: f64, failure_prob: f64, payload: T) -> bool {
-        let candidate = ParetoPoint { latency, failure_prob, payload };
+        let candidate = ParetoPoint {
+            latency,
+            failure_prob,
+            payload,
+        };
         for existing in &self.points {
             if existing.dominates(&candidate)
                 || (existing.latency == candidate.latency
@@ -91,7 +95,8 @@ impl<T> ParetoFront<T> {
                 return false;
             }
         }
-        self.points.retain(|existing| !candidate.dominates(existing));
+        self.points
+            .retain(|existing| !candidate.dominates(existing));
         let pos = self
             .points
             .partition_point(|q| q.latency.total_cmp(&candidate.latency).is_lt());
@@ -224,9 +229,21 @@ mod tests {
 
     #[test]
     fn dominance_relation() {
-        let a = ParetoPoint { latency: 1.0, failure_prob: 0.1, payload: () };
-        let b = ParetoPoint { latency: 2.0, failure_prob: 0.1, payload: () };
-        let c = ParetoPoint { latency: 1.0, failure_prob: 0.1, payload: () };
+        let a = ParetoPoint {
+            latency: 1.0,
+            failure_prob: 0.1,
+            payload: (),
+        };
+        let b = ParetoPoint {
+            latency: 2.0,
+            failure_prob: 0.1,
+            payload: (),
+        };
+        let c = ParetoPoint {
+            latency: 1.0,
+            failure_prob: 0.1,
+            payload: (),
+        };
         assert!(a.dominates(&b));
         assert!(!b.dominates(&a));
         assert!(!a.dominates(&c)); // equal points do not dominate
@@ -237,7 +254,9 @@ mod tests {
         // Deterministic pseudo-random stream (LCG) to avoid a rand dep here.
         let mut state = 0x2545F491_4F6CDD1Du64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / ((1u64 << 31) as f64)
         };
         let mut f = ParetoFront::new();
@@ -251,9 +270,7 @@ mod tests {
         assert!(f.invariant_holds());
         // Every offered point is dominated-or-equal by something on the front.
         for &(l, fp) in &all {
-            let covered = f
-                .iter()
-                .any(|q| q.latency <= l && q.failure_prob <= fp);
+            let covered = f.iter().any(|q| q.latency <= l && q.failure_prob <= fp);
             assert!(covered, "({l}, {fp}) not covered");
         }
     }

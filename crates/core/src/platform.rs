@@ -100,14 +100,19 @@ mod inf_as_null {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
     pub fn serialize<S: Serializer>(v: &[f64], s: S) -> Result<S::Ok, S::Error> {
-        let opts: Vec<Option<f64>> =
-            v.iter().map(|&x| if x.is_finite() { Some(x) } else { None }).collect();
+        let opts: Vec<Option<f64>> = v
+            .iter()
+            .map(|&x| if x.is_finite() { Some(x) } else { None })
+            .collect();
         opts.serialize(s)
     }
 
     pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
         let opts: Vec<Option<f64>> = Vec::deserialize(d)?;
-        Ok(opts.into_iter().map(|x| x.unwrap_or(f64::INFINITY)).collect())
+        Ok(opts
+            .into_iter()
+            .map(|x| x.unwrap_or(f64::INFINITY))
+            .collect())
     }
 }
 
@@ -237,7 +242,9 @@ impl Platform {
     pub fn procs_by_speed_desc(&self) -> Vec<ProcId> {
         let mut ids: Vec<ProcId> = self.procs().collect();
         ids.sort_by(|a, b| {
-            self.speed(*b).total_cmp(&self.speed(*a)).then(a.0.cmp(&b.0))
+            self.speed(*b)
+                .total_cmp(&self.speed(*a))
+                .then(a.0.cmp(&b.0))
         });
         ids
     }
@@ -433,12 +440,18 @@ impl PlatformBuilder {
         }
         for &s in &self.speeds {
             if !s.is_finite() || s <= 0.0 {
-                return Err(CoreError::InvalidValue { what: "speed", value: s });
+                return Err(CoreError::InvalidValue {
+                    what: "speed",
+                    value: s,
+                });
             }
         }
         for &fp in &self.failure_probs {
             if !fp.is_finite() || !(0.0..=1.0).contains(&fp) {
-                return Err(CoreError::InvalidValue { what: "failure probability", value: fp });
+                return Err(CoreError::InvalidValue {
+                    what: "failure probability",
+                    value: fp,
+                });
             }
         }
         let n = self.m() + 2;
@@ -450,7 +463,10 @@ impl PlatformBuilder {
                     continue;
                 }
                 if b.is_nan() || b <= 0.0 {
-                    return Err(CoreError::InvalidValue { what: "bandwidth", value: b });
+                    return Err(CoreError::InvalidValue {
+                        what: "bandwidth",
+                        value: b,
+                    });
                 }
             }
         }
@@ -512,7 +528,10 @@ mod tests {
     fn bandwidth_is_symmetric_and_diagonal_infinite() {
         let p0 = Vertex::Proc(ProcId(0));
         let p1 = Vertex::Proc(ProcId(1));
-        let pf = PlatformBuilder::new(2).bandwidth(p0, p1, 5.0).build().unwrap();
+        let pf = PlatformBuilder::new(2)
+            .bandwidth(p0, p1, 5.0)
+            .build()
+            .unwrap();
         assert_eq!(pf.bandwidth(p0, p1), 5.0);
         assert_eq!(pf.bandwidth(p1, p0), 5.0);
         assert_eq!(pf.bandwidth(p0, p0), f64::INFINITY);
@@ -528,10 +547,22 @@ mod tests {
     #[test]
     fn builder_rejects_bad_values() {
         assert!(PlatformBuilder::new(0).build().is_err());
-        assert!(PlatformBuilder::new(1).speed(ProcId(0), 0.0).build().is_err());
-        assert!(PlatformBuilder::new(1).speed(ProcId(0), -1.0).build().is_err());
-        assert!(PlatformBuilder::new(1).failure_prob(ProcId(0), 1.5).build().is_err());
-        assert!(PlatformBuilder::new(1).failure_prob(ProcId(0), -0.1).build().is_err());
+        assert!(PlatformBuilder::new(1)
+            .speed(ProcId(0), 0.0)
+            .build()
+            .is_err());
+        assert!(PlatformBuilder::new(1)
+            .speed(ProcId(0), -1.0)
+            .build()
+            .is_err());
+        assert!(PlatformBuilder::new(1)
+            .failure_prob(ProcId(0), 1.5)
+            .build()
+            .is_err());
+        assert!(PlatformBuilder::new(1)
+            .failure_prob(ProcId(0), -0.1)
+            .build()
+            .is_err());
         assert!(PlatformBuilder::new(2)
             .bandwidth(Vertex::Proc(ProcId(0)), Vertex::Proc(ProcId(1)), 0.0)
             .build()

@@ -62,16 +62,26 @@ impl Pipeline {
         }
         for &w in &works {
             if !w.is_finite() || w < 0.0 {
-                return Err(CoreError::InvalidValue { what: "stage work", value: w });
+                return Err(CoreError::InvalidValue {
+                    what: "stage work",
+                    value: w,
+                });
             }
         }
         for &d in &deltas {
             if !d.is_finite() || d < 0.0 {
-                return Err(CoreError::InvalidValue { what: "data size", value: d });
+                return Err(CoreError::InvalidValue {
+                    what: "data size",
+                    value: d,
+                });
             }
         }
         let work_prefix = prefix_sums(&works);
-        Ok(Pipeline { deltas, works, work_prefix })
+        Ok(Pipeline {
+            deltas,
+            works,
+            work_prefix,
+        })
     }
 
     /// A pipeline whose `n` stages all have work `w` and whose `n + 1` data
@@ -210,7 +220,10 @@ impl PipelineBuilder {
     /// Starts a pipeline whose first stage will read `δ_0 = input_size`.
     #[must_use]
     pub fn with_input_size(input_size: f64) -> Self {
-        PipelineBuilder { input_size, stages: Vec::new() }
+        PipelineBuilder {
+            input_size,
+            stages: Vec::new(),
+        }
     }
 
     /// Appends a stage computing `work` and emitting `output_size` bytes.
@@ -274,7 +287,10 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(Pipeline::new(vec![], vec![1.0]), Err(CoreError::EmptyPipeline));
+        assert_eq!(
+            Pipeline::new(vec![], vec![1.0]),
+            Err(CoreError::EmptyPipeline)
+        );
     }
 
     #[test]
@@ -287,11 +303,17 @@ mod tests {
     fn rejects_negative_and_nonfinite() {
         assert!(matches!(
             Pipeline::new(vec![-1.0], vec![0.0, 0.0]).unwrap_err(),
-            CoreError::InvalidValue { what: "stage work", .. }
+            CoreError::InvalidValue {
+                what: "stage work",
+                ..
+            }
         ));
         assert!(matches!(
             Pipeline::new(vec![1.0], vec![f64::NAN, 0.0]).unwrap_err(),
-            CoreError::InvalidValue { what: "data size", .. }
+            CoreError::InvalidValue {
+                what: "data size",
+                ..
+            }
         ));
         assert!(matches!(
             Pipeline::new(vec![f64::INFINITY], vec![0.0, 0.0]).unwrap_err(),
@@ -346,8 +368,10 @@ mod tests {
 
     #[test]
     fn builder_push_and_len() {
-        let b = PipelineBuilder::with_input_size(1.0)
-            .push(Stage { work: 1.0, output_size: 2.0 });
+        let b = PipelineBuilder::with_input_size(1.0).push(Stage {
+            work: 1.0,
+            output_size: 2.0,
+        });
         assert_eq!(b.len(), 1);
         assert!(!b.is_empty());
         assert!(b.build().is_ok());

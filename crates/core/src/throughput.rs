@@ -34,12 +34,10 @@ use crate::stage::Pipeline;
 ///
 /// # Errors
 /// [`CoreError::NotCommHomogeneous`] when link bandwidths differ.
-pub fn period(
-    mapping: &IntervalMapping,
-    pipeline: &Pipeline,
-    platform: &Platform,
-) -> Result<f64> {
-    let b = platform.uniform_bandwidth().ok_or(CoreError::NotCommHomogeneous)?;
+pub fn period(mapping: &IntervalMapping, pipeline: &Pipeline, platform: &Platform) -> Result<f64> {
+    let b = platform
+        .uniform_bandwidth()
+        .ok_or(CoreError::NotCommHomogeneous)?;
     let p = mapping.n_intervals();
 
     // P_in must push k_1 copies of δ0 every period.
@@ -49,7 +47,11 @@ pub fn period(
         let iv = mapping.interval(j);
         let recv = pipeline.interval_input(iv) / b;
         let out_size = pipeline.interval_output(iv);
-        let k_next = if j + 1 < p { mapping.replication(j + 1) as f64 } else { 1.0 };
+        let k_next = if j + 1 < p {
+            mapping.replication(j + 1) as f64
+        } else {
+            1.0
+        };
         let send = k_next * out_size / b;
         for &u in mapping.alloc(j) {
             let cycle = recv + pipeline.interval_work(iv) / platform.speed(u) + send;
@@ -139,7 +141,10 @@ mod tests {
             .build()
             .unwrap();
         let m = IntervalMapping::single_interval(1, vec![p(0)], 2).unwrap();
-        assert_eq!(period(&m, &pipe, &pf).unwrap_err(), CoreError::NotCommHomogeneous);
+        assert_eq!(
+            period(&m, &pipe, &pf).unwrap_err(),
+            CoreError::NotCommHomogeneous
+        );
     }
 
     #[test]
@@ -147,8 +152,7 @@ mod tests {
         // The period charges each resource once; the latency sums the whole
         // chain, so period ≤ latency always holds on comm-homog platforms.
         let pipe = Pipeline::new(vec![3.0, 5.0, 2.0], vec![4.0, 1.0, 6.0, 2.0]).unwrap();
-        let pf =
-            Platform::comm_homogeneous(vec![1.0, 2.0, 4.0], 2.0, vec![0.1, 0.2, 0.3]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 2.0, 4.0], 2.0, vec![0.1, 0.2, 0.3]).unwrap();
         let m = IntervalMapping::new(
             vec![Interval::new(0, 1).unwrap(), Interval::new(2, 2).unwrap()],
             vec![vec![p(0), p(1)], vec![p(2)]],

@@ -25,21 +25,33 @@ impl PipelineGen {
     /// Balanced preset: work and communication of comparable magnitude.
     #[must_use]
     pub fn balanced(n: usize) -> Self {
-        PipelineGen { n, work_range: (1.0, 100.0), delta_range: (1.0, 100.0) }
+        PipelineGen {
+            n,
+            work_range: (1.0, 100.0),
+            delta_range: (1.0, 100.0),
+        }
     }
 
     /// Compute-heavy preset: splitting into intervals is rarely worthwhile,
     /// replication is cheap.
     #[must_use]
     pub fn compute_heavy(n: usize) -> Self {
-        PipelineGen { n, work_range: (100.0, 1000.0), delta_range: (1.0, 10.0) }
+        PipelineGen {
+            n,
+            work_range: (100.0, 1000.0),
+            delta_range: (1.0, 10.0),
+        }
     }
 
     /// Communication-heavy preset: replication costs dominate, Figure 3/4
     /// style splits pay off.
     #[must_use]
     pub fn comm_heavy(n: usize) -> Self {
-        PipelineGen { n, work_range: (1.0, 10.0), delta_range: (100.0, 1000.0) }
+        PipelineGen {
+            n,
+            work_range: (1.0, 10.0),
+            delta_range: (100.0, 1000.0),
+        }
     }
 
     /// Draws one pipeline.
@@ -49,8 +61,9 @@ impl PipelineGen {
     #[must_use]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Pipeline {
         assert!(self.n >= 1, "pipeline must have at least one stage");
-        let works: Vec<f64> =
-            (0..self.n).map(|_| rng.gen_range(self.work_range.0..=self.work_range.1)).collect();
+        let works: Vec<f64> = (0..self.n)
+            .map(|_| rng.gen_range(self.work_range.0..=self.work_range.1))
+            .collect();
         let deltas: Vec<f64> = (0..=self.n)
             .map(|_| rng.gen_range(self.delta_range.0..=self.delta_range.1))
             .collect();
@@ -111,7 +124,11 @@ mod tests {
 
     #[test]
     fn sample_respects_ranges() {
-        let spec = PipelineGen { n: 10, work_range: (5.0, 6.0), delta_range: (1.0, 2.0) };
+        let spec = PipelineGen {
+            n: 10,
+            work_range: (5.0, 6.0),
+            delta_range: (1.0, 2.0),
+        };
         let mut rng = StdRng::seed_from_u64(42);
         let p = spec.sample(&mut rng);
         assert_eq!(p.n_stages(), 10);
@@ -143,8 +160,9 @@ mod tests {
         assert_eq!(p.input_size(), 768.0);
         assert_eq!(p.output_size(), 48.0);
         // DCT is the compute spike.
-        let max_stage =
-            (0..7).max_by(|&a, &b| p.work(a).total_cmp(&p.work(b))).unwrap();
+        let max_stage = (0..7)
+            .max_by(|&a, &b| p.work(a).total_cmp(&p.work(b)))
+            .unwrap();
         assert_eq!(max_stage, 3);
         // Data size is monotonically non-increasing after subsampling.
         for i in 3..7 {

@@ -6,9 +6,7 @@
 //! tables (DESIGN.md §4 documents this substitution).
 
 use rand::Rng;
-use rpwf_core::platform::{
-    FailureClass, Platform, PlatformBuilder, PlatformClass, ProcId, Vertex,
-};
+use rpwf_core::platform::{FailureClass, Platform, PlatformBuilder, PlatformClass, ProcId, Vertex};
 use serde::{Deserialize, Serialize};
 
 /// Parametric random-platform specification.
@@ -57,7 +55,9 @@ impl PlatformGen {
             PlatformClass::FullyHomogeneous => {
                 vec![rng.gen_range(self.speed_range.0..=self.speed_range.1); m]
             }
-            _ => (0..m).map(|_| rng.gen_range(self.speed_range.0..=self.speed_range.1)).collect(),
+            _ => (0..m)
+                .map(|_| rng.gen_range(self.speed_range.0..=self.speed_range.1))
+                .collect(),
         };
 
         let fps: Vec<f64> = match self.failure_class {
@@ -119,7 +119,11 @@ pub fn cluster_of_clusters(
     let m = clusters * per_cluster;
     let mut builder = PlatformBuilder::new(m);
     for c in 0..clusters {
-        let (s, fp) = if c % 2 == 0 { (speeds.0, fps.0) } else { (speeds.1, fps.1) };
+        let (s, fp) = if c % 2 == 0 {
+            (speeds.0, fps.0)
+        } else {
+            (speeds.1, fps.1)
+        };
         for k in 0..per_cluster {
             let pid = ProcId::new(c * per_cluster + k);
             builder = builder.speed(pid, s).failure_prob(pid, fp);
@@ -226,7 +230,10 @@ mod tests {
 
     #[test]
     fn figure_platforms_classify_as_in_the_paper() {
-        assert_eq!(figure4_platform().class(), PlatformClass::FullyHeterogeneous);
+        assert_eq!(
+            figure4_platform().class(),
+            PlatformClass::FullyHeterogeneous
+        );
         let f5 = figure5_platform();
         assert_eq!(f5.class(), PlatformClass::CommHomogeneous);
         assert_eq!(f5.failure_class(), FailureClass::Heterogeneous);

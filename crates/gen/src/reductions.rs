@@ -46,7 +46,12 @@ impl TspInstance {
                 costs[j][i] = c;
             }
         }
-        TspInstance { n, costs, source: 0, tail: n - 1 }
+        TspInstance {
+            n,
+            costs,
+            source: 0,
+            tail: n - 1,
+        }
     }
 
     /// Cost of a Hamiltonian path given as a vertex sequence.
@@ -66,8 +71,9 @@ impl TspInstance {
     /// (`n ≲ 10`).
     #[must_use]
     pub fn brute_force_best_path(&self) -> (Vec<usize>, f64) {
-        let middle: Vec<usize> =
-            (0..self.n).filter(|&v| v != self.source && v != self.tail).collect();
+        let middle: Vec<usize> = (0..self.n)
+            .filter(|&v| v != self.source && v != self.tail)
+            .collect();
         let mut best_cost = f64::INFINITY;
         let mut best_path = Vec::new();
         permute(&middle, &mut |perm| {
@@ -247,7 +253,12 @@ mod tests {
         set(&mut costs, 0, 2, 1.0);
         set(&mut costs, 2, 1, 1.0);
         set(&mut costs, 1, 3, 1.0);
-        let t = TspInstance { n: 4, costs, source: 0, tail: 3 };
+        let t = TspInstance {
+            n: 4,
+            costs,
+            source: 0,
+            tail: 3,
+        };
         let (path, cost) = t.brute_force_best_path();
         assert_eq!(cost, 3.0);
         assert_eq!(path, vec![0, 2, 1, 3]);
@@ -259,7 +270,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..20 {
             let inst = TwoPartitionInstance::with_planted_solution(5, 50, &mut rng);
-            let witness = inst.solve().expect("planted instance must be a yes-instance");
+            let witness = inst
+                .solve()
+                .expect("planted instance must be a yes-instance");
             assert!(inst.check_witness(&witness));
         }
     }
@@ -304,7 +317,9 @@ mod tests {
 
     #[test]
     fn witness_checker_rejects_bad_subsets() {
-        let inst = TwoPartitionInstance { values: vec![2, 2, 4] };
+        let inst = TwoPartitionInstance {
+            values: vec![2, 2, 4],
+        };
         assert!(inst.check_witness(&[2])); // {4} vs {2,2}
         assert!(!inst.check_witness(&[0])); // sums 2 != 4
         assert!(!inst.check_witness(&[0, 0])); // duplicate index

@@ -1,0 +1,231 @@
+//! Sharded, content-addressed LRU solution cache.
+//!
+//! Keys are 128-bit canonical digests of `(command, instance, objective)`
+//! (see [`crate::protocol::Command::cache_key`]); values are the already
+//! serialized result tree plus the solver metadata needed to replay the
+//! response. Sharding by the key's low bits keeps lock contention
+//! negligible under concurrent workers; each shard is a small
+//! `HashMap` with recency ticks and evicts its least-recently-used entry
+//! when full (linear scan — shards are small by construction).
+
+use serde::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A cached result: the response payload and how it was produced.
+#[derive(Clone, Debug)]
+pub struct CachedResult {
+    /// Serialized result tree (replayed verbatim into responses, so a hit
+    /// is byte-identical to the original result).
+    pub result: Value,
+    /// Solver that produced it (`exact`/`heuristic`), when applicable.
+    pub solver: Option<String>,
+    /// Whether the exact solver completed.
+    pub exact_complete: Option<bool>,
+}
+
+struct Entry {
+    value: CachedResult,
+    tick: u64,
+}
+
+struct Shard {
+    map: HashMap<u128, Entry>,
+    clock: u64,
+}
+
+/// Aggregate cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Evictions to stay under capacity.
+    pub evictions: u64,
+    /// Live entries across shards.
+    pub entries: usize,
+}
+
+/// The sharded LRU cache.
+pub struct SolutionCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SolutionCache {
+    /// A cache of roughly `capacity` entries across `shards` shards.
+    /// Zero `capacity` disables caching (every lookup misses).
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, 1024);
+        let per_shard_capacity = capacity.div_ceil(shards);
+        SolutionCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Shard count.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<Shard> {
+        // Low bits of the FNV digest are well mixed.
+        &self.shards[(key as usize) % self.shards.len()]
+    }
+
+    /// Looks up a key, refreshing its recency on hit.
+    #[must_use]
+    pub fn get(&self, key: u128) -> Option<CachedResult> {
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        shard.clock += 1;
+        let tick = shard.clock;
+        match shard.map.get_mut(&key) {
+            Some(entry) => {
+                entry.tick = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a key, evicting the shard's LRU entry when
+    /// full. No-op when the cache has zero capacity.
+    pub fn insert(&self, key: u128, value: CachedResult) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        shard.clock += 1;
+        let tick = shard.clock;
+        if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
+            if let Some((&lru, _)) = shard.map.iter().min_by_key(|(_, e)| e.tick) {
+                shard.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(key, Entry { value, tick });
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard lock").map.len())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(tag: i64) -> CachedResult {
+        CachedResult {
+            result: Value::Int(tag),
+            solver: None,
+            exact_complete: None,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = SolutionCache::new(8, 2);
+        assert!(cache.get(1).is_none());
+        cache.insert(1, value(10));
+        let got = cache.get(1).expect("hit");
+        assert_eq!(got.result, Value::Int(10));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_shard() {
+        // One shard, capacity 2: touching `a` keeps it alive, `b` dies.
+        let cache = SolutionCache::new(2, 1);
+        cache.insert(1, value(1));
+        cache.insert(2, value(2));
+        let _ = cache.get(1);
+        cache.insert(3, value(3));
+        assert!(cache.get(1).is_some(), "recently used must survive");
+        assert!(cache.get(2).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = SolutionCache::new(0, 4);
+        cache.insert(9, value(9));
+        assert!(cache.get(9).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let cache = SolutionCache::new(64, 8);
+        for k in 0u128..64 {
+            cache.insert(k, value(k as i64));
+        }
+        assert_eq!(cache.stats().entries, 64);
+        for k in 0u128..64 {
+            assert!(cache.get(k).is_some(), "key {k} must be present");
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(SolutionCache::new(128, 8));
+        std::thread::scope(|s| {
+            for t in 0..8u128 {
+                let cache = std::sync::Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..200u128 {
+                        let key = t * 1000 + (i % 50);
+                        cache.insert(key, value(i as i64));
+                        let _ = cache.get(key);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert!(stats.hits > 0);
+        assert!(stats.entries <= cache.capacity());
+    }
+}

@@ -1,0 +1,58 @@
+//! # rpwf-server — the solver service
+//!
+//! A long-lived, concurrent serving layer over the `rpwf` solvers: a
+//! JSON-lines request/response protocol served over TCP (`std::net`) or
+//! stdin, a fixed worker pool fed by an MPMC channel, per-request
+//! deadlines with cooperative cancellation threaded into the exponential
+//! solvers, **portfolio racing** (the heuristic portfolio races the
+//! strongest applicable exact solver; see
+//! [`rpwf_algo::heuristics::Portfolio::race`]), and a sharded
+//! content-addressed LRU solution cache keyed by a canonical hash of
+//! `(instance, objective)`.
+//!
+//! ## Layers
+//!
+//! * [`protocol`] — wire types: [`Request`]/[`Response`], commands,
+//!   structured errors (`timeout`/`infeasible`/`invalid`/`internal`),
+//! * [`cache`] — the sharded LRU [`cache::SolutionCache`],
+//! * [`service`] — transport-independent dispatch
+//!   ([`service::SolverService`]) and the [`service::WorkerPool`],
+//! * [`server`] — the TCP listener ([`Server`]) and
+//!   [`server::serve_stdin`].
+//!
+//! ## Quick example (in-process)
+//!
+//! ```
+//! use rpwf_server::protocol::{Command, Request};
+//! use rpwf_server::service::{ServiceConfig, SolverService};
+//! use rpwf_algo::Objective;
+//!
+//! let service = SolverService::new(ServiceConfig::default());
+//! let response = service.handle(
+//!     Request {
+//!         id: Some(1),
+//!         deadline_ms: Some(1_000),
+//!         no_cache: None,
+//!         cmd: Command::Solve {
+//!             pipeline: rpwf_gen::figure5_pipeline(),
+//!             platform: rpwf_gen::figure5_platform(),
+//!             objective: Objective::MinFpUnderLatency(22.0),
+//!         },
+//!     },
+//!     std::time::Instant::now(),
+//! );
+//! assert_eq!(response.status, "ok");
+//! assert_eq!(response.meta.solver.as_deref(), Some("exact"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use protocol::{Command, Request, Response};
+pub use server::{serve_stdin, Server};
+pub use service::{ServiceConfig, SolverService, WorkerPool};

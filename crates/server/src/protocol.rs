@@ -1,0 +1,419 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request per line, one response per line, in any order (responses
+//! carry the request's `id`). Shapes:
+//!
+//! ```json
+//! {"id": 7, "deadline_ms": 250, "cmd": {"Solve": {
+//!     "pipeline": {...}, "platform": {...},
+//!     "objective": {"MinFpUnderLatency": 22.0}}}}
+//! ```
+//!
+//! ```json
+//! {"id": 7, "status": "ok", "result": {"Solve": {...}},
+//!  "meta": {"cache_hit": false, "solver": "exact",
+//!           "exact_complete": true, "elapsed_us": 1234}}
+//! ```
+//!
+//! Errors are structured: `{"status": "error", "error": {"kind":
+//! "timeout", "message": "..."}}` with kinds `timeout`, `infeasible`,
+//! `invalid`, and `internal`.
+
+use rpwf_algo::Objective;
+use rpwf_core::hash::{CanonicalDigest, CanonicalHasher};
+use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::platform::Platform;
+use rpwf_core::stage::Pipeline;
+use serde::{Deserialize, Serialize, Value};
+
+/// A single request line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: Option<u64>,
+    /// Deadline in milliseconds, measured from request receipt. The
+    /// exact solvers and Monte Carlo poll it cooperatively and unwind at
+    /// expiry; the best answer produced so far (or a `timeout` error) is
+    /// returned. The heuristic portfolio does not poll yet (it is
+    /// bounded polynomial work; see ROADMAP "Budgeted heuristics"), so
+    /// responses may overshoot the deadline by one heuristic pass.
+    pub deadline_ms: Option<u64>,
+    /// Opt out of the solution cache for this request.
+    pub no_cache: Option<bool>,
+    /// The command to execute.
+    pub cmd: Command,
+}
+
+/// The operations the service answers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Command {
+    /// Liveness check.
+    Ping,
+    /// Threshold solve (portfolio racing the exact solver).
+    Solve {
+        /// The application.
+        pipeline: Pipeline,
+        /// The platform.
+        platform: Platform,
+        /// The threshold objective.
+        objective: Objective,
+    },
+    /// Exact bi-objective Pareto front.
+    Pareto {
+        /// The application.
+        pipeline: Pipeline,
+        /// The platform.
+        platform: Platform,
+    },
+    /// Monte Carlo validation of the min-FP mapping.
+    Simulate {
+        /// The application.
+        pipeline: Pipeline,
+        /// The platform.
+        platform: Platform,
+        /// Trial count (default 10 000).
+        trials: Option<usize>,
+    },
+    /// Generate a random instance.
+    Gen {
+        /// Platform class tag (`fh`, `ch`, `het`).
+        class: String,
+        /// Failure class tag (`hom`, `het`).
+        failure: String,
+        /// Stages.
+        n: usize,
+        /// Processors.
+        m: usize,
+        /// Seed.
+        seed: u64,
+    },
+    /// Service counters (workers, cache hits/misses/evictions).
+    Stats,
+}
+
+impl Command {
+    /// Stable name for logs and metrics.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Ping => "ping",
+            Command::Solve { .. } => "solve",
+            Command::Pareto { .. } => "pareto",
+            Command::Simulate { .. } => "simulate",
+            Command::Gen { .. } => "gen",
+            Command::Stats => "stats",
+        }
+    }
+
+    /// Canonical content key for the solution cache; `None` for commands
+    /// that are not worth caching (`Ping`, `Gen`, `Stats`).
+    #[must_use]
+    pub fn cache_key(&self) -> Option<u128> {
+        let mut hasher = CanonicalHasher::new();
+        match self {
+            Command::Solve {
+                pipeline,
+                platform,
+                objective,
+            } => {
+                hasher.write_str("solve");
+                pipeline.digest(&mut hasher);
+                platform.digest(&mut hasher);
+                match *objective {
+                    Objective::MinFpUnderLatency(l) => {
+                        hasher.write_str("min-fp");
+                        hasher.write_f64(l);
+                    }
+                    Objective::MinLatencyUnderFp(f) => {
+                        hasher.write_str("min-lat");
+                        hasher.write_f64(f);
+                    }
+                }
+            }
+            Command::Pareto { pipeline, platform } => {
+                hasher.write_str("pareto");
+                pipeline.digest(&mut hasher);
+                platform.digest(&mut hasher);
+            }
+            Command::Simulate {
+                pipeline,
+                platform,
+                trials,
+            } => {
+                hasher.write_str("simulate");
+                pipeline.digest(&mut hasher);
+                platform.digest(&mut hasher);
+                hasher.write_u64(trials.unwrap_or(10_000) as u64);
+            }
+            Command::Ping | Command::Gen { .. } | Command::Stats => return None,
+        }
+        Some(hasher.finish())
+    }
+}
+
+/// Error kinds a response can carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The deadline expired before any answer was produced.
+    Timeout,
+    /// The instance has no feasible solution for the objective.
+    Infeasible,
+    /// The request was malformed or unsupported for the instance.
+    Invalid,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Infeasible => "infeasible",
+            ErrorKind::Invalid => "invalid",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// Structured error payload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// One of `timeout`, `infeasible`, `invalid`, `internal`.
+    pub kind: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Per-response metadata.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Meta {
+    /// Whether the result came from the solution cache.
+    pub cache_hit: bool,
+    /// Which solver produced the result (`exact`/`heuristic`), when
+    /// applicable.
+    pub solver: Option<String>,
+    /// Whether the exact solver completed (result proven optimal), when
+    /// applicable.
+    pub exact_complete: Option<bool>,
+    /// Wall-clock handling time in microseconds (for cache hits: the
+    /// lookup time, not the original compute time).
+    pub elapsed_us: u64,
+}
+
+/// A single response line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// `"ok"` or `"error"`.
+    pub status: String,
+    /// The result payload (shape depends on the command), for `ok`.
+    pub result: Option<Value>,
+    /// The error payload, for `error`.
+    pub error: Option<WireError>,
+    /// Handling metadata.
+    pub meta: Meta,
+}
+
+impl Response {
+    /// An `ok` response.
+    #[must_use]
+    pub fn ok(id: Option<u64>, result: Value, meta: Meta) -> Self {
+        Response {
+            id,
+            status: "ok".into(),
+            result: Some(result),
+            error: None,
+            meta,
+        }
+    }
+
+    /// An `error` response.
+    #[must_use]
+    pub fn error(id: Option<u64>, kind: ErrorKind, message: impl Into<String>, meta: Meta) -> Self {
+        Response {
+            id,
+            status: "error".into(),
+            result: None,
+            error: Some(WireError {
+                kind: kind.name().into(),
+                message: message.into(),
+            }),
+            meta,
+        }
+    }
+
+    /// Serializes to one wire line (compact JSON, no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("responses always serialize")
+    }
+}
+
+/// `Solve` result payload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SolveResult {
+    /// The winning mapping.
+    pub mapping: IntervalMapping,
+    /// Human-readable mapping.
+    pub mapping_display: String,
+    /// Worst-case latency of the mapping.
+    pub latency: f64,
+    /// Failure probability of the mapping.
+    pub failure_prob: f64,
+}
+
+/// One Pareto point on the wire.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParetoPointOut {
+    /// Worst-case latency.
+    pub latency: f64,
+    /// Failure probability.
+    pub failure_prob: f64,
+    /// The achieving mapping, rendered.
+    pub mapping_display: String,
+}
+
+/// `Pareto` result payload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParetoResult {
+    /// Non-dominated points by increasing latency.
+    pub points: Vec<ParetoPointOut>,
+    /// Whether the front is exact (`false`: budget cut the sweep short,
+    /// the points are a sound under-approximation).
+    pub complete: bool,
+}
+
+/// `Simulate` result payload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimulateResult {
+    /// The mapping validated (Theorem 1 min-FP mapping), rendered.
+    pub mapping_display: String,
+    /// Analytic failure probability.
+    pub analytic_fp: f64,
+    /// Monte Carlo failure rate.
+    pub mc_failure_rate: f64,
+    /// Wilson 95% interval on the success rate.
+    pub wilson95: (f64, f64),
+    /// Trials run.
+    pub trials: usize,
+    /// Observed latency minimum.
+    pub latency_min: f64,
+    /// Observed latency mean.
+    pub latency_mean: f64,
+    /// Observed latency maximum.
+    pub latency_max: f64,
+}
+
+/// `Gen` result payload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GenResult {
+    /// The generated application.
+    pub pipeline: Pipeline,
+    /// The generated platform.
+    pub platform: Platform,
+}
+
+/// Cache counters inside [`StatsResult`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheStatsOut {
+    /// Shard count.
+    pub shards: usize,
+    /// Total capacity across shards.
+    pub capacity: usize,
+    /// Live entries.
+    pub entries: usize,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Evictions to stay under capacity.
+    pub evictions: u64,
+}
+
+/// `Stats` result payload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StatsResult {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Requests handled so far.
+    pub requests: u64,
+    /// Cache counters.
+    pub cache: CacheStatsOut,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_instance() -> (Pipeline, Platform) {
+        let pipeline = Pipeline::new(vec![1.0, 2.0], vec![1.0, 1.0, 1.0]).expect("valid");
+        let platform =
+            Platform::comm_homogeneous(vec![1.0, 2.0], 1.0, vec![0.2, 0.3]).expect("valid");
+        (pipeline, platform)
+    }
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let (pipeline, platform) = tiny_instance();
+        let req = Request {
+            id: Some(42),
+            deadline_ms: Some(100),
+            no_cache: None,
+            cmd: Command::Solve {
+                pipeline,
+                platform,
+                objective: Objective::MinFpUnderLatency(22.0),
+            },
+        };
+        let line = serde_json::to_string(&req).expect("serializes");
+        let parsed: Request = serde_json::from_str(&line).expect("parses");
+        assert_eq!(parsed.id, Some(42));
+        assert_eq!(parsed.deadline_ms, Some(100));
+        assert_eq!(parsed.cmd.name(), "solve");
+    }
+
+    #[test]
+    fn cache_key_is_content_addressed() {
+        let (pipeline, platform) = tiny_instance();
+        let key = |l: f64| {
+            Command::Solve {
+                pipeline: pipeline.clone(),
+                platform: platform.clone(),
+                objective: Objective::MinFpUnderLatency(l),
+            }
+            .cache_key()
+            .expect("solve is cacheable")
+        };
+        assert_eq!(key(22.0), key(22.0));
+        assert_ne!(key(22.0), key(23.0));
+        let pareto = Command::Pareto {
+            pipeline: pipeline.clone(),
+            platform: platform.clone(),
+        }
+        .cache_key()
+        .expect("pareto is cacheable");
+        assert_ne!(key(22.0), pareto);
+        assert_eq!(Command::Ping.cache_key(), None);
+        assert_eq!(Command::Stats.cache_key(), None);
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let meta = Meta {
+            cache_hit: false,
+            solver: None,
+            exact_complete: None,
+            elapsed_us: 5,
+        };
+        let resp = Response::error(Some(3), ErrorKind::Timeout, "deadline expired", meta);
+        let line = resp.to_line();
+        assert!(line.contains("\"status\":\"error\""), "{line}");
+        assert!(line.contains("\"kind\":\"timeout\""), "{line}");
+        let parsed: Response = serde_json::from_str(&line).expect("parses");
+        assert_eq!(parsed.error.expect("error body").kind, "timeout");
+        assert_eq!(parsed.id, Some(3));
+    }
+}

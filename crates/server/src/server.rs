@@ -1,0 +1,237 @@
+//! Transports: a TCP JSON-lines listener and a stdin/stdout loop.
+//!
+//! Each TCP connection gets a reader thread (parsing lines, enqueueing
+//! jobs on the shared worker pool) and a writer thread (draining that
+//! connection's response channel). Responses may interleave across
+//! requests of one connection — clients correlate by `id`. All
+//! connections share one worker pool, so a single client cannot starve
+//! the service by opening many connections.
+
+use crate::service::{ServiceConfig, SolverService, WorkerPool};
+use crossbeam::channel;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A running TCP solver server.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    pool: Arc<WorkerPool>,
+}
+
+impl Server {
+    /// Binds `addr` (`port 0` picks a free port) and starts accepting.
+    ///
+    /// # Errors
+    /// Propagates socket errors from binding.
+    pub fn bind(addr: &str, config: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let service = Arc::new(SolverService::new(config));
+        let pool = Arc::new(WorkerPool::new(service));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_pool = Arc::clone(&pool);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("rpwf-accept".into())
+            .spawn(move || {
+                while !accept_shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let pool = Arc::clone(&accept_pool);
+                            std::thread::Builder::new()
+                                .name("rpwf-conn".into())
+                                .spawn(move || serve_connection(&stream, &pool))
+                                .expect("spawn connection thread");
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                        Err(e) => {
+                            // Transient accept errors (EMFILE, ECONNABORTED,
+                            // EINTR, …) must not kill the listener: back off
+                            // and keep accepting. Shutdown still exits via
+                            // the loop condition.
+                            eprintln!("rpwf-server: accept error (retrying): {e}");
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                        }
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            pool,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared service (e.g. for in-process inspection in tests).
+    #[must_use]
+    pub fn service(&self) -> &Arc<SolverService> {
+        self.pool.service()
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// In-flight connections finish their current requests.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reader half of one connection: parse lines, enqueue, forward
+/// responses through a per-connection channel to the writer half.
+fn serve_connection(stream: &TcpStream, pool: &Arc<WorkerPool>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = channel::unbounded::<String>();
+
+    let writer_thread = std::thread::Builder::new()
+        .name("rpwf-conn-writer".into())
+        .spawn(move || {
+            let mut out = std::io::BufWriter::new(write_half);
+            while let Ok(line) = rx.recv() {
+                if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+                    break;
+                }
+                if out.flush().is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn connection writer");
+
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let received = Instant::now();
+        let tx = tx.clone();
+        pool.submit(
+            line,
+            received,
+            Box::new(move |response| {
+                let _ = tx.send(response);
+            }),
+        );
+    }
+    // Reader done: once in-flight jobs reply, the channel disconnects and
+    // the writer exits.
+    drop(tx);
+    let _ = writer_thread.join();
+}
+
+/// Serves requests from stdin to stdout, one response line per request
+/// line, in input order. Returns when stdin closes.
+pub fn serve_stdin(config: ServiceConfig) {
+    let service = SolverService::new(config);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(&line, Instant::now());
+        if writeln!(out, "{response}").is_err() {
+            break;
+        }
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Command, Request, Response};
+
+    fn request_line(id: u64, cmd: Command) -> String {
+        serde_json::to_string(&Request {
+            id: Some(id),
+            deadline_ms: None,
+            no_cache: None,
+            cmd,
+        })
+        .expect("serializes")
+    }
+
+    #[test]
+    fn tcp_roundtrip_ping() {
+        let mut server = Server::bind(
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        writeln!(stream, "{}", request_line(1, Command::Ping)).expect("send");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        let resp: Response = serde_json::from_str(line.trim()).expect("parses");
+        assert_eq!(resp.status, "ok");
+        assert_eq!(resp.id, Some(1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_requests_one_connection() {
+        let mut server = Server::bind(
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for id in 0..8 {
+            writeln!(stream, "{}", request_line(id, Command::Ping)).expect("send");
+        }
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            let resp: Response = serde_json::from_str(line.trim()).expect("parses");
+            assert_eq!(resp.status, "ok");
+            seen.insert(resp.id.expect("id echoed"));
+        }
+        assert_eq!(seen.len(), 8, "every request answered exactly once");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,724 @@
+//! The solver engine behind every transport: request dispatch, per-request
+//! deadlines, portfolio racing, the solution cache, and the fixed worker
+//! pool that executes requests concurrently.
+
+use crate::cache::{CachedResult, SolutionCache};
+use crate::protocol::{
+    CacheStatsOut, Command, ErrorKind, GenResult, Meta, ParetoPointOut, ParetoResult, Request,
+    Response, SimulateResult, SolveResult, StatsResult,
+};
+use crossbeam::channel::{self, Sender};
+use rpwf_algo::exact::{pareto_front_comm_homog_with_budget, Exhaustive};
+use rpwf_algo::heuristics::Portfolio;
+use rpwf_core::budget::Budget;
+use rpwf_core::pareto::ParetoFront;
+use rpwf_core::platform::{FailureClass, PlatformClass};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool (0 = available parallelism).
+    pub workers: usize,
+    /// Solution-cache entries across all shards (0 disables caching).
+    pub cache_capacity: usize,
+    /// Cache shards.
+    pub cache_shards: usize,
+    /// Seed for the heuristic portfolio (fixed ⇒ deterministic answers).
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            cache_capacity: 4096,
+            cache_shards: 16,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The effective worker count (resolving 0 to the hardware).
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// The transport-independent solver service.
+pub struct SolverService {
+    config: ServiceConfig,
+    cache: SolutionCache,
+    requests: AtomicU64,
+}
+
+impl SolverService {
+    /// Builds a service.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        let cache = SolutionCache::new(config.cache_capacity, config.cache_shards);
+        SolverService {
+            config,
+            cache,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Parses and handles one request line received at `received`,
+    /// producing one response line (no trailing newline).
+    #[must_use]
+    pub fn handle_line(&self, line: &str, received: Instant) -> String {
+        let start = Instant::now();
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Response::error(
+                None,
+                ErrorKind::Invalid,
+                "empty request line",
+                meta_plain(start),
+            )
+            .to_line();
+        }
+        match serde_json::from_str::<Request>(trimmed) {
+            Ok(request) => self.handle(request, received).to_line(),
+            Err(e) => Response::error(
+                None,
+                ErrorKind::Invalid,
+                format!("malformed request: {e}"),
+                meta_plain(start),
+            )
+            .to_line(),
+        }
+    }
+
+    /// Handles one parsed request. Panics anywhere in the handling path
+    /// (including instance hashing — serde does not re-validate model
+    /// invariants, so a structurally broken instance can panic deep in
+    /// solver or digest code) are caught and reported as `internal`
+    /// errors so a malformed instance cannot take a worker down.
+    #[must_use]
+    pub fn handle(&self, request: Request, received: Instant) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let id = request.id;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.handle_inner(request, received, start)
+        }));
+        match outcome {
+            Ok(response) => response,
+            Err(panic) => Response::error(
+                id,
+                ErrorKind::Internal,
+                format!("request handling panicked: {}", panic_message(&panic)),
+                meta_plain(start),
+            ),
+        }
+    }
+
+    fn handle_inner(&self, request: Request, received: Instant, start: Instant) -> Response {
+        let id = request.id;
+        let budget = match request.deadline_ms {
+            Some(ms) => Budget::with_deadline_at(received + Duration::from_millis(ms)),
+            None => Budget::unlimited(),
+        };
+
+        // Cache lookup (content-addressed; Ping/Gen/Stats are not cached).
+        let use_cache = !request.no_cache.unwrap_or(false);
+        let key = if use_cache {
+            request.cmd.cache_key()
+        } else {
+            None
+        };
+        if let Some(key) = key {
+            if let Some(hit) = self.cache.get(key) {
+                return Response::ok(
+                    id,
+                    hit.result,
+                    Meta {
+                        cache_hit: true,
+                        solver: hit.solver,
+                        exact_complete: hit.exact_complete,
+                        elapsed_us: elapsed_us(start),
+                    },
+                );
+            }
+        }
+
+        // A request whose budget is already gone gets a structured
+        // timeout instead of a doomed solve (cheap commands still run).
+        let expensive = matches!(
+            request.cmd,
+            Command::Solve { .. } | Command::Pareto { .. } | Command::Simulate { .. }
+        );
+        if budget.is_exhausted() && expensive {
+            return Response::error(
+                id,
+                ErrorKind::Timeout,
+                "deadline expired before solving started",
+                meta_plain(start),
+            );
+        }
+
+        match self.dispatch(request.cmd, &budget) {
+            Ok(done) => {
+                if let (Some(key), true) = (key, done.cacheable) {
+                    self.cache.insert(
+                        key,
+                        CachedResult {
+                            result: done.result.clone(),
+                            solver: done.solver.clone(),
+                            exact_complete: done.exact_complete,
+                        },
+                    );
+                }
+                Response::ok(
+                    id,
+                    done.result,
+                    Meta {
+                        cache_hit: false,
+                        solver: done.solver,
+                        exact_complete: done.exact_complete,
+                        elapsed_us: elapsed_us(start),
+                    },
+                )
+            }
+            Err((kind, message)) => Response::error(id, kind, message, meta_plain(start)),
+        }
+    }
+
+    fn dispatch(&self, cmd: Command, budget: &Budget) -> DispatchResult {
+        match cmd {
+            Command::Ping => Ok(Done::plain(serde::Value::Str("pong".into()))),
+            Command::Stats => {
+                let cache = self.cache.stats();
+                Ok(Done::plain(
+                    StatsResult {
+                        workers: self.config.effective_workers(),
+                        requests: self.requests.load(Ordering::Relaxed),
+                        cache: CacheStatsOut {
+                            shards: self.cache.shard_count(),
+                            capacity: self.cache.capacity(),
+                            entries: cache.entries,
+                            hits: cache.hits,
+                            misses: cache.misses,
+                            evictions: cache.evictions,
+                        },
+                    }
+                    .to_value(),
+                ))
+            }
+            Command::Gen {
+                class,
+                failure,
+                n,
+                m,
+                seed,
+            } => {
+                let class = match class.as_str() {
+                    "fh" => PlatformClass::FullyHomogeneous,
+                    "ch" => PlatformClass::CommHomogeneous,
+                    "het" => PlatformClass::FullyHeterogeneous,
+                    other => {
+                        return Err((
+                            ErrorKind::Invalid,
+                            format!("class must be fh|ch|het, got {other:?}"),
+                        ))
+                    }
+                };
+                let failure = match failure.as_str() {
+                    "hom" => FailureClass::Homogeneous,
+                    "het" => FailureClass::Heterogeneous,
+                    other => {
+                        return Err((
+                            ErrorKind::Invalid,
+                            format!("failure must be hom|het, got {other:?}"),
+                        ))
+                    }
+                };
+                if n == 0 || m == 0 || n > 64 || m > 64 {
+                    return Err((
+                        ErrorKind::Invalid,
+                        format!("gen size out of range: n={n}, m={m}"),
+                    ));
+                }
+                let inst = rpwf_gen::make_instance(class, failure, n, m, seed);
+                Ok(Done::plain(
+                    GenResult {
+                        pipeline: inst.pipeline,
+                        platform: inst.platform,
+                    }
+                    .to_value(),
+                ))
+            }
+            Command::Solve {
+                pipeline,
+                platform,
+                objective,
+            } => {
+                let pipeline = pipeline.with_rebuilt_cache();
+                let report =
+                    Portfolio::new(self.config.seed).race(&pipeline, &platform, objective, budget);
+                match report.best {
+                    Some(sol) => Ok(Done {
+                        result: SolveResult {
+                            mapping_display: sol.mapping.to_string(),
+                            mapping: sol.mapping,
+                            latency: sol.latency,
+                            failure_prob: sol.failure_prob,
+                        }
+                        .to_value(),
+                        solver: Some(report.solver.name().into()),
+                        exact_complete: Some(report.exact_complete),
+                        // Cutoff answers may be beaten by a rerun with more
+                        // budget; never let them poison the cache.
+                        cacheable: report.exact_complete || !report.exact_attempted,
+                    }),
+                    None if report.exact_complete => Err((
+                        ErrorKind::Infeasible,
+                        format!("no mapping satisfies {objective:?}"),
+                    )),
+                    None if budget.is_exhausted() => Err((
+                        ErrorKind::Timeout,
+                        "deadline expired before any feasible solution was found".into(),
+                    )),
+                    None => Err((
+                        ErrorKind::Infeasible,
+                        format!(
+                            "no feasible solution found for {objective:?} \
+                             (heuristic search; not a proof of infeasibility)"
+                        ),
+                    )),
+                }
+            }
+            Command::Pareto { pipeline, platform } => {
+                let pipeline = pipeline.with_rebuilt_cache();
+                let m = platform.n_procs();
+                let (front, complete): (ParetoFront<_>, bool) =
+                    if platform.uniform_bandwidth().is_some() && m <= 16 {
+                        let outcome =
+                            pareto_front_comm_homog_with_budget(&pipeline, &platform, budget)
+                                .expect("uniform bandwidth checked");
+                        let complete = outcome.is_complete();
+                        (outcome.into_inner(), complete)
+                    } else if m <= 6 {
+                        let outcome =
+                            Exhaustive::new(&pipeline, &platform).pareto_front_with_budget(budget);
+                        let complete = outcome.is_complete();
+                        (outcome.into_inner(), complete)
+                    } else {
+                        return Err((
+                            ErrorKind::Invalid,
+                            "exact Pareto front needs comm-homogeneous links (m ≤ 16) \
+                             or m ≤ 6"
+                                .into(),
+                        ));
+                    };
+                if front.is_empty() && !complete {
+                    return Err((
+                        ErrorKind::Timeout,
+                        "deadline expired before any Pareto point was found".into(),
+                    ));
+                }
+                Ok(Done {
+                    result: ParetoResult {
+                        points: front
+                            .iter()
+                            .map(|pt| ParetoPointOut {
+                                latency: pt.latency,
+                                failure_prob: pt.failure_prob,
+                                mapping_display: pt.payload.to_string(),
+                            })
+                            .collect(),
+                        complete,
+                    }
+                    .to_value(),
+                    solver: Some("exact".into()),
+                    exact_complete: Some(complete),
+                    cacheable: complete,
+                })
+            }
+            Command::Simulate {
+                pipeline,
+                platform,
+                trials,
+            } => {
+                let pipeline = pipeline.with_rebuilt_cache();
+                let trials = trials.unwrap_or(10_000).clamp(1, 10_000_000);
+                let safest = rpwf_algo::mono::minimize_failure(&pipeline, &platform);
+                let mc = rpwf_sim::MonteCarlo {
+                    trials,
+                    ..Default::default()
+                };
+                let (report, complete) =
+                    mc.run_with_budget(&pipeline, &platform, &safest.mapping, budget);
+                if report.trials == 0 {
+                    return Err((
+                        ErrorKind::Timeout,
+                        "deadline expired before any Monte Carlo trial ran".into(),
+                    ));
+                }
+                Ok(Done {
+                    result: SimulateResult {
+                        mapping_display: safest.mapping.to_string(),
+                        analytic_fp: safest.failure_prob,
+                        mc_failure_rate: 1.0 - report.success_rate,
+                        wilson95: report.wilson95,
+                        trials: report.trials,
+                        latency_min: report.latency.min,
+                        latency_mean: report.latency.mean,
+                        latency_max: report.latency.max,
+                    }
+                    .to_value(),
+                    solver: Some("exact".into()),
+                    exact_complete: Some(complete),
+                    // A cut-off sample is a valid but smaller estimate;
+                    // never cache it in place of the full run.
+                    cacheable: complete,
+                })
+            }
+        }
+    }
+}
+
+/// Successful dispatch payload plus caching/metadata decisions.
+struct Done {
+    result: serde::Value,
+    solver: Option<String>,
+    exact_complete: Option<bool>,
+    cacheable: bool,
+}
+
+impl Done {
+    fn plain(result: serde::Value) -> Self {
+        Done {
+            result,
+            solver: None,
+            exact_complete: None,
+            cacheable: false,
+        }
+    }
+}
+
+type DispatchResult = Result<Done, (ErrorKind, String)>;
+
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn meta_plain(start: Instant) -> Meta {
+    Meta {
+        cache_hit: false,
+        solver: None,
+        exact_complete: None,
+        elapsed_us: elapsed_us(start),
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".into()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// One queued request: the raw line, its receipt time (deadlines count
+/// from here, including queue wait), and where to deliver the response.
+pub struct Job {
+    /// Raw request line.
+    pub line: String,
+    /// Receipt instant.
+    pub received: Instant,
+    /// Response consumer.
+    pub respond: Box<dyn FnOnce(String) + Send>,
+}
+
+/// A fixed pool of solver workers fed by an MPMC channel.
+pub struct WorkerPool {
+    service: Arc<SolverService>,
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `service.config().effective_workers()` workers.
+    #[must_use]
+    pub fn new(service: Arc<SolverService>) -> Self {
+        let count = service.config().effective_workers().max(1);
+        let (tx, rx) = channel::unbounded::<Job>();
+        let workers = (0..count)
+            .map(|i| {
+                let rx = rx.clone();
+                let service = Arc::clone(&service);
+                std::thread::Builder::new()
+                    .name(format!("rpwf-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let line = service.handle_line(&job.line, job.received);
+                            (job.respond)(line);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            service,
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// The shared service.
+    #[must_use]
+    pub fn service(&self) -> &Arc<SolverService> {
+        &self.service
+    }
+
+    /// Enqueues a request line; the response is passed to `respond` on a
+    /// worker thread.
+    pub fn submit(&self, line: String, received: Instant, respond: Box<dyn FnOnce(String) + Send>) {
+        let job = Job {
+            line,
+            received,
+            respond,
+        };
+        assert!(
+            self.tx
+                .as_ref()
+                .expect("pool alive while not dropped")
+                .send(job)
+                .is_ok(),
+            "workers outlive the pool handle"
+        );
+    }
+
+    /// Handles a batch of lines concurrently, returning responses in
+    /// input order.
+    #[must_use]
+    pub fn submit_batch(&self, lines: Vec<String>) -> Vec<String> {
+        let received = Instant::now();
+        let n = lines.len();
+        let (tx, rx) = channel::unbounded::<(usize, String)>();
+        for (i, line) in lines.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.submit(
+                line,
+                received,
+                Box::new(move |resp| {
+                    let _ = tx.send((i, resp));
+                }),
+            );
+        }
+        drop(tx);
+        let mut out: Vec<String> = vec![String::new(); n];
+        while let Ok((i, resp)) = rx.recv() {
+            out[i] = resp;
+        }
+        out
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect the channel, then wait for in-flight work.
+        self.tx = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpwf_algo::Objective;
+    use rpwf_core::platform::Platform;
+    use rpwf_core::stage::Pipeline;
+
+    fn service() -> SolverService {
+        SolverService::new(ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        })
+    }
+
+    fn solve_request(id: u64, latency_bound: f64) -> Request {
+        Request {
+            id: Some(id),
+            deadline_ms: None,
+            no_cache: None,
+            cmd: Command::Solve {
+                pipeline: rpwf_gen::figure5_pipeline(),
+                platform: rpwf_gen::figure5_platform(),
+                objective: Objective::MinFpUnderLatency(latency_bound),
+            },
+        }
+    }
+
+    #[test]
+    fn ping_pongs() {
+        let svc = service();
+        let resp = svc.handle(
+            Request {
+                id: Some(1),
+                deadline_ms: None,
+                no_cache: None,
+                cmd: Command::Ping,
+            },
+            Instant::now(),
+        );
+        assert_eq!(resp.status, "ok");
+        assert_eq!(resp.result, Some(serde::Value::Str("pong".into())));
+    }
+
+    #[test]
+    fn solve_figure5_is_exact_and_cached_on_repeat() {
+        let svc = service();
+        let first = svc.handle(solve_request(1, 22.0), Instant::now());
+        assert_eq!(first.status, "ok", "{:?}", first.error);
+        assert!(!first.meta.cache_hit);
+        assert_eq!(first.meta.solver.as_deref(), Some("exact"));
+        assert_eq!(first.meta.exact_complete, Some(true));
+
+        let second = svc.handle(solve_request(2, 22.0), Instant::now());
+        assert_eq!(second.status, "ok");
+        assert!(
+            second.meta.cache_hit,
+            "identical request must hit the cache"
+        );
+        // Byte-identical result payload.
+        assert_eq!(
+            serde_json::to_string(&first.result).unwrap(),
+            serde_json::to_string(&second.result).unwrap()
+        );
+    }
+
+    #[test]
+    fn expired_deadline_yields_structured_timeout() {
+        let svc = service();
+        let mut req = solve_request(9, 22.0);
+        req.deadline_ms = Some(0);
+        // Received "long ago" relative to a 0 ms deadline.
+        let resp = svc.handle(req, Instant::now() - Duration::from_millis(5));
+        assert_eq!(resp.status, "error");
+        let err = resp.error.expect("error body");
+        assert_eq!(err.kind, "timeout");
+    }
+
+    #[test]
+    fn infeasible_is_reported_as_such() {
+        let svc = service();
+        let req = Request {
+            id: None,
+            deadline_ms: None,
+            no_cache: None,
+            cmd: Command::Solve {
+                pipeline: Pipeline::uniform(2, 100.0, 100.0).unwrap(),
+                platform: Platform::fully_homogeneous(3, 1.0, 1.0, 0.9).unwrap(),
+                objective: Objective::MinFpUnderLatency(1.0),
+            },
+        };
+        let resp = svc.handle(req, Instant::now());
+        assert_eq!(resp.status, "error");
+        assert_eq!(resp.error.expect("error body").kind, "infeasible");
+    }
+
+    #[test]
+    fn malformed_line_is_invalid_not_a_crash() {
+        let svc = service();
+        let line = svc.handle_line("{not json", Instant::now());
+        let resp: Response = serde_json::from_str(&line).expect("well-formed response");
+        assert_eq!(resp.status, "error");
+        assert_eq!(resp.error.expect("error body").kind, "invalid");
+    }
+
+    #[test]
+    fn gen_stats_roundtrip() {
+        let svc = service();
+        let gen = svc.handle(
+            Request {
+                id: Some(5),
+                deadline_ms: None,
+                no_cache: None,
+                cmd: Command::Gen {
+                    class: "ch".into(),
+                    failure: "het".into(),
+                    n: 3,
+                    m: 4,
+                    seed: 11,
+                },
+            },
+            Instant::now(),
+        );
+        assert_eq!(gen.status, "ok");
+        let stats = svc.handle(
+            Request {
+                id: Some(6),
+                deadline_ms: None,
+                no_cache: None,
+                cmd: Command::Stats,
+            },
+            Instant::now(),
+        );
+        assert_eq!(stats.status, "ok");
+        let text = serde_json::to_string(&stats.result).unwrap();
+        assert!(text.contains("\"workers\""), "{text}");
+        assert!(text.contains("\"cache\""), "{text}");
+    }
+
+    #[test]
+    fn no_cache_flag_bypasses_the_cache() {
+        let svc = service();
+        let mut req = solve_request(1, 22.0);
+        req.no_cache = Some(true);
+        let _ = svc.handle(req.clone(), Instant::now());
+        let again = svc.handle(req, Instant::now());
+        assert!(!again.meta.cache_hit);
+    }
+
+    #[test]
+    fn pool_answers_batch_in_order() {
+        let svc = Arc::new(service());
+        let pool = WorkerPool::new(svc);
+        let lines: Vec<String> = (0..16)
+            .map(|i| {
+                serde_json::to_string(&Request {
+                    id: Some(i),
+                    deadline_ms: None,
+                    no_cache: None,
+                    cmd: Command::Ping,
+                })
+                .unwrap()
+            })
+            .collect();
+        let out = pool.submit_batch(lines);
+        assert_eq!(out.len(), 16);
+        for (i, line) in out.iter().enumerate() {
+            let resp: Response = serde_json::from_str(line).expect("parses");
+            assert_eq!(resp.id, Some(i as u64), "order preserved");
+            assert_eq!(resp.status, "ok");
+        }
+    }
+}

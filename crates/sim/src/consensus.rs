@@ -61,8 +61,12 @@ pub fn elect_survivor(
     scenario: &FailureScenario,
     j: usize,
 ) -> Option<ProcId> {
-    let alive: Vec<ProcId> =
-        mapping.alloc(j).iter().copied().filter(|&p| scenario.alive(p)).collect();
+    let alive: Vec<ProcId> = mapping
+        .alloc(j)
+        .iter()
+        .copied()
+        .filter(|&p| scenario.alive(p))
+        .collect();
     if alive.is_empty() {
         return None;
     }
@@ -105,11 +109,7 @@ pub enum ServiceOrder {
 /// Produces the ordered receiver list for a hop toward replica set `set`,
 /// given the already-elected survivor of that set.
 #[must_use]
-pub fn service_order(
-    order: ServiceOrder,
-    set: &[ProcId],
-    survivor: Option<ProcId>,
-) -> Vec<ProcId> {
+pub fn service_order(order: ServiceOrder, set: &[ProcId], survivor: Option<ProcId>) -> Vec<ProcId> {
     let mut receivers: Vec<ProcId> = set.to_vec();
     receivers.sort_unstable();
     match (order, survivor) {
@@ -167,18 +167,39 @@ mod tests {
         let (pipe, pf, mapping) = fig5();
         let scenario = FailureScenario::with_dead(11, &[p(1), p(2)]);
         assert_eq!(
-            elect_survivor(SurvivorPolicy::FirstAlive, &mapping, &pipe, &pf, &scenario, 1),
+            elect_survivor(
+                SurvivorPolicy::FirstAlive,
+                &mapping,
+                &pipe,
+                &pf,
+                &scenario,
+                1
+            ),
             Some(p(3))
         );
         // All fast replicas have equal cost; WorstCost tie-breaks to lowest id.
         assert_eq!(
-            elect_survivor(SurvivorPolicy::WorstCost, &mapping, &pipe, &pf, &scenario, 1),
+            elect_survivor(
+                SurvivorPolicy::WorstCost,
+                &mapping,
+                &pipe,
+                &pf,
+                &scenario,
+                1
+            ),
             Some(p(3))
         );
         // Kill everything in interval 1 → None.
         let all_dead = FailureScenario::with_dead(11, &(1..=10).map(p).collect::<Vec<_>>());
         assert_eq!(
-            elect_survivor(SurvivorPolicy::FirstAlive, &mapping, &pipe, &pf, &all_dead, 1),
+            elect_survivor(
+                SurvivorPolicy::FirstAlive,
+                &mapping,
+                &pipe,
+                &pf,
+                &all_dead,
+                1
+            ),
             None
         );
     }
@@ -190,7 +211,14 @@ mod tests {
         let mapping = IntervalMapping::single_interval(1, vec![p(0), p(1)], 2).unwrap();
         let scenario = FailureScenario::all_alive(2);
         assert_eq!(
-            elect_survivor(SurvivorPolicy::WorstCost, &mapping, &pipe, &pf, &scenario, 0),
+            elect_survivor(
+                SurvivorPolicy::WorstCost,
+                &mapping,
+                &pipe,
+                &pf,
+                &scenario,
+                0
+            ),
             Some(p(0)) // slow one
         );
         assert_eq!(
@@ -202,7 +230,10 @@ mod tests {
     #[test]
     fn service_orders() {
         let set = vec![p(5), p(2), p(9)];
-        assert_eq!(service_order(ServiceOrder::ById, &set, Some(p(5))), vec![p(2), p(5), p(9)]);
+        assert_eq!(
+            service_order(ServiceOrder::ById, &set, Some(p(5))),
+            vec![p(2), p(5), p(9)]
+        );
         assert_eq!(
             service_order(ServiceOrder::SurvivorLast, &set, Some(p(5))),
             vec![p(2), p(9), p(5)]
@@ -211,6 +242,9 @@ mod tests {
             service_order(ServiceOrder::SurvivorFirst, &set, Some(p(5))),
             vec![p(5), p(2), p(9)]
         );
-        assert_eq!(service_order(ServiceOrder::SurvivorLast, &set, None), vec![p(2), p(5), p(9)]);
+        assert_eq!(
+            service_order(ServiceOrder::SurvivorLast, &set, None),
+            vec![p(2), p(5), p(9)]
+        );
     }
 }

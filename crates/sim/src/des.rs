@@ -94,7 +94,13 @@ impl<M: Model> Engine<M> {
     /// Wraps a model with an empty queue at time 0.
     #[must_use]
     pub fn new(model: M) -> Self {
-        Engine { model, queue: BinaryHeap::new(), now: 0.0, seq: 0, processed: 0 }
+        Engine {
+            model,
+            queue: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+            processed: 0,
+        }
     }
 
     /// Schedules an initial event from outside the model.
@@ -128,11 +134,18 @@ impl<M: Model> Engine<M> {
         };
         debug_assert!(item.time.0 >= self.now, "time must be monotone");
         self.now = item.time.0;
-        let mut scheduler = Scheduler { pending: Vec::new(), now: self.now };
+        let mut scheduler = Scheduler {
+            pending: Vec::new(),
+            now: self.now,
+        };
         self.model.handle(self.now, item.event, &mut scheduler);
         for (at, prio, ev) in scheduler.pending {
-            self.queue
-                .push(Reverse(Scheduled { time: TotalF64(at), prio, seq: self.seq, event: ev }));
+            self.queue.push(Reverse(Scheduled {
+                time: TotalF64(at),
+                prio,
+                seq: self.seq,
+                event: ev,
+            }));
             self.seq += 1;
         }
         self.processed += 1;
@@ -186,7 +199,10 @@ mod tests {
 
     #[test]
     fn chain_fires_in_order_with_correct_times() {
-        let mut engine = Engine::new(Chain { fired: Vec::new(), cap: 4 });
+        let mut engine = Engine::new(Chain {
+            fired: Vec::new(),
+            cap: 4,
+        });
         engine.schedule(2.0, 0);
         let processed = engine.run_to_completion();
         assert_eq!(processed, 5);
@@ -225,7 +241,10 @@ mod tests {
     #[test]
     fn determinism_across_runs() {
         let run = || {
-            let mut engine = Engine::new(Chain { fired: Vec::new(), cap: 100 });
+            let mut engine = Engine::new(Chain {
+                fired: Vec::new(),
+                cap: 100,
+            });
             engine.schedule(0.0, 0);
             engine.run_to_completion();
             engine.into_model().fired

@@ -24,7 +24,9 @@ impl FailureScenario {
     /// Everyone survives.
     #[must_use]
     pub fn all_alive(m: usize) -> Self {
-        FailureScenario { death_time: vec![f64::INFINITY; m] }
+        FailureScenario {
+            death_time: vec![f64::INFINITY; m],
+        }
     }
 
     /// Exactly the given processors are dead from the start.

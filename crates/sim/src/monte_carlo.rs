@@ -16,6 +16,7 @@ use crate::failure::FailureModel;
 use crate::pipeline::{simulate_one, DatasetOutcome, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rpwf_core::budget::Budget;
 use rpwf_core::mapping::IntervalMapping;
 use rpwf_core::platform::Platform;
 use rpwf_core::stage::Pipeline;
@@ -78,7 +79,12 @@ pub struct LatencyStats {
 
 impl LatencyStats {
     fn empty() -> Self {
-        LatencyStats { count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY, mean: 0.0 }
+        LatencyStats {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            mean: 0.0,
+        }
     }
 
     fn push(&mut self, x: f64) {
@@ -96,8 +102,8 @@ impl LatencyStats {
             return other;
         }
         let total = self.count + other.count;
-        self.mean = (self.mean * self.count as f64 + other.mean * other.count as f64)
-            / total as f64;
+        self.mean =
+            (self.mean * self.count as f64 + other.mean * other.count as f64) / total as f64;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         self.count = total;
@@ -139,6 +145,23 @@ impl MonteCarlo {
         platform: &Platform,
         mapping: &IntervalMapping,
     ) -> McReport {
+        self.run_with_budget(pipeline, platform, mapping, &Budget::unlimited())
+            .0
+    }
+
+    /// Runs the estimation under a deadline/cancellation budget, polled
+    /// every 64 trials per worker. Returns the report over the trials
+    /// actually completed plus a completeness flag; a cut-off report is
+    /// still a valid (smaller-sample) estimate because each trial is
+    /// seeded independently.
+    #[must_use]
+    pub fn run_with_budget(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        mapping: &IntervalMapping,
+        budget: &Budget,
+    ) -> (McReport, bool) {
         let threads = if self.threads == 0 {
             std::thread::available_parallelism()
                 .map_or(1, std::num::NonZeroUsize::get)
@@ -147,22 +170,26 @@ impl MonteCarlo {
             self.threads
         };
         let chunk = self.trials.div_ceil(threads.max(1));
+        let limited = budget.is_limited();
 
-        let mut partials: Vec<Option<(usize, LatencyStats)>> =
+        let mut partials: Vec<Option<(usize, usize, LatencyStats)>> =
             (0..threads).map(|_| None).collect();
         crossbeam::thread::scope(|scope| {
             for (t, slot) in partials.iter_mut().enumerate() {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(self.trials);
                 scope.spawn(move |_| {
+                    let mut attempted = 0usize;
                     let mut successes = 0usize;
                     let mut stats = LatencyStats::empty();
                     for trial in lo..hi {
-                        let mut rng =
-                            StdRng::seed_from_u64(self.seed ^ splitmix64(trial as u64));
+                        if limited && trial & 0x3F == 0 && budget.is_exhausted() {
+                            break;
+                        }
+                        attempted += 1;
+                        let mut rng = StdRng::seed_from_u64(self.seed ^ splitmix64(trial as u64));
                         let scenario = self.model.sample(platform, &mut rng);
-                        match simulate_one(pipeline, platform, mapping, &scenario, self.config)
-                        {
+                        match simulate_one(pipeline, platform, mapping, &scenario, self.config) {
                             DatasetOutcome::Success { latency, .. } => {
                                 successes += 1;
                                 stats.push(latency);
@@ -170,25 +197,28 @@ impl MonteCarlo {
                             DatasetOutcome::Failed { .. } => {}
                         }
                     }
-                    *slot = Some((successes, stats));
+                    *slot = Some((attempted, successes, stats));
                 });
             }
         })
         .expect("monte carlo workers do not panic");
 
+        let mut attempted = 0usize;
         let mut successes = 0usize;
         let mut stats = LatencyStats::empty();
-        for (s, st) in partials.into_iter().flatten() {
+        for (a, s, st) in partials.into_iter().flatten() {
+            attempted += a;
             successes += s;
             stats = stats.merge(st);
         }
-        McReport {
-            trials: self.trials,
+        let report = McReport {
+            trials: attempted,
             successes,
-            success_rate: successes as f64 / self.trials.max(1) as f64,
-            wilson95: wilson95(successes, self.trials),
+            success_rate: successes as f64 / attempted.max(1) as f64,
+            wilson95: wilson95(successes, attempted),
             latency: stats,
-        }
+        };
+        (report, attempted == self.trials)
     }
 }
 
@@ -201,6 +231,41 @@ mod tests {
 
     fn p(i: u32) -> ProcId {
         ProcId(i)
+    }
+
+    #[test]
+    fn budgeted_run_complete_matches_plain_and_cutoff_shrinks_sample() {
+        let pipe = Pipeline::uniform(2, 1.0, 1.0).unwrap();
+        let pf = Platform::fully_homogeneous(2, 1.0, 1.0, 0.3).unwrap();
+        let mapping = IntervalMapping::new(
+            vec![Interval::new(0, 1).unwrap()],
+            vec![vec![p(0), p(1)]],
+            2,
+            2,
+        )
+        .unwrap();
+        let mc = MonteCarlo {
+            trials: 2_000,
+            ..Default::default()
+        };
+        let plain = mc.run(&pipe, &pf, &mapping);
+        let (budgeted, complete) = mc.run_with_budget(&pipe, &pf, &mapping, &Budget::unlimited());
+        assert!(complete);
+        assert_eq!(budgeted, plain);
+        assert_eq!(budgeted.trials, 2_000);
+
+        let (cutoff, complete) = mc.run_with_budget(
+            &pipe,
+            &pf,
+            &mapping,
+            &Budget::with_deadline(std::time::Duration::ZERO),
+        );
+        assert!(!complete);
+        assert!(
+            cutoff.trials < 2_000,
+            "expired budget must shrink the sample"
+        );
+        assert!(cutoff.success_rate >= 0.0 && cutoff.success_rate <= 1.0);
     }
 
     #[test]
@@ -229,7 +294,10 @@ mod tests {
         )
         .unwrap();
         let analytic = 1.0 - failure_probability(&mapping, &pf);
-        let mc = MonteCarlo { trials: 20_000, ..Default::default() };
+        let mc = MonteCarlo {
+            trials: 20_000,
+            ..Default::default()
+        };
         let report = mc.run(&pipe, &pf, &mapping);
         // The analytic value must land inside the 95% Wilson band
         // (seeded run: deterministic, no flakiness).
@@ -252,7 +320,11 @@ mod tests {
         )
         .unwrap();
         let bound = latency(&mapping, &pipe, &pf);
-        let report = MonteCarlo { trials: 5_000, ..Default::default() }.run(&pipe, &pf, &mapping);
+        let report = MonteCarlo {
+            trials: 5_000,
+            ..Default::default()
+        }
+        .run(&pipe, &pf, &mapping);
         assert!(report.latency.max <= bound + 1e-9);
         assert!(report.latency.min > 0.0);
         assert!(report.latency.mean <= report.latency.max);
@@ -262,9 +334,12 @@ mod tests {
     fn deterministic_and_thread_count_invariant() {
         let pipe = rpwf_gen::figure5_pipeline();
         let pf = rpwf_gen::figure5_platform();
-        let mapping =
-            IntervalMapping::single_interval(2, (1..=4).map(p).collect(), 11).unwrap();
-        let base = MonteCarlo { trials: 2_000, seed: 42, ..Default::default() };
+        let mapping = IntervalMapping::single_interval(2, (1..=4).map(p).collect(), 11).unwrap();
+        let base = MonteCarlo {
+            trials: 2_000,
+            seed: 42,
+            ..Default::default()
+        };
         let one = MonteCarlo { threads: 1, ..base }.run(&pipe, &pf, &mapping);
         let four = MonteCarlo { threads: 4, ..base }.run(&pipe, &pf, &mapping);
         assert_eq!(one.successes, four.successes);
@@ -276,7 +351,11 @@ mod tests {
         let pipe = rpwf_gen::figure3_pipeline();
         let pf = Platform::fully_homogeneous(3, 1.0, 1.0, 0.0).unwrap();
         let mapping = IntervalMapping::single_interval(2, vec![p(0), p(1)], 3).unwrap();
-        let report = MonteCarlo { trials: 500, ..Default::default() }.run(&pipe, &pf, &mapping);
+        let report = MonteCarlo {
+            trials: 500,
+            ..Default::default()
+        }
+        .run(&pipe, &pf, &mapping);
         assert_eq!(report.successes, 500);
         assert_eq!(report.success_rate, 1.0);
     }
@@ -286,7 +365,11 @@ mod tests {
         let pipe = rpwf_gen::figure3_pipeline();
         let pf = Platform::fully_homogeneous(2, 1.0, 1.0, 1.0).unwrap();
         let mapping = IntervalMapping::single_interval(2, vec![p(0), p(1)], 2).unwrap();
-        let report = MonteCarlo { trials: 200, ..Default::default() }.run(&pipe, &pf, &mapping);
+        let report = MonteCarlo {
+            trials: 200,
+            ..Default::default()
+        }
+        .run(&pipe, &pf, &mapping);
         assert_eq!(report.successes, 0);
         assert_eq!(report.latency.count, 0);
     }

@@ -137,8 +137,7 @@ impl SimReport {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        self.outcomes.iter().filter(|o| o.is_success()).count() as f64
-            / self.outcomes.len() as f64
+        self.outcomes.iter().filter(|o| o.is_success()).count() as f64 / self.outcomes.len() as f64
     }
 
     /// Maximum latency over successful data sets.
@@ -310,7 +309,11 @@ impl Model for PipelineModel<'_> {
             Event::TryCompute { d, h, r } => {
                 let r_res = r.index();
                 if self.free_at[r_res] > now {
-                    s.schedule_prio(self.free_at[r_res], prio(d, h), Event::TryCompute { d, h, r });
+                    s.schedule_prio(
+                        self.free_at[r_res],
+                        prio(d, h),
+                        Event::TryCompute { d, h, r },
+                    );
                     return;
                 }
                 let dur =
@@ -347,7 +350,16 @@ pub fn simulate(
 ) -> SimReport {
     let p = mapping.n_intervals();
     let survivors: Vec<Option<ProcId>> = (0..p)
-        .map(|j| elect_survivor(config.survivor_policy, mapping, pipeline, platform, scenario, j))
+        .map(|j| {
+            elect_survivor(
+                config.survivor_policy,
+                mapping,
+                pipeline,
+                platform,
+                scenario,
+                j,
+            )
+        })
         .collect();
     let hop_receivers: Vec<Vec<ProcId>> = (0..p)
         .map(|h| service_order(config.service_order, mapping.alloc(h), survivors[h]))
@@ -421,8 +433,7 @@ mod tests {
     fn worst_case_sim_equals_eq2_on_figure5() {
         let (pipe, pf, mapping) = fig5_mapping();
         let scenario = FailureScenario::all_alive(11);
-        let outcome =
-            simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::worst_case());
+        let outcome = simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::worst_case());
         assert_approx_eq!(outcome.latency().unwrap(), 22.0);
         assert_approx_eq!(outcome.latency().unwrap(), latency(&mapping, &pipe, &pf));
     }
@@ -466,8 +477,7 @@ mod tests {
         for dead_count in 0..9usize {
             let dead: Vec<ProcId> = (1..=dead_count as u32).map(p).collect();
             let scenario = FailureScenario::with_dead(11, &dead);
-            let outcome =
-                simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::worst_case());
+            let outcome = simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::worst_case());
             let lat = outcome.latency().expect("interval 2 still has replicas");
             assert!(lat <= bound + 1e-9, "dead={dead_count}: {lat} > {bound}");
         }
@@ -478,8 +488,7 @@ mod tests {
         let (pipe, pf, mapping) = fig5_mapping();
         let all_fast_dead: Vec<ProcId> = (1..=10).map(p).collect();
         let scenario = FailureScenario::with_dead(11, &all_fast_dead);
-        let outcome =
-            simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::default());
+        let outcome = simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::default());
         assert_eq!(outcome, DatasetOutcome::Failed { at_interval: 1 });
         assert!(!outcome.is_success());
         assert_eq!(outcome.latency(), None);
@@ -555,7 +564,11 @@ mod tests {
             SimConfig::worst_case().with_trace(),
             &[0.0; 25],
         );
-        report.trace.expect("requested").check_one_port().expect("one-port invariant");
+        report
+            .trace
+            .expect("requested")
+            .check_one_port()
+            .expect("one-port invariant");
     }
 
     #[test]
@@ -570,7 +583,10 @@ mod tests {
             &[5.0],
         );
         match report.outcomes[0] {
-            DatasetOutcome::Success { latency, completed_at } => {
+            DatasetOutcome::Success {
+                latency,
+                completed_at,
+            } => {
                 assert_approx_eq!(completed_at, 5.0 + latency);
             }
             DatasetOutcome::Failed { .. } => panic!("must succeed"),

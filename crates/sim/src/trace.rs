@@ -42,7 +42,12 @@ impl Trace {
     /// Records one reservation.
     pub fn record(&mut self, resource: usize, start: f64, end: f64, activity: Activity) {
         debug_assert!(end >= start);
-        self.entries.push(BusyInterval { resource, start, end, activity });
+        self.entries.push(BusyInterval {
+            resource,
+            start,
+            end,
+            activity,
+        });
     }
 
     /// Verifies that no resource has two overlapping (positive-length)
@@ -54,7 +59,10 @@ impl Trace {
         let mut by_resource: std::collections::BTreeMap<usize, Vec<(f64, f64, Activity)>> =
             std::collections::BTreeMap::new();
         for e in &self.entries {
-            by_resource.entry(e.resource).or_default().push((e.start, e.end, e.activity));
+            by_resource
+                .entry(e.resource)
+                .or_default()
+                .push((e.start, e.end, e.activity));
         }
         for (res, mut spans) in by_resource {
             spans.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));

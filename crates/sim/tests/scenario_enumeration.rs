@@ -12,8 +12,10 @@ use rpwf_sim::{simulate_one, FailureScenario, SimConfig};
 
 /// All scenarios for `m` processors as bitmasks (bit set = dead).
 fn scenario_from_mask(m: usize, mask: u32) -> FailureScenario {
-    let dead: Vec<ProcId> =
-        (0..m).filter(|&u| mask & (1 << u) != 0).map(ProcId::new).collect();
+    let dead: Vec<ProcId> = (0..m)
+        .filter(|&u| mask & (1 << u) != 0)
+        .map(ProcId::new)
+        .collect();
     FailureScenario::with_dead(m, &dead)
 }
 
@@ -81,8 +83,8 @@ fn simulator_verdict_matches_enumeration_on_every_scenario() {
 
     for mask in 0u32..(1 << 4) {
         let scenario = scenario_from_mask(4, mask);
-        let expected_success = (0..mapping.n_intervals())
-            .all(|j| mapping.alloc(j).iter().any(|&p| scenario.alive(p)));
+        let expected_success =
+            (0..mapping.n_intervals()).all(|j| mapping.alloc(j).iter().any(|&p| scenario.alive(p)));
         let outcome = simulate_one(&pipe, &pf, &mapping, &scenario, SimConfig::worst_case());
         assert_eq!(outcome.is_success(), expected_success, "mask {mask:#b}");
         if let Some(lat) = outcome.latency() {

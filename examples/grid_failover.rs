@@ -6,9 +6,7 @@
 //! ```
 
 use rpwf::prelude::*;
-use rpwf_sim::{
-    simulate, simulate_one, FailureModel, FailureScenario, MonteCarlo, SimConfig,
-};
+use rpwf_sim::{simulate, simulate_one, FailureModel, FailureScenario, MonteCarlo, SimConfig};
 
 fn main() -> Result<()> {
     let pipeline = gen::figure5_pipeline();
@@ -43,8 +41,14 @@ fn main() -> Result<()> {
         &FailureScenario::all_alive(11),
         SimConfig::best_case(),
     );
-    println!("sim latency (adversarial consensus/order) : {:.4}", worst.latency().unwrap());
-    println!("sim latency (friendly consensus/order)    : {:.4}", best.latency().unwrap());
+    println!(
+        "sim latency (adversarial consensus/order) : {:.4}",
+        worst.latency().unwrap()
+    );
+    println!(
+        "sim latency (friendly consensus/order)    : {:.4}",
+        best.latency().unwrap()
+    );
 
     // 2. Failure injection: kill fast replicas one by one; latency stays
     //    under the bound until the interval dies.
@@ -52,8 +56,13 @@ fn main() -> Result<()> {
     for dead in [0usize, 2, 5, 9, 10] {
         let dead_ids: Vec<ProcId> = (1..=dead as u32).map(ProcId).collect();
         let scenario = FailureScenario::with_dead(11, &dead_ids);
-        match simulate_one(&pipeline, &platform, &mapping, &scenario, SimConfig::worst_case())
-        {
+        match simulate_one(
+            &pipeline,
+            &platform,
+            &mapping,
+            &scenario,
+            SimConfig::worst_case(),
+        ) {
             rpwf_sim::DatasetOutcome::Success { latency, .. } => {
                 println!("  {dead:>2} dead : latency {latency:>7.3}  (bound {bound:.3})");
             }
@@ -72,7 +81,10 @@ fn main() -> Result<()> {
     let report = mc.run(&pipeline, &platform, &mapping);
     println!("\nMonte Carlo ({} trials):", report.trials);
     println!("  success rate       : {:.4}", report.success_rate);
-    println!("  Wilson 95% CI      : [{:.4}, {:.4}]", report.wilson95.0, report.wilson95.1);
+    println!(
+        "  Wilson 95% CI      : [{:.4}, {:.4}]",
+        report.wilson95.0, report.wilson95.1
+    );
     println!("  analytic 1 − FP    : {:.4}", 1.0 - analytic_fp);
     println!(
         "  latency (min/mean/max over successes): {:.3} / {:.3} / {:.3}  (bound {bound:.3})",
@@ -93,7 +105,10 @@ fn main() -> Result<()> {
     let times = stream.completion_times();
     let tail_gap = times[times.len() - 1] - times[times.len() - 2];
     println!("\nstreaming 40 data sets:");
-    println!("  analytic period    : {:.4}", period(&mapping, &pipeline, &platform)?);
+    println!(
+        "  analytic period    : {:.4}",
+        period(&mapping, &pipeline, &platform)?
+    );
     println!("  sim inter-departure: {tail_gap:.4}");
     println!("  sim events         : {}", stream.events);
     Ok(())

@@ -11,8 +11,11 @@ use rpwf_algo::heuristics::Portfolio;
 
 fn main() -> Result<()> {
     let pipeline = gen::jpeg_encoder();
-    println!("JPEG encoder pipeline: {} stages, total work {:.0} Mflop",
-        pipeline.n_stages(), pipeline.total_work());
+    println!(
+        "JPEG encoder pipeline: {} stages, total work {:.0} Mflop",
+        pipeline.n_stages(),
+        pipeline.total_work()
+    );
     for k in 0..pipeline.n_stages() {
         println!(
             "  S{}: w = {:>5.1}, out = {:>5.1} KB",
@@ -37,7 +40,10 @@ fn main() -> Result<()> {
     // Exact Pareto front via the bitmask DP (the problem class is the open
     // CH + Failure-Heterogeneous case).
     let front = algo::exact::pareto_front_comm_homog(&pipeline, &platform)?;
-    println!("\nexact latency × FP Pareto front ({} points):", front.len());
+    println!(
+        "\nexact latency × FP Pareto front ({} points):",
+        front.len()
+    );
     println!("  {:>10}  {:>10}  {:>4}  mapping", "latency", "FP", "ivs");
     for pt in front.iter() {
         println!(
@@ -63,11 +69,18 @@ fn main() -> Result<()> {
     // Compare the heuristic portfolio against the exact answer at a tight
     // threshold.
     let objective = Objective::MinFpUnderLatency(160.0);
-    println!("\nheuristics at L ≤ 160 (exact = {:.6}):",
-        front.min_fp_under_latency(160.0).map_or(f64::NAN, |pt| pt.failure_prob));
+    println!(
+        "\nheuristics at L ≤ 160 (exact = {:.6}):",
+        front
+            .min_fp_under_latency(160.0)
+            .map_or(f64::NAN, |pt| pt.failure_prob)
+    );
     for (name, sol) in Portfolio::new(7).run_all(&pipeline, &platform, objective) {
         match sol {
-            Some(s) => println!("  {name:<16} FP {:.6}  latency {:.2}", s.failure_prob, s.latency),
+            Some(s) => println!(
+                "  {name:<16} FP {:.6}  latency {:.2}",
+                s.failure_prob, s.latency
+            ),
             None => println!("  {name:<16} (no feasible solution found)"),
         }
     }

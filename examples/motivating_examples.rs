@@ -25,8 +25,7 @@ fn example_figures_3_and_4() {
     let platform = gen::figure4_platform();
 
     for u in 0..2u32 {
-        let whole =
-            IntervalMapping::single_interval(2, vec![ProcId(u)], 2).expect("valid");
+        let whole = IntervalMapping::single_interval(2, vec![ProcId(u)], 2).expect("valid");
         println!(
             "  whole pipeline on P{u}           : latency {:>7.1}",
             latency(&whole, &pipeline, &platform)
@@ -35,7 +34,10 @@ fn example_figures_3_and_4() {
 
     let (best, lat) = general_mapping_shortest_path(&pipeline, &platform);
     let procs: Vec<String> = best.procs().iter().map(|p| p.to_string()).collect();
-    println!("  Theorem 4 shortest path        : latency {lat:>7.1}   [{}]", procs.join(", "));
+    println!(
+        "  Theorem 4 shortest path        : latency {lat:>7.1}   [{}]",
+        procs.join(", ")
+    );
 
     let oracle = Exhaustive::new(&pipeline, &platform).min_latency();
     println!(

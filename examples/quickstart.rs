@@ -18,12 +18,13 @@ fn main() -> Result<()> {
 
     // A communication-homogeneous cluster: six processors, shared 10-unit
     // links, homogeneous failure probability 0.2.
-    let platform = Platform::comm_homogeneous(
-        vec![4.0, 2.0, 8.0, 1.0, 6.0, 3.0],
-        10.0,
-        vec![0.2; 6],
-    )?;
-    println!("platform class: {:?} / {:?}", platform.class(), platform.failure_class());
+    let platform =
+        Platform::comm_homogeneous(vec![4.0, 2.0, 8.0, 1.0, 6.0, 3.0], 10.0, vec![0.2; 6])?;
+    println!(
+        "platform class: {:?} / {:?}",
+        platform.class(),
+        platform.failure_class()
+    );
 
     // Hand-rolled mapping: stages 1-2 on the two fastest processors
     // (replicated), stages 3-4 on one more.
@@ -34,19 +35,34 @@ fn main() -> Result<()> {
         platform.n_procs(),
     )?;
     println!("\nmanual mapping        : {mapping}");
-    println!("  latency             : {:.3}", latency(&mapping, &pipeline, &platform));
-    println!("  failure probability : {:.4}", failure_probability(&mapping, &platform));
-    println!("  steady-state period : {:.3}", period(&mapping, &pipeline, &platform)?);
+    println!(
+        "  latency             : {:.3}",
+        latency(&mapping, &pipeline, &platform)
+    );
+    println!(
+        "  failure probability : {:.4}",
+        failure_probability(&mapping, &platform)
+    );
+    println!(
+        "  steady-state period : {:.3}",
+        period(&mapping, &pipeline, &platform)?
+    );
 
     // Theorem 1: the most reliable mapping replicates everything everywhere.
     let safest = algo::mono::minimize_failure(&pipeline, &platform);
     println!("\nThm 1 (min FP)        : {}", safest.mapping);
-    println!("  latency {:.3}, FP {:.6}", safest.latency, safest.failure_prob);
+    println!(
+        "  latency {:.3}, FP {:.6}",
+        safest.latency, safest.failure_prob
+    );
 
     // Theorem 2: the fastest mapping uses the single fastest processor.
     let fastest = algo::mono::minimize_latency_comm_homog(&pipeline, &platform)?;
     println!("\nThm 2 (min latency)   : {}", fastest.mapping);
-    println!("  latency {:.3}, FP {:.6}", fastest.latency, fastest.failure_prob);
+    println!(
+        "  latency {:.3}, FP {:.6}",
+        fastest.latency, fastest.failure_prob
+    );
 
     // Algorithm 3 (Theorem 6): minimize FP under a latency budget between
     // the two extremes.
@@ -54,14 +70,20 @@ fn main() -> Result<()> {
     let balanced =
         algo::bicriteria::comm_homog::min_fp_under_latency(&pipeline, &platform, budget)?;
     println!("\nAlg 3 @ L ≤ {budget:.3}  : {}", balanced.mapping);
-    println!("  latency {:.3}, FP {:.6}", balanced.latency, balanced.failure_prob);
+    println!(
+        "  latency {:.3}, FP {:.6}",
+        balanced.latency, balanced.failure_prob
+    );
 
     // The exact Pareto front (bitmask DP) for the full trade-off picture.
     let front = algo::exact::pareto_front_comm_homog(&pipeline, &platform)?;
     println!("\nexact Pareto front ({} points):", front.len());
     println!("  {:>10}  {:>12}  mapping", "latency", "FP");
     for pt in front.iter() {
-        println!("  {:>10.3}  {:>12.6}  {}", pt.latency, pt.failure_prob, pt.payload);
+        println!(
+            "  {:>10.3}  {:>12.6}  {}",
+            pt.latency, pt.failure_prob, pt.payload
+        );
     }
     Ok(())
 }

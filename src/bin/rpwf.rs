@@ -1,8 +1,43 @@
-//! Thin wrapper over [`rpwf::cli`].
+//! Thin wrapper over [`rpwf::cli`]. The TCP server mode is handled here
+//! because it must block on the listener for the process lifetime.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match rpwf::cli::parse_args(&args).and_then(|cmd| rpwf::cli::run(&cmd)) {
+    let command = match rpwf::cli::parse_args(&args) {
+        Ok(command) => command,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    if let rpwf::cli::Command::Serve {
+        addr: Some(addr),
+        workers,
+        cache_capacity,
+    } = &command
+    {
+        let config = rpwf_server::ServiceConfig {
+            workers: *workers,
+            cache_capacity: *cache_capacity,
+            ..Default::default()
+        };
+        match rpwf_server::Server::bind(addr, config) {
+            Ok(server) => {
+                println!("rpwf-server listening on {}", server.local_addr());
+                // Serve until killed.
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+            Err(err) => {
+                eprintln!("error: failed to bind {addr}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    match rpwf::cli::run(&command) {
         Ok(out) => print!("{out}"),
         Err(err) => {
             eprintln!("error: {err}");

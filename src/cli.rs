@@ -8,6 +8,9 @@
 //! rpwf solve inst.json --min-latency-under-fp 0.2
 //! rpwf pareto inst.json
 //! rpwf simulate inst.json --trials 20000
+//! rpwf serve --addr 127.0.0.1:7077 --workers 8             # JSON-lines server
+//! rpwf serve --stdin                                       # serve stdin/stdout
+//! rpwf batch requests.jsonl --workers 8                    # one response per line
 //! ```
 //!
 //! Parsing and execution are plain functions so the logic is unit-tested;
@@ -84,6 +87,23 @@ pub enum Command {
         /// Monte Carlo trials.
         trials: usize,
     },
+    /// Run the JSON-lines solver service.
+    Serve {
+        /// Listen address (`host:port`; port 0 picks a free port).
+        /// `None` serves stdin/stdout instead of TCP.
+        addr: Option<String>,
+        /// Worker threads (0 = available parallelism).
+        workers: usize,
+        /// Solution-cache entries (0 disables).
+        cache_capacity: usize,
+    },
+    /// Answer a file of JSON-lines requests concurrently, in input order.
+    Batch {
+        /// Path to the requests file (one JSON request per line).
+        path: String,
+        /// Worker threads (0 = available parallelism).
+        workers: usize,
+    },
     /// Print usage.
     Help,
 }
@@ -98,7 +118,11 @@ USAGE:
   rpwf solve <instance.json> --min-latency-under-fp <F>
   rpwf pareto <instance.json>
   rpwf simulate <instance.json> [--trials <count>]
+  rpwf serve [--addr <host:port>] [--stdin] [--workers <n>] [--cache-capacity <n>]
+  rpwf batch <requests.jsonl> [--workers <n>]
   rpwf help
+
+The serve/batch protocol is JSON lines; see README.md for the schema.
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -117,6 +141,12 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
     while i < rest.len() {
         let a = rest[i];
         if let Some(key) = a.strip_prefix("--") {
+            // Boolean flags take no value.
+            if key == "stdin" {
+                opts.insert(key.to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
             let value = rest
                 .get(i + 1)
                 .ok_or_else(|| format!("missing value for --{key}"))?;
@@ -133,7 +163,9 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             i += 1;
         }
     }
-    let get_num = |opts: &std::collections::HashMap<String, String>, key: &str| -> std::result::Result<f64, String> {
+    let get_num = |opts: &std::collections::HashMap<String, String>,
+                   key: &str|
+     -> std::result::Result<f64, String> {
         opts.get(key)
             .ok_or_else(|| format!("missing --{key}"))?
             .parse::<f64>()
@@ -161,7 +193,13 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             if n == 0 || m == 0 {
                 return Err("-n and -m must be positive".into());
             }
-            Ok(Command::Gen { class, failure, n, m, seed })
+            Ok(Command::Gen {
+                class,
+                failure,
+                n,
+                m,
+                seed,
+            })
         }
         "solve" => {
             let path = positional
@@ -194,6 +232,40 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             })?;
             Ok(Command::Simulate { path, trials })
         }
+        "serve" => {
+            let stdin = opts.contains_key("stdin");
+            let addr = opts.get("addr").cloned();
+            if stdin && addr.is_some() {
+                return Err("serve takes either --addr or --stdin, not both".into());
+            }
+            let addr = if stdin {
+                None
+            } else {
+                Some(addr.unwrap_or_else(|| "127.0.0.1:7077".into()))
+            };
+            let workers = opts.get("workers").map_or(Ok(0), |s| {
+                s.parse::<usize>().map_err(|e| format!("--workers: {e}"))
+            })?;
+            let cache_capacity = opts.get("cache-capacity").map_or(Ok(4096), |s| {
+                s.parse::<usize>()
+                    .map_err(|e| format!("--cache-capacity: {e}"))
+            })?;
+            Ok(Command::Serve {
+                addr,
+                workers,
+                cache_capacity,
+            })
+        }
+        "batch" => {
+            let path = positional
+                .first()
+                .ok_or_else(|| "batch needs a requests file".to_string())?
+                .clone();
+            let workers = opts.get("workers").map_or(Ok(0), |s| {
+                s.parse::<usize>().map_err(|e| format!("--workers: {e}"))
+            })?;
+            Ok(Command::Batch { path, workers })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command: {other}\n{USAGE}")),
     }
@@ -214,15 +286,67 @@ fn solve_instance(inst: &InstanceFile, objective: Objective) -> Option<rpwf_algo
 
 /// Executes a parsed command against the filesystem, returning stdout text.
 ///
+/// `Serve` with a TCP address never returns here — the binary handles it
+/// (it must block on the listener); `Serve { addr: None }` runs the
+/// stdin/stdout loop to completion.
+///
 /// # Errors
 /// A human-readable message (bad file, infeasible instance, …).
 pub fn run(command: &Command) -> std::result::Result<String, String> {
     use std::fmt::Write as _;
     match command {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Gen { class, failure, n, m, seed } => {
+        Command::Serve {
+            addr: Some(addr), ..
+        } => Err(format!(
+            "serve --addr {addr} must be launched from the rpwf binary"
+        )),
+        Command::Serve {
+            addr: None,
+            workers,
+            cache_capacity,
+        } => {
+            rpwf_server::serve_stdin(rpwf_server::ServiceConfig {
+                workers: *workers,
+                cache_capacity: *cache_capacity,
+                ..Default::default()
+            });
+            Ok(String::new())
+        }
+        Command::Batch { path, workers } => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let lines: Vec<String> = text
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(ToString::to_string)
+                .collect();
+            let service = std::sync::Arc::new(rpwf_server::SolverService::new(
+                rpwf_server::ServiceConfig {
+                    workers: *workers,
+                    ..Default::default()
+                },
+            ));
+            let pool = rpwf_server::WorkerPool::new(service);
+            let responses = pool.submit_batch(lines);
+            let mut out = String::new();
+            for response in responses {
+                writeln!(out, "{response}").expect("write to string");
+            }
+            Ok(out)
+        }
+        Command::Gen {
+            class,
+            failure,
+            n,
+            m,
+            seed,
+        } => {
             let inst = rpwf_gen::make_instance(*class, *failure, *n, *m, *seed);
-            Ok(InstanceFile { pipeline: inst.pipeline, platform: inst.platform }.to_json())
+            Ok(InstanceFile {
+                pipeline: inst.pipeline,
+                platform: inst.platform,
+            }
+            .to_json())
         }
         Command::Solve { path, objective } => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -230,10 +354,19 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
             let sol = solve_instance(&inst, *objective)
                 .ok_or_else(|| format!("infeasible: no mapping satisfies {objective:?}"))?;
             let mut out = String::new();
-            let exact = inst.platform.uniform_bandwidth().is_some() && inst.platform.n_procs() <= 16
+            let exact = inst.platform.uniform_bandwidth().is_some()
+                && inst.platform.n_procs() <= 16
                 || inst.platform.n_procs() <= 10;
-            writeln!(out, "solver   : {}", if exact { "exact" } else { "heuristic portfolio" })
-                .expect("write to string");
+            writeln!(
+                out,
+                "solver   : {}",
+                if exact {
+                    "exact"
+                } else {
+                    "heuristic portfolio"
+                }
+            )
+            .expect("write to string");
             writeln!(out, "mapping  : {}", sol.mapping).expect("write to string");
             writeln!(out, "latency  : {:.6}", sol.latency).expect("write to string");
             writeln!(out, "FP       : {:.6}", sol.failure_prob).expect("write to string");
@@ -242,23 +375,26 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
         Command::Pareto { path } => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let inst = InstanceFile::from_json(&text)?;
-            let front = if inst.platform.uniform_bandwidth().is_some()
-                && inst.platform.n_procs() <= 16
-            {
-                rpwf_algo::exact::pareto_front_comm_homog(&inst.pipeline, &inst.platform)
-                    .expect("uniform bandwidth checked")
-            } else if inst.platform.n_procs() <= 6 {
-                rpwf_algo::exact::Exhaustive::new(&inst.pipeline, &inst.platform).pareto_front()
-            } else {
-                return Err(
-                    "exact Pareto front needs comm-homogeneous links (m ≤ 16) or m ≤ 6".into()
-                );
-            };
+            let front =
+                if inst.platform.uniform_bandwidth().is_some() && inst.platform.n_procs() <= 16 {
+                    rpwf_algo::exact::pareto_front_comm_homog(&inst.pipeline, &inst.platform)
+                        .expect("uniform bandwidth checked")
+                } else if inst.platform.n_procs() <= 6 {
+                    rpwf_algo::exact::Exhaustive::new(&inst.pipeline, &inst.platform).pareto_front()
+                } else {
+                    return Err(
+                        "exact Pareto front needs comm-homogeneous links (m ≤ 16) or m ≤ 6".into(),
+                    );
+                };
             let mut out = String::new();
             writeln!(out, "{:>12}  {:>12}  mapping", "latency", "FP").expect("write to string");
             for pt in front.iter() {
-                writeln!(out, "{:>12.4}  {:>12.6}  {}", pt.latency, pt.failure_prob, pt.payload)
-                    .expect("write to string");
+                writeln!(
+                    out,
+                    "{:>12.4}  {:>12.6}  {}",
+                    pt.latency, pt.failure_prob, pt.payload
+                )
+                .expect("write to string");
             }
             Ok(out)
         }
@@ -266,13 +402,20 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let inst = InstanceFile::from_json(&text)?;
             let safest = rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform);
-            let mc = rpwf_sim::MonteCarlo { trials: *trials, ..Default::default() };
+            let mc = rpwf_sim::MonteCarlo {
+                trials: *trials,
+                ..Default::default()
+            };
             let report = mc.run(&inst.pipeline, &inst.platform, &safest.mapping);
             let mut out = String::new();
             writeln!(out, "mapping (Thm 1, min FP): {}", safest.mapping).expect("write");
             writeln!(out, "analytic FP            : {:.6}", safest.failure_prob).expect("write");
-            writeln!(out, "MC failure rate        : {:.6}", 1.0 - report.success_rate)
-                .expect("write");
+            writeln!(
+                out,
+                "MC failure rate        : {:.6}",
+                1.0 - report.success_rate
+            )
+            .expect("write");
             writeln!(
                 out,
                 "wilson 95% (success)   : [{:.6}, {:.6}]",
@@ -324,16 +467,24 @@ mod tests {
             }
         );
         let cmd = parse_args(&args("solve inst.json --min-latency-under-fp 0.2")).unwrap();
-        assert!(matches!(cmd, Command::Solve { objective: Objective::MinLatencyUnderFp(f), .. } if f == 0.2));
+        assert!(
+            matches!(cmd, Command::Solve { objective: Objective::MinLatencyUnderFp(f), .. } if f == 0.2)
+        );
     }
 
     #[test]
     fn parse_errors_are_informative() {
-        assert!(parse_args(&args("gen --class bogus --failure hom -n 2 -m 2"))
+        assert!(
+            parse_args(&args("gen --class bogus --failure hom -n 2 -m 2"))
+                .unwrap_err()
+                .contains("--class")
+        );
+        assert!(parse_args(&args("solve inst.json"))
             .unwrap_err()
-            .contains("--class"));
-        assert!(parse_args(&args("solve inst.json")).unwrap_err().contains("min-fp"));
-        assert!(parse_args(&args("frobnicate")).unwrap_err().contains("unknown command"));
+            .contains("min-fp"));
+        assert!(parse_args(&args("frobnicate"))
+            .unwrap_err()
+            .contains("unknown command"));
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
     }
 
@@ -358,8 +509,7 @@ mod tests {
         let path_str = path.to_string_lossy().into_owned();
 
         // Pick a generous latency budget from Thm 1's mapping.
-        let budget = rpwf_algo::mono::minimize_failure(&parsed.pipeline, &parsed.platform)
-            .latency;
+        let budget = rpwf_algo::mono::minimize_failure(&parsed.pipeline, &parsed.platform).latency;
         let out = run(&Command::Solve {
             path: path_str.clone(),
             objective: Objective::MinFpUnderLatency(budget),
@@ -368,10 +518,17 @@ mod tests {
         assert!(out.contains("exact"), "{out}");
         assert!(out.contains("latency"), "{out}");
 
-        let front = run(&Command::Pareto { path: path_str.clone() }).unwrap();
+        let front = run(&Command::Pareto {
+            path: path_str.clone(),
+        })
+        .unwrap();
         assert!(front.lines().count() >= 2, "{front}");
 
-        let sim = run(&Command::Simulate { path: path_str, trials: 500 }).unwrap();
+        let sim = run(&Command::Simulate {
+            path: path_str,
+            trials: 500,
+        })
+        .unwrap();
         assert!(sim.contains("MC failure rate"), "{sim}");
     }
 
@@ -384,7 +541,10 @@ mod tests {
             4,
             5,
         );
-        let file = InstanceFile { pipeline: inst.pipeline.clone(), platform: inst.platform.clone() };
+        let file = InstanceFile {
+            pipeline: inst.pipeline.clone(),
+            platform: inst.platform.clone(),
+        };
         let parsed = InstanceFile::from_json(&file.to_json()).unwrap();
         // The rebuilt pipeline must produce identical metric values.
         let mapping = IntervalMapping::single_interval(3, vec![ProcId(0), ProcId(2)], 4).unwrap();
@@ -397,6 +557,72 @@ mod tests {
     #[test]
     fn run_help_prints_usage() {
         assert_eq!(run(&Command::Help).unwrap(), USAGE);
+    }
+
+    #[test]
+    fn parse_serve_variants() {
+        assert_eq!(
+            parse_args(&args("serve --addr 0.0.0.0:9000 --workers 4")).unwrap(),
+            Command::Serve {
+                addr: Some("0.0.0.0:9000".into()),
+                workers: 4,
+                cache_capacity: 4096
+            }
+        );
+        assert_eq!(
+            parse_args(&args("serve --stdin --cache-capacity 16")).unwrap(),
+            Command::Serve {
+                addr: None,
+                workers: 0,
+                cache_capacity: 16
+            }
+        );
+        assert_eq!(
+            parse_args(&args("serve")).unwrap(),
+            Command::Serve {
+                addr: Some("127.0.0.1:7077".into()),
+                workers: 0,
+                cache_capacity: 4096
+            }
+        );
+        assert!(parse_args(&args("serve --stdin --addr 1.2.3.4:1"))
+            .unwrap_err()
+            .contains("not both"));
+    }
+
+    #[test]
+    fn batch_runs_requests_in_order() {
+        let dir = std::env::temp_dir().join("rpwf-cli-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("requests.jsonl");
+        std::fs::write(
+            &path,
+            "{\"id\": 1, \"cmd\": \"Ping\"}\n{\"id\": 2, \"cmd\": \"Ping\"}\n",
+        )
+        .unwrap();
+        let out = run(&Command::Batch {
+            path: path.to_string_lossy().into_owned(),
+            workers: 2,
+        })
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"id\":1"), "{}", lines[0]);
+        assert!(lines[1].contains("\"id\":2"), "{}", lines[1]);
+        assert!(
+            lines.iter().all(|l| l.contains("\"status\":\"ok\"")),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn batch_missing_file_errors() {
+        let err = run(&Command::Batch {
+            path: "/nonexistent/requests.jsonl".into(),
+            workers: 1,
+        })
+        .unwrap_err();
+        assert!(err.contains("/nonexistent/requests.jsonl"));
     }
 
     #[test]

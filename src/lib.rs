@@ -42,8 +42,6 @@
 //! assert_eq!(best.mapping.n_intervals(), 2); // and its two-interval shape
 //! ```
 
-
-
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -65,12 +65,9 @@ fn e4_algorithms_1_and_2_match_oracle() {
     let suite = SuiteSpec::small(PlatformClass::FullyHomogeneous, FailureClass::Homogeneous);
     for inst in suite.instances().into_iter().take(12) {
         for l in latency_thresholds(&inst.pipeline, &inst.platform) {
-            let alg = bicriteria::fully_homog::min_fp_under_latency(
-                &inst.pipeline,
-                &inst.platform,
-                l,
-            )
-            .ok();
+            let alg =
+                bicriteria::fully_homog::min_fp_under_latency(&inst.pipeline, &inst.platform, l)
+                    .ok();
             let oracle = Exhaustive::new(&inst.pipeline, &inst.platform)
                 .solve(Objective::MinFpUnderLatency(l));
             match (alg, oracle) {
@@ -80,12 +77,9 @@ fn e4_algorithms_1_and_2_match_oracle() {
             }
         }
         for f in fp_thresholds(&inst.pipeline, &inst.platform) {
-            let alg = bicriteria::fully_homog::min_latency_under_fp(
-                &inst.pipeline,
-                &inst.platform,
-                f,
-            )
-            .ok();
+            let alg =
+                bicriteria::fully_homog::min_latency_under_fp(&inst.pipeline, &inst.platform, f)
+                    .ok();
             let oracle = Exhaustive::new(&inst.pipeline, &inst.platform)
                 .solve(Objective::MinLatencyUnderFp(f));
             match (alg, oracle) {

@@ -23,8 +23,7 @@ fn e10_heuristics_are_sound_vs_bitmask_dp() {
         let mid = front.points()[front.len() / 2].latency;
         let objective = Objective::MinFpUnderLatency(mid);
         let exact = front.min_fp_under_latency(mid).expect("mid point exists");
-        for (name, sol) in Portfolio::new(11).run_all(&inst.pipeline, &inst.platform, objective)
-        {
+        for (name, sol) in Portfolio::new(11).run_all(&inst.pipeline, &inst.platform, objective) {
             let Some(sol) = sol else { continue };
             // Feasible and consistent.
             assert!(sol.latency <= mid + 1e-6, "{}/{name}", inst.label);
@@ -63,14 +62,21 @@ fn e10_portfolio_hits_optimum_often_on_open_class() {
         let mid = front.points()[front.len() / 2].latency;
         let exact = front.min_fp_under_latency(mid).unwrap().failure_prob;
         let heur = Portfolio::new(13)
-            .solve(&inst.pipeline, &inst.platform, Objective::MinFpUnderLatency(mid))
+            .solve(
+                &inst.pipeline,
+                &inst.platform,
+                Objective::MinFpUnderLatency(mid),
+            )
             .expect("feasible since exact is");
         total += 1;
         if (heur.failure_prob - exact).abs() <= 1e-9 {
             hits += 1;
         }
     }
-    assert!(hits * 2 >= total, "portfolio matched optimum only {hits}/{total} times");
+    assert!(
+        hits * 2 >= total,
+        "portfolio matched optimum only {hits}/{total} times"
+    );
 }
 
 /// On the NP-hard fully heterogeneous class, the portfolio is validated
@@ -80,14 +86,21 @@ fn e10_portfolio_sound_on_fully_heterogeneous() {
     let suite = SuiteSpec {
         sizes: vec![(3, 4)],
         seeds: vec![50, 51, 52],
-        ..SuiteSpec::small(PlatformClass::FullyHeterogeneous, FailureClass::Heterogeneous)
+        ..SuiteSpec::small(
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
     };
     for inst in suite.instances() {
         let oracle_front = Exhaustive::new(&inst.pipeline, &inst.platform).pareto_front();
         let mid = oracle_front.points()[oracle_front.len() / 2].latency;
         let exact = oracle_front.min_fp_under_latency(mid).unwrap().failure_prob;
         let heur = Portfolio::new(17)
-            .solve(&inst.pipeline, &inst.platform, Objective::MinFpUnderLatency(mid))
+            .solve(
+                &inst.pipeline,
+                &inst.platform,
+                Objective::MinFpUnderLatency(mid),
+            )
             .expect("feasible since exact is");
         assert!(heur.latency <= mid + 1e-6);
         assert!(heur.failure_prob >= exact - 1e-9);
@@ -115,16 +128,18 @@ fn e10_split_dp_front_is_sound() {
         let exact = pareto_front_comm_homog(&inst.pipeline, &inst.platform).unwrap();
         for pt in heur.iter() {
             assert!(
-                exact.iter().any(|e| e.latency <= pt.latency + 1e-9
-                    && e.failure_prob <= pt.failure_prob + 1e-9),
+                exact
+                    .iter()
+                    .any(|e| e.latency <= pt.latency + 1e-9
+                        && e.failure_prob <= pt.failure_prob + 1e-9),
                 "{}: heuristic point outside exact region",
                 inst.label
             );
         }
         // The DP explores every single-interval prefix of its orders, so its
         // front is at least as good as "fastest processor alone".
-        let thm2 = rpwf_algo::mono::minimize_latency_comm_homog(&inst.pipeline, &inst.platform)
-            .unwrap();
+        let thm2 =
+            rpwf_algo::mono::minimize_latency_comm_homog(&inst.pipeline, &inst.platform).unwrap();
         let best_lat = heur.points().first().map(|pt| pt.latency).unwrap();
         assert!(best_lat <= thm2.latency + 1e-9);
     }

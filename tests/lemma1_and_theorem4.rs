@@ -77,7 +77,10 @@ fn e9_lemma1_fails_on_failure_heterogeneous() {
                     && q.failure_prob <= pt.failure_prob + 1e-9
             })
     });
-    assert!(multi_needed, "Figure 5 must need a two-interval Pareto point");
+    assert!(
+        multi_needed,
+        "Figure 5 must need a two-interval Pareto point"
+    );
 }
 
 /// E6 — Theorem 4: the layered-graph shortest path equals brute force over
@@ -87,7 +90,10 @@ fn e6_shortest_path_matches_brute_force() {
     let suite = SuiteSpec {
         sizes: vec![(2, 3), (3, 4), (4, 4), (4, 5)],
         seeds: vec![1, 2, 3],
-        ..SuiteSpec::small(PlatformClass::FullyHeterogeneous, FailureClass::Heterogeneous)
+        ..SuiteSpec::small(
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
     };
     for inst in suite.instances() {
         let (sp_map, sp) = general_mapping_shortest_path(&inst.pipeline, &inst.platform);
@@ -104,15 +110,21 @@ fn e6_relaxation_chain_is_ordered() {
     let suite = SuiteSpec {
         sizes: vec![(3, 4), (3, 5), (4, 5)],
         seeds: vec![40, 41],
-        ..SuiteSpec::small(PlatformClass::FullyHeterogeneous, FailureClass::Heterogeneous)
+        ..SuiteSpec::small(
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
     };
     for inst in suite.instances() {
         let (_, general) = general_mapping_shortest_path(&inst.pipeline, &inst.platform);
         let (_, interval) = min_latency_interval(&inst.pipeline, &inst.platform);
-        let one_to_one =
-            rpwf_algo::exact::min_latency_one_to_one(&inst.pipeline, &inst.platform)
-                .map(|(_, l)| l);
-        assert!(general <= interval + 1e-9, "{}: {general} > {interval}", inst.label);
+        let one_to_one = rpwf_algo::exact::min_latency_one_to_one(&inst.pipeline, &inst.platform)
+            .map(|(_, l)| l);
+        assert!(
+            general <= interval + 1e-9,
+            "{}: {general} > {interval}",
+            inst.label
+        );
         if let Some(oto) = one_to_one {
             assert!(interval <= oto + 1e-9, "{}: {interval} > {oto}", inst.label);
         }

@@ -42,12 +42,8 @@ fn e1_figure34_exhaustive_interval_optimum_is_7() {
 fn e2_figure5_single_interval_is_064() {
     let pipeline = gen::figure5_pipeline();
     let platform = gen::figure5_platform();
-    let sol = best_single_interval(
-        &pipeline,
-        &platform,
-        Objective::MinFpUnderLatency(22.0),
-    )
-    .expect("two fast replicas are feasible");
+    let sol = best_single_interval(&pipeline, &platform, Objective::MinFpUnderLatency(22.0))
+        .expect("two fast replicas are feasible");
     assert_approx_eq!(sol.failure_prob, 0.64);
     assert_approx_eq!(sol.latency, 21.01);
 }
@@ -79,9 +75,13 @@ fn e2_figure5_reduced_oracle_agreement() {
     let platform = Platform::comm_homogeneous(speeds, 1.0, fps).unwrap();
 
     let threshold = 16.0; // 10 + 1 + 4·1 + 1 + 0
-    let dp = solve_comm_homog(&pipeline, &platform, Objective::MinFpUnderLatency(threshold))
-        .unwrap()
-        .expect("feasible");
+    let dp = solve_comm_homog(
+        &pipeline,
+        &platform,
+        Objective::MinFpUnderLatency(threshold),
+    )
+    .unwrap()
+    .expect("feasible");
     let oracle = Exhaustive::new(&pipeline, &platform)
         .solve(Objective::MinFpUnderLatency(threshold))
         .expect("feasible");

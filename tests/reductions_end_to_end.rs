@@ -27,7 +27,10 @@ fn e7_tsp_reduction_equivalence() {
 
         // No-instance just below the optimum.
         let no = build_tsp_gadget(&inst, best_cost - 0.25);
-        assert!(no.decide().is_none(), "trial {trial}: no-instance decided yes");
+        assert!(
+            no.decide().is_none(),
+            "trial {trial}: no-instance decided yes"
+        );
     }
 }
 
@@ -82,11 +85,16 @@ fn e8_witness_transfer() {
 /// bookkeeping of the proof (latency = Σ a_j + 2, FP = e^{−Σ a_j}).
 #[test]
 fn e8_gadget_metrics_match_proof() {
-    let inst = TwoPartitionInstance { values: vec![4, 2, 6, 2] }; // S = 14
+    let inst = TwoPartitionInstance {
+        values: vec![4, 2, 6, 2],
+    }; // S = 14
     let gadget = build_two_partition_gadget(&inst);
     let subset = vec![0, 1]; // Σ = 6
     let mapping = gadget.subset_to_mapping(&subset);
-    assert_approx_eq!(latency(&mapping, &gadget.pipeline, &gadget.platform), 6.0 + 2.0);
+    assert_approx_eq!(
+        latency(&mapping, &gadget.pipeline, &gadget.platform),
+        6.0 + 2.0
+    );
     assert_approx_eq!(
         failure_probability(&mapping, &gadget.platform),
         (-6.0f64).exp(),

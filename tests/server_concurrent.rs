@@ -1,0 +1,280 @@
+//! Integration tests for the `rpwf-server` serving subsystem: an
+//! in-process TCP server answering concurrent solve/pareto requests, the
+//! content-addressed solution cache, and per-request deadline behavior.
+
+use rpwf::prelude::*;
+use rpwf_server::protocol::{Command, Request, Response};
+use rpwf_server::{Server, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn start_server() -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 4,
+            cache_capacity: 256,
+            cache_shards: 8,
+            seed: 0xCAFE,
+        },
+    )
+    .expect("bind an ephemeral port")
+}
+
+fn request_line(id: u64, deadline_ms: Option<u64>, cmd: Command) -> String {
+    serde_json::to_string(&Request {
+        id: Some(id),
+        deadline_ms,
+        no_cache: None,
+        cmd,
+    })
+    .expect("requests serialize")
+}
+
+/// One request per connection; returns the parsed response.
+fn roundtrip(addr: std::net::SocketAddr, line: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "{line}").expect("send");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut out = String::new();
+    reader.read_line(&mut out).expect("read response line");
+    serde_json::from_str(out.trim()).expect("well-formed response JSON")
+}
+
+/// A pool of seeded comm-homogeneous instances the exact DP can finish
+/// fast, so server answers are comparable with direct library calls.
+fn instances() -> Vec<(Pipeline, Platform)> {
+    (0..8u64)
+        .map(|seed| {
+            let inst = gen::make_instance(
+                PlatformClass::CommHomogeneous,
+                FailureClass::Heterogeneous,
+                3,
+                4,
+                seed,
+            );
+            (inst.pipeline, inst.platform)
+        })
+        .collect()
+}
+
+/// A latency threshold every instance can satisfy (its min-FP mapping's
+/// latency).
+fn budget_for(pipeline: &Pipeline, platform: &Platform) -> f64 {
+    rpwf::algo::mono::minimize_failure(pipeline, platform).latency
+}
+
+#[test]
+fn concurrent_solve_and_pareto_match_direct_library_calls() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+    let pool = instances();
+
+    // 32 concurrent clients: even ids solve, odd ids ask for the front.
+    let responses: Vec<(u64, Response)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..32u64)
+            .map(|id| {
+                let (pipeline, platform) = pool[(id % 8) as usize].clone();
+                scope.spawn(move || {
+                    let line = if id % 2 == 0 {
+                        let l = budget_for(&pipeline, &platform);
+                        request_line(
+                            id,
+                            None,
+                            Command::Solve {
+                                pipeline,
+                                platform,
+                                objective: Objective::MinFpUnderLatency(l),
+                            },
+                        )
+                    } else {
+                        request_line(id, None, Command::Pareto { pipeline, platform })
+                    };
+                    (id, roundtrip(addr, &line))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    assert_eq!(responses.len(), 32);
+    for (id, resp) in responses {
+        assert_eq!(resp.status, "ok", "request {id}: {:?}", resp.error);
+        assert_eq!(resp.id, Some(id), "correlation id echoed");
+        let (pipeline, platform) = pool[(id % 8) as usize].clone();
+        let result = resp.result.expect("ok responses carry a result");
+        let text = serde_json::to_string(&result).expect("serializes");
+
+        if id % 2 == 0 {
+            // Exact solver must have won the race and match the library.
+            assert_eq!(resp.meta.solver.as_deref(), Some("exact"), "request {id}");
+            assert_eq!(resp.meta.exact_complete, Some(true), "request {id}");
+            let l = budget_for(&pipeline, &platform);
+            let direct = rpwf::algo::exact::solve_comm_homog(
+                &pipeline,
+                &platform,
+                Objective::MinFpUnderLatency(l),
+            )
+            .expect("comm-homogeneous")
+            .expect("threshold chosen feasible");
+            let fp = result
+                .get("failure_prob")
+                .and_then(serde::Value::as_f64)
+                .expect("solve result has failure_prob");
+            let lat = result
+                .get("latency")
+                .and_then(serde::Value::as_f64)
+                .expect("solve result has latency");
+            assert!(
+                (fp - direct.failure_prob).abs() < 1e-9,
+                "request {id}: server fp {fp} vs direct {} ({text})",
+                direct.failure_prob
+            );
+            assert!(
+                (lat - direct.latency).abs() < 1e-9,
+                "request {id}: server latency {lat} vs direct {}",
+                direct.latency
+            );
+        } else {
+            let direct = rpwf::algo::exact::pareto_front_comm_homog(&pipeline, &platform)
+                .expect("comm-homogeneous");
+            let points = result
+                .get("points")
+                .and_then(serde::Value::as_seq)
+                .map(<[serde::Value]>::to_vec)
+                .expect("pareto result has points");
+            assert_eq!(
+                points.len(),
+                direct.len(),
+                "request {id}: front size ({text})"
+            );
+            for (got, want) in points.iter().zip(direct.iter()) {
+                let lat = got
+                    .get("latency")
+                    .and_then(serde::Value::as_f64)
+                    .expect("latency");
+                let fp = got
+                    .get("failure_prob")
+                    .and_then(serde::Value::as_f64)
+                    .expect("failure_prob");
+                assert!((lat - want.latency).abs() < 1e-9, "request {id}");
+                assert!((fp - want.failure_prob).abs() < 1e-9, "request {id}");
+            }
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn repeated_request_hits_cache_with_byte_identical_result() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+    let (pipeline, platform) = instances().remove(0);
+    let l = budget_for(&pipeline, &platform);
+    let cmd = || Command::Solve {
+        pipeline: pipeline.clone(),
+        platform: platform.clone(),
+        objective: Objective::MinFpUnderLatency(l),
+    };
+
+    let first = roundtrip(addr, &request_line(1, None, cmd()));
+    assert_eq!(first.status, "ok", "{:?}", first.error);
+    assert!(!first.meta.cache_hit, "first request computes");
+
+    // Same content, different id and connection: must be served from the
+    // cache with a byte-identical result payload.
+    let second = roundtrip(addr, &request_line(2, None, cmd()));
+    assert_eq!(second.status, "ok");
+    assert!(
+        second.meta.cache_hit,
+        "identical content must hit the cache"
+    );
+    assert_eq!(
+        serde_json::to_string(&first.result).expect("serializes"),
+        serde_json::to_string(&second.result).expect("serializes"),
+        "cached result must replay byte-identically"
+    );
+    assert_eq!(first.meta.solver, second.meta.solver);
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_returns_structured_timeout_not_a_hang() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+    // Large heterogeneous instance (no exact backend, heuristics take
+    // real time) with a 0 ms deadline: must come back promptly as a
+    // structured timeout error.
+    let inst = gen::make_instance(
+        PlatformClass::FullyHeterogeneous,
+        FailureClass::Heterogeneous,
+        6,
+        14,
+        7,
+    );
+    let line = request_line(
+        77,
+        Some(0),
+        Command::Solve {
+            pipeline: inst.pipeline,
+            platform: inst.platform,
+            objective: Objective::MinFpUnderLatency(1e-12),
+        },
+    );
+    let start = std::time::Instant::now();
+    let resp = roundtrip(addr, &line);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(10),
+        "timeout must be prompt, took {:?}",
+        start.elapsed()
+    );
+    assert_eq!(resp.status, "error");
+    assert_eq!(resp.id, Some(77));
+    let err = resp.error.expect("structured error body");
+    assert_eq!(err.kind, "timeout");
+    assert!(!err.message.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn mixed_pipelined_requests_on_one_connection() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+    let (pipeline, platform) = instances().remove(2);
+    let l = budget_for(&pipeline, &platform);
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut expected = std::collections::HashSet::new();
+    for id in 0..12u64 {
+        let cmd = match id % 3 {
+            0 => Command::Ping,
+            1 => Command::Solve {
+                pipeline: pipeline.clone(),
+                platform: platform.clone(),
+                objective: Objective::MinFpUnderLatency(l),
+            },
+            _ => Command::Stats,
+        };
+        writeln!(stream, "{}", request_line(id, None, cmd)).expect("send");
+        expected.insert(id);
+    }
+    stream.flush().expect("flush");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    for _ in 0..12 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        let resp: Response = serde_json::from_str(line.trim()).expect("parses");
+        assert_eq!(resp.status, "ok", "{:?}", resp.error);
+        assert!(
+            expected.remove(&resp.id.expect("id")),
+            "no duplicate responses"
+        );
+    }
+    assert!(expected.is_empty(), "every request answered");
+    server.shutdown();
+}

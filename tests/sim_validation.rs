@@ -7,9 +7,7 @@ use rand::SeedableRng;
 use rpwf::prelude::*;
 use rpwf_core::assert_approx_eq;
 use rpwf_gen::{PipelineGen, PlatformGen};
-use rpwf_sim::{
-    simulate, simulate_one, FailureModel, FailureScenario, MonteCarlo, SimConfig,
-};
+use rpwf_sim::{simulate, simulate_one, FailureModel, FailureScenario, MonteCarlo, SimConfig};
 
 /// Deterministic random mapping (mirrors the strategy used by the solver
 /// heuristics) for fuzzing across instance shapes.
@@ -60,10 +58,12 @@ fn e11_eq2_is_an_upper_bound_under_fuzzing() {
         let mapping = random_mapping(3, 5, &mut rng);
         let bound = latency(&mapping, &pipe, &pf);
         let scenario = FailureModel::BernoulliAtStart.sample(&pf, &mut rng);
-        for config in [SimConfig::default(), SimConfig::worst_case(), SimConfig::best_case()] {
-            if let Some(lat) =
-                simulate_one(&pipe, &pf, &mapping, &scenario, config).latency()
-            {
+        for config in [
+            SimConfig::default(),
+            SimConfig::worst_case(),
+            SimConfig::best_case(),
+        ] {
+            if let Some(lat) = simulate_one(&pipe, &pf, &mapping, &scenario, config).latency() {
                 assert!(
                     lat <= bound + 1e-9,
                     "trial {trial}: simulated {lat} exceeds analytic bound {bound}"
@@ -109,8 +109,12 @@ fn e11_monte_carlo_converges_to_analytic_reliability() {
         .sample(&mut rng);
         let mapping = random_mapping(3, 5, &mut rng);
         let analytic = reliability(&mapping, &pf);
-        let report = MonteCarlo { trials: 20_000, seed: 99, ..Default::default() }
-            .run(&pipe, &pf, &mapping);
+        let report = MonteCarlo {
+            trials: 20_000,
+            seed: 99,
+            ..Default::default()
+        }
+        .run(&pipe, &pf, &mapping);
         assert!(
             report.wilson95.0 <= analytic && analytic <= report.wilson95.1,
             "analytic {analytic} outside {:?}",
@@ -142,7 +146,11 @@ fn e11_traces_respect_one_port_under_load() {
             SimConfig::worst_case().with_trace(),
             &[0.0, 0.0, 0.0, 5.0, 5.0, 100.0],
         );
-        report.trace.expect("requested").check_one_port().expect("one-port invariant");
+        report
+            .trace
+            .expect("requested")
+            .check_one_port()
+            .expect("one-port invariant");
     }
 }
 

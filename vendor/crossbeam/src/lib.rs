@@ -1,0 +1,348 @@
+//! Offline stand-in for the `crossbeam` umbrella crate, covering the two
+//! pieces this workspace uses:
+//!
+//! * [`thread::scope`] — crossbeam-style scoped threads (closure receives
+//!   the scope handle, result wrapped in `Result`), implemented on
+//!   `std::thread::scope`,
+//! * [`channel`] — a multi-producer multi-consumer FIFO channel
+//!   (Mutex + Condvar), with clonable receivers, disconnect semantics,
+//!   and timeout receives, feeding the solver server's worker pool.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// The scope handle passed to spawned closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle
+        /// (crossbeam convention) so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; joins them all before returning.
+    ///
+    /// # Errors
+    /// Crossbeam reports child panics as `Err`; the std implementation
+    /// resumes the panic instead, so the `Err` arm is never produced. The
+    /// `Result` wrapper is kept for call-site compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// MPMC FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+        capacity: Option<usize>,
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; clonable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error: all receivers dropped.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error: channel empty and all senders dropped.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a non-blocking receive.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue momentarily empty.
+        Empty,
+        /// Queue empty and no senders remain.
+        Disconnected,
+    }
+
+    /// Outcome of a timed receive.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No item arrived in time.
+        Timeout,
+        /// Queue empty and no senders remain.
+        Disconnected,
+    }
+
+    /// An unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A bounded channel (senders block at `cap` items).
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                capacity,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel lock").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel lock").receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues an item, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        /// [`SendError`] when every receiver has been dropped.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(item));
+                }
+                match state.capacity {
+                    Some(cap) if state.items.len() >= cap => {
+                        state = self.shared.ready.wait(state).expect("channel lock");
+                    }
+                    _ => break,
+                }
+            }
+            state.items.push_back(item);
+            drop(state);
+            self.shared.ready.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues an item, blocking while the channel is empty.
+        ///
+        /// # Errors
+        /// [`RecvError`] when the channel is empty and every sender has
+        /// been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.ready.notify_all();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).expect("channel lock");
+            }
+        }
+
+        /// Non-blocking dequeue.
+        ///
+        /// # Errors
+        /// [`TryRecvError::Empty`] or [`TryRecvError::Disconnected`].
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.shared.ready.notify_all();
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Dequeue with a deadline relative to now.
+        ///
+        /// # Errors
+        /// [`RecvTimeoutError::Timeout`] or
+        /// [`RecvTimeoutError::Disconnected`].
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.ready.notify_all();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .ready
+                    .wait_timeout(state, deadline - now)
+                    .expect("channel lock");
+                state = guard;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let mut partials = vec![0u64; 2];
+        thread::scope(|s| {
+            for (i, slot) in partials.iter_mut().enumerate() {
+                let data = &data;
+                s.spawn(move |_| {
+                    *slot = data[i * 2] + data[i * 2 + 1];
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(partials, vec![3, 7]);
+    }
+
+    #[test]
+    fn channel_fifo_and_disconnect() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn channel_mpmc_across_threads() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let consumed: Vec<usize> = thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            drop(rx);
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("no panic"))
+                .collect()
+        })
+        .expect("no panics");
+        let mut sorted = consumed;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, channel::RecvTimeoutError::Timeout);
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+    }
+}

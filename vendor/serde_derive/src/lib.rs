@@ -1,0 +1,603 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the deriving type's token stream by hand (no `syn`/`quote`
+//! available offline) and emits `to_value`/`from_value` implementations of
+//! the vendored `serde` traits. Supports the shapes this workspace uses:
+//!
+//! * structs with named fields (including generics, `#[serde(skip)]` and
+//!   `#[serde(with = "module")]` field attributes),
+//! * tuple structs (newtypes serialize transparently; wider tuples as
+//!   sequences),
+//! * enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged, serde's default representation).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+    with: Option<String>,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter names in declaration order: `'a` or `T`.
+    generics: Vec<String>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn is_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    /// Skips outer attributes, returning any `#[serde(...)]` payload groups.
+    fn take_attrs(&mut self) -> Vec<TokenStream> {
+        let mut serde_payloads = Vec::new();
+        while self.is_punct('#') {
+            self.next(); // '#'
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(name)) = inner.next() {
+                    if name.to_string() == "serde" {
+                        if let Some(TokenTree::Group(payload)) = inner.next() {
+                            serde_payloads.push(payload.stream());
+                        }
+                    }
+                }
+            }
+        }
+        serde_payloads
+    }
+
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.take_attrs();
+    c.skip_visibility();
+
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    let generics = parse_generics(&mut c);
+
+    let body = match kind.as_str() {
+        "struct" => {
+            if c.is_punct(';') {
+                Body::UnitStruct
+            } else {
+                match c.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Body::NamedStruct(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Body::TupleStruct(count_tuple_fields(g.stream()))
+                    }
+                    other => panic!("unsupported struct body: {other:?}"),
+                }
+            }
+        }
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("can only derive for structs and enums, found `{other}`"),
+    };
+
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+/// Parses an optional `<...>` generics list into parameter names (bounds
+/// and defaults stripped). `where` clauses are not supported.
+fn parse_generics(c: &mut Cursor) -> Vec<String> {
+    if !c.is_punct('<') {
+        return Vec::new();
+    }
+    c.next(); // '<'
+    let mut depth = 1usize;
+    let mut segments: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    while depth > 0 {
+        let t = c.next().expect("unterminated generics list");
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    segments.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segments.last_mut().expect("segment list non-empty").push(t);
+    }
+    segments
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            // A parameter is `'life`, `T`, `T: bounds`, or `const N: usize`;
+            // its name is the leading lifetime or the first ident.
+            match &seg[0] {
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    let id = match &seg[1] {
+                        TokenTree::Ident(i) => i.to_string(),
+                        other => panic!("malformed lifetime: {other:?}"),
+                    };
+                    format!("'{id}")
+                }
+                TokenTree::Ident(i) if i.to_string() == "const" => {
+                    panic!("const generics are not supported by the vendored serde derive")
+                }
+                TokenTree::Ident(i) => i.to_string(),
+                other => panic!("unsupported generic parameter: {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let serde_attrs = c.take_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut c);
+        let (skip, with) = interpret_field_attrs(&serde_attrs);
+        fields.push(Field { name, skip, with });
+    }
+    fields
+}
+
+/// Consumes a type up to the next top-level `,` (or end), tracking angle
+/// brackets (delimiter groups are atomic in the token stream).
+fn skip_type(c: &mut Cursor) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = c.peek() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    c.next(); // consume separator
+                    return;
+                }
+                _ => {}
+            }
+        }
+        c.next();
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0usize;
+    while !c.at_end() {
+        c.take_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        skip_type(&mut c);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.take_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        while !c.at_end() && !c.is_punct(',') {
+            c.next();
+        }
+        if c.is_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn interpret_field_attrs(payloads: &[TokenStream]) -> (bool, Option<String>) {
+    let mut skip = false;
+    let mut with = None;
+    for payload in payloads {
+        let toks: Vec<TokenTree> = payload.clone().into_iter().collect();
+        let mut i = 0;
+        while i < toks.len() {
+            if let TokenTree::Ident(id) = &toks[i] {
+                match id.to_string().as_str() {
+                    "skip" | "skip_serializing" | "skip_deserializing" => skip = true,
+                    "with" => {
+                        // with = "module::path"
+                        if let Some(TokenTree::Literal(lit)) = toks.get(i + 2) {
+                            let raw = lit.to_string();
+                            with = Some(raw.trim_matches('"').to_string());
+                            i += 2;
+                        }
+                    }
+                    "default" => {}
+                    other => panic!("unsupported #[serde({other})] attribute"),
+                }
+            }
+            i += 1;
+        }
+    }
+    (skip, with)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+/// `impl<T: BOUND> Trait for Name<T>` header pieces for the item.
+fn impl_header(item: &Item, extra_lifetime: Option<&str>, bound: &str) -> (String, String) {
+    let mut params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        params.push(lt.to_string());
+    }
+    for g in &item.generics {
+        if g.starts_with('\'') {
+            params.push(g.clone());
+        } else {
+            params.push(format!("{g}: {bound}"));
+        }
+    }
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let type_generics = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics.join(", "))
+    };
+    (impl_generics, type_generics)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, type_generics) = impl_header(item, None, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut push = String::new();
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                let fname = &f.name;
+                let expr = match &f.with {
+                    Some(path) => format!(
+                        "{path}::serialize(&self.{fname}, ::serde::value::ValueSerializer)\
+                         .expect(\"with-module serialization to a value cannot fail\")"
+                    ),
+                    None => format!("::serde::Serialize::to_value(&self.{fname})"),
+                };
+                push.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{fname}\"), {expr}));\n"
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{push}::serde::Value::Map(__fields)"
+            )
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_value(__f0))]),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(k) => {
+                        let binds: Vec<String> = (0..*k).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{type_generics} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_fields_from_value(type_path: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = Vec::new();
+    for f in fields {
+        let fname = &f.name;
+        let expr = if f.skip {
+            "::std::default::Default::default()".to_string()
+        } else if let Some(path) = &f.with {
+            format!(
+                "{path}::deserialize(::serde::value::ValueDeserializer::new(\
+                 {source}.get_or_null(\"{fname}\").clone()))?"
+            )
+        } else {
+            format!("::serde::Deserialize::from_value({source}.get_or_null(\"{fname}\"))?")
+        };
+        inits.push(format!("{fname}: {expr}"));
+    }
+    format!("{type_path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, type_generics) =
+        impl_header(item, Some("'de"), "::serde::Deserialize<'de>");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let ctor = named_fields_from_value(name, fields, "__value");
+            format!(
+                "if __value.as_map().is_none() {{\n\
+                 return ::std::result::Result::Err(::serde::Error::msg(\
+                 \"expected map for struct {name}\"));\n}}\n\
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_seq().ok_or_else(|| \
+                 ::serde::Error::msg(\"expected array for tuple struct {name}\"))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::msg(\
+                 \"wrong arity for tuple struct {name}\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        keyed_arms.push_str(&format!(
+                            "\"{vname}\" => return ::std::result::Result::Ok(\
+                             {name}::{vname}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(k) => {
+                        let items: Vec<String> = (0..*k)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __items = __inner.as_seq().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected array for variant {vname}\"))?;\n\
+                             if __items.len() != {k} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::msg(\
+                             \"wrong arity for variant {vname}\"));\n}}\n\
+                             return ::std::result::Result::Ok({name}::{vname}({}));\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let ctor =
+                            named_fields_from_value(&format!("{name}::{vname}"), fields, "__inner");
+                        keyed_arms.push_str(&format!(
+                            "\"{vname}\" => return ::std::result::Result::Ok({ctor}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __value.as_str() {{\n\
+                 match __s {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 if let ::std::option::Option::Some(__entries) = __value.as_map() {{\n\
+                 if __entries.len() == 1 {{\n\
+                 let (__key, __inner) = &__entries[0];\n\
+                 match __key.as_str() {{\n{keyed_arms}_ => {{}}\n}}\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::Error::msg(\
+                 \"unknown variant for enum {name}\"))"
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize<'de> for {name}{type_generics} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
