@@ -21,6 +21,7 @@
 use crate::solution::{BiSolution, Budgeted, Objective};
 use rpwf_core::budget::Budget;
 use rpwf_core::error::{CoreError, Result};
+use rpwf_core::eval::EvalContext;
 use rpwf_core::mapping::{Interval, IntervalMapping};
 use rpwf_core::num::LogProb;
 use rpwf_core::pareto::ParetoFront;
@@ -73,9 +74,14 @@ pub fn pareto_front_comm_homog_with_budget(
     );
     let full: u32 = if m == 32 { u32::MAX } else { (1u32 << m) - 1 };
 
-    // Per-subset tables: replica count, min speed, −ln(1 − Π fp).
+    // Per-subset tables: min speed, Σ ln fp, −ln(1 − Π fp). Both fold
+    // tables share the lowest-bit recurrence, so building them is O(2^m)
+    // rather than O(2^m · m); the per-processor `ln fp_u` terms come
+    // cached from the shared evaluation context.
+    let ctx = EvalContext::new(pipeline, platform);
     let n_subsets = 1usize << m;
     let mut min_speed = vec![f64::INFINITY; n_subsets];
+    let mut ln_all_fail = vec![0.0f64; n_subsets];
     let mut fp_cost = vec![0.0f64; n_subsets];
     for mask in 1u32..(n_subsets as u32) {
         let low = mask.trailing_zeros() as usize;
@@ -86,15 +92,10 @@ pub fn pareto_front_comm_homog_with_budget(
         } else {
             min_speed[rest as usize].min(s_low)
         };
-        // Π fp over the subset, in log space, then −ln(1 − ·).
-        let mut all_fail = LogProb::ONE;
-        let mut mm = mask;
-        while mm != 0 {
-            let u = mm.trailing_zeros() as usize;
-            mm &= mm - 1;
-            all_fail = all_fail * LogProb::from_prob(platform.failure_prob(ProcId::new(u)));
-        }
-        fp_cost[mask as usize] = -all_fail.one_minus().ln();
+        ln_all_fail[mask as usize] = ln_all_fail[rest as usize] + ctx.ln_failure(ProcId::new(low));
+        fp_cost[mask as usize] = -LogProb::from_ln(ln_all_fail[mask as usize])
+            .one_minus()
+            .ln();
     }
 
     // states[i][mask] = Pareto front of (lat, fp_cost) with the partial

@@ -8,7 +8,10 @@
 //! * **latency bound** — partial latency, plus the cheapest possible finish
 //!   of the pending interval (its work on its fastest replica, zero
 //!   outgoing communication), plus the remaining stages' work on the
-//!   globally fastest processor, already exceeds the latency budget;
+//!   globally fastest processor, plus the unavoidable I/O communication
+//!   floors (cheapest `P_in` link before the first interval opens, cheapest
+//!   `P_out` link while stages remain — both cached in
+//!   [`EvalContext`]), already exceeds the latency budget;
 //! * **failure bound** — the failure probability of the mapped prefix
 //!   (remaining intervals can only *increase* FP, since each multiplies
 //!   the success probability by a factor `≤ 1`) is already no better than
@@ -21,6 +24,7 @@
 use crate::heuristics::Portfolio;
 use crate::solution::{BiSolution, Budgeted, Objective};
 use rpwf_core::budget::Budget;
+use rpwf_core::eval::EvalContext;
 use rpwf_core::mapping::{Interval, IntervalMapping};
 use rpwf_core::num::LogProb;
 use rpwf_core::platform::{Platform, ProcId, Vertex};
@@ -42,13 +46,12 @@ pub struct BranchBound<'a> {
 struct Search<'a> {
     pipeline: &'a Pipeline,
     platform: &'a Platform,
+    /// Cached bound ingredients: the pipeline prefix sums (suffix work in
+    /// O(1)), the fastest speed, and the cheapest I/O links.
+    ctx: EvalContext<'a>,
     objective: Objective,
     n: usize,
     m: usize,
-    /// Globally fastest speed, for the remaining-work bound.
-    s_max: f64,
-    /// `work_suffix[i] = Σ_{k ≥ i} w_k`.
-    work_suffix: Vec<f64>,
     /// Best feasible solution so far.
     best: Option<BiSolution>,
     /// Decision stack: per interval `(end stage, replica mask)`.
@@ -168,11 +171,18 @@ impl Search<'_> {
     ) -> bool {
         // Sound optimistic completion of the latency.
         let mut lb = lat_partial;
-        if let Some((s, e, mask)) = pending {
-            lb += self.pending_min(s, e, mask);
+        match pending {
+            Some((s, e, mask)) => lb += self.pending_min(s, e, mask),
+            // No interval opened yet: the first interval will pay at
+            // least one input transfer over the cheapest P_in link.
+            None => lb += self.ctx.min_input_comm(),
         }
         if next_stage < self.n {
-            lb += self.work_suffix[next_stage] / self.s_max;
+            // Remaining stages run at best on the globally fastest
+            // processor, and the final interval pays at least the
+            // cheapest P_out transfer of the pipeline output.
+            lb += self.ctx.suffix_work(next_stage) / self.ctx.max_speed()
+                + self.ctx.min_output_comm();
         }
         let fp_lb = -(-fp_cost_partial).exp_m1(); // FP of the closed prefix
         match self.objective {
@@ -335,23 +345,13 @@ impl<'a> BranchBound<'a> {
             "branch and bound supports at most {MAX_PROCS} processors"
         );
         let n = self.pipeline.n_stages();
-        let mut work_suffix = vec![0.0; n + 1];
-        for i in (0..n).rev() {
-            work_suffix[i] = work_suffix[i + 1] + self.pipeline.work(i);
-        }
         let mut search = Search {
             pipeline: self.pipeline,
             platform: self.platform,
+            ctx: EvalContext::new(self.pipeline, self.platform),
             objective,
             n,
             m,
-            s_max: self
-                .platform
-                .speeds()
-                .iter()
-                .copied()
-                .fold(f64::NEG_INFINITY, f64::max),
-            work_suffix,
             best: incumbent,
             stack: Vec::with_capacity(n),
             nodes: 0,

@@ -15,6 +15,7 @@
 
 use crate::solution::Budgeted;
 use rpwf_core::budget::Budget;
+use rpwf_core::eval::EvalContext;
 use rpwf_core::mapping::{Interval, IntervalMapping};
 use rpwf_core::platform::{Platform, ProcId, Vertex};
 use rpwf_core::stage::Pipeline;
@@ -51,6 +52,9 @@ pub fn min_latency_interval_with_budget(
         m <= MAX_PROCS,
         "interval DP supports at most {MAX_PROCS} processors"
     );
+    // Interval-cost lookups go through the shared evaluation context
+    // (pipeline prefix sums: any `Σ w` segment in O(1)).
+    let ctx = EvalContext::new(pipeline, platform);
 
     let size = 1usize << m;
     // dist[i][mask][u]: stages 0..i−1 mapped onto `mask`, last interval on
@@ -66,8 +70,9 @@ pub fn min_latency_interval_with_budget(
     for v in 0..m {
         let pv = ProcId::new(v);
         let input = platform.comm_time(Vertex::In, Vertex::Proc(pv), pipeline.input_size());
+        let sv = platform.speed(pv);
         for e in 0..n {
-            let cost = input + pipeline.work_sum(0, e) / platform.speed(pv);
+            let cost = input + ctx.work(0, e) / sv;
             let s = at(e + 1, 1 << v, v);
             if cost < dist[s] {
                 dist[s] = cost;
@@ -101,8 +106,10 @@ pub fn min_latency_interval_with_budget(
                     let pv = ProcId::new(v);
                     let hop =
                         platform.comm_time(Vertex::Proc(pu), Vertex::Proc(pv), pipeline.delta(i));
+                    let base = cur + hop;
+                    let sv = platform.speed(pv);
                     for e in i..n {
-                        let cost = cur + hop + pipeline.work_sum(i, e) / platform.speed(pv);
+                        let cost = base + ctx.work(i, e) / sv;
                         let s = at(e + 1, mask | (1 << v), v);
                         if cost < dist[s] {
                             dist[s] = cost;

@@ -6,11 +6,21 @@
 //! — the structural weakness of pure descent on replication problems
 //! (adding a replica often worsens latency before a later split pays off).
 //! Geometric cooling; the best *feasible* state ever visited is returned.
+//!
+//! Moves are proposed and scored through the incremental engine: a
+//! uniformly random [`Move`](rpwf_core::eval::Move) is applied in place on
+//! a [`DeltaEval`], delta-scored (bit-identical to full evaluation), and
+//! reverted on rejection — the chain never materializes a candidate
+//! mapping. RNG consumption matches the old materializing implementation
+//! draw-for-draw, so seeded runs produce the same walk. The move loop
+//! polls the request [`Budget`] so server deadlines cut the chain off.
 
-use crate::heuristics::neighborhood::{random_mapping, random_neighbor};
-use crate::solution::{BiSolution, Objective};
+use crate::heuristics::neighborhood::{random_mapping, random_move};
+use crate::solution::{BiSolution, Budgeted, Objective};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rpwf_core::budget::Budget;
+use rpwf_core::eval::{DeltaEval, EvalContext};
 use rpwf_core::platform::Platform;
 use rpwf_core::stage::Pipeline;
 
@@ -48,15 +58,15 @@ impl Annealing {
     /// Scalar energy of a state: the minimized criterion plus the penalty.
     /// Latency values are normalized by a reference latency so that
     /// temperatures are instance-independent.
-    fn energy(objective: Objective, sol: &BiSolution, ref_latency: f64, penalty: f64) -> f64 {
+    fn energy(objective: Objective, latency: f64, fp: f64, ref_latency: f64, penalty: f64) -> f64 {
         match objective {
             Objective::MinFpUnderLatency(l) => {
-                let violation = ((sol.latency - l) / l.max(1e-12)).max(0.0);
-                sol.failure_prob + penalty * violation
+                let violation = ((latency - l) / l.max(1e-12)).max(0.0);
+                fp + penalty * violation
             }
             Objective::MinLatencyUnderFp(f) => {
-                let violation = ((sol.failure_prob - f) / f.max(1e-12)).max(0.0);
-                sol.latency / ref_latency.max(1e-12) + penalty * violation
+                let violation = ((fp - f) / f.max(1e-12)).max(0.0);
+                latency / ref_latency.max(1e-12) + penalty * violation
             }
         }
     }
@@ -69,44 +79,97 @@ impl Annealing {
         platform: &Platform,
         objective: Objective,
     ) -> Option<BiSolution> {
+        self.solve_with_budget(pipeline, platform, objective, &Budget::unlimited())
+            .into_inner()
+    }
+
+    /// Budgeted variant: the move loop polls `budget` at a coarse stride
+    /// and returns the best feasible state visited so far as
+    /// [`Budgeted::Cutoff`] when it expires. With an unlimited budget the
+    /// result equals [`solve`](Self::solve) exactly.
+    #[must_use]
+    pub fn solve_with_budget(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
         let n = pipeline.n_stages();
         let m = platform.n_procs();
         let mut rng = StdRng::seed_from_u64(self.seed);
 
+        let ctx = EvalContext::new(pipeline, platform);
         let start = random_mapping(n, m, &mut rng);
-        let mut current = BiSolution::evaluate(start, pipeline, platform);
-        let ref_latency = current.latency.max(1e-12);
-        let mut current_energy = Self::energy(objective, &current, ref_latency, self.penalty);
+        let mut de = DeltaEval::new(&ctx, &start);
+        let mut cur = de.scores();
+        let ref_latency = cur.latency.max(1e-12);
+        let mut current_energy = Self::energy(
+            objective,
+            cur.latency,
+            cur.failure_prob(),
+            ref_latency,
+            self.penalty,
+        );
 
         let mut best: Option<BiSolution> = None;
-        let consider_best = |sol: &BiSolution, best: &mut Option<BiSolution>| {
-            if objective.feasible(sol.latency, sol.failure_prob)
-                && best.as_ref().is_none_or(|b| objective.better(sol, b))
-            {
-                *best = Some(sol.clone());
-            }
-        };
-        consider_best(&current, &mut best);
+        let consider_best =
+            |de: &DeltaEval, latency: f64, fp: f64, best: &mut Option<BiSolution>| {
+                if objective.feasible(latency, fp)
+                    && best.as_ref().is_none_or(|b| {
+                        objective.better_values(latency, fp, b.latency, b.failure_prob)
+                    })
+                {
+                    // Materialize a mapping only when the incumbent improves.
+                    *best = Some(BiSolution {
+                        mapping: de.mapping(),
+                        latency,
+                        failure_prob: fp,
+                    });
+                }
+            };
+        consider_best(&de, cur.latency, cur.failure_prob(), &mut best);
 
+        let limited = budget.is_limited();
+        let mut cut = false;
+        let mut moves_done = 0u64;
         let mut temperature = self.t0;
-        for _ in 0..self.epochs {
+        'outer: for _ in 0..self.epochs {
             for _ in 0..self.moves_per_epoch {
-                let Some(nb) = random_neighbor(&current.mapping, m, &mut rng) else {
+                moves_done += 1;
+                if limited && moves_done & 0x3F == 0 && budget.is_exhausted() {
+                    cut = true;
+                    break 'outer;
+                }
+                let Some(mv) = random_move(&de, &mut rng) else {
                     break;
                 };
-                let cand = BiSolution::evaluate(nb, pipeline, platform);
-                let cand_energy = Self::energy(objective, &cand, ref_latency, self.penalty);
+                let s = de.apply(mv);
+                let cand_energy = Self::energy(
+                    objective,
+                    s.latency,
+                    s.failure_prob(),
+                    ref_latency,
+                    self.penalty,
+                );
                 let accept = cand_energy <= current_energy
                     || rng.gen::<f64>() < ((current_energy - cand_energy) / temperature).exp();
                 if accept {
-                    current = cand;
+                    de.accept();
+                    cur = s;
                     current_energy = cand_energy;
-                    consider_best(&current, &mut best);
+                    consider_best(&de, cur.latency, cur.failure_prob(), &mut best);
+                } else {
+                    de.revert();
                 }
             }
             temperature *= self.cooling;
         }
-        best
+        if cut {
+            Budgeted::Cutoff(best)
+        } else {
+            Budgeted::Complete(best)
+        }
     }
 }
 
@@ -169,5 +232,38 @@ mod tests {
         assert!(Annealing::default()
             .solve(&pipe, &pf, Objective::MinLatencyUnderFp(0.001))
             .is_none());
+    }
+
+    #[test]
+    fn unlimited_budget_matches_solve_exactly() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let objective = Objective::MinFpUnderLatency(25.0);
+        let plain = Annealing::default().solve(&pipe, &pf, objective);
+        let budgeted = Annealing::default().solve_with_budget(
+            &pipe,
+            &pf,
+            objective,
+            &rpwf_core::budget::Budget::unlimited(),
+        );
+        assert!(budgeted.is_complete());
+        assert_eq!(budgeted.into_inner(), plain);
+    }
+
+    #[test]
+    fn cancellation_cuts_the_chain_off() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let (budget, handle) = rpwf_core::budget::Budget::unlimited().cancellable();
+        handle.cancel();
+        let start = std::time::Instant::now();
+        let outcome = Annealing::default().solve_with_budget(
+            &pipe,
+            &pf,
+            Objective::MinFpUnderLatency(22.0),
+            &budget,
+        );
+        assert!(!outcome.is_complete());
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
     }
 }

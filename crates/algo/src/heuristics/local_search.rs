@@ -7,11 +7,21 @@
 //! minimized criterion). Works on every platform class — the go-to
 //! heuristic for Fully Heterogeneous bi-criteria instances (NP-hard,
 //! Theorem 7).
+//!
+//! Neighbors are scored through the incremental engine
+//! ([`DeltaEval`] + [`MoveStream`]): each candidate is applied in place,
+//! delta-scored, and reverted — no mapping clones, no full re-evaluation —
+//! with scores bit-identical to the full formulas, so the descent
+//! trajectory (and final answer) is exactly what the materializing
+//! implementation produced. The step loop polls the request [`Budget`] so
+//! tight server deadlines cut the search off with its best-so-far.
 
-use crate::heuristics::neighborhood::{neighbors, random_mapping};
-use crate::solution::{BiSolution, Objective};
+use crate::heuristics::neighborhood::{random_mapping, MoveStream};
+use crate::solution::{BiSolution, Budgeted, Objective};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rpwf_core::budget::Budget;
+use rpwf_core::eval::{DeltaEval, EvalContext};
 use rpwf_core::mapping::IntervalMapping;
 use rpwf_core::platform::Platform;
 use rpwf_core::stage::Pipeline;
@@ -48,6 +58,23 @@ impl LocalSearch {
         platform: &Platform,
         objective: Objective,
     ) -> Option<BiSolution> {
+        self.solve_with_budget(pipeline, platform, objective, &Budget::unlimited())
+            .into_inner()
+    }
+
+    /// Budgeted variant: the descent polls `budget` between steps (and at
+    /// a coarse stride inside each neighborhood scan) and returns the
+    /// best feasible solution found so far as [`Budgeted::Cutoff`] when
+    /// it expires. With an unlimited budget the result equals
+    /// [`solve`](Self::solve) exactly.
+    #[must_use]
+    pub fn solve_with_budget(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
         let n = pipeline.n_stages();
         let m = platform.n_procs();
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -77,29 +104,87 @@ impl LocalSearch {
             starts.push(random_mapping(n, m, &mut rng));
         }
 
+        let ctx = EvalContext::new(pipeline, platform);
+        let limited = budget.is_limited();
+        let mut cut = false;
+        let mut de: Option<DeltaEval> = None;
         let mut best: Option<BiSolution> = None;
+        let mut scanned = 0u32;
         for start in starts {
-            let mut current = BiSolution::evaluate(start, pipeline, platform);
-            for _ in 0..self.max_steps {
-                let mut improved = false;
-                for nb in neighbors(&current.mapping, m) {
-                    let cand = BiSolution::evaluate(nb, pipeline, platform);
-                    if objective.better(&cand, &current) {
-                        current = cand;
-                        improved = true;
-                    }
+            if limited && budget.is_exhausted() {
+                cut = true;
+                break;
+            }
+            // One evaluator reused across restarts (buffers stay warm).
+            let de = match &mut de {
+                Some(de) => {
+                    de.reset(&start);
+                    de
                 }
-                if !improved {
+                none => none.insert(DeltaEval::new(&ctx, &start)),
+            };
+            let mut cur = de.scores();
+            'descent: for _ in 0..self.max_steps {
+                if limited && budget.is_exhausted() {
+                    cut = true;
                     break;
                 }
+                // Scan the neighborhood in place, tracking the running
+                // best exactly like the materializing scan did: each
+                // improving candidate becomes the comparison point for
+                // the rest of the scan.
+                let mut stream = MoveStream::new();
+                let mut best_mv = None;
+                let mut scan = cur;
+                while let Some(mv) = stream.next(de) {
+                    scanned += 1;
+                    if limited && scanned & 0x1FF == 0 && budget.is_exhausted() {
+                        // `cur` still describes the committed state; the
+                        // partial scan's winner is simply discarded.
+                        cut = true;
+                        break 'descent;
+                    }
+                    let s = de.apply(mv);
+                    if objective.better_values(
+                        s.latency,
+                        s.failure_prob(),
+                        scan.latency,
+                        scan.failure_prob(),
+                    ) {
+                        scan = s;
+                        best_mv = Some(mv);
+                    }
+                    de.revert();
+                }
+                let Some(mv) = best_mv else { break };
+                cur = de.apply(mv);
+                de.accept();
             }
-            if objective.feasible(current.latency, current.failure_prob)
-                && best.as_ref().is_none_or(|b| objective.better(&current, b))
+            if objective.feasible(cur.latency, cur.failure_prob())
+                && best.as_ref().is_none_or(|b| {
+                    objective.better_values(
+                        cur.latency,
+                        cur.failure_prob(),
+                        b.latency,
+                        b.failure_prob,
+                    )
+                })
             {
-                best = Some(current);
+                best = Some(BiSolution {
+                    mapping: de.mapping(),
+                    latency: cur.latency,
+                    failure_prob: cur.failure_prob(),
+                });
+            }
+            if cut {
+                break;
             }
         }
-        best
+        if cut {
+            Budgeted::Cutoff(best)
+        } else {
+            Budgeted::Complete(best)
+        }
     }
 }
 
@@ -200,5 +285,62 @@ mod tests {
         assert!(LocalSearch::default()
             .solve(&pipe, &pf, Objective::MinFpUnderLatency(1.0))
             .is_none());
+    }
+
+    #[test]
+    fn unlimited_budget_matches_solve_exactly() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let objective = Objective::MinFpUnderLatency(22.0);
+        let plain = LocalSearch::default().solve(&pipe, &pf, objective);
+        let budgeted = LocalSearch::default().solve_with_budget(
+            &pipe,
+            &pf,
+            objective,
+            &rpwf_core::budget::Budget::unlimited(),
+        );
+        assert!(budgeted.is_complete());
+        assert_eq!(budgeted.into_inner(), plain);
+    }
+
+    #[test]
+    fn expired_budget_reports_cutoff_promptly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pipe = PipelineGen::balanced(10).sample(&mut rng);
+        let pf = PlatformGen::new(
+            12,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let budget = rpwf_core::budget::Budget::with_deadline(std::time::Duration::ZERO);
+        let start = std::time::Instant::now();
+        let outcome = LocalSearch::default().solve_with_budget(
+            &pipe,
+            &pf,
+            Objective::MinLatencyUnderFp(0.9),
+            &budget,
+        );
+        assert!(!outcome.is_complete(), "expired budget must cut off");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "cutoff must be prompt, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn cancellation_cuts_the_search_off() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let (budget, handle) = rpwf_core::budget::Budget::unlimited().cancellable();
+        handle.cancel();
+        let outcome = LocalSearch::default().solve_with_budget(
+            &pipe,
+            &pf,
+            Objective::MinFpUnderLatency(22.0),
+            &budget,
+        );
+        assert!(!outcome.is_complete());
     }
 }

@@ -52,6 +52,27 @@ impl Portfolio {
         platform: &Platform,
         objective: Objective,
     ) -> Vec<(&'static str, Option<BiSolution>)> {
+        self.run_all_with_budget(pipeline, platform, objective, &Budget::unlimited())
+            .into_inner()
+    }
+
+    /// [`run_all`](Self::run_all) under a shared budget: the randomized
+    /// members (local search, annealing, random search) poll it in their
+    /// step loops and contribute their best-so-far when it expires, so a
+    /// tight server deadline cuts the whole portfolio off too. The cheap
+    /// closed-form members (single-interval, split-DP) always run.
+    /// [`Budgeted::Cutoff`] means at least one member was cut short, so
+    /// the answers may be weaker than an unbudgeted rerun — callers that
+    /// cache results must not cache a cutoff.
+    #[must_use]
+    pub fn run_all_with_budget(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+    ) -> Budgeted<Vec<(&'static str, Option<BiSolution>)>> {
+        let mut complete = true;
         let mut out: Vec<(&'static str, Option<BiSolution>)> = Vec::new();
         out.push((
             "single-interval",
@@ -69,7 +90,8 @@ impl Portfolio {
                 seed: self.seed,
                 ..Default::default()
             }
-            .solve(pipeline, platform, objective),
+            .solve_with_budget(pipeline, platform, objective, budget)
+            .map_complete(&mut complete),
         ));
         out.push((
             "annealing",
@@ -77,7 +99,8 @@ impl Portfolio {
                 seed: self.seed,
                 ..Default::default()
             }
-            .solve(pipeline, platform, objective),
+            .solve_with_budget(pipeline, platform, objective, budget)
+            .map_complete(&mut complete),
         ));
         out.push((
             "random-search",
@@ -85,9 +108,14 @@ impl Portfolio {
                 seed: self.seed,
                 ..Default::default()
             }
-            .solve(pipeline, platform, objective),
+            .solve_with_budget(pipeline, platform, objective, budget)
+            .map_complete(&mut complete),
         ));
-        out
+        if complete {
+            Budgeted::Complete(out)
+        } else {
+            Budgeted::Cutoff(out)
+        }
     }
 
     /// The best solution across the portfolio; `None` when every member
@@ -99,13 +127,37 @@ impl Portfolio {
         platform: &Platform,
         objective: Objective,
     ) -> Option<BiSolution> {
-        self.run_all(pipeline, platform, objective)
+        self.solve_with_budget(pipeline, platform, objective, &Budget::unlimited())
+            .into_inner()
+    }
+
+    /// [`solve`](Self::solve) under a shared budget (see
+    /// [`run_all_with_budget`](Self::run_all_with_budget)).
+    /// [`Budgeted::Cutoff`] payloads may be weaker than an unbudgeted
+    /// rerun and must not be cached.
+    #[must_use]
+    pub fn solve_with_budget(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
+        let outcome = self.run_all_with_budget(pipeline, platform, objective, budget);
+        let complete = outcome.is_complete();
+        let best = outcome
+            .into_inner()
             .into_iter()
             .filter_map(|(_, sol)| sol)
             .fold(None, |best, sol| match best {
                 Some(b) if !objective.better(&sol, &b) => Some(b),
                 _ => Some(sol),
-            })
+            });
+        if complete {
+            Budgeted::Complete(best)
+        } else {
+            Budgeted::Cutoff(best)
+        }
     }
 
     /// Races the heuristic portfolio against the strongest applicable
@@ -135,7 +187,8 @@ impl Portfolio {
         let comm_homog = platform.uniform_bandwidth().is_some();
 
         if comm_homog && m <= 16 {
-            // Parallel race: DP on a worker thread, heuristics here.
+            // Parallel race: DP on a worker thread, heuristics here. Both
+            // sides share the budget, so expiry stops the whole race.
             let (exact, heuristic) = crossbeam::thread::scope(|scope| {
                 let exact_handle = scope.spawn(move |_| {
                     crate::exact::solve_comm_homog_with_budget(
@@ -143,7 +196,7 @@ impl Portfolio {
                     )
                     .expect("uniform bandwidth checked above")
                 });
-                let heuristic = self.solve(pipeline, platform, objective);
+                let heuristic = self.solve_with_budget(pipeline, platform, objective, budget);
                 let exact = exact_handle.join().expect("exact solver does not panic");
                 (exact, heuristic)
             })
@@ -154,27 +207,34 @@ impl Portfolio {
         if m <= 12 {
             // Heuristics first (their answer doubles as the incumbent),
             // then budgeted branch-and-bound seeded with it.
-            let heuristic = self.solve(pipeline, platform, objective);
+            let heuristic = self.solve_with_budget(pipeline, platform, objective, budget);
             let exact = crate::exact::BranchBound::new(pipeline, platform)
-                .solve_with_budget_seeded(objective, budget, heuristic.clone());
+                .solve_with_budget_seeded(objective, budget, heuristic.inner().clone());
             return combine(objective, Some(exact), heuristic);
         }
 
-        combine(objective, None, self.solve(pipeline, platform, objective))
+        combine(
+            objective,
+            None,
+            self.solve_with_budget(pipeline, platform, objective, budget),
+        )
     }
 }
 
 fn combine(
     objective: Objective,
     exact: Option<Budgeted<Option<BiSolution>>>,
-    heuristic: Option<BiSolution>,
+    heuristic: Budgeted<Option<BiSolution>>,
 ) -> RaceReport {
+    let heuristic_complete = heuristic.is_complete();
+    let heuristic = heuristic.into_inner();
     match exact {
         Some(Budgeted::Complete(sol)) => RaceReport {
             best: sol,
             solver: SolverKind::Exact,
             exact_attempted: true,
             exact_complete: true,
+            heuristic_complete,
         },
         Some(Budgeted::Cutoff(partial)) => {
             let (best, solver) = pick_better(objective, partial, heuristic);
@@ -183,6 +243,7 @@ fn combine(
                 solver,
                 exact_attempted: true,
                 exact_complete: false,
+                heuristic_complete,
             }
         }
         None => RaceReport {
@@ -190,6 +251,7 @@ fn combine(
             solver: SolverKind::Heuristic,
             exact_attempted: false,
             exact_complete: false,
+            heuristic_complete,
         },
     }
 }
@@ -228,6 +290,11 @@ pub struct RaceReport {
     /// Whether the exact solver ran to completion within the budget —
     /// i.e. whether `best` is proven optimal.
     pub exact_complete: bool,
+    /// Whether every heuristic portfolio member ran to completion.
+    /// `false` means the budget truncated the heuristics, so `best` may
+    /// be weaker than an unbudgeted rerun — such answers must not be
+    /// cached.
+    pub heuristic_complete: bool,
 }
 
 fn pick_better(
@@ -352,6 +419,47 @@ mod tests {
         assert!(!report.exact_attempted);
         assert_eq!(report.solver, SolverKind::Heuristic);
         assert!(report.best.is_some());
+    }
+
+    #[test]
+    fn expired_budget_marks_the_portfolio_cutoff() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let objective = Objective::MinFpUnderLatency(22.0);
+        let expired = Budget::with_deadline(std::time::Duration::ZERO);
+        let outcome = Portfolio::new(1).solve_with_budget(&pipe, &pf, objective, &expired);
+        assert!(
+            !outcome.is_complete(),
+            "truncated heuristics must be reported as a cutoff"
+        );
+        let complete =
+            Portfolio::new(1).solve_with_budget(&pipe, &pf, objective, &Budget::unlimited());
+        assert!(complete.is_complete());
+        assert_eq!(
+            complete.into_inner(),
+            Portfolio::new(1).solve(&pipe, &pf, objective)
+        );
+    }
+
+    #[test]
+    fn race_reports_heuristic_cutoff_for_cache_decisions() {
+        // 18 heterogeneous processors: no exact backend, so the report's
+        // only quality signal is heuristic completeness.
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let objective = Objective::MinFpUnderLatency(22.0);
+        let complete = Portfolio::new(1).race(&pipe, &pf, objective, &Budget::unlimited());
+        assert!(complete.heuristic_complete);
+        let cut = Portfolio::new(1).race(
+            &pipe,
+            &pf,
+            objective,
+            &Budget::with_deadline(std::time::Duration::ZERO),
+        );
+        assert!(
+            !cut.heuristic_complete,
+            "an expired budget must mark the heuristic side cut off"
+        );
     }
 
     #[test]

@@ -13,13 +13,258 @@
 //! 5. **shrink** a replica set (drop one replica, if ≥ 2 remain),
 //! 6. **swap** a replica for an unused processor,
 //! 7. **migrate** a replica from one interval to another.
+//!
+//! Two enumeration forms exist:
+//!
+//! * [`MoveStream`] — the fast path: a lazy, allocation-free cursor over
+//!   [`Move`] descriptors evaluated in place against a
+//!   [`DeltaEval`] (apply → score → revert), used by the heuristics;
+//! * [`neighbors`] — the materializing reference: every neighbor cloned
+//!   out as a full `IntervalMapping`. Kept as the ground truth the stream
+//!   is property-tested against, and as the baseline the E15 experiment
+//!   measures the incremental engine's speedup over.
+//!
+//! The stream yields moves in **exactly** the order `neighbors` produces
+//! them (and [`move_count`] equals `neighbors(..).len()`), so porting a
+//! solver from one form to the other cannot change its search trajectory.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rpwf_core::eval::{DeltaEval, Move};
 use rpwf_core::mapping::{Interval, IntervalMapping};
 use rpwf_core::platform::ProcId;
 
+/// Lazy cursor over the neighborhood of a [`DeltaEval`] state. Holds no
+/// borrow and allocates nothing: call [`next`](Self::next) with the
+/// evaluator between applications. The evaluator must be back in the
+/// cursor's base state (apply followed by revert, or no move at all)
+/// whenever `next` is called.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MoveStream {
+    phase: u8,
+    j: usize,
+    r: usize,
+    sub: usize,
+}
+
+impl MoveStream {
+    /// A cursor positioned before the first move.
+    #[must_use]
+    pub fn new() -> Self {
+        MoveStream::default()
+    }
+
+    /// The next move, in the canonical neighborhood order.
+    pub fn next(&mut self, de: &DeltaEval) -> Option<Move> {
+        let p = de.n_intervals();
+        let nf = de.free().len();
+        loop {
+            match self.phase {
+                // 1. Boundary shifts: per boundary, right shift then left.
+                0 => {
+                    while self.j + 1 < p {
+                        if self.sub == 0 {
+                            self.sub = 1;
+                            if de.interval(self.j + 1).len() >= 2 {
+                                return Some(Move::ShiftRight { j: self.j });
+                            }
+                        }
+                        if self.sub == 1 {
+                            self.sub = 2;
+                            if de.interval(self.j).len() >= 2 {
+                                return Some(Move::ShiftLeft { j: self.j });
+                            }
+                        }
+                        self.j += 1;
+                        self.sub = 0;
+                    }
+                    self.advance_phase();
+                }
+                // 2. Merges.
+                1 => {
+                    if self.j + 1 < p {
+                        let j = self.j;
+                        self.j += 1;
+                        return Some(Move::Merge { j });
+                    }
+                    self.advance_phase();
+                }
+                // 3. Splits (≥ 2 stages and ≥ 2 replicas).
+                2 => {
+                    while self.j < p {
+                        let iv = de.interval(self.j);
+                        if iv.len() >= 2 && de.alloc(self.j).len() >= 2 {
+                            let cut = iv.start() + self.sub;
+                            if cut < iv.end() {
+                                self.sub += 1;
+                                return Some(Move::Split { j: self.j, cut });
+                            }
+                        }
+                        self.j += 1;
+                        self.sub = 0;
+                    }
+                    self.advance_phase();
+                }
+                // 4. Grow with a free processor.
+                3 => {
+                    while self.j < p {
+                        if self.sub < nf {
+                            let proc = de.free()[self.sub];
+                            self.sub += 1;
+                            return Some(Move::Grow { j: self.j, proc });
+                        }
+                        self.j += 1;
+                        self.sub = 0;
+                    }
+                    self.advance_phase();
+                }
+                // 5. Shrink (≥ 2 replicas).
+                4 => {
+                    while self.j < p {
+                        let k = de.alloc(self.j).len();
+                        if k >= 2 && self.sub < k {
+                            let r = self.sub;
+                            self.sub += 1;
+                            return Some(Move::Shrink { j: self.j, r });
+                        }
+                        self.j += 1;
+                        self.sub = 0;
+                    }
+                    self.advance_phase();
+                }
+                // 6. Swap used ↔ free.
+                5 => {
+                    while self.j < p {
+                        if self.r < de.alloc(self.j).len() {
+                            if self.sub < nf {
+                                let proc = de.free()[self.sub];
+                                self.sub += 1;
+                                return Some(Move::Swap {
+                                    j: self.j,
+                                    r: self.r,
+                                    proc,
+                                });
+                            }
+                            self.r += 1;
+                            self.sub = 0;
+                            continue;
+                        }
+                        self.j += 1;
+                        self.r = 0;
+                        self.sub = 0;
+                    }
+                    self.advance_phase();
+                }
+                // 7. Migrate a replica between intervals.
+                6 => {
+                    while self.j < p {
+                        let k = de.alloc(self.j).len();
+                        if k >= 2 && self.r < k {
+                            while self.sub < p {
+                                let to = self.sub;
+                                self.sub += 1;
+                                if to != self.j {
+                                    return Some(Move::Migrate {
+                                        j: self.j,
+                                        r: self.r,
+                                        to,
+                                    });
+                                }
+                            }
+                            self.r += 1;
+                            self.sub = 0;
+                            continue;
+                        }
+                        self.j += 1;
+                        self.r = 0;
+                        self.sub = 0;
+                    }
+                    self.advance_phase();
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn advance_phase(&mut self) {
+        self.phase += 1;
+        self.j = 0;
+        self.r = 0;
+        self.sub = 0;
+    }
+}
+
+/// Number of moves [`MoveStream`] will yield from this state — equals
+/// `neighbors(&de.mapping(), m).len()`, in O(p) arithmetic.
+#[must_use]
+pub fn move_count(de: &DeltaEval) -> usize {
+    let p = de.n_intervals();
+    let nf = de.free().len();
+    let mut count = 0usize;
+    // Shifts.
+    for j in 0..p.saturating_sub(1) {
+        count += usize::from(de.interval(j + 1).len() >= 2);
+        count += usize::from(de.interval(j).len() >= 2);
+    }
+    // Merges.
+    count += p.saturating_sub(1);
+    let mut replicas = 0usize;
+    let mut movable = 0usize; // replicas in intervals with k ≥ 2
+    for j in 0..p {
+        let k = de.alloc(j).len();
+        replicas += k;
+        if k >= 2 {
+            movable += k;
+            // Splits.
+            if de.interval(j).len() >= 2 {
+                count += de.interval(j).len() - 1;
+            }
+        }
+    }
+    // Grow + shrink + swap + migrate.
+    count += p * nf;
+    count += movable;
+    count += replicas * nf;
+    count += movable * (p - 1);
+    count
+}
+
+/// The `idx`-th move of the stream (`idx < move_count`).
+///
+/// # Panics
+/// When `idx` is out of range.
+#[must_use]
+pub fn nth_move(de: &DeltaEval, idx: usize) -> Move {
+    let mut stream = MoveStream::new();
+    let mut seen = 0usize;
+    while let Some(mv) = stream.next(de) {
+        if seen == idx {
+            return mv;
+        }
+        seen += 1;
+    }
+    panic!("nth_move: index {idx} out of range ({seen} moves)");
+}
+
+/// One uniformly chosen move (the streaming equivalent of
+/// [`random_neighbor`]); `None` when the state has no neighbor. Consumes
+/// the same RNG draws as `random_neighbor` — one `gen_range` when moves
+/// exist, nothing otherwise — so seeded solvers keep their trajectories
+/// when ported between the two forms.
+#[must_use]
+pub fn random_move<R: Rng + ?Sized>(de: &DeltaEval, rng: &mut R) -> Option<Move> {
+    let count = move_count(de);
+    if count == 0 {
+        return None;
+    }
+    Some(nth_move(de, rng.gen_range(0..count)))
+}
+
 /// All single-move neighbors of `mapping` on an `n_procs` platform.
+///
+/// Materializing reference enumeration: O(n·m) cloned mappings per call.
+/// Solvers use [`MoveStream`] + [`DeltaEval`] instead; this form remains
+/// the property-test oracle and the E15 baseline.
 #[must_use]
 pub fn neighbors(mapping: &IntervalMapping, n_procs: usize) -> Vec<IntervalMapping> {
     let mut out = Vec::new();
@@ -280,6 +525,49 @@ mod tests {
         let m = random_mapping(4, 1, &mut rng);
         assert_eq!(m.n_intervals(), 1);
         assert_eq!(m.total_replicas(), 1);
+    }
+
+    #[test]
+    fn stream_matches_materialized_neighbors() {
+        let pipe = rpwf_core::stage::Pipeline::uniform(4, 1.0, 1.0).unwrap();
+        let pf = rpwf_core::platform::Platform::fully_homogeneous(5, 1.0, 1.0, 0.3).unwrap();
+        let ctx = rpwf_core::eval::EvalContext::new(&pipe, &pf);
+        let m = sample_mapping();
+        let mut de = rpwf_core::eval::DeltaEval::new(&ctx, &m);
+        let materialized = neighbors(&m, 5);
+        assert_eq!(move_count(&de), materialized.len());
+        let mut stream = MoveStream::new();
+        let mut i = 0usize;
+        while let Some(mv) = stream.next(&de) {
+            de.apply(mv);
+            assert_eq!(
+                de.mapping(),
+                materialized[i],
+                "move {i} ({mv:?}) must produce neighbors()[{i}]"
+            );
+            de.revert();
+            assert_eq!(nth_move(&de, i), mv);
+            i += 1;
+        }
+        assert_eq!(i, materialized.len());
+    }
+
+    #[test]
+    fn random_move_matches_random_neighbor_stream() {
+        let pipe = rpwf_core::stage::Pipeline::uniform(4, 1.0, 1.0).unwrap();
+        let pf = rpwf_core::platform::Platform::fully_homogeneous(5, 1.0, 1.0, 0.3).unwrap();
+        let ctx = rpwf_core::eval::EvalContext::new(&pipe, &pf);
+        let m = sample_mapping();
+        let mut de = rpwf_core::eval::DeltaEval::new(&ctx, &m);
+        for seed in 0..20u64 {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let nb = random_neighbor(&m, 5, &mut rng_a).expect("has neighbors");
+            let mv = random_move(&de, &mut rng_b).expect("has moves");
+            de.apply(mv);
+            assert_eq!(de.mapping(), nb, "same seed must pick the same neighbor");
+            de.revert();
+        }
     }
 
     #[test]

@@ -3,11 +3,16 @@
 //! Samples valid interval mappings uniformly-ish (random boundary mask,
 //! random processor deal) and keeps the best feasible one. Any heuristic
 //! that cannot beat this on a given budget is not earning its complexity.
+//! Samples are scored through [`EvalContext::evaluate`] (one traversal,
+//! cached per-processor terms, bit-identical to the full formulas); a
+//! `BiSolution` is materialized only when the incumbent improves.
 
 use crate::heuristics::neighborhood::random_mapping;
-use crate::solution::{BiSolution, Objective};
+use crate::solution::{BiSolution, Budgeted, Objective};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rpwf_core::budget::Budget;
+use rpwf_core::eval::EvalContext;
 use rpwf_core::platform::Platform;
 use rpwf_core::stage::Pipeline;
 
@@ -38,18 +43,45 @@ impl RandomSearch {
         platform: &Platform,
         objective: Objective,
     ) -> Option<BiSolution> {
+        self.solve_with_budget(pipeline, platform, objective, &Budget::unlimited())
+            .into_inner()
+    }
+
+    /// Budgeted variant: polls `budget` every few samples and returns the
+    /// best-so-far as [`Budgeted::Cutoff`] on expiry. With an unlimited
+    /// budget the result equals [`solve`](Self::solve) exactly.
+    #[must_use]
+    pub fn solve_with_budget(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let ctx = EvalContext::new(pipeline, platform);
+        let limited = budget.is_limited();
         let mut best: Option<BiSolution> = None;
-        for _ in 0..self.samples {
+        for i in 0..self.samples {
+            if limited && i & 0x3F == 0 && budget.is_exhausted() {
+                return Budgeted::Cutoff(best);
+            }
             let mapping = random_mapping(pipeline.n_stages(), platform.n_procs(), &mut rng);
-            let sol = BiSolution::evaluate(mapping, pipeline, platform);
-            if objective.feasible(sol.latency, sol.failure_prob)
-                && best.as_ref().is_none_or(|b| objective.better(&sol, b))
+            let s = ctx.evaluate(&mapping);
+            let fp = s.failure_prob();
+            if objective.feasible(s.latency, fp)
+                && best.as_ref().is_none_or(|b| {
+                    objective.better_values(s.latency, fp, b.latency, b.failure_prob)
+                })
             {
-                best = Some(sol);
+                best = Some(BiSolution {
+                    mapping,
+                    latency: s.latency,
+                    failure_prob: fp,
+                });
             }
         }
-        best
+        Budgeted::Complete(best)
     }
 }
 

@@ -66,6 +66,17 @@ impl<T> Budgeted<T> {
             Budgeted::Complete(inner) | Budgeted::Cutoff(inner) => inner,
         }
     }
+
+    /// Unwraps the payload while folding completeness into `complete`
+    /// (a [`Budgeted::Cutoff`] clears the flag; a
+    /// [`Budgeted::Complete`] leaves it untouched) — for aggregating
+    /// several budgeted runs into one overall outcome.
+    pub fn map_complete(self, complete: &mut bool) -> T {
+        if !self.is_complete() {
+            *complete = false;
+        }
+        self.into_inner()
+    }
 }
 
 /// The two threshold problems of the paper (§2.2).
@@ -128,25 +139,32 @@ impl Objective {
     /// criterion as a tie-breaker.
     #[must_use]
     pub fn better(&self, a: &BiSolution, b: &BiSolution) -> bool {
-        let fa = self.feasible(a.latency, a.failure_prob);
-        let fb = self.feasible(b.latency, b.failure_prob);
+        self.better_values(a.latency, a.failure_prob, b.latency, b.failure_prob)
+    }
+
+    /// [`Objective::better`] on raw objective values — lets incremental
+    /// evaluators compare candidates without materializing a
+    /// [`BiSolution`] per neighbor.
+    #[must_use]
+    pub fn better_values(&self, a_latency: f64, a_fp: f64, b_latency: f64, b_fp: f64) -> bool {
+        let fa = self.feasible(a_latency, a_fp);
+        let fb = self.feasible(b_latency, b_fp);
         match (fa, fb) {
             (true, false) => true,
             (false, true) => false,
             (false, false) => {
-                self.constraint_excess(a.latency, a.failure_prob)
-                    < self.constraint_excess(b.latency, b.failure_prob)
+                self.constraint_excess(a_latency, a_fp) < self.constraint_excess(b_latency, b_fp)
             }
             (true, true) => {
-                let va = self.value(a.latency, a.failure_prob);
-                let vb = self.value(b.latency, b.failure_prob);
+                let va = self.value(a_latency, a_fp);
+                let vb = self.value(b_latency, b_fp);
                 if va != vb {
                     return va < vb;
                 }
                 // Tie-break on the unconstrained criterion.
                 let (sa, sb) = match *self {
-                    Objective::MinFpUnderLatency(_) => (a.latency, b.latency),
-                    Objective::MinLatencyUnderFp(_) => (a.failure_prob, b.failure_prob),
+                    Objective::MinFpUnderLatency(_) => (a_latency, b_latency),
+                    Objective::MinLatencyUnderFp(_) => (a_fp, b_fp),
                 };
                 sa < sb
             }

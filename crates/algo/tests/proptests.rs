@@ -3,9 +3,12 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rpwf_algo::exact::{
     min_latency_interval, min_latency_one_to_one, pareto_front_comm_homog, BranchBound, Exhaustive,
+};
+use rpwf_algo::heuristics::neighborhood::{
+    move_count, neighbors, nth_move, random_mapping, MoveStream,
 };
 use rpwf_algo::heuristics::{one_to_one::solve_one_to_one, split_dp, Portfolio};
 use rpwf_algo::mono::general_mapping_shortest_path;
@@ -14,6 +17,17 @@ use rpwf_core::num::approx_eq;
 use rpwf_core::platform::{FailureClass, PlatformClass};
 use rpwf_core::prelude::*;
 use rpwf_gen::{PipelineGen, PlatformGen};
+
+/// `|a − b| ≤ 1` unit in the last place (and bit-equal covers ±0, inf).
+fn within_one_ulp(a: f64, b: f64) -> bool {
+    if a.to_bits() == b.to_bits() {
+        return true;
+    }
+    if a.is_nan() || b.is_nan() || a.signum() != b.signum() {
+        return false;
+    }
+    a.to_bits().abs_diff(b.to_bits()) <= 1
+}
 
 /// Instances are generated from a single seed through the crate generators,
 /// so shrinking operates on the seed.
@@ -110,6 +124,97 @@ proptest! {
                 prop_assert!(sol.failure_prob >= exact.failure_prob - 1e-9);
             }
         }
+    }
+
+    /// The lazy move stream reproduces the materialized neighbor list
+    /// exactly: same count, same order, same produced mappings.
+    #[test]
+    fn move_stream_equals_materialized_neighbors(seed in 0u64..10_000) {
+        let (pipe, pf) = instance(seed, 5, 5, PlatformClass::FullyHeterogeneous);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+        let mapping = random_mapping(pipe.n_stages(), pf.n_procs(), &mut rng);
+        let ctx = EvalContext::new(&pipe, &pf);
+        let mut de = DeltaEval::new(&ctx, &mapping);
+        let materialized = neighbors(&mapping, pf.n_procs());
+        prop_assert_eq!(move_count(&de), materialized.len());
+        let mut stream = MoveStream::new();
+        let mut i = 0usize;
+        while let Some(mv) = stream.next(&de) {
+            de.apply(mv);
+            prop_assert_eq!(&de.mapping(), &materialized[i], "move {} ({:?})", i, mv);
+            de.revert();
+            i += 1;
+        }
+        prop_assert_eq!(i, materialized.len());
+        prop_assert_eq!(&de.mapping(), &mapping, "stream walk must not disturb the state");
+    }
+
+    /// Delta scoring stays exact over random apply/revert sequences:
+    /// latency bit-for-bit, log-FP within 1 ulp (empirically bit-for-bit
+    /// too) of the full `metrics` recomputation after every step.
+    #[test]
+    fn delta_eval_matches_full_recomputation(seed in 0u64..10_000) {
+        let (pipe, pf) = instance(seed, 6, 6, PlatformClass::FullyHeterogeneous);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD317A);
+        let mapping = random_mapping(pipe.n_stages(), pf.n_procs(), &mut rng);
+        let ctx = EvalContext::new(&pipe, &pf);
+        let mut de = DeltaEval::new(&ctx, &mapping);
+        for step in 0..40 {
+            let count = move_count(&de);
+            if count == 0 {
+                break;
+            }
+            let mv = nth_move(&de, rng.gen_range(0..count));
+            let before = de.scores();
+            let s = de.apply(mv);
+            if rng.gen_bool(1.0 / 3.0) {
+                de.revert();
+                let after = de.scores();
+                prop_assert_eq!(
+                    after.latency.to_bits(), before.latency.to_bits(),
+                    "step {}: revert must restore latency bits", step
+                );
+                prop_assert_eq!(
+                    after.ln_success.to_bits(), before.ln_success.to_bits(),
+                    "step {}: revert must restore ln-success bits", step
+                );
+            } else {
+                de.accept();
+                let current = de.mapping();
+                let full_lat = rpwf_core::metrics::latency(&current, &pipe, &pf);
+                let full_ln = rpwf_core::metrics::log_success_probability(&current, &pf);
+                prop_assert_eq!(
+                    s.latency.to_bits(), full_lat.to_bits(),
+                    "step {} ({:?}): delta latency {} vs full {}",
+                    step, mv, s.latency, full_lat
+                );
+                prop_assert!(
+                    within_one_ulp(s.ln_success, full_ln),
+                    "step {} ({:?}): delta ln-success {} vs full {}",
+                    step, mv, s.ln_success, full_ln
+                );
+                prop_assert!(
+                    within_one_ulp(s.failure_prob(), rpwf_core::metrics::failure_probability(&current, &pf)),
+                    "step {}: failure probabilities diverged", step
+                );
+            }
+        }
+    }
+
+    /// Budgeted heuristics with an unlimited budget reproduce the plain
+    /// solvers exactly (same mapping, bit-equal objectives).
+    #[test]
+    fn unbudgeted_heuristics_are_unchanged(seed in 0u64..10_000) {
+        let (pipe, pf) = instance(seed, 4, 5, PlatformClass::FullyHeterogeneous);
+        let objective = Objective::MinLatencyUnderFp(0.6);
+        let ls = rpwf_algo::heuristics::LocalSearch { random_restarts: 2, max_steps: 40, seed };
+        let budgeted = ls.solve_with_budget(&pipe, &pf, objective, &Budget::unlimited());
+        prop_assert!(budgeted.is_complete());
+        prop_assert_eq!(budgeted.into_inner(), ls.solve(&pipe, &pf, objective));
+        let sa = rpwf_algo::heuristics::Annealing { seed, epochs: 10, ..Default::default() };
+        let budgeted = sa.solve_with_budget(&pipe, &pf, objective, &Budget::unlimited());
+        prop_assert!(budgeted.is_complete());
+        prop_assert_eq!(budgeted.into_inner(), sa.solve(&pipe, &pf, objective));
     }
 
     /// Comparator laws: `better` is irreflexive and asymmetric.

@@ -1,0 +1,8 @@
+//! E15 — incremental vs full neighbor evaluation (writes
+//! `BENCH_eval.json`). Pass `--smoke` for the tiny CI-sized run.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    for table in rpwf_bench::experiments::eval_incremental::eval_incremental(smoke) {
+        table.print();
+    }
+}

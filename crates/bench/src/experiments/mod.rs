@@ -15,9 +15,11 @@
 //! | E11 | [`simulation::sim_validation`] | `exp_sim_validation` |
 //! | E13 | [`tricriteria::tricriteria`] | `exp_tricriteria` |
 //! | E14 | [`server_throughput::server_throughput`] | `exp_server` |
+//! | E15 | [`eval_incremental::eval_incremental`] | `exp_eval` |
 //!
 //! (E12 is the criterion suite under `benches/`.)
 
+pub mod eval_incremental;
 pub mod figures;
 pub mod hardness;
 pub mod heuristics_eval;
@@ -46,5 +48,6 @@ pub fn run_all() -> Vec<(&'static str, Vec<Table>)> {
         ("E11", simulation::sim_validation()),
         ("E13", tricriteria::tricriteria()),
         ("E14", server_throughput::server_throughput()),
+        ("E15", eval_incremental::eval_incremental(false)),
     ]
 }

@@ -7,9 +7,9 @@
 //! monotonic clock) and unwind with their best partial result when it
 //! returns `true`. The serving layer builds one budget per request from
 //! the client's `deadline_ms`; [`CancelHandle`] additionally supports
-//! caller-driven aborts (e.g. cancelling in-flight work when a client
-//! connection drops — not yet wired into the transport, see ROADMAP
-//! "Connection-level cancellation").
+//! caller-driven aborts — the TCP transport keeps one handle per
+//! connection, [`Budget::linked`] into every request budget, so a dropped
+//! client connection cancels all of its in-flight solves.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -17,11 +17,14 @@ use std::time::{Duration, Instant};
 
 /// A deadline and/or cancellation token for one unit of solver work.
 ///
-/// The default budget is unlimited: no deadline, never cancelled.
+/// The default budget is unlimited: no deadline, never cancelled. A
+/// budget can carry several cancellation flags (its own from
+/// [`Budget::cancellable`] plus any linked via [`Budget::linked`], e.g.
+/// a per-connection handle); any one of them firing exhausts it.
 #[derive(Clone, Debug, Default)]
 pub struct Budget {
     deadline: Option<Instant>,
-    cancel: Option<Arc<AtomicBool>>,
+    cancel: Vec<Arc<AtomicBool>>,
 }
 
 /// Cancels the [`Budget`] it was created from (and that budget's clones).
@@ -30,7 +33,24 @@ pub struct CancelHandle {
     flag: Arc<AtomicBool>,
 }
 
+impl Default for CancelHandle {
+    fn default() -> Self {
+        CancelHandle::new()
+    }
+}
+
 impl CancelHandle {
+    /// A fresh, not-yet-cancelled handle. Link it to any number of
+    /// budgets with [`Budget::linked`] — e.g. one handle per client
+    /// connection, linked into every in-flight request budget, so a
+    /// dropped connection cancels all of its work at once.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelHandle {
+            flag: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
     /// Signals cancellation; idempotent.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Relaxed);
@@ -55,7 +75,7 @@ impl Budget {
     pub fn with_deadline(timeout: Duration) -> Self {
         Budget {
             deadline: Some(Instant::now() + timeout),
-            cancel: None,
+            cancel: Vec::new(),
         }
     }
 
@@ -65,16 +85,27 @@ impl Budget {
     pub fn with_deadline_at(deadline: Instant) -> Self {
         Budget {
             deadline: Some(deadline),
-            cancel: None,
+            cancel: Vec::new(),
         }
     }
 
-    /// Attaches a cancellation token, returning the budget and its handle.
+    /// Attaches a fresh cancellation token (keeping any already-linked
+    /// handles live), returning the budget and the new handle.
     #[must_use]
     pub fn cancellable(mut self) -> (Self, CancelHandle) {
         let flag = Arc::new(AtomicBool::new(false));
-        self.cancel = Some(Arc::clone(&flag));
+        self.cancel.push(Arc::clone(&flag));
         (self, CancelHandle { flag })
+    }
+
+    /// Links this budget to an existing [`CancelHandle`] (e.g. a
+    /// per-connection handle shared by many request budgets): the budget
+    /// exhausts when its own deadline passes *or* any linked handle
+    /// fires. Previously attached handles stay live.
+    #[must_use]
+    pub fn linked(mut self, handle: &CancelHandle) -> Self {
+        self.cancel.push(Arc::clone(&handle.flag));
+        self
     }
 
     /// `true` once the deadline has passed or cancellation was signalled.
@@ -84,10 +115,8 @@ impl Budget {
     /// deadline is set.
     #[must_use]
     pub fn is_exhausted(&self) -> bool {
-        if let Some(cancel) = &self.cancel {
-            if cancel.load(Ordering::Relaxed) {
-                return true;
-            }
+        if self.cancel.iter().any(|c| c.load(Ordering::Relaxed)) {
+            return true;
         }
         match self.deadline {
             Some(deadline) => Instant::now() >= deadline,
@@ -99,7 +128,7 @@ impl Budget {
     /// Solvers skip the polling overhead entirely for unlimited budgets.
     #[must_use]
     pub fn is_limited(&self) -> bool {
-        self.deadline.is_some() || self.cancel.is_some()
+        self.deadline.is_some() || !self.cancel.is_empty()
     }
 
     /// Time left before the deadline; `None` when no deadline is set.
@@ -151,5 +180,35 @@ mod tests {
     fn deadline_at_instant() {
         let b = Budget::with_deadline_at(Instant::now());
         assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn linked_handle_cancels_many_budgets() {
+        let handle = CancelHandle::new();
+        let a = Budget::unlimited().linked(&handle);
+        let b = Budget::with_deadline(Duration::from_secs(3600)).linked(&handle);
+        assert!(!a.is_exhausted());
+        assert!(!b.is_exhausted());
+        assert!(a.is_limited(), "a linked budget is limited");
+        handle.cancel();
+        assert!(a.is_exhausted());
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn linking_keeps_earlier_handles_live() {
+        let (budget, own) = Budget::unlimited().cancellable();
+        let conn = CancelHandle::new();
+        let budget = budget.linked(&conn);
+        assert!(!budget.is_exhausted());
+        // The original handle still cancels after linking another one…
+        own.cancel();
+        assert!(budget.is_exhausted());
+        // …and the linked handle works independently.
+        let (budget, _own2) = Budget::unlimited().cancellable();
+        let budget = budget.linked(&conn);
+        assert!(!budget.is_exhausted());
+        conn.cancel();
+        assert!(budget.is_exhausted());
     }
 }

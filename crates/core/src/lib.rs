@@ -16,6 +16,8 @@
 //!   general mappings,
 //! * [`metrics`] — failure probability and the worst-case latency formulas
 //!   (equations (1) and (2) of the paper),
+//! * [`eval`] — incremental (delta) evaluation of neighborhood moves with
+//!   bit-exact agreement to the full formulas,
 //! * [`throughput`] — steady-state period (extension, paper §5),
 //! * [`intervals`] — enumeration of interval partitions,
 //! * [`pareto`] — bi-objective Pareto fronts,
@@ -54,6 +56,7 @@
 
 pub mod budget;
 pub mod error;
+pub mod eval;
 pub mod hash;
 pub mod intervals;
 pub mod mapping;
@@ -66,6 +69,7 @@ pub mod throughput;
 
 pub use budget::{Budget, CancelHandle};
 pub use error::{CoreError, Result};
+pub use eval::{DeltaEval, EvalContext, Move, Scores};
 pub use hash::{CanonicalDigest, CanonicalHasher};
 pub use mapping::{GeneralMapping, Interval, IntervalMapping, OneToOneMapping};
 pub use metrics::{
@@ -79,6 +83,7 @@ pub use stage::{Pipeline, PipelineBuilder, Stage};
 pub mod prelude {
     pub use crate::budget::{Budget, CancelHandle};
     pub use crate::error::{CoreError, Result};
+    pub use crate::eval::{DeltaEval, EvalContext, Move, Scores};
     pub use crate::hash::{CanonicalDigest, CanonicalHasher};
     pub use crate::intervals::{count_partitions, IntervalPartitions, PartitionsWithParts};
     pub use crate::mapping::{GeneralMapping, Interval, IntervalMapping, OneToOneMapping};

@@ -123,6 +123,61 @@ pub struct IntervalCost {
     pub out_comm: f64,
 }
 
+/// Serialized input cost from `P_in` to every replica in `alloc0` (the
+/// first interval's allocation): `Σ_{u∈alloc0} δ_0 / b_{in,u}`.
+///
+/// Shared by [`latency_eq2_breakdown`] and the incremental evaluator
+/// ([`crate::eval::DeltaEval`]), which must agree bit-for-bit.
+#[must_use]
+pub fn input_comm_cost(alloc0: &[ProcId], input_size: f64, platform: &Platform) -> f64 {
+    kahan_sum(
+        alloc0
+            .iter()
+            .map(|&u| platform.comm_time(Vertex::In, Vertex::Proc(u), input_size)),
+    )
+}
+
+/// The bottleneck-replica cost of one interval under equation (2):
+/// `max_{u∈alloc} [ work/s_u + Σ_{v∈next} out_size/b_{u,v} ]`, with
+/// `next = None` meaning the interval is last and sends to `P_out`.
+///
+/// This is the only place the per-interval term is computed; the full
+/// breakdown and the incremental evaluator both call it, so their values
+/// are bit-identical by construction.
+#[must_use]
+pub fn interval_cost(
+    work: f64,
+    out_size: f64,
+    alloc: &[ProcId],
+    next: Option<&[ProcId]>,
+    platform: &Platform,
+) -> IntervalCost {
+    let mut best: Option<IntervalCost> = None;
+    for &u in alloc {
+        let compute = work / platform.speed(u);
+        let out_comm = match next {
+            Some(next) => kahan_sum(
+                next.iter()
+                    .map(|&v| platform.comm_time(Vertex::Proc(u), Vertex::Proc(v), out_size)),
+            ),
+            None => platform.comm_time(Vertex::Proc(u), Vertex::Out, out_size),
+        };
+        let cost = IntervalCost {
+            bottleneck: u,
+            compute,
+            out_comm,
+        };
+        let replace = match &best {
+            None => true,
+            Some(b) => (compute + out_comm) > (b.compute + b.out_comm),
+        };
+        if replace {
+            best = Some(cost);
+        }
+    }
+    best.expect("allocations are non-empty")
+}
+
 /// Computes [`LatencyBreakdown`] for equation (2).
 #[must_use]
 pub fn latency_eq2_breakdown(
@@ -131,45 +186,23 @@ pub fn latency_eq2_breakdown(
     platform: &Platform,
 ) -> LatencyBreakdown {
     let p = mapping.n_intervals();
-    let input_comm = kahan_sum(
-        mapping
-            .alloc(0)
-            .iter()
-            .map(|&u| platform.comm_time(Vertex::In, Vertex::Proc(u), pipeline.input_size())),
-    );
+    let input_comm = input_comm_cost(mapping.alloc(0), pipeline.input_size(), platform);
 
     let mut interval_costs = Vec::with_capacity(p);
     for j in 0..p {
         let iv = mapping.interval(j);
-        let work = pipeline.interval_work(iv);
-        let out_size = pipeline.interval_output(iv);
-        let mut best: Option<IntervalCost> = None;
-        for &u in mapping.alloc(j) {
-            let compute = work / platform.speed(u);
-            let out_comm = if j + 1 < p {
-                kahan_sum(
-                    mapping
-                        .alloc(j + 1)
-                        .iter()
-                        .map(|&v| platform.comm_time(Vertex::Proc(u), Vertex::Proc(v), out_size)),
-                )
-            } else {
-                platform.comm_time(Vertex::Proc(u), Vertex::Out, out_size)
-            };
-            let cost = IntervalCost {
-                bottleneck: u,
-                compute,
-                out_comm,
-            };
-            let replace = match &best {
-                None => true,
-                Some(b) => (compute + out_comm) > (b.compute + b.out_comm),
-            };
-            if replace {
-                best = Some(cost);
-            }
-        }
-        interval_costs.push(best.expect("allocations are non-empty"));
+        let next = if j + 1 < p {
+            Some(mapping.alloc(j + 1))
+        } else {
+            None
+        };
+        interval_costs.push(interval_cost(
+            pipeline.interval_work(iv),
+            pipeline.interval_output(iv),
+            mapping.alloc(j),
+            next,
+            platform,
+        ));
     }
 
     let total = input_comm + kahan_sum(interval_costs.iter().map(|c| c.compute + c.out_comm));

@@ -6,9 +6,17 @@
 //! requests of one connection — clients correlate by `id`. All
 //! connections share one worker pool, so a single client cannot starve
 //! the service by opening many connections.
+//!
+//! Every connection owns a [`CancelHandle`] linked into each of its
+//! request budgets. When the read half of the socket closes — the client
+//! disconnected (or half-closed, which the protocol treats the same way:
+//! a client that stops reading has abandoned its answers) — the handle
+//! fires and every in-flight solve of that connection unwinds at its
+//! next budget poll, freeing the worker for live clients.
 
 use crate::service::{ServiceConfig, SolverService, WorkerPool};
 use crossbeam::channel;
+use rpwf_core::budget::CancelHandle;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -109,6 +117,7 @@ fn serve_connection(stream: &TcpStream, pool: &Arc<WorkerPool>) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    let cancel = CancelHandle::new();
     let (tx, rx) = channel::unbounded::<String>();
 
     let writer_thread = std::thread::Builder::new()
@@ -134,16 +143,20 @@ fn serve_connection(stream: &TcpStream, pool: &Arc<WorkerPool>) {
         }
         let received = Instant::now();
         let tx = tx.clone();
-        pool.submit(
+        pool.submit_cancellable(
             line,
             received,
             Box::new(move |response| {
                 let _ = tx.send(response);
             }),
+            Some(cancel.clone()),
         );
     }
-    // Reader done: once in-flight jobs reply, the channel disconnects and
-    // the writer exits.
+    // Reader done: the client is gone, so its queued and in-flight work
+    // is abandoned — cancel it to free the workers promptly.
+    cancel.cancel();
+    // Once in-flight jobs reply, the channel disconnects and the writer
+    // exits.
     drop(tx);
     let _ = writer_thread.join();
 }

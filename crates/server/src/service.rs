@@ -10,7 +10,7 @@ use crate::protocol::{
 use crossbeam::channel::{self, Sender};
 use rpwf_algo::exact::{pareto_front_comm_homog_with_budget, Exhaustive};
 use rpwf_algo::heuristics::Portfolio;
-use rpwf_core::budget::Budget;
+use rpwf_core::budget::{Budget, CancelHandle};
 use rpwf_core::pareto::ParetoFront;
 use rpwf_core::platform::{FailureClass, PlatformClass};
 use serde::Serialize;
@@ -84,6 +84,19 @@ impl SolverService {
     /// producing one response line (no trailing newline).
     #[must_use]
     pub fn handle_line(&self, line: &str, received: Instant) -> String {
+        self.handle_line_cancellable(line, received, None)
+    }
+
+    /// [`handle_line`](Self::handle_line) with an optional cancellation
+    /// handle linked into the request budget — the transport passes its
+    /// per-connection handle so a dropped client aborts the solve.
+    #[must_use]
+    pub fn handle_line_cancellable(
+        &self,
+        line: &str,
+        received: Instant,
+        cancel: Option<&CancelHandle>,
+    ) -> String {
         let start = Instant::now();
         let trimmed = line.trim();
         if trimmed.is_empty() {
@@ -96,7 +109,7 @@ impl SolverService {
             .to_line();
         }
         match serde_json::from_str::<Request>(trimmed) {
-            Ok(request) => self.handle(request, received).to_line(),
+            Ok(request) => self.handle_cancellable(request, received, cancel).to_line(),
             Err(e) => Response::error(
                 None,
                 ErrorKind::Invalid,
@@ -114,11 +127,23 @@ impl SolverService {
     /// errors so a malformed instance cannot take a worker down.
     #[must_use]
     pub fn handle(&self, request: Request, received: Instant) -> Response {
+        self.handle_cancellable(request, received, None)
+    }
+
+    /// [`handle`](Self::handle) with an optional cancellation handle
+    /// linked into the request budget.
+    #[must_use]
+    pub fn handle_cancellable(
+        &self,
+        request: Request,
+        received: Instant,
+        cancel: Option<&CancelHandle>,
+    ) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
         let id = request.id;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.handle_inner(request, received, start)
+            self.handle_inner(request, received, start, cancel)
         }));
         match outcome {
             Ok(response) => response,
@@ -131,12 +156,21 @@ impl SolverService {
         }
     }
 
-    fn handle_inner(&self, request: Request, received: Instant, start: Instant) -> Response {
+    fn handle_inner(
+        &self,
+        request: Request,
+        received: Instant,
+        start: Instant,
+        cancel: Option<&CancelHandle>,
+    ) -> Response {
         let id = request.id;
-        let budget = match request.deadline_ms {
+        let mut budget = match request.deadline_ms {
             Some(ms) => Budget::with_deadline_at(received + Duration::from_millis(ms)),
             None => Budget::unlimited(),
         };
+        if let Some(handle) = cancel {
+            budget = budget.linked(handle);
+        }
 
         // Cache lookup (content-addressed; Ping/Gen/Stats are not cached).
         let use_cache = !request.no_cache.unwrap_or(false);
@@ -170,7 +204,7 @@ impl SolverService {
             return Response::error(
                 id,
                 ErrorKind::Timeout,
-                "deadline expired before solving started",
+                "deadline expired or request cancelled before solving started",
                 meta_plain(start),
             );
         }
@@ -285,9 +319,11 @@ impl SolverService {
                         .to_value(),
                         solver: Some(report.solver.name().into()),
                         exact_complete: Some(report.exact_complete),
-                        // Cutoff answers may be beaten by a rerun with more
-                        // budget; never let them poison the cache.
-                        cacheable: report.exact_complete || !report.exact_attempted,
+                        // Cutoff answers — exact or heuristic — may be
+                        // beaten by a rerun with more budget; never let
+                        // them poison the cache.
+                        cacheable: report.exact_complete
+                            || (!report.exact_attempted && report.heuristic_complete),
                     }),
                     None if report.exact_complete => Err((
                         ErrorKind::Infeasible,
@@ -445,7 +481,9 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 // ---------------------------------------------------------------------------
 
 /// One queued request: the raw line, its receipt time (deadlines count
-/// from here, including queue wait), and where to deliver the response.
+/// from here, including queue wait), where to deliver the response, and
+/// an optional cancellation handle (shared per connection) linked into
+/// the request budget.
 pub struct Job {
     /// Raw request line.
     pub line: String,
@@ -453,6 +491,8 @@ pub struct Job {
     pub received: Instant,
     /// Response consumer.
     pub respond: Box<dyn FnOnce(String) + Send>,
+    /// Cancellation handle; firing it aborts the solve mid-flight.
+    pub cancel: Option<CancelHandle>,
 }
 
 /// A fixed pool of solver workers fed by an MPMC channel.
@@ -476,7 +516,11 @@ impl WorkerPool {
                     .name(format!("rpwf-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
-                            let line = service.handle_line(&job.line, job.received);
+                            let line = service.handle_line_cancellable(
+                                &job.line,
+                                job.received,
+                                job.cancel.as_ref(),
+                            );
                             (job.respond)(line);
                         }
                     })
@@ -499,10 +543,25 @@ impl WorkerPool {
     /// Enqueues a request line; the response is passed to `respond` on a
     /// worker thread.
     pub fn submit(&self, line: String, received: Instant, respond: Box<dyn FnOnce(String) + Send>) {
+        self.submit_cancellable(line, received, respond, None);
+    }
+
+    /// [`submit`](Self::submit) with a cancellation handle linked into
+    /// the request budget — the TCP transport passes its per-connection
+    /// handle here so a client disconnect aborts the connection's
+    /// in-flight work.
+    pub fn submit_cancellable(
+        &self,
+        line: String,
+        received: Instant,
+        respond: Box<dyn FnOnce(String) + Send>,
+        cancel: Option<CancelHandle>,
+    ) {
         let job = Job {
             line,
             received,
             respond,
+            cancel,
         };
         assert!(
             self.tx
@@ -686,6 +745,26 @@ mod tests {
         let text = serde_json::to_string(&stats.result).unwrap();
         assert!(text.contains("\"workers\""), "{text}");
         assert!(text.contains("\"cache\""), "{text}");
+    }
+
+    #[test]
+    fn cancelled_handle_aborts_a_solve_as_timeout() {
+        let svc = service();
+        let handle = rpwf_core::budget::CancelHandle::new();
+        handle.cancel();
+        let mut req = solve_request(3, 22.0);
+        req.no_cache = Some(true);
+        let resp = svc.handle_cancellable(req, Instant::now(), Some(&handle));
+        assert_eq!(resp.status, "error");
+        assert_eq!(resp.error.expect("error body").kind, "timeout");
+    }
+
+    #[test]
+    fn uncancelled_handle_does_not_disturb_a_solve() {
+        let svc = service();
+        let handle = rpwf_core::budget::CancelHandle::new();
+        let resp = svc.handle_cancellable(solve_request(4, 22.0), Instant::now(), Some(&handle));
+        assert_eq!(resp.status, "ok", "{:?}", resp.error);
     }
 
     #[test]

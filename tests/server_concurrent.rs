@@ -241,6 +241,71 @@ fn expired_deadline_returns_structured_timeout_not_a_hang() {
 }
 
 #[test]
+fn dropped_connection_cancels_its_inflight_solve() {
+    // A single worker: if the abandoned heavy request were NOT cancelled
+    // it would occupy the worker for a very long time (exhaustive Pareto
+    // sweep on n=10, m=6) and the follow-up ping could not be answered.
+    let mut server = Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 1,
+            cache_capacity: 16,
+            cache_shards: 2,
+            seed: 0xCAFE,
+        },
+    )
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr();
+
+    // Heavy request: fully heterogeneous (m = 6 → exhaustive backend),
+    // generous deadline so only cancellation can cut it short.
+    let inst = gen::make_instance(
+        PlatformClass::FullyHeterogeneous,
+        FailureClass::Heterogeneous,
+        10,
+        6,
+        3,
+    );
+    let heavy = request_line(
+        1,
+        Some(120_000),
+        Command::Pareto {
+            pipeline: inst.pipeline,
+            platform: inst.platform,
+        },
+    );
+    {
+        let mut doomed = TcpStream::connect(addr).expect("connect");
+        writeln!(doomed, "{heavy}").expect("send");
+        doomed.flush().expect("flush");
+        // Give the worker a moment to pick the job up, then vanish.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    } // drop = close: the server must cancel the in-flight sweep.
+
+    let start = std::time::Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .expect("set timeout");
+    writeln!(stream, "{}", request_line(2, None, Command::Ping)).expect("send");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("ping answered — the dropped connection must have freed the worker");
+    let resp: Response = serde_json::from_str(line.trim()).expect("parses");
+    assert_eq!(resp.status, "ok");
+    assert_eq!(resp.id, Some(2));
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "worker must be freed promptly after the client dropped, took {:?}",
+        start.elapsed()
+    );
+    server.shutdown();
+}
+
+#[test]
 fn mixed_pipelined_requests_on_one_connection() {
     let mut server = start_server();
     let addr = server.local_addr();
