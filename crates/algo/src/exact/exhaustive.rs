@@ -89,6 +89,12 @@ impl<'a> Exhaustive<'a> {
     /// points (every candidate evaluated before the cutoff), so it is a
     /// sound under-approximation of the true front.
     ///
+    /// Partitions are visited in **expected-yield order** (descending
+    /// work-span diversity, see [`partition_yield_order`]) rather than
+    /// enumeration order, so a budget cutoff keeps the partitions that
+    /// contribute the front's extremes and widest-spread points. The
+    /// complete front is order-insensitive (Pareto merge is a union).
+    ///
     /// # Panics
     /// When a single partition would require more than
     /// `MAX_CANDIDATES_PER_PARTITION` assignment evaluations.
@@ -105,7 +111,10 @@ impl<'a> Exhaustive<'a> {
         let stop = AtomicBool::new(false);
         let limited = budget.is_limited();
 
-        for (pi, partition) in IntervalPartitions::new(n).enumerate() {
+        let partitions: Vec<Vec<Interval>> = IntervalPartitions::new(n).collect();
+        let order = partition_yield_order(self.pipeline, &partitions);
+        for pi in order {
+            let partition = &partitions[pi];
             let p = partition.len();
             if p > m {
                 continue;
@@ -120,7 +129,7 @@ impl<'a> Exhaustive<'a> {
                 "exhaustive search would enumerate {total} assignments; \
                  shrink the instance or use the DP/heuristic solvers"
             );
-            let eval = CandidateEval::new(self.pipeline, self.platform, &partition);
+            let eval = CandidateEval::new(self.pipeline, self.platform, partition);
             let threads = self.threads.unwrap_or_else(|| default_threads(total));
             let local: ParetoFront<Encoded> = par_fold_cancellable(
                 total,
@@ -156,7 +165,6 @@ impl<'a> Exhaustive<'a> {
         }
 
         // Materialize the surviving mappings.
-        let partitions: Vec<Vec<Interval>> = IntervalPartitions::new(n).collect();
         let mut out = ParetoFront::new();
         for pt in encoded_front.into_points() {
             let partition = &partitions[pt.payload.partition as usize];
@@ -329,6 +337,38 @@ impl<'a> CandidateEval<'a> {
         }
         Some((lat, fp))
     }
+}
+
+/// Visit order for the budgeted sweep: indices into `partitions` sorted by
+/// descending **work-span diversity** — primary key the widest interval
+/// work (partitions whose intervals span the most work carry the extreme
+/// points and are the cheapest to enumerate, `(p+1)^m` grows with `p`),
+/// secondary key the spread `max − min` of interval works (imbalanced
+/// partitions cover wider latency ranges than balanced ones), tie-broken
+/// by enumeration index for determinism. Cutoff fronts under the same
+/// budget dominate or match enumeration-order cutoffs in extreme coverage.
+#[must_use]
+pub fn partition_yield_order(pipeline: &Pipeline, partitions: &[Vec<Interval>]) -> Vec<usize> {
+    let mut scored: Vec<(f64, f64, usize)> = partitions
+        .iter()
+        .enumerate()
+        .map(|(pi, partition)| {
+            let mut max = f64::NEG_INFINITY;
+            let mut min = f64::INFINITY;
+            for &iv in partition {
+                let w = pipeline.interval_work(iv);
+                max = max.max(w);
+                min = min.min(w);
+            }
+            (max, max - min, pi)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.0.total_cmp(&a.0)
+            .then(b.1.total_cmp(&a.1))
+            .then(a.2.cmp(&b.2))
+    });
+    scored.into_iter().map(|(_, _, pi)| pi).collect()
 }
 
 /// Rebuilds the [`IntervalMapping`] encoded by a partition + counter pair.
@@ -551,6 +591,42 @@ mod tests {
         assert_eq!(sol.mapping.replication(1), 4);
         assert_approx_eq!(sol.latency, 16.0);
         assert_approx_eq!(sol.failure_prob, 1.0 - 0.9 * (1.0 - 0.8f64.powi(4)));
+    }
+
+    #[test]
+    fn yield_order_puts_widest_work_first() {
+        // Works 1, 10, 1: the single-interval partition spans all 12 units
+        // of work and must come first; the balanced 3-way split (span 10,
+        // spread 9) lands behind the partitions keeping S2 whole.
+        let pipe = Pipeline::new(vec![1.0, 10.0, 1.0], vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let partitions: Vec<Vec<Interval>> = IntervalPartitions::new(3).collect();
+        let order = partition_yield_order(&pipe, &partitions);
+        assert_eq!(order.len(), partitions.len());
+        assert_eq!(partitions[order[0]].len(), 1, "single interval first");
+        let mut seen: Vec<usize> = order.clone();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..partitions.len()).collect::<Vec<_>>(),
+            "a permutation"
+        );
+        // Scores are non-increasing along the order.
+        let score = |pi: usize| {
+            let works: Vec<f64> = partitions[pi]
+                .iter()
+                .map(|&iv| pipe.interval_work(iv))
+                .collect();
+            let max = works.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            let min = works.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            (max, max - min)
+        };
+        for w in order.windows(2) {
+            let (a, b) = (score(w[0]), score(w[1]));
+            assert!(
+                a.0 > b.0 || (a.0 == b.0 && a.1 >= b.1),
+                "{a:?} before {b:?}"
+            );
+        }
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub use bitmask_dp::{
     solve_comm_homog_with_budget,
 };
 pub use branch_bound::BranchBound;
-pub use exhaustive::{min_latency_general_brute, min_latency_one_to_one_brute, Exhaustive};
+pub use exhaustive::{
+    min_latency_general_brute, min_latency_one_to_one_brute, partition_yield_order, Exhaustive,
+};
 pub use held_karp::min_latency_one_to_one;
 pub use interval_dp::{min_latency_interval, min_latency_interval_with_budget};

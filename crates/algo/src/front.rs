@@ -1,0 +1,485 @@
+//! Anytime Pareto-front producers — the front-first solver abstraction.
+//!
+//! Both threshold problems of the paper are reads off the same object: the
+//! bi-objective Pareto front. [`FrontSource`] unifies every solver that can
+//! produce one — the exhaustive oracle, the bitmask DP, the interval DP,
+//! a branch-and-bound ε-constraint sweep, and the budgeted heuristic
+//! portfolio — behind a single *anytime* contract:
+//!
+//! * every returned front contains only genuinely achievable points (a
+//!   sound under-approximation of the true front),
+//! * [`Budgeted::Complete`] certifies the front is the **exact** Pareto
+//!   front; [`Budgeted::Cutoff`] means the budget (or the solver's own
+//!   approximate nature) truncated it,
+//! * running longer can only improve the front (monotone in the budget).
+//!
+//! Threshold objectives then become front reads ([`threshold_read`]), and
+//! the serving layer can cache, share and stream fronts as the unit of
+//! work instead of per-query point answers.
+
+use crate::exact::{pareto_front_comm_homog_with_budget, BranchBound, Exhaustive};
+use crate::heuristics::Portfolio;
+use crate::mono;
+use crate::solution::{BiSolution, Budgeted, Objective};
+use rpwf_core::budget::Budget;
+use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::pareto::ParetoFront;
+use rpwf_core::platform::Platform;
+use rpwf_core::stage::Pipeline;
+
+/// The slack shared with [`Objective::feasible`]; the ε-constraint sweep
+/// uses it to pick the next bound that strictly excludes the point just
+/// found.
+const SLACK: f64 = 1e-9;
+
+/// A solver viewed as an anytime producer of Pareto fronts.
+pub trait FrontSource: Sync {
+    /// Stable name for logs, metadata and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Whether this source can run on the instance at all.
+    fn applicable(&self, pipeline: &Pipeline, platform: &Platform) -> bool;
+
+    /// `true` when a [`Budgeted::Complete`] outcome certifies the exact
+    /// front (the heuristic producer never does, whatever the budget).
+    fn exact_capable(&self) -> bool {
+        true
+    }
+
+    /// Produces the best front achievable within `budget`. The budget is
+    /// polled cooperatively; on exhaustion the points found so far are
+    /// returned as a [`Budgeted::Cutoff`].
+    fn front_with_budget(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> Budgeted<ParetoFront<IntervalMapping>>;
+
+    /// [`front_with_budget`](Self::front_with_budget) with no budget.
+    fn front(&self, pipeline: &Pipeline, platform: &Platform) -> ParetoFront<IntervalMapping> {
+        self.front_with_budget(pipeline, platform, &Budget::unlimited())
+            .into_inner()
+    }
+}
+
+/// Answers a threshold objective by reading the front, with the same
+/// boundary slack as [`Objective::feasible`]. On a *complete* front a
+/// `None` proves infeasibility; on a cutoff front it only means no point
+/// found so far satisfies the bound.
+#[must_use]
+pub fn threshold_read(
+    front: &ParetoFront<IntervalMapping>,
+    objective: Objective,
+) -> Option<BiSolution> {
+    let cutoff = objective.threshold_with_slack();
+    let point = match objective {
+        Objective::MinFpUnderLatency(_) => front.min_fp_under_latency(cutoff),
+        Objective::MinLatencyUnderFp(_) => front.min_latency_under_fp(cutoff),
+    };
+    point.map(|pt| BiSolution {
+        mapping: pt.payload.clone(),
+        latency: pt.latency,
+        failure_prob: pt.failure_prob,
+    })
+}
+
+/// The strongest *exact* front source for the instance, mirroring the
+/// solver-selection policy of the serving layer: the bitmask DP on
+/// comm-homogeneous links (`m ≤ 16`), the exhaustive oracle on tiny
+/// heterogeneous instances (`m ≤ 6`), the branch-and-bound ε-constraint
+/// sweep up to `m ≤ 12`, and `None` beyond (heuristic fronts via
+/// [`PortfolioFront`] remain available everywhere).
+#[must_use]
+pub fn best_front_source(
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> Option<&'static dyn FrontSource> {
+    const DP: BitmaskDpFront = BitmaskDpFront;
+    const EX: ExhaustiveFront = ExhaustiveFront;
+    const BB: BranchBoundSweep = BranchBoundSweep;
+    static SOURCES: [&dyn FrontSource; 3] = [&DP, &EX, &BB];
+    SOURCES
+        .iter()
+        .find(|s| s.applicable(pipeline, platform))
+        .copied()
+}
+
+// ---------------------------------------------------------------------------
+// Exact producers
+// ---------------------------------------------------------------------------
+
+/// The bitmask DP on Communication Homogeneous platforms (`m ≤ 16`): the
+/// whole front in one `O(n²·3^m)` pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BitmaskDpFront;
+
+impl FrontSource for BitmaskDpFront {
+    fn name(&self) -> &'static str {
+        "bitmask-dp"
+    }
+
+    fn applicable(&self, _pipeline: &Pipeline, platform: &Platform) -> bool {
+        platform.uniform_bandwidth().is_some() && platform.n_procs() <= 16
+    }
+
+    fn front_with_budget(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> Budgeted<ParetoFront<IntervalMapping>> {
+        pareto_front_comm_homog_with_budget(pipeline, platform, budget)
+            .expect("applicability checked: uniform bandwidth")
+    }
+}
+
+/// The exhaustive oracle (`m ≤ 6`): full enumeration of interval mappings
+/// with replication, parallelized, with yield-ordered partitions so cutoff
+/// fronts cover the extremes first.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExhaustiveFront;
+
+impl FrontSource for ExhaustiveFront {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn applicable(&self, _pipeline: &Pipeline, platform: &Platform) -> bool {
+        platform.n_procs() <= 6
+    }
+
+    fn front_with_budget(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> Budgeted<ParetoFront<IntervalMapping>> {
+        Exhaustive::new(pipeline, platform).pareto_front_with_budget(budget)
+    }
+}
+
+/// ε-constraint sweep of the branch-and-bound threshold solver (Fully
+/// Heterogeneous, `m ≤ 12`): enumerates the front left to right, one exact
+/// `MinLatencyUnderFp` solve per point, tightening the FP bound past the
+/// point just found. Anytime by construction — every completed solve adds
+/// one proven front point, and a budget cutoff keeps the prefix.
+///
+/// Granularity caveat: true front points whose failure probabilities differ
+/// by less than the [`Objective::feasible`] slack collapse into one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BranchBoundSweep;
+
+impl FrontSource for BranchBoundSweep {
+    fn name(&self) -> &'static str {
+        "bnb-sweep"
+    }
+
+    fn applicable(&self, _pipeline: &Pipeline, platform: &Platform) -> bool {
+        platform.n_procs() <= 12
+    }
+
+    fn front_with_budget(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> Budgeted<ParetoFront<IntervalMapping>> {
+        // Theorem 1 gives the reliability extreme in polynomial time; it
+        // seeds every sweep step (a feasible incumbent whenever one exists)
+        // and tells the sweep when to stop.
+        let safest = mono::minimize_failure(pipeline, platform);
+        let mut front = ParetoFront::new();
+        let mut bound = 1.0f64;
+        loop {
+            if budget.is_exhausted() {
+                return Budgeted::Cutoff(front);
+            }
+            let objective = Objective::MinLatencyUnderFp(bound);
+            let incumbent = objective
+                .feasible(safest.latency, safest.failure_prob)
+                .then(|| safest.clone());
+            let outcome = BranchBound::new(pipeline, platform)
+                .solve_with_budget_seeded(objective, budget, incumbent);
+            let finished = outcome.is_complete();
+            match outcome.into_inner() {
+                Some(sol) => {
+                    let fp = sol.failure_prob;
+                    front.insert(sol.latency, fp, sol.mapping);
+                    if !finished {
+                        return Budgeted::Cutoff(front);
+                    }
+                    if fp <= safest.failure_prob {
+                        return Budgeted::Complete(front); // reliability extreme reached
+                    }
+                    // Strictly exclude `fp` under the feasibility slack.
+                    let next = (fp - SLACK) / (1.0 + SLACK) - SLACK;
+                    if next <= 0.0 {
+                        return Budgeted::Complete(front);
+                    }
+                    bound = next;
+                }
+                None if finished => return Budgeted::Complete(front),
+                None => return Budgeted::Cutoff(front),
+            }
+        }
+    }
+}
+
+/// The exact interval DP (`m ≤ 16`, no replication): contributes the
+/// latency extreme of the front as a one-point partial front. Never
+/// complete on its own — replication-heavy points are out of its family —
+/// but its point is exact (replication never reduces latency), which makes
+/// it a cheap anchor for the heuristic producer on instances no full exact
+/// sweep can handle.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IntervalDpFront;
+
+impl FrontSource for IntervalDpFront {
+    fn name(&self) -> &'static str {
+        "interval-dp"
+    }
+
+    fn applicable(&self, _pipeline: &Pipeline, platform: &Platform) -> bool {
+        platform.n_procs() <= 16
+    }
+
+    fn exact_capable(&self) -> bool {
+        false // a single point is never the whole front
+    }
+
+    fn front_with_budget(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> Budgeted<ParetoFront<IntervalMapping>> {
+        let mut front = ParetoFront::new();
+        if let Some((mapping, _)) =
+            crate::exact::min_latency_interval_with_budget(pipeline, platform, budget).into_inner()
+        {
+            let sol = BiSolution::evaluate(mapping, pipeline, platform);
+            front.insert(sol.latency, sol.failure_prob, sol.mapping);
+        }
+        Budgeted::Cutoff(front)
+    }
+}
+
+/// The budgeted heuristic portfolio as a front producer: a grid of
+/// `MinLatencyUnderFp` thresholds between the Theorem 1 reliability
+/// extreme and the least reliable useful point, each answered by the
+/// portfolio, plus the exact latency anchor from [`IntervalDpFront`]
+/// where it applies. Applicable to every instance; never claims
+/// completeness.
+#[derive(Clone, Copy, Debug)]
+pub struct PortfolioFront {
+    /// Seed shared by the randomized portfolio members.
+    pub seed: u64,
+    /// Number of threshold grid steps (≥ 2).
+    pub steps: usize,
+}
+
+impl Default for PortfolioFront {
+    fn default() -> Self {
+        PortfolioFront {
+            seed: 0xCAFE,
+            steps: 9,
+        }
+    }
+}
+
+impl FrontSource for PortfolioFront {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn applicable(&self, _pipeline: &Pipeline, _platform: &Platform) -> bool {
+        true
+    }
+
+    fn exact_capable(&self) -> bool {
+        false
+    }
+
+    fn front_with_budget(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> Budgeted<ParetoFront<IntervalMapping>> {
+        let mut front = ParetoFront::new();
+
+        // Anchors: the exact reliability extreme (Theorem 1, polynomial)
+        // and, where the interval DP applies, the exact latency extreme.
+        let safest = mono::minimize_failure(pipeline, platform);
+        front.insert(safest.latency, safest.failure_prob, safest.mapping.clone());
+        let anchor = IntervalDpFront;
+        if anchor.applicable(pipeline, platform) && !budget.is_exhausted() {
+            front.merge(
+                anchor
+                    .front_with_budget(pipeline, platform, budget)
+                    .into_inner(),
+            );
+        }
+
+        // FP threshold grid from "anything goes" down to just above the
+        // reliability floor, denser near the floor (linear in the bound).
+        let portfolio = Portfolio::new(self.seed);
+        let lo = safest.failure_prob;
+        let steps = self.steps.max(2);
+        for k in 0..steps {
+            if budget.is_exhausted() {
+                break;
+            }
+            let t = k as f64 / (steps - 1) as f64;
+            let bound = 1.0 * (1.0 - t) + lo * t;
+            if bound <= lo {
+                break; // the Theorem 1 anchor already covers the floor
+            }
+            let objective = Objective::MinLatencyUnderFp(bound);
+            if let Some(sol) = portfolio
+                .solve_with_budget(pipeline, platform, objective, budget)
+                .into_inner()
+            {
+                front.insert(sol.latency, sol.failure_prob, sol.mapping);
+            }
+        }
+        // Heuristic fronts are never proven exact, whatever the budget.
+        Budgeted::Cutoff(front)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpwf_core::assert_approx_eq;
+    use rpwf_core::platform::{FailureClass, PlatformClass};
+
+    fn small_het(n: usize, m: usize, seed: u64) -> (Pipeline, Platform) {
+        let inst = rpwf_gen::make_instance(
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+            n,
+            m,
+            seed,
+        );
+        (inst.pipeline, inst.platform)
+    }
+
+    #[test]
+    fn sweep_matches_exhaustive_front_on_small_het() {
+        for seed in [1u64, 7, 21] {
+            let (pipe, pf) = small_het(3, 4, seed);
+            let oracle = Exhaustive::new(&pipe, &pf).pareto_front();
+            let swept = BranchBoundSweep.front(&pipe, &pf);
+            assert_eq!(
+                swept.len(),
+                oracle.len(),
+                "seed {seed}: sweep must enumerate every front point"
+            );
+            for (a, b) in swept.iter().zip(oracle.iter()) {
+                assert_approx_eq!(a.latency, b.latency);
+                assert_approx_eq!(a.failure_prob, b.failure_prob);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_anytime_under_an_expired_budget() {
+        let (pipe, pf) = small_het(4, 5, 3);
+        let outcome = BranchBoundSweep.front_with_budget(
+            &pipe,
+            &pf,
+            &Budget::with_deadline(std::time::Duration::ZERO),
+        );
+        assert!(!outcome.is_complete());
+        // Whatever made it on is genuinely achievable.
+        for pt in outcome.inner().iter() {
+            let re = BiSolution::evaluate(pt.payload.clone(), &pipe, &pf);
+            assert_approx_eq!(re.latency, pt.latency);
+            assert_approx_eq!(re.failure_prob, pt.failure_prob);
+        }
+    }
+
+    #[test]
+    fn best_source_selection_policy() {
+        let (pipe, pf) = small_het(3, 4, 1);
+        assert_eq!(
+            best_front_source(&pipe, &pf).expect("m=4").name(),
+            "exhaustive"
+        );
+        let (pipe, pf) = small_het(3, 10, 1);
+        assert_eq!(
+            best_front_source(&pipe, &pf).expect("m=10").name(),
+            "bnb-sweep"
+        );
+        let ch = rpwf_gen::make_instance(
+            PlatformClass::CommHomogeneous,
+            FailureClass::Heterogeneous,
+            3,
+            10,
+            1,
+        );
+        assert_eq!(
+            best_front_source(&ch.pipeline, &ch.platform)
+                .expect("comm-homog")
+                .name(),
+            "bitmask-dp"
+        );
+        let (pipe, pf) = small_het(3, 14, 1);
+        assert!(
+            best_front_source(&pipe, &pf).is_none(),
+            "m=14 het: heuristics only"
+        );
+    }
+
+    #[test]
+    fn threshold_reads_agree_with_threshold_solvers() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let front = BitmaskDpFront.front(&pipe, &pf);
+        let objective = Objective::MinFpUnderLatency(22.0);
+        let read = threshold_read(&front, objective).expect("feasible at L = 22");
+        let direct = crate::exact::solve_comm_homog(&pipe, &pf, objective)
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(read, direct);
+        assert!(threshold_read(&front, Objective::MinFpUnderLatency(0.0)).is_none());
+    }
+
+    #[test]
+    fn interval_dp_front_is_the_latency_extreme() {
+        let (pipe, pf) = small_het(3, 4, 9);
+        let outcome = IntervalDpFront.front_with_budget(&pipe, &pf, &Budget::unlimited());
+        assert!(
+            !outcome.is_complete(),
+            "a one-point front is never complete"
+        );
+        let anchor = outcome.into_inner();
+        assert_eq!(anchor.len(), 1);
+        let oracle = Exhaustive::new(&pipe, &pf).pareto_front();
+        assert_approx_eq!(
+            anchor.points()[0].latency,
+            oracle.points().first().expect("non-empty").latency
+        );
+    }
+
+    #[test]
+    fn portfolio_front_covers_the_extremes() {
+        let (pipe, pf) = small_het(4, 14, 2); // beyond every exact backend
+        let outcome = PortfolioFront::default().front_with_budget(&pipe, &pf, &Budget::unlimited());
+        assert!(
+            !outcome.is_complete(),
+            "heuristic fronts never claim exactness"
+        );
+        let front = outcome.into_inner();
+        assert!(!front.is_empty());
+        assert!(front.invariant_holds());
+        let safest = mono::minimize_failure(&pipe, &pf);
+        let best_fp = front.points().last().expect("non-empty").failure_prob;
+        assert!(
+            best_fp <= safest.failure_prob + 1e-12,
+            "Theorem 1 anchor present"
+        );
+    }
+}

@@ -25,10 +25,12 @@
 
 pub mod bicriteria;
 pub mod exact;
+pub mod front;
 pub mod heuristics;
 pub mod mono;
 pub mod par;
 pub mod reductions;
 pub mod solution;
 
+pub use front::{best_front_source, threshold_read, FrontSource};
 pub use solution::{BiSolution, Budgeted, Objective};

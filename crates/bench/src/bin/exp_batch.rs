@@ -1,0 +1,8 @@
+//! E16 — batch amortization via front grouping (writes
+//! `BENCH_batch.json`). Pass `--smoke` for the tiny CI-sized run.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    for table in rpwf_bench::experiments::batch_front::batch_front(smoke) {
+        table.print();
+    }
+}

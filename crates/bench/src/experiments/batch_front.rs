@@ -1,0 +1,240 @@
+//! E16 — batch amortization: front grouping vs per-request solving
+//! (writes `BENCH_batch.json`).
+//!
+//! The workload is `q` threshold queries spread over `d` distinct
+//! `(pipeline, platform)` instances (the acceptance shape: 64 queries
+//! over 8 instances). Two scenarios answer the same request lines:
+//!
+//! * **per-request** — caching disabled and no grouping pass: every query
+//!   pays its own full solve (front build racing the heuristics), exactly
+//!   what `rpwf batch` did before the front-first refactor;
+//! * **grouped** — `WorkerPool::submit_batch` groups the batch by
+//!   canonical instance hash, computes one complete Pareto front per
+//!   distinct instance (in parallel), and answers every query as a read
+//!   off the shared front.
+//!
+//! The experiment asserts the two scenarios return byte-identical result
+//! payloads (grouping is a pure amortization) and, in full mode, the
+//! acceptance threshold: grouped throughput ≥ 3× per-request throughput.
+//! Smoke mode (`--smoke`, used in CI) shrinks the instances so the whole
+//! run takes seconds; the assertion there is the soft form (speedup > 1)
+//! to keep CI robust on noisy shared runners.
+
+use crate::table::Table;
+use rpwf_algo::Objective;
+use rpwf_core::platform::{FailureClass, PlatformClass};
+use rpwf_server::protocol::{Command, Request, Response};
+use rpwf_server::{ServiceConfig, SolverService, WorkerPool};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Measurement {
+    scenario: String,
+    requests: usize,
+    distinct_instances: usize,
+    wall_secs: f64,
+    requests_per_sec: f64,
+}
+
+/// Runs E16 and returns the result tables (also writes
+/// `BENCH_batch.json` to the working directory). `smoke` shrinks the
+/// workload to CI size.
+#[must_use]
+pub fn batch_front(smoke: bool) -> Vec<Table> {
+    // Acceptance shape (full): 64 threshold queries over 8 distinct
+    // instances — 8 queries per instance.
+    let (n, m, distinct, per_instance) = if smoke { (4, 8, 4, 8) } else { (6, 12, 8, 8) };
+    let workers = 4;
+
+    let lines = workload(n, m, distinct, per_instance);
+
+    // Per-request baseline: zero cache capacity (nothing to share through)
+    // and no grouping pass.
+    let baseline_pool = WorkerPool::new(Arc::new(SolverService::new(ServiceConfig {
+        workers,
+        cache_capacity: 0,
+        ..Default::default()
+    })));
+    let start = Instant::now();
+    let baseline = baseline_pool.submit_batch_ungrouped(lines.clone());
+    let baseline_secs = start.elapsed().as_secs_f64();
+    drop(baseline_pool);
+
+    // Grouped: one front per distinct instance, every query a front read.
+    let grouped_pool = WorkerPool::new(Arc::new(SolverService::new(ServiceConfig {
+        workers,
+        ..Default::default()
+    })));
+    let start = Instant::now();
+    let grouped = grouped_pool.submit_batch(lines);
+    let grouped_secs = start.elapsed().as_secs_f64();
+    drop(grouped_pool);
+
+    // Grouping must be a pure amortization: identical answers.
+    assert_eq!(baseline.len(), grouped.len());
+    for (b, g) in baseline.iter().zip(&grouped) {
+        let b: Response = serde_json::from_str(b).expect("baseline response parses");
+        let g: Response = serde_json::from_str(g).expect("grouped response parses");
+        assert_eq!(b.status, "ok", "{:?}", b.error);
+        assert_eq!(g.status, "ok", "{:?}", g.error);
+        assert_eq!(
+            serde_json::to_string(&b.result).expect("serializes"),
+            serde_json::to_string(&g.result).expect("serializes"),
+            "grouped answers must be byte-identical to per-request answers"
+        );
+    }
+
+    let total = distinct * per_instance;
+    let speedup = baseline_secs / grouped_secs.max(1e-9);
+    if smoke {
+        assert!(
+            speedup > 1.0,
+            "grouping must beat per-request solving even at smoke size \
+             (got {speedup:.2}x)"
+        );
+    } else {
+        assert!(
+            speedup >= 3.0,
+            "acceptance: grouped batch throughput must be ≥ 3x per-request \
+             solving on 64 queries over 8 instances (got {speedup:.2}x)"
+        );
+    }
+
+    let measurements = [
+        Measurement {
+            scenario: "per-request".into(),
+            requests: total,
+            distinct_instances: distinct,
+            wall_secs: baseline_secs,
+            requests_per_sec: total as f64 / baseline_secs.max(1e-9),
+        },
+        Measurement {
+            scenario: "grouped".into(),
+            requests: total,
+            distinct_instances: distinct,
+            wall_secs: grouped_secs,
+            requests_per_sec: total as f64 / grouped_secs.max(1e-9),
+        },
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "E16 / batch amortization — {total} threshold queries over {distinct} \
+             instances (comm-homog n={n}, m={m})"
+        ),
+        &[
+            "scenario",
+            "requests",
+            "instances",
+            "wall s",
+            "req/s",
+            "speedup",
+        ],
+    );
+    for meas in &measurements {
+        table.row(vec![
+            meas.scenario.clone(),
+            meas.requests.to_string(),
+            meas.distinct_instances.to_string(),
+            format!("{:.3}", meas.wall_secs),
+            format!("{:.0}", meas.requests_per_sec),
+            if meas.scenario == "grouped" {
+                format!("{speedup:.2}x")
+            } else {
+                "1.00x".into()
+            },
+        ]);
+    }
+    table.note(
+        "grouped = one exact Pareto front per distinct instance, all queries \
+         answered as front reads; answers byte-identical to per-request solving",
+    );
+
+    write_json(&measurements, speedup);
+    vec![table]
+}
+
+/// Builds the request lines: `per_instance` threshold queries per instance over
+/// `distinct` seeded comm-homogeneous instances, alternating the two
+/// threshold objectives with bounds spread so every query is feasible.
+fn workload(n: usize, m: usize, distinct: usize, per_instance: usize) -> Vec<String> {
+    let mut lines = Vec::with_capacity(distinct * per_instance);
+    for seed in 0..distinct {
+        let inst = rpwf_gen::make_instance(
+            PlatformClass::CommHomogeneous,
+            FailureClass::Heterogeneous,
+            n,
+            m,
+            seed as u64,
+        );
+        let safest = rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform);
+        for q in 0..per_instance {
+            let t = (q + 1) as f64 / per_instance as f64;
+            let objective = if q % 2 == 0 {
+                // Latency budgets from the Theorem 1 latency upward.
+                Objective::MinFpUnderLatency(safest.latency * (1.0 + t))
+            } else {
+                // FP budgets between the reliability floor and 1.
+                Objective::MinLatencyUnderFp(safest.failure_prob + (1.0 - safest.failure_prob) * t)
+            };
+            let request = Request {
+                id: Some((seed * per_instance + q) as u64),
+                deadline_ms: None,
+                no_cache: None,
+                cmd: Command::Solve {
+                    pipeline: inst.pipeline.clone(),
+                    platform: inst.platform.clone(),
+                    objective,
+                },
+            };
+            lines.push(serde_json::to_string(&request).expect("serializes"));
+        }
+    }
+    lines
+}
+
+fn write_json(measurements: &[Measurement], speedup: f64) {
+    let doc = serde::Value::Map(vec![
+        (
+            "scenarios".into(),
+            serde::Value::Seq(
+                measurements
+                    .iter()
+                    .map(|meas| {
+                        serde::Value::Map(vec![
+                            ("scenario".into(), serde::Value::Str(meas.scenario.clone())),
+                            ("requests".into(), serde::Value::UInt(meas.requests as u64)),
+                            (
+                                "distinct_instances".into(),
+                                serde::Value::UInt(meas.distinct_instances as u64),
+                            ),
+                            ("wall_secs".into(), serde::Value::Float(meas.wall_secs)),
+                            (
+                                "requests_per_sec".into(),
+                                serde::Value::Float(meas.requests_per_sec),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("grouped_speedup".into(), serde::Value::Float(speedup)),
+    ]);
+    let text = serde_json::to_string_pretty(&doc).expect("serializes");
+    if let Err(e) = std::fs::write("BENCH_batch.json", text) {
+        eprintln!("warning: could not write BENCH_batch.json: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_batch_amortization_runs_and_groups() {
+        let tables = batch_front(true);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 2);
+        let _ = std::fs::remove_file("BENCH_batch.json");
+    }
+}

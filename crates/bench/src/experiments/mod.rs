@@ -16,9 +16,11 @@
 //! | E13 | [`tricriteria::tricriteria`] | `exp_tricriteria` |
 //! | E14 | [`server_throughput::server_throughput`] | `exp_server` |
 //! | E15 | [`eval_incremental::eval_incremental`] | `exp_eval` |
+//! | E16 | [`batch_front::batch_front`] | `exp_batch` |
 //!
 //! (E12 is the criterion suite under `benches/`.)
 
+pub mod batch_front;
 pub mod eval_incremental;
 pub mod figures;
 pub mod hardness;
@@ -49,5 +51,6 @@ pub fn run_all() -> Vec<(&'static str, Vec<Table>)> {
         ("E13", tricriteria::tricriteria()),
         ("E14", server_throughput::server_throughput()),
         ("E15", eval_incremental::eval_incremental(false)),
+        ("E16", batch_front::batch_front(false)),
     ]
 }

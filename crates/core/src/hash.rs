@@ -93,6 +93,20 @@ pub trait CanonicalDigest {
     }
 }
 
+/// Canonical key of a problem *instance* — the `(pipeline, platform)`
+/// content alone, independent of any objective or query parameters. This
+/// is the key under which the serving layer caches and shares Pareto
+/// fronts: every threshold query over the same instance maps to the same
+/// front.
+#[must_use]
+pub fn instance_key(pipeline: &Pipeline, platform: &Platform) -> u128 {
+    let mut hasher = CanonicalHasher::new();
+    hasher.write_str("front");
+    pipeline.digest(&mut hasher);
+    platform.digest(&mut hasher);
+    hasher.finish()
+}
+
 impl CanonicalDigest for Pipeline {
     fn digest(&self, hasher: &mut CanonicalHasher) {
         hasher.write_str("pipeline");

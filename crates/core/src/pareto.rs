@@ -134,6 +134,18 @@ impl<T> ParetoFront<T> {
         self.points
     }
 
+    /// The points in latency order, split into chunks of at most `size`
+    /// points — the unit of the serving layer's `front_part` streaming,
+    /// which bounds per-response memory by the chunk size instead of the
+    /// front size. An empty front yields no chunks.
+    ///
+    /// # Panics
+    /// When `size` is zero.
+    pub fn chunks(&self, size: usize) -> std::slice::Chunks<'_, ParetoPoint<T>> {
+        assert!(size > 0, "chunk size must be positive");
+        self.points.chunks(size)
+    }
+
     /// Verifies the structural invariant (sorted, mutually non-dominated);
     /// used by property tests.
     #[must_use]
@@ -212,6 +224,24 @@ mod tests {
         assert_eq!(f.min_latency_under_fp(0.3).unwrap().payload, "b");
         assert_eq!(f.min_latency_under_fp(0.5).unwrap().payload, "a");
         assert!(f.min_latency_under_fp(0.01).is_none());
+    }
+
+    #[test]
+    fn chunks_cover_the_front_in_order() {
+        let mut f = ParetoFront::new();
+        for i in 0..7 {
+            f.insert(f64::from(i), 1.0 / (1.0 + f64::from(i)), i);
+        }
+        let chunks: Vec<_> = f.chunks(3).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 3);
+        assert_eq!(chunks[2].len(), 1);
+        let reassembled: Vec<_> = chunks.concat();
+        assert_eq!(reassembled.len(), f.len());
+        for (a, b) in reassembled.iter().zip(f.iter()) {
+            assert_eq!(a.payload, b.payload);
+        }
+        assert_eq!(ParetoFront::<()>::new().chunks(4).count(), 0);
     }
 
     #[test]

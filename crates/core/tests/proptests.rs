@@ -276,6 +276,44 @@ proptest! {
     }
 
     #[test]
+    fn pareto_merge_is_order_insensitive(
+        points in proptest::collection::vec((0.0f64..100.0, 0.0f64..1.0), 2..120),
+        cut_seed in 0usize..1000,
+    ) {
+        // The same point set, split into chunks and merged in different
+        // orders, must produce the same front *coordinates* (payloads may
+        // differ on exact duplicates — "duplicates keep the incumbent").
+        let cut = 1 + cut_seed % (points.len() - 1);
+        let build = |chunk: &[(f64, f64)]| {
+            let mut f = ParetoFront::new();
+            for &(l, fp) in chunk {
+                f.insert(l, fp, ());
+            }
+            f
+        };
+        let coords = |f: &ParetoFront<()>| -> Vec<(f64, f64)> {
+            f.iter().map(|p| (p.latency, p.failure_prob)).collect()
+        };
+
+        let mut ab = build(&points[..cut]);
+        ab.merge(build(&points[cut..]));
+        let mut ba = build(&points[cut..]);
+        ba.merge(build(&points[..cut]));
+        let whole = build(&points);
+
+        prop_assert!(ab.invariant_holds());
+        prop_assert_eq!(coords(&ab), coords(&ba));
+        prop_assert_eq!(coords(&ab), coords(&whole));
+
+        // Merging point-by-point in reverse insertion order too.
+        let mut rev = ParetoFront::new();
+        for &(l, fp) in points.iter().rev() {
+            rev.insert(l, fp, ());
+        }
+        prop_assert_eq!(coords(&rev), coords(&whole));
+    }
+
+    #[test]
     fn interval_partitions_are_valid(n in 1usize..10) {
         let mut count = 0u64;
         for part in IntervalPartitions::new(n) {

@@ -1,19 +1,48 @@
-//! Sharded, content-addressed LRU solution cache.
+//! Sharded, content-addressed LRU cache — fronts first.
 //!
-//! Keys are 128-bit canonical digests of `(command, instance, objective)`
-//! (see [`crate::protocol::Command::cache_key`]); values are the already
-//! serialized result tree plus the solver metadata needed to replay the
-//! response. Sharding by the key's low bits keeps lock contention
-//! negligible under concurrent workers; each shard is a small
-//! `HashMap` with recency ticks and evicts its least-recently-used entry
-//! when full (linear scan — shards are small by construction).
+//! The unit of caching is the **Pareto front**: entries are keyed by the
+//! canonical hash of the `(pipeline, platform)` instance alone
+//! ([`rpwf_core::hash::instance_key`]), so every threshold query and every
+//! `Pareto` request over the same instance shares one entry, and a point
+//! answer is a read off the cached front. Cached fronts are
+//! completeness-aware: a budget-cutoff front is stored flagged incomplete
+//! — reusable as a best-effort answer for deadline-bound requests, but it
+//! never masquerades as exact and never overwrites a complete front.
+//! Non-front results (Monte Carlo simulation) are cached per query as
+//! opaque serialized trees, as before.
+//!
+//! Sharding by the key's low bits keeps lock contention negligible under
+//! concurrent workers; each shard is a small `HashMap` with recency ticks
+//! and evicts its least-recently-used entry when full (linear scan —
+//! shards are small by construction).
 
+use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::pareto::ParetoFront;
 use serde::Value;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-/// A cached result: the response payload and how it was produced.
+/// A cached Pareto front and how it was produced. The front itself is
+/// behind an [`Arc`] so a cache hit is a refcount bump, not a deep copy
+/// of every point and mapping under the shard lock.
+#[derive(Clone, Debug)]
+pub struct CachedFront {
+    /// The front (mappings included, so point answers replay exactly).
+    pub front: Arc<ParetoFront<IntervalMapping>>,
+    /// `true` when the front is proven exact. Incomplete fronts are sound
+    /// under-approximations (budget cutoffs or heuristic sweeps) and must
+    /// be reported with `exact_complete: false`.
+    pub complete: bool,
+    /// Who produced it: `exact` or `heuristic` (wire `meta.solver`).
+    pub solver: String,
+    /// Whether any exact front backend applies to the instance at all.
+    /// When `false`, an incomplete front is the best any rerun could do,
+    /// so it is served even to requests without a deadline.
+    pub exact_capable: bool,
+}
+
+/// A cached per-query result: the response payload and how it was produced.
 #[derive(Clone, Debug)]
 pub struct CachedResult {
     /// Serialized result tree (replayed verbatim into responses, so a hit
@@ -25,13 +54,22 @@ pub struct CachedResult {
     pub exact_complete: Option<bool>,
 }
 
-struct Entry {
-    value: CachedResult,
+/// What a cache slot holds.
+#[derive(Clone, Debug)]
+pub enum CachedEntry {
+    /// A Pareto front keyed by instance hash.
+    Front(CachedFront),
+    /// An opaque per-query result keyed by `(command, instance, query)`.
+    Result(CachedResult),
+}
+
+struct Entry<V> {
+    value: V,
     tick: u64,
 }
 
-struct Shard {
-    map: HashMap<u128, Entry>,
+struct Shard<V> {
+    map: HashMap<u128, Entry<V>>,
     clock: u64,
 }
 
@@ -48,23 +86,26 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// The sharded LRU cache.
-pub struct SolutionCache {
-    shards: Vec<Mutex<Shard>>,
+/// The sharded LRU cache, generic in what a slot holds.
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
     per_shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
 
-impl SolutionCache {
+/// The service's cache type: fronts plus per-query results.
+pub type SolutionCache = ShardedLru<CachedEntry>;
+
+impl<V: Clone> ShardedLru<V> {
     /// A cache of roughly `capacity` entries across `shards` shards.
     /// Zero `capacity` disables caching (every lookup misses).
     #[must_use]
     pub fn new(capacity: usize, shards: usize) -> Self {
         let shards = shards.clamp(1, 1024);
         let per_shard_capacity = capacity.div_ceil(shards);
-        SolutionCache {
+        ShardedLru {
             shards: (0..shards)
                 .map(|_| {
                     Mutex::new(Shard {
@@ -92,14 +133,14 @@ impl SolutionCache {
         self.per_shard_capacity * self.shards.len()
     }
 
-    fn shard(&self, key: u128) -> &Mutex<Shard> {
+    fn shard(&self, key: u128) -> &Mutex<Shard<V>> {
         // Low bits of the FNV digest are well mixed.
         &self.shards[(key as usize) % self.shards.len()]
     }
 
     /// Looks up a key, refreshing its recency on hit.
     #[must_use]
-    pub fn get(&self, key: u128) -> Option<CachedResult> {
+    pub fn get(&self, key: u128) -> Option<V> {
         let mut shard = self.shard(key).lock().expect("cache shard lock");
         shard.clock += 1;
         let tick = shard.clock;
@@ -118,14 +159,26 @@ impl SolutionCache {
 
     /// Inserts (or refreshes) a key, evicting the shard's LRU entry when
     /// full. No-op when the cache has zero capacity.
-    pub fn insert(&self, key: u128, value: CachedResult) {
+    pub fn insert(&self, key: u128, value: V) {
+        self.insert_if(key, value, |_| true);
+    }
+
+    /// Inserts; when the key is already occupied, only if
+    /// `replace(existing)` allows it — evaluated under the shard lock, so
+    /// the check-and-replace is atomic. Used by the front cache to never
+    /// let an incomplete front overwrite a complete one.
+    pub fn insert_if(&self, key: u128, value: V, replace: impl FnOnce(&V) -> bool) {
         if self.per_shard_capacity == 0 {
             return;
         }
         let mut shard = self.shard(key).lock().expect("cache shard lock");
         shard.clock += 1;
         let tick = shard.clock;
-        if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
+        if let Some(existing) = shard.map.get(&key) {
+            if !replace(&existing.value) {
+                return;
+            }
+        } else if shard.map.len() >= self.per_shard_capacity {
             if let Some((&lru, _)) = shard.map.iter().min_by_key(|(_, e)| e.tick) {
                 shard.map.remove(&lru);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -154,11 +207,21 @@ impl SolutionCache {
 mod tests {
     use super::*;
 
-    fn value(tag: i64) -> CachedResult {
-        CachedResult {
+    fn value(tag: i64) -> CachedEntry {
+        CachedEntry::Result(CachedResult {
             result: Value::Int(tag),
             solver: None,
             exact_complete: None,
+        })
+    }
+
+    fn tag_of(entry: &CachedEntry) -> i64 {
+        match entry {
+            CachedEntry::Result(r) => match r.result {
+                Value::Int(i) => i,
+                _ => panic!("test values are ints"),
+            },
+            CachedEntry::Front(_) => panic!("test values are results"),
         }
     }
 
@@ -168,7 +231,7 @@ mod tests {
         assert!(cache.get(1).is_none());
         cache.insert(1, value(10));
         let got = cache.get(1).expect("hit");
-        assert_eq!(got.result, Value::Int(10));
+        assert_eq!(tag_of(&got), 10);
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
@@ -195,6 +258,16 @@ mod tests {
         cache.insert(9, value(9));
         assert!(cache.get(9).is_none());
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn insert_if_protects_the_incumbent() {
+        let cache = SolutionCache::new(8, 1);
+        cache.insert(1, value(1));
+        cache.insert_if(1, value(2), |existing| tag_of(existing) != 1);
+        assert_eq!(tag_of(&cache.get(1).expect("present")), 1, "incumbent kept");
+        cache.insert_if(1, value(3), |_| true);
+        assert_eq!(tag_of(&cache.get(1).expect("present")), 3, "replaced");
     }
 
     #[test]

@@ -5,16 +5,24 @@
 //! stdin, a fixed worker pool fed by an MPMC channel, per-request
 //! deadlines with cooperative cancellation threaded into the exponential
 //! solvers, **portfolio racing** (the heuristic portfolio races the
-//! strongest applicable exact solver; see
-//! [`rpwf_algo::heuristics::Portfolio::race`]), and a sharded
-//! content-addressed LRU solution cache keyed by a canonical hash of
-//! `(instance, objective)`.
+//! strongest applicable exact solver), and a **front-first** data path:
+//! the Pareto front ([`rpwf_algo::front::FrontSource`]) is the unit of
+//! solving, caching, batching and streaming. Threshold queries are reads
+//! off a front; the sharded LRU cache stores fronts keyed by the
+//! canonical `(pipeline, platform)` hash (completeness-aware, so budget
+//! cutoffs are reusable but never masquerade as exact); batches group
+//! requests by instance and solve one front per distinct instance; large
+//! fronts stream as bounded `front_part` chunks.
 //!
 //! ## Layers
 //!
 //! * [`protocol`] — wire types: [`Request`]/[`Response`], commands,
-//!   structured errors (`timeout`/`infeasible`/`invalid`/`internal`),
-//! * [`cache`] — the sharded LRU [`cache::SolutionCache`],
+//!   `front_part`/`front_end` streaming, structured errors
+//!   (`timeout`/`infeasible`/`invalid`/`internal`),
+//! * [`cache`] — the sharded LRU [`cache::SolutionCache`] over
+//!   [`cache::CachedEntry`] (fronts + per-query results),
+//! * [`metrics`] — per-command latency histograms and the Prometheus-style
+//!   text dump behind the `Metrics` command,
 //! * [`service`] — transport-independent dispatch
 //!   ([`service::SolverService`]) and the [`service::WorkerPool`],
 //! * [`server`] — the TCP listener ([`Server`]) and
@@ -49,6 +57,7 @@
 #![warn(clippy::all)]
 
 pub mod cache;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod service;

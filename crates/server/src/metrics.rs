@@ -1,0 +1,276 @@
+//! Service observability: per-command latency histograms and a
+//! Prometheus-style plain-text dump.
+//!
+//! Recording is lock-free (one atomic increment per request into a fixed
+//! log-scale bucket array), so it sits on the hot path of every command.
+//! Buckets are powers of two in microseconds from 1 µs to ~1 s plus a
+//! catch-all, which keeps quantile estimates within a factor of two —
+//! plenty for spotting regressions and tail blowups.
+
+use crate::protocol::{Command, CommandStatsOut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of finite buckets: upper bounds `2^0 .. 2^19` µs (~0.5 s), the
+/// last bucket catches everything beyond.
+const BUCKETS: usize = 20;
+
+/// Upper bound (µs) of bucket `i`; the final bucket is unbounded.
+#[must_use]
+pub fn bucket_bound_us(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// A fixed log-scale latency histogram.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, us: u64) {
+        let idx = if us <= 1 {
+            0
+        } else {
+            let bits = 64 - (us - 1).leading_zeros() as usize; // ceil(log2)
+            bits.min(BUCKETS)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Smallest bucket upper bound below which at least `q` (0..=1) of
+    /// the observations fall; the max observation for the catch-all.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.buckets[i].load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_bound_us(i);
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot for the `Stats` command; `None` when nothing was recorded.
+    #[must_use]
+    pub fn summary(&self, command: &str) -> Option<CommandStatsOut> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        Some(CommandStatsOut {
+            command: command.to_string(),
+            count,
+            mean_us: self.sum_us.load(Ordering::Relaxed) as f64 / count as f64,
+            p50_us: self.quantile_us(0.50),
+            p90_us: self.quantile_us(0.90),
+            p99_us: self.quantile_us(0.99),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// One histogram per protocol command.
+#[derive(Debug)]
+pub struct CommandMetrics {
+    histograms: Vec<LatencyHistogram>,
+}
+
+impl Default for CommandMetrics {
+    fn default() -> Self {
+        CommandMetrics {
+            histograms: Command::all_names()
+                .iter()
+                .map(|_| LatencyHistogram::default())
+                .collect(),
+        }
+    }
+}
+
+impl CommandMetrics {
+    /// A fresh registry.
+    #[must_use]
+    pub fn new() -> Self {
+        CommandMetrics::default()
+    }
+
+    /// Records one handled request of command `name` taking `us`
+    /// microseconds. Unknown names are ignored (future-proofing).
+    pub fn record(&self, name: &str, us: u64) {
+        if let Some(idx) = Command::all_names().iter().position(|&n| n == name) {
+            self.histograms[idx].record(us);
+        }
+    }
+
+    /// Per-command summaries for commands that saw traffic, in the stable
+    /// [`Command::all_names`] order.
+    #[must_use]
+    pub fn summaries(&self) -> Vec<CommandStatsOut> {
+        Command::all_names()
+            .iter()
+            .zip(&self.histograms)
+            .filter_map(|(name, h)| h.summary(name))
+            .collect()
+    }
+
+    /// Renders the histograms in Prometheus exposition style (cumulative
+    /// `_bucket{le=…}` counters, `_sum`, `_count`) into `out`.
+    pub fn render_prometheus(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let w = |out: &mut String, line: std::fmt::Arguments<'_>| {
+            writeln!(out, "{line}").expect("write to string");
+        };
+        w(
+            out,
+            format_args!("# TYPE rpwf_command_requests_total counter"),
+        );
+        for (name, h) in Command::all_names().iter().zip(&self.histograms) {
+            w(
+                out,
+                format_args!(
+                    "rpwf_command_requests_total{{cmd=\"{name}\"}} {}",
+                    h.count()
+                ),
+            );
+        }
+        w(
+            out,
+            format_args!("# TYPE rpwf_command_latency_us histogram"),
+        );
+        for (name, h) in Command::all_names().iter().zip(&self.histograms) {
+            if h.count() == 0 {
+                continue;
+            }
+            let mut cumulative = 0u64;
+            for i in 0..BUCKETS {
+                cumulative += h.buckets[i].load(Ordering::Relaxed);
+                w(
+                    out,
+                    format_args!(
+                        "rpwf_command_latency_us_bucket{{cmd=\"{name}\",le=\"{}\"}} {cumulative}",
+                        bucket_bound_us(i)
+                    ),
+                );
+            }
+            cumulative += h.buckets[BUCKETS].load(Ordering::Relaxed);
+            w(
+                out,
+                format_args!(
+                    "rpwf_command_latency_us_bucket{{cmd=\"{name}\",le=\"+Inf\"}} {cumulative}"
+                ),
+            );
+            w(
+                out,
+                format_args!(
+                    "rpwf_command_latency_us_sum{{cmd=\"{name}\"}} {}",
+                    h.sum_us.load(Ordering::Relaxed)
+                ),
+            );
+            w(
+                out,
+                format_args!(
+                    "rpwf_command_latency_us_count{{cmd=\"{name}\"}} {}",
+                    h.count()
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log_scale_and_cumulative() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 2, 3, 4, 100, 400_000, u64::MAX / 2] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max_us.load(Ordering::Relaxed), u64::MAX / 2);
+        // 1 → bucket 0 (≤1), 2 → bucket 1 (≤2), 3,4 → bucket 2 (≤4).
+        assert_eq!(h.buckets[0].load(Ordering::Relaxed), 1);
+        assert_eq!(h.buckets[1].load(Ordering::Relaxed), 1);
+        assert_eq!(h.buckets[2].load(Ordering::Relaxed), 2);
+        // The huge value lands in the catch-all.
+        assert_eq!(h.buckets[BUCKETS].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_counts() {
+        let h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(10); // bucket le=16
+        }
+        for _ in 0..10 {
+            h.record(5_000); // bucket le=8192
+        }
+        assert_eq!(h.quantile_us(0.5), 16);
+        assert_eq!(h.quantile_us(0.9), 16);
+        assert_eq!(h.quantile_us(0.99), 8192);
+        assert_eq!(LatencyHistogram::default().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn registry_records_by_name_and_summarizes() {
+        let m = CommandMetrics::new();
+        m.record("solve", 100);
+        m.record("solve", 200);
+        m.record("ping", 1);
+        m.record("bogus", 1); // ignored
+        let s = m.summaries();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].command, "ping");
+        assert_eq!(s[1].command, "solve");
+        assert_eq!(s[1].count, 2);
+        assert!((s[1].mean_us - 150.0).abs() < 1e-9);
+        assert!(s[1].max_us == 200);
+    }
+
+    #[test]
+    fn prometheus_dump_shape() {
+        let m = CommandMetrics::new();
+        m.record("solve", 100);
+        let mut text = String::new();
+        m.render_prometheus(&mut text);
+        assert!(
+            text.contains("rpwf_command_requests_total{cmd=\"solve\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("le=\"+Inf\"}} 1") || text.contains("le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rpwf_command_latency_us_count{cmd=\"solve\"} 1"),
+            "{text}"
+        );
+        // Untouched commands report zero request counters but no buckets.
+        assert!(
+            text.contains("rpwf_command_requests_total{cmd=\"pareto\"} 0"),
+            "{text}"
+        );
+        assert!(!text.contains("latency_us_bucket{cmd=\"pareto\""), "{text}");
+    }
+}

@@ -18,6 +18,13 @@
 //! Errors are structured: `{"status": "error", "error": {"kind":
 //! "timeout", "message": "..."}}` with kinds `timeout`, `infeasible`,
 //! `invalid`, and `internal`.
+//!
+//! A `Pareto` request with `"chunk": k` streams its front as several
+//! response lines sharing the request id: zero or more `status: "part"`
+//! lines each carrying at most `k` points ([`FrontPartResult`]), closed
+//! by one `status: "ok"` line ([`FrontEndResult`]) with the completeness
+//! flag. Concatenating the part points in `seq` order reassembles the
+//! unstreamed front exactly.
 
 use rpwf_algo::Objective;
 use rpwf_core::hash::{CanonicalDigest, CanonicalHasher};
@@ -58,12 +65,18 @@ pub enum Command {
         /// The threshold objective.
         objective: Objective,
     },
-    /// Exact bi-objective Pareto front.
+    /// Bi-objective Pareto front (exact where a backend applies, best
+    /// heuristic front beyond — check `complete` / `meta.solver`).
     Pareto {
         /// The application.
         pipeline: Pipeline,
         /// The platform.
         platform: Platform,
+        /// Stream the front as `front_part` chunks of at most this many
+        /// points (followed by a closing `front_end` line) instead of one
+        /// `ParetoResult` line. Bounds per-response memory by the chunk
+        /// size rather than the front size. `None` = single response.
+        chunk: Option<usize>,
     },
     /// Monte Carlo validation of the min-FP mapping.
     Simulate {
@@ -87,8 +100,11 @@ pub enum Command {
         /// Seed.
         seed: u64,
     },
-    /// Service counters (workers, cache hits/misses/evictions).
+    /// Service counters (workers, cache hits/misses/evictions) plus
+    /// per-command latency histograms.
     Stats,
+    /// Plain-text metrics dump (Prometheus exposition style).
+    Metrics,
 }
 
 impl Command {
@@ -102,6 +118,33 @@ impl Command {
             Command::Simulate { .. } => "simulate",
             Command::Gen { .. } => "gen",
             Command::Stats => "stats",
+            Command::Metrics => "metrics",
+        }
+    }
+
+    /// All command names, in a stable order (for metrics registries).
+    #[must_use]
+    pub fn all_names() -> &'static [&'static str] {
+        &[
+            "ping", "solve", "pareto", "simulate", "gen", "stats", "metrics",
+        ]
+    }
+
+    /// Canonical key of the *instance* behind a front-shaped command —
+    /// the `(pipeline, platform)` content alone, shared by every threshold
+    /// objective and by the `Pareto` command over the same instance. This
+    /// is the key of the front cache and of batch grouping. `None` for
+    /// commands that are not answered from a front.
+    #[must_use]
+    pub fn front_key(&self) -> Option<u128> {
+        match self {
+            Command::Solve {
+                pipeline, platform, ..
+            }
+            | Command::Pareto {
+                pipeline, platform, ..
+            } => Some(rpwf_core::hash::instance_key(pipeline, platform)),
+            _ => None,
         }
     }
 
@@ -130,7 +173,11 @@ impl Command {
                     }
                 }
             }
-            Command::Pareto { pipeline, platform } => {
+            // `chunk` is a rendering option, not part of the front's
+            // identity.
+            Command::Pareto {
+                pipeline, platform, ..
+            } => {
                 hasher.write_str("pareto");
                 pipeline.digest(&mut hasher);
                 platform.digest(&mut hasher);
@@ -145,7 +192,7 @@ impl Command {
                 platform.digest(&mut hasher);
                 hasher.write_u64(trials.unwrap_or(10_000) as u64);
             }
-            Command::Ping | Command::Gen { .. } | Command::Stats => return None,
+            Command::Ping | Command::Gen { .. } | Command::Stats | Command::Metrics => return None,
         }
         Some(hasher.finish())
     }
@@ -230,6 +277,19 @@ impl Response {
         }
     }
 
+    /// A `part` response — one chunk of a streamed result. The request is
+    /// only fulfilled by the closing `ok` (or `error`) line that follows.
+    #[must_use]
+    pub fn part(id: Option<u64>, result: Value, meta: Meta) -> Self {
+        Response {
+            id,
+            status: "part".into(),
+            result: Some(result),
+            error: None,
+            meta,
+        }
+    }
+
     /// An `error` response.
     #[must_use]
     pub fn error(id: Option<u64>, kind: ErrorKind, message: impl Into<String>, meta: Meta) -> Self {
@@ -286,6 +346,30 @@ pub struct ParetoResult {
     pub complete: bool,
 }
 
+/// One chunk of a streamed Pareto front (response `status: "part"`).
+/// Chunks carry consecutive points in increasing-latency order;
+/// concatenating the `points` of all parts in `seq` order reproduces the
+/// unstreamed [`ParetoResult::points`] exactly.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrontPartResult {
+    /// 0-based chunk index.
+    pub seq: u64,
+    /// The points of this chunk.
+    pub points: Vec<ParetoPointOut>,
+}
+
+/// Closing line of a streamed Pareto front (response `status: "ok"`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FrontEndResult {
+    /// Whether the streamed front is exact (same meaning as
+    /// [`ParetoResult::complete`]).
+    pub complete: bool,
+    /// Number of `front_part` lines that preceded this one.
+    pub parts: u64,
+    /// Total points across all parts.
+    pub points_total: u64,
+}
+
 /// `Simulate` result payload.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimulateResult {
@@ -333,6 +417,27 @@ pub struct CacheStatsOut {
     pub evictions: u64,
 }
 
+/// Per-command latency summary inside [`StatsResult`], derived from the
+/// service's log-scale histogram (quantiles are bucket upper bounds, so
+/// they over-estimate by at most one bucket width).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CommandStatsOut {
+    /// Command name (`solve`, `pareto`, …).
+    pub command: String,
+    /// Requests handled.
+    pub count: u64,
+    /// Mean handling time in microseconds.
+    pub mean_us: f64,
+    /// Median handling time (µs, bucket upper bound).
+    pub p50_us: u64,
+    /// 90th-percentile handling time (µs, bucket upper bound).
+    pub p90_us: u64,
+    /// 99th-percentile handling time (µs, bucket upper bound).
+    pub p99_us: u64,
+    /// Largest observed handling time (µs, exact).
+    pub max_us: u64,
+}
+
 /// `Stats` result payload.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StatsResult {
@@ -342,6 +447,8 @@ pub struct StatsResult {
     pub requests: u64,
     /// Cache counters.
     pub cache: CacheStatsOut,
+    /// Per-command latency summaries (commands with no traffic omitted).
+    pub commands: Vec<CommandStatsOut>,
 }
 
 #[cfg(test)]
@@ -392,12 +499,43 @@ mod tests {
         let pareto = Command::Pareto {
             pipeline: pipeline.clone(),
             platform: platform.clone(),
+            chunk: None,
         }
         .cache_key()
         .expect("pareto is cacheable");
         assert_ne!(key(22.0), pareto);
         assert_eq!(Command::Ping.cache_key(), None);
         assert_eq!(Command::Stats.cache_key(), None);
+        assert_eq!(Command::Metrics.cache_key(), None);
+    }
+
+    #[test]
+    fn front_key_ignores_objective_and_chunk() {
+        let (pipeline, platform) = tiny_instance();
+        let solve = |l: f64| {
+            Command::Solve {
+                pipeline: pipeline.clone(),
+                platform: platform.clone(),
+                objective: Objective::MinFpUnderLatency(l),
+            }
+            .front_key()
+            .expect("solve has a front key")
+        };
+        let pareto = |chunk: Option<usize>| {
+            Command::Pareto {
+                pipeline: pipeline.clone(),
+                platform: platform.clone(),
+                chunk,
+            }
+            .front_key()
+            .expect("pareto has a front key")
+        };
+        // Every query over the same instance shares one front.
+        assert_eq!(solve(22.0), solve(23.0));
+        assert_eq!(solve(22.0), pareto(None));
+        assert_eq!(pareto(None), pareto(Some(4)));
+        assert_eq!(Command::Ping.front_key(), None);
+        assert_eq!(Command::Stats.front_key(), None);
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! Each TCP connection gets a reader thread (parsing lines, enqueueing
 //! jobs on the shared worker pool) and a writer thread (draining that
 //! connection's response channel). Responses may interleave across
-//! requests of one connection — clients correlate by `id`. All
+//! requests of one connection — clients correlate by `id`. A streamed
+//! request (chunked `Pareto`) emits its `part` lines in order, each
+//! forwarded to the writer as it is produced, so per-response memory
+//! stays bounded by the chunk size. All
 //! connections share one worker pool, so a single client cannot starve
 //! the service by opening many connections.
 //!

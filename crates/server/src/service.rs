@@ -1,19 +1,30 @@
-//! The solver engine behind every transport: request dispatch, per-request
-//! deadlines, portfolio racing, the solution cache, and the fixed worker
-//! pool that executes requests concurrently.
+//! The solver engine behind every transport — **front-first**: the Pareto
+//! front is the unit of solving, caching and batching. Threshold queries
+//! are reads off a front; the sharded cache stores fronts keyed by the
+//! canonical instance hash (completeness-aware); batches group requests by
+//! that hash and solve one front per distinct instance; large fronts
+//! stream as bounded `front_part` chunks. Per-request deadlines, portfolio
+//! racing and the fixed worker pool carry over from the point-centric
+//! design.
 
-use crate::cache::{CachedResult, SolutionCache};
+use crate::cache::{CachedEntry, CachedFront, CachedResult, SolutionCache};
+use crate::metrics::CommandMetrics;
 use crate::protocol::{
-    CacheStatsOut, Command, ErrorKind, GenResult, Meta, ParetoPointOut, ParetoResult, Request,
-    Response, SimulateResult, SolveResult, StatsResult,
+    CacheStatsOut, Command, ErrorKind, FrontEndResult, FrontPartResult, GenResult, Meta,
+    ParetoPointOut, ParetoResult, Request, Response, SimulateResult, SolveResult, StatsResult,
 };
 use crossbeam::channel::{self, Sender};
-use rpwf_algo::exact::{pareto_front_comm_homog_with_budget, Exhaustive};
+use rpwf_algo::front::{best_front_source, threshold_read, FrontSource, PortfolioFront};
 use rpwf_algo::heuristics::Portfolio;
+use rpwf_algo::{BiSolution, Objective};
 use rpwf_core::budget::{Budget, CancelHandle};
+use rpwf_core::hash::instance_key;
+use rpwf_core::mapping::IntervalMapping;
 use rpwf_core::pareto::ParetoFront;
-use rpwf_core::platform::{FailureClass, PlatformClass};
+use rpwf_core::platform::{FailureClass, Platform, PlatformClass};
+use rpwf_core::stage::Pipeline;
 use serde::Serialize;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -24,7 +35,7 @@ use std::time::{Duration, Instant};
 pub struct ServiceConfig {
     /// Worker threads in the pool (0 = available parallelism).
     pub workers: usize,
-    /// Solution-cache entries across all shards (0 disables caching).
+    /// Cache entries across all shards (0 disables caching).
     pub cache_capacity: usize,
     /// Cache shards.
     pub cache_shards: usize,
@@ -60,6 +71,7 @@ pub struct SolverService {
     config: ServiceConfig,
     cache: SolutionCache,
     requests: AtomicU64,
+    metrics: CommandMetrics,
 }
 
 impl SolverService {
@@ -71,6 +83,7 @@ impl SolverService {
             config,
             cache,
             requests: AtomicU64::new(0),
+            metrics: CommandMetrics::new(),
         }
     }
 
@@ -81,7 +94,8 @@ impl SolverService {
     }
 
     /// Parses and handles one request line received at `received`,
-    /// producing one response line (no trailing newline).
+    /// producing the response line(s), newline-joined (streamed requests
+    /// emit several lines; everything else emits one).
     #[must_use]
     pub fn handle_line(&self, line: &str, received: Instant) -> String {
         self.handle_line_cancellable(line, received, None)
@@ -97,34 +111,62 @@ impl SolverService {
         received: Instant,
         cancel: Option<&CancelHandle>,
     ) -> String {
+        let mut lines: Vec<String> = Vec::with_capacity(1);
+        self.handle_line_into(line, received, cancel, &mut |l| lines.push(l));
+        lines.join("\n")
+    }
+
+    /// Parses and handles one request line, emitting each response line
+    /// (no trailing newline) through `emit` as it is produced — the
+    /// streaming entry point the transports use, so a chunked front never
+    /// materializes as one string.
+    pub fn handle_line_into(
+        &self,
+        line: &str,
+        received: Instant,
+        cancel: Option<&CancelHandle>,
+        emit: &mut dyn FnMut(String),
+    ) {
         let start = Instant::now();
         let trimmed = line.trim();
         if trimmed.is_empty() {
-            return Response::error(
-                None,
-                ErrorKind::Invalid,
-                "empty request line",
-                meta_plain(start),
-            )
-            .to_line();
+            emit(
+                Response::error(
+                    None,
+                    ErrorKind::Invalid,
+                    "empty request line",
+                    meta_plain(start),
+                )
+                .to_line(),
+            );
+            return;
         }
         match serde_json::from_str::<Request>(trimmed) {
-            Ok(request) => self.handle_cancellable(request, received, cancel).to_line(),
-            Err(e) => Response::error(
-                None,
-                ErrorKind::Invalid,
-                format!("malformed request: {e}"),
-                meta_plain(start),
-            )
-            .to_line(),
+            Ok(request) => {
+                self.handle_request_into(request, received, cancel, &mut |resp| {
+                    emit(resp.to_line());
+                });
+            }
+            Err(e) => emit(
+                Response::error(
+                    None,
+                    ErrorKind::Invalid,
+                    format!("malformed request: {e}"),
+                    meta_plain(start),
+                )
+                .to_line(),
+            ),
         }
     }
 
-    /// Handles one parsed request. Panics anywhere in the handling path
-    /// (including instance hashing — serde does not re-validate model
-    /// invariants, so a structurally broken instance can panic deep in
-    /// solver or digest code) are caught and reported as `internal`
-    /// errors so a malformed instance cannot take a worker down.
+    /// Handles one parsed request, returning the **final** response (for
+    /// streamed requests the preceding `part` responses are discarded —
+    /// use [`handle_request_into`](Self::handle_request_into) to observe
+    /// them). Panics anywhere in the handling path (including instance
+    /// hashing — serde does not re-validate model invariants, so a
+    /// structurally broken instance can panic deep in solver or digest
+    /// code) are caught and reported as `internal` errors so a malformed
+    /// instance cannot take a worker down.
     #[must_use]
     pub fn handle(&self, request: Request, received: Instant) -> Response {
         self.handle_cancellable(request, received, None)
@@ -139,21 +181,36 @@ impl SolverService {
         received: Instant,
         cancel: Option<&CancelHandle>,
     ) -> Response {
+        let mut last: Option<Response> = None;
+        self.handle_request_into(request, received, cancel, &mut |resp| last = Some(resp));
+        last.expect("every request produces at least one response")
+    }
+
+    /// Handles one parsed request, emitting every response (parts first,
+    /// the fulfilling `ok`/`error` last). Panic-isolated per request.
+    pub fn handle_request_into(
+        &self,
+        request: Request,
+        received: Instant,
+        cancel: Option<&CancelHandle>,
+        emit: &mut dyn FnMut(Response),
+    ) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
         let id = request.id;
+        let name = request.cmd.name();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.handle_inner(request, received, start, cancel)
+            self.handle_inner(request, received, start, cancel, emit);
         }));
-        match outcome {
-            Ok(response) => response,
-            Err(panic) => Response::error(
+        if let Err(panic) = outcome {
+            emit(Response::error(
                 id,
                 ErrorKind::Internal,
                 format!("request handling panicked: {}", panic_message(&panic)),
                 meta_plain(start),
-            ),
+            ));
         }
+        self.metrics.record(name, elapsed_us(start));
     }
 
     fn handle_inner(
@@ -162,7 +219,8 @@ impl SolverService {
         received: Instant,
         start: Instant,
         cancel: Option<&CancelHandle>,
-    ) -> Response {
+        emit: &mut dyn FnMut(Response),
+    ) {
         let id = request.id;
         let mut budget = match request.deadline_ms {
             Some(ms) => Budget::with_deadline_at(received + Duration::from_millis(ms)),
@@ -171,16 +229,207 @@ impl SolverService {
         if let Some(handle) = cancel {
             budget = budget.linked(handle);
         }
-
-        // Cache lookup (content-addressed; Ping/Gen/Stats are not cached).
         let use_cache = !request.no_cache.unwrap_or(false);
-        let key = if use_cache {
-            request.cmd.cache_key()
-        } else {
-            None
-        };
-        if let Some(key) = key {
-            if let Some(hit) = self.cache.get(key) {
+
+        // Expensive commands check the budget only *after* their cache
+        // lookup (each handler does, via `doomed_solve`): a request whose
+        // deadline expired while queued is still answered instantly when
+        // its front or result sits in the cache.
+        match request.cmd {
+            Command::Solve {
+                pipeline,
+                platform,
+                objective,
+            } => emit(self.handle_solve(
+                id, &pipeline, &platform, objective, &budget, use_cache, start,
+            )),
+            Command::Pareto {
+                pipeline,
+                platform,
+                chunk,
+            } => self.handle_pareto(
+                id, &pipeline, &platform, chunk, &budget, use_cache, start, emit,
+            ),
+            Command::Simulate {
+                pipeline,
+                platform,
+                trials,
+            } => emit(
+                self.handle_simulate(id, &pipeline, &platform, trials, &budget, use_cache, start),
+            ),
+            cmd => emit(match self.dispatch_simple(&cmd) {
+                Ok(result) => Response::ok(id, result, meta_plain(start)),
+                Err((kind, message)) => Response::error(id, kind, message, meta_plain(start)),
+            }),
+        }
+    }
+
+    // -- Front-shaped commands --------------------------------------------
+
+    /// Threshold solve = front read. The front comes from the cache when a
+    /// usable entry exists, otherwise from the strongest front source
+    /// racing the heuristic portfolio; the freshly built front goes back
+    /// into the cache (completeness-aware) for every later query over the
+    /// same instance.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_solve(
+        &self,
+        id: Option<u64>,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+        use_cache: bool,
+        start: Instant,
+    ) -> Response {
+        let pipeline = pipeline.clone().with_rebuilt_cache();
+        let key = use_cache.then(|| instance_key(&pipeline, platform));
+
+        // 1. Answer from a cached front when one is usable.
+        if let Some(hit) = key.and_then(|k| self.usable_cached_front(k, budget)) {
+            if let Some(sol) = threshold_read(&hit.front, objective) {
+                return Response::ok(
+                    id,
+                    solve_result(sol),
+                    Meta {
+                        cache_hit: true,
+                        solver: Some(hit.solver),
+                        exact_complete: Some(hit.complete),
+                        elapsed_us: elapsed_us(start),
+                    },
+                );
+            }
+            if hit.complete {
+                // A complete front proves infeasibility.
+                return Response::error(
+                    id,
+                    ErrorKind::Infeasible,
+                    format!("no mapping satisfies {objective:?}"),
+                    Meta {
+                        cache_hit: true,
+                        solver: Some(hit.solver),
+                        exact_complete: Some(true),
+                        elapsed_us: elapsed_us(start),
+                    },
+                );
+            }
+            // Incomplete front with no satisfying point: solve fresh.
+        }
+        if let Some(timeout) = doomed_solve(id, budget, start) {
+            return timeout;
+        }
+
+        // 2. Build the front (racing the portfolio) when an exact backend
+        //    applies *and* the front can be kept for later queries; with
+        //    caching off there is nothing to amortize, so fall back to
+        //    the cheaper per-threshold race (identical answers on
+        //    complete runs — both read the same exact solution).
+        if let (Some(source), Some(k)) = (best_front_source(&pipeline, platform), key) {
+            let portfolio = Portfolio::new(self.config.seed);
+            let (front_outcome, heuristic) = crossbeam::thread::scope(|scope| {
+                let heuristic = scope.spawn(|_| {
+                    portfolio
+                        .solve_with_budget(&pipeline, platform, objective, budget)
+                        .into_inner()
+                });
+                let front = source.front_with_budget(&pipeline, platform, budget);
+                let heuristic = heuristic.join().expect("portfolio does not panic");
+                (front, heuristic)
+            })
+            .expect("race threads do not panic");
+            let complete = front_outcome.is_complete();
+            let front = Arc::new(front_outcome.into_inner());
+            self.store_front(k, Arc::clone(&front), complete, "exact", true);
+            let exact_point = threshold_read(&front, objective);
+            if complete {
+                return match exact_point {
+                    Some(sol) => Response::ok(
+                        id,
+                        solve_result(sol),
+                        Meta {
+                            cache_hit: false,
+                            solver: Some("exact".into()),
+                            exact_complete: Some(true),
+                            elapsed_us: elapsed_us(start),
+                        },
+                    ),
+                    None => Response::error(
+                        id,
+                        ErrorKind::Infeasible,
+                        format!("no mapping satisfies {objective:?}"),
+                        meta_plain(start),
+                    ),
+                };
+            }
+            // Cutoff front: best of the partial front and the heuristics.
+            let picked = match (exact_point, heuristic) {
+                (Some(e), Some(h)) => Some(if objective.better(&e, &h) {
+                    (e, "exact")
+                } else {
+                    (h, "heuristic")
+                }),
+                (Some(e), None) => Some((e, "exact")),
+                (None, Some(h)) => Some((h, "heuristic")),
+                (None, None) => None,
+            };
+            return match picked {
+                Some((sol, solver)) => Response::ok(
+                    id,
+                    solve_result(sol),
+                    Meta {
+                        cache_hit: false,
+                        solver: Some(solver.into()),
+                        exact_complete: Some(false),
+                        elapsed_us: elapsed_us(start),
+                    },
+                ),
+                None if budget.is_exhausted() => Response::error(
+                    id,
+                    ErrorKind::Timeout,
+                    "deadline expired before any feasible solution was found",
+                    meta_plain(start),
+                ),
+                None => Response::error(
+                    id,
+                    ErrorKind::Infeasible,
+                    format!(
+                        "no feasible solution found for {objective:?} \
+                         (heuristic search; not a proof of infeasibility)"
+                    ),
+                    meta_plain(start),
+                ),
+            };
+        }
+
+        // 3. No front backend (large fully-heterogeneous instance) or no
+        //    cache to keep a front in: the heuristic race with per-query
+        //    result caching, as before.
+        self.solve_without_front(id, &pipeline, platform, objective, budget, use_cache, start)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn solve_without_front(
+        &self,
+        id: Option<u64>,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+        use_cache: bool,
+        start: Instant,
+    ) -> Response {
+        let qkey = use_cache
+            .then(|| {
+                Command::Solve {
+                    pipeline: pipeline.clone(),
+                    platform: platform.clone(),
+                    objective,
+                }
+                .cache_key()
+            })
+            .flatten();
+        if let Some(k) = qkey {
+            if let Some(CachedEntry::Result(hit)) = self.cache.get(k) {
                 return Response::ok(
                     id,
                     hit.result,
@@ -193,70 +442,298 @@ impl SolverService {
                 );
             }
         }
-
-        // A request whose budget is already gone gets a structured
-        // timeout instead of a doomed solve (cheap commands still run).
-        let expensive = matches!(
-            request.cmd,
-            Command::Solve { .. } | Command::Pareto { .. } | Command::Simulate { .. }
-        );
-        if budget.is_exhausted() && expensive {
-            return Response::error(
-                id,
-                ErrorKind::Timeout,
-                "deadline expired or request cancelled before solving started",
-                meta_plain(start),
-            );
+        if let Some(timeout) = doomed_solve(id, budget, start) {
+            return timeout;
         }
-
-        match self.dispatch(request.cmd, &budget) {
-            Ok(done) => {
-                if let (Some(key), true) = (key, done.cacheable) {
+        let report = Portfolio::new(self.config.seed).race(pipeline, platform, objective, budget);
+        match report.best {
+            Some(sol) => {
+                let result = solve_result(sol);
+                // Cutoff answers may be beaten by a rerun with more
+                // budget; never let them poison the cache.
+                let cacheable =
+                    report.exact_complete || (!report.exact_attempted && report.heuristic_complete);
+                if let (Some(k), true) = (qkey, cacheable) {
                     self.cache.insert(
-                        key,
-                        CachedResult {
-                            result: done.result.clone(),
-                            solver: done.solver.clone(),
-                            exact_complete: done.exact_complete,
-                        },
+                        k,
+                        CachedEntry::Result(CachedResult {
+                            result: result.clone(),
+                            solver: Some(report.solver.name().into()),
+                            exact_complete: Some(report.exact_complete),
+                        }),
                     );
                 }
                 Response::ok(
                     id,
-                    done.result,
+                    result,
                     Meta {
                         cache_hit: false,
-                        solver: done.solver,
-                        exact_complete: done.exact_complete,
+                        solver: Some(report.solver.name().into()),
+                        exact_complete: Some(report.exact_complete),
                         elapsed_us: elapsed_us(start),
                     },
                 )
             }
-            Err((kind, message)) => Response::error(id, kind, message, meta_plain(start)),
+            None if report.exact_complete => Response::error(
+                id,
+                ErrorKind::Infeasible,
+                format!("no mapping satisfies {objective:?}"),
+                meta_plain(start),
+            ),
+            None if budget.is_exhausted() => Response::error(
+                id,
+                ErrorKind::Timeout,
+                "deadline expired before any feasible solution was found",
+                meta_plain(start),
+            ),
+            None => Response::error(
+                id,
+                ErrorKind::Infeasible,
+                format!(
+                    "no feasible solution found for {objective:?} \
+                     (heuristic search; not a proof of infeasibility)"
+                ),
+                meta_plain(start),
+            ),
         }
     }
 
-    fn dispatch(&self, cmd: Command, budget: &Budget) -> DispatchResult {
-        match cmd {
-            Command::Ping => Ok(Done::plain(serde::Value::Str("pong".into()))),
-            Command::Stats => {
-                let cache = self.cache.stats();
-                Ok(Done::plain(
-                    StatsResult {
-                        workers: self.config.effective_workers(),
-                        requests: self.requests.load(Ordering::Relaxed),
-                        cache: CacheStatsOut {
-                            shards: self.cache.shard_count(),
-                            capacity: self.cache.capacity(),
-                            entries: cache.entries,
-                            hits: cache.hits,
-                            misses: cache.misses,
-                            evictions: cache.evictions,
-                        },
+    /// The Pareto command: produce (or fetch) the front, then render it as
+    /// one `ParetoResult` line or stream it as `front_part` chunks of at
+    /// most `chunk` points closed by a `front_end` line.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_pareto(
+        &self,
+        id: Option<u64>,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        chunk: Option<usize>,
+        budget: &Budget,
+        use_cache: bool,
+        start: Instant,
+        emit: &mut dyn FnMut(Response),
+    ) {
+        if chunk == Some(0) {
+            emit(Response::error(
+                id,
+                ErrorKind::Invalid,
+                "chunk must be at least 1 point",
+                meta_plain(start),
+            ));
+            return;
+        }
+        let pipeline = pipeline.clone().with_rebuilt_cache();
+        let key = use_cache.then(|| instance_key(&pipeline, platform));
+
+        let (entry, cache_hit) = match key.and_then(|k| self.usable_cached_front(k, budget)) {
+            Some(hit) => (hit, true),
+            None => {
+                if let Some(timeout) = doomed_solve(id, budget, start) {
+                    emit(timeout);
+                    return;
+                }
+                let (outcome, solver, exact_capable) = match best_front_source(&pipeline, platform)
+                {
+                    Some(source) => (
+                        source.front_with_budget(&pipeline, platform, budget),
+                        "exact",
+                        true,
+                    ),
+                    // Beyond every exact backend: the budgeted heuristic
+                    // portfolio still produces a sound (never complete)
+                    // front, so the command works on every instance.
+                    None => (
+                        PortfolioFront {
+                            seed: self.config.seed,
+                            ..Default::default()
+                        }
+                        .front_with_budget(&pipeline, platform, budget),
+                        "heuristic",
+                        false,
+                    ),
+                };
+                let complete = outcome.is_complete();
+                let front = Arc::new(outcome.into_inner());
+                if front.is_empty() && !complete {
+                    emit(Response::error(
+                        id,
+                        ErrorKind::Timeout,
+                        "deadline expired before any Pareto point was found",
+                        meta_plain(start),
+                    ));
+                    return;
+                }
+                if let Some(k) = key {
+                    self.store_front(k, Arc::clone(&front), complete, solver, exact_capable);
+                }
+                (
+                    CachedFront {
+                        front,
+                        complete,
+                        solver: solver.into(),
+                        exact_capable,
+                    },
+                    false,
+                )
+            }
+        };
+
+        let meta = |start: Instant| Meta {
+            cache_hit,
+            solver: Some(entry.solver.clone()),
+            exact_complete: Some(entry.complete),
+            elapsed_us: elapsed_us(start),
+        };
+        match chunk {
+            None => emit(Response::ok(
+                id,
+                ParetoResult {
+                    points: entry.front.iter().map(pareto_point_out).collect(),
+                    complete: entry.complete,
+                }
+                .to_value(),
+                meta(start),
+            )),
+            Some(size) => {
+                let mut parts = 0u64;
+                for points in entry.front.chunks(size) {
+                    emit(Response::part(
+                        id,
+                        FrontPartResult {
+                            seq: parts,
+                            points: points.iter().map(pareto_point_out).collect(),
+                        }
+                        .to_value(),
+                        meta(start),
+                    ));
+                    parts += 1;
+                }
+                emit(Response::ok(
+                    id,
+                    FrontEndResult {
+                        complete: entry.complete,
+                        parts,
+                        points_total: entry.front.len() as u64,
                     }
                     .to_value(),
-                ))
+                    meta(start),
+                ));
             }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_simulate(
+        &self,
+        id: Option<u64>,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        trials: Option<usize>,
+        budget: &Budget,
+        use_cache: bool,
+        start: Instant,
+    ) -> Response {
+        let qkey = use_cache
+            .then(|| {
+                Command::Simulate {
+                    pipeline: pipeline.clone(),
+                    platform: platform.clone(),
+                    trials,
+                }
+                .cache_key()
+            })
+            .flatten();
+        if let Some(k) = qkey {
+            if let Some(CachedEntry::Result(hit)) = self.cache.get(k) {
+                return Response::ok(
+                    id,
+                    hit.result,
+                    Meta {
+                        cache_hit: true,
+                        solver: hit.solver,
+                        exact_complete: hit.exact_complete,
+                        elapsed_us: elapsed_us(start),
+                    },
+                );
+            }
+        }
+        if let Some(timeout) = doomed_solve(id, budget, start) {
+            return timeout;
+        }
+        let pipeline = pipeline.clone().with_rebuilt_cache();
+        let trials = trials.unwrap_or(10_000).clamp(1, 10_000_000);
+        let safest = rpwf_algo::mono::minimize_failure(&pipeline, platform);
+        let mc = rpwf_sim::MonteCarlo {
+            trials,
+            ..Default::default()
+        };
+        let (report, complete) = mc.run_with_budget(&pipeline, platform, &safest.mapping, budget);
+        if report.trials == 0 {
+            return Response::error(
+                id,
+                ErrorKind::Timeout,
+                "deadline expired before any Monte Carlo trial ran",
+                meta_plain(start),
+            );
+        }
+        let result = SimulateResult {
+            mapping_display: safest.mapping.to_string(),
+            analytic_fp: safest.failure_prob,
+            mc_failure_rate: 1.0 - report.success_rate,
+            wilson95: report.wilson95,
+            trials: report.trials,
+            latency_min: report.latency.min,
+            latency_mean: report.latency.mean,
+            latency_max: report.latency.max,
+        }
+        .to_value();
+        // A cut-off sample is a valid but smaller estimate; never cache it
+        // in place of the full run.
+        if let (Some(k), true) = (qkey, complete) {
+            self.cache.insert(
+                k,
+                CachedEntry::Result(CachedResult {
+                    result: result.clone(),
+                    solver: Some("exact".into()),
+                    exact_complete: Some(complete),
+                }),
+            );
+        }
+        Response::ok(
+            id,
+            result,
+            Meta {
+                cache_hit: false,
+                solver: Some("exact".into()),
+                exact_complete: Some(complete),
+                elapsed_us: elapsed_us(start),
+            },
+        )
+    }
+
+    // -- Plain commands ----------------------------------------------------
+
+    fn dispatch_simple(&self, cmd: &Command) -> Result<serde::Value, (ErrorKind, String)> {
+        match cmd {
+            Command::Ping => Ok(serde::Value::Str("pong".into())),
+            Command::Stats => {
+                let cache = self.cache.stats();
+                Ok(StatsResult {
+                    workers: self.config.effective_workers(),
+                    requests: self.requests.load(Ordering::Relaxed),
+                    cache: CacheStatsOut {
+                        shards: self.cache.shard_count(),
+                        capacity: self.cache.capacity(),
+                        entries: cache.entries,
+                        hits: cache.hits,
+                        misses: cache.misses,
+                        evictions: cache.evictions,
+                    },
+                    commands: self.metrics.summaries(),
+                }
+                .to_value())
+            }
+            Command::Metrics => Ok(serde::Value::Str(self.render_metrics())),
             Command::Gen {
                 class,
                 failure,
@@ -285,173 +762,160 @@ impl SolverService {
                         ))
                     }
                 };
+                let (n, m) = (*n, *m);
                 if n == 0 || m == 0 || n > 64 || m > 64 {
                     return Err((
                         ErrorKind::Invalid,
                         format!("gen size out of range: n={n}, m={m}"),
                     ));
                 }
-                let inst = rpwf_gen::make_instance(class, failure, n, m, seed);
-                Ok(Done::plain(
-                    GenResult {
-                        pipeline: inst.pipeline,
-                        platform: inst.platform,
-                    }
-                    .to_value(),
-                ))
-            }
-            Command::Solve {
-                pipeline,
-                platform,
-                objective,
-            } => {
-                let pipeline = pipeline.with_rebuilt_cache();
-                let report =
-                    Portfolio::new(self.config.seed).race(&pipeline, &platform, objective, budget);
-                match report.best {
-                    Some(sol) => Ok(Done {
-                        result: SolveResult {
-                            mapping_display: sol.mapping.to_string(),
-                            mapping: sol.mapping,
-                            latency: sol.latency,
-                            failure_prob: sol.failure_prob,
-                        }
-                        .to_value(),
-                        solver: Some(report.solver.name().into()),
-                        exact_complete: Some(report.exact_complete),
-                        // Cutoff answers — exact or heuristic — may be
-                        // beaten by a rerun with more budget; never let
-                        // them poison the cache.
-                        cacheable: report.exact_complete
-                            || (!report.exact_attempted && report.heuristic_complete),
-                    }),
-                    None if report.exact_complete => Err((
-                        ErrorKind::Infeasible,
-                        format!("no mapping satisfies {objective:?}"),
-                    )),
-                    None if budget.is_exhausted() => Err((
-                        ErrorKind::Timeout,
-                        "deadline expired before any feasible solution was found".into(),
-                    )),
-                    None => Err((
-                        ErrorKind::Infeasible,
-                        format!(
-                            "no feasible solution found for {objective:?} \
-                             (heuristic search; not a proof of infeasibility)"
-                        ),
-                    )),
+                let inst = rpwf_gen::make_instance(class, failure, n, m, *seed);
+                Ok(GenResult {
+                    pipeline: inst.pipeline,
+                    platform: inst.platform,
                 }
+                .to_value())
             }
-            Command::Pareto { pipeline, platform } => {
-                let pipeline = pipeline.with_rebuilt_cache();
-                let m = platform.n_procs();
-                let (front, complete): (ParetoFront<_>, bool) =
-                    if platform.uniform_bandwidth().is_some() && m <= 16 {
-                        let outcome =
-                            pareto_front_comm_homog_with_budget(&pipeline, &platform, budget)
-                                .expect("uniform bandwidth checked");
-                        let complete = outcome.is_complete();
-                        (outcome.into_inner(), complete)
-                    } else if m <= 6 {
-                        let outcome =
-                            Exhaustive::new(&pipeline, &platform).pareto_front_with_budget(budget);
-                        let complete = outcome.is_complete();
-                        (outcome.into_inner(), complete)
-                    } else {
-                        return Err((
-                            ErrorKind::Invalid,
-                            "exact Pareto front needs comm-homogeneous links (m ≤ 16) \
-                             or m ≤ 6"
-                                .into(),
-                        ));
-                    };
-                if front.is_empty() && !complete {
-                    return Err((
-                        ErrorKind::Timeout,
-                        "deadline expired before any Pareto point was found".into(),
-                    ));
-                }
-                Ok(Done {
-                    result: ParetoResult {
-                        points: front
-                            .iter()
-                            .map(|pt| ParetoPointOut {
-                                latency: pt.latency,
-                                failure_prob: pt.failure_prob,
-                                mapping_display: pt.payload.to_string(),
-                            })
-                            .collect(),
-                        complete,
-                    }
-                    .to_value(),
-                    solver: Some("exact".into()),
-                    exact_complete: Some(complete),
-                    cacheable: complete,
-                })
-            }
-            Command::Simulate {
-                pipeline,
-                platform,
-                trials,
-            } => {
-                let pipeline = pipeline.with_rebuilt_cache();
-                let trials = trials.unwrap_or(10_000).clamp(1, 10_000_000);
-                let safest = rpwf_algo::mono::minimize_failure(&pipeline, &platform);
-                let mc = rpwf_sim::MonteCarlo {
-                    trials,
-                    ..Default::default()
-                };
-                let (report, complete) =
-                    mc.run_with_budget(&pipeline, &platform, &safest.mapping, budget);
-                if report.trials == 0 {
-                    return Err((
-                        ErrorKind::Timeout,
-                        "deadline expired before any Monte Carlo trial ran".into(),
-                    ));
-                }
-                Ok(Done {
-                    result: SimulateResult {
-                        mapping_display: safest.mapping.to_string(),
-                        analytic_fp: safest.failure_prob,
-                        mc_failure_rate: 1.0 - report.success_rate,
-                        wilson95: report.wilson95,
-                        trials: report.trials,
-                        latency_min: report.latency.min,
-                        latency_mean: report.latency.mean,
-                        latency_max: report.latency.max,
-                    }
-                    .to_value(),
-                    solver: Some("exact".into()),
-                    exact_complete: Some(complete),
-                    // A cut-off sample is a valid but smaller estimate;
-                    // never cache it in place of the full run.
-                    cacheable: complete,
-                })
+            Command::Solve { .. } | Command::Pareto { .. } | Command::Simulate { .. } => {
+                unreachable!("front-shaped commands are dispatched by handle_inner")
             }
         }
     }
-}
 
-/// Successful dispatch payload plus caching/metadata decisions.
-struct Done {
-    result: serde::Value,
-    solver: Option<String>,
-    exact_complete: Option<bool>,
-    cacheable: bool,
-}
+    /// The Prometheus-style plain-text metrics dump served by the
+    /// `Metrics` command.
+    #[must_use]
+    pub fn render_metrics(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let cache = self.cache.stats();
+        writeln!(out, "rpwf_workers {}", self.config.effective_workers()).expect("write");
+        writeln!(
+            out,
+            "rpwf_requests_total {}",
+            self.requests.load(Ordering::Relaxed)
+        )
+        .expect("write");
+        writeln!(out, "rpwf_cache_hits_total {}", cache.hits).expect("write");
+        writeln!(out, "rpwf_cache_misses_total {}", cache.misses).expect("write");
+        writeln!(out, "rpwf_cache_evictions_total {}", cache.evictions).expect("write");
+        writeln!(out, "rpwf_cache_entries {}", cache.entries).expect("write");
+        writeln!(out, "rpwf_cache_capacity {}", self.cache.capacity()).expect("write");
+        self.metrics.render_prometheus(&mut out);
+        out
+    }
 
-impl Done {
-    fn plain(result: serde::Value) -> Self {
-        Done {
-            result,
-            solver: None,
-            exact_complete: None,
-            cacheable: false,
+    // -- Front cache -------------------------------------------------------
+
+    /// A cached front usable for this request: complete fronts always;
+    /// incomplete fronts only when the request itself carries a
+    /// **deadline** (best-effort is the contract anyway — a mere
+    /// cancellation link, which every TCP request has, does not count) or
+    /// when no exact backend could do better. Never lets a cutoff
+    /// masquerade as exact — the entry's `complete` flag travels into
+    /// `meta.exact_complete`.
+    fn usable_cached_front(&self, key: u128, budget: &Budget) -> Option<CachedFront> {
+        let deadline_bound = budget.remaining().is_some();
+        match self.cache.get(key) {
+            Some(CachedEntry::Front(hit)) => {
+                (hit.complete || deadline_bound || !hit.exact_capable).then_some(hit)
+            }
+            _ => None,
         }
+    }
+
+    /// Inserts a front, never letting an incomplete one replace a complete
+    /// incumbent or a *richer* incomplete one (fewer points would degrade
+    /// every later best-effort read), and never caching an empty cutoff
+    /// (it carries no answers, only the false impression of one).
+    fn store_front(
+        &self,
+        key: u128,
+        front: Arc<ParetoFront<IntervalMapping>>,
+        complete: bool,
+        solver: &str,
+        exact_capable: bool,
+    ) {
+        if !complete && front.is_empty() {
+            return;
+        }
+        let points = front.len();
+        self.cache.insert_if(
+            key,
+            CachedEntry::Front(CachedFront {
+                front,
+                complete,
+                solver: solver.into(),
+                exact_capable,
+            }),
+            |existing| match existing {
+                CachedEntry::Front(old) => complete || (!old.complete && points >= old.front.len()),
+                CachedEntry::Result(_) => true,
+            },
+        );
+    }
+
+    /// Pre-computes (and caches) the complete front for an instance, so a
+    /// batch of threshold queries over it is answered by front reads. Used
+    /// by batch grouping; a no-op when caching is disabled, when a usable
+    /// front is already cached, or when no exact front backend applies.
+    /// Panics from malformed instances are contained (the per-request path
+    /// will report them as structured errors).
+    pub fn warm_front(&self, pipeline: &Pipeline, platform: &Platform) {
+        if self.cache.capacity() == 0 {
+            return;
+        }
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let pipeline = pipeline.clone().with_rebuilt_cache();
+            let key = instance_key(&pipeline, platform);
+            if let Some(CachedEntry::Front(hit)) = self.cache.get(key) {
+                if hit.complete || !hit.exact_capable {
+                    return;
+                }
+            }
+            let Some(source) = best_front_source(&pipeline, platform) else {
+                return;
+            };
+            let outcome = source.front_with_budget(&pipeline, platform, &Budget::unlimited());
+            let complete = outcome.is_complete();
+            self.store_front(key, Arc::new(outcome.into_inner()), complete, "exact", true);
+        }));
     }
 }
 
-type DispatchResult = Result<Done, (ErrorKind, String)>;
+/// A structured timeout for a request whose budget is already gone —
+/// checked *after* the cache lookup, so queued-past-deadline requests
+/// with cached answers are still served, and before any compute starts,
+/// so a doomed solve never occupies a worker.
+fn doomed_solve(id: Option<u64>, budget: &Budget, start: Instant) -> Option<Response> {
+    budget.is_exhausted().then(|| {
+        Response::error(
+            id,
+            ErrorKind::Timeout,
+            "deadline expired or request cancelled before solving started",
+            meta_plain(start),
+        )
+    })
+}
+
+/// Renders a solution as the `Solve` result payload.
+fn solve_result(sol: BiSolution) -> serde::Value {
+    SolveResult {
+        mapping_display: sol.mapping.to_string(),
+        mapping: sol.mapping,
+        latency: sol.latency,
+        failure_prob: sol.failure_prob,
+    }
+    .to_value()
+}
+
+fn pareto_point_out(pt: &rpwf_core::pareto::ParetoPoint<IntervalMapping>) -> ParetoPointOut {
+    ParetoPointOut {
+        latency: pt.latency,
+        failure_prob: pt.failure_prob,
+        mapping_display: pt.payload.to_string(),
+    }
+}
 
 fn elapsed_us(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
@@ -481,16 +945,16 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 // ---------------------------------------------------------------------------
 
 /// One queued request: the raw line, its receipt time (deadlines count
-/// from here, including queue wait), where to deliver the response, and
-/// an optional cancellation handle (shared per connection) linked into
-/// the request budget.
+/// from here, including queue wait), where to deliver each response line
+/// (streamed requests deliver several), and an optional cancellation
+/// handle (shared per connection) linked into the request budget.
 pub struct Job {
     /// Raw request line.
     pub line: String,
     /// Receipt instant.
     pub received: Instant,
-    /// Response consumer.
-    pub respond: Box<dyn FnOnce(String) + Send>,
+    /// Response consumer, called once per response line in order.
+    pub respond: Box<dyn FnMut(String) + Send>,
     /// Cancellation handle; firing it aborts the solve mid-flight.
     pub cancel: Option<CancelHandle>,
 }
@@ -515,13 +979,13 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("rpwf-worker-{i}"))
                     .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            let line = service.handle_line_cancellable(
+                        while let Ok(mut job) = rx.recv() {
+                            service.handle_line_into(
                                 &job.line,
                                 job.received,
                                 job.cancel.as_ref(),
+                                &mut job.respond,
                             );
-                            (job.respond)(line);
                         }
                     })
                     .expect("spawn worker thread")
@@ -540,9 +1004,9 @@ impl WorkerPool {
         &self.service
     }
 
-    /// Enqueues a request line; the response is passed to `respond` on a
-    /// worker thread.
-    pub fn submit(&self, line: String, received: Instant, respond: Box<dyn FnOnce(String) + Send>) {
+    /// Enqueues a request line; each response line is passed to `respond`
+    /// on a worker thread, in order.
+    pub fn submit(&self, line: String, received: Instant, respond: Box<dyn FnMut(String) + Send>) {
         self.submit_cancellable(line, received, respond, None);
     }
 
@@ -554,7 +1018,7 @@ impl WorkerPool {
         &self,
         line: String,
         received: Instant,
-        respond: Box<dyn FnOnce(String) + Send>,
+        respond: Box<dyn FnMut(String) + Send>,
         cancel: Option<CancelHandle>,
     ) {
         let job = Job {
@@ -573,10 +1037,27 @@ impl WorkerPool {
         );
     }
 
-    /// Handles a batch of lines concurrently, returning responses in
-    /// input order.
+    /// Handles a batch of lines with **front grouping**: requests are
+    /// grouped by the canonical instance hash and one complete Pareto
+    /// front is computed per distinct `(pipeline, platform)` (in parallel
+    /// across instances), then every request is answered concurrently —
+    /// threshold queries become reads off the shared fronts, so `k`
+    /// queries over one instance cost one solve. Answers are byte-identical
+    /// to per-request solving because the per-request path reads the same
+    /// cached fronts. Responses come back in input order (a streamed
+    /// request's lines are newline-joined into its slot).
     #[must_use]
     pub fn submit_batch(&self, lines: Vec<String>) -> Vec<String> {
+        self.warm_batch_fronts(&lines);
+        self.submit_batch_ungrouped(lines)
+    }
+
+    /// [`submit_batch`](Self::submit_batch) without the grouping pass:
+    /// every request is solved independently. The per-request baseline of
+    /// the E16 batch-amortization experiment, and the right choice when a
+    /// batch is known to have no shared instances.
+    #[must_use]
+    pub fn submit_batch_ungrouped(&self, lines: Vec<String>) -> Vec<String> {
         let received = Instant::now();
         let n = lines.len();
         let (tx, rx) = channel::unbounded::<(usize, String)>();
@@ -591,11 +1072,64 @@ impl WorkerPool {
             );
         }
         drop(tx);
-        let mut out: Vec<String> = vec![String::new(); n];
+        let mut out: Vec<Vec<String>> = vec![Vec::new(); n];
         while let Ok((i, resp)) = rx.recv() {
-            out[i] = resp;
+            out[i].push(resp);
         }
-        out
+        out.into_iter().map(|lines| lines.join("\n")).collect()
+    }
+
+    /// The grouping pass of [`submit_batch`](Self::submit_batch): collect
+    /// the distinct instances behind the batch's front-shaped commands and
+    /// warm the front cache for each, spreading the distinct solves over
+    /// the configured worker parallelism. `no_cache` requests opt out of
+    /// grouping (they would bypass the shared front anyway).
+    fn warm_batch_fronts(&self, lines: &[String]) {
+        if self.service.config().cache_capacity == 0 {
+            return; // nowhere to share fronts through
+        }
+        let mut distinct: HashMap<u128, (Pipeline, Platform)> = HashMap::new();
+        for line in lines {
+            let Ok(request) = serde_json::from_str::<Request>(line.trim()) else {
+                continue;
+            };
+            if request.no_cache.unwrap_or(false) {
+                continue;
+            }
+            // Malformed instances can panic inside the canonical digest;
+            // skip them here and let the per-request path report the
+            // structured error.
+            let key =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| request.cmd.front_key()));
+            let Ok(Some(key)) = key else { continue };
+            if let Command::Solve {
+                pipeline, platform, ..
+            }
+            | Command::Pareto {
+                pipeline, platform, ..
+            } = &request.cmd
+            {
+                distinct
+                    .entry(key)
+                    .or_insert_with(|| (pipeline.clone(), platform.clone()));
+            }
+        }
+        if distinct.is_empty() {
+            return;
+        }
+        let instances: Vec<(Pipeline, Platform)> = distinct.into_values().collect();
+        let workers = self.service.config().effective_workers().max(1);
+        let per_thread = instances.len().div_ceil(workers).max(1);
+        let service = &self.service;
+        std::thread::scope(|scope| {
+            for chunk in instances.chunks(per_thread) {
+                scope.spawn(move || {
+                    for (pipeline, platform) in chunk {
+                        service.warm_front(pipeline, platform);
+                    }
+                });
+            }
+        });
     }
 }
 
@@ -613,8 +1147,6 @@ impl Drop for WorkerPool {
 mod tests {
     use super::*;
     use rpwf_algo::Objective;
-    use rpwf_core::platform::Platform;
-    use rpwf_core::stage::Pipeline;
 
     fn service() -> SolverService {
         SolverService::new(ServiceConfig {
@@ -675,6 +1207,47 @@ mod tests {
     }
 
     #[test]
+    fn different_thresholds_share_one_cached_front() {
+        let svc = service();
+        let first = svc.handle(solve_request(1, 22.0), Instant::now());
+        assert!(!first.meta.cache_hit);
+        // A *different* threshold over the same instance is a read off the
+        // same cached front — the front, not the query, is the cache unit.
+        let other = svc.handle(solve_request(2, 30.0), Instant::now());
+        assert_eq!(other.status, "ok", "{:?}", other.error);
+        assert!(
+            other.meta.cache_hit,
+            "a new threshold over a cached instance must hit the front cache"
+        );
+        assert_eq!(other.meta.exact_complete, Some(true));
+        // And the Pareto command reads the very same entry.
+        let front = svc.handle(
+            Request {
+                id: Some(3),
+                deadline_ms: None,
+                no_cache: None,
+                cmd: Command::Pareto {
+                    pipeline: rpwf_gen::figure5_pipeline(),
+                    platform: rpwf_gen::figure5_platform(),
+                    chunk: None,
+                },
+            },
+            Instant::now(),
+        );
+        assert_eq!(front.status, "ok");
+        assert!(front.meta.cache_hit, "pareto shares the solve's front");
+    }
+
+    #[test]
+    fn infeasible_threshold_from_a_cached_front_is_proven() {
+        let svc = service();
+        let _ = svc.handle(solve_request(1, 22.0), Instant::now());
+        let impossible = svc.handle(solve_request(2, 1e-6), Instant::now());
+        assert_eq!(impossible.status, "error");
+        assert_eq!(impossible.error.expect("error body").kind, "infeasible");
+    }
+
+    #[test]
     fn expired_deadline_yields_structured_timeout() {
         let svc = service();
         let mut req = solve_request(9, 22.0);
@@ -684,6 +1257,21 @@ mod tests {
         assert_eq!(resp.status, "error");
         let err = resp.error.expect("error body");
         assert_eq!(err.kind, "timeout");
+    }
+
+    #[test]
+    fn cached_front_answers_even_after_the_deadline_expired() {
+        // A request that sat in the queue past its deadline is still
+        // served instantly when its instance's front is cached — the
+        // budget check runs after the cache lookup, not before.
+        let svc = service();
+        let _ = svc.handle(solve_request(1, 22.0), Instant::now());
+        let mut req = solve_request(2, 22.0);
+        req.deadline_ms = Some(0);
+        let resp = svc.handle(req, Instant::now() - Duration::from_millis(5));
+        assert_eq!(resp.status, "ok", "{:?}", resp.error);
+        assert!(resp.meta.cache_hit);
+        assert_eq!(resp.meta.exact_complete, Some(true));
     }
 
     #[test]
@@ -745,6 +1333,160 @@ mod tests {
         let text = serde_json::to_string(&stats.result).unwrap();
         assert!(text.contains("\"workers\""), "{text}");
         assert!(text.contains("\"cache\""), "{text}");
+        // The gen request above is summarized in the command histograms.
+        assert!(text.contains("\"commands\""), "{text}");
+        assert!(text.contains("\"command\":\"gen\""), "{text}");
+    }
+
+    #[test]
+    fn metrics_dump_is_prometheus_style() {
+        let svc = service();
+        let _ = svc.handle(solve_request(1, 22.0), Instant::now());
+        let resp = svc.handle(
+            Request {
+                id: Some(2),
+                deadline_ms: None,
+                no_cache: None,
+                cmd: Command::Metrics,
+            },
+            Instant::now(),
+        );
+        assert_eq!(resp.status, "ok");
+        let text = match resp.result.expect("metrics text") {
+            serde::Value::Str(s) => s,
+            other => panic!("metrics result must be text, got {other:?}"),
+        };
+        // The solve plus the metrics request itself.
+        assert!(text.contains("rpwf_requests_total 2"), "{text}");
+        assert!(text.contains("rpwf_cache_entries 1"), "{text}");
+        assert!(
+            text.contains("rpwf_command_requests_total{cmd=\"solve\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rpwf_command_latency_us_count{cmd=\"solve\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn streamed_front_reassembles_to_the_one_shot_front() {
+        let svc = service();
+        let pareto = |id: u64, chunk: Option<usize>| Request {
+            id: Some(id),
+            deadline_ms: None,
+            no_cache: Some(true),
+            cmd: Command::Pareto {
+                pipeline: rpwf_gen::figure5_pipeline(),
+                platform: rpwf_gen::figure5_platform(),
+                chunk,
+            },
+        };
+        let one_shot = svc.handle(pareto(1, None), Instant::now());
+        assert_eq!(one_shot.status, "ok");
+        let one_shot_points = one_shot
+            .result
+            .as_ref()
+            .and_then(|r| r.get("points"))
+            .cloned()
+            .expect("points");
+
+        let mut responses: Vec<Response> = Vec::new();
+        svc.handle_request_into(pareto(2, Some(3)), Instant::now(), None, &mut |r| {
+            responses.push(r);
+        });
+        let (end, parts) = responses.split_last().expect("at least the end line");
+        assert_eq!(end.status, "ok");
+        assert!(!parts.is_empty(), "figure 5 front is larger than one chunk");
+        assert!(parts.iter().all(|p| p.status == "part"));
+        let mut reassembled: Vec<serde::Value> = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            let result = part.result.as_ref().expect("part payload");
+            assert_eq!(
+                result.get("seq").and_then(serde::Value::as_u64),
+                Some(i as u64)
+            );
+            let points = result.get("points").and_then(serde::Value::as_seq).unwrap();
+            assert!(points.len() <= 3, "chunk bound respected");
+            reassembled.extend(points.iter().cloned());
+        }
+        let end_result = end.result.as_ref().expect("end payload");
+        assert_eq!(
+            end_result.get("parts").and_then(serde::Value::as_u64),
+            Some(parts.len() as u64)
+        );
+        assert_eq!(
+            end_result
+                .get("points_total")
+                .and_then(serde::Value::as_u64),
+            Some(reassembled.len() as u64)
+        );
+        assert_eq!(end_result.get("complete"), Some(&serde::Value::Bool(true)));
+        // Bit-identical to the unstreamed points.
+        assert_eq!(
+            serde_json::to_string(&serde::Value::Seq(reassembled)).unwrap(),
+            serde_json::to_string(&one_shot_points).unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_chunk_is_invalid() {
+        let svc = service();
+        let resp = svc.handle(
+            Request {
+                id: Some(1),
+                deadline_ms: None,
+                no_cache: None,
+                cmd: Command::Pareto {
+                    pipeline: rpwf_gen::figure5_pipeline(),
+                    platform: rpwf_gen::figure5_platform(),
+                    chunk: Some(0),
+                },
+            },
+            Instant::now(),
+        );
+        assert_eq!(resp.status, "error");
+        assert_eq!(resp.error.expect("error body").kind, "invalid");
+    }
+
+    #[test]
+    fn pareto_beyond_exact_backends_returns_a_heuristic_front() {
+        // m = 14 fully heterogeneous: no exact front source applies, yet
+        // the command answers with a sound (incomplete) heuristic front.
+        let inst = rpwf_gen::make_instance(
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+            3,
+            14,
+            5,
+        );
+        let svc = service();
+        let resp = svc.handle(
+            Request {
+                id: Some(1),
+                deadline_ms: None,
+                no_cache: None,
+                cmd: Command::Pareto {
+                    pipeline: inst.pipeline,
+                    platform: inst.platform,
+                    chunk: None,
+                },
+            },
+            Instant::now(),
+        );
+        assert_eq!(resp.status, "ok", "{:?}", resp.error);
+        assert_eq!(resp.meta.solver.as_deref(), Some("heuristic"));
+        assert_eq!(resp.meta.exact_complete, Some(false));
+        let result = resp.result.expect("front payload");
+        assert_eq!(result.get("complete"), Some(&serde::Value::Bool(false)));
+        assert!(
+            !result
+                .get("points")
+                .and_then(serde::Value::as_seq)
+                .unwrap()
+                .is_empty(),
+            "heuristic front is non-empty"
+        );
     }
 
     #[test]
@@ -775,6 +1517,56 @@ mod tests {
         let _ = svc.handle(req.clone(), Instant::now());
         let again = svc.handle(req, Instant::now());
         assert!(!again.meta.cache_hit);
+    }
+
+    #[test]
+    fn warm_front_then_solve_hits_the_cache() {
+        let svc = service();
+        let pipeline = rpwf_gen::figure5_pipeline();
+        let platform = rpwf_gen::figure5_platform();
+        svc.warm_front(&pipeline, &platform);
+        let resp = svc.handle(solve_request(1, 22.0), Instant::now());
+        assert_eq!(resp.status, "ok", "{:?}", resp.error);
+        assert!(resp.meta.cache_hit, "warmed front must answer the query");
+        assert_eq!(resp.meta.exact_complete, Some(true));
+    }
+
+    #[test]
+    fn grouped_batch_matches_ungrouped_byte_for_byte() {
+        let make_lines = || -> Vec<String> {
+            let pipeline = rpwf_gen::figure5_pipeline();
+            let platform = rpwf_gen::figure5_platform();
+            (0..10u64)
+                .map(|i| {
+                    serde_json::to_string(&Request {
+                        id: Some(i),
+                        deadline_ms: None,
+                        no_cache: None,
+                        cmd: Command::Solve {
+                            pipeline: pipeline.clone(),
+                            platform: platform.clone(),
+                            objective: Objective::MinFpUnderLatency(22.0 + i as f64),
+                        },
+                    })
+                    .unwrap()
+                })
+                .collect()
+        };
+        let grouped_pool = WorkerPool::new(Arc::new(service()));
+        let grouped = grouped_pool.submit_batch(make_lines());
+        let ungrouped_pool = WorkerPool::new(Arc::new(service()));
+        let ungrouped = ungrouped_pool.submit_batch_ungrouped(make_lines());
+        assert_eq!(grouped.len(), ungrouped.len());
+        for (g, u) in grouped.iter().zip(&ungrouped) {
+            let g: Response = serde_json::from_str(g).unwrap();
+            let u: Response = serde_json::from_str(u).unwrap();
+            assert_eq!(g.status, "ok", "{:?}", g.error);
+            assert_eq!(
+                serde_json::to_string(&g.result).unwrap(),
+                serde_json::to_string(&u.result).unwrap(),
+                "grouped and independent answers must be byte-identical"
+            );
+        }
     }
 
     #[test]

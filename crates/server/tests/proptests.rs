@@ -1,0 +1,159 @@
+//! Property-based tests of the front-first serving guarantees:
+//!
+//! * **batch grouping is a pure amortization** — grouped answers are
+//!   byte-identical to independently-solved answers on random workloads,
+//! * **streaming is a pure encoding** — `front_part` chunks reassemble to
+//!   the exact one-shot front, for every chunk size.
+
+use proptest::prelude::*;
+use rpwf_core::platform::{FailureClass, PlatformClass};
+use rpwf_server::protocol::{Command, Request, Response};
+use rpwf_server::{ServiceConfig, SolverService, WorkerPool};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn service(cache_capacity: usize) -> SolverService {
+    SolverService::new(ServiceConfig {
+        workers: 2,
+        cache_capacity,
+        cache_shards: 4,
+        seed: 0xCAFE,
+    })
+}
+
+/// A small comm-homogeneous instance the exact DP finishes instantly.
+fn instance(seed: u64) -> (rpwf_core::stage::Pipeline, rpwf_core::platform::Platform) {
+    let inst = rpwf_gen::make_instance(
+        PlatformClass::CommHomogeneous,
+        FailureClass::Heterogeneous,
+        3,
+        4,
+        seed,
+    );
+    (inst.pipeline, inst.platform)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn grouped_batch_is_byte_identical_to_independent_solving(
+        seeds in proptest::collection::vec(0u64..6, 1..3),
+        factors in proptest::collection::vec(0.5f64..2.5, 4..10),
+    ) {
+        // `factors.len()` threshold queries spread over the distinct
+        // instances, mixing both objectives and including infeasible
+        // bounds (errors must match too).
+        let instances: Vec<_> = seeds.iter().map(|&s| instance(s)).collect();
+        let lines: Vec<String> = factors
+            .iter()
+            .enumerate()
+            .map(|(i, &factor)| {
+                let (pipeline, platform) = instances[i % instances.len()].clone();
+                let safest = rpwf_algo::mono::minimize_failure(&pipeline, &platform);
+                let objective = if i % 2 == 0 {
+                    rpwf_algo::Objective::MinFpUnderLatency(safest.latency * factor)
+                } else {
+                    rpwf_algo::Objective::MinLatencyUnderFp(
+                        (safest.failure_prob * factor).min(1.0),
+                    )
+                };
+                serde_json::to_string(&Request {
+                    id: Some(i as u64),
+                    deadline_ms: None,
+                    no_cache: None,
+                    cmd: Command::Solve { pipeline, platform, objective },
+                })
+                .expect("serializes")
+            })
+            .collect();
+
+        let grouped_pool = WorkerPool::new(Arc::new(service(256)));
+        let grouped = grouped_pool.submit_batch(lines.clone());
+        let independent_pool = WorkerPool::new(Arc::new(service(0)));
+        let independent = independent_pool.submit_batch_ungrouped(lines);
+
+        prop_assert_eq!(grouped.len(), independent.len());
+        for (g, i) in grouped.iter().zip(&independent) {
+            let g: Response = serde_json::from_str(g).expect("parses");
+            let i: Response = serde_json::from_str(i).expect("parses");
+            prop_assert_eq!(&g.status, &i.status);
+            prop_assert_eq!(
+                serde_json::to_string(&g.result).expect("serializes"),
+                serde_json::to_string(&i.result).expect("serializes"),
+                "result payloads must match byte for byte"
+            );
+            prop_assert_eq!(
+                g.error.map(|e| e.kind),
+                i.error.map(|e| e.kind),
+                "error kinds must match"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_chunks_reassemble_to_the_one_shot_front(
+        seed in 0u64..12,
+        chunk in 1usize..7,
+    ) {
+        let (pipeline, platform) = instance(seed);
+        let svc = service(0); // no cache: both requests compute fresh
+        let pareto = |id: u64, chunk: Option<usize>| Request {
+            id: Some(id),
+            deadline_ms: None,
+            no_cache: None,
+            cmd: Command::Pareto {
+                pipeline: pipeline.clone(),
+                platform: platform.clone(),
+                chunk,
+            },
+        };
+
+        let one_shot = svc.handle(pareto(1, None), Instant::now());
+        prop_assert_eq!(&one_shot.status, "ok");
+        let result = one_shot.result.expect("front payload");
+        let expected_points = result.get("points").cloned().expect("points");
+        let expected_complete = result.get("complete").cloned().expect("complete");
+
+        let mut responses: Vec<Response> = Vec::new();
+        svc.handle_request_into(pareto(2, Some(chunk)), Instant::now(), None, &mut |r| {
+            responses.push(r);
+        });
+        let (end, parts) = responses.split_last().expect("closing line");
+        prop_assert_eq!(&end.status, "ok");
+        let mut reassembled: Vec<serde::Value> = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            prop_assert_eq!(&part.status, "part");
+            let payload = part.result.as_ref().expect("part payload");
+            prop_assert_eq!(
+                payload.get("seq").and_then(serde::Value::as_u64),
+                Some(i as u64)
+            );
+            let points = payload
+                .get("points")
+                .and_then(serde::Value::as_seq)
+                .expect("part points");
+            prop_assert!(points.len() <= chunk, "chunk bound respected");
+            // Every part except the last is exactly full.
+            if i + 1 < parts.len() {
+                prop_assert_eq!(points.len(), chunk);
+            }
+            reassembled.extend(points.iter().cloned());
+        }
+        let end_payload = end.result.as_ref().expect("end payload");
+        prop_assert_eq!(
+            end_payload.get("parts").and_then(serde::Value::as_u64),
+            Some(parts.len() as u64)
+        );
+        prop_assert_eq!(
+            end_payload.get("points_total").and_then(serde::Value::as_u64),
+            Some(reassembled.len() as u64)
+        );
+        prop_assert_eq!(end_payload.get("complete"), Some(&expected_complete));
+        prop_assert_eq!(
+            serde_json::to_string(&serde::Value::Seq(reassembled)).expect("serializes"),
+            serde_json::to_string(&expected_points).expect("serializes"),
+            "chunks must reassemble to the exact one-shot front"
+        );
+    }
+}

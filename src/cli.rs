@@ -17,6 +17,7 @@
 //! `src/bin/rpwf.rs` is a thin wrapper.
 
 use rpwf_algo::exact::{solve_comm_homog, BranchBound};
+use rpwf_algo::front::FrontSource as _;
 use rpwf_algo::heuristics::Portfolio;
 use rpwf_algo::Objective;
 use rpwf_core::prelude::*;
@@ -103,6 +104,10 @@ pub enum Command {
         path: String,
         /// Worker threads (0 = available parallelism).
         workers: usize,
+        /// Group requests by canonical instance hash and solve one Pareto
+        /// front per distinct `(pipeline, platform)` (default). `false`
+        /// solves every request independently.
+        group: bool,
     },
     /// Print usage.
     Help,
@@ -119,10 +124,13 @@ USAGE:
   rpwf pareto <instance.json>
   rpwf simulate <instance.json> [--trials <count>]
   rpwf serve [--addr <host:port>] [--stdin] [--workers <n>] [--cache-capacity <n>]
-  rpwf batch <requests.jsonl> [--workers <n>]
+  rpwf batch <requests.jsonl> [--workers <n>] [--no-group]
   rpwf help
 
 The serve/batch protocol is JSON lines; see README.md for the schema.
+`batch` groups requests by instance and solves one Pareto front per
+distinct (pipeline, platform), answering every threshold query from it;
+--no-group solves each request independently.
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -142,7 +150,7 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
         let a = rest[i];
         if let Some(key) = a.strip_prefix("--") {
             // Boolean flags take no value.
-            if key == "stdin" {
+            if key == "stdin" || key == "no-group" {
                 opts.insert(key.to_string(), "true".to_string());
                 i += 1;
                 continue;
@@ -264,7 +272,11 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             let workers = opts.get("workers").map_or(Ok(0), |s| {
                 s.parse::<usize>().map_err(|e| format!("--workers: {e}"))
             })?;
-            Ok(Command::Batch { path, workers })
+            Ok(Command::Batch {
+                path,
+                workers,
+                group: !opts.contains_key("no-group"),
+            })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command: {other}\n{USAGE}")),
@@ -313,7 +325,11 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
             });
             Ok(String::new())
         }
-        Command::Batch { path, workers } => {
+        Command::Batch {
+            path,
+            workers,
+            group,
+        } => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let lines: Vec<String> = text
                 .lines()
@@ -327,7 +343,11 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
                 },
             ));
             let pool = rpwf_server::WorkerPool::new(service);
-            let responses = pool.submit_batch(lines);
+            let responses = if *group {
+                pool.submit_batch(lines)
+            } else {
+                pool.submit_batch_ungrouped(lines)
+            };
             let mut out = String::new();
             for response in responses {
                 writeln!(out, "{response}").expect("write to string");
@@ -375,18 +395,38 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
         Command::Pareto { path } => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let inst = InstanceFile::from_json(&text)?;
-            let front =
-                if inst.platform.uniform_bandwidth().is_some() && inst.platform.n_procs() <= 16 {
-                    rpwf_algo::exact::pareto_front_comm_homog(&inst.pipeline, &inst.platform)
-                        .expect("uniform bandwidth checked")
-                } else if inst.platform.n_procs() <= 6 {
-                    rpwf_algo::exact::Exhaustive::new(&inst.pipeline, &inst.platform).pareto_front()
-                } else {
-                    return Err(
-                        "exact Pareto front needs comm-homogeneous links (m ≤ 16) or m ≤ 6".into(),
-                    );
+            // Front-first: the strongest exact front source where one
+            // applies, the heuristic portfolio front beyond — every
+            // instance gets an answer, flagged by completeness.
+            let unlimited = rpwf_core::budget::Budget::unlimited();
+            let (outcome, solver) =
+                match rpwf_algo::front::best_front_source(&inst.pipeline, &inst.platform) {
+                    Some(source) => (
+                        source.front_with_budget(&inst.pipeline, &inst.platform, &unlimited),
+                        "exact",
+                    ),
+                    None => (
+                        rpwf_algo::front::PortfolioFront::default().front_with_budget(
+                            &inst.pipeline,
+                            &inst.platform,
+                            &unlimited,
+                        ),
+                        "heuristic portfolio",
+                    ),
                 };
+            let complete = outcome.is_complete();
+            let front = outcome.into_inner();
             let mut out = String::new();
+            writeln!(
+                out,
+                "solver   : {solver} ({})",
+                if complete {
+                    "exact front"
+                } else {
+                    "sound under-approximation"
+                }
+            )
+            .expect("write to string");
             writeln!(out, "{:>12}  {:>12}  mapping", "latency", "FP").expect("write to string");
             for pt in front.iter() {
                 writeln!(
@@ -603,6 +643,7 @@ mod tests {
         let out = run(&Command::Batch {
             path: path.to_string_lossy().into_owned(),
             workers: 2,
+            group: true,
         })
         .unwrap();
         let lines: Vec<&str> = out.lines().collect();
@@ -620,9 +661,55 @@ mod tests {
         let err = run(&Command::Batch {
             path: "/nonexistent/requests.jsonl".into(),
             workers: 1,
+            group: true,
         })
         .unwrap_err();
         assert!(err.contains("/nonexistent/requests.jsonl"));
+    }
+
+    #[test]
+    fn parse_batch_grouping_flag() {
+        assert_eq!(
+            parse_args(&args("batch requests.jsonl --workers 2")).unwrap(),
+            Command::Batch {
+                path: "requests.jsonl".into(),
+                workers: 2,
+                group: true,
+            }
+        );
+        assert_eq!(
+            parse_args(&args("batch requests.jsonl --no-group")).unwrap(),
+            Command::Batch {
+                path: "requests.jsonl".into(),
+                workers: 0,
+                group: false,
+            }
+        );
+    }
+
+    #[test]
+    fn pareto_works_beyond_exact_backends() {
+        // m = 14 fully heterogeneous: the old CLI refused this instance;
+        // the front-first path answers with a flagged heuristic front.
+        let gen = Command::Gen {
+            class: PlatformClass::FullyHeterogeneous,
+            failure: FailureClass::Heterogeneous,
+            n: 3,
+            m: 14,
+            seed: 4,
+        };
+        let json = run(&gen).unwrap();
+        let dir = std::env::temp_dir().join("rpwf-cli-front-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("het14.json");
+        std::fs::write(&path, &json).unwrap();
+        let out = run(&Command::Pareto {
+            path: path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(out.contains("heuristic portfolio"), "{out}");
+        assert!(out.contains("sound under-approximation"), "{out}");
+        assert!(out.lines().count() >= 3, "{out}");
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Integration tests for the front-first serving architecture: chunked
+//! `front_part` streaming reassembling bit-identically to the one-shot
+//! response, front sharing between `Solve` and `Pareto`, batch grouping,
+//! and the observability commands.
+
+use rpwf::prelude::*;
+use rpwf_server::protocol::{Command, Request, Response};
+use rpwf_server::{Server, ServiceConfig, SolverService, WorkerPool};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn start_server() -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 4,
+            cache_capacity: 256,
+            cache_shards: 8,
+            seed: 0xCAFE,
+        },
+    )
+    .expect("bind an ephemeral port")
+}
+
+fn request_line(id: u64, cmd: Command) -> String {
+    serde_json::to_string(&Request {
+        id: Some(id),
+        deadline_ms: None,
+        no_cache: None,
+        cmd,
+    })
+    .expect("requests serialize")
+}
+
+/// Sends one request and reads response lines until the closing `ok` or
+/// `error` line (streamed requests emit `part` lines first).
+fn roundtrip_stream(addr: std::net::SocketAddr, line: &str) -> Vec<Response> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "{line}").expect("send");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::new();
+    loop {
+        let mut out = String::new();
+        reader.read_line(&mut out).expect("read response line");
+        let resp: Response = serde_json::from_str(out.trim()).expect("well-formed response");
+        let done = resp.status != "part";
+        responses.push(resp);
+        if done {
+            return responses;
+        }
+    }
+}
+
+fn fig5_pareto(chunk: Option<usize>) -> Command {
+    Command::Pareto {
+        pipeline: gen::figure5_pipeline(),
+        platform: gen::figure5_platform(),
+        chunk,
+    }
+}
+
+#[test]
+fn streamed_front_reassembles_bit_identically_over_tcp() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+
+    // One-shot front.
+    let one_shot = roundtrip_stream(addr, &request_line(1, fig5_pareto(None)));
+    assert_eq!(one_shot.len(), 1);
+    let one_shot = &one_shot[0];
+    assert_eq!(one_shot.status, "ok", "{:?}", one_shot.error);
+    let result = one_shot.result.as_ref().expect("front payload");
+    let expected_points = result.get("points").cloned().expect("points");
+    let expected_complete = result.get("complete").cloned().expect("complete");
+    let expected_len = expected_points
+        .as_seq()
+        .expect("points is a sequence")
+        .len();
+    assert!(expected_len >= 2, "figure 5 front has several points");
+
+    // Streamed with a chunk smaller than the front.
+    let responses = roundtrip_stream(addr, &request_line(2, fig5_pareto(Some(2))));
+    let (end, parts) = responses.split_last().expect("closing line");
+    assert_eq!(end.status, "ok", "{:?}", end.error);
+    assert!(
+        parts.len() >= 2,
+        "chunk=2 over {expected_len} points must stream several parts"
+    );
+    let mut reassembled: Vec<serde::Value> = Vec::new();
+    for (i, part) in parts.iter().enumerate() {
+        assert_eq!(part.status, "part");
+        assert_eq!(part.id, Some(2), "parts echo the request id");
+        let payload = part.result.as_ref().expect("part payload");
+        assert_eq!(
+            payload.get("seq").and_then(serde::Value::as_u64),
+            Some(i as u64),
+            "parts arrive in seq order"
+        );
+        let points = payload
+            .get("points")
+            .and_then(serde::Value::as_seq)
+            .expect("part points");
+        assert!(points.len() <= 2, "per-response memory bounded by chunk");
+        reassembled.extend(points.iter().cloned());
+    }
+    let end_payload = end.result.as_ref().expect("end payload");
+    assert_eq!(
+        end_payload
+            .get("points_total")
+            .and_then(serde::Value::as_u64),
+        Some(expected_len as u64)
+    );
+    assert_eq!(end_payload.get("complete"), Some(&expected_complete));
+
+    // Bit-identical reassembly: the concatenated part points serialize to
+    // exactly the bytes of the one-shot points.
+    assert_eq!(
+        serde_json::to_string(&serde::Value::Seq(reassembled)).expect("serializes"),
+        serde_json::to_string(&expected_points).expect("serializes"),
+        "streamed chunks must reassemble to the exact one-shot front"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn solve_and_pareto_share_one_cached_front_across_connections() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+
+    // A Pareto request warms the front…
+    let front = roundtrip_stream(addr, &request_line(1, fig5_pareto(None)));
+    assert!(!front[0].meta.cache_hit);
+
+    // …and a threshold query over the same instance reads off it.
+    let solve = roundtrip_stream(
+        addr,
+        &request_line(
+            2,
+            Command::Solve {
+                pipeline: gen::figure5_pipeline(),
+                platform: gen::figure5_platform(),
+                objective: rpwf::algo::Objective::MinFpUnderLatency(22.0),
+            },
+        ),
+    );
+    let solve = &solve[0];
+    assert_eq!(solve.status, "ok", "{:?}", solve.error);
+    assert!(
+        solve.meta.cache_hit,
+        "a threshold query must be a read off the front cached by pareto"
+    );
+    assert_eq!(solve.meta.exact_complete, Some(true));
+    let fp = solve
+        .result
+        .as_ref()
+        .and_then(|r| r.get("failure_prob"))
+        .and_then(serde::Value::as_f64)
+        .expect("failure_prob");
+    let expected = 1.0 - 0.9 * (1.0 - 0.8f64.powi(10));
+    assert!((fp - expected).abs() < 1e-9, "paper optimum off the front");
+    server.shutdown();
+}
+
+#[test]
+fn grouped_batch_answers_match_per_request_solving() {
+    // 16 threshold queries over 2 distinct instances, grouped vs solved
+    // independently on a cache-less service: byte-identical results.
+    let instances: Vec<(Pipeline, Platform)> = (0..2u64)
+        .map(|seed| {
+            let inst = gen::make_instance(
+                PlatformClass::CommHomogeneous,
+                FailureClass::Heterogeneous,
+                4,
+                6,
+                seed,
+            );
+            (inst.pipeline, inst.platform)
+        })
+        .collect();
+    let lines: Vec<String> = (0..16u64)
+        .map(|i| {
+            let (pipeline, platform) = instances[(i % 2) as usize].clone();
+            let l = rpwf::algo::mono::minimize_failure(&pipeline, &platform).latency;
+            request_line(
+                i,
+                Command::Solve {
+                    pipeline,
+                    platform,
+                    objective: rpwf::algo::Objective::MinFpUnderLatency(
+                        l * (1.0 + i as f64 / 16.0),
+                    ),
+                },
+            )
+        })
+        .collect();
+
+    let grouped_pool = WorkerPool::new(std::sync::Arc::new(SolverService::new(ServiceConfig {
+        workers: 4,
+        ..Default::default()
+    })));
+    let grouped = grouped_pool.submit_batch(lines.clone());
+
+    let independent_pool =
+        WorkerPool::new(std::sync::Arc::new(SolverService::new(ServiceConfig {
+            workers: 4,
+            cache_capacity: 0,
+            ..Default::default()
+        })));
+    let independent = independent_pool.submit_batch_ungrouped(lines);
+
+    assert_eq!(grouped.len(), independent.len());
+    for (g, i) in grouped.iter().zip(&independent) {
+        let g: Response = serde_json::from_str(g).expect("parses");
+        let i: Response = serde_json::from_str(i).expect("parses");
+        assert_eq!(g.status, "ok", "{:?}", g.error);
+        assert_eq!(
+            serde_json::to_string(&g.result).expect("serializes"),
+            serde_json::to_string(&i.result).expect("serializes"),
+            "grouping must not change any answer"
+        );
+    }
+}
+
+#[test]
+fn stats_and_metrics_expose_command_histograms() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+    let _ = roundtrip_stream(addr, &request_line(1, fig5_pareto(None)));
+
+    let stats = roundtrip_stream(addr, &request_line(2, Command::Stats));
+    let stats = &stats[0];
+    assert_eq!(stats.status, "ok");
+    let text = serde_json::to_string(&stats.result).expect("serializes");
+    assert!(text.contains("\"commands\""), "{text}");
+    assert!(text.contains("\"command\":\"pareto\""), "{text}");
+    assert!(text.contains("\"p99_us\""), "{text}");
+
+    let metrics = roundtrip_stream(addr, &request_line(3, Command::Metrics));
+    let metrics = &metrics[0];
+    assert_eq!(metrics.status, "ok");
+    let dump = metrics
+        .result
+        .as_ref()
+        .and_then(serde::Value::as_str)
+        .expect("metrics text");
+    assert!(
+        dump.contains("rpwf_command_requests_total{cmd=\"pareto\"} 1"),
+        "{dump}"
+    );
+    assert!(dump.contains("rpwf_cache_entries"), "{dump}");
+    server.shutdown();
+}

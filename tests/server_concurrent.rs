@@ -89,7 +89,15 @@ fn concurrent_solve_and_pareto_match_direct_library_calls() {
                             },
                         )
                     } else {
-                        request_line(id, None, Command::Pareto { pipeline, platform })
+                        request_line(
+                            id,
+                            None,
+                            Command::Pareto {
+                                pipeline,
+                                platform,
+                                chunk: None,
+                            },
+                        )
                     };
                     (id, roundtrip(addr, &line))
                 })
@@ -272,6 +280,7 @@ fn dropped_connection_cancels_its_inflight_solve() {
         Command::Pareto {
             pipeline: inst.pipeline,
             platform: inst.platform,
+            chunk: None,
         },
     );
     {
