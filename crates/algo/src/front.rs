@@ -84,6 +84,53 @@ pub fn threshold_read(
     })
 }
 
+/// Vectorized [`threshold_read`]: answers `k` threshold objectives over
+/// one front in two sorted sweeps, one per objective kind —
+/// `O(k log k + k + front)` instead of `k` independent searches. Answers
+/// are **identical** to `k` independent [`threshold_read`]s, in input
+/// order — the batch is a pure amortization, property-tested in this
+/// crate's proptest suite. The serving layer uses it when a batch lands
+/// several queries on the same cached front.
+#[must_use]
+pub fn threshold_read_batch(
+    front: &ParetoFront<IntervalMapping>,
+    objectives: &[Objective],
+) -> Vec<Option<BiSolution>> {
+    // Split by kind, remembering input slots; each kind sweeps the front
+    // once over its sorted cutoffs.
+    let mut lat: Vec<(usize, f64)> = Vec::new(); // MinFpUnderLatency
+    let mut fp: Vec<(usize, f64)> = Vec::new(); // MinLatencyUnderFp
+    for (i, objective) in objectives.iter().enumerate() {
+        let cutoff = objective.threshold_with_slack();
+        match objective {
+            Objective::MinFpUnderLatency(_) => lat.push((i, cutoff)),
+            Objective::MinLatencyUnderFp(_) => fp.push((i, cutoff)),
+        }
+    }
+    lat.sort_by(|a, b| a.1.total_cmp(&b.1));
+    fp.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    let mut out: Vec<Option<BiSolution>> = vec![None; objectives.len()];
+    let to_solution = |pt: &rpwf_core::pareto::ParetoPoint<IntervalMapping>| BiSolution {
+        mapping: pt.payload.clone(),
+        latency: pt.latency,
+        failure_prob: pt.failure_prob,
+    };
+    if !lat.is_empty() {
+        let bounds: Vec<f64> = lat.iter().map(|&(_, b)| b).collect();
+        for (&(slot, _), pt) in lat.iter().zip(front.min_fp_under_latency_batch(&bounds)) {
+            out[slot] = pt.map(to_solution);
+        }
+    }
+    if !fp.is_empty() {
+        let bounds: Vec<f64> = fp.iter().map(|&(_, b)| b).collect();
+        for (&(slot, _), pt) in fp.iter().zip(front.min_latency_under_fp_batch(&bounds)) {
+            out[slot] = pt.map(to_solution);
+        }
+    }
+    out
+}
+
 /// The strongest *exact* front source for the instance, mirroring the
 /// solver-selection policy of the serving layer: the bitmask DP on
 /// comm-homogeneous links (`m ≤ 16`), the exhaustive oracle on tiny
@@ -445,6 +492,31 @@ mod tests {
             .expect("feasible");
         assert_eq!(read, direct);
         assert!(threshold_read(&front, Objective::MinFpUnderLatency(0.0)).is_none());
+    }
+
+    #[test]
+    fn batch_threshold_reads_equal_independent_reads() {
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let front = BitmaskDpFront.front(&pipe, &pf);
+        let objectives: Vec<Objective> = vec![
+            Objective::MinFpUnderLatency(30.0),
+            Objective::MinLatencyUnderFp(0.2),
+            Objective::MinFpUnderLatency(0.0), // infeasible
+            Objective::MinFpUnderLatency(22.0),
+            Objective::MinLatencyUnderFp(0.9),
+            Objective::MinLatencyUnderFp(1e-12), // infeasible
+        ];
+        let batch = threshold_read_batch(&front, &objectives);
+        assert_eq!(batch.len(), objectives.len());
+        for (objective, got) in objectives.iter().zip(&batch) {
+            assert_eq!(
+                got,
+                &threshold_read(&front, *objective),
+                "batch answer must equal the independent read for {objective:?}"
+            );
+        }
+        assert!(threshold_read_batch(&front, &[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Candidate-list scanning with don't-look bits — skip re-evaluating
+//! moves on intervals untouched by the last committed move, with results
+//! **bit-identical** to the full scan.
+//!
+//! Classic don't-look bits skip whole regions of the neighborhood and
+//! accept slightly different descent trajectories. This repository's
+//! heuristics carry a stronger contract (seeded runs are reproducible to
+//! the bit across refactors — every E15-style check asserts it), so the
+//! candidate list here skips the *work*, not the *comparison*: for every
+//! scored move the [`ScanCache`] remembers the term-level
+//! [`MoveEffect`] captured by [`DeltaEval::apply`], and per-interval
+//! epochs track which intervals the last committed moves touched. A move
+//! whose read window (its target intervals ±1, plus interval 0 when it
+//! touches input communication) is **clean** is re-scored by
+//! [`DeltaEval::replay`] — the exact summation sequence `apply` would
+//! run, fed from the cached effect — without the snapshot, the structural
+//! mutation, or the `interval_cost`/`ln_survival` recomputation that
+//! dominate a full evaluation. A move whose window is dirty is evaluated
+//! normally and re-cached.
+//!
+//! Soundness: a cached effect's rewritten terms are pure functions of the
+//! intervals in its read window; unchanged window ⇒ identical rewritten
+//! values ⇒ `replay` reproduces `apply`'s scores bit-for-bit (asserted in
+//! `rpwf-core`'s unit tests and, end-to-end, by the seeded-equality
+//! checks of the E15 experiment). Merge/split commits renumber intervals,
+//! so they clear the cache wholesale rather than track index shifts.
+
+use rpwf_core::eval::{DeltaEval, Move, MoveEffect, Scores};
+use rpwf_core::hash::FnvBuildHasher;
+use std::collections::HashMap;
+
+/// Upper bound on read-window entries: two targets × (t−1, t, t+1) plus
+/// interval 0 for input communication.
+const MAX_READS: usize = 7;
+
+#[derive(Clone, Copy, Debug)]
+struct CachedEffect {
+    effect: MoveEffect,
+    /// Cache generation this entry belongs to (wholesale clears bump it).
+    generation: u64,
+    /// `(interval index, epoch at record time)` for the read window.
+    reads: [(usize, u64); MAX_READS],
+    n_reads: usize,
+}
+
+/// Don't-look-bit bookkeeping for one local-search descent.
+#[derive(Debug, Default)]
+pub struct ScanCache {
+    epochs: Vec<u64>,
+    generation: u64,
+    // FNV keys: the map is probed once per enumerated move, so hashing
+    // must not dominate the replay it pays for (SipHash would).
+    map: HashMap<Move, CachedEffect, FnvBuildHasher>,
+}
+
+/// The intervals a move structurally writes (alloc or boundary content).
+fn written(mv: Move) -> (usize, Option<usize>) {
+    match mv {
+        Move::ShiftRight { j } | Move::ShiftLeft { j } | Move::Merge { j } => (j, Some(j + 1)),
+        Move::Split { j, .. }
+        | Move::Grow { j, .. }
+        | Move::Shrink { j, .. }
+        | Move::Swap { j, .. } => (j, None),
+        Move::Migrate { j, to, .. } => (j, Some(to)),
+    }
+}
+
+impl ScanCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ScanCache::default()
+    }
+
+    /// Repositions the cache on a fresh `p`-interval state (new restart):
+    /// everything cached is forgotten.
+    pub fn reset(&mut self, p: usize) {
+        self.epochs.clear();
+        self.epochs.resize(p, 0);
+        self.generation += 1;
+    }
+
+    /// Scores `mv` against the evaluator's committed state: replayed from
+    /// the cached effect when the move's read window is clean (no
+    /// apply/revert, no term recomputation), evaluated and re-cached
+    /// otherwise. Either way the returned scores are bit-identical to
+    /// `de.apply(mv)` + `de.revert()`.
+    pub fn score(&mut self, de: &mut DeltaEval, mv: Move) -> Scores {
+        if let Some(cached) = self.map.get(&mv) {
+            if cached.generation == self.generation
+                && cached.reads[..cached.n_reads]
+                    .iter()
+                    .all(|&(idx, epoch)| self.epochs.get(idx).copied() == Some(epoch))
+            {
+                return de.replay(&cached.effect);
+            }
+        }
+        let scores = de.apply(mv);
+        let effect = de.last_effect();
+        de.revert();
+
+        let mut reads = [(0usize, 0u64); MAX_READS];
+        let mut n_reads = 0usize;
+        let p = self.epochs.len();
+        let push = |idx: usize, reads: &mut [(usize, u64); MAX_READS], n: &mut usize| {
+            if idx < p && !reads[..*n].iter().any(|&(i, _)| i == idx) {
+                reads[*n] = (idx, self.epochs[idx]);
+                *n += 1;
+            }
+        };
+        let (a, b) = written(mv);
+        for t in std::iter::once(a).chain(b) {
+            for idx in t.saturating_sub(1)..=t + 1 {
+                push(idx, &mut reads, &mut n_reads);
+            }
+        }
+        if effect.input_comm.is_some() {
+            push(0, &mut reads, &mut n_reads);
+        }
+        self.map.insert(
+            mv,
+            CachedEffect {
+                effect,
+                generation: self.generation,
+                reads,
+                n_reads,
+            },
+        );
+        scores
+    }
+
+    /// Marks the intervals `mv` rewrote as dirty after it was committed
+    /// (applied + accepted). Merge/split renumber the interval axis, so
+    /// they clear the cache wholesale; every other move bumps the epochs
+    /// of exactly the intervals it wrote.
+    pub fn commit(&mut self, mv: Move, p_after: usize) {
+        match mv {
+            Move::Merge { .. } | Move::Split { .. } => {
+                self.reset(p_after);
+            }
+            _ => {
+                let (a, b) = written(mv);
+                for t in std::iter::once(a).chain(b) {
+                    if let Some(epoch) = self.epochs.get_mut(t) {
+                        *epoch += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::neighborhood::MoveStream;
+    use rpwf_core::eval::EvalContext;
+    use rpwf_core::mapping::{Interval, IntervalMapping};
+    use rpwf_core::platform::{Platform, ProcId};
+    use rpwf_core::stage::Pipeline;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    fn instance() -> (Pipeline, Platform) {
+        let pipe = Pipeline::new(vec![3.0, 1.0, 4.0, 1.0], vec![5.0, 9.0, 2.0, 6.0, 5.0]).unwrap();
+        let pf = Platform::comm_homogeneous(
+            vec![2.0, 1.0, 3.0, 1.5, 2.5],
+            1.0,
+            vec![0.1, 0.3, 0.5, 0.2, 0.4],
+        )
+        .unwrap();
+        (pipe, pf)
+    }
+
+    fn base() -> IntervalMapping {
+        IntervalMapping::new(
+            vec![Interval::new(0, 1).unwrap(), Interval::new(2, 3).unwrap()],
+            vec![vec![p(0), p(3)], vec![p(1), p(4)]],
+            4,
+            5,
+        )
+        .unwrap()
+    }
+
+    /// Full scans interleaved with commits: every cached score must equal
+    /// the freshly applied score bit-for-bit, across several descent
+    /// steps (the second and later scans exercise the replay path).
+    #[test]
+    fn cached_scores_equal_fresh_scores_across_commits() {
+        let (pipe, pf) = instance();
+        let ctx = EvalContext::new(&pipe, &pf);
+        let mut de = DeltaEval::new(&ctx, &base());
+        let mut cache = ScanCache::new();
+        cache.reset(de.n_intervals());
+        for _step in 0..4 {
+            let mut stream = MoveStream::new();
+            let mut best: Option<(Move, Scores)> = None;
+            while let Some(mv) = stream.next(&de) {
+                let cached = cache.score(&mut de, mv);
+                let fresh = de.apply(mv);
+                de.revert();
+                assert_eq!(
+                    cached.latency.to_bits(),
+                    fresh.latency.to_bits(),
+                    "step {_step}: cached latency must match fresh for {mv:?}"
+                );
+                assert_eq!(
+                    cached.ln_success.to_bits(),
+                    fresh.ln_success.to_bits(),
+                    "step {_step}: cached ln must match fresh for {mv:?}"
+                );
+                if best.is_none() || cached.latency < best.as_ref().unwrap().1.latency {
+                    best = Some((mv, cached));
+                }
+            }
+            let Some((mv, _)) = best else { break };
+            de.apply(mv);
+            de.accept();
+            cache.commit(mv, de.n_intervals());
+        }
+    }
+}

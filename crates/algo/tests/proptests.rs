@@ -207,7 +207,9 @@ proptest! {
     fn unbudgeted_heuristics_are_unchanged(seed in 0u64..10_000) {
         let (pipe, pf) = instance(seed, 4, 5, PlatformClass::FullyHeterogeneous);
         let objective = Objective::MinLatencyUnderFp(0.6);
-        let ls = rpwf_algo::heuristics::LocalSearch { random_restarts: 2, max_steps: 40, seed };
+        let ls = rpwf_algo::heuristics::LocalSearch {
+            random_restarts: 2, max_steps: 40, seed, ..Default::default()
+        };
         let budgeted = ls.solve_with_budget(&pipe, &pf, objective, &Budget::unlimited());
         prop_assert!(budgeted.is_complete());
         prop_assert_eq!(budgeted.into_inner(), ls.solve(&pipe, &pf, objective));
@@ -215,6 +217,33 @@ proptest! {
         let budgeted = sa.solve_with_budget(&pipe, &pf, objective, &Budget::unlimited());
         prop_assert!(budgeted.is_complete());
         prop_assert_eq!(budgeted.into_inner(), sa.solve(&pipe, &pf, objective));
+    }
+
+    /// Vectorized threshold reads equal `k` independent reads on random
+    /// fronts and random mixed-objective query batches (the batch sweep
+    /// is a pure amortization).
+    #[test]
+    fn batch_threshold_reads_equal_independent_reads(
+        seed in 0u64..10_000,
+        queries in prop::collection::vec((0u8..2, 0.0f64..2.0), 1..24),
+    ) {
+        let (pipe, pf) = instance(seed, 3, 4, PlatformClass::FullyHeterogeneous);
+        let front = Exhaustive::new(&pipe, &pf).pareto_front();
+        let lat_hi = front.points().last().map_or(1.0, |p| p.latency * 1.5);
+        let objectives: Vec<Objective> = queries
+            .iter()
+            .map(|&(kind, t)| if kind == 1 {
+                Objective::MinFpUnderLatency(t * lat_hi)
+            } else {
+                Objective::MinLatencyUnderFp(t / 2.0)
+            })
+            .collect();
+        let batch = rpwf_algo::front::threshold_read_batch(&front, &objectives);
+        prop_assert_eq!(batch.len(), objectives.len());
+        for (objective, got) in objectives.iter().zip(&batch) {
+            let independent = rpwf_algo::front::threshold_read(&front, *objective);
+            prop_assert_eq!(got, &independent, "objective {:?}", objective);
+        }
     }
 
     /// Comparator laws: `better` is irreflexive and asymmetric.

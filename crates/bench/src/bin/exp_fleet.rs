@@ -1,0 +1,8 @@
+//! E17 — fleet cache partitioning over the consistent-hash ring (writes
+//! `BENCH_fleet.json`). Pass `--smoke` for the tiny CI-sized run.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    for table in rpwf_bench::experiments::fleet::fleet(smoke) {
+        table.print();
+    }
+}

@@ -17,12 +17,14 @@
 //! | E14 | [`server_throughput::server_throughput`] | `exp_server` |
 //! | E15 | [`eval_incremental::eval_incremental`] | `exp_eval` |
 //! | E16 | [`batch_front::batch_front`] | `exp_batch` |
+//! | E17 | [`fleet::fleet`] | `exp_fleet` |
 //!
 //! (E12 is the criterion suite under `benches/`.)
 
 pub mod batch_front;
 pub mod eval_incremental;
 pub mod figures;
+pub mod fleet;
 pub mod hardness;
 pub mod heuristics_eval;
 pub mod server_throughput;
@@ -52,5 +54,6 @@ pub fn run_all() -> Vec<(&'static str, Vec<Table>)> {
         ("E14", server_throughput::server_throughput()),
         ("E15", eval_incremental::eval_incremental(false)),
         ("E16", batch_front::batch_front(false)),
+        ("E17", fleet::fleet(false)),
     ]
 }

@@ -108,6 +108,7 @@ fn run_scenario(scenario: &Scenario) -> Measurement {
             cache_capacity: 1024,
             cache_shards: 16,
             seed: 0xCAFE,
+            node_id: None,
         },
     )
     .expect("bind an ephemeral port");
@@ -148,6 +149,7 @@ fn run_scenario(scenario: &Scenario) -> Measurement {
                             id: Some((client * 1000 + r) as u64),
                             deadline_ms: Some(30_000),
                             no_cache: None,
+                            hop: None,
                             cmd: Command::Solve {
                                 pipeline,
                                 platform,

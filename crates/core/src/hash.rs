@@ -80,6 +80,43 @@ impl CanonicalHasher {
     }
 }
 
+/// [`std::hash::Hasher`] over the same FNV-1a stream (single 64-bit
+/// lane) — for hot hash-map keys where SipHash's per-lookup cost is
+/// measurable (e.g. the candidate-list move cache). Not for canonical
+/// cross-process digests; that is [`CanonicalHasher`]'s job.
+#[derive(Clone, Debug)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV_OFFSET_A)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FnvHasher`]s.
+#[derive(Clone, Debug, Default)]
+pub struct FnvBuildHasher;
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher::default()
+    }
+}
+
 /// Types with a canonical content digest.
 pub trait CanonicalDigest {
     /// Feeds `self`'s canonical content into the hasher.

@@ -21,6 +21,8 @@
 //! * [`throughput`] — steady-state period (extension, paper §5),
 //! * [`intervals`] — enumeration of interval partitions,
 //! * [`pareto`] — bi-objective Pareto fronts,
+//! * [`ring`] — the consistent-hash ring fleets use to partition the
+//!   instance keyspace,
 //! * [`num`] — numeric conventions (tolerances, log-space probabilities),
 //! * [`error`] — the shared error type.
 //!
@@ -64,12 +66,13 @@ pub mod metrics;
 pub mod num;
 pub mod pareto;
 pub mod platform;
+pub mod ring;
 pub mod stage;
 pub mod throughput;
 
 pub use budget::{Budget, CancelHandle};
 pub use error::{CoreError, Result};
-pub use eval::{DeltaEval, EvalContext, Move, Scores};
+pub use eval::{DeltaEval, EvalContext, Move, MoveEffect, Scores, SlotChange};
 pub use hash::{CanonicalDigest, CanonicalHasher};
 pub use mapping::{GeneralMapping, Interval, IntervalMapping, OneToOneMapping};
 pub use metrics::{
@@ -77,13 +80,14 @@ pub use metrics::{
     log_success_probability, one_to_one_latency, reliability, LatencyBreakdown,
 };
 pub use platform::{FailureClass, Platform, PlatformBuilder, PlatformClass, ProcId, Vertex};
+pub use ring::HashRing;
 pub use stage::{Pipeline, PipelineBuilder, Stage};
 
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
     pub use crate::budget::{Budget, CancelHandle};
     pub use crate::error::{CoreError, Result};
-    pub use crate::eval::{DeltaEval, EvalContext, Move, Scores};
+    pub use crate::eval::{DeltaEval, EvalContext, Move, MoveEffect, Scores, SlotChange};
     pub use crate::hash::{CanonicalDigest, CanonicalHasher};
     pub use crate::intervals::{count_partitions, IntervalPartitions, PartitionsWithParts};
     pub use crate::mapping::{GeneralMapping, Interval, IntervalMapping, OneToOneMapping};
@@ -95,6 +99,7 @@ pub mod prelude {
     pub use crate::platform::{
         FailureClass, Platform, PlatformBuilder, PlatformClass, ProcId, Vertex,
     };
+    pub use crate::ring::HashRing;
     pub use crate::stage::{Pipeline, PipelineBuilder, Stage};
     pub use crate::throughput::{period, throughput};
 }

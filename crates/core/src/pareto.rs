@@ -128,6 +128,69 @@ impl<T> ParetoFront<T> {
         self.points.iter().find(|q| q.failure_prob <= fp)
     }
 
+    /// Vectorized [`min_fp_under_latency`](Self::min_fp_under_latency):
+    /// answers every bound of the **ascending-sorted** `bounds` in one
+    /// sweep over the front — O(k + len) instead of k binary searches.
+    /// Each answer is identical to the corresponding point query.
+    ///
+    /// # Panics
+    /// When `bounds` is not sorted ascending (NaN-tolerant total order).
+    #[must_use]
+    pub fn min_fp_under_latency_batch(&self, bounds: &[f64]) -> Vec<Option<&ParetoPoint<T>>> {
+        assert!(
+            bounds.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+            "latency bounds must be sorted ascending"
+        );
+        let mut out = Vec::with_capacity(bounds.len());
+        // `idx` = number of points with latency ≤ bound; monotone in the
+        // bound, so the cursor only ever advances.
+        let mut idx = 0usize;
+        for &l in bounds {
+            if l.is_nan() {
+                // Nothing satisfies a NaN bound — same as the point query.
+                out.push(None);
+                continue;
+            }
+            while idx < self.points.len() && self.points[idx].latency <= l {
+                idx += 1;
+            }
+            out.push(idx.checked_sub(1).map(|i| &self.points[i]));
+        }
+        out
+    }
+
+    /// Vectorized [`min_latency_under_fp`](Self::min_latency_under_fp):
+    /// answers every bound of the **descending-sorted** `bounds` in one
+    /// sweep over the front (failure probability decreases along the
+    /// latency-sorted points, so descending FP bounds advance the same
+    /// forward cursor). Each answer is identical to the point query.
+    ///
+    /// # Panics
+    /// When `bounds` is not sorted descending.
+    #[must_use]
+    pub fn min_latency_under_fp_batch(&self, bounds: &[f64]) -> Vec<Option<&ParetoPoint<T>>> {
+        assert!(
+            bounds.windows(2).all(|w| w[0].total_cmp(&w[1]).is_ge()),
+            "failure-probability bounds must be sorted descending"
+        );
+        let mut out = Vec::with_capacity(bounds.len());
+        // First point with fp ≤ bound; tighter (smaller) bounds only move
+        // the cursor forward.
+        let mut idx = 0usize;
+        for &fp in bounds {
+            if fp.is_nan() {
+                // Nothing satisfies a NaN bound — same as the point query.
+                out.push(None);
+                continue;
+            }
+            while idx < self.points.len() && self.points[idx].failure_prob > fp {
+                idx += 1;
+            }
+            out.push(self.points.get(idx));
+        }
+        out
+    }
+
     /// Consumes the front, returning the sorted points.
     #[must_use]
     pub fn into_points(self) -> Vec<ParetoPoint<T>> {
@@ -224,6 +287,56 @@ mod tests {
         assert_eq!(f.min_latency_under_fp(0.3).unwrap().payload, "b");
         assert_eq!(f.min_latency_under_fp(0.5).unwrap().payload, "a");
         assert!(f.min_latency_under_fp(0.01).is_none());
+    }
+
+    #[test]
+    fn batch_reads_equal_point_reads() {
+        let mut f = ParetoFront::new();
+        f.insert(10.0, 0.5, "a");
+        f.insert(20.0, 0.2, "b");
+        f.insert(30.0, 0.05, "c");
+        let lat_bounds = [5.0, 10.0, 15.0, 20.0, 29.9, 30.0, 99.0];
+        let swept = f.min_fp_under_latency_batch(&lat_bounds);
+        for (i, &l) in lat_bounds.iter().enumerate() {
+            assert_eq!(
+                swept[i].map(|p| p.payload),
+                f.min_fp_under_latency(l).map(|p| p.payload),
+                "latency bound {l}"
+            );
+        }
+        let fp_bounds = [0.9, 0.5, 0.3, 0.2, 0.1, 0.05, 0.01];
+        let swept = f.min_latency_under_fp_batch(&fp_bounds);
+        for (i, &fp) in fp_bounds.iter().enumerate() {
+            assert_eq!(
+                swept[i].map(|p| p.payload),
+                f.min_latency_under_fp(fp).map(|p| p.payload),
+                "fp bound {fp}"
+            );
+        }
+        assert!(f.min_fp_under_latency_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_reads_treat_nan_bounds_like_point_reads() {
+        let mut f = ParetoFront::new();
+        f.insert(5.0, 0.5, "a");
+        // NaN sorts last ascending / first descending under total_cmp.
+        let swept = f.min_fp_under_latency_batch(&[10.0, f64::NAN]);
+        assert_eq!(swept[0].map(|p| p.payload), Some("a"));
+        assert_eq!(swept[1].map(|p| p.payload), None);
+        assert_eq!(f.min_fp_under_latency(f64::NAN).map(|p| p.payload), None);
+        let swept = f.min_latency_under_fp_batch(&[f64::NAN, 0.9]);
+        assert_eq!(swept[0].map(|p| p.payload), None);
+        assert_eq!(swept[1].map(|p| p.payload), Some("a"));
+        assert_eq!(f.min_latency_under_fp(f64::NAN).map(|p| p.payload), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted ascending")]
+    fn batch_read_rejects_unsorted_bounds() {
+        let mut f = ParetoFront::new();
+        f.insert(10.0, 0.5, ());
+        let _ = f.min_fp_under_latency_batch(&[2.0, 1.0]);
     }
 
     #[test]

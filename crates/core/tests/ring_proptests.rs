@@ -1,0 +1,92 @@
+//! Property tests of the consistent-hash ring's stability contract: a
+//! membership change only remaps keys to the joining node or away from
+//! the leaving node — everything else keeps its owner. This is what keeps
+//! a warm fleet cache mostly valid across topology changes.
+
+use proptest::prelude::*;
+use rpwf_core::ring::HashRing;
+
+/// A fleet-sized node set with `host:port`-shaped names.
+fn nodes(count: usize) -> Vec<String> {
+    (0..count).map(|i| format!("10.0.0.{i}:7077")).collect()
+}
+
+/// Pseudo-random keys derived from a seed (structured on purpose — the
+/// ring re-hashes keys, so even adversarially regular key spaces must
+/// spread).
+fn keys(seed: u64, count: usize) -> Vec<u128> {
+    let mut state = seed | 1;
+    (0..count)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (u128::from(state) << 64) | u128::from(state.rotate_left(17))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Join stability: after a node joins, every key either keeps its
+    /// owner or moves to the joiner, and the joiner takes a non-trivial
+    /// share on a small ring.
+    #[test]
+    fn join_moves_keys_only_to_the_joiner(
+        seed in 0u64..10_000,
+        n in 2usize..8,
+        vnodes in 1usize..96,
+    ) {
+        let before = HashRing::new(nodes(n), vnodes);
+        let mut after = before.clone();
+        after.add_node("joiner:1");
+        for key in keys(seed, 256) {
+            let old = before.owner(key).expect("non-empty");
+            let new = after.owner(key).expect("non-empty");
+            prop_assert!(
+                new == old || new == "joiner:1",
+                "key {key:x}: {old} -> {new} moved to a non-joiner"
+            );
+        }
+    }
+
+    /// Leave stability: after a node leaves, exactly the leaver's keys
+    /// are remapped; every other key keeps its owner.
+    #[test]
+    fn leave_moves_only_the_leavers_keys(
+        seed in 0u64..10_000,
+        n in 2usize..8,
+        vnodes in 1usize..96,
+        leaver in 0usize..8,
+    ) {
+        let names = nodes(n);
+        let leaver = names[leaver % n].clone();
+        let before = HashRing::new(names, vnodes);
+        let mut after = before.clone();
+        after.remove_node(&leaver);
+        for key in keys(seed, 256) {
+            let old = before.owner(key).expect("non-empty");
+            let new = after.owner(key).expect("non-empty ring after leave");
+            if old == leaver {
+                prop_assert!(new != leaver);
+            } else {
+                prop_assert_eq!(old, new, "non-leaver key {}", key);
+            }
+        }
+    }
+
+    /// Ownership is a pure function of the member set: join order,
+    /// duplicates and an add/remove detour never change it.
+    #[test]
+    fn ownership_is_membership_pure(seed in 0u64..10_000, n in 1usize..6) {
+        let names = nodes(n);
+        let ring = HashRing::new(names.clone(), 32);
+        let mut detoured = HashRing::new(names.iter().rev().cloned(), 32);
+        detoured.add_node("transient:9");
+        detoured.remove_node("transient:9");
+        for key in keys(seed, 128) {
+            prop_assert_eq!(ring.owner(key), detoured.owner(key));
+        }
+    }
+}

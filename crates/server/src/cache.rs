@@ -20,7 +20,6 @@ use rpwf_core::mapping::IntervalMapping;
 use rpwf_core::pareto::ParetoFront;
 use serde::Value;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A cached Pareto front and how it was produced. The front itself is
@@ -71,9 +70,15 @@ struct Entry<V> {
 struct Shard<V> {
     map: HashMap<u128, Entry<V>>,
     clock: u64,
+    // Counters live inside the shard (they are only touched under its
+    // lock anyway), so observability can report per-shard skew instead of
+    // a fleet-blind aggregate.
+    hits: u64,
+    misses: u64,
+    evictions: u64,
 }
 
-/// Aggregate cache counters.
+/// Cache counters — per shard or aggregated across shards.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookup hits.
@@ -82,7 +87,7 @@ pub struct CacheStats {
     pub misses: u64,
     /// Evictions to stay under capacity.
     pub evictions: u64,
-    /// Live entries across shards.
+    /// Live entries.
     pub entries: usize,
 }
 
@@ -90,9 +95,6 @@ pub struct CacheStats {
 pub struct ShardedLru<V> {
     shards: Vec<Mutex<Shard<V>>>,
     per_shard_capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
 }
 
 /// The service's cache type: fronts plus per-query results.
@@ -111,13 +113,13 @@ impl<V: Clone> ShardedLru<V> {
                     Mutex::new(Shard {
                         map: HashMap::new(),
                         clock: 0,
+                        hits: 0,
+                        misses: 0,
+                        evictions: 0,
                     })
                 })
                 .collect(),
             per_shard_capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
     }
 
@@ -144,17 +146,15 @@ impl<V: Clone> ShardedLru<V> {
         let mut shard = self.shard(key).lock().expect("cache shard lock");
         shard.clock += 1;
         let tick = shard.clock;
-        match shard.map.get_mut(&key) {
-            Some(entry) => {
-                entry.tick = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.value.clone())
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+        let value = shard.map.get_mut(&key).map(|entry| {
+            entry.tick = tick;
+            entry.value.clone()
+        });
+        match &value {
+            Some(_) => shard.hits += 1,
+            None => shard.misses += 1,
         }
+        value
     }
 
     /// Inserts (or refreshes) a key, evicting the shard's LRU entry when
@@ -181,25 +181,67 @@ impl<V: Clone> ShardedLru<V> {
         } else if shard.map.len() >= self.per_shard_capacity {
             if let Some((&lru, _)) = shard.map.iter().min_by_key(|(_, e)| e.tick) {
                 shard.map.remove(&lru);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                shard.evictions += 1;
             }
         }
         shard.map.insert(key, Entry { value, tick });
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters across all shards.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| s.lock().expect("cache shard lock").map.len())
-                .sum(),
-        }
+        self.shard_stats()
+            .into_iter()
+            .fold(CacheStats::default(), |acc, s| CacheStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+                evictions: acc.evictions + s.evictions,
+                entries: acc.entries + s.entries,
+            })
+    }
+
+    /// Per-shard counters, in shard order (the `Metrics` dump renders one
+    /// line per shard so hot-shard skew is visible).
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("cache shard lock");
+                CacheStats {
+                    hits: shard.hits,
+                    misses: shard.misses,
+                    evictions: shard.evictions,
+                    entries: shard.map.len(),
+                }
+            })
+            .collect()
+    }
+
+    /// Snapshot of every live key (across shards, no particular order).
+    #[must_use]
+    pub fn keys(&self) -> Vec<u128> {
+        self.keys_where(|_| true)
+    }
+
+    /// Snapshot of the keys whose entries satisfy `keep`. Fleet nodes use
+    /// this to census *front* entries — the ones keyed by the canonical
+    /// instance hash the ring places — against ring ownership (per-query
+    /// result entries are keyed by `cache_key`, a different hash space).
+    #[must_use]
+    pub fn keys_where(&self, mut keep: impl FnMut(&V) -> bool) -> Vec<u128> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache shard lock")
+                    .map
+                    .iter()
+                    .filter(|(_, entry)| keep(&entry.value))
+                    .map(|(&k, _)| k)
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 }
 
@@ -280,6 +322,31 @@ mod tests {
         for k in 0u128..64 {
             assert!(cache.get(k).is_some(), "key {k} must be present");
         }
+    }
+
+    #[test]
+    fn per_shard_stats_sum_to_the_aggregate() {
+        let cache = SolutionCache::new(8, 4);
+        for k in 0u128..8 {
+            cache.insert(k, value(k as i64));
+            let _ = cache.get(k);
+            let _ = cache.get(k + 100);
+        }
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        let total = cache.stats();
+        assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), total.hits);
+        assert_eq!(
+            per_shard.iter().map(|s| s.misses).sum::<u64>(),
+            total.misses
+        );
+        assert_eq!(
+            per_shard.iter().map(|s| s.entries).sum::<usize>(),
+            total.entries
+        );
+        let mut keys = cache.keys();
+        keys.sort_unstable();
+        assert_eq!(keys, (0u128..8).collect::<Vec<_>>());
     }
 
     #[test]

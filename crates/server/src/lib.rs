@@ -23,6 +23,10 @@
 //!   [`cache::CachedEntry`] (fronts + per-query results),
 //! * [`metrics`] — per-command latency histograms and the Prometheus-style
 //!   text dump behind the `Metrics` command,
+//! * [`router`] — the request-path routing layer: [`router::LocalRouter`]
+//!   (single node) and [`router::RingRouter`] (consistent-hash fleet
+//!   sharding with transparent forwarding),
+//! * [`peer`] — pooled JSON-lines clients for fleet peers,
 //! * [`service`] — transport-independent dispatch
 //!   ([`service::SolverService`]) and the [`service::WorkerPool`],
 //! * [`server`] — the TCP listener ([`Server`]) and
@@ -41,6 +45,7 @@
 //!         id: Some(1),
 //!         deadline_ms: Some(1_000),
 //!         no_cache: None,
+//!         hop: None,
 //!         cmd: Command::Solve {
 //!             pipeline: rpwf_gen::figure5_pipeline(),
 //!             platform: rpwf_gen::figure5_platform(),
@@ -58,10 +63,13 @@
 
 pub mod cache;
 pub mod metrics;
+pub mod peer;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod service;
 
 pub use protocol::{Command, Request, Response};
+pub use router::{LocalRouter, RingRouter, Router};
 pub use server::{serve_stdin, Server};
 pub use service::{ServiceConfig, SolverService, WorkerPool};

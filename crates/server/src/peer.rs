@@ -1,0 +1,228 @@
+//! Pooled JSON-lines clients for fleet peers.
+//!
+//! A [`Peer`] wraps one remote `rpwf serve` instance behind a small pool
+//! of reusable TCP connections. Forwarding a request checks a connection
+//! out (connecting lazily with a short timeout when the pool is dry),
+//! writes the request line, reads every response line of that request
+//! (`part` lines until the closing `ok`/`error`), and parks the
+//! connection for reuse. A connection that errors mid-call is dropped,
+//! and a call that failed on a *pooled* connection is retried once on a
+//! fresh one — a parked socket may have died with the peer and come back.
+//!
+//! Calls are whole-request: the forwarded response lines are buffered and
+//! only handed to the caller when the request completed, so a mid-stream
+//! peer failure can still fall back to a clean local solve without the
+//! client ever seeing a half-answered request. (The cost: a forwarded
+//! chunked `Pareto` buffers at the forwarding node; owner-routed clients
+//! keep the end-to-end streaming bound.)
+
+use crate::protocol::Response;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How long a dry-pool connect may take before the peer counts as down.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Idle connections parked per peer (excess sockets are dropped).
+const MAX_IDLE: usize = 8;
+
+/// A read-timeout error (platform-dependent kind).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// A pooled client for one fleet peer.
+pub struct Peer {
+    addr: String,
+    idle: Mutex<Vec<BufReader<TcpStream>>>,
+    forwards: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl Peer {
+    /// A client for the peer at `addr` (`host:port`). No connection is
+    /// opened until the first call.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Peer {
+            addr: addr.into(),
+            idle: Mutex::new(Vec::new()),
+            forwards: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The peer's address (also its ring identity).
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Requests successfully answered by this peer.
+    #[must_use]
+    pub fn forwards(&self) -> u64 {
+        self.forwards.load(Ordering::Relaxed)
+    }
+
+    /// Calls that failed (after the one pooled-connection retry) and fell
+    /// back to the caller.
+    #[must_use]
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Sends one request line and returns every response line of that
+    /// request, in order (zero or more `part` lines, then the closing
+    /// `ok`/`error` line). `read_timeout` bounds each response-line read
+    /// (the forwarding layer derives it from the request deadline, with a
+    /// long watchdog for deadline-free requests), so a peer that accepts
+    /// but never answers — partitioned, paused, wedged — cannot pin the
+    /// calling worker forever; the timeout surfaces as an error and the
+    /// caller falls back to a local solve.
+    ///
+    /// # Errors
+    /// Propagates connect/write/read failures and read timeouts — the
+    /// caller treats any error as "peer down" and solves locally.
+    pub fn call(&self, line: &str, read_timeout: Duration) -> std::io::Result<Vec<String>> {
+        let outcome = self.try_call(line, read_timeout);
+        match &outcome {
+            Ok(_) => self.forwards.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.failures.fetch_add(1, Ordering::Relaxed),
+        };
+        outcome
+    }
+
+    fn try_call(&self, line: &str, read_timeout: Duration) -> std::io::Result<Vec<String>> {
+        let read_timeout = read_timeout.max(Duration::from_millis(1));
+        let (mut conn, pooled) = self.checkout()?;
+        conn.get_ref().set_read_timeout(Some(read_timeout))?;
+        let mut outcome = Self::roundtrip(&mut conn, line);
+        if pooled && outcome.as_ref().is_err_and(|e| !is_timeout(e)) {
+            // The parked socket may simply be stale (instant write error
+            // or EOF); one fresh attempt. A *timeout* is different: the
+            // peer is up but not answering — retrying would double the
+            // client's wait and re-run the solve, so fail to the local
+            // fallback immediately.
+            if let Ok(fresh) = Self::connect(&self.addr) {
+                conn = fresh;
+                conn.get_ref().set_read_timeout(Some(read_timeout))?;
+                outcome = Self::roundtrip(&mut conn, line);
+            }
+        }
+        if outcome.is_ok() {
+            self.park(conn);
+        }
+        outcome
+    }
+
+    /// A connection from the pool (flagged `true`) or a fresh one.
+    fn checkout(&self) -> std::io::Result<(BufReader<TcpStream>, bool)> {
+        if let Some(conn) = self.idle.lock().expect("peer pool lock").pop() {
+            return Ok((conn, true));
+        }
+        Ok((Self::connect(&self.addr)?, false))
+    }
+
+    fn connect(addr: &str) -> std::io::Result<BufReader<TcpStream>> {
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                format!("peer address {addr:?} resolves to nothing"),
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&resolved, CONNECT_TIMEOUT)?;
+        stream.set_nodelay(true)?;
+        Ok(BufReader::new(stream))
+    }
+
+    fn park(&self, conn: BufReader<TcpStream>) {
+        let mut idle = self.idle.lock().expect("peer pool lock");
+        if idle.len() < MAX_IDLE {
+            idle.push(conn);
+        }
+    }
+
+    /// One request/response exchange on an exclusive connection.
+    fn roundtrip(conn: &mut BufReader<TcpStream>, line: &str) -> std::io::Result<Vec<String>> {
+        let stream = conn.get_mut();
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        let mut lines = Vec::with_capacity(1);
+        loop {
+            let mut buf = String::new();
+            if conn.read_line(&mut buf)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed the connection mid-request",
+                ));
+            }
+            let response = buf.trim_end_matches(['\n', '\r']).to_string();
+            // `part` lines continue the same request; anything else (ok,
+            // error, or unparseable garbage) terminates it.
+            let done = serde_json::from_str::<Response>(&response)
+                .map_or(true, |parsed| parsed.status != "part");
+            lines.push(response);
+            if done {
+                return Ok(lines);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreachable_peer_fails_fast_and_counts() {
+        // A port from the TEST-NET-3 doc range: nothing listens there.
+        let peer = Peer::new("127.0.0.1:1");
+        let err = peer.call("{\"cmd\":\"Ping\"}", Duration::from_secs(1));
+        assert!(err.is_err());
+        assert_eq!(peer.failures(), 1);
+        assert_eq!(peer.forwards(), 0);
+    }
+
+    #[test]
+    fn call_roundtrips_and_reuses_the_connection() {
+        use std::net::TcpListener;
+        // A tiny hand-rolled echo server answering one ok-line per line.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut stream = stream;
+            for _ in 0..2 {
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("read");
+                writeln!(
+                    stream,
+                    "{{\"id\":1,\"status\":\"ok\",\"result\":null,\"error\":null,\
+                     \"meta\":{{\"cache_hit\":false,\"solver\":null,\
+                     \"exact_complete\":null,\"elapsed_us\":1,\"node\":null}}}}"
+                )
+                .expect("write");
+            }
+            // Count distinct connections: exactly one accept handled both
+            // calls, so reaching here twice proves pooling.
+        });
+        let peer = Peer::new(addr.to_string());
+        for _ in 0..2 {
+            let lines = peer
+                .call("{\"cmd\":\"Ping\"}", Duration::from_secs(5))
+                .expect("call");
+            assert_eq!(lines.len(), 1);
+            assert!(lines[0].contains("\"status\":\"ok\""), "{}", lines[0]);
+        }
+        assert_eq!(peer.forwards(), 2);
+        server.join().expect("server thread");
+    }
+}

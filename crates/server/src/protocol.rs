@@ -25,6 +25,14 @@
 //! by one `status: "ok"` line ([`FrontEndResult`]) with the completeness
 //! flag. Concatenating the part points in `seq` order reassembles the
 //! unstreamed front exactly.
+//!
+//! Fleet mode adds three wire elements: requests carry an optional
+//! `"hop": true` flag (set by a forwarding peer; a hopped request is
+//! always answered locally — the forwarding-loop guard), response
+//! metadata carries `"node"` (the identity of the node that answered,
+//! identical whichever node the client entered through), and the
+//! [`Command::Ring`] introspection command returns the answering node's
+//! topology view ([`RingResult`]).
 
 use rpwf_algo::Objective;
 use rpwf_core::hash::{CanonicalDigest, CanonicalHasher};
@@ -47,6 +55,11 @@ pub struct Request {
     pub deadline_ms: Option<u64>,
     /// Opt out of the solution cache for this request.
     pub no_cache: Option<bool>,
+    /// Forwarding-loop guard for fleet mode: set by a `RingRouter` when it
+    /// forwards a request to the owning peer. A hopped request is always
+    /// answered locally, so disagreeing ring views (e.g. mid-rollout
+    /// membership skew) can cost one extra hop but never a loop.
+    pub hop: Option<bool>,
     /// The command to execute.
     pub cmd: Command,
 }
@@ -105,6 +118,10 @@ pub enum Command {
     Stats,
     /// Plain-text metrics dump (Prometheus exposition style).
     Metrics,
+    /// Fleet-topology introspection: ring membership, per-peer forward
+    /// counters and this node's owned-key census ([`RingResult`]). Always
+    /// answered by the node that received it (never forwarded).
+    Ring,
 }
 
 impl Command {
@@ -119,6 +136,7 @@ impl Command {
             Command::Gen { .. } => "gen",
             Command::Stats => "stats",
             Command::Metrics => "metrics",
+            Command::Ring => "ring",
         }
     }
 
@@ -126,7 +144,7 @@ impl Command {
     #[must_use]
     pub fn all_names() -> &'static [&'static str] {
         &[
-            "ping", "solve", "pareto", "simulate", "gen", "stats", "metrics",
+            "ping", "solve", "pareto", "simulate", "gen", "stats", "metrics", "ring",
         ]
     }
 
@@ -145,6 +163,21 @@ impl Command {
                 pipeline, platform, ..
             } => Some(rpwf_core::hash::instance_key(pipeline, platform)),
             _ => None,
+        }
+    }
+
+    /// Canonical *placement* key for fleet routing — the instance hash of
+    /// any instance-bearing command ([`Command::front_key`] plus
+    /// `Simulate`, whose per-query results partition by instance just as
+    /// fronts do). `None` for node-local commands (`Ping`, `Gen`, `Stats`,
+    /// `Metrics`, `Ring`), which every node answers itself.
+    #[must_use]
+    pub fn route_key(&self) -> Option<u128> {
+        match self {
+            Command::Simulate {
+                pipeline, platform, ..
+            } => Some(rpwf_core::hash::instance_key(pipeline, platform)),
+            _ => self.front_key(),
         }
     }
 
@@ -192,7 +225,11 @@ impl Command {
                 platform.digest(&mut hasher);
                 hasher.write_u64(trials.unwrap_or(10_000) as u64);
             }
-            Command::Ping | Command::Gen { .. } | Command::Stats | Command::Metrics => return None,
+            Command::Ping
+            | Command::Gen { .. }
+            | Command::Stats
+            | Command::Metrics
+            | Command::Ring => return None,
         }
         Some(hasher.finish())
     }
@@ -247,6 +284,11 @@ pub struct Meta {
     /// Wall-clock handling time in microseconds (for cache hits: the
     /// lookup time, not the original compute time).
     pub elapsed_us: u64,
+    /// Identity of the fleet node that *answered* (its `--node-id`).
+    /// Forwarded requests carry the owning node's identity, so a response
+    /// is identical whichever node the client entered through. `None`
+    /// outside fleet mode.
+    pub node: Option<String>,
 }
 
 /// A single response line.
@@ -451,6 +493,40 @@ pub struct StatsResult {
     pub commands: Vec<CommandStatsOut>,
 }
 
+/// Per-peer forwarding counters inside [`RingResult`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RingPeerOut {
+    /// Peer node identity (`host:port`).
+    pub peer: String,
+    /// Requests this node forwarded to the peer (successfully answered).
+    pub forwards: u64,
+    /// Forward attempts that failed and fell back to a local solve.
+    pub failures: u64,
+}
+
+/// `Ring` result payload — the answering node's view of the fleet
+/// topology. A single-node (`LocalRouter`) service reports itself as the
+/// only member with zero vnodes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RingResult {
+    /// The answering node's identity.
+    pub node: String,
+    /// All ring members (sorted), including the answering node.
+    pub nodes: Vec<String>,
+    /// Virtual nodes per member (0 = no ring configured).
+    pub vnodes: u64,
+    /// Cache keys held by this node that the ring assigns to it.
+    pub owned_cache_keys: u64,
+    /// Cache keys held here but owned elsewhere (artifacts of peer-down
+    /// fallback solving; they are correct, just duplicated capacity).
+    pub foreign_cache_keys: u64,
+    /// Requests received with the forwarding hop flag set (this node
+    /// answered them as the owner).
+    pub hops_received: u64,
+    /// Per-peer forwarding counters.
+    pub forwards: Vec<RingPeerOut>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +545,7 @@ mod tests {
             id: Some(42),
             deadline_ms: Some(100),
             no_cache: None,
+            hop: None,
             cmd: Command::Solve {
                 pipeline,
                 platform,
@@ -507,6 +584,36 @@ mod tests {
         assert_eq!(Command::Ping.cache_key(), None);
         assert_eq!(Command::Stats.cache_key(), None);
         assert_eq!(Command::Metrics.cache_key(), None);
+        assert_eq!(Command::Ring.cache_key(), None);
+    }
+
+    #[test]
+    fn route_key_partitions_by_instance() {
+        let (pipeline, platform) = tiny_instance();
+        let solve = Command::Solve {
+            pipeline: pipeline.clone(),
+            platform: platform.clone(),
+            objective: Objective::MinFpUnderLatency(22.0),
+        };
+        let simulate = Command::Simulate {
+            pipeline: pipeline.clone(),
+            platform: platform.clone(),
+            trials: Some(100),
+        };
+        let pareto = Command::Pareto {
+            pipeline,
+            platform,
+            chunk: None,
+        };
+        // Every instance-bearing command over one instance routes to one
+        // owner; node-local commands never route.
+        let key = solve.route_key().expect("solve routes");
+        assert_eq!(simulate.route_key(), Some(key));
+        assert_eq!(pareto.route_key(), Some(key));
+        assert_eq!(Command::Ping.route_key(), None);
+        assert_eq!(Command::Ring.route_key(), None);
+        assert_eq!(Command::Stats.route_key(), None);
+        assert_eq!(Command::Metrics.route_key(), None);
     }
 
     #[test]
@@ -545,6 +652,7 @@ mod tests {
             solver: None,
             exact_complete: None,
             elapsed_us: 5,
+            node: None,
         };
         let resp = Response::error(Some(3), ErrorKind::Timeout, "deadline expired", meta);
         let line = resp.to_line();

@@ -1,0 +1,409 @@
+//! The routing layer between transports and the solver service.
+//!
+//! Every decoded request — whatever transport it arrived on — goes
+//! through a [`Router`] that decides *which node* answers it:
+//!
+//! * [`LocalRouter`] — this process answers everything (the single-node
+//!   deployment; zero overhead over calling the service directly),
+//! * [`RingRouter`] — fleet mode: each instance-bearing request is placed
+//!   on the owning node of a consistent-hash ring
+//!   ([`rpwf_core::ring::HashRing`]) keyed by the canonical instance hash
+//!   ([`Command::route_key`]). Non-owned requests are transparently
+//!   forwarded to the owning peer over the ordinary JSON-lines protocol
+//!   through pooled connections ([`crate::peer::Peer`]); node-local
+//!   commands (`Ping`, `Gen`, `Stats`, `Metrics`, `Ring`) never leave the
+//!   entry node.
+//!
+//! Fleet invariants:
+//!
+//! * **Partitioned cache** — with every node routing by the same ring,
+//!   each `(pipeline, platform)` instance is solved and cached on exactly
+//!   one node, so a fleet of `f` nodes holds `f×` the fronts of a single
+//!   node at the same per-node memory.
+//! * **Entry-node transparency** — a forwarded response carries the
+//!   owner's identity and the owner's cached answer, so a request returns
+//!   the same payload whichever node the client entered through.
+//! * **No forwarding loops** — forwarded requests carry the `hop` flag
+//!   and are always answered locally by the receiver, so disagreeing ring
+//!   views cost at most one extra hop.
+//! * **Graceful degradation** — when the owning peer is unreachable the
+//!   entry node solves locally (flagged in the `Ring`/`Metrics`
+//!   counters): answers stay correct, only cache placement degrades.
+
+use crate::peer::Peer;
+use crate::protocol::{Command, Request, RingPeerOut, RingResult};
+use crate::service::SolverService;
+use rpwf_core::budget::CancelHandle;
+use rpwf_core::ring::{HashRing, DEFAULT_VNODES};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Slack added to a forwarded request's remaining deadline before the
+/// peer read times out — the owner needs a moment to serialize and ship
+/// the response after finishing within its own deadline.
+const FORWARD_GRACE: Duration = Duration::from_secs(2);
+
+/// Read-timeout watchdog for forwarded requests without a deadline: long
+/// enough for any realistic solve, short enough that a wedged peer
+/// eventually frees the worker (which then answers locally).
+const FORWARD_WATCHDOG: Duration = Duration::from_secs(600);
+
+/// The request-path abstraction: everything between "a request line
+/// arrived" and "response line(s) produced" goes through here.
+pub trait Router: Send + Sync {
+    /// The solver service answering this node's share of the keyspace.
+    fn service(&self) -> &Arc<SolverService>;
+
+    /// `true` when requests may be answered by peer processes. Local
+    /// batch-grouping shortcuts (shared front warming, vectorized batch
+    /// reads) are disabled on sharded routers — grouping is the owning
+    /// node's business.
+    fn is_sharded(&self) -> bool {
+        false
+    }
+
+    /// `true` when the transport should execute this request line inline
+    /// on its connection reader thread instead of queueing it on the
+    /// worker pool. Fleet routers claim **hopped** (peer-forwarded)
+    /// requests: if forwarded work competed for the same bounded worker
+    /// pools that block on forwarding, two nodes saturated with
+    /// cross-traffic could deadlock — every worker of each waiting on a
+    /// hopped job queued behind every worker of the other. Inline
+    /// execution keeps forwarded work on the (per-peer-connection)
+    /// reader threads, so a `Peer::call` always completes.
+    fn handles_inline(&self, _line: &str) -> bool {
+        false
+    }
+
+    /// Routes one raw request line, emitting each response line (without
+    /// trailing newline) as it becomes available.
+    fn handle_line(
+        &self,
+        line: &str,
+        received: Instant,
+        cancel: Option<&CancelHandle>,
+        emit: &mut dyn FnMut(String),
+    );
+}
+
+/// Single-node routing: every request is answered by the local service.
+pub struct LocalRouter {
+    service: Arc<SolverService>,
+}
+
+impl LocalRouter {
+    /// Wraps a service.
+    #[must_use]
+    pub fn new(service: Arc<SolverService>) -> Self {
+        LocalRouter { service }
+    }
+}
+
+impl Router for LocalRouter {
+    fn service(&self) -> &Arc<SolverService> {
+        &self.service
+    }
+
+    fn handle_line(
+        &self,
+        line: &str,
+        received: Instant,
+        cancel: Option<&CancelHandle>,
+        emit: &mut dyn FnMut(String),
+    ) {
+        self.service.handle_line_into(line, received, cancel, emit);
+    }
+}
+
+/// Fleet routing over a consistent-hash ring.
+pub struct RingRouter {
+    service: Arc<SolverService>,
+    node_id: String,
+    ring: HashRing,
+    peers: HashMap<String, Peer>,
+    /// Requests received with the `hop` flag (answered as the owner).
+    hops_received: AtomicU64,
+    /// Requests this node answered because it owns them.
+    owned_served: AtomicU64,
+    /// Requests answered locally because the owning peer was down.
+    fallbacks: AtomicU64,
+}
+
+impl RingRouter {
+    /// Builds the fleet router: this node (`node_id`, the `host:port` the
+    /// peers know it by) plus its `peers`, each hashed onto the ring with
+    /// `vnodes` virtual nodes (`None` = [`DEFAULT_VNODES`]). Registers
+    /// the ring introspection and metrics extensions on the service, so
+    /// the `Ring` command and the `Metrics` dump report fleet state.
+    #[must_use]
+    pub fn new(
+        service: Arc<SolverService>,
+        node_id: impl Into<String>,
+        peers: &[String],
+        vnodes: Option<usize>,
+    ) -> Arc<Self> {
+        let node_id = node_id.into();
+        let vnodes = vnodes.unwrap_or(DEFAULT_VNODES);
+        let members: Vec<String> = std::iter::once(node_id.clone())
+            .chain(peers.iter().cloned())
+            .collect();
+        let router = Arc::new(RingRouter {
+            ring: HashRing::new(members, vnodes),
+            peers: peers
+                .iter()
+                .filter(|p| **p != node_id)
+                .map(|p| (p.clone(), Peer::new(p.clone())))
+                .collect(),
+            service,
+            node_id,
+            hops_received: AtomicU64::new(0),
+            owned_served: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        });
+        let ring_view = Arc::downgrade(&router);
+        router.service.set_ring_reporter(Box::new(move || {
+            ring_view.upgrade().map(|r| r.ring_result())
+        }));
+        let metrics_view = Arc::downgrade(&router);
+        router.service.set_metrics_extension(Box::new(move |out| {
+            if let Some(r) = metrics_view.upgrade() {
+                r.render_metrics(out);
+            }
+        }));
+        router
+    }
+
+    /// This node's ring identity.
+    #[must_use]
+    pub fn node_id(&self) -> &str {
+        &self.node_id
+    }
+
+    /// The ring in effect.
+    #[must_use]
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The owning node of a request, when it routes at all. Instance
+    /// hashing can panic on structurally broken (deserialized) instances;
+    /// those are treated as local so the service reports the structured
+    /// error.
+    fn owner_of(&self, cmd: &Command) -> Option<String> {
+        let key = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cmd.route_key()))
+            .ok()
+            .flatten()?;
+        self.ring.owner(key).map(str::to_owned)
+    }
+
+    /// Forwards `request` to `owner`, falling back to a local solve when
+    /// the peer cannot be reached or errors mid-call.
+    fn forward(
+        &self,
+        owner: &str,
+        request: Request,
+        received: Instant,
+        cancel: Option<&CancelHandle>,
+        emit: &mut dyn FnMut(String),
+    ) {
+        let Some(peer) = self.peers.get(owner) else {
+            // The ring names a node this router has no client for — a
+            // configuration mismatch; answer locally rather than drop.
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.handle_local(request, received, cancel, emit);
+            return;
+        };
+        let mut hopped = request.clone();
+        hopped.hop = Some(true);
+        let line = serde_json::to_string(&hopped).expect("requests always serialize");
+        // Bound the wait on the peer: the request's remaining deadline
+        // (plus shipping grace) when it has one, a watchdog otherwise. On
+        // expiry the local fallback path reports the proper structured
+        // timeout through its own budget check.
+        let read_timeout = match request.deadline_ms {
+            Some(ms) => {
+                (received + Duration::from_millis(ms)).saturating_duration_since(Instant::now())
+                    + FORWARD_GRACE
+            }
+            None => FORWARD_WATCHDOG,
+        };
+        match peer.call(&line, read_timeout) {
+            Ok(lines) => {
+                for line in lines {
+                    emit(line);
+                }
+            }
+            Err(_) => {
+                // Peer down: degrade to local solving. The answer is
+                // byte-identical (same solver, same determinism seed) —
+                // only cache placement degrades until the peer returns.
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.handle_local(request, received, cancel, emit);
+            }
+        }
+    }
+
+    fn handle_local(
+        &self,
+        request: Request,
+        received: Instant,
+        cancel: Option<&CancelHandle>,
+        emit: &mut dyn FnMut(String),
+    ) {
+        self.service
+            .handle_request_into(request, received, cancel, &mut |resp| {
+                emit(resp.to_line());
+            });
+    }
+
+    /// The `Ring` introspection payload.
+    #[must_use]
+    pub fn ring_result(&self) -> RingResult {
+        let (owned, foreign) = self.cache_census();
+        let mut forwards: Vec<RingPeerOut> = self
+            .peers
+            .values()
+            .map(|p| RingPeerOut {
+                peer: p.addr().to_string(),
+                forwards: p.forwards(),
+                failures: p.failures(),
+            })
+            .collect();
+        forwards.sort_by(|a, b| a.peer.cmp(&b.peer));
+        RingResult {
+            node: self.node_id.clone(),
+            nodes: self.ring.nodes().to_vec(),
+            vnodes: self.ring.vnodes() as u64,
+            owned_cache_keys: owned,
+            foreign_cache_keys: foreign,
+            hops_received: self.hops_received.load(Ordering::Relaxed),
+            forwards,
+        }
+    }
+
+    /// Counts this node's cached **front** keys by ring ownership:
+    /// `(owned by this node, owned by a peer)`. Only front entries are
+    /// counted — they are keyed by the instance hash the ring places;
+    /// per-query result entries live in a different hash space where
+    /// `ring.owner` is meaningless. Foreign keys are peer-down fallback
+    /// artifacts — correct answers, duplicated capacity.
+    fn cache_census(&self) -> (u64, u64) {
+        let mut owned = 0u64;
+        let mut foreign = 0u64;
+        for key in self.service.front_cache_keys() {
+            if self.ring.owner(key) == Some(self.node_id.as_str()) {
+                owned += 1;
+            } else {
+                foreign += 1;
+            }
+        }
+        (owned, foreign)
+    }
+
+    /// Appends the fleet gauges to the Prometheus-style `Metrics` dump.
+    pub fn render_metrics(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let (owned, foreign) = self.cache_census();
+        let node = &self.node_id;
+        writeln!(out, "rpwf_ring_nodes {}", self.ring.len()).expect("write");
+        writeln!(out, "rpwf_ring_vnodes {}", self.ring.vnodes()).expect("write");
+        writeln!(out, "rpwf_ring_owned_cache_keys{{node=\"{node}\"}} {owned}").expect("write");
+        writeln!(
+            out,
+            "rpwf_ring_foreign_cache_keys{{node=\"{node}\"}} {foreign}"
+        )
+        .expect("write");
+        writeln!(
+            out,
+            "rpwf_ring_hops_received_total{{node=\"{node}\"}} {}",
+            self.hops_received.load(Ordering::Relaxed)
+        )
+        .expect("write");
+        writeln!(
+            out,
+            "rpwf_ring_owned_served_total{{node=\"{node}\"}} {}",
+            self.owned_served.load(Ordering::Relaxed)
+        )
+        .expect("write");
+        writeln!(
+            out,
+            "rpwf_ring_fallbacks_total{{node=\"{node}\"}} {}",
+            self.fallbacks.load(Ordering::Relaxed)
+        )
+        .expect("write");
+        let mut peers: Vec<&Peer> = self.peers.values().collect();
+        peers.sort_by_key(|p| p.addr().to_string());
+        for peer in peers {
+            writeln!(
+                out,
+                "rpwf_ring_forwards_total{{peer=\"{}\"}} {}",
+                peer.addr(),
+                peer.forwards()
+            )
+            .expect("write");
+            writeln!(
+                out,
+                "rpwf_ring_forward_failures_total{{peer=\"{}\"}} {}",
+                peer.addr(),
+                peer.failures()
+            )
+            .expect("write");
+        }
+    }
+}
+
+impl Router for RingRouter {
+    fn service(&self) -> &Arc<SolverService> {
+        &self.service
+    }
+
+    fn is_sharded(&self) -> bool {
+        true
+    }
+
+    fn handles_inline(&self, line: &str) -> bool {
+        // Substring screen only — forwarders serialize compactly, so a
+        // hopped line always contains this byte sequence, and JSON string
+        // escaping means no legitimate payload can embed it. Skipping the
+        // confirming parse keeps the owner's hot path at one deserialize
+        // per forwarded request; a pathological false positive merely
+        // runs that request on the reader thread instead of the pool
+        // (handle_line still routes it by its parsed content — correct
+        // either way).
+        line.contains("\"hop\":true")
+    }
+
+    fn handle_line(
+        &self,
+        line: &str,
+        received: Instant,
+        cancel: Option<&CancelHandle>,
+        emit: &mut dyn FnMut(String),
+    ) {
+        let Ok(request) = serde_json::from_str::<Request>(line.trim()) else {
+            // Empty or malformed: the service renders the structured
+            // `invalid` error.
+            self.service.handle_line_into(line, received, cancel, emit);
+            return;
+        };
+        if request.hop.unwrap_or(false) {
+            // Forwarded by a peer: we are the owner (by its ring view);
+            // never re-forward.
+            self.hops_received.fetch_add(1, Ordering::Relaxed);
+            self.handle_local(request, received, cancel, emit);
+            return;
+        }
+        match self.owner_of(&request.cmd) {
+            Some(owner) if owner != self.node_id => {
+                self.forward(&owner, request, received, cancel, emit);
+            }
+            Some(_) => {
+                self.owned_served.fetch_add(1, Ordering::Relaxed);
+                self.handle_local(request, received, cancel, emit);
+            }
+            None => self.handle_local(request, received, cancel, emit),
+        }
+    }
+}

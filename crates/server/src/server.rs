@@ -1,8 +1,13 @@
 //! Transports: a TCP JSON-lines listener and a stdin/stdout loop.
 //!
 //! Each TCP connection gets a reader thread (parsing lines, enqueueing
-//! jobs on the shared worker pool) and a writer thread (draining that
-//! connection's response channel). Responses may interleave across
+//! jobs on the shared worker pool — except peer-forwarded `hop` requests,
+//! which the reader executes inline, see
+//! [`Router::handles_inline`](crate::router::Router::handles_inline))
+//! and a writer thread (draining that connection's response channel).
+//! Requests are dispatched through the server's [`Router`]:
+//! [`Server::bind`] routes everything locally, [`Server::bind_ring`]
+//! places each request on the fleet's consistent-hash ring. Responses may interleave across
 //! requests of one connection — clients correlate by `id`. A streamed
 //! request (chunked `Pareto`) emits its `part` lines in order, each
 //! forwarded to the writer as it is produced, so per-response memory
@@ -17,13 +22,15 @@
 //! fires and every in-flight solve of that connection unwinds at its
 //! next budget poll, freeing the worker for live clients.
 
+use crate::router::{RingRouter, Router};
 use crate::service::{ServiceConfig, SolverService, WorkerPool};
 use crossbeam::channel;
 use rpwf_core::budget::CancelHandle;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -33,33 +40,92 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     pool: Arc<WorkerPool>,
+    /// Live connection sockets by connection id; severed on shutdown so
+    /// a stopped server goes fully dark (fleet peers see real connection
+    /// failures, not a half-dead node that still answers over old
+    /// sockets). Each connection thread removes its own entry on exit,
+    /// so the registry never outgrows the live connection count.
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
 }
 
 impl Server {
     /// Binds `addr` (`port 0` picks a free port) and starts accepting.
+    /// Single-node routing: every request is answered by this process.
     ///
     /// # Errors
     /// Propagates socket errors from binding.
     pub fn bind(addr: &str, config: ServiceConfig) -> std::io::Result<Server> {
+        let service = Arc::new(SolverService::new(config));
+        Self::bind_with_router(addr, Arc::new(crate::router::LocalRouter::new(service)))
+    }
+
+    /// Binds `addr` in **fleet mode**: requests are placed on the
+    /// consistent-hash ring over this node (`config.node_id`, which peers
+    /// must know it by) and `peers`, and non-owned requests are forwarded
+    /// transparently. `vnodes` is the virtual-node count per member
+    /// (`None` = default).
+    ///
+    /// # Errors
+    /// Propagates socket errors from binding.
+    ///
+    /// # Panics
+    /// When `config.node_id` is `None` — a fleet member needs an identity.
+    pub fn bind_ring(
+        addr: &str,
+        config: ServiceConfig,
+        peers: &[String],
+        vnodes: Option<usize>,
+    ) -> std::io::Result<Server> {
+        let node_id = config
+            .node_id
+            .clone()
+            .expect("fleet mode requires a node id");
+        let service = Arc::new(SolverService::new(config));
+        let router = RingRouter::new(service, node_id, peers, vnodes);
+        Self::bind_with_router(addr, router)
+    }
+
+    /// Binds `addr`, dispatching every connection's requests through
+    /// `router`.
+    ///
+    /// # Errors
+    /// Propagates socket errors from binding.
+    pub fn bind_with_router(addr: &str, router: Arc<dyn Router>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let service = Arc::new(SolverService::new(config));
-        let pool = Arc::new(WorkerPool::new(service));
+        let pool = Arc::new(WorkerPool::with_router(router));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let conn_ids = AtomicU64::new(0);
 
         let accept_pool = Arc::clone(&pool);
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_conns = Arc::clone(&conns);
         let accept_thread = std::thread::Builder::new()
             .name("rpwf-accept".into())
             .spawn(move || {
                 while !accept_shutdown.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
+                            let id = conn_ids.fetch_add(1, Ordering::Relaxed);
+                            if let Ok(clone) = stream.try_clone() {
+                                accept_conns
+                                    .lock()
+                                    .expect("conn registry")
+                                    .insert(id, clone);
+                            }
                             let pool = Arc::clone(&accept_pool);
+                            let registry = Arc::clone(&accept_conns);
                             std::thread::Builder::new()
                                 .name("rpwf-conn".into())
-                                .spawn(move || serve_connection(&stream, &pool))
+                                .spawn(move || {
+                                    serve_connection(&stream, &pool);
+                                    // Deregister so the registry (and its
+                                    // file descriptors) tracks only live
+                                    // connections.
+                                    registry.lock().expect("conn registry").remove(&id);
+                                })
                                 .expect("spawn connection thread");
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -83,6 +149,7 @@ impl Server {
             shutdown,
             accept_thread: Some(accept_thread),
             pool,
+            conns,
         })
     }
 
@@ -98,12 +165,23 @@ impl Server {
         self.pool.service()
     }
 
-    /// Stops accepting new connections and joins the accept thread.
-    /// In-flight connections finish their current requests.
+    /// The router dispatching this server's requests.
+    #[must_use]
+    pub fn router(&self) -> &Arc<dyn Router> {
+        self.pool.router()
+    }
+
+    /// Stops accepting new connections, joins the accept thread, and
+    /// severs every live connection — after this the server is fully
+    /// dark, exactly like a killed process (fleet peers observe
+    /// connection failures and fall back to local solving).
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
+        }
+        for (_, conn) in self.conns.lock().expect("conn registry").drain() {
+            let _ = conn.shutdown(Shutdown::Both);
         }
     }
 }
@@ -138,6 +216,7 @@ fn serve_connection(stream: &TcpStream, pool: &Arc<WorkerPool>) {
         })
         .expect("spawn connection writer");
 
+    let router = Arc::clone(pool.router());
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let Ok(line) = line else { break };
@@ -145,6 +224,15 @@ fn serve_connection(stream: &TcpStream, pool: &Arc<WorkerPool>) {
             continue;
         }
         let received = Instant::now();
+        if router.handles_inline(&line) {
+            // Peer-forwarded (hopped) work runs on this reader thread so
+            // it can never deadlock against pool workers blocked on
+            // forwarding (see `Router::handles_inline`).
+            router.handle_line(&line, received, Some(&cancel), &mut |response| {
+                let _ = tx.send(response);
+            });
+            continue;
+        }
         let tx = tx.clone();
         pool.submit_cancellable(
             line,
@@ -194,6 +282,7 @@ mod tests {
             id: Some(id),
             deadline_ms: None,
             no_cache: None,
+            hop: None,
             cmd,
         })
         .expect("serializes")

@@ -11,10 +11,14 @@ use crate::cache::{CachedEntry, CachedFront, CachedResult, SolutionCache};
 use crate::metrics::CommandMetrics;
 use crate::protocol::{
     CacheStatsOut, Command, ErrorKind, FrontEndResult, FrontPartResult, GenResult, Meta,
-    ParetoPointOut, ParetoResult, Request, Response, SimulateResult, SolveResult, StatsResult,
+    ParetoPointOut, ParetoResult, Request, Response, RingResult, SimulateResult, SolveResult,
+    StatsResult,
 };
+use crate::router::{LocalRouter, Router};
 use crossbeam::channel::{self, Sender};
-use rpwf_algo::front::{best_front_source, threshold_read, FrontSource, PortfolioFront};
+use rpwf_algo::front::{
+    best_front_source, threshold_read, threshold_read_batch, FrontSource, PortfolioFront,
+};
 use rpwf_algo::heuristics::Portfolio;
 use rpwf_algo::{BiSolution, Objective};
 use rpwf_core::budget::{Budget, CancelHandle};
@@ -26,9 +30,16 @@ use rpwf_core::stage::Pipeline;
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Fleet hook: produces the `Ring` command's payload (installed by a
+/// `RingRouter`; absent on single-node services).
+type RingReporter = Box<dyn Fn() -> Option<RingResult> + Send + Sync>;
+
+/// Fleet hook: appends extra gauges to the `Metrics` text dump.
+type MetricsExtension = Box<dyn Fn(&mut String) + Send + Sync>;
 
 /// Service tuning knobs.
 #[derive(Clone, Debug)]
@@ -41,6 +52,10 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Seed for the heuristic portfolio (fixed ⇒ deterministic answers).
     pub seed: u64,
+    /// Fleet identity of this node (the `host:port` peers know it by),
+    /// stamped into every response's `meta.node`. `None` outside fleet
+    /// mode.
+    pub node_id: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -50,6 +65,7 @@ impl Default for ServiceConfig {
             cache_capacity: 4096,
             cache_shards: 16,
             seed: 0xCAFE,
+            node_id: None,
         }
     }
 }
@@ -72,6 +88,8 @@ pub struct SolverService {
     cache: SolutionCache,
     requests: AtomicU64,
     metrics: CommandMetrics,
+    ring_reporter: OnceLock<RingReporter>,
+    metrics_ext: OnceLock<MetricsExtension>,
 }
 
 impl SolverService {
@@ -84,6 +102,8 @@ impl SolverService {
             cache,
             requests: AtomicU64::new(0),
             metrics: CommandMetrics::new(),
+            ring_reporter: OnceLock::new(),
+            metrics_ext: OnceLock::new(),
         }
     }
 
@@ -91,6 +111,63 @@ impl SolverService {
     #[must_use]
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// Installs the fleet hook behind the `Ring` command (first caller
+    /// wins; a `RingRouter` installs it at construction).
+    pub fn set_ring_reporter(&self, reporter: RingReporter) {
+        let _ = self.ring_reporter.set(reporter);
+    }
+
+    /// Installs the fleet hook appending gauges to the `Metrics` dump
+    /// (first caller wins).
+    pub fn set_metrics_extension(&self, extension: MetricsExtension) {
+        let _ = self.metrics_ext.set(extension);
+    }
+
+    /// Snapshot of every live cache key.
+    #[must_use]
+    pub fn cache_keys(&self) -> Vec<u128> {
+        self.cache.keys()
+    }
+
+    /// Snapshot of the live **front** cache keys — the entries keyed by
+    /// the canonical instance hash ([`rpwf_core::hash::instance_key`]),
+    /// i.e. the same space the fleet ring places. The fleet layer
+    /// censuses these against ring ownership; per-query result entries
+    /// (keyed by [`Command::cache_key`]) live in an unrelated hash space
+    /// and are excluded.
+    #[must_use]
+    pub fn front_cache_keys(&self) -> Vec<u128> {
+        self.cache
+            .keys_where(|entry| matches!(entry, CachedEntry::Front(_)))
+    }
+
+    /// This node's fleet identity, stamped into response metadata.
+    fn node(&self) -> Option<String> {
+        self.config.node_id.clone()
+    }
+
+    /// Response metadata for solver-shaped answers.
+    fn meta(
+        &self,
+        cache_hit: bool,
+        solver: Option<String>,
+        exact_complete: Option<bool>,
+        start: Instant,
+    ) -> Meta {
+        Meta {
+            cache_hit,
+            solver,
+            exact_complete,
+            elapsed_us: elapsed_us(start),
+            node: self.node(),
+        }
+    }
+
+    /// Response metadata with no solver provenance.
+    fn meta_plain(&self, start: Instant) -> Meta {
+        self.meta(false, None, None, start)
     }
 
     /// Parses and handles one request line received at `received`,
@@ -135,7 +212,7 @@ impl SolverService {
                     None,
                     ErrorKind::Invalid,
                     "empty request line",
-                    meta_plain(start),
+                    self.meta_plain(start),
                 )
                 .to_line(),
             );
@@ -152,7 +229,7 @@ impl SolverService {
                     None,
                     ErrorKind::Invalid,
                     format!("malformed request: {e}"),
-                    meta_plain(start),
+                    self.meta_plain(start),
                 )
                 .to_line(),
             ),
@@ -207,7 +284,7 @@ impl SolverService {
                 id,
                 ErrorKind::Internal,
                 format!("request handling panicked: {}", panic_message(&panic)),
-                meta_plain(start),
+                self.meta_plain(start),
             ));
         }
         self.metrics.record(name, elapsed_us(start));
@@ -258,8 +335,8 @@ impl SolverService {
                 self.handle_simulate(id, &pipeline, &platform, trials, &budget, use_cache, start),
             ),
             cmd => emit(match self.dispatch_simple(&cmd) {
-                Ok(result) => Response::ok(id, result, meta_plain(start)),
-                Err((kind, message)) => Response::error(id, kind, message, meta_plain(start)),
+                Ok(result) => Response::ok(id, result, self.meta_plain(start)),
+                Err((kind, message)) => Response::error(id, kind, message, self.meta_plain(start)),
             }),
         }
     }
@@ -291,12 +368,7 @@ impl SolverService {
                 return Response::ok(
                     id,
                     solve_result(sol),
-                    Meta {
-                        cache_hit: true,
-                        solver: Some(hit.solver),
-                        exact_complete: Some(hit.complete),
-                        elapsed_us: elapsed_us(start),
-                    },
+                    self.meta(true, Some(hit.solver), Some(hit.complete), start),
                 );
             }
             if hit.complete {
@@ -305,17 +377,12 @@ impl SolverService {
                     id,
                     ErrorKind::Infeasible,
                     format!("no mapping satisfies {objective:?}"),
-                    Meta {
-                        cache_hit: true,
-                        solver: Some(hit.solver),
-                        exact_complete: Some(true),
-                        elapsed_us: elapsed_us(start),
-                    },
+                    self.meta(true, Some(hit.solver), Some(true), start),
                 );
             }
             // Incomplete front with no satisfying point: solve fresh.
         }
-        if let Some(timeout) = doomed_solve(id, budget, start) {
+        if let Some(timeout) = self.doomed_solve(id, budget, start) {
             return timeout;
         }
 
@@ -346,18 +413,13 @@ impl SolverService {
                     Some(sol) => Response::ok(
                         id,
                         solve_result(sol),
-                        Meta {
-                            cache_hit: false,
-                            solver: Some("exact".into()),
-                            exact_complete: Some(true),
-                            elapsed_us: elapsed_us(start),
-                        },
+                        self.meta(false, Some("exact".into()), Some(true), start),
                     ),
                     None => Response::error(
                         id,
                         ErrorKind::Infeasible,
                         format!("no mapping satisfies {objective:?}"),
-                        meta_plain(start),
+                        self.meta_plain(start),
                     ),
                 };
             }
@@ -376,18 +438,13 @@ impl SolverService {
                 Some((sol, solver)) => Response::ok(
                     id,
                     solve_result(sol),
-                    Meta {
-                        cache_hit: false,
-                        solver: Some(solver.into()),
-                        exact_complete: Some(false),
-                        elapsed_us: elapsed_us(start),
-                    },
+                    self.meta(false, Some(solver.into()), Some(false), start),
                 ),
                 None if budget.is_exhausted() => Response::error(
                     id,
                     ErrorKind::Timeout,
                     "deadline expired before any feasible solution was found",
-                    meta_plain(start),
+                    self.meta_plain(start),
                 ),
                 None => Response::error(
                     id,
@@ -396,7 +453,7 @@ impl SolverService {
                         "no feasible solution found for {objective:?} \
                          (heuristic search; not a proof of infeasibility)"
                     ),
-                    meta_plain(start),
+                    self.meta_plain(start),
                 ),
             };
         }
@@ -433,16 +490,11 @@ impl SolverService {
                 return Response::ok(
                     id,
                     hit.result,
-                    Meta {
-                        cache_hit: true,
-                        solver: hit.solver,
-                        exact_complete: hit.exact_complete,
-                        elapsed_us: elapsed_us(start),
-                    },
+                    self.meta(true, hit.solver, hit.exact_complete, start),
                 );
             }
         }
-        if let Some(timeout) = doomed_solve(id, budget, start) {
+        if let Some(timeout) = self.doomed_solve(id, budget, start) {
             return timeout;
         }
         let report = Portfolio::new(self.config.seed).race(pipeline, platform, objective, budget);
@@ -466,25 +518,25 @@ impl SolverService {
                 Response::ok(
                     id,
                     result,
-                    Meta {
-                        cache_hit: false,
-                        solver: Some(report.solver.name().into()),
-                        exact_complete: Some(report.exact_complete),
-                        elapsed_us: elapsed_us(start),
-                    },
+                    self.meta(
+                        false,
+                        Some(report.solver.name().into()),
+                        Some(report.exact_complete),
+                        start,
+                    ),
                 )
             }
             None if report.exact_complete => Response::error(
                 id,
                 ErrorKind::Infeasible,
                 format!("no mapping satisfies {objective:?}"),
-                meta_plain(start),
+                self.meta_plain(start),
             ),
             None if budget.is_exhausted() => Response::error(
                 id,
                 ErrorKind::Timeout,
                 "deadline expired before any feasible solution was found",
-                meta_plain(start),
+                self.meta_plain(start),
             ),
             None => Response::error(
                 id,
@@ -493,7 +545,7 @@ impl SolverService {
                     "no feasible solution found for {objective:?} \
                      (heuristic search; not a proof of infeasibility)"
                 ),
-                meta_plain(start),
+                self.meta_plain(start),
             ),
         }
     }
@@ -518,7 +570,7 @@ impl SolverService {
                 id,
                 ErrorKind::Invalid,
                 "chunk must be at least 1 point",
-                meta_plain(start),
+                self.meta_plain(start),
             ));
             return;
         }
@@ -528,7 +580,7 @@ impl SolverService {
         let (entry, cache_hit) = match key.and_then(|k| self.usable_cached_front(k, budget)) {
             Some(hit) => (hit, true),
             None => {
-                if let Some(timeout) = doomed_solve(id, budget, start) {
+                if let Some(timeout) = self.doomed_solve(id, budget, start) {
                     emit(timeout);
                     return;
                 }
@@ -559,7 +611,7 @@ impl SolverService {
                         id,
                         ErrorKind::Timeout,
                         "deadline expired before any Pareto point was found",
-                        meta_plain(start),
+                        self.meta_plain(start),
                     ));
                     return;
                 }
@@ -578,11 +630,13 @@ impl SolverService {
             }
         };
 
-        let meta = |start: Instant| Meta {
-            cache_hit,
-            solver: Some(entry.solver.clone()),
-            exact_complete: Some(entry.complete),
-            elapsed_us: elapsed_us(start),
+        let meta = |start: Instant| {
+            self.meta(
+                cache_hit,
+                Some(entry.solver.clone()),
+                Some(entry.complete),
+                start,
+            )
         };
         match chunk {
             None => emit(Response::ok(
@@ -648,16 +702,11 @@ impl SolverService {
                 return Response::ok(
                     id,
                     hit.result,
-                    Meta {
-                        cache_hit: true,
-                        solver: hit.solver,
-                        exact_complete: hit.exact_complete,
-                        elapsed_us: elapsed_us(start),
-                    },
+                    self.meta(true, hit.solver, hit.exact_complete, start),
                 );
             }
         }
-        if let Some(timeout) = doomed_solve(id, budget, start) {
+        if let Some(timeout) = self.doomed_solve(id, budget, start) {
             return timeout;
         }
         let pipeline = pipeline.clone().with_rebuilt_cache();
@@ -673,7 +722,7 @@ impl SolverService {
                 id,
                 ErrorKind::Timeout,
                 "deadline expired before any Monte Carlo trial ran",
-                meta_plain(start),
+                self.meta_plain(start),
             );
         }
         let result = SimulateResult {
@@ -702,12 +751,7 @@ impl SolverService {
         Response::ok(
             id,
             result,
-            Meta {
-                cache_hit: false,
-                solver: Some("exact".into()),
-                exact_complete: Some(complete),
-                elapsed_us: elapsed_us(start),
-            },
+            self.meta(false, Some("exact".into()), Some(complete), start),
         )
     }
 
@@ -734,6 +778,30 @@ impl SolverService {
                 .to_value())
             }
             Command::Metrics => Ok(serde::Value::Str(self.render_metrics())),
+            Command::Ring => {
+                // Fleet mode: the RingRouter's installed reporter answers;
+                // single-node services report themselves as a solo ring.
+                let result = self
+                    .ring_reporter
+                    .get()
+                    .and_then(|reporter| reporter())
+                    .unwrap_or_else(|| {
+                        let node = self.config.node_id.clone().unwrap_or_else(|| "solo".into());
+                        RingResult {
+                            nodes: vec![node.clone()],
+                            node,
+                            vnodes: 0,
+                            // Front keys only — the same unit fleet mode
+                            // reports, so the field compares across
+                            // deployments.
+                            owned_cache_keys: self.front_cache_keys().len() as u64,
+                            foreign_cache_keys: 0,
+                            hops_received: 0,
+                            forwards: Vec::new(),
+                        }
+                    });
+                Ok(result.to_value())
+            }
             Command::Gen {
                 class,
                 failure,
@@ -801,7 +869,37 @@ impl SolverService {
         writeln!(out, "rpwf_cache_evictions_total {}", cache.evictions).expect("write");
         writeln!(out, "rpwf_cache_entries {}", cache.entries).expect("write");
         writeln!(out, "rpwf_cache_capacity {}", self.cache.capacity()).expect("write");
+        // Per-shard counters expose hot-shard skew the aggregate hides.
+        for (i, shard) in self.cache.shard_stats().iter().enumerate() {
+            writeln!(
+                out,
+                "rpwf_cache_shard_hits_total{{shard=\"{i}\"}} {}",
+                shard.hits
+            )
+            .expect("write");
+            writeln!(
+                out,
+                "rpwf_cache_shard_misses_total{{shard=\"{i}\"}} {}",
+                shard.misses
+            )
+            .expect("write");
+            writeln!(
+                out,
+                "rpwf_cache_shard_evictions_total{{shard=\"{i}\"}} {}",
+                shard.evictions
+            )
+            .expect("write");
+            writeln!(
+                out,
+                "rpwf_cache_shard_entries{{shard=\"{i}\"}} {}",
+                shard.entries
+            )
+            .expect("write");
+        }
         self.metrics.render_prometheus(&mut out);
+        if let Some(extension) = self.metrics_ext.get() {
+            extension(&mut out);
+        }
         out
     }
 
@@ -855,6 +953,21 @@ impl SolverService {
         );
     }
 
+    /// A structured timeout for a request whose budget is already gone —
+    /// checked *after* the cache lookup, so queued-past-deadline requests
+    /// with cached answers are still served, and before any compute
+    /// starts, so a doomed solve never occupies a worker.
+    fn doomed_solve(&self, id: Option<u64>, budget: &Budget, start: Instant) -> Option<Response> {
+        budget.is_exhausted().then(|| {
+            Response::error(
+                id,
+                ErrorKind::Timeout,
+                "deadline expired or request cancelled before solving started",
+                self.meta_plain(start),
+            )
+        })
+    }
+
     /// Pre-computes (and caches) the complete front for an instance, so a
     /// batch of threshold queries over it is answered by front reads. Used
     /// by batch grouping; a no-op when caching is disabled, when a usable
@@ -881,21 +994,56 @@ impl SolverService {
             self.store_front(key, Arc::new(outcome.into_inner()), complete, "exact", true);
         }));
     }
-}
 
-/// A structured timeout for a request whose budget is already gone —
-/// checked *after* the cache lookup, so queued-past-deadline requests
-/// with cached answers are still served, and before any compute starts,
-/// so a doomed solve never occupies a worker.
-fn doomed_solve(id: Option<u64>, budget: &Budget, start: Instant) -> Option<Response> {
-    budget.is_exhausted().then(|| {
-        Response::error(
-            id,
-            ErrorKind::Timeout,
-            "deadline expired or request cancelled before solving started",
-            meta_plain(start),
-        )
-    })
+    /// Answers a group of threshold queries over one instance from its
+    /// cached **complete** front in a single vectorized sweep
+    /// ([`threshold_read_batch`]) — `None` when no complete front is
+    /// cached under `key` (callers fall back to the per-request path).
+    /// Each `(slot, id, objective)` query yields `(slot, response)`; the
+    /// responses are byte-identical to what the per-request cache-hit
+    /// path produces (same payload rendering, same metadata, same proven
+    /// infeasibility on a complete front), and the request/latency
+    /// counters advance exactly as if each query had been handled alone.
+    #[must_use]
+    pub fn read_solves_from_front(
+        &self,
+        key: u128,
+        queries: &[(usize, Option<u64>, Objective)],
+    ) -> Option<Vec<(usize, Response)>> {
+        let hit = match self.cache.get(key) {
+            Some(CachedEntry::Front(hit)) if hit.complete => hit,
+            _ => return None,
+        };
+        let objectives: Vec<Objective> = queries.iter().map(|&(_, _, o)| o).collect();
+        let answers = threshold_read_batch(&hit.front, &objectives);
+        let responses = queries
+            .iter()
+            .zip(answers)
+            .map(|(&(slot, id, objective), answer)| {
+                // Per-query clock: each response's elapsed_us and
+                // histogram sample covers its own rendering, not the
+                // whole batch so far.
+                let start = Instant::now();
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                let meta = self.meta(true, Some(hit.solver.clone()), Some(true), start);
+                let response = match answer {
+                    Some(sol) => Response::ok(id, solve_result(sol), meta),
+                    // The front is complete, so an empty read proves
+                    // infeasibility — same contract as the per-request
+                    // path.
+                    None => Response::error(
+                        id,
+                        ErrorKind::Infeasible,
+                        format!("no mapping satisfies {objective:?}"),
+                        meta,
+                    ),
+                };
+                self.metrics.record("solve", elapsed_us(start));
+                (slot, response)
+            })
+            .collect();
+        Some(responses)
+    }
 }
 
 /// Renders a solution as the `Solve` result payload.
@@ -919,15 +1067,6 @@ fn pareto_point_out(pt: &rpwf_core::pareto::ParetoPoint<IntervalMapping>) -> Par
 
 fn elapsed_us(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
-}
-
-fn meta_plain(start: Instant) -> Meta {
-    Meta {
-        cache_hit: false,
-        solver: None,
-        exact_complete: None,
-        elapsed_us: elapsed_us(start),
-    }
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
@@ -959,28 +1098,38 @@ pub struct Job {
     pub cancel: Option<CancelHandle>,
 }
 
-/// A fixed pool of solver workers fed by an MPMC channel.
+/// A fixed pool of solver workers fed by an MPMC channel. Every job goes
+/// through the pool's [`Router`] — single-node pools route everything to
+/// the local service ([`LocalRouter`]); fleet pools place each request on
+/// the ring's owning node.
 pub struct WorkerPool {
-    service: Arc<SolverService>,
+    router: Arc<dyn Router>,
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl WorkerPool {
-    /// Spawns `service.config().effective_workers()` workers.
+    /// Spawns `service.config().effective_workers()` workers routing
+    /// everything to `service` (single-node behavior).
     #[must_use]
     pub fn new(service: Arc<SolverService>) -> Self {
-        let count = service.config().effective_workers().max(1);
+        Self::with_router(Arc::new(LocalRouter::new(service)))
+    }
+
+    /// Spawns a pool whose workers route jobs through `router`.
+    #[must_use]
+    pub fn with_router(router: Arc<dyn Router>) -> Self {
+        let count = router.service().config().effective_workers().max(1);
         let (tx, rx) = channel::unbounded::<Job>();
         let workers = (0..count)
             .map(|i| {
                 let rx = rx.clone();
-                let service = Arc::clone(&service);
+                let router = Arc::clone(&router);
                 std::thread::Builder::new()
                     .name(format!("rpwf-worker-{i}"))
                     .spawn(move || {
                         while let Ok(mut job) = rx.recv() {
-                            service.handle_line_into(
+                            router.handle_line(
                                 &job.line,
                                 job.received,
                                 job.cancel.as_ref(),
@@ -992,7 +1141,7 @@ impl WorkerPool {
             })
             .collect();
         WorkerPool {
-            service,
+            router,
             tx: Some(tx),
             workers,
         }
@@ -1001,7 +1150,13 @@ impl WorkerPool {
     /// The shared service.
     #[must_use]
     pub fn service(&self) -> &Arc<SolverService> {
-        &self.service
+        self.router.service()
+    }
+
+    /// The router the workers dispatch through.
+    #[must_use]
+    pub fn router(&self) -> &Arc<dyn Router> {
+        &self.router
     }
 
     /// Enqueues a request line; each response line is passed to `respond`
@@ -1040,16 +1195,60 @@ impl WorkerPool {
     /// Handles a batch of lines with **front grouping**: requests are
     /// grouped by the canonical instance hash and one complete Pareto
     /// front is computed per distinct `(pipeline, platform)` (in parallel
-    /// across instances), then every request is answered concurrently —
-    /// threshold queries become reads off the shared fronts, so `k`
-    /// queries over one instance cost one solve. Answers are byte-identical
-    /// to per-request solving because the per-request path reads the same
-    /// cached fronts. Responses come back in input order (a streamed
-    /// request's lines are newline-joined into its slot).
+    /// across instances). Threshold queries over a grouped instance are
+    /// then answered in one **vectorized sweep** over its cached front
+    /// ([`rpwf_algo::front::threshold_read_batch`] — `k` sorted cutoffs in
+    /// one pass instead of `k` binary searches); everything else is
+    /// answered concurrently through the pool. Answers are byte-identical
+    /// to per-request solving — the per-request path reads the same cached
+    /// fronts, and the batch sweep is property-tested equal to independent
+    /// reads. Responses come back in input order (a streamed request's
+    /// lines are newline-joined into its slot).
+    ///
+    /// On a sharded (fleet) router the grouping pass is skipped — each
+    /// request routes to its owning node, and grouping is that node's
+    /// business.
     #[must_use]
     pub fn submit_batch(&self, lines: Vec<String>) -> Vec<String> {
-        self.warm_batch_fronts(&lines);
-        self.submit_batch_ungrouped(lines)
+        if self.router.is_sharded() {
+            return self.submit_batch_ungrouped(lines);
+        }
+        // One parse pass shared by the warm and fast-read stages (the
+        // worker path re-parses only the slots it actually handles).
+        let parsed: Vec<Option<Request>> = lines
+            .iter()
+            .map(|line| serde_json::from_str::<Request>(line.trim()).ok())
+            .collect();
+        self.warm_batch_fronts(&parsed);
+        let mut fast = self.batch_front_reads(&parsed);
+        if fast.is_empty() {
+            return self.submit_batch_ungrouped(lines);
+        }
+        let received = Instant::now();
+        let n = lines.len();
+        let (tx, rx) = channel::unbounded::<(usize, String)>();
+        for (i, line) in lines.into_iter().enumerate() {
+            if fast.contains_key(&i) {
+                continue;
+            }
+            let tx = tx.clone();
+            self.submit(
+                line,
+                received,
+                Box::new(move |resp| {
+                    let _ = tx.send((i, resp));
+                }),
+            );
+        }
+        drop(tx);
+        let mut out: Vec<Vec<String>> = vec![Vec::new(); n];
+        for (i, line) in fast.drain() {
+            out[i].push(line);
+        }
+        while let Ok((i, resp)) = rx.recv() {
+            out[i].push(resp);
+        }
+        out.into_iter().map(|lines| lines.join("\n")).collect()
     }
 
     /// [`submit_batch`](Self::submit_batch) without the grouping pass:
@@ -1084,15 +1283,12 @@ impl WorkerPool {
     /// warm the front cache for each, spreading the distinct solves over
     /// the configured worker parallelism. `no_cache` requests opt out of
     /// grouping (they would bypass the shared front anyway).
-    fn warm_batch_fronts(&self, lines: &[String]) {
-        if self.service.config().cache_capacity == 0 {
+    fn warm_batch_fronts(&self, requests: &[Option<Request>]) {
+        if self.service().config().cache_capacity == 0 {
             return; // nowhere to share fronts through
         }
         let mut distinct: HashMap<u128, (Pipeline, Platform)> = HashMap::new();
-        for line in lines {
-            let Ok(request) = serde_json::from_str::<Request>(line.trim()) else {
-                continue;
-            };
+        for request in requests.iter().flatten() {
             if request.no_cache.unwrap_or(false) {
                 continue;
             }
@@ -1118,9 +1314,9 @@ impl WorkerPool {
             return;
         }
         let instances: Vec<(Pipeline, Platform)> = distinct.into_values().collect();
-        let workers = self.service.config().effective_workers().max(1);
+        let workers = self.service().config().effective_workers().max(1);
         let per_thread = instances.len().div_ceil(workers).max(1);
-        let service = &self.service;
+        let service = self.service();
         std::thread::scope(|scope| {
             for chunk in instances.chunks(per_thread) {
                 scope.spawn(move || {
@@ -1130,6 +1326,49 @@ impl WorkerPool {
                 });
             }
         });
+    }
+
+    /// The vectorized read pass of [`submit_batch`](Self::submit_batch):
+    /// threshold (`Solve`) queries that share a warmed instance are
+    /// answered together in one sorted sweep over its cached complete
+    /// front. Returns the pre-answered response line per input slot;
+    /// slots not answered here go through the normal per-request path.
+    fn batch_front_reads(&self, requests: &[Option<Request>]) -> HashMap<usize, String> {
+        let mut answered = HashMap::new();
+        let service = self.service();
+        if service.config().cache_capacity == 0 {
+            return answered;
+        }
+        // Group the batch's plain threshold queries by instance.
+        let mut groups: HashMap<u128, Vec<(usize, Option<u64>, Objective)>> = HashMap::new();
+        for (i, request) in requests.iter().enumerate() {
+            let Some(request) = request else { continue };
+            if request.no_cache.unwrap_or(false) {
+                continue;
+            }
+            let key =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| request.cmd.front_key()));
+            let Ok(Some(key)) = key else { continue };
+            if let Command::Solve { objective, .. } = &request.cmd {
+                groups
+                    .entry(key)
+                    .or_default()
+                    .push((i, request.id, *objective));
+            }
+        }
+        for (key, group) in groups {
+            // A single query gains nothing over the per-request read.
+            if group.len() < 2 {
+                continue;
+            }
+            let Some(responses) = service.read_solves_from_front(key, &group) else {
+                continue;
+            };
+            for (slot, response) in responses {
+                answered.insert(slot, response.to_line());
+            }
+        }
+        answered
     }
 }
 
@@ -1160,6 +1399,7 @@ mod tests {
             id: Some(id),
             deadline_ms: None,
             no_cache: None,
+            hop: None,
             cmd: Command::Solve {
                 pipeline: rpwf_gen::figure5_pipeline(),
                 platform: rpwf_gen::figure5_platform(),
@@ -1176,6 +1416,7 @@ mod tests {
                 id: Some(1),
                 deadline_ms: None,
                 no_cache: None,
+                hop: None,
                 cmd: Command::Ping,
             },
             Instant::now(),
@@ -1226,6 +1467,7 @@ mod tests {
                 id: Some(3),
                 deadline_ms: None,
                 no_cache: None,
+                hop: None,
                 cmd: Command::Pareto {
                     pipeline: rpwf_gen::figure5_pipeline(),
                     platform: rpwf_gen::figure5_platform(),
@@ -1281,6 +1523,7 @@ mod tests {
             id: None,
             deadline_ms: None,
             no_cache: None,
+            hop: None,
             cmd: Command::Solve {
                 pipeline: Pipeline::uniform(2, 100.0, 100.0).unwrap(),
                 platform: Platform::fully_homogeneous(3, 1.0, 1.0, 0.9).unwrap(),
@@ -1309,6 +1552,7 @@ mod tests {
                 id: Some(5),
                 deadline_ms: None,
                 no_cache: None,
+                hop: None,
                 cmd: Command::Gen {
                     class: "ch".into(),
                     failure: "het".into(),
@@ -1325,6 +1569,7 @@ mod tests {
                 id: Some(6),
                 deadline_ms: None,
                 no_cache: None,
+                hop: None,
                 cmd: Command::Stats,
             },
             Instant::now(),
@@ -1347,6 +1592,7 @@ mod tests {
                 id: Some(2),
                 deadline_ms: None,
                 no_cache: None,
+                hop: None,
                 cmd: Command::Metrics,
             },
             Instant::now(),
@@ -1376,6 +1622,7 @@ mod tests {
             id: Some(id),
             deadline_ms: None,
             no_cache: Some(true),
+            hop: None,
             cmd: Command::Pareto {
                 pipeline: rpwf_gen::figure5_pipeline(),
                 platform: rpwf_gen::figure5_platform(),
@@ -1437,6 +1684,7 @@ mod tests {
                 id: Some(1),
                 deadline_ms: None,
                 no_cache: None,
+                hop: None,
                 cmd: Command::Pareto {
                     pipeline: rpwf_gen::figure5_pipeline(),
                     platform: rpwf_gen::figure5_platform(),
@@ -1466,6 +1714,7 @@ mod tests {
                 id: Some(1),
                 deadline_ms: None,
                 no_cache: None,
+                hop: None,
                 cmd: Command::Pareto {
                     pipeline: inst.pipeline,
                     platform: inst.platform,
@@ -1542,6 +1791,7 @@ mod tests {
                         id: Some(i),
                         deadline_ms: None,
                         no_cache: None,
+                        hop: None,
                         cmd: Command::Solve {
                             pipeline: pipeline.clone(),
                             platform: platform.clone(),
@@ -1579,6 +1829,7 @@ mod tests {
                     id: Some(i),
                     deadline_ms: None,
                     no_cache: None,
+                    hop: None,
                     cmd: Command::Ping,
                 })
                 .unwrap()

@@ -18,6 +18,7 @@ fn service(cache_capacity: usize) -> SolverService {
         cache_capacity,
         cache_shards: 4,
         seed: 0xCAFE,
+        node_id: None,
     })
 }
 
@@ -62,6 +63,7 @@ proptest! {
                     id: Some(i as u64),
                     deadline_ms: None,
                     no_cache: None,
+                    hop: None,
                     cmd: Command::Solve { pipeline, platform, objective },
                 })
                 .expect("serializes")
@@ -102,6 +104,7 @@ proptest! {
             id: Some(id),
             deadline_ms: None,
             no_cache: None,
+            hop: None,
             cmd: Command::Pareto {
                 pipeline: pipeline.clone(),
                 platform: platform.clone(),

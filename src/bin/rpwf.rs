@@ -15,16 +15,34 @@ fn main() {
         addr: Some(addr),
         workers,
         cache_capacity,
+        node_id,
+        peers,
+        vnodes,
     } = &command
     {
         let config = rpwf_server::ServiceConfig {
             workers: *workers,
             cache_capacity: *cache_capacity,
+            node_id: node_id.clone(),
             ..Default::default()
         };
-        match rpwf_server::Server::bind(addr, config) {
+        let bound = if peers.is_empty() {
+            rpwf_server::Server::bind(addr, config)
+        } else {
+            rpwf_server::Server::bind_ring(addr, config, peers, *vnodes)
+        };
+        match bound {
             Ok(server) => {
-                println!("rpwf-server listening on {}", server.local_addr());
+                if peers.is_empty() {
+                    println!("rpwf-server listening on {}", server.local_addr());
+                } else {
+                    println!(
+                        "rpwf-server listening on {} (fleet node {}, {} peers)",
+                        server.local_addr(),
+                        node_id.as_deref().unwrap_or("?"),
+                        peers.len()
+                    );
+                }
                 // Serve until killed.
                 loop {
                     std::thread::sleep(std::time::Duration::from_secs(3600));

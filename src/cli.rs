@@ -97,6 +97,14 @@ pub enum Command {
         workers: usize,
         /// Solution-cache entries (0 disables).
         cache_capacity: usize,
+        /// Fleet identity of this node — the `host:port` its peers dial.
+        /// Required when `peers` is non-empty.
+        node_id: Option<String>,
+        /// Fleet peers (`host:port`). Non-empty switches the server into
+        /// ring-sharded fleet mode.
+        peers: Vec<String>,
+        /// Virtual nodes per ring member (`None` = library default).
+        vnodes: Option<usize>,
     },
     /// Answer a file of JSON-lines requests concurrently, in input order.
     Batch {
@@ -124,6 +132,7 @@ USAGE:
   rpwf pareto <instance.json>
   rpwf simulate <instance.json> [--trials <count>]
   rpwf serve [--addr <host:port>] [--stdin] [--workers <n>] [--cache-capacity <n>]
+  rpwf serve --addr <host:port> --node-id <host:port> --peers <host:port,...> [--vnodes <n>]
   rpwf batch <requests.jsonl> [--workers <n>] [--no-group]
   rpwf help
 
@@ -131,6 +140,11 @@ The serve/batch protocol is JSON lines; see README.md for the schema.
 `batch` groups requests by instance and solves one Pareto front per
 distinct (pipeline, platform), answering every threshold query from it;
 --no-group solves each request independently.
+
+Fleet mode: with --peers, each instance is owned by one node of the
+consistent-hash ring over {--node-id} ∪ {--peers}; non-owned requests
+are forwarded to the owner, so the fleet partitions the front cache.
+--node-id must be the address the peers dial for this node.
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -258,10 +272,39 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
                 s.parse::<usize>()
                     .map_err(|e| format!("--cache-capacity: {e}"))
             })?;
+            let node_id = opts.get("node-id").cloned();
+            let peers: Vec<String> = opts
+                .get("peers")
+                .map(|list| {
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|p| !p.is_empty())
+                        .map(ToString::to_string)
+                        .collect()
+                })
+                .unwrap_or_default();
+            let vnodes = opts
+                .get("vnodes")
+                .map(|s| s.parse::<usize>().map_err(|e| format!("--vnodes: {e}")))
+                .transpose()?;
+            if !peers.is_empty() {
+                if stdin {
+                    return Err("fleet mode (--peers) needs a TCP address, not --stdin".into());
+                }
+                if node_id.is_none() {
+                    return Err(
+                        "fleet mode needs --node-id (the host:port peers dial for this node)"
+                            .into(),
+                    );
+                }
+            }
             Ok(Command::Serve {
                 addr,
                 workers,
                 cache_capacity,
+                node_id,
+                peers,
+                vnodes,
             })
         }
         "batch" => {
@@ -317,6 +360,7 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
             addr: None,
             workers,
             cache_capacity,
+            ..
         } => {
             rpwf_server::serve_stdin(rpwf_server::ServiceConfig {
                 workers: *workers,
@@ -606,7 +650,10 @@ mod tests {
             Command::Serve {
                 addr: Some("0.0.0.0:9000".into()),
                 workers: 4,
-                cache_capacity: 4096
+                cache_capacity: 4096,
+                node_id: None,
+                peers: vec![],
+                vnodes: None,
             }
         );
         assert_eq!(
@@ -614,7 +661,10 @@ mod tests {
             Command::Serve {
                 addr: None,
                 workers: 0,
-                cache_capacity: 16
+                cache_capacity: 16,
+                node_id: None,
+                peers: vec![],
+                vnodes: None,
             }
         );
         assert_eq!(
@@ -622,12 +672,44 @@ mod tests {
             Command::Serve {
                 addr: Some("127.0.0.1:7077".into()),
                 workers: 0,
-                cache_capacity: 4096
+                cache_capacity: 4096,
+                node_id: None,
+                peers: vec![],
+                vnodes: None,
             }
         );
         assert!(parse_args(&args("serve --stdin --addr 1.2.3.4:1"))
             .unwrap_err()
             .contains("not both"));
+    }
+
+    #[test]
+    fn parse_serve_fleet_mode() {
+        assert_eq!(
+            parse_args(&args(
+                "serve --addr 0.0.0.0:7001 --node-id 10.0.0.1:7001 \
+                 --peers 10.0.0.2:7001,10.0.0.3:7001 --vnodes 32"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: Some("0.0.0.0:7001".into()),
+                workers: 0,
+                cache_capacity: 4096,
+                node_id: Some("10.0.0.1:7001".into()),
+                peers: vec!["10.0.0.2:7001".into(), "10.0.0.3:7001".into()],
+                vnodes: Some(32),
+            }
+        );
+        // Peers without an identity is a configuration error…
+        assert!(parse_args(&args("serve --peers 10.0.0.2:7001"))
+            .unwrap_err()
+            .contains("--node-id"));
+        // …and fleet mode cannot serve stdin.
+        assert!(
+            parse_args(&args("serve --stdin --peers 10.0.0.2:7001 --node-id a:1"))
+                .unwrap_err()
+                .contains("TCP")
+        );
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! Integration tests for topology-aware fleet serving: a ring of
+//! `rpwf-server` nodes partitioning the instance keyspace.
+//!
+//! * byte-identical responses whichever node a request enters through,
+//! * exactly one cached front per distinct instance, held by its owner,
+//! * transparent forwarding with `Ring`-command observability,
+//! * graceful degradation to local solving when a peer dies,
+//! * a true multi-process fleet driven through the `rpwf` binary.
+
+use rpwf_core::ring::HashRing;
+use rpwf_server::protocol::{Command, Request, Response};
+use rpwf_server::{Server, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+const VNODES: usize = 16;
+
+/// Reserves `n` distinct loopback ports. The listeners are dropped before
+/// the fleet binds them — a small race, but ephemeral-port reuse within a
+/// test run is vanishingly rare.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect()
+}
+
+fn fleet_config(node_id: &str, cache_capacity: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        cache_capacity,
+        cache_shards: 4,
+        seed: 0xCAFE,
+        node_id: Some(node_id.to_string()),
+    }
+}
+
+/// Starts an `n`-node in-process fleet (separate services and caches per
+/// node — process-equivalent up to the address space).
+fn start_fleet(n: usize, cache_capacity: usize) -> (Vec<String>, Vec<Server>) {
+    let addrs = reserve_addrs(n);
+    let servers = addrs
+        .iter()
+        .map(|addr| {
+            let peers: Vec<String> = addrs.iter().filter(|a| *a != addr).cloned().collect();
+            Server::bind_ring(
+                addr,
+                fleet_config(addr, cache_capacity),
+                &peers,
+                Some(VNODES),
+            )
+            .expect("bind fleet node")
+        })
+        .collect();
+    (addrs, servers)
+}
+
+fn request_line(id: u64, cmd: Command) -> String {
+    serde_json::to_string(&Request {
+        id: Some(id),
+        deadline_ms: None,
+        no_cache: None,
+        hop: None,
+        cmd,
+    })
+    .expect("requests serialize")
+}
+
+/// Sends one request line to `addr`, reading lines until the closing
+/// `ok`/`error`.
+fn roundtrip(addr: &str, line: &str) -> Vec<Response> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "{line}").expect("send");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::new();
+    loop {
+        let mut out = String::new();
+        reader.read_line(&mut out).expect("read response line");
+        let resp: Response = serde_json::from_str(out.trim()).expect("well-formed response");
+        let done = resp.status != "part";
+        responses.push(resp);
+        if done {
+            return responses;
+        }
+    }
+}
+
+fn solve_cmd(seed: u64, latency_factor: f64) -> Command {
+    let inst = rpwf_gen::make_instance(
+        rpwf_core::platform::PlatformClass::CommHomogeneous,
+        rpwf_core::platform::FailureClass::Heterogeneous,
+        3,
+        6,
+        seed,
+    );
+    let safest = rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform);
+    Command::Solve {
+        pipeline: inst.pipeline,
+        platform: inst.platform,
+        objective: rpwf_algo::Objective::MinFpUnderLatency(safest.latency * latency_factor),
+    }
+}
+
+fn result_payload(resp: &Response) -> String {
+    serde_json::to_string(&resp.result).expect("serializes")
+}
+
+#[test]
+fn fleet_answers_byte_identically_from_any_entry_node() {
+    let single = Server::bind("127.0.0.1:0", fleet_config("solo", 256)).expect("bind single");
+    let single_addr = single.local_addr().to_string();
+    let (addrs, _servers) = start_fleet(3, 256);
+
+    for seed in 0..4u64 {
+        let line = request_line(seed, solve_cmd(seed, 1.5));
+        let reference = roundtrip(&single_addr, &line);
+        assert_eq!(reference.len(), 1);
+        assert_eq!(reference[0].status, "ok", "{:?}", reference[0].error);
+        let reference_result = result_payload(&reference[0]);
+
+        let mut owners = Vec::new();
+        for entry in &addrs {
+            let got = roundtrip(entry, &line);
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].status, "ok", "{:?}", got[0].error);
+            assert_eq!(
+                result_payload(&got[0]),
+                reference_result,
+                "seed {seed}: entry node {entry} must answer exactly like a single node"
+            );
+            owners.push(
+                got[0]
+                    .meta
+                    .node
+                    .clone()
+                    .expect("fleet stamps node identity"),
+            );
+        }
+        // Whichever door the request came through, the same owner answered.
+        assert!(
+            owners.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: all entries must resolve to one owner, got {owners:?}"
+        );
+        assert!(addrs.contains(&owners[0]), "owner is a fleet member");
+    }
+}
+
+#[test]
+fn owning_node_caches_exactly_one_front_per_distinct_instance() {
+    let (addrs, servers) = start_fleet(3, 256);
+    let ring = HashRing::new(addrs.clone(), VNODES);
+
+    let distinct = 6u64;
+    for seed in 0..distinct {
+        // Two different thresholds per instance, entering via different
+        // nodes: one front per instance must result, on its owner.
+        let entry_a = &addrs[(seed as usize) % 3];
+        let entry_b = &addrs[(seed as usize + 1) % 3];
+        let first = roundtrip(entry_a, &request_line(seed, solve_cmd(seed, 1.4)));
+        assert_eq!(first.last().expect("response").status, "ok");
+        let second = roundtrip(entry_b, &request_line(100 + seed, solve_cmd(seed, 1.9)));
+        let second = second.last().expect("response");
+        assert_eq!(second.status, "ok");
+        assert!(
+            second.meta.cache_hit,
+            "seed {seed}: second threshold over the instance must hit the owner's front cache"
+        );
+    }
+
+    let mut total_entries = 0usize;
+    for (addr, server) in addrs.iter().zip(&servers) {
+        let keys = server.service().front_cache_keys();
+        for key in &keys {
+            assert_eq!(
+                ring.owner(*key),
+                Some(addr.as_str()),
+                "node {addr} may only cache keys the ring assigns to it"
+            );
+        }
+        total_entries += keys.len();
+    }
+    assert_eq!(
+        total_entries, distinct as usize,
+        "the fleet must hold exactly one front per distinct instance"
+    );
+}
+
+#[test]
+fn ring_command_reports_topology_and_forwarding() {
+    let (addrs, _servers) = start_fleet(3, 64);
+    // Generate traffic from one entry so it must forward ~2/3 of it.
+    let entry = &addrs[0];
+    for seed in 0..6u64 {
+        let got = roundtrip(entry, &request_line(seed, solve_cmd(seed, 1.5)));
+        assert_eq!(got.last().expect("response").status, "ok");
+    }
+
+    let ring_resp = roundtrip(entry, &request_line(99, Command::Ring));
+    assert_eq!(ring_resp.len(), 1);
+    let result = ring_resp[0].result.as_ref().expect("ring payload");
+    assert_eq!(
+        result.get("node").and_then(serde::Value::as_str),
+        Some(entry.as_str())
+    );
+    let mut nodes: Vec<String> = result
+        .get("nodes")
+        .and_then(serde::Value::as_seq)
+        .expect("nodes list")
+        .iter()
+        .map(|v| v.as_str().expect("node name").to_string())
+        .collect();
+    nodes.sort();
+    let mut expected = addrs.clone();
+    expected.sort();
+    assert_eq!(nodes, expected);
+    let forwards: u64 = result
+        .get("forwards")
+        .and_then(serde::Value::as_seq)
+        .expect("forward counters")
+        .iter()
+        .map(|f| {
+            f.get("forwards")
+                .and_then(serde::Value::as_u64)
+                .unwrap_or(0)
+        })
+        .sum();
+    let owned = result
+        .get("owned_cache_keys")
+        .and_then(serde::Value::as_u64)
+        .expect("owned census");
+    // 6 distinct instances spread over 3 nodes: this entry owns some and
+    // forwarded the rest.
+    assert_eq!(
+        forwards + owned,
+        6,
+        "every instance either owned or forwarded"
+    );
+
+    // A routed Simulate caches a per-query *result* (keyed in a different
+    // hash space); it must not show up as a phantom foreign front key.
+    let sim = {
+        let inst = rpwf_gen::make_instance(
+            rpwf_core::platform::PlatformClass::CommHomogeneous,
+            rpwf_core::platform::FailureClass::Heterogeneous,
+            3,
+            6,
+            41,
+        );
+        Command::Simulate {
+            pipeline: inst.pipeline,
+            platform: inst.platform,
+            trials: Some(200),
+        }
+    };
+    for entry in &addrs {
+        assert_eq!(
+            roundtrip(entry, &request_line(50, sim.clone()))[0].status,
+            "ok"
+        );
+    }
+    for entry in &addrs {
+        let ring_resp = roundtrip(entry, &request_line(51, Command::Ring));
+        let foreign = ring_resp[0]
+            .result
+            .as_ref()
+            .expect("ring payload")
+            .get("foreign_cache_keys")
+            .and_then(serde::Value::as_u64)
+            .expect("census");
+        assert_eq!(
+            foreign, 0,
+            "no peer died, so no node may report foreign front keys"
+        );
+    }
+
+    // The metrics dump carries the same counters for scrapers.
+    let metrics = roundtrip(entry, &request_line(100, Command::Metrics));
+    let text = match metrics[0].result.as_ref().expect("metrics text") {
+        serde::Value::Str(s) => s.clone(),
+        other => panic!("metrics must be text, got {other:?}"),
+    };
+    assert!(text.contains("rpwf_ring_nodes 3"), "{text}");
+    assert!(
+        text.contains(&format!(
+            "rpwf_ring_owned_cache_keys{{node=\"{entry}\"}} {owned}"
+        )),
+        "{text}"
+    );
+    assert!(text.contains("rpwf_ring_forwards_total{peer="), "{text}");
+    assert!(
+        text.contains("rpwf_cache_shard_hits_total{shard=\"0\"}"),
+        "{text}"
+    );
+}
+
+#[test]
+fn dead_peer_degrades_to_local_solving() {
+    let single = Server::bind("127.0.0.1:0", fleet_config("solo", 64)).expect("bind single");
+    let single_addr = single.local_addr().to_string();
+    let (addrs, mut servers) = start_fleet(3, 64);
+    let ring = HashRing::new(addrs.clone(), VNODES);
+
+    // Find an instance owned by node 2 as seen from entry node 0.
+    let victim = addrs[2].clone();
+    let seed = (0..100u64)
+        .find(|&s| {
+            let key = solve_cmd(s, 1.5).route_key().expect("solve routes");
+            ring.owner(key) == Some(victim.as_str())
+        })
+        .expect("some instance lands on the victim node");
+    let line = request_line(7, solve_cmd(seed, 1.5));
+    let reference = result_payload(&roundtrip(&single_addr, &line)[0]);
+
+    // Alive: the owner answers through the entry node.
+    let before = roundtrip(&addrs[0], &line);
+    assert_eq!(before[0].status, "ok");
+    assert_eq!(before[0].meta.node.as_deref(), Some(victim.as_str()));
+    assert_eq!(result_payload(&before[0]), reference);
+
+    // Kill the owner: drop stops the accept loop and closes the listener.
+    let dead = servers.remove(2);
+    drop(dead);
+
+    // The entry node now solves locally — same bytes, its own identity.
+    let after = roundtrip(&addrs[0], &line);
+    assert_eq!(after[0].status, "ok", "{:?}", after[0].error);
+    assert_eq!(
+        after[0].meta.node.as_deref(),
+        Some(addrs[0].as_str()),
+        "fallback must be answered by the entry node"
+    );
+    assert_eq!(
+        result_payload(&after[0]),
+        reference,
+        "degraded answers must stay byte-identical"
+    );
+
+    // The failure is visible in the entry's ring introspection.
+    let ring_resp = roundtrip(&addrs[0], &request_line(8, Command::Ring));
+    let failures: u64 = ring_resp[0]
+        .result
+        .as_ref()
+        .expect("ring payload")
+        .get("forwards")
+        .and_then(serde::Value::as_seq)
+        .expect("forward counters")
+        .iter()
+        .map(|f| {
+            f.get("failures")
+                .and_then(serde::Value::as_u64)
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(failures >= 1, "the dead peer must be counted");
+}
+
+#[test]
+fn chunked_pareto_streams_through_the_fleet() {
+    // A forwarded chunked Pareto reassembles exactly like a single node's.
+    let single = Server::bind("127.0.0.1:0", fleet_config("solo", 64)).expect("bind single");
+    let single_addr = single.local_addr().to_string();
+    let (addrs, _servers) = start_fleet(3, 64);
+
+    let inst = rpwf_gen::make_instance(
+        rpwf_core::platform::PlatformClass::CommHomogeneous,
+        rpwf_core::platform::FailureClass::Heterogeneous,
+        3,
+        6,
+        11,
+    );
+    let cmd = Command::Pareto {
+        pipeline: inst.pipeline,
+        platform: inst.platform,
+        chunk: Some(2),
+    };
+    let line = request_line(5, cmd);
+    let reference = roundtrip(&single_addr, &line);
+    for entry in &addrs {
+        let got = roundtrip(entry, &line);
+        assert_eq!(got.len(), reference.len(), "same number of stream lines");
+        for (g, r) in got.iter().zip(&reference) {
+            assert_eq!(g.status, r.status);
+            assert_eq!(result_payload(g), result_payload(r));
+        }
+    }
+}
+
+/// Kills fleet child processes even when the test panics.
+struct ChildGuard(Vec<std::process::Child>);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+#[test]
+fn multi_process_fleet_over_the_rpwf_binary() {
+    let addrs = reserve_addrs(3);
+    let mut children = ChildGuard(Vec::new());
+    for addr in &addrs {
+        let peers: Vec<String> = addrs.iter().filter(|a| *a != addr).cloned().collect();
+        let child = std::process::Command::new(env!("CARGO_BIN_EXE_rpwf"))
+            .args([
+                "serve",
+                "--addr",
+                addr,
+                "--node-id",
+                addr,
+                "--peers",
+                &peers.join(","),
+                "--workers",
+                "2",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn rpwf serve");
+        children.0.push(child);
+    }
+    // Wait for each node to announce readiness on stdout.
+    for child in &mut children.0 {
+        let stdout = child.stdout.as_mut().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("banner");
+        assert!(line.contains("listening"), "{line}");
+    }
+    // Give the deadline a margin: processes just started.
+    let deadline = Instant::now() + std::time::Duration::from_secs(60);
+    let line = request_line(1, solve_cmd(3, 1.6));
+    let mut payloads = Vec::new();
+    for entry in &addrs {
+        assert!(Instant::now() < deadline, "fleet test overran its budget");
+        let got = roundtrip(entry, &line);
+        assert_eq!(got[0].status, "ok", "{:?}", got[0].error);
+        payloads.push(result_payload(&got[0]));
+    }
+    assert!(
+        payloads.windows(2).all(|w| w[0] == w[1]),
+        "all three processes must answer identically"
+    );
+}

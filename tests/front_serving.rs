@@ -17,6 +17,7 @@ fn start_server() -> Server {
             cache_capacity: 256,
             cache_shards: 8,
             seed: 0xCAFE,
+            node_id: None,
         },
     )
     .expect("bind an ephemeral port")
@@ -27,6 +28,7 @@ fn request_line(id: u64, cmd: Command) -> String {
         id: Some(id),
         deadline_ms: None,
         no_cache: None,
+        hop: None,
         cmd,
     })
     .expect("requests serialize")

@@ -16,6 +16,7 @@ fn start_server() -> Server {
             cache_capacity: 256,
             cache_shards: 8,
             seed: 0xCAFE,
+            node_id: None,
         },
     )
     .expect("bind an ephemeral port")
@@ -26,6 +27,7 @@ fn request_line(id: u64, deadline_ms: Option<u64>, cmd: Command) -> String {
         id: Some(id),
         deadline_ms,
         no_cache: None,
+        hop: None,
         cmd,
     })
     .expect("requests serialize")
@@ -260,6 +262,7 @@ fn dropped_connection_cancels_its_inflight_solve() {
             cache_capacity: 16,
             cache_shards: 2,
             seed: 0xCAFE,
+            node_id: None,
         },
     )
     .expect("bind an ephemeral port");
