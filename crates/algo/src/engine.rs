@@ -1,0 +1,1810 @@
+//! The unified solver engine: one capability-driven API over every exact,
+//! heuristic, and front backend.
+//!
+//! The paper's algorithmic landscape is a matrix — {min-latency-under-FP,
+//! min-FP-under-latency, full bi-criteria front} × {fully homogeneous,
+//! communication-homogeneous, fully heterogeneous} — and before this
+//! module every cell was wired up ad hoc: per-heuristic `solve` methods,
+//! [`Portfolio::race`](crate::heuristics::Portfolio::race),
+//! `best_front_source`, and duplicated
+//! selection/fallback logic in the serving layer. The engine makes
+//! "objective × platform class × exactness" a first-class, queryable
+//! surface:
+//!
+//! * every backend is a [`Solver`] declaring [`Capabilities`] (platform
+//!   classes, objective kinds, stage/processor bounds, exactness tier,
+//!   budget support),
+//! * a request is a [`SolveRequest`] (`pipeline`, `platform`, a [`Want`]
+//!   describing the answer shape, and a [`Budget`]),
+//! * an answer is a [`SolveReport`] (the [`Answer`], a [`Completeness`]
+//!   record, the winning [`Provenance`], any Pareto-front by-product, and
+//!   per-solver [`SolverStat`]s),
+//! * [`Engine::solve`] plans each request — capability filtering,
+//!   exact-first selection, portfolio racing, and budget-cutoff fallback —
+//!   in one audited place.
+//!
+//! The planning reproduces the legacy entry points **byte for byte** (the
+//! `engine_equivalence` proptest suite asserts it): the serving layer, the
+//! CLI, and the bench experiments all collapse onto [`Engine::solve`].
+//!
+//! ```
+//! use rpwf_algo::engine::{Engine, SolveRequest, Want};
+//! use rpwf_algo::Objective;
+//! use rpwf_core::budget::Budget;
+//!
+//! let engine = Engine::with_default_backends(0xCAFE);
+//! let pipeline = rpwf_gen::figure5_pipeline();
+//! let platform = rpwf_gen::figure5_platform();
+//! let report = engine.solve(&SolveRequest {
+//!     pipeline: &pipeline,
+//!     platform: &platform,
+//!     want: Want::Point {
+//!         objective: Objective::MinFpUnderLatency(22.0),
+//!         keep_front: false,
+//!     },
+//!     budget: &Budget::unlimited(),
+//! });
+//! let sol = report.point().expect("feasible at L = 22");
+//! assert!(report.completeness.exact_complete, "answer proven optimal");
+//! assert!((sol.latency - 22.0).abs() < 1e-6);
+//! ```
+#![deny(missing_docs)]
+
+use crate::exact::{
+    pareto_front_comm_homog_with_budget, solve_comm_homog_with_budget, BranchBound,
+};
+use crate::front::{
+    threshold_read, BranchBoundSweep, FrontSource, IntervalDpFront, PortfolioFront,
+};
+use crate::heuristics::{annealing, local_search, one_to_one, random_search, single_interval};
+use crate::heuristics::{split_dp, Annealing, LocalSearch, RandomSearch};
+use crate::solution::{BiSolution, Budgeted, Objective};
+use rpwf_core::budget::Budget;
+use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::pareto::ParetoFront;
+use rpwf_core::platform::{Platform, PlatformClass};
+use rpwf_core::stage::Pipeline;
+use serde::{Deserialize, Serialize, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Provenance
+// ---------------------------------------------------------------------------
+
+/// Which side of the engine produced an answer. This is the **single**
+/// provenance vocabulary: the wire protocol's `meta.solver`, the solution
+/// cache, fleet forwards, and the CLI all serialize this enum (as the
+/// stable lowercase strings `"exact"` / `"heuristic"`), so provenance
+/// reads identically whether an answer was computed locally, replayed
+/// from a cache, or forwarded across the fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// An exact backend (proof-capable tier) produced the answer. The
+    /// answer is *proven* only when the accompanying completeness record
+    /// says the backend ran to completion.
+    Exact,
+    /// The heuristic portfolio produced the answer.
+    Heuristic,
+}
+
+impl Provenance {
+    /// The stable wire string (`"exact"` / `"heuristic"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Provenance::Exact => "exact",
+            Provenance::Heuristic => "heuristic",
+        }
+    }
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for Provenance {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for Provenance {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        match value.as_str() {
+            Some("exact") => Ok(Provenance::Exact),
+            Some("heuristic") => Ok(Provenance::Heuristic),
+            other => Err(serde::Error::msg(format!(
+                "provenance must be \"exact\" or \"heuristic\", got {other:?}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Capabilities
+// ---------------------------------------------------------------------------
+
+/// Exactness tier of a [`Solver`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Exactness {
+    /// Completion certifies optimality (point answers) or front
+    /// exactness; cutoffs may still yield sound partial answers.
+    Exact,
+    /// Exact *and* designed to improve monotonically under a budget: a
+    /// cutoff keeps a useful, proven prefix (yield-ordered sweeps,
+    /// point-by-point front enumeration).
+    Anytime,
+    /// Never certifies: every answer is a sound best effort.
+    Heuristic,
+}
+
+impl Exactness {
+    /// Whether a completed run of this tier proves its answer.
+    #[must_use]
+    pub fn proof_capable(self) -> bool {
+        !matches!(self, Exactness::Heuristic)
+    }
+}
+
+/// The set of platform classes a solver supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassSet {
+    /// Supports Fully Homogeneous platforms.
+    pub fully_homogeneous: bool,
+    /// Supports Communication Homogeneous platforms.
+    pub comm_homogeneous: bool,
+    /// Supports Fully Heterogeneous platforms.
+    pub fully_heterogeneous: bool,
+}
+
+impl ClassSet {
+    /// Every platform class.
+    pub const ALL: ClassSet = ClassSet {
+        fully_homogeneous: true,
+        comm_homogeneous: true,
+        fully_heterogeneous: true,
+    };
+
+    /// Platforms with uniform link bandwidths (Fully Homogeneous and
+    /// Communication Homogeneous).
+    pub const UNIFORM_LINKS: ClassSet = ClassSet {
+        fully_homogeneous: true,
+        comm_homogeneous: true,
+        fully_heterogeneous: false,
+    };
+
+    /// Whether `class` is in the set.
+    #[must_use]
+    pub fn contains(self, class: PlatformClass) -> bool {
+        match class {
+            PlatformClass::FullyHomogeneous => self.fully_homogeneous,
+            PlatformClass::CommHomogeneous => self.comm_homogeneous,
+            PlatformClass::FullyHeterogeneous => self.fully_heterogeneous,
+        }
+    }
+}
+
+/// The threshold-objective kinds a solver answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjectiveSet {
+    /// Answers `MinFpUnderLatency` (minimize FP under a latency bound).
+    pub min_fp_under_latency: bool,
+    /// Answers `MinLatencyUnderFp` (minimize latency under an FP bound).
+    pub min_latency_under_fp: bool,
+}
+
+impl ObjectiveSet {
+    /// Both threshold objectives.
+    pub const BOTH: ObjectiveSet = ObjectiveSet {
+        min_fp_under_latency: true,
+        min_latency_under_fp: true,
+    };
+
+    /// Latency minimization only (`MinLatencyUnderFp`).
+    pub const LATENCY_ONLY: ObjectiveSet = ObjectiveSet {
+        min_fp_under_latency: false,
+        min_latency_under_fp: true,
+    };
+
+    /// Whether the set covers `objective`'s kind.
+    #[must_use]
+    pub fn contains(self, objective: Objective) -> bool {
+        match objective {
+            Objective::MinFpUnderLatency(_) => self.min_fp_under_latency,
+            Objective::MinLatencyUnderFp(_) => self.min_latency_under_fp,
+        }
+    }
+}
+
+/// The answer shapes a solver produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnswerShapes {
+    /// Produces threshold (point) answers via [`Solver::solve_point`].
+    pub points: bool,
+    /// Produces Pareto fronts via [`Solver::solve_front`].
+    pub fronts: bool,
+}
+
+/// What a [`Solver`] declares about itself. The engine consults only this
+/// record (plus [`Solver::applicable`]) when planning — registering a new
+/// backend with honest capabilities is all it takes to put it on every
+/// request path it can serve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Platform classes the solver accepts.
+    pub classes: ClassSet,
+    /// Threshold-objective kinds it answers.
+    pub objectives: ObjectiveSet,
+    /// Answer shapes it produces.
+    pub shapes: AnswerShapes,
+    /// Inclusive stage-count bound (`None` = unbounded).
+    pub max_stages: Option<usize>,
+    /// Inclusive processor-count bound (`None` = unbounded).
+    pub max_procs: Option<usize>,
+    /// Exactness tier.
+    pub exactness: Exactness,
+    /// Polls the request [`Budget`] cooperatively (solvers that do not
+    /// are bounded polynomial work and always run to completion).
+    pub budget_aware: bool,
+    /// Accepts an externally-computed incumbent to prune with
+    /// ([`Solver::solve_point_seeded`]). The engine runs the heuristic
+    /// side *first* for seedable exact backends (sequential, seeded)
+    /// instead of racing them in parallel.
+    pub seedable: bool,
+    /// Member of the engine's default heuristic portfolio: raced (in
+    /// registration order) whenever a point request needs a heuristic
+    /// side. Non-members remain individually invocable.
+    pub race_member: bool,
+    /// A [`Budgeted::Complete`] front from this solver is the **exact**
+    /// Pareto front. `false` for partial-front producers (the interval-DP
+    /// latency anchor) and every heuristic sweep.
+    pub front_exact: bool,
+}
+
+impl Capabilities {
+    /// Whether the static capability record admits the instance (class
+    /// and size bounds). [`Solver::applicable`] may tighten this with
+    /// instance-specific checks.
+    #[must_use]
+    pub fn admits(&self, pipeline: &Pipeline, platform: &Platform) -> bool {
+        self.classes.contains(platform.class())
+            && self.max_stages.is_none_or(|b| pipeline.n_stages() <= b)
+            && self.max_procs.is_none_or(|b| platform.n_procs() <= b)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request / report
+// ---------------------------------------------------------------------------
+
+/// The answer shape a [`SolveRequest`] wants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Want {
+    /// One threshold answer.
+    Point {
+        /// The threshold objective.
+        objective: Objective,
+        /// Also build (and report) the instance's whole Pareto front when
+        /// an exact front backend applies — the point is then a read off
+        /// that front, and the front travels back in
+        /// [`SolveReport::front`] so callers with a cache can amortize it
+        /// across later queries. With `keep_front: false` the engine runs
+        /// the cheaper per-threshold race instead (identical answers on
+        /// complete runs — both read the same exact solution).
+        keep_front: bool,
+    },
+    /// The whole bi-objective Pareto front.
+    Front,
+    /// The front, destined for chunked streaming. The engine plans this
+    /// exactly like [`Want::Front`] — chunking is a transport rendering —
+    /// but the hint travels with the request so one request type
+    /// describes every solve/pareto call site.
+    FrontStream {
+        /// Maximum points per streamed chunk (must be ≥ 1).
+        chunk: usize,
+    },
+}
+
+/// One solve request: the instance, the wanted answer shape, and the
+/// budget every cooperative backend polls.
+///
+/// ```
+/// use rpwf_algo::engine::{Engine, SolveRequest, Want};
+/// use rpwf_core::budget::Budget;
+///
+/// let engine = Engine::with_default_backends(7);
+/// let pipeline = rpwf_gen::figure5_pipeline();
+/// let platform = rpwf_gen::figure5_platform();
+/// let report = engine.solve(&SolveRequest {
+///     pipeline: &pipeline,
+///     platform: &platform,
+///     want: Want::Front,
+///     budget: &Budget::unlimited(),
+/// });
+/// let front = report.front_answer().expect("front request yields a front");
+/// assert!(report.completeness.exact_complete && front.len() >= 2);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SolveRequest<'a> {
+    /// The application.
+    pub pipeline: &'a Pipeline,
+    /// The platform.
+    pub platform: &'a Platform,
+    /// The wanted answer shape.
+    pub want: Want,
+    /// Deadline/cancellation budget shared by every backend the plan
+    /// runs.
+    pub budget: &'a Budget,
+}
+
+/// The answer inside a [`SolveReport`].
+#[derive(Clone, Debug)]
+pub enum Answer {
+    /// A threshold answer; `None` when nothing feasible was found (the
+    /// completeness record says whether that *proves* infeasibility).
+    Point(Option<BiSolution>),
+    /// A Pareto front (possibly a partial, sound under-approximation —
+    /// check the completeness record).
+    Front(Arc<ParetoFront<IntervalMapping>>),
+}
+
+/// How complete a [`SolveReport`] is — the record cache layers and
+/// response shaping key off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completeness {
+    /// An exact (proof-capable) backend applied to the instance at all.
+    pub exact_capable: bool,
+    /// That backend ran to completion: point answers are proven optimal
+    /// (or proven infeasible when absent), fronts are the exact front.
+    pub exact_complete: bool,
+    /// Every heuristic the plan ran finished (no budget truncation), so
+    /// a rerun with more budget could not strengthen the heuristic side.
+    pub heuristic_complete: bool,
+}
+
+impl Completeness {
+    /// Whether a *point* answer may be cached: either proven, or produced
+    /// by untruncated heuristics on an instance no exact backend could
+    /// improve. Budget-cutoff answers may be beaten by a rerun and must
+    /// never poison a cache.
+    #[must_use]
+    pub fn cacheable_point(&self) -> bool {
+        self.exact_complete || (!self.exact_capable && self.heuristic_complete)
+    }
+}
+
+/// One backend's contribution to a plan, for observability and the E18
+/// overhead experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverStat {
+    /// Registered solver name.
+    pub solver: &'static str,
+    /// Wall-clock time this backend ran, in microseconds.
+    pub elapsed_us: u64,
+    /// Whether it ran to completion (never true for heuristics' *proof*
+    /// sense — this is the budget sense: not truncated).
+    pub complete: bool,
+    /// Whether it produced a feasible point / non-empty front.
+    pub produced: bool,
+}
+
+/// The engine's reply to a [`SolveRequest`].
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The answer, shaped per the request's [`Want`].
+    pub answer: Answer,
+    /// Completeness of the plan's exact and heuristic sides.
+    pub completeness: Completeness,
+    /// Provenance of the winning answer (`None` when nothing was found).
+    pub provenance: Option<Provenance>,
+    /// Whole-front by-product of a `Point { keep_front: true }` request:
+    /// the front the answer was read from, plus whether it is complete.
+    /// Callers with a front cache store it so later queries over the
+    /// instance become front reads.
+    pub front: Option<FrontArtifact>,
+    /// Per-backend contributions, in execution order.
+    pub stats: Vec<SolverStat>,
+}
+
+/// A Pareto front built along the way to a point answer, with the
+/// provenance a cache must replay on later hits (carried here so callers
+/// copy instead of guessing which backend produced it).
+#[derive(Clone, Debug)]
+pub struct FrontArtifact {
+    /// The front (mappings included, so later reads replay exactly).
+    pub front: Arc<ParetoFront<IntervalMapping>>,
+    /// Whether the front is proven exact.
+    pub complete: bool,
+    /// Who produced the front.
+    pub provenance: Provenance,
+    /// Whether an exact front backend applies to the instance (when
+    /// `false`, an incomplete front is the best any rerun could do).
+    pub exact_capable: bool,
+}
+
+impl SolveReport {
+    /// The point answer, when the request wanted one and a feasible
+    /// solution was found.
+    #[must_use]
+    pub fn point(&self) -> Option<&BiSolution> {
+        match &self.answer {
+            Answer::Point(sol) => sol.as_ref(),
+            Answer::Front(_) => None,
+        }
+    }
+
+    /// The front answer, when the request wanted a front.
+    #[must_use]
+    pub fn front_answer(&self) -> Option<&Arc<ParetoFront<IntervalMapping>>> {
+        match &self.answer {
+            Answer::Front(front) => Some(front),
+            Answer::Point(_) => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Solver trait
+// ---------------------------------------------------------------------------
+
+/// A solver backend as the engine sees it: a capability record plus the
+/// answer-shape entry points its capabilities advertise.
+///
+/// Implementations must only be called for shapes their
+/// [`Capabilities::shapes`] declare — the engine guarantees this; direct
+/// callers should check [`Solver::applicable`] first. The default method
+/// bodies panic, so an incapable call is loud, not silently wrong.
+///
+/// ```
+/// use rpwf_algo::engine::{
+///     AnswerShapes, Capabilities, ClassSet, Exactness, ObjectiveSet, Solver,
+/// };
+/// use rpwf_algo::{BiSolution, Budgeted, Objective};
+/// use rpwf_core::budget::Budget;
+/// use rpwf_core::platform::Platform;
+/// use rpwf_core::stage::Pipeline;
+///
+/// /// A toy backend: Theorem 1's polynomial reliability extreme, offered
+/// /// as a (feasibility-filtered) point answer.
+/// struct SafestOnly;
+///
+/// impl Solver for SafestOnly {
+///     fn name(&self) -> &'static str {
+///         "safest-only"
+///     }
+///     fn capabilities(&self) -> Capabilities {
+///         Capabilities {
+///             classes: ClassSet::ALL,
+///             objectives: ObjectiveSet::BOTH,
+///             shapes: AnswerShapes { points: true, fronts: false },
+///             max_stages: None,
+///             max_procs: None,
+///             exactness: Exactness::Heuristic,
+///             budget_aware: false,
+///             seedable: false,
+///             race_member: false,
+///             front_exact: false,
+///         }
+///     }
+///     fn solve_point(
+///         &self,
+///         pipeline: &Pipeline,
+///         platform: &Platform,
+///         objective: Objective,
+///         _budget: &Budget,
+///     ) -> Budgeted<Option<BiSolution>> {
+///         let safest = rpwf_algo::mono::minimize_failure(pipeline, platform);
+///         let feasible = objective.feasible(safest.latency, safest.failure_prob);
+///         Budgeted::Complete(feasible.then_some(safest))
+///     }
+/// }
+///
+/// let mut engine = rpwf_algo::engine::Engine::new(0);
+/// engine.register(std::sync::Arc::new(SafestOnly));
+/// assert!(engine.solver("safest-only").is_some());
+/// ```
+pub trait Solver: Send + Sync {
+    /// Stable registry name (logs, stats, experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// The capability record the engine plans with.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Whether this solver can run on the instance. The default defers to
+    /// [`Capabilities::admits`]; override to add instance-specific checks
+    /// the static record cannot express (e.g. `n ≤ m` for one-to-one
+    /// mappings).
+    fn applicable(&self, pipeline: &Pipeline, platform: &Platform) -> bool {
+        self.capabilities().admits(pipeline, platform)
+    }
+
+    /// Answers a threshold objective. Only called when
+    /// [`Capabilities::shapes`]`.points` holds.
+    ///
+    /// # Panics
+    /// The default body panics — point-incapable solvers must never be
+    /// asked for points.
+    fn solve_point(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
+        let _ = (pipeline, platform, objective, budget);
+        unreachable!("{} does not produce point answers", self.name())
+    }
+
+    /// [`solve_point`](Self::solve_point) seeded with an
+    /// externally-computed incumbent. Only meaningfully overridden when
+    /// [`Capabilities::seedable`] holds; the default ignores the seed.
+    fn solve_point_seeded(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+        incumbent: Option<BiSolution>,
+    ) -> Budgeted<Option<BiSolution>> {
+        let _ = incumbent;
+        self.solve_point(pipeline, platform, objective, budget)
+    }
+
+    /// Produces the best Pareto front achievable within the budget. Only
+    /// called when [`Capabilities::shapes`]`.fronts` holds.
+    ///
+    /// # Panics
+    /// The default body panics — front-incapable solvers must never be
+    /// asked for fronts.
+    fn solve_front(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> Budgeted<ParetoFront<IntervalMapping>> {
+        let _ = (pipeline, platform, budget);
+        unreachable!("{} does not produce fronts", self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Engine
+// ---------------------------------------------------------------------------
+
+/// The solver registry and planner. Registration order is the preference
+/// order: for each answer shape, the *first* applicable proof-capable
+/// solver is the exact backend, and race members run in registration
+/// order (which is what makes the engine's heuristic side bit-identical
+/// to the legacy [`Portfolio`](crate::heuristics::Portfolio)).
+///
+/// ```
+/// use rpwf_algo::engine::Engine;
+///
+/// let engine = Engine::with_default_backends(0xCAFE);
+/// // The capability surface is queryable: which backend would answer a
+/// // front request for Figure 5's comm-homogeneous platform?
+/// let pipeline = rpwf_gen::figure5_pipeline();
+/// let platform = rpwf_gen::figure5_platform();
+/// let backend = engine.front_backend(&pipeline, &platform).expect("m = 11 ≤ 16");
+/// assert_eq!(backend.name(), "bitmask-dp");
+/// ```
+pub struct Engine {
+    solvers: Vec<Arc<dyn Solver>>,
+    seed: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("seed", &self.seed)
+            .field(
+                "solvers",
+                &self.solvers.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Engine {
+    /// An empty engine (no backends registered).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            solvers: Vec::new(),
+            seed,
+        }
+    }
+
+    /// An engine with every stock backend registered, in the canonical
+    /// preference order: bitmask-dp, branch-bound, exhaustive, bnb-sweep,
+    /// interval-dp, one-to-one, single-interval, split-dp, local-search,
+    /// annealing, random-search, portfolio-front. `seed` drives every
+    /// randomized member (a fixed seed makes answers deterministic).
+    #[must_use]
+    pub fn with_default_backends(seed: u64) -> Self {
+        let mut engine = Engine::new(seed);
+        engine.register(Arc::new(BitmaskDpSolver));
+        engine.register(Arc::new(BranchBoundSolver));
+        engine.register(Arc::new(ExhaustiveSolver));
+        engine.register(Arc::new(BnbSweepSolver));
+        engine.register(Arc::new(IntervalDpSolver));
+        engine.register(Arc::new(OneToOneSolver));
+        engine.register(Arc::new(SingleIntervalSolver));
+        engine.register(Arc::new(SplitDpSolver));
+        engine.register(Arc::new(LocalSearchSolver { seed }));
+        engine.register(Arc::new(AnnealingSolver { seed }));
+        engine.register(Arc::new(RandomSearchSolver { seed }));
+        engine.register(Arc::new(PortfolioFrontSolver {
+            front: PortfolioFront { seed, steps: 9 },
+        }));
+        engine
+    }
+
+    /// Appends a backend to the registry (lowest preference so far).
+    pub fn register(&mut self, solver: Arc<dyn Solver>) {
+        self.solvers.push(solver);
+    }
+
+    /// The registered backends, in preference order.
+    #[must_use]
+    pub fn solvers(&self) -> &[Arc<dyn Solver>] {
+        &self.solvers
+    }
+
+    /// Looks a backend up by its registry name.
+    #[must_use]
+    pub fn solver(&self, name: &str) -> Option<&Arc<dyn Solver>> {
+        self.solvers.iter().find(|s| s.name() == name)
+    }
+
+    /// The seed driving randomized members.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The exact front backend the engine would use for the instance: the
+    /// first applicable proof-capable solver whose `Complete` fronts are
+    /// exact. `None` means only heuristic fronts are available (the
+    /// portfolio fallback still answers).
+    #[must_use]
+    pub fn front_backend(&self, pipeline: &Pipeline, platform: &Platform) -> Option<&dyn Solver> {
+        self.solvers.iter().map(AsRef::as_ref).find(|s| {
+            let caps = s.capabilities();
+            caps.shapes.fronts
+                && caps.front_exact
+                && caps.exactness.proof_capable()
+                && s.applicable(pipeline, platform)
+        })
+    }
+
+    /// The exact point backend the engine would race for the instance and
+    /// objective: the first applicable proof-capable point solver.
+    #[must_use]
+    pub fn point_backend(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+    ) -> Option<&dyn Solver> {
+        self.solvers.iter().map(AsRef::as_ref).find(|s| {
+            let caps = s.capabilities();
+            caps.shapes.points
+                && caps.exactness.proof_capable()
+                && caps.objectives.contains(objective)
+                && s.applicable(pipeline, platform)
+        })
+    }
+
+    /// The heuristic front fallback (first applicable heuristic-tier
+    /// front producer — the portfolio sweep in the stock registry).
+    fn front_fallback(&self, pipeline: &Pipeline, platform: &Platform) -> Option<&dyn Solver> {
+        self.solvers.iter().map(AsRef::as_ref).find(|s| {
+            let caps = s.capabilities();
+            caps.shapes.fronts
+                && caps.exactness == Exactness::Heuristic
+                && s.applicable(pipeline, platform)
+        })
+    }
+
+    /// Plans and executes one request. See the module docs for the plan
+    /// shapes; every solve/pareto call site of the serving layer, CLI and
+    /// experiments goes through here.
+    #[must_use]
+    pub fn solve(&self, req: &SolveRequest<'_>) -> SolveReport {
+        match req.want {
+            Want::Front | Want::FrontStream { .. } => self.plan_front(req),
+            Want::Point {
+                objective,
+                keep_front,
+            } => {
+                if keep_front {
+                    if let Some(backend) = self.front_backend(req.pipeline, req.platform) {
+                        return self.plan_point_via_front(req, objective, backend);
+                    }
+                }
+                self.plan_point_race(req, objective)
+            }
+        }
+    }
+
+    /// Front plan: the exact front backend where one applies, the
+    /// heuristic portfolio sweep beyond.
+    fn plan_front(&self, req: &SolveRequest<'_>) -> SolveReport {
+        let mut stats = Vec::new();
+        let (outcome, provenance, exact_capable) =
+            match self.front_backend(req.pipeline, req.platform) {
+                Some(backend) => {
+                    let outcome = timed_front(backend, req, &mut stats);
+                    (outcome, Provenance::Exact, true)
+                }
+                None => match self.front_fallback(req.pipeline, req.platform) {
+                    Some(backend) => {
+                        let outcome = timed_front(backend, req, &mut stats);
+                        (outcome, Provenance::Heuristic, false)
+                    }
+                    None => (
+                        Budgeted::Cutoff(ParetoFront::new()),
+                        Provenance::Heuristic,
+                        false,
+                    ),
+                },
+            };
+        let complete = outcome.is_complete();
+        let front = Arc::new(outcome.into_inner());
+        // Field semantics: `exact_complete` may only be claimed by a
+        // proof-capable backend (a heuristic sweep that happens to finish
+        // its budget proves nothing), and `heuristic_complete` covers the
+        // heuristics the plan actually ran (vacuously true on the exact
+        // path, where none do).
+        let completeness = if exact_capable {
+            Completeness {
+                exact_capable: true,
+                exact_complete: complete,
+                heuristic_complete: true,
+            }
+        } else {
+            Completeness {
+                exact_capable: false,
+                exact_complete: false,
+                heuristic_complete: complete,
+            }
+        };
+        SolveReport {
+            provenance: Some(provenance),
+            completeness,
+            answer: Answer::Front(front),
+            front: None,
+            stats,
+        }
+    }
+
+    /// Point-via-front plan: build the whole front with the exact backend
+    /// while the heuristic portfolio races on a second thread; answer
+    /// from the front when it completes, otherwise take the best of the
+    /// partial front and the heuristics. The front travels back as a
+    /// by-product for callers that cache it.
+    fn plan_point_via_front(
+        &self,
+        req: &SolveRequest<'_>,
+        objective: Objective,
+        backend: &dyn Solver,
+    ) -> SolveReport {
+        let mut stats = Vec::new();
+        let (front_outcome, heuristic, mut heuristic_stats) = crossbeam::thread::scope(|scope| {
+            let heuristic = scope.spawn(|_| {
+                let mut hstats = Vec::new();
+                let outcome = self.race_heuristics(req, objective, &mut hstats);
+                (outcome, hstats)
+            });
+            let front = timed_front(backend, req, &mut stats);
+            let (heuristic, hstats) = heuristic.join().expect("heuristics do not panic");
+            (front, heuristic, hstats)
+        })
+        .expect("race threads do not panic");
+        stats.append(&mut heuristic_stats);
+
+        let complete = front_outcome.is_complete();
+        let heuristic_complete = heuristic.is_complete();
+        let front = Arc::new(front_outcome.into_inner());
+        let exact_point = threshold_read(&front, objective);
+        let (answer, provenance) = if complete {
+            let provenance = exact_point.is_some().then_some(Provenance::Exact);
+            (exact_point, provenance)
+        } else {
+            pick_better(objective, exact_point, heuristic.into_inner())
+        };
+        SolveReport {
+            answer: Answer::Point(answer),
+            completeness: Completeness {
+                exact_capable: true,
+                exact_complete: complete,
+                heuristic_complete,
+            },
+            provenance,
+            front: Some(FrontArtifact {
+                front,
+                complete,
+                provenance: Provenance::Exact,
+                exact_capable: true,
+            }),
+            stats,
+        }
+    }
+
+    /// Per-threshold race plan: the exact point backend against the
+    /// heuristic race members under the shared budget. Non-seedable exact
+    /// backends run truly in parallel on a second thread; seedable ones
+    /// (branch-and-bound) run after the heuristics, seeded with their
+    /// answer, so the exact search polls the budget from its first node.
+    fn plan_point_race(&self, req: &SolveRequest<'_>, objective: Objective) -> SolveReport {
+        let mut stats = Vec::new();
+        let backend = self.point_backend(req.pipeline, req.platform, objective);
+        let (exact_outcome, heuristic) = match backend {
+            Some(s) if s.capabilities().seedable => {
+                let heuristic = self.race_heuristics(req, objective, &mut stats);
+                let start = Instant::now();
+                let outcome = s.solve_point_seeded(
+                    req.pipeline,
+                    req.platform,
+                    objective,
+                    req.budget,
+                    heuristic.inner().clone(),
+                );
+                push_point_stat(&mut stats, s.name(), start, &outcome);
+                (Some(outcome), heuristic)
+            }
+            Some(s) => {
+                let (exact, heuristic) = crossbeam::thread::scope(|scope| {
+                    let exact = scope.spawn(|_| {
+                        let start = Instant::now();
+                        let outcome =
+                            s.solve_point(req.pipeline, req.platform, objective, req.budget);
+                        (outcome, start)
+                    });
+                    let heuristic = self.race_heuristics(req, objective, &mut stats);
+                    let (outcome, start) = exact.join().expect("exact solver does not panic");
+                    push_point_stat(&mut stats, s.name(), start, &outcome);
+                    (outcome, heuristic)
+                })
+                .expect("race threads do not panic");
+                (Some(exact), heuristic)
+            }
+            None => (None, self.race_heuristics(req, objective, &mut stats)),
+        };
+
+        let heuristic_complete = heuristic.is_complete();
+        let heuristic = heuristic.into_inner();
+        let (answer, provenance, completeness) = match exact_outcome {
+            Some(Budgeted::Complete(sol)) => {
+                let provenance = sol.is_some().then_some(Provenance::Exact);
+                (
+                    sol,
+                    provenance,
+                    Completeness {
+                        exact_capable: true,
+                        exact_complete: true,
+                        heuristic_complete,
+                    },
+                )
+            }
+            Some(Budgeted::Cutoff(partial)) => {
+                let (answer, provenance) = pick_better(objective, partial, heuristic);
+                (
+                    answer,
+                    provenance,
+                    Completeness {
+                        exact_capable: true,
+                        exact_complete: false,
+                        heuristic_complete,
+                    },
+                )
+            }
+            None => {
+                let provenance = heuristic.is_some().then_some(Provenance::Heuristic);
+                (
+                    heuristic,
+                    provenance,
+                    Completeness {
+                        exact_capable: false,
+                        exact_complete: false,
+                        heuristic_complete,
+                    },
+                )
+            }
+        };
+        SolveReport {
+            answer: Answer::Point(answer),
+            completeness,
+            provenance,
+            front: None,
+            stats,
+        }
+    }
+
+    /// Runs every applicable race member in registration order under the
+    /// shared budget and keeps the best answer — the engine's heuristic
+    /// portfolio, bit-identical to the legacy
+    /// [`Portfolio`](crate::heuristics::Portfolio) fold.
+    fn race_heuristics(
+        &self,
+        req: &SolveRequest<'_>,
+        objective: Objective,
+        stats: &mut Vec<SolverStat>,
+    ) -> Budgeted<Option<BiSolution>> {
+        let mut complete = true;
+        let mut best: Option<BiSolution> = None;
+        for solver in self.solvers.iter().map(AsRef::as_ref) {
+            let caps = solver.capabilities();
+            if !(caps.race_member
+                && caps.shapes.points
+                && caps.objectives.contains(objective)
+                && solver.applicable(req.pipeline, req.platform))
+            {
+                continue;
+            }
+            let start = Instant::now();
+            let outcome = solver.solve_point(req.pipeline, req.platform, objective, req.budget);
+            let member_complete = outcome.is_complete();
+            if !member_complete {
+                complete = false;
+            }
+            let sol = outcome.into_inner();
+            stats.push(SolverStat {
+                solver: solver.name(),
+                elapsed_us: elapsed_us(start),
+                complete: member_complete,
+                produced: sol.is_some(),
+            });
+            if let Some(sol) = sol {
+                best = match best {
+                    Some(b) if !objective.better(&sol, &b) => Some(b),
+                    _ => Some(sol),
+                };
+            }
+        }
+        if complete {
+            Budgeted::Complete(best)
+        } else {
+            Budgeted::Cutoff(best)
+        }
+    }
+}
+
+/// The cutoff tie-break shared by every race shape: a partial exact
+/// answer against the heuristic answer, feasibility-then-objective order
+/// (exact wins ties). One copy — this comparison is what the
+/// engine-equivalence contract pins, so it must not fork.
+fn pick_better(
+    objective: Objective,
+    exact_partial: Option<BiSolution>,
+    heuristic: Option<BiSolution>,
+) -> (Option<BiSolution>, Option<Provenance>) {
+    match (exact_partial, heuristic) {
+        (Some(e), Some(h)) => {
+            if objective.better(&e, &h) {
+                (Some(e), Some(Provenance::Exact))
+            } else {
+                (Some(h), Some(Provenance::Heuristic))
+            }
+        }
+        (Some(e), None) => (Some(e), Some(Provenance::Exact)),
+        (None, Some(h)) => (Some(h), Some(Provenance::Heuristic)),
+        (None, None) => (None, None),
+    }
+}
+
+/// Runs a front backend and records its stat.
+fn timed_front(
+    backend: &dyn Solver,
+    req: &SolveRequest<'_>,
+    stats: &mut Vec<SolverStat>,
+) -> Budgeted<ParetoFront<IntervalMapping>> {
+    let start = Instant::now();
+    let outcome = backend.solve_front(req.pipeline, req.platform, req.budget);
+    stats.push(SolverStat {
+        solver: backend.name(),
+        elapsed_us: elapsed_us(start),
+        complete: outcome.is_complete(),
+        produced: !outcome.inner().is_empty(),
+    });
+    outcome
+}
+
+/// Records a point backend's stat.
+fn push_point_stat(
+    stats: &mut Vec<SolverStat>,
+    solver: &'static str,
+    start: Instant,
+    outcome: &Budgeted<Option<BiSolution>>,
+) {
+    stats.push(SolverStat {
+        solver,
+        elapsed_us: elapsed_us(start),
+        complete: outcome.is_complete(),
+        produced: outcome.inner().is_some(),
+    });
+}
+
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+// ---------------------------------------------------------------------------
+// Stock backend registrations
+// ---------------------------------------------------------------------------
+
+/// The bitmask DP on uniform-link platforms (`m ≤ 16`): the whole exact
+/// front in one `O(n²·3^m)` pass; threshold answers are reads off it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BitmaskDpSolver;
+
+impl Solver for BitmaskDpSolver {
+    fn name(&self) -> &'static str {
+        "bitmask-dp"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            classes: ClassSet::UNIFORM_LINKS,
+            objectives: ObjectiveSet::BOTH,
+            shapes: AnswerShapes {
+                points: true,
+                fronts: true,
+            },
+            max_stages: None,
+            max_procs: Some(16),
+            exactness: Exactness::Exact,
+            budget_aware: true,
+            seedable: false,
+            race_member: false,
+            front_exact: true,
+        }
+    }
+
+    fn solve_point(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
+        solve_comm_homog_with_budget(pipeline, platform, objective, budget)
+            .expect("applicability checked: uniform bandwidth")
+    }
+
+    fn solve_front(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> Budgeted<ParetoFront<IntervalMapping>> {
+        pareto_front_comm_homog_with_budget(pipeline, platform, budget)
+            .expect("applicability checked: uniform bandwidth")
+    }
+}
+
+/// The branch-and-bound threshold solver (any class, `m ≤ 12`): exact
+/// point answers with heuristic-seeded pruning.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BranchBoundSolver;
+
+impl Solver for BranchBoundSolver {
+    fn name(&self) -> &'static str {
+        "branch-bound"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            classes: ClassSet::ALL,
+            objectives: ObjectiveSet::BOTH,
+            shapes: AnswerShapes {
+                points: true,
+                fronts: false,
+            },
+            max_stages: None,
+            max_procs: Some(12),
+            exactness: Exactness::Exact,
+            budget_aware: true,
+            seedable: true,
+            race_member: false,
+            front_exact: false,
+        }
+    }
+
+    fn solve_point(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
+        BranchBound::new(pipeline, platform).solve_with_budget(objective, budget)
+    }
+
+    fn solve_point_seeded(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+        incumbent: Option<BiSolution>,
+    ) -> Budgeted<Option<BiSolution>> {
+        BranchBound::new(pipeline, platform).solve_with_budget_seeded(objective, budget, incumbent)
+    }
+}
+
+/// The exhaustive oracle (any class, `m ≤ 6`): full enumeration with
+/// replication, yield-ordered so cutoff fronts cover the extremes first.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExhaustiveSolver;
+
+impl Solver for ExhaustiveSolver {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            classes: ClassSet::ALL,
+            objectives: ObjectiveSet::BOTH,
+            shapes: AnswerShapes {
+                points: true,
+                fronts: true,
+            },
+            max_stages: None,
+            max_procs: Some(6),
+            exactness: Exactness::Anytime,
+            budget_aware: true,
+            seedable: false,
+            race_member: false,
+            front_exact: true,
+        }
+    }
+
+    fn solve_point(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
+        crate::exact::Exhaustive::new(pipeline, platform).solve_with_budget(objective, budget)
+    }
+
+    fn solve_front(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> Budgeted<ParetoFront<IntervalMapping>> {
+        crate::exact::Exhaustive::new(pipeline, platform).pareto_front_with_budget(budget)
+    }
+}
+
+/// The branch-and-bound ε-constraint sweep (any class, `m ≤ 12`):
+/// enumerates the exact front point by point — anytime by construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BnbSweepSolver;
+
+impl Solver for BnbSweepSolver {
+    fn name(&self) -> &'static str {
+        "bnb-sweep"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            classes: ClassSet::ALL,
+            objectives: ObjectiveSet::BOTH,
+            shapes: AnswerShapes {
+                points: false,
+                fronts: true,
+            },
+            max_stages: None,
+            max_procs: Some(12),
+            exactness: Exactness::Anytime,
+            budget_aware: true,
+            seedable: false,
+            race_member: false,
+            front_exact: true,
+        }
+    }
+
+    fn solve_front(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> Budgeted<ParetoFront<IntervalMapping>> {
+        BranchBoundSweep.front_with_budget(pipeline, platform, budget)
+    }
+}
+
+/// The exact interval DP (any class, `m ≤ 16`, no replication): produces
+/// the latency extreme of the front as a one-point *partial* front (its
+/// point is exact — replication never reduces latency — but a one-point
+/// front is never the whole front, hence `front_exact: false`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IntervalDpSolver;
+
+impl Solver for IntervalDpSolver {
+    fn name(&self) -> &'static str {
+        "interval-dp"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            classes: ClassSet::ALL,
+            objectives: ObjectiveSet::LATENCY_ONLY,
+            shapes: AnswerShapes {
+                points: false,
+                fronts: true,
+            },
+            max_stages: None,
+            max_procs: Some(16),
+            exactness: Exactness::Exact,
+            budget_aware: true,
+            seedable: false,
+            race_member: false,
+            front_exact: false,
+        }
+    }
+
+    fn solve_front(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> Budgeted<ParetoFront<IntervalMapping>> {
+        IntervalDpFront.front_with_budget(pipeline, platform, budget)
+    }
+}
+
+/// The one-to-one mapping heuristic (greedy + 2-opt over Theorem 3's
+/// TSP-shaped problem): latency-oriented answers from the
+/// no-replication, one-stage-per-processor family. Requires `n ≤ m`;
+/// not a default race member (its family is too restrictive to improve
+/// the portfolio, but it remains individually invocable).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OneToOneSolver;
+
+impl Solver for OneToOneSolver {
+    fn name(&self) -> &'static str {
+        "one-to-one"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            classes: ClassSet::ALL,
+            objectives: ObjectiveSet::LATENCY_ONLY,
+            shapes: AnswerShapes {
+                points: true,
+                fronts: false,
+            },
+            max_stages: None,
+            max_procs: None,
+            exactness: Exactness::Heuristic,
+            budget_aware: false,
+            seedable: false,
+            race_member: false,
+            front_exact: false,
+        }
+    }
+
+    fn applicable(&self, pipeline: &Pipeline, platform: &Platform) -> bool {
+        self.capabilities().admits(pipeline, platform) && pipeline.n_stages() <= platform.n_procs()
+    }
+
+    fn solve_point(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        _budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
+        let answer = one_to_one::solve_one_to_one(pipeline, platform).and_then(|(mapping, _)| {
+            let mapping = mapping.to_interval_mapping(platform.n_procs());
+            let sol = BiSolution::evaluate(mapping, pipeline, platform);
+            objective
+                .feasible(sol.latency, sol.failure_prob)
+                .then_some(sol)
+        });
+        Budgeted::Complete(answer)
+    }
+}
+
+/// The single-interval family search (any class): exact within its family
+/// on uniform links, greedy orders beyond — a heuristic overall. First
+/// member of the default race.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SingleIntervalSolver;
+
+impl Solver for SingleIntervalSolver {
+    fn name(&self) -> &'static str {
+        "single-interval"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            classes: ClassSet::ALL,
+            objectives: ObjectiveSet::BOTH,
+            shapes: AnswerShapes {
+                points: true,
+                fronts: false,
+            },
+            max_stages: None,
+            max_procs: None,
+            exactness: Exactness::Heuristic,
+            budget_aware: false,
+            seedable: false,
+            race_member: true,
+            front_exact: false,
+        }
+    }
+
+    fn solve_point(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        _budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
+        Budgeted::Complete(single_interval::best_single_interval(
+            pipeline, platform, objective,
+        ))
+    }
+}
+
+/// The split DP (uniform links): exact Pareto DP restricted to processor
+/// orders, a portfolio of three orders — a heuristic overall.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SplitDpSolver;
+
+impl Solver for SplitDpSolver {
+    fn name(&self) -> &'static str {
+        "split-dp"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            classes: ClassSet::UNIFORM_LINKS,
+            objectives: ObjectiveSet::BOTH,
+            shapes: AnswerShapes {
+                points: true,
+                fronts: false,
+            },
+            max_stages: None,
+            max_procs: None,
+            exactness: Exactness::Heuristic,
+            budget_aware: false,
+            seedable: false,
+            race_member: true,
+            front_exact: false,
+        }
+    }
+
+    fn solve_point(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        _budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
+        Budgeted::Complete(
+            split_dp::solve(pipeline, platform, objective)
+                .expect("applicability checked: uniform bandwidth"),
+        )
+    }
+}
+
+/// Multi-start steepest descent over the 7-move neighborhood (any class),
+/// budget-aware.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalSearchSolver {
+    /// Seed for the random restarts.
+    pub seed: u64,
+}
+
+impl Solver for LocalSearchSolver {
+    fn name(&self) -> &'static str {
+        "local-search"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            classes: ClassSet::ALL,
+            objectives: ObjectiveSet::BOTH,
+            shapes: AnswerShapes {
+                points: true,
+                fronts: false,
+            },
+            max_stages: None,
+            max_procs: None,
+            exactness: Exactness::Heuristic,
+            budget_aware: true,
+            seedable: false,
+            race_member: true,
+            front_exact: false,
+        }
+    }
+
+    fn solve_point(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
+        local_search::LocalSearch {
+            seed: self.seed,
+            ..LocalSearch::default()
+        }
+        .solve_with_budget(pipeline, platform, objective, budget)
+    }
+}
+
+/// Penalty-based simulated annealing (any class), budget-aware.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnealingSolver {
+    /// Seed for the annealing schedule.
+    pub seed: u64,
+}
+
+impl Solver for AnnealingSolver {
+    fn name(&self) -> &'static str {
+        "annealing"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            classes: ClassSet::ALL,
+            objectives: ObjectiveSet::BOTH,
+            shapes: AnswerShapes {
+                points: true,
+                fronts: false,
+            },
+            max_stages: None,
+            max_procs: None,
+            exactness: Exactness::Heuristic,
+            budget_aware: true,
+            seedable: false,
+            race_member: true,
+            front_exact: false,
+        }
+    }
+
+    fn solve_point(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
+        annealing::Annealing {
+            seed: self.seed,
+            ..Annealing::default()
+        }
+        .solve_with_budget(pipeline, platform, objective, budget)
+    }
+}
+
+/// Uniform random sampling baseline (any class), budget-aware.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomSearchSolver {
+    /// Seed for the sampler.
+    pub seed: u64,
+}
+
+impl Solver for RandomSearchSolver {
+    fn name(&self) -> &'static str {
+        "random-search"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            classes: ClassSet::ALL,
+            objectives: ObjectiveSet::BOTH,
+            shapes: AnswerShapes {
+                points: true,
+                fronts: false,
+            },
+            max_stages: None,
+            max_procs: None,
+            exactness: Exactness::Heuristic,
+            budget_aware: true,
+            seedable: false,
+            race_member: true,
+            front_exact: false,
+        }
+    }
+
+    fn solve_point(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+    ) -> Budgeted<Option<BiSolution>> {
+        random_search::RandomSearch {
+            seed: self.seed,
+            ..RandomSearch::default()
+        }
+        .solve_with_budget(pipeline, platform, objective, budget)
+    }
+}
+
+/// The heuristic portfolio as a front producer (any class): a grid of
+/// threshold solves between the Theorem 1 reliability extreme and the
+/// least reliable useful point, plus the interval-DP latency anchor where
+/// it applies. The universal front fallback; never claims exactness.
+#[derive(Clone, Copy, Debug)]
+pub struct PortfolioFrontSolver {
+    /// The underlying grid-sweep configuration.
+    pub front: PortfolioFront,
+}
+
+impl Solver for PortfolioFrontSolver {
+    fn name(&self) -> &'static str {
+        "portfolio-front"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            classes: ClassSet::ALL,
+            objectives: ObjectiveSet::BOTH,
+            shapes: AnswerShapes {
+                points: false,
+                fronts: true,
+            },
+            max_stages: None,
+            max_procs: None,
+            exactness: Exactness::Heuristic,
+            budget_aware: true,
+            seedable: false,
+            race_member: false,
+            front_exact: false,
+        }
+    }
+
+    fn solve_front(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> Budgeted<ParetoFront<IntervalMapping>> {
+        self.front.front_with_budget(pipeline, platform, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::Portfolio;
+    use rpwf_core::assert_approx_eq;
+    use rpwf_core::platform::FailureClass;
+
+    fn engine() -> Engine {
+        Engine::with_default_backends(0xCAFE)
+    }
+
+    fn instance(class: PlatformClass, n: usize, m: usize, seed: u64) -> (Pipeline, Platform) {
+        let inst = rpwf_gen::make_instance(class, FailureClass::Heterogeneous, n, m, seed);
+        (inst.pipeline, inst.platform)
+    }
+
+    #[test]
+    fn backend_selection_mirrors_the_legacy_policy() {
+        let engine = engine();
+        let (pipe, pf) = instance(PlatformClass::FullyHeterogeneous, 3, 4, 1);
+        assert_eq!(
+            engine.front_backend(&pipe, &pf).expect("m=4").name(),
+            "exhaustive"
+        );
+        let (pipe, pf) = instance(PlatformClass::FullyHeterogeneous, 3, 10, 1);
+        assert_eq!(
+            engine.front_backend(&pipe, &pf).expect("m=10").name(),
+            "bnb-sweep"
+        );
+        let (pipe, pf) = instance(PlatformClass::CommHomogeneous, 3, 10, 1);
+        assert_eq!(
+            engine.front_backend(&pipe, &pf).expect("comm-homog").name(),
+            "bitmask-dp"
+        );
+        let (pipe, pf) = instance(PlatformClass::FullyHeterogeneous, 3, 14, 1);
+        assert!(
+            engine.front_backend(&pipe, &pf).is_none(),
+            "m=14 het: heuristics only"
+        );
+
+        // Point backends: the DP on uniform links, branch-and-bound beyond
+        // (shadowing the exhaustive oracle, exactly like the legacy race).
+        let objective = Objective::MinFpUnderLatency(10.0);
+        let (pipe, pf) = instance(PlatformClass::CommHomogeneous, 3, 10, 1);
+        assert_eq!(
+            engine
+                .point_backend(&pipe, &pf, objective)
+                .expect("ch")
+                .name(),
+            "bitmask-dp"
+        );
+        let (pipe, pf) = instance(PlatformClass::FullyHeterogeneous, 3, 5, 1);
+        assert_eq!(
+            engine
+                .point_backend(&pipe, &pf, objective)
+                .expect("het m=5")
+                .name(),
+            "branch-bound"
+        );
+        let (pipe, pf) = instance(PlatformClass::FullyHeterogeneous, 3, 14, 1);
+        assert!(engine.point_backend(&pipe, &pf, objective).is_none());
+    }
+
+    #[test]
+    fn point_race_equals_legacy_portfolio_race() {
+        let engine = engine();
+        for (class, m) in [
+            (PlatformClass::CommHomogeneous, 5),
+            (PlatformClass::FullyHeterogeneous, 5),
+            (PlatformClass::FullyHeterogeneous, 14),
+        ] {
+            let (pipe, pf) = instance(class, 3, m, 11);
+            let objective =
+                Objective::MinFpUnderLatency(crate::mono::minimize_failure(&pipe, &pf).latency);
+            let report = engine.solve(&SolveRequest {
+                pipeline: &pipe,
+                platform: &pf,
+                want: Want::Point {
+                    objective,
+                    keep_front: false,
+                },
+                budget: &Budget::unlimited(),
+            });
+            let legacy = Portfolio::new(0xCAFE).race(&pipe, &pf, objective, &Budget::unlimited());
+            assert_eq!(
+                serde_json::to_string(&report.point().cloned()).unwrap(),
+                serde_json::to_string(&legacy.best).unwrap(),
+                "class {class:?} m={m}"
+            );
+            assert_eq!(report.completeness.exact_capable, legacy.exact_attempted);
+            assert_eq!(report.completeness.exact_complete, legacy.exact_complete);
+            assert_eq!(
+                report.completeness.heuristic_complete,
+                legacy.heuristic_complete
+            );
+            assert!(!report.stats.is_empty(), "per-solver stats recorded");
+        }
+    }
+
+    #[test]
+    fn point_via_front_reports_the_front_byproduct() {
+        let engine = engine();
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let report = engine.solve(&SolveRequest {
+            pipeline: &pipe,
+            platform: &pf,
+            want: Want::Point {
+                objective: Objective::MinFpUnderLatency(22.0),
+                keep_front: true,
+            },
+            budget: &Budget::unlimited(),
+        });
+        let sol = report.point().expect("feasible");
+        assert_approx_eq!(sol.failure_prob, 1.0 - 0.9 * (1.0 - 0.8f64.powi(10)));
+        assert_eq!(report.provenance, Some(Provenance::Exact));
+        let artifact = report.front.as_ref().expect("front by-product");
+        assert!(artifact.complete);
+        // The by-product answers later queries directly.
+        assert!(threshold_read(&artifact.front, Objective::MinLatencyUnderFp(0.9)).is_some());
+    }
+
+    #[test]
+    fn front_request_beyond_exact_backends_falls_back_to_the_portfolio() {
+        let engine = engine();
+        let (pipe, pf) = instance(PlatformClass::FullyHeterogeneous, 4, 14, 2);
+        let report = engine.solve(&SolveRequest {
+            pipeline: &pipe,
+            platform: &pf,
+            want: Want::Front,
+            budget: &Budget::unlimited(),
+        });
+        assert_eq!(report.provenance, Some(Provenance::Heuristic));
+        assert!(!report.completeness.exact_capable);
+        assert!(!report.completeness.exact_complete);
+        let front = report.front_answer().expect("front");
+        assert!(!front.is_empty() && front.invariant_holds());
+        assert_eq!(report.stats.len(), 1);
+        assert_eq!(report.stats[0].solver, "portfolio-front");
+    }
+
+    #[test]
+    fn expired_budget_yields_a_cutoff_not_a_proof() {
+        let engine = engine();
+        let pipe = rpwf_gen::figure5_pipeline();
+        let pf = rpwf_gen::figure5_platform();
+        let expired = Budget::with_deadline(std::time::Duration::ZERO);
+        let report = engine.solve(&SolveRequest {
+            pipeline: &pipe,
+            platform: &pf,
+            want: Want::Point {
+                objective: Objective::MinFpUnderLatency(22.0),
+                keep_front: false,
+            },
+            budget: &expired,
+        });
+        assert!(report.completeness.exact_capable);
+        assert!(!report.completeness.exact_complete);
+        assert!(!report.completeness.cacheable_point());
+    }
+
+    #[test]
+    fn provenance_serializes_to_the_stable_wire_strings() {
+        assert_eq!(
+            serde_json::to_string(&Provenance::Exact).unwrap(),
+            "\"exact\""
+        );
+        assert_eq!(
+            serde_json::to_string(&Provenance::Heuristic).unwrap(),
+            "\"heuristic\""
+        );
+        let parsed: Provenance = serde_json::from_str("\"heuristic\"").unwrap();
+        assert_eq!(parsed, Provenance::Heuristic);
+        assert!(serde_json::from_str::<Provenance>("\"bogus\"").is_err());
+        assert_eq!(Provenance::Exact.to_string(), "exact");
+    }
+
+    #[test]
+    fn one_to_one_is_registered_but_outside_the_race() {
+        let engine = engine();
+        let solver = engine.solver("one-to-one").expect("registered");
+        let caps = solver.capabilities();
+        assert!(!caps.race_member);
+        assert!(!caps.objectives.min_fp_under_latency);
+        // n > m: the family does not apply.
+        let (pipe, pf) = instance(PlatformClass::FullyHeterogeneous, 6, 4, 3);
+        assert!(!solver.applicable(&pipe, &pf));
+        // n ≤ m: it answers with a valid evaluated mapping.
+        let (pipe, pf) = instance(PlatformClass::FullyHeterogeneous, 3, 5, 3);
+        assert!(solver.applicable(&pipe, &pf));
+        let sol = solver
+            .solve_point(
+                &pipe,
+                &pf,
+                Objective::MinLatencyUnderFp(1.0),
+                &Budget::unlimited(),
+            )
+            .into_inner()
+            .expect("FP ≤ 1 always feasible");
+        let re = BiSolution::evaluate(sol.mapping.clone(), &pipe, &pf);
+        assert_approx_eq!(re.latency, sol.latency);
+    }
+
+    #[test]
+    fn registry_is_extensible_and_queryable() {
+        let engine = engine();
+        assert_eq!(engine.solvers().len(), 12);
+        let names: Vec<&str> = engine.solvers().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "bitmask-dp",
+                "branch-bound",
+                "exhaustive",
+                "bnb-sweep",
+                "interval-dp",
+                "one-to-one",
+                "single-interval",
+                "split-dp",
+                "local-search",
+                "annealing",
+                "random-search",
+                "portfolio-front",
+            ]
+        );
+        assert!(engine.solver("bitmask-dp").is_some());
+        assert!(engine.solver("bogus").is_none());
+    }
+}

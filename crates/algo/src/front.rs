@@ -16,6 +16,12 @@
 //! Threshold objectives then become front reads ([`threshold_read`]), and
 //! the serving layer can cache, share and stream fronts as the unit of
 //! work instead of per-query point answers.
+//!
+//! Backend *selection* (which producer answers which instance) lives in
+//! the unified [`engine`](crate::engine): each producer here is
+//! re-registered there as an [`engine::Solver`](crate::engine::Solver)
+//! and [`Engine::solve`](crate::engine::Engine::solve) plans every
+//! request.
 
 use crate::exact::{pareto_front_comm_homog_with_budget, BranchBound, Exhaustive};
 use crate::heuristics::Portfolio;
@@ -129,27 +135,6 @@ pub fn threshold_read_batch(
         }
     }
     out
-}
-
-/// The strongest *exact* front source for the instance, mirroring the
-/// solver-selection policy of the serving layer: the bitmask DP on
-/// comm-homogeneous links (`m ≤ 16`), the exhaustive oracle on tiny
-/// heterogeneous instances (`m ≤ 6`), the branch-and-bound ε-constraint
-/// sweep up to `m ≤ 12`, and `None` beyond (heuristic fronts via
-/// [`PortfolioFront`] remain available everywhere).
-#[must_use]
-pub fn best_front_source(
-    pipeline: &Pipeline,
-    platform: &Platform,
-) -> Option<&'static dyn FrontSource> {
-    const DP: BitmaskDpFront = BitmaskDpFront;
-    const EX: ExhaustiveFront = ExhaustiveFront;
-    const BB: BranchBoundSweep = BranchBoundSweep;
-    static SOURCES: [&dyn FrontSource; 3] = [&DP, &EX, &BB];
-    SOURCES
-        .iter()
-        .find(|s| s.applicable(pipeline, platform))
-        .copied()
 }
 
 // ---------------------------------------------------------------------------
@@ -446,38 +431,6 @@ mod tests {
             assert_approx_eq!(re.latency, pt.latency);
             assert_approx_eq!(re.failure_prob, pt.failure_prob);
         }
-    }
-
-    #[test]
-    fn best_source_selection_policy() {
-        let (pipe, pf) = small_het(3, 4, 1);
-        assert_eq!(
-            best_front_source(&pipe, &pf).expect("m=4").name(),
-            "exhaustive"
-        );
-        let (pipe, pf) = small_het(3, 10, 1);
-        assert_eq!(
-            best_front_source(&pipe, &pf).expect("m=10").name(),
-            "bnb-sweep"
-        );
-        let ch = rpwf_gen::make_instance(
-            PlatformClass::CommHomogeneous,
-            FailureClass::Heterogeneous,
-            3,
-            10,
-            1,
-        );
-        assert_eq!(
-            best_front_source(&ch.pipeline, &ch.platform)
-                .expect("comm-homog")
-                .name(),
-            "bitmask-dp"
-        );
-        let (pipe, pf) = small_het(3, 14, 1);
-        assert!(
-            best_front_source(&pipe, &pf).is_none(),
-            "m=14 het: heuristics only"
-        );
     }
 
     #[test]

@@ -19,11 +19,19 @@
 //! polynomial algorithms and to ground-truth the [`heuristics`]; the
 //! [`Exhaustive`](exact::Exhaustive) sweep is parallelized with crossbeam
 //! ([`par`]).
+//!
+//! The unified entry point over all of them is the [`engine`]: every
+//! backend registers as an [`engine::Solver`] declaring
+//! [`engine::Capabilities`], and [`Engine::solve`] plans each request
+//! (capability filtering, exact-first selection, portfolio racing,
+//! budget-cutoff fallback) in one audited place. The serving layer, CLI
+//! and experiments all go through it.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod bicriteria;
+pub mod engine;
 pub mod exact;
 pub mod front;
 pub mod heuristics;
@@ -32,5 +40,6 @@ pub mod par;
 pub mod reductions;
 pub mod solution;
 
-pub use front::{best_front_source, threshold_read, FrontSource};
+pub use engine::{Engine, Provenance, SolveReport, SolveRequest, Solver, Want};
+pub use front::{threshold_read, FrontSource};
 pub use solution::{BiSolution, Budgeted, Objective};

@@ -1,0 +1,265 @@
+//! Engine ⇔ legacy equivalence: `Engine::solve` must be **byte-identical**
+//! to the entry points it replaced, across all three platform classes and
+//! both threshold objectives on seeded instances.
+//!
+//! The legacy selection logic (`best_front_source`, the serving layer's
+//! front race, `Portfolio::race`) was deleted in the engine refactor, so
+//! this suite carries *frozen copies* of it, built from the still-public
+//! building blocks (`BitmaskDpFront`, `ExhaustiveFront`,
+//! `BranchBoundSweep`, `PortfolioFront`, `Portfolio`). Every comparison is
+//! on serialized bytes — same mapping, same float bits — not approximate
+//! values.
+
+use proptest::prelude::*;
+use rpwf_algo::engine::{Engine, Provenance, SolveRequest, Want};
+use rpwf_algo::front::{
+    BitmaskDpFront, BranchBoundSweep, ExhaustiveFront, FrontSource, PortfolioFront,
+};
+use rpwf_algo::heuristics::Portfolio;
+use rpwf_algo::{threshold_read, BiSolution, Budgeted, Objective};
+use rpwf_core::budget::Budget;
+use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::pareto::ParetoFront;
+use rpwf_core::platform::{FailureClass, Platform, PlatformClass};
+use rpwf_core::stage::Pipeline;
+
+const SEED: u64 = 0xCAFE;
+
+/// Seeded instance over all three platform classes. Sizes are kept small
+/// enough that every legacy exact backend terminates quickly, yet large
+/// enough to exercise each selection branch (the exhaustive oracle at
+/// `m ≤ 6`, branch-and-bound to `m ≤ 12`, the heuristic-only regime
+/// beyond).
+fn instance(seed: u64, sel: usize) -> (Pipeline, Platform, PlatformClass) {
+    let (class, n, m) = match sel {
+        0 => (PlatformClass::FullyHomogeneous, 4, 6),
+        1 => (PlatformClass::CommHomogeneous, 3, 5),
+        2 => (PlatformClass::CommHomogeneous, 4, 8),
+        3 => (PlatformClass::FullyHeterogeneous, 3, 4),
+        4 => (PlatformClass::FullyHeterogeneous, 4, 6),
+        // Between the exhaustive oracle (m ≤ 6) and the branch-and-bound
+        // ceiling (m ≤ 12): fronts come from the ε-constraint sweep.
+        5 => (PlatformClass::FullyHeterogeneous, 3, 9),
+        // Beyond every exact backend: heuristics only.
+        _ => (PlatformClass::FullyHeterogeneous, 3, 14),
+    };
+    let inst = rpwf_gen::make_instance(class, FailureClass::Heterogeneous, n, m, seed);
+    (inst.pipeline, inst.platform, class)
+}
+
+/// Both threshold kinds, spanning infeasible, tight and loose bounds.
+fn objective(pipeline: &Pipeline, platform: &Platform, kind: usize) -> Objective {
+    let safest = rpwf_algo::mono::minimize_failure(pipeline, platform);
+    match kind {
+        0 => Objective::MinFpUnderLatency(safest.latency * 0.4), // often infeasible
+        1 => Objective::MinFpUnderLatency(safest.latency),       // tight
+        2 => Objective::MinFpUnderLatency(safest.latency * 2.0), // loose
+        3 => Objective::MinLatencyUnderFp(safest.failure_prob),  // tight
+        _ => Objective::MinLatencyUnderFp(
+            safest.failure_prob + 0.5 * (1.0 - safest.failure_prob), // loose
+        ),
+    }
+}
+
+fn bytes<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serializes")
+}
+
+fn front_bytes(front: &ParetoFront<IntervalMapping>) -> String {
+    let triples: Vec<(f64, f64, IntervalMapping)> = front
+        .iter()
+        .map(|pt| (pt.latency, pt.failure_prob, pt.payload.clone()))
+        .collect();
+    bytes(&triples)
+}
+
+// ---------------------------------------------------------------------------
+// Frozen legacy logic
+// ---------------------------------------------------------------------------
+
+/// Frozen copy of the deleted `rpwf_algo::front::best_front_source`
+/// selection policy.
+fn legacy_front_source(pipeline: &Pipeline, platform: &Platform) -> Option<Box<dyn FrontSource>> {
+    let sources: [Box<dyn FrontSource>; 3] = [
+        Box::new(BitmaskDpFront),
+        Box::new(ExhaustiveFront),
+        Box::new(BranchBoundSweep),
+    ];
+    sources
+        .into_iter()
+        .find(|s| s.applicable(pipeline, platform))
+}
+
+/// Frozen copy of the legacy CLI/server Pareto path: the strongest exact
+/// front source, the portfolio grid sweep beyond.
+fn legacy_front(
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> (Budgeted<ParetoFront<IntervalMapping>>, &'static str) {
+    let unlimited = Budget::unlimited();
+    match legacy_front_source(pipeline, platform) {
+        Some(source) => (
+            source.front_with_budget(pipeline, platform, &unlimited),
+            "exact",
+        ),
+        None => (
+            PortfolioFront {
+                seed: SEED,
+                steps: 9,
+            }
+            .front_with_budget(pipeline, platform, &unlimited),
+            "heuristic",
+        ),
+    }
+}
+
+/// Frozen copy of the serving layer's deleted front-race solve path
+/// (`handle_solve` step 2): build the front with the strongest source
+/// while the portfolio races on a second thread, answer from the front
+/// when complete, else take the best of both.
+#[allow(clippy::type_complexity)]
+fn legacy_solve_via_front(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    objective: Objective,
+) -> Option<(
+    Option<(BiSolution, &'static str)>,
+    bool,
+    ParetoFront<IntervalMapping>,
+)> {
+    let source = legacy_front_source(pipeline, platform)?;
+    let budget = Budget::unlimited();
+    let portfolio = Portfolio::new(SEED);
+    let (front_outcome, heuristic) = crossbeam::thread::scope(|scope| {
+        let heuristic = scope.spawn(|_| {
+            portfolio
+                .solve_with_budget(pipeline, platform, objective, &budget)
+                .into_inner()
+        });
+        let front = source.front_with_budget(pipeline, platform, &budget);
+        let heuristic = heuristic.join().expect("portfolio does not panic");
+        (front, heuristic)
+    })
+    .expect("race threads do not panic");
+    let complete = front_outcome.is_complete();
+    let front = front_outcome.into_inner();
+    let exact_point = threshold_read(&front, objective);
+    let picked = if complete {
+        exact_point.map(|sol| (sol, "exact"))
+    } else {
+        match (exact_point, heuristic) {
+            (Some(e), Some(h)) => Some(if objective.better(&e, &h) {
+                (e, "exact")
+            } else {
+                (h, "heuristic")
+            }),
+            (Some(e), None) => Some((e, "exact")),
+            (None, Some(h)) => Some((h, "heuristic")),
+            (None, None) => None,
+        }
+    };
+    Some((picked, complete, front))
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `Engine::solve` with `keep_front: false` is byte-identical to the
+    /// legacy `Portfolio::race` — answer, provenance, and every
+    /// completeness flag — on all platform classes and both objectives.
+    #[test]
+    fn point_race_is_byte_identical_to_legacy(seed in 0u64..5_000, sel in 0usize..7, kind in 0usize..5) {
+        let (pipeline, platform, _) = instance(seed, sel);
+        let objective = objective(&pipeline, &platform, kind);
+        let engine = Engine::with_default_backends(SEED);
+        let report = engine.solve(&SolveRequest {
+            pipeline: &pipeline,
+            platform: &platform,
+            want: Want::Point { objective, keep_front: false },
+            budget: &Budget::unlimited(),
+        });
+        let legacy = Portfolio::new(SEED).race(&pipeline, &platform, objective, &Budget::unlimited());
+        prop_assert_eq!(
+            bytes(&report.point().cloned()),
+            bytes(&legacy.best),
+            "answer bytes differ (sel {}, kind {})", sel, kind
+        );
+        if legacy.best.is_some() {
+            prop_assert_eq!(
+                report.provenance.map(Provenance::as_str),
+                Some(legacy.solver.name())
+            );
+        }
+        prop_assert_eq!(report.completeness.exact_capable, legacy.exact_attempted);
+        prop_assert_eq!(report.completeness.exact_complete, legacy.exact_complete);
+        prop_assert_eq!(report.completeness.heuristic_complete, legacy.heuristic_complete);
+    }
+
+    /// `Engine::solve` with `keep_front: true` is byte-identical to the
+    /// serving layer's deleted front-race path: same picked answer, same
+    /// provenance, same completeness, and a byte-identical front
+    /// by-product. Where no exact front backend applies, the engine falls
+    /// back to exactly the legacy raceway.
+    #[test]
+    fn point_via_front_is_byte_identical_to_legacy(seed in 0u64..5_000, sel in 0usize..7, kind in 0usize..5) {
+        let (pipeline, platform, _) = instance(seed, sel);
+        let objective = objective(&pipeline, &platform, kind);
+        let engine = Engine::with_default_backends(SEED);
+        let report = engine.solve(&SolveRequest {
+            pipeline: &pipeline,
+            platform: &platform,
+            want: Want::Point { objective, keep_front: true },
+            budget: &Budget::unlimited(),
+        });
+        match legacy_solve_via_front(&pipeline, &platform, objective) {
+            Some((picked, complete, legacy_front)) => {
+                let artifact = report.front.as_ref().expect("front by-product");
+                prop_assert_eq!(artifact.complete, complete);
+                prop_assert_eq!(front_bytes(&artifact.front), front_bytes(&legacy_front));
+                match picked {
+                    Some((sol, solver)) => {
+                        prop_assert_eq!(bytes(&report.point().cloned()), bytes(&Some(sol)));
+                        prop_assert_eq!(report.provenance.map(Provenance::as_str), Some(solver));
+                    }
+                    None => prop_assert!(report.point().is_none()),
+                }
+                prop_assert_eq!(report.completeness.exact_complete, complete);
+            }
+            None => {
+                // No exact front backend: the engine must fall back to the
+                // plain race, identically to `keep_front: false`.
+                prop_assert!(report.front.is_none());
+                let legacy = Portfolio::new(SEED)
+                    .race(&pipeline, &platform, objective, &Budget::unlimited());
+                prop_assert_eq!(bytes(&report.point().cloned()), bytes(&legacy.best));
+            }
+        }
+    }
+
+    /// `Engine::solve(Want::Front)` is byte-identical to the deleted
+    /// `best_front_source` path (portfolio grid sweep beyond every exact
+    /// backend), point for point, mapping for mapping.
+    #[test]
+    fn front_is_byte_identical_to_legacy(seed in 0u64..5_000, sel in 0usize..7) {
+        let (pipeline, platform, _) = instance(seed, sel);
+        let engine = Engine::with_default_backends(SEED);
+        let report = engine.solve(&SolveRequest {
+            pipeline: &pipeline,
+            platform: &platform,
+            want: Want::Front,
+            budget: &Budget::unlimited(),
+        });
+        let (legacy_outcome, legacy_solver) = legacy_front(&pipeline, &platform);
+        prop_assert_eq!(report.completeness.exact_complete, legacy_outcome.is_complete());
+        prop_assert_eq!(
+            report.provenance.map(Provenance::as_str),
+            Some(legacy_solver)
+        );
+        let front = report.front_answer().expect("front answer");
+        prop_assert_eq!(front_bytes(front), front_bytes(&legacy_outcome.into_inner()));
+    }
+}

@@ -1,0 +1,8 @@
+//! E18 — Engine dispatch overhead vs direct backend calls (writes
+//! `BENCH_engine.json`). Pass `--smoke` for the tiny CI-sized run.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    for table in rpwf_bench::experiments::engine_overhead::engine_overhead(smoke) {
+        table.print();
+    }
+}

@@ -1,0 +1,255 @@
+//! E18 — Engine dispatch overhead: `Engine::solve` vs direct backend
+//! calls on the E14 server-throughput instance family (writes
+//! `BENCH_engine.json`).
+//!
+//! The unified engine routes every solve/pareto request through
+//! capability filtering, registry scans and report assembly. Those must
+//! be noise next to the actual solving — the acceptance bar is **≤ 3%**
+//! median overhead against hand-wired direct calls running the *same*
+//! backends (`Portfolio::race` for points, the bitmask-DP front source
+//! for fronts), measured over interleaved rounds so drift hits both
+//! sides equally.
+
+use crate::table::Table;
+use rpwf_algo::engine::{Engine, SolveRequest, Want};
+use rpwf_algo::front::{BitmaskDpFront, FrontSource};
+use rpwf_algo::heuristics::Portfolio;
+use rpwf_algo::Objective;
+use rpwf_core::budget::Budget;
+use rpwf_core::platform::{FailureClass, Platform, PlatformClass};
+use rpwf_core::stage::Pipeline;
+use std::time::Instant;
+
+const SEED: u64 = 0xCAFE;
+
+struct Scenario {
+    name: &'static str,
+    class: PlatformClass,
+    n: usize,
+    m: usize,
+    want_front: bool,
+}
+
+struct Measurement {
+    name: String,
+    rounds: usize,
+    iters_per_round: usize,
+    direct_us: f64,
+    engine_us: f64,
+    overhead_pct: f64,
+}
+
+/// Runs E18 and returns the result tables (also writes
+/// `BENCH_engine.json`). `smoke` shrinks rounds/iterations for CI.
+#[must_use]
+pub fn engine_overhead(smoke: bool) -> Vec<Table> {
+    let (rounds, iters) = if smoke { (3, 24) } else { (7, 80) };
+    let scenarios = [
+        // The E14 throughput family: comm-homogeneous n=3 m=4, exact
+        // bitmask-DP answers.
+        Scenario {
+            name: "ch-point-race",
+            class: PlatformClass::CommHomogeneous,
+            n: 3,
+            m: 4,
+            want_front: false,
+        },
+        Scenario {
+            name: "ch-front",
+            class: PlatformClass::CommHomogeneous,
+            n: 3,
+            m: 4,
+            want_front: true,
+        },
+        // Heuristic-only regime: het m=14, no exact point backend.
+        Scenario {
+            name: "het-point-race",
+            class: PlatformClass::FullyHeterogeneous,
+            n: 3,
+            m: 14,
+            want_front: false,
+        },
+    ];
+
+    let mut measurements = Vec::new();
+    for scenario in &scenarios {
+        measurements.push(run_scenario(scenario, rounds, iters));
+    }
+
+    let mut table = Table::new(
+        "E18 / engine dispatch overhead — Engine::solve vs direct backend calls",
+        &[
+            "scenario",
+            "rounds",
+            "iters",
+            "direct µs/req",
+            "engine µs/req",
+            "overhead %",
+        ],
+    );
+    for m in &measurements {
+        table.row(vec![
+            m.name.clone(),
+            m.rounds.to_string(),
+            m.iters_per_round.to_string(),
+            format!("{:.1}", m.direct_us),
+            format!("{:.1}", m.engine_us),
+            format!("{:+.2}", m.overhead_pct),
+        ]);
+    }
+    table.note(
+        "identical backends on both sides (Portfolio::race / bitmask-DP front); \
+         interleaved per-call medians, median across rounds; bar: ≤ 3%",
+    );
+
+    write_json(&measurements);
+    vec![table]
+}
+
+fn run_scenario(scenario: &Scenario, rounds: usize, iters: usize) -> Measurement {
+    let inst = rpwf_gen::make_instance(
+        scenario.class,
+        FailureClass::Heterogeneous,
+        scenario.n,
+        scenario.m,
+        9,
+    );
+    let objective = Objective::MinFpUnderLatency(
+        rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform).latency,
+    );
+    let engine = Engine::with_default_backends(SEED);
+
+    // Warm-up (untimed): fault in code paths and allocator state.
+    run_direct(scenario, &inst.pipeline, &inst.platform, objective);
+    run_engine(scenario, &engine, &inst.pipeline, &inst.platform, objective);
+
+    // Per-call medians, then the median round: interleaving cancels slow
+    // drift, and medians discard scheduler bursts that hit one side's sum
+    // (the raw sums swing ±20% on noisy shared machines; the medians sit
+    // within ±1%).
+    let mut overheads: Vec<(f64, f64, f64)> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let mut direct: Vec<f64> = Vec::with_capacity(iters);
+        let mut through_engine: Vec<f64> = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            run_direct(scenario, &inst.pipeline, &inst.platform, objective);
+            direct.push(t0.elapsed().as_secs_f64() * 1e6);
+            let t1 = Instant::now();
+            run_engine(scenario, &engine, &inst.pipeline, &inst.platform, objective);
+            through_engine.push(t1.elapsed().as_secs_f64() * 1e6);
+        }
+        let per_direct = median(&mut direct);
+        let per_engine = median(&mut through_engine);
+        overheads.push((
+            per_direct,
+            per_engine,
+            (per_engine - per_direct) / per_direct * 100.0,
+        ));
+    }
+    overheads.sort_by(|a, b| a.2.total_cmp(&b.2));
+    let (direct_us, engine_us, overhead_pct) = overheads[overheads.len() / 2];
+
+    Measurement {
+        name: scenario.name.to_string(),
+        rounds,
+        iters_per_round: iters,
+        direct_us,
+        engine_us,
+        overhead_pct,
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// The legacy hand-wired path: the same backends the engine would pick,
+/// called directly.
+fn run_direct(scenario: &Scenario, pipeline: &Pipeline, platform: &Platform, objective: Objective) {
+    let budget = Budget::unlimited();
+    if scenario.want_front {
+        let outcome = BitmaskDpFront.front_with_budget(pipeline, platform, &budget);
+        assert!(!outcome.into_inner().is_empty());
+    } else {
+        let report = Portfolio::new(SEED).race(pipeline, platform, objective, &budget);
+        assert!(report.best.is_some());
+    }
+}
+
+/// The unified path: one `Engine::solve` call.
+fn run_engine(
+    scenario: &Scenario,
+    engine: &Engine,
+    pipeline: &Pipeline,
+    platform: &Platform,
+    objective: Objective,
+) {
+    let budget = Budget::unlimited();
+    let want = if scenario.want_front {
+        Want::Front
+    } else {
+        Want::Point {
+            objective,
+            keep_front: false,
+        }
+    };
+    let report = engine.solve(&SolveRequest {
+        pipeline,
+        platform,
+        want,
+        budget: &budget,
+    });
+    match want {
+        Want::Front => assert!(!report.front_answer().expect("front").is_empty()),
+        _ => assert!(report.point().is_some()),
+    }
+}
+
+fn write_json(measurements: &[Measurement]) {
+    let doc = serde::Value::Seq(
+        measurements
+            .iter()
+            .map(|m| {
+                serde::Value::Map(vec![
+                    ("scenario".into(), serde::Value::Str(m.name.clone())),
+                    ("rounds".into(), serde::Value::UInt(m.rounds as u64)),
+                    (
+                        "iters_per_round".into(),
+                        serde::Value::UInt(m.iters_per_round as u64),
+                    ),
+                    ("direct_us".into(), serde::Value::Float(m.direct_us)),
+                    ("engine_us".into(), serde::Value::Float(m.engine_us)),
+                    ("overhead_pct".into(), serde::Value::Float(m.overhead_pct)),
+                ])
+            })
+            .collect(),
+    );
+    let text = serde_json::to_string_pretty(&doc).expect("serializes");
+    if let Err(e) = std::fs::write("BENCH_engine.json", text) {
+        eprintln!("warning: could not write BENCH_engine.json: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_overhead_is_within_three_percent() {
+        let tables = engine_overhead(true);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 3);
+        for row in &tables[0].rows {
+            let overhead: f64 = row[5].parse().expect("overhead percentage");
+            assert!(
+                overhead <= 3.0,
+                "engine dispatch overhead for {} must stay within 3% of direct \
+                 backend calls, measured {overhead:+.2}%",
+                row[0]
+            );
+        }
+        let _ = std::fs::remove_file("BENCH_engine.json");
+    }
+}

@@ -18,10 +18,12 @@
 //! | E15 | [`eval_incremental::eval_incremental`] | `exp_eval` |
 //! | E16 | [`batch_front::batch_front`] | `exp_batch` |
 //! | E17 | [`fleet::fleet`] | `exp_fleet` |
+//! | E18 | [`engine_overhead::engine_overhead`] | `exp_engine` |
 //!
 //! (E12 is the criterion suite under `benches/`.)
 
 pub mod batch_front;
+pub mod engine_overhead;
 pub mod eval_incremental;
 pub mod figures;
 pub mod fleet;
@@ -55,5 +57,6 @@ pub fn run_all() -> Vec<(&'static str, Vec<Table>)> {
         ("E15", eval_incremental::eval_incremental(false)),
         ("E16", batch_front::batch_front(false)),
         ("E17", fleet::fleet(false)),
+        ("E18", engine_overhead::engine_overhead(false)),
     ]
 }

@@ -14,11 +14,11 @@
 //! materialized neighbor when `n·m` is large.
 //!
 //! **Exactness contract:** the per-interval terms are computed by the same
-//! shared functions the full formulas use ([`metrics::interval_cost`],
-//! [`metrics::input_comm_cost`], and the log-space survival fold), and the
+//! shared functions the full formulas use ([`crate::metrics::interval_cost`],
+//! [`crate::metrics::input_comm_cost`], and the log-space survival fold), and the
 //! final summations replay the exact same floating-point operation
-//! sequence as [`metrics::latency_eq2_breakdown`] /
-//! [`metrics::log_success_probability`]. Delta-evaluated scores are
+//! sequence as [`crate::metrics::latency_eq2_breakdown`] /
+//! [`crate::metrics::log_success_probability`]. Delta-evaluated scores are
 //! therefore **bit-identical** to full recomputation — property-tested in
 //! `rpwf-algo`'s proptest suite after every apply/revert — which is what
 //! lets the heuristics adopt the fast path without changing any result.
@@ -365,8 +365,8 @@ struct UndoState {
 }
 
 /// Incremental evaluator: a mutable mapping state with cached
-/// per-interval objective terms, supporting in-place [`apply`] /
-/// [`revert`] of any [`Move`] with exact (bit-identical) scores.
+/// per-interval objective terms, supporting in-place [`apply`](Self::apply) /
+/// [`revert`](Self::revert) of any [`Move`] with exact (bit-identical) scores.
 ///
 /// Protocol: after [`apply`](Self::apply), call either
 /// [`revert`](Self::revert) (restore the pre-move state) or

@@ -16,6 +16,7 @@
 //! and evicts its least-recently-used entry when full (linear scan —
 //! shards are small by construction).
 
+use rpwf_algo::Provenance;
 use rpwf_core::mapping::IntervalMapping;
 use rpwf_core::pareto::ParetoFront;
 use serde::Value;
@@ -33,8 +34,8 @@ pub struct CachedFront {
     /// under-approximations (budget cutoffs or heuristic sweeps) and must
     /// be reported with `exact_complete: false`.
     pub complete: bool,
-    /// Who produced it: `exact` or `heuristic` (wire `meta.solver`).
-    pub solver: String,
+    /// Who produced it (wire `meta.solver`, replayed verbatim on hits).
+    pub solver: Provenance,
     /// Whether any exact front backend applies to the instance at all.
     /// When `false`, an incomplete front is the best any rerun could do,
     /// so it is served even to requests without a deadline.
@@ -47,8 +48,8 @@ pub struct CachedResult {
     /// Serialized result tree (replayed verbatim into responses, so a hit
     /// is byte-identical to the original result).
     pub result: Value,
-    /// Solver that produced it (`exact`/`heuristic`), when applicable.
-    pub solver: Option<String>,
+    /// Solver tier that produced it, when applicable.
+    pub solver: Option<Provenance>,
     /// Whether the exact solver completed.
     pub exact_complete: Option<bool>,
 }

@@ -4,11 +4,13 @@
 //! JSON-lines request/response protocol served over TCP (`std::net`) or
 //! stdin, a fixed worker pool fed by an MPMC channel, per-request
 //! deadlines with cooperative cancellation threaded into the exponential
-//! solvers, **portfolio racing** (the heuristic portfolio races the
-//! strongest applicable exact solver), and a **front-first** data path:
-//! the Pareto front ([`rpwf_algo::front::FrontSource`]) is the unit of
-//! solving, caching, batching and streaming. Threshold queries are reads
-//! off a front; the sharded LRU cache stores fronts keyed by the
+//! solvers, and a **front-first** data path over the unified solver
+//! engine: every solve/pareto request collapses onto one
+//! [`rpwf_algo::engine::Engine::solve`] call (capability filtering,
+//! exact-first selection, portfolio racing, budget-cutoff fallback),
+//! while the service owns what only a service can — the Pareto front as
+//! the unit of caching, batching and streaming. Threshold queries are
+//! reads off a front; the sharded LRU cache stores fronts keyed by the
 //! canonical `(pipeline, platform)` hash (completeness-aware, so budget
 //! cutoffs are reusable but never masquerade as exact); batches group
 //! requests by instance and solve one front per distinct instance; large
@@ -37,7 +39,7 @@
 //! ```
 //! use rpwf_server::protocol::{Command, Request};
 //! use rpwf_server::service::{ServiceConfig, SolverService};
-//! use rpwf_algo::Objective;
+//! use rpwf_algo::{Objective, Provenance};
 //!
 //! let service = SolverService::new(ServiceConfig::default());
 //! let response = service.handle(
@@ -55,7 +57,7 @@
 //!     std::time::Instant::now(),
 //! );
 //! assert_eq!(response.status, "ok");
-//! assert_eq!(response.meta.solver.as_deref(), Some("exact"));
+//! assert_eq!(response.meta.solver, Some(Provenance::Exact));
 //! ```
 
 #![warn(missing_docs)]

@@ -34,7 +34,7 @@
 //! [`Command::Ring`] introspection command returns the answering node's
 //! topology view ([`RingResult`]).
 
-use rpwf_algo::Objective;
+use rpwf_algo::{Objective, Provenance};
 use rpwf_core::hash::{CanonicalDigest, CanonicalHasher};
 use rpwf_core::mapping::IntervalMapping;
 use rpwf_core::platform::Platform;
@@ -275,9 +275,11 @@ pub struct WireError {
 pub struct Meta {
     /// Whether the result came from the solution cache.
     pub cache_hit: bool,
-    /// Which solver produced the result (`exact`/`heuristic`), when
-    /// applicable.
-    pub solver: Option<String>,
+    /// Which solver tier produced the result, when applicable. Derived
+    /// from the engine's [`Provenance`] everywhere — fresh solves, cache
+    /// hits, and fleet forwards all serialize the same enum (wire strings
+    /// `"exact"` / `"heuristic"`).
+    pub solver: Option<Provenance>,
     /// Whether the exact solver completed (result proven optimal), when
     /// applicable.
     pub exact_complete: Option<bool>,

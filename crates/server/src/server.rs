@@ -3,7 +3,7 @@
 //! Each TCP connection gets a reader thread (parsing lines, enqueueing
 //! jobs on the shared worker pool — except peer-forwarded `hop` requests,
 //! which the reader executes inline, see
-//! [`Router::handles_inline`](crate::router::Router::handles_inline))
+//! [`Router::handles_inline`])
 //! and a writer thread (draining that connection's response channel).
 //! Requests are dispatched through the server's [`Router`]:
 //! [`Server::bind`] routes everything locally, [`Server::bind_ring`]

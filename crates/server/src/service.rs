@@ -1,11 +1,14 @@
-//! The solver engine behind every transport — **front-first**: the Pareto
-//! front is the unit of solving, caching and batching. Threshold queries
-//! are reads off a front; the sharded cache stores fronts keyed by the
-//! canonical instance hash (completeness-aware); batches group requests by
-//! that hash and solve one front per distinct instance; large fronts
-//! stream as bounded `front_part` chunks. Per-request deadlines, portfolio
-//! racing and the fixed worker pool carry over from the point-centric
-//! design.
+//! The serving layer behind every transport — a thin, cache-aware shell
+//! over the unified solver [`Engine`]: every solve/pareto request becomes
+//! one [`Engine::solve`] call (capability filtering, exact-first
+//! selection, portfolio racing and budget-cutoff fallback all live in the
+//! engine), and this module adds what only a *service* can: the sharded
+//! front cache (completeness-aware, keyed by the canonical instance
+//! hash), batching (one front per distinct instance), chunked
+//! `front_part` streaming, per-request deadlines and the fixed worker
+//! pool. Threshold queries are reads off a front — fresh fronts are
+//! engine answers, cached ones replay with their original
+//! [`Provenance`].
 
 use crate::cache::{CachedEntry, CachedFront, CachedResult, SolutionCache};
 use crate::metrics::CommandMetrics;
@@ -16,11 +19,9 @@ use crate::protocol::{
 };
 use crate::router::{LocalRouter, Router};
 use crossbeam::channel::{self, Sender};
-use rpwf_algo::front::{
-    best_front_source, threshold_read, threshold_read_batch, FrontSource, PortfolioFront,
-};
-use rpwf_algo::heuristics::Portfolio;
-use rpwf_algo::{BiSolution, Objective};
+use rpwf_algo::engine::{Answer, Engine, SolveRequest, Want};
+use rpwf_algo::front::{threshold_read, threshold_read_batch};
+use rpwf_algo::{BiSolution, Objective, Provenance};
 use rpwf_core::budget::{Budget, CancelHandle};
 use rpwf_core::hash::instance_key;
 use rpwf_core::mapping::IntervalMapping;
@@ -85,6 +86,7 @@ impl ServiceConfig {
 /// The transport-independent solver service.
 pub struct SolverService {
     config: ServiceConfig,
+    engine: Engine,
     cache: SolutionCache,
     requests: AtomicU64,
     metrics: CommandMetrics,
@@ -97,8 +99,10 @@ impl SolverService {
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
         let cache = SolutionCache::new(config.cache_capacity, config.cache_shards);
+        let engine = Engine::with_default_backends(config.seed);
         SolverService {
             config,
+            engine,
             cache,
             requests: AtomicU64::new(0),
             metrics: CommandMetrics::new(),
@@ -111,6 +115,12 @@ impl SolverService {
     #[must_use]
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// The solver engine answering this service's requests.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Installs the fleet hook behind the `Ring` command (first caller
@@ -152,7 +162,7 @@ impl SolverService {
     fn meta(
         &self,
         cache_hit: bool,
-        solver: Option<String>,
+        solver: Option<Provenance>,
         exact_complete: Option<bool>,
         start: Instant,
     ) -> Meta {
@@ -344,10 +354,11 @@ impl SolverService {
     // -- Front-shaped commands --------------------------------------------
 
     /// Threshold solve = front read. The front comes from the cache when a
-    /// usable entry exists, otherwise from the strongest front source
-    /// racing the heuristic portfolio; the freshly built front goes back
-    /// into the cache (completeness-aware) for every later query over the
-    /// same instance.
+    /// usable entry exists; otherwise the request collapses onto one
+    /// [`Engine::solve`] call — the engine picks the backends, races the
+    /// portfolio and handles budget cutoffs — and any front built along
+    /// the way goes back into the cache (completeness-aware) for every
+    /// later query over the same instance.
     #[allow(clippy::too_many_arguments)]
     fn handle_solve(
         &self,
@@ -386,103 +397,26 @@ impl SolverService {
             return timeout;
         }
 
-        // 2. Build the front (racing the portfolio) when an exact backend
-        //    applies *and* the front can be kept for later queries; with
-        //    caching off there is nothing to amortize, so fall back to
-        //    the cheaper per-threshold race (identical answers on
-        //    complete runs — both read the same exact solution).
-        if let (Some(source), Some(k)) = (best_front_source(&pipeline, platform), key) {
-            let portfolio = Portfolio::new(self.config.seed);
-            let (front_outcome, heuristic) = crossbeam::thread::scope(|scope| {
-                let heuristic = scope.spawn(|_| {
-                    portfolio
-                        .solve_with_budget(&pipeline, platform, objective, budget)
-                        .into_inner()
-                });
-                let front = source.front_with_budget(&pipeline, platform, budget);
-                let heuristic = heuristic.join().expect("portfolio does not panic");
-                (front, heuristic)
-            })
-            .expect("race threads do not panic");
-            let complete = front_outcome.is_complete();
-            let front = Arc::new(front_outcome.into_inner());
-            self.store_front(k, Arc::clone(&front), complete, "exact", true);
-            let exact_point = threshold_read(&front, objective);
-            if complete {
-                return match exact_point {
-                    Some(sol) => Response::ok(
-                        id,
-                        solve_result(sol),
-                        self.meta(false, Some("exact".into()), Some(true), start),
-                    ),
-                    None => Response::error(
-                        id,
-                        ErrorKind::Infeasible,
-                        format!("no mapping satisfies {objective:?}"),
-                        self.meta_plain(start),
-                    ),
-                };
-            }
-            // Cutoff front: best of the partial front and the heuristics.
-            let picked = match (exact_point, heuristic) {
-                (Some(e), Some(h)) => Some(if objective.better(&e, &h) {
-                    (e, "exact")
-                } else {
-                    (h, "heuristic")
-                }),
-                (Some(e), None) => Some((e, "exact")),
-                (None, Some(h)) => Some((h, "heuristic")),
-                (None, None) => None,
-            };
-            return match picked {
-                Some((sol, solver)) => Response::ok(
-                    id,
-                    solve_result(sol),
-                    self.meta(false, Some(solver.into()), Some(false), start),
-                ),
-                None if budget.is_exhausted() => Response::error(
-                    id,
-                    ErrorKind::Timeout,
-                    "deadline expired before any feasible solution was found",
-                    self.meta_plain(start),
-                ),
-                None => Response::error(
-                    id,
-                    ErrorKind::Infeasible,
-                    format!(
-                        "no feasible solution found for {objective:?} \
-                         (heuristic search; not a proof of infeasibility)"
-                    ),
-                    self.meta_plain(start),
-                ),
-            };
-        }
-
-        // 3. No front backend (large fully-heterogeneous instance) or no
-        //    cache to keep a front in: the heuristic race with per-query
-        //    result caching, as before.
-        self.solve_without_front(id, &pipeline, platform, objective, budget, use_cache, start)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn solve_without_front(
-        &self,
-        id: Option<u64>,
-        pipeline: &Pipeline,
-        platform: &Platform,
-        objective: Objective,
-        budget: &Budget,
-        use_cache: bool,
-        start: Instant,
-    ) -> Response {
-        let qkey = use_cache
+        // 2. The per-query result cache applies only when the engine has
+        //    no front to share (no exact front backend, or caching off):
+        //    fronts amortize across thresholds, point answers cannot.
+        //    The capability probe repeats inside Engine::solve; the scan
+        //    is a handful of class/bound checks (E18 bounds the whole
+        //    dispatch at ≲1% of a solve), accepted to keep the
+        //    cache-policy decision out of the engine.
+        let keep_front = key.is_some() && self.engine.front_backend(&pipeline, platform).is_some();
+        let qkey = (!keep_front)
             .then(|| {
-                Command::Solve {
-                    pipeline: pipeline.clone(),
-                    platform: platform.clone(),
-                    objective,
-                }
-                .cache_key()
+                use_cache
+                    .then(|| {
+                        Command::Solve {
+                            pipeline: pipeline.clone(),
+                            platform: platform.clone(),
+                            objective,
+                        }
+                        .cache_key()
+                    })
+                    .flatten()
             })
             .flatten();
         if let Some(k) = qkey {
@@ -494,51 +428,69 @@ impl SolverService {
                 );
             }
         }
-        if let Some(timeout) = self.doomed_solve(id, budget, start) {
-            return timeout;
+
+        // 3. One engine call answers the request, whatever the instance.
+        let report = self.engine.solve(&SolveRequest {
+            pipeline: &pipeline,
+            platform,
+            want: Want::Point {
+                objective,
+                keep_front,
+            },
+            budget,
+        });
+        if let (Some(k), Some(artifact)) = (key, &report.front) {
+            self.store_front(
+                k,
+                Arc::clone(&artifact.front),
+                artifact.complete,
+                artifact.provenance,
+                artifact.exact_capable,
+            );
         }
-        let report = Portfolio::new(self.config.seed).race(pipeline, platform, objective, budget);
-        match report.best {
-            Some(sol) => {
+        let completeness = report.completeness;
+        match report.answer {
+            Answer::Point(Some(sol)) => {
                 let result = solve_result(sol);
                 // Cutoff answers may be beaten by a rerun with more
-                // budget; never let them poison the cache.
-                let cacheable =
-                    report.exact_complete || (!report.exact_attempted && report.heuristic_complete);
-                if let (Some(k), true) = (qkey, cacheable) {
-                    self.cache.insert(
-                        k,
-                        CachedEntry::Result(CachedResult {
-                            result: result.clone(),
-                            solver: Some(report.solver.name().into()),
-                            exact_complete: Some(report.exact_complete),
-                        }),
-                    );
+                // budget; never let them poison the cache. (Front-backed
+                // answers cache the front above instead.)
+                if report.front.is_none() {
+                    if let (Some(k), true) = (qkey, completeness.cacheable_point()) {
+                        self.cache.insert(
+                            k,
+                            CachedEntry::Result(CachedResult {
+                                result: result.clone(),
+                                solver: report.provenance,
+                                exact_complete: Some(completeness.exact_complete),
+                            }),
+                        );
+                    }
                 }
                 Response::ok(
                     id,
                     result,
                     self.meta(
                         false,
-                        Some(report.solver.name().into()),
-                        Some(report.exact_complete),
+                        report.provenance,
+                        Some(completeness.exact_complete),
                         start,
                     ),
                 )
             }
-            None if report.exact_complete => Response::error(
+            Answer::Point(None) if completeness.exact_complete => Response::error(
                 id,
                 ErrorKind::Infeasible,
                 format!("no mapping satisfies {objective:?}"),
                 self.meta_plain(start),
             ),
-            None if budget.is_exhausted() => Response::error(
+            Answer::Point(None) if budget.is_exhausted() => Response::error(
                 id,
                 ErrorKind::Timeout,
                 "deadline expired before any feasible solution was found",
                 self.meta_plain(start),
             ),
-            None => Response::error(
+            Answer::Point(None) => Response::error(
                 id,
                 ErrorKind::Infeasible,
                 format!(
@@ -547,6 +499,7 @@ impl SolverService {
                 ),
                 self.meta_plain(start),
             ),
+            Answer::Front(_) => unreachable!("point request yields a point answer"),
         }
     }
 
@@ -584,28 +537,26 @@ impl SolverService {
                     emit(timeout);
                     return;
                 }
-                let (outcome, solver, exact_capable) = match best_front_source(&pipeline, platform)
-                {
-                    Some(source) => (
-                        source.front_with_budget(&pipeline, platform, budget),
-                        "exact",
-                        true,
-                    ),
-                    // Beyond every exact backend: the budgeted heuristic
-                    // portfolio still produces a sound (never complete)
-                    // front, so the command works on every instance.
-                    None => (
-                        PortfolioFront {
-                            seed: self.config.seed,
-                            ..Default::default()
-                        }
-                        .front_with_budget(&pipeline, platform, budget),
-                        "heuristic",
-                        false,
-                    ),
+                // One engine call: the exact front backend where one
+                // applies, the heuristic portfolio sweep beyond — the
+                // command answers on every instance, flagged by
+                // completeness.
+                let report = self.engine.solve(&SolveRequest {
+                    pipeline: &pipeline,
+                    platform,
+                    want: match chunk {
+                        Some(chunk) => Want::FrontStream { chunk },
+                        None => Want::Front,
+                    },
+                    budget,
+                });
+                let complete = report.completeness.exact_complete;
+                let exact_capable = report.completeness.exact_capable;
+                let solver = report.provenance.unwrap_or(Provenance::Heuristic);
+                let front = match report.answer {
+                    Answer::Front(front) => front,
+                    Answer::Point(_) => unreachable!("front request yields a front answer"),
                 };
-                let complete = outcome.is_complete();
-                let front = Arc::new(outcome.into_inner());
                 if front.is_empty() && !complete {
                     emit(Response::error(
                         id,
@@ -622,7 +573,7 @@ impl SolverService {
                     CachedFront {
                         front,
                         complete,
-                        solver: solver.into(),
+                        solver,
                         exact_capable,
                     },
                     false,
@@ -630,14 +581,8 @@ impl SolverService {
             }
         };
 
-        let meta = |start: Instant| {
-            self.meta(
-                cache_hit,
-                Some(entry.solver.clone()),
-                Some(entry.complete),
-                start,
-            )
-        };
+        let meta =
+            |start: Instant| self.meta(cache_hit, Some(entry.solver), Some(entry.complete), start);
         match chunk {
             None => emit(Response::ok(
                 id,
@@ -743,7 +688,7 @@ impl SolverService {
                 k,
                 CachedEntry::Result(CachedResult {
                     result: result.clone(),
-                    solver: Some("exact".into()),
+                    solver: Some(Provenance::Exact),
                     exact_complete: Some(complete),
                 }),
             );
@@ -751,7 +696,7 @@ impl SolverService {
         Response::ok(
             id,
             result,
-            self.meta(false, Some("exact".into()), Some(complete), start),
+            self.meta(false, Some(Provenance::Exact), Some(complete), start),
         )
     }
 
@@ -931,7 +876,7 @@ impl SolverService {
         key: u128,
         front: Arc<ParetoFront<IntervalMapping>>,
         complete: bool,
-        solver: &str,
+        solver: Provenance,
         exact_capable: bool,
     ) {
         if !complete && front.is_empty() {
@@ -943,7 +888,7 @@ impl SolverService {
             CachedEntry::Front(CachedFront {
                 front,
                 complete,
-                solver: solver.into(),
+                solver,
                 exact_capable,
             }),
             |existing| match existing {
@@ -971,9 +916,10 @@ impl SolverService {
     /// Pre-computes (and caches) the complete front for an instance, so a
     /// batch of threshold queries over it is answered by front reads. Used
     /// by batch grouping; a no-op when caching is disabled, when a usable
-    /// front is already cached, or when no exact front backend applies.
-    /// Panics from malformed instances are contained (the per-request path
-    /// will report them as structured errors).
+    /// front is already cached, or when no exact front backend applies
+    /// (queried through the engine's capability surface). Panics from
+    /// malformed instances are contained (the per-request path will report
+    /// them as structured errors).
     pub fn warm_front(&self, pipeline: &Pipeline, platform: &Platform) {
         if self.cache.capacity() == 0 {
             return;
@@ -986,12 +932,21 @@ impl SolverService {
                     return;
                 }
             }
-            let Some(source) = best_front_source(&pipeline, platform) else {
+            if self.engine.front_backend(&pipeline, platform).is_none() {
                 return;
-            };
-            let outcome = source.front_with_budget(&pipeline, platform, &Budget::unlimited());
-            let complete = outcome.is_complete();
-            self.store_front(key, Arc::new(outcome.into_inner()), complete, "exact", true);
+            }
+            let report = self.engine.solve(&SolveRequest {
+                pipeline: &pipeline,
+                platform,
+                want: Want::Front,
+                budget: &Budget::unlimited(),
+            });
+            let complete = report.completeness.exact_complete;
+            let provenance = report.provenance.unwrap_or(Provenance::Exact);
+            let exact_capable = report.completeness.exact_capable;
+            if let Answer::Front(front) = report.answer {
+                self.store_front(key, front, complete, provenance, exact_capable);
+            }
         }));
     }
 
@@ -1025,7 +980,7 @@ impl SolverService {
                 // whole batch so far.
                 let start = Instant::now();
                 self.requests.fetch_add(1, Ordering::Relaxed);
-                let meta = self.meta(true, Some(hit.solver.clone()), Some(true), start);
+                let meta = self.meta(true, Some(hit.solver), Some(true), start);
                 let response = match answer {
                     Some(sol) => Response::ok(id, solve_result(sol), meta),
                     // The front is complete, so an empty read proves
@@ -1431,7 +1386,7 @@ mod tests {
         let first = svc.handle(solve_request(1, 22.0), Instant::now());
         assert_eq!(first.status, "ok", "{:?}", first.error);
         assert!(!first.meta.cache_hit);
-        assert_eq!(first.meta.solver.as_deref(), Some("exact"));
+        assert_eq!(first.meta.solver, Some(Provenance::Exact));
         assert_eq!(first.meta.exact_complete, Some(true));
 
         let second = svc.handle(solve_request(2, 22.0), Instant::now());
@@ -1724,7 +1679,7 @@ mod tests {
             Instant::now(),
         );
         assert_eq!(resp.status, "ok", "{:?}", resp.error);
-        assert_eq!(resp.meta.solver.as_deref(), Some("heuristic"));
+        assert_eq!(resp.meta.solver, Some(Provenance::Heuristic));
         assert_eq!(resp.meta.exact_complete, Some(false));
         let result = resp.result.expect("front payload");
         assert_eq!(result.get("complete"), Some(&serde::Value::Bool(false)));

@@ -6,20 +6,30 @@
 //! ```
 
 use rpwf::prelude::*;
+use rpwf_algo::engine::{Engine, SolveRequest, Want};
+use rpwf_core::budget::Budget;
 use rpwf_sim::{simulate, simulate_one, FailureModel, FailureScenario, MonteCarlo, SimConfig};
 
 fn main() -> Result<()> {
     let pipeline = gen::figure5_pipeline();
     let platform = gen::figure5_platform();
 
-    // The paper's Figure 5 optimum: reliable processor on S1, tenfold
-    // replication of S2.
-    let mapping = IntervalMapping::new(
-        vec![Interval::singleton(0), Interval::singleton(1)],
-        vec![vec![ProcId(0)], (1..=10).map(ProcId).collect()],
-        2,
-        11,
-    )?;
+    // The paper's Figure 5 optimum — derived by the Engine instead of
+    // hand-rolled: one solve at L ≤ 22 routes to the exact bitmask DP and
+    // returns the reliable-processor-on-S1, tenfold-replicated-S2
+    // mapping, proven optimal.
+    let engine = Engine::with_default_backends(0xCAFE);
+    let report = engine.solve(&SolveRequest {
+        pipeline: &pipeline,
+        platform: &platform,
+        want: Want::Point {
+            objective: Objective::MinFpUnderLatency(22.0),
+            keep_front: false,
+        },
+        budget: &Budget::unlimited(),
+    });
+    assert!(report.completeness.exact_complete, "proven optimal");
+    let mapping = report.point().expect("feasible at L = 22").mapping.clone();
     let bound = latency(&mapping, &pipeline, &platform);
     let analytic_fp = failure_probability(&mapping, &platform);
     println!("mapping            : {mapping}");

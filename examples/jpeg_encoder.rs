@@ -7,7 +7,9 @@
 //! ```
 
 use rpwf::prelude::*;
+use rpwf_algo::engine::{Engine, SolveRequest, Want};
 use rpwf_algo::heuristics::Portfolio;
+use rpwf_core::budget::Budget;
 
 fn main() -> Result<()> {
     let pipeline = gen::jpeg_encoder();
@@ -37,12 +39,25 @@ fn main() -> Result<()> {
         platform.failure_class()
     );
 
-    // Exact Pareto front via the bitmask DP (the problem class is the open
-    // CH + Failure-Heterogeneous case).
-    let front = algo::exact::pareto_front_comm_homog(&pipeline, &platform)?;
+    // The full Pareto front through the unified Engine: capability-driven
+    // selection routes this CH + Failure-Heterogeneous instance (the
+    // paper's open case) to the exact bitmask DP.
+    let engine = Engine::with_default_backends(7);
+    let report = engine.solve(&SolveRequest {
+        pipeline: &pipeline,
+        platform: &platform,
+        want: Want::Front,
+        budget: &Budget::unlimited(),
+    });
+    assert!(report.completeness.exact_complete, "DP proves this front");
+    let front = report
+        .front_answer()
+        .expect("front request yields a front")
+        .clone();
     println!(
-        "\nexact latency × FP Pareto front ({} points):",
-        front.len()
+        "\nexact latency × FP Pareto front ({} points, solver {:?}):",
+        front.len(),
+        report.provenance.expect("answered")
     );
     println!("  {:>10}  {:>10}  {:>4}  mapping", "latency", "FP", "ivs");
     for pt in front.iter() {

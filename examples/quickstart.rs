@@ -1,11 +1,13 @@
-//! Quickstart: build a pipeline and a platform, evaluate a mapping, and run
-//! the paper's polynomial algorithms.
+//! Quickstart: build a pipeline and a platform, ask the unified solver
+//! **Engine** for answers, then tour the paper's polynomial algorithms.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use rpwf::prelude::*;
+use rpwf_algo::engine::{Engine, SolveRequest, Want};
+use rpwf_core::budget::Budget;
 
 fn main() -> Result<()> {
     // A four-stage pipeline: (work, output size) per stage, 100 units in.
@@ -48,6 +50,28 @@ fn main() -> Result<()> {
         period(&mapping, &pipeline, &platform)?
     );
 
+    // The one-call API: the Engine picks the strongest applicable backend
+    // (here the bitmask DP — comm-homogeneous, m ≤ 16), races the
+    // heuristic portfolio, and reports provenance + completeness.
+    let engine = Engine::with_default_backends(0xCAFE);
+    let report = engine.solve(&SolveRequest {
+        pipeline: &pipeline,
+        platform: &platform,
+        want: Want::Point {
+            objective: Objective::MinFpUnderLatency(60.0),
+            keep_front: false,
+        },
+        budget: &Budget::unlimited(),
+    });
+    let best = report.point().expect("feasible at L <= 60");
+    println!(
+        "\nEngine @ L ≤ 60       : {} (solver {:?}, proven {})",
+        best.mapping,
+        report.provenance.expect("answered"),
+        report.completeness.exact_complete
+    );
+    println!("  latency {:.3}, FP {:.6}", best.latency, best.failure_prob);
+
     // Theorem 1: the most reliable mapping replicates everything everywhere.
     let safest = algo::mono::minimize_failure(&pipeline, &platform);
     println!("\nThm 1 (min FP)        : {}", safest.mapping);
@@ -75,8 +99,21 @@ fn main() -> Result<()> {
         balanced.latency, balanced.failure_prob
     );
 
-    // The exact Pareto front (bitmask DP) for the full trade-off picture.
-    let front = algo::exact::pareto_front_comm_homog(&pipeline, &platform)?;
+    // The full trade-off picture: ask the Engine for the whole front (it
+    // routes to the exact bitmask DP here; on instances beyond every
+    // exact backend the same call falls back to a flagged heuristic
+    // front).
+    let report = engine.solve(&SolveRequest {
+        pipeline: &pipeline,
+        platform: &platform,
+        want: Want::Front,
+        budget: &Budget::unlimited(),
+    });
+    let front = report.front_answer().expect("front request yields a front");
+    assert!(
+        report.completeness.exact_complete,
+        "bitmask DP proves this front"
+    );
     println!("\nexact Pareto front ({} points):", front.len());
     println!("  {:>10}  {:>12}  mapping", "latency", "FP");
     for pt in front.iter() {

@@ -16,12 +16,15 @@
 //! Parsing and execution are plain functions so the logic is unit-tested;
 //! `src/bin/rpwf.rs` is a thin wrapper.
 
-use rpwf_algo::exact::{solve_comm_homog, BranchBound};
-use rpwf_algo::front::FrontSource as _;
-use rpwf_algo::heuristics::Portfolio;
-use rpwf_algo::Objective;
+use rpwf_algo::engine::{Engine, SolveRequest, Want};
+use rpwf_algo::{Objective, Provenance};
+use rpwf_core::budget::Budget;
 use rpwf_core::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Seed shared with the server's default [`Engine`] so CLI answers match
+/// served answers on identical instances.
+const ENGINE_SEED: u64 = 0xCAFE;
 
 /// A problem instance on disk.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -326,17 +329,13 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
     }
 }
 
-/// Picks the strongest applicable solver for an instance and objective.
-fn solve_instance(inst: &InstanceFile, objective: Objective) -> Option<rpwf_algo::BiSolution> {
-    let m = inst.platform.n_procs();
-    if inst.platform.uniform_bandwidth().is_some() && m <= 16 {
-        return solve_comm_homog(&inst.pipeline, &inst.platform, objective)
-            .expect("uniform bandwidth checked");
+/// Renders a solve provenance for terminal output.
+fn provenance_label(provenance: Option<Provenance>) -> &'static str {
+    match provenance {
+        Some(Provenance::Exact) => "exact",
+        Some(Provenance::Heuristic) => "heuristic",
+        None => "none",
     }
-    if m <= 10 {
-        return BranchBound::new(&inst.pipeline, &inst.platform).solve(objective);
-    }
-    Portfolio::new(0xCAFE).solve(&inst.pipeline, &inst.platform, objective)
 }
 
 /// Executes a parsed command against the filesystem, returning stdout text.
@@ -415,19 +414,38 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
         Command::Solve { path, objective } => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let inst = InstanceFile::from_json(&text)?;
-            let sol = solve_instance(&inst, *objective)
-                .ok_or_else(|| format!("infeasible: no mapping satisfies {objective:?}"))?;
+            // One engine call: capability-driven backend selection,
+            // exact-first with portfolio racing — the same plan the
+            // server runs.
+            let engine = Engine::with_default_backends(ENGINE_SEED);
+            let report = engine.solve(&SolveRequest {
+                pipeline: &inst.pipeline,
+                platform: &inst.platform,
+                want: Want::Point {
+                    objective: *objective,
+                    keep_front: false,
+                },
+                budget: &Budget::unlimited(),
+            });
+            let Some(sol) = report.point() else {
+                return Err(if report.completeness.exact_complete {
+                    format!("infeasible: no mapping satisfies {objective:?}")
+                } else {
+                    format!(
+                        "infeasible: no feasible solution found for {objective:?} \
+                         (heuristic search; not a proof of infeasibility)"
+                    )
+                });
+            };
             let mut out = String::new();
-            let exact = inst.platform.uniform_bandwidth().is_some()
-                && inst.platform.n_procs() <= 16
-                || inst.platform.n_procs() <= 10;
             writeln!(
                 out,
-                "solver   : {}",
-                if exact {
-                    "exact"
+                "solver   : {} ({})",
+                provenance_label(report.provenance),
+                if report.completeness.exact_complete {
+                    "proven optimal"
                 } else {
-                    "heuristic portfolio"
+                    "best effort"
                 }
             )
             .expect("write to string");
@@ -439,31 +457,27 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
         Command::Pareto { path } => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let inst = InstanceFile::from_json(&text)?;
-            // Front-first: the strongest exact front source where one
-            // applies, the heuristic portfolio front beyond — every
-            // instance gets an answer, flagged by completeness.
-            let unlimited = rpwf_core::budget::Budget::unlimited();
-            let (outcome, solver) =
-                match rpwf_algo::front::best_front_source(&inst.pipeline, &inst.platform) {
-                    Some(source) => (
-                        source.front_with_budget(&inst.pipeline, &inst.platform, &unlimited),
-                        "exact",
-                    ),
-                    None => (
-                        rpwf_algo::front::PortfolioFront::default().front_with_budget(
-                            &inst.pipeline,
-                            &inst.platform,
-                            &unlimited,
-                        ),
-                        "heuristic portfolio",
-                    ),
-                };
-            let complete = outcome.is_complete();
-            let front = outcome.into_inner();
+            // Front-first through the engine: the strongest exact front
+            // backend where one applies, the heuristic portfolio front
+            // beyond — every instance gets an answer, flagged by
+            // completeness.
+            let engine = Engine::with_default_backends(ENGINE_SEED);
+            let report = engine.solve(&SolveRequest {
+                pipeline: &inst.pipeline,
+                platform: &inst.platform,
+                want: Want::Front,
+                budget: &Budget::unlimited(),
+            });
+            let complete = report.completeness.exact_complete;
+            let front = report
+                .front_answer()
+                .expect("front request yields a front")
+                .clone();
             let mut out = String::new();
             writeln!(
                 out,
-                "solver   : {solver} ({})",
+                "solver   : {} ({})",
+                provenance_label(report.provenance),
                 if complete {
                     "exact front"
                 } else {
@@ -789,7 +803,7 @@ mod tests {
             path: path.to_string_lossy().into_owned(),
         })
         .unwrap();
-        assert!(out.contains("heuristic portfolio"), "{out}");
+        assert!(out.contains("heuristic"), "{out}");
         assert!(out.contains("sound under-approximation"), "{out}");
         assert!(out.lines().count() >= 3, "{out}");
     }

@@ -121,7 +121,11 @@ fn concurrent_solve_and_pareto_match_direct_library_calls() {
 
         if id % 2 == 0 {
             // Exact solver must have won the race and match the library.
-            assert_eq!(resp.meta.solver.as_deref(), Some("exact"), "request {id}");
+            assert_eq!(
+                resp.meta.solver,
+                Some(rpwf_algo::Provenance::Exact),
+                "request {id}"
+            );
             assert_eq!(resp.meta.exact_complete, Some(true), "request {id}");
             let l = budget_for(&pipeline, &platform);
             let direct = rpwf::algo::exact::solve_comm_homog(

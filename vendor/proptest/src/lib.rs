@@ -209,7 +209,7 @@ tuple_strategy! {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Anything usable as the size argument of [`vec`]: a fixed length or
+    /// Anything usable as the size argument of [`vec()`]: a fixed length or
     /// a length range.
     pub trait SizeRange {
         /// Draws a concrete length.
@@ -242,7 +242,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, Z> {
         element: S,
         size: Z,
