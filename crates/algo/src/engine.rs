@@ -64,6 +64,7 @@ use rpwf_core::mapping::IntervalMapping;
 use rpwf_core::pareto::ParetoFront;
 use rpwf_core::platform::{Platform, PlatformClass};
 use rpwf_core::stage::Pipeline;
+use rpwf_core::trace::TraceScope;
 use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
 use std::time::Instant;
@@ -715,6 +716,64 @@ impl Engine {
     /// experiments goes through here.
     #[must_use]
     pub fn solve(&self, req: &SolveRequest<'_>) -> SolveReport {
+        self.solve_traced(req, None)
+    }
+
+    /// [`Engine::solve`] with an optional trace scope. When `scope` is
+    /// set, the engine opens an `engine.plan` span recording the planning
+    /// decision (answer shape, capability filter result, chosen backend,
+    /// race membership) and the budget outcome, plus one `solver.<name>`
+    /// child span per backend execution, synthesized from the report's
+    /// [`SolverStat`]s. Race members run in parallel, so sibling solver
+    /// spans may overlap: each records its own duration inside the plan
+    /// window rather than a disjoint slice of it. With `scope == None`
+    /// this is exactly [`Engine::solve`] — no span is allocated.
+    #[must_use]
+    pub fn solve_traced(
+        &self,
+        req: &SolveRequest<'_>,
+        scope: Option<TraceScope<'_>>,
+    ) -> SolveReport {
+        let Some(scope) = scope else {
+            return self.dispatch(req);
+        };
+        let trace = scope.trace;
+        let plan_start_us = trace.elapsed_us();
+        let plan = trace.begin("engine.plan", Some(scope.parent));
+        self.describe_plan(req, scope, plan.index());
+        let report = self.dispatch(req);
+        for stat in &report.stats {
+            trace.add(
+                &format!("solver.{}", stat.solver),
+                Some(plan.index()),
+                plan_start_us,
+                stat.elapsed_us,
+                vec![
+                    ("complete".to_owned(), stat.complete.to_string()),
+                    ("produced".to_owned(), stat.produced.to_string()),
+                ],
+            );
+        }
+        trace.attr(
+            plan.index(),
+            "exact_complete",
+            report.completeness.exact_complete.to_string(),
+        );
+        trace.attr(
+            plan.index(),
+            "budget_exhausted",
+            req.budget.is_exhausted().to_string(),
+        );
+        if let Some(provenance) = report.provenance {
+            trace.attr(plan.index(), "provenance", provenance.as_str());
+        }
+        trace.end(&plan);
+        report
+    }
+
+    /// The untraced planning core shared by [`Engine::solve`] and
+    /// [`Engine::solve_traced`].
+    fn dispatch(&self, req: &SolveRequest<'_>) -> SolveReport {
         match req.want {
             Want::Front | Want::FrontStream { .. } => self.plan_front(req),
             Want::Point {
@@ -727,6 +786,80 @@ impl Engine {
                     }
                 }
                 self.plan_point_race(req, objective)
+            }
+        }
+    }
+
+    /// Records the planning decision onto the `engine.plan` span: which
+    /// plan shape was chosen, which backend answers, which race members
+    /// join, and how many registered solvers survived the capability
+    /// filter for this instance.
+    fn describe_plan(&self, req: &SolveRequest<'_>, scope: TraceScope<'_>, plan: u32) {
+        let trace = scope.trace;
+        let applicable = self
+            .solvers
+            .iter()
+            .filter(|s| s.applicable(req.pipeline, req.platform))
+            .count();
+        trace.attr(
+            plan,
+            "applicable",
+            format!("{applicable}/{}", self.solvers.len()),
+        );
+        match req.want {
+            Want::Front | Want::FrontStream { .. } => {
+                trace.attr(plan, "want", "front");
+                if let Some(backend) = self.front_backend(req.pipeline, req.platform) {
+                    trace.attr(plan, "plan", "front-exact");
+                    trace.attr(plan, "backend", backend.name());
+                } else if let Some(backend) = self.front_fallback(req.pipeline, req.platform) {
+                    trace.attr(plan, "plan", "front-heuristic");
+                    trace.attr(plan, "backend", backend.name());
+                } else {
+                    trace.attr(plan, "plan", "front-none");
+                }
+            }
+            Want::Point {
+                objective,
+                keep_front,
+            } => {
+                trace.attr(plan, "want", "point");
+                trace.attr(
+                    plan,
+                    "objective",
+                    match objective {
+                        Objective::MinFpUnderLatency(_) => "min-fp-under-latency",
+                        Objective::MinLatencyUnderFp(_) => "min-latency-under-fp",
+                    },
+                );
+                let race: Vec<&str> = self
+                    .solvers
+                    .iter()
+                    .map(AsRef::as_ref)
+                    .filter(|s| {
+                        let caps = s.capabilities();
+                        caps.race_member
+                            && caps.shapes.points
+                            && caps.objectives.contains(objective)
+                            && s.applicable(req.pipeline, req.platform)
+                    })
+                    .map(Solver::name)
+                    .collect();
+                trace.attr(plan, "race", race.join(","));
+                if keep_front {
+                    if let Some(backend) = self.front_backend(req.pipeline, req.platform) {
+                        trace.attr(plan, "plan", "point-via-front");
+                        trace.attr(plan, "backend", backend.name());
+                        return;
+                    }
+                }
+                match self.point_backend(req.pipeline, req.platform, objective) {
+                    Some(backend) => {
+                        trace.attr(plan, "plan", "point-race");
+                        trace.attr(plan, "backend", backend.name());
+                    }
+                    None => trace.attr(plan, "plan", "point-heuristic"),
+                }
             }
         }
     }
@@ -1593,6 +1726,66 @@ mod tests {
     fn instance(class: PlatformClass, n: usize, m: usize, seed: u64) -> (Pipeline, Platform) {
         let inst = rpwf_gen::make_instance(class, FailureClass::Heterogeneous, n, m, seed);
         (inst.pipeline, inst.platform)
+    }
+
+    #[test]
+    fn traced_solve_records_plan_and_solver_spans() {
+        use rpwf_core::trace::{Trace, TraceId, TraceScope};
+
+        let engine = engine();
+        let (pipe, pf) = instance(PlatformClass::CommHomogeneous, 3, 4, 7);
+        let safest = crate::mono::minimize_failure(&pipe, &pf);
+        let trace = Trace::new(TraceId::next(), Instant::now());
+        let root = trace.begin_root("request");
+        let req = SolveRequest {
+            pipeline: &pipe,
+            platform: &pf,
+            want: Want::Point {
+                objective: Objective::MinFpUnderLatency(safest.latency * 1.5),
+                keep_front: false,
+            },
+            budget: &Budget::unlimited(),
+        };
+        let traced = engine.solve_traced(&req, Some(TraceScope::new(&trace, root.index())));
+        trace.end(&root);
+        let untraced = engine.solve(&req);
+        assert_eq!(
+            traced.point(),
+            untraced.point(),
+            "tracing must not change answers"
+        );
+
+        let tree = trace.finish();
+        let plan = tree
+            .spans
+            .iter()
+            .find(|s| s.name == "engine.plan")
+            .expect("plan span");
+        assert_eq!(plan.parent, Some(0));
+        let attr = |key: &str| {
+            plan.attrs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(attr("want"), Some("point"));
+        assert_eq!(attr("plan"), Some("point-race"));
+        assert_eq!(attr("backend"), Some("bitmask-dp"));
+        assert_eq!(attr("budget_exhausted"), Some("false"));
+        assert!(attr("race").expect("race attr").contains("local-search"));
+        let solver_spans: Vec<_> = tree
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("solver."))
+            .collect();
+        assert_eq!(
+            solver_spans.len(),
+            traced.stats.len(),
+            "one span per solver stat"
+        );
+        for span in solver_spans {
+            assert!(span.name.len() > "solver.".len());
+        }
     }
 
     #[test]

@@ -1,0 +1,8 @@
+//! E19 — Request-tracing overhead: untraced vs traced `Engine::solve`
+//! (writes `BENCH_trace.json`). Pass `--smoke` for the tiny CI-sized run.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    for table in rpwf_bench::experiments::trace_overhead::trace_overhead(smoke) {
+        table.print();
+    }
+}

@@ -340,6 +340,8 @@ fn workload(n: usize, m: usize, distinct: usize, per_instance: usize) -> Vec<Str
                 id: Some((seed * per_instance + q) as u64),
                 deadline_ms: None,
                 no_cache: None,
+                trace: None,
+                trace_ctx: None,
                 hop: None,
                 cmd: Command::Solve {
                     pipeline: inst.pipeline.clone(),

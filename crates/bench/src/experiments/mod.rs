@@ -19,6 +19,7 @@
 //! | E16 | [`batch_front::batch_front`] | `exp_batch` |
 //! | E17 | [`fleet::fleet`] | `exp_fleet` |
 //! | E18 | [`engine_overhead::engine_overhead`] | `exp_engine` |
+//! | E19 | [`trace_overhead::trace_overhead`] | `exp_trace` |
 //!
 //! (E12 is the criterion suite under `benches/`.)
 
@@ -32,9 +33,33 @@ pub mod heuristics_eval;
 pub mod server_throughput;
 pub mod simulation;
 pub mod theorems;
+pub mod trace_overhead;
 pub mod tricriteria;
 
 use crate::table::Table;
+
+/// Serializes the timing-sensitive overhead tests (E18, E19): run in
+/// parallel inside one test binary they perturb each other's medians
+/// past the acceptance bars.
+#[cfg(test)]
+pub(crate) static TIMING_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs a timing-bar check up to three times, panicking only when every
+/// attempt reports a violation. Overhead bars are percentage
+/// comparisons of microsecond-scale medians; on shared, unoptimized
+/// test machines a single attempt sees scheduler noise above the bar a
+/// few percent of the time, while a genuine regression fails all three.
+#[cfg(test)]
+pub(crate) fn retry_timing_bars(mut attempt: impl FnMut() -> Option<String>) {
+    let mut last = None;
+    for _ in 0..3 {
+        match attempt() {
+            None => return,
+            violation @ Some(_) => last = violation,
+        }
+    }
+    panic!("{}", last.expect("at least one attempt ran"));
+}
 
 /// Runs every experiment, returning `(id, tables)` pairs — used by the
 /// `exp_all` binary and by EXPERIMENTS.md regeneration.
@@ -58,5 +83,6 @@ pub fn run_all() -> Vec<(&'static str, Vec<Table>)> {
         ("E16", batch_front::batch_front(false)),
         ("E17", fleet::fleet(false)),
         ("E18", engine_overhead::engine_overhead(false)),
+        ("E19", trace_overhead::trace_overhead(false)),
     ]
 }

@@ -149,6 +149,8 @@ fn run_scenario(scenario: &Scenario) -> Measurement {
                             id: Some((client * 1000 + r) as u64),
                             deadline_ms: Some(30_000),
                             no_cache: None,
+                            trace: None,
+                            trace_ctx: None,
                             hop: None,
                             cmd: Command::Solve {
                                 pipeline,

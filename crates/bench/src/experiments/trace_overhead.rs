@@ -1,0 +1,341 @@
+//! E19 — Request-tracing overhead: untraced `Engine::solve` vs the same
+//! call with a live span collector attached (writes `BENCH_trace.json`).
+//!
+//! Tracing is opt-in per request, so it must be effectively free when
+//! off and cheap when on. Two bars, measured on the E14 instance family
+//! with the same interleaved per-call-median protocol as E18:
+//!
+//! * **off ≤ 3%** — `solve_traced(req, None)` (the production path with
+//!   the tracing plumbing compiled in but no collector) against plain
+//!   `Engine::solve`,
+//! * **on ≤ 10%** — the full traced request lifecycle (allocate a
+//!   [`Trace`], open the root span, solve under a [`TraceScope`], close,
+//!   [`Trace::finish`] and serialize the span tree to its wire JSON)
+//!   against plain `Engine::solve`.
+
+use crate::table::Table;
+use rpwf_algo::engine::{Engine, SolveRequest, Want};
+use rpwf_algo::Objective;
+use rpwf_core::budget::Budget;
+use rpwf_core::platform::{FailureClass, Platform, PlatformClass};
+use rpwf_core::stage::Pipeline;
+use rpwf_core::trace::{Trace, TraceId, TraceScope};
+use std::time::Instant;
+
+const SEED: u64 = 0xCAFE;
+
+struct Scenario {
+    name: &'static str,
+    class: PlatformClass,
+    n: usize,
+    m: usize,
+    want_front: bool,
+}
+
+struct Measurement {
+    name: String,
+    rounds: usize,
+    iters_per_round: usize,
+    base_us: f64,
+    off_us: f64,
+    on_us: f64,
+    off_pct: f64,
+    on_pct: f64,
+}
+
+/// Runs E19 and returns the result tables (also writes
+/// `BENCH_trace.json`). `smoke` shrinks rounds/iterations for CI.
+#[must_use]
+pub fn trace_overhead(smoke: bool) -> Vec<Table> {
+    let (rounds, iters) = if smoke { (3, 24) } else { (7, 80) };
+    let scenarios = [
+        // The E14 throughput family: comm-homogeneous n=3 m=4, exact
+        // bitmask-DP answers.
+        Scenario {
+            name: "ch-point-race",
+            class: PlatformClass::CommHomogeneous,
+            n: 3,
+            m: 4,
+            want_front: false,
+        },
+        // Front production on a larger platform of the same family —
+        // the m=4 front finishes in ~30µs, too small a denominator for
+        // a stable percentage (the fixed ~10µs per-trace cost would
+        // dominate); m=8 keeps the bitmask DP exact while giving the
+        // span collector a realistically sized request to ride on.
+        Scenario {
+            name: "ch-front",
+            class: PlatformClass::CommHomogeneous,
+            n: 3,
+            m: 8,
+            want_front: true,
+        },
+        // Heuristic-only regime: het m=14, no exact point backend.
+        Scenario {
+            name: "het-point-race",
+            class: PlatformClass::FullyHeterogeneous,
+            n: 3,
+            m: 14,
+            want_front: false,
+        },
+    ];
+
+    let mut measurements = Vec::new();
+    for scenario in &scenarios {
+        measurements.push(run_scenario(scenario, rounds, iters));
+    }
+
+    let mut table = Table::new(
+        "E19 / request-tracing overhead — Engine::solve untraced vs traced",
+        &[
+            "scenario",
+            "rounds",
+            "iters",
+            "base µs/req",
+            "off µs/req",
+            "on µs/req",
+            "off %",
+            "on %",
+        ],
+    );
+    for m in &measurements {
+        table.row(vec![
+            m.name.clone(),
+            m.rounds.to_string(),
+            m.iters_per_round.to_string(),
+            format!("{:.1}", m.base_us),
+            format!("{:.1}", m.off_us),
+            format!("{:.1}", m.on_us),
+            format!("{:+.2}", m.off_pct),
+            format!("{:+.2}", m.on_pct),
+        ]);
+    }
+    table.note(
+        "off = solve_traced(None); on = Trace + root span + scope + finish + \
+         wire serialization; interleaved per-call medians, median across \
+         rounds; bars: off ≤ 3%, on ≤ 10%",
+    );
+
+    write_json(&measurements);
+    vec![table]
+}
+
+fn run_scenario(scenario: &Scenario, rounds: usize, iters: usize) -> Measurement {
+    let inst = rpwf_gen::make_instance(
+        scenario.class,
+        FailureClass::Heterogeneous,
+        scenario.n,
+        scenario.m,
+        9,
+    );
+    let objective = Objective::MinFpUnderLatency(
+        rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform).latency,
+    );
+    let engine = Engine::with_default_backends(SEED);
+
+    // Warm-up (untimed): fault in code paths and allocator state.
+    run_base(scenario, &engine, &inst.pipeline, &inst.platform, objective);
+    run_off(scenario, &engine, &inst.pipeline, &inst.platform, objective);
+    run_on(scenario, &engine, &inst.pipeline, &inst.platform, objective);
+
+    // Per-call medians, then the median round — the same protocol as
+    // E18: interleaving cancels slow drift, medians discard scheduler
+    // bursts that hit one arm's sum. The two bars are medianed
+    // independently across rounds so one noisy round cannot poison
+    // both readings.
+    let mut off_rounds: Vec<(f64, f64, f64)> = Vec::with_capacity(rounds);
+    let mut on_rounds: Vec<(f64, f64, f64)> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let mut base: Vec<f64> = Vec::with_capacity(iters);
+        let mut off: Vec<f64> = Vec::with_capacity(iters);
+        let mut on: Vec<f64> = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            run_base(scenario, &engine, &inst.pipeline, &inst.platform, objective);
+            base.push(t0.elapsed().as_secs_f64() * 1e6);
+            let t1 = Instant::now();
+            run_off(scenario, &engine, &inst.pipeline, &inst.platform, objective);
+            off.push(t1.elapsed().as_secs_f64() * 1e6);
+            let t2 = Instant::now();
+            run_on(scenario, &engine, &inst.pipeline, &inst.platform, objective);
+            on.push(t2.elapsed().as_secs_f64() * 1e6);
+        }
+        let per_base = median(&mut base);
+        let per_off = median(&mut off);
+        let per_on = median(&mut on);
+        off_rounds.push((per_base, per_off, (per_off - per_base) / per_base * 100.0));
+        on_rounds.push((per_base, per_on, (per_on - per_base) / per_base * 100.0));
+    }
+    off_rounds.sort_by(|a, b| a.2.total_cmp(&b.2));
+    on_rounds.sort_by(|a, b| a.2.total_cmp(&b.2));
+    let (base_us, off_us, off_pct) = off_rounds[off_rounds.len() / 2];
+    let (_, on_us, on_pct) = on_rounds[on_rounds.len() / 2];
+
+    Measurement {
+        name: scenario.name.to_string(),
+        rounds,
+        iters_per_round: iters,
+        base_us,
+        off_us,
+        on_us,
+        off_pct,
+        on_pct,
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn request<'a>(
+    scenario: &Scenario,
+    pipeline: &'a Pipeline,
+    platform: &'a Platform,
+    objective: Objective,
+    budget: &'a Budget,
+) -> SolveRequest<'a> {
+    let want = if scenario.want_front {
+        Want::Front
+    } else {
+        Want::Point {
+            objective,
+            keep_front: false,
+        }
+    };
+    SolveRequest {
+        pipeline,
+        platform,
+        want,
+        budget,
+    }
+}
+
+fn check(scenario: &Scenario, report: &rpwf_algo::engine::SolveReport) {
+    if scenario.want_front {
+        assert!(!report.front_answer().expect("front").is_empty());
+    } else {
+        assert!(report.point().is_some());
+    }
+}
+
+/// Baseline: plain `Engine::solve`, no tracing anywhere in sight.
+fn run_base(
+    scenario: &Scenario,
+    engine: &Engine,
+    pipeline: &Pipeline,
+    platform: &Platform,
+    objective: Objective,
+) {
+    let budget = Budget::unlimited();
+    let report = engine.solve(&request(scenario, pipeline, platform, objective, &budget));
+    check(scenario, &report);
+}
+
+/// Tracing off: the traced entry point with no collector attached —
+/// exactly what every untraced production request pays.
+fn run_off(
+    scenario: &Scenario,
+    engine: &Engine,
+    pipeline: &Pipeline,
+    platform: &Platform,
+    objective: Objective,
+) {
+    let budget = Budget::unlimited();
+    let report = engine.solve_traced(
+        &request(scenario, pipeline, platform, objective, &budget),
+        None,
+    );
+    check(scenario, &report);
+}
+
+/// Tracing on: the full traced lifecycle a `"trace": true` request
+/// pays at the engine layer — collector allocation, root span, solving
+/// under a scope, close, finish, and wire serialization.
+fn run_on(
+    scenario: &Scenario,
+    engine: &Engine,
+    pipeline: &Pipeline,
+    platform: &Platform,
+    objective: Objective,
+) {
+    let budget = Budget::unlimited();
+    let trace = Trace::new(TraceId::next(), Instant::now());
+    let root = trace.begin_root("request");
+    let report = engine.solve_traced(
+        &request(scenario, pipeline, platform, objective, &budget),
+        Some(TraceScope::new(&trace, root.index())),
+    );
+    check(scenario, &report);
+    trace.end(&root);
+    let tree = trace.finish();
+    let wire = serde_json::to_string(&tree).expect("span tree serializes");
+    assert!(!wire.is_empty());
+}
+
+fn write_json(measurements: &[Measurement]) {
+    let doc = serde::Value::Seq(
+        measurements
+            .iter()
+            .map(|m| {
+                serde::Value::Map(vec![
+                    ("scenario".into(), serde::Value::Str(m.name.clone())),
+                    ("rounds".into(), serde::Value::UInt(m.rounds as u64)),
+                    (
+                        "iters_per_round".into(),
+                        serde::Value::UInt(m.iters_per_round as u64),
+                    ),
+                    ("base_us".into(), serde::Value::Float(m.base_us)),
+                    ("off_us".into(), serde::Value::Float(m.off_us)),
+                    ("on_us".into(), serde::Value::Float(m.on_us)),
+                    ("off_pct".into(), serde::Value::Float(m.off_pct)),
+                    ("on_pct".into(), serde::Value::Float(m.on_pct)),
+                ])
+            })
+            .collect(),
+    );
+    let text = serde_json::to_string_pretty(&doc).expect("serializes");
+    if let Err(e) = std::fs::write("BENCH_trace.json", text) {
+        eprintln!("warning: could not write BENCH_trace.json: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracing_overhead_is_within_the_bars() {
+        let _timing = crate::experiments::TIMING_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Same noise discipline as the E18 bar: only a violation that
+        // survives every attempt is a regression.
+        crate::experiments::retry_timing_bars(|| {
+            let tables = trace_overhead(true);
+            assert_eq!(tables.len(), 1);
+            assert_eq!(tables[0].rows.len(), 3);
+            let mut violation = None;
+            for row in &tables[0].rows {
+                let off: f64 = row[6].parse().expect("off percentage");
+                let on: f64 = row[7].parse().expect("on percentage");
+                if off > 3.0 {
+                    violation = Some(format!(
+                        "tracing-off overhead for {} must stay within 3% of the \
+                         untraced path, measured {off:+.2}%",
+                        row[0]
+                    ));
+                }
+                if on > 10.0 {
+                    violation = Some(format!(
+                        "tracing-on overhead for {} must stay within 10% of the \
+                         untraced path, measured {on:+.2}%",
+                        row[0]
+                    ));
+                }
+            }
+            violation
+        });
+        let _ = std::fs::remove_file("BENCH_trace.json");
+    }
+}

@@ -23,6 +23,8 @@
 //! * [`pareto`] — bi-objective Pareto fronts,
 //! * [`ring`] — the consistent-hash ring fleets use to partition the
 //!   instance keyspace,
+//! * [`trace`] — structured per-request tracing (spans, attributes, and
+//!   the mergeable span tree fleet hops return),
 //! * [`num`] — numeric conventions (tolerances, log-space probabilities),
 //! * [`error`] — the shared error type.
 //!
@@ -69,6 +71,7 @@ pub mod platform;
 pub mod ring;
 pub mod stage;
 pub mod throughput;
+pub mod trace;
 
 pub use budget::{Budget, CancelHandle};
 pub use error::{CoreError, Result};
@@ -82,6 +85,7 @@ pub use metrics::{
 pub use platform::{FailureClass, Platform, PlatformBuilder, PlatformClass, ProcId, Vertex};
 pub use ring::HashRing;
 pub use stage::{Pipeline, PipelineBuilder, Stage};
+pub use trace::{Span, SpanTree, Trace, TraceId, TraceScope};
 
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
@@ -102,4 +106,5 @@ pub mod prelude {
     pub use crate::ring::HashRing;
     pub use crate::stage::{Pipeline, PipelineBuilder, Stage};
     pub use crate::throughput::{period, throughput};
+    pub use crate::trace::{Span, SpanTree, Trace, TraceId, TraceScope};
 }

@@ -1,0 +1,424 @@
+//! Structured per-request tracing: [`TraceId`], [`Span`], and the
+//! lock-cheap [`Trace`] collector threaded through the serving stack.
+//!
+//! A trace is a flat list of [`Span`]s linked by parent indices — span `0`
+//! is always the root. Layers open spans around the operations they own
+//! (decode, route, peer forward, engine planning, solver execution, cache
+//! access) and attach `key=value` attributes recording *why* a decision was
+//! made, not just how long it took. The finished tree ([`SpanTree`]) is a
+//! plain serde value, so it rides on the wire unchanged: a hopped fleet
+//! request grafts the owner's subtree under the entry node's `forward`
+//! span ([`SpanTree::graft`]) and returns one merged trace.
+//!
+//! The collector is deliberately simple: one short `Mutex<Vec<Span>>`
+//! critical section per span event, zero allocation when tracing is off
+//! (callers hold an `Option<&Trace>` and skip everything on `None`).
+//!
+//! ```
+//! use rpwf_core::trace::{Trace, TraceId};
+//! use std::time::Instant;
+//!
+//! let trace = Trace::new(TraceId::next(), Instant::now());
+//! let root = trace.begin_root("request");
+//! let child = trace.begin("plan", Some(0));
+//! trace.attr(child.index(), "solver", "bitmask-dp");
+//! trace.end(&child);
+//! trace.end(&root);
+//! let tree = trace.finish();
+//! assert_eq!(tree.spans.len(), 2);
+//! assert_eq!(tree.spans[1].parent, Some(0));
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Process-unique identifier of one request trace.
+///
+/// Ids are drawn from a splitmix64 sequence over a process-global counter
+/// seeded with per-process entropy (wall clock + pid): unique within a
+/// process, well-mixed so fleet nodes don't collide on their locally
+/// initiated traces, and cheap after the first draw (one relaxed atomic
+/// increment). Serialized as a bare integer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceId(pub u64);
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(0);
+
+/// Per-process sequence origin: without it every process would emit the
+/// identical id sequence and two fleet nodes would collide on their n-th
+/// locally initiated traces.
+fn process_seed() -> u64 {
+    use std::sync::OnceLock;
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        clock ^ (u64::from(std::process::id()) << 32)
+    })
+}
+
+impl TraceId {
+    /// Draws the next process-unique id.
+    #[must_use]
+    pub fn next() -> Self {
+        // splitmix64 finalizer over a seeded global counter: unique +
+        // well mixed.
+        let counter = NEXT_TRACE.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let mut z = counter.wrapping_add(process_seed());
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self(z ^ (z >> 31))
+    }
+
+    /// Hexadecimal rendering used by logs and the CLI.
+    #[must_use]
+    pub fn as_hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// One timed operation inside a trace.
+///
+/// `start_us` is the offset from the trace origin (the instant the request
+/// line was read off the socket), so spans from different machines can be
+/// merged without clock agreement: a grafted subtree is re-based onto the
+/// receiving span's window ([`SpanTree::graft`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Operation name, dot-namespaced by layer (`cache.lookup`,
+    /// `engine.plan`, `solver.bitmask-dp`, `peer.connect`, ...).
+    pub name: String,
+    /// Offset of the span start from the trace origin, in microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration of the operation, in microseconds.
+    pub elapsed_us: u64,
+    /// Index of the parent span in [`SpanTree::spans`]; `None` for roots.
+    pub parent: Option<u32>,
+    /// Ordered `key=value` attributes (decision context, not timings).
+    pub attrs: Vec<(String, String)>,
+}
+
+/// A completed trace in wire form: flat spans linked by parent indices.
+///
+/// The flat encoding (rather than nested objects) keeps merge and
+/// round-trip trivial: grafting a remote subtree is an index shift, and
+/// serialization order is exactly insertion order, so a tree re-serializes
+/// byte-identically.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpanTree {
+    /// The trace this tree belongs to (shared across fleet hops).
+    pub id: TraceId,
+    /// All spans, in the order they were opened; index 0 is the root.
+    pub spans: Vec<Span>,
+}
+
+impl SpanTree {
+    /// The root span, when the tree is non-empty.
+    #[must_use]
+    pub fn root(&self) -> Option<&Span> {
+        self.spans.first()
+    }
+
+    /// Grafts `other`'s spans under `self.spans[parent]`.
+    ///
+    /// Indices in `other` are shifted past the existing spans, `other`'s
+    /// roots are re-parented onto `parent`, and every start offset is
+    /// re-based onto the parent span's window (a hopped subtree measured
+    /// its offsets from the *owner's* origin; its wall time lives inside
+    /// the entry node's forward span).
+    pub fn graft(&mut self, other: SpanTree, parent: u32) {
+        let offset = self.spans.len() as u32;
+        let base_us = self
+            .spans
+            .get(parent as usize)
+            .map_or(0, |span| span.start_us);
+        for mut span in other.spans {
+            span.parent = match span.parent {
+                Some(p) => Some(p + offset),
+                None => Some(parent),
+            };
+            span.start_us += base_us;
+            self.spans.push(span);
+        }
+    }
+
+    /// Sum of `elapsed_us` over every span (used by trace counters).
+    #[must_use]
+    pub fn total_span_us(&self) -> u64 {
+        self.spans.iter().map(|s| s.elapsed_us).sum()
+    }
+
+    /// Renders an indented text tree (CLI / log form).
+    pub fn render(&self, out: &mut String) {
+        fn walk(tree: &SpanTree, idx: usize, depth: usize, out: &mut String) {
+            let span = &tree.spans[idx];
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!(
+                "{} {}us +{}us",
+                span.name, span.elapsed_us, span.start_us
+            ));
+            for (k, v) in &span.attrs {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+            for (child, span) in tree.spans.iter().enumerate() {
+                if span.parent == Some(idx as u32) {
+                    walk(tree, child, depth + 1, out);
+                }
+            }
+        }
+        for (idx, span) in self.spans.iter().enumerate() {
+            if span.parent.is_none() {
+                walk(self, idx, 0, out);
+            }
+        }
+    }
+}
+
+/// Handle returned by [`Trace::begin`]; close it with [`Trace::end`].
+#[derive(Debug)]
+pub struct SpanHandle {
+    index: u32,
+    started: Instant,
+}
+
+impl SpanHandle {
+    /// Index of the span this handle refers to (usable as a parent).
+    #[must_use]
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+}
+
+/// Lock-cheap per-request span collector.
+///
+/// One `Trace` lives for the duration of a request; every layer that sees
+/// the request appends spans through a shared reference. Each operation is
+/// a single short critical section on the span vector, and the whole
+/// structure is skipped when the request did not opt into tracing.
+#[derive(Debug)]
+pub struct Trace {
+    id: TraceId,
+    origin: Instant,
+    spans: Mutex<Vec<Span>>,
+}
+
+impl Trace {
+    /// Creates an empty collector. `origin` is the instant all span start
+    /// offsets are measured from (normally: when the request line was read).
+    #[must_use]
+    pub fn new(id: TraceId, origin: Instant) -> Self {
+        Self {
+            id,
+            origin,
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The trace id.
+    #[must_use]
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    /// Microseconds elapsed since the trace origin.
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Opens the root span: start offset 0, no parent.
+    pub fn begin_root(&self, name: &str) -> SpanHandle {
+        let index = self.push(Span {
+            name: name.to_owned(),
+            start_us: 0,
+            elapsed_us: 0,
+            parent: None,
+            attrs: Vec::new(),
+        });
+        SpanHandle {
+            index,
+            started: self.origin,
+        }
+    }
+
+    /// Opens a child span starting now.
+    pub fn begin(&self, name: &str, parent: Option<u32>) -> SpanHandle {
+        let started = Instant::now();
+        let index = self.push(Span {
+            name: name.to_owned(),
+            start_us: self.elapsed_us(),
+            elapsed_us: 0,
+            parent,
+            attrs: Vec::new(),
+        });
+        SpanHandle { index, started }
+    }
+
+    /// Closes a span, recording its wall-clock duration.
+    pub fn end(&self, handle: &SpanHandle) {
+        let elapsed = u64::try_from(handle.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut spans = self.spans.lock().expect("trace lock");
+        if let Some(span) = spans.get_mut(handle.index as usize) {
+            span.elapsed_us = elapsed;
+        }
+    }
+
+    /// Appends a fully-formed span (used to synthesize spans from
+    /// measurements taken elsewhere, e.g. per-solver stats).
+    pub fn add(
+        &self,
+        name: &str,
+        parent: Option<u32>,
+        start_us: u64,
+        elapsed_us: u64,
+        attrs: Vec<(String, String)>,
+    ) -> u32 {
+        self.push(Span {
+            name: name.to_owned(),
+            start_us,
+            elapsed_us,
+            parent,
+            attrs,
+        })
+    }
+
+    /// Attaches a `key=value` attribute to an open or closed span.
+    pub fn attr(&self, index: u32, key: &str, value: impl Into<String>) {
+        let mut spans = self.spans.lock().expect("trace lock");
+        if let Some(span) = spans.get_mut(index as usize) {
+            span.attrs.push((key.to_owned(), value.into()));
+        }
+    }
+
+    /// Snapshots the collected spans into a wire-form tree.
+    #[must_use]
+    pub fn finish(&self) -> SpanTree {
+        SpanTree {
+            id: self.id,
+            spans: self.spans.lock().expect("trace lock").clone(),
+        }
+    }
+
+    fn push(&self, span: Span) -> u32 {
+        let mut spans = self.spans.lock().expect("trace lock");
+        spans.push(span);
+        (spans.len() - 1) as u32
+    }
+}
+
+/// A borrowed position inside someone else's trace: the collector plus the
+/// span index new children should hang from. Layers that *may* be traced
+/// take an `Option<TraceScope>` and do nothing on `None`.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceScope<'a> {
+    /// The collector for the current request.
+    pub trace: &'a Trace,
+    /// Index of the span new children attach to.
+    pub parent: u32,
+}
+
+impl<'a> TraceScope<'a> {
+    /// Scope rooted at `parent` in `trace`.
+    #[must_use]
+    pub fn new(trace: &'a Trace, parent: u32) -> Self {
+        Self { trace, parent }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_hex_renders() {
+        let a = TraceId::next();
+        let b = TraceId::next();
+        assert_ne!(a, b);
+        assert_eq!(a.as_hex().len(), 16);
+    }
+
+    #[test]
+    fn spans_nest_and_record_elapsed() {
+        let trace = Trace::new(TraceId::next(), Instant::now());
+        let root = trace.begin_root("request");
+        let child = trace.begin("work", Some(root.index()));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        trace.end(&child);
+        trace.end(&root);
+        let tree = trace.finish();
+        assert_eq!(tree.spans.len(), 2);
+        assert_eq!(tree.root().unwrap().name, "request");
+        assert_eq!(tree.spans[1].parent, Some(0));
+        assert!(tree.spans[1].elapsed_us >= 2_000);
+        assert!(tree.root().unwrap().elapsed_us >= tree.spans[1].elapsed_us);
+    }
+
+    #[test]
+    fn graft_rebases_indices_and_offsets() {
+        let entry = Trace::new(TraceId::next(), Instant::now());
+        let root = entry.begin_root("request");
+        let fwd = entry.begin("forward", Some(root.index()));
+        entry.end(&fwd);
+        entry.end(&root);
+        let mut tree = entry.finish();
+        let fwd_start = tree.spans[1].start_us;
+
+        let owner = Trace::new(tree.id, Instant::now());
+        let oroot = owner.begin_root("request");
+        let oplan = owner.begin("engine.plan", Some(oroot.index()));
+        owner.end(&oplan);
+        owner.end(&oroot);
+
+        tree.graft(owner.finish(), 1);
+        assert_eq!(tree.spans.len(), 4);
+        // Owner root hangs under the forward span; its child is re-indexed.
+        assert_eq!(tree.spans[2].parent, Some(1));
+        assert_eq!(tree.spans[3].parent, Some(2));
+        // Offsets re-based onto the forward span's window.
+        assert_eq!(tree.spans[2].start_us, fwd_start);
+        assert!(tree.spans[3].start_us >= fwd_start);
+    }
+
+    #[test]
+    fn synthesized_spans_and_attrs() {
+        let trace = Trace::new(TraceId::next(), Instant::now());
+        let root = trace.begin_root("request");
+        let idx = trace.add(
+            "solver.bitmask-dp",
+            Some(root.index()),
+            10,
+            250,
+            vec![("complete".into(), "true".into())],
+        );
+        trace.attr(idx, "produced", "true");
+        trace.end(&root);
+        let tree = trace.finish();
+        assert_eq!(tree.spans[1].elapsed_us, 250);
+        assert_eq!(
+            tree.spans[1].attrs,
+            vec![
+                ("complete".to_owned(), "true".to_owned()),
+                ("produced".to_owned(), "true".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn render_indents_children() {
+        let trace = Trace::new(TraceId::next(), Instant::now());
+        let root = trace.begin_root("request");
+        let child = trace.begin("cache.lookup", Some(root.index()));
+        trace.attr(child.index(), "hit", "false");
+        trace.end(&child);
+        trace.end(&root);
+        let mut out = String::new();
+        trace.finish().render(&mut out);
+        assert!(out.starts_with("request "));
+        assert!(out.contains("\n  cache.lookup "));
+        assert!(out.contains("hit=false"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the trace wire format:
+//!
+//! * a [`SpanTree`] round-trips through the JSON-lines wire format
+//!   **byte-identically** (serialize → parse → re-serialize is the
+//!   identity on bytes — the flat encoding preserves span order, parent
+//!   indices, and attribute order),
+//! * grafting preserves every span and keeps parent indices in range.
+
+use proptest::prelude::*;
+use rpwf_core::trace::{Span, SpanTree, TraceId};
+
+/// Span names drawn by index (the vendored proptest has no string
+/// strategies).
+const NAMES: [&str; 8] = [
+    "request",
+    "decode",
+    "route",
+    "peer.forward",
+    "engine.plan",
+    "solver.bitmask-dp",
+    "cache.lookup",
+    "cache.write",
+];
+const KEYS: [&str; 4] = ["hit", "complete", "owner", "kind"];
+const VALS: [&str; 4] = ["true", "false", "node-b:7001", "front"];
+
+/// A structurally valid random span tree: span 0 is the root, every
+/// later span's parent points at an earlier span.
+fn span_tree() -> impl Strategy<Value = SpanTree> {
+    let raw_span = (
+        0usize..NAMES.len(),
+        0u64..10_000_000,
+        0u64..10_000_000,
+        proptest::collection::vec((0usize..KEYS.len(), 0usize..VALS.len()), 0..4),
+        0u32..u32::MAX,
+    );
+    (0u64..=u64::MAX, proptest::collection::vec(raw_span, 1..20)).prop_map(|(id, raw)| SpanTree {
+        id: TraceId(id),
+        spans: raw
+            .into_iter()
+            .enumerate()
+            .map(
+                |(i, (name, start_us, elapsed_us, attrs, parent_pick))| Span {
+                    name: NAMES[name].to_owned(),
+                    start_us,
+                    elapsed_us,
+                    parent: (i > 0).then(|| parent_pick % i as u32),
+                    attrs: attrs
+                        .into_iter()
+                        .map(|(k, v)| (KEYS[k].to_owned(), VALS[v].to_owned()))
+                        .collect(),
+                },
+            )
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn span_tree_roundtrips_byte_identically(tree in span_tree()) {
+        let wire = serde_json::to_string(&tree).expect("serializes");
+        let parsed: SpanTree = serde_json::from_str(&wire).expect("parses");
+        prop_assert_eq!(&parsed, &tree, "value-level roundtrip");
+        let rewire = serde_json::to_string(&parsed).expect("re-serializes");
+        prop_assert_eq!(rewire, wire, "byte-identical re-serialization");
+    }
+
+    #[test]
+    fn graft_preserves_spans_and_keeps_parents_in_range(
+        entry in span_tree(),
+        owner in span_tree(),
+        parent_pick in 0u32..u32::MAX,
+    ) {
+        let parent = parent_pick % entry.spans.len() as u32;
+        let mut merged = entry.clone();
+        merged.graft(owner.clone(), parent);
+
+        prop_assert_eq!(merged.spans.len(), entry.spans.len() + owner.spans.len());
+        // The entry prefix is untouched.
+        prop_assert_eq!(&merged.spans[..entry.spans.len()], &entry.spans[..]);
+        // Every grafted span's parent resolves inside the merged tree:
+        // owner roots hang under `parent`, children keep their shape.
+        for (i, span) in merged.spans[entry.spans.len()..].iter().enumerate() {
+            let p = span.parent.expect("grafted spans are never roots");
+            prop_assert!((p as usize) < merged.spans.len());
+            match owner.spans[i].parent {
+                None => prop_assert_eq!(p, parent),
+                Some(op) => {
+                    prop_assert_eq!(p as usize, op as usize + entry.spans.len());
+                }
+            }
+        }
+        // And the merged tree still round-trips byte-identically.
+        let wire = serde_json::to_string(&merged).expect("serializes");
+        let parsed: SpanTree = serde_json::from_str(&wire).expect("parses");
+        prop_assert_eq!(serde_json::to_string(&parsed).expect("re-serializes"), wire);
+    }
+}

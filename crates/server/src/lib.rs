@@ -16,6 +16,14 @@
 //! requests by instance and solve one front per distinct instance; large
 //! fronts stream as bounded `front_part` chunks.
 //!
+//! Requests may opt into **end-to-end tracing** (`"trace": true`): every
+//! layer — decode, routing, peer forwards, engine planning, per-solver
+//! execution, cache access — records spans into one
+//! [`rpwf_core::trace::SpanTree`] returned on `meta.trace`, a fleet hop
+//! returns a single merged entry+owner tree, and each node keeps a
+//! slow-query ring of its recent traced requests behind the `Trace`
+//! command.
+//!
 //! ## Layers
 //!
 //! * [`protocol`] — wire types: [`Request`]/[`Response`], commands,
@@ -48,6 +56,8 @@
 //!         deadline_ms: Some(1_000),
 //!         no_cache: None,
 //!         hop: None,
+//!         trace: None,
+//!         trace_ctx: None,
 //!         cmd: Command::Solve {
 //!             pipeline: rpwf_gen::figure5_pipeline(),
 //!             platform: rpwf_gen::figure5_platform(),

@@ -1,13 +1,16 @@
-//! Service observability: per-command latency histograms and a
-//! Prometheus-style plain-text dump.
+//! Service observability: per-command latency histograms, per-solver
+//! execution counters ([`SolverMetrics`] — the engine's solver mix), and
+//! a Prometheus-style plain-text dump.
 //!
 //! Recording is lock-free (one atomic increment per request into a fixed
-//! log-scale bucket array), so it sits on the hot path of every command.
-//! Buckets are powers of two in microseconds from 1 µs to ~1 s plus a
-//! catch-all, which keeps quantile estimates within a factor of two —
-//! plenty for spotting regressions and tail blowups.
+//! log-scale bucket array; a handful of atomic adds per solve for the
+//! solver mix), so it sits on the hot path of every command. Buckets are
+//! powers of two in microseconds from 1 µs to ~1 s plus a catch-all,
+//! which keeps quantile estimates within a factor of two — plenty for
+//! spotting regressions and tail blowups.
 
-use crate::protocol::{Command, CommandStatsOut};
+use crate::protocol::{Command, CommandStatsOut, SolverStatsOut};
+use rpwf_algo::engine::SolverStat;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of finite buckets: upper bounds `2^0 .. 2^19` µs (~0.5 s), the
@@ -197,6 +200,101 @@ impl CommandMetrics {
     }
 }
 
+/// Lock-free counters for one solver backend.
+#[derive(Debug, Default)]
+struct SolverSlot {
+    calls: AtomicU64,
+    elapsed_us: AtomicU64,
+    complete: AtomicU64,
+    produced: AtomicU64,
+}
+
+/// Per-solver execution counters, keyed by the engine's registry names.
+///
+/// Built once from `Engine::solvers()` at service construction; recording
+/// a [`SolveReport`](rpwf_algo::engine::SolveReport)'s stats is a name
+/// lookup plus four relaxed atomic adds per executed backend. Names not
+/// in the registry (a backend registered after the service was built) are
+/// ignored, mirroring [`CommandMetrics::record`].
+#[derive(Debug)]
+pub struct SolverMetrics {
+    names: Vec<&'static str>,
+    slots: Vec<SolverSlot>,
+}
+
+impl SolverMetrics {
+    /// A registry over the given solver names (preference order).
+    #[must_use]
+    pub fn new(names: Vec<&'static str>) -> Self {
+        let slots = names.iter().map(|_| SolverSlot::default()).collect();
+        SolverMetrics { names, slots }
+    }
+
+    /// Folds one solve's per-backend stats into the counters.
+    pub fn record(&self, stats: &[SolverStat]) {
+        for stat in stats {
+            let Some(idx) = self.names.iter().position(|&n| n == stat.solver) else {
+                continue;
+            };
+            let slot = &self.slots[idx];
+            slot.calls.fetch_add(1, Ordering::Relaxed);
+            slot.elapsed_us
+                .fetch_add(stat.elapsed_us, Ordering::Relaxed);
+            if stat.complete {
+                slot.complete.fetch_add(1, Ordering::Relaxed);
+            }
+            if stat.produced {
+                slot.produced.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Snapshot for the `Stats` command: backends that were called, in
+    /// registry order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SolverStatsOut> {
+        self.names
+            .iter()
+            .zip(&self.slots)
+            .filter(|(_, slot)| slot.calls.load(Ordering::Relaxed) > 0)
+            .map(|(name, slot)| SolverStatsOut {
+                solver: (*name).to_string(),
+                calls: slot.calls.load(Ordering::Relaxed),
+                elapsed_us: slot.elapsed_us.load(Ordering::Relaxed),
+                complete: slot.complete.load(Ordering::Relaxed),
+                produced: slot.produced.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Renders `rpwf_engine_solver_*` counters (every registered backend,
+    /// including zeros — a scrape sees the full solver roster).
+    pub fn render_prometheus(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        for (metric, read) in [
+            (
+                "rpwf_engine_solver_calls_total",
+                (|slot: &SolverSlot| slot.calls.load(Ordering::Relaxed)) as fn(&SolverSlot) -> u64,
+            ),
+            ("rpwf_engine_solver_elapsed_us_total", |slot| {
+                slot.elapsed_us.load(Ordering::Relaxed)
+            }),
+            ("rpwf_engine_solver_complete_total", |slot| {
+                slot.complete.load(Ordering::Relaxed)
+            }),
+            ("rpwf_engine_solver_produced_total", |slot| {
+                slot.produced.load(Ordering::Relaxed)
+            }),
+        ] {
+            writeln!(out, "# TYPE {metric} counter").expect("write to string");
+            for (name, slot) in self.names.iter().zip(&self.slots) {
+                writeln!(out, "{metric}{{solver=\"{name}\"}} {}", read(slot))
+                    .expect("write to string");
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +344,58 @@ mod tests {
         assert_eq!(s[1].count, 2);
         assert!((s[1].mean_us - 150.0).abs() < 1e-9);
         assert!(s[1].max_us == 200);
+    }
+
+    #[test]
+    fn solver_metrics_fold_stats_and_render() {
+        let m = SolverMetrics::new(vec!["bitmask-dp", "local-search"]);
+        m.record(&[
+            SolverStat {
+                solver: "bitmask-dp",
+                elapsed_us: 120,
+                complete: true,
+                produced: true,
+            },
+            SolverStat {
+                solver: "local-search",
+                elapsed_us: 80,
+                complete: true,
+                produced: false,
+            },
+            SolverStat {
+                solver: "unregistered",
+                elapsed_us: 1,
+                complete: false,
+                produced: false,
+            },
+        ]);
+        m.record(&[SolverStat {
+            solver: "bitmask-dp",
+            elapsed_us: 30,
+            complete: false,
+            produced: true,
+        }]);
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].solver, "bitmask-dp");
+        assert_eq!(snap[0].calls, 2);
+        assert_eq!(snap[0].elapsed_us, 150);
+        assert_eq!(snap[0].complete, 1);
+        assert_eq!(snap[0].produced, 2);
+        let mut text = String::new();
+        m.render_prometheus(&mut text);
+        assert!(
+            text.contains("rpwf_engine_solver_calls_total{solver=\"bitmask-dp\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rpwf_engine_solver_elapsed_us_total{solver=\"local-search\"} 80"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rpwf_engine_solver_produced_total{solver=\"local-search\"} 0"),
+            "{text}"
+        );
     }
 
     #[test]

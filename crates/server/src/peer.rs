@@ -17,6 +17,7 @@
 //! keep the end-to-end streaming bound.)
 
 use crate::protocol::Response;
+use rpwf_core::trace::TraceScope;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -90,7 +91,23 @@ impl Peer {
     /// Propagates connect/write/read failures and read timeouts — the
     /// caller treats any error as "peer down" and solves locally.
     pub fn call(&self, line: &str, read_timeout: Duration) -> std::io::Result<Vec<String>> {
-        let outcome = self.try_call(line, read_timeout);
+        self.call_traced(line, read_timeout, None)
+    }
+
+    /// [`call`](Self::call) recording connection-level spans into `scope`
+    /// (`peer.connect` around the checkout, `peer.retry` when a stale
+    /// pooled socket forces a fresh attempt, `peer.roundtrip` around the
+    /// write-and-read exchange). With `scope: None` this *is* `call`.
+    ///
+    /// # Errors
+    /// Same contract as [`call`](Self::call).
+    pub fn call_traced(
+        &self,
+        line: &str,
+        read_timeout: Duration,
+        scope: Option<TraceScope<'_>>,
+    ) -> std::io::Result<Vec<String>> {
+        let outcome = self.try_call(line, read_timeout, scope);
         match &outcome {
             Ok(_) => self.forwards.fetch_add(1, Ordering::Relaxed),
             Err(_) => self.failures.fetch_add(1, Ordering::Relaxed),
@@ -98,10 +115,25 @@ impl Peer {
         outcome
     }
 
-    fn try_call(&self, line: &str, read_timeout: Duration) -> std::io::Result<Vec<String>> {
+    fn try_call(
+        &self,
+        line: &str,
+        read_timeout: Duration,
+        scope: Option<TraceScope<'_>>,
+    ) -> std::io::Result<Vec<String>> {
         let read_timeout = read_timeout.max(Duration::from_millis(1));
-        let (mut conn, pooled) = self.checkout()?;
+        let connect_span = scope.map(|s| s.trace.begin("peer.connect", Some(s.parent)));
+        let checked = self.checkout();
+        if let (Some(s), Some(handle)) = (scope, connect_span.as_ref()) {
+            s.trace.end(handle);
+            let pooled = checked.as_ref().is_ok_and(|&(_, pooled)| pooled);
+            s.trace.attr(handle.index(), "pooled", pooled.to_string());
+            s.trace
+                .attr(handle.index(), "ok", checked.is_ok().to_string());
+        }
+        let (mut conn, pooled) = checked?;
         conn.get_ref().set_read_timeout(Some(read_timeout))?;
+        let roundtrip_span = scope.map(|s| s.trace.begin("peer.roundtrip", Some(s.parent)));
         let mut outcome = Self::roundtrip(&mut conn, line);
         if pooled && outcome.as_ref().is_err_and(|e| !is_timeout(e)) {
             // The parked socket may simply be stale (instant write error
@@ -109,10 +141,28 @@ impl Peer {
             // peer is up but not answering — retrying would double the
             // client's wait and re-run the solve, so fail to the local
             // fallback immediately.
+            if let Some(s) = scope {
+                s.trace.add(
+                    "peer.retry",
+                    Some(s.parent),
+                    s.trace.elapsed_us(),
+                    0,
+                    vec![("reason".to_owned(), "stale-pooled-connection".to_owned())],
+                );
+            }
             if let Ok(fresh) = Self::connect(&self.addr) {
                 conn = fresh;
                 conn.get_ref().set_read_timeout(Some(read_timeout))?;
                 outcome = Self::roundtrip(&mut conn, line);
+            }
+        }
+        if let (Some(s), Some(handle)) = (scope, roundtrip_span.as_ref()) {
+            s.trace.end(handle);
+            s.trace
+                .attr(handle.index(), "ok", outcome.is_ok().to_string());
+            if let Ok(lines) = &outcome {
+                s.trace
+                    .attr(handle.index(), "lines", lines.len().to_string());
             }
         }
         if outcome.is_ok() {

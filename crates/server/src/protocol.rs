@@ -33,12 +33,22 @@
 //! identical whichever node the client entered through), and the
 //! [`Command::Ring`] introspection command returns the answering node's
 //! topology view ([`RingResult`]).
+//!
+//! Tracing adds two more: a request with `"trace": true` gets the full
+//! span tree of its handling attached to `meta.trace` (decode → route →
+//! peer forward → engine planning → per-solver execution → cache access),
+//! and a forwarding node propagates a compact [`TraceContext`]
+//! (`trace_ctx`) so the owner's spans come back under the same trace id
+//! and the entry node can return **one merged trace**. The
+//! [`Command::Trace`] command dumps the node's slow-query ring — the
+//! slowest recently traced requests ([`TraceResult`]).
 
 use rpwf_algo::{Objective, Provenance};
 use rpwf_core::hash::{CanonicalDigest, CanonicalHasher};
 use rpwf_core::mapping::IntervalMapping;
 use rpwf_core::platform::Platform;
 use rpwf_core::stage::Pipeline;
+use rpwf_core::trace::SpanTree;
 use serde::{Deserialize, Serialize, Value};
 
 /// A single request line.
@@ -60,8 +70,29 @@ pub struct Request {
     /// answered locally, so disagreeing ring views (e.g. mid-rollout
     /// membership skew) can cost one extra hop but never a loop.
     pub hop: Option<bool>,
+    /// Opt into structured tracing: the response's `meta.trace` carries
+    /// the span tree of the request's handling, and the request enters
+    /// the node's slow-query ring ([`Command::Trace`]).
+    pub trace: Option<bool>,
+    /// Compact trace context set by a forwarding node next to `hop`, so
+    /// the owner records its spans under the entry node's trace id and
+    /// the entry node returns one merged trace.
+    pub trace_ctx: Option<TraceContext>,
     /// The command to execute.
     pub cmd: Command,
+}
+
+/// The compact trace context a forwarding node propagates in the wire
+/// [`Request`]: enough for the owner to continue the entry node's trace
+/// (shared id) and for the entry node to graft the owner's subtree back
+/// under its `forward` span.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// The entry node's trace id (raw [`rpwf_core::trace::TraceId`] bits).
+    pub id: u64,
+    /// Index of the entry node's `forward` span — where the owner's
+    /// subtree is grafted on return.
+    pub parent: u32,
 }
 
 /// The operations the service answers.
@@ -122,6 +153,14 @@ pub enum Command {
     /// counters and this node's owned-key census ([`RingResult`]). Always
     /// answered by the node that received it (never forwarded).
     Ring,
+    /// Slow-query log dump: the slowest recently traced requests on the
+    /// answering node, each with its full span tree ([`TraceResult`]).
+    /// Only requests that opted in with `"trace": true` enter the ring.
+    /// Always answered locally, like [`Command::Ring`].
+    Trace {
+        /// Return at most this many entries (default 16).
+        limit: Option<usize>,
+    },
 }
 
 impl Command {
@@ -137,6 +176,7 @@ impl Command {
             Command::Stats => "stats",
             Command::Metrics => "metrics",
             Command::Ring => "ring",
+            Command::Trace { .. } => "trace",
         }
     }
 
@@ -144,7 +184,7 @@ impl Command {
     #[must_use]
     pub fn all_names() -> &'static [&'static str] {
         &[
-            "ping", "solve", "pareto", "simulate", "gen", "stats", "metrics", "ring",
+            "ping", "solve", "pareto", "simulate", "gen", "stats", "metrics", "ring", "trace",
         ]
     }
 
@@ -229,7 +269,8 @@ impl Command {
             | Command::Gen { .. }
             | Command::Stats
             | Command::Metrics
-            | Command::Ring => return None,
+            | Command::Ring
+            | Command::Trace { .. } => return None,
         }
         Some(hasher.finish())
     }
@@ -291,6 +332,11 @@ pub struct Meta {
     /// is identical whichever node the client entered through. `None`
     /// outside fleet mode.
     pub node: Option<String>,
+    /// The span tree of the request's handling, attached when the request
+    /// set `"trace": true`. On a fleet hop this is the **merged** trace:
+    /// the entry node's decode/route/forward spans with the owner's
+    /// subtree grafted under the forward span.
+    pub trace: Option<SpanTree>,
 }
 
 /// A single response line.
@@ -482,6 +528,24 @@ pub struct CommandStatsOut {
     pub max_us: u64,
 }
 
+/// Per-solver counters inside [`StatsResult`] — the engine's solver mix,
+/// aggregated from every [`rpwf_algo::engine::SolverStat`] the node's
+/// solves produced.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SolverStatsOut {
+    /// Backend registry name (`bitmask-dp`, `branch-bound`, …).
+    pub solver: String,
+    /// Executions of this backend.
+    pub calls: u64,
+    /// Cumulative wall-clock time across executions, in microseconds.
+    pub elapsed_us: u64,
+    /// Executions that ran to completion within budget (the completeness
+    /// tier: `complete / calls` is the backend's proof rate).
+    pub complete: u64,
+    /// Executions that produced an answer.
+    pub produced: u64,
+}
+
 /// `Stats` result payload.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StatsResult {
@@ -493,6 +557,8 @@ pub struct StatsResult {
     pub cache: CacheStatsOut,
     /// Per-command latency summaries (commands with no traffic omitted).
     pub commands: Vec<CommandStatsOut>,
+    /// Per-solver execution counters (backends never called omitted).
+    pub solvers: Vec<SolverStatsOut>,
 }
 
 /// Per-peer forwarding counters inside [`RingResult`].
@@ -529,6 +595,34 @@ pub struct RingResult {
     pub forwards: Vec<RingPeerOut>,
 }
 
+/// One slow-query ring entry inside [`TraceResult`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntryOut {
+    /// Trace id (raw bits; render as hex).
+    pub id: u64,
+    /// Command name of the traced request.
+    pub command: String,
+    /// Final response status (`ok` / `error`).
+    pub status: String,
+    /// Root-span wall time, in microseconds (the ring's sort key).
+    pub elapsed_us: u64,
+    /// Node that answered (`None` outside fleet mode).
+    pub node: Option<String>,
+    /// The full span tree.
+    pub spans: SpanTree,
+}
+
+/// `Trace` result payload — the answering node's slow-query ring: the
+/// slowest recently traced requests, slowest first.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceResult {
+    /// Ring capacity (recent-window size).
+    pub capacity: usize,
+    /// Entries, sorted by `elapsed_us` descending, truncated to the
+    /// request's `limit`.
+    pub entries: Vec<TraceEntryOut>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,6 +642,8 @@ mod tests {
             deadline_ms: Some(100),
             no_cache: None,
             hop: None,
+            trace: Some(true),
+            trace_ctx: Some(TraceContext { id: 7, parent: 2 }),
             cmd: Command::Solve {
                 pipeline,
                 platform,
@@ -558,7 +654,14 @@ mod tests {
         let parsed: Request = serde_json::from_str(&line).expect("parses");
         assert_eq!(parsed.id, Some(42));
         assert_eq!(parsed.deadline_ms, Some(100));
+        assert_eq!(parsed.trace, Some(true));
+        assert_eq!(parsed.trace_ctx, Some(TraceContext { id: 7, parent: 2 }));
         assert_eq!(parsed.cmd.name(), "solve");
+        // Pre-tracing request lines (no trace fields) still parse.
+        let legacy: Request =
+            serde_json::from_str(r#"{"id":1,"cmd":"Ping"}"#).expect("legacy line parses");
+        assert_eq!(legacy.trace, None);
+        assert_eq!(legacy.trace_ctx, None);
     }
 
     #[test]
@@ -587,6 +690,7 @@ mod tests {
         assert_eq!(Command::Stats.cache_key(), None);
         assert_eq!(Command::Metrics.cache_key(), None);
         assert_eq!(Command::Ring.cache_key(), None);
+        assert_eq!(Command::Trace { limit: None }.cache_key(), None);
     }
 
     #[test]
@@ -616,6 +720,7 @@ mod tests {
         assert_eq!(Command::Ring.route_key(), None);
         assert_eq!(Command::Stats.route_key(), None);
         assert_eq!(Command::Metrics.route_key(), None);
+        assert_eq!(Command::Trace { limit: Some(4) }.route_key(), None);
     }
 
     #[test]
@@ -655,6 +760,7 @@ mod tests {
             exact_complete: None,
             elapsed_us: 5,
             node: None,
+            trace: None,
         };
         let resp = Response::error(Some(3), ErrorKind::Timeout, "deadline expired", meta);
         let line = resp.to_line();

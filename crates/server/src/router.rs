@@ -31,10 +31,13 @@
 //!   counters): answers stay correct, only cache placement degrades.
 
 use crate::peer::Peer;
-use crate::protocol::{Command, Request, RingPeerOut, RingResult};
+use crate::protocol::{
+    Command, Request, Response, RingPeerOut, RingResult, TraceContext, TraceEntryOut,
+};
 use crate::service::SolverService;
 use rpwf_core::budget::CancelHandle;
 use rpwf_core::ring::{HashRing, DEFAULT_VNODES};
+use rpwf_core::trace::{Trace, TraceId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -200,6 +203,17 @@ impl RingRouter {
 
     /// Forwards `request` to `owner`, falling back to a local solve when
     /// the peer cannot be reached or errors mid-call.
+    ///
+    /// When the request opted into tracing, this node opens the
+    /// **entry-side** trace (root, decode, route, `peer.forward` spans),
+    /// ships a [`TraceContext`] inside the hopped request so the owner
+    /// collects its spans under the same trace id, then grafts the
+    /// owner's subtree (returned on the final response's `meta.trace`)
+    /// under the forward span — the client receives one merged trace and
+    /// the entry node logs it in its own slow-query ring. On peer failure
+    /// the local fallback starts a fresh trace: the entry-side route and
+    /// forward spans are lost with the failed call (the fallback is
+    /// visible in the `Ring` counters instead).
     fn forward(
         &self,
         owner: &str,
@@ -215,8 +229,42 @@ impl RingRouter {
             self.handle_local(request, received, cancel, emit);
             return;
         };
+        let trace = request.trace.unwrap_or(false).then(|| {
+            let id = request
+                .trace_ctx
+                .map_or_else(TraceId::next, |ctx| TraceId(ctx.id));
+            let trace = Trace::new(id, received);
+            let root = trace.begin_root("request");
+            trace.attr(root.index(), "cmd", request.cmd.name());
+            trace.attr(root.index(), "node", self.node_id.as_str());
+            trace.attr(root.index(), "role", "entry");
+            trace.add(
+                "decode",
+                Some(root.index()),
+                0,
+                trace.elapsed_us(),
+                Vec::new(),
+            );
+            trace.add(
+                "route",
+                Some(root.index()),
+                trace.elapsed_us(),
+                0,
+                vec![("owner".to_owned(), owner.to_owned())],
+            );
+            let forward = trace.begin("peer.forward", Some(root.index()));
+            trace.attr(forward.index(), "from", self.node_id.as_str());
+            trace.attr(forward.index(), "to", owner);
+            (trace, root, forward)
+        });
         let mut hopped = request.clone();
         hopped.hop = Some(true);
+        if let Some((trace, _, forward)) = &trace {
+            hopped.trace_ctx = Some(TraceContext {
+                id: trace.id().0,
+                parent: forward.index(),
+            });
+        }
         let line = serde_json::to_string(&hopped).expect("requests always serialize");
         // Bound the wait on the peer: the request's remaining deadline
         // (plus shipping grace) when it has one, a watchdog otherwise. On
@@ -229,8 +277,16 @@ impl RingRouter {
             }
             None => FORWARD_WATCHDOG,
         };
-        match peer.call(&line, read_timeout) {
-            Ok(lines) => {
+        let peer_scope = trace
+            .as_ref()
+            .map(|(trace, _, forward)| rpwf_core::trace::TraceScope::new(trace, forward.index()));
+        match peer.call_traced(&line, read_timeout, peer_scope) {
+            Ok(mut lines) => {
+                if let Some((trace, root, forward)) = trace {
+                    trace.end(&forward);
+                    trace.end(&root);
+                    self.merge_owner_trace(&trace, forward.index(), &request, &mut lines);
+                }
                 for line in lines {
                     emit(line);
                 }
@@ -243,6 +299,39 @@ impl RingRouter {
                 self.handle_local(request, received, cancel, emit);
             }
         }
+    }
+
+    /// Rewrites the final forwarded response line so its `meta.trace`
+    /// becomes the merged entry+owner tree, and records the merged trace
+    /// in this node's slow-query ring. A final line without a parseable
+    /// trace (owner predates tracing, or the response is malformed) is
+    /// passed through untouched.
+    fn merge_owner_trace(
+        &self,
+        trace: &Trace,
+        forward_span: u32,
+        request: &Request,
+        lines: &mut [String],
+    ) {
+        let Some(last) = lines.last_mut() else { return };
+        let Ok(mut resp) = serde_json::from_str::<Response>(last) else {
+            return;
+        };
+        let Some(owner_tree) = resp.meta.trace.take() else {
+            return;
+        };
+        let mut merged = trace.finish();
+        merged.graft(owner_tree, forward_span);
+        resp.meta.trace = Some(merged.clone());
+        *last = resp.to_line();
+        self.service.record_trace(TraceEntryOut {
+            id: merged.id.0,
+            command: request.cmd.name().to_string(),
+            status: resp.status.clone(),
+            elapsed_us: merged.root().map_or(0, |span| span.elapsed_us),
+            node: Some(self.node_id.clone()),
+            spans: merged,
+        });
     }
 
     fn handle_local(

@@ -283,6 +283,8 @@ mod tests {
             deadline_ms: None,
             no_cache: None,
             hop: None,
+            trace: None,
+            trace_ctx: None,
             cmd,
         })
         .expect("serializes")

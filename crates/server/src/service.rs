@@ -11,11 +11,11 @@
 //! [`Provenance`].
 
 use crate::cache::{CachedEntry, CachedFront, CachedResult, SolutionCache};
-use crate::metrics::CommandMetrics;
+use crate::metrics::{CommandMetrics, SolverMetrics};
 use crate::protocol::{
     CacheStatsOut, Command, ErrorKind, FrontEndResult, FrontPartResult, GenResult, Meta,
     ParetoPointOut, ParetoResult, Request, Response, RingResult, SimulateResult, SolveResult,
-    StatsResult,
+    StatsResult, TraceEntryOut, TraceResult,
 };
 use crate::router::{LocalRouter, Router};
 use crossbeam::channel::{self, Sender};
@@ -28,12 +28,59 @@ use rpwf_core::mapping::IntervalMapping;
 use rpwf_core::pareto::ParetoFront;
 use rpwf_core::platform::{FailureClass, Platform, PlatformClass};
 use rpwf_core::stage::Pipeline;
+use rpwf_core::trace::{Trace, TraceId, TraceScope};
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Index of the root span in every per-request trace (opened first).
+const ROOT_SPAN: u32 = 0;
+
+/// Recent-window size of the slow-query ring: the [`Command::Trace`]
+/// command reports the slowest of the last this-many traced requests.
+const TRACE_RING: usize = 64;
+
+/// The per-node slow-query ring: a bounded FIFO of recently traced
+/// requests, reported slowest-first by the `Trace` command. Only requests
+/// that opted in with `"trace": true` enter (untraced requests pay zero
+/// cost), so one short lock per *traced* request is off the common path.
+#[derive(Debug, Default)]
+struct TraceLog {
+    entries: Mutex<VecDeque<TraceEntryOut>>,
+}
+
+impl TraceLog {
+    fn push(&self, entry: TraceEntryOut) {
+        let mut entries = self.entries.lock().expect("trace log lock");
+        if entries.len() == TRACE_RING {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+    }
+
+    fn snapshot(&self, limit: usize) -> TraceResult {
+        let mut entries: Vec<TraceEntryOut> = self
+            .entries
+            .lock()
+            .expect("trace log lock")
+            .iter()
+            .cloned()
+            .collect();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.elapsed_us));
+        entries.truncate(limit);
+        TraceResult {
+            capacity: TRACE_RING,
+            entries,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.lock().expect("trace log lock").len()
+    }
+}
 
 /// Fleet hook: produces the `Ring` command's payload (installed by a
 /// `RingRouter`; absent on single-node services).
@@ -90,6 +137,11 @@ pub struct SolverService {
     cache: SolutionCache,
     requests: AtomicU64,
     metrics: CommandMetrics,
+    solver_metrics: SolverMetrics,
+    trace_log: TraceLog,
+    traces: AtomicU64,
+    trace_spans: AtomicU64,
+    started: Instant,
     ring_reporter: OnceLock<RingReporter>,
     metrics_ext: OnceLock<MetricsExtension>,
 }
@@ -100,12 +152,19 @@ impl SolverService {
     pub fn new(config: ServiceConfig) -> Self {
         let cache = SolutionCache::new(config.cache_capacity, config.cache_shards);
         let engine = Engine::with_default_backends(config.seed);
+        let solver_metrics =
+            SolverMetrics::new(engine.solvers().iter().map(|s| s.name()).collect());
         SolverService {
             config,
             engine,
             cache,
             requests: AtomicU64::new(0),
             metrics: CommandMetrics::new(),
+            solver_metrics,
+            trace_log: TraceLog::default(),
+            traces: AtomicU64::new(0),
+            trace_spans: AtomicU64::new(0),
+            started: Instant::now(),
             ring_reporter: OnceLock::new(),
             metrics_ext: OnceLock::new(),
         }
@@ -158,6 +217,16 @@ impl SolverService {
         self.config.node_id.clone()
     }
 
+    /// Records a finished trace into the slow-query ring and the trace
+    /// counters. Called by the request path for local traces and by the
+    /// fleet router for merged entry+owner traces.
+    pub(crate) fn record_trace(&self, entry: TraceEntryOut) {
+        self.traces.fetch_add(1, Ordering::Relaxed);
+        self.trace_spans
+            .fetch_add(entry.spans.spans.len() as u64, Ordering::Relaxed);
+        self.trace_log.push(entry);
+    }
+
     /// Response metadata for solver-shaped answers.
     fn meta(
         &self,
@@ -172,6 +241,7 @@ impl SolverService {
             exact_complete,
             elapsed_us: elapsed_us(start),
             node: self.node(),
+            trace: None,
         }
     }
 
@@ -275,6 +345,13 @@ impl SolverService {
 
     /// Handles one parsed request, emitting every response (parts first,
     /// the fulfilling `ok`/`error` last). Panic-isolated per request.
+    ///
+    /// This is where a `"trace": true` request's collector comes to life:
+    /// the root span opens here, backdated to `received` (the instant the
+    /// transport read the line — "decode" covers the parse-and-queue
+    /// window before dispatch), every layer below appends spans through
+    /// it, and the finished tree is attached to the final response's
+    /// `meta.trace` and pushed into the slow-query ring.
     pub fn handle_request_into(
         &self,
         request: Request,
@@ -286,8 +363,47 @@ impl SolverService {
         let start = Instant::now();
         let id = request.id;
         let name = request.cmd.name();
+        let trace = request.trace.unwrap_or(false).then(|| {
+            // A forwarded request continues the entry node's trace id so
+            // the merged tree reads as one trace fleet-wide.
+            let trace_id = request
+                .trace_ctx
+                .map_or_else(TraceId::next, |ctx| TraceId(ctx.id));
+            let trace = Trace::new(trace_id, received);
+            let root = trace.begin_root("request");
+            trace.attr(ROOT_SPAN, "cmd", name);
+            if let Some(node) = self.node() {
+                trace.attr(ROOT_SPAN, "node", node);
+            }
+            if request.hop == Some(true) {
+                trace.attr(ROOT_SPAN, "hop", "true");
+            }
+            trace.add("decode", Some(ROOT_SPAN), 0, trace.elapsed_us(), Vec::new());
+            (trace, root)
+        });
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.handle_inner(request, received, start, cancel, emit);
+            let mut emit_traced = |mut resp: Response| {
+                if let Some((trace, root)) = &trace {
+                    if resp.status != "part" {
+                        trace.end(root);
+                        let tree = trace.finish();
+                        self.record_trace(TraceEntryOut {
+                            id: tree.id.0,
+                            command: name.to_string(),
+                            status: resp.status.clone(),
+                            elapsed_us: tree.root().map_or(0, |r| r.elapsed_us),
+                            node: self.node(),
+                            spans: tree.clone(),
+                        });
+                        resp.meta.trace = Some(tree);
+                    }
+                }
+                emit(resp);
+            };
+            let scope = trace
+                .as_ref()
+                .map(|(trace, _)| TraceScope::new(trace, ROOT_SPAN));
+            self.handle_inner(request, received, start, cancel, scope, &mut emit_traced);
         }));
         if let Err(panic) = outcome {
             emit(Response::error(
@@ -300,12 +416,14 @@ impl SolverService {
         self.metrics.record(name, elapsed_us(start));
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_inner(
         &self,
         request: Request,
         received: Instant,
         start: Instant,
         cancel: Option<&CancelHandle>,
+        trace: Option<TraceScope<'_>>,
         emit: &mut dyn FnMut(Response),
     ) {
         let id = request.id;
@@ -328,22 +446,22 @@ impl SolverService {
                 platform,
                 objective,
             } => emit(self.handle_solve(
-                id, &pipeline, &platform, objective, &budget, use_cache, start,
+                id, &pipeline, &platform, objective, &budget, use_cache, start, trace,
             )),
             Command::Pareto {
                 pipeline,
                 platform,
                 chunk,
             } => self.handle_pareto(
-                id, &pipeline, &platform, chunk, &budget, use_cache, start, emit,
+                id, &pipeline, &platform, chunk, &budget, use_cache, start, trace, emit,
             ),
             Command::Simulate {
                 pipeline,
                 platform,
                 trials,
-            } => emit(
-                self.handle_simulate(id, &pipeline, &platform, trials, &budget, use_cache, start),
-            ),
+            } => emit(self.handle_simulate(
+                id, &pipeline, &platform, trials, &budget, use_cache, start, trace,
+            )),
             cmd => emit(match self.dispatch_simple(&cmd) {
                 Ok(result) => Response::ok(id, result, self.meta_plain(start)),
                 Err((kind, message)) => Response::error(id, kind, message, self.meta_plain(start)),
@@ -369,12 +487,22 @@ impl SolverService {
         budget: &Budget,
         use_cache: bool,
         start: Instant,
+        trace: Option<TraceScope<'_>>,
     ) -> Response {
         let pipeline = pipeline.clone().with_rebuilt_cache();
         let key = use_cache.then(|| instance_key(&pipeline, platform));
 
         // 1. Answer from a cached front when one is usable.
-        if let Some(hit) = key.and_then(|k| self.usable_cached_front(k, budget)) {
+        let lookup_start = trace.map(|scope| scope.trace.elapsed_us());
+        let cached = key.and_then(|k| self.usable_cached_front(k, budget));
+        cache_span(
+            trace,
+            "front",
+            lookup_start,
+            cached.is_some(),
+            cached.as_ref().map(|hit| hit.complete),
+        );
+        if let Some(hit) = cached {
             if let Some(sol) = threshold_read(&hit.front, objective) {
                 return Response::ok(
                     id,
@@ -420,7 +548,13 @@ impl SolverService {
             })
             .flatten();
         if let Some(k) = qkey {
-            if let Some(CachedEntry::Result(hit)) = self.cache.get(k) {
+            let lookup_start = trace.map(|scope| scope.trace.elapsed_us());
+            let hit = match self.cache.get(k) {
+                Some(CachedEntry::Result(hit)) => Some(hit),
+                _ => None,
+            };
+            cache_span(trace, "result", lookup_start, hit.is_some(), None);
+            if let Some(hit) = hit {
                 return Response::ok(
                     id,
                     hit.result,
@@ -430,16 +564,21 @@ impl SolverService {
         }
 
         // 3. One engine call answers the request, whatever the instance.
-        let report = self.engine.solve(&SolveRequest {
-            pipeline: &pipeline,
-            platform,
-            want: Want::Point {
-                objective,
-                keep_front,
+        let report = self.engine.solve_traced(
+            &SolveRequest {
+                pipeline: &pipeline,
+                platform,
+                want: Want::Point {
+                    objective,
+                    keep_front,
+                },
+                budget,
             },
-            budget,
-        });
+            trace,
+        );
+        self.solver_metrics.record(&report.stats);
         if let (Some(k), Some(artifact)) = (key, &report.front) {
+            let write_start = trace.map(|scope| scope.trace.elapsed_us());
             self.store_front(
                 k,
                 Arc::clone(&artifact.front),
@@ -447,6 +586,7 @@ impl SolverService {
                 artifact.provenance,
                 artifact.exact_capable,
             );
+            cache_write_span(trace, "front", write_start, Some(artifact.complete));
         }
         let completeness = report.completeness;
         match report.answer {
@@ -516,6 +656,7 @@ impl SolverService {
         budget: &Budget,
         use_cache: bool,
         start: Instant,
+        trace: Option<TraceScope<'_>>,
         emit: &mut dyn FnMut(Response),
     ) {
         if chunk == Some(0) {
@@ -530,7 +671,16 @@ impl SolverService {
         let pipeline = pipeline.clone().with_rebuilt_cache();
         let key = use_cache.then(|| instance_key(&pipeline, platform));
 
-        let (entry, cache_hit) = match key.and_then(|k| self.usable_cached_front(k, budget)) {
+        let lookup_start = trace.map(|scope| scope.trace.elapsed_us());
+        let cached = key.and_then(|k| self.usable_cached_front(k, budget));
+        cache_span(
+            trace,
+            "front",
+            lookup_start,
+            cached.is_some(),
+            cached.as_ref().map(|hit| hit.complete),
+        );
+        let (entry, cache_hit) = match cached {
             Some(hit) => (hit, true),
             None => {
                 if let Some(timeout) = self.doomed_solve(id, budget, start) {
@@ -541,15 +691,19 @@ impl SolverService {
                 // applies, the heuristic portfolio sweep beyond — the
                 // command answers on every instance, flagged by
                 // completeness.
-                let report = self.engine.solve(&SolveRequest {
-                    pipeline: &pipeline,
-                    platform,
-                    want: match chunk {
-                        Some(chunk) => Want::FrontStream { chunk },
-                        None => Want::Front,
+                let report = self.engine.solve_traced(
+                    &SolveRequest {
+                        pipeline: &pipeline,
+                        platform,
+                        want: match chunk {
+                            Some(chunk) => Want::FrontStream { chunk },
+                            None => Want::Front,
+                        },
+                        budget,
                     },
-                    budget,
-                });
+                    trace,
+                );
+                self.solver_metrics.record(&report.stats);
                 let complete = report.completeness.exact_complete;
                 let exact_capable = report.completeness.exact_capable;
                 let solver = report.provenance.unwrap_or(Provenance::Heuristic);
@@ -567,7 +721,9 @@ impl SolverService {
                     return;
                 }
                 if let Some(k) = key {
+                    let write_start = trace.map(|scope| scope.trace.elapsed_us());
                     self.store_front(k, Arc::clone(&front), complete, solver, exact_capable);
+                    cache_write_span(trace, "front", write_start, Some(complete));
                 }
                 (
                     CachedFront {
@@ -631,6 +787,7 @@ impl SolverService {
         budget: &Budget,
         use_cache: bool,
         start: Instant,
+        trace: Option<TraceScope<'_>>,
     ) -> Response {
         let qkey = use_cache
             .then(|| {
@@ -643,7 +800,13 @@ impl SolverService {
             })
             .flatten();
         if let Some(k) = qkey {
-            if let Some(CachedEntry::Result(hit)) = self.cache.get(k) {
+            let lookup_start = trace.map(|scope| scope.trace.elapsed_us());
+            let hit = match self.cache.get(k) {
+                Some(CachedEntry::Result(hit)) => Some(hit),
+                _ => None,
+            };
+            cache_span(trace, "result", lookup_start, hit.is_some(), None);
+            if let Some(hit) = hit {
                 return Response::ok(
                     id,
                     hit.result,
@@ -661,7 +824,17 @@ impl SolverService {
             trials,
             ..Default::default()
         };
+        let mc_span = trace.map(|scope| scope.trace.begin("simulate.mc", Some(scope.parent)));
         let (report, complete) = mc.run_with_budget(&pipeline, platform, &safest.mapping, budget);
+        if let (Some(scope), Some(handle)) = (trace, mc_span) {
+            scope.trace.end(&handle);
+            scope
+                .trace
+                .attr(handle.index(), "trials", report.trials.to_string());
+            scope
+                .trace
+                .attr(handle.index(), "complete", complete.to_string());
+        }
         if report.trials == 0 {
             return Response::error(
                 id,
@@ -719,10 +892,17 @@ impl SolverService {
                         evictions: cache.evictions,
                     },
                     commands: self.metrics.summaries(),
+                    solvers: self.solver_metrics.snapshot(),
                 }
                 .to_value())
             }
             Command::Metrics => Ok(serde::Value::Str(self.render_metrics())),
+            Command::Trace { limit } => {
+                // Node-local like `Ring`: each node reports its own
+                // slow-query ring; a fleet-wide view is one `trace` call
+                // per node.
+                Ok(self.trace_log.snapshot(limit.unwrap_or(16)).to_value())
+            }
             Command::Ring => {
                 // Fleet mode: the RingRouter's installed reporter answers;
                 // single-node services report themselves as a solo ring.
@@ -814,6 +994,39 @@ impl SolverService {
         writeln!(out, "rpwf_cache_evictions_total {}", cache.evictions).expect("write");
         writeln!(out, "rpwf_cache_entries {}", cache.entries).expect("write");
         writeln!(out, "rpwf_cache_capacity {}", self.cache.capacity()).expect("write");
+        // Ratio gauge: 0 when no lookup happened yet (not NaN).
+        let lookups = cache.hits + cache.misses;
+        let hit_ratio = if lookups == 0 {
+            0.0
+        } else {
+            cache.hits as f64 / lookups as f64
+        };
+        writeln!(out, "rpwf_cache_hit_ratio {hit_ratio:.6}").expect("write");
+        writeln!(
+            out,
+            "rpwf_uptime_seconds {}",
+            self.started.elapsed().as_secs()
+        )
+        .expect("write");
+        writeln!(
+            out,
+            "rpwf_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        )
+        .expect("write");
+        writeln!(
+            out,
+            "rpwf_trace_requests_total {}",
+            self.traces.load(Ordering::Relaxed)
+        )
+        .expect("write");
+        writeln!(
+            out,
+            "rpwf_trace_spans_total {}",
+            self.trace_spans.load(Ordering::Relaxed)
+        )
+        .expect("write");
+        writeln!(out, "rpwf_trace_slowlog_entries {}", self.trace_log.len()).expect("write");
         // Per-shard counters expose hot-shard skew the aggregate hides.
         for (i, shard) in self.cache.shard_stats().iter().enumerate() {
             writeln!(
@@ -842,6 +1055,7 @@ impl SolverService {
             .expect("write");
         }
         self.metrics.render_prometheus(&mut out);
+        self.solver_metrics.render_prometheus(&mut out);
         if let Some(extension) = self.metrics_ext.get() {
             extension(&mut out);
         }
@@ -941,6 +1155,7 @@ impl SolverService {
                 want: Want::Front,
                 budget: &Budget::unlimited(),
             });
+            self.solver_metrics.record(&report.stats);
             let complete = report.completeness.exact_complete;
             let provenance = report.provenance.unwrap_or(Provenance::Exact);
             let exact_capable = report.completeness.exact_capable;
@@ -999,6 +1214,56 @@ impl SolverService {
             .collect();
         Some(responses)
     }
+}
+
+/// Records a `cache.lookup` span covering a finished lookup. `kind` names
+/// the entry class (`front` / `result`); `complete` (when known) records
+/// the completeness tier of the hit.
+fn cache_span(
+    trace: Option<TraceScope<'_>>,
+    kind: &str,
+    start_us: Option<u64>,
+    hit: bool,
+    complete: Option<bool>,
+) {
+    let Some(scope) = trace else { return };
+    let start = start_us.unwrap_or(0);
+    let mut attrs = vec![
+        ("kind".to_owned(), kind.to_owned()),
+        ("hit".to_owned(), hit.to_string()),
+    ];
+    if let Some(complete) = complete {
+        attrs.push(("complete".to_owned(), complete.to_string()));
+    }
+    scope.trace.add(
+        "cache.lookup",
+        Some(scope.parent),
+        start,
+        scope.trace.elapsed_us().saturating_sub(start),
+        attrs,
+    );
+}
+
+/// Records a `cache.write` span covering a finished insert.
+fn cache_write_span(
+    trace: Option<TraceScope<'_>>,
+    kind: &str,
+    start_us: Option<u64>,
+    complete: Option<bool>,
+) {
+    let Some(scope) = trace else { return };
+    let start = start_us.unwrap_or(0);
+    let mut attrs = vec![("kind".to_owned(), kind.to_owned())];
+    if let Some(complete) = complete {
+        attrs.push(("complete".to_owned(), complete.to_string()));
+    }
+    scope.trace.add(
+        "cache.write",
+        Some(scope.parent),
+        start,
+        scope.trace.elapsed_us().saturating_sub(start),
+        attrs,
+    );
 }
 
 /// Renders a solution as the `Solve` result payload.
@@ -1301,6 +1566,11 @@ impl WorkerPool {
             if request.no_cache.unwrap_or(false) {
                 continue;
             }
+            // Traced requests keep the full per-request span path — the
+            // vectorized sweep has no cache/engine spans to report.
+            if request.trace.unwrap_or(false) {
+                continue;
+            }
             let key =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| request.cmd.front_key()));
             let Ok(Some(key)) = key else { continue };
@@ -1341,6 +1611,7 @@ impl Drop for WorkerPool {
 mod tests {
     use super::*;
     use rpwf_algo::Objective;
+    use serde::Deserialize as _;
 
     fn service() -> SolverService {
         SolverService::new(ServiceConfig {
@@ -1355,6 +1626,8 @@ mod tests {
             deadline_ms: None,
             no_cache: None,
             hop: None,
+            trace: None,
+            trace_ctx: None,
             cmd: Command::Solve {
                 pipeline: rpwf_gen::figure5_pipeline(),
                 platform: rpwf_gen::figure5_platform(),
@@ -1372,6 +1645,8 @@ mod tests {
                 deadline_ms: None,
                 no_cache: None,
                 hop: None,
+                trace: None,
+                trace_ctx: None,
                 cmd: Command::Ping,
             },
             Instant::now(),
@@ -1423,6 +1698,8 @@ mod tests {
                 deadline_ms: None,
                 no_cache: None,
                 hop: None,
+                trace: None,
+                trace_ctx: None,
                 cmd: Command::Pareto {
                     pipeline: rpwf_gen::figure5_pipeline(),
                     platform: rpwf_gen::figure5_platform(),
@@ -1433,6 +1710,96 @@ mod tests {
         );
         assert_eq!(front.status, "ok");
         assert!(front.meta.cache_hit, "pareto shares the solve's front");
+    }
+
+    #[test]
+    fn traced_solve_returns_span_tree_and_feeds_the_slow_log() {
+        let svc = service();
+        let mut req = solve_request(1, 22.0);
+        req.trace = Some(true);
+        let resp = svc.handle(req, Instant::now());
+        assert_eq!(resp.status, "ok", "{:?}", resp.error);
+        let tree = resp.meta.trace.expect("trace requested");
+        let names: Vec<&str> = tree.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names[0], "request");
+        assert!(names.contains(&"decode"), "{names:?}");
+        assert!(names.contains(&"cache.lookup"), "{names:?}");
+        assert!(names.contains(&"engine.plan"), "{names:?}");
+        assert!(names.contains(&"cache.write"), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("solver.")), "{names:?}");
+        // Every non-root span fits inside the root's window.
+        let root_elapsed = tree.root().unwrap().elapsed_us;
+        for span in &tree.spans[1..] {
+            assert!(
+                span.start_us + span.elapsed_us <= root_elapsed + 1,
+                "span {} [{}..{}] escapes the root window {root_elapsed}",
+                span.name,
+                span.start_us,
+                span.start_us + span.elapsed_us,
+            );
+            assert!(span.parent.is_some(), "only the root is parentless");
+        }
+
+        // An untraced request carries no tree and does not enter the log.
+        let plain = svc.handle(solve_request(2, 23.0), Instant::now());
+        assert!(plain.meta.trace.is_none());
+
+        // The slow-query ring lists the traced request.
+        let dump = svc.handle(
+            Request {
+                id: Some(3),
+                deadline_ms: None,
+                no_cache: None,
+                hop: None,
+                trace: None,
+                trace_ctx: None,
+                cmd: Command::Trace { limit: None },
+            },
+            Instant::now(),
+        );
+        assert_eq!(dump.status, "ok");
+        let result = TraceResult::from_value(&dump.result.expect("result")).expect("shape");
+        assert_eq!(result.entries.len(), 1);
+        assert_eq!(result.entries[0].id, tree.id.0);
+        assert_eq!(result.entries[0].command, "solve");
+        assert_eq!(result.entries[0].spans, tree);
+    }
+
+    #[test]
+    fn trace_counters_and_solver_metrics_reach_the_prometheus_dump() {
+        let svc = service();
+        let mut req = solve_request(1, 22.0);
+        req.trace = Some(true);
+        let _ = svc.handle(req, Instant::now());
+        let dump = svc.render_metrics();
+        assert!(dump.contains("rpwf_cache_hit_ratio "), "{dump}");
+        assert!(dump.contains("rpwf_uptime_seconds "), "{dump}");
+        assert!(dump.contains("rpwf_build_info{version="), "{dump}");
+        assert!(dump.contains("rpwf_trace_requests_total 1"), "{dump}");
+        assert!(dump.contains("rpwf_trace_slowlog_entries 1"), "{dump}");
+        assert!(
+            dump.contains("rpwf_engine_solver_calls_total{solver="),
+            "{dump}"
+        );
+        // The solve above ran at least one engine backend.
+        let stats = svc.handle(
+            Request {
+                id: Some(2),
+                deadline_ms: None,
+                no_cache: None,
+                hop: None,
+                trace: None,
+                trace_ctx: None,
+                cmd: Command::Stats,
+            },
+            Instant::now(),
+        );
+        let result = StatsResult::from_value(&stats.result.expect("result")).expect("shape");
+        assert!(
+            result.solvers.iter().any(|s| s.calls > 0),
+            "{:?}",
+            result.solvers
+        );
     }
 
     #[test]
@@ -1479,6 +1846,8 @@ mod tests {
             deadline_ms: None,
             no_cache: None,
             hop: None,
+            trace: None,
+            trace_ctx: None,
             cmd: Command::Solve {
                 pipeline: Pipeline::uniform(2, 100.0, 100.0).unwrap(),
                 platform: Platform::fully_homogeneous(3, 1.0, 1.0, 0.9).unwrap(),
@@ -1508,6 +1877,8 @@ mod tests {
                 deadline_ms: None,
                 no_cache: None,
                 hop: None,
+                trace: None,
+                trace_ctx: None,
                 cmd: Command::Gen {
                     class: "ch".into(),
                     failure: "het".into(),
@@ -1525,6 +1896,8 @@ mod tests {
                 deadline_ms: None,
                 no_cache: None,
                 hop: None,
+                trace: None,
+                trace_ctx: None,
                 cmd: Command::Stats,
             },
             Instant::now(),
@@ -1548,6 +1921,8 @@ mod tests {
                 deadline_ms: None,
                 no_cache: None,
                 hop: None,
+                trace: None,
+                trace_ctx: None,
                 cmd: Command::Metrics,
             },
             Instant::now(),
@@ -1578,6 +1953,8 @@ mod tests {
             deadline_ms: None,
             no_cache: Some(true),
             hop: None,
+            trace: None,
+            trace_ctx: None,
             cmd: Command::Pareto {
                 pipeline: rpwf_gen::figure5_pipeline(),
                 platform: rpwf_gen::figure5_platform(),
@@ -1640,6 +2017,8 @@ mod tests {
                 deadline_ms: None,
                 no_cache: None,
                 hop: None,
+                trace: None,
+                trace_ctx: None,
                 cmd: Command::Pareto {
                     pipeline: rpwf_gen::figure5_pipeline(),
                     platform: rpwf_gen::figure5_platform(),
@@ -1670,6 +2049,8 @@ mod tests {
                 deadline_ms: None,
                 no_cache: None,
                 hop: None,
+                trace: None,
+                trace_ctx: None,
                 cmd: Command::Pareto {
                     pipeline: inst.pipeline,
                     platform: inst.platform,
@@ -1747,6 +2128,8 @@ mod tests {
                         deadline_ms: None,
                         no_cache: None,
                         hop: None,
+                        trace: None,
+                        trace_ctx: None,
                         cmd: Command::Solve {
                             pipeline: pipeline.clone(),
                             platform: platform.clone(),
@@ -1785,6 +2168,8 @@ mod tests {
                     deadline_ms: None,
                     no_cache: None,
                     hop: None,
+                    trace: None,
+                    trace_ctx: None,
                     cmd: Command::Ping,
                 })
                 .unwrap()

@@ -4,6 +4,8 @@
 //!   byte-identical to independently-solved answers on random workloads,
 //! * **streaming is a pure encoding** — `front_part` chunks reassemble to
 //!   the exact one-shot front, for every chunk size.
+//! * **histogram buckets are cumulative** — the `_bucket{le=…}` rendering
+//!   is monotone non-decreasing and closes with `+Inf` = sample count.
 
 use proptest::prelude::*;
 use rpwf_core::platform::{FailureClass, PlatformClass};
@@ -64,6 +66,8 @@ proptest! {
                     deadline_ms: None,
                     no_cache: None,
                     hop: None,
+                    trace: None,
+                    trace_ctx: None,
                     cmd: Command::Solve { pipeline, platform, objective },
                 })
                 .expect("serializes")
@@ -105,6 +109,8 @@ proptest! {
             deadline_ms: None,
             no_cache: None,
             hop: None,
+            trace: None,
+            trace_ctx: None,
             cmd: Command::Pareto {
                 pipeline: pipeline.clone(),
                 platform: platform.clone(),
@@ -157,6 +163,45 @@ proptest! {
             serde_json::to_string(&serde::Value::Seq(reassembled)).expect("serializes"),
             serde_json::to_string(&expected_points).expect("serializes"),
             "chunks must reassemble to the exact one-shot front"
+        );
+    }
+
+    #[test]
+    fn histogram_bucket_rendering_is_cumulative_and_monotone(
+        samples in proptest::collection::vec(0u64..30_000_000, 1..200),
+    ) {
+        let metrics = rpwf_server::metrics::CommandMetrics::new();
+        for &us in &samples {
+            metrics.record("solve", us);
+        }
+        let mut text = String::new();
+        metrics.render_prometheus(&mut text);
+
+        // Bucket lines appear in increasing `le` order; under the
+        // cumulative rendering their counts must never decrease and the
+        // closing +Inf bucket must equal the total sample count.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("rpwf_command_latency_us_bucket{cmd=\"solve\""))
+            .map(|l| {
+                l.rsplit(' ')
+                    .next()
+                    .expect("count field")
+                    .parse::<u64>()
+                    .expect("bucket count parses")
+            })
+            .collect();
+        prop_assert!(!counts.is_empty(), "no bucket lines in:\n{text}");
+        for pair in counts.windows(2) {
+            prop_assert!(
+                pair[0] <= pair[1],
+                "bucket counts must be monotone, got {counts:?}"
+            );
+        }
+        prop_assert_eq!(
+            *counts.last().expect("+Inf bucket"),
+            samples.len() as u64,
+            "+Inf bucket must count every sample"
         );
     }
 }

@@ -109,6 +109,13 @@ pub enum Command {
         /// Virtual nodes per ring member (`None` = library default).
         vnodes: Option<usize>,
     },
+    /// Dump a running server's slow-query trace ring.
+    Trace {
+        /// Server address (`host:port`).
+        addr: String,
+        /// Maximum entries to list (server default when `None`).
+        limit: Option<usize>,
+    },
     /// Answer a file of JSON-lines requests concurrently, in input order.
     Batch {
         /// Path to the requests file (one JSON request per line).
@@ -137,9 +144,13 @@ USAGE:
   rpwf serve [--addr <host:port>] [--stdin] [--workers <n>] [--cache-capacity <n>]
   rpwf serve --addr <host:port> --node-id <host:port> --peers <host:port,...> [--vnodes <n>]
   rpwf batch <requests.jsonl> [--workers <n>] [--no-group]
+  rpwf trace [--addr <host:port>] [--limit <n>]
   rpwf help
 
 The serve/batch protocol is JSON lines; see README.md for the schema.
+`trace` dials a running server and prints its slow-query ring — the
+span trees of the slowest recent requests that opted into tracing
+(request flag \"trace\": true), slowest first.
 `batch` groups requests by instance and solves one Pareto front per
 distinct (pipeline, platform), answering every threshold query from it;
 --no-group solves each request independently.
@@ -310,6 +321,17 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
                 vnodes,
             })
         }
+        "trace" => {
+            let addr = opts
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7077".into());
+            let limit = opts
+                .get("limit")
+                .map(|s| s.parse::<usize>().map_err(|e| format!("--limit: {e}")))
+                .transpose()?;
+            Ok(Command::Trace { addr, limit })
+        }
         "batch" => {
             let path = positional
                 .first()
@@ -367,6 +389,72 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
                 ..Default::default()
             });
             Ok(String::new())
+        }
+        Command::Trace { addr, limit } => {
+            use rpwf_server::protocol::{
+                Command as WireCommand, Request as WireRequest, Response as WireResponse,
+                TraceResult,
+            };
+            use serde::Deserialize as _;
+            let request = WireRequest {
+                id: Some(1),
+                deadline_ms: None,
+                no_cache: None,
+                hop: None,
+                trace: None,
+                trace_ctx: None,
+                cmd: WireCommand::Trace { limit: *limit },
+            };
+            let line = serde_json::to_string(&request).expect("requests always serialize");
+            let peer = rpwf_server::peer::Peer::new(addr.clone());
+            let lines = peer
+                .call(&line, std::time::Duration::from_secs(10))
+                .map_err(|e| format!("{addr}: {e}"))?;
+            let last = lines
+                .last()
+                .ok_or_else(|| format!("{addr}: empty response"))?;
+            let response: WireResponse =
+                serde_json::from_str(last).map_err(|e| format!("{addr}: bad response: {e}"))?;
+            if response.status != "ok" {
+                let detail = response
+                    .error
+                    .map_or_else(|| "unknown error".to_string(), |e| e.message);
+                return Err(format!("{addr}: {detail}"));
+            }
+            let result = response
+                .result
+                .as_ref()
+                .ok_or_else(|| format!("{addr}: response without result"))
+                .and_then(|value| {
+                    TraceResult::from_value(value)
+                        .map_err(|e| format!("{addr}: bad trace payload: {e:?}"))
+                })?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "slow-query ring at {addr}: {} of {} slots",
+                result.entries.len(),
+                result.capacity
+            )
+            .expect("write to string");
+            for entry in &result.entries {
+                let node = entry
+                    .node
+                    .as_deref()
+                    .map_or_else(String::new, |n| format!("  node={n}"));
+                writeln!(
+                    out,
+                    "\ntrace {:016x}  cmd={}  status={}  {}us{node}",
+                    entry.id, entry.command, entry.status, entry.elapsed_us
+                )
+                .expect("write to string");
+                let mut tree = String::new();
+                entry.spans.render(&mut tree);
+                for line in tree.lines() {
+                    writeln!(out, "  {line}").expect("write to string");
+                }
+            }
+            Ok(out)
         }
         Command::Batch {
             path,
@@ -781,6 +869,76 @@ mod tests {
                 group: false,
             }
         );
+    }
+
+    #[test]
+    fn parse_trace_verb() {
+        assert_eq!(
+            parse_args(&args("trace")).unwrap(),
+            Command::Trace {
+                addr: "127.0.0.1:7077".into(),
+                limit: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&args("trace --addr 10.0.0.1:7001 --limit 5")).unwrap(),
+            Command::Trace {
+                addr: "10.0.0.1:7001".into(),
+                limit: Some(5),
+            }
+        );
+        assert!(parse_args(&args("trace --limit nope"))
+            .unwrap_err()
+            .contains("--limit"));
+    }
+
+    #[test]
+    fn trace_verb_dumps_a_served_slow_query_ring() {
+        // Boot a real TCP server, run one traced solve against it, then
+        // point the trace verb at it.
+        let mut server = rpwf_server::Server::bind(
+            "127.0.0.1:0",
+            rpwf_server::ServiceConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+
+        let peer = rpwf_server::peer::Peer::new(addr.clone());
+        let solve = serde_json::to_string(&rpwf_server::protocol::Request {
+            id: Some(7),
+            deadline_ms: None,
+            no_cache: None,
+            hop: None,
+            trace: Some(true),
+            trace_ctx: None,
+            cmd: rpwf_server::protocol::Command::Solve {
+                pipeline: rpwf_gen::figure5_pipeline(),
+                platform: rpwf_gen::figure5_platform(),
+                objective: Objective::MinFpUnderLatency(22.0),
+            },
+        })
+        .unwrap();
+        let lines = peer
+            .call(&solve, std::time::Duration::from_secs(30))
+            .expect("traced solve");
+        assert!(lines[0].contains("\"trace\""), "{}", lines[0]);
+
+        let out = run(&Command::Trace {
+            addr: addr.clone(),
+            limit: None,
+        })
+        .expect("trace verb");
+        assert!(out.contains("slow-query ring"), "{out}");
+        assert!(out.contains("cmd=solve"), "{out}");
+        assert!(out.contains("engine.plan"), "{out}");
+        server.shutdown();
+
+        // A dead server is a readable error, not a panic.
+        let err = run(&Command::Trace { addr, limit: None }).unwrap_err();
+        assert!(err.contains(':'), "{err}");
     }
 
     #[test]

@@ -65,6 +65,21 @@ fn request_line(id: u64, cmd: Command) -> String {
         deadline_ms: None,
         no_cache: None,
         hop: None,
+        trace: None,
+        trace_ctx: None,
+        cmd,
+    })
+    .expect("requests serialize")
+}
+
+fn traced_request_line(id: u64, cmd: Command) -> String {
+    serde_json::to_string(&Request {
+        id: Some(id),
+        deadline_ms: None,
+        no_cache: None,
+        hop: None,
+        trace: Some(true),
+        trace_ctx: None,
         cmd,
     })
     .expect("requests serialize")
@@ -296,6 +311,129 @@ fn ring_command_reports_topology_and_forwarding() {
         text.contains("rpwf_cache_shard_hits_total{shard=\"0\"}"),
         "{text}"
     );
+}
+
+#[test]
+fn traced_fleet_request_returns_one_merged_trace() {
+    let (addrs, _servers) = start_fleet(3, 64);
+    let ring = HashRing::new(addrs.clone(), VNODES);
+
+    // An instance owned by node 2, entered through node 0: the request
+    // must hop, and the trace must cover both sides of the hop.
+    let entry = addrs[0].clone();
+    let owner = addrs[2].clone();
+    let seed = (0..100u64)
+        .find(|&s| {
+            let key = solve_cmd(s, 1.5).route_key().expect("solve routes");
+            ring.owner(key) == Some(owner.as_str())
+        })
+        .expect("some instance lands on the owner node");
+
+    let got = roundtrip(&entry, &traced_request_line(42, solve_cmd(seed, 1.5)));
+    let resp = got.last().expect("response");
+    assert_eq!(resp.status, "ok", "{:?}", resp.error);
+    assert_eq!(
+        resp.meta.node.as_deref(),
+        Some(owner.as_str()),
+        "the owner answers through the entry node"
+    );
+    let tree = resp.meta.trace.as_ref().expect("trace requested");
+
+    // One merged tree: a single root, every other span parented inside.
+    let roots: Vec<usize> = tree
+        .spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.parent.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(roots, vec![0], "exactly one root after the graft");
+
+    let attr = |i: usize, key: &str| -> Option<&str> {
+        tree.spans[i]
+            .attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    // The entry side: root labeled with the entry node, a route span
+    // naming the owner, and the forward span labeling the hop boundary
+    // with both node ids.
+    assert_eq!(attr(0, "node"), Some(entry.as_str()));
+    assert_eq!(attr(0, "role"), Some("entry"));
+    let find = |name: &str| -> Option<usize> { tree.spans.iter().position(|s| s.name == name) };
+    let route = find("route").expect("route span");
+    assert_eq!(attr(route, "owner"), Some(owner.as_str()));
+    let forward = find("peer.forward").expect("forward span");
+    assert_eq!(attr(forward, "from"), Some(entry.as_str()));
+    assert_eq!(attr(forward, "to"), Some(owner.as_str()));
+
+    // The owner side, grafted under the forward span: its own request
+    // root (labeled with the owner's node id and the hop flag), engine
+    // planning, per-solver execution, and the cache write.
+    let owner_root = tree
+        .spans
+        .iter()
+        .position(|s| s.name == "request" && s.parent == Some(forward as u32))
+        .expect("owner subtree grafted under the forward span");
+    assert_eq!(attr(owner_root, "node"), Some(owner.as_str()));
+    assert_eq!(attr(owner_root, "hop"), Some("true"));
+    for required in ["decode", "engine.plan", "cache.write"] {
+        assert!(
+            tree.spans
+                .iter()
+                .any(|s| s.name == required && s.parent.is_some()),
+            "missing {required} span in {:?}",
+            tree.spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+        );
+    }
+    assert!(
+        tree.spans.iter().any(|s| s.name.starts_with("solver.")),
+        "per-solver spans must survive the hop"
+    );
+    assert!(
+        tree.spans.iter().any(|s| s.name == "peer.connect"),
+        "the peer client's connection spans must be recorded"
+    );
+
+    // Timing is coherent after the re-basing graft: every span fits
+    // inside the root window (the owner's wall time is strictly inside
+    // the entry's forward window).
+    let root_elapsed = tree.spans[0].elapsed_us;
+    for span in &tree.spans[1..] {
+        assert!(
+            span.start_us + span.elapsed_us <= root_elapsed + 5,
+            "span {} [{}..{}] escapes the root window {root_elapsed}",
+            span.name,
+            span.start_us,
+            span.start_us + span.elapsed_us,
+        );
+    }
+
+    // Both sides logged the trace in their slow-query rings, under the
+    // same trace id (the TraceContext hop propagation).
+    for node in [&entry, &owner] {
+        let dump = roundtrip(node, &request_line(43, Command::Trace { limit: None }));
+        let entries = dump[0]
+            .result
+            .as_ref()
+            .expect("trace payload")
+            .get("entries")
+            .and_then(serde::Value::as_seq)
+            .expect("entries list")
+            .to_vec();
+        assert!(
+            entries
+                .iter()
+                .any(|e| { e.get("id").and_then(serde::Value::as_u64) == Some(tree.id.0) }),
+            "node {node} must list trace {:x} in its slow-query ring",
+            tree.id.0
+        );
+    }
+
+    // An untraced request through the same path stays trace-free.
+    let plain = roundtrip(&entry, &request_line(44, solve_cmd(seed, 1.9)));
+    assert!(plain.last().expect("response").meta.trace.is_none());
 }
 
 #[test]

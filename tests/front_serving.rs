@@ -28,6 +28,8 @@ fn request_line(id: u64, cmd: Command) -> String {
         id: Some(id),
         deadline_ms: None,
         no_cache: None,
+        trace: None,
+        trace_ctx: None,
         hop: None,
         cmd,
     })

@@ -27,6 +27,8 @@ fn request_line(id: u64, deadline_ms: Option<u64>, cmd: Command) -> String {
         id: Some(id),
         deadline_ms,
         no_cache: None,
+        trace: None,
+        trace_ctx: None,
         hop: None,
         cmd,
     })
