@@ -1,0 +1,9 @@
+//! E20 — fleet fault tolerance under scripted node death: replicated
+//! ownership vs a no-replication baseline (writes `BENCH_chaos.json`).
+//! Pass `--smoke` for the tiny CI-sized run.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    for table in rpwf_bench::experiments::chaos::chaos(smoke) {
+        table.print();
+    }
+}

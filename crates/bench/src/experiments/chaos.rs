@@ -1,0 +1,474 @@
+//! E20 — fleet fault tolerance under scripted node death: replicated
+//! ownership (R = 2) vs a no-replication baseline (writes
+//! `BENCH_chaos.json`).
+//!
+//! A 3-node ring serves `d` distinct instances; one node — the primary
+//! owner of the most keys among the victims considered — is killed by a
+//! deterministic [`FaultPlan`]: its request counter is scripted to fire
+//! [`kill_node_at`](rpwf_server::FaultPlan::kill_node_at) on the **first
+//! line it receives after the warm phase**, i.e. the first degraded-pass
+//! forward that reaches it. Both scenarios then push the full workload
+//! through the two survivors and measure:
+//!
+//! * **availability** — the fraction of requests answered `ok` (the
+//!   failover + local-fallback paths must make this 1.0 in *both*
+//!   scenarios: fault tolerance of the *answer* never depended on
+//!   replication),
+//! * **warm fraction** — the fraction answered from a front cache
+//!   (replication's actual contribution: the dead node's keys stay warm
+//!   on its successor instead of being re-solved cold),
+//! * **p50/p99 latency** — re-solving cold is orders of magnitude
+//!   slower than a warm front read, so the baseline's tail pays for
+//!   every key the dead node owned.
+//!
+//! Every degraded answer is asserted byte-identical to its warm-phase
+//! reference — a killed node may cost latency, never correctness.
+//! Acceptance (full mode): both availabilities 1.0, replicated warm
+//! fraction 1.0 with the baseline's strictly below, replicated p99 ≤
+//! baseline p99. Smoke mode (`--smoke`, CI) shrinks the workload and
+//! skips the timing bar (the structural bars still hold).
+
+use crate::table::Table;
+use rpwf_algo::Objective;
+use rpwf_core::platform::{FailureClass, PlatformClass};
+use rpwf_core::ring::HashRing;
+use rpwf_server::protocol::{Command, Request, Response};
+use rpwf_server::{FaultPlan, RingOptions, Server, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const VNODES: usize = 64;
+/// The fault-plan seed: fixes the scripted schedule bit-for-bit.
+const CHAOS_SEED: u64 = 0xBAD5EED;
+
+struct Scenario {
+    name: String,
+    replicas: usize,
+    requests: usize,
+    availability: f64,
+    warm_fraction: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    wall_secs: f64,
+    failovers: u64,
+    victim_owned: usize,
+}
+
+/// Runs E20 and returns the result tables (also writes
+/// `BENCH_chaos.json`). `smoke` shrinks the workload to CI size.
+///
+/// # Panics
+/// When availability drops below 1.0, a degraded answer diverges from
+/// its reference, or (full mode) the replicated tail fails to beat the
+/// baseline's.
+#[must_use]
+pub fn chaos(smoke: bool) -> Vec<Table> {
+    let (n, m, distinct, rounds) = if smoke { (3, 5, 6, 2) } else { (5, 10, 24, 3) };
+
+    let replicated = run_scenario("replicated-r2", 2, n, m, distinct, rounds);
+    let baseline = run_scenario("baseline-r1", 1, n, m, distinct, rounds);
+
+    // Fault tolerance of the answer itself never depends on replication:
+    // the local-solve fallback keeps the baseline available too.
+    for scenario in [&replicated, &baseline] {
+        assert!(
+            (scenario.availability - 1.0).abs() < f64::EPSILON,
+            "{}: every request must be answered through the node death \
+             (availability {})",
+            scenario.name,
+            scenario.availability
+        );
+    }
+    // What replication buys: the dead node's keys stay warm on the
+    // successor, so nothing is re-solved.
+    assert!(
+        (replicated.warm_fraction - 1.0).abs() < f64::EPSILON,
+        "replicated: every degraded answer must come from a warm front \
+         (got {})",
+        replicated.warm_fraction
+    );
+    assert!(
+        baseline.warm_fraction < 1.0,
+        "baseline: the dead node's keys must be re-solved cold \
+         ({} victim-owned keys)",
+        baseline.victim_owned
+    );
+    assert!(
+        replicated.failovers >= 1,
+        "replicated: the victim's keys must be served via failover"
+    );
+    if !smoke {
+        assert!(
+            replicated.p99_ms <= baseline.p99_ms,
+            "acceptance: warm replicas must beat cold re-solving at the tail \
+             (replicated p99 {:.3} ms vs baseline {:.3} ms)",
+            replicated.p99_ms,
+            baseline.p99_ms
+        );
+    }
+
+    let scenarios = [replicated, baseline];
+    let total = scenarios[0].requests;
+    let mut table = Table::new(
+        format!(
+            "E20 / fleet fault tolerance — scripted kill of 1 of 3 nodes, \
+             {total} degraded requests over {distinct} instances \
+             (comm-homog n={n}, m={m}, {rounds} rounds)"
+        ),
+        &[
+            "scenario",
+            "replicas",
+            "requests",
+            "availability",
+            "warm",
+            "p50 ms",
+            "p99 ms",
+            "failovers",
+        ],
+    );
+    for meas in &scenarios {
+        table.row(vec![
+            meas.name.clone(),
+            meas.replicas.to_string(),
+            meas.requests.to_string(),
+            format!("{:.3}", meas.availability),
+            format!("{:.3}", meas.warm_fraction),
+            format!("{:.3}", meas.p50_ms),
+            format!("{:.3}", meas.p99_ms),
+            meas.failovers.to_string(),
+        ]);
+    }
+    table.note(
+        "a FaultPlan kills the victim on the first request line it receives \
+         after the warm phase; both scenarios stay fully available (the \
+         failover and local-fallback paths answer everything), but only \
+         the replicated fleet keeps the dead node's keys warm — the \
+         baseline re-solves them cold and pays at the tail",
+    );
+    table.note(
+        "every degraded answer is asserted byte-identical to its warm-phase \
+         reference: node death costs latency, never correctness",
+    );
+
+    write_json(&scenarios);
+    vec![table]
+}
+
+/// One full scenario: bind a 3-node fleet at the given replication
+/// factor, warm it, let the scripted plan kill the victim, and measure
+/// the degraded pass through the survivors.
+fn run_scenario(
+    name: &str,
+    replicas: usize,
+    n: usize,
+    m: usize,
+    distinct: usize,
+    rounds: usize,
+) -> Scenario {
+    let addrs = reserve_addrs(3);
+    let ring = HashRing::new(addrs.clone(), VNODES);
+    let (lines, keys) = workload(n, m, distinct);
+
+    // The victim is the primary owner of instance 0 — guaranteed to own
+    // at least one key, so the degraded pass must exercise failover.
+    let victim = ring.owner(keys[0]).expect("non-empty ring").to_string();
+    let victim_primary = keys
+        .iter()
+        .filter(|&&k| ring.owner(k) == Some(victim.as_str()))
+        .count();
+    let victim_replica = if replicas >= 2 {
+        keys.iter()
+            .filter(|&&k| ring.owners(k, replicas).get(1).copied() == Some(victim.as_str()))
+            .count()
+    } else {
+        0
+    };
+    // During the warm phase the victim receives exactly one request line
+    // per key it primaries (sent by the topology-aware client) plus one
+    // CacheFill push per key it backs as the successor. The line after
+    // those — the first degraded-pass forward — triggers the kill.
+    let kill_at = (victim_primary + victim_replica) as u64;
+    let plan = Arc::new(FaultPlan::new(CHAOS_SEED).kill_node_at(kill_at));
+
+    let options = || RingOptions {
+        vnodes: Some(VNODES),
+        replicas,
+        ..RingOptions::default()
+    };
+    let config = |node_id: &str| ServiceConfig {
+        workers: 2,
+        cache_capacity: 256,
+        cache_shards: 4,
+        seed: 0xCAFE,
+        node_id: Some(node_id.to_string()),
+    };
+    let servers: Vec<Server> = addrs
+        .iter()
+        .map(|addr| {
+            let peers: Vec<String> = addrs.iter().filter(|a| *a != addr).cloned().collect();
+            let faults = (*addr == victim).then(|| Arc::clone(&plan));
+            Server::bind_ring_faulted(addr, config(addr), &peers, options(), faults)
+                .expect("bind fleet node")
+        })
+        .collect();
+
+    // Warm phase: topology-aware client sends each key to its primary.
+    let references: Vec<String> = lines
+        .iter()
+        .zip(&keys)
+        .map(|(line, &key)| {
+            let owner = ring.owner(key).expect("non-empty ring");
+            let response = call(owner, line);
+            result_payload(&response)
+        })
+        .collect();
+    if replicas >= 2 {
+        await_replication(&servers, &keys, replicas);
+    }
+
+    // Degraded pass: the full workload again, `rounds` times, through
+    // the two survivors only (a load balancer stops dialing a corpse);
+    // the victim dies on the first forward that reaches it.
+    let survivors: Vec<&String> = addrs.iter().filter(|a| **a != victim).collect();
+    let mut latencies_ms = Vec::with_capacity(distinct * rounds);
+    let mut ok = 0usize;
+    let mut warm = 0usize;
+    let start = Instant::now();
+    for round in 0..rounds {
+        for (i, (line, reference)) in lines.iter().zip(&references).enumerate() {
+            let entry = survivors[i % survivors.len()];
+            let reissued = reissue(line, (1000 + round * distinct + i) as u64);
+            let began = Instant::now();
+            let response = call(entry, &reissued);
+            latencies_ms.push(began.elapsed().as_secs_f64() * 1e3);
+            let parsed: Response = serde_json::from_str(&response).expect("response parses");
+            if parsed.status == "ok" {
+                ok += 1;
+                if parsed.meta.cache_hit {
+                    warm += 1;
+                }
+                assert_eq!(
+                    result_payload(&response),
+                    *reference,
+                    "scenario {name}, round {round}, key {i}: a degraded \
+                     answer diverged from its warm reference"
+                );
+            }
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    assert!(plan.killed(), "the scripted kill must have fired");
+
+    // The survivors' view of the failover traffic.
+    let failovers: u64 = survivors
+        .iter()
+        .map(|entry| {
+            let ring_line = serde_json::to_string(&Request {
+                id: Some(9000),
+                deadline_ms: None,
+                no_cache: None,
+                hop: None,
+                trace: None,
+                trace_ctx: None,
+                cmd: Command::Ring,
+            })
+            .expect("serializes");
+            let parsed: Response =
+                serde_json::from_str(&call(entry, &ring_line)).expect("ring parses");
+            parsed
+                .result
+                .as_ref()
+                .and_then(|r| r.get("failovers"))
+                .and_then(serde::Value::as_u64)
+                .unwrap_or(0)
+        })
+        .sum();
+    drop(servers);
+
+    let total = distinct * rounds;
+    latencies_ms.sort_unstable_by(f64::total_cmp);
+    Scenario {
+        name: name.to_string(),
+        replicas,
+        requests: total,
+        availability: ok as f64 / total as f64,
+        warm_fraction: warm as f64 / total as f64,
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+        wall_secs,
+        failovers,
+        victim_owned: victim_primary,
+    }
+}
+
+/// `d` distinct feasible threshold queries, one per instance, plus their
+/// ring keys.
+fn workload(n: usize, m: usize, distinct: usize) -> (Vec<String>, Vec<u128>) {
+    let mut lines = Vec::with_capacity(distinct);
+    let mut keys = Vec::with_capacity(distinct);
+    for seed in 0..distinct {
+        let inst = rpwf_gen::make_instance(
+            PlatformClass::CommHomogeneous,
+            FailureClass::Heterogeneous,
+            n,
+            m,
+            seed as u64,
+        );
+        let safest = rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform);
+        let request = Request {
+            id: Some(seed as u64),
+            deadline_ms: None,
+            no_cache: None,
+            hop: None,
+            trace: None,
+            trace_ctx: None,
+            cmd: Command::Solve {
+                pipeline: inst.pipeline,
+                platform: inst.platform,
+                objective: Objective::MinFpUnderLatency(safest.latency * 1.5),
+            },
+        };
+        keys.push(request.cmd.route_key().expect("solve routes"));
+        lines.push(serde_json::to_string(&request).expect("serializes"));
+    }
+    (lines, keys)
+}
+
+/// Re-serializes a workload line under a fresh request id (so degraded
+/// responses are distinguishable in traces from warm ones).
+fn reissue(line: &str, id: u64) -> String {
+    let mut request: Request = serde_json::from_str(line).expect("workload parses");
+    request.id = Some(id);
+    serde_json::to_string(&request).expect("serializes")
+}
+
+/// One request over a fresh connection; returns the final response line.
+fn call(addr: &str, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    writeln!(stream, "{line}").expect("send");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut buf = String::new();
+        reader.read_line(&mut buf).expect("response line");
+        let response = buf.trim_end().to_string();
+        let parsed: Response = serde_json::from_str(&response).expect("parses");
+        if parsed.status != "part" {
+            return response;
+        }
+    }
+}
+
+fn result_payload(line: &str) -> String {
+    let parsed: Response = serde_json::from_str(line).expect("response parses");
+    assert_eq!(parsed.status, "ok", "{:?}", parsed.error);
+    serde_json::to_string(&parsed.result).expect("serializes")
+}
+
+fn reserve_addrs(count: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..count)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect()
+}
+
+/// Polls until every key is held by `copies` nodes (replica fills are
+/// asynchronous pushes). Panics after ~10 s.
+fn await_replication(servers: &[Server], keys: &[u128], copies: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let cached: Vec<Vec<u128>> = servers
+            .iter()
+            .map(|s| s.service().front_cache_keys())
+            .collect();
+        let done = keys
+            .iter()
+            .all(|key| cached.iter().filter(|node| node.contains(key)).count() == copies);
+        if done {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica fills did not converge to {copies} copies per key"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.saturating_sub(1).min(sorted_ms.len() - 1)]
+}
+
+fn write_json(scenarios: &[Scenario]) {
+    let doc = serde::Value::Map(vec![
+        (
+            "scenarios".into(),
+            serde::Value::Seq(
+                scenarios
+                    .iter()
+                    .map(|meas| {
+                        serde::Value::Map(vec![
+                            ("scenario".into(), serde::Value::Str(meas.name.clone())),
+                            ("replicas".into(), serde::Value::UInt(meas.replicas as u64)),
+                            ("requests".into(), serde::Value::UInt(meas.requests as u64)),
+                            (
+                                "availability".into(),
+                                serde::Value::Float(meas.availability),
+                            ),
+                            (
+                                "warm_fraction".into(),
+                                serde::Value::Float(meas.warm_fraction),
+                            ),
+                            ("p50_ms".into(), serde::Value::Float(meas.p50_ms)),
+                            ("p99_ms".into(), serde::Value::Float(meas.p99_ms)),
+                            ("wall_secs".into(), serde::Value::Float(meas.wall_secs)),
+                            ("failovers".into(), serde::Value::UInt(meas.failovers)),
+                            (
+                                "victim_owned_keys".into(),
+                                serde::Value::UInt(meas.victim_owned as u64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "p99_ratio_baseline_over_replicated".into(),
+            serde::Value::Float(scenarios[1].p99_ms / scenarios[0].p99_ms.max(1e-9)),
+        ),
+        ("fault_plan_seed".into(), serde::Value::UInt(CHAOS_SEED)),
+    ]);
+    let text = serde_json::to_string_pretty(&doc).expect("serializes");
+    if let Err(e) = std::fs::write("BENCH_chaos.json", text) {
+        eprintln!("warning: could not write BENCH_chaos.json: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_chaos_runs() {
+        // Serialized with the timing-sensitive tests: three servers'
+        // worth of solving threads perturb microsecond-scale medians.
+        let _timing = crate::experiments::TIMING_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let tables = chaos(true);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 2);
+        let _ = std::fs::remove_file("BENCH_chaos.json");
+    }
+}

@@ -110,7 +110,15 @@ pub fn fleet(smoke: bool) -> Vec<Table> {
         .iter()
         .map(|addr| {
             let peers: Vec<String> = addrs.iter().filter(|a| *a != addr).cloned().collect();
-            Server::bind_ring(addr, config(Some(addr.clone())), &peers, Some(VNODES))
+            // replicas: 1 — E17 isolates cache *partitioning*; replicated
+            // ownership (which spends aggregate capacity on copies) is
+            // E20's subject.
+            let options = rpwf_server::RingOptions {
+                vnodes: Some(VNODES),
+                replicas: 1,
+                ..rpwf_server::RingOptions::default()
+            };
+            Server::bind_ring(addr, config(Some(addr.clone())), &peers, options)
                 .expect("bind fleet node")
         })
         .collect();

@@ -20,10 +20,12 @@
 //! | E17 | [`fleet::fleet`] | `exp_fleet` |
 //! | E18 | [`engine_overhead::engine_overhead`] | `exp_engine` |
 //! | E19 | [`trace_overhead::trace_overhead`] | `exp_trace` |
+//! | E20 | [`chaos::chaos`] | `exp_chaos` |
 //!
 //! (E12 is the criterion suite under `benches/`.)
 
 pub mod batch_front;
+pub mod chaos;
 pub mod engine_overhead;
 pub mod eval_incremental;
 pub mod figures;
@@ -84,5 +86,6 @@ pub fn run_all() -> Vec<(&'static str, Vec<Table>)> {
         ("E17", fleet::fleet(false)),
         ("E18", engine_overhead::engine_overhead(false)),
         ("E19", trace_overhead::trace_overhead(false)),
+        ("E20", chaos::chaos(false)),
     ]
 }

@@ -1,0 +1,200 @@
+//! Seeded jittered exponential backoff.
+//!
+//! The retry delay schedule used by fault-handling layers (the fleet's
+//! per-peer circuit breaker, most prominently): attempt `k` draws a
+//! uniformly random delay from `[base, min(cap, base·2^k)]` — "full
+//! jitter" over an exponentially growing ceiling. The exponential growth
+//! bounds how hard a dead peer is hammered; the jitter decorrelates
+//! retries across nodes so a fleet does not probe a recovering peer in
+//! lockstep; the cap keeps the worst-case reaction time to a recovery
+//! bounded.
+//!
+//! The generator is seeded, so a given `(seed, attempt sequence)` always
+//! produces the same delays — deterministic tests can assert exact
+//! schedules, and every delay is **guaranteed** to lie within
+//! `[base, cap]` (property-tested in this module).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Exponent ceiling: beyond `base·2^32` the cap has long since taken
+/// over for any sane configuration, and saturating here keeps the shift
+/// well-defined.
+const MAX_EXPONENT: u32 = 32;
+
+/// A seeded jittered exponential backoff schedule.
+///
+/// ```
+/// use rpwf_core::backoff::JitteredBackoff;
+/// use std::time::Duration;
+///
+/// let base = Duration::from_millis(100);
+/// let cap = Duration::from_secs(5);
+/// let mut backoff = JitteredBackoff::new(base, cap, 0xFEED);
+/// for _ in 0..10 {
+///     let delay = backoff.next_delay();
+///     assert!(delay >= base && delay <= cap);
+/// }
+/// backoff.reset(); // a success restarts the schedule
+/// assert_eq!(backoff.attempt(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct JitteredBackoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: StdRng,
+}
+
+impl JitteredBackoff {
+    /// A schedule starting at `base` and never exceeding `cap` (a cap
+    /// below the base is clamped up to it), seeded for determinism.
+    #[must_use]
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        JitteredBackoff {
+            base,
+            cap: cap.max(base),
+            attempt: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The minimum delay this schedule can produce.
+    #[must_use]
+    pub fn base(&self) -> Duration {
+        self.base
+    }
+
+    /// The maximum delay this schedule can produce.
+    #[must_use]
+    pub fn cap(&self) -> Duration {
+        self.cap
+    }
+
+    /// Attempts drawn since construction or the last [`reset`](Self::reset).
+    #[must_use]
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Draws the next delay: uniform in `[base, min(cap, base·2^attempt)]`,
+    /// then advances the attempt counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let exponent = self.attempt.min(MAX_EXPONENT);
+        let ceiling = if exponent >= 31 {
+            // `Duration::saturating_mul` takes a u32 factor; beyond 2^31
+            // the cap rules anyway.
+            self.cap
+        } else {
+            self.base.saturating_mul(1u32 << exponent).min(self.cap)
+        };
+        let ceiling = ceiling.max(self.base);
+        self.attempt = self.attempt.saturating_add(1);
+        let lo = u64::try_from(self.base.as_nanos()).unwrap_or(u64::MAX);
+        let hi = u64::try_from(ceiling.as_nanos()).unwrap_or(u64::MAX);
+        Duration::from_nanos(self.rng.gen_range(lo..=hi))
+    }
+
+    /// Restarts the schedule (after a success): the next delay is drawn
+    /// from `[base, base]` again. The RNG stream keeps advancing — reset
+    /// affects the window, not the randomness.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(10);
+        let mut a = JitteredBackoff::new(base, cap, 42);
+        let mut b = JitteredBackoff::new(base, cap, 42);
+        for _ in 0..32 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn first_delay_is_exactly_the_base() {
+        let base = Duration::from_millis(250);
+        let mut backoff = JitteredBackoff::new(base, Duration::from_secs(30), 7);
+        // Attempt 0: the window is [base, base·2^0] = [base, base].
+        assert_eq!(backoff.next_delay(), base);
+    }
+
+    #[test]
+    fn reset_restarts_the_window() {
+        let base = Duration::from_millis(100);
+        let mut backoff = JitteredBackoff::new(base, Duration::from_secs(60), 1);
+        for _ in 0..8 {
+            let _ = backoff.next_delay();
+        }
+        assert_eq!(backoff.attempt(), 8);
+        backoff.reset();
+        assert_eq!(backoff.attempt(), 0);
+        assert_eq!(backoff.next_delay(), base);
+    }
+
+    #[test]
+    fn cap_below_base_is_clamped() {
+        let base = Duration::from_secs(2);
+        let mut backoff = JitteredBackoff::new(base, Duration::from_millis(1), 3);
+        assert_eq!(backoff.cap(), base);
+        assert_eq!(backoff.next_delay(), base);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// The load-bearing contract: **every** delay of **every** seeded
+        /// schedule lies within `[base, cap]`, regardless of attempt
+        /// count, zero bases, or cap/base inversions.
+        #[test]
+        fn every_delay_is_within_base_and_cap(
+            seed in 0u64..u64::MAX,
+            base_us in 0u64..5_000_000,
+            cap_us in 0u64..5_000_000,
+            draws in 1usize..64,
+            resets in proptest::collection::vec(0u8..2, 0..64),
+        ) {
+            let base = Duration::from_micros(base_us);
+            let cap = Duration::from_micros(cap_us);
+            let mut backoff = JitteredBackoff::new(base, cap, seed);
+            let effective_cap = cap.max(base);
+            for i in 0..draws {
+                if resets.get(i).copied().unwrap_or(0) == 1 {
+                    backoff.reset();
+                }
+                let delay = backoff.next_delay();
+                prop_assert!(delay >= base, "delay {delay:?} under base {base:?}");
+                prop_assert!(
+                    delay <= effective_cap,
+                    "delay {delay:?} over cap {effective_cap:?}"
+                );
+            }
+        }
+
+        /// The exponential ceiling is monotone until the cap: an earlier
+        /// window never allows a delay the later window forbids.
+        #[test]
+        fn windows_grow_monotonically(seed in 0u64..u64::MAX, base_ms in 1u64..50) {
+            let base = Duration::from_millis(base_ms);
+            let cap = Duration::from_secs(120);
+            let mut backoff = JitteredBackoff::new(base, cap, seed);
+            let mut prev_ceiling = Duration::ZERO;
+            for attempt in 0..16u32 {
+                let delay = backoff.next_delay();
+                let ceiling = base.saturating_mul(1u32 << attempt).min(cap);
+                prop_assert!(delay <= ceiling);
+                prop_assert!(ceiling >= prev_ceiling);
+                prev_ceiling = ceiling;
+            }
+        }
+    }
+}

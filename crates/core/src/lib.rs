@@ -22,7 +22,9 @@
 //! * [`intervals`] — enumeration of interval partitions,
 //! * [`pareto`] — bi-objective Pareto fronts,
 //! * [`ring`] — the consistent-hash ring fleets use to partition the
-//!   instance keyspace,
+//!   instance keyspace, with replicated (successor-list) ownership,
+//! * [`backoff`] — seeded jittered exponential backoff (fleet circuit
+//!   breakers),
 //! * [`trace`] — structured per-request tracing (spans, attributes, and
 //!   the mergeable span tree fleet hops return),
 //! * [`num`] — numeric conventions (tolerances, log-space probabilities),
@@ -58,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod backoff;
 pub mod budget;
 pub mod error;
 pub mod eval;
@@ -73,6 +76,7 @@ pub mod stage;
 pub mod throughput;
 pub mod trace;
 
+pub use backoff::JitteredBackoff;
 pub use budget::{Budget, CancelHandle};
 pub use error::{CoreError, Result};
 pub use eval::{DeltaEval, EvalContext, Move, MoveEffect, Scores, SlotChange};
@@ -89,6 +93,7 @@ pub use trace::{Span, SpanTree, Trace, TraceId, TraceScope};
 
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
+    pub use crate::backoff::JitteredBackoff;
     pub use crate::budget::{Budget, CancelHandle};
     pub use crate::error::{CoreError, Result};
     pub use crate::eval::{DeltaEval, EvalContext, Move, MoveEffect, Scores, SlotChange};

@@ -138,6 +138,43 @@ impl HashRing {
         Some(node as usize)
     }
 
+    /// The replicated owner list of `key`: up to `r` **distinct physical
+    /// nodes**, in the order their ring points are met walking clockwise
+    /// from the key's point. The first entry is [`owner`](Self::owner)
+    /// (the *primary*); the rest are the failover/replica successors.
+    /// Fewer than `r` members yields every member (once); an empty ring
+    /// or `r == 0` yields nothing.
+    ///
+    /// The successor list inherits the ring's stability contract: a
+    /// membership change only splices the joiner into (or the leaver out
+    /// of) a key's list — the *relative order* of all surviving nodes is
+    /// preserved, so replicated placement moves as little data on churn
+    /// as single ownership does. Property-tested in
+    /// `tests/ring_proptests.rs`.
+    #[must_use]
+    pub fn owners(&self, key: u128, r: usize) -> Vec<&str> {
+        if self.points.is_empty() || r == 0 {
+            return Vec::new();
+        }
+        let want = r.min(self.nodes.len());
+        let point = key_point(key);
+        let start = self.points.partition_point(|&(p, _)| p < point);
+        let mut indices: Vec<u32> = Vec::with_capacity(want);
+        for offset in 0..self.points.len() {
+            let (_, node) = self.points[(start + offset) % self.points.len()];
+            if !indices.contains(&node) {
+                indices.push(node);
+                if indices.len() == want {
+                    break;
+                }
+            }
+        }
+        indices
+            .into_iter()
+            .map(|i| self.nodes[i as usize].as_str())
+            .collect()
+    }
+
     /// Adds a member (no-op when already present). Only keys whose owner
     /// becomes `node` move; every other key keeps its owner.
     pub fn add_node(&mut self, node: &str) {
@@ -265,6 +302,61 @@ mod tests {
             } else {
                 assert_ne!(new, "b");
             }
+        }
+    }
+
+    #[test]
+    fn owners_lists_distinct_nodes_primary_first() {
+        let ring = HashRing::new(["a", "b", "c", "d"], 16);
+        for key in keys(500) {
+            let owners = ring.owners(key, 2);
+            assert_eq!(owners.len(), 2);
+            assert_eq!(Some(owners[0]), ring.owner(key), "primary first");
+            assert_ne!(owners[0], owners[1], "replicas are distinct nodes");
+        }
+    }
+
+    #[test]
+    fn owners_saturates_at_the_member_count() {
+        let ring = HashRing::new(["a", "b"], 8);
+        for key in keys(50) {
+            let all = ring.owners(key, 5);
+            assert_eq!(all.len(), 2, "only two members exist");
+            let mut sorted = all.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec!["a", "b"]);
+        }
+        assert!(ring.owners(1, 0).is_empty());
+        assert!(HashRing::new(Vec::<String>::new(), 8)
+            .owners(1, 2)
+            .is_empty());
+    }
+
+    #[test]
+    fn owners_prefix_is_owners_of_smaller_r() {
+        let ring = HashRing::new(["a", "b", "c", "d", "e"], 16);
+        for key in keys(200) {
+            let three = ring.owners(key, 3);
+            assert_eq!(ring.owners(key, 1), three[..1].to_vec());
+            assert_eq!(ring.owners(key, 2), three[..2].to_vec());
+        }
+    }
+
+    #[test]
+    fn replica_set_survives_primary_removal() {
+        // The point of replicated ownership: when the primary dies, the
+        // old secondary is the new primary — the key's data is already
+        // there.
+        let ring = HashRing::new(["a", "b", "c", "d"], 32);
+        for key in keys(300) {
+            let owners = ring.owners(key, 2);
+            let mut without_primary = ring.clone();
+            without_primary.remove_node(owners[0]);
+            assert_eq!(
+                without_primary.owner(key),
+                Some(owners[1]),
+                "secondary must take over key {key:x}"
+            );
         }
     }
 

@@ -76,6 +76,96 @@ proptest! {
         }
     }
 
+    /// Successor-list basics: `owners(key, r)` lists distinct physical
+    /// nodes, primary first, and saturates at the member count.
+    #[test]
+    fn owners_are_distinct_and_primary_first(
+        seed in 0u64..10_000,
+        n in 1usize..8,
+        vnodes in 1usize..96,
+        r in 1usize..5,
+    ) {
+        let ring = HashRing::new(nodes(n), vnodes);
+        for key in keys(seed, 128) {
+            let owners = ring.owners(key, r);
+            prop_assert_eq!(owners.len(), r.min(n));
+            prop_assert_eq!(Some(owners[0]), ring.owner(key));
+            let mut dedup = owners.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), owners.len(), "owners must be distinct");
+        }
+    }
+
+    /// Join stability of the replica set: adding a node may only *splice
+    /// the joiner into* a key's successor list — filtering the joiner
+    /// back out leaves a prefix of the old list. No surviving node moves
+    /// position relative to another, so replicated placement disturbs as
+    /// little as single ownership does.
+    #[test]
+    fn join_only_splices_the_joiner_into_successor_lists(
+        seed in 0u64..10_000,
+        n in 2usize..8,
+        vnodes in 1usize..64,
+        r in 2usize..4,
+    ) {
+        let before = HashRing::new(nodes(n), vnodes);
+        let mut after = before.clone();
+        after.add_node("joiner:1");
+        for key in keys(seed, 128) {
+            let old = before.owners(key, r);
+            let new: Vec<&str> = after
+                .owners(key, r)
+                .into_iter()
+                .filter(|node| *node != "joiner:1")
+                .collect();
+            prop_assert!(
+                old.starts_with(&new),
+                "key {:x}: {:?} is not a prefix of {:?}", key, new, old
+            );
+        }
+    }
+
+    /// Leave stability of the replica set: removing a node may only
+    /// *drop the leaver from* a key's successor list (pulling the next
+    /// successor in at the tail) — filtering the leaver out of the old
+    /// list leaves a prefix of the new one. In particular, a key whose
+    /// primary leaves is inherited by its old secondary: the node its
+    /// replicated data already lives on.
+    #[test]
+    fn leave_only_drops_the_leaver_from_successor_lists(
+        seed in 0u64..10_000,
+        n in 3usize..8,
+        vnodes in 1usize..64,
+        r in 2usize..4,
+        leaver in 0usize..8,
+    ) {
+        let names = nodes(n);
+        let leaver = names[leaver % n].clone();
+        let before = HashRing::new(names, vnodes);
+        let mut after = before.clone();
+        after.remove_node(&leaver);
+        for key in keys(seed, 128) {
+            let old: Vec<&str> = before
+                .owners(key, r)
+                .into_iter()
+                .filter(|node| *node != leaver)
+                .collect();
+            let new = after.owners(key, r);
+            prop_assert!(
+                new.starts_with(&old),
+                "key {:x}: {:?} is not a prefix of {:?}", key, old, new
+            );
+            if before.owner(key) == Some(leaver.as_str()) {
+                prop_assert_eq!(
+                    after.owner(key),
+                    Some(before.owners(key, 2)[1]),
+                    "the old secondary inherits the leaver's keys"
+                );
+            }
+        }
+    }
+
     /// Ownership is a pure function of the member set: join order,
     /// duplicates and an add/remove detour never change it.
     #[test]

@@ -161,23 +161,26 @@ impl<V: Clone> ShardedLru<V> {
     /// Inserts (or refreshes) a key, evicting the shard's LRU entry when
     /// full. No-op when the cache has zero capacity.
     pub fn insert(&self, key: u128, value: V) {
-        self.insert_if(key, value, |_| true);
+        let _ = self.insert_if(key, value, |_| true);
     }
 
     /// Inserts; when the key is already occupied, only if
     /// `replace(existing)` allows it — evaluated under the shard lock, so
     /// the check-and-replace is atomic. Used by the front cache to never
-    /// let an incomplete front overwrite a complete one.
-    pub fn insert_if(&self, key: u128, value: V, replace: impl FnOnce(&V) -> bool) {
+    /// let an incomplete front overwrite a complete one. Returns whether
+    /// the value was stored (`false`: zero capacity, or the incumbent
+    /// was kept) — the fleet layer uses this to report replica-fill
+    /// outcomes and to replicate only writes that actually landed.
+    pub fn insert_if(&self, key: u128, value: V, replace: impl FnOnce(&V) -> bool) -> bool {
         if self.per_shard_capacity == 0 {
-            return;
+            return false;
         }
         let mut shard = self.shard(key).lock().expect("cache shard lock");
         shard.clock += 1;
         let tick = shard.clock;
         if let Some(existing) = shard.map.get(&key) {
             if !replace(&existing.value) {
-                return;
+                return false;
             }
         } else if shard.map.len() >= self.per_shard_capacity {
             if let Some((&lru, _)) = shard.map.iter().min_by_key(|(_, e)| e.tick) {
@@ -186,6 +189,7 @@ impl<V: Clone> ShardedLru<V> {
             }
         }
         shard.map.insert(key, Entry { value, tick });
+        true
     }
 
     /// Aggregate counters across all shards.

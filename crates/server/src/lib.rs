@@ -36,7 +36,11 @@
 //! * [`router`] — the request-path routing layer: [`router::LocalRouter`]
 //!   (single node) and [`router::RingRouter`] (consistent-hash fleet
 //!   sharding with transparent forwarding),
-//! * [`peer`] — pooled JSON-lines clients for fleet peers,
+//! * [`peer`] — pooled JSON-lines clients for fleet peers, each behind a
+//!   circuit breaker with seeded jittered backoff,
+//! * [`fault`] — deterministic, seed-scripted transport fault injection
+//!   (dropped connections, delays, corrupt lines, node kills) for chaos
+//!   tests,
 //! * [`service`] — transport-independent dispatch
 //!   ([`service::SolverService`]) and the [`service::WorkerPool`],
 //! * [`server`] — the TCP listener ([`Server`]) and
@@ -74,6 +78,7 @@
 #![warn(clippy::all)]
 
 pub mod cache;
+pub mod fault;
 pub mod metrics;
 pub mod peer;
 pub mod protocol;
@@ -81,7 +86,8 @@ pub mod router;
 pub mod server;
 pub mod service;
 
+pub use fault::{FaultAction, FaultPlan};
 pub use protocol::{Command, Request, Response};
-pub use router::{LocalRouter, RingRouter, Router};
+pub use router::{LocalRouter, RingOptions, RingRouter, Router};
 pub use server::{serve_stdin, Server};
 pub use service::{ServiceConfig, SolverService, WorkerPool};

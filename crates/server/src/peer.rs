@@ -1,4 +1,5 @@
-//! Pooled JSON-lines clients for fleet peers.
+//! Pooled JSON-lines clients for fleet peers, with per-peer circuit
+//! breakers.
 //!
 //! A [`Peer`] wraps one remote `rpwf serve` instance behind a small pool
 //! of reusable TCP connections. Forwarding a request checks a connection
@@ -15,17 +16,36 @@
 //! client ever seeing a half-answered request. (The cost: a forwarded
 //! chunked `Pareto` buffers at the forwarding node; owner-routed clients
 //! keep the end-to-end streaming bound.)
+//!
+//! ## Circuit breaker
+//!
+//! Every peer carries a three-state breaker so a dead node costs the
+//! connect timeout **once**, not on every forwarded request:
+//!
+//! * **closed** — calls flow normally. [`BreakerConfig::threshold`]
+//!   *consecutive* failed calls (connect/IO errors and read timeouts
+//!   alike) trip it open.
+//! * **open** — calls are rejected instantly (no connect attempt) until
+//!   a seeded jittered-exponential delay
+//!   ([`rpwf_core::backoff::JitteredBackoff`]) expires. Rejections are
+//!   counted in [`Peer::breaker_skips`] and spanned as
+//!   `peer.breaker_open`; the router treats them like any peer failure
+//!   (failover/fallback), so after the first trip a dead primary adds
+//!   ~0 latency.
+//! * **half-open** — the first call after the delay goes through as a
+//!   lone probe (concurrent calls are still rejected). Success closes
+//!   the breaker and resets the backoff; failure re-opens it with the
+//!   next (longer) delay.
 
 use crate::protocol::Response;
+use rpwf_core::backoff::JitteredBackoff;
+use rpwf_core::hash::CanonicalHasher;
 use rpwf_core::trace::TraceScope;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
-
-/// How long a dry-pool connect may take before the peer counts as down.
-const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+use std::time::{Duration, Instant};
 
 /// Idle connections parked per peer (excess sockets are dropped).
 const MAX_IDLE: usize = 8;
@@ -38,24 +58,112 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
+/// Circuit-breaker tuning.
+#[derive(Clone, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failed calls that trip the breaker open.
+    pub threshold: u32,
+    /// First open-state delay (the jittered-backoff base).
+    pub backoff_base: Duration,
+    /// Largest open-state delay (the jittered-backoff cap).
+    pub backoff_cap: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            backoff_base: Duration::from_millis(250),
+            backoff_cap: Duration::from_secs(15),
+        }
+    }
+}
+
+/// Peer-client tuning. [`Default`] preserves the pre-configurable
+/// behavior (500 ms connect timeout).
+#[derive(Clone, Debug)]
+pub struct PeerConfig {
+    /// How long a dry-pool connect may take before the peer counts as
+    /// down.
+    pub connect_timeout: Duration,
+    /// Circuit-breaker thresholds and backoff window.
+    pub breaker: BreakerConfig,
+    /// Seed for the breaker's jittered backoff (mixed with the peer
+    /// address so peers never share a jitter stream).
+    pub seed: u64,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        PeerConfig {
+            connect_timeout: Duration::from_millis(500),
+            breaker: BreakerConfig::default(),
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// Breaker state machine (behind the peer's mutex).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BreakerPhase {
+    Closed,
+    Open { until: Instant },
+    HalfOpen,
+}
+
+struct BreakerInner {
+    phase: BreakerPhase,
+    consecutive_failures: u32,
+    backoff: JitteredBackoff,
+}
+
 /// A pooled client for one fleet peer.
 pub struct Peer {
     addr: String,
+    config: PeerConfig,
     idle: Mutex<Vec<BufReader<TcpStream>>>,
+    breaker: Mutex<BreakerInner>,
     forwards: AtomicU64,
     failures: AtomicU64,
+    timeouts: AtomicU64,
+    breaker_skips: AtomicU64,
 }
 
 impl Peer {
-    /// A client for the peer at `addr` (`host:port`). No connection is
-    /// opened until the first call.
+    /// A client for the peer at `addr` (`host:port`) with default
+    /// tuning. No connection is opened until the first call.
     #[must_use]
     pub fn new(addr: impl Into<String>) -> Self {
+        Self::with_config(addr, PeerConfig::default())
+    }
+
+    /// A client with explicit tuning.
+    #[must_use]
+    pub fn with_config(addr: impl Into<String>, config: PeerConfig) -> Self {
+        let addr = addr.into();
+        // Decorrelate jitter across peers sharing one configured seed.
+        let mut hasher = CanonicalHasher::new();
+        hasher.write_str("peer-backoff");
+        hasher.write_str(&addr);
+        let seed = config.seed ^ (hasher.finish() as u64);
+        let backoff = JitteredBackoff::new(
+            config.breaker.backoff_base,
+            config.breaker.backoff_cap,
+            seed,
+        );
         Peer {
-            addr: addr.into(),
+            addr,
+            config,
             idle: Mutex::new(Vec::new()),
+            breaker: Mutex::new(BreakerInner {
+                phase: BreakerPhase::Closed,
+                consecutive_failures: 0,
+                backoff,
+            }),
             forwards: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            breaker_skips: AtomicU64::new(0),
         }
     }
 
@@ -65,17 +173,113 @@ impl Peer {
         &self.addr
     }
 
+    /// The tuning in effect.
+    #[must_use]
+    pub fn config(&self) -> &PeerConfig {
+        &self.config
+    }
+
     /// Requests successfully answered by this peer.
     #[must_use]
     pub fn forwards(&self) -> u64 {
         self.forwards.load(Ordering::Relaxed)
     }
 
-    /// Calls that failed (after the one pooled-connection retry) and fell
-    /// back to the caller.
+    /// Calls that failed with a connect or I/O error (after the one
+    /// pooled-connection retry) and fell back to the caller. Read
+    /// timeouts are counted separately in [`timeouts`](Self::timeouts) —
+    /// a refused connect means the peer is *down*, a timeout means it is
+    /// up but not answering, and the two call for different operator
+    /// responses.
     #[must_use]
     pub fn failures(&self) -> u64 {
         self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Calls that timed out waiting for a response line.
+    #[must_use]
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Calls rejected instantly because the breaker was open (no connect
+    /// was attempted).
+    #[must_use]
+    pub fn breaker_skips(&self) -> u64 {
+        self.breaker_skips.load(Ordering::Relaxed)
+    }
+
+    /// The breaker's current state: `"closed"`, `"open"`, or
+    /// `"half-open"`. An expired open delay still reads `"open"` until
+    /// the next call promotes it to the half-open probe.
+    #[must_use]
+    pub fn breaker_state(&self) -> &'static str {
+        match self.breaker.lock().expect("peer breaker lock").phase {
+            BreakerPhase::Closed => "closed",
+            BreakerPhase::Open { .. } => "open",
+            BreakerPhase::HalfOpen => "half-open",
+        }
+    }
+
+    /// [`breaker_state`](Self::breaker_state) as a metrics gauge:
+    /// 0 = closed, 1 = half-open, 2 = open.
+    #[must_use]
+    pub fn breaker_gauge(&self) -> u8 {
+        match self.breaker.lock().expect("peer breaker lock").phase {
+            BreakerPhase::Closed => 0,
+            BreakerPhase::HalfOpen => 1,
+            BreakerPhase::Open { .. } => 2,
+        }
+    }
+
+    /// Admission control: `Ok` when the call may proceed (possibly as
+    /// the half-open probe), `Err` when the breaker rejects it.
+    fn admit(&self) -> std::io::Result<()> {
+        let mut breaker = self.breaker.lock().expect("peer breaker lock");
+        match breaker.phase {
+            BreakerPhase::Closed => Ok(()),
+            BreakerPhase::Open { until } => {
+                if Instant::now() >= until {
+                    // This call is the probe; concurrent calls keep
+                    // seeing a non-closed phase and are rejected.
+                    breaker.phase = BreakerPhase::HalfOpen;
+                    Ok(())
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionRefused,
+                        format!("breaker open for peer {}", self.addr),
+                    ))
+                }
+            }
+            BreakerPhase::HalfOpen => Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                format!("breaker half-open for peer {} (probe in flight)", self.addr),
+            )),
+        }
+    }
+
+    /// Feeds a call outcome into the breaker state machine.
+    fn record_outcome(&self, ok: bool) {
+        let mut breaker = self.breaker.lock().expect("peer breaker lock");
+        if ok {
+            breaker.phase = BreakerPhase::Closed;
+            breaker.consecutive_failures = 0;
+            breaker.backoff.reset();
+            return;
+        }
+        breaker.consecutive_failures = breaker.consecutive_failures.saturating_add(1);
+        let trip = match breaker.phase {
+            // A failed probe re-opens immediately with a longer delay.
+            BreakerPhase::HalfOpen => true,
+            BreakerPhase::Closed => breaker.consecutive_failures >= self.config.breaker.threshold,
+            BreakerPhase::Open { .. } => false,
+        };
+        if trip {
+            let delay = breaker.backoff.next_delay();
+            breaker.phase = BreakerPhase::Open {
+                until: Instant::now() + delay,
+            };
+        }
     }
 
     /// Sends one request line and returns every response line of that
@@ -88,14 +292,16 @@ impl Peer {
     /// caller falls back to a local solve.
     ///
     /// # Errors
-    /// Propagates connect/write/read failures and read timeouts — the
-    /// caller treats any error as "peer down" and solves locally.
+    /// Propagates connect/write/read failures, read timeouts, and
+    /// breaker rejections — the caller treats any error as "peer down"
+    /// and fails over or solves locally.
     pub fn call(&self, line: &str, read_timeout: Duration) -> std::io::Result<Vec<String>> {
         self.call_traced(line, read_timeout, None)
     }
 
     /// [`call`](Self::call) recording connection-level spans into `scope`
-    /// (`peer.connect` around the checkout, `peer.retry` when a stale
+    /// (`peer.breaker_open` when the breaker rejects the call outright,
+    /// `peer.connect` around the checkout, `peer.retry` when a stale
     /// pooled socket forces a fresh attempt, `peer.roundtrip` around the
     /// write-and-read exchange). With `scope: None` this *is* `call`.
     ///
@@ -107,11 +313,32 @@ impl Peer {
         read_timeout: Duration,
         scope: Option<TraceScope<'_>>,
     ) -> std::io::Result<Vec<String>> {
+        if let Err(rejected) = self.admit() {
+            self.breaker_skips.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = scope {
+                s.trace.add(
+                    "peer.breaker_open",
+                    Some(s.parent),
+                    s.trace.elapsed_us(),
+                    0,
+                    vec![("peer".to_owned(), self.addr.clone())],
+                );
+            }
+            return Err(rejected);
+        }
         let outcome = self.try_call(line, read_timeout, scope);
         match &outcome {
-            Ok(_) => self.forwards.fetch_add(1, Ordering::Relaxed),
-            Err(_) => self.failures.fetch_add(1, Ordering::Relaxed),
-        };
+            Ok(_) => {
+                self.forwards.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) if is_timeout(e) => {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.record_outcome(outcome.is_ok());
         outcome
     }
 
@@ -150,7 +377,7 @@ impl Peer {
                     vec![("reason".to_owned(), "stale-pooled-connection".to_owned())],
                 );
             }
-            if let Ok(fresh) = Self::connect(&self.addr) {
+            if let Ok(fresh) = Self::connect(&self.addr, self.config.connect_timeout) {
                 conn = fresh;
                 conn.get_ref().set_read_timeout(Some(read_timeout))?;
                 outcome = Self::roundtrip(&mut conn, line);
@@ -176,17 +403,20 @@ impl Peer {
         if let Some(conn) = self.idle.lock().expect("peer pool lock").pop() {
             return Ok((conn, true));
         }
-        Ok((Self::connect(&self.addr)?, false))
+        Ok((
+            Self::connect(&self.addr, self.config.connect_timeout)?,
+            false,
+        ))
     }
 
-    fn connect(addr: &str) -> std::io::Result<BufReader<TcpStream>> {
+    fn connect(addr: &str, timeout: Duration) -> std::io::Result<BufReader<TcpStream>> {
         let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
             std::io::Error::new(
                 std::io::ErrorKind::AddrNotAvailable,
                 format!("peer address {addr:?} resolves to nothing"),
             )
         })?;
-        let stream = TcpStream::connect_timeout(&resolved, CONNECT_TIMEOUT)?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout)?;
         stream.set_nodelay(true)?;
         Ok(BufReader::new(stream))
     }
@@ -214,10 +444,18 @@ impl Peer {
                 ));
             }
             let response = buf.trim_end_matches(['\n', '\r']).to_string();
-            // `part` lines continue the same request; anything else (ok,
-            // error, or unparseable garbage) terminates it.
-            let done = serde_json::from_str::<Response>(&response)
-                .map_or(true, |parsed| parsed.status != "part");
+            // `part` lines continue the same request, `ok`/`error` lines
+            // terminate it. A line that does not parse as a response at
+            // all is a *protocol* failure (corrupted or misbehaving
+            // peer): surface it as an error so the caller fails over or
+            // falls back instead of relaying garbage to the client.
+            let Ok(parsed) = serde_json::from_str::<Response>(&response) else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "peer returned an unparseable response line",
+                ));
+            };
+            let done = parsed.status != "part";
             lines.push(response);
             if done {
                 return Ok(lines);
@@ -237,7 +475,95 @@ mod tests {
         let err = peer.call("{\"cmd\":\"Ping\"}", Duration::from_secs(1));
         assert!(err.is_err());
         assert_eq!(peer.failures(), 1);
+        assert_eq!(peer.timeouts(), 0);
         assert_eq!(peer.forwards(), 0);
+        assert_eq!(peer.breaker_state(), "closed", "one failure must not trip");
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_skips_connects() {
+        let peer = Peer::with_config(
+            "127.0.0.1:1",
+            PeerConfig {
+                breaker: BreakerConfig {
+                    threshold: 3,
+                    backoff_base: Duration::from_secs(60),
+                    backoff_cap: Duration::from_secs(120),
+                },
+                ..Default::default()
+            },
+        );
+        for _ in 0..3 {
+            assert!(peer
+                .call("{\"cmd\":\"Ping\"}", Duration::from_secs(1))
+                .is_err());
+        }
+        assert_eq!(peer.breaker_state(), "open");
+        assert_eq!(peer.failures(), 3);
+        // With a 60 s backoff the next calls are rejected without any
+        // connect attempt: the failure counter must not move.
+        let start = Instant::now();
+        for _ in 0..5 {
+            assert!(peer
+                .call("{\"cmd\":\"Ping\"}", Duration::from_secs(1))
+                .is_err());
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(200),
+            "open-breaker calls must be instant, took {:?}",
+            start.elapsed()
+        );
+        assert_eq!(peer.failures(), 3, "skipped calls are not failures");
+        assert_eq!(peer.breaker_skips(), 5);
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_probe() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let peer = Peer::with_config(
+            addr.to_string(),
+            PeerConfig {
+                breaker: BreakerConfig {
+                    threshold: 1,
+                    backoff_base: Duration::from_millis(1),
+                    backoff_cap: Duration::from_millis(2),
+                },
+                ..Default::default()
+            },
+        );
+        // Trip the breaker: nothing is accepting yet, and the listener's
+        // backlog is bypassed by dropping the pending connection.
+        drop(listener);
+        assert!(peer
+            .call("{\"cmd\":\"Ping\"}", Duration::from_secs(1))
+            .is_err());
+        assert_eq!(peer.breaker_state(), "open");
+        // Bring the peer back on the same port.
+        let listener = TcpListener::bind(addr).expect("rebind");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut stream = stream;
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            writeln!(
+                stream,
+                "{{\"id\":1,\"status\":\"ok\",\"result\":null,\"error\":null,\
+                 \"meta\":{{\"cache_hit\":false,\"solver\":null,\
+                 \"exact_complete\":null,\"elapsed_us\":1,\"node\":null}}}}"
+            )
+            .expect("write");
+        });
+        // Wait out the (tiny) open delay, then probe: success closes.
+        std::thread::sleep(Duration::from_millis(10));
+        let lines = peer
+            .call("{\"cmd\":\"Ping\"}", Duration::from_secs(5))
+            .expect("probe succeeds");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(peer.breaker_state(), "closed");
+        server.join().expect("server thread");
     }
 
     #[test]
@@ -273,6 +599,28 @@ mod tests {
             assert!(lines[0].contains("\"status\":\"ok\""), "{}", lines[0]);
         }
         assert_eq!(peer.forwards(), 2);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn corrupt_response_line_is_an_error_not_a_relay() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut stream = stream;
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            writeln!(stream, "!!corrupted-bytes!!").expect("write");
+        });
+        let peer = Peer::new(addr.to_string());
+        let err = peer
+            .call("{\"cmd\":\"Ping\"}", Duration::from_secs(5))
+            .expect_err("garbage must not be relayed");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(peer.failures(), 1);
         server.join().expect("server thread");
     }
 }

@@ -46,6 +46,7 @@
 use rpwf_algo::{Objective, Provenance};
 use rpwf_core::hash::{CanonicalDigest, CanonicalHasher};
 use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::pareto::ParetoFront;
 use rpwf_core::platform::Platform;
 use rpwf_core::stage::Pipeline;
 use rpwf_core::trace::SpanTree;
@@ -161,6 +162,31 @@ pub enum Command {
         /// Return at most this many entries (default 16).
         limit: Option<usize>,
     },
+    /// **Internal fleet command**: push a solved Pareto front into the
+    /// receiver's cache, warming a *replica* of the sending node. After a
+    /// primary owner freshly solves and caches a **complete** front, it
+    /// ships the front to the key's ring successor(s) with this command,
+    /// so a single-node death leaves every front warm on the surviving
+    /// replica. Always answered by the receiving node (`route_key` is
+    /// `None`, and senders set the `hop` flag), and subject to the same
+    /// completeness-aware insert policy as local writes — a fill can
+    /// never downgrade a richer cached entry. Answers
+    /// [`CacheFillResult`].
+    CacheFill {
+        /// The application of the cached instance.
+        pipeline: Pipeline,
+        /// The platform of the cached instance.
+        platform: Platform,
+        /// The solved front (the replicated payload).
+        front: ParetoFront<IntervalMapping>,
+        /// Whether the front is exact/complete (only complete fronts are
+        /// propagated by the fleet layer, but the command accepts both).
+        complete: bool,
+        /// Which solver tier produced the front.
+        solver: Provenance,
+        /// Whether an exact front backend applies to the instance.
+        exact_capable: bool,
+    },
 }
 
 impl Command {
@@ -177,6 +203,7 @@ impl Command {
             Command::Metrics => "metrics",
             Command::Ring => "ring",
             Command::Trace { .. } => "trace",
+            Command::CacheFill { .. } => "cache_fill",
         }
     }
 
@@ -184,7 +211,16 @@ impl Command {
     #[must_use]
     pub fn all_names() -> &'static [&'static str] {
         &[
-            "ping", "solve", "pareto", "simulate", "gen", "stats", "metrics", "ring", "trace",
+            "ping",
+            "solve",
+            "pareto",
+            "simulate",
+            "gen",
+            "stats",
+            "metrics",
+            "ring",
+            "trace",
+            "cache_fill",
         ]
     }
 
@@ -270,7 +306,8 @@ impl Command {
             | Command::Stats
             | Command::Metrics
             | Command::Ring
-            | Command::Trace { .. } => return None,
+            | Command::Trace { .. }
+            | Command::CacheFill { .. } => return None,
         }
         Some(hasher.finish())
     }
@@ -490,6 +527,16 @@ pub struct GenResult {
     pub platform: Platform,
 }
 
+/// `CacheFill` result payload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheFillResult {
+    /// Whether the front was stored (`false` when the insert policy kept
+    /// a richer incumbent, or when caching is disabled).
+    pub stored: bool,
+    /// Points in the shipped front.
+    pub points: u64,
+}
+
 /// Cache counters inside [`StatsResult`].
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CacheStatsOut {
@@ -568,8 +615,18 @@ pub struct RingPeerOut {
     pub peer: String,
     /// Requests this node forwarded to the peer (successfully answered).
     pub forwards: u64,
-    /// Forward attempts that failed and fell back to a local solve.
+    /// Forward attempts that failed with a connect or I/O error. Read
+    /// timeouts are counted separately in `timeouts` — a dead peer and a
+    /// slow peer call for different operator responses.
     pub failures: u64,
+    /// Forward attempts that timed out waiting for the response.
+    pub timeouts: u64,
+    /// Calls rejected instantly by the open circuit breaker (no connect
+    /// was attempted).
+    pub breaker_skips: u64,
+    /// The peer's circuit-breaker state: `closed`, `open`, or
+    /// `half-open`.
+    pub breaker_state: String,
 }
 
 /// `Ring` result payload — the answering node's view of the fleet
@@ -583,14 +640,25 @@ pub struct RingResult {
     pub nodes: Vec<String>,
     /// Virtual nodes per member (0 = no ring configured).
     pub vnodes: u64,
-    /// Cache keys held by this node that the ring assigns to it.
+    /// Replication factor: the number of distinct owners (primary +
+    /// successors) each key is placed on (1 = no replication).
+    pub replicas: u64,
+    /// Cache keys held by this node as the **primary** ring owner.
     pub owned_cache_keys: u64,
-    /// Cache keys held here but owned elsewhere (artifacts of peer-down
-    /// fallback solving; they are correct, just duplicated capacity).
+    /// Cache keys held by this node as a **replica** (a non-primary
+    /// member of the key's successor list) — fills pushed by the primary
+    /// so its keys stay warm through its death.
+    pub replica_cache_keys: u64,
+    /// Cache keys held here that the ring assigns entirely elsewhere
+    /// (artifacts of peer-down fallback solving; they are correct, just
+    /// duplicated capacity).
     pub foreign_cache_keys: u64,
     /// Requests received with the forwarding hop flag set (this node
     /// answered them as the owner).
     pub hops_received: u64,
+    /// Requests whose primary owner failed and were answered by a
+    /// failover successor (including this node serving as a replica).
+    pub failovers: u64,
     /// Per-peer forwarding counters.
     pub forwards: Vec<RingPeerOut>,
 }
@@ -750,6 +818,45 @@ mod tests {
         assert_eq!(pareto(None), pareto(Some(4)));
         assert_eq!(Command::Ping.front_key(), None);
         assert_eq!(Command::Stats.front_key(), None);
+    }
+
+    #[test]
+    fn cache_fill_is_node_local_and_roundtrips() {
+        let (pipeline, platform) = tiny_instance();
+        let mut front = ParetoFront::new();
+        let mapping = IntervalMapping::new(
+            vec![rpwf_core::mapping::Interval::new(0, 1).expect("valid interval")],
+            vec![vec![rpwf_core::platform::ProcId(0)]],
+            2,
+            2,
+        )
+        .expect("valid mapping");
+        front.insert(3.0, 0.25, mapping);
+        let fill = Command::CacheFill {
+            pipeline,
+            platform,
+            front,
+            complete: true,
+            solver: Provenance::Exact,
+            exact_capable: true,
+        };
+        // A fill is point-to-point: the sender picked the replica, the
+        // receiver must never re-route or cache-key it.
+        assert_eq!(fill.route_key(), None);
+        assert_eq!(fill.front_key(), None);
+        assert_eq!(fill.cache_key(), None);
+        assert_eq!(fill.name(), "cache_fill");
+        let line = serde_json::to_string(&fill).expect("serializes");
+        let parsed: Command = serde_json::from_str(&line).expect("parses");
+        match parsed {
+            Command::CacheFill {
+                front, complete, ..
+            } => {
+                assert_eq!(front.len(), 1);
+                assert!(complete);
+            }
+            other => panic!("parsed into {other:?}"),
+        }
     }
 
     #[test]

@@ -16,27 +16,38 @@
 //!
 //! Fleet invariants:
 //!
-//! * **Partitioned cache** — with every node routing by the same ring,
-//!   each `(pipeline, platform)` instance is solved and cached on exactly
-//!   one node, so a fleet of `f` nodes holds `f×` the fronts of a single
-//!   node at the same per-node memory.
+//! * **Replicated cache** — each key has `replicas` distinct owners (the
+//!   ring successor list, [`HashRing::owners`]); the primary solves and
+//!   pushes complete fronts to the replicas (`CacheFill`), so any single
+//!   node's death leaves every front warm somewhere. With `replicas = 1`
+//!   this degenerates to the strict partitioned cache (each instance on
+//!   exactly one node).
 //! * **Entry-node transparency** — a forwarded response carries the
 //!   owner's identity and the owner's cached answer, so a request returns
-//!   the same payload whichever node the client entered through.
+//!   the same payload whichever node the client entered through — dead
+//!   primaries included: the entry node fails over down the owner list
+//!   and, when every owner is gone, solves locally.
 //! * **No forwarding loops** — forwarded requests carry the `hop` flag
 //!   and are always answered locally by the receiver, so disagreeing ring
-//!   views cost at most one extra hop.
-//! * **Graceful degradation** — when the owning peer is unreachable the
-//!   entry node solves locally (flagged in the `Ring`/`Metrics`
-//!   counters): answers stay correct, only cache placement degrades.
+//!   views cost at most one extra hop. `CacheFill` pushes are likewise
+//!   hop-flagged and never re-replicated by the receiver, so replication
+//!   cannot loop either.
+//! * **Graceful degradation** — when every owner of a key is unreachable
+//!   the entry node solves locally (flagged in the `Ring`/`Metrics`
+//!   counters): answers stay correct, only cache placement degrades. The
+//!   per-peer circuit breaker ([`crate::peer`]) makes a dead peer cost
+//!   one connect timeout, not one per request.
 
-use crate::peer::Peer;
+use crate::cache::CachedFront;
+use crate::peer::{Peer, PeerConfig};
 use crate::protocol::{
     Command, Request, Response, RingPeerOut, RingResult, TraceContext, TraceEntryOut,
 };
 use crate::service::SolverService;
 use rpwf_core::budget::CancelHandle;
+use rpwf_core::platform::Platform;
 use rpwf_core::ring::{HashRing, DEFAULT_VNODES};
+use rpwf_core::stage::Pipeline;
 use rpwf_core::trace::{Trace, TraceId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,8 +61,47 @@ const FORWARD_GRACE: Duration = Duration::from_secs(2);
 
 /// Read-timeout watchdog for forwarded requests without a deadline: long
 /// enough for any realistic solve, short enough that a wedged peer
-/// eventually frees the worker (which then answers locally).
+/// eventually frees the worker (which then answers locally). Overridable
+/// per deployment via [`RingOptions::peer_read`].
 const FORWARD_WATCHDOG: Duration = Duration::from_secs(600);
+
+/// Read timeout for background `CacheFill` pushes: generous for a pure
+/// cache insert, bounded so a wedged replica cannot pin fill threads.
+const CACHE_FILL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default replication factor: every front lives on its primary owner
+/// plus one ring successor, so one node death loses no cached work.
+pub const DEFAULT_REPLICAS: usize = 2;
+
+/// Fleet tuning knobs for [`RingRouter::with_options`] and
+/// [`crate::Server::bind_ring`]. [`Default`] gives the production
+/// posture: default vnodes, replication factor [`DEFAULT_REPLICAS`], and
+/// the peer client's own timeout defaults.
+#[derive(Clone, Debug)]
+pub struct RingOptions {
+    /// Virtual nodes per ring member (`None` = [`DEFAULT_VNODES`]).
+    pub vnodes: Option<usize>,
+    /// Distinct owners per key (clamped to at least 1). `1` disables
+    /// replication entirely — no fills, no failover candidates.
+    pub replicas: usize,
+    /// Peer connect timeout (`None` = the [`PeerConfig`] default).
+    pub peer_connect: Option<Duration>,
+    /// Read timeout for forwarded requests **without a deadline**
+    /// (`None` = the 600 s watchdog). Deadline-carrying requests always
+    /// use their remaining deadline plus shipping grace.
+    pub peer_read: Option<Duration>,
+}
+
+impl Default for RingOptions {
+    fn default() -> Self {
+        RingOptions {
+            vnodes: None,
+            replicas: DEFAULT_REPLICAS,
+            peer_connect: None,
+            peer_read: None,
+        }
+    }
+}
 
 /// The request-path abstraction: everything between "a request line
 /// arrived" and "response line(s) produced" goes through here.
@@ -126,20 +176,26 @@ pub struct RingRouter {
     node_id: String,
     ring: HashRing,
     peers: HashMap<String, Peer>,
+    /// Distinct owners per key (≥ 1).
+    replicas: usize,
+    /// Read-timeout override for deadline-less forwards.
+    peer_read: Option<Duration>,
     /// Requests received with the `hop` flag (answered as the owner).
     hops_received: AtomicU64,
-    /// Requests this node answered because it owns them.
+    /// Requests this node answered because it owns them (as primary, or
+    /// as a surviving replica after a failover walked down to us).
     owned_served: AtomicU64,
-    /// Requests answered locally because the owning peer was down.
+    /// Requests answered locally because every owning peer was down.
     fallbacks: AtomicU64,
+    /// Forward attempts abandoned for the next owner in the successor
+    /// list (peer dead, wedged, or breaker-open).
+    failovers: AtomicU64,
 }
 
 impl RingRouter {
-    /// Builds the fleet router: this node (`node_id`, the `host:port` the
-    /// peers know it by) plus its `peers`, each hashed onto the ring with
-    /// `vnodes` virtual nodes (`None` = [`DEFAULT_VNODES`]). Registers
-    /// the ring introspection and metrics extensions on the service, so
-    /// the `Ring` command and the `Metrics` dump report fleet state.
+    /// Builds the fleet router with default [`RingOptions`] except for
+    /// `vnodes` — the pre-replication constructor, kept for callers that
+    /// only place the ring.
     #[must_use]
     pub fn new(
         service: Arc<SolverService>,
@@ -147,8 +203,38 @@ impl RingRouter {
         peers: &[String],
         vnodes: Option<usize>,
     ) -> Arc<Self> {
+        Self::with_options(
+            service,
+            node_id,
+            peers,
+            RingOptions {
+                vnodes,
+                ..RingOptions::default()
+            },
+        )
+    }
+
+    /// Builds the fleet router: this node (`node_id`, the `host:port` the
+    /// peers know it by) plus its `peers`, each hashed onto the ring with
+    /// `options.vnodes` virtual nodes. Registers the ring introspection
+    /// and metrics extensions on the service, and — when replication is
+    /// on (`replicas > 1` with at least one peer) — the front-stored hook
+    /// that pushes locally solved complete fronts to the key's ring
+    /// successors via `CacheFill`.
+    #[must_use]
+    pub fn with_options(
+        service: Arc<SolverService>,
+        node_id: impl Into<String>,
+        peers: &[String],
+        options: RingOptions,
+    ) -> Arc<Self> {
         let node_id = node_id.into();
-        let vnodes = vnodes.unwrap_or(DEFAULT_VNODES);
+        let vnodes = options.vnodes.unwrap_or(DEFAULT_VNODES);
+        let replicas = options.replicas.max(1);
+        let mut peer_config = PeerConfig::default();
+        if let Some(timeout) = options.peer_connect {
+            peer_config.connect_timeout = timeout;
+        }
         let members: Vec<String> = std::iter::once(node_id.clone())
             .chain(peers.iter().cloned())
             .collect();
@@ -157,13 +243,16 @@ impl RingRouter {
             peers: peers
                 .iter()
                 .filter(|p| **p != node_id)
-                .map(|p| (p.clone(), Peer::new(p.clone())))
+                .map(|p| (p.clone(), Peer::with_config(p.clone(), peer_config.clone())))
                 .collect(),
             service,
             node_id,
+            replicas,
+            peer_read: options.peer_read,
             hops_received: AtomicU64::new(0),
             owned_served: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
         });
         let ring_view = Arc::downgrade(&router);
         router.service.set_ring_reporter(Box::new(move || {
@@ -175,6 +264,16 @@ impl RingRouter {
                 r.render_metrics(out);
             }
         }));
+        if router.replicas > 1 && !router.peers.is_empty() {
+            let fill_view = Arc::downgrade(&router);
+            router.service.set_front_stored_hook(Box::new(
+                move |pipeline, platform, key, entry| {
+                    if let Some(r) = fill_view.upgrade() {
+                        r.replicate_front(pipeline, platform, key, entry);
+                    }
+                },
+            ));
+        }
         router
     }
 
@@ -190,46 +289,116 @@ impl RingRouter {
         &self.ring
     }
 
-    /// The owning node of a request, when it routes at all. Instance
-    /// hashing can panic on structurally broken (deserialized) instances;
-    /// those are treated as local so the service reports the structured
-    /// error.
-    fn owner_of(&self, cmd: &Command) -> Option<String> {
-        let key = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cmd.route_key()))
-            .ok()
-            .flatten()?;
-        self.ring.owner(key).map(str::to_owned)
+    /// The replication factor in effect.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas
     }
 
-    /// Forwards `request` to `owner`, falling back to a local solve when
-    /// the peer cannot be reached or errors mid-call.
+    /// The owner list (primary first) of a request, empty when it routes
+    /// locally. Instance hashing can panic on structurally broken
+    /// (deserialized) instances; those are treated as local so the
+    /// service reports the structured error.
+    fn owners_of(&self, cmd: &Command) -> Vec<String> {
+        let key = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cmd.route_key()))
+            .ok()
+            .flatten();
+        match key {
+            Some(key) => self
+                .ring
+                .owners(key, self.replicas)
+                .into_iter()
+                .map(str::to_owned)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Pushes a locally solved complete front to the key's replica set.
+    ///
+    /// Only the **primary** owner propagates, and the receiving side
+    /// never re-fires the stored hook for a `CacheFill` write — both
+    /// guards together keep replication loop-free even when two nodes'
+    /// ring views disagree during a membership change. The pushes run on
+    /// a detached thread: a dead replica must cost its connect timeout
+    /// there, not on the solve path (and its breaker makes repeat fills
+    /// nearly free).
+    fn replicate_front(
+        self: &Arc<Self>,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        key: u128,
+        entry: &CachedFront,
+    ) {
+        let owners = self.ring.owners(key, self.replicas);
+        if owners.first().copied() != Some(self.node_id.as_str()) {
+            return;
+        }
+        let targets: Vec<String> = owners
+            .into_iter()
+            .skip(1)
+            .filter(|owner| self.peers.contains_key(*owner))
+            .map(str::to_owned)
+            .collect();
+        if targets.is_empty() {
+            return;
+        }
+        let request = Request {
+            id: None,
+            deadline_ms: None,
+            no_cache: None,
+            // Hop-flagged: the replica answers inline and never re-routes
+            // (or re-replicates) the fill.
+            hop: Some(true),
+            trace: None,
+            trace_ctx: None,
+            cmd: Command::CacheFill {
+                pipeline: pipeline.clone(),
+                platform: platform.clone(),
+                front: (*entry.front).clone(),
+                complete: entry.complete,
+                solver: entry.solver,
+                exact_capable: entry.exact_capable,
+            },
+        };
+        let line = serde_json::to_string(&request).expect("requests always serialize");
+        let router = Arc::clone(self);
+        std::thread::spawn(move || {
+            for target in &targets {
+                if let Some(peer) = router.peers.get(target) {
+                    let _ = peer.call(&line, CACHE_FILL_TIMEOUT);
+                }
+            }
+        });
+    }
+
+    /// Forwards `request` down the `owners` list (primary first): the
+    /// first reachable owner answers; a candidate that is **this node**
+    /// answers locally (the surviving-replica path — warm when fills
+    /// landed); when every candidate is exhausted the entry node solves
+    /// locally.
     ///
     /// When the request opted into tracing, this node opens the
-    /// **entry-side** trace (root, decode, route, `peer.forward` spans),
-    /// ships a [`TraceContext`] inside the hopped request so the owner
+    /// **entry-side** trace (root, decode, route spans), gives every
+    /// attempt its own `peer.forward` span (failed attempts additionally
+    /// record a `peer.failover` span naming the abandoned owner), ships a
+    /// [`TraceContext`] inside the hopped request so the answering owner
     /// collects its spans under the same trace id, then grafts the
     /// owner's subtree (returned on the final response's `meta.trace`)
-    /// under the forward span — the client receives one merged trace and
-    /// the entry node logs it in its own slow-query ring. On peer failure
-    /// the local fallback starts a fresh trace: the entry-side route and
-    /// forward spans are lost with the failed call (the fallback is
+    /// under the successful forward span — the client receives one merged
+    /// trace and the entry node logs it in its own slow-query ring. On
+    /// total failure the local fallback starts a fresh trace: the
+    /// entry-side spans are lost with the failed calls (the fallback is
     /// visible in the `Ring` counters instead).
     fn forward(
         &self,
-        owner: &str,
+        owners: &[String],
         request: Request,
         received: Instant,
         cancel: Option<&CancelHandle>,
         emit: &mut dyn FnMut(String),
     ) {
-        let Some(peer) = self.peers.get(owner) else {
-            // The ring names a node this router has no client for — a
-            // configuration mismatch; answer locally rather than drop.
-            self.fallbacks.fetch_add(1, Ordering::Relaxed);
-            self.handle_local(request, received, cancel, emit);
-            return;
-        };
-        let trace = request.trace.unwrap_or(false).then(|| {
+        let mut trace = request.trace.unwrap_or(false).then(|| {
             let id = request
                 .trace_ctx
                 .map_or_else(TraceId::next, |ctx| TraceId(ctx.id));
@@ -250,55 +419,92 @@ impl RingRouter {
                 Some(root.index()),
                 trace.elapsed_us(),
                 0,
-                vec![("owner".to_owned(), owner.to_owned())],
+                vec![(
+                    "owner".to_owned(),
+                    owners.first().cloned().unwrap_or_default(),
+                )],
             );
-            let forward = trace.begin("peer.forward", Some(root.index()));
-            trace.attr(forward.index(), "from", self.node_id.as_str());
-            trace.attr(forward.index(), "to", owner);
-            (trace, root, forward)
+            (trace, root)
         });
         let mut hopped = request.clone();
         hopped.hop = Some(true);
-        if let Some((trace, _, forward)) = &trace {
-            hopped.trace_ctx = Some(TraceContext {
-                id: trace.id().0,
-                parent: forward.index(),
-            });
-        }
-        let line = serde_json::to_string(&hopped).expect("requests always serialize");
-        // Bound the wait on the peer: the request's remaining deadline
-        // (plus shipping grace) when it has one, a watchdog otherwise. On
-        // expiry the local fallback path reports the proper structured
-        // timeout through its own budget check.
+        // Bound the wait on each peer: the request's remaining deadline
+        // (plus shipping grace) when it has one, the (configurable)
+        // watchdog otherwise. On expiry the failover walks on; the local
+        // fallback path reports the proper structured timeout through its
+        // own budget check.
         let read_timeout = match request.deadline_ms {
             Some(ms) => {
                 (received + Duration::from_millis(ms)).saturating_duration_since(Instant::now())
                     + FORWARD_GRACE
             }
-            None => FORWARD_WATCHDOG,
+            None => self.peer_read.unwrap_or(FORWARD_WATCHDOG),
         };
-        let peer_scope = trace
-            .as_ref()
-            .map(|(trace, _, forward)| rpwf_core::trace::TraceScope::new(trace, forward.index()));
-        match peer.call_traced(&line, read_timeout, peer_scope) {
-            Ok(mut lines) => {
-                if let Some((trace, root, forward)) = trace {
-                    trace.end(&forward);
-                    trace.end(&root);
-                    self.merge_owner_trace(&trace, forward.index(), &request, &mut lines);
-                }
-                for line in lines {
-                    emit(line);
-                }
-            }
-            Err(_) => {
-                // Peer down: degrade to local solving. The answer is
-                // byte-identical (same solver, same determinism seed) —
-                // only cache placement degrades until the peer returns.
-                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        for (rank, owner) in owners.iter().enumerate() {
+            if *owner == self.node_id {
+                // We are the surviving replica for this key: answer
+                // locally. Warm when the primary's fills landed; a fresh
+                // solve otherwise — correct either way.
+                self.owned_served.fetch_add(1, Ordering::Relaxed);
                 self.handle_local(request, received, cancel, emit);
+                return;
+            }
+            let Some(peer) = self.peers.get(owner) else {
+                // The ring names a node this router has no client for — a
+                // configuration mismatch; try the next owner.
+                continue;
+            };
+            let span = trace.as_ref().map(|(trace, root)| {
+                let span = trace.begin("peer.forward", Some(root.index()));
+                trace.attr(span.index(), "from", self.node_id.as_str());
+                trace.attr(span.index(), "to", owner.as_str());
+                span
+            });
+            if let (Some((trace, _)), Some(span)) = (&trace, &span) {
+                hopped.trace_ctx = Some(TraceContext {
+                    id: trace.id().0,
+                    parent: span.index(),
+                });
+            }
+            let line = serde_json::to_string(&hopped).expect("requests always serialize");
+            let peer_scope = trace
+                .as_ref()
+                .zip(span.as_ref())
+                .map(|((trace, _), span)| rpwf_core::trace::TraceScope::new(trace, span.index()));
+            match peer.call_traced(&line, read_timeout, peer_scope) {
+                Ok(mut lines) => {
+                    if let (Some((trace, root)), Some(span)) = (trace.take(), span) {
+                        trace.end(&span);
+                        trace.end(&root);
+                        self.merge_owner_trace(&trace, span.index(), &request, &mut lines);
+                    }
+                    for line in lines {
+                        emit(line);
+                    }
+                    return;
+                }
+                Err(_) => {
+                    if let (Some((trace, root)), Some(span)) = (&trace, &span) {
+                        trace.end(span);
+                        trace.add(
+                            "peer.failover",
+                            Some(root.index()),
+                            trace.elapsed_us(),
+                            0,
+                            vec![("abandoned".to_owned(), owner.clone())],
+                        );
+                    }
+                    if rank + 1 < owners.len() {
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
         }
+        // Every owner unreachable: degrade to local solving. The answer
+        // is byte-identical (same solver, same determinism seed) — only
+        // cache placement degrades until an owner returns.
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.handle_local(request, received, cancel, emit);
     }
 
     /// Rewrites the final forwarded response line so its `meta.trace`
@@ -350,7 +556,7 @@ impl RingRouter {
     /// The `Ring` introspection payload.
     #[must_use]
     pub fn ring_result(&self) -> RingResult {
-        let (owned, foreign) = self.cache_census();
+        let (owned, replica, foreign) = self.cache_census();
         let mut forwards: Vec<RingPeerOut> = self
             .peers
             .values()
@@ -358,6 +564,9 @@ impl RingRouter {
                 peer: p.addr().to_string(),
                 forwards: p.forwards(),
                 failures: p.failures(),
+                timeouts: p.timeouts(),
+                breaker_skips: p.breaker_skips(),
+                breaker_state: p.breaker_state().to_string(),
             })
             .collect();
         forwards.sort_by(|a, b| a.peer.cmp(&b.peer));
@@ -365,40 +574,52 @@ impl RingRouter {
             node: self.node_id.clone(),
             nodes: self.ring.nodes().to_vec(),
             vnodes: self.ring.vnodes() as u64,
+            replicas: self.replicas as u64,
             owned_cache_keys: owned,
+            replica_cache_keys: replica,
             foreign_cache_keys: foreign,
             hops_received: self.hops_received.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
             forwards,
         }
     }
 
-    /// Counts this node's cached **front** keys by ring ownership:
-    /// `(owned by this node, owned by a peer)`. Only front entries are
-    /// counted — they are keyed by the instance hash the ring places;
-    /// per-query result entries live in a different hash space where
-    /// `ring.owner` is meaningless. Foreign keys are peer-down fallback
+    /// Counts this node's cached **front** keys by ring role: `(primary
+    /// owner, replica owner, neither)`. Only front entries are counted —
+    /// they are keyed by the instance hash the ring places; per-query
+    /// result entries live in a different hash space where ring ownership
+    /// is meaningless. Replica keys are `CacheFill` products (or survived
+    /// a membership change); foreign keys are peer-down fallback
     /// artifacts — correct answers, duplicated capacity.
-    fn cache_census(&self) -> (u64, u64) {
+    fn cache_census(&self) -> (u64, u64, u64) {
         let mut owned = 0u64;
+        let mut replica = 0u64;
         let mut foreign = 0u64;
         for key in self.service.front_cache_keys() {
-            if self.ring.owner(key) == Some(self.node_id.as_str()) {
-                owned += 1;
-            } else {
-                foreign += 1;
+            let owners = self.ring.owners(key, self.replicas);
+            match owners.iter().position(|o| *o == self.node_id) {
+                Some(0) => owned += 1,
+                Some(_) => replica += 1,
+                None => foreign += 1,
             }
         }
-        (owned, foreign)
+        (owned, replica, foreign)
     }
 
     /// Appends the fleet gauges to the Prometheus-style `Metrics` dump.
     pub fn render_metrics(&self, out: &mut String) {
         use std::fmt::Write as _;
-        let (owned, foreign) = self.cache_census();
+        let (owned, replica, foreign) = self.cache_census();
         let node = &self.node_id;
         writeln!(out, "rpwf_ring_nodes {}", self.ring.len()).expect("write");
         writeln!(out, "rpwf_ring_vnodes {}", self.ring.vnodes()).expect("write");
+        writeln!(out, "rpwf_ring_replicas {}", self.replicas).expect("write");
         writeln!(out, "rpwf_ring_owned_cache_keys{{node=\"{node}\"}} {owned}").expect("write");
+        writeln!(
+            out,
+            "rpwf_ring_replica_cache_keys{{node=\"{node}\"}} {replica}"
+        )
+        .expect("write");
         writeln!(
             out,
             "rpwf_ring_foreign_cache_keys{{node=\"{node}\"}} {foreign}"
@@ -422,6 +643,12 @@ impl RingRouter {
             self.fallbacks.load(Ordering::Relaxed)
         )
         .expect("write");
+        writeln!(
+            out,
+            "rpwf_ring_failovers_total{{node=\"{node}\"}} {}",
+            self.failovers.load(Ordering::Relaxed)
+        )
+        .expect("write");
         let mut peers: Vec<&Peer> = self.peers.values().collect();
         peers.sort_by_key(|p| p.addr().to_string());
         for peer in peers {
@@ -437,6 +664,28 @@ impl RingRouter {
                 "rpwf_ring_forward_failures_total{{peer=\"{}\"}} {}",
                 peer.addr(),
                 peer.failures()
+            )
+            .expect("write");
+            writeln!(
+                out,
+                "rpwf_ring_forward_timeouts_total{{peer=\"{}\"}} {}",
+                peer.addr(),
+                peer.timeouts()
+            )
+            .expect("write");
+            writeln!(
+                out,
+                "rpwf_ring_breaker_skips_total{{peer=\"{}\"}} {}",
+                peer.addr(),
+                peer.breaker_skips()
+            )
+            .expect("write");
+            // 0 = closed, 1 = half-open, 2 = open.
+            writeln!(
+                out,
+                "rpwf_peer_breaker_state{{peer=\"{}\"}} {}",
+                peer.addr(),
+                peer.breaker_gauge()
             )
             .expect("write");
         }
@@ -478,20 +727,19 @@ impl Router for RingRouter {
             return;
         };
         if request.hop.unwrap_or(false) {
-            // Forwarded by a peer: we are the owner (by its ring view);
+            // Forwarded by a peer: we are an owner (by its ring view);
             // never re-forward.
             self.hops_received.fetch_add(1, Ordering::Relaxed);
             self.handle_local(request, received, cancel, emit);
             return;
         }
-        match self.owner_of(&request.cmd) {
-            Some(owner) if owner != self.node_id => {
-                self.forward(&owner, request, received, cancel, emit);
-            }
-            Some(_) => {
+        let owners = self.owners_of(&request.cmd);
+        match owners.first() {
+            Some(primary) if *primary == self.node_id => {
                 self.owned_served.fetch_add(1, Ordering::Relaxed);
                 self.handle_local(request, received, cancel, emit);
             }
+            Some(_) => self.forward(&owners, request, received, cancel, emit),
             None => self.handle_local(request, received, cancel, emit),
         }
     }

@@ -22,7 +22,8 @@
 //! fires and every in-flight solve of that connection unwinds at its
 //! next budget poll, freeing the worker for live clients.
 
-use crate::router::{RingRouter, Router};
+use crate::fault::{FaultAction, FaultPlan};
+use crate::router::{RingOptions, RingRouter, Router};
 use crate::service::{ServiceConfig, SolverService, WorkerPool};
 use crossbeam::channel;
 use rpwf_core::budget::CancelHandle;
@@ -61,9 +62,9 @@ impl Server {
 
     /// Binds `addr` in **fleet mode**: requests are placed on the
     /// consistent-hash ring over this node (`config.node_id`, which peers
-    /// must know it by) and `peers`, and non-owned requests are forwarded
-    /// transparently. `vnodes` is the virtual-node count per member
-    /// (`None` = default).
+    /// must know it by) and `peers`, non-owned requests are forwarded
+    /// transparently, and (per `options.replicas`) complete fronts are
+    /// replicated to ring successors.
     ///
     /// # Errors
     /// Propagates socket errors from binding.
@@ -74,15 +75,34 @@ impl Server {
         addr: &str,
         config: ServiceConfig,
         peers: &[String],
-        vnodes: Option<usize>,
+        options: RingOptions,
+    ) -> std::io::Result<Server> {
+        Self::bind_ring_faulted(addr, config, peers, options, None)
+    }
+
+    /// [`bind_ring`](Self::bind_ring) with a scripted [`FaultPlan`] —
+    /// the chaos-test entry point. A `None` plan behaves exactly like
+    /// `bind_ring`.
+    ///
+    /// # Errors
+    /// Propagates socket errors from binding.
+    ///
+    /// # Panics
+    /// When `config.node_id` is `None` — a fleet member needs an identity.
+    pub fn bind_ring_faulted(
+        addr: &str,
+        config: ServiceConfig,
+        peers: &[String],
+        options: RingOptions,
+        faults: Option<Arc<FaultPlan>>,
     ) -> std::io::Result<Server> {
         let node_id = config
             .node_id
             .clone()
             .expect("fleet mode requires a node id");
         let service = Arc::new(SolverService::new(config));
-        let router = RingRouter::new(service, node_id, peers, vnodes);
-        Self::bind_with_router(addr, router)
+        let router = RingRouter::with_options(service, node_id, peers, options);
+        Self::bind_with_router_faulted(addr, router, faults)
     }
 
     /// Binds `addr`, dispatching every connection's requests through
@@ -91,6 +111,19 @@ impl Server {
     /// # Errors
     /// Propagates socket errors from binding.
     pub fn bind_with_router(addr: &str, router: Arc<dyn Router>) -> std::io::Result<Server> {
+        Self::bind_with_router_faulted(addr, router, None)
+    }
+
+    /// [`bind_with_router`](Self::bind_with_router) with a scripted
+    /// [`FaultPlan`] injecting transport faults (see [`crate::fault`]).
+    ///
+    /// # Errors
+    /// Propagates socket errors from binding.
+    pub fn bind_with_router_faulted(
+        addr: &str,
+        router: Arc<dyn Router>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -98,6 +131,11 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
         let conn_ids = AtomicU64::new(0);
+        let fault_hooks = faults.map(|plan| FaultHooks {
+            plan,
+            shutdown: Arc::clone(&shutdown),
+            conns: Arc::clone(&conns),
+        });
 
         let accept_pool = Arc::clone(&pool);
         let accept_shutdown = Arc::clone(&shutdown);
@@ -108,6 +146,14 @@ impl Server {
                 while !accept_shutdown.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
+                            // Re-check after the (blocking-ish) accept: a
+                            // shutdown — operator or injected KillNode —
+                            // must not hand out connections to a node
+                            // that is supposed to be dark.
+                            if accept_shutdown.load(Ordering::Relaxed) {
+                                let _ = stream.shutdown(Shutdown::Both);
+                                break;
+                            }
                             let id = conn_ids.fetch_add(1, Ordering::Relaxed);
                             if let Ok(clone) = stream.try_clone() {
                                 accept_conns
@@ -117,10 +163,11 @@ impl Server {
                             }
                             let pool = Arc::clone(&accept_pool);
                             let registry = Arc::clone(&accept_conns);
+                            let hooks = fault_hooks.clone();
                             std::thread::Builder::new()
                                 .name("rpwf-conn".into())
                                 .spawn(move || {
-                                    serve_connection(&stream, &pool);
+                                    serve_connection(&stream, &pool, hooks.as_ref());
                                     // Deregister so the registry (and its
                                     // file descriptors) tracks only live
                                     // connections.
@@ -192,9 +239,47 @@ impl Drop for Server {
     }
 }
 
+/// Per-connection handle to the server's fault-injection state: the
+/// scripted plan plus the levers a [`FaultAction::KillNode`] needs (the
+/// accept loop's shutdown flag and the live-connection registry).
+#[derive(Clone)]
+struct FaultHooks {
+    plan: Arc<FaultPlan>,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+}
+
+impl FaultHooks {
+    /// Executes a node kill: stop accepting, sever every live
+    /// connection. Identical to [`Server::shutdown`] as observed from
+    /// the network.
+    fn kill(&self) {
+        self.plan.mark_killed();
+        self.shutdown.store(true, Ordering::Relaxed);
+        for (_, conn) in self.conns.lock().expect("conn registry").drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Applies a scripted **response** fault (delay or corruption) to one
+/// outgoing line. Runs on whichever thread produces the response, so an
+/// injected delay stalls exactly the faulted request, not the
+/// connection.
+fn apply_response_fault(fault: Option<FaultAction>, response: String) -> String {
+    match fault {
+        Some(FaultAction::DelayResponse(delay)) => {
+            std::thread::sleep(delay);
+            response
+        }
+        Some(FaultAction::CorruptLine) => FaultPlan::corrupt(&response),
+        _ => response,
+    }
+}
+
 /// Reader half of one connection: parse lines, enqueue, forward
 /// responses through a per-connection channel to the writer half.
-fn serve_connection(stream: &TcpStream, pool: &Arc<WorkerPool>) {
+fn serve_connection(stream: &TcpStream, pool: &Arc<WorkerPool>, hooks: Option<&FaultHooks>) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -224,12 +309,27 @@ fn serve_connection(stream: &TcpStream, pool: &Arc<WorkerPool>) {
             continue;
         }
         let received = Instant::now();
+        let fault = hooks.and_then(|h| h.plan.on_request());
+        match fault {
+            Some(FaultAction::DropConnection) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                break;
+            }
+            Some(FaultAction::KillNode) => {
+                if let Some(h) = hooks {
+                    h.kill();
+                }
+                let _ = stream.shutdown(Shutdown::Both);
+                break;
+            }
+            _ => {}
+        }
         if router.handles_inline(&line) {
             // Peer-forwarded (hopped) work runs on this reader thread so
             // it can never deadlock against pool workers blocked on
             // forwarding (see `Router::handles_inline`).
             router.handle_line(&line, received, Some(&cancel), &mut |response| {
-                let _ = tx.send(response);
+                let _ = tx.send(apply_response_fault(fault, response));
             });
             continue;
         }
@@ -238,7 +338,7 @@ fn serve_connection(stream: &TcpStream, pool: &Arc<WorkerPool>) {
             line,
             received,
             Box::new(move |response| {
-                let _ = tx.send(response);
+                let _ = tx.send(apply_response_fault(fault, response));
             }),
             Some(cancel.clone()),
         );

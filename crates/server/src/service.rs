@@ -13,8 +13,8 @@
 use crate::cache::{CachedEntry, CachedFront, CachedResult, SolutionCache};
 use crate::metrics::{CommandMetrics, SolverMetrics};
 use crate::protocol::{
-    CacheStatsOut, Command, ErrorKind, FrontEndResult, FrontPartResult, GenResult, Meta,
-    ParetoPointOut, ParetoResult, Request, Response, RingResult, SimulateResult, SolveResult,
+    CacheFillResult, CacheStatsOut, Command, ErrorKind, FrontEndResult, FrontPartResult, GenResult,
+    Meta, ParetoPointOut, ParetoResult, Request, Response, RingResult, SimulateResult, SolveResult,
     StatsResult, TraceEntryOut, TraceResult,
 };
 use crate::router::{LocalRouter, Router};
@@ -89,6 +89,13 @@ type RingReporter = Box<dyn Fn() -> Option<RingResult> + Send + Sync>;
 /// Fleet hook: appends extra gauges to the `Metrics` text dump.
 type MetricsExtension = Box<dyn Fn(&mut String) + Send + Sync>;
 
+/// Fleet hook: called after a **locally solved, complete** front lands in
+/// the cache, so the fleet layer can replicate it to the key's ring
+/// successor (`CacheFill`). Never called for fronts received *via*
+/// `CacheFill` — that is what keeps replication loop-free even when ring
+/// views disagree during a rollout.
+type FrontStoredHook = Box<dyn Fn(&Pipeline, &Platform, u128, &CachedFront) + Send + Sync>;
+
 /// Service tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -144,6 +151,7 @@ pub struct SolverService {
     started: Instant,
     ring_reporter: OnceLock<RingReporter>,
     metrics_ext: OnceLock<MetricsExtension>,
+    front_stored: OnceLock<FrontStoredHook>,
 }
 
 impl SolverService {
@@ -167,6 +175,7 @@ impl SolverService {
             started: Instant::now(),
             ring_reporter: OnceLock::new(),
             metrics_ext: OnceLock::new(),
+            front_stored: OnceLock::new(),
         }
     }
 
@@ -192,6 +201,13 @@ impl SolverService {
     /// (first caller wins).
     pub fn set_metrics_extension(&self, extension: MetricsExtension) {
         let _ = self.metrics_ext.set(extension);
+    }
+
+    /// Installs the fleet replication hook, called after every locally
+    /// solved complete front is cached (first caller wins; a `RingRouter`
+    /// with replication installs it at construction).
+    pub fn set_front_stored_hook(&self, hook: FrontStoredHook) {
+        let _ = self.front_stored.set(hook);
     }
 
     /// Snapshot of every live cache key.
@@ -462,6 +478,23 @@ impl SolverService {
             } => emit(self.handle_simulate(
                 id, &pipeline, &platform, trials, &budget, use_cache, start, trace,
             )),
+            Command::CacheFill {
+                pipeline,
+                platform,
+                front,
+                complete,
+                solver,
+                exact_capable,
+            } => emit(self.handle_cache_fill(
+                id,
+                &pipeline,
+                &platform,
+                front,
+                complete,
+                solver,
+                exact_capable,
+                start,
+            )),
             cmd => emit(match self.dispatch_simple(&cmd) {
                 Ok(result) => Response::ok(id, result, self.meta_plain(start)),
                 Err((kind, message)) => Response::error(id, kind, message, self.meta_plain(start)),
@@ -580,6 +613,8 @@ impl SolverService {
         if let (Some(k), Some(artifact)) = (key, &report.front) {
             let write_start = trace.map(|scope| scope.trace.elapsed_us());
             self.store_front(
+                &pipeline,
+                platform,
                 k,
                 Arc::clone(&artifact.front),
                 artifact.complete,
@@ -722,7 +757,15 @@ impl SolverService {
                 }
                 if let Some(k) = key {
                     let write_start = trace.map(|scope| scope.trace.elapsed_us());
-                    self.store_front(k, Arc::clone(&front), complete, solver, exact_capable);
+                    self.store_front(
+                        &pipeline,
+                        platform,
+                        k,
+                        Arc::clone(&front),
+                        complete,
+                        solver,
+                        exact_capable,
+                    );
                     cache_write_span(trace, "front", write_start, Some(complete));
                 }
                 (
@@ -916,12 +959,15 @@ impl SolverService {
                             nodes: vec![node.clone()],
                             node,
                             vnodes: 0,
+                            replicas: 1,
                             // Front keys only — the same unit fleet mode
                             // reports, so the field compares across
                             // deployments.
                             owned_cache_keys: self.front_cache_keys().len() as u64,
+                            replica_cache_keys: 0,
                             foreign_cache_keys: 0,
                             hops_received: 0,
+                            failovers: 0,
                             forwards: Vec::new(),
                         }
                     });
@@ -969,7 +1015,10 @@ impl SolverService {
                 }
                 .to_value())
             }
-            Command::Solve { .. } | Command::Pareto { .. } | Command::Simulate { .. } => {
+            Command::Solve { .. }
+            | Command::Pareto { .. }
+            | Command::Simulate { .. }
+            | Command::CacheFill { .. } => {
                 unreachable!("front-shaped commands are dispatched by handle_inner")
             }
         }
@@ -1081,35 +1130,98 @@ impl SolverService {
         }
     }
 
-    /// Inserts a front, never letting an incomplete one replace a complete
-    /// incumbent or a *richer* incomplete one (fewer points would degrade
-    /// every later best-effort read), and never caching an empty cutoff
-    /// (it carries no answers, only the false impression of one).
+    /// Caches a **locally solved** front and, when it landed and is
+    /// complete, fires the fleet replication hook so the key's ring
+    /// successor gets a `CacheFill`. Fronts arriving *via* `CacheFill` go
+    /// through [`store_front_raw`](Self::store_front_raw) instead — fills
+    /// are terminal, never re-replicated.
+    #[allow(clippy::too_many_arguments)]
     fn store_front(
         &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
         key: u128,
         front: Arc<ParetoFront<IntervalMapping>>,
         complete: bool,
         solver: Provenance,
         exact_capable: bool,
     ) {
-        if !complete && front.is_empty() {
-            return;
+        let entry = CachedFront {
+            front,
+            complete,
+            solver,
+            exact_capable,
+        };
+        let stored = self.store_front_raw(key, entry.clone());
+        if stored && complete {
+            if let Some(hook) = self.front_stored.get() {
+                hook(pipeline, platform, key, &entry);
+            }
         }
-        let points = front.len();
-        self.cache.insert_if(
+    }
+
+    /// Inserts a front, never letting an incomplete one replace a complete
+    /// incumbent or a *richer* incomplete one (fewer points would degrade
+    /// every later best-effort read), and never caching an empty cutoff
+    /// (it carries no answers, only the false impression of one). Returns
+    /// whether the entry actually landed.
+    fn store_front_raw(&self, key: u128, entry: CachedFront) -> bool {
+        if !entry.complete && entry.front.is_empty() {
+            return false;
+        }
+        let points = entry.front.len();
+        let complete = entry.complete;
+        self.cache
+            .insert_if(key, CachedEntry::Front(entry), |existing| match existing {
+                CachedEntry::Front(old) => complete || (!old.complete && points >= old.front.len()),
+                CachedEntry::Result(_) => true,
+            })
+    }
+
+    /// Replica fill: a peer that just solved an instance pushes the front
+    /// to this node (the key's ring successor), so the replica answers
+    /// warm if the primary dies. The write goes through the same
+    /// completeness-aware insert policy as a local solve — a fill never
+    /// degrades a richer incumbent — and never re-fires the replication
+    /// hook, which keeps replication loop-free even when two nodes' ring
+    /// views disagree about who owns the key during a membership change.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_cache_fill(
+        &self,
+        id: Option<u64>,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        front: ParetoFront<IntervalMapping>,
+        complete: bool,
+        solver: Provenance,
+        exact_capable: bool,
+        start: Instant,
+    ) -> Response {
+        if !front.invariant_holds() {
+            return Response::error(
+                id,
+                ErrorKind::Invalid,
+                "cache_fill front violates the Pareto dominance invariant",
+                self.meta_plain(start),
+            );
+        }
+        let pipeline = pipeline.clone().with_rebuilt_cache();
+        let key = instance_key(&pipeline, platform);
+        let points = front.len() as u64;
+        let stored = self.store_front_raw(
             key,
-            CachedEntry::Front(CachedFront {
-                front,
+            CachedFront {
+                front: Arc::new(front),
                 complete,
                 solver,
                 exact_capable,
-            }),
-            |existing| match existing {
-                CachedEntry::Front(old) => complete || (!old.complete && points >= old.front.len()),
-                CachedEntry::Result(_) => true,
             },
         );
+        Response::ok(
+            id,
+            CacheFillResult { stored, points }.to_value(),
+            self.meta_plain(start),
+        )
     }
 
     /// A structured timeout for a request whose budget is already gone —
@@ -1160,7 +1272,15 @@ impl SolverService {
             let provenance = report.provenance.unwrap_or(Provenance::Exact);
             let exact_capable = report.completeness.exact_capable;
             if let Answer::Front(front) = report.answer {
-                self.store_front(key, front, complete, provenance, exact_capable);
+                self.store_front(
+                    &pipeline,
+                    platform,
+                    key,
+                    front,
+                    complete,
+                    provenance,
+                    exact_capable,
+                );
             }
         }));
     }

@@ -18,6 +18,9 @@ fn main() {
         node_id,
         peers,
         vnodes,
+        replicas,
+        peer_connect_ms,
+        peer_read_ms,
     } = &command
     {
         let config = rpwf_server::ServiceConfig {
@@ -29,7 +32,14 @@ fn main() {
         let bound = if peers.is_empty() {
             rpwf_server::Server::bind(addr, config)
         } else {
-            rpwf_server::Server::bind_ring(addr, config, peers, *vnodes)
+            let defaults = rpwf_server::RingOptions::default();
+            let options = rpwf_server::RingOptions {
+                vnodes: *vnodes,
+                replicas: replicas.unwrap_or(defaults.replicas),
+                peer_connect: peer_connect_ms.map(std::time::Duration::from_millis),
+                peer_read: peer_read_ms.map(std::time::Duration::from_millis),
+            };
+            rpwf_server::Server::bind_ring(addr, config, peers, options)
         };
         match bound {
             Ok(server) => {

@@ -108,6 +108,15 @@ pub enum Command {
         peers: Vec<String>,
         /// Virtual nodes per ring member (`None` = library default).
         vnodes: Option<usize>,
+        /// Distinct owners per key (`None` = library default, 2). `1`
+        /// disables front replication.
+        replicas: Option<usize>,
+        /// Peer connect timeout in milliseconds (`None` = library
+        /// default, 500 ms).
+        peer_connect_ms: Option<u64>,
+        /// Read timeout for deadline-less forwarded requests in
+        /// milliseconds (`None` = library default, 600 s watchdog).
+        peer_read_ms: Option<u64>,
     },
     /// Dump a running server's slow-query trace ring.
     Trace {
@@ -142,7 +151,8 @@ USAGE:
   rpwf pareto <instance.json>
   rpwf simulate <instance.json> [--trials <count>]
   rpwf serve [--addr <host:port>] [--stdin] [--workers <n>] [--cache-capacity <n>]
-  rpwf serve --addr <host:port> --node-id <host:port> --peers <host:port,...> [--vnodes <n>]
+  rpwf serve --addr <host:port> --node-id <host:port> --peers <host:port,...>
+             [--vnodes <n>] [--replicas <r>] [--peer-connect-ms <ms>] [--peer-read-ms <ms>]
   rpwf batch <requests.jsonl> [--workers <n>] [--no-group]
   rpwf trace [--addr <host:port>] [--limit <n>]
   rpwf help
@@ -155,10 +165,14 @@ span trees of the slowest recent requests that opted into tracing
 distinct (pipeline, platform), answering every threshold query from it;
 --no-group solves each request independently.
 
-Fleet mode: with --peers, each instance is owned by one node of the
-consistent-hash ring over {--node-id} ∪ {--peers}; non-owned requests
-are forwarded to the owner, so the fleet partitions the front cache.
+Fleet mode: with --peers, each instance is owned by --replicas nodes
+(primary + ring successors) of the consistent-hash ring over
+{--node-id} ∪ {--peers}; non-owned requests are forwarded to the
+primary and fail over down the owner list, and complete fronts are
+replicated to the successors so one node death loses no cached work.
 --node-id must be the address the peers dial for this node.
+--peer-connect-ms / --peer-read-ms bound how long a dead or wedged
+peer is waited on (a per-peer circuit breaker skips known-dead peers).
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -301,6 +315,24 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
                 .get("vnodes")
                 .map(|s| s.parse::<usize>().map_err(|e| format!("--vnodes: {e}")))
                 .transpose()?;
+            let replicas = opts
+                .get("replicas")
+                .map(|s| s.parse::<usize>().map_err(|e| format!("--replicas: {e}")))
+                .transpose()?;
+            if replicas == Some(0) {
+                return Err("--replicas must be at least 1".into());
+            }
+            let peer_connect_ms = opts
+                .get("peer-connect-ms")
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|e| format!("--peer-connect-ms: {e}"))
+                })
+                .transpose()?;
+            let peer_read_ms = opts
+                .get("peer-read-ms")
+                .map(|s| s.parse::<u64>().map_err(|e| format!("--peer-read-ms: {e}")))
+                .transpose()?;
             if !peers.is_empty() {
                 if stdin {
                     return Err("fleet mode (--peers) needs a TCP address, not --stdin".into());
@@ -319,6 +351,9 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
                 node_id,
                 peers,
                 vnodes,
+                replicas,
+                peer_connect_ms,
+                peer_read_ms,
             })
         }
         "trace" => {
@@ -756,6 +791,9 @@ mod tests {
                 node_id: None,
                 peers: vec![],
                 vnodes: None,
+                replicas: None,
+                peer_connect_ms: None,
+                peer_read_ms: None,
             }
         );
         assert_eq!(
@@ -767,6 +805,9 @@ mod tests {
                 node_id: None,
                 peers: vec![],
                 vnodes: None,
+                replicas: None,
+                peer_connect_ms: None,
+                peer_read_ms: None,
             }
         );
         assert_eq!(
@@ -778,6 +819,9 @@ mod tests {
                 node_id: None,
                 peers: vec![],
                 vnodes: None,
+                replicas: None,
+                peer_connect_ms: None,
+                peer_read_ms: None,
             }
         );
         assert!(parse_args(&args("serve --stdin --addr 1.2.3.4:1"))
@@ -800,8 +844,37 @@ mod tests {
                 node_id: Some("10.0.0.1:7001".into()),
                 peers: vec!["10.0.0.2:7001".into(), "10.0.0.3:7001".into()],
                 vnodes: Some(32),
+                replicas: None,
+                peer_connect_ms: None,
+                peer_read_ms: None,
             }
         );
+        // Fault-tolerance knobs parse and round-trip.
+        assert_eq!(
+            parse_args(&args(
+                "serve --addr 0.0.0.0:7001 --node-id 10.0.0.1:7001 \
+                 --peers 10.0.0.2:7001 --replicas 3 --peer-connect-ms 250 \
+                 --peer-read-ms 30000"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: Some("0.0.0.0:7001".into()),
+                workers: 0,
+                cache_capacity: 4096,
+                node_id: Some("10.0.0.1:7001".into()),
+                peers: vec!["10.0.0.2:7001".into()],
+                vnodes: None,
+                replicas: Some(3),
+                peer_connect_ms: Some(250),
+                peer_read_ms: Some(30_000),
+            }
+        );
+        // Zero replicas would leave keys unowned.
+        assert!(parse_args(&args(
+            "serve --addr a:1 --node-id a:1 --peers b:2 --replicas 0"
+        ))
+        .unwrap_err()
+        .contains("--replicas"));
         // Peers without an identity is a configuration error…
         assert!(parse_args(&args("serve --peers 10.0.0.2:7001"))
             .unwrap_err()

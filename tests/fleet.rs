@@ -1,18 +1,25 @@
 //! Integration tests for topology-aware fleet serving: a ring of
-//! `rpwf-server` nodes partitioning the instance keyspace.
+//! `rpwf-server` nodes partitioning (and, with `replicas ≥ 2`,
+//! replicating) the instance keyspace.
 //!
 //! * byte-identical responses whichever node a request enters through,
-//! * exactly one cached front per distinct instance, held by its owner,
+//! * strict partitioning with `replicas: 1`, primary+successor copies
+//!   with the default replication factor,
 //! * transparent forwarding with `Ring`-command observability,
-//! * graceful degradation to local solving when a peer dies,
+//! * **fault tolerance**: a node killed mid-load loses no answers (the
+//!   failover path serves warm replicas), the per-peer circuit breaker
+//!   opens on a dead peer and re-closes after a restart, and a scripted
+//!   [`FaultPlan`] (corrupt lines, dropped connections, delays, node
+//!   kills) never leaks a wrong byte to the client,
 //! * a true multi-process fleet driven through the `rpwf` binary.
 
 use rpwf_core::ring::HashRing;
 use rpwf_server::protocol::{Command, Request, Response};
-use rpwf_server::{Server, ServiceConfig};
+use rpwf_server::{FaultPlan, RingOptions, Server, ServiceConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const VNODES: usize = 16;
 
@@ -39,9 +46,27 @@ fn fleet_config(node_id: &str, cache_capacity: usize) -> ServiceConfig {
     }
 }
 
+fn ring_options(replicas: usize) -> RingOptions {
+    RingOptions {
+        vnodes: Some(VNODES),
+        replicas,
+        ..RingOptions::default()
+    }
+}
+
 /// Starts an `n`-node in-process fleet (separate services and caches per
-/// node — process-equivalent up to the address space).
+/// node — process-equivalent up to the address space) with the default
+/// replication factor.
 fn start_fleet(n: usize, cache_capacity: usize) -> (Vec<String>, Vec<Server>) {
+    start_fleet_with(n, cache_capacity, RingOptions::default().replicas)
+}
+
+/// [`start_fleet`] with an explicit replication factor.
+fn start_fleet_with(
+    n: usize,
+    cache_capacity: usize,
+    replicas: usize,
+) -> (Vec<String>, Vec<Server>) {
     let addrs = reserve_addrs(n);
     let servers = addrs
         .iter()
@@ -51,12 +76,35 @@ fn start_fleet(n: usize, cache_capacity: usize) -> (Vec<String>, Vec<Server>) {
                 addr,
                 fleet_config(addr, cache_capacity),
                 &peers,
-                Some(VNODES),
+                ring_options(replicas),
             )
             .expect("bind fleet node")
         })
         .collect();
     (addrs, servers)
+}
+
+/// Polls until every key in `keys` is cached by exactly `copies` fleet
+/// nodes (replica fills are asynchronous pushes). Panics after ~10 s.
+fn await_replication(servers: &[&Server], keys: &[u128], copies: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let cached: Vec<Vec<u128>> = servers
+            .iter()
+            .map(|s| s.service().front_cache_keys())
+            .collect();
+        let done = keys
+            .iter()
+            .all(|key| cached.iter().filter(|node| node.contains(key)).count() == copies);
+        if done {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica fills did not converge to {copies} copies per key"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
 }
 
 fn request_line(id: u64, cmd: Command) -> String {
@@ -167,7 +215,10 @@ fn fleet_answers_byte_identically_from_any_entry_node() {
 
 #[test]
 fn owning_node_caches_exactly_one_front_per_distinct_instance() {
-    let (addrs, servers) = start_fleet(3, 256);
+    // replicas: 1 — this test pins the *strict partitioning* contract;
+    // the replicated contract is `replicated_fleet_holds_every_front_on_
+    // primary_and_successor`.
+    let (addrs, servers) = start_fleet_with(3, 256, 1);
     let ring = HashRing::new(addrs.clone(), VNODES);
 
     let distinct = 6u64;
@@ -206,8 +257,65 @@ fn owning_node_caches_exactly_one_front_per_distinct_instance() {
 }
 
 #[test]
+fn replicated_fleet_holds_every_front_on_primary_and_successor() {
+    let (addrs, servers) = start_fleet(3, 256); // default replicas = 2
+    let ring = HashRing::new(addrs.clone(), VNODES);
+
+    let distinct = 6u64;
+    let keys: Vec<u128> = (0..distinct)
+        .map(|seed| {
+            let cmd = solve_cmd(seed, 1.5);
+            let entry = &addrs[(seed as usize) % 3];
+            let got = roundtrip(entry, &request_line(seed, cmd.clone()));
+            assert_eq!(got.last().expect("response").status, "ok");
+            cmd.route_key().expect("solve routes")
+        })
+        .collect();
+
+    // The primary solves synchronously; the successor is filled by an
+    // asynchronous CacheFill push — wait for both copies.
+    let server_refs: Vec<&Server> = servers.iter().collect();
+    await_replication(&server_refs, &keys, 2);
+
+    for (addr, server) in addrs.iter().zip(&servers) {
+        for key in server.service().front_cache_keys() {
+            let owners = ring.owners(key, 2);
+            assert!(
+                owners.contains(&addr.as_str()),
+                "node {addr} caches a key owned by {owners:?}"
+            );
+        }
+    }
+
+    // The census splits the copies by role: each key counts once as
+    // owned (on its primary) and once as a replica (on the successor).
+    let mut owned_total = 0u64;
+    let mut replica_total = 0u64;
+    for entry in &addrs {
+        let ring_resp = roundtrip(entry, &request_line(90, Command::Ring));
+        let result = ring_resp[0].result.as_ref().expect("ring payload");
+        assert_eq!(
+            result.get("replicas").and_then(serde::Value::as_u64),
+            Some(2)
+        );
+        owned_total += result
+            .get("owned_cache_keys")
+            .and_then(serde::Value::as_u64)
+            .expect("owned census");
+        replica_total += result
+            .get("replica_cache_keys")
+            .and_then(serde::Value::as_u64)
+            .expect("replica census");
+    }
+    assert_eq!(owned_total, distinct, "one primary copy per instance");
+    assert_eq!(replica_total, distinct, "one successor copy per instance");
+}
+
+#[test]
 fn ring_command_reports_topology_and_forwarding() {
-    let (addrs, _servers) = start_fleet(3, 64);
+    // replicas: 1 — the forwards+owned arithmetic below assumes client
+    // requests are the only peer traffic (no CacheFill pushes).
+    let (addrs, _servers) = start_fleet_with(3, 64, 1);
     // Generate traffic from one entry so it must forward ~2/3 of it.
     let entry = &addrs[0];
     for seed in 0..6u64 {
@@ -248,6 +356,36 @@ fn ring_command_reports_topology_and_forwarding() {
         .get("owned_cache_keys")
         .and_then(serde::Value::as_u64)
         .expect("owned census");
+    // A healthy unreplicated fleet: factor 1, nothing failed over, no
+    // replica copies, every breaker closed.
+    assert_eq!(
+        result.get("replicas").and_then(serde::Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        result
+            .get("replica_cache_keys")
+            .and_then(serde::Value::as_u64),
+        Some(0)
+    );
+    assert_eq!(
+        result.get("failovers").and_then(serde::Value::as_u64),
+        Some(0)
+    );
+    for peer in result
+        .get("forwards")
+        .and_then(serde::Value::as_seq)
+        .expect("forward counters")
+    {
+        assert_eq!(
+            peer.get("breaker_state").and_then(serde::Value::as_str),
+            Some("closed")
+        );
+        assert_eq!(
+            peer.get("breaker_skips").and_then(serde::Value::as_u64),
+            Some(0)
+        );
+    }
     // 6 distinct instances spread over 3 nodes: this entry owns some and
     // forwarded the rest.
     assert_eq!(
@@ -307,6 +445,11 @@ fn ring_command_reports_topology_and_forwarding() {
         "{text}"
     );
     assert!(text.contains("rpwf_ring_forwards_total{peer="), "{text}");
+    assert!(
+        text.contains(&format!("rpwf_ring_failovers_total{{node=\"{entry}\"}} 0")),
+        "{text}"
+    );
+    assert!(text.contains("rpwf_peer_breaker_state{peer="), "{text}");
     assert!(
         text.contains("rpwf_cache_shard_hits_total{shard=\"0\"}"),
         "{text}"
@@ -464,14 +607,13 @@ fn dead_peer_degrades_to_local_solving() {
     let dead = servers.remove(2);
     drop(dead);
 
-    // The entry node now solves locally — same bytes, its own identity.
+    // A survivor answers — the successor replica, or the entry node
+    // solving locally — with the same bytes. Only the dead node is out.
     let after = roundtrip(&addrs[0], &line);
     assert_eq!(after[0].status, "ok", "{:?}", after[0].error);
-    assert_eq!(
-        after[0].meta.node.as_deref(),
-        Some(addrs[0].as_str()),
-        "fallback must be answered by the entry node"
-    );
+    let responder = after[0].meta.node.clone().expect("node identity");
+    assert_ne!(responder, victim, "the dead node cannot have answered");
+    assert!(addrs.contains(&responder), "a fleet member answered");
     assert_eq!(
         result_payload(&after[0]),
         reference,
@@ -495,6 +637,304 @@ fn dead_peer_degrades_to_local_solving() {
         })
         .sum();
     assert!(failures >= 1, "the dead peer must be counted");
+}
+
+/// The entry node's circuit-breaker state toward `peer`, read from its
+/// `Ring` introspection payload.
+fn breaker_state(entry: &str, peer: &str) -> Option<String> {
+    let resp = roundtrip(entry, &request_line(9999, Command::Ring));
+    resp[0]
+        .result
+        .as_ref()?
+        .get("forwards")?
+        .as_seq()?
+        .iter()
+        .find(|f| f.get("peer").and_then(serde::Value::as_str) == Some(peer))
+        .and_then(|f| f.get("breaker_state").and_then(serde::Value::as_str))
+        .map(str::to_string)
+}
+
+#[test]
+fn chaos_kill_one_node_mid_load_keeps_every_answer_identical() {
+    let single = Server::bind("127.0.0.1:0", fleet_config("solo", 256)).expect("bind single");
+    let single_addr = single.local_addr().to_string();
+    let (addrs, mut servers) = start_fleet(3, 256);
+    let ring = HashRing::new(addrs.clone(), VNODES);
+
+    // Warm the whole keyspace through rotating entry nodes, recording
+    // reference bytes from a single-node control.
+    let seeds: Vec<u64> = (0..6).collect();
+    let mut references = Vec::new();
+    let mut keys = Vec::new();
+    for &seed in &seeds {
+        let cmd = solve_cmd(seed, 1.5);
+        keys.push(cmd.route_key().expect("solve routes"));
+        let line = request_line(seed, cmd);
+        references.push(result_payload(&roundtrip(&single_addr, &line)[0]));
+        let got = roundtrip(&addrs[(seed as usize) % 3], &line);
+        assert_eq!(got[0].status, "ok", "{:?}", got[0].error);
+    }
+    // Both copies of every front must be in place before the kill.
+    let server_refs: Vec<&Server> = servers.iter().collect();
+    await_replication(&server_refs, &keys, 2);
+
+    // Kill one node mid-load.
+    let victim = addrs[2].clone();
+    let victim_owned = keys
+        .iter()
+        .filter(|&&k| ring.owner(k) == Some(victim.as_str()))
+        .count();
+    drop(servers.remove(2));
+
+    // Every answer from either survivor: still ok, still the reference
+    // bytes, and — because both copies were warm — never re-solved.
+    for (&seed, reference) in seeds.iter().zip(&references) {
+        let line = request_line(200 + seed, solve_cmd(seed, 1.5));
+        for entry in &addrs[..2] {
+            let got = roundtrip(entry, &line);
+            assert_eq!(got[0].status, "ok", "{:?}", got[0].error);
+            assert_eq!(
+                result_payload(&got[0]),
+                *reference,
+                "seed {seed} via {entry}: answers must survive the kill byte-identically"
+            );
+            assert!(
+                got[0].meta.cache_hit,
+                "seed {seed} via {entry}: both copies were warm, nobody may re-solve"
+            );
+            assert_ne!(got[0].meta.node.as_deref(), Some(victim.as_str()));
+        }
+    }
+
+    // Keys whose primary died were served through the failover path.
+    if victim_owned > 0 {
+        let failovers: u64 = addrs[..2]
+            .iter()
+            .map(|entry| {
+                roundtrip(entry, &request_line(300, Command::Ring))[0]
+                    .result
+                    .as_ref()
+                    .expect("ring payload")
+                    .get("failovers")
+                    .and_then(serde::Value::as_u64)
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert!(
+            failovers >= 1,
+            "{victim_owned} keys lost their primary, so someone must have failed over"
+        );
+    }
+}
+
+#[test]
+fn breaker_opens_on_a_dead_peer_and_recloses_after_restart() {
+    let (addrs, mut servers) = start_fleet(3, 64);
+    let ring = HashRing::new(addrs.clone(), VNODES);
+    let entry = addrs[0].clone();
+    let victim = addrs[2].clone();
+    let seed = (0..100u64)
+        .find(|&s| {
+            let key = solve_cmd(s, 1.5).route_key().expect("solve routes");
+            ring.owner(key) == Some(victim.as_str())
+        })
+        .expect("some instance lands on the victim node");
+
+    drop(servers.remove(2));
+
+    // Hammer the dead primary until the entry's breaker trips (threshold:
+    // 3 consecutive failures) — every answer still succeeds via failover.
+    for i in 0..4u64 {
+        let got = roundtrip(&entry, &request_line(400 + i, solve_cmd(seed, 1.5)));
+        assert_eq!(got[0].status, "ok", "{:?}", got[0].error);
+    }
+    assert_eq!(
+        breaker_state(&entry, &victim).as_deref(),
+        Some("open"),
+        "three consecutive failures must open the breaker"
+    );
+
+    // Revive the node on the same address (the port can linger briefly
+    // after the old listener closes).
+    let peers: Vec<String> = addrs.iter().filter(|a| **a != victim).cloned().collect();
+    let bind_deadline = Instant::now() + Duration::from_secs(10);
+    let _revived = loop {
+        match Server::bind_ring(
+            &victim,
+            fleet_config(&victim, 64),
+            &peers,
+            ring_options(RingOptions::default().replicas),
+        ) {
+            Ok(server) => break server,
+            Err(err) => {
+                assert!(
+                    Instant::now() < bind_deadline,
+                    "could not rebind {victim}: {err}"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+
+    // The breaker half-opens once its backoff expires, the probe
+    // succeeds, and the revived owner answers again.
+    let probe_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let got = roundtrip(&entry, &request_line(500, solve_cmd(seed, 1.5)));
+        assert_eq!(got[0].status, "ok", "{:?}", got[0].error);
+        if got[0].meta.node.as_deref() == Some(victim.as_str()) {
+            break;
+        }
+        assert!(
+            Instant::now() < probe_deadline,
+            "breaker never re-admitted the revived peer"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(
+        breaker_state(&entry, &victim).as_deref(),
+        Some("closed"),
+        "a successful probe must re-close the breaker"
+    );
+}
+
+#[test]
+fn scripted_faults_never_leak_a_wrong_byte() {
+    let single = Server::bind("127.0.0.1:0", fleet_config("solo", 64)).expect("bind single");
+    let single_addr = single.local_addr().to_string();
+
+    let addrs = reserve_addrs(2);
+    let (a_addr, b_addr) = (addrs[0].clone(), addrs[1].clone());
+    // replicas: 1 — every B-owned request from A must cross the wire, so
+    // B's global request counter advances exactly once per forwarded
+    // line and the scripted indices stay aligned with the sends below.
+    let _a = Server::bind_ring(
+        &a_addr,
+        fleet_config(&a_addr, 64),
+        std::slice::from_ref(&b_addr),
+        ring_options(1),
+    )
+    .expect("bind node a");
+    let plan = Arc::new(
+        FaultPlan::new(0xBAD5EED)
+            .corrupt_line_at(0)
+            .drop_connection_at(1)
+            .delay_response_at(2, Duration::from_millis(50))
+            .kill_node_at(3),
+    );
+    let _b = Server::bind_ring_faulted(
+        &b_addr,
+        fleet_config(&b_addr, 64),
+        std::slice::from_ref(&a_addr),
+        ring_options(1),
+        Some(Arc::clone(&plan)),
+    )
+    .expect("bind node b");
+
+    let ring = HashRing::new(addrs.clone(), VNODES);
+    let seeds: Vec<u64> = (0..200u64)
+        .filter(|&s| {
+            let key = solve_cmd(s, 1.5).route_key().expect("solve routes");
+            ring.owner(key) == Some(b_addr.as_str())
+        })
+        .take(5)
+        .collect();
+    assert_eq!(seeds.len(), 5, "need five B-owned instances");
+
+    // B's schedule, by forwarded request index: 0 answers garbage,
+    // 1 severs the connection, 2 answers late, 3 kills the node,
+    // 4 arrives at a corpse.
+    for (i, &seed) in seeds.iter().enumerate() {
+        let line = request_line(600 + i as u64, solve_cmd(seed, 1.5));
+        let reference = result_payload(&roundtrip(&single_addr, &line)[0]);
+        let got = roundtrip(&a_addr, &line);
+        assert_eq!(got[0].status, "ok", "request {i}: {:?}", got[0].error);
+        assert_eq!(
+            result_payload(&got[0]),
+            reference,
+            "request {i}: a scripted fault leaked wrong bytes to the client"
+        );
+        let responder = got[0].meta.node.clone().expect("node identity");
+        if i == 2 {
+            assert_eq!(responder, b_addr, "the delayed response still comes from B");
+        } else {
+            assert_eq!(
+                responder, a_addr,
+                "request {i} must degrade to a local solve"
+            );
+        }
+    }
+    assert!(plan.killed(), "the scripted kill must have fired");
+
+    // A's view of the carnage: one clean forward (the delayed answer),
+    // a counted failure for each of corrupt/drop/kill/dead, and no
+    // timeouts (every scripted fault here fails fast, not slow).
+    let ring_resp = roundtrip(&a_addr, &request_line(700, Command::Ring));
+    let forwards = ring_resp[0]
+        .result
+        .as_ref()
+        .expect("ring payload")
+        .get("forwards")
+        .and_then(serde::Value::as_seq)
+        .expect("forward counters")
+        .to_vec();
+    let peer = &forwards[0];
+    assert_eq!(peer.get("forwards").and_then(serde::Value::as_u64), Some(1));
+    assert_eq!(peer.get("timeouts").and_then(serde::Value::as_u64), Some(0));
+    assert!(
+        peer.get("failures")
+            .and_then(serde::Value::as_u64)
+            .unwrap_or(0)
+            >= 3,
+        "corrupt, drop, and dead-node forwards must all be counted: {peer:?}"
+    );
+    // The delayed success at request 2 reset the failure streak, so the
+    // threshold of 3 consecutive failures was never reached.
+    assert_eq!(
+        peer.get("breaker_state").and_then(serde::Value::as_str),
+        Some("closed")
+    );
+}
+
+#[test]
+fn concurrent_clients_survive_a_dead_primary_with_identical_answers() {
+    let single = Server::bind("127.0.0.1:0", fleet_config("solo", 64)).expect("bind single");
+    let single_addr = single.local_addr().to_string();
+    let (addrs, mut servers) = start_fleet(3, 64);
+    let ring = HashRing::new(addrs.clone(), VNODES);
+
+    let victim = addrs[2].clone();
+    let seed = (0..100u64)
+        .find(|&s| {
+            let key = solve_cmd(s, 1.5).route_key().expect("solve routes");
+            ring.owner(key) == Some(victim.as_str())
+        })
+        .expect("some instance lands on the victim node");
+    let line = request_line(9, solve_cmd(seed, 1.5));
+    let reference = result_payload(&roundtrip(&single_addr, &line)[0]);
+
+    drop(servers.remove(2));
+
+    // Eight clients hammer the dead primary's key through both survivors
+    // at once; every one must get the reference bytes back.
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let entry = addrs[i % 2].clone();
+            let line = line.clone();
+            std::thread::spawn(move || {
+                let got = roundtrip(&entry, &line);
+                assert_eq!(got[0].status, "ok", "{:?}", got[0].error);
+                result_payload(&got[0])
+            })
+        })
+        .collect();
+    for handle in handles {
+        assert_eq!(
+            handle.join().expect("client thread"),
+            reference,
+            "concurrent degraded answers must stay byte-identical"
+        );
+    }
 }
 
 #[test]
