@@ -51,7 +51,7 @@
 #![deny(missing_docs)]
 
 use crate::exact::{
-    pareto_front_comm_homog_with_budget, solve_comm_homog_with_budget, BranchBound,
+    pareto_front_comm_homog_with_budget, solve_comm_homog_with_budget, BranchBound, SearchStats,
 };
 use crate::front::{
     threshold_read, BranchBoundSweep, FrontSource, IntervalDpFront, PortfolioFront,
@@ -263,6 +263,11 @@ pub struct Capabilities {
     /// Pareto front. `false` for partial-front producers (the interval-DP
     /// latency anchor) and every heuristic sweep.
     pub front_exact: bool,
+    /// Worker threads the backend runs its search on (`1` = sequential).
+    /// Parallel backends report their *resolved* count, so the serving
+    /// layer can budget `solver threads × pool workers` against the
+    /// machine's cores.
+    pub threads: usize,
 }
 
 impl Capabilities {
@@ -377,6 +382,34 @@ impl Completeness {
     }
 }
 
+/// Aggregate telemetry from one cooperative parallel search: how many
+/// workers ran, how the frontier work units were distributed, and how
+/// often the shared incumbent improved. `None` on a [`SolverStat`] means
+/// the backend is not a parallel search (or did not report).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelSummary {
+    /// Worker threads the search ran.
+    pub threads: usize,
+    /// Frontier work units executed across all workers.
+    pub units_executed: u64,
+    /// Units a worker claimed outside its round-robin home share
+    /// (work-stealing activity).
+    pub units_stolen: u64,
+    /// Successful publications of a strictly better shared incumbent.
+    pub improvements: u64,
+}
+
+impl ParallelSummary {
+    fn from_search(stats: &SearchStats) -> Self {
+        ParallelSummary {
+            threads: stats.threads,
+            units_executed: stats.units_executed(),
+            units_stolen: stats.units_stolen(),
+            improvements: stats.improvements(),
+        }
+    }
+}
+
 /// One backend's contribution to a plan, for observability and the E18
 /// overhead experiment.
 #[derive(Clone, Copy, Debug)]
@@ -390,6 +423,8 @@ pub struct SolverStat {
     pub complete: bool,
     /// Whether it produced a feasible point / non-empty front.
     pub produced: bool,
+    /// Parallel-search telemetry, when the backend ran one.
+    pub parallel: Option<ParallelSummary>,
 }
 
 /// The engine's reply to a [`SolveRequest`].
@@ -408,6 +443,11 @@ pub struct SolveReport {
     pub front: Option<FrontArtifact>,
     /// Per-backend contributions, in execution order.
     pub stats: Vec<SolverStat>,
+    /// Per-worker search telemetry from every parallel backend the plan
+    /// ran, keyed by solver name. [`Engine::solve_traced`] renders these
+    /// as `solver.bnb.worker` child spans; the serving layer folds them
+    /// into its metrics.
+    pub parallel: Vec<(&'static str, SearchStats)>,
 }
 
 /// A Pareto front built along the way to a point answer, with the
@@ -488,6 +528,7 @@ impl SolveReport {
 ///             seedable: false,
 ///             race_member: false,
 ///             front_exact: false,
+///             threads: 1,
 ///         }
 ///     }
 ///     fn solve_point(
@@ -554,6 +595,24 @@ pub trait Solver: Send + Sync {
         self.solve_point(pipeline, platform, objective, budget)
     }
 
+    /// [`solve_point_seeded`](Self::solve_point_seeded) that additionally
+    /// reports per-worker [`SearchStats`] when the backend runs a
+    /// cooperative parallel search. The default delegates and reports
+    /// none.
+    fn solve_point_seeded_stats(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+        incumbent: Option<BiSolution>,
+    ) -> (Budgeted<Option<BiSolution>>, Option<SearchStats>) {
+        (
+            self.solve_point_seeded(pipeline, platform, objective, budget, incumbent),
+            None,
+        )
+    }
+
     /// Produces the best Pareto front achievable within the budget. Only
     /// called when [`Capabilities::shapes`]`.fronts` holds.
     ///
@@ -568,6 +627,18 @@ pub trait Solver: Send + Sync {
     ) -> Budgeted<ParetoFront<IntervalMapping>> {
         let _ = (pipeline, platform, budget);
         unreachable!("{} does not produce fronts", self.name())
+    }
+
+    /// [`solve_front`](Self::solve_front) that additionally reports
+    /// per-worker [`SearchStats`] when the backend runs a cooperative
+    /// parallel search. The default delegates and reports none.
+    fn solve_front_stats(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> (Budgeted<ParetoFront<IntervalMapping>>, Option<SearchStats>) {
+        (self.solve_front(pipeline, platform, budget), None)
     }
 }
 
@@ -595,12 +666,14 @@ pub trait Solver: Send + Sync {
 pub struct Engine {
     solvers: Vec<Arc<dyn Solver>>,
     seed: u64,
+    threads: usize,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("seed", &self.seed)
+            .field("threads", &self.threads)
             .field(
                 "solvers",
                 &self.solvers.iter().map(|s| s.name()).collect::<Vec<_>>(),
@@ -616,6 +689,7 @@ impl Engine {
         Engine {
             solvers: Vec::new(),
             seed,
+            threads: 1,
         }
     }
 
@@ -626,11 +700,27 @@ impl Engine {
     /// randomized member (a fixed seed makes answers deterministic).
     #[must_use]
     pub fn with_default_backends(seed: u64) -> Self {
+        Engine::with_parallel_backends(seed, 1)
+    }
+
+    /// [`Engine::with_default_backends`] with the exact searches
+    /// (branch-and-bound and its ε-constraint sweep) running `threads`
+    /// cooperative workers (`0` = one per available core, `1` =
+    /// sequential, byte-identical to the default engine). Parallel and
+    /// sequential engines return byte-identical answers; more threads
+    /// only move the instance-size frontier (`m ≤ 14` instead of `12`
+    /// for the branch-and-bound backends) and wall-clock time.
+    #[must_use]
+    pub fn with_parallel_backends(seed: u64, threads: usize) -> Self {
         let mut engine = Engine::new(seed);
+        engine.threads = crate::par::resolve_threads(threads);
         engine.register(Arc::new(BitmaskDpSolver));
-        engine.register(Arc::new(BranchBoundSolver));
+        engine.register(Arc::new(BranchBoundSolver { threads }));
         engine.register(Arc::new(ExhaustiveSolver));
-        engine.register(Arc::new(BnbSweepSolver));
+        engine.register(Arc::new(BnbSweepSolver {
+            threads,
+            seed: BranchBoundSweep::default().seed,
+        }));
         engine.register(Arc::new(IntervalDpSolver));
         engine.register(Arc::new(OneToOneSolver));
         engine.register(Arc::new(SingleIntervalSolver));
@@ -665,6 +755,15 @@ impl Engine {
     #[must_use]
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The resolved worker-thread count the parallel exact backends run
+    /// with (`1` for [`Engine::with_default_backends`] and hand-built
+    /// engines). The serving layer exports this as the
+    /// `rpwf_engine_solver_threads` gauge.
+    #[must_use]
+    pub fn solver_threads(&self) -> usize {
+        self.threads
     }
 
     /// The exact front backend the engine would use for the instance: the
@@ -743,7 +842,7 @@ impl Engine {
         self.describe_plan(req, scope, plan.index());
         let report = self.dispatch(req);
         for stat in &report.stats {
-            trace.add(
+            let solver_span = trace.add(
                 &format!("solver.{}", stat.solver),
                 Some(plan.index()),
                 plan_start_us,
@@ -753,6 +852,30 @@ impl Engine {
                     ("produced".to_owned(), stat.produced.to_string()),
                 ],
             );
+            // One child span per cooperative search worker — only for
+            // genuinely parallel runs, so sequential plans trace exactly
+            // as they always have (one span per solver stat).
+            let search = report
+                .parallel
+                .iter()
+                .find(|(name, s)| *name == stat.solver && s.threads > 1);
+            if let Some((_, search)) = search {
+                for w in &search.workers {
+                    trace.add(
+                        "solver.bnb.worker",
+                        Some(solver_span),
+                        plan_start_us,
+                        w.elapsed_us,
+                        vec![
+                            ("worker".to_owned(), w.worker.to_string()),
+                            ("nodes".to_owned(), w.nodes.to_string()),
+                            ("units_executed".to_owned(), w.units_executed.to_string()),
+                            ("units_stolen".to_owned(), w.units_stolen.to_string()),
+                            ("improvements".to_owned(), w.improvements.to_string()),
+                        ],
+                    );
+                }
+            }
         }
         trace.attr(
             plan.index(),
@@ -868,15 +991,16 @@ impl Engine {
     /// heuristic portfolio sweep beyond.
     fn plan_front(&self, req: &SolveRequest<'_>) -> SolveReport {
         let mut stats = Vec::new();
+        let mut parallel = Vec::new();
         let (outcome, provenance, exact_capable) =
             match self.front_backend(req.pipeline, req.platform) {
                 Some(backend) => {
-                    let outcome = timed_front(backend, req, &mut stats);
+                    let outcome = timed_front(backend, req, &mut stats, &mut parallel);
                     (outcome, Provenance::Exact, true)
                 }
                 None => match self.front_fallback(req.pipeline, req.platform) {
                     Some(backend) => {
-                        let outcome = timed_front(backend, req, &mut stats);
+                        let outcome = timed_front(backend, req, &mut stats, &mut parallel);
                         (outcome, Provenance::Heuristic, false)
                     }
                     None => (
@@ -912,6 +1036,7 @@ impl Engine {
             answer: Answer::Front(front),
             front: None,
             stats,
+            parallel,
         }
     }
 
@@ -927,13 +1052,14 @@ impl Engine {
         backend: &dyn Solver,
     ) -> SolveReport {
         let mut stats = Vec::new();
+        let mut parallel = Vec::new();
         let (front_outcome, heuristic, mut heuristic_stats) = crossbeam::thread::scope(|scope| {
             let heuristic = scope.spawn(|_| {
                 let mut hstats = Vec::new();
                 let outcome = self.race_heuristics(req, objective, &mut hstats);
                 (outcome, hstats)
             });
-            let front = timed_front(backend, req, &mut stats);
+            let front = timed_front(backend, req, &mut stats, &mut parallel);
             let (heuristic, hstats) = heuristic.join().expect("heuristics do not panic");
             (front, heuristic, hstats)
         })
@@ -965,6 +1091,7 @@ impl Engine {
                 exact_capable: true,
             }),
             stats,
+            parallel,
         }
     }
 
@@ -975,19 +1102,23 @@ impl Engine {
     /// answer, so the exact search polls the budget from its first node.
     fn plan_point_race(&self, req: &SolveRequest<'_>, objective: Objective) -> SolveReport {
         let mut stats = Vec::new();
+        let mut parallel = Vec::new();
         let backend = self.point_backend(req.pipeline, req.platform, objective);
         let (exact_outcome, heuristic) = match backend {
             Some(s) if s.capabilities().seedable => {
                 let heuristic = self.race_heuristics(req, objective, &mut stats);
                 let start = Instant::now();
-                let outcome = s.solve_point_seeded(
+                let (outcome, search) = s.solve_point_seeded_stats(
                     req.pipeline,
                     req.platform,
                     objective,
                     req.budget,
                     heuristic.inner().clone(),
                 );
-                push_point_stat(&mut stats, s.name(), start, &outcome);
+                push_point_stat(&mut stats, s.name(), start, &outcome, search.as_ref());
+                if let Some(search) = search {
+                    parallel.push((s.name(), search));
+                }
                 (Some(outcome), heuristic)
             }
             Some(s) => {
@@ -1000,7 +1131,7 @@ impl Engine {
                     });
                     let heuristic = self.race_heuristics(req, objective, &mut stats);
                     let (outcome, start) = exact.join().expect("exact solver does not panic");
-                    push_point_stat(&mut stats, s.name(), start, &outcome);
+                    push_point_stat(&mut stats, s.name(), start, &outcome, None);
                     (outcome, heuristic)
                 })
                 .expect("race threads do not panic");
@@ -1055,6 +1186,7 @@ impl Engine {
             provenance,
             front: None,
             stats,
+            parallel,
         }
     }
 
@@ -1091,6 +1223,7 @@ impl Engine {
                 elapsed_us: elapsed_us(start),
                 complete: member_complete,
                 produced: sol.is_some(),
+                parallel: None,
             });
             if let Some(sol) = sol {
                 best = match best {
@@ -1130,20 +1263,26 @@ fn pick_better(
     }
 }
 
-/// Runs a front backend and records its stat.
+/// Runs a front backend and records its stat (plus per-worker search
+/// telemetry when the backend runs a parallel search).
 fn timed_front(
     backend: &dyn Solver,
     req: &SolveRequest<'_>,
     stats: &mut Vec<SolverStat>,
+    parallel: &mut Vec<(&'static str, SearchStats)>,
 ) -> Budgeted<ParetoFront<IntervalMapping>> {
     let start = Instant::now();
-    let outcome = backend.solve_front(req.pipeline, req.platform, req.budget);
+    let (outcome, search) = backend.solve_front_stats(req.pipeline, req.platform, req.budget);
     stats.push(SolverStat {
         solver: backend.name(),
         elapsed_us: elapsed_us(start),
         complete: outcome.is_complete(),
         produced: !outcome.inner().is_empty(),
+        parallel: search.as_ref().map(ParallelSummary::from_search),
     });
+    if let Some(search) = search {
+        parallel.push((backend.name(), search));
+    }
     outcome
 }
 
@@ -1153,12 +1292,14 @@ fn push_point_stat(
     solver: &'static str,
     start: Instant,
     outcome: &Budgeted<Option<BiSolution>>,
+    search: Option<&SearchStats>,
 ) {
     stats.push(SolverStat {
         solver,
         elapsed_us: elapsed_us(start),
         complete: outcome.is_complete(),
         produced: outcome.inner().is_some(),
+        parallel: search.map(ParallelSummary::from_search),
     });
 }
 
@@ -1195,6 +1336,7 @@ impl Solver for BitmaskDpSolver {
             seedable: false,
             race_member: false,
             front_exact: true,
+            threads: 1,
         }
     }
 
@@ -1220,10 +1362,22 @@ impl Solver for BitmaskDpSolver {
     }
 }
 
-/// The branch-and-bound threshold solver (any class, `m ≤ 12`): exact
-/// point answers with heuristic-seeded pruning.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct BranchBoundSolver;
+/// The branch-and-bound threshold solver (any class, `m ≤ 12`
+/// sequential, `m ≤ 14` with a multi-thread worker pool): exact point
+/// answers with heuristic-seeded pruning. Answers are byte-identical at
+/// every thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct BranchBoundSolver {
+    /// Worker threads for the cooperative search (`0` = one per
+    /// available core, `1` = sequential).
+    pub threads: usize,
+}
+
+impl Default for BranchBoundSolver {
+    fn default() -> Self {
+        BranchBoundSolver { threads: 1 }
+    }
+}
 
 impl Solver for BranchBoundSolver {
     fn name(&self) -> &'static str {
@@ -1231,6 +1385,7 @@ impl Solver for BranchBoundSolver {
     }
 
     fn capabilities(&self) -> Capabilities {
+        let threads = crate::par::resolve_threads(self.threads);
         Capabilities {
             classes: ClassSet::ALL,
             objectives: ObjectiveSet::BOTH,
@@ -1239,12 +1394,13 @@ impl Solver for BranchBoundSolver {
                 fronts: false,
             },
             max_stages: None,
-            max_procs: Some(12),
+            max_procs: Some(if threads > 1 { 14 } else { 12 }),
             exactness: Exactness::Exact,
             budget_aware: true,
             seedable: true,
             race_member: false,
             front_exact: false,
+            threads,
         }
     }
 
@@ -1255,7 +1411,9 @@ impl Solver for BranchBoundSolver {
         objective: Objective,
         budget: &Budget,
     ) -> Budgeted<Option<BiSolution>> {
-        BranchBound::new(pipeline, platform).solve_with_budget(objective, budget)
+        BranchBound::new(pipeline, platform)
+            .with_threads(self.threads)
+            .solve_with_budget(objective, budget)
     }
 
     fn solve_point_seeded(
@@ -1266,7 +1424,22 @@ impl Solver for BranchBoundSolver {
         budget: &Budget,
         incumbent: Option<BiSolution>,
     ) -> Budgeted<Option<BiSolution>> {
-        BranchBound::new(pipeline, platform).solve_with_budget_seeded(objective, budget, incumbent)
+        self.solve_point_seeded_stats(pipeline, platform, objective, budget, incumbent)
+            .0
+    }
+
+    fn solve_point_seeded_stats(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+        incumbent: Option<BiSolution>,
+    ) -> (Budgeted<Option<BiSolution>>, Option<SearchStats>) {
+        let (outcome, stats) = BranchBound::new(pipeline, platform)
+            .with_threads(self.threads)
+            .solve_with_budget_seeded_stats(objective, budget, incumbent);
+        (outcome, Some(stats))
     }
 }
 
@@ -1295,6 +1468,7 @@ impl Solver for ExhaustiveSolver {
             seedable: false,
             race_member: false,
             front_exact: true,
+            threads: 1,
         }
     }
 
@@ -1318,10 +1492,28 @@ impl Solver for ExhaustiveSolver {
     }
 }
 
-/// The branch-and-bound ε-constraint sweep (any class, `m ≤ 12`):
-/// enumerates the exact front point by point — anytime by construction.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct BnbSweepSolver;
+/// The branch-and-bound ε-constraint sweep (any class, `m ≤ 12`
+/// sequential, `m ≤ 14` with a multi-thread worker pool): enumerates the
+/// exact front point by point — anytime by construction. Fronts are
+/// byte-identical at every thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct BnbSweepSolver {
+    /// Worker threads for the cooperative search within each ε-step
+    /// (`0` = one per available core, `1` = sequential).
+    pub threads: usize,
+    /// Seed for the first ε-step's heuristic incumbent.
+    pub seed: u64,
+}
+
+impl Default for BnbSweepSolver {
+    fn default() -> Self {
+        let sweep = BranchBoundSweep::default();
+        BnbSweepSolver {
+            threads: sweep.threads,
+            seed: sweep.seed,
+        }
+    }
+}
 
 impl Solver for BnbSweepSolver {
     fn name(&self) -> &'static str {
@@ -1329,6 +1521,7 @@ impl Solver for BnbSweepSolver {
     }
 
     fn capabilities(&self) -> Capabilities {
+        let threads = crate::par::resolve_threads(self.threads);
         Capabilities {
             classes: ClassSet::ALL,
             objectives: ObjectiveSet::BOTH,
@@ -1337,12 +1530,13 @@ impl Solver for BnbSweepSolver {
                 fronts: true,
             },
             max_stages: None,
-            max_procs: Some(12),
+            max_procs: Some(if threads > 1 { 14 } else { 12 }),
             exactness: Exactness::Anytime,
             budget_aware: true,
             seedable: false,
             race_member: false,
             front_exact: true,
+            threads,
         }
     }
 
@@ -1352,7 +1546,21 @@ impl Solver for BnbSweepSolver {
         platform: &Platform,
         budget: &Budget,
     ) -> Budgeted<ParetoFront<IntervalMapping>> {
-        BranchBoundSweep.front_with_budget(pipeline, platform, budget)
+        self.solve_front_stats(pipeline, platform, budget).0
+    }
+
+    fn solve_front_stats(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> (Budgeted<ParetoFront<IntervalMapping>>, Option<SearchStats>) {
+        let sweep = BranchBoundSweep {
+            threads: self.threads,
+            seed: self.seed,
+        };
+        let (outcome, stats) = sweep.front_with_budget_stats(pipeline, platform, budget);
+        (outcome, Some(stats))
     }
 }
 
@@ -1383,6 +1591,7 @@ impl Solver for IntervalDpSolver {
             seedable: false,
             race_member: false,
             front_exact: false,
+            threads: 1,
         }
     }
 
@@ -1424,6 +1633,7 @@ impl Solver for OneToOneSolver {
             seedable: false,
             race_member: false,
             front_exact: false,
+            threads: 1,
         }
     }
 
@@ -1475,6 +1685,7 @@ impl Solver for SingleIntervalSolver {
             seedable: false,
             race_member: true,
             front_exact: false,
+            threads: 1,
         }
     }
 
@@ -1516,6 +1727,7 @@ impl Solver for SplitDpSolver {
             seedable: false,
             race_member: true,
             front_exact: false,
+            threads: 1,
         }
     }
 
@@ -1561,6 +1773,7 @@ impl Solver for LocalSearchSolver {
             seedable: false,
             race_member: true,
             front_exact: false,
+            threads: 1,
         }
     }
 
@@ -1606,6 +1819,7 @@ impl Solver for AnnealingSolver {
             seedable: false,
             race_member: true,
             front_exact: false,
+            threads: 1,
         }
     }
 
@@ -1651,6 +1865,7 @@ impl Solver for RandomSearchSolver {
             seedable: false,
             race_member: true,
             front_exact: false,
+            threads: 1,
         }
     }
 
@@ -1699,6 +1914,7 @@ impl Solver for PortfolioFrontSolver {
             seedable: false,
             race_member: false,
             front_exact: false,
+            threads: 1,
         }
     }
 
@@ -1786,6 +2002,71 @@ mod tests {
         for span in solver_spans {
             assert!(span.name.len() > "solver.".len());
         }
+    }
+
+    #[test]
+    fn traced_parallel_solve_records_worker_spans() {
+        use rpwf_core::trace::{Trace, TraceId, TraceScope};
+
+        let parallel = Engine::with_parallel_backends(0xCAFE, 4);
+        let (pipe, pf) = instance(PlatformClass::FullyHeterogeneous, 4, 8, 7);
+        let safest = crate::mono::minimize_failure(&pipe, &pf);
+        let trace = Trace::new(TraceId::next(), Instant::now());
+        let root = trace.begin_root("request");
+        let req = SolveRequest {
+            pipeline: &pipe,
+            platform: &pf,
+            want: Want::Point {
+                objective: Objective::MinFpUnderLatency(safest.latency * 1.5),
+                keep_front: false,
+            },
+            budget: &Budget::unlimited(),
+        };
+        let traced = parallel.solve_traced(&req, Some(TraceScope::new(&trace, root.index())));
+        trace.end(&root);
+        assert_eq!(
+            traced.point(),
+            engine().solve(&req).point(),
+            "parallel engine must answer identically to sequential"
+        );
+
+        let tree = trace.finish();
+        let bnb = tree
+            .spans
+            .iter()
+            .position(|s| s.name == "solver.branch-bound")
+            .expect("branch-bound solver span");
+        let workers: Vec<_> = tree
+            .spans
+            .iter()
+            .filter(|s| s.name == "solver.bnb.worker")
+            .collect();
+        assert_eq!(workers.len(), 4, "one span per worker thread");
+        for span in &workers {
+            assert_eq!(span.parent, Some(bnb as u32), "nested under the solver");
+            for key in ["worker", "nodes", "units_executed", "units_stolen"] {
+                assert!(
+                    span.attrs.iter().any(|(k, _)| k == key),
+                    "worker span carries {key}"
+                );
+            }
+        }
+        let executed: u64 = workers
+            .iter()
+            .map(|s| {
+                s.attrs
+                    .iter()
+                    .find(|(k, _)| k == "units_executed")
+                    .and_then(|(_, v)| v.parse::<u64>().ok())
+                    .expect("units_executed parses")
+            })
+            .sum();
+        let (_, search) = traced
+            .parallel
+            .iter()
+            .find(|(name, _)| *name == "branch-bound")
+            .expect("parallel search stats");
+        assert_eq!(executed, search.units_executed());
     }
 
     #[test]

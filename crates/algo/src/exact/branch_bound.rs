@@ -1,5 +1,6 @@
 //! Branch-and-bound exact solver for the NP-hard bi-criteria problem on
-//! Fully Heterogeneous platforms (Theorem 7).
+//! Fully Heterogeneous platforms (Theorem 7), parallelized across cores
+//! with a shared incumbent.
 //!
 //! The brute-force oracle ([`crate::exact::exhaustive`]) evaluates every
 //! `(partition, allocation)` pair; this solver explores the same tree
@@ -17,21 +18,53 @@
 //!   the success probability by a factor `≤ 1`) is already no better than
 //!   the incumbent.
 //!
-//! The incumbent is seeded from the heuristic portfolio, so strong
-//! solutions prune aggressively from the first node. Exact: when the
-//! search finishes, the incumbent is optimal for the threshold objective.
+//! # Cooperative parallel search
+//!
+//! The assignment subtree is split at a configurable frontier depth into
+//! **work units** (first-interval choices by default); `N` workers claim
+//! units off a shared atomic counter — an idle worker simply claims (and
+//! thereby steals) whatever unit is next, so stragglers never serialize
+//! the tail. Workers share the incumbent **value** through one atomic
+//! (f64 bits, CAS-published only when strictly better), so one worker's
+//! bound prunes every other worker's subtree.
+//!
+//! # Determinism
+//!
+//! Parallel and sequential runs return **byte-identical** answers. The
+//! canonical winner is the minimum over feasible leaves of the key
+//! `(objective value, secondary criterion, unit index, DFS position)`:
+//!
+//! * the shared bound prunes only *strictly worse* nodes, so the ancestors
+//!   of the winning leaf (whose bounds never exceed the optimal value) are
+//!   never pruned by another worker's publication, regardless of timing;
+//! * ties *within* one unit are pruned against the unit-local best only —
+//!   a deterministic function of that unit's own DFS — keeping the old
+//!   sequential pruning strength without cross-worker races;
+//! * worker-local bests merge by the canonical key, not completion order.
+//!
+//! Heuristic seeds only initialize the shared bound and are never returned
+//! from a `Complete` search (the seed's own leaf sits in the tree and its
+//! ancestors are never pruned), so seeding provably cannot change answers.
 
 use crate::heuristics::Portfolio;
+use crate::par::resolve_threads;
 use crate::solution::{BiSolution, Budgeted, Objective};
-use rpwf_core::budget::Budget;
+use rpwf_core::budget::{Budget, BudgetPoller};
 use rpwf_core::eval::EvalContext;
 use rpwf_core::mapping::{Interval, IntervalMapping};
 use rpwf_core::num::LogProb;
 use rpwf_core::platform::{Platform, ProcId, Vertex};
 use rpwf_core::stage::Pipeline;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// State-space cap (`2^m` allocation masks).
 const MAX_PROCS: usize = 24;
+
+/// Ceiling on materialized work units when splitting deeper than one
+/// interval; generation stops refining once this many units exist (the
+/// remaining frontier states become units at their current depth).
+const MAX_UNITS: usize = 1 << 16;
 
 /// Branch-and-bound solver handle.
 #[derive(Clone, Copy, Debug)]
@@ -41,9 +74,86 @@ pub struct BranchBound<'a> {
     /// Skip seeding the incumbent from the heuristics (for benchmarking the
     /// raw search).
     pub seed_with_heuristics: bool,
+    /// Worker threads (0 = one per available core, 1 = sequential).
+    threads: usize,
+    /// Intervals fixed per work unit (frontier split depth).
+    split_depth: usize,
 }
 
-struct Search<'a> {
+/// Per-worker search telemetry from one parallel (or sequential) run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Worker index within the run's pool.
+    pub worker: usize,
+    /// Wall-clock busy time of this worker, microseconds.
+    pub elapsed_us: u64,
+    /// DFS nodes expanded by this worker.
+    pub nodes: u64,
+    /// Work units this worker claimed and searched.
+    pub units_executed: u64,
+    /// Claimed units whose round-robin home was another worker.
+    pub units_stolen: u64,
+    /// Strictly-better incumbent values this worker published globally.
+    pub improvements: u64,
+}
+
+/// Telemetry for one branch-and-bound run (or an aggregate of runs, e.g.
+/// every ε-step of a front sweep).
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// Resolved worker-pool width the search ran with.
+    pub threads: usize,
+    /// Per-worker counters, indexed by worker.
+    pub workers: Vec<WorkerStat>,
+}
+
+impl SearchStats {
+    /// Total DFS nodes expanded across workers.
+    #[must_use]
+    pub fn nodes(&self) -> u64 {
+        self.workers.iter().map(|w| w.nodes).sum()
+    }
+
+    /// Total work units executed across workers.
+    #[must_use]
+    pub fn units_executed(&self) -> u64 {
+        self.workers.iter().map(|w| w.units_executed).sum()
+    }
+
+    /// Total work units executed by a non-home worker.
+    #[must_use]
+    pub fn units_stolen(&self) -> u64 {
+        self.workers.iter().map(|w| w.units_stolen).sum()
+    }
+
+    /// Total strictly-better incumbent publications.
+    #[must_use]
+    pub fn improvements(&self) -> u64 {
+        self.workers.iter().map(|w| w.improvements).sum()
+    }
+
+    /// Folds another run's counters into this one (same-index workers are
+    /// summed), e.g. to aggregate the steps of a front sweep.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.threads = self.threads.max(other.threads);
+        for w in &other.workers {
+            match self.workers.iter_mut().find(|x| x.worker == w.worker) {
+                Some(x) => {
+                    x.elapsed_us += w.elapsed_us;
+                    x.nodes += w.nodes;
+                    x.units_executed += w.units_executed;
+                    x.units_stolen += w.units_stolen;
+                    x.improvements += w.improvements;
+                }
+                None => self.workers.push(*w),
+            }
+        }
+        self.workers.sort_by_key(|w| w.worker);
+    }
+}
+
+/// Immutable per-run context shared (by reference) across workers.
+struct TreeCtx<'a> {
     pipeline: &'a Pipeline,
     platform: &'a Platform,
     /// Cached bound ingredients: the pipeline prefix sums (suffix work in
@@ -52,20 +162,76 @@ struct Search<'a> {
     objective: Objective,
     n: usize,
     m: usize,
-    /// Best feasible solution so far.
-    best: Option<BiSolution>,
-    /// Decision stack: per interval `(end stage, replica mask)`.
-    stack: Vec<(usize, u32)>,
-    nodes: u64,
-    /// Cooperative deadline/cancellation, polled every 256 nodes.
-    budget: &'a Budget,
-    /// Whether the budget poll is worth paying at all.
-    budget_limited: bool,
-    /// Set once the budget expires; unwinds the whole DFS.
-    aborted: bool,
+    full: u32,
 }
 
-impl Search<'_> {
+/// Mutable cross-worker state: the published incumbent value and the work
+/// claim counter.
+struct SharedState {
+    /// f64 bits of the best *published* objective value (`+inf` when none).
+    /// Values are nonnegative, so numeric order matches bit order; we still
+    /// compare as floats for clarity.
+    bound_bits: AtomicU64,
+    /// Next unclaimed work-unit index; claiming is the steal.
+    next_unit: AtomicUsize,
+}
+
+impl SharedState {
+    fn new() -> Self {
+        SharedState {
+            bound_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            next_unit: AtomicUsize::new(0),
+        }
+    }
+
+    fn bound(&self) -> f64 {
+        f64::from_bits(self.bound_bits.load(Ordering::Relaxed))
+    }
+
+    /// Publishes `value` if strictly better than the current bound;
+    /// returns whether this call improved it.
+    fn publish(&self, value: f64) -> bool {
+        let mut cur = self.bound_bits.load(Ordering::Relaxed);
+        loop {
+            if value >= f64::from_bits(cur) {
+                return false;
+            }
+            match self.bound_bits.compare_exchange_weak(
+                cur,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// One frontier state: the subtree rooted at a partial assignment.
+#[derive(Clone, Debug)]
+struct Unit {
+    stack: Vec<(usize, u32)>,
+    used: u32,
+    next_stage: usize,
+    lat: f64,
+    fp_cost: f64,
+}
+
+/// Pending (not yet closed) interval encoded by a decision stack.
+fn pending_of(stack: &[(usize, u32)]) -> Option<(usize, usize, u32)> {
+    stack.last().map(|&(end, mask)| {
+        let start = if stack.len() >= 2 {
+            stack[stack.len() - 2].0 + 1
+        } else {
+            0
+        };
+        (start, end, mask)
+    })
+}
+
+impl TreeCtx<'_> {
     /// Latency contribution of closing interval `(start..=end, alloc_prev)`
     /// toward the next replica mask (`None` = toward `P_out`).
     fn close_cost(&self, start: usize, end: usize, prev_mask: u32, next_mask: Option<u32>) -> f64 {
@@ -115,60 +281,60 @@ impl Search<'_> {
         best
     }
 
-    fn consider_incumbent(&mut self, latency: f64, fp: f64) {
-        if !self.objective.feasible(latency, fp) {
-            return;
-        }
-        let replace = match &self.best {
-            None => true,
-            Some(b) => {
-                self.objective.value(latency, fp) < self.objective.value(b.latency, b.failure_prob)
-                    || (self.objective.value(latency, fp)
-                        == self.objective.value(b.latency, b.failure_prob)
-                        && match self.objective {
-                            Objective::MinFpUnderLatency(_) => latency < b.latency,
-                            Objective::MinLatencyUnderFp(_) => fp < b.failure_prob,
-                        })
+    /// Partial latency after opening a new interval on `sub`: close the
+    /// pending interval toward it, or (first interval) pay the serialized
+    /// input transfers from `P_in`.
+    fn open_lat(&self, pending: Option<(usize, usize, u32)>, lat_partial: f64, sub: u32) -> f64 {
+        let mut lat = lat_partial;
+        if let Some((s, e, mask)) = pending {
+            lat += self.close_cost(s, e, mask, Some(sub));
+        } else {
+            let mut vv = sub;
+            while vv != 0 {
+                let v = ProcId::new(vv.trailing_zeros() as usize);
+                vv &= vv - 1;
+                lat += self.platform.comm_time(
+                    Vertex::In,
+                    Vertex::Proc(v),
+                    self.pipeline.input_size(),
+                );
             }
-        };
-        if replace {
-            let mapping = self.decode();
-            self.best = Some(BiSolution {
-                mapping,
-                latency,
-                failure_prob: fp,
-            });
+        }
+        lat
+    }
+
+    /// Accumulated `-ln(success)` after adding an interval replicated on
+    /// `sub`.
+    fn interval_fp_cost(&self, fp_cost_partial: f64, sub: u32) -> f64 {
+        let mut all_fail = LogProb::ONE;
+        let mut vv = sub;
+        while vv != 0 {
+            let v = ProcId::new(vv.trailing_zeros() as usize);
+            vv &= vv - 1;
+            all_fail = all_fail * LogProb::from_prob(self.platform.failure_prob(v));
+        }
+        fp_cost_partial - all_fail.one_minus().ln()
+    }
+
+    /// Canonical `(objective value, secondary criterion)` key of a leaf.
+    fn keys(&self, latency: f64, fp: f64) -> (f64, f64) {
+        match self.objective {
+            Objective::MinFpUnderLatency(_) => (fp, latency),
+            Objective::MinLatencyUnderFp(_) => (latency, fp),
         }
     }
 
-    fn decode(&self) -> IntervalMapping {
-        let mut intervals = Vec::with_capacity(self.stack.len());
-        let mut alloc = Vec::with_capacity(self.stack.len());
-        let mut start = 0usize;
-        for &(end, mask) in &self.stack {
-            intervals.push(Interval::new(start, end).expect("ordered"));
-            let mut ids = Vec::new();
-            let mut mm = mask;
-            while mm != 0 {
-                ids.push(ProcId::new(mm.trailing_zeros() as usize));
-                mm &= mm - 1;
-            }
-            alloc.push(ids);
-            start = end + 1;
-        }
-        IntervalMapping::new(intervals, alloc, self.n, self.m)
-            .expect("search stack encodes a valid mapping")
-    }
-
-    /// Prune test. `lat_partial` excludes the pending interval's own term;
-    /// `pending` is `(start, end, mask)` of the not-yet-closed interval.
-    fn pruned(
+    /// Sound lower bounds at a node: `(value_lb, secondary_lb, infeasible)`
+    /// where `infeasible` means no completion can satisfy the constraint.
+    /// `lat_partial` excludes the pending interval's own term; `pending` is
+    /// `(start, end, mask)` of the not-yet-closed interval.
+    fn node_bounds(
         &self,
         lat_partial: f64,
         fp_cost_partial: f64,
         pending: Option<(usize, usize, u32)>,
         next_stage: usize,
-    ) -> bool {
+    ) -> (f64, f64, bool) {
         // Sound optimistic completion of the latency.
         let mut lb = lat_partial;
         match pending {
@@ -187,25 +353,210 @@ impl Search<'_> {
         let fp_lb = -(-fp_cost_partial).exp_m1(); // FP of the closed prefix
         match self.objective {
             Objective::MinFpUnderLatency(_) => {
-                if lb > self.objective.threshold_with_slack() {
-                    return true;
-                }
-                if let Some(b) = &self.best {
-                    // Remaining intervals only increase FP.
-                    if fp_lb >= b.failure_prob - 1e-15 {
-                        return true;
-                    }
-                }
+                (fp_lb, lb, lb > self.objective.threshold_with_slack())
             }
             Objective::MinLatencyUnderFp(_) => {
-                if fp_lb > self.objective.threshold_with_slack() {
-                    return true;
+                (lb, fp_lb, fp_lb > self.objective.threshold_with_slack())
+            }
+        }
+    }
+}
+
+/// Work-unit enumeration: index-addressable frontier states in structural
+/// DFS order, so claims by index preserve the canonical ordering.
+enum UnitSource {
+    /// Depth-1 split: unit `k` is the `k`-th `(first end, first mask)`
+    /// root child; O(1) addressing, nothing materialized (important for
+    /// large `m`, where there are `n·(2^m − 1)` units).
+    Implicit { n: usize, full: u32 },
+    /// Deeper splits materialize the frontier (capped at [`MAX_UNITS`]).
+    Materialized(Vec<Unit>),
+}
+
+impl UnitSource {
+    fn len(&self) -> usize {
+        match self {
+            UnitSource::Implicit { n, full } => n * (*full as usize),
+            UnitSource::Materialized(units) => units.len(),
+        }
+    }
+
+    fn get(&self, k: usize, t: &TreeCtx) -> Unit {
+        match self {
+            UnitSource::Implicit { full, .. } => {
+                let fullc = *full as usize;
+                let end = k / fullc;
+                // Submask enumeration from the full free set walks
+                // full, full−1, …, 1, so rank r maps to mask full − r.
+                let sub = full - (k % fullc) as u32;
+                Unit {
+                    stack: vec![(end, sub)],
+                    used: sub,
+                    next_stage: end + 1,
+                    lat: t.open_lat(None, 0.0, sub),
+                    fp_cost: t.interval_fp_cost(0.0, sub),
                 }
-                if let Some(b) = &self.best {
-                    if lb >= b.latency - 1e-15 {
-                        return true;
-                    }
+            }
+            UnitSource::Materialized(units) => units[k].clone(),
+        }
+    }
+}
+
+/// Generates the materialized frontier for `split_depth ≥ 2`.
+struct UnitGen<'a> {
+    t: &'a TreeCtx<'a>,
+    stack: Vec<(usize, u32)>,
+    out: Vec<Unit>,
+}
+
+impl UnitGen<'_> {
+    fn rec(&mut self, depth_left: usize, next_stage: usize, used: u32, lat: f64, fp_cost: f64) {
+        if depth_left == 0 || next_stage == self.t.n || self.out.len() >= MAX_UNITS {
+            self.out.push(Unit {
+                stack: self.stack.clone(),
+                used,
+                next_stage,
+                lat,
+                fp_cost,
+            });
+            return;
+        }
+        let free = self.t.full & !used;
+        if free == 0 {
+            return; // no processors left: the subtree holds no leaves
+        }
+        let pending = pending_of(&self.stack);
+        for end in next_stage..self.t.n {
+            let mut sub = free;
+            while sub != 0 {
+                let l = self.t.open_lat(pending, lat, sub);
+                let f = self.t.interval_fp_cost(fp_cost, sub);
+                self.stack.push((end, sub));
+                self.rec(depth_left - 1, end + 1, used | sub, l, f);
+                self.stack.pop();
+                sub = (sub - 1) & free;
+            }
+        }
+    }
+}
+
+/// A unit's best feasible leaf under the canonical key.
+struct UnitBest {
+    value: f64,
+    secondary: f64,
+    sol: BiSolution,
+}
+
+/// Per-worker DFS executor over claimed units.
+struct Search<'a> {
+    t: &'a TreeCtx<'a>,
+    shared: &'a SharedState,
+    /// Strided budget view; the stop flag is shared with every worker, so
+    /// one worker's cutoff detection cancels the whole pool.
+    poller: BudgetPoller,
+    /// Best feasible leaf of the unit currently being searched. Ties are
+    /// pruned only against this (never the shared bound), which keeps the
+    /// per-unit winner independent of other workers' timing.
+    unit_best: Option<UnitBest>,
+    /// ε-sweep carry: best-latency leaf at or below this FP gate, kept as
+    /// a *seed candidate* for the next sweep step (never an answer).
+    carry_gate: Option<f64>,
+    carry: Option<BiSolution>,
+    /// Decision stack: per interval `(end stage, replica mask)`.
+    stack: Vec<(usize, u32)>,
+    nodes: u64,
+    improvements: u64,
+    /// Set once the budget expires; unwinds the whole DFS.
+    aborted: bool,
+}
+
+impl Search<'_> {
+    fn decode(&self) -> IntervalMapping {
+        let mut intervals = Vec::with_capacity(self.stack.len());
+        let mut alloc = Vec::with_capacity(self.stack.len());
+        let mut start = 0usize;
+        for &(end, mask) in &self.stack {
+            intervals.push(Interval::new(start, end).expect("ordered"));
+            let mut ids = Vec::new();
+            let mut mm = mask;
+            while mm != 0 {
+                ids.push(ProcId::new(mm.trailing_zeros() as usize));
+                mm &= mm - 1;
+            }
+            alloc.push(ids);
+            start = end + 1;
+        }
+        IntervalMapping::new(intervals, alloc, self.t.n, self.t.m)
+            .expect("search stack encodes a valid mapping")
+    }
+
+    /// Records a fully-assigned leaf: sweep carry, then the canonical
+    /// unit-local incumbent (first-found wins exact ties), publishing
+    /// strictly-better values to the shared bound.
+    fn consider_leaf(&mut self, latency: f64, fp: f64) {
+        if let Some(gate) = self.carry_gate {
+            if fp <= gate {
+                let better = match &self.carry {
+                    None => true,
+                    Some(c) => latency < c.latency || (latency == c.latency && fp < c.failure_prob),
+                };
+                if better {
+                    self.carry = Some(BiSolution {
+                        mapping: self.decode(),
+                        latency,
+                        failure_prob: fp,
+                    });
                 }
+            }
+        }
+        if !self.t.objective.feasible(latency, fp) {
+            return;
+        }
+        let (value, secondary) = self.t.keys(latency, fp);
+        let better = match &self.unit_best {
+            None => true,
+            Some(b) => value < b.value || (value == b.value && secondary < b.secondary),
+        };
+        if !better {
+            return;
+        }
+        self.unit_best = Some(UnitBest {
+            value,
+            secondary,
+            sol: BiSolution {
+                mapping: self.decode(),
+                latency,
+                failure_prob: fp,
+            },
+        });
+        if self.shared.publish(value) {
+            self.improvements += 1;
+        }
+    }
+
+    /// Prune test. Soundness *and* determinism: the shared bound prunes
+    /// only strictly-worse nodes (so the canonical winner's ancestors
+    /// survive any publication timing); value ties are pruned against the
+    /// unit-local best only.
+    fn pruned(
+        &self,
+        lat_partial: f64,
+        fp_cost_partial: f64,
+        pending: Option<(usize, usize, u32)>,
+        next_stage: usize,
+    ) -> bool {
+        let (value_lb, sec_lb, infeasible) =
+            self.t
+                .node_bounds(lat_partial, fp_cost_partial, pending, next_stage);
+        if infeasible {
+            return true;
+        }
+        if value_lb > self.shared.bound() {
+            return true;
+        }
+        if let Some(b) = &self.unit_best {
+            if value_lb > b.value || (value_lb == b.value && sec_lb >= b.secondary) {
+                return true;
             }
         }
         false
@@ -218,34 +569,21 @@ impl Search<'_> {
     /// not yet included in `lat_partial`.
     fn dfs(&mut self, next_stage: usize, used: u32, lat_partial: f64, fp_cost_partial: f64) {
         self.nodes += 1;
-        if self.budget_limited && self.nodes & 0xFF == 0 && self.budget.is_exhausted() {
+        if self.poller.check(self.nodes) {
             self.aborted = true;
         }
         if self.aborted {
             return;
         }
-        let full: u32 = if self.m == 32 {
-            u32::MAX
-        } else {
-            (1u32 << self.m) - 1
-        };
-        let free = full & !used;
+        let free = self.t.full & !used;
+        let pending = pending_of(&self.stack);
 
-        let pending = self.stack.last().map(|&(end, mask)| {
-            let start = if self.stack.len() >= 2 {
-                self.stack[self.stack.len() - 2].0 + 1
-            } else {
-                0
-            };
-            (start, end, mask)
-        });
-
-        if next_stage == self.n {
+        if next_stage == self.t.n {
             // Close the pending interval toward P_out.
             let (start, end, mask) = pending.expect("at least one interval");
-            let latency = lat_partial + self.close_cost(start, end, mask, None);
+            let latency = lat_partial + self.t.close_cost(start, end, mask, None);
             let fp = -(-fp_cost_partial).exp_m1();
-            self.consider_incumbent(latency, fp);
+            self.consider_leaf(latency, fp);
             return;
         }
         if self.pruned(lat_partial, fp_cost_partial, pending, next_stage) {
@@ -255,37 +593,13 @@ impl Search<'_> {
             return; // no processors left for the remaining stages
         }
 
-        for end in next_stage..self.n {
+        for end in next_stage..self.t.n {
             // Enumerate non-empty submasks of the free set for the next
             // interval.
             let mut sub = free;
             while sub != 0 {
-                // Cost updates: close the pending interval toward `sub`,
-                // account the new interval's survival and (for the first
-                // interval) the serialized input from P_in.
-                let mut lat = lat_partial;
-                if let Some((s, e, mask)) = pending {
-                    lat += self.close_cost(s, e, mask, Some(sub));
-                } else {
-                    let mut vv = sub;
-                    while vv != 0 {
-                        let v = ProcId::new(vv.trailing_zeros() as usize);
-                        vv &= vv - 1;
-                        lat += self.platform.comm_time(
-                            Vertex::In,
-                            Vertex::Proc(v),
-                            self.pipeline.input_size(),
-                        );
-                    }
-                }
-                let mut all_fail = LogProb::ONE;
-                let mut vv = sub;
-                while vv != 0 {
-                    let v = ProcId::new(vv.trailing_zeros() as usize);
-                    vv &= vv - 1;
-                    all_fail = all_fail * LogProb::from_prob(self.platform.failure_prob(v));
-                }
-                let fp_cost = fp_cost_partial - all_fail.one_minus().ln();
+                let lat = self.t.open_lat(pending, lat_partial, sub);
+                let fp_cost = self.t.interval_fp_cost(fp_cost_partial, sub);
 
                 self.stack.push((end, sub));
                 self.dfs(end + 1, used | sub, lat, fp_cost);
@@ -300,14 +614,126 @@ impl Search<'_> {
     }
 }
 
+/// Everything one worker reports back for the deterministic merge.
+struct WorkerOutcome {
+    /// Canonical-best feasible leaf: `(value, secondary, unit, solution)`.
+    best: Option<(f64, f64, usize, BiSolution)>,
+    carry: Option<BiSolution>,
+    stat: WorkerStat,
+    aborted: bool,
+}
+
+/// `a` strictly precedes `b` under the canonical merge key.
+fn lex_better(a: (f64, f64, usize), b: (f64, f64, usize)) -> bool {
+    match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => match a.1.total_cmp(&b.1) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a.2 < b.2,
+        },
+    }
+}
+
+/// Shared-reference bundle driving one worker pool.
+struct Driver<'a> {
+    t: &'a TreeCtx<'a>,
+    shared: &'a SharedState,
+    units: &'a UnitSource,
+    n_workers: usize,
+    carry_gate: Option<f64>,
+    poller: BudgetPoller,
+}
+
+impl Driver<'_> {
+    fn run_worker(&self, worker: usize) -> WorkerOutcome {
+        let start = Instant::now();
+        let mut s = Search {
+            t: self.t,
+            shared: self.shared,
+            poller: self.poller.clone(),
+            unit_best: None,
+            carry_gate: self.carry_gate,
+            carry: None,
+            stack: Vec::with_capacity(self.t.n),
+            nodes: 0,
+            improvements: 0,
+            aborted: false,
+        };
+        let mut best: Option<(f64, f64, usize, BiSolution)> = None;
+        let mut units_executed = 0u64;
+        let mut units_stolen = 0u64;
+        // Entry poll: an already-expired budget aborts before any claim.
+        if s.poller.poll_now() {
+            s.aborted = true;
+        }
+        while !s.aborted {
+            let k = self.shared.next_unit.fetch_add(1, Ordering::Relaxed);
+            if k >= self.units.len() {
+                break;
+            }
+            if s.poller.is_stopped() {
+                s.aborted = true;
+                break;
+            }
+            let unit = self.units.get(k, self.t);
+            units_executed += 1;
+            if k % self.n_workers != worker {
+                units_stolen += 1;
+            }
+            s.unit_best = None;
+            s.stack.clear();
+            s.stack.extend_from_slice(&unit.stack);
+            s.dfs(unit.next_stage, unit.used, unit.lat, unit.fp_cost);
+            // Merge the unit's (possibly partial, on abort) best by the
+            // canonical key — unit index, not completion order.
+            if let Some(ub) = s.unit_best.take() {
+                let replace = match &best {
+                    None => true,
+                    Some((v, sec, uk, _)) => {
+                        lex_better((ub.value, ub.secondary, k), (*v, *sec, *uk))
+                    }
+                };
+                if replace {
+                    best = Some((ub.value, ub.secondary, k, ub.sol));
+                }
+            }
+        }
+        WorkerOutcome {
+            best,
+            carry: s.carry,
+            stat: WorkerStat {
+                worker,
+                elapsed_us: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+                nodes: s.nodes,
+                units_executed,
+                units_stolen,
+                improvements: s.improvements,
+            },
+            aborted: s.aborted,
+        }
+    }
+}
+
+/// Full result of one run: outcome, node count, telemetry, sweep carry.
+pub(crate) struct RunOutput {
+    pub(crate) outcome: Budgeted<Option<BiSolution>>,
+    pub(crate) nodes: u64,
+    pub(crate) stats: SearchStats,
+    pub(crate) carry: Option<BiSolution>,
+}
+
 impl<'a> BranchBound<'a> {
-    /// Creates a solver (heuristic incumbent seeding enabled).
+    /// Creates a sequential solver (heuristic incumbent seeding enabled).
     #[must_use]
     pub fn new(pipeline: &'a Pipeline, platform: &'a Platform) -> Self {
         BranchBound {
             pipeline,
             platform,
             seed_with_heuristics: true,
+            threads: 1,
+            split_depth: 1,
         }
     }
 
@@ -319,18 +745,40 @@ impl<'a> BranchBound<'a> {
         self
     }
 
-    /// Runs the search under a budget, returning the outcome and the
-    /// explored node count. Internal seeding (when enabled) runs the
-    /// heuristic portfolio *before* the budget is first polled, so direct
-    /// callers with very tight deadlines should seed externally via
-    /// [`Self::solve_with_budget_seeded`].
-    fn run(&self, objective: Objective, budget: &Budget) -> (Budgeted<Option<BiSolution>>, u64) {
+    /// Sets the worker-pool width: 0 = one worker per available core,
+    /// 1 = sequential (default), N = exactly N workers. Any width returns
+    /// byte-identical answers.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets how many intervals each work unit fixes (frontier split
+    /// depth); 1 (default) splits on the first `(end, mask)` choice.
+    #[must_use]
+    pub fn with_split_depth(mut self, depth: usize) -> Self {
+        self.split_depth = depth.max(1);
+        self
+    }
+
+    /// The resolved worker-pool width this solver will run with.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        resolve_threads(self.threads)
+    }
+
+    /// Runs the search under a budget. Internal seeding (when enabled)
+    /// runs the heuristic portfolio *before* the budget is first polled,
+    /// so direct callers with very tight deadlines should seed externally
+    /// via [`Self::solve_with_budget_seeded`].
+    fn run(&self, objective: Objective, budget: &Budget) -> RunOutput {
         let incumbent = if self.seed_with_heuristics {
             Portfolio::new(0xB0B).solve(self.pipeline, self.platform, objective)
         } else {
             None
         };
-        self.run_seeded(objective, budget, incumbent)
+        self.run_seeded(objective, budget, incumbent, None)
     }
 
     fn run_seeded(
@@ -338,34 +786,149 @@ impl<'a> BranchBound<'a> {
         objective: Objective,
         budget: &Budget,
         incumbent: Option<BiSolution>,
-    ) -> (Budgeted<Option<BiSolution>>, u64) {
+        carry_gate: Option<f64>,
+    ) -> RunOutput {
         let m = self.platform.n_procs();
         assert!(
             m <= MAX_PROCS,
             "branch and bound supports at most {MAX_PROCS} processors"
         );
         let n = self.pipeline.n_stages();
-        let mut search = Search {
+        let full: u32 = if m == 32 { u32::MAX } else { (1u32 << m) - 1 };
+        let t = TreeCtx {
             pipeline: self.pipeline,
             platform: self.platform,
             ctx: EvalContext::new(self.pipeline, self.platform),
             objective,
             n,
             m,
-            best: incumbent,
-            stack: Vec::with_capacity(n),
-            nodes: 0,
-            budget,
-            budget_limited: budget.is_limited(),
-            aborted: false,
+            full,
         };
-        search.dfs(0, 0, 0.0, 0.0);
-        let outcome = if search.aborted {
-            Budgeted::Cutoff(search.best)
+        // Seeds only ever tighten the shared bound; answers come from the
+        // tree, so an (always feasible) seed provably cannot change them.
+        let seed = incumbent.filter(|s| objective.feasible(s.latency, s.failure_prob));
+        let shared = SharedState::new();
+        if let Some(s) = &seed {
+            let (value, _) = t.keys(s.latency, s.failure_prob);
+            shared.publish(value);
+        }
+        let poller = BudgetPoller::new(budget.clone());
+
+        // Root-level check: an infeasible or empty instance finishes
+        // without enumerating the (possibly huge) unit space.
+        let (_, _, root_infeasible) = t.node_bounds(0.0, 0.0, None, 0);
+        if root_infeasible {
+            return RunOutput {
+                outcome: Budgeted::Complete(None),
+                nodes: 1,
+                stats: SearchStats {
+                    threads: self.effective_threads(),
+                    workers: Vec::new(),
+                },
+                carry: None,
+            };
+        }
+
+        let units = if self.split_depth <= 1 {
+            UnitSource::Implicit { n, full }
         } else {
-            Budgeted::Complete(search.best)
+            let mut gen = UnitGen {
+                t: &t,
+                stack: Vec::with_capacity(self.split_depth),
+                out: Vec::new(),
+            };
+            gen.rec(self.split_depth, 0, 0, 0.0, 0.0);
+            UnitSource::Materialized(gen.out)
         };
-        (outcome, search.nodes)
+        let n_workers = self.effective_threads().clamp(1, units.len().max(1));
+        let driver = Driver {
+            t: &t,
+            shared: &shared,
+            units: &units,
+            n_workers,
+            carry_gate,
+            poller: poller.clone(),
+        };
+
+        let outcomes: Vec<WorkerOutcome> = if n_workers == 1 {
+            vec![driver.run_worker(0)]
+        } else {
+            let d = &driver;
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n_workers)
+                    .map(|w| scope.spawn(move |_| d.run_worker(w)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("search worker panicked"))
+                    .collect()
+            })
+            .expect("search scope panicked")
+        };
+
+        let aborted = outcomes.iter().any(|o| o.aborted) || poller.is_stopped();
+        let mut best: Option<(f64, f64, usize, BiSolution)> = None;
+        let mut carry: Option<BiSolution> = None;
+        let mut stats = SearchStats {
+            threads: n_workers,
+            workers: Vec::with_capacity(outcomes.len()),
+        };
+        let mut nodes = 0u64;
+        for o in outcomes {
+            nodes += o.stat.nodes;
+            stats.workers.push(o.stat);
+            if let Some((v, sec, uk, sol)) = o.best {
+                let replace = match &best {
+                    None => true,
+                    Some((bv, bs, bu, _)) => lex_better((v, sec, uk), (*bv, *bs, *bu)),
+                };
+                if replace {
+                    best = Some((v, sec, uk, sol));
+                }
+            }
+            if let Some(c) = o.carry {
+                let replace = match &carry {
+                    None => true,
+                    Some(cur) => {
+                        c.latency < cur.latency
+                            || (c.latency == cur.latency && c.failure_prob < cur.failure_prob)
+                    }
+                };
+                if replace {
+                    carry = Some(c);
+                }
+            }
+        }
+        let tree_answer = best.map(|(_, _, _, sol)| sol);
+        let answer = if aborted {
+            // Cutoff: the best feasible incumbent in hand, seed included.
+            match (tree_answer, seed) {
+                (Some(tr), Some(sd)) => {
+                    let tk = t.keys(tr.latency, tr.failure_prob);
+                    let sk = t.keys(sd.latency, sd.failure_prob);
+                    if lex_better((sk.0, sk.1, usize::MAX), (tk.0, tk.1, 0)) {
+                        Some(sd)
+                    } else {
+                        Some(tr)
+                    }
+                }
+                (tr, sd) => tr.or(sd),
+            }
+        } else {
+            // Complete: the exhausted tree contains the seed's own leaf,
+            // so the canonical answer already matches or beats any seed.
+            tree_answer
+        };
+        RunOutput {
+            outcome: if aborted {
+                Budgeted::Cutoff(answer)
+            } else {
+                Budgeted::Complete(answer)
+            },
+            nodes,
+            stats,
+            carry,
+        }
     }
 
     /// Like [`Self::solve_with_budget`] but seeded with an
@@ -382,7 +945,36 @@ impl<'a> BranchBound<'a> {
         budget: &Budget,
         incumbent: Option<BiSolution>,
     ) -> Budgeted<Option<BiSolution>> {
-        self.run_seeded(objective, budget, incumbent).0
+        self.run_seeded(objective, budget, incumbent, None).outcome
+    }
+
+    /// Like [`Self::solve_with_budget_seeded`], also returning per-worker
+    /// search telemetry.
+    ///
+    /// # Panics
+    /// When the platform has more than 24 processors.
+    #[must_use]
+    pub fn solve_with_budget_seeded_stats(
+        &self,
+        objective: Objective,
+        budget: &Budget,
+        incumbent: Option<BiSolution>,
+    ) -> (Budgeted<Option<BiSolution>>, SearchStats) {
+        let out = self.run_seeded(objective, budget, incumbent, None);
+        (out.outcome, out.stats)
+    }
+
+    /// One ε-constraint sweep step: solve, and additionally collect the
+    /// best-latency leaf whose FP is at or below `carry_gate` as a seed
+    /// candidate for the next (tighter) step.
+    pub(crate) fn solve_sweep_step(
+        &self,
+        objective: Objective,
+        budget: &Budget,
+        incumbent: Option<BiSolution>,
+        carry_gate: Option<f64>,
+    ) -> RunOutput {
+        self.run_seeded(objective, budget, incumbent, carry_gate)
     }
 
     /// Solves the threshold problem exactly; `None` when infeasible.
@@ -391,7 +983,9 @@ impl<'a> BranchBound<'a> {
     /// When the platform has more than 24 processors.
     #[must_use]
     pub fn solve(&self, objective: Objective) -> Option<BiSolution> {
-        self.run(objective, &Budget::unlimited()).0.into_inner()
+        self.run(objective, &Budget::unlimited())
+            .outcome
+            .into_inner()
     }
 
     /// Solves under a deadline/cancellation budget. A
@@ -407,15 +1001,15 @@ impl<'a> BranchBound<'a> {
         objective: Objective,
         budget: &Budget,
     ) -> Budgeted<Option<BiSolution>> {
-        self.run(objective, budget).0
+        self.run(objective, budget).outcome
     }
 
     /// Like [`solve`](Self::solve) but also returns the explored node count
     /// (for the pruning-effectiveness experiment).
     #[must_use]
     pub fn solve_counting(&self, objective: Objective) -> (Option<BiSolution>, u64) {
-        let (outcome, nodes) = self.run(objective, &Budget::unlimited());
-        (outcome.into_inner(), nodes)
+        let out = self.run(objective, &Budget::unlimited());
+        (out.outcome.into_inner(), out.nodes)
     }
 }
 
@@ -648,6 +1242,123 @@ mod tests {
             (Some(a), Some(o)) => assert_approx_eq!(a.failure_prob, o.failure_prob),
             (None, None) => {}
             (a, o) => panic!("{a:?} vs {o:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_byte_for_byte() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for class in [
+            PlatformClass::FullyHomogeneous,
+            PlatformClass::CommHomogeneous,
+            PlatformClass::FullyHeterogeneous,
+        ] {
+            let pipe = PipelineGen::balanced(4).sample(&mut rng);
+            let pf = PlatformGen::new(6, class, FailureClass::Heterogeneous).sample(&mut rng);
+            for l in thresholds(&pipe, &pf) {
+                let objective = Objective::MinFpUnderLatency(l);
+                let seq = BranchBound::new(&pipe, &pf)
+                    .without_heuristic_seed()
+                    .solve(objective);
+                for threads in [2, 3, 4, 8] {
+                    let par = BranchBound::new(&pipe, &pf)
+                        .without_heuristic_seed()
+                        .with_threads(threads)
+                        .solve(objective);
+                    assert_eq!(
+                        serde_json::to_string(&par).unwrap(),
+                        serde_json::to_string(&seq).unwrap(),
+                        "threads={threads} class={class:?} L={l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_depth_does_not_change_the_answer() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let pipe = PipelineGen::balanced(4).sample(&mut rng);
+        let pf = PlatformGen::new(
+            5,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let l = thresholds(&pipe, &pf)[1];
+        let objective = Objective::MinFpUnderLatency(l);
+        let base = BranchBound::new(&pipe, &pf).solve(objective);
+        for depth in [2, 3] {
+            for threads in [1, 4] {
+                let got = BranchBound::new(&pipe, &pf)
+                    .with_split_depth(depth)
+                    .with_threads(threads)
+                    .solve(objective);
+                assert_eq!(
+                    serde_json::to_string(&got).unwrap(),
+                    serde_json::to_string(&base).unwrap(),
+                    "depth={depth} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stats_report_all_workers() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let pipe = PipelineGen::balanced(4).sample(&mut rng);
+        let pf = PlatformGen::new(
+            6,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let l = crate::mono::minimize_failure(&pipe, &pf).latency;
+        let (outcome, stats) = BranchBound::new(&pipe, &pf)
+            .with_threads(3)
+            .solve_with_budget_seeded_stats(
+                Objective::MinFpUnderLatency(l),
+                &Budget::unlimited(),
+                None,
+            );
+        assert!(outcome.is_complete());
+        assert_eq!(stats.threads, 3);
+        assert_eq!(stats.workers.len(), 3);
+        assert!(stats.nodes() > 0);
+        // Every unit is claimed exactly once across the pool.
+        let full = (1u64 << 6) - 1;
+        assert_eq!(stats.units_executed(), 4 * full);
+        assert!(stats.improvements() >= 1, "the optimum must be published");
+    }
+
+    #[test]
+    fn parallel_cutoff_is_sound_and_cancels_all_workers() {
+        // Mid-search expiry: all workers must stop promptly and any
+        // reported incumbent must be feasible.
+        let mut rng = StdRng::seed_from_u64(44);
+        let pipe = PipelineGen::balanced(8).sample(&mut rng);
+        let pf = PlatformGen::new(
+            12,
+            PlatformClass::FullyHeterogeneous,
+            FailureClass::Heterogeneous,
+        )
+        .sample(&mut rng);
+        let objective =
+            Objective::MinFpUnderLatency(crate::mono::minimize_failure(&pipe, &pf).latency);
+        let budget = Budget::with_deadline(std::time::Duration::from_millis(30));
+        let start = std::time::Instant::now();
+        let outcome = BranchBound::new(&pipe, &pf)
+            .without_heuristic_seed()
+            .with_threads(4)
+            .solve_with_budget(objective, &budget);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "cutoff must cancel all workers promptly, took {:?}",
+            start.elapsed()
+        );
+        assert!(!outcome.is_complete());
+        if let Some(sol) = outcome.inner() {
+            assert!(objective.feasible(sol.latency, sol.failure_prob));
         }
     }
 }

@@ -22,7 +22,7 @@ pub use bitmask_dp::{
     pareto_front_comm_homog, pareto_front_comm_homog_with_budget, solve_comm_homog,
     solve_comm_homog_with_budget,
 };
-pub use branch_bound::BranchBound;
+pub use branch_bound::{BranchBound, SearchStats, WorkerStat};
 pub use exhaustive::{
     min_latency_general_brute, min_latency_one_to_one_brute, partition_yield_order, Exhaustive,
 };

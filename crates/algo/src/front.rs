@@ -23,7 +23,7 @@
 //! and [`Engine::solve`](crate::engine::Engine::solve) plans every
 //! request.
 
-use crate::exact::{pareto_front_comm_homog_with_budget, BranchBound, Exhaustive};
+use crate::exact::{pareto_front_comm_homog_with_budget, BranchBound, Exhaustive, SearchStats};
 use crate::heuristics::Portfolio;
 use crate::mono;
 use crate::solution::{BiSolution, Budgeted, Objective};
@@ -192,15 +192,133 @@ impl FrontSource for ExhaustiveFront {
 }
 
 /// ε-constraint sweep of the branch-and-bound threshold solver (Fully
-/// Heterogeneous, `m ≤ 12`): enumerates the front left to right, one exact
-/// `MinLatencyUnderFp` solve per point, tightening the FP bound past the
-/// point just found. Anytime by construction — every completed solve adds
-/// one proven front point, and a budget cutoff keeps the prefix.
+/// Heterogeneous; `m ≤ 12` sequential, `m ≤ 14` with a parallel pool):
+/// enumerates the front left to right, one exact `MinLatencyUnderFp` solve
+/// per point, tightening the FP bound past the point just found. Anytime
+/// by construction — every completed solve adds one proven front point,
+/// and a budget cutoff keeps the prefix.
+///
+/// Each step runs on the cooperative parallel search
+/// ([`BranchBound::with_threads`]), and adjacent ε-steps overlap through
+/// incumbent **carry**: while solving one step, the search also records the
+/// best-latency leaf already reliable enough for the next (tighter) bound,
+/// which seeds the next step's incumbent — heuristics run on the first
+/// step only. Seeds never change answers (they only tighten the shared
+/// pruning bound), so the front is byte-identical at every thread count.
 ///
 /// Granularity caveat: true front points whose failure probabilities differ
 /// by less than the [`Objective::feasible`] slack collapse into one.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct BranchBoundSweep;
+#[derive(Clone, Copy, Debug)]
+pub struct BranchBoundSweep {
+    /// Worker threads per sweep step (0 = one per core, 1 = sequential).
+    pub threads: usize,
+    /// Seed for the first step's heuristic portfolio.
+    pub seed: u64,
+}
+
+impl Default for BranchBoundSweep {
+    fn default() -> Self {
+        BranchBoundSweep {
+            threads: 1,
+            seed: 0xB0B,
+        }
+    }
+}
+
+impl BranchBoundSweep {
+    /// The next sweep bound after a point with failure probability `fp`:
+    /// strictly excludes `fp` under the feasibility slack.
+    fn next_bound(fp: f64) -> f64 {
+        (fp - SLACK) / (1.0 + SLACK) - SLACK
+    }
+
+    /// The lower-latency of two feasible seed candidates.
+    fn better_seed(a: Option<BiSolution>, b: Option<BiSolution>) -> Option<BiSolution> {
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                if (y.latency, y.failure_prob) < (x.latency, x.failure_prob) {
+                    Some(y)
+                } else {
+                    Some(x)
+                }
+            }
+            (x, y) => x.or(y),
+        }
+    }
+
+    /// [`FrontSource::front_with_budget`] plus the aggregated per-worker
+    /// search telemetry of every sweep step.
+    pub fn front_with_budget_stats(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        budget: &Budget,
+    ) -> (Budgeted<ParetoFront<IntervalMapping>>, SearchStats) {
+        // Theorem 1 gives the reliability extreme in polynomial time; it
+        // seeds every sweep step (a feasible incumbent whenever one exists)
+        // and tells the sweep when to stop.
+        let safest = mono::minimize_failure(pipeline, platform);
+        let solver = BranchBound::new(pipeline, platform).with_threads(self.threads);
+        let mut stats = SearchStats::default();
+        let mut front = ParetoFront::new();
+        let mut bound = 1.0f64;
+        let mut carry: Option<BiSolution> = None;
+        let mut first = true;
+        loop {
+            if budget.is_exhausted() {
+                return (Budgeted::Cutoff(front), stats);
+            }
+            let objective = Objective::MinLatencyUnderFp(bound);
+            let mut incumbent = objective
+                .feasible(safest.latency, safest.failure_prob)
+                .then(|| safest.clone());
+            if first {
+                // Heuristics only pay off before any carry exists.
+                first = false;
+                let heuristic = Portfolio::new(self.seed)
+                    .solve_with_budget(pipeline, platform, objective, budget)
+                    .into_inner()
+                    .filter(|h| objective.feasible(h.latency, h.failure_prob));
+                incumbent = Self::better_seed(incumbent, heuristic);
+            } else if let Some(c) = carry.take() {
+                // The previous step's carry: its best-latency leaf already
+                // reliable enough for this bound (validated here — the
+                // collection gate is only a heuristic filter).
+                let valid = objective.feasible(c.latency, c.failure_prob).then_some(c);
+                incumbent = Self::better_seed(incumbent, valid);
+            }
+            let out = solver.solve_sweep_step(
+                objective,
+                budget,
+                incumbent,
+                Some(Self::next_bound(bound)),
+            );
+            stats.absorb(&out.stats);
+            let finished = out.outcome.is_complete();
+            carry = out.carry;
+            match out.outcome.into_inner() {
+                Some(sol) => {
+                    let fp = sol.failure_prob;
+                    front.insert(sol.latency, fp, sol.mapping);
+                    if !finished {
+                        return (Budgeted::Cutoff(front), stats);
+                    }
+                    if fp <= safest.failure_prob {
+                        // Reliability extreme reached.
+                        return (Budgeted::Complete(front), stats);
+                    }
+                    let next = Self::next_bound(fp);
+                    if next <= 0.0 {
+                        return (Budgeted::Complete(front), stats);
+                    }
+                    bound = next;
+                }
+                None if finished => return (Budgeted::Complete(front), stats),
+                None => return (Budgeted::Cutoff(front), stats),
+            }
+        }
+    }
+}
 
 impl FrontSource for BranchBoundSweep {
     fn name(&self) -> &'static str {
@@ -208,7 +326,12 @@ impl FrontSource for BranchBoundSweep {
     }
 
     fn applicable(&self, _pipeline: &Pipeline, platform: &Platform) -> bool {
-        platform.n_procs() <= 12
+        let cap = if crate::par::resolve_threads(self.threads) > 1 {
+            14
+        } else {
+            12
+        };
+        platform.n_procs() <= cap
     }
 
     fn front_with_budget(
@@ -217,44 +340,7 @@ impl FrontSource for BranchBoundSweep {
         platform: &Platform,
         budget: &Budget,
     ) -> Budgeted<ParetoFront<IntervalMapping>> {
-        // Theorem 1 gives the reliability extreme in polynomial time; it
-        // seeds every sweep step (a feasible incumbent whenever one exists)
-        // and tells the sweep when to stop.
-        let safest = mono::minimize_failure(pipeline, platform);
-        let mut front = ParetoFront::new();
-        let mut bound = 1.0f64;
-        loop {
-            if budget.is_exhausted() {
-                return Budgeted::Cutoff(front);
-            }
-            let objective = Objective::MinLatencyUnderFp(bound);
-            let incumbent = objective
-                .feasible(safest.latency, safest.failure_prob)
-                .then(|| safest.clone());
-            let outcome = BranchBound::new(pipeline, platform)
-                .solve_with_budget_seeded(objective, budget, incumbent);
-            let finished = outcome.is_complete();
-            match outcome.into_inner() {
-                Some(sol) => {
-                    let fp = sol.failure_prob;
-                    front.insert(sol.latency, fp, sol.mapping);
-                    if !finished {
-                        return Budgeted::Cutoff(front);
-                    }
-                    if fp <= safest.failure_prob {
-                        return Budgeted::Complete(front); // reliability extreme reached
-                    }
-                    // Strictly exclude `fp` under the feasibility slack.
-                    let next = (fp - SLACK) / (1.0 + SLACK) - SLACK;
-                    if next <= 0.0 {
-                        return Budgeted::Complete(front);
-                    }
-                    bound = next;
-                }
-                None if finished => return Budgeted::Complete(front),
-                None => return Budgeted::Cutoff(front),
-            }
-        }
+        self.front_with_budget_stats(pipeline, platform, budget).0
     }
 }
 
@@ -403,7 +489,7 @@ mod tests {
         for seed in [1u64, 7, 21] {
             let (pipe, pf) = small_het(3, 4, seed);
             let oracle = Exhaustive::new(&pipe, &pf).pareto_front();
-            let swept = BranchBoundSweep.front(&pipe, &pf);
+            let swept = BranchBoundSweep::default().front(&pipe, &pf);
             assert_eq!(
                 swept.len(),
                 oracle.len(),
@@ -419,7 +505,7 @@ mod tests {
     #[test]
     fn sweep_is_anytime_under_an_expired_budget() {
         let (pipe, pf) = small_het(4, 5, 3);
-        let outcome = BranchBoundSweep.front_with_budget(
+        let outcome = BranchBoundSweep::default().front_with_budget(
             &pipe,
             &pf,
             &Budget::with_deadline(std::time::Duration::ZERO),
@@ -431,6 +517,43 @@ mod tests {
             assert_approx_eq!(re.latency, pt.latency);
             assert_approx_eq!(re.failure_prob, pt.failure_prob);
         }
+    }
+
+    #[test]
+    fn parallel_sweep_front_is_byte_identical_to_sequential() {
+        for seed in [1u64, 7] {
+            let (pipe, pf) = small_het(3, 5, seed);
+            let seq = BranchBoundSweep::default().front(&pipe, &pf);
+            for threads in [2, 4] {
+                let sweep = BranchBoundSweep {
+                    threads,
+                    ..BranchBoundSweep::default()
+                };
+                let par = sweep.front(&pipe, &pf);
+                assert_eq!(
+                    serde_json::to_string(&par).unwrap(),
+                    serde_json::to_string(&seq).unwrap(),
+                    "seed {seed} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_stats_cover_every_step() {
+        let (pipe, pf) = small_het(3, 4, 5);
+        let sweep = BranchBoundSweep {
+            threads: 2,
+            ..BranchBoundSweep::default()
+        };
+        let (outcome, stats) = sweep.front_with_budget_stats(&pipe, &pf, &Budget::unlimited());
+        assert!(outcome.is_complete());
+        assert_eq!(stats.threads, 2);
+        assert!(stats.nodes() > 0);
+        assert!(
+            stats.units_executed() as usize >= outcome.inner().len(),
+            "at least one unit per front point"
+        );
     }
 
     #[test]

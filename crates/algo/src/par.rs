@@ -8,6 +8,17 @@
 //! scheduling, and determinism of the reduction order keeps results
 //! reproducible.
 
+/// Resolves a requested thread-count knob: `0` means one worker per
+/// available core, any other value is taken literally.
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    }
+}
+
 /// Number of worker threads to use: the available parallelism, capped so
 /// tiny sweeps do not pay spawn overhead.
 #[must_use]

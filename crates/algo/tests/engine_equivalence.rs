@@ -83,7 +83,7 @@ fn legacy_front_source(pipeline: &Pipeline, platform: &Platform) -> Option<Box<d
     let sources: [Box<dyn FrontSource>; 3] = [
         Box::new(BitmaskDpFront),
         Box::new(ExhaustiveFront),
-        Box::new(BranchBoundSweep),
+        Box::new(BranchBoundSweep::default()),
     ];
     sources
         .into_iter()

@@ -1,0 +1,204 @@
+//! Parallel ⇔ sequential byte-identity for the cooperative
+//! branch-and-bound search.
+//!
+//! The contract under test: running the exact search on N worker threads
+//! — shared incumbent, work stealing, and all — returns **byte-identical**
+//! answers to the sequential search, for threshold points and for whole
+//! ε-constraint-sweep fronts, across every platform class and across
+//! infeasible, tight, and loose bounds. Determinism comes from canonical
+//! tie-breaking (objective value, secondary criterion, work-unit index)
+//! and a deterministic merge, not from scheduling luck, so it must hold
+//! at any thread count on any machine. A final stress test cuts the
+//! budget mid-search and checks the cancellation fans out to every
+//! worker promptly and the partial answer is sound.
+
+use proptest::prelude::*;
+use rpwf_algo::engine::{Engine, SolveRequest, Want};
+use rpwf_algo::exact::BranchBound;
+use rpwf_algo::front::{BranchBoundSweep, FrontSource};
+use rpwf_algo::{Budgeted, Objective};
+use rpwf_core::budget::Budget;
+use rpwf_core::mapping::IntervalMapping;
+use rpwf_core::pareto::ParetoFront;
+use rpwf_core::platform::{FailureClass, Platform, PlatformClass};
+use rpwf_core::stage::Pipeline;
+
+const SEED: u64 = 0xCAFE;
+
+/// Seeded instances across all three platform classes, sized so the
+/// exact search terminates quickly even single-threaded on one core.
+fn instance(seed: u64, sel: usize) -> (Pipeline, Platform) {
+    let (class, n, m) = match sel {
+        0 => (PlatformClass::FullyHomogeneous, 3, 5),
+        1 => (PlatformClass::CommHomogeneous, 4, 6),
+        2 => (PlatformClass::FullyHeterogeneous, 3, 6),
+        _ => (PlatformClass::FullyHeterogeneous, 4, 7),
+    };
+    let inst = rpwf_gen::make_instance(class, FailureClass::Heterogeneous, n, m, seed);
+    (inst.pipeline, inst.platform)
+}
+
+/// Both threshold kinds, spanning infeasible, tight and loose bounds.
+fn objective(pipeline: &Pipeline, platform: &Platform, kind: usize) -> Objective {
+    let safest = rpwf_algo::mono::minimize_failure(pipeline, platform);
+    match kind {
+        0 => Objective::MinFpUnderLatency(safest.latency * 0.4), // often infeasible
+        1 => Objective::MinFpUnderLatency(safest.latency),       // tight
+        2 => Objective::MinFpUnderLatency(safest.latency * 2.0), // loose
+        3 => Objective::MinLatencyUnderFp(safest.failure_prob),  // tight
+        _ => Objective::MinLatencyUnderFp(
+            safest.failure_prob + 0.5 * (1.0 - safest.failure_prob), // loose
+        ),
+    }
+}
+
+fn bytes<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serializes")
+}
+
+fn front_bytes(front: &ParetoFront<IntervalMapping>) -> String {
+    let triples: Vec<(f64, f64, IntervalMapping)> = front
+        .iter()
+        .map(|pt| (pt.latency, pt.failure_prob, pt.payload.clone()))
+        .collect();
+    bytes(&triples)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A parallel threshold solve (heuristic seeding included, exactly as
+    /// the engine runs it) is byte-identical to the sequential solve.
+    #[test]
+    fn parallel_point_solve_is_byte_identical(
+        seed in 0u64..5_000,
+        sel in 0usize..4,
+        kind in 0usize..5,
+        threads in 2usize..5,
+    ) {
+        let (pipeline, platform) = instance(seed, sel);
+        let objective = objective(&pipeline, &platform, kind);
+        let budget = Budget::unlimited();
+        let seq = BranchBound::new(&pipeline, &platform).solve_with_budget(objective, &budget);
+        let par = BranchBound::new(&pipeline, &platform)
+            .with_threads(threads)
+            .solve_with_budget(objective, &budget);
+        prop_assert_eq!(seq.is_complete(), par.is_complete());
+        prop_assert_eq!(
+            bytes(&seq.into_inner()),
+            bytes(&par.into_inner()),
+            "threads {} (sel {}, kind {})", threads, sel, kind
+        );
+    }
+
+    /// A parallel ε-constraint sweep produces the byte-identical exact
+    /// front: same points, same mappings, same float bits.
+    #[test]
+    fn parallel_sweep_front_is_byte_identical(
+        seed in 0u64..5_000,
+        sel in 0usize..4,
+        threads in 2usize..5,
+    ) {
+        let (pipeline, platform) = instance(seed, sel);
+        let budget = Budget::unlimited();
+        let seq = BranchBoundSweep::default().front_with_budget(&pipeline, &platform, &budget);
+        let par = BranchBoundSweep {
+            threads,
+            ..BranchBoundSweep::default()
+        }
+        .front_with_budget(&pipeline, &platform, &budget);
+        prop_assert_eq!(seq.is_complete(), par.is_complete());
+        prop_assert_eq!(
+            front_bytes(seq.inner()),
+            front_bytes(par.inner()),
+            "threads {} (sel {})", threads, sel
+        );
+    }
+
+    /// The whole engine plan — racing heuristics, seeding, backend
+    /// selection — answers byte-identically when its exact backends run
+    /// parallel, for points and fronts alike.
+    #[test]
+    fn parallel_engine_matches_default_engine(
+        seed in 0u64..5_000,
+        sel in 0usize..4,
+        kind in 0usize..5,
+        threads in 2usize..5,
+    ) {
+        let (pipeline, platform) = instance(seed, sel);
+        let sequential = Engine::with_default_backends(SEED);
+        let parallel = Engine::with_parallel_backends(SEED, threads);
+        let budget = Budget::unlimited();
+
+        let objective = objective(&pipeline, &platform, kind);
+        let point = |engine: &Engine| {
+            engine.solve(&SolveRequest {
+                pipeline: &pipeline,
+                platform: &platform,
+                want: Want::Point { objective, keep_front: false },
+                budget: &budget,
+            })
+        };
+        let (seq, par) = (point(&sequential), point(&parallel));
+        prop_assert_eq!(bytes(&seq.point().cloned()), bytes(&par.point().cloned()));
+        prop_assert_eq!(seq.completeness, par.completeness);
+        prop_assert_eq!(seq.provenance, par.provenance);
+
+        let front = |engine: &Engine| {
+            engine.solve(&SolveRequest {
+                pipeline: &pipeline,
+                platform: &platform,
+                want: Want::Front,
+                budget: &budget,
+            })
+        };
+        let (seq, par) = (front(&sequential), front(&parallel));
+        prop_assert_eq!(
+            front_bytes(seq.front_answer().expect("front")),
+            front_bytes(par.front_answer().expect("front"))
+        );
+        prop_assert_eq!(seq.completeness, par.completeness);
+    }
+}
+
+/// A budget expiring mid-search must cancel every worker within one
+/// polling stride (no wedged threads, no minutes-long drain of claimed
+/// subtrees) and the cutoff answer, when present, must be feasible —
+/// sound, just not proven optimal.
+#[test]
+fn mid_search_expiry_cancels_all_workers_and_stays_sound() {
+    let inst = rpwf_gen::make_instance(
+        PlatformClass::FullyHeterogeneous,
+        FailureClass::Heterogeneous,
+        5,
+        12,
+        7,
+    );
+    let safest = rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform);
+    let objective = Objective::MinFpUnderLatency(safest.latency * 1.2);
+    let budget = Budget::with_deadline(std::time::Duration::from_millis(30));
+    let start = std::time::Instant::now();
+    let (outcome, stats) = BranchBound::new(&inst.pipeline, &inst.platform)
+        .with_threads(4)
+        .solve_with_budget_seeded_stats(objective, &budget, None);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "cancellation must fan out promptly, took {elapsed:?}"
+    );
+    assert_eq!(stats.threads, 4, "all four workers were running");
+    match outcome {
+        Budgeted::Cutoff(found) => {
+            if let Some(sol) = found {
+                assert!(
+                    objective.feasible(sol.latency, sol.failure_prob),
+                    "cutoff answers must stay feasible"
+                );
+            }
+        }
+        Budgeted::Complete(_) => {
+            // A machine fast enough to finish m = 12 in 30 ms simply
+            // proves the budget never expired — nothing to assert.
+        }
+    }
+}

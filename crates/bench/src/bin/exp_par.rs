@@ -1,0 +1,9 @@
+//! E21 — cooperative parallel exact search: thread-count speedup curve
+//! and largest-m-solved-within-budget probe (writes `BENCH_par.json`).
+//! Pass `--smoke` for the tiny CI-sized run.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    for table in rpwf_bench::experiments::parallel_search::parallel_search(smoke) {
+        table.print();
+    }
+}

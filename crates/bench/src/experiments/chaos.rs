@@ -202,6 +202,7 @@ fn run_scenario(
         cache_capacity: 256,
         cache_shards: 4,
         seed: 0xCAFE,
+        solver_threads: 1,
         node_id: Some(node_id.to_string()),
     };
     let servers: Vec<Server> = addrs

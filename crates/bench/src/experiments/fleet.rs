@@ -68,6 +68,7 @@ pub fn fleet(smoke: bool) -> Vec<Table> {
         cache_capacity: cache,
         cache_shards: 1, // exact capacity: the overflow must be real
         seed: 0xCAFE,
+        solver_threads: 1,
         node_id,
     };
 

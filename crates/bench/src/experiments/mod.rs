@@ -21,6 +21,7 @@
 //! | E18 | [`engine_overhead::engine_overhead`] | `exp_engine` |
 //! | E19 | [`trace_overhead::trace_overhead`] | `exp_trace` |
 //! | E20 | [`chaos::chaos`] | `exp_chaos` |
+//! | E21 | [`parallel_search::parallel_search`] | `exp_par` |
 //!
 //! (E12 is the criterion suite under `benches/`.)
 
@@ -32,6 +33,7 @@ pub mod figures;
 pub mod fleet;
 pub mod hardness;
 pub mod heuristics_eval;
+pub mod parallel_search;
 pub mod server_throughput;
 pub mod simulation;
 pub mod theorems;
@@ -87,5 +89,6 @@ pub fn run_all() -> Vec<(&'static str, Vec<Table>)> {
         ("E18", engine_overhead::engine_overhead(false)),
         ("E19", trace_overhead::trace_overhead(false)),
         ("E20", chaos::chaos(false)),
+        ("E21", parallel_search::parallel_search(false)),
     ]
 }

@@ -108,6 +108,7 @@ fn run_scenario(scenario: &Scenario) -> Measurement {
             cache_capacity: 1024,
             cache_shards: 16,
             seed: 0xCAFE,
+            solver_threads: 1,
             node_id: None,
         },
     )

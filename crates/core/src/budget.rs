@@ -140,6 +140,85 @@ impl Budget {
     }
 }
 
+/// A strided, fan-out-capable view of a [`Budget`] for hot search loops.
+///
+/// [`Budget::is_exhausted`] reads the monotonic clock when a deadline is
+/// set — too expensive per node expansion. A poller amortizes it: every
+/// [`BudgetPoller::check`] reads one shared atomic stop flag, and only
+/// every [`BudgetPoller::STRIDE`]-th call pays the full budget check.
+/// When the budget turns out exhausted the poller latches the shared
+/// flag, so **every clone** (one per search worker) observes the cutoff
+/// on its very next `check` — cancellation fans out across a worker pool
+/// within one polling stride of the first detection, without any other
+/// worker touching the clock.
+#[derive(Clone, Debug)]
+pub struct BudgetPoller {
+    budget: Budget,
+    /// Latched once the budget is first seen exhausted; shared by clones.
+    stop: Arc<AtomicBool>,
+    /// Whether the underlying budget can expire at all; unlimited budgets
+    /// skip even the stride check.
+    limited: bool,
+}
+
+impl BudgetPoller {
+    /// Full budget checks happen every this many `check` calls (counts
+    /// divisible by the stride, including 0, pay the clock read).
+    pub const STRIDE: u64 = 1024;
+
+    /// Wraps a budget for strided polling. Clones share the stop flag.
+    #[must_use]
+    pub fn new(budget: Budget) -> Self {
+        let limited = budget.is_limited();
+        BudgetPoller {
+            budget,
+            stop: Arc::new(AtomicBool::new(false)),
+            limited,
+        }
+    }
+
+    /// Cheap per-iteration poll: `true` once the budget is exhausted.
+    ///
+    /// `count` is the caller's iteration counter; the full budget check
+    /// runs only when `count` is a multiple of [`Self::STRIDE`] (so pass
+    /// 0 on entry to detect an already-expired budget immediately), which
+    /// bounds cutoff latency to one stride of work after expiry.
+    #[inline]
+    #[must_use]
+    pub fn check(&self, count: u64) -> bool {
+        if !self.limited {
+            return false;
+        }
+        if self.stop.load(Ordering::Relaxed) {
+            return true;
+        }
+        if count.is_multiple_of(Self::STRIDE) && self.budget.is_exhausted() {
+            self.stop.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Forces a full budget check now, regardless of stride position.
+    #[must_use]
+    pub fn poll_now(&self) -> bool {
+        self.check(0)
+    }
+
+    /// Whether the stop flag has latched (some poller clone saw the
+    /// budget exhaust). Never touches the clock.
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped budget.
+    #[must_use]
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +272,71 @@ mod tests {
         handle.cancel();
         assert!(a.is_exhausted());
         assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn poller_detects_cutoff_within_one_stride() {
+        // Deadline already expired: the very next stride-aligned check
+        // (count 0) must detect it, so cutoff latency is at most one
+        // polling stride of work after expiry.
+        let poller = BudgetPoller::new(Budget::with_deadline(Duration::ZERO));
+        let mut calls = 0u64;
+        let mut count = 0u64;
+        loop {
+            if poller.check(count) {
+                break;
+            }
+            count += 1;
+            calls += 1;
+            assert!(
+                calls <= BudgetPoller::STRIDE,
+                "cutoff not observed within one polling stride"
+            );
+        }
+        assert_eq!(calls, 0, "an expired budget is caught at the entry poll");
+        assert!(poller.is_stopped());
+    }
+
+    #[test]
+    fn poller_off_stride_detection_latency_is_bounded() {
+        // Start mid-stride: detection must still happen by the next
+        // stride boundary, i.e. within STRIDE calls.
+        let poller = BudgetPoller::new(Budget::with_deadline(Duration::ZERO));
+        let mut calls = 0u64;
+        let mut count = 1u64; // off the stride boundary
+        while !poller.check(count) {
+            count += 1;
+            calls += 1;
+            assert!(
+                calls <= BudgetPoller::STRIDE,
+                "cutoff not observed within one polling stride"
+            );
+        }
+    }
+
+    #[test]
+    fn poller_stop_fans_out_to_clones_without_clock_reads() {
+        let (budget, handle) = Budget::with_deadline(Duration::from_secs(3600)).cancellable();
+        let poller = BudgetPoller::new(budget);
+        let clone = poller.clone();
+        assert!(!poller.check(1));
+        assert!(!clone.check(1));
+        handle.cancel();
+        // Only the detector pays the full check (stride-aligned count)…
+        assert!(poller.check(0));
+        // …and every clone sees the latched flag on its next check, even
+        // off-stride where it would never touch the clock.
+        assert!(clone.check(7));
+        assert!(clone.is_stopped());
+    }
+
+    #[test]
+    fn poller_unlimited_budget_never_stops() {
+        let poller = BudgetPoller::new(Budget::unlimited());
+        for count in 0..4 * BudgetPoller::STRIDE {
+            assert!(!poller.check(count));
+        }
+        assert!(!poller.poll_now());
     }
 
     #[test]

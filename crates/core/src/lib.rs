@@ -77,7 +77,7 @@ pub mod throughput;
 pub mod trace;
 
 pub use backoff::JitteredBackoff;
-pub use budget::{Budget, CancelHandle};
+pub use budget::{Budget, BudgetPoller, CancelHandle};
 pub use error::{CoreError, Result};
 pub use eval::{DeltaEval, EvalContext, Move, MoveEffect, Scores, SlotChange};
 pub use hash::{CanonicalDigest, CanonicalHasher};
@@ -94,7 +94,7 @@ pub use trace::{Span, SpanTree, Trace, TraceId, TraceScope};
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
     pub use crate::backoff::JitteredBackoff;
-    pub use crate::budget::{Budget, CancelHandle};
+    pub use crate::budget::{Budget, BudgetPoller, CancelHandle};
     pub use crate::error::{CoreError, Result};
     pub use crate::eval::{DeltaEval, EvalContext, Move, MoveEffect, Scores, SlotChange};
     pub use crate::hash::{CanonicalDigest, CanonicalHasher};

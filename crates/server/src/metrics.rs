@@ -207,6 +207,9 @@ struct SolverSlot {
     elapsed_us: AtomicU64,
     complete: AtomicU64,
     produced: AtomicU64,
+    units_executed: AtomicU64,
+    units_stolen: AtomicU64,
+    improvements: AtomicU64,
 }
 
 /// Per-solver execution counters, keyed by the engine's registry names.
@@ -246,6 +249,14 @@ impl SolverMetrics {
             if stat.produced {
                 slot.produced.fetch_add(1, Ordering::Relaxed);
             }
+            if let Some(par) = stat.parallel {
+                slot.units_executed
+                    .fetch_add(par.units_executed, Ordering::Relaxed);
+                slot.units_stolen
+                    .fetch_add(par.units_stolen, Ordering::Relaxed);
+                slot.improvements
+                    .fetch_add(par.improvements, Ordering::Relaxed);
+            }
         }
     }
 
@@ -284,6 +295,15 @@ impl SolverMetrics {
             }),
             ("rpwf_engine_solver_produced_total", |slot| {
                 slot.produced.load(Ordering::Relaxed)
+            }),
+            ("rpwf_engine_solver_work_units_total", |slot| {
+                slot.units_executed.load(Ordering::Relaxed)
+            }),
+            ("rpwf_engine_solver_work_units_stolen_total", |slot| {
+                slot.units_stolen.load(Ordering::Relaxed)
+            }),
+            ("rpwf_engine_solver_incumbent_improvements_total", |slot| {
+                slot.improvements.load(Ordering::Relaxed)
             }),
         ] {
             writeln!(out, "# TYPE {metric} counter").expect("write to string");
@@ -355,18 +375,21 @@ mod tests {
                 elapsed_us: 120,
                 complete: true,
                 produced: true,
+                parallel: None,
             },
             SolverStat {
                 solver: "local-search",
                 elapsed_us: 80,
                 complete: true,
                 produced: false,
+                parallel: None,
             },
             SolverStat {
                 solver: "unregistered",
                 elapsed_us: 1,
                 complete: false,
                 produced: false,
+                parallel: None,
             },
         ]);
         m.record(&[SolverStat {
@@ -374,6 +397,7 @@ mod tests {
             elapsed_us: 30,
             complete: false,
             produced: true,
+            parallel: None,
         }]);
         let snap = m.snapshot();
         assert_eq!(snap.len(), 2);
@@ -394,6 +418,53 @@ mod tests {
         );
         assert!(
             text.contains("rpwf_engine_solver_produced_total{solver=\"local-search\"} 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn solver_metrics_fold_parallel_search_counters() {
+        use rpwf_algo::engine::ParallelSummary;
+
+        let m = SolverMetrics::new(vec!["branch-bound"]);
+        m.record(&[SolverStat {
+            solver: "branch-bound",
+            elapsed_us: 500,
+            complete: true,
+            produced: true,
+            parallel: Some(ParallelSummary {
+                threads: 4,
+                units_executed: 60,
+                units_stolen: 12,
+                improvements: 3,
+            }),
+        }]);
+        m.record(&[SolverStat {
+            solver: "branch-bound",
+            elapsed_us: 100,
+            complete: true,
+            produced: true,
+            parallel: Some(ParallelSummary {
+                threads: 4,
+                units_executed: 10,
+                units_stolen: 2,
+                improvements: 1,
+            }),
+        }]);
+        let mut text = String::new();
+        m.render_prometheus(&mut text);
+        assert!(
+            text.contains("rpwf_engine_solver_work_units_total{solver=\"branch-bound\"} 70"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rpwf_engine_solver_work_units_stolen_total{solver=\"branch-bound\"} 14"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "rpwf_engine_solver_incumbent_improvements_total{solver=\"branch-bound\"} 4"
+            ),
             "{text}"
         );
     }

@@ -107,6 +107,13 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Seed for the heuristic portfolio (fixed ⇒ deterministic answers).
     pub seed: u64,
+    /// Worker threads each exact branch-and-bound search runs on
+    /// (`1` = sequential, `0` = one per available core). The effective
+    /// count is capped so `solver threads × pool workers` never
+    /// oversubscribes the machine — see
+    /// [`ServiceConfig::effective_solver_threads`]. Answers are
+    /// byte-identical at every thread count.
+    pub solver_threads: usize,
     /// Fleet identity of this node (the `host:port` peers know it by),
     /// stamped into every response's `meta.node`. `None` outside fleet
     /// mode.
@@ -120,6 +127,7 @@ impl Default for ServiceConfig {
             cache_capacity: 4096,
             cache_shards: 16,
             seed: 0xCAFE,
+            solver_threads: 1,
             node_id: None,
         }
     }
@@ -134,6 +142,21 @@ impl ServiceConfig {
         } else {
             self.workers
         }
+    }
+
+    /// The solver-thread count the engine is actually built with:
+    /// `solver_threads` (0 resolving to the core count), capped at
+    /// `max(1, cores / effective_workers())` so a full worker pool of
+    /// concurrent solves cannot oversubscribe the machine.
+    #[must_use]
+    pub fn effective_solver_threads(&self) -> usize {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let requested = if self.solver_threads == 0 {
+            cores
+        } else {
+            self.solver_threads
+        };
+        requested.min((cores / self.effective_workers()).max(1))
     }
 }
 
@@ -159,7 +182,7 @@ impl SolverService {
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
         let cache = SolutionCache::new(config.cache_capacity, config.cache_shards);
-        let engine = Engine::with_default_backends(config.seed);
+        let engine = Engine::with_parallel_backends(config.seed, config.effective_solver_threads());
         let solver_metrics =
             SolverMetrics::new(engine.solvers().iter().map(|s| s.name()).collect());
         SolverService {
@@ -1032,6 +1055,12 @@ impl SolverService {
         let mut out = String::new();
         let cache = self.cache.stats();
         writeln!(out, "rpwf_workers {}", self.config.effective_workers()).expect("write");
+        writeln!(
+            out,
+            "rpwf_engine_solver_threads {}",
+            self.engine.solver_threads()
+        )
+        .expect("write");
         writeln!(
             out,
             "rpwf_requests_total {}",

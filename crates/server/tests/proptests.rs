@@ -20,6 +20,7 @@ fn service(cache_capacity: usize) -> SolverService {
         cache_capacity,
         cache_shards: 4,
         seed: 0xCAFE,
+        solver_threads: 1,
         node_id: None,
     })
 }

@@ -14,6 +14,7 @@ fn main() {
     if let rpwf::cli::Command::Serve {
         addr: Some(addr),
         workers,
+        solver_threads,
         cache_capacity,
         node_id,
         peers,
@@ -25,6 +26,7 @@ fn main() {
     {
         let config = rpwf_server::ServiceConfig {
             workers: *workers,
+            solver_threads: *solver_threads,
             cache_capacity: *cache_capacity,
             node_id: node_id.clone(),
             ..Default::default()

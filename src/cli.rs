@@ -78,11 +78,19 @@ pub enum Command {
         path: String,
         /// The threshold objective.
         objective: Objective,
+        /// Worker threads for the exact search (1 = sequential,
+        /// 0 = available parallelism). Answers are byte-identical at
+        /// every thread count.
+        solver_threads: usize,
     },
     /// Print the Pareto front of an instance file.
     Pareto {
         /// Path to the instance JSON.
         path: String,
+        /// Worker threads for the exact search (1 = sequential,
+        /// 0 = available parallelism). Fronts are byte-identical at
+        /// every thread count.
+        solver_threads: usize,
     },
     /// Monte Carlo validation of the min-FP mapping of an instance file.
     Simulate {
@@ -98,6 +106,11 @@ pub enum Command {
         addr: Option<String>,
         /// Worker threads (0 = available parallelism).
         workers: usize,
+        /// Worker threads per exact branch-and-bound search
+        /// (1 = sequential, 0 = available parallelism; the service caps
+        /// the product `solver threads × pool workers` at the core
+        /// count).
+        solver_threads: usize,
         /// Solution-cache entries (0 disables).
         cache_capacity: usize,
         /// Fleet identity of this node — the `host:port` its peers dial.
@@ -146,11 +159,12 @@ rpwf — bi-criteria latency/reliability pipeline mapping (Benoit et al. 2008)
 
 USAGE:
   rpwf gen --class <fh|ch|het> --failure <hom|het> -n <stages> -m <procs> [--seed <u64>]
-  rpwf solve <instance.json> --min-fp-under-latency <L>
-  rpwf solve <instance.json> --min-latency-under-fp <F>
-  rpwf pareto <instance.json>
+  rpwf solve <instance.json> --min-fp-under-latency <L> [--solver-threads <n>]
+  rpwf solve <instance.json> --min-latency-under-fp <F> [--solver-threads <n>]
+  rpwf pareto <instance.json> [--solver-threads <n>]
   rpwf simulate <instance.json> [--trials <count>]
-  rpwf serve [--addr <host:port>] [--stdin] [--workers <n>] [--cache-capacity <n>]
+  rpwf serve [--addr <host:port>] [--stdin] [--workers <n>] [--solver-threads <n>]
+             [--cache-capacity <n>]
   rpwf serve --addr <host:port> --node-id <host:port> --peers <host:port,...>
              [--vnodes <n>] [--replicas <r>] [--peer-connect-ms <ms>] [--peer-read-ms <ms>]
   rpwf batch <requests.jsonl> [--workers <n>] [--no-group]
@@ -173,6 +187,13 @@ replicated to the successors so one node death loses no cached work.
 --node-id must be the address the peers dial for this node.
 --peer-connect-ms / --peer-read-ms bound how long a dead or wedged
 peer is waited on (a per-peer circuit breaker skips known-dead peers).
+
+--solver-threads runs each exact branch-and-bound search on a shared
+worker pool (1 = sequential, 0 = one per core). Answers and fronts are
+byte-identical at every thread count; threads only buy wall-clock time
+and a larger exactly-solvable instance size. The server additionally
+caps solver threads so that solver threads x pool workers never
+exceeds the machine's cores.
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -221,6 +242,15 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             .parse::<f64>()
             .map_err(|e| format!("--{key}: {e}"))
     };
+    // `--solver-threads` defaults to 1 (sequential) everywhere; parallel
+    // search is an explicit opt-in.
+    let get_solver_threads =
+        |opts: &std::collections::HashMap<String, String>| -> std::result::Result<usize, String> {
+            opts.get("solver-threads").map_or(Ok(1), |s| {
+                s.parse::<usize>()
+                    .map_err(|e| format!("--solver-threads: {e}"))
+            })
+        };
 
     match cmd.as_str() {
         "gen" => {
@@ -263,14 +293,23 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             } else {
                 return Err("solve needs --min-fp-under-latency or --min-latency-under-fp".into());
             };
-            Ok(Command::Solve { path, objective })
+            let solver_threads = get_solver_threads(&opts)?;
+            Ok(Command::Solve {
+                path,
+                objective,
+                solver_threads,
+            })
         }
         "pareto" => {
             let path = positional
                 .first()
                 .ok_or_else(|| "pareto needs an instance file".to_string())?
                 .clone();
-            Ok(Command::Pareto { path })
+            let solver_threads = get_solver_threads(&opts)?;
+            Ok(Command::Pareto {
+                path,
+                solver_threads,
+            })
         }
         "simulate" => {
             let path = positional
@@ -296,6 +335,7 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             let workers = opts.get("workers").map_or(Ok(0), |s| {
                 s.parse::<usize>().map_err(|e| format!("--workers: {e}"))
             })?;
+            let solver_threads = get_solver_threads(&opts)?;
             let cache_capacity = opts.get("cache-capacity").map_or(Ok(4096), |s| {
                 s.parse::<usize>()
                     .map_err(|e| format!("--cache-capacity: {e}"))
@@ -347,6 +387,7 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             Ok(Command::Serve {
                 addr,
                 workers,
+                solver_threads,
                 cache_capacity,
                 node_id,
                 peers,
@@ -415,11 +456,13 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
         Command::Serve {
             addr: None,
             workers,
+            solver_threads,
             cache_capacity,
             ..
         } => {
             rpwf_server::serve_stdin(rpwf_server::ServiceConfig {
                 workers: *workers,
+                solver_threads: *solver_threads,
                 cache_capacity: *cache_capacity,
                 ..Default::default()
             });
@@ -534,13 +577,17 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
             }
             .to_json())
         }
-        Command::Solve { path, objective } => {
+        Command::Solve {
+            path,
+            objective,
+            solver_threads,
+        } => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let inst = InstanceFile::from_json(&text)?;
             // One engine call: capability-driven backend selection,
             // exact-first with portfolio racing — the same plan the
             // server runs.
-            let engine = Engine::with_default_backends(ENGINE_SEED);
+            let engine = Engine::with_parallel_backends(ENGINE_SEED, *solver_threads);
             let report = engine.solve(&SolveRequest {
                 pipeline: &inst.pipeline,
                 platform: &inst.platform,
@@ -577,14 +624,17 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
             writeln!(out, "FP       : {:.6}", sol.failure_prob).expect("write to string");
             Ok(out)
         }
-        Command::Pareto { path } => {
+        Command::Pareto {
+            path,
+            solver_threads,
+        } => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let inst = InstanceFile::from_json(&text)?;
             // Front-first through the engine: the strongest exact front
             // backend where one applies, the heuristic portfolio front
             // beyond — every instance gets an answer, flagged by
             // completeness.
-            let engine = Engine::with_default_backends(ENGINE_SEED);
+            let engine = Engine::with_parallel_backends(ENGINE_SEED, *solver_threads);
             let report = engine.solve(&SolveRequest {
                 pipeline: &inst.pipeline,
                 platform: &inst.platform,
@@ -684,7 +734,8 @@ mod tests {
             cmd,
             Command::Solve {
                 path: "inst.json".into(),
-                objective: Objective::MinFpUnderLatency(22.0)
+                objective: Objective::MinFpUnderLatency(22.0),
+                solver_threads: 1,
             }
         );
         let cmd = parse_args(&args("solve inst.json --min-latency-under-fp 0.2")).unwrap();
@@ -734,6 +785,7 @@ mod tests {
         let out = run(&Command::Solve {
             path: path_str.clone(),
             objective: Objective::MinFpUnderLatency(budget),
+            solver_threads: 1,
         })
         .unwrap();
         assert!(out.contains("exact"), "{out}");
@@ -741,6 +793,7 @@ mod tests {
 
         let front = run(&Command::Pareto {
             path: path_str.clone(),
+            solver_threads: 1,
         })
         .unwrap();
         assert!(front.lines().count() >= 2, "{front}");
@@ -787,6 +840,7 @@ mod tests {
             Command::Serve {
                 addr: Some("0.0.0.0:9000".into()),
                 workers: 4,
+                solver_threads: 1,
                 cache_capacity: 4096,
                 node_id: None,
                 peers: vec![],
@@ -801,6 +855,7 @@ mod tests {
             Command::Serve {
                 addr: None,
                 workers: 0,
+                solver_threads: 1,
                 cache_capacity: 16,
                 node_id: None,
                 peers: vec![],
@@ -815,6 +870,7 @@ mod tests {
             Command::Serve {
                 addr: Some("127.0.0.1:7077".into()),
                 workers: 0,
+                solver_threads: 1,
                 cache_capacity: 4096,
                 node_id: None,
                 peers: vec![],
@@ -840,6 +896,7 @@ mod tests {
             Command::Serve {
                 addr: Some("0.0.0.0:7001".into()),
                 workers: 0,
+                solver_threads: 1,
                 cache_capacity: 4096,
                 node_id: Some("10.0.0.1:7001".into()),
                 peers: vec!["10.0.0.2:7001".into(), "10.0.0.3:7001".into()],
@@ -860,6 +917,7 @@ mod tests {
             Command::Serve {
                 addr: Some("0.0.0.0:7001".into()),
                 workers: 0,
+                solver_threads: 1,
                 cache_capacity: 4096,
                 node_id: Some("10.0.0.1:7001".into()),
                 peers: vec!["10.0.0.2:7001".into()],
@@ -1032,6 +1090,7 @@ mod tests {
         std::fs::write(&path, &json).unwrap();
         let out = run(&Command::Pareto {
             path: path.to_string_lossy().into_owned(),
+            solver_threads: 1,
         })
         .unwrap();
         assert!(out.contains("heuristic"), "{out}");
@@ -1044,6 +1103,7 @@ mod tests {
         let err = run(&Command::Solve {
             path: "/nonexistent/inst.json".into(),
             objective: Objective::MinFpUnderLatency(1.0),
+            solver_threads: 1,
         })
         .unwrap_err();
         assert!(err.contains("/nonexistent/inst.json"));

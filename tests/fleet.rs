@@ -42,6 +42,7 @@ fn fleet_config(node_id: &str, cache_capacity: usize) -> ServiceConfig {
         cache_capacity,
         cache_shards: 4,
         seed: 0xCAFE,
+        solver_threads: 1,
         node_id: Some(node_id.to_string()),
     }
 }

@@ -17,6 +17,7 @@ fn start_server() -> Server {
             cache_capacity: 256,
             cache_shards: 8,
             seed: 0xCAFE,
+            solver_threads: 1,
             node_id: None,
         },
     )

@@ -16,6 +16,7 @@ fn start_server() -> Server {
             cache_capacity: 256,
             cache_shards: 8,
             seed: 0xCAFE,
+            solver_threads: 1,
             node_id: None,
         },
     )
@@ -268,6 +269,7 @@ fn dropped_connection_cancels_its_inflight_solve() {
             cache_capacity: 16,
             cache_shards: 2,
             seed: 0xCAFE,
+            solver_threads: 1,
             node_id: None,
         },
     )
