@@ -1,0 +1,9 @@
+//! E22 — overload shedding: 10× offered load against the
+//! admission-controlled reactor (writes `BENCH_overload.json`).
+//! Pass `--smoke` for the tiny CI-sized run.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    for table in rpwf_bench::experiments::overload::overload(smoke) {
+        table.print();
+    }
+}

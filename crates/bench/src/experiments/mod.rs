@@ -22,6 +22,7 @@
 //! | E19 | [`trace_overhead::trace_overhead`] | `exp_trace` |
 //! | E20 | [`chaos::chaos`] | `exp_chaos` |
 //! | E21 | [`parallel_search::parallel_search`] | `exp_par` |
+//! | E22 | [`overload::overload`] | `exp_overload` |
 //!
 //! (E12 is the criterion suite under `benches/`.)
 
@@ -33,6 +34,7 @@ pub mod figures;
 pub mod fleet;
 pub mod hardness;
 pub mod heuristics_eval;
+pub mod overload;
 pub mod parallel_search;
 pub mod server_throughput;
 pub mod simulation;
@@ -90,5 +92,6 @@ pub fn run_all() -> Vec<(&'static str, Vec<Table>)> {
         ("E19", trace_overhead::trace_overhead(false)),
         ("E20", chaos::chaos(false)),
         ("E21", parallel_search::parallel_search(false)),
+        ("E22", overload::overload(false)),
     ]
 }

@@ -1,0 +1,387 @@
+//! E22 — overload behavior of the admission-controlled reactor: a 10×
+//! overload burst against a small solve queue vs a 1× baseline (writes
+//! `BENCH_overload.json`).
+//!
+//! One server (2 workers, a 2-slot solve queue) answers the same
+//! uncached threshold solve over and over — a uniform unit of work — in
+//! two scenarios:
+//!
+//! * **baseline-1x** — as many closed-loop clients as workers: the
+//!   queue stays shallow and (almost) nothing is shed,
+//! * **overload-10x** — ten times that many clients: far more demand
+//!   than capacity, so the admission controller must shed most of it.
+//!
+//! What an overloaded server owes its clients is an *immediate, honest*
+//! answer: either the solve, still fast, or a structured `overloaded`
+//! rejection carrying `retry_after_ms` — never a request that queues
+//! silently until its deadline dies. Measured per scenario:
+//!
+//! * **availability** — answered-`ok` plus fast-rejected-with-hint,
+//!   over all requests (must be 1.0: overload degrades *throughput*,
+//!   never leaves a client hanging),
+//! * **accepted p50/p99** — latency of the admitted requests: the
+//!   bounded queue keeps the accepted tail within a small multiple of
+//!   the baseline's instead of growing with offered load,
+//! * **shed p99** — latency of the rejections (a reject must be fast,
+//!   that is its entire point),
+//! * **late timeouts** — admitted requests that still blew their
+//!   deadline (must be zero: admission only accepts what it can serve
+//!   in time).
+//!
+//! Acceptance (full mode): both availabilities 1.0, zero late timeouts,
+//! overload sheds > 0, accepted p99 under overload ≤ 3× the baseline's.
+//! Smoke mode (`--smoke`, CI) shrinks the workload and skips the timing
+//! bar (the structural bars still hold).
+
+use crate::table::Table;
+use rpwf_algo::Objective;
+use rpwf_core::platform::{FailureClass, PlatformClass};
+use rpwf_server::protocol::{Command, Request, Response};
+use rpwf_server::{Server, ServiceConfig, ServingOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Every request carries this deadline — generous next to the
+/// millisecond-scale service time, so an admitted request that still
+/// times out is unambiguously an admission-control failure.
+const DEADLINE_MS: u64 = 10_000;
+/// Solve-queue bound: one slot, so an admitted request waits at most
+/// one in-flight solve plus its own — the accepted tail is bounded by
+/// ~2 service times and overload turns into shedding, not queue growth.
+const MAX_QUEUE: usize = 1;
+const WORKERS: usize = 2;
+
+struct Scenario {
+    name: String,
+    clients: usize,
+    requests: usize,
+    ok: usize,
+    shed: usize,
+    late_timeouts: usize,
+    availability: f64,
+    accepted_p50_ms: f64,
+    accepted_p99_ms: f64,
+    shed_p99_ms: f64,
+    wall_secs: f64,
+}
+
+/// Runs E22 and returns the result tables (also writes
+/// `BENCH_overload.json`). `smoke` shrinks the workload to CI size.
+///
+/// # Panics
+/// When availability drops below 1.0, an admitted request times out, a
+/// rejection lacks its retry hint, the overload pass sheds nothing, or
+/// (full mode) the accepted tail under overload exceeds 3× baseline.
+#[must_use]
+pub fn overload(smoke: bool) -> Vec<Table> {
+    let (n, m, per_client) = if smoke { (3, 4, 6) } else { (4, 6, 20) };
+
+    let baseline = run_scenario("baseline-1x", WORKERS, per_client, n, m);
+    let overloaded = run_scenario("overload-10x", WORKERS * 10, per_client, n, m);
+
+    for scenario in [&baseline, &overloaded] {
+        assert!(
+            (scenario.availability - 1.0).abs() < f64::EPSILON,
+            "{}: every request must be answered or fast-rejected \
+             (availability {})",
+            scenario.name,
+            scenario.availability
+        );
+        assert_eq!(
+            scenario.late_timeouts, 0,
+            "{}: an admitted request must never queue into a late timeout",
+            scenario.name
+        );
+    }
+    assert!(
+        overloaded.shed > 0,
+        "10× offered load against a {MAX_QUEUE}-slot queue must shed"
+    );
+    if !smoke {
+        assert!(
+            overloaded.accepted_p99_ms <= 3.0 * baseline.accepted_p99_ms.max(1e-3),
+            "acceptance: the bounded queue must keep the accepted tail within \
+             3× of baseline (overload p99 {:.3} ms vs baseline {:.3} ms)",
+            overloaded.accepted_p99_ms,
+            baseline.accepted_p99_ms
+        );
+    }
+
+    let scenarios = [baseline, overloaded];
+    let mut table = Table::new(
+        format!(
+            "E22 / overload shedding — {WORKERS} workers, {MAX_QUEUE}-slot \
+             solve queue, uncached solves (comm-homog n={n}, m={m}), \
+             {per_client} requests per closed-loop client"
+        ),
+        &[
+            "scenario",
+            "clients",
+            "requests",
+            "ok",
+            "shed",
+            "availability",
+            "accepted p50 ms",
+            "accepted p99 ms",
+            "shed p99 ms",
+            "late timeouts",
+        ],
+    );
+    for meas in &scenarios {
+        table.row(vec![
+            meas.name.clone(),
+            meas.clients.to_string(),
+            meas.requests.to_string(),
+            meas.ok.to_string(),
+            meas.shed.to_string(),
+            format!("{:.3}", meas.availability),
+            format!("{:.3}", meas.accepted_p50_ms),
+            format!("{:.3}", meas.accepted_p99_ms),
+            format!("{:.3}", meas.shed_p99_ms),
+            meas.late_timeouts.to_string(),
+        ]);
+    }
+    table.note(
+        "under 10× offered load the admission controller sheds the excess \
+         immediately with a structured overloaded + retry_after_ms error: \
+         every client hears back fast (availability 1.0), admitted requests \
+         never rot in a queue past their deadline, and the accepted tail \
+         stays within a small multiple of the uncontended baseline",
+    );
+
+    write_json(&scenarios);
+    vec![table]
+}
+
+/// One scenario: a fresh server, `clients` closed-loop clients each
+/// issuing `per_client` identical uncached solves.
+fn run_scenario(name: &str, clients: usize, per_client: usize, n: usize, m: usize) -> Scenario {
+    let mut server = Server::bind_tuned(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: WORKERS,
+            cache_capacity: 0,
+            cache_shards: 1,
+            seed: 0xCAFE,
+            solver_threads: 1,
+            node_id: None,
+        },
+        ServingOptions {
+            max_queue: MAX_QUEUE,
+            ..ServingOptions::default()
+        },
+    )
+    .expect("bind overload server");
+    let addr = server.local_addr().to_string();
+    let line = workload_line(n, m);
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let line = line.clone();
+            std::thread::spawn(move || client_loop(&addr, &line, c as u64, per_client))
+        })
+        .collect();
+    let mut accepted_ms = Vec::new();
+    let mut shed_ms = Vec::new();
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    let mut late_timeouts = 0usize;
+    for handle in handles {
+        let outcomes = handle.join().expect("client thread");
+        for (latency_ms, outcome) in outcomes {
+            match outcome {
+                Outcome::Ok => {
+                    ok += 1;
+                    accepted_ms.push(latency_ms);
+                }
+                Outcome::Shed => {
+                    shed += 1;
+                    shed_ms.push(latency_ms);
+                }
+                Outcome::LateTimeout => late_timeouts += 1,
+            }
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let requests = clients * per_client;
+    accepted_ms.sort_unstable_by(f64::total_cmp);
+    shed_ms.sort_unstable_by(f64::total_cmp);
+    Scenario {
+        name: name.to_string(),
+        clients,
+        requests,
+        ok,
+        shed,
+        late_timeouts,
+        availability: (ok + shed) as f64 / requests as f64,
+        accepted_p50_ms: percentile(&accepted_ms, 50.0),
+        accepted_p99_ms: percentile(&accepted_ms, 99.0),
+        shed_p99_ms: percentile(&shed_ms, 99.0),
+        wall_secs,
+    }
+}
+
+enum Outcome {
+    /// Admitted and answered in time.
+    Ok,
+    /// Fast-rejected with a usable `retry_after_ms` hint.
+    Shed,
+    /// Admitted, then timed out anyway — the admission-control failure
+    /// this experiment exists to rule out.
+    LateTimeout,
+}
+
+/// One closed-loop client: `count` sequential requests over one
+/// connection, each latency-stamped and classified.
+fn client_loop(addr: &str, line: &str, client: u64, count: usize) -> Vec<(f64, Outcome)> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut outcomes = Vec::with_capacity(count);
+    for i in 0..count {
+        let reissued = reissue(line, client * 10_000 + i as u64);
+        let began = Instant::now();
+        writeln!(writer, "{reissued}").expect("send");
+        writer.flush().expect("flush");
+        let mut buf = String::new();
+        reader.read_line(&mut buf).expect("response line");
+        let latency_ms = began.elapsed().as_secs_f64() * 1e3;
+        let parsed: Response = serde_json::from_str(buf.trim_end()).expect("response parses");
+        let outcome = match parsed.status.as_str() {
+            "ok" => Outcome::Ok,
+            _ => {
+                let error = parsed.error.expect("error payload");
+                match error.kind.as_str() {
+                    "overloaded" => {
+                        let hint = error.retry_after_ms.expect("rejections carry a retry hint");
+                        assert!(hint > 0, "retry_after_ms must be a usable wait");
+                        Outcome::Shed
+                    }
+                    "timeout" => Outcome::LateTimeout,
+                    other => panic!("unexpected error kind {other}: {}", error.message),
+                }
+            }
+        };
+        outcomes.push((latency_ms, outcome));
+    }
+    outcomes
+}
+
+/// The uniform unit of work: one feasible uncached threshold solve.
+fn workload_line(n: usize, m: usize) -> String {
+    let inst = rpwf_gen::make_instance(
+        PlatformClass::CommHomogeneous,
+        FailureClass::Heterogeneous,
+        n,
+        m,
+        42,
+    );
+    let safest = rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform);
+    let request = Request {
+        id: Some(0),
+        deadline_ms: Some(DEADLINE_MS),
+        no_cache: Some(true),
+        hop: None,
+        trace: None,
+        trace_ctx: None,
+        cmd: Command::Solve {
+            pipeline: inst.pipeline,
+            platform: inst.platform,
+            objective: Objective::MinFpUnderLatency(safest.latency * 1.5),
+        },
+    };
+    serde_json::to_string(&request).expect("serializes")
+}
+
+/// Re-serializes the workload line under a fresh request id.
+fn reissue(line: &str, id: u64) -> String {
+    let mut request: Request = serde_json::from_str(line).expect("workload parses");
+    request.id = Some(id);
+    serde_json::to_string(&request).expect("serializes")
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.saturating_sub(1).min(sorted_ms.len() - 1)]
+}
+
+fn write_json(scenarios: &[Scenario]) {
+    let doc = serde::Value::Map(vec![
+        (
+            "scenarios".into(),
+            serde::Value::Seq(
+                scenarios
+                    .iter()
+                    .map(|meas| {
+                        serde::Value::Map(vec![
+                            ("scenario".into(), serde::Value::Str(meas.name.clone())),
+                            ("clients".into(), serde::Value::UInt(meas.clients as u64)),
+                            ("requests".into(), serde::Value::UInt(meas.requests as u64)),
+                            ("ok".into(), serde::Value::UInt(meas.ok as u64)),
+                            ("shed".into(), serde::Value::UInt(meas.shed as u64)),
+                            (
+                                "late_timeouts".into(),
+                                serde::Value::UInt(meas.late_timeouts as u64),
+                            ),
+                            (
+                                "availability".into(),
+                                serde::Value::Float(meas.availability),
+                            ),
+                            (
+                                "accepted_p50_ms".into(),
+                                serde::Value::Float(meas.accepted_p50_ms),
+                            ),
+                            (
+                                "accepted_p99_ms".into(),
+                                serde::Value::Float(meas.accepted_p99_ms),
+                            ),
+                            ("shed_p99_ms".into(), serde::Value::Float(meas.shed_p99_ms)),
+                            ("wall_secs".into(), serde::Value::Float(meas.wall_secs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "accepted_p99_ratio_overload_over_baseline".into(),
+            serde::Value::Float(
+                scenarios[1].accepted_p99_ms / scenarios[0].accepted_p99_ms.max(1e-9),
+            ),
+        ),
+        ("workers".into(), serde::Value::UInt(WORKERS as u64)),
+        ("max_queue".into(), serde::Value::UInt(MAX_QUEUE as u64)),
+        ("deadline_ms".into(), serde::Value::UInt(DEADLINE_MS)),
+    ]);
+    let text = serde_json::to_string_pretty(&doc).expect("serializes");
+    if let Err(e) = std::fs::write("BENCH_overload.json", text) {
+        eprintln!("warning: could not write BENCH_overload.json: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_overload_runs() {
+        // Serialized with the timing-sensitive tests: dozens of client
+        // threads perturb microsecond-scale medians elsewhere.
+        let _timing = crate::experiments::TIMING_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let tables = overload(true);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 2);
+        let _ = std::fs::remove_file("BENCH_overload.json");
+    }
+}

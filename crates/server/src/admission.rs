@@ -1,0 +1,390 @@
+//! Deadline-aware admission control over the bounded solve queue.
+//!
+//! Under overload a server has exactly two honest choices: queue a
+//! request it can still finish in time, or reject it *immediately* with
+//! a [`retry_after`](crate::protocol::WireError::retry_after_ms) hint.
+//! Queueing past either bound converts overload into late timeouts — the
+//! client waits its full deadline and still gets nothing, and the worker
+//! that eventually dequeues the request burns time on an answer nobody
+//! is waiting for. The `Admission` controller sheds in two cases:
+//!
+//! * **queue full** — the solve queue holds
+//!   [`ServingOptions::max_queue`] requests already,
+//! * **deadline unmeetable** — the request carries a deadline (or the
+//!   deployment set [`ServingOptions::admission_deadline`] as a default
+//!   for deadline-less traffic) and the predicted queue wait —
+//!   `(queued + busy) × EWMA(service time) / workers` — already exceeds
+//!   the remaining budget.
+//!
+//! Both rejections are produced on the reactor's event thread *before*
+//! the request touches the pool, so the shed path costs a queue-depth
+//! read and one envelope sniff — microseconds, which is what makes the
+//! `retry_after` hint honest: by the time a well-behaved client retries,
+//! the backlog it was quoted has drained.
+//!
+//! The controller deliberately runs *before* the cache: under real
+//! overload a cache-hit request can be shed even though it would have
+//! answered instantly. That trade keeps the admission decision O(1) and
+//! the event loop unstallable; the lost hits only occur while the node
+//! is saturated, exactly when shedding load is the point.
+
+use crate::metrics::LatencyHistogram;
+use crate::protocol::ServingStatsOut;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Serving-plane tuning for the reactor transport: event threads, the
+/// bounded solve queue, and the admission controller's default deadline.
+///
+/// Kept separate from [`ServiceConfig`](crate::ServiceConfig) so
+/// existing exhaustive `ServiceConfig` literals stay source-compatible;
+/// transports take it through [`Server::bind_tuned`](crate::Server::bind_tuned)
+/// and [`Server::bind_ring_tuned`](crate::Server::bind_ring_tuned).
+#[derive(Clone, Debug, Default)]
+pub struct ServingOptions {
+    /// Reactor event threads multiplexing all connections
+    /// (0 = the default, 2 — one thread drives thousands of idle
+    /// connections; a second isolates a pathological client).
+    pub event_threads: usize,
+    /// Solve-queue bound: requests beyond this are shed with
+    /// `overloaded` + `retry_after_ms` instead of queueing (0 = the
+    /// default, 1024).
+    pub max_queue: usize,
+    /// Default deadline the admission controller assumes for requests
+    /// that carry none — `None` means deadline-less requests are only
+    /// shed by the queue bound, never by wait prediction.
+    pub admission_deadline: Option<Duration>,
+}
+
+/// Default event threads when [`ServingOptions::event_threads`] is 0.
+pub(crate) const DEFAULT_EVENT_THREADS: usize = 2;
+
+/// Default solve-queue bound when [`ServingOptions::max_queue`] is 0.
+pub(crate) const DEFAULT_MAX_QUEUE: usize = 1024;
+
+impl ServingOptions {
+    /// The effective event-thread count (resolving 0 to the default).
+    #[must_use]
+    pub fn effective_event_threads(&self) -> usize {
+        if self.event_threads == 0 {
+            DEFAULT_EVENT_THREADS
+        } else {
+            self.event_threads
+        }
+    }
+
+    /// The effective solve-queue bound (resolving 0 to the default).
+    #[must_use]
+    pub fn effective_max_queue(&self) -> usize {
+        if self.max_queue == 0 {
+            DEFAULT_MAX_QUEUE
+        } else {
+            self.max_queue
+        }
+    }
+}
+
+/// Why a request was shed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ShedReason {
+    /// The solve queue is at capacity.
+    QueueFull,
+    /// The predicted queue wait exceeds the request's remaining deadline.
+    DeadlineUnmeetable,
+}
+
+/// The admission verdict for one request.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Verdict {
+    /// Enqueue it.
+    Admit,
+    /// Reject fast with the given retry hint.
+    Shed {
+        /// Predicted milliseconds until a retry would be admitted.
+        retry_after_ms: u64,
+        /// Which bound fired.
+        reason: ShedReason,
+    },
+}
+
+/// Shared admission state: the queue/busy gauges the worker pool keeps
+/// current, the service-time EWMA fed by completed jobs, and the shed
+/// counters the metrics surfaces report.
+#[derive(Debug)]
+pub(crate) struct Admission {
+    max_queue: u64,
+    workers: u64,
+    default_deadline: Option<Duration>,
+    /// Requests sitting in the solve queue (incremented on submit,
+    /// decremented when a worker dequeues).
+    queued: AtomicU64,
+    /// Workers currently executing a request.
+    busy: AtomicU64,
+    /// Exponentially weighted moving average of per-request service
+    /// time, microseconds (α = 1/8; seeded by the first sample).
+    ewma_service_us: AtomicU64,
+    admitted: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_deadline: AtomicU64,
+    /// Latency of the shed path itself (receipt → reject emitted).
+    shed_latency: LatencyHistogram,
+}
+
+impl Admission {
+    /// A controller for a pool of `workers` threads behind a
+    /// `max_queue`-bounded queue.
+    pub(crate) fn new(
+        max_queue: usize,
+        workers: usize,
+        default_deadline: Option<Duration>,
+    ) -> Self {
+        Admission {
+            max_queue: max_queue.max(1) as u64,
+            workers: workers.max(1) as u64,
+            default_deadline,
+            queued: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            ewma_service_us: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            shed_latency: LatencyHistogram::default(),
+        }
+    }
+
+    /// Current solve-queue depth.
+    pub(crate) fn queue_depth(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Workers currently executing.
+    pub(crate) fn busy_workers(&self) -> u64 {
+        self.busy.load(Ordering::Relaxed)
+    }
+
+    /// Pool bookkeeping: a job entered the queue.
+    pub(crate) fn on_enqueue(&self) {
+        self.queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pool bookkeeping: a worker dequeued a job and starts executing.
+    pub(crate) fn on_dequeue(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        self.busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pool bookkeeping: the job finished after `service_us` of work.
+    pub(crate) fn on_complete(&self, service_us: u64) {
+        self.busy.fetch_sub(1, Ordering::Relaxed);
+        // Lossy-but-lock-free EWMA: a concurrent update can drop one
+        // sample's weight, which the next sample repairs.
+        let old = self.ewma_service_us.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            service_us
+        } else {
+            old - old / 8 + service_us / 8
+        };
+        self.ewma_service_us.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// Predicted queue wait for a request entering now, microseconds:
+    /// everything ahead of it (queued + in execution), divided across
+    /// the workers, at the observed per-request service time. Zero until
+    /// the first completed request seeds the EWMA — a cold controller
+    /// admits everything and lets the queue bound protect it.
+    pub(crate) fn estimated_wait_us(&self) -> u64 {
+        let ahead = self
+            .queued
+            .load(Ordering::Relaxed)
+            .saturating_add(self.busy.load(Ordering::Relaxed));
+        let ewma = self.ewma_service_us.load(Ordering::Relaxed);
+        ahead.saturating_mul(ewma) / self.workers
+    }
+
+    /// The admission decision for a sheddable request with
+    /// `deadline_remaining` budget left (`None` = the request carries no
+    /// deadline; the configured default applies, if any).
+    pub(crate) fn decide(&self, deadline_remaining: Option<Duration>) -> Verdict {
+        let est_us = self.estimated_wait_us();
+        if self.queued.load(Ordering::Relaxed) >= self.max_queue {
+            self.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            return Verdict::Shed {
+                retry_after_ms: (est_us / 1000).max(1),
+                reason: ShedReason::QueueFull,
+            };
+        }
+        let budget = deadline_remaining.or(self.default_deadline);
+        if let Some(remaining) = budget {
+            if u128::from(est_us) > remaining.as_micros() {
+                self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                return Verdict::Shed {
+                    retry_after_ms: (est_us / 1000).max(1),
+                    reason: ShedReason::DeadlineUnmeetable,
+                };
+            }
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Verdict::Admit
+    }
+
+    /// Records how long one shed took from receipt to reject.
+    pub(crate) fn record_shed_latency(&self, us: u64) {
+        self.shed_latency.record(us);
+    }
+
+    /// p99 of the shed path, microseconds.
+    pub(crate) fn shed_latency_p99_us(&self) -> u64 {
+        self.shed_latency.quantile_us(0.99)
+    }
+
+    /// Fills the admission half of the `Stats` serving payload.
+    pub(crate) fn fill_stats(&self, out: &mut ServingStatsOut) {
+        out.queue_depth = self.queue_depth();
+        out.queue_limit = self.max_queue;
+        out.busy_workers = self.busy_workers();
+        out.admitted = self.admitted.load(Ordering::Relaxed);
+        out.shed_queue_full = self.shed_queue_full.load(Ordering::Relaxed);
+        out.shed_deadline = self.shed_deadline.load(Ordering::Relaxed);
+        out.shed_latency_p99_us = self.shed_latency_p99_us();
+    }
+
+    /// Appends the `rpwf_admission_*` series to the Prometheus dump.
+    pub(crate) fn render_prometheus(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        writeln!(out, "rpwf_admission_queue_depth {}", self.queue_depth()).expect("write");
+        writeln!(out, "rpwf_admission_queue_limit {}", self.max_queue).expect("write");
+        writeln!(out, "rpwf_admission_busy_workers {}", self.busy_workers()).expect("write");
+        writeln!(
+            out,
+            "rpwf_admission_estimated_wait_us {}",
+            self.estimated_wait_us()
+        )
+        .expect("write");
+        writeln!(
+            out,
+            "rpwf_admission_admitted_total {}",
+            self.admitted.load(Ordering::Relaxed)
+        )
+        .expect("write");
+        writeln!(
+            out,
+            "rpwf_admission_shed_queue_full_total {}",
+            self.shed_queue_full.load(Ordering::Relaxed)
+        )
+        .expect("write");
+        writeln!(
+            out,
+            "rpwf_admission_shed_deadline_total {}",
+            self.shed_deadline.load(Ordering::Relaxed)
+        )
+        .expect("write");
+        self.shed_latency
+            .render_prometheus_series("rpwf_admission_shed_latency_us", out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_controller_admits_everything() {
+        let a = Admission::new(4, 2, None);
+        for _ in 0..4 {
+            assert!(matches!(a.decide(None), Verdict::Admit));
+            a.on_enqueue();
+        }
+        // Queue now at capacity: the bound fires regardless of EWMA.
+        match a.decide(None) {
+            Verdict::Shed {
+                reason,
+                retry_after_ms,
+            } => {
+                assert_eq!(reason, ShedReason::QueueFull);
+                assert!(retry_after_ms >= 1, "retry hint is always positive");
+            }
+            Verdict::Admit => panic!("full queue must shed"),
+        }
+    }
+
+    #[test]
+    fn deadline_shedding_uses_the_service_ewma() {
+        let a = Admission::new(1024, 1, None);
+        // Seed the EWMA: one request took 100 ms.
+        a.on_enqueue();
+        a.on_dequeue();
+        a.on_complete(100_000);
+        // Two requests ahead (one queued, one executing) at ~100 ms each
+        // predicts ~200 ms of wait.
+        a.on_enqueue();
+        a.on_enqueue();
+        a.on_dequeue();
+        assert!(a.estimated_wait_us() > 150_000);
+        // 10 ms of remaining budget is hopeless: shed with a retry hint.
+        match a.decide(Some(Duration::from_millis(10))) {
+            Verdict::Shed { reason, .. } => assert_eq!(reason, ShedReason::DeadlineUnmeetable),
+            Verdict::Admit => panic!("unmeetable deadline must shed"),
+        }
+        // A deadline that clears the backlog is admitted.
+        assert!(matches!(
+            a.decide(Some(Duration::from_secs(5))),
+            Verdict::Admit
+        ));
+        // No deadline and no configured default: only the queue bound.
+        assert!(matches!(a.decide(None), Verdict::Admit));
+    }
+
+    #[test]
+    fn configured_default_deadline_governs_deadline_less_requests() {
+        let a = Admission::new(1024, 1, Some(Duration::from_millis(10)));
+        a.on_enqueue();
+        a.on_dequeue();
+        a.on_complete(100_000);
+        a.on_enqueue();
+        match a.decide(None) {
+            Verdict::Shed { reason, .. } => assert_eq!(reason, ShedReason::DeadlineUnmeetable),
+            Verdict::Admit => panic!("default admission deadline must apply"),
+        }
+    }
+
+    #[test]
+    fn stats_and_prometheus_report_the_counters() {
+        let a = Admission::new(2, 1, None);
+        assert!(matches!(a.decide(None), Verdict::Admit));
+        a.on_enqueue();
+        a.on_enqueue();
+        let _ = a.decide(None); // sheds: queue full
+        a.record_shed_latency(50);
+        let mut stats = crate::protocol::ServingStatsOut {
+            event_threads: 0,
+            open_connections: 0,
+            queue_depth: 0,
+            queue_limit: 0,
+            busy_workers: 0,
+            admitted: 0,
+            shed_queue_full: 0,
+            shed_deadline: 0,
+            shed_latency_p99_us: 0,
+            reactor_loop_p99_us: 0,
+            pending_forwards: 0,
+            slow_client_disconnects: 0,
+        };
+        a.fill_stats(&mut stats);
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.shed_queue_full, 1);
+        assert_eq!(stats.queue_depth, 2);
+        assert_eq!(stats.queue_limit, 2);
+        assert!(stats.shed_latency_p99_us >= 50);
+        let mut text = String::new();
+        a.render_prometheus(&mut text);
+        assert!(text.contains("rpwf_admission_queue_depth 2"), "{text}");
+        assert!(
+            text.contains("rpwf_admission_shed_queue_full_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rpwf_admission_shed_latency_us_count 1"),
+            "{text}"
+        );
+    }
+}

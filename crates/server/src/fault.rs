@@ -100,6 +100,12 @@ impl FaultPlan {
     /// `[base, 2·base]`, drawn **now** from the plan seed (mixed with
     /// `k`) — the injected delay is fixed at build time, not at fire
     /// time, so concurrent chaos runs stay reproducible.
+    ///
+    /// The delay is applied as a **reactor timer**: the delayed line
+    /// parks in the event thread's timer heap and flushes when due. No
+    /// worker or event thread sleeps, so a delayed node keeps serving
+    /// its other connections at full speed — exactly how a GC pause on
+    /// one response stream behaves.
     #[must_use]
     pub fn delay_response_at(mut self, k: u64, base: Duration) -> Self {
         let mut backoff = JitteredBackoff::new(base, base.saturating_mul(2), self.seed ^ k);

@@ -24,11 +24,19 @@
 //! slow-query ring of its recent traced requests behind the `Trace`
 //! command.
 //!
+//! The TCP transport is a poll-based **reactor**: a few event threads
+//! multiplex every client and peer connection over nonblocking sockets,
+//! per-connection write buffers apply backpressure, peer forwards run as
+//! nonblocking continuations in a pending-forward table, and a
+//! deadline-aware **admission controller** sheds overload immediately
+//! with structured `overloaded` + `retry_after_ms` errors instead of
+//! queueing requests into late timeouts.
+//!
 //! ## Layers
 //!
 //! * [`protocol`] — wire types: [`Request`]/[`Response`], commands,
 //!   `front_part`/`front_end` streaming, structured errors
-//!   (`timeout`/`infeasible`/`invalid`/`internal`),
+//!   (`timeout`/`infeasible`/`invalid`/`overloaded`/`internal`),
 //! * [`cache`] — the sharded LRU [`cache::SolutionCache`] over
 //!   [`cache::CachedEntry`] (fronts + per-query results),
 //! * [`metrics`] — per-command latency histograms and the Prometheus-style
@@ -43,7 +51,9 @@
 //!   tests,
 //! * [`service`] — transport-independent dispatch
 //!   ([`service::SolverService`]) and the [`service::WorkerPool`],
-//! * [`server`] — the TCP listener ([`Server`]) and
+//! * [`admission`] — the deadline-aware admission controller and the
+//!   serving-plane tuning knobs ([`admission::ServingOptions`]),
+//! * [`server`] — the reactor-backed TCP listener ([`Server`]) and
 //!   [`server::serve_stdin`].
 //!
 //! ## Quick example (in-process)
@@ -77,15 +87,18 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod admission;
 pub mod cache;
 pub mod fault;
 pub mod metrics;
 pub mod peer;
 pub mod protocol;
+mod reactor;
 pub mod router;
 pub mod server;
 pub mod service;
 
+pub use admission::ServingOptions;
 pub use fault::{FaultAction, FaultPlan};
 pub use protocol::{Command, Request, Response};
 pub use router::{LocalRouter, RingOptions, RingRouter, Router};

@@ -73,6 +73,32 @@ impl LatencyHistogram {
         self.max_us.load(Ordering::Relaxed)
     }
 
+    /// Renders this histogram as a standalone Prometheus-style series
+    /// `name` (`# TYPE` header, cumulative `_bucket{le=…}` counters,
+    /// `_sum`, `_count`) — the rendering used for the unlabeled serving
+    /// histograms (`rpwf_reactor_loop_us`, `rpwf_admission_shed_latency_us`).
+    /// Empty histograms still render (all-zero buckets), so a scrape
+    /// always sees the series.
+    pub fn render_prometheus_series(&self, name: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        writeln!(out, "# TYPE {name} histogram").expect("write to string");
+        let mut cumulative = 0u64;
+        for i in 0..BUCKETS {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                bucket_bound_us(i)
+            )
+            .expect("write to string");
+        }
+        cumulative += self.buckets[BUCKETS].load(Ordering::Relaxed);
+        writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}").expect("write to string");
+        writeln!(out, "{name}_sum {}", self.sum_us.load(Ordering::Relaxed))
+            .expect("write to string");
+        writeln!(out, "{name}_count {}", self.count()).expect("write to string");
+    }
+
     /// Snapshot for the `Stats` command; `None` when nothing was recorded.
     #[must_use]
     pub fn summary(&self, command: &str) -> Option<CommandStatsOut> {

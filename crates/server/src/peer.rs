@@ -51,7 +51,7 @@ use std::time::{Duration, Instant};
 const MAX_IDLE: usize = 8;
 
 /// A read-timeout error (platform-dependent kind).
-fn is_timeout(e: &std::io::Error) -> bool {
+pub(crate) fn is_timeout(e: &std::io::Error) -> bool {
     matches!(
         e.kind(),
         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
@@ -256,6 +256,69 @@ impl Peer {
                 format!("breaker half-open for peer {} (probe in flight)", self.addr),
             )),
         }
+    }
+
+    /// Reactor-path admission: `true` when a call may proceed. A
+    /// rejection is counted in [`breaker_skips`](Self::breaker_skips),
+    /// exactly like the synchronous path's breaker rejection.
+    pub(crate) fn try_admit(&self) -> bool {
+        if self.admit().is_ok() {
+            true
+        } else {
+            self.breaker_skips.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Reactor-path checkout of an idle pooled connection, converted to
+    /// nonblocking for the poll loop. `None` when the pool is dry (the
+    /// reactor then connects on a helper thread). Any bytes buffered in
+    /// the parked reader would have to be protocol garbage from a
+    /// misbehaving peer; the conversion drops them.
+    pub(crate) fn take_idle_nonblocking(&self) -> Option<TcpStream> {
+        let conn = self.idle.lock().expect("peer pool lock").pop()?;
+        let stream = conn.into_inner();
+        stream.set_read_timeout(None).ok()?;
+        stream.set_nonblocking(true).ok()?;
+        Some(stream)
+    }
+
+    /// Reactor-path fresh connect (blocking, bounded by the configured
+    /// connect timeout — the reactor runs it on a helper thread). The
+    /// returned stream is nonblocking.
+    ///
+    /// # Errors
+    /// Propagates resolution and connect failures.
+    pub(crate) fn connect_nonblocking(&self) -> std::io::Result<TcpStream> {
+        let stream = Self::connect(&self.addr, self.config.connect_timeout)?.into_inner();
+        stream.set_nonblocking(true)?;
+        Ok(stream)
+    }
+
+    /// Returns a reactor-checked-out connection to the idle pool,
+    /// restored to blocking mode for the synchronous callers.
+    pub(crate) fn park_nonblocking(&self, stream: TcpStream) {
+        if stream.set_nonblocking(false).is_ok() {
+            self.park(BufReader::new(stream));
+        }
+    }
+
+    /// Reactor-path outcome recording: success. Mirrors the counter and
+    /// breaker bookkeeping of [`call`](Self::call).
+    pub(crate) fn record_async_success(&self) {
+        self.forwards.fetch_add(1, Ordering::Relaxed);
+        self.record_outcome(true);
+    }
+
+    /// Reactor-path outcome recording: failure, split by timeout-ness
+    /// like the synchronous path.
+    pub(crate) fn record_async_failure(&self, timeout: bool) {
+        if timeout {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        self.record_outcome(false);
     }
 
     /// Feeds a call outcome into the breaker state machine.

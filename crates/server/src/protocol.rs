@@ -324,6 +324,12 @@ pub enum ErrorKind {
     Invalid,
     /// Unexpected server-side failure.
     Internal,
+    /// The admission controller shed the request before it entered the
+    /// solve queue — the node is overloaded (queue full, or the
+    /// predicted queue wait would blow the request's deadline). The
+    /// error payload carries `retry_after_ms`: the predicted time until
+    /// the backlog drains enough for a retry to be admitted.
+    Overloaded,
 }
 
 impl ErrorKind {
@@ -335,6 +341,7 @@ impl ErrorKind {
             ErrorKind::Infeasible => "infeasible",
             ErrorKind::Invalid => "invalid",
             ErrorKind::Internal => "internal",
+            ErrorKind::Overloaded => "overloaded",
         }
     }
 }
@@ -342,10 +349,17 @@ impl ErrorKind {
 /// Structured error payload.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WireError {
-    /// One of `timeout`, `infeasible`, `invalid`, `internal`.
+    /// One of `timeout`, `infeasible`, `invalid`, `internal`,
+    /// `overloaded`.
     pub kind: String,
     /// Human-readable detail.
     pub message: String,
+    /// For `overloaded` rejections: how long (milliseconds) a client
+    /// should wait before retrying — the admission controller's estimate
+    /// of the time until the solve backlog drains enough to admit the
+    /// retry. Absent on every other error kind (and on responses from
+    /// servers predating admission control).
+    pub retry_after_ms: Option<u64>,
 }
 
 /// Per-response metadata.
@@ -427,6 +441,30 @@ impl Response {
             error: Some(WireError {
                 kind: kind.name().into(),
                 message: message.into(),
+                retry_after_ms: None,
+            }),
+            meta,
+        }
+    }
+
+    /// An `overloaded` fast-reject response carrying the structured
+    /// `retry_after_ms` hint — the admission controller's answer when it
+    /// sheds a request instead of letting it time out late in the queue.
+    #[must_use]
+    pub fn overloaded(
+        id: Option<u64>,
+        retry_after_ms: u64,
+        message: impl Into<String>,
+        meta: Meta,
+    ) -> Self {
+        Response {
+            id,
+            status: "error".into(),
+            result: None,
+            error: Some(WireError {
+                kind: ErrorKind::Overloaded.name().into(),
+                message: message.into(),
+                retry_after_ms: Some(retry_after_ms),
             }),
             meta,
         }
@@ -593,6 +631,41 @@ pub struct SolverStatsOut {
     pub produced: u64,
 }
 
+/// Serving-plane counters inside [`StatsResult`]: reactor, queue, and
+/// admission-control state. Only TCP servers report it (`None` from the
+/// stdin loop and from in-process services without a transport).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServingStatsOut {
+    /// Reactor event threads multiplexing the connections.
+    pub event_threads: u64,
+    /// Connections currently registered with the reactor.
+    pub open_connections: u64,
+    /// Requests sitting in the bounded solve queue right now.
+    pub queue_depth: u64,
+    /// Solve-queue capacity (admission sheds beyond this).
+    pub queue_limit: u64,
+    /// Workers currently executing a request.
+    pub busy_workers: u64,
+    /// Requests admitted past the admission controller.
+    pub admitted: u64,
+    /// Requests shed because the solve queue was full.
+    pub shed_queue_full: u64,
+    /// Requests shed because the predicted queue wait would blow their
+    /// deadline.
+    pub shed_deadline: u64,
+    /// p99 of the shed path itself, microseconds (a reject must be fast —
+    /// that is its entire point).
+    pub shed_latency_p99_us: u64,
+    /// p99 of one reactor event-loop iteration's work phase (poll wait
+    /// excluded), microseconds.
+    pub reactor_loop_p99_us: u64,
+    /// Peer forwards currently parked in the pending-forward table.
+    pub pending_forwards: u64,
+    /// Connections severed for exceeding the per-connection write-buffer
+    /// cap (slow consumers under backpressure).
+    pub slow_client_disconnects: u64,
+}
+
 /// `Stats` result payload.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StatsResult {
@@ -606,6 +679,9 @@ pub struct StatsResult {
     pub commands: Vec<CommandStatsOut>,
     /// Per-solver execution counters (backends never called omitted).
     pub solvers: Vec<SolverStatsOut>,
+    /// Serving-plane (reactor + admission) counters; `None` when the
+    /// service has no TCP transport attached.
+    pub serving: Option<ServingStatsOut>,
 }
 
 /// Per-peer forwarding counters inside [`RingResult`].

@@ -43,7 +43,7 @@ use crate::peer::{Peer, PeerConfig};
 use crate::protocol::{
     Command, Request, Response, RingPeerOut, RingResult, TraceContext, TraceEntryOut,
 };
-use crate::service::SolverService;
+use crate::service::{Job, SolverService};
 use rpwf_core::budget::CancelHandle;
 use rpwf_core::platform::Platform;
 use rpwf_core::ring::{HashRing, DEFAULT_VNODES};
@@ -51,7 +51,7 @@ use rpwf_core::stage::Pipeline;
 use rpwf_core::trace::{Trace, TraceId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 /// Slack added to a forwarded request's remaining deadline before the
@@ -139,6 +139,44 @@ pub trait Router: Send + Sync {
         cancel: Option<&CancelHandle>,
         emit: &mut dyn FnMut(String),
     );
+
+    /// Attempts to convert a queued job into a nonblocking peer forward
+    /// for the reactor to drive ([`AsyncForward`]). `Err` returns the job
+    /// untouched for ordinary (possibly blocking) handling — the default
+    /// for local routers, and the fleet router's answer for hops, traced
+    /// requests (whose entry-side span merging stays on the worker), and
+    /// locally owned keys.
+    fn prepare_async_forward(&self, job: Job) -> Result<AsyncForward, Job> {
+        Err(job)
+    }
+}
+
+/// A worker-prepared peer forward, executed by the reactor as a
+/// nonblocking continuation: the hopped request line, the owner list to
+/// walk (primary first), and the response consumer — everything the
+/// pending-forward table needs to run the failover state machine without
+/// occupying a worker or reader thread.
+pub struct AsyncForward {
+    /// The fleet router that prepared this forward (peer clients,
+    /// failover counters, node identity).
+    pub(crate) router: Arc<RingRouter>,
+    /// Owner list, primary first (this node may appear as a non-primary
+    /// replica — the machine answers locally at that rank).
+    pub(crate) owners: Vec<String>,
+    /// The request re-serialized with the `hop` loop guard set.
+    pub(crate) hopped_line: String,
+    /// The original line, for the local fallback when every owner is
+    /// unreachable.
+    pub(crate) original_line: String,
+    /// Per-attempt response wait (remaining deadline plus shipping grace,
+    /// or the deployment watchdog).
+    pub(crate) read_timeout: Duration,
+    /// Receipt instant of the underlying request.
+    pub(crate) received: Instant,
+    /// The originating connection's cancellation handle.
+    pub(crate) cancel: Option<CancelHandle>,
+    /// Response consumer (one call per response line, in order).
+    pub(crate) respond: Box<dyn FnMut(String) + Send>,
 }
 
 /// Single-node routing: every request is answered by the local service.
@@ -175,11 +213,14 @@ pub struct RingRouter {
     service: Arc<SolverService>,
     node_id: String,
     ring: HashRing,
-    peers: HashMap<String, Peer>,
+    peers: HashMap<String, Arc<Peer>>,
     /// Distinct owners per key (≥ 1).
     replicas: usize,
     /// Read-timeout override for deadline-less forwards.
     peer_read: Option<Duration>,
+    /// Weak self-handle so [`Router::prepare_async_forward`] can hand the
+    /// reactor an owning reference (set once at construction).
+    self_ref: OnceLock<Weak<RingRouter>>,
     /// Requests received with the `hop` flag (answered as the owner).
     hops_received: AtomicU64,
     /// Requests this node answered because it owns them (as primary, or
@@ -243,17 +284,24 @@ impl RingRouter {
             peers: peers
                 .iter()
                 .filter(|p| **p != node_id)
-                .map(|p| (p.clone(), Peer::with_config(p.clone(), peer_config.clone())))
+                .map(|p| {
+                    (
+                        p.clone(),
+                        Arc::new(Peer::with_config(p.clone(), peer_config.clone())),
+                    )
+                })
                 .collect(),
             service,
             node_id,
             replicas,
             peer_read: options.peer_read,
+            self_ref: OnceLock::new(),
             hops_received: AtomicU64::new(0),
             owned_served: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
         });
+        let _ = router.self_ref.set(Arc::downgrade(&router));
         let ring_view = Arc::downgrade(&router);
         router.service.set_ring_reporter(Box::new(move || {
             ring_view.upgrade().map(|r| r.ring_result())
@@ -293,6 +341,29 @@ impl RingRouter {
     #[must_use]
     pub fn replicas(&self) -> usize {
         self.replicas
+    }
+
+    /// The pooled client for `owner`, if this router has one.
+    pub(crate) fn peer_client(&self, owner: &str) -> Option<&Arc<Peer>> {
+        self.peers.get(owner)
+    }
+
+    /// Counter hook for the reactor's forward machine: an owner attempt
+    /// was abandoned for the next candidate.
+    pub(crate) fn note_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter hook: every owner was unreachable and the entry node
+    /// solved locally.
+    pub(crate) fn note_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter hook: this node answered as an owner (primary or
+    /// surviving replica).
+    pub(crate) fn note_owned_served(&self) {
+        self.owned_served.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The owner list (primary first) of a request, empty when it routes
@@ -649,7 +720,7 @@ impl RingRouter {
             self.failovers.load(Ordering::Relaxed)
         )
         .expect("write");
-        let mut peers: Vec<&Peer> = self.peers.values().collect();
+        let mut peers: Vec<&Peer> = self.peers.values().map(AsRef::as_ref).collect();
         peers.sort_by_key(|p| p.addr().to_string());
         for peer in peers {
             writeln!(
@@ -742,5 +813,46 @@ impl Router for RingRouter {
             Some(_) => self.forward(&owners, request, received, cancel, emit),
             None => self.handle_local(request, received, cancel, emit),
         }
+    }
+
+    fn prepare_async_forward(&self, job: Job) -> Result<AsyncForward, Job> {
+        let Some(router) = self.self_ref.get().and_then(Weak::upgrade) else {
+            return Err(job);
+        };
+        let Ok(request) = serde_json::from_str::<Request>(job.line.trim()) else {
+            return Err(job); // malformed: the sync path renders the error
+        };
+        if request.hop.unwrap_or(false) || request.trace.unwrap_or(false) {
+            // Hops are answered locally; traced requests keep the
+            // blocking path, whose entry-side span bookkeeping (failover
+            // spans, owner-subtree grafting) lives on the worker.
+            return Err(job);
+        }
+        let owners = self.owners_of(&request.cmd);
+        match owners.first() {
+            Some(primary) if *primary != self.node_id => {}
+            _ => return Err(job), // local command or locally owned key
+        }
+        let mut hopped = request.clone();
+        hopped.hop = Some(true);
+        let hopped_line = serde_json::to_string(&hopped).expect("requests always serialize");
+        // Same wait bound as the synchronous `forward` path.
+        let read_timeout = match request.deadline_ms {
+            Some(ms) => {
+                (job.received + Duration::from_millis(ms)).saturating_duration_since(Instant::now())
+                    + FORWARD_GRACE
+            }
+            None => self.peer_read.unwrap_or(FORWARD_WATCHDOG),
+        };
+        Ok(AsyncForward {
+            router,
+            owners,
+            hopped_line,
+            original_line: job.line,
+            read_timeout,
+            received: job.received,
+            cancel: job.cancel,
+            respond: job.respond,
+        })
     }
 }

@@ -1,52 +1,47 @@
-//! Transports: a TCP JSON-lines listener and a stdin/stdout loop.
+//! Transports: the reactor-backed TCP JSON-lines listener and a
+//! stdin/stdout loop.
 //!
-//! Each TCP connection gets a reader thread (parsing lines, enqueueing
-//! jobs on the shared worker pool — except peer-forwarded `hop` requests,
-//! which the reader executes inline, see
-//! [`Router::handles_inline`])
-//! and a writer thread (draining that connection's response channel).
-//! Requests are dispatched through the server's [`Router`]:
-//! [`Server::bind`] routes everything locally, [`Server::bind_ring`]
-//! places each request on the fleet's consistent-hash ring. Responses may interleave across
-//! requests of one connection — clients correlate by `id`. A streamed
-//! request (chunked `Pareto`) emits its `part` lines in order, each
-//! forwarded to the writer as it is produced, so per-response memory
-//! stays bounded by the chunk size. All
-//! connections share one worker pool, so a single client cannot starve
-//! the service by opening many connections.
+//! The TCP plane is the poll-based reactor in `crate::reactor`: a few
+//! event threads multiplex **all** client and peer connections over
+//! nonblocking sockets — no per-connection reader/writer threads.
+//! Decoded requests pass the deadline-aware admission controller
+//! ([`crate::admission`]; overload is answered immediately with a
+//! structured `overloaded` + `retry_after_ms` error instead of queueing
+//! into a late timeout), then dispatch to the shared worker pool.
+//! Responses flow back through per-connection write buffers with
+//! backpressure: a client that stops reading is eventually disconnected,
+//! never allowed to wedge an event thread. Requests are dispatched
+//! through the server's [`Router`]: [`Server::bind`] routes everything
+//! locally, [`Server::bind_ring`] places each request on the fleet's
+//! consistent-hash ring — and a request owned by a peer becomes an
+//! asynchronous continuation in the reactor's pending-forward table
+//! rather than a blocked thread. Responses may interleave across
+//! requests of one connection — clients correlate by `id`; a streamed
+//! request (chunked `Pareto`) emits its `part` lines in order.
 //!
-//! Every connection owns a [`CancelHandle`] linked into each of its
-//! request budgets. When the read half of the socket closes — the client
-//! disconnected (or half-closed, which the protocol treats the same way:
-//! a client that stops reading has abandoned its answers) — the handle
-//! fires and every in-flight solve of that connection unwinds at its
-//! next budget poll, freeing the worker for live clients.
+//! Every connection owns a [`CancelHandle`](rpwf_core::budget::CancelHandle)
+//! linked into each of its request budgets. When the read half of the
+//! socket closes — the client disconnected (or half-closed, which the
+//! protocol treats the same way: a client that stops reading has
+//! abandoned its answers) — the handle fires and every in-flight solve
+//! of that connection unwinds at its next budget poll, freeing the
+//! worker for live clients.
 
-use crate::fault::{FaultAction, FaultPlan};
+use crate::admission::ServingOptions;
+use crate::fault::FaultPlan;
+use crate::reactor::Reactor;
 use crate::router::{RingOptions, RingRouter, Router};
 use crate::service::{ServiceConfig, SolverService, WorkerPool};
-use crossbeam::channel;
-use rpwf_core::budget::CancelHandle;
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::io::{BufRead, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A running TCP solver server.
 pub struct Server {
     local_addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor: Reactor,
     pool: Arc<WorkerPool>,
-    /// Live connection sockets by connection id; severed on shutdown so
-    /// a stopped server goes fully dark (fleet peers see real connection
-    /// failures, not a half-dead node that still answers over old
-    /// sockets). Each connection thread removes its own entry on exit,
-    /// so the registry never outgrows the live connection count.
-    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
 }
 
 impl Server {
@@ -56,8 +51,26 @@ impl Server {
     /// # Errors
     /// Propagates socket errors from binding.
     pub fn bind(addr: &str, config: ServiceConfig) -> std::io::Result<Server> {
+        Self::bind_tuned(addr, config, ServingOptions::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit serving-plane tuning (event
+    /// threads, queue bound, admission deadline).
+    ///
+    /// # Errors
+    /// Propagates socket errors from binding.
+    pub fn bind_tuned(
+        addr: &str,
+        config: ServiceConfig,
+        serving: ServingOptions,
+    ) -> std::io::Result<Server> {
         let service = Arc::new(SolverService::new(config));
-        Self::bind_with_router(addr, Arc::new(crate::router::LocalRouter::new(service)))
+        Self::bind_with_router_tuned(
+            addr,
+            Arc::new(crate::router::LocalRouter::new(service)),
+            None,
+            serving,
+        )
     }
 
     /// Binds `addr` in **fleet mode**: requests are placed on the
@@ -78,6 +91,29 @@ impl Server {
         options: RingOptions,
     ) -> std::io::Result<Server> {
         Self::bind_ring_faulted(addr, config, peers, options, None)
+    }
+
+    /// [`bind_ring`](Self::bind_ring) with explicit serving-plane tuning.
+    ///
+    /// # Errors
+    /// Propagates socket errors from binding.
+    ///
+    /// # Panics
+    /// When `config.node_id` is `None` — a fleet member needs an identity.
+    pub fn bind_ring_tuned(
+        addr: &str,
+        config: ServiceConfig,
+        peers: &[String],
+        options: RingOptions,
+        serving: ServingOptions,
+    ) -> std::io::Result<Server> {
+        let node_id = config
+            .node_id
+            .clone()
+            .expect("fleet mode requires a node id");
+        let service = Arc::new(SolverService::new(config));
+        let router = RingRouter::with_options(service, node_id, peers, options);
+        Self::bind_with_router_tuned(addr, router, None, serving)
     }
 
     /// [`bind_ring`](Self::bind_ring) with a scripted [`FaultPlan`] —
@@ -102,7 +138,7 @@ impl Server {
             .expect("fleet mode requires a node id");
         let service = Arc::new(SolverService::new(config));
         let router = RingRouter::with_options(service, node_id, peers, options);
-        Self::bind_with_router_faulted(addr, router, faults)
+        Self::bind_with_router_tuned(addr, router, faults, ServingOptions::default())
     }
 
     /// Binds `addr`, dispatching every connection's requests through
@@ -124,79 +160,29 @@ impl Server {
         router: Arc<dyn Router>,
         faults: Option<Arc<FaultPlan>>,
     ) -> std::io::Result<Server> {
+        Self::bind_with_router_tuned(addr, router, faults, ServingOptions::default())
+    }
+
+    /// The fully explicit bind: router, fault plan, serving tuning.
+    /// Everything else delegates here.
+    ///
+    /// # Errors
+    /// Propagates socket errors from binding.
+    pub fn bind_with_router_tuned(
+        addr: &str,
+        router: Arc<dyn Router>,
+        faults: Option<Arc<FaultPlan>>,
+        serving: ServingOptions,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let pool = Arc::new(WorkerPool::with_router(router));
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
-        let conn_ids = AtomicU64::new(0);
-        let fault_hooks = faults.map(|plan| FaultHooks {
-            plan,
-            shutdown: Arc::clone(&shutdown),
-            conns: Arc::clone(&conns),
-        });
-
-        let accept_pool = Arc::clone(&pool);
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_conns = Arc::clone(&conns);
-        let accept_thread = std::thread::Builder::new()
-            .name("rpwf-accept".into())
-            .spawn(move || {
-                while !accept_shutdown.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            // Re-check after the (blocking-ish) accept: a
-                            // shutdown — operator or injected KillNode —
-                            // must not hand out connections to a node
-                            // that is supposed to be dark.
-                            if accept_shutdown.load(Ordering::Relaxed) {
-                                let _ = stream.shutdown(Shutdown::Both);
-                                break;
-                            }
-                            let id = conn_ids.fetch_add(1, Ordering::Relaxed);
-                            if let Ok(clone) = stream.try_clone() {
-                                accept_conns
-                                    .lock()
-                                    .expect("conn registry")
-                                    .insert(id, clone);
-                            }
-                            let pool = Arc::clone(&accept_pool);
-                            let registry = Arc::clone(&accept_conns);
-                            let hooks = fault_hooks.clone();
-                            std::thread::Builder::new()
-                                .name("rpwf-conn".into())
-                                .spawn(move || {
-                                    serve_connection(&stream, &pool, hooks.as_ref());
-                                    // Deregister so the registry (and its
-                                    // file descriptors) tracks only live
-                                    // connections.
-                                    registry.lock().expect("conn registry").remove(&id);
-                                })
-                                .expect("spawn connection thread");
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(std::time::Duration::from_millis(5));
-                        }
-                        Err(e) => {
-                            // Transient accept errors (EMFILE, ECONNABORTED,
-                            // EINTR, …) must not kill the listener: back off
-                            // and keep accepting. Shutdown still exits via
-                            // the loop condition.
-                            eprintln!("rpwf-server: accept error (retrying): {e}");
-                            std::thread::sleep(std::time::Duration::from_millis(50));
-                        }
-                    }
-                }
-            })
-            .expect("spawn accept thread");
-
+        let pool = Arc::new(WorkerPool::with_options(router, &serving));
+        let reactor = Reactor::start(listener, Arc::clone(&pool), faults, &serving)?;
         Ok(Server {
             local_addr,
-            shutdown,
-            accept_thread: Some(accept_thread),
+            reactor,
             pool,
-            conns,
         })
     }
 
@@ -218,18 +204,12 @@ impl Server {
         self.pool.router()
     }
 
-    /// Stops accepting new connections, joins the accept thread, and
+    /// Stops accepting new connections, joins the reactor threads, and
     /// severs every live connection — after this the server is fully
     /// dark, exactly like a killed process (fleet peers observe
     /// connection failures and fall back to local solving).
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
-        for (_, conn) in self.conns.lock().expect("conn registry").drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
+        self.reactor.shutdown();
     }
 }
 
@@ -237,119 +217,6 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
     }
-}
-
-/// Per-connection handle to the server's fault-injection state: the
-/// scripted plan plus the levers a [`FaultAction::KillNode`] needs (the
-/// accept loop's shutdown flag and the live-connection registry).
-#[derive(Clone)]
-struct FaultHooks {
-    plan: Arc<FaultPlan>,
-    shutdown: Arc<AtomicBool>,
-    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
-}
-
-impl FaultHooks {
-    /// Executes a node kill: stop accepting, sever every live
-    /// connection. Identical to [`Server::shutdown`] as observed from
-    /// the network.
-    fn kill(&self) {
-        self.plan.mark_killed();
-        self.shutdown.store(true, Ordering::Relaxed);
-        for (_, conn) in self.conns.lock().expect("conn registry").drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-    }
-}
-
-/// Applies a scripted **response** fault (delay or corruption) to one
-/// outgoing line. Runs on whichever thread produces the response, so an
-/// injected delay stalls exactly the faulted request, not the
-/// connection.
-fn apply_response_fault(fault: Option<FaultAction>, response: String) -> String {
-    match fault {
-        Some(FaultAction::DelayResponse(delay)) => {
-            std::thread::sleep(delay);
-            response
-        }
-        Some(FaultAction::CorruptLine) => FaultPlan::corrupt(&response),
-        _ => response,
-    }
-}
-
-/// Reader half of one connection: parse lines, enqueue, forward
-/// responses through a per-connection channel to the writer half.
-fn serve_connection(stream: &TcpStream, pool: &Arc<WorkerPool>, hooks: Option<&FaultHooks>) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let cancel = CancelHandle::new();
-    let (tx, rx) = channel::unbounded::<String>();
-
-    let writer_thread = std::thread::Builder::new()
-        .name("rpwf-conn-writer".into())
-        .spawn(move || {
-            let mut out = std::io::BufWriter::new(write_half);
-            while let Ok(line) = rx.recv() {
-                if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
-                    break;
-                }
-                if out.flush().is_err() {
-                    break;
-                }
-            }
-        })
-        .expect("spawn connection writer");
-
-    let router = Arc::clone(pool.router());
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let received = Instant::now();
-        let fault = hooks.and_then(|h| h.plan.on_request());
-        match fault {
-            Some(FaultAction::DropConnection) => {
-                let _ = stream.shutdown(Shutdown::Both);
-                break;
-            }
-            Some(FaultAction::KillNode) => {
-                if let Some(h) = hooks {
-                    h.kill();
-                }
-                let _ = stream.shutdown(Shutdown::Both);
-                break;
-            }
-            _ => {}
-        }
-        if router.handles_inline(&line) {
-            // Peer-forwarded (hopped) work runs on this reader thread so
-            // it can never deadlock against pool workers blocked on
-            // forwarding (see `Router::handles_inline`).
-            router.handle_line(&line, received, Some(&cancel), &mut |response| {
-                let _ = tx.send(apply_response_fault(fault, response));
-            });
-            continue;
-        }
-        let tx = tx.clone();
-        pool.submit_cancellable(
-            line,
-            received,
-            Box::new(move |response| {
-                let _ = tx.send(apply_response_fault(fault, response));
-            }),
-            Some(cancel.clone()),
-        );
-    }
-    // Reader done: the client is gone, so its queued and in-flight work
-    // is abandoned — cancel it to free the workers promptly.
-    cancel.cancel();
-    // Once in-flight jobs reply, the channel disconnects and the writer
-    // exits.
-    drop(tx);
-    let _ = writer_thread.join();
 }
 
 /// Serves requests from stdin to stdout, one response line per request
@@ -376,6 +243,8 @@ pub fn serve_stdin(config: ServiceConfig) {
 mod tests {
     use super::*;
     use crate::protocol::{Command, Request, Response};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
 
     fn request_line(id: u64, cmd: Command) -> String {
         serde_json::to_string(&Request {

@@ -10,14 +10,15 @@
 //! engine answers, cached ones replay with their original
 //! [`Provenance`].
 
+use crate::admission::{Admission, ServingOptions};
 use crate::cache::{CachedEntry, CachedFront, CachedResult, SolutionCache};
 use crate::metrics::{CommandMetrics, SolverMetrics};
 use crate::protocol::{
     CacheFillResult, CacheStatsOut, Command, ErrorKind, FrontEndResult, FrontPartResult, GenResult,
-    Meta, ParetoPointOut, ParetoResult, Request, Response, RingResult, SimulateResult, SolveResult,
-    StatsResult, TraceEntryOut, TraceResult,
+    Meta, ParetoPointOut, ParetoResult, Request, Response, RingResult, ServingStatsOut,
+    SimulateResult, SolveResult, StatsResult, TraceEntryOut, TraceResult,
 };
-use crate::router::{LocalRouter, Router};
+use crate::router::{AsyncForward, LocalRouter, Router};
 use crossbeam::channel::{self, Sender};
 use rpwf_algo::engine::{Answer, Engine, SolveRequest, Want};
 use rpwf_algo::front::{threshold_read, threshold_read_batch};
@@ -88,6 +89,16 @@ type RingReporter = Box<dyn Fn() -> Option<RingResult> + Send + Sync>;
 
 /// Fleet hook: appends extra gauges to the `Metrics` text dump.
 type MetricsExtension = Box<dyn Fn(&mut String) + Send + Sync>;
+
+/// Transport hook: produces the `Stats` command's serving-plane payload
+/// (installed by the reactor transport; absent on stdin/in-process
+/// services, which have no serving plane to report).
+type ServingReporter = Box<dyn Fn() -> ServingStatsOut + Send + Sync>;
+
+/// Reactor hook on the [`WorkerPool`]: receives a worker-prepared
+/// [`AsyncForward`] so the peer roundtrip runs as a nonblocking
+/// continuation on the reactor instead of pinning the worker.
+type ForwardSink = Box<dyn Fn(AsyncForward) + Send + Sync>;
 
 /// Fleet hook: called after a **locally solved, complete** front lands in
 /// the cache, so the fleet layer can replicate it to the key's ring
@@ -173,8 +184,9 @@ pub struct SolverService {
     trace_spans: AtomicU64,
     started: Instant,
     ring_reporter: OnceLock<RingReporter>,
-    metrics_ext: OnceLock<MetricsExtension>,
+    metrics_ext: Mutex<Vec<MetricsExtension>>,
     front_stored: OnceLock<FrontStoredHook>,
+    serving_stats: OnceLock<ServingReporter>,
 }
 
 impl SolverService {
@@ -197,8 +209,9 @@ impl SolverService {
             trace_spans: AtomicU64::new(0),
             started: Instant::now(),
             ring_reporter: OnceLock::new(),
-            metrics_ext: OnceLock::new(),
+            metrics_ext: Mutex::new(Vec::new()),
             front_stored: OnceLock::new(),
+            serving_stats: OnceLock::new(),
         }
     }
 
@@ -220,10 +233,20 @@ impl SolverService {
         let _ = self.ring_reporter.set(reporter);
     }
 
-    /// Installs the fleet hook appending gauges to the `Metrics` dump
-    /// (first caller wins).
+    /// Installs a hook appending gauges to the `Metrics` dump. Additive:
+    /// every installed extension renders, in installation order (the
+    /// fleet router and the reactor transport each contribute one).
     pub fn set_metrics_extension(&self, extension: MetricsExtension) {
-        let _ = self.metrics_ext.set(extension);
+        self.metrics_ext
+            .lock()
+            .expect("metrics extension lock")
+            .push(extension);
+    }
+
+    /// Installs the transport hook behind the `Stats` command's `serving`
+    /// payload (first caller wins; the reactor installs it at bind).
+    pub fn set_serving_stats(&self, reporter: ServingReporter) {
+        let _ = self.serving_stats.set(reporter);
     }
 
     /// Installs the fleet replication hook, called after every locally
@@ -959,6 +982,7 @@ impl SolverService {
                     },
                     commands: self.metrics.summaries(),
                     solvers: self.solver_metrics.snapshot(),
+                    serving: self.serving_stats.get().map(|reporter| reporter()),
                 }
                 .to_value())
             }
@@ -1134,7 +1158,12 @@ impl SolverService {
         }
         self.metrics.render_prometheus(&mut out);
         self.solver_metrics.render_prometheus(&mut out);
-        if let Some(extension) = self.metrics_ext.get() {
+        for extension in self
+            .metrics_ext
+            .lock()
+            .expect("metrics extension lock")
+            .iter()
+        {
             extension(&mut out);
         }
         out
@@ -1465,6 +1494,11 @@ pub struct Job {
     pub respond: Box<dyn FnMut(String) + Send>,
     /// Cancellation handle; firing it aborts the solve mid-flight.
     pub cancel: Option<CancelHandle>,
+    /// Forces local handling, bypassing the router's placement: set by
+    /// the reactor's async-forward machinery when every owning peer is
+    /// unreachable (the fallback solve) — re-routing would just re-enter
+    /// the forward path it came from.
+    pub local: bool,
 }
 
 /// A fixed pool of solver workers fed by an MPMC channel. Every job goes
@@ -1475,6 +1509,8 @@ pub struct WorkerPool {
     router: Arc<dyn Router>,
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    admission: Arc<Admission>,
+    forward_sink: Arc<OnceLock<ForwardSink>>,
 }
 
 impl WorkerPool {
@@ -1488,22 +1524,67 @@ impl WorkerPool {
     /// Spawns a pool whose workers route jobs through `router`.
     #[must_use]
     pub fn with_router(router: Arc<dyn Router>) -> Self {
+        Self::with_options(router, &ServingOptions::default())
+    }
+
+    /// [`with_router`](Self::with_router) with explicit serving-plane
+    /// tuning — the queue bound and default admission deadline feed the
+    /// pool's `Admission` controller (consulted by the reactor
+    /// transport; direct `submit` callers are never shed).
+    #[must_use]
+    pub fn with_options(router: Arc<dyn Router>, options: &ServingOptions) -> Self {
         let count = router.service().config().effective_workers().max(1);
+        let admission = Arc::new(Admission::new(
+            options.effective_max_queue(),
+            count,
+            options.admission_deadline,
+        ));
+        let forward_sink: Arc<OnceLock<ForwardSink>> = Arc::new(OnceLock::new());
         let (tx, rx) = channel::unbounded::<Job>();
         let workers = (0..count)
             .map(|i| {
                 let rx = rx.clone();
                 let router = Arc::clone(&router);
+                let admission = Arc::clone(&admission);
+                let forward_sink = Arc::clone(&forward_sink);
                 std::thread::Builder::new()
                     .name(format!("rpwf-worker-{i}"))
                     .spawn(move || {
-                        while let Ok(mut job) = rx.recv() {
-                            router.handle_line(
-                                &job.line,
-                                job.received,
-                                job.cancel.as_ref(),
-                                &mut job.respond,
-                            );
+                        while let Ok(job) = rx.recv() {
+                            admission.on_dequeue();
+                            let start = Instant::now();
+                            let mut job = if job.local || forward_sink.get().is_none() {
+                                job
+                            } else {
+                                // Reactor attached: a request owned by a
+                                // reachable peer becomes a nonblocking
+                                // continuation instead of pinning this
+                                // worker for a network roundtrip.
+                                match router.prepare_async_forward(job) {
+                                    Ok(forward) => {
+                                        (forward_sink.get().expect("checked above"))(forward);
+                                        admission.on_complete(start.elapsed().as_micros() as u64);
+                                        continue;
+                                    }
+                                    Err(job) => job,
+                                }
+                            };
+                            if job.local {
+                                router.service().handle_line_into(
+                                    &job.line,
+                                    job.received,
+                                    job.cancel.as_ref(),
+                                    &mut job.respond,
+                                );
+                            } else {
+                                router.handle_line(
+                                    &job.line,
+                                    job.received,
+                                    job.cancel.as_ref(),
+                                    &mut job.respond,
+                                );
+                            }
+                            admission.on_complete(start.elapsed().as_micros() as u64);
                         }
                     })
                     .expect("spawn worker thread")
@@ -1513,7 +1594,36 @@ impl WorkerPool {
             router,
             tx: Some(tx),
             workers,
+            admission,
+            forward_sink,
         }
+    }
+
+    /// The pool's admission controller (shared with the reactor, which
+    /// consults it before enqueueing and reports its counters).
+    pub(crate) fn admission(&self) -> &Arc<Admission> {
+        &self.admission
+    }
+
+    /// Installs the reactor's async-forward sink (first caller wins).
+    /// Until one is installed, workers forward synchronously — the
+    /// pre-reactor behavior every non-TCP entry point keeps.
+    pub(crate) fn set_forward_sink(&self, sink: ForwardSink) {
+        let _ = self.forward_sink.set(sink);
+    }
+
+    /// Enqueues a fully built [`Job`], keeping the admission queue-depth
+    /// gauge exact. Every submission path funnels through here.
+    pub(crate) fn submit_job(&self, job: Job) {
+        self.admission.on_enqueue();
+        assert!(
+            self.tx
+                .as_ref()
+                .expect("pool alive while not dropped")
+                .send(job)
+                .is_ok(),
+            "workers outlive the pool handle"
+        );
     }
 
     /// The shared service.
@@ -1545,20 +1655,13 @@ impl WorkerPool {
         respond: Box<dyn FnMut(String) + Send>,
         cancel: Option<CancelHandle>,
     ) {
-        let job = Job {
+        self.submit_job(Job {
             line,
             received,
             respond,
             cancel,
-        };
-        assert!(
-            self.tx
-                .as_ref()
-                .expect("pool alive while not dropped")
-                .send(job)
-                .is_ok(),
-            "workers outlive the pool handle"
-        );
+            local: false,
+        });
     }
 
     /// Handles a batch of lines with **front grouping**: requests are

@@ -205,4 +205,65 @@ proptest! {
             "+Inf bucket must count every sample"
         );
     }
+
+    #[test]
+    fn standalone_histogram_series_render_cumulative_buckets(
+        samples in proptest::collection::vec(0u64..30_000_000, 1..200),
+        name_ix in 0usize..3,
+    ) {
+        // The reactor/admission series (`rpwf_reactor_loop_us`,
+        // `rpwf_admission_shed_latency_us`) render through the same
+        // standalone-histogram path; the cumulative-bucket contract must
+        // hold for every series name, not just per-command latency.
+        let names = [
+            "rpwf_reactor_loop_us",
+            "rpwf_admission_shed_latency_us",
+            "rpwf_anything_us",
+        ];
+        let name = names[name_ix];
+        let histogram = rpwf_server::metrics::LatencyHistogram::default();
+        for &us in &samples {
+            histogram.record(us);
+        }
+        let mut text = String::new();
+        histogram.render_prometheus_series(name, &mut text);
+
+        let bucket_prefix = format!("{name}_bucket{{le=");
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with(&bucket_prefix))
+            .map(|l| {
+                l.rsplit(' ')
+                    .next()
+                    .expect("count field")
+                    .parse::<u64>()
+                    .expect("bucket count parses")
+            })
+            .collect();
+        prop_assert!(!counts.is_empty(), "no bucket lines in:\n{text}");
+        for pair in counts.windows(2) {
+            prop_assert!(
+                pair[0] <= pair[1],
+                "bucket counts must be monotone, got {counts:?}"
+            );
+        }
+        prop_assert_eq!(
+            *counts.last().expect("+Inf bucket"),
+            samples.len() as u64,
+            "+Inf bucket must count every sample"
+        );
+        // The summary lines agree with the buckets: _count is the
+        // sample count and the +Inf bucket equals _count.
+        let count_line = text
+            .lines()
+            .find(|l| l.starts_with(&format!("{name}_count ")))
+            .expect("_count line");
+        let count: u64 = count_line
+            .rsplit(' ')
+            .next()
+            .expect("count value")
+            .parse()
+            .expect("count parses");
+        prop_assert_eq!(count, samples.len() as u64);
+    }
 }

@@ -22,6 +22,9 @@ fn main() {
         replicas,
         peer_connect_ms,
         peer_read_ms,
+        event_threads,
+        max_queue,
+        admission_deadline_ms,
     } = &command
     {
         let config = rpwf_server::ServiceConfig {
@@ -31,8 +34,13 @@ fn main() {
             node_id: node_id.clone(),
             ..Default::default()
         };
+        let serving = rpwf_server::ServingOptions {
+            event_threads: *event_threads,
+            max_queue: *max_queue,
+            admission_deadline: admission_deadline_ms.map(std::time::Duration::from_millis),
+        };
         let bound = if peers.is_empty() {
-            rpwf_server::Server::bind(addr, config)
+            rpwf_server::Server::bind_tuned(addr, config, serving)
         } else {
             let defaults = rpwf_server::RingOptions::default();
             let options = rpwf_server::RingOptions {
@@ -41,7 +49,7 @@ fn main() {
                 peer_connect: peer_connect_ms.map(std::time::Duration::from_millis),
                 peer_read: peer_read_ms.map(std::time::Duration::from_millis),
             };
-            rpwf_server::Server::bind_ring(addr, config, peers, options)
+            rpwf_server::Server::bind_ring_tuned(addr, config, peers, options, serving)
         };
         match bound {
             Ok(server) => {

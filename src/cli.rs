@@ -130,6 +130,15 @@ pub enum Command {
         /// Read timeout for deadline-less forwarded requests in
         /// milliseconds (`None` = library default, 600 s watchdog).
         peer_read_ms: Option<u64>,
+        /// Reactor event threads (0 = library default, 2).
+        event_threads: usize,
+        /// Solve-queue bound before requests are shed with `overloaded`
+        /// (0 = library default, 1024).
+        max_queue: usize,
+        /// Default deadline the admission controller assumes for
+        /// deadline-less requests, in milliseconds (`None` = shed only
+        /// on the queue bound).
+        admission_deadline_ms: Option<u64>,
     },
     /// Dump a running server's slow-query trace ring.
     Trace {
@@ -164,7 +173,8 @@ USAGE:
   rpwf pareto <instance.json> [--solver-threads <n>]
   rpwf simulate <instance.json> [--trials <count>]
   rpwf serve [--addr <host:port>] [--stdin] [--workers <n>] [--solver-threads <n>]
-             [--cache-capacity <n>]
+             [--cache-capacity <n>] [--event-threads <n>] [--max-queue <n>]
+             [--admission-deadline-ms <ms>]
   rpwf serve --addr <host:port> --node-id <host:port> --peers <host:port,...>
              [--vnodes <n>] [--replicas <r>] [--peer-connect-ms <ms>] [--peer-read-ms <ms>]
   rpwf batch <requests.jsonl> [--workers <n>] [--no-group]
@@ -187,6 +197,12 @@ replicated to the successors so one node death loses no cached work.
 --node-id must be the address the peers dial for this node.
 --peer-connect-ms / --peer-read-ms bound how long a dead or wedged
 peer is waited on (a per-peer circuit breaker skips known-dead peers).
+
+Serving plane: --event-threads sizes the reactor's poll loops (0 = the
+library default, 2); --max-queue bounds the solve queue (0 = default,
+1024); both overload and (with --admission-deadline-ms as the assumed
+deadline for deadline-less requests) unmeetable waits are shed fast
+with a structured \"overloaded\" error carrying retry_after_ms.
 
 --solver-threads runs each exact branch-and-bound search on a shared
 worker pool (1 = sequential, 0 = one per core). Answers and fronts are
@@ -373,6 +389,20 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
                 .get("peer-read-ms")
                 .map(|s| s.parse::<u64>().map_err(|e| format!("--peer-read-ms: {e}")))
                 .transpose()?;
+            let event_threads = opts.get("event-threads").map_or(Ok(0), |s| {
+                s.parse::<usize>()
+                    .map_err(|e| format!("--event-threads: {e}"))
+            })?;
+            let max_queue = opts.get("max-queue").map_or(Ok(0), |s| {
+                s.parse::<usize>().map_err(|e| format!("--max-queue: {e}"))
+            })?;
+            let admission_deadline_ms = opts
+                .get("admission-deadline-ms")
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|e| format!("--admission-deadline-ms: {e}"))
+                })
+                .transpose()?;
             if !peers.is_empty() {
                 if stdin {
                     return Err("fleet mode (--peers) needs a TCP address, not --stdin".into());
@@ -395,6 +425,9 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
                 replicas,
                 peer_connect_ms,
                 peer_read_ms,
+                event_threads,
+                max_queue,
+                admission_deadline_ms,
             })
         }
         "trace" => {
@@ -848,6 +881,9 @@ mod tests {
                 replicas: None,
                 peer_connect_ms: None,
                 peer_read_ms: None,
+                event_threads: 0,
+                max_queue: 0,
+                admission_deadline_ms: None,
             }
         );
         assert_eq!(
@@ -863,6 +899,9 @@ mod tests {
                 replicas: None,
                 peer_connect_ms: None,
                 peer_read_ms: None,
+                event_threads: 0,
+                max_queue: 0,
+                admission_deadline_ms: None,
             }
         );
         assert_eq!(
@@ -878,6 +917,9 @@ mod tests {
                 replicas: None,
                 peer_connect_ms: None,
                 peer_read_ms: None,
+                event_threads: 0,
+                max_queue: 0,
+                admission_deadline_ms: None,
             }
         );
         assert!(parse_args(&args("serve --stdin --addr 1.2.3.4:1"))
@@ -904,6 +946,9 @@ mod tests {
                 replicas: None,
                 peer_connect_ms: None,
                 peer_read_ms: None,
+                event_threads: 0,
+                max_queue: 0,
+                admission_deadline_ms: None,
             }
         );
         // Fault-tolerance knobs parse and round-trip.
@@ -925,6 +970,32 @@ mod tests {
                 replicas: Some(3),
                 peer_connect_ms: Some(250),
                 peer_read_ms: Some(30_000),
+                event_threads: 0,
+                max_queue: 0,
+                admission_deadline_ms: None,
+            }
+        );
+        // Serving-plane knobs parse and round-trip.
+        assert_eq!(
+            parse_args(&args(
+                "serve --addr 0.0.0.0:7001 --event-threads 4 --max-queue 256 \
+                 --admission-deadline-ms 2000"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: Some("0.0.0.0:7001".into()),
+                workers: 0,
+                solver_threads: 1,
+                cache_capacity: 4096,
+                node_id: None,
+                peers: vec![],
+                vnodes: None,
+                replicas: None,
+                peer_connect_ms: None,
+                peer_read_ms: None,
+                event_threads: 4,
+                max_queue: 256,
+                admission_deadline_ms: Some(2000),
             }
         );
         // Zero replicas would leave keys unowned.
