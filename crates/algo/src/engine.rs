@@ -53,6 +53,7 @@
 use crate::exact::{
     pareto_front_comm_homog_with_budget, solve_comm_homog_with_budget, BranchBound, SearchStats,
 };
+use crate::explain::{EngineOracle, Explanation};
 use crate::front::{
     threshold_read, BranchBoundSweep, FrontSource, IntervalDpFront, PortfolioFront,
 };
@@ -312,6 +313,15 @@ pub enum Want {
         /// Maximum points per streamed chunk (must be ≥ 1).
         chunk: usize,
     },
+    /// An infeasibility explanation for the threshold query: MUS/MCS
+    /// enumeration over the query's constraint universe plus the
+    /// nearest-feasible what-if (see [`crate::explain`]). Planned as a
+    /// series of front solves (one per platform relaxation variant) under
+    /// the request's budget.
+    Explain {
+        /// The threshold objective to explain.
+        objective: Objective,
+    },
 }
 
 /// One solve request: the instance, the wanted answer shape, and the
@@ -355,6 +365,9 @@ pub enum Answer {
     /// A Pareto front (possibly a partial, sound under-approximation —
     /// check the completeness record).
     Front(Arc<ParetoFront<IntervalMapping>>),
+    /// An infeasibility explanation ([`Want::Explain`]); best-effort
+    /// when the completeness record says the plan was budget-cut.
+    Explain(Arc<Explanation>),
 }
 
 /// How complete a [`SolveReport`] is — the record cache layers and
@@ -473,7 +486,7 @@ impl SolveReport {
     pub fn point(&self) -> Option<&BiSolution> {
         match &self.answer {
             Answer::Point(sol) => sol.as_ref(),
-            Answer::Front(_) => None,
+            Answer::Front(_) | Answer::Explain(_) => None,
         }
     }
 
@@ -482,7 +495,16 @@ impl SolveReport {
     pub fn front_answer(&self) -> Option<&Arc<ParetoFront<IntervalMapping>>> {
         match &self.answer {
             Answer::Front(front) => Some(front),
-            Answer::Point(_) => None,
+            Answer::Point(_) | Answer::Explain(_) => None,
+        }
+    }
+
+    /// The explanation, when the request wanted one ([`Want::Explain`]).
+    #[must_use]
+    pub fn explanation(&self) -> Option<&Arc<Explanation>> {
+        match &self.answer {
+            Answer::Explain(explanation) => Some(explanation),
+            Answer::Point(_) | Answer::Front(_) => None,
         }
     }
 }
@@ -899,6 +921,7 @@ impl Engine {
     fn dispatch(&self, req: &SolveRequest<'_>) -> SolveReport {
         match req.want {
             Want::Front | Want::FrontStream { .. } => self.plan_front(req),
+            Want::Explain { objective } => self.plan_explain(req, objective),
             Want::Point {
                 objective,
                 keep_front,
@@ -930,6 +953,24 @@ impl Engine {
             format!("{applicable}/{}", self.solvers.len()),
         );
         match req.want {
+            Want::Explain { objective } => {
+                trace.attr(plan, "want", "explain");
+                trace.attr(
+                    plan,
+                    "objective",
+                    match objective {
+                        Objective::MinFpUnderLatency(_) => "min-fp-under-latency",
+                        Objective::MinLatencyUnderFp(_) => "min-latency-under-fp",
+                    },
+                );
+                match self.front_backend(req.pipeline, req.platform) {
+                    Some(backend) => {
+                        trace.attr(plan, "plan", "explain-exact");
+                        trace.attr(plan, "backend", backend.name());
+                    }
+                    None => trace.attr(plan, "plan", "explain-heuristic"),
+                }
+            }
             Want::Front | Want::FrontStream { .. } => {
                 trace.attr(plan, "want", "front");
                 if let Some(backend) = self.front_backend(req.pipeline, req.platform) {
@@ -1034,6 +1075,36 @@ impl Engine {
             provenance: Some(provenance),
             completeness,
             answer: Answer::Front(front),
+            front: None,
+            stats,
+            parallel,
+        }
+    }
+
+    /// Explain plan: MARCO MUS/MCS enumeration over the query's
+    /// constraint universe ([`crate::explain`]), each satisfiability
+    /// probe a recursive [`Want::Front`] solve under the request's
+    /// budget. `exact_complete` means every infeasibility verdict the
+    /// enumeration relied on was read off a proven-exact front — the
+    /// explanation is minimal-proven; anything less is best-effort.
+    fn plan_explain(&self, req: &SolveRequest<'_>, objective: Objective) -> SolveReport {
+        let mut oracle = EngineOracle::new(self, req.budget);
+        let explanation =
+            crate::explain::explain(req.pipeline, req.platform, objective, &mut oracle);
+        let (stats, parallel, heuristic_complete) = oracle.into_parts();
+        let proven = explanation.proven;
+        SolveReport {
+            answer: Answer::Explain(Arc::new(explanation)),
+            completeness: Completeness {
+                exact_capable: self.front_backend(req.pipeline, req.platform).is_some(),
+                exact_complete: proven,
+                heuristic_complete,
+            },
+            provenance: Some(if proven {
+                Provenance::Exact
+            } else {
+                Provenance::Heuristic
+            }),
             front: None,
             stats,
             parallel,

@@ -26,6 +26,11 @@
 //! (capability filtering, exact-first selection, portfolio racing,
 //! budget-cutoff fallback) in one audited place. The serving layer, CLI
 //! and experiments all go through it.
+//!
+//! When a threshold query is infeasible, the [`explain`] module says
+//! *why*: MARCO-style MUS/MCS enumeration over the query's constraint
+//! universe plus a nearest-feasible what-if, reusing engine front solves
+//! as its sat oracle ([`Want::Explain`](engine::Want)).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -33,6 +38,7 @@
 pub mod bicriteria;
 pub mod engine;
 pub mod exact;
+pub mod explain;
 pub mod front;
 pub mod heuristics;
 pub mod mono;
@@ -41,5 +47,6 @@ pub mod reductions;
 pub mod solution;
 
 pub use engine::{Engine, Provenance, SolveReport, SolveRequest, Solver, Want};
+pub use explain::{EngineOracle, Explanation, FrontOracle};
 pub use front::{threshold_read, FrontSource};
 pub use solution::{BiSolution, Budgeted, Objective};

@@ -1,0 +1,197 @@
+//! Property-based tests for the explain subsystem on random instances:
+//! every reported MUS is unsatisfiable and minimal, every MCS is a
+//! correction set whose members are all load-bearing, and explanations
+//! are deterministic run to run.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpwf_algo::engine::{Engine, SolveRequest, Want};
+use rpwf_algo::explain::{relaxed_platform, EngineOracle, FULL_MASK};
+use rpwf_algo::{threshold_read, Objective};
+use rpwf_core::budget::Budget;
+use rpwf_core::platform::{FailureClass, Platform, PlatformClass};
+use rpwf_core::stage::Pipeline;
+use rpwf_gen::{PipelineGen, PlatformGen};
+
+/// Instances are generated from a single seed through the crate
+/// generators, so shrinking operates on the seed. Sizes stay small
+/// enough that every relaxed platform (up to doubled `m`) is still
+/// exactly solvable with an unlimited budget.
+fn instance(seed: u64, n: usize, m: usize) -> (Pipeline, Platform) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pipeline = PipelineGen::balanced(n).sample(&mut rng);
+    let platform = PlatformGen::new(
+        m,
+        PlatformClass::CommHomogeneous,
+        FailureClass::Heterogeneous,
+    )
+    .sample(&mut rng);
+    (pipeline, platform)
+}
+
+/// The subset mask of a MUS/MCS index list (indices into the universe).
+fn mask_of(indices: &[usize]) -> u8 {
+    indices.iter().map(|&i| 1u8 << i).sum()
+}
+
+/// Independent satisfiability check for a constraint subset: solve the
+/// subset's relaxed platform from scratch and read the threshold.
+/// `Some(verdict)` when proven either way, `None` when the front was not
+/// proven exact (never happens with an unlimited budget on these sizes,
+/// but the type keeps the check honest).
+fn sat_verdict(
+    engine: &Engine,
+    pipeline: &Pipeline,
+    platform: &Platform,
+    objective: Objective,
+    mask: u8,
+) -> Option<bool> {
+    if mask & 1 == 0 {
+        // Bound-free subsets are trivially satisfiable.
+        return Some(true);
+    }
+    let relaxed = relaxed_platform(platform, mask);
+    let budget = Budget::unlimited();
+    let report = engine.solve(&SolveRequest {
+        pipeline,
+        platform: &relaxed,
+        want: Want::Front,
+        budget: &budget,
+    });
+    let found = report
+        .front_answer()
+        .and_then(|front| threshold_read(front, objective))
+        .is_some();
+    if found {
+        Some(true)
+    } else if report.completeness.exact_complete {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On random instances and thresholds: every MUS is unsatisfiable
+    /// and dropping any single member makes it satisfiable (minimality);
+    /// relaxing every member of any MCS restores feasibility, and
+    /// putting any single member back breaks it again (the MCS carries
+    /// no dead weight).
+    #[test]
+    fn muses_are_minimal_conflicts_and_mcses_are_corrections(
+        seed in 0u64..10_000,
+        frac in 0.3f64..1.4,
+        fp_sel in 0u8..2,
+    ) {
+        let bound_fp = fp_sel == 1;
+        let (pipeline, platform) = instance(seed, 3, 3);
+        let engine = Engine::with_default_backends(1);
+        let budget = Budget::unlimited();
+        let report = engine.solve(&SolveRequest {
+            pipeline: &pipeline,
+            platform: &platform,
+            want: Want::Front,
+            budget: &budget,
+        });
+        if !report.completeness.exact_complete {
+            continue;
+        }
+        let front = report.front_answer().expect("front request yields a front");
+        if front.is_empty() {
+            continue;
+        }
+        // A bound scaled off the front's best value: frac < 1 lands
+        // infeasible, frac > 1 usually feasible — both paths exercised.
+        let objective = if bound_fp {
+            let lo = front
+                .iter()
+                .map(|p| p.failure_prob)
+                .fold(f64::INFINITY, f64::min);
+            Objective::MinLatencyUnderFp(lo * frac)
+        } else {
+            let lo = front.iter().map(|p| p.latency).fold(f64::INFINITY, f64::min);
+            Objective::MinFpUnderLatency(lo * frac)
+        };
+
+        let mut oracle = EngineOracle::new(&engine, &budget);
+        let explanation = rpwf_algo::explain::explain(&pipeline, &platform, objective, &mut oracle);
+        prop_assert!(explanation.oracle_calls < 16, "never the full powerset");
+        if explanation.feasible {
+            prop_assert!(explanation.muses.is_empty());
+            prop_assert!(explanation.mcses.is_empty());
+            prop_assert!(explanation.relaxation.is_none());
+            continue;
+        }
+        if !explanation.proven {
+            continue;
+        }
+        prop_assert!(!explanation.muses.is_empty(), "infeasible ⇒ at least one conflict");
+        prop_assert!(!explanation.mcses.is_empty(), "infeasible ⇒ at least one fix");
+
+        for mus in &explanation.muses {
+            let mask = mask_of(mus);
+            prop_assert!(mus.contains(&0), "every conflict involves the bound");
+            prop_assert_eq!(
+                sat_verdict(&engine, &pipeline, &platform, objective, mask),
+                Some(false),
+                "a MUS must be unsatisfiable: {:?}", mus
+            );
+            for &member in mus {
+                let weaker = mask & !(1u8 << member);
+                prop_assert_eq!(
+                    sat_verdict(&engine, &pipeline, &platform, objective, weaker),
+                    Some(true),
+                    "dropping member {} of MUS {:?} must restore satisfiability", member, mus
+                );
+            }
+        }
+        for mcs in &explanation.mcses {
+            let kept = FULL_MASK ^ mask_of(mcs);
+            prop_assert_eq!(
+                sat_verdict(&engine, &pipeline, &platform, objective, kept),
+                Some(true),
+                "relaxing MCS {:?} must make the query feasible", mcs
+            );
+            for &member in mcs {
+                prop_assert_eq!(
+                    sat_verdict(&engine, &pipeline, &platform, objective, kept | (1u8 << member)),
+                    Some(false),
+                    "member {} of MCS {:?} must be load-bearing", member, mcs
+                );
+            }
+        }
+    }
+
+    /// Two independent runs over the same instance produce identical
+    /// explanations, down to the effort counters — the determinism the
+    /// fleet's byte-identity contract rests on.
+    #[test]
+    fn explanations_are_deterministic(seed in 0u64..10_000, frac in 0.3f64..1.2) {
+        let (pipeline, platform) = instance(seed, 3, 3);
+        let run = || {
+            let engine = Engine::with_default_backends(7);
+            let budget = Budget::unlimited();
+            let report = engine.solve(&SolveRequest {
+                pipeline: &pipeline,
+                platform: &platform,
+                want: Want::Front,
+                budget: &budget,
+            });
+            let front = report.front_answer().expect("front request yields a front");
+            let lo = front.iter().map(|p| p.latency).fold(f64::INFINITY, f64::min);
+            if !lo.is_finite() {
+                return String::new();
+            }
+            let objective = Objective::MinFpUnderLatency(lo * frac);
+            let mut oracle = EngineOracle::new(&engine, &budget);
+            format!(
+                "{:?}",
+                rpwf_algo::explain::explain(&pipeline, &platform, objective, &mut oracle)
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,9 @@
+//! E23 — cold vs warm `explain` next to the cold solve it explains
+//! (writes `BENCH_explain.json`). Pass `--smoke` for the tiny CI-sized
+//! run.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    for table in rpwf_bench::experiments::explain::explain(smoke) {
+        table.print();
+    }
+}

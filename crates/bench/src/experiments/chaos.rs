@@ -273,6 +273,7 @@ fn run_scenario(
                 hop: None,
                 trace: None,
                 trace_ctx: None,
+                explain: None,
                 cmd: Command::Ring,
             })
             .expect("serializes");
@@ -325,6 +326,7 @@ fn workload(n: usize, m: usize, distinct: usize) -> (Vec<String>, Vec<u128>) {
             hop: None,
             trace: None,
             trace_ctx: None,
+            explain: None,
             cmd: Command::Solve {
                 pipeline: inst.pipeline,
                 platform: inst.platform,

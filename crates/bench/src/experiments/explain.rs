@@ -1,0 +1,360 @@
+//! E23 — the cost of an explanation: cold and warm `explain` next to
+//! the cold solve it explains (writes `BENCH_explain.json`).
+//!
+//! One server answers the same *infeasible* threshold query three ways:
+//!
+//! * **cold-solve** — uncached `solve`: the full exact front
+//!   computation that ends in a structured `infeasible` error. This is
+//!   the price the client already paid to learn the bad news.
+//! * **cold-explain** — uncached `explain`: MARCO enumerates the
+//!   MUS/MCS lattice with every oracle front solved from scratch. The
+//!   worst case for an explanation.
+//! * **warm-explain** — cached `explain` after one warming call: every
+//!   oracle front comes out of the front cache, so the explanation
+//!   costs threshold reads and set arithmetic, not solves.
+//!
+//! Measured per mode: p50/p99 client-observed latency. From the
+//! server's `rpwf_explain_*` metrics: mean oracle front-solves per
+//! explanation — MARCO's entire point is that this stays strictly
+//! below the 2⁴ = 16 subsets of the constraint universe (structurally
+//! ≤ 8: bound-free subsets are decided without an oracle and fronts
+//! are memoized per relaxation variant).
+//!
+//! Acceptance: every explanation is infeasible/proven with at least one
+//! MUS; mean oracle calls per explanation < 16 (always); warm-explain
+//! p50 ≤ 10% of cold-solve p50 (full mode — the timing bar is retried,
+//! not dropped, in the CI smoke test). Smoke mode (`--smoke`) shrinks
+//! the workload.
+
+use crate::table::Table;
+use rpwf_algo::Objective;
+use rpwf_core::platform::{FailureClass, PlatformClass};
+use rpwf_server::protocol::{Command, ExplainResult, Request, Response};
+use rpwf_server::{Server, ServiceConfig, ServingOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+struct Mode {
+    name: String,
+    requests: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Runs E23 and returns the result tables (also writes
+/// `BENCH_explain.json`). `smoke` shrinks the workload to CI size.
+///
+/// # Panics
+/// When a solve fails to report `infeasible` with its violated bound,
+/// an explanation comes back feasible / unproven / conflict-free, the
+/// mean oracle effort reaches the 16-subset powerset, or (full mode)
+/// warm explanations cost more than 10% of the cold solve.
+#[must_use]
+pub fn explain(smoke: bool) -> Vec<Table> {
+    let (n, m, iters) = if smoke { (3, 4, 8) } else { (4, 6, 30) };
+
+    let mut server = Server::bind_tuned(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 2,
+            cache_capacity: 256,
+            cache_shards: 4,
+            seed: 0xE23,
+            solver_threads: 1,
+            node_id: None,
+        },
+        ServingOptions::default(),
+    )
+    .expect("bind explain server");
+    let addr = server.local_addr().to_string();
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    // An infeasible threshold query: a latency bound at 1% of the
+    // safest mapping's latency sits below everything achievable.
+    let inst = rpwf_gen::make_instance(
+        PlatformClass::CommHomogeneous,
+        FailureClass::Heterogeneous,
+        n,
+        m,
+        7,
+    );
+    let safest = rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform);
+    let objective = Objective::MinFpUnderLatency(safest.latency * 0.01);
+    let solve_cmd = Command::Solve {
+        pipeline: inst.pipeline.clone(),
+        platform: inst.platform.clone(),
+        objective,
+    };
+    let explain_cmd = Command::Explain {
+        pipeline: inst.pipeline.clone(),
+        platform: inst.platform.clone(),
+        objective,
+    };
+
+    let cold_solve = run_mode(
+        "cold-solve",
+        iters,
+        &mut reader,
+        &mut writer,
+        &solve_cmd,
+        true,
+        check_infeasible_solve,
+    );
+    let cold_explain = run_mode(
+        "cold-explain",
+        iters,
+        &mut reader,
+        &mut writer,
+        &explain_cmd,
+        true,
+        check_explanation,
+    );
+    // One cached call warms every relaxation variant's front, then the
+    // timed passes read them back.
+    let _ = roundtrip(&mut reader, &mut writer, 0, &explain_cmd, false);
+    let warm_explain = run_mode(
+        "warm-explain",
+        iters,
+        &mut reader,
+        &mut writer,
+        &explain_cmd,
+        false,
+        check_explanation,
+    );
+
+    let (calls, oracle_calls, oracle_cached) = scrape_metrics(&mut reader, &mut writer);
+    server.shutdown();
+    assert!(calls > 0, "the metrics must have counted the explanations");
+    let mean_oracle_calls = oracle_calls as f64 / calls as f64;
+    assert!(
+        mean_oracle_calls < 16.0,
+        "MARCO must beat the 2^4 powerset of the constraint universe \
+         (mean {mean_oracle_calls:.2} oracle calls per explanation)"
+    );
+    if !smoke {
+        assert!(
+            warm_explain.p50_ms <= 0.10 * cold_solve.p50_ms.max(1e-3),
+            "acceptance: a cache-warm explanation must cost at most 10% of \
+             the cold solve it explains (warm p50 {:.3} ms vs cold solve \
+             p50 {:.3} ms)",
+            warm_explain.p50_ms,
+            cold_solve.p50_ms
+        );
+    }
+
+    let modes = [cold_solve, cold_explain, warm_explain];
+    let mut table = Table::new(
+        format!(
+            "E23 / cost of an explanation — infeasible threshold query \
+             (comm-homog n={n}, m={m}), {iters} requests per mode, \
+             mean {mean_oracle_calls:.2} oracle front-solves per \
+             explanation ({oracle_cached} of {oracle_calls} from cache)"
+        ),
+        &["mode", "requests", "p50 ms", "p99 ms", "vs cold-solve p50"],
+    );
+    let base_p50 = modes[0].p50_ms.max(1e-9);
+    for meas in &modes {
+        table.row(vec![
+            meas.name.clone(),
+            meas.requests.to_string(),
+            format!("{:.3}", meas.p50_ms),
+            format!("{:.3}", meas.p99_ms),
+            format!("{:.1}%", 100.0 * meas.p50_ms / base_p50),
+        ]);
+    }
+    table.note(
+        "an explanation is not a luxury good: MARCO decides the whole \
+         constraint lattice in well under the 16-subset powerset of \
+         oracle calls, and once the front cache is warm an explanation \
+         costs a small fraction of the solve that discovered the \
+         infeasibility in the first place",
+    );
+
+    write_json(&modes, calls, oracle_calls, oracle_cached);
+    vec![table]
+}
+
+type Check = fn(&Response);
+
+/// One measurement pass: `iters` sequential requests of one command,
+/// each latency-stamped, checked, and folded into p50/p99.
+fn run_mode(
+    name: &str,
+    iters: usize,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    cmd: &Command,
+    no_cache: bool,
+    check: Check,
+) -> Mode {
+    let mut samples_ms = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let began = Instant::now();
+        let parsed = roundtrip(reader, writer, i as u64, cmd, no_cache);
+        samples_ms.push(began.elapsed().as_secs_f64() * 1e3);
+        check(&parsed);
+    }
+    samples_ms.sort_unstable_by(f64::total_cmp);
+    Mode {
+        name: name.to_string(),
+        requests: iters,
+        p50_ms: percentile(&samples_ms, 50.0),
+        p99_ms: percentile(&samples_ms, 99.0),
+    }
+}
+
+/// Sends one request and reads back its response line.
+fn roundtrip(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    id: u64,
+    cmd: &Command,
+    no_cache: bool,
+) -> Response {
+    let request = Request {
+        id: Some(id),
+        deadline_ms: Some(30_000),
+        no_cache: no_cache.then_some(true),
+        hop: None,
+        trace: None,
+        trace_ctx: None,
+        explain: None,
+        cmd: cmd.clone(),
+    };
+    writeln!(
+        writer,
+        "{}",
+        serde_json::to_string(&request).expect("serializes")
+    )
+    .expect("send");
+    writer.flush().expect("flush");
+    let mut buf = String::new();
+    reader.read_line(&mut buf).expect("response line");
+    serde_json::from_str(buf.trim_end()).expect("response parses")
+}
+
+/// A solve of the doomed query must come back as a structured
+/// `infeasible` error echoing the violated latency bound.
+fn check_infeasible_solve(parsed: &Response) {
+    assert_eq!(parsed.status, "error", "the query is infeasible by design");
+    let error = parsed.error.as_ref().expect("error payload");
+    assert_eq!(error.kind, "infeasible");
+    let bound = error.bound.as_ref().expect("structured violated bound");
+    assert_eq!(bound.axis, "latency");
+}
+
+/// An explanation of the doomed query must be a proven infeasibility
+/// with at least one conflict and one fix.
+fn check_explanation(parsed: &Response) {
+    assert_eq!(parsed.status, "ok", "explain answers, it does not error");
+    let payload = parsed.result.as_ref().expect("result payload");
+    let text = serde_json::to_string(payload).expect("serializes");
+    let result: ExplainResult = serde_json::from_str(&text).expect("explain payload parses");
+    assert!(!result.feasible, "the query is infeasible by design");
+    assert!(result.proven, "exact fronts on this size ⇒ proven verdicts");
+    assert!(
+        !result.muses.is_empty(),
+        "infeasible ⇒ at least one conflict"
+    );
+    assert!(!result.mcses.is_empty(), "infeasible ⇒ at least one fix");
+}
+
+/// Reads `(calls, oracle_calls, oracle_cached)` from the server's
+/// `rpwf_explain_*` metrics.
+fn scrape_metrics(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream) -> (u64, u64, u64) {
+    let parsed = roundtrip(reader, writer, 9_999, &Command::Metrics, false);
+    let serde::Value::Str(dump) = parsed.result.expect("metrics payload") else {
+        panic!("metrics payload is a text dump");
+    };
+    let read = |metric: &str| {
+        dump.lines()
+            .find_map(|line| line.strip_prefix(metric))
+            .and_then(|rest| rest.trim().parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("metric {metric} missing from dump"))
+    };
+    (
+        read("rpwf_explain_calls_total "),
+        read("rpwf_explain_oracle_calls_total "),
+        read("rpwf_explain_oracle_cached_total "),
+    )
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.saturating_sub(1).min(sorted_ms.len() - 1)]
+}
+
+fn write_json(modes: &[Mode], calls: u64, oracle_calls: u64, oracle_cached: u64) {
+    let doc = serde::Value::Map(vec![
+        (
+            "modes".into(),
+            serde::Value::Seq(
+                modes
+                    .iter()
+                    .map(|meas| {
+                        serde::Value::Map(vec![
+                            ("mode".into(), serde::Value::Str(meas.name.clone())),
+                            ("requests".into(), serde::Value::UInt(meas.requests as u64)),
+                            ("p50_ms".into(), serde::Value::Float(meas.p50_ms)),
+                            ("p99_ms".into(), serde::Value::Float(meas.p99_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "warm_explain_p50_over_cold_solve_p50".into(),
+            serde::Value::Float(modes[2].p50_ms / modes[0].p50_ms.max(1e-9)),
+        ),
+        ("explain_calls".into(), serde::Value::UInt(calls)),
+        ("oracle_calls".into(), serde::Value::UInt(oracle_calls)),
+        ("oracle_cached".into(), serde::Value::UInt(oracle_cached)),
+        (
+            "mean_oracle_calls_per_explanation".into(),
+            serde::Value::Float(oracle_calls as f64 / calls.max(1) as f64),
+        ),
+    ]);
+    let text = serde_json::to_string_pretty(&doc).expect("serializes");
+    if let Err(e) = std::fs::write("BENCH_explain.json", text) {
+        eprintln!("warning: could not write BENCH_explain.json: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_explain_runs() {
+        // Serialized with the timing-sensitive tests, and the timing bar
+        // is retried: a violation must survive three attempts before it
+        // counts as a regression.
+        let _timing = crate::experiments::TIMING_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        crate::experiments::retry_timing_bars(|| {
+            let tables = explain(true);
+            assert_eq!(tables.len(), 1);
+            assert_eq!(tables[0].rows.len(), 3);
+            let cold_solve_p50: f64 = tables[0].rows[0][2].parse().expect("cold solve p50");
+            let warm_p50: f64 = tables[0].rows[2][2].parse().expect("warm explain p50");
+            if warm_p50 > 0.10 * cold_solve_p50.max(1e-3) {
+                return Some(format!(
+                    "a cache-warm explanation must cost at most 10% of the \
+                     cold solve (warm p50 {warm_p50:.3} ms vs cold solve \
+                     p50 {cold_solve_p50:.3} ms)"
+                ));
+            }
+            None
+        });
+        let _ = std::fs::remove_file("BENCH_explain.json");
+    }
+}

@@ -351,6 +351,7 @@ fn workload(n: usize, m: usize, distinct: usize, per_instance: usize) -> Vec<Str
                 no_cache: None,
                 trace: None,
                 trace_ctx: None,
+                explain: None,
                 hop: None,
                 cmd: Command::Solve {
                     pipeline: inst.pipeline.clone(),

@@ -23,6 +23,7 @@
 //! | E20 | [`chaos::chaos`] | `exp_chaos` |
 //! | E21 | [`parallel_search::parallel_search`] | `exp_par` |
 //! | E22 | [`overload::overload`] | `exp_overload` |
+//! | E23 | [`explain::explain`] | `exp_explain` |
 //!
 //! (E12 is the criterion suite under `benches/`.)
 
@@ -30,6 +31,7 @@ pub mod batch_front;
 pub mod chaos;
 pub mod engine_overhead;
 pub mod eval_incremental;
+pub mod explain;
 pub mod figures;
 pub mod fleet;
 pub mod hardness;
@@ -93,5 +95,6 @@ pub fn run_all() -> Vec<(&'static str, Vec<Table>)> {
         ("E20", chaos::chaos(false)),
         ("E21", parallel_search::parallel_search(false)),
         ("E22", overload::overload(false)),
+        ("E23", explain::explain(false)),
     ]
 }

@@ -290,6 +290,7 @@ fn workload_line(n: usize, m: usize) -> String {
         hop: None,
         trace: None,
         trace_ctx: None,
+        explain: None,
         cmd: Command::Solve {
             pipeline: inst.pipeline,
             platform: inst.platform,

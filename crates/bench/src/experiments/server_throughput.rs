@@ -152,6 +152,7 @@ fn run_scenario(scenario: &Scenario) -> Measurement {
                             no_cache: None,
                             trace: None,
                             trace_ctx: None,
+                            explain: None,
                             hop: None,
                             cmd: Command::Solve {
                                 pipeline,

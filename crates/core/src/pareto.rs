@@ -128,6 +128,41 @@ impl<T> ParetoFront<T> {
         self.points.iter().find(|q| q.failure_prob <= fp)
     }
 
+    /// The adjacent staircase point just past an infeasible latency
+    /// bound: among points with latency **strictly greater** than `l`,
+    /// the one with the smallest latency. This is the nearest feasible
+    /// relaxation when [`min_fp_under_latency`](Self::min_fp_under_latency)
+    /// returns `None`. `None` when no point lies above the bound (or the
+    /// bound is NaN).
+    #[must_use]
+    pub fn nearest_above(&self, l: f64) -> Option<&ParetoPoint<T>> {
+        if l.is_nan() {
+            return None;
+        }
+        // Sorted by latency asc: the first point past the `≤ l` prefix.
+        let idx = self.points.partition_point(|q| q.latency <= l);
+        self.points.get(idx)
+    }
+
+    /// The adjacent staircase point just past an infeasible
+    /// failure-probability bound: among points with failure probability
+    /// **strictly greater** than `fp`, the one with the smallest failure
+    /// probability. This is the nearest feasible relaxation when
+    /// [`min_latency_under_fp`](Self::min_latency_under_fp) returns
+    /// `None`. `None` when no point lies above the bound (or the bound
+    /// is NaN).
+    #[must_use]
+    pub fn nearest_below(&self, fp: f64) -> Option<&ParetoPoint<T>> {
+        if fp.is_nan() {
+            return None;
+        }
+        // fp strictly decreases along the latency-sorted points, so the
+        // `> fp` points form a prefix; its last element has the smallest
+        // failure probability among them.
+        let idx = self.points.partition_point(|q| q.failure_prob > fp);
+        idx.checked_sub(1).map(|i| &self.points[i])
+    }
+
     /// Vectorized [`min_fp_under_latency`](Self::min_fp_under_latency):
     /// answers every bound of the **ascending-sorted** `bounds` in one
     /// sweep over the front — O(k + len) instead of k binary searches.
@@ -287,6 +322,32 @@ mod tests {
         assert_eq!(f.min_latency_under_fp(0.3).unwrap().payload, "b");
         assert_eq!(f.min_latency_under_fp(0.5).unwrap().payload, "a");
         assert!(f.min_latency_under_fp(0.01).is_none());
+    }
+
+    #[test]
+    fn nearest_accessors_return_the_adjacent_point() {
+        let mut f = ParetoFront::new();
+        f.insert(10.0, 0.5, "a");
+        f.insert(20.0, 0.2, "b");
+        f.insert(30.0, 0.05, "c");
+
+        // Infeasible latency bound: the adjacent point just above it.
+        assert_eq!(f.nearest_above(5.0).unwrap().payload, "a");
+        assert_eq!(f.nearest_above(10.0).unwrap().payload, "b"); // strict
+        assert_eq!(f.nearest_above(25.0).unwrap().payload, "c");
+        assert!(f.nearest_above(30.0).is_none());
+        assert!(f.nearest_above(f64::NAN).is_none());
+
+        // Infeasible FP bound: the adjacent point just above it.
+        assert_eq!(f.nearest_below(0.01).unwrap().payload, "c");
+        assert_eq!(f.nearest_below(0.05).unwrap().payload, "b"); // strict
+        assert_eq!(f.nearest_below(0.3).unwrap().payload, "a");
+        assert!(f.nearest_below(0.5).is_none());
+        assert!(f.nearest_below(f64::NAN).is_none());
+
+        let empty = ParetoFront::<()>::new();
+        assert!(empty.nearest_above(0.0).is_none());
+        assert!(empty.nearest_below(0.0).is_none());
     }
 
     #[test]

@@ -276,6 +276,33 @@ proptest! {
     }
 
     #[test]
+    fn nearest_accessors_agree_with_linear_scans(
+        points in proptest::collection::vec((0.0f64..100.0, 0.0f64..1.0), 0..200),
+        l_bound in -10.0f64..120.0,
+        fp_bound in -0.2f64..1.2,
+    ) {
+        let mut front = ParetoFront::new();
+        for (i, &(l, fp)) in points.iter().enumerate() {
+            front.insert(l, fp, i);
+        }
+        // nearest_above: smallest latency strictly greater than the bound.
+        let scan = front
+            .iter()
+            .filter(|q| q.latency > l_bound)
+            .map(|q| q.latency)
+            .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.min(v))));
+        prop_assert_eq!(front.nearest_above(l_bound).map(|p| p.latency), scan);
+        // nearest_below: smallest failure probability strictly greater
+        // than the bound.
+        let scan = front
+            .iter()
+            .filter(|q| q.failure_prob > fp_bound)
+            .map(|q| q.failure_prob)
+            .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.min(v))));
+        prop_assert_eq!(front.nearest_below(fp_bound).map(|p| p.failure_prob), scan);
+    }
+
+    #[test]
     fn pareto_merge_is_order_insensitive(
         points in proptest::collection::vec((0.0f64..100.0, 0.0f64..1.0), 2..120),
         cut_seed in 0usize..1000,

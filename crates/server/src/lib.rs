@@ -72,6 +72,7 @@
 //!         hop: None,
 //!         trace: None,
 //!         trace_ctx: None,
+//!         explain: None,
 //!         cmd: Command::Solve {
 //!             pipeline: rpwf_gen::figure5_pipeline(),
 //!             platform: rpwf_gen::figure5_platform(),

@@ -341,6 +341,90 @@ impl SolverMetrics {
     }
 }
 
+/// Counters for the `Explain` machinery: calls, oracle effort, the
+/// cache-served fraction's numerator/denominator, and a MUS-size
+/// histogram. Lock-free like every other registry here. Effort counters
+/// live *only* in metrics — the wire explanation excludes them so warm
+/// and cold nodes answer byte-identically.
+#[derive(Debug, Default)]
+pub struct ExplainMetrics {
+    calls: AtomicU64,
+    feasible: AtomicU64,
+    unproven: AtomicU64,
+    oracle_calls: AtomicU64,
+    oracle_cached: AtomicU64,
+    /// MUS sizes 1..=4 (index `size - 1`); the universe has 4 members.
+    mus_sizes: [AtomicU64; 4],
+}
+
+impl ExplainMetrics {
+    /// A fresh registry.
+    #[must_use]
+    pub fn new() -> Self {
+        ExplainMetrics::default()
+    }
+
+    /// Folds one assembled explanation into the counters.
+    pub fn record(&self, explanation: &rpwf_algo::Explanation) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if explanation.feasible {
+            self.feasible.fetch_add(1, Ordering::Relaxed);
+        }
+        if !explanation.proven {
+            self.unproven.fetch_add(1, Ordering::Relaxed);
+        }
+        self.oracle_calls
+            .fetch_add(explanation.oracle_calls, Ordering::Relaxed);
+        self.oracle_cached
+            .fetch_add(explanation.oracle_cached, Ordering::Relaxed);
+        for mus in &explanation.muses {
+            if let Some(slot) = mus.len().checked_sub(1).and_then(|i| self.mus_sizes.get(i)) {
+                slot.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Renders the `rpwf_explain_*` counters.
+    pub fn render_prometheus(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        for (metric, value) in [
+            (
+                "rpwf_explain_calls_total",
+                self.calls.load(Ordering::Relaxed),
+            ),
+            (
+                "rpwf_explain_feasible_total",
+                self.feasible.load(Ordering::Relaxed),
+            ),
+            (
+                "rpwf_explain_unproven_total",
+                self.unproven.load(Ordering::Relaxed),
+            ),
+            (
+                "rpwf_explain_oracle_calls_total",
+                self.oracle_calls.load(Ordering::Relaxed),
+            ),
+            (
+                "rpwf_explain_oracle_cached_total",
+                self.oracle_cached.load(Ordering::Relaxed),
+            ),
+        ] {
+            writeln!(out, "# TYPE {metric} counter").expect("write to string");
+            writeln!(out, "{metric} {value}").expect("write to string");
+        }
+        writeln!(out, "# TYPE rpwf_explain_mus_size_total counter").expect("write to string");
+        for (i, slot) in self.mus_sizes.iter().enumerate() {
+            writeln!(
+                out,
+                "rpwf_explain_mus_size_total{{size=\"{}\"}} {}",
+                i + 1,
+                slot.load(Ordering::Relaxed)
+            )
+            .expect("write to string");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,6 +575,39 @@ mod tests {
             text.contains(
                 "rpwf_engine_solver_incumbent_improvements_total{solver=\"branch-bound\"} 4"
             ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn explain_metrics_fold_and_render() {
+        let m = ExplainMetrics::new();
+        m.record(&rpwf_algo::Explanation {
+            objective: rpwf_algo::Objective::MinFpUnderLatency(1.0),
+            universe: Vec::new(),
+            feasible: false,
+            muses: vec![vec![0, 1], vec![0]],
+            mcses: vec![vec![2]],
+            relaxation: None,
+            proven: false,
+            oracle_calls: 5,
+            oracle_cached: 2,
+        });
+        let mut text = String::new();
+        m.render_prometheus(&mut text);
+        assert!(text.contains("rpwf_explain_calls_total 1"), "{text}");
+        assert!(text.contains("rpwf_explain_unproven_total 1"), "{text}");
+        assert!(text.contains("rpwf_explain_oracle_calls_total 5"), "{text}");
+        assert!(
+            text.contains("rpwf_explain_oracle_cached_total 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rpwf_explain_mus_size_total{size=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rpwf_explain_mus_size_total{size=\"2\"} 1"),
             "{text}"
         );
     }

@@ -17,7 +17,18 @@
 //!
 //! Errors are structured: `{"status": "error", "error": {"kind":
 //! "timeout", "message": "..."}}` with kinds `timeout`, `infeasible`,
-//! `invalid`, and `internal`.
+//! `invalid`, `internal`, and `overloaded`. An `infeasible` error also
+//! carries the violated bound as structured data (`error.bound`:
+//! `{"axis": "latency", "value": 22.0}`) next to the legacy message
+//! string, so clients stop matching on substrings; an `overloaded`
+//! error carries `retry_after_ms`.
+//!
+//! The [`Command::Explain`] command answers *why* a threshold query is
+//! infeasible: a MUS/MCS enumeration over the query's constraint
+//! universe plus the nearest-feasible what-if ([`ExplainResult`]). A
+//! `Solve` request may instead set `"explain": true` to get the same
+//! payload attached as `meta.explain` when (and only when) the solve
+//! comes back infeasible.
 //!
 //! A `Pareto` request with `"chunk": k` streams its front as several
 //! response lines sharing the request id: zero or more `status: "part"`
@@ -79,6 +90,13 @@ pub struct Request {
     /// the owner records its spans under the entry node's trace id and
     /// the entry node returns one merged trace.
     pub trace_ctx: Option<TraceContext>,
+    /// Opt into automatic explanation: when a `Solve` comes back
+    /// infeasible, the response's `meta.explain` carries the full
+    /// [`ExplainResult`] the equivalent [`Command::Explain`] would have
+    /// returned. Ignored on feasible answers and on other commands
+    /// (`Pareto` is never infeasible — the reliability extreme always
+    /// exists).
+    pub explain: Option<bool>,
     /// The command to execute.
     pub cmd: Command,
 }
@@ -122,6 +140,20 @@ pub enum Command {
         /// `ParetoResult` line. Bounds per-response memory by the chunk
         /// size rather than the front size. `None` = single response.
         chunk: Option<usize>,
+    },
+    /// Infeasibility explanation for a threshold query: MUS/MCS
+    /// enumeration over the query's constraint universe plus the
+    /// nearest-feasible what-if ([`ExplainResult`]). Routed by instance
+    /// key exactly like `Solve`, so fleet forwarding, replication and
+    /// the front cache apply unchanged — and the answer is
+    /// byte-identical whichever node the client entered through.
+    Explain {
+        /// The application.
+        pipeline: Pipeline,
+        /// The platform.
+        platform: Platform,
+        /// The threshold objective to explain.
+        objective: Objective,
     },
     /// Monte Carlo validation of the min-FP mapping.
     Simulate {
@@ -197,6 +229,7 @@ impl Command {
             Command::Ping => "ping",
             Command::Solve { .. } => "solve",
             Command::Pareto { .. } => "pareto",
+            Command::Explain { .. } => "explain",
             Command::Simulate { .. } => "simulate",
             Command::Gen { .. } => "gen",
             Command::Stats => "stats",
@@ -214,6 +247,7 @@ impl Command {
             "ping",
             "solve",
             "pareto",
+            "explain",
             "simulate",
             "gen",
             "stats",
@@ -236,6 +270,9 @@ impl Command {
                 pipeline, platform, ..
             }
             | Command::Pareto {
+                pipeline, platform, ..
+            }
+            | Command::Explain {
                 pipeline, platform, ..
             } => Some(rpwf_core::hash::instance_key(pipeline, platform)),
             _ => None,
@@ -301,7 +338,11 @@ impl Command {
                 platform.digest(&mut hasher);
                 hasher.write_u64(trials.unwrap_or(10_000) as u64);
             }
+            // `Explain` is answered from the same cached fronts the
+            // threshold reads use; the assembled explanation itself is
+            // cheap to rebuild and is not separately cached.
             Command::Ping
+            | Command::Explain { .. }
             | Command::Gen { .. }
             | Command::Stats
             | Command::Metrics
@@ -360,6 +401,39 @@ pub struct WireError {
     /// retry. Absent on every other error kind (and on responses from
     /// servers predating admission control).
     pub retry_after_ms: Option<u64>,
+    /// For `infeasible` rejections: the violated bound, as structured
+    /// data. Old clients keep reading the message string; new clients
+    /// (and the `Explain` machinery) anchor on this field. Absent on
+    /// every other error kind and on responses from older servers.
+    pub bound: Option<ViolatedBound>,
+}
+
+/// The bound an infeasible threshold query violated, echoed back in
+/// structured form on `infeasible` errors.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ViolatedBound {
+    /// The bounded axis: `"latency"` ([`Objective::MinFpUnderLatency`])
+    /// or `"failure_prob"` ([`Objective::MinLatencyUnderFp`]).
+    pub axis: String,
+    /// The bound's value as the client posed it (no slack applied).
+    pub value: f64,
+}
+
+impl ViolatedBound {
+    /// The bound of a threshold objective.
+    #[must_use]
+    pub fn of(objective: Objective) -> Self {
+        match objective {
+            Objective::MinFpUnderLatency(l) => ViolatedBound {
+                axis: "latency".into(),
+                value: l,
+            },
+            Objective::MinLatencyUnderFp(f) => ViolatedBound {
+                axis: "failure_prob".into(),
+                value: f,
+            },
+        }
+    }
 }
 
 /// Per-response metadata.
@@ -388,6 +462,10 @@ pub struct Meta {
     /// the entry node's decode/route/forward spans with the owner's
     /// subtree grafted under the forward span.
     pub trace: Option<SpanTree>,
+    /// The infeasibility explanation, attached when the request opted in
+    /// with `"explain": true` and the answer came back infeasible
+    /// (identical to the payload [`Command::Explain`] would return).
+    pub explain: Option<ExplainResult>,
 }
 
 /// A single response line.
@@ -442,6 +520,30 @@ impl Response {
                 kind: kind.name().into(),
                 message: message.into(),
                 retry_after_ms: None,
+                bound: None,
+            }),
+            meta,
+        }
+    }
+
+    /// An `infeasible` error response carrying the violated bound as
+    /// structured data next to the legacy message string.
+    #[must_use]
+    pub fn infeasible(
+        id: Option<u64>,
+        objective: Objective,
+        message: impl Into<String>,
+        meta: Meta,
+    ) -> Self {
+        Response {
+            id,
+            status: "error".into(),
+            result: None,
+            error: Some(WireError {
+                kind: ErrorKind::Infeasible.name().into(),
+                message: message.into(),
+                retry_after_ms: None,
+                bound: Some(ViolatedBound::of(objective)),
             }),
             meta,
         }
@@ -465,6 +567,7 @@ impl Response {
                 kind: ErrorKind::Overloaded.name().into(),
                 message: message.into(),
                 retry_after_ms: Some(retry_after_ms),
+                bound: None,
             }),
             meta,
         }
@@ -474,6 +577,90 @@ impl Response {
     #[must_use]
     pub fn to_line(&self) -> String {
         serde_json::to_string(self).expect("responses always serialize")
+    }
+}
+
+/// `Explain` result payload (also attached as `meta.explain` on
+/// infeasible `Solve` responses that opted in with `"explain": true`).
+///
+/// Deliberately excludes effort counters (oracle calls, cache hits):
+/// those differ between a warm and a cold node and would break the
+/// fleet's byte-identical-from-any-entry-node contract. They surface in
+/// the `rpwf_explain_*` metrics instead.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExplainResult {
+    /// The explained objective.
+    pub objective: Objective,
+    /// Whether the query is feasible as posed (then there is nothing to
+    /// explain and the MUS/MCS lists are empty).
+    pub feasible: bool,
+    /// The constraint universe; MUS/MCS members index into this list.
+    pub universe: Vec<ExplainConstraint>,
+    /// Minimal unsatisfiable subsets — each a sorted list of indices
+    /// into `universe`; dropping any member makes the subset satisfiable.
+    pub muses: Vec<Vec<usize>>,
+    /// Minimal correction sets — relax all members of any one and the
+    /// query becomes feasible.
+    pub mcses: Vec<Vec<usize>>,
+    /// The nearest-feasible what-if (absent when feasible).
+    pub relaxation: Option<ExplainRelaxation>,
+    /// Whether every infeasibility verdict was proven on an exact front.
+    /// `false` marks a best-effort explanation (budget-cut or heuristic
+    /// fronts): MUSes are candidates, never claimed minimal-proven.
+    pub proven: bool,
+}
+
+/// One constraint of an [`ExplainResult`]'s universe.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExplainConstraint {
+    /// Stable lowercase label (`bound`, `speed-limit`, `link-limit`,
+    /// `platform-size`).
+    pub label: String,
+    /// The constraint instantiated on this query, e.g. `latency <= 1`.
+    pub detail: String,
+}
+
+/// The nearest-feasible what-if of an [`ExplainResult`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExplainRelaxation {
+    /// The bounded axis (`latency` or `failure_prob`).
+    pub axis: String,
+    /// Latency of the adjacent feasible point past the bound (absent
+    /// when the front had nothing to suggest).
+    pub latency: Option<f64>,
+    /// Failure probability of that point.
+    pub failure_prob: Option<f64>,
+    /// Whether the front read was proven exact.
+    pub proven: bool,
+}
+
+impl ExplainResult {
+    /// Shapes an engine [`Explanation`](rpwf_algo::Explanation) for the
+    /// wire, dropping the effort counters (metrics-only — see the type
+    /// docs).
+    #[must_use]
+    pub fn from_explanation(explanation: &rpwf_algo::Explanation) -> Self {
+        ExplainResult {
+            objective: explanation.objective,
+            feasible: explanation.feasible,
+            universe: explanation
+                .universe
+                .iter()
+                .map(|c| ExplainConstraint {
+                    label: c.label.to_owned(),
+                    detail: c.detail.clone(),
+                })
+                .collect(),
+            muses: explanation.muses.clone(),
+            mcses: explanation.mcses.clone(),
+            relaxation: explanation.relaxation.map(|r| ExplainRelaxation {
+                axis: r.axis.to_owned(),
+                latency: r.nearest.map(|p| p.latency),
+                failure_prob: r.nearest.map(|p| p.failure_prob),
+                proven: r.proven,
+            }),
+            proven: explanation.proven,
+        }
     }
 }
 
@@ -788,6 +975,7 @@ mod tests {
             hop: None,
             trace: Some(true),
             trace_ctx: Some(TraceContext { id: 7, parent: 2 }),
+            explain: None,
             cmd: Command::Solve {
                 pipeline,
                 platform,
@@ -806,6 +994,7 @@ mod tests {
             serde_json::from_str(r#"{"id":1,"cmd":"Ping"}"#).expect("legacy line parses");
         assert_eq!(legacy.trace, None);
         assert_eq!(legacy.trace_ctx, None);
+        assert_eq!(legacy.explain, None);
     }
 
     #[test]
@@ -830,6 +1019,14 @@ mod tests {
         .cache_key()
         .expect("pareto is cacheable");
         assert_ne!(key(22.0), pareto);
+        // Explain answers rebuild cheaply from the cached fronts; the
+        // per-query result cache never stores them.
+        let explain = Command::Explain {
+            pipeline: pipeline.clone(),
+            platform: platform.clone(),
+            objective: Objective::MinFpUnderLatency(22.0),
+        };
+        assert_eq!(explain.cache_key(), None);
         assert_eq!(Command::Ping.cache_key(), None);
         assert_eq!(Command::Stats.cache_key(), None);
         assert_eq!(Command::Metrics.cache_key(), None);
@@ -850,6 +1047,11 @@ mod tests {
             platform: platform.clone(),
             trials: Some(100),
         };
+        let explain = Command::Explain {
+            pipeline: pipeline.clone(),
+            platform: platform.clone(),
+            objective: Objective::MinLatencyUnderFp(0.3),
+        };
         let pareto = Command::Pareto {
             pipeline,
             platform,
@@ -860,6 +1062,7 @@ mod tests {
         let key = solve.route_key().expect("solve routes");
         assert_eq!(simulate.route_key(), Some(key));
         assert_eq!(pareto.route_key(), Some(key));
+        assert_eq!(explain.route_key(), Some(key));
         assert_eq!(Command::Ping.route_key(), None);
         assert_eq!(Command::Ring.route_key(), None);
         assert_eq!(Command::Stats.route_key(), None);
@@ -892,6 +1095,14 @@ mod tests {
         assert_eq!(solve(22.0), solve(23.0));
         assert_eq!(solve(22.0), pareto(None));
         assert_eq!(pareto(None), pareto(Some(4)));
+        let explain = Command::Explain {
+            pipeline: pipeline.clone(),
+            platform: platform.clone(),
+            objective: Objective::MinFpUnderLatency(22.0),
+        }
+        .front_key()
+        .expect("explain has a front key");
+        assert_eq!(explain, solve(22.0));
         assert_eq!(Command::Ping.front_key(), None);
         assert_eq!(Command::Stats.front_key(), None);
     }
@@ -935,22 +1146,92 @@ mod tests {
         }
     }
 
-    #[test]
-    fn error_response_shape() {
-        let meta = Meta {
+    fn plain_meta() -> Meta {
+        Meta {
             cache_hit: false,
             solver: None,
             exact_complete: None,
             elapsed_us: 5,
             node: None,
             trace: None,
-        };
-        let resp = Response::error(Some(3), ErrorKind::Timeout, "deadline expired", meta);
+            explain: None,
+        }
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let resp = Response::error(
+            Some(3),
+            ErrorKind::Timeout,
+            "deadline expired",
+            plain_meta(),
+        );
         let line = resp.to_line();
         assert!(line.contains("\"status\":\"error\""), "{line}");
         assert!(line.contains("\"kind\":\"timeout\""), "{line}");
         let parsed: Response = serde_json::from_str(&line).expect("parses");
-        assert_eq!(parsed.error.expect("error body").kind, "timeout");
+        let error = parsed.error.expect("error body");
+        assert_eq!(error.kind, "timeout");
+        assert_eq!(error.bound, None);
         assert_eq!(parsed.id, Some(3));
+    }
+
+    #[test]
+    fn infeasible_response_echoes_the_violated_bound() {
+        let resp = Response::infeasible(
+            Some(9),
+            Objective::MinFpUnderLatency(1.5),
+            "no mapping satisfies the bound",
+            plain_meta(),
+        );
+        let line = resp.to_line();
+        let parsed: Response = serde_json::from_str(&line).expect("parses");
+        let error = parsed.error.expect("error body");
+        assert_eq!(error.kind, "infeasible");
+        let bound = error.bound.expect("structured bound");
+        assert_eq!(bound.axis, "latency");
+        assert_eq!(bound.value, 1.5);
+        let fp = ViolatedBound::of(Objective::MinLatencyUnderFp(0.01));
+        assert_eq!(fp.axis, "failure_prob");
+        assert_eq!(fp.value, 0.01);
+        // Pre-explain clients (no `bound` field on the wire) still parse.
+        let legacy: WireError = serde_json::from_str(
+            r#"{"kind":"infeasible","message":"no mapping satisfies the bound"}"#,
+        )
+        .expect("legacy error parses");
+        assert_eq!(legacy.bound, None);
+    }
+
+    #[test]
+    fn explain_result_roundtrips_through_json() {
+        let result = ExplainResult {
+            objective: Objective::MinFpUnderLatency(1.0),
+            feasible: false,
+            universe: vec![
+                ExplainConstraint {
+                    label: "bound".into(),
+                    detail: "latency <= 1".into(),
+                },
+                ExplainConstraint {
+                    label: "speed-limit".into(),
+                    detail: "processor speeds as given (max 2)".into(),
+                },
+            ],
+            muses: vec![vec![0, 1]],
+            mcses: vec![vec![0], vec![1]],
+            relaxation: Some(ExplainRelaxation {
+                axis: "latency".into(),
+                latency: Some(3.0),
+                failure_prob: Some(0.2),
+                proven: true,
+            }),
+            proven: true,
+        };
+        let line = serde_json::to_string(&result).expect("serializes");
+        let parsed: ExplainResult = serde_json::from_str(&line).expect("parses");
+        assert_eq!(parsed, result);
+        // Effort counters are metrics-only, never wire fields: the
+        // payload must be byte-identical warm or cold.
+        assert!(!line.contains("oracle"), "{line}");
     }
 }

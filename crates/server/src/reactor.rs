@@ -1132,6 +1132,7 @@ impl EventThread {
                         elapsed_us: received.elapsed().as_micros() as u64,
                         node: self.ctx.node_id.clone(),
                         trace: None,
+                        explain: None,
                     },
                 );
                 let mut respond = make_respond(&shared, fault);

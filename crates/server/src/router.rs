@@ -423,6 +423,7 @@ impl RingRouter {
             hop: Some(true),
             trace: None,
             trace_ctx: None,
+            explain: None,
             cmd: Command::CacheFill {
                 pipeline: pipeline.clone(),
                 platform: platform.clone(),

@@ -254,6 +254,7 @@ mod tests {
             hop: None,
             trace: None,
             trace_ctx: None,
+            explain: None,
             cmd,
         })
         .expect("serializes")

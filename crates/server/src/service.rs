@@ -12,17 +12,18 @@
 
 use crate::admission::{Admission, ServingOptions};
 use crate::cache::{CachedEntry, CachedFront, CachedResult, SolutionCache};
-use crate::metrics::{CommandMetrics, SolverMetrics};
+use crate::metrics::{CommandMetrics, ExplainMetrics, SolverMetrics};
 use crate::protocol::{
-    CacheFillResult, CacheStatsOut, Command, ErrorKind, FrontEndResult, FrontPartResult, GenResult,
-    Meta, ParetoPointOut, ParetoResult, Request, Response, RingResult, ServingStatsOut,
-    SimulateResult, SolveResult, StatsResult, TraceEntryOut, TraceResult,
+    CacheFillResult, CacheStatsOut, Command, ErrorKind, ExplainResult, FrontEndResult,
+    FrontPartResult, GenResult, Meta, ParetoPointOut, ParetoResult, Request, Response, RingResult,
+    ServingStatsOut, SimulateResult, SolveResult, StatsResult, TraceEntryOut, TraceResult,
 };
 use crate::router::{AsyncForward, LocalRouter, Router};
 use crossbeam::channel::{self, Sender};
 use rpwf_algo::engine::{Answer, Engine, SolveRequest, Want};
+use rpwf_algo::explain::{self, FrontOracle, OracleFront};
 use rpwf_algo::front::{threshold_read, threshold_read_batch};
-use rpwf_algo::{BiSolution, Objective, Provenance};
+use rpwf_algo::{BiSolution, Explanation, Objective, Provenance};
 use rpwf_core::budget::{Budget, CancelHandle};
 use rpwf_core::hash::instance_key;
 use rpwf_core::mapping::IntervalMapping;
@@ -179,6 +180,7 @@ pub struct SolverService {
     requests: AtomicU64,
     metrics: CommandMetrics,
     solver_metrics: SolverMetrics,
+    explain_metrics: ExplainMetrics,
     trace_log: TraceLog,
     traces: AtomicU64,
     trace_spans: AtomicU64,
@@ -204,6 +206,7 @@ impl SolverService {
             requests: AtomicU64::new(0),
             metrics: CommandMetrics::new(),
             solver_metrics,
+            explain_metrics: ExplainMetrics::new(),
             trace_log: TraceLog::default(),
             traces: AtomicU64::new(0),
             trace_spans: AtomicU64::new(0),
@@ -304,6 +307,7 @@ impl SolverService {
             elapsed_us: elapsed_us(start),
             node: self.node(),
             trace: None,
+            explain: None,
         }
     }
 
@@ -497,6 +501,7 @@ impl SolverService {
             budget = budget.linked(handle);
         }
         let use_cache = !request.no_cache.unwrap_or(false);
+        let explain = request.explain.unwrap_or(false);
 
         // Expensive commands check the budget only *after* their cache
         // lookup (each handler does, via `doomed_solve`): a request whose
@@ -508,6 +513,13 @@ impl SolverService {
                 platform,
                 objective,
             } => emit(self.handle_solve(
+                id, &pipeline, &platform, objective, &budget, use_cache, explain, start, trace,
+            )),
+            Command::Explain {
+                pipeline,
+                platform,
+                objective,
+            } => emit(self.handle_explain(
                 id, &pipeline, &platform, objective, &budget, use_cache, start, trace,
             )),
             Command::Pareto {
@@ -565,6 +577,7 @@ impl SolverService {
         objective: Objective,
         budget: &Budget,
         use_cache: bool,
+        explain: bool,
         start: Instant,
         trace: Option<TraceScope<'_>>,
     ) -> Response {
@@ -591,11 +604,17 @@ impl SolverService {
             }
             if hit.complete {
                 // A complete front proves infeasibility.
-                return Response::error(
+                let mut meta = self.meta(true, Some(hit.solver), Some(true), start);
+                if explain {
+                    meta.explain = Some(self.attach_explanation(
+                        &pipeline, platform, objective, budget, use_cache, trace,
+                    ));
+                }
+                return Response::infeasible(
                     id,
-                    ErrorKind::Infeasible,
+                    objective,
                     format!("no mapping satisfies {objective:?}"),
-                    self.meta(true, Some(hit.solver), Some(true), start),
+                    meta,
                 );
             }
             // Incomplete front with no satisfying point: solve fresh.
@@ -699,29 +718,164 @@ impl SolverService {
                     ),
                 )
             }
-            Answer::Point(None) if completeness.exact_complete => Response::error(
-                id,
-                ErrorKind::Infeasible,
-                format!("no mapping satisfies {objective:?}"),
-                self.meta_plain(start),
-            ),
+            Answer::Point(None) if completeness.exact_complete => {
+                let mut meta = self.meta_plain(start);
+                if explain {
+                    meta.explain = Some(self.attach_explanation(
+                        &pipeline, platform, objective, budget, use_cache, trace,
+                    ));
+                }
+                Response::infeasible(
+                    id,
+                    objective,
+                    format!("no mapping satisfies {objective:?}"),
+                    meta,
+                )
+            }
             Answer::Point(None) if budget.is_exhausted() => Response::error(
                 id,
                 ErrorKind::Timeout,
                 "deadline expired before any feasible solution was found",
                 self.meta_plain(start),
             ),
-            Answer::Point(None) => Response::error(
-                id,
-                ErrorKind::Infeasible,
-                format!(
-                    "no feasible solution found for {objective:?} \
-                     (heuristic search; not a proof of infeasibility)"
-                ),
-                self.meta_plain(start),
-            ),
-            Answer::Front(_) => unreachable!("point request yields a point answer"),
+            Answer::Point(None) => {
+                let mut meta = self.meta_plain(start);
+                if explain {
+                    meta.explain = Some(self.attach_explanation(
+                        &pipeline, platform, objective, budget, use_cache, trace,
+                    ));
+                }
+                Response::infeasible(
+                    id,
+                    objective,
+                    format!(
+                        "no feasible solution found for {objective:?} \
+                         (heuristic search; not a proof of infeasibility)"
+                    ),
+                    meta,
+                )
+            }
+            Answer::Front(_) | Answer::Explain(_) => {
+                unreachable!("point request yields a point answer")
+            }
         }
+    }
+
+    /// The `Explain` command: MARCO-style MUS/MCS enumeration over the
+    /// query's constraint universe plus the nearest-feasible what-if,
+    /// with engine front solves as the sat oracle and the front cache in
+    /// the loop (complete fronts only — see [`ServiceOracle`]). Routed by
+    /// instance key like `Solve`, so every fleet entry node lands it on
+    /// the same owner and the payload is byte-identical wherever it
+    /// enters the fleet.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_explain(
+        &self,
+        id: Option<u64>,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+        use_cache: bool,
+        start: Instant,
+        trace: Option<TraceScope<'_>>,
+    ) -> Response {
+        let pipeline = pipeline.clone().with_rebuilt_cache();
+        if let Some(timeout) = self.doomed_solve(id, budget, start) {
+            return timeout;
+        }
+        let explanation =
+            self.build_explanation(&pipeline, platform, objective, budget, use_cache, trace);
+        let solver = if explanation.proven {
+            Provenance::Exact
+        } else {
+            Provenance::Heuristic
+        };
+        let meta = self.meta(
+            explanation.oracle_cached > 0,
+            Some(solver),
+            Some(explanation.proven),
+            start,
+        );
+        Response::ok(
+            id,
+            ExplainResult::from_explanation(&explanation).to_value(),
+            meta,
+        )
+    }
+
+    /// Builds the opt-in `meta.explain` payload attached to infeasible
+    /// `Solve` responses: the same explanation a standalone `Explain`
+    /// command returns, from the same oracle, so the two renderings are
+    /// byte-identical.
+    fn attach_explanation(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+        use_cache: bool,
+        trace: Option<TraceScope<'_>>,
+    ) -> ExplainResult {
+        let explanation =
+            self.build_explanation(pipeline, platform, objective, budget, use_cache, trace);
+        ExplainResult::from_explanation(&explanation)
+    }
+
+    /// Runs the MARCO enumeration and the relaxation read against the
+    /// service oracle, recording the `explain.marco` / `explain.relax`
+    /// trace spans and the explain metrics.
+    fn build_explanation(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        objective: Objective,
+        budget: &Budget,
+        use_cache: bool,
+        trace: Option<TraceScope<'_>>,
+    ) -> Explanation {
+        let mut oracle = ServiceOracle {
+            service: self,
+            budget,
+            use_cache,
+        };
+        let marco_start = trace.map(|scope| scope.trace.elapsed_us());
+        let outcome = explain::marco(pipeline, platform, objective, &mut oracle);
+        if let Some(scope) = trace {
+            let span_start = marco_start.unwrap_or(0);
+            scope.trace.add(
+                "explain.marco",
+                Some(scope.parent),
+                span_start,
+                scope.trace.elapsed_us().saturating_sub(span_start),
+                vec![
+                    ("feasible".to_owned(), outcome.feasible.to_string()),
+                    ("oracle_calls".to_owned(), outcome.oracle_calls.to_string()),
+                    (
+                        "oracle_cached".to_owned(),
+                        outcome.oracle_cached.to_string(),
+                    ),
+                ],
+            );
+        }
+        let relax_start = trace.map(|scope| scope.trace.elapsed_us());
+        let explanation = explain::assemble(objective, platform, &outcome);
+        if let Some(scope) = trace {
+            let span_start = relax_start.unwrap_or(0);
+            let mut attrs = vec![("proven".to_owned(), explanation.proven.to_string())];
+            if let Some(relaxation) = explanation.relaxation {
+                attrs.push(("axis".to_owned(), relaxation.axis.to_owned()));
+            }
+            scope.trace.add(
+                "explain.relax",
+                Some(scope.parent),
+                span_start,
+                scope.trace.elapsed_us().saturating_sub(span_start),
+                attrs,
+            );
+        }
+        self.explain_metrics.record(&explanation);
+        explanation
     }
 
     /// The Pareto command: produce (or fetch) the front, then render it as
@@ -790,7 +944,9 @@ impl SolverService {
                 let solver = report.provenance.unwrap_or(Provenance::Heuristic);
                 let front = match report.answer {
                     Answer::Front(front) => front,
-                    Answer::Point(_) => unreachable!("front request yields a front answer"),
+                    Answer::Point(_) | Answer::Explain(_) => {
+                        unreachable!("front request yields a front answer")
+                    }
                 };
                 if front.is_empty() && !complete {
                     emit(Response::error(
@@ -1064,6 +1220,7 @@ impl SolverService {
             }
             Command::Solve { .. }
             | Command::Pareto { .. }
+            | Command::Explain { .. }
             | Command::Simulate { .. }
             | Command::CacheFill { .. } => {
                 unreachable!("front-shaped commands are dispatched by handle_inner")
@@ -1158,6 +1315,7 @@ impl SolverService {
         }
         self.metrics.render_prometheus(&mut out);
         self.solver_metrics.render_prometheus(&mut out);
+        self.explain_metrics.render_prometheus(&mut out);
         for extension in self
             .metrics_ext
             .lock()
@@ -1377,11 +1535,11 @@ impl SolverService {
                 let response = match answer {
                     Some(sol) => Response::ok(id, solve_result(sol), meta),
                     // The front is complete, so an empty read proves
-                    // infeasibility — same contract as the per-request
-                    // path.
-                    None => Response::error(
+                    // infeasibility — same contract (and same structured
+                    // `bound` echo) as the per-request path.
+                    None => Response::infeasible(
                         id,
-                        ErrorKind::Infeasible,
+                        objective,
                         format!("no mapping satisfies {objective:?}"),
                         meta,
                     ),
@@ -1391,6 +1549,67 @@ impl SolverService {
             })
             .collect();
         Some(responses)
+    }
+}
+
+/// The service-side sat oracle behind explanations: engine front solves
+/// with the front cache in the loop. Only **complete** cached fronts are
+/// served from the cache — an incomplete front's shape depends on which
+/// node solved it and under what budget, and explanations must be
+/// byte-identical from every fleet entry node — and every freshly solved
+/// front goes back through the same completeness-aware store (and fleet
+/// replication hook) as a solve, so an explanation warms the cache for
+/// later queries over the same (possibly relaxed) instances.
+struct ServiceOracle<'a> {
+    service: &'a SolverService,
+    budget: &'a Budget,
+    use_cache: bool,
+}
+
+impl FrontOracle for ServiceOracle<'_> {
+    fn front(&mut self, pipeline: &Pipeline, platform: &Platform, _variant: u8) -> OracleFront {
+        let key = self.use_cache.then(|| instance_key(pipeline, platform));
+        if let Some(k) = key {
+            if let Some(CachedEntry::Front(hit)) = self.service.cache.get(k) {
+                if hit.complete {
+                    return OracleFront {
+                        front: hit.front,
+                        complete: true,
+                        cached: true,
+                    };
+                }
+            }
+        }
+        let report = self.service.engine.solve(&SolveRequest {
+            pipeline,
+            platform,
+            want: Want::Front,
+            budget: self.budget,
+        });
+        self.service.solver_metrics.record(&report.stats);
+        let complete = report.completeness.exact_complete;
+        let exact_capable = report.completeness.exact_capable;
+        let solver = report.provenance.unwrap_or(Provenance::Heuristic);
+        let front = report
+            .front_answer()
+            .cloned()
+            .unwrap_or_else(|| Arc::new(ParetoFront::new()));
+        if let Some(k) = key {
+            self.service.store_front(
+                pipeline,
+                platform,
+                k,
+                Arc::clone(&front),
+                complete,
+                solver,
+                exact_capable,
+            );
+        }
+        OracleFront {
+            front,
+            complete,
+            cached: false,
+        }
     }
 }
 
@@ -1823,6 +2042,11 @@ impl WorkerPool {
             if request.trace.unwrap_or(false) {
                 continue;
             }
+            // Explain-flagged requests do too: an infeasible answer must
+            // attach `meta.explain`, which the sweep does not build.
+            if request.explain.unwrap_or(false) {
+                continue;
+            }
             let key =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| request.cmd.front_key()));
             let Ok(Some(key)) = key else { continue };
@@ -1880,6 +2104,7 @@ mod tests {
             hop: None,
             trace: None,
             trace_ctx: None,
+            explain: None,
             cmd: Command::Solve {
                 pipeline: rpwf_gen::figure5_pipeline(),
                 platform: rpwf_gen::figure5_platform(),
@@ -1899,6 +2124,7 @@ mod tests {
                 hop: None,
                 trace: None,
                 trace_ctx: None,
+                explain: None,
                 cmd: Command::Ping,
             },
             Instant::now(),
@@ -1952,6 +2178,7 @@ mod tests {
                 hop: None,
                 trace: None,
                 trace_ctx: None,
+                explain: None,
                 cmd: Command::Pareto {
                     pipeline: rpwf_gen::figure5_pipeline(),
                     platform: rpwf_gen::figure5_platform(),
@@ -2005,6 +2232,7 @@ mod tests {
                 hop: None,
                 trace: None,
                 trace_ctx: None,
+                explain: None,
                 cmd: Command::Trace { limit: None },
             },
             Instant::now(),
@@ -2042,6 +2270,7 @@ mod tests {
                 hop: None,
                 trace: None,
                 trace_ctx: None,
+                explain: None,
                 cmd: Command::Stats,
             },
             Instant::now(),
@@ -2060,7 +2289,11 @@ mod tests {
         let _ = svc.handle(solve_request(1, 22.0), Instant::now());
         let impossible = svc.handle(solve_request(2, 1e-6), Instant::now());
         assert_eq!(impossible.status, "error");
-        assert_eq!(impossible.error.expect("error body").kind, "infeasible");
+        let err = impossible.error.expect("error body");
+        assert_eq!(err.kind, "infeasible");
+        let bound = err.bound.expect("structured bound");
+        assert_eq!(bound.axis, "latency");
+        assert_eq!(bound.value, 1e-6);
     }
 
     #[test]
@@ -2100,6 +2333,7 @@ mod tests {
             hop: None,
             trace: None,
             trace_ctx: None,
+            explain: None,
             cmd: Command::Solve {
                 pipeline: Pipeline::uniform(2, 100.0, 100.0).unwrap(),
                 platform: Platform::fully_homogeneous(3, 1.0, 1.0, 0.9).unwrap(),
@@ -2108,7 +2342,168 @@ mod tests {
         };
         let resp = svc.handle(req, Instant::now());
         assert_eq!(resp.status, "error");
+        let err = resp.error.expect("error body");
+        assert_eq!(err.kind, "infeasible");
+        let bound = err.bound.expect("structured bound");
+        assert_eq!(bound.axis, "latency");
+        assert_eq!(bound.value, 1.0);
+    }
+
+    fn impossible_request(id: u64, cmd: fn(Pipeline, Platform, Objective) -> Command) -> Request {
+        Request {
+            id: Some(id),
+            deadline_ms: None,
+            no_cache: None,
+            hop: None,
+            trace: None,
+            trace_ctx: None,
+            explain: None,
+            cmd: cmd(
+                Pipeline::uniform(2, 100.0, 100.0).unwrap(),
+                Platform::fully_homogeneous(3, 1.0, 1.0, 0.9).unwrap(),
+                Objective::MinFpUnderLatency(1.0),
+            ),
+        }
+    }
+
+    #[test]
+    fn explain_command_enumerates_conflicts_and_what_ifs() {
+        let svc = service();
+        let resp = svc.handle(
+            impossible_request(1, |pipeline, platform, objective| Command::Explain {
+                pipeline,
+                platform,
+                objective,
+            }),
+            Instant::now(),
+        );
+        assert_eq!(resp.status, "ok", "{:?}", resp.error);
+        assert_eq!(resp.meta.exact_complete, Some(true));
+        let result: ExplainResult =
+            serde_json::from_str(&serde_json::to_string(&resp.result).expect("serializes"))
+                .expect("explain payload");
+        assert!(!result.feasible);
+        assert!(result.proven);
+        assert_eq!(result.universe.len(), 4);
+        assert!(!result.muses.is_empty());
+        assert!(!result.mcses.is_empty());
+        // Every conflict involves the bound (index 0): without it any
+        // subset is trivially satisfiable.
+        assert!(result.muses.iter().all(|mus| mus.contains(&0)));
+        let relaxation = result.relaxation.expect("infeasible has a what-if");
+        assert_eq!(relaxation.axis, "latency");
+        assert!(relaxation.latency.expect("nearest latency") > 1.0);
+    }
+
+    #[test]
+    fn explain_of_a_feasible_query_has_nothing_to_explain() {
+        let svc = service();
+        let resp = svc.handle(
+            Request {
+                id: Some(1),
+                deadline_ms: None,
+                no_cache: None,
+                hop: None,
+                trace: None,
+                trace_ctx: None,
+                explain: None,
+                cmd: Command::Explain {
+                    pipeline: rpwf_gen::figure5_pipeline(),
+                    platform: rpwf_gen::figure5_platform(),
+                    objective: Objective::MinFpUnderLatency(22.0),
+                },
+            },
+            Instant::now(),
+        );
+        assert_eq!(resp.status, "ok", "{:?}", resp.error);
+        let result: ExplainResult =
+            serde_json::from_str(&serde_json::to_string(&resp.result).expect("serializes"))
+                .expect("explain payload");
+        assert!(result.feasible);
+        assert!(result.muses.is_empty());
+        assert!(result.mcses.is_empty());
+        assert!(result.relaxation.is_none());
+    }
+
+    #[test]
+    fn explain_flag_attaches_the_explanation_to_infeasible_solves() {
+        let svc = service();
+        // Feasible solves never carry `meta.explain`, flag or not.
+        let mut ok = solve_request(1, 22.0);
+        ok.explain = Some(true);
+        let resp = svc.handle(ok, Instant::now());
+        assert_eq!(resp.status, "ok", "{:?}", resp.error);
+        assert!(resp.meta.explain.is_none());
+
+        let mut req = impossible_request(2, |pipeline, platform, objective| Command::Solve {
+            pipeline,
+            platform,
+            objective,
+        });
+        req.explain = Some(true);
+        let resp = svc.handle(req, Instant::now());
+        assert_eq!(resp.status, "error");
         assert_eq!(resp.error.expect("error body").kind, "infeasible");
+        let attached = resp.meta.explain.expect("explanation attached");
+        // Byte-identical with the standalone `Explain` command's payload.
+        let standalone = svc.handle(
+            impossible_request(3, |pipeline, platform, objective| Command::Explain {
+                pipeline,
+                platform,
+                objective,
+            }),
+            Instant::now(),
+        );
+        let standalone: ExplainResult =
+            serde_json::from_str(&serde_json::to_string(&standalone.result).expect("serializes"))
+                .expect("explain payload");
+        assert_eq!(attached, standalone);
+
+        // Without the flag an infeasible solve stays lean.
+        let bare = svc.handle(
+            impossible_request(4, |pipeline, platform, objective| Command::Solve {
+                pipeline,
+                platform,
+                objective,
+            }),
+            Instant::now(),
+        );
+        assert_eq!(bare.status, "error");
+        assert!(bare.meta.explain.is_none());
+    }
+
+    #[test]
+    fn explain_warms_the_front_cache_and_reuses_it() {
+        let svc = service();
+        let cold = svc.handle(
+            impossible_request(1, |pipeline, platform, objective| Command::Explain {
+                pipeline,
+                platform,
+                objective,
+            }),
+            Instant::now(),
+        );
+        assert_eq!(cold.status, "ok", "{:?}", cold.error);
+        let warm = svc.handle(
+            impossible_request(2, |pipeline, platform, objective| Command::Explain {
+                pipeline,
+                platform,
+                objective,
+            }),
+            Instant::now(),
+        );
+        assert!(warm.meta.cache_hit, "warm explain reads cached fronts");
+        // Identical payloads warm or cold — effort never leaks into them.
+        assert_eq!(
+            serde_json::to_string(&cold.result).expect("serializes"),
+            serde_json::to_string(&warm.result).expect("serializes"),
+        );
+        let metrics = svc.render_metrics();
+        assert!(metrics.contains("rpwf_explain_calls_total 2"), "{metrics}");
+        assert!(
+            metrics.contains("rpwf_explain_oracle_cached_total"),
+            "{metrics}"
+        );
     }
 
     #[test]
@@ -2131,6 +2526,7 @@ mod tests {
                 hop: None,
                 trace: None,
                 trace_ctx: None,
+                explain: None,
                 cmd: Command::Gen {
                     class: "ch".into(),
                     failure: "het".into(),
@@ -2150,6 +2546,7 @@ mod tests {
                 hop: None,
                 trace: None,
                 trace_ctx: None,
+                explain: None,
                 cmd: Command::Stats,
             },
             Instant::now(),
@@ -2175,6 +2572,7 @@ mod tests {
                 hop: None,
                 trace: None,
                 trace_ctx: None,
+                explain: None,
                 cmd: Command::Metrics,
             },
             Instant::now(),
@@ -2207,6 +2605,7 @@ mod tests {
             hop: None,
             trace: None,
             trace_ctx: None,
+            explain: None,
             cmd: Command::Pareto {
                 pipeline: rpwf_gen::figure5_pipeline(),
                 platform: rpwf_gen::figure5_platform(),
@@ -2271,6 +2670,7 @@ mod tests {
                 hop: None,
                 trace: None,
                 trace_ctx: None,
+                explain: None,
                 cmd: Command::Pareto {
                     pipeline: rpwf_gen::figure5_pipeline(),
                     platform: rpwf_gen::figure5_platform(),
@@ -2303,6 +2703,7 @@ mod tests {
                 hop: None,
                 trace: None,
                 trace_ctx: None,
+                explain: None,
                 cmd: Command::Pareto {
                     pipeline: inst.pipeline,
                     platform: inst.platform,
@@ -2382,6 +2783,7 @@ mod tests {
                         hop: None,
                         trace: None,
                         trace_ctx: None,
+                        explain: None,
                         cmd: Command::Solve {
                             pipeline: pipeline.clone(),
                             platform: platform.clone(),
@@ -2422,6 +2824,7 @@ mod tests {
                     hop: None,
                     trace: None,
                     trace_ctx: None,
+                    explain: None,
                     cmd: Command::Ping,
                 })
                 .unwrap()

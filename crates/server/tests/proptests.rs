@@ -69,6 +69,7 @@ proptest! {
                     hop: None,
                     trace: None,
                     trace_ctx: None,
+            explain: None,
                     cmd: Command::Solve { pipeline, platform, objective },
                 })
                 .expect("serializes")
@@ -112,6 +113,7 @@ proptest! {
             hop: None,
             trace: None,
             trace_ctx: None,
+            explain: None,
             cmd: Command::Pareto {
                 pipeline: pipeline.clone(),
                 platform: platform.clone(),

@@ -19,6 +19,7 @@ fn request_line(id: u64, deadline_ms: Option<u64>, cmd: Command) -> String {
         hop: None,
         trace: None,
         trace_ctx: None,
+        explain: None,
         cmd,
     })
     .expect("serializes")

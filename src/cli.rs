@@ -83,6 +83,18 @@ pub enum Command {
         /// every thread count.
         solver_threads: usize,
     },
+    /// Explain why a threshold problem is infeasible (MUS/MCS
+    /// enumeration plus the nearest-feasible what-if).
+    Explain {
+        /// Path to the instance JSON.
+        path: String,
+        /// The threshold objective to explain.
+        objective: Objective,
+        /// Worker threads for the exact search (1 = sequential,
+        /// 0 = available parallelism). Explanations are byte-identical
+        /// at every thread count.
+        solver_threads: usize,
+    },
     /// Print the Pareto front of an instance file.
     Pareto {
         /// Path to the instance JSON.
@@ -170,6 +182,8 @@ USAGE:
   rpwf gen --class <fh|ch|het> --failure <hom|het> -n <stages> -m <procs> [--seed <u64>]
   rpwf solve <instance.json> --min-fp-under-latency <L> [--solver-threads <n>]
   rpwf solve <instance.json> --min-latency-under-fp <F> [--solver-threads <n>]
+  rpwf explain <instance.json> --min-fp-under-latency <L> [--solver-threads <n>]
+  rpwf explain <instance.json> --min-latency-under-fp <F> [--solver-threads <n>]
   rpwf pareto <instance.json> [--solver-threads <n>]
   rpwf simulate <instance.json> [--trials <count>]
   rpwf serve [--addr <host:port>] [--stdin] [--workers <n>] [--solver-threads <n>]
@@ -180,6 +194,13 @@ USAGE:
   rpwf batch <requests.jsonl> [--workers <n>] [--no-group]
   rpwf trace [--addr <host:port>] [--limit <n>]
   rpwf help
+
+`explain` answers *why* a threshold query is infeasible: it enumerates
+every minimal conflict (MUS) and minimal fix set (MCS) over the query's
+constraint universe {bound, speed-limit, link-limit, platform-size} and
+reports the nearest feasible bound as a what-if. On feasible queries it
+simply says so. Explanations built from budget-cutoff fronts are
+flagged best-effort, never minimal-proven.
 
 The serve/batch protocol is JSON lines; see README.md for the schema.
 `trace` dials a running server and prints its slow-query ring — the
@@ -311,6 +332,27 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             };
             let solver_threads = get_solver_threads(&opts)?;
             Ok(Command::Solve {
+                path,
+                objective,
+                solver_threads,
+            })
+        }
+        "explain" => {
+            let path = positional
+                .first()
+                .ok_or_else(|| "explain needs an instance file".to_string())?
+                .clone();
+            let objective = if opts.contains_key("min-fp-under-latency") {
+                Objective::MinFpUnderLatency(get_num(&opts, "min-fp-under-latency")?)
+            } else if opts.contains_key("min-latency-under-fp") {
+                Objective::MinLatencyUnderFp(get_num(&opts, "min-latency-under-fp")?)
+            } else {
+                return Err(
+                    "explain needs --min-fp-under-latency or --min-latency-under-fp".into(),
+                );
+            };
+            let solver_threads = get_solver_threads(&opts)?;
+            Ok(Command::Explain {
                 path,
                 objective,
                 solver_threads,
@@ -514,6 +556,7 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
                 hop: None,
                 trace: None,
                 trace_ctx: None,
+                explain: None,
                 cmd: WireCommand::Trace { limit: *limit },
             };
             let line = serde_json::to_string(&request).expect("requests always serialize");
@@ -632,11 +675,15 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
             });
             let Some(sol) = report.point() else {
                 return Err(if report.completeness.exact_complete {
-                    format!("infeasible: no mapping satisfies {objective:?}")
+                    format!(
+                        "infeasible: no mapping satisfies {objective:?} \
+                         (run `rpwf explain` to see why)"
+                    )
                 } else {
                     format!(
                         "infeasible: no feasible solution found for {objective:?} \
-                         (heuristic search; not a proof of infeasibility)"
+                         (heuristic search; not a proof of infeasibility — \
+                         run `rpwf explain` to see why)"
                     )
                 });
             };
@@ -655,6 +702,99 @@ pub fn run(command: &Command) -> std::result::Result<String, String> {
             writeln!(out, "mapping  : {}", sol.mapping).expect("write to string");
             writeln!(out, "latency  : {:.6}", sol.latency).expect("write to string");
             writeln!(out, "FP       : {:.6}", sol.failure_prob).expect("write to string");
+            Ok(out)
+        }
+        Command::Explain {
+            path,
+            objective,
+            solver_threads,
+        } => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let inst = InstanceFile::from_json(&text)?;
+            // The same MARCO enumeration the server runs, against the
+            // same engine plan, so CLI and served explanations match.
+            let engine = Engine::with_parallel_backends(ENGINE_SEED, *solver_threads);
+            let report = engine.solve(&SolveRequest {
+                pipeline: &inst.pipeline,
+                platform: &inst.platform,
+                want: Want::Explain {
+                    objective: *objective,
+                },
+                budget: &Budget::unlimited(),
+            });
+            let explanation = report
+                .explanation()
+                .expect("explain request yields an explanation");
+            let mut out = String::new();
+            if explanation.feasible {
+                writeln!(
+                    out,
+                    "feasible : yes — {objective:?} is satisfiable; nothing to explain"
+                )
+                .expect("write to string");
+                return Ok(out);
+            }
+            writeln!(
+                out,
+                "feasible : no ({})",
+                if explanation.proven {
+                    "proven — conflicts are minimal"
+                } else {
+                    "best effort — cutoff fronts; conflicts are candidates, not proven minimal"
+                }
+            )
+            .expect("write to string");
+            writeln!(out, "universe :").expect("write to string");
+            for (i, constraint) in explanation.universe.iter().enumerate() {
+                writeln!(
+                    out,
+                    "  [{i}] {:<13} {}",
+                    constraint.label, constraint.detail
+                )
+                .expect("write to string");
+            }
+            let members = |indices: &[usize]| {
+                indices
+                    .iter()
+                    .map(|&i| explanation.universe[i].label)
+                    .collect::<Vec<_>>()
+                    .join(" + ")
+            };
+            for mus in &explanation.muses {
+                writeln!(out, "conflict : {{{}}} cannot hold together", members(mus))
+                    .expect("write to string");
+            }
+            for mcs in &explanation.mcses {
+                writeln!(out, "fix      : relax {{{}}}", members(mcs)).expect("write to string");
+            }
+            if let Some(relaxation) = explanation.relaxation {
+                match relaxation.nearest {
+                    Some(pt) => writeln!(
+                        out,
+                        "what-if  : nearest feasible {} — latency {:.6}, FP {:.6}{}",
+                        relaxation.axis,
+                        pt.latency,
+                        pt.failure_prob,
+                        if relaxation.proven {
+                            ""
+                        } else {
+                            " (best effort)"
+                        }
+                    ),
+                    None => writeln!(
+                        out,
+                        "what-if  : no feasible point at any {} bound",
+                        relaxation.axis
+                    ),
+                }
+                .expect("write to string");
+            }
+            writeln!(
+                out,
+                "oracle   : {} front solves ({} cached)",
+                explanation.oracle_calls, explanation.oracle_cached
+            )
+            .expect("write to string");
             Ok(out)
         }
         Command::Pareto {
@@ -775,6 +915,61 @@ mod tests {
         assert!(
             matches!(cmd, Command::Solve { objective: Objective::MinLatencyUnderFp(f), .. } if f == 0.2)
         );
+    }
+
+    #[test]
+    fn parse_explain_both_objectives() {
+        let cmd = parse_args(&args("explain inst.json --min-fp-under-latency 1.5")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Explain {
+                path: "inst.json".into(),
+                objective: Objective::MinFpUnderLatency(1.5),
+                solver_threads: 1,
+            }
+        );
+        let cmd = parse_args(&args(
+            "explain inst.json --min-latency-under-fp 0.1 --solver-threads 2",
+        ))
+        .unwrap();
+        assert!(
+            matches!(cmd, Command::Explain { objective: Objective::MinLatencyUnderFp(f), solver_threads: 2, .. } if f == 0.1)
+        );
+        assert!(parse_args(&args("explain inst.json"))
+            .unwrap_err()
+            .contains("min-fp"));
+    }
+
+    #[test]
+    fn explain_renders_conflicts_and_what_ifs() {
+        let dir = std::env::temp_dir().join("rpwf-cli-explain-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json");
+        let file = InstanceFile {
+            pipeline: Pipeline::uniform(2, 100.0, 100.0).unwrap(),
+            platform: Platform::fully_homogeneous(3, 1.0, 1.0, 0.9).unwrap(),
+        };
+        std::fs::write(&path, file.to_json()).unwrap();
+        let path_str = path.to_string_lossy().into_owned();
+
+        let out = run(&Command::Explain {
+            path: path_str.clone(),
+            objective: Objective::MinFpUnderLatency(1.0),
+            solver_threads: 1,
+        })
+        .unwrap();
+        assert!(out.contains("feasible : no (proven"), "{out}");
+        assert!(out.contains("conflict : {bound"), "{out}");
+        assert!(out.contains("fix      : relax {"), "{out}");
+        assert!(out.contains("what-if  : nearest feasible latency"), "{out}");
+
+        let feasible = run(&Command::Explain {
+            path: path_str,
+            objective: Objective::MinFpUnderLatency(1e9),
+            solver_threads: 1,
+        })
+        .unwrap();
+        assert!(feasible.contains("nothing to explain"), "{feasible}");
     }
 
     #[test]
@@ -1116,6 +1311,7 @@ mod tests {
             hop: None,
             trace: Some(true),
             trace_ctx: None,
+            explain: None,
             cmd: rpwf_server::protocol::Command::Solve {
                 pipeline: rpwf_gen::figure5_pipeline(),
                 platform: rpwf_gen::figure5_platform(),

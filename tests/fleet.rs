@@ -116,6 +116,7 @@ fn request_line(id: u64, cmd: Command) -> String {
         hop: None,
         trace: None,
         trace_ctx: None,
+        explain: None,
         cmd,
     })
     .expect("requests serialize")
@@ -129,6 +130,7 @@ fn traced_request_line(id: u64, cmd: Command) -> String {
         hop: None,
         trace: Some(true),
         trace_ctx: None,
+        explain: None,
         cmd,
     })
     .expect("requests serialize")
@@ -164,6 +166,22 @@ fn solve_cmd(seed: u64, latency_factor: f64) -> Command {
     );
     let safest = rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform);
     Command::Solve {
+        pipeline: inst.pipeline,
+        platform: inst.platform,
+        objective: rpwf_algo::Objective::MinFpUnderLatency(safest.latency * latency_factor),
+    }
+}
+
+fn explain_cmd(seed: u64, latency_factor: f64) -> Command {
+    let inst = rpwf_gen::make_instance(
+        rpwf_core::platform::PlatformClass::CommHomogeneous,
+        rpwf_core::platform::FailureClass::Heterogeneous,
+        3,
+        6,
+        seed,
+    );
+    let safest = rpwf_algo::mono::minimize_failure(&inst.pipeline, &inst.platform);
+    Command::Explain {
         pipeline: inst.pipeline,
         platform: inst.platform,
         objective: rpwf_algo::Objective::MinFpUnderLatency(safest.latency * latency_factor),
@@ -206,6 +224,55 @@ fn fleet_answers_byte_identically_from_any_entry_node() {
             );
         }
         // Whichever door the request came through, the same owner answered.
+        assert!(
+            owners.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: all entries must resolve to one owner, got {owners:?}"
+        );
+        assert!(addrs.contains(&owners[0]), "owner is a fleet member");
+    }
+}
+
+#[test]
+fn explanations_are_byte_identical_from_any_entry_node() {
+    let single = Server::bind("127.0.0.1:0", fleet_config("solo", 256)).expect("bind single");
+    let single_addr = single.local_addr().to_string();
+    let (addrs, _servers) = start_fleet(3, 256);
+
+    for seed in 0..3u64 {
+        // A bound far below the front's reach: the query is infeasible,
+        // so the explanation carries real MUS/MCS content to compare —
+        // and repeated entries exercise both the cold (solve) and warm
+        // (cached-front) oracle paths, which must not change a byte.
+        let line = request_line(seed, explain_cmd(seed, 0.01));
+        let reference = roundtrip(&single_addr, &line);
+        assert_eq!(reference.len(), 1);
+        assert_eq!(reference[0].status, "ok", "{:?}", reference[0].error);
+        let reference_result = result_payload(&reference[0]);
+        assert!(
+            reference_result.contains("\"feasible\":false"),
+            "seed {seed}: the probe bound must be infeasible: {reference_result}"
+        );
+
+        let mut owners = Vec::new();
+        for entry in &addrs {
+            let got = roundtrip(entry, &line);
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].status, "ok", "{:?}", got[0].error);
+            assert_eq!(
+                result_payload(&got[0]),
+                reference_result,
+                "seed {seed}: entry node {entry} must explain exactly like a single node"
+            );
+            owners.push(
+                got[0]
+                    .meta
+                    .node
+                    .clone()
+                    .expect("fleet stamps node identity"),
+            );
+        }
+        // Explain routes by instance key like solve: one owner answers
+        // whichever door the request came through.
         assert!(
             owners.windows(2).all(|w| w[0] == w[1]),
             "seed {seed}: all entries must resolve to one owner, got {owners:?}"

@@ -31,6 +31,7 @@ fn request_line(id: u64, cmd: Command) -> String {
         no_cache: None,
         trace: None,
         trace_ctx: None,
+        explain: None,
         hop: None,
         cmd,
     })

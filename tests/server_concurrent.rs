@@ -30,6 +30,7 @@ fn request_line(id: u64, deadline_ms: Option<u64>, cmd: Command) -> String {
         no_cache: None,
         trace: None,
         trace_ctx: None,
+        explain: None,
         hop: None,
         cmd,
     })
